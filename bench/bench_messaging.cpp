@@ -1,0 +1,191 @@
+/// \file bench_messaging.cpp
+/// Supporting experiment S2: "communication between capsules and streamers
+/// is realized by communication mechanism of threads". Benchmarks every
+/// mechanism the runtime offers so the deployment choice in Figure 3 is
+/// grounded in numbers:
+///
+///  * intra-controller capsule-to-capsule messaging (queue round trip)
+///  * cross-controller (cross-thread) messaging
+///  * capsule -> SPort -> streamer hand-off (the hybrid boundary)
+///  * SpscRing vs BlockingChannel raw throughput
+///  * timer service scheduling under load
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "flow/channel.hpp"
+#include "flow/sport.hpp"
+#include "flow/streamer.hpp"
+#include "rt/rt.hpp"
+
+namespace rt = urtx::rt;
+namespace f = urtx::flow;
+
+namespace {
+
+rt::Protocol& msgProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Msg"};
+        q.out("req").in("rsp");
+        return q;
+    }();
+    return p;
+}
+
+struct Echo : rt::Capsule {
+    explicit Echo(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", msgProto(), true) {}
+    rt::Port port;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("req")) port.send("rsp");
+    }
+};
+
+struct Client : rt::Capsule {
+    explicit Client(std::string n)
+        : rt::Capsule(std::move(n)), port(*this, "p", msgProto(), false) {}
+    rt::Port port;
+    std::atomic<std::uint64_t> rsps{0};
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("rsp")) ++rsps;
+    }
+};
+
+void BM_intra_controller_roundtrip(benchmark::State& state) {
+    rt::Controller ctl{"one"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    for (auto _ : state) {
+        client.port.send("req");
+        ctl.dispatchAll(); // req then rsp
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_intra_controller_roundtrip);
+
+void BM_cross_thread_roundtrip(benchmark::State& state) {
+    rt::Controller c1{"c1"}, c2{"c2"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    c1.attach(client);
+    c2.attach(echo);
+    c1.start();
+    c2.start();
+    std::uint64_t sent = 0;
+    for (auto _ : state) {
+        client.port.send("req");
+        ++sent;
+        // Pipelined: wait only every 64 messages to amortize sync.
+        if ((sent & 63u) == 0) {
+            while (client.rsps.load(std::memory_order_relaxed) + 32 < sent) {
+                std::this_thread::yield();
+            }
+        }
+    }
+    while (client.rsps.load() < sent) std::this_thread::yield();
+    c1.stop();
+    c2.stop();
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_cross_thread_roundtrip);
+
+void BM_capsule_to_streamer_handoff(benchmark::State& state) {
+    struct Tunable : f::Streamer {
+        using f::Streamer::Streamer;
+        std::uint64_t got = 0;
+        void onSignal(f::SPort&, const rt::Message&) override { ++got; }
+    };
+    Tunable streamer{"s"};
+    f::SPort sp(streamer, "ctl", msgProto(), true);
+    rt::Capsule cap{"cap"};
+    rt::Port cp(cap, "p", msgProto(), false);
+    rt::connect(cp, sp.rtPort());
+    for (auto _ : state) {
+        cp.send("req");
+        sp.drain();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_capsule_to_streamer_handoff);
+
+void BM_spsc_ring_throughput(benchmark::State& state) {
+    f::SpscRing<double> ring(4096);
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> consumed{0};
+    std::thread consumer([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            while (ring.pop()) consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+        while (ring.pop()) consumed.fetch_add(1, std::memory_order_relaxed);
+    });
+    std::uint64_t produced = 0;
+    for (auto _ : state) {
+        while (!ring.push(1.0)) {
+        }
+        ++produced;
+    }
+    done.store(true, std::memory_order_release);
+    consumer.join();
+    state.SetItemsProcessed(static_cast<int64_t>(produced));
+}
+BENCHMARK(BM_spsc_ring_throughput);
+
+void BM_blocking_channel_throughput(benchmark::State& state) {
+    f::BlockingChannel<double> ch;
+    std::atomic<bool> done{false};
+    std::thread consumer([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            while (ch.tryPop()) {
+            }
+        }
+        while (ch.tryPop()) {
+        }
+    });
+    for (auto _ : state) {
+        ch.push(1.0);
+    }
+    done.store(true, std::memory_order_release);
+    consumer.join();
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_blocking_channel_throughput);
+
+void BM_timer_heap_under_load(benchmark::State& state) {
+    const auto preload = static_cast<std::size_t>(state.range(0));
+    rt::Capsule cap{"cap"};
+    rt::TimerService ts;
+    for (std::size_t i = 0; i < preload; ++i) {
+        ts.informIn(cap, 0.0, 1.0 + 1e-6 * static_cast<double>(i), rt::signal("t"));
+    }
+    for (auto _ : state) {
+        const auto id = ts.informIn(cap, 0.0, 0.5, rt::signal("t"));
+        ts.cancel(id);
+    }
+}
+BENCHMARK(BM_timer_heap_under_load)->Arg(0)->Arg(1000)->Arg(100000);
+
+void BM_priority_queue_mixed(benchmark::State& state) {
+    rt::MessageQueue q;
+    int i = 0;
+    for (auto _ : state) {
+        rt::Message m(rt::signal("x"), {},
+                      static_cast<rt::Priority>(static_cast<unsigned>(i++) % 5));
+        q.push(std::move(m));
+        benchmark::DoNotOptimize(q.tryPop());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_priority_queue_mixed);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,255 @@
+/// \file bench_table1_stereotypes.cpp
+/// Regenerates the paper's **Table 1** ("New stereotypes comparing with
+/// UML-RT") and characterizes the runtime cost of each stereotype's core
+/// operation, pairing every UML-RT concept with its extension counterpart:
+///
+///   capsule/port/connect      -> message send through ports (+ relays)
+///   streamer/DPort/flow/relay -> dataflow refresh & relay duplication
+///   protocol vs flow type     -> signal-direction check vs subset check
+///   state machine vs solver   -> RTC dispatch vs one integration step
+///   Time service vs Time      -> timer scheduling vs continuous clock read
+///
+/// The paper reports no numbers; EXPERIMENTS.md records the measured costs
+/// next to the reproduced table.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "control/control.hpp"
+#include "flow/flow.hpp"
+#include "model/stereotype.hpp"
+#include "rt/rt.hpp"
+
+namespace rt = urtx::rt;
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+
+namespace {
+
+rt::Protocol& benchProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Bench"};
+        q.out("ping").in("pong");
+        return q;
+    }();
+    return p;
+}
+
+struct Sink : rt::Capsule {
+    using rt::Capsule::Capsule;
+    std::uint64_t got = 0;
+
+protected:
+    void onMessage(const rt::Message&) override { ++got; }
+};
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+// ------------------------------- UML-RT side --------------------------------
+
+void BM_capsule_port_send_synchronous(benchmark::State& state) {
+    Sink a{"a"}, b{"b"};
+    rt::Port pa(a, "p", benchProto(), false);
+    rt::Port pb(b, "p", benchProto(), true);
+    rt::connect(pa, pb);
+    for (auto _ : state) {
+        pa.send("ping");
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_capsule_port_send_synchronous);
+
+void BM_capsule_port_send_queued(benchmark::State& state) {
+    rt::Controller ctl{"bench"};
+    Sink a{"a"}, b{"b"};
+    ctl.attach(b);
+    rt::Port pa(a, "p", benchProto(), false);
+    rt::Port pb(b, "p", benchProto(), true);
+    rt::connect(pa, pb);
+    for (auto _ : state) {
+        pa.send("ping");
+        ctl.dispatchOne();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_capsule_port_send_queued);
+
+void BM_connect_relay_chain(benchmark::State& state) {
+    // Message resolution across N relay boundaries.
+    const int depth = static_cast<int>(state.range(0));
+    Sink sender{"sender"};
+    std::vector<std::unique_ptr<Sink>> shells;
+    std::vector<std::unique_ptr<rt::Port>> relays;
+    rt::Port out(sender, "out", benchProto(), false);
+
+    Sink* parent = nullptr;
+    rt::Port* prev = &out;
+    for (int i = 0; i < depth; ++i) {
+        shells.push_back(std::make_unique<Sink>("shell" + std::to_string(i), parent));
+        relays.push_back(std::make_unique<rt::Port>(*shells.back(), "r", benchProto(), true,
+                                                    rt::PortKind::Relay));
+        rt::connect(*prev, *relays.back());
+        prev = relays.back().get();
+        parent = shells.back().get();
+    }
+    Sink leaf{"leaf", parent};
+    rt::Port in(leaf, "in", benchProto(), true);
+    rt::connect(*prev, in);
+
+    for (auto _ : state) {
+        out.send("ping");
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_connect_relay_chain)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_protocol_direction_check(benchmark::State& state) {
+    const auto sig = rt::signal("ping");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(benchProto().sendable(sig, false));
+    }
+}
+BENCHMARK(BM_protocol_direction_check);
+
+void BM_state_machine_dispatch(benchmark::State& state) {
+    rt::Capsule cap{"cap"};
+    auto& a = cap.machine().state("A");
+    auto& b = cap.machine().state("B");
+    cap.machine().transition(a, b).on("go");
+    cap.machine().transition(b, a).on("go");
+    cap.initialize();
+    rt::Message m(rt::signal("go"));
+    for (auto _ : state) {
+        cap.machine().dispatch(m);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_state_machine_dispatch);
+
+void BM_timer_service_schedule_cancel(benchmark::State& state) {
+    rt::Capsule cap{"cap"};
+    rt::TimerService ts;
+    for (auto _ : state) {
+        const auto id = ts.informIn(cap, 0.0, 1.0, rt::signal("t"));
+        ts.cancel(id);
+    }
+}
+BENCHMARK(BM_timer_service_schedule_cancel);
+
+// ------------------------------ extension side -------------------------------
+
+void BM_streamer_dport_refresh(benchmark::State& state) {
+    const auto width = static_cast<std::size_t>(state.range(0));
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent};
+    const auto type = width == 1 ? f::FlowType::real()
+                                 : f::FlowType::vector(f::FlowType::real(), width);
+    f::DPort out(a, "out", f::DPortDir::Out, type);
+    f::DPort in(b, "in", f::DPortDir::In, type);
+    f::flow(out, in);
+    auto proj = f::FlowType::projection(out.type(), in.type());
+    in.bindResolved(&out, *proj);
+    for (auto _ : state) {
+        in.refresh();
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * width * sizeof(double)));
+}
+BENCHMARK(BM_streamer_dport_refresh)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_relay_duplication(benchmark::State& state) {
+    const auto fanout = static_cast<std::size_t>(state.range(0));
+    Plain parent{"p"};
+    f::Relay relay("r", &parent, f::FlowType::real(), fanout);
+    relay.in().set(1.0);
+    for (auto _ : state) {
+        relay.outputs(0.0, {});
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * fanout));
+}
+BENCHMARK(BM_relay_duplication)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_flowtype_subset_check(benchmark::State& state) {
+    const auto big = f::FlowType::record({{"pos", f::FlowType::real()},
+                                          {"vel", f::FlowType::real()},
+                                          {"acc", f::FlowType::real()}});
+    const auto small = f::FlowType::record({{"vel", f::FlowType::real()}});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(big.subsetOf(small));
+    }
+}
+BENCHMARK(BM_flowtype_subset_check);
+
+void BM_solver_step_rk4(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    s::FnOde sys(dim, [](double, const s::Vec& x, s::Vec& dx) {
+        for (std::size_t i = 0; i < x.size(); ++i) dx[i] = -x[i];
+    });
+    s::Rk4Integrator rk4;
+    s::Vec x(dim, 1.0);
+    double t = 0;
+    for (auto _ : state) {
+        rk4.step(sys, t, 1e-3, x);
+        t += 1e-3;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_solver_step_rk4)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_sport_signal_roundtrip(benchmark::State& state) {
+    struct Echo : f::Streamer {
+        using f::Streamer::Streamer;
+        int got = 0;
+        void onSignal(f::SPort&, const rt::Message&) override { ++got; }
+    };
+    Echo streamer{"s"};
+    f::SPort sp(streamer, "ctl", benchProto(), true);
+    Sink cap{"cap"};
+    rt::Port cp(cap, "p", benchProto(), false);
+    rt::connect(cp, sp.rtPort());
+    for (auto _ : state) {
+        cp.send("ping");
+        sp.drain();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_sport_signal_roundtrip);
+
+void BM_time_stereotype_read(benchmark::State& state) {
+    f::Time time(0.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(time.now());
+    }
+}
+BENCHMARK(BM_time_stereotype_read);
+
+void printTable1() {
+    std::puts("==============================================================");
+    std::puts("Table 1 — New stereotypes comparing with UML-RT (reproduced)");
+    std::puts("==============================================================");
+    std::printf("%-18s | %s\n", "UML-RT", "Extension");
+    std::puts("-------------------+------------------------------------------");
+    for (const auto& row : urtx::model::table1()) {
+        std::string ext;
+        for (auto st : row.extension) {
+            if (!ext.empty()) ext += ", ";
+            ext += urtx::model::to_string(st);
+        }
+        std::printf("%-18s | %s\n", urtx::model::to_string(row.umlrt), ext.c_str());
+    }
+    std::printf("new stereotypes listed: %zu\n\n", urtx::model::newStereotypeCount());
+    std::puts("Measured per-operation costs follow (google-benchmark):\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    printTable1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

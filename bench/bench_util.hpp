@@ -1,0 +1,44 @@
+#pragma once
+/// \file bench_util.hpp
+/// Tiny timing helpers for the table-style benchmark harnesses (the
+/// google-benchmark binaries use the library directly; these helpers serve
+/// the paper-artifact tables where we control the output format).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+namespace urtx::bench {
+
+/// Wall-clock seconds of one call.
+template <class F>
+double timeOnce(F&& f) {
+    const auto start = std::chrono::steady_clock::now();
+    f();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Median wall-clock seconds over \p reps calls.
+template <class F>
+double timeMedian(F&& f, int reps = 5) {
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) times.push_back(timeOnce(f));
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+inline void rule(char c = '-', int n = 78) {
+    for (int i = 0; i < n; ++i) std::putchar(c);
+    std::putchar('\n');
+}
+
+/// Prevent the optimizer from discarding a value.
+inline void keep(double v) {
+    volatile double sink = v;
+    (void)sink;
+}
+
+} // namespace urtx::bench

@@ -1,0 +1,151 @@
+#include "codegen/dot_export.hpp"
+
+#include <sstream>
+
+#include "codegen/codegen.hpp"
+
+namespace urtx::codegen {
+
+using model::CapsuleClassDecl;
+using model::Model;
+using model::PortDecl;
+using model::StreamerClassDecl;
+
+namespace {
+
+std::string id(const std::string& s) { return CodeGenerator::identifier(s); }
+
+/// Node for an endpoint "part.port" or boundary "port" within class `cls`.
+std::string endpointNode(const std::string& cls, const std::string& ref) {
+    const auto ep = model::splitEndpoint(ref);
+    if (ep.part.empty()) return id(cls) + "_" + id(ep.port);
+    return id(cls) + "_" + id(ep.part) + "_" + id(ep.port);
+}
+
+void emitPorts(std::ostringstream& o, const std::string& owner,
+               const std::vector<PortDecl>& ports, const std::string& prefix) {
+    for (const auto& p : ports) {
+        const char* shape = p.kind == PortDecl::Kind::Data ? "circle" : "square";
+        o << "    " << prefix << "_" << id(p.name) << " [label=\"" << p.name << "\", shape="
+          << shape << ", width=0.3, fixedsize=true];\n";
+    }
+    (void)owner;
+}
+
+} // namespace
+
+std::string streamerDot(const Model& m, const StreamerClassDecl& cls) {
+    std::ostringstream o;
+    o << "digraph " << id(cls.name) << " {\n";
+    o << "  rankdir=LR;\n  node [fontsize=10];\n";
+    o << "  subgraph cluster_" << id(cls.name) << " {\n";
+    o << "    label=\"<<streamer>> " << cls.name << "\";\n";
+    emitPorts(o, cls.name, cls.ports, id(cls.name));
+
+    for (const auto& part : cls.parts) {
+        const StreamerClassDecl* sub = m.findStreamer(part.className);
+        o << "    subgraph cluster_" << id(cls.name) << "_" << id(part.name) << " {\n";
+        o << "      label=\"" << part.name << " : " << part.className << "\";\n";
+        if (sub) {
+            emitPorts(o, part.name, sub->ports, id(cls.name) + "_" + id(part.name));
+        }
+        o << "      " << id(cls.name) << "_" << id(part.name)
+          << "_anchor [style=invis, shape=point];\n";
+        o << "    }\n";
+    }
+    for (const auto& relay : cls.relays) {
+        o << "    " << id(cls.name) << "_" << id(relay.name) << "_in [label=\"in\", "
+          << "shape=circle, width=0.25, fixedsize=true];\n";
+        for (std::size_t i = 0; i < relay.fanout; ++i) {
+            o << "    " << id(cls.name) << "_" << id(relay.name) << "_out" << i
+              << " [label=\"out" << i << "\", shape=circle, width=0.25, fixedsize=true];\n";
+        }
+        o << "    " << id(cls.name) << "_" << id(relay.name)
+          << " [label=\"<<relay>> " << relay.name << "\", shape=diamond];\n";
+        o << "    " << id(cls.name) << "_" << id(relay.name) << "_in -> " << id(cls.name) << "_"
+          << id(relay.name) << ";\n";
+        for (std::size_t i = 0; i < relay.fanout; ++i) {
+            o << "    " << id(cls.name) << "_" << id(relay.name) << " -> " << id(cls.name)
+              << "_" << id(relay.name) << "_out" << i << ";\n";
+        }
+    }
+    for (const auto& fl : cls.flows) {
+        o << "    " << endpointNode(cls.name, fl.from) << " -> "
+          << endpointNode(cls.name, fl.to) << " [label=\"flow\"];\n";
+    }
+    o << "  }\n}\n";
+    return o.str();
+}
+
+std::string capsuleDot(const Model& m, const CapsuleClassDecl& cls) {
+    std::ostringstream o;
+    o << "digraph " << id(cls.name) << " {\n";
+    o << "  rankdir=LR;\n  node [fontsize=10];\n";
+    o << "  subgraph cluster_" << id(cls.name) << " {\n";
+    o << "    label=\"<<capsule>> " << cls.name << "\";\n";
+    emitPorts(o, cls.name, cls.ports, id(cls.name));
+    for (const auto& part : cls.parts) {
+        const bool isCapsule = m.findCapsule(part.className) != nullptr;
+        o << "    " << id(cls.name) << "_" << id(part.name) << " [label=\"" << part.name
+          << " : " << part.className << "\", shape=box"
+          << (isCapsule ? "" : ", style=rounded") << "];\n";
+    }
+    for (const auto& con : cls.connections) {
+        o << "    " << endpointNode(cls.name, con.from) << " -> "
+          << endpointNode(cls.name, con.to) << " [dir=both, label=\"connect\"];\n";
+    }
+    o << "  }\n}\n";
+    return o.str();
+}
+
+std::string machineDot(const CapsuleClassDecl& cls) {
+    std::ostringstream o;
+    o << "digraph " << id(cls.name) << "_sm {\n";
+    o << "  rankdir=LR;\n  node [shape=Mrecord, fontsize=10];\n";
+    o << "  __init [shape=point, width=0.15];\n";
+    for (const auto& st : cls.states) {
+        o << "  " << id(st.name) << " [label=\"" << st.name << "\"];\n";
+        if (st.initial && st.parent.empty()) o << "  __init -> " << id(st.name) << ";\n";
+    }
+    for (const auto& tr : cls.transitions) {
+        o << "  " << id(tr.from) << " -> " << id(tr.to) << " [label=\"" << tr.signal;
+        if (!tr.guard.empty()) o << " [" << tr.guard << "]";
+        if (!tr.action.empty()) o << " / " << tr.action;
+        o << "\"];\n";
+    }
+    o << "}\n";
+    return o.str();
+}
+
+std::string modelDot(const Model& m) {
+    std::ostringstream o;
+    o << "digraph " << id(m.name) << " {\n";
+    o << "  rankdir=TB;\n  node [fontsize=10, shape=box];\n";
+    for (const auto& c : m.capsules) {
+        o << "  " << id(c.name) << " [label=\"<<capsule>> " << c.name << "\"];\n";
+    }
+    for (const auto& s : m.streamers) {
+        o << "  " << id(s.name) << " [label=\"<<streamer>> " << s.name
+          << "\", style=rounded];\n";
+    }
+    // Containment edges.
+    for (const auto& c : m.capsules) {
+        for (const auto& part : c.parts) {
+            o << "  " << id(c.name) << " -> " << id(part.className) << " [label=\""
+              << part.name << "\", style=dashed];\n";
+        }
+    }
+    for (const auto& s : m.streamers) {
+        for (const auto& part : s.parts) {
+            o << "  " << id(s.name) << " -> " << id(part.className) << " [label=\""
+              << part.name << "\", style=dashed];\n";
+        }
+    }
+    if (!m.topCapsule.empty()) {
+        o << "  __top [shape=point];\n  __top -> " << id(m.topCapsule) << ";\n";
+    }
+    o << "}\n";
+    return o.str();
+}
+
+} // namespace urtx::codegen

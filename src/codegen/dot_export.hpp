@@ -1,0 +1,28 @@
+#pragma once
+/// \file dot_export.hpp
+/// GraphViz DOT rendering of models — regenerates the paper's figures as
+/// diagrams: structure diagrams (capsules/streamers with ports, flows and
+/// relays, Figure 2/3 style) and state machine diagrams (Figure 1's State
+/// side). Purely textual; feed the output to `dot -Tsvg`.
+
+#include <string>
+
+#include "model/model.hpp"
+
+namespace urtx::codegen {
+
+/// Structure diagram of one streamer class: sub-streamer boxes, relay
+/// diamonds, DPort circles / SPort squares (the paper's notation), flow
+/// edges.
+std::string streamerDot(const model::Model& m, const model::StreamerClassDecl& cls);
+
+/// Containment + wiring diagram of one capsule class.
+std::string capsuleDot(const model::Model& m, const model::CapsuleClassDecl& cls);
+
+/// State machine diagram of a capsule class.
+std::string machineDot(const model::CapsuleClassDecl& cls);
+
+/// Whole-model overview: one cluster per class.
+std::string modelDot(const model::Model& m);
+
+} // namespace urtx::codegen

@@ -1,0 +1,10 @@
+#pragma once
+/// \file control.hpp
+/// Umbrella header for the control block library.
+
+#include "control/discrete.hpp"
+#include "control/dynamics.hpp"
+#include "control/math_blocks.hpp"
+#include "control/plants.hpp"
+#include "control/sinks.hpp"
+#include "control/sources.hpp"

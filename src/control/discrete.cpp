@@ -1,0 +1,78 @@
+#include "control/discrete.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace urtx::control {
+
+DiscreteTransferFunction::DiscreteTransferFunction(std::string name, Streamer* parent,
+                                                   std::vector<double> b, std::vector<double> a,
+                                                   double period)
+    : SisoBlock(std::move(name), parent), eq_(std::move(b), std::move(a)) {
+    if (period <= 0)
+        throw std::invalid_argument("DiscreteTransferFunction: period must be positive");
+    setParam("period", period);
+}
+
+void DiscreteTransferFunction::outputs(double, std::span<const double>) { out_.set(held_); }
+
+void DiscreteTransferFunction::update(double t, std::span<double>) {
+    if (first_) {
+        nextSample_ = t; // sample immediately at the first boundary
+        first_ = false;
+    }
+    if (t + 1e-12 >= nextSample_) {
+        held_ = eq_.step(in_.get());
+        while (nextSample_ <= t + 1e-12) nextSample_ += param("period");
+    }
+}
+
+DiscretePid::DiscretePid(std::string name, Streamer* parent, double kp, double ki, double kd,
+                         double period)
+    : SisoBlock(std::move(name), parent) {
+    if (period <= 0) throw std::invalid_argument("DiscretePid: period must be positive");
+    setParam("kp", kp);
+    setParam("ki", ki);
+    setParam("kd", kd);
+    setParam("period", period);
+}
+
+DiscretePid& DiscretePid::withLimits(double lo, double hi) {
+    if (lo >= hi) throw std::invalid_argument("DiscretePid::withLimits: lo must be < hi");
+    limited_ = true;
+    setParam("lo", lo);
+    setParam("hi", hi);
+    return *this;
+}
+
+void DiscretePid::outputs(double, std::span<const double>) { out_.set(held_); }
+
+void DiscretePid::update(double t, std::span<double>) {
+    if (first_) {
+        nextSample_ = t;
+        prevError_ = in_.get();
+        first_ = false;
+    }
+    if (t + 1e-12 < nextSample_) return;
+    const double ts = param("period");
+    const double e = in_.get();
+    const double d = (e - prevError_) / ts;
+    prevError_ = e;
+
+    // Trial value with the candidate integral; conditional integration
+    // rejects the update only when it would push further into saturation.
+    const double trial =
+        param("kp") * e + param("ki") * (integral_ + ts * e) + param("kd") * d;
+    if (!limited_) {
+        integral_ += ts * e;
+        held_ = trial;
+    } else {
+        const double lo = param("lo"), hi = param("hi");
+        const bool windingUp = (trial > hi && e > 0) || (trial < lo && e < 0);
+        if (!windingUp) integral_ += ts * e;
+        held_ = std::clamp(param("kp") * e + param("ki") * integral_ + param("kd") * d, lo, hi);
+    }
+    while (nextSample_ <= t + 1e-12) nextSample_ += ts;
+}
+
+} // namespace urtx::control

@@ -1,0 +1,72 @@
+#pragma once
+/// \file discrete.hpp
+/// Discrete-time (sampled) control blocks — the *difference equation* half
+/// of the paper's hybrid systems ("whose behaviors can be described by
+/// difference equations and differential equations respectively").
+///
+/// These blocks sample their input every "period" seconds during the
+/// update pass and hold their output between samples, exactly how a
+/// digital controller deployed in a capsule would run off a periodic
+/// timer. The recursion itself is solver::DifferenceEquation.
+///
+/// Visibility semantics: a sample taken at major-step boundary t becomes
+/// visible to downstream blocks at the *next* outputs pass (one boundary
+/// later) — the one-step computational delay every sampled controller in
+/// a real loop exhibits.
+
+#include <span>
+#include <string>
+
+#include "control/math_blocks.hpp"
+#include "solver/difference.hpp"
+
+namespace urtx::control {
+
+/// Sampled linear filter y = H(z) u with H = B(z)/A(z) (direct form II
+/// transposed), ZOH output.
+class DiscreteTransferFunction final : public SisoBlock {
+public:
+    DiscreteTransferFunction(std::string name, Streamer* parent, std::vector<double> b,
+                             std::vector<double> a, double period);
+
+    bool directFeedthrough() const override { return false; }
+    void outputs(double t, std::span<const double> x) override;
+    void update(double t, std::span<double> x) override;
+
+    std::size_t samplesTaken() const { return eq_.samples(); }
+
+private:
+    solver::DifferenceEquation eq_;
+    double held_ = 0.0;
+    double nextSample_ = 0.0;
+    bool first_ = true;
+};
+
+/// Positional-form discrete PID with derivative filtering and output
+/// clamping:
+///   i[k] = i[k-1] + Ts e[k]
+///   d[k] = (e[k] - e[k-1]) / Ts   (first difference)
+///   u[k] = clamp(kp e + ki i + kd d)
+/// Conditional integration stops windup while clamped.
+class DiscretePid final : public SisoBlock {
+public:
+    DiscretePid(std::string name, Streamer* parent, double kp, double ki, double kd,
+                double period);
+    DiscretePid& withLimits(double lo, double hi);
+
+    bool directFeedthrough() const override { return false; }
+    void outputs(double t, std::span<const double> x) override;
+    void update(double t, std::span<double> x) override;
+
+    double integralState() const { return integral_; }
+
+private:
+    bool limited_ = false;
+    double integral_ = 0.0;
+    double prevError_ = 0.0;
+    double held_ = 0.0;
+    double nextSample_ = 0.0;
+    bool first_ = true;
+};
+
+} // namespace urtx::control

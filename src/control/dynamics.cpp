@@ -1,0 +1,327 @@
+#include "control/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace urtx::control {
+
+// ---------------------------------------------------------------- Integrator
+
+Integrator::Integrator(std::string name, Streamer* parent, double x0)
+    : SisoBlock(std::move(name), parent) {
+    setParam("x0", x0);
+}
+
+Integrator& Integrator::withLimits(double lo, double hi) {
+    if (lo >= hi) throw std::invalid_argument("Integrator::withLimits: lo must be < hi");
+    limited_ = true;
+    setParam("lo", lo);
+    setParam("hi", hi);
+    return *this;
+}
+
+void Integrator::initState(double, std::span<double> x) { x[0] = param("x0"); }
+
+void Integrator::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    const double u = in_.get();
+    if (limited_) {
+        // Freeze integration pushing past a bound (anti-windup).
+        if ((x[0] >= param("hi") && u > 0) || (x[0] <= param("lo") && u < 0)) {
+            dxdt[0] = 0.0;
+            return;
+        }
+    }
+    dxdt[0] = u;
+}
+
+void Integrator::outputs(double, std::span<const double> x) {
+    double v = x[0];
+    if (limited_) v = std::clamp(v, param("lo"), param("hi"));
+    out_.set(v);
+}
+
+void Integrator::update(double, std::span<double> x) {
+    if (limited_) x[0] = std::clamp(x[0], param("lo"), param("hi"));
+}
+
+// ------------------------------------------------------------- FirstOrderLag
+
+FirstOrderLag::FirstOrderLag(std::string name, Streamer* parent, double tau, double x0)
+    : SisoBlock(std::move(name), parent) {
+    if (tau <= 0) throw std::invalid_argument("FirstOrderLag: tau must be positive");
+    setParam("tau", tau);
+    setParam("x0", x0);
+}
+
+void FirstOrderLag::initState(double, std::span<double> x) { x[0] = param("x0"); }
+
+void FirstOrderLag::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    dxdt[0] = (in_.get() - x[0]) / param("tau");
+}
+
+void FirstOrderLag::outputs(double, std::span<const double> x) { out_.set(x[0]); }
+
+// ------------------------------------------------------------------ StateSpace
+
+namespace {
+
+bool isZero(const solver::Matrix& m) {
+    for (double v : m.data()) {
+        if (v != 0.0) return false;
+    }
+    return true;
+}
+
+flow::FlowType vecType(std::size_t n) {
+    return n == 1 ? flow::FlowType::real()
+                  : flow::FlowType::vector(flow::FlowType::real(), n);
+}
+
+} // namespace
+
+StateSpace::StateSpace(std::string name, Streamer* parent, solver::Matrix A, solver::Matrix B,
+                       solver::Matrix C, solver::Matrix D, solver::Vec x0)
+    : Streamer(std::move(name), parent),
+      A_(std::move(A)),
+      B_(std::move(B)),
+      C_(std::move(C)),
+      D_(std::move(D)),
+      x0_(std::move(x0)),
+      hasD_(!isZero(D_)),
+      in_(*this, "in", DPortDir::In, vecType(B_.cols())),
+      out_(*this, "out", DPortDir::Out, vecType(C_.rows())) {
+    const std::size_t n = A_.rows();
+    if (A_.cols() != n) throw std::invalid_argument("StateSpace: A must be square");
+    if (B_.rows() != n) throw std::invalid_argument("StateSpace: B rows must match A");
+    if (C_.cols() != n) throw std::invalid_argument("StateSpace: C cols must match A");
+    if (D_.rows() != C_.rows() || D_.cols() != B_.cols())
+        throw std::invalid_argument("StateSpace: D shape must be (p x m)");
+    if (x0_.empty()) x0_.assign(n, 0.0);
+    if (x0_.size() != n) throw std::invalid_argument("StateSpace: x0 dimension mismatch");
+}
+
+void StateSpace::initState(double, std::span<double> x) {
+    std::copy(x0_.begin(), x0_.end(), x.begin());
+}
+
+void StateSpace::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    const std::size_t n = A_.rows(), m = B_.cols();
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = 0;
+        for (std::size_t j = 0; j < n; ++j) s += A_(i, j) * x[j];
+        for (std::size_t j = 0; j < m; ++j) s += B_(i, j) * in_.get(j);
+        dxdt[i] = s;
+    }
+}
+
+void StateSpace::outputs(double, std::span<const double> x) {
+    const std::size_t n = A_.rows(), m = B_.cols(), p = C_.rows();
+    for (std::size_t i = 0; i < p; ++i) {
+        double s = 0;
+        for (std::size_t j = 0; j < n; ++j) s += C_(i, j) * x[j];
+        if (hasD_) {
+            for (std::size_t j = 0; j < m; ++j) s += D_(i, j) * in_.get(j);
+        }
+        out_.set(s, i);
+    }
+}
+
+// ------------------------------------------------------------ TransferFunction
+
+TransferFunction::TransferFunction(std::string name, Streamer* parent, std::vector<double> num,
+                                   std::vector<double> den)
+    : Streamer(std::move(name), parent),
+      n_(0),
+      d_(0.0),
+      in_(*this, "in", DPortDir::In, FlowType::real()),
+      out_(*this, "out", DPortDir::Out, FlowType::real()) {
+    // Coefficients are highest power first, e.g. den = {1, 2, 1} ~ s^2+2s+1.
+    while (den.size() > 1 && den.front() == 0.0) den.erase(den.begin());
+    while (num.size() > 1 && num.front() == 0.0) num.erase(num.begin());
+    if (den.empty() || den.front() == 0.0)
+        throw std::invalid_argument("TransferFunction: invalid denominator");
+    if (num.size() > den.size())
+        throw std::invalid_argument("TransferFunction: improper (deg num > deg den)");
+
+    const double lead = den.front();
+    for (double& c : den) c /= lead;
+    for (double& c : num) c /= lead;
+
+    n_ = den.size() - 1;
+    // Pad numerator to den length.
+    std::vector<double> b(den.size(), 0.0);
+    std::copy(num.rbegin(), num.rend(), b.rbegin());
+    d_ = b.front(); // coefficient of s^n in numerator
+
+    // Controllable canonical form. Store denominator ascending (a_[i] is
+    // the coefficient of s^i, i < n) and the output row
+    // c_[i] = b_{i} - b_n * a_{i} (ascending powers).
+    a_.assign(n_, 0.0);
+    c_.assign(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const double ai = den[den.size() - 1 - i]; // ascending
+        const double bi = b[b.size() - 1 - i];
+        a_[i] = ai;
+        c_[i] = bi - d_ * ai;
+    }
+}
+
+void TransferFunction::initState(double, std::span<double> x) {
+    std::fill(x.begin(), x.end(), 0.0);
+}
+
+void TransferFunction::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    // x1' = x2, ..., x_{n-1}' = x_n, x_n' = u - sum a_i x_{i+1}.
+    const double u = in_.get();
+    for (std::size_t i = 0; i + 1 < n_; ++i) dxdt[i] = x[i + 1];
+    double s = u;
+    for (std::size_t i = 0; i < n_; ++i) s -= a_[i] * x[i];
+    dxdt[n_ - 1] = s;
+}
+
+void TransferFunction::outputs(double, std::span<const double> x) {
+    double y = d_ * in_.get();
+    for (std::size_t i = 0; i < n_; ++i) y += c_[i] * x[i];
+    out_.set(y);
+}
+
+// ------------------------------------------------------------------------ PID
+
+Pid::Pid(std::string name, Streamer* parent, double kp, double ki, double kd, double N)
+    : SisoBlock(std::move(name), parent) {
+    setParam("kp", kp);
+    setParam("ki", ki);
+    setParam("kd", kd);
+    setParam("N", N);
+}
+
+Pid& Pid::withLimits(double lo, double hi) {
+    if (lo >= hi) throw std::invalid_argument("Pid::withLimits: lo must be < hi");
+    limited_ = true;
+    setParam("lo", lo);
+    setParam("hi", hi);
+    return *this;
+}
+
+void Pid::initState(double, std::span<double> x) {
+    x[0] = 0.0; // integral of error
+    x[1] = 0.0; // derivative filter state z
+}
+
+double Pid::control(double e, std::span<const double> x) const {
+    const double N = param("N");
+    const double d = param("kd") * N * (e - N * x[1]);
+    return param("kp") * e + param("ki") * x[0] + d;
+}
+
+void Pid::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    const double e = in_.get();
+    double integrate = e;
+    if (limited_) {
+        const double u = control(e, x);
+        // Conditional integration: stop winding past a saturated bound.
+        if ((u >= param("hi") && e > 0) || (u <= param("lo") && e < 0)) integrate = 0.0;
+    }
+    dxdt[0] = integrate;
+    dxdt[1] = e - param("N") * x[1]; // z' = -N z + e (derivative filter)
+}
+
+void Pid::outputs(double, std::span<const double> x) {
+    const double e = in_.get();
+    raw_ = control(e, x);
+    double u = raw_;
+    if (limited_) u = std::clamp(u, param("lo"), param("hi"));
+    out_.set(u);
+}
+
+// ----------------------------------------------------------------- RateLimiter
+
+RateLimiter::RateLimiter(std::string name, Streamer* parent, double rate)
+    : SisoBlock(std::move(name), parent) {
+    if (rate <= 0) throw std::invalid_argument("RateLimiter: rate must be positive");
+    setParam("rate", rate);
+}
+
+void RateLimiter::initState(double t, std::span<double> x) {
+    x[0] = in_.get();
+    lastT_ = t;
+    first_ = true;
+}
+
+void RateLimiter::outputs(double, std::span<const double> x) { out_.set(x[0]); }
+
+void RateLimiter::update(double t, std::span<double> x) {
+    if (first_) {
+        // Snap to the (now propagated) input on the first boundary.
+        x[0] = in_.get();
+        lastT_ = t;
+        first_ = false;
+        return;
+    }
+    const double dt = t - lastT_;
+    lastT_ = t;
+    if (dt <= 0) return;
+    const double maxStep = param("rate") * dt;
+    x[0] += std::clamp(in_.get() - x[0], -maxStep, maxStep);
+}
+
+// --------------------------------------------------------------- TransportDelay
+
+TransportDelay::TransportDelay(std::string name, Streamer* parent, double td)
+    : SisoBlock(std::move(name), parent) {
+    if (td < 0) throw std::invalid_argument("TransportDelay: delay must be >= 0");
+    setParam("td", td);
+}
+
+void TransportDelay::outputs(double t, std::span<const double>) {
+    const double td = param("td");
+    const double tq = t - td;
+    if (history_.empty() || tq <= history_.front().first) {
+        out_.set(history_.empty() ? 0.0 : history_.front().second);
+        return;
+    }
+    // Linear interpolation in the recorded history.
+    for (std::size_t i = 1; i < history_.size(); ++i) {
+        if (history_[i].first >= tq) {
+            const auto& [t0, v0] = history_[i - 1];
+            const auto& [t1, v1] = history_[i];
+            const double w = (t1 > t0) ? (tq - t0) / (t1 - t0) : 1.0;
+            out_.set(v0 + w * (v1 - v0));
+            return;
+        }
+    }
+    out_.set(history_.back().second);
+}
+
+void TransportDelay::update(double t, std::span<double>) {
+    history_.emplace_back(t, in_.get());
+    // Trim samples older than the delay window (keep one before).
+    const double cutoff = t - param("td");
+    while (history_.size() > 2 && history_[1].first < cutoff) history_.pop_front();
+}
+
+// ---------------------------------------------------------------- ZeroOrderHold
+
+ZeroOrderHold::ZeroOrderHold(std::string name, Streamer* parent, double period)
+    : SisoBlock(std::move(name), parent) {
+    if (period <= 0) throw std::invalid_argument("ZeroOrderHold: period must be positive");
+    setParam("period", period);
+}
+
+void ZeroOrderHold::outputs(double, std::span<const double>) { out_.set(held_); }
+
+void ZeroOrderHold::update(double t, std::span<double>) {
+    if (first_) {
+        held_ = in_.get();
+        nextSample_ = t + param("period");
+        first_ = false;
+        return;
+    }
+    if (t + 1e-12 >= nextSample_) {
+        held_ = in_.get();
+        while (nextSample_ <= t + 1e-12) nextSample_ += param("period");
+    }
+}
+
+} // namespace urtx::control

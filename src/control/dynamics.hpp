@@ -1,0 +1,163 @@
+#pragma once
+/// \file dynamics.hpp
+/// Blocks with continuous state (integrated by the solver) or discrete
+/// sample-time behaviour (advanced in the update pass).
+
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "control/math_blocks.hpp"
+#include "solver/linalg.hpp"
+
+namespace urtx::control {
+
+/// Continuous integrator: dx/dt = in, out = x; optional output/state
+/// clamping ("lo"/"hi") with integration freeze at the bounds.
+class Integrator final : public SisoBlock {
+public:
+    Integrator(std::string name, Streamer* parent, double x0 = 0.0);
+    /// Enable clamping; also freezes integration against the bound.
+    Integrator& withLimits(double lo, double hi);
+
+    std::size_t stateSize() const override { return 1; }
+    bool directFeedthrough() const override { return false; }
+    void initState(double t, std::span<double> x) override;
+    void derivatives(double t, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double t, std::span<const double> x) override;
+    void update(double t, std::span<double> x) override;
+
+private:
+    bool limited_ = false;
+};
+
+/// First-order lag: tau dx/dt = u - x, out = x.
+class FirstOrderLag final : public SisoBlock {
+public:
+    FirstOrderLag(std::string name, Streamer* parent, double tau, double x0 = 0.0);
+    std::size_t stateSize() const override { return 1; }
+    bool directFeedthrough() const override { return false; }
+    void initState(double t, std::span<double> x) override;
+    void derivatives(double t, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double t, std::span<const double> x) override;
+};
+
+/// Linear state-space block: dx = A x + B u, y = C x + D u.
+/// Ports: "in" Vector<Real,m> (or Real when m==1), "out" likewise for p.
+class StateSpace final : public Streamer {
+public:
+    StateSpace(std::string name, Streamer* parent, solver::Matrix A, solver::Matrix B,
+               solver::Matrix C, solver::Matrix D, solver::Vec x0 = {});
+
+    DPort& in() { return in_; }
+    DPort& out() { return out_; }
+    std::size_t stateSize() const override { return A_.rows(); }
+    bool directFeedthrough() const override { return hasD_; }
+    void initState(double t, std::span<double> x) override;
+    void derivatives(double t, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double t, std::span<const double> x) override;
+
+    const solver::Matrix& A() const { return A_; }
+
+private:
+    solver::Matrix A_, B_, C_, D_;
+    solver::Vec x0_;
+    bool hasD_;
+    DPort in_;
+    DPort out_;
+};
+
+/// SISO transfer function num(s)/den(s), realized in controllable
+/// canonical form. Proper (deg num <= deg den) required.
+class TransferFunction final : public Streamer {
+public:
+    TransferFunction(std::string name, Streamer* parent, std::vector<double> num,
+                     std::vector<double> den);
+
+    DPort& in() { return in_; }
+    DPort& out() { return out_; }
+    std::size_t stateSize() const override { return n_; }
+    bool directFeedthrough() const override { return d_ != 0.0; }
+    void initState(double t, std::span<double> x) override;
+    void derivatives(double t, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double t, std::span<const double> x) override;
+
+private:
+    std::size_t n_;
+    std::vector<double> a_; ///< denominator coefficients (monic, a_[i] of s^i)
+    std::vector<double> c_; ///< output row
+    double d_;              ///< feedthrough
+    DPort in_;
+    DPort out_;
+};
+
+/// Continuous PID with filtered derivative, output saturation and
+/// conditional-integration anti-windup.
+///
+/// u = kp e + ki ∫e + kd N (e - N z),  z' = -N z + e
+/// Parameters: "kp","ki","kd","N","lo","hi" — all tunable via signals.
+class Pid final : public SisoBlock {
+public:
+    Pid(std::string name, Streamer* parent, double kp, double ki, double kd, double N = 100.0);
+    Pid& withLimits(double lo, double hi);
+
+    std::size_t stateSize() const override { return 2; } // [integral, filter]
+    bool directFeedthrough() const override { return true; }
+    void initState(double t, std::span<double> x) override;
+    void derivatives(double t, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double t, std::span<const double> x) override;
+
+    /// Raw (pre-saturation) control value of the last outputs() pass.
+    double rawOutput() const { return raw_; }
+
+private:
+    double control(double e, std::span<const double> x) const;
+    bool limited_ = false;
+    double raw_ = 0.0;
+};
+
+/// Discrete rate limiter (advances at major steps): the output tracks the
+/// input with slope bounded by "rate" per second.
+class RateLimiter final : public SisoBlock {
+public:
+    RateLimiter(std::string name, Streamer* parent, double rate);
+    std::size_t stateSize() const override { return 1; }
+    bool directFeedthrough() const override { return false; }
+    void initState(double t, std::span<double> x) override;
+    void outputs(double t, std::span<const double> x) override;
+    void update(double t, std::span<double> x) override;
+
+private:
+    double lastT_ = 0.0;
+    bool first_ = true;
+};
+
+/// Pure transport delay of "td" seconds with linear interpolation between
+/// recorded major-step samples. Output before t0+td is the initial input.
+class TransportDelay final : public SisoBlock {
+public:
+    TransportDelay(std::string name, Streamer* parent, double td);
+    bool directFeedthrough() const override { return false; }
+    void outputs(double t, std::span<const double> x) override;
+    void update(double t, std::span<double> x) override;
+
+private:
+    std::deque<std::pair<double, double>> history_;
+};
+
+/// Zero-order hold sampling every "period" seconds at major steps.
+class ZeroOrderHold final : public SisoBlock {
+public:
+    ZeroOrderHold(std::string name, Streamer* parent, double period);
+    bool directFeedthrough() const override { return false; }
+    void outputs(double t, std::span<const double> x) override;
+    void update(double t, std::span<double> x) override;
+
+private:
+    double held_ = 0.0;
+    double nextSample_ = 0.0;
+    bool first_ = true;
+};
+
+} // namespace urtx::control

@@ -1,0 +1,113 @@
+#include "control/math_blocks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace urtx::control {
+
+Sum::Sum(std::string name, Streamer* parent, std::string signs)
+    : Streamer(std::move(name), parent), out_(*this, "out", DPortDir::Out, FlowType::real()) {
+    if (signs.empty()) throw std::invalid_argument("Sum: need at least one sign");
+    for (std::size_t i = 0; i < signs.size(); ++i) {
+        if (signs[i] != '+' && signs[i] != '-')
+            throw std::invalid_argument("Sum: signs must be '+' or '-'");
+        signs_.push_back(signs[i] == '+' ? 1.0 : -1.0);
+        ins_.push_back(std::make_unique<DPort>(*this, "in" + std::to_string(i), DPortDir::In,
+                                               FlowType::real()));
+    }
+}
+
+void Sum::outputs(double, std::span<const double>) {
+    double s = 0;
+    for (std::size_t i = 0; i < ins_.size(); ++i) s += signs_[i] * ins_[i]->get();
+    out_.set(s);
+}
+
+Product::Product(std::string name, Streamer* parent, std::size_t arity)
+    : Streamer(std::move(name), parent), out_(*this, "out", DPortDir::Out, FlowType::real()) {
+    if (arity == 0) throw std::invalid_argument("Product: arity must be positive");
+    for (std::size_t i = 0; i < arity; ++i)
+        ins_.push_back(std::make_unique<DPort>(*this, "in" + std::to_string(i), DPortDir::In,
+                                               FlowType::real()));
+}
+
+void Product::outputs(double, std::span<const double>) {
+    double p = 1.0;
+    for (const auto& in : ins_) p *= in->get();
+    out_.set(p);
+}
+
+void Saturation::outputs(double, std::span<const double>) {
+    out_.set(std::clamp(in_.get(), param("lo"), param("hi")));
+}
+
+void DeadZone::outputs(double, std::span<const double>) {
+    const double u = in_.get(), lo = param("lo"), hi = param("hi");
+    if (u > hi) {
+        out_.set(u - hi);
+    } else if (u < lo) {
+        out_.set(u - lo);
+    } else {
+        out_.set(0.0);
+    }
+}
+
+void Quantizer::outputs(double, std::span<const double>) {
+    const double q = param("q");
+    out_.set(q > 0 ? q * std::round(in_.get() / q) : in_.get());
+}
+
+Lookup1D::Lookup1D(std::string name, Streamer* parent, std::vector<double> xs,
+                   std::vector<double> ys)
+    : SisoBlock(std::move(name), parent), xs_(std::move(xs)), ys_(std::move(ys)) {
+    if (xs_.size() != ys_.size() || xs_.size() < 2)
+        throw std::invalid_argument("Lookup1D: need >= 2 matching breakpoints");
+    for (std::size_t i = 1; i < xs_.size(); ++i)
+        if (xs_[i] <= xs_[i - 1])
+            throw std::invalid_argument("Lookup1D: xs must be strictly increasing");
+}
+
+void Lookup1D::outputs(double, std::span<const double>) {
+    const double u = in_.get();
+    if (u <= xs_.front()) {
+        out_.set(ys_.front());
+        return;
+    }
+    if (u >= xs_.back()) {
+        out_.set(ys_.back());
+        return;
+    }
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), u);
+    const std::size_t i = static_cast<std::size_t>(it - xs_.begin());
+    const double w = (u - xs_[i - 1]) / (xs_[i] - xs_[i - 1]);
+    out_.set(ys_[i - 1] + w * (ys_[i] - ys_[i - 1]));
+}
+
+Mux::Mux(std::string name, Streamer* parent, std::size_t n)
+    : Streamer(std::move(name), parent),
+      out_(*this, "out", DPortDir::Out, FlowType::vector(FlowType::real(), n)) {
+    if (n == 0) throw std::invalid_argument("Mux: n must be positive");
+    for (std::size_t i = 0; i < n; ++i)
+        ins_.push_back(std::make_unique<DPort>(*this, "in" + std::to_string(i), DPortDir::In,
+                                               FlowType::real()));
+}
+
+void Mux::outputs(double, std::span<const double>) {
+    for (std::size_t i = 0; i < ins_.size(); ++i) out_.set(ins_[i]->get(), i);
+}
+
+Demux::Demux(std::string name, Streamer* parent, std::size_t n)
+    : Streamer(std::move(name), parent),
+      in_(*this, "in", DPortDir::In, FlowType::vector(FlowType::real(), n)) {
+    if (n == 0) throw std::invalid_argument("Demux: n must be positive");
+    for (std::size_t i = 0; i < n; ++i)
+        outs_.push_back(std::make_unique<DPort>(*this, "out" + std::to_string(i), DPortDir::Out,
+                                                FlowType::real()));
+}
+
+void Demux::outputs(double, std::span<const double>) {
+    for (std::size_t i = 0; i < outs_.size(); ++i) outs_[i]->set(in_.get(i));
+}
+
+} // namespace urtx::control

@@ -1,0 +1,153 @@
+#pragma once
+/// \file math_blocks.hpp
+/// Stateless (direct-feedthrough) algebraic blocks.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/streamer.hpp"
+
+namespace urtx::control {
+
+using flow::DPort;
+using flow::DPortDir;
+using flow::FlowType;
+using flow::Streamer;
+
+/// Scalar in -> scalar out base.
+class SisoBlock : public Streamer {
+public:
+    SisoBlock(std::string name, Streamer* parent)
+        : Streamer(std::move(name), parent),
+          in_(*this, "in", DPortDir::In, FlowType::real()),
+          out_(*this, "out", DPortDir::Out, FlowType::real()) {}
+
+    DPort& in() { return in_; }
+    DPort& out() { return out_; }
+
+protected:
+    DPort in_;
+    DPort out_;
+};
+
+/// out = k * in; parameter "k".
+class Gain final : public SisoBlock {
+public:
+    Gain(std::string name, Streamer* parent, double k) : SisoBlock(std::move(name), parent) {
+        setParam("k", k);
+    }
+    void outputs(double, std::span<const double>) override { out_.set(param("k") * in_.get()); }
+};
+
+/// out = sum of signed inputs; signs given as a string like "+-".
+/// Input ports are named in0, in1, ...
+class Sum final : public Streamer {
+public:
+    Sum(std::string name, Streamer* parent, std::string signs);
+    DPort& in(std::size_t i) { return *ins_.at(i); }
+    DPort& out() { return out_; }
+    std::size_t arity() const { return ins_.size(); }
+    void outputs(double, std::span<const double>) override;
+
+private:
+    std::vector<std::unique_ptr<DPort>> ins_;
+    std::vector<double> signs_;
+    DPort out_;
+};
+
+/// out = product of all inputs (ports in0, in1, ...).
+class Product final : public Streamer {
+public:
+    Product(std::string name, Streamer* parent, std::size_t arity);
+    DPort& in(std::size_t i) { return *ins_.at(i); }
+    DPort& out() { return out_; }
+    void outputs(double, std::span<const double>) override;
+
+private:
+    std::vector<std::unique_ptr<DPort>> ins_;
+    DPort out_;
+};
+
+/// out = clamp(in, "lo", "hi").
+class Saturation final : public SisoBlock {
+public:
+    Saturation(std::string name, Streamer* parent, double lo, double hi)
+        : SisoBlock(std::move(name), parent) {
+        setParam("lo", lo);
+        setParam("hi", hi);
+    }
+    void outputs(double, std::span<const double>) override;
+};
+
+/// Zero inside ["lo","hi"], shifted outside.
+class DeadZone final : public SisoBlock {
+public:
+    DeadZone(std::string name, Streamer* parent, double lo, double hi)
+        : SisoBlock(std::move(name), parent) {
+        setParam("lo", lo);
+        setParam("hi", hi);
+    }
+    void outputs(double, std::span<const double>) override;
+};
+
+/// out = q * round(in / q); parameter "q".
+class Quantizer final : public SisoBlock {
+public:
+    Quantizer(std::string name, Streamer* parent, double q) : SisoBlock(std::move(name), parent) {
+        setParam("q", q);
+    }
+    void outputs(double, std::span<const double>) override;
+};
+
+/// Piecewise-linear 1-D lookup with end clamping; xs strictly increasing.
+class Lookup1D final : public SisoBlock {
+public:
+    Lookup1D(std::string name, Streamer* parent, std::vector<double> xs, std::vector<double> ys);
+    void outputs(double, std::span<const double>) override;
+
+private:
+    std::vector<double> xs_, ys_;
+};
+
+/// Arbitrary scalar function block.
+class Function final : public SisoBlock {
+public:
+    using Fn = std::function<double(double)>;
+    Function(std::string name, Streamer* parent, Fn fn)
+        : SisoBlock(std::move(name), parent), fn_(std::move(fn)) {}
+    void outputs(double, std::span<const double>) override { out_.set(fn_(in_.get())); }
+
+private:
+    Fn fn_;
+};
+
+/// n scalar inputs -> one Vector<Real,n> output.
+class Mux final : public Streamer {
+public:
+    Mux(std::string name, Streamer* parent, std::size_t n);
+    DPort& in(std::size_t i) { return *ins_.at(i); }
+    DPort& out() { return out_; }
+    void outputs(double, std::span<const double>) override;
+
+private:
+    std::vector<std::unique_ptr<DPort>> ins_;
+    DPort out_;
+};
+
+/// One Vector<Real,n> input -> n scalar outputs.
+class Demux final : public Streamer {
+public:
+    Demux(std::string name, Streamer* parent, std::size_t n);
+    DPort& in() { return in_; }
+    DPort& out(std::size_t i) { return *outs_.at(i); }
+    void outputs(double, std::span<const double>) override;
+
+private:
+    DPort in_;
+    std::vector<std::unique_ptr<DPort>> outs_;
+};
+
+} // namespace urtx::control

@@ -1,0 +1,155 @@
+#include "control/plants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urtx::control {
+
+// ------------------------------------------------------------ MassSpringDamper
+
+MassSpringDamper::MassSpringDamper(std::string name, Streamer* parent, double m, double c,
+                                   double k)
+    : Streamer(std::move(name), parent),
+      force_(*this, "F", DPortDir::In, FlowType::real()),
+      state_(*this, "state", DPortDir::Out,
+             FlowType::record({{"pos", FlowType::real()}, {"vel", FlowType::real()}})) {
+    setParam("m", m);
+    setParam("c", c);
+    setParam("k", k);
+    setParam("x0", 0.0);
+    setParam("v0", 0.0);
+}
+
+void MassSpringDamper::initState(double, std::span<double> x) {
+    x[0] = param("x0");
+    x[1] = param("v0");
+}
+
+void MassSpringDamper::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    dxdt[0] = x[1];
+    dxdt[1] = (force_.get() - param("c") * x[1] - param("k") * x[0]) / param("m");
+}
+
+void MassSpringDamper::outputs(double, std::span<const double> x) {
+    state_.set(x[0], 0);
+    state_.set(x[1], 1);
+}
+
+double MassSpringDamper::energy(double pos, double vel) const {
+    return 0.5 * param("m") * vel * vel + 0.5 * param("k") * pos * pos;
+}
+
+// ------------------------------------------------------------------- DcMotor
+
+DcMotor::DcMotor(std::string name, Streamer* parent)
+    : Streamer(std::move(name), parent),
+      voltage_(*this, "V", DPortDir::In, FlowType::real()),
+      load_(*this, "tauLoad", DPortDir::In, FlowType::real()),
+      speed_(*this, "w", DPortDir::Out, FlowType::real()),
+      current_(*this, "i", DPortDir::Out, FlowType::real()) {
+    setParam("R", 1.0);
+    setParam("L", 0.5);
+    setParam("Ke", 0.01);
+    setParam("Kt", 0.01);
+    setParam("J", 0.01);
+    setParam("b", 0.1);
+}
+
+void DcMotor::initState(double, std::span<double> x) {
+    x[0] = 0.0; // current
+    x[1] = 0.0; // speed
+}
+
+void DcMotor::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    dxdt[0] = (voltage_.get() - param("R") * x[0] - param("Ke") * x[1]) / param("L");
+    dxdt[1] = (param("Kt") * x[0] - param("b") * x[1] - load_.get()) / param("J");
+}
+
+void DcMotor::outputs(double, std::span<const double> x) {
+    current_.set(x[0]);
+    speed_.set(x[1]);
+}
+
+double DcMotor::steadyStateSpeed(double v) const {
+    // 0 = V - R i - Ke w; 0 = Kt i - b w  =>  w = Kt V / (R b + Kt Ke).
+    return param("Kt") * v / (param("R") * param("b") + param("Kt") * param("Ke"));
+}
+
+// ---------------------------------------------------------------- BouncingBall
+
+BouncingBall::BouncingBall(std::string name, Streamer* parent, double h0, double restitution)
+    : Streamer(std::move(name), parent),
+      height_(*this, "h", DPortDir::Out, FlowType::real()) {
+    setParam("g", 9.81);
+    setParam("e", restitution);
+    setParam("h0", h0);
+}
+
+void BouncingBall::initState(double, std::span<double> x) {
+    x[0] = param("h0");
+    x[1] = 0.0;
+}
+
+void BouncingBall::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    if (resting_) {
+        dxdt[0] = dxdt[1] = 0.0;
+        return;
+    }
+    dxdt[0] = x[1];
+    dxdt[1] = -param("g");
+}
+
+void BouncingBall::outputs(double, std::span<const double> x) { height_.set(x[0]); }
+
+double BouncingBall::eventFunction(double, std::span<const double> x) const {
+    // While resting the surface is lifted away so no further crossings
+    // fire (Zeno regularization).
+    return resting_ ? 1.0 : x[0];
+}
+
+void BouncingBall::onEvent(double /*t*/, bool rising) {
+    if (!rising && !resting_) {
+        ++bounces_;
+        pendingReset_ = true;
+    }
+}
+
+bool BouncingBall::onEventReset(double /*t*/, std::span<double> x) {
+    if (!pendingReset_) return false;
+    pendingReset_ = false;
+    x[0] = std::max(0.0, x[0]); // clamp to the floor
+    x[1] = -param("e") * x[1];  // restitution impulse
+    // Rest detection: when the rebound is below "vstop" the bounce cascade
+    // has Zeno-accumulated; freeze the ball on the floor.
+    if (std::abs(x[1]) < param("vstop", 0.05)) {
+        x[0] = 0.0;
+        x[1] = 0.0;
+        resting_ = true;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------------ ThermalRc
+
+ThermalRc::ThermalRc(std::string name, Streamer* parent, double c, double rth, double tamb,
+                     double t0)
+    : Streamer(std::move(name), parent),
+      power_(*this, "P", DPortDir::In, FlowType::real()),
+      temperature_(*this, "T", DPortDir::Out, FlowType::real()) {
+    setParam("C", c);
+    setParam("Rth", rth);
+    setParam("Tamb", tamb);
+    setParam("T0", t0);
+}
+
+void ThermalRc::initState(double, std::span<double> x) { x[0] = param("T0"); }
+
+void ThermalRc::derivatives(double, std::span<const double> x, std::span<double> dxdt) {
+    dxdt[0] = ((param("Tamb") - x[0]) / param("Rth") + power_.get()) / param("C");
+}
+
+void ThermalRc::outputs(double, std::span<const double> x) { temperature_.set(x[0]); }
+
+double ThermalRc::steadyState(double p) const { return param("Tamb") + param("Rth") * p; }
+
+} // namespace urtx::control

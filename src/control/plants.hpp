@@ -1,0 +1,127 @@
+#pragma once
+/// \file plants.hpp
+/// Reusable physical plant models (the simulated substitutes for the
+/// paper's real control targets — see DESIGN.md §5). Each plant is a leaf
+/// streamer with documented equations, typed DPorts and, where meaningful,
+/// zero-crossing event surfaces; all have closed-form or energy invariants
+/// the tests check against.
+
+#include <span>
+#include <string>
+
+#include "flow/streamer.hpp"
+
+namespace urtx::control {
+
+using flow::DPort;
+using flow::DPortDir;
+using flow::FlowType;
+using flow::Streamer;
+
+/// Mass-spring-damper:  m x'' + c x' + k x = F.
+/// Ports: in "F", out "state" = {pos, vel}. Parameters m, c, k, x0, v0.
+class MassSpringDamper final : public Streamer {
+public:
+    MassSpringDamper(std::string name, Streamer* parent, double m, double c, double k);
+
+    DPort& force() { return force_; }
+    DPort& state() { return state_; }
+
+    std::size_t stateSize() const override { return 2; }
+    bool directFeedthrough() const override { return false; }
+    void initState(double, std::span<double> x) override;
+    void derivatives(double, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double, std::span<const double> x) override;
+
+    /// Total mechanical energy at the given state (test invariant).
+    double energy(double pos, double vel) const;
+
+private:
+    DPort force_;
+    DPort state_;
+};
+
+/// Permanent-magnet DC motor:
+///   L di/dt = V - R i - Ke w
+///   J dw/dt = Kt i - b w - tauLoad
+/// Ports: in "V", in "tauLoad", out "w", out "i".
+/// Parameters R, L, Ke, Kt, J, b.
+class DcMotor final : public Streamer {
+public:
+    DcMotor(std::string name, Streamer* parent);
+
+    DPort& voltage() { return voltage_; }
+    DPort& load() { return load_; }
+    DPort& speed() { return speed_; }
+    DPort& current() { return current_; }
+
+    std::size_t stateSize() const override { return 2; } // [i, w]
+    bool directFeedthrough() const override { return false; }
+    void initState(double, std::span<double> x) override;
+    void derivatives(double, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double, std::span<const double> x) override;
+
+    /// Steady-state speed for constant voltage V and zero load.
+    double steadyStateSpeed(double v) const;
+
+private:
+    DPort voltage_;
+    DPort load_;
+    DPort speed_;
+    DPort current_;
+};
+
+/// Bouncing ball with restitution: h' = v, v' = -g; the impact event at
+/// h = 0 re-injects v := -e v through onEventReset — the impulsive-reset
+/// hybrid pattern the paper's events exist for. When the rebound speed
+/// falls below "vstop" the ball freezes on the floor (standard Zeno
+/// regularization). Ports: out "h". Parameters g, e, h0, vstop.
+class BouncingBall final : public Streamer {
+public:
+    BouncingBall(std::string name, Streamer* parent, double h0, double restitution = 0.8);
+
+    DPort& height() { return height_; }
+    int bounces() const { return bounces_; }
+    bool resting() const { return resting_; }
+
+    std::size_t stateSize() const override { return 2; }
+    bool directFeedthrough() const override { return false; }
+    void initState(double, std::span<double> x) override;
+    void derivatives(double, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double, std::span<const double> x) override;
+    bool hasEvent() const override { return true; }
+    double eventFunction(double, std::span<const double> x) const override;
+    void onEvent(double t, bool rising) override;
+    bool onEventReset(double t, std::span<double> x) override;
+
+private:
+    DPort height_;
+    int bounces_ = 0;
+    bool pendingReset_ = false;
+    bool resting_ = false;
+};
+
+/// Room / thermal RC model:  C dT/dt = (Tamb - T)/Rth + P.
+/// Ports: in "P", out "T". Parameters C, Rth, Tamb, T0.
+class ThermalRc final : public Streamer {
+public:
+    ThermalRc(std::string name, Streamer* parent, double c, double rth, double tamb, double t0);
+
+    DPort& power() { return power_; }
+    DPort& temperature() { return temperature_; }
+
+    std::size_t stateSize() const override { return 1; }
+    bool directFeedthrough() const override { return false; }
+    void initState(double, std::span<double> x) override;
+    void derivatives(double, std::span<const double> x, std::span<double> dxdt) override;
+    void outputs(double, std::span<const double> x) override;
+
+    /// Steady-state temperature under constant power.
+    double steadyState(double p) const;
+
+private:
+    DPort power_;
+    DPort temperature_;
+};
+
+} // namespace urtx::control

@@ -1,0 +1,38 @@
+#include "control/sinks.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace urtx::control {
+
+double Recorder::peakAbs() const {
+    double m = 0;
+    for (const Sample& s : samples_) m = std::max(m, std::abs(s.v));
+    return m;
+}
+
+double Recorder::settlingTime(double target, double band) const {
+    double settled = -1.0;
+    for (const Sample& s : samples_) {
+        if (std::abs(s.v - target) <= band) {
+            if (settled < 0) settled = s.t;
+        } else {
+            settled = -1.0;
+        }
+    }
+    return settled;
+}
+
+CsvSink::CsvSink(std::string name, Streamer* parent, const std::string& path, std::string header)
+    : Streamer(std::move(name), parent), in_(*this, "in", DPortDir::In, FlowType::real()) {
+    file_.open(path);
+    if (!file_) throw std::runtime_error("CsvSink: cannot open '" + path + "'");
+    file_ << (header.empty() ? std::string("t,value") : header) << "\n";
+}
+
+void CsvSink::update(double t, std::span<double>) {
+    file_ << t << "," << in_.get() << "\n";
+    ++rows_;
+}
+
+} // namespace urtx::control

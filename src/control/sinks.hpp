@@ -1,0 +1,64 @@
+#pragma once
+/// \file sinks.hpp
+/// Sink blocks: observation points of a streamer network.
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/streamer.hpp"
+
+namespace urtx::control {
+
+using flow::DPort;
+using flow::DPortDir;
+using flow::FlowType;
+using flow::Streamer;
+
+/// Records the input value at every major step boundary.
+class Recorder final : public Streamer {
+public:
+    Recorder(std::string name, Streamer* parent)
+        : Streamer(std::move(name), parent), in_(*this, "in", DPortDir::In, FlowType::real()) {}
+
+    DPort& in() { return in_; }
+    bool directFeedthrough() const override { return false; }
+    void update(double t, std::span<double>) override { samples_.emplace_back(t, in_.get()); }
+
+    struct Sample {
+        double t;
+        double v;
+        Sample(double tt, double vv) : t(tt), v(vv) {}
+    };
+    const std::vector<Sample>& samples() const { return samples_; }
+    std::size_t size() const { return samples_.size(); }
+    double last() const { return samples_.empty() ? 0.0 : samples_.back().v; }
+    void clear() { samples_.clear(); }
+
+    /// Largest |v| recorded.
+    double peakAbs() const;
+    /// First time |v - target| stays within band until the end; -1 if never.
+    double settlingTime(double target, double band) const;
+
+private:
+    DPort in_;
+    std::vector<Sample> samples_;
+};
+
+/// Streams "t,value" rows into a CSV file at every major step.
+class CsvSink final : public Streamer {
+public:
+    CsvSink(std::string name, Streamer* parent, const std::string& path, std::string header = "");
+    DPort& in() { return in_; }
+    bool directFeedthrough() const override { return false; }
+    void update(double t, std::span<double>) override;
+    std::size_t rows() const { return rows_; }
+
+private:
+    DPort in_;
+    std::ofstream file_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace urtx::control

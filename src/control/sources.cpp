@@ -1,0 +1,56 @@
+#include "control/sources.hpp"
+
+#include <cmath>
+
+namespace urtx::control {
+
+void Sine::outputs(double t, std::span<const double>) {
+    out_.set(param("amp") * std::sin(param("omega") * t + param("phase")) + param("offset"));
+}
+
+void Pulse::outputs(double t, std::span<const double>) {
+    const double period = param("period");
+    if (period <= 0) {
+        out_.set(0.0);
+        return;
+    }
+    const double phase = t - std::floor(t / period) * period;
+    out_.set(phase < param("duty") * period ? param("amp") : 0.0);
+}
+
+void Chirp::outputs(double t, std::span<const double>) {
+    const double f0 = param("f0"), f1 = param("f1"), T = param("T");
+    double phase;
+    if (t <= T && T > 0) {
+        const double k = (f1 - f0) / T;
+        phase = 2.0 * M_PI * (f0 * t + 0.5 * k * t * t);
+    } else {
+        const double phaseT = 2.0 * M_PI * (f0 * T + 0.5 * (f1 - f0) * T);
+        phase = phaseT + 2.0 * M_PI * f1 * (t - T);
+    }
+    out_.set(param("amp") * std::sin(phase));
+}
+
+double Noise::sampleAt(std::uint64_t k) const {
+    // SplitMix64 over (seed, k) twice -> Box-Muller.
+    auto mix = [](std::uint64_t z) {
+        z += 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    const std::uint64_t a = mix(seed_ * 0x632be59bd9b4e019ULL + k);
+    const std::uint64_t b = mix(a + 0x9e3779b97f4a7c15ULL);
+    const double u1 = (static_cast<double>(a >> 11) + 0.5) * (1.0 / 9007199254740992.0);
+    const double u2 = (static_cast<double>(b >> 11) + 0.5) * (1.0 / 9007199254740992.0);
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+void Noise::outputs(double t, std::span<const double>) {
+    const double dt = param("dt");
+    const std::uint64_t k =
+        dt > 0 ? static_cast<std::uint64_t>(std::max(0.0, std::floor(t / dt))) : 0;
+    out_.set(param("stddev") * sampleAt(k));
+}
+
+} // namespace urtx::control

@@ -1,0 +1,132 @@
+#pragma once
+/// \file sources.hpp
+/// Source blocks: leaf streamers with a single output DPort and no inputs.
+///
+/// All sources are functions of the Time stereotype only, so they are not
+/// direct-feedthrough and never participate in algebraic loops. Parameters
+/// live in the Streamer parameter map so capsules can retune them through
+/// SPort signals mid-run.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "flow/streamer.hpp"
+
+namespace urtx::control {
+
+using flow::DPort;
+using flow::DPortDir;
+using flow::FlowType;
+using flow::Streamer;
+
+/// Base for scalar sources: provides the "out" DPort.
+class Source : public Streamer {
+public:
+    Source(std::string name, Streamer* parent)
+        : Streamer(std::move(name), parent), out_(*this, "out", DPortDir::Out, FlowType::real()) {}
+
+    DPort& out() { return out_; }
+    bool directFeedthrough() const override { return false; }
+
+protected:
+    DPort out_;
+};
+
+/// Constant value; parameter "value".
+class Constant final : public Source {
+public:
+    Constant(std::string name, Streamer* parent, double value) : Source(std::move(name), parent) {
+        setParam("value", value);
+    }
+    void outputs(double, std::span<const double>) override { out_.set(param("value")); }
+};
+
+/// Step at "t0" from "before" to "after".
+class Step final : public Source {
+public:
+    Step(std::string name, Streamer* parent, double t0, double before = 0.0, double after = 1.0)
+        : Source(std::move(name), parent) {
+        setParam("t0", t0);
+        setParam("before", before);
+        setParam("after", after);
+    }
+    void outputs(double t, std::span<const double>) override {
+        out_.set(t < param("t0") ? param("before") : param("after"));
+    }
+};
+
+/// Ramp of slope "slope" starting at "start".
+class Ramp final : public Source {
+public:
+    Ramp(std::string name, Streamer* parent, double slope, double start = 0.0)
+        : Source(std::move(name), parent) {
+        setParam("slope", slope);
+        setParam("start", start);
+    }
+    void outputs(double t, std::span<const double>) override {
+        const double s = param("start");
+        out_.set(t <= s ? 0.0 : param("slope") * (t - s));
+    }
+};
+
+/// amp * sin(omega t + phase) + offset.
+class Sine final : public Source {
+public:
+    Sine(std::string name, Streamer* parent, double amp, double omega, double phase = 0.0,
+         double offset = 0.0)
+        : Source(std::move(name), parent) {
+        setParam("amp", amp);
+        setParam("omega", omega);
+        setParam("phase", phase);
+        setParam("offset", offset);
+    }
+    void outputs(double t, std::span<const double>) override;
+};
+
+/// Rectangular pulse train: "amp" for the first "duty" fraction of each
+/// "period", 0 otherwise.
+class Pulse final : public Source {
+public:
+    Pulse(std::string name, Streamer* parent, double period, double duty = 0.5, double amp = 1.0)
+        : Source(std::move(name), parent) {
+        setParam("period", period);
+        setParam("duty", duty);
+        setParam("amp", amp);
+    }
+    void outputs(double t, std::span<const double>) override;
+};
+
+/// Linear chirp from "f0" Hz at t=0 to "f1" Hz at t="T" (then holds f1).
+class Chirp final : public Source {
+public:
+    Chirp(std::string name, Streamer* parent, double f0, double f1, double T, double amp = 1.0)
+        : Source(std::move(name), parent) {
+        setParam("f0", f0);
+        setParam("f1", f1);
+        setParam("T", T);
+        setParam("amp", amp);
+    }
+    void outputs(double t, std::span<const double>) override;
+};
+
+/// Deterministic band-limited Gaussian noise: piecewise constant over
+/// intervals of "dt", value derived by hashing (seed, interval index) so
+/// re-evaluations inside one integration step are consistent.
+class Noise final : public Source {
+public:
+    Noise(std::string name, Streamer* parent, double stddev, double dt, std::uint64_t seed = 1)
+        : Source(std::move(name), parent), seed_(seed) {
+        setParam("stddev", stddev);
+        setParam("dt", dt);
+    }
+    void outputs(double t, std::span<const double>) override;
+
+    /// The deterministic sample for interval \p k (exposed for tests).
+    double sampleAt(std::uint64_t k) const;
+
+private:
+    std::uint64_t seed_;
+};
+
+} // namespace urtx::control

@@ -1,0 +1,124 @@
+#pragma once
+/// \file channel.hpp
+/// Thread communication primitives backing capsule <-> streamer exchange.
+///
+/// "Communication between capsules and streamers is realized by
+/// communication mechanism of threads." Two mechanisms are provided and
+/// benchmarked against each other (bench_messaging):
+///
+///  * SpscRing — wait-free single-producer/single-consumer ring for
+///    high-rate sample streaming (e.g. device IO inside a streamer);
+///  * BlockingChannel — mutex+condvar multi-producer queue used where
+///    ordering with respect to other work matters.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace urtx::flow {
+
+/// Wait-free SPSC ring buffer. Capacity is rounded up to a power of two;
+/// one slot is sacrificed to distinguish full from empty.
+template <class T>
+class SpscRing {
+public:
+    explicit SpscRing(std::size_t capacity) {
+        std::size_t cap = 2;
+        while (cap < capacity + 1) cap <<= 1;
+        buf_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /// Producer side. Returns false when full.
+    bool push(T value) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t next = (head + 1) & mask_;
+        if (next == tail_.load(std::memory_order_acquire)) return false;
+        buf_[head] = std::move(value);
+        head_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side. Returns nullopt when empty.
+    std::optional<T> pop() {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+        T v = std::move(buf_[tail]);
+        tail_.store((tail + 1) & mask_, std::memory_order_release);
+        return v;
+    }
+
+    bool empty() const {
+        return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+    }
+
+    std::size_t size() const {
+        const std::size_t h = head_.load(std::memory_order_acquire);
+        const std::size_t t = tail_.load(std::memory_order_acquire);
+        return (h - t) & mask_;
+    }
+
+    std::size_t capacity() const { return mask_; }
+
+private:
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+/// Mutex-based MPMC FIFO with blocking and non-blocking pops.
+template <class T>
+class BlockingChannel {
+public:
+    void push(T value) {
+        {
+            std::lock_guard lock(mu_);
+            q_.push_back(std::move(value));
+        }
+        cv_.notify_one();
+    }
+
+    std::optional<T> tryPop() {
+        std::lock_guard lock(mu_);
+        if (q_.empty()) return std::nullopt;
+        T v = std::move(q_.front());
+        q_.pop_front();
+        return v;
+    }
+
+    /// Blocks until an element arrives or close() is called.
+    std::optional<T> waitPop() {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return !q_.empty() || closed_; });
+        if (q_.empty()) return std::nullopt;
+        T v = std::move(q_.front());
+        q_.pop_front();
+        return v;
+    }
+
+    void close() {
+        {
+            std::lock_guard lock(mu_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    std::size_t size() const {
+        std::lock_guard lock(mu_);
+        return q_.size();
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<T> q_;
+    bool closed_ = false;
+};
+
+} // namespace urtx::flow

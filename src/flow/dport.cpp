@@ -1,0 +1,85 @@
+#include "flow/dport.hpp"
+
+#include <stdexcept>
+
+#include "flow/streamer.hpp"
+
+namespace urtx::flow {
+
+DPort::DPort(Streamer& owner, std::string name, DPortDir dir, FlowType type)
+    : owner_(&owner),
+      name_(std::move(name)),
+      dir_(dir),
+      type_(std::move(type)),
+      buffer_(type_.width(), 0.0) {
+    owner_->registerDPort(this);
+}
+
+DPort::~DPort() {
+    if (fedBy_) {
+        auto& v = fedBy_->feeds_;
+        for (auto it = v.begin(); it != v.end(); ++it) {
+            if (*it == this) {
+                v.erase(it);
+                break;
+            }
+        }
+    }
+    for (DPort* f : feeds_) f->fedBy_ = nullptr;
+    owner_->unregisterDPort(this);
+}
+
+std::string DPort::fullName() const { return owner_->fullPath() + "." + name_; }
+
+void DPort::setAll(const std::vector<double>& v) {
+    if (v.size() != buffer_.size())
+        throw std::invalid_argument("DPort::setAll: width mismatch on " + fullName());
+    buffer_ = v;
+}
+
+void DPort::bindResolved(const DPort* leafSource, std::vector<std::size_t> projection) {
+    if (projection.size() != buffer_.size())
+        throw std::logic_error("DPort::bindResolved: projection width mismatch on " + fullName());
+    resolvedSource_ = leafSource;
+    projection_ = std::move(projection);
+}
+
+void DPort::clearResolved() {
+    resolvedSource_ = nullptr;
+    projection_.clear();
+}
+
+void flow(DPort& src, DPort& dst) {
+    if (&src == &dst) throw std::logic_error("flow(): cannot connect a DPort to itself");
+
+    Streamer* sOwner = &src.owner();
+    Streamer* dOwner = &dst.owner();
+    const bool sibling = src.dir() == DPortDir::Out && dst.dir() == DPortDir::In &&
+                         sOwner != dOwner && sOwner->parent() == dOwner->parent();
+    const bool forwardIn = src.dir() == DPortDir::In && dst.dir() == DPortDir::In &&
+                           dOwner->parent() == sOwner;
+    const bool forwardOut = src.dir() == DPortDir::Out && dst.dir() == DPortDir::Out &&
+                            sOwner->parent() == dOwner;
+    if (!sibling && !forwardIn && !forwardOut)
+        throw std::logic_error("flow(): illegal connection shape " + src.fullName() + " -> " +
+                               dst.fullName() +
+                               " (must be sibling out->in, parent in->child in, or child "
+                               "out->parent out)");
+
+    if (dst.fedBy_)
+        throw std::logic_error("flow(): " + dst.fullName() + " is already fed by " +
+                               dst.fedBy_->fullName());
+    if (!src.feeds_.empty())
+        throw std::logic_error("flow(): " + src.fullName() +
+                               " already feeds a flow; use a Relay to duplicate flows");
+
+    if (!src.type().subsetOf(dst.type()))
+        throw std::logic_error("flow(): flow type " + src.type().toString() + " of " +
+                               src.fullName() + " is not a subset of " + dst.type().toString() +
+                               " required by " + dst.fullName());
+
+    dst.fedBy_ = &src;
+    src.feeds_.push_back(&dst);
+}
+
+} // namespace urtx::flow

@@ -1,0 +1,103 @@
+#pragma once
+/// \file dport.hpp
+/// DPorts: typed data ports carrying continuous dataflow between streamers.
+///
+/// Unlike signal ports, a DPort does not queue discrete messages — it holds
+/// the *current value* of a flow as a flat double buffer laid out by its
+/// FlowType. Connections are made with the free function flow() (the
+/// paper's "flow" connector); fan-out requires an explicit Relay streamer
+/// ("relay" connector), keeping plain flows strictly point-to-point.
+///
+/// Three structural connection shapes are legal (all parent-scoped):
+///   out(sub)  -> in(sub)    sibling dataflow
+///   in(parent)-> in(sub)    boundary forward-in (composite DPorts relay)
+///   out(sub)  -> out(parent) boundary forward-out
+/// In every case the source type must be a subset of the destination type.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/flow_type.hpp"
+
+namespace urtx::flow {
+
+class Streamer;
+
+enum class DPortDir : std::uint8_t { In, Out };
+
+class DPort {
+public:
+    /// Construct and register with \p owner. The buffer starts zeroed.
+    DPort(Streamer& owner, std::string name, DPortDir dir, FlowType type);
+    ~DPort();
+
+    DPort(const DPort&) = delete;
+    DPort& operator=(const DPort&) = delete;
+
+    const std::string& name() const { return name_; }
+    DPortDir dir() const { return dir_; }
+    const FlowType& type() const { return type_; }
+    Streamer& owner() const { return *owner_; }
+    std::size_t width() const { return buffer_.size(); }
+    /// "streamerPath.portName" for diagnostics.
+    std::string fullName() const;
+
+    // -- wiring (written by flow()) -----------------------------------------
+    /// The direct upstream port feeding this one (nullptr when unfed).
+    DPort* fedBy() const { return fedBy_; }
+    /// Direct downstream consumers of this port.
+    const std::vector<DPort*>& feeds() const { return feeds_; }
+
+    // -- value access --------------------------------------------------------
+    double* data() { return buffer_.data(); }
+    const double* data() const { return buffer_.data(); }
+    double get(std::size_t i = 0) const { return buffer_[i]; }
+    void set(double v, std::size_t i = 0) { buffer_[i] = v; }
+    void setAll(const std::vector<double>& v);
+    const std::vector<double>& values() const { return buffer_; }
+
+    // -- flattening results (bound by Network) -------------------------------
+    /// Bind the ultimate leaf source of this port with a composed slot map.
+    void bindResolved(const DPort* leafSource, std::vector<std::size_t> projection);
+    void clearResolved();
+    bool isResolved() const { return resolvedSource_ != nullptr; }
+    const DPort* resolvedSource() const { return resolvedSource_; }
+
+    /// Copy the current source values through the projection; no-op when
+    /// unresolved (the buffer then keeps externally written values).
+    void refresh() {
+        if (!resolvedSource_) return;
+        const double* src = resolvedSource_->data();
+        for (std::size_t i = 0; i < projection_.size(); ++i) buffer_[i] = src[projection_[i]];
+        ++transfers_;
+    }
+
+    /// Number of refresh() copies performed (dataflow cost metric).
+    std::uint64_t transfers() const { return transfers_; }
+
+private:
+    friend void flow(DPort& src, DPort& dst);
+
+    Streamer* owner_;
+    std::string name_;
+    DPortDir dir_;
+    FlowType type_;
+    std::vector<double> buffer_;
+
+    DPort* fedBy_ = nullptr;
+    std::vector<DPort*> feeds_;
+
+    const DPort* resolvedSource_ = nullptr;
+    std::vector<std::size_t> projection_;
+    std::uint64_t transfers_ = 0;
+};
+
+/// The paper's "flow" connector: connect \p src to \p dst, enforcing the
+/// structural shapes above, single-feeder/single-consumer discipline and
+/// the flow-type subset rule. Throws std::logic_error with a diagnostic on
+/// violations.
+void flow(DPort& src, DPort& dst);
+
+} // namespace urtx::flow

@@ -1,0 +1,13 @@
+#pragma once
+/// \file flow.hpp
+/// Umbrella header for the streamer/dataflow extension library.
+
+#include "flow/channel.hpp"
+#include "flow/dport.hpp"
+#include "flow/flow_type.hpp"
+#include "flow/network.hpp"
+#include "flow/relay.hpp"
+#include "flow/solver_runner.hpp"
+#include "flow/sport.hpp"
+#include "flow/streamer.hpp"
+#include "flow/time.hpp"

@@ -1,0 +1,171 @@
+#include "flow/flow_type.hpp"
+
+#include <stdexcept>
+
+namespace urtx::flow {
+
+FlowType FlowType::boolean() { return FlowType(Kind::Bool, 1); }
+FlowType FlowType::integer() { return FlowType(Kind::Int, 1); }
+FlowType FlowType::real() { return FlowType(Kind::Real, 1); }
+
+FlowType FlowType::vector(FlowType elem, std::size_t count) {
+    if (count == 0) throw std::invalid_argument("FlowType::vector: zero length");
+    FlowType t(Kind::Vector, elem.width() * count);
+    t.count_ = count;
+    t.elem_ = std::make_shared<const FlowType>(std::move(elem));
+    return t;
+}
+
+FlowType FlowType::record(std::vector<Field> fields) {
+    if (fields.empty()) throw std::invalid_argument("FlowType::record: no fields");
+    for (std::size_t i = 0; i < fields.size(); ++i)
+        for (std::size_t j = i + 1; j < fields.size(); ++j)
+            if (fields[i].name == fields[j].name)
+                throw std::invalid_argument("FlowType::record: duplicate field '" +
+                                            fields[i].name + "'");
+    std::size_t w = 0;
+    for (const Field& f : fields) w += f.type.width();
+    FlowType t(Kind::Record, w);
+    t.fields_ = std::make_shared<const std::vector<Field>>(std::move(fields));
+    return t;
+}
+
+const FlowType& FlowType::element() const {
+    if (kind_ != Kind::Vector) throw std::logic_error("FlowType::element: not a vector");
+    return *elem_;
+}
+
+const std::vector<FlowType::Field>& FlowType::fields() const {
+    if (kind_ != Kind::Record) throw std::logic_error("FlowType::fields: not a record");
+    return *fields_;
+}
+
+std::optional<std::size_t> FlowType::fieldOffset(const std::string& name) const {
+    if (kind_ != Kind::Record) return std::nullopt;
+    std::size_t off = 0;
+    for (const Field& f : *fields_) {
+        if (f.name == name) return off;
+        off += f.type.width();
+    }
+    return std::nullopt;
+}
+
+const FlowType* FlowType::fieldType(const std::string& name) const {
+    if (kind_ != Kind::Record) return nullptr;
+    for (const Field& f : *fields_) {
+        if (f.name == name) return &f.type;
+    }
+    return nullptr;
+}
+
+bool FlowType::equals(const FlowType& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+        case Kind::Bool:
+        case Kind::Int:
+        case Kind::Real:
+            return true;
+        case Kind::Vector:
+            return count_ == o.count_ && elem_->equals(*o.elem_);
+        case Kind::Record: {
+            if (fields_->size() != o.fields_->size()) return false;
+            for (std::size_t i = 0; i < fields_->size(); ++i) {
+                const Field& a = (*fields_)[i];
+                const Field& b = (*o.fields_)[i];
+                if (a.name != b.name || !a.type.equals(b.type)) return false;
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+bool FlowType::scalarSubset(Kind a, Kind b) {
+    auto rank = [](Kind k) {
+        switch (k) {
+            case Kind::Bool: return 0;
+            case Kind::Int: return 1;
+            case Kind::Real: return 2;
+            default: return -1;
+        }
+    };
+    const int ra = rank(a), rb = rank(b);
+    return ra >= 0 && rb >= 0 && ra <= rb;
+}
+
+bool FlowType::subsetOf(const FlowType& o) const {
+    if (isScalar() && o.isScalar()) return scalarSubset(kind_, o.kind_);
+    if (kind_ == Kind::Vector && o.kind_ == Kind::Vector)
+        return count_ == o.count_ && elem_->subsetOf(*o.elem_);
+    if (kind_ == Kind::Record && o.kind_ == Kind::Record) {
+        // Every field the input expects must be provided with a subset type.
+        for (const Field& need : *o.fields_) {
+            const FlowType* have = fieldType(need.name);
+            if (!have || !have->subsetOf(need.type)) return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+bool FlowType::buildProjection(const FlowType& out, std::size_t outBase, const FlowType& in,
+                               std::size_t inBase, std::vector<std::size_t>& map) {
+    if (out.isScalar() && in.isScalar()) {
+        if (!scalarSubset(out.kind_, in.kind_)) return false;
+        map[inBase] = outBase;
+        return true;
+    }
+    if (out.kind_ == Kind::Vector && in.kind_ == Kind::Vector) {
+        if (out.count_ != in.count_) return false;
+        const std::size_t ow = out.elem_->width();
+        const std::size_t iw = in.elem_->width();
+        for (std::size_t i = 0; i < out.count_; ++i) {
+            if (!buildProjection(*out.elem_, outBase + i * ow, *in.elem_, inBase + i * iw, map))
+                return false;
+        }
+        return true;
+    }
+    if (out.kind_ == Kind::Record && in.kind_ == Kind::Record) {
+        std::size_t inOff = inBase;
+        for (const Field& need : *in.fields_) {
+            const auto srcOff = out.fieldOffset(need.name);
+            const FlowType* srcType = out.fieldType(need.name);
+            if (!srcOff || !srcType) return false;
+            if (!buildProjection(*srcType, outBase + *srcOff, need.type, inOff, map))
+                return false;
+            inOff += need.type.width();
+        }
+        return true;
+    }
+    return false;
+}
+
+std::optional<std::vector<std::size_t>> FlowType::projection(const FlowType& out,
+                                                             const FlowType& in) {
+    std::vector<std::size_t> map(in.width(), 0);
+    if (!buildProjection(out, 0, in, 0, map)) return std::nullopt;
+    return map;
+}
+
+std::string FlowType::toString() const {
+    switch (kind_) {
+        case Kind::Bool: return "Bool";
+        case Kind::Int: return "Int";
+        case Kind::Real: return "Real";
+        case Kind::Vector:
+            return "Vector<" + elem_->toString() + "," + std::to_string(count_) + ">";
+        case Kind::Record: {
+            std::string s = "{";
+            bool first = true;
+            for (const Field& f : *fields_) {
+                if (!first) s += ", ";
+                first = false;
+                s += f.name + ":" + f.type.toString();
+            }
+            return s + "}";
+        }
+    }
+    return "?";
+}
+
+} // namespace urtx::flow

@@ -1,0 +1,95 @@
+#pragma once
+/// \file flow_type.hpp
+/// Flow types: the extension's replacement for protocols on data ports.
+///
+/// The paper's rule: "To connect two DPorts, the output DPort's flow type
+/// must be a subset of the input DPort's flow type." We interpret types as
+/// value sets and implement structural subset:
+///
+///   Bool ⊆ Int ⊆ Real                       (numeric widening)
+///   Vector<T,n> ⊆ Vector<U,n>  iff  T ⊆ U    (element covariance)
+///   Record{..} ⊆ Record{..}    iff  every field of the *input* record is
+///                                   present in the output with a subset
+///                                   type (width + depth subtyping)
+///
+/// Values travel as flat double buffers laid out depth-first; projection()
+/// computes the slot mapping an input port uses to read from a subset-typed
+/// source, so runtime data transfer is just indexed copies.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace urtx::flow {
+
+class FlowType {
+public:
+    enum class Kind { Bool, Int, Real, Vector, Record };
+
+    struct Field; // defined after the class (holds a FlowType by value)
+
+    // -- constructors ------------------------------------------------------
+    static FlowType boolean();
+    static FlowType integer();
+    static FlowType real();
+    static FlowType vector(FlowType elem, std::size_t count);
+    static FlowType record(std::vector<Field> fields);
+
+    FlowType() : FlowType(real()) {} ///< default: scalar Real
+
+    // -- inspection --------------------------------------------------------
+    Kind kind() const { return kind_; }
+    bool isScalar() const {
+        return kind_ == Kind::Bool || kind_ == Kind::Int || kind_ == Kind::Real;
+    }
+    /// Number of scalar slots in the flat layout.
+    std::size_t width() const { return width_; }
+    /// Vector element type (Kind::Vector only).
+    const FlowType& element() const;
+    /// Vector length (Kind::Vector only).
+    std::size_t count() const { return count_; }
+    /// Record fields (Kind::Record only).
+    const std::vector<Field>& fields() const;
+    /// Offset of a record field in the flat layout; nullopt when absent.
+    std::optional<std::size_t> fieldOffset(const std::string& name) const;
+    /// Type of a record field; nullptr when absent.
+    const FlowType* fieldType(const std::string& name) const;
+
+    // -- relations ---------------------------------------------------------
+    /// Structural equality.
+    bool equals(const FlowType& o) const;
+    /// Paper rule: is this type's value set contained in \p o's?
+    bool subsetOf(const FlowType& o) const;
+
+    /// Slot mapping for a legal out ⊆ in connection: result[k] is the slot
+    /// in the *output* layout feeding slot k of the *input* layout.
+    /// nullopt when !out.subsetOf(in).
+    static std::optional<std::vector<std::size_t>> projection(const FlowType& out,
+                                                              const FlowType& in);
+
+    /// Render like "Vector<Real,3>" or "{pos:Real, vel:Real}".
+    std::string toString() const;
+
+private:
+    FlowType(Kind k, std::size_t width) : kind_(k), width_(width) {}
+
+    static bool scalarSubset(Kind a, Kind b);
+    static bool buildProjection(const FlowType& out, std::size_t outBase, const FlowType& in,
+                                std::size_t inBase, std::vector<std::size_t>& map);
+
+    Kind kind_;
+    std::size_t width_;
+    std::size_t count_ = 0;                       // Vector
+    std::shared_ptr<const FlowType> elem_;        // Vector
+    std::shared_ptr<const std::vector<Field>> fields_; // Record
+};
+
+struct FlowType::Field {
+    std::string name;
+    FlowType type;
+};
+
+} // namespace urtx::flow

@@ -1,0 +1,254 @@
+#include "flow/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "flow/sport.hpp"
+
+namespace urtx::flow {
+
+Network::Network(Streamer& root) : Network(root, NetworkOptions{}) {}
+
+Network::Network(Streamer& root, const NetworkOptions& opts) : root_(&root), opts_(opts) {
+    collectLeaves(root);
+    resolvePorts();
+    topoSort();
+    // Pack states following the final execution order.
+    offsets_.resize(order_.size());
+    stateSize_ = 0;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        offsets_[i] = stateSize_;
+        stateSize_ += order_[i]->stateSize();
+    }
+    for (Streamer* leaf : order_) {
+        if (leaf->hasEvent()) eventLeaves_.push_back(leaf);
+    }
+}
+
+void Network::collectLeaves(Streamer& s) {
+    for (SPort* sp : s.sports()) sports_.push_back(sp);
+    if (!s.isComposite()) {
+        order_.push_back(&s);
+        return;
+    }
+    for (DPort* p : s.dports()) boundaryPorts_.push_back(p);
+    for (Streamer* c : s.subStreamers()) collectLeaves(*c);
+}
+
+void Network::resolvePorts() {
+    // For every port with an upstream chain, chase to the ultimate leaf Out
+    // port, composing projections along the way.
+    auto resolve = [](DPort& p) -> void {
+        DPort* src = p.fedBy();
+        if (!src) {
+            p.clearResolved();
+            return;
+        }
+        // Start with the direct edge's projection.
+        auto proj = FlowType::projection(src->type(), p.type());
+        if (!proj) throw std::logic_error("Network: projection failed on " + p.fullName());
+        // Chase through composite boundary ports.
+        while (src->fedBy() && src->owner().isComposite()) {
+            DPort* up = src->fedBy();
+            auto hop = FlowType::projection(up->type(), src->type());
+            if (!hop)
+                throw std::logic_error("Network: projection failed on " + src->fullName());
+            // compose: final[k] = hop[proj[k]]
+            for (std::size_t& slot : *proj) slot = (*hop)[slot];
+            src = up;
+        }
+        if (src->owner().isComposite()) {
+            // Chain ends at an unfed composite boundary port: dangling.
+            // Leave unresolved; the boundary buffer acts as external input.
+            p.bindResolved(src, std::move(*proj));
+            return;
+        }
+        p.bindResolved(src, std::move(*proj));
+    };
+
+    for (Streamer* leaf : order_) {
+        for (DPort* p : leaf->dports()) {
+            if (p->dir() == DPortDir::In) {
+                resolve(*p);
+                if (p->isResolved()) ++connections_;
+            }
+        }
+    }
+    for (DPort* p : boundaryPorts_) resolve(*p);
+    // Boundary ports with no upstream stay unresolved (external inputs).
+    boundaryPorts_.erase(std::remove_if(boundaryPorts_.begin(), boundaryPorts_.end(),
+                                        [](DPort* p) { return !p->isResolved(); }),
+                         boundaryPorts_.end());
+}
+
+void Network::topoSort() {
+    // Edge u -> v when v has direct feedthrough and reads (transitively)
+    // from an out port of u.
+    std::map<Streamer*, std::size_t> indeg;
+    std::map<Streamer*, std::vector<Streamer*>> adj;
+    for (Streamer* leaf : order_) indeg[leaf] = 0;
+
+    for (Streamer* v : order_) {
+        if (!v->directFeedthrough()) continue;
+        for (DPort* p : v->dports()) {
+            if (p->dir() != DPortDir::In || !p->isResolved()) continue;
+            Streamer* u = &p->resolvedSource()->owner();
+            if (u == v || u->isComposite()) continue;
+            adj[u].push_back(v);
+            ++indeg[v];
+        }
+    }
+
+    std::vector<Streamer*> ready;
+    // Seed with the original (declaration) order for determinism.
+    for (Streamer* leaf : order_) {
+        if (indeg[leaf] == 0) ready.push_back(leaf);
+    }
+    std::vector<Streamer*> sorted;
+    sorted.reserve(order_.size());
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+        Streamer* u = ready[i];
+        sorted.push_back(u);
+        for (Streamer* v : adj[u]) {
+            if (--indeg[v] == 0) ready.push_back(v);
+        }
+    }
+    if (sorted.size() != order_.size()) {
+        if (!opts_.allowAlgebraicLoops) {
+            std::string cycle;
+            for (Streamer* leaf : order_) {
+                if (indeg[leaf] > 0) {
+                    if (!cycle.empty()) cycle += ", ";
+                    cycle += leaf->fullPath();
+                }
+            }
+            throw std::logic_error(
+                "Network: algebraic loop among feedthrough streamers {" + cycle +
+                "}; break it with a non-feedthrough block (e.g. an Integrator) or "
+                "enable NetworkOptions::allowAlgebraicLoops");
+        }
+        // Append the loop members in declaration order; computeOutputs will
+        // iterate them to a fixed point.
+        for (Streamer* leaf : order_) {
+            if (indeg[leaf] > 0) {
+                sorted.push_back(leaf);
+                loopMembers_.push_back(leaf);
+            }
+        }
+    }
+    order_ = std::move(sorted);
+}
+
+void Network::solveLoops(double t, const solver::Vec& x) const {
+    // Gauss–Seidel sweeps over the loop members until their outputs settle.
+    std::vector<double> prev;
+    for (int iter = 0; iter < opts_.loopMaxIterations; ++iter) {
+        prev.clear();
+        for (Streamer* leaf : loopMembers_) {
+            for (DPort* p : leaf->dports()) {
+                if (p->dir() == DPortDir::Out) {
+                    prev.insert(prev.end(), p->values().begin(), p->values().end());
+                }
+            }
+        }
+        for (Streamer* leaf : loopMembers_) {
+            for (DPort* p : leaf->dports()) {
+                if (p->dir() == DPortDir::In) p->refresh();
+            }
+            leaf->outputs(t, stateOf(*leaf, x));
+        }
+        double delta = 0.0;
+        std::size_t k = 0;
+        for (Streamer* leaf : loopMembers_) {
+            for (DPort* p : leaf->dports()) {
+                if (p->dir() == DPortDir::Out) {
+                    for (double v : p->values()) {
+                        delta = std::max(delta, std::abs(v - prev[k++]));
+                    }
+                }
+            }
+        }
+        if (delta < opts_.loopTolerance) {
+            lastLoopIterations_ = iter + 1;
+            return;
+        }
+    }
+    throw std::runtime_error(
+        "Network: algebraic loop did not converge within the iteration budget "
+        "(contractive loops only — check loop gain < 1)");
+}
+
+std::size_t Network::offsetOf(const Streamer& leaf) const {
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        if (order_[i] == &leaf) return offsets_[i];
+    }
+    throw std::logic_error("Network: streamer '" + leaf.fullPath() + "' is not a leaf here");
+}
+
+std::span<double> Network::stateOf(const Streamer& leaf, solver::Vec& x) const {
+    return {x.data() + offsetOf(leaf), leaf.stateSize()};
+}
+
+std::span<const double> Network::stateOf(const Streamer& leaf, const solver::Vec& x) const {
+    return {x.data() + offsetOf(leaf), leaf.stateSize()};
+}
+
+void Network::initState(double t, solver::Vec& x) const {
+    x.assign(stateSize_, 0.0);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        Streamer* leaf = order_[i];
+        leaf->initState(t, {x.data() + offsets_[i], leaf->stateSize()});
+    }
+}
+
+void Network::computeOutputs(double t, const solver::Vec& x) const {
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        Streamer* leaf = order_[i];
+        for (DPort* p : leaf->dports()) {
+            if (p->dir() == DPortDir::In) p->refresh();
+        }
+        leaf->outputs(t, {x.data() + offsets_[i], leaf->stateSize()});
+    }
+    if (!loopMembers_.empty()) solveLoops(t, x);
+    // Final refresh: non-feedthrough leaves may be ordered before their
+    // producers; make every input consistent with the outputs just written
+    // so observers (update pass, recorders, event functions) see one
+    // coherent snapshot.
+    for (Streamer* leaf : order_) {
+        for (DPort* p : leaf->dports()) {
+            if (p->dir() == DPortDir::In) p->refresh();
+        }
+    }
+    for (DPort* p : boundaryPorts_) p->refresh();
+}
+
+void Network::derivatives(double t, const solver::Vec& x, solver::Vec& dxdt) const {
+    computeOutputs(t, x);
+    dxdt.assign(stateSize_, 0.0);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        Streamer* leaf = order_[i];
+        if (leaf->stateSize() == 0) continue;
+        for (DPort* p : leaf->dports()) {
+            if (p->dir() == DPortDir::In) p->refresh();
+        }
+        leaf->derivatives(t, {x.data() + offsets_[i], leaf->stateSize()},
+                          {dxdt.data() + offsets_[i], leaf->stateSize()});
+    }
+}
+
+void Network::update(double t, solver::Vec& x) const {
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        Streamer* leaf = order_[i];
+        leaf->update(t, {x.data() + offsets_[i], leaf->stateSize()});
+    }
+}
+
+double Network::eventValue(std::size_t k, double t, const solver::Vec& x) const {
+    computeOutputs(t, x);
+    const Streamer* leaf = eventLeaves_.at(k);
+    return leaf->eventFunction(t, stateOf(*leaf, x));
+}
+
+} // namespace urtx::flow

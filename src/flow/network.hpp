@@ -1,0 +1,123 @@
+#pragma once
+/// \file network.hpp
+/// Flattening and scheduling of a streamer hierarchy.
+///
+/// A Network takes the root of a streamer tree (the "Top streamer" of the
+/// paper's Figure 2), resolves every flow chain across composite
+/// boundaries to its ultimate leaf source with a composed slot projection,
+/// orders the leaves topologically along direct-feedthrough edges
+/// (rejecting algebraic loops), and packs the continuous states of all
+/// leaves into one state vector. The result is the OdeSystem a solver
+/// strategy integrates.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/streamer.hpp"
+#include "solver/ode.hpp"
+
+namespace urtx::flow {
+
+class SPort;
+
+/// Tuning knobs for Network construction.
+struct NetworkOptions {
+    /// Solve algebraic loops by fixed-point (Gauss–Seidel) iteration on
+    /// the loop members instead of rejecting the model. Convergence is
+    /// checked on the loop members' output buffers; divergence throws
+    /// std::runtime_error at evaluation time.
+    bool allowAlgebraicLoops = false;
+    double loopTolerance = 1e-10;
+    int loopMaxIterations = 250;
+};
+
+class Network {
+public:
+    /// Flatten \p root. Throws std::logic_error on algebraic loops (unless
+    /// the options allow iterative solving).
+    explicit Network(Streamer& root);
+    Network(Streamer& root, const NetworkOptions& opts);
+
+    Streamer& root() const { return *root_; }
+
+    /// Leaf streamers in execution (topological) order.
+    const std::vector<Streamer*>& order() const { return order_; }
+    std::size_t leafCount() const { return order_.size(); }
+
+    /// Total packed continuous state dimension.
+    std::size_t stateSize() const { return stateSize_; }
+    /// This leaf's segment of a packed state vector.
+    std::span<double> stateOf(const Streamer& leaf, solver::Vec& x) const;
+    std::span<const double> stateOf(const Streamer& leaf, const solver::Vec& x) const;
+
+    /// Fill \p x with initial states (resized to stateSize()).
+    void initState(double t, solver::Vec& x) const;
+
+    /// One dataflow propagation pass: refresh inputs and run outputs() for
+    /// every leaf in order, then refresh boundary ports so composite DPorts
+    /// (including the root's) expose current values.
+    void computeOutputs(double t, const solver::Vec& x) const;
+
+    /// Full ODE right-hand side: propagate outputs, then collect each
+    /// leaf's derivatives into \p dxdt (resized to stateSize()).
+    void derivatives(double t, const solver::Vec& x, solver::Vec& dxdt) const;
+
+    /// Discrete update pass at a major step boundary (in execution order).
+    void update(double t, solver::Vec& x) const;
+
+    /// Leaves that expose zero-crossing event functions.
+    const std::vector<Streamer*>& eventLeaves() const { return eventLeaves_; }
+    /// Evaluate event function \p k consistently: propagates outputs at
+    /// (t, x) first so event surfaces may depend on inputs.
+    double eventValue(std::size_t k, double t, const solver::Vec& x) const;
+
+    /// Every SPort in the tree (drained by the solver between steps).
+    const std::vector<SPort*>& allSPorts() const { return sports_; }
+
+    /// Boundary (composite-owned) ports with resolved sources.
+    std::size_t boundaryPortCount() const { return boundaryPorts_.size(); }
+    /// Flattened leaf-to-leaf connections.
+    std::size_t connectionCount() const { return connections_; }
+    /// Leaves that sit on an algebraic loop (empty unless loops allowed).
+    const std::vector<Streamer*>& loopMembers() const { return loopMembers_; }
+    /// Fixed-point iterations spent in the last computeOutputs call.
+    int lastLoopIterations() const { return lastLoopIterations_; }
+
+    /// Adapter presenting this network as an OdeSystem.
+    class Ode final : public solver::OdeSystem {
+    public:
+        explicit Ode(const Network& n) : net_(&n) {}
+        std::size_t dim() const override { return net_->stateSize(); }
+        void derivatives(double t, const solver::Vec& x, solver::Vec& dxdt) const override {
+            net_->derivatives(t, x, dxdt);
+        }
+
+    private:
+        const Network* net_;
+    };
+
+private:
+    void collectLeaves(Streamer& s);
+    void resolvePorts();
+    void topoSort();
+    void solveLoops(double t, const solver::Vec& x) const;
+
+    Streamer* root_;
+    NetworkOptions opts_;
+    std::vector<Streamer*> order_;
+    std::vector<Streamer*> eventLeaves_;
+    std::vector<SPort*> sports_;
+    std::vector<DPort*> boundaryPorts_; ///< composite ports needing refresh
+    std::vector<Streamer*> loopMembers_;
+    std::vector<std::size_t> offsets_;  ///< per-order_ leaf state offset
+    std::size_t stateSize_ = 0;
+    std::size_t connections_ = 0;
+    mutable int lastLoopIterations_ = 0;
+
+    // Fast offset lookup keyed by leaf pointer (small maps; linear is fine
+    // but we keep an index aligned with order_).
+    std::size_t offsetOf(const Streamer& leaf) const;
+};
+
+} // namespace urtx::flow

@@ -1,0 +1,26 @@
+#include "flow/relay.hpp"
+
+#include <stdexcept>
+
+namespace urtx::flow {
+
+Relay::Relay(std::string name, Streamer* parent, FlowType type, std::size_t fanout)
+    : Streamer(std::move(name), parent) {
+    if (fanout < 2)
+        throw std::invalid_argument("Relay: fanout must be >= 2 (a relay duplicates a flow)");
+    in_ = std::make_unique<DPort>(*this, "in", DPortDir::In, type);
+    outs_.reserve(fanout);
+    for (std::size_t i = 0; i < fanout; ++i) {
+        outs_.push_back(std::make_unique<DPort>(*this, "out" + std::to_string(i), DPortDir::Out,
+                                                type));
+    }
+}
+
+void Relay::outputs(double /*t*/, std::span<const double> /*x*/) {
+    const auto& src = in_->values();
+    for (auto& o : outs_) {
+        for (std::size_t i = 0; i < src.size(); ++i) o->set(src[i], i);
+    }
+}
+
+} // namespace urtx::flow

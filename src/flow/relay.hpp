@@ -1,0 +1,37 @@
+#pragma once
+/// \file relay.hpp
+/// The paper's "relay" connector: "a relay point which generates two
+/// similar flows from a flow."
+///
+/// Implemented as a leaf streamer with one input DPort and N (default 2)
+/// output DPorts of the same flow type; its behaviour copies the input to
+/// every output each propagation pass. Because plain flows are strictly
+/// point-to-point (see flow()), Relay is the only way to fan a flow out.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "flow/streamer.hpp"
+
+namespace urtx::flow {
+
+class Relay final : public Streamer {
+public:
+    /// \p fanout >= 2 per the paper ("two similar flows"); more allowed.
+    Relay(std::string name, Streamer* parent, FlowType type, std::size_t fanout = 2);
+
+    DPort& in() { return *in_; }
+    /// i in [0, fanout).
+    DPort& out(std::size_t i) { return *outs_.at(i); }
+    std::size_t fanout() const { return outs_.size(); }
+
+    bool directFeedthrough() const override { return true; }
+    void outputs(double t, std::span<const double> x) override;
+
+private:
+    std::unique_ptr<DPort> in_;
+    std::vector<std::unique_ptr<DPort>> outs_;
+};
+
+} // namespace urtx::flow

@@ -1,0 +1,96 @@
+#include "flow/solver_runner.hpp"
+
+#include <stdexcept>
+
+#include "flow/sport.hpp"
+
+namespace urtx::flow {
+
+SolverRunner::SolverRunner(Streamer& root, std::unique_ptr<solver::Integrator> method,
+                           double majorDt)
+    : SolverRunner(root, std::move(method), majorDt, NetworkOptions{}) {}
+
+SolverRunner::SolverRunner(Streamer& root, std::unique_ptr<solver::Integrator> method,
+                           double majorDt, const NetworkOptions& opts)
+    : net_(root, opts), method_(std::move(method)), ode_(net_), majorDt_(majorDt) {
+    if (!method_) throw std::invalid_argument("SolverRunner: null integrator");
+    if (majorDt_ <= 0) throw std::invalid_argument("SolverRunner: majorDt must be positive");
+}
+
+void SolverRunner::setIntegrator(std::unique_ptr<solver::Integrator> method) {
+    if (!method) throw std::invalid_argument("SolverRunner::setIntegrator: null integrator");
+    method_ = std::move(method);
+}
+
+void SolverRunner::setMajorDt(double dt) {
+    if (dt <= 0) throw std::invalid_argument("SolverRunner::setMajorDt: dt must be positive");
+    majorDt_ = dt;
+}
+
+void SolverRunner::initialize(double t0) {
+    if (initialized_) return;
+    t_ = t0;
+    net_.initState(t0, x_);
+    for (std::size_t k = 0; k < net_.eventLeaves().size(); ++k) {
+        const std::size_t idx = k; // capture by value
+        detector_.addEvent(
+            [this, idx](double t, const solver::Vec& x) { return net_.eventValue(idx, t, x); });
+    }
+    detector_.prime(t0, x_);
+    net_.computeOutputs(t0, x_);
+    initialized_ = true;
+}
+
+void SolverRunner::drainSignals() {
+    for (SPort* sp : net_.allSPorts()) signalsProcessed_ += sp->drain();
+}
+
+void SolverRunner::integrateSegment(double tEnd) {
+    std::vector<solver::Crossing> crossings;
+    while (t_ < tEnd - 1e-15) {
+        const double dt = tEnd - t_;
+        const solver::Vec x0 = x_;
+        method_->step(ode_, t_, dt, x_);
+
+        if (detector_.checkAll(ode_, *method_, t_, dt, x0, x_, crossings)) {
+            // Truncate at the (earliest) crossing; simultaneous crossings
+            // are all delivered before integration resumes.
+            t_ = crossings.front().t;
+            x_ = crossings.front().state;
+            net_.computeOutputs(t_, x_);
+            bool anyReset = false;
+            for (const solver::Crossing& c : crossings) {
+                Streamer* leaf = net_.eventLeaves().at(c.index);
+                leaf->onEvent(t_, c.rising);
+                // Impulsive state reset (e.g. restitution): apply to the
+                // leaf's segment.
+                if (leaf->onEventReset(t_, net_.stateOf(*leaf, x_))) anyReset = true;
+                ++eventsFired_;
+            }
+            if (anyReset) net_.computeOutputs(t_, x_);
+            // The event handlers may have changed parameters or state;
+            // re-prime the detector at the new point.
+            detector_.prime(t_, x_);
+            continue; // finish the remainder of the segment
+        }
+        t_ = tEnd;
+    }
+}
+
+void SolverRunner::step() {
+    if (!initialized_) initialize(t_);
+    drainSignals();
+    const double tEnd = t_ + majorDt_;
+    integrateSegment(tEnd);
+    net_.computeOutputs(t_, x_);
+    net_.update(t_, x_);
+    ++majorSteps_;
+    if (probe_) probe_(t_, net_);
+}
+
+void SolverRunner::advanceTo(double tTarget) {
+    if (!initialized_) initialize(t_);
+    while (t_ < tTarget - 1e-12) step();
+}
+
+} // namespace urtx::flow

@@ -1,0 +1,91 @@
+#pragma once
+/// \file solver_runner.hpp
+/// The solver: the behaviour engine of a streamer network.
+///
+/// "In a streamer, there is a solver responsible for receiving signal from
+/// SPorts and data from DPorts and operating system services, modifying
+/// parameters, computing equations, and sending out the results."
+///
+/// SolverRunner is the Strategy *context* of the paper's Figure 1: it owns
+/// a flattened Network plus an interchangeable Integrator strategy
+/// (ConcreteStrategyA/B/C = Euler/RK4/RK45/...), and advances continuous
+/// time in major steps:
+///
+///   1. drain every SPort (signals may change parameters / modes)
+///   2. integrate the packed ODE across the step with the strategy
+///   3. detect & localize zero crossings; truncate the step and call
+///      Streamer::onEvent at the crossing (which typically sends a signal
+///      back to the capsule world)
+///   4. run the discrete update pass and the probe at the boundary
+
+#include <functional>
+#include <memory>
+
+#include "flow/network.hpp"
+#include "solver/integrator.hpp"
+#include "solver/zero_crossing.hpp"
+
+namespace urtx::flow {
+
+class SolverRunner {
+public:
+    /// \p majorDt: the communication/major step size (probe & update grid).
+    SolverRunner(Streamer& root, std::unique_ptr<solver::Integrator> method, double majorDt);
+    /// With network options (e.g. iterative algebraic-loop solving).
+    SolverRunner(Streamer& root, std::unique_ptr<solver::Integrator> method, double majorDt,
+                 const NetworkOptions& opts);
+
+    Network& network() { return net_; }
+    const Network& network() const { return net_; }
+
+    /// Swap the integration strategy at runtime (paper Figure 1). The
+    /// continuous state is preserved.
+    void setIntegrator(std::unique_ptr<solver::Integrator> method);
+    solver::Integrator& integrator() { return *method_; }
+
+    double majorDt() const { return majorDt_; }
+    void setMajorDt(double dt);
+
+    /// Initialize states, prime event detection, run the first outputs
+    /// pass. Idempotent.
+    void initialize(double t0 = 0.0);
+    bool initialized() const { return initialized_; }
+
+    /// Advance one major step (signals -> integrate [-> events] -> update).
+    void step();
+
+    /// Advance in major steps until time() >= tTarget (within 1e-12).
+    void advanceTo(double tTarget);
+
+    double time() const { return t_; }
+    const solver::Vec& state() const { return x_; }
+    solver::Vec& state() { return x_; }
+
+    /// Observation hook invoked after every major step boundary.
+    using Probe = std::function<void(double t, const Network& net)>;
+    void setProbe(Probe p) { probe_ = std::move(p); }
+
+    std::uint64_t majorSteps() const { return majorSteps_; }
+    std::uint64_t signalsProcessed() const { return signalsProcessed_; }
+    std::uint64_t eventsFired() const { return eventsFired_; }
+
+private:
+    void drainSignals();
+    /// Integrate from t_ toward tEnd; stops early at a zero crossing.
+    void integrateSegment(double tEnd);
+
+    Network net_;
+    std::unique_ptr<solver::Integrator> method_;
+    Network::Ode ode_;
+    solver::ZeroCrossingDetector detector_;
+    double majorDt_;
+    double t_ = 0.0;
+    solver::Vec x_;
+    Probe probe_;
+    bool initialized_ = false;
+    std::uint64_t majorSteps_ = 0;
+    std::uint64_t signalsProcessed_ = 0;
+    std::uint64_t eventsFired_ = 0;
+};
+
+} // namespace urtx::flow

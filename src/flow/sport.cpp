@@ -1,0 +1,68 @@
+#include "flow/sport.hpp"
+
+#include "flow/streamer.hpp"
+
+namespace urtx::flow {
+
+/// Internal capsule giving the SPort an address in the UML-RT world. It
+/// deliberately has no controller: message delivery runs synchronously on
+/// the *sender's* thread and merely enqueues into the SPort inbox, which is
+/// exactly the thread hand-off the paper prescribes.
+class SPort::Agent final : public rt::Capsule {
+public:
+    Agent(SPort& sp, std::string name, const rt::Protocol& proto, bool conjugated)
+        : rt::Capsule(std::move(name)), sport_(sp), port(*this, "signal", proto, conjugated) {}
+
+    rt::Port port;
+
+protected:
+    void onMessage(const rt::Message& m) override { sport_.enqueue(m); }
+
+private:
+    SPort& sport_;
+};
+
+SPort::SPort(Streamer& owner, std::string name, const rt::Protocol& proto, bool conjugated)
+    : owner_(&owner), name_(std::move(name)) {
+    agent_ = std::make_unique<Agent>(*this, owner_->fullPath() + ":" + name_, proto, conjugated);
+    owner_->registerSPort(this);
+}
+
+SPort::~SPort() { owner_->unregisterSPort(this); }
+
+const rt::Protocol& SPort::protocol() const { return agent_->port.protocol(); }
+bool SPort::conjugated() const { return agent_->port.conjugated(); }
+rt::Port& SPort::rtPort() { return agent_->port; }
+
+bool SPort::send(std::string_view sig, std::any data, rt::Priority prio) {
+    return agent_->port.send(sig, std::move(data), prio);
+}
+
+bool SPort::send(rt::SignalId sig, std::any data, rt::Priority prio) {
+    return agent_->port.send(sig, std::move(data), prio);
+}
+
+std::uint64_t SPort::sent() const { return agent_->port.sent(); }
+
+void SPort::enqueue(const rt::Message& m) {
+    std::lock_guard lock(mu_);
+    inbox_.push_back(m);
+    ++received_;
+}
+
+std::size_t SPort::pending() const {
+    std::lock_guard lock(mu_);
+    return inbox_.size();
+}
+
+std::size_t SPort::drain() {
+    std::deque<rt::Message> batch;
+    {
+        std::lock_guard lock(mu_);
+        batch.swap(inbox_);
+    }
+    for (const rt::Message& m : batch) owner_->onSignal(*this, m);
+    return batch.size();
+}
+
+} // namespace urtx::flow

@@ -1,0 +1,78 @@
+#pragma once
+/// \file sport.hpp
+/// SPorts: signal ports on streamers.
+///
+/// "SPorts convey signal message, which associated with a protocol.
+/// Streamers can communicate with capsules through SPorts." An SPort is the
+/// bridge between the continuous (streamer/solver) world and the discrete
+/// (capsule/controller) world:
+///
+///  * inbound: the SPort participates in the UML-RT wiring through an
+///    internal agent capsule; messages a capsule sends arrive in a
+///    thread-safe queue and are handed to Streamer::onSignal by the solver
+///    *between* integration steps — never mid-equation.
+///  * outbound: send() pushes a message into the peer capsule's controller
+///    queue (the "communication mechanism of threads" of the paper).
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "rt/capsule.hpp"
+#include "rt/port.hpp"
+
+namespace urtx::flow {
+
+class Streamer;
+
+class SPort {
+public:
+    SPort(Streamer& owner, std::string name, const rt::Protocol& proto, bool conjugated = false);
+    ~SPort();
+
+    SPort(const SPort&) = delete;
+    SPort& operator=(const SPort&) = delete;
+
+    const std::string& name() const { return name_; }
+    Streamer& owner() const { return *owner_; }
+    const rt::Protocol& protocol() const;
+    bool conjugated() const;
+
+    /// The UML-RT port to wire against a capsule port with rt::connect().
+    rt::Port& rtPort();
+
+    /// Send a signal toward the connected capsule. Thread-safe: the message
+    /// crosses into the capsule's controller queue.
+    bool send(std::string_view sig, std::any data = {},
+              rt::Priority prio = rt::Priority::General);
+    bool send(rt::SignalId sig, std::any data = {},
+              rt::Priority prio = rt::Priority::General);
+
+    /// Messages waiting to be drained into the owning streamer.
+    std::size_t pending() const;
+
+    /// Deliver all queued messages to owner().onSignal(); called by the
+    /// solver at step boundaries. Returns the number delivered.
+    std::size_t drain();
+
+    std::uint64_t received() const { return received_; }
+    std::uint64_t sent() const;
+
+private:
+    class Agent;
+    void enqueue(const rt::Message& m);
+
+    Streamer* owner_;
+    std::string name_;
+    std::unique_ptr<Agent> agent_;
+
+    mutable std::mutex mu_;
+    std::deque<rt::Message> inbox_;
+    std::uint64_t received_ = 0;
+};
+
+} // namespace urtx::flow

@@ -1,0 +1,77 @@
+#include "flow/streamer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/sport.hpp"
+
+namespace urtx::flow {
+
+Streamer::Streamer(std::string name, Streamer* parent)
+    : name_(std::move(name)), parent_(parent) {
+    if (parent_) parent_->children_.push_back(this);
+}
+
+Streamer::~Streamer() {
+    if (parent_) {
+        auto& sibs = parent_->children_;
+        sibs.erase(std::remove(sibs.begin(), sibs.end(), this), sibs.end());
+    }
+}
+
+std::string Streamer::fullPath() const {
+    if (!parent_) return name_;
+    return parent_->fullPath() + "/" + name_;
+}
+
+DPort* Streamer::findDPort(std::string_view name) const {
+    for (DPort* p : dports_) {
+        if (p->name() == name) return p;
+    }
+    return nullptr;
+}
+
+SPort* Streamer::findSPort(std::string_view name) const {
+    for (SPort* p : sports_) {
+        if (p->name() == name) return p;
+    }
+    return nullptr;
+}
+
+double Streamer::param(const std::string& key, double fallback) const {
+    auto it = params_.find(key);
+    return it == params_.end() ? fallback : it->second;
+}
+
+void Streamer::initState(double /*t*/, std::span<double> x) {
+    std::fill(x.begin(), x.end(), 0.0);
+}
+
+void Streamer::derivatives(double /*t*/, std::span<const double> /*x*/,
+                           std::span<double> dxdt) {
+    std::fill(dxdt.begin(), dxdt.end(), 0.0);
+}
+
+void Streamer::outputs(double /*t*/, std::span<const double> /*x*/) {}
+
+void Streamer::update(double /*t*/, std::span<double> /*x*/) {}
+
+double Streamer::eventFunction(double /*t*/, std::span<const double> /*x*/) const {
+    return std::nan("");
+}
+
+void Streamer::onEvent(double /*t*/, bool /*rising*/) {}
+
+bool Streamer::onEventReset(double /*t*/, std::span<double> /*x*/) { return false; }
+
+void Streamer::onSignal(SPort& /*port*/, const rt::Message& /*m*/) {}
+
+void Streamer::unregisterDPort(DPort* p) {
+    dports_.erase(std::remove(dports_.begin(), dports_.end(), p), dports_.end());
+}
+
+void Streamer::unregisterSPort(SPort* p) {
+    sports_.erase(std::remove(sports_.begin(), sports_.end(), p), sports_.end());
+}
+
+} // namespace urtx::flow

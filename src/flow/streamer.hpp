@@ -1,0 +1,112 @@
+#pragma once
+/// \file streamer.hpp
+/// Streamers: the paper's continuous counterpart of capsules.
+///
+/// "Streamers have some same characteristics as capsules. As such,
+/// streamers have ports through which they communicate with other objects,
+/// and they can contain any number of sub-streamers. [They] are
+/// distinguished from capsules by their behaviors, which is implemented by
+/// a solver through computing equations."
+///
+/// A *composite* streamer only provides structure: sub-streamers, boundary
+/// DPorts and internal flows. A *leaf* streamer provides behaviour through
+/// the virtual hooks below, which the solver (see SolverRunner) drives:
+///
+///   stateSize()/initState()  — contributes continuous states x
+///   derivatives()            — dx/dt = f(t, x, u) with u read from DPorts
+///   outputs()                — writes output DPorts from (t, x, u)
+///   update()                 — discrete change at major-step boundaries
+///   hasEvent()/eventFunction() — zero-crossing event surface g(t, x)
+///   onEvent()                — reaction when g crosses zero
+///   onSignal()               — reaction to SPort messages (parameter
+///                              changes etc.), executed between steps
+///
+/// Per the paper, streamers never contain capsules; capsules may contain
+/// streamers (see sim::HybridSystem).
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/dport.hpp"
+#include "rt/message.hpp"
+
+namespace urtx::flow {
+
+class SPort;
+
+class Streamer {
+public:
+    explicit Streamer(std::string name, Streamer* parent = nullptr);
+    virtual ~Streamer();
+
+    Streamer(const Streamer&) = delete;
+    Streamer& operator=(const Streamer&) = delete;
+
+    // -- structure -----------------------------------------------------------
+    const std::string& name() const { return name_; }
+    std::string fullPath() const;
+    Streamer* parent() const { return parent_; }
+    const std::vector<Streamer*>& subStreamers() const { return children_; }
+    bool isComposite() const { return !children_.empty(); }
+
+    const std::vector<DPort*>& dports() const { return dports_; }
+    DPort* findDPort(std::string_view name) const;
+    const std::vector<SPort*>& sports() const { return sports_; }
+    SPort* findSPort(std::string_view name) const;
+
+    // -- parameters (tuned by solvers on signal reception) --------------------
+    void setParam(const std::string& key, double value) { params_[key] = value; }
+    double param(const std::string& key, double fallback = 0.0) const;
+    bool hasParam(const std::string& key) const { return params_.count(key) > 0; }
+    const std::map<std::string, double>& params() const { return params_; }
+
+    // -- leaf behaviour hooks --------------------------------------------------
+    /// Number of continuous states this leaf contributes.
+    virtual std::size_t stateSize() const { return 0; }
+    /// Write initial values into this leaf's state segment.
+    virtual void initState(double t, std::span<double> x);
+    /// dx/dt for this leaf's segment; inputs are fresh in the DPort buffers.
+    virtual void derivatives(double t, std::span<const double> x, std::span<double> dxdt);
+    /// Write output DPorts from (t, state, inputs).
+    virtual void outputs(double t, std::span<const double> x);
+    /// Discrete update at a major step boundary; may rewrite the state.
+    virtual void update(double t, std::span<double> x);
+    /// Do this leaf's outputs depend algebraically on its inputs?
+    virtual bool directFeedthrough() const { return true; }
+    /// Does this leaf expose a zero-crossing event function?
+    virtual bool hasEvent() const { return false; }
+    /// Event surface g(t, x); a sign change triggers onEvent().
+    virtual double eventFunction(double t, std::span<const double> x) const;
+    /// Reaction at a localized crossing (typically: send a signal out an
+    /// SPort toward the capsule world).
+    virtual void onEvent(double t, bool rising);
+    /// Optional impulsive state reset applied right after onEvent() with
+    /// this leaf's state segment (e.g. restitution v := -e v). Return true
+    /// when \p x was modified so the solver re-propagates outputs.
+    virtual bool onEventReset(double t, std::span<double> x);
+    /// Reaction to a message drained from one of this streamer's SPorts.
+    virtual void onSignal(SPort& port, const rt::Message& m);
+
+    // suppress unused-parameter warnings in default implementations
+protected:
+    friend class DPort;
+    friend class SPort;
+    void registerDPort(DPort* p) { dports_.push_back(p); }
+    void unregisterDPort(DPort* p);
+    void registerSPort(SPort* p) { sports_.push_back(p); }
+    void unregisterSPort(SPort* p);
+
+private:
+    std::string name_;
+    Streamer* parent_;
+    std::vector<Streamer*> children_;
+    std::vector<DPort*> dports_;
+    std::vector<SPort*> sports_;
+    std::map<std::string, double> params_;
+};
+
+} // namespace urtx::flow

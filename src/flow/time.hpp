@@ -1,0 +1,55 @@
+#pragma once
+/// \file time.hpp
+/// The "Time" stereotype: "a continuous variable [that] can be used as
+/// simulation clock", replacing UML-RT's unpredictable timing.
+///
+/// Time is a shared handle onto a VirtualClock: the simulation engine
+/// advances it; capsules (through their controller) and solvers read it.
+/// Being a plain continuous value, it may also be fed into the dataflow
+/// world — TimeSourceStreamer exposes it on an output DPort.
+
+#include <memory>
+#include <span>
+
+#include "flow/streamer.hpp"
+#include "rt/clock.hpp"
+
+namespace urtx::flow {
+
+class Time {
+public:
+    /// Fresh simulation clock starting at \p t0.
+    explicit Time(double t0 = 0.0) : clock_(std::make_shared<rt::VirtualClock>(t0)) {}
+    /// Wrap an existing clock (shared with controllers).
+    explicit Time(std::shared_ptr<rt::VirtualClock> c) : clock_(std::move(c)) {}
+
+    double now() const { return clock_->now(); }
+    operator double() const { return now(); } // NOLINT: deliberate continuous-variable feel
+
+    void advanceTo(double t) { clock_->advanceTo(t); }
+    void advanceBy(double dt) { clock_->advanceBy(dt); }
+
+    const std::shared_ptr<rt::VirtualClock>& clock() const { return clock_; }
+
+private:
+    std::shared_ptr<rt::VirtualClock> clock_;
+};
+
+/// A leaf streamer whose single output DPort carries the current
+/// simulation time — the Time stereotype made available to equations.
+class TimeSourceStreamer final : public Streamer {
+public:
+    TimeSourceStreamer(std::string name, Streamer* parent)
+        : Streamer(std::move(name), parent),
+          out_(*this, "t", DPortDir::Out, FlowType::real()) {}
+
+    DPort& out() { return out_; }
+
+    void outputs(double t, std::span<const double> /*x*/) override { out_.set(t); }
+    bool directFeedthrough() const override { return false; } // depends on t only
+
+private:
+    DPort out_;
+};
+
+} // namespace urtx::flow

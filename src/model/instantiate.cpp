@@ -1,0 +1,272 @@
+#include "model/instantiate.hpp"
+
+#include <stdexcept>
+
+#include "control/control.hpp"
+
+namespace urtx::model {
+
+namespace c = urtx::control;
+
+// ---------------------------------------------------------- BehaviorRegistry
+
+void BehaviorRegistry::add(std::string className, LeafFactory factory) {
+    factories_[std::move(className)] = std::move(factory);
+}
+
+bool BehaviorRegistry::has(const std::string& className) const {
+    return factories_.count(className) > 0;
+}
+
+const LeafFactory* BehaviorRegistry::find(const std::string& className) const {
+    auto it = factories_.find(className);
+    return it == factories_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+double p(const StreamerClassDecl& cls, const std::string& key, double fallback = 0.0) {
+    auto it = cls.params.find(key);
+    return it == cls.params.end() ? fallback : it->second;
+}
+
+} // namespace
+
+void BehaviorRegistry::registerStandardBlocks() {
+    add("Constant", [](const std::string& n, flow::Streamer* parent,
+                       const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Constant>(n, parent, p(cls, "value"));
+    });
+    add("Step", [](const std::string& n, flow::Streamer* parent,
+                   const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Step>(n, parent, p(cls, "t0"), p(cls, "before"),
+                                         p(cls, "after", 1.0));
+    });
+    add("Ramp", [](const std::string& n, flow::Streamer* parent,
+                   const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Ramp>(n, parent, p(cls, "slope", 1.0), p(cls, "start"));
+    });
+    add("Sine", [](const std::string& n, flow::Streamer* parent,
+                   const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Sine>(n, parent, p(cls, "amp", 1.0), p(cls, "omega", 1.0),
+                                         p(cls, "phase"), p(cls, "offset"));
+    });
+    add("Gain", [](const std::string& n, flow::Streamer* parent,
+                   const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Gain>(n, parent, p(cls, "k", 1.0));
+    });
+    add("Saturation", [](const std::string& n, flow::Streamer* parent,
+                         const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Saturation>(n, parent, p(cls, "lo", -1.0), p(cls, "hi", 1.0));
+    });
+    add("Integrator", [](const std::string& n, flow::Streamer* parent,
+                         const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        auto block = std::make_unique<c::Integrator>(n, parent, p(cls, "x0"));
+        if (cls.params.count("lo") && cls.params.count("hi"))
+            block->withLimits(p(cls, "lo"), p(cls, "hi"));
+        return block;
+    });
+    add("FirstOrderLag", [](const std::string& n, flow::Streamer* parent,
+                            const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::FirstOrderLag>(n, parent, p(cls, "tau", 1.0), p(cls, "x0"));
+    });
+    add("Pid", [](const std::string& n, flow::Streamer* parent,
+                  const StreamerClassDecl& cls) -> std::unique_ptr<flow::Streamer> {
+        auto block = std::make_unique<c::Pid>(n, parent, p(cls, "kp", 1.0), p(cls, "ki"),
+                                              p(cls, "kd"), p(cls, "N", 100.0));
+        if (cls.params.count("lo") && cls.params.count("hi"))
+            block->withLimits(p(cls, "lo"), p(cls, "hi"));
+        return block;
+    });
+    add("Sum2", [](const std::string& n, flow::Streamer* parent,
+                   const StreamerClassDecl&) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Sum>(n, parent, "++");
+    });
+    add("Diff", [](const std::string& n, flow::Streamer* parent,
+                   const StreamerClassDecl&) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Sum>(n, parent, "+-");
+    });
+    add("Recorder", [](const std::string& n, flow::Streamer* parent,
+                       const StreamerClassDecl&) -> std::unique_ptr<flow::Streamer> {
+        return std::make_unique<c::Recorder>(n, parent);
+    });
+}
+
+// ---------------------------------------------------------------- Instantiator
+
+Instantiator::Instantiator(const Model& model, const BehaviorRegistry& registry)
+    : model_(&model), registry_(&registry) {}
+
+const rt::Protocol& Instantiator::protocol(const std::string& name) const {
+    auto it = protocolCache_.find(name);
+    if (it != protocolCache_.end()) return *it->second;
+    const ProtocolDecl* decl = model_->findProtocol(name);
+    if (!decl) throw std::invalid_argument("Instantiator: unknown protocol '" + name + "'");
+    auto proto = std::make_unique<rt::Protocol>(decl->name);
+    for (const auto& s : decl->signals) {
+        if (s.dir == "in") {
+            proto->in(s.name);
+        } else if (s.dir == "out") {
+            proto->out(s.name);
+        } else {
+            proto->inout(s.name);
+        }
+    }
+    const rt::Protocol& ref = *proto;
+    protocolCache_.emplace(name, std::move(proto));
+    return ref;
+}
+
+flow::DPort* Instantiator::findDPortByRef(InstantiatedStreamer& self,
+                                          const std::string& ref) const {
+    const EndpointRef ep = splitEndpoint(ref);
+    if (ep.part.empty()) {
+        if (flow::DPort* port = self.findDPort(ep.port)) return port;
+        return nullptr;
+    }
+    for (flow::Streamer* child : self.subStreamers()) {
+        if (child->name() != ep.part) continue;
+        // Relay children expose in/out0..N ports by name like any streamer.
+        if (flow::DPort* port = child->findDPort(ep.port)) return port;
+        return nullptr;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<flow::Streamer> Instantiator::buildStreamer(const StreamerClassDecl& cls,
+                                                            const std::string& instanceName,
+                                                            flow::Streamer* parent) const {
+    // Leaf with registered behaviour: delegate entirely to the factory.
+    if (cls.parts.empty() && cls.relays.empty()) {
+        if (const LeafFactory* factory = registry_->find(cls.name)) {
+            auto leaf = (*factory)(instanceName, parent, cls);
+            for (const auto& [key, value] : cls.params) leaf->setParam(key, value);
+            return leaf;
+        }
+    }
+
+    auto inst = std::make_unique<InstantiatedStreamer>(instanceName, parent);
+
+    // Boundary ports.
+    for (const PortDecl& port : cls.ports) {
+        if (port.kind == PortDecl::Kind::Data) {
+            const FlowTypeDecl* ft = model_->findFlowType(port.flowType);
+            if (!ft)
+                throw std::invalid_argument("Instantiator: unknown flow type '" + port.flowType +
+                                            "' on " + cls.name + "." + port.name);
+            inst->ownedDPorts.push_back(std::make_unique<flow::DPort>(
+                *inst, port.name,
+                port.dir == "in" ? flow::DPortDir::In : flow::DPortDir::Out, ft->type));
+        } else {
+            inst->ownedSPorts.push_back(std::make_unique<flow::SPort>(
+                *inst, port.name, protocol(port.protocol), port.conjugated));
+        }
+    }
+
+    // Parts (recursively) and relays.
+    for (const PartDecl& part : cls.parts) {
+        const StreamerClassDecl* sub = model_->findStreamer(part.className);
+        if (!sub)
+            throw std::invalid_argument("Instantiator: unknown streamer class '" +
+                                        part.className + "' for part " + part.name);
+        inst->ownedChildren.push_back(buildStreamer(*sub, part.name, inst.get()));
+    }
+    for (const RelayDecl& relay : cls.relays) {
+        const FlowTypeDecl* ft = model_->findFlowType(relay.flowType);
+        if (!ft)
+            throw std::invalid_argument("Instantiator: unknown flow type '" + relay.flowType +
+                                        "' on relay " + relay.name);
+        inst->ownedChildren.push_back(
+            std::make_unique<flow::Relay>(relay.name, inst.get(), ft->type, relay.fanout));
+    }
+
+    // Flows. Relay port naming: the Relay class exposes "in"/"out<i>"; the
+    // model references them the same way.
+    for (const ConnectDecl& fl : cls.flows) {
+        flow::DPort* src = findDPortByRef(*inst, fl.from);
+        flow::DPort* dst = findDPortByRef(*inst, fl.to);
+        if (!src || !dst)
+            throw std::invalid_argument("Instantiator: cannot resolve flow " + fl.from + " -> " +
+                                        fl.to + " in " + cls.name);
+        flow::flow(*src, *dst);
+    }
+
+    for (const auto& [key, value] : cls.params) inst->setParam(key, value);
+    return inst;
+}
+
+std::unique_ptr<flow::Streamer> Instantiator::streamer(const std::string& className,
+                                                       const std::string& instanceName) const {
+    const StreamerClassDecl* cls = model_->findStreamer(className);
+    if (!cls)
+        throw std::invalid_argument("Instantiator: unknown streamer class '" + className + "'");
+    return buildStreamer(*cls, instanceName, nullptr);
+}
+
+std::unique_ptr<InstantiatedCapsule> Instantiator::capsule(
+    const std::string& className, const std::string& instanceName) const {
+    return buildCapsule(className, instanceName, nullptr);
+}
+
+std::unique_ptr<InstantiatedCapsule> Instantiator::buildCapsule(
+    const std::string& className, const std::string& instanceName, rt::Capsule* parent) const {
+    const CapsuleClassDecl* cls = model_->findCapsule(className);
+    if (!cls)
+        throw std::invalid_argument("Instantiator: unknown capsule class '" + className + "'");
+
+    auto cap = std::make_unique<InstantiatedCapsule>(instanceName, parent);
+
+    // Signal ports (data relay ports on capsules carry no behaviour; they
+    // are documented by the model but need no runtime object here).
+    for (const PortDecl& port : cls->ports) {
+        if (port.kind != PortDecl::Kind::Signal) continue;
+        cap->ownedPorts.push_back(std::make_unique<rt::Port>(
+            *cap, port.name, protocol(port.protocol), port.conjugated,
+            port.relay ? rt::PortKind::Relay : rt::PortKind::End));
+    }
+
+    // Parts: sub-capsules and contained streamers (Figure 3 containment).
+    for (const PartDecl& part : cls->parts) {
+        if (model_->findCapsule(part.className)) {
+            cap->ownedSubCapsules.push_back(buildCapsule(part.className, part.name, cap.get()));
+        } else if (model_->findStreamer(part.className)) {
+            cap->ownedStreamers.push_back(streamer(part.className, part.name));
+        } else {
+            throw std::invalid_argument("Instantiator: unknown part class '" + part.className +
+                                        "' in capsule " + className);
+        }
+    }
+
+    // State machine topology.
+    std::map<std::string, rt::State*> states;
+    for (const StateDecl& st : cls->states) {
+        rt::State* parent = nullptr;
+        if (!st.parent.empty()) {
+            auto it = states.find(st.parent);
+            if (it == states.end())
+                throw std::invalid_argument("Instantiator: state parent '" + st.parent +
+                                            "' must be declared before '" + st.name + "'");
+            parent = it->second;
+        }
+        states[st.name] = &cap->machine().state(st.name, parent);
+    }
+    for (const StateDecl& st : cls->states) {
+        if (st.initial) cap->machine().initial(*states[st.name]);
+    }
+    InstantiatedCapsule* raw = cap.get();
+    for (const TransitionDecl& tr : cls->transitions) {
+        auto from = states.find(tr.from);
+        auto to = states.find(tr.to);
+        if (from == states.end() || to == states.end())
+            throw std::invalid_argument("Instantiator: transition references unknown state in " +
+                                        className);
+        const std::string label = tr.from + " --" + tr.signal + "--> " + tr.to;
+        cap->machine()
+            .transition(*from->second, *to->second)
+            .on(tr.signal)
+            .act([raw, label](const rt::Message&) { raw->transitionLog.push_back(label); });
+    }
+    return cap;
+}
+
+} // namespace urtx::model

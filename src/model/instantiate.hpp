@@ -1,0 +1,115 @@
+#pragma once
+/// \file instantiate.hpp
+/// Model interpreter: build *live* runtime objects straight from a
+/// validated model — the paper's "simulation" stage without a compile
+/// step. A declarative StreamerClassDecl becomes a real flow::Streamer
+/// network (composite structure, boundary DPorts, SPorts, relays, flows);
+/// a CapsuleClassDecl becomes an rt::Capsule whose state machine topology
+/// is assembled from the declared states and transitions.
+///
+/// Leaf behaviour comes from a BehaviorRegistry: class names map to
+/// factories producing concrete streamers (the standard control block
+/// library is pre-registered by registerStandardBlocks()). Unregistered
+/// leaf classes instantiate as structure-only streamers so a model can be
+/// animated before any equations exist.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "model/model.hpp"
+#include "rt/rt.hpp"
+
+namespace urtx::model {
+
+/// Factory signature for leaf streamer behaviours. The factory receives
+/// the instance name, the parent and the (parameter-carrying) class
+/// declaration.
+using LeafFactory = std::function<std::unique_ptr<flow::Streamer>(
+    const std::string& name, flow::Streamer* parent, const StreamerClassDecl& cls)>;
+
+class BehaviorRegistry {
+public:
+    void add(std::string className, LeafFactory factory);
+    bool has(const std::string& className) const;
+    const LeafFactory* find(const std::string& className) const;
+
+    /// Register factories for the control block library. Class names and
+    /// the parameters they read (from StreamerClassDecl::params):
+    ///   Constant(value) Step(t0,before,after) Ramp(slope,start)
+    ///   Sine(amp,omega,phase,offset) Gain(k) Saturation(lo,hi)
+    ///   Integrator(x0[,lo,hi]) FirstOrderLag(tau,x0) Pid(kp,ki,kd,N)
+    ///   Sum2 (out=in0+in1) Diff (out=in0-in1) Recorder
+    void registerStandardBlocks();
+
+private:
+    std::map<std::string, LeafFactory> factories_;
+};
+
+/// A structure-only streamer instantiated from a declaration: owns its
+/// boundary ports, SPorts, relays and children. Leaf instances without a
+/// registered behaviour get zero states and identity-less outputs.
+class InstantiatedStreamer final : public flow::Streamer {
+public:
+    InstantiatedStreamer(std::string name, flow::Streamer* parent)
+        : flow::Streamer(std::move(name), parent) {}
+
+    /// Owned structure (populated by the Instantiator).
+    std::vector<std::unique_ptr<flow::DPort>> ownedDPorts;
+    std::vector<std::unique_ptr<flow::SPort>> ownedSPorts;
+    std::vector<std::unique_ptr<flow::Streamer>> ownedChildren;
+};
+
+/// A capsule instantiated from a declaration: ports and state machine
+/// topology assembled from the model. Transition effects are observable
+/// through the transition log (model animation).
+class InstantiatedCapsule final : public rt::Capsule {
+public:
+    InstantiatedCapsule(std::string name, rt::Capsule* parent)
+        : rt::Capsule(std::move(name), parent) {}
+
+    std::vector<std::unique_ptr<rt::Port>> ownedPorts;
+    std::vector<std::unique_ptr<rt::Capsule>> ownedSubCapsules;
+    std::vector<std::unique_ptr<flow::Streamer>> ownedStreamers;
+
+    /// "From --signal--> To" strings, appended as transitions fire.
+    std::vector<std::string> transitionLog;
+};
+
+class Instantiator {
+public:
+    /// \p model must outlive the instantiator; validate it first.
+    Instantiator(const Model& model, const BehaviorRegistry& registry);
+
+    /// Instantiate streamer class \p className (throws std::invalid_argument
+    /// when unknown or when a flow/port reference cannot be resolved).
+    std::unique_ptr<flow::Streamer> streamer(const std::string& className,
+                                             const std::string& instanceName) const;
+
+    /// Instantiate capsule class \p className with its state machine,
+    /// ports, sub-capsules and contained streamers.
+    std::unique_ptr<InstantiatedCapsule> capsule(const std::string& className,
+                                                 const std::string& instanceName) const;
+
+    /// The rt::Protocol built for a declared protocol (cached; stable
+    /// addresses for the lifetime of the instantiator).
+    const rt::Protocol& protocol(const std::string& name) const;
+
+private:
+    std::unique_ptr<flow::Streamer> buildStreamer(const StreamerClassDecl& cls,
+                                                  const std::string& instanceName,
+                                                  flow::Streamer* parent) const;
+    std::unique_ptr<InstantiatedCapsule> buildCapsule(const std::string& className,
+                                                      const std::string& instanceName,
+                                                      rt::Capsule* parent) const;
+    flow::DPort* findDPortByRef(InstantiatedStreamer& self, const std::string& ref) const;
+
+    const Model* model_;
+    const BehaviorRegistry* registry_;
+    mutable std::map<std::string, std::unique_ptr<rt::Protocol>> protocolCache_;
+};
+
+} // namespace urtx::model

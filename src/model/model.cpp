@@ -1,0 +1,39 @@
+#include "model/model.hpp"
+
+namespace urtx::model {
+
+const ProtocolDecl* Model::findProtocol(const std::string& n) const {
+    for (const auto& p : protocols) {
+        if (p.name == n) return &p;
+    }
+    return nullptr;
+}
+
+const FlowTypeDecl* Model::findFlowType(const std::string& n) const {
+    for (const auto& t : flowTypes) {
+        if (t.name == n) return &t;
+    }
+    return nullptr;
+}
+
+const CapsuleClassDecl* Model::findCapsule(const std::string& n) const {
+    for (const auto& c : capsules) {
+        if (c.name == n) return &c;
+    }
+    return nullptr;
+}
+
+const StreamerClassDecl* Model::findStreamer(const std::string& n) const {
+    for (const auto& s : streamers) {
+        if (s.name == n) return &s;
+    }
+    return nullptr;
+}
+
+EndpointRef splitEndpoint(const std::string& ref) {
+    const auto dot = ref.find('.');
+    if (dot == std::string::npos) return {"", ref};
+    return {ref.substr(0, dot), ref.substr(dot + 1)};
+}
+
+} // namespace urtx::model

@@ -1,0 +1,123 @@
+#pragma once
+/// \file model.hpp
+/// Declarative design-level model of a hybrid system — the artifact a UML
+/// tool would hold. Plain data (no behaviour); consumed by the validator
+/// (well-formedness), the XML serializer (interchange) and the code
+/// generator ("until generation code").
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "flow/flow_type.hpp"
+
+namespace urtx::model {
+
+/// Signal directions use protocol-style strings "in"/"out"/"inout".
+struct SignalDecl {
+    std::string name;
+    std::string dir;
+};
+
+struct ProtocolDecl {
+    std::string name;
+    std::vector<SignalDecl> signals;
+};
+
+struct FlowTypeDecl {
+    std::string name;
+    flow::FlowType type;
+};
+
+/// A port on a capsule or streamer class.
+struct PortDecl {
+    enum class Kind { Signal, Data };
+    std::string name;
+    Kind kind = Kind::Signal;
+    // Signal ports:
+    std::string protocol;
+    bool conjugated = false;
+    bool relay = false; ///< relay port (mandatory for DPorts on capsules)
+    // Data ports:
+    std::string flowType;
+    std::string dir; ///< "in" / "out"
+};
+
+/// A contained part (sub-capsule / sub-streamer instance).
+struct PartDecl {
+    std::string name;
+    std::string className;
+    enum class Kind { Capsule, Streamer } kind = Kind::Streamer;
+};
+
+/// A relay node inside a streamer ("generates two similar flows").
+struct RelayDecl {
+    std::string name;
+    std::string flowType;
+    std::size_t fanout = 2;
+};
+
+/// Connector endpoints are "part.port" or a bare boundary "port".
+struct ConnectDecl {
+    std::string from;
+    std::string to;
+};
+
+struct StateDecl {
+    std::string name;
+    std::string parent; ///< "" = top region
+    bool initial = false;
+};
+
+struct TransitionDecl {
+    std::string from;
+    std::string to;
+    std::string signal;
+    std::string guard;  ///< free-text guard (documentation + codegen comment)
+    std::string action; ///< free-text effect
+};
+
+struct CapsuleClassDecl {
+    std::string name;
+    std::vector<PortDecl> ports;
+    std::vector<PartDecl> parts; ///< sub-capsules and contained streamers
+    std::vector<ConnectDecl> connections;
+    std::vector<StateDecl> states;
+    std::vector<TransitionDecl> transitions;
+};
+
+struct StreamerClassDecl {
+    std::string name;
+    std::vector<PortDecl> ports;
+    std::vector<PartDecl> parts; ///< must all be streamers (validated)
+    std::vector<RelayDecl> relays;
+    std::vector<ConnectDecl> flows;
+    std::string solver;    ///< integration strategy of the leaf ("RK4", ...)
+    std::string equations; ///< documentation of the computed equations
+    std::map<std::string, double> params; ///< numeric parameters (gains, x0, ...)
+};
+
+class Model {
+public:
+    std::string name;
+    std::vector<ProtocolDecl> protocols;
+    std::vector<FlowTypeDecl> flowTypes;
+    std::vector<CapsuleClassDecl> capsules;
+    std::vector<StreamerClassDecl> streamers;
+    std::string topCapsule;
+
+    const ProtocolDecl* findProtocol(const std::string& n) const;
+    const FlowTypeDecl* findFlowType(const std::string& n) const;
+    const CapsuleClassDecl* findCapsule(const std::string& n) const;
+    const StreamerClassDecl* findStreamer(const std::string& n) const;
+};
+
+/// Split "part.port" into {part, port}; bare "port" yields {"", port}.
+struct EndpointRef {
+    std::string part;
+    std::string port;
+};
+EndpointRef splitEndpoint(const std::string& ref);
+
+} // namespace urtx::model

@@ -1,0 +1,194 @@
+#include "model/model_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "model/type_parser.hpp"
+#include "model/xml.hpp"
+
+namespace urtx::model {
+
+namespace {
+
+void portToXml(XmlNode& parent, const PortDecl& p) {
+    XmlNode& n = parent.child("port");
+    n.attr("name", p.name);
+    if (p.kind == PortDecl::Kind::Signal) {
+        n.attr("kind", "signal").attr("protocol", p.protocol);
+        if (p.conjugated) n.attr("conjugated", "true");
+        if (p.relay) n.attr("relay", "true");
+    } else {
+        n.attr("kind", "data").attr("flowtype", p.flowType).attr("dir", p.dir);
+        if (p.relay) n.attr("relay", "true");
+    }
+}
+
+PortDecl portFromXml(const XmlNode& n) {
+    PortDecl p;
+    p.name = n.attrOr("name");
+    if (n.attrOr("kind") == "data") {
+        p.kind = PortDecl::Kind::Data;
+        p.flowType = n.attrOr("flowtype");
+        p.dir = n.attrOr("dir");
+    } else {
+        p.kind = PortDecl::Kind::Signal;
+        p.protocol = n.attrOr("protocol");
+        p.conjugated = n.attrOr("conjugated") == "true";
+    }
+    p.relay = n.attrOr("relay") == "true";
+    return p;
+}
+
+void partToXml(XmlNode& parent, const PartDecl& p) {
+    parent.child("part")
+        .attr("name", p.name)
+        .attr("class", p.className)
+        .attr("type", p.kind == PartDecl::Kind::Capsule ? "capsule" : "streamer");
+}
+
+PartDecl partFromXml(const XmlNode& n) {
+    PartDecl p;
+    p.name = n.attrOr("name");
+    p.className = n.attrOr("class");
+    p.kind = n.attrOr("type") == "capsule" ? PartDecl::Kind::Capsule : PartDecl::Kind::Streamer;
+    return p;
+}
+
+} // namespace
+
+std::string toXml(const Model& m) {
+    XmlNode root("model");
+    root.attr("name", m.name);
+
+    for (const auto& p : m.protocols) {
+        XmlNode& pn = root.child("protocol");
+        pn.attr("name", p.name);
+        for (const auto& s : p.signals)
+            pn.child("signal").attr("name", s.name).attr("dir", s.dir);
+    }
+    for (const auto& t : m.flowTypes) {
+        root.child("flowtype").attr("name", t.name).attr("type", t.type.toString());
+    }
+    for (const auto& c : m.capsules) {
+        XmlNode& cn = root.child("capsule");
+        cn.attr("name", c.name);
+        for (const auto& p : c.ports) portToXml(cn, p);
+        for (const auto& p : c.parts) partToXml(cn, p);
+        for (const auto& con : c.connections)
+            cn.child("connect").attr("from", con.from).attr("to", con.to);
+        for (const auto& s : c.states) {
+            XmlNode& sn = cn.child("state");
+            sn.attr("name", s.name);
+            if (!s.parent.empty()) sn.attr("parent", s.parent);
+            if (s.initial) sn.attr("initial", "true");
+        }
+        for (const auto& t : c.transitions) {
+            XmlNode& tn = cn.child("transition");
+            tn.attr("from", t.from).attr("to", t.to).attr("signal", t.signal);
+            if (!t.guard.empty()) tn.attr("guard", t.guard);
+            if (!t.action.empty()) tn.attr("action", t.action);
+        }
+    }
+    for (const auto& s : m.streamers) {
+        XmlNode& sn = root.child("streamer");
+        sn.attr("name", s.name);
+        if (!s.solver.empty()) sn.attr("solver", s.solver);
+        if (!s.equations.empty()) sn.attr("equations", s.equations);
+        for (const auto& [key, value] : s.params) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", value);
+            sn.child("param").attr("name", key).attr("value", buf);
+        }
+        for (const auto& p : s.ports) portToXml(sn, p);
+        for (const auto& p : s.parts) partToXml(sn, p);
+        for (const auto& r : s.relays)
+            sn.child("relay")
+                .attr("name", r.name)
+                .attr("flowtype", r.flowType)
+                .attr("fanout", std::to_string(r.fanout));
+        for (const auto& fl : s.flows)
+            sn.child("flow").attr("from", fl.from).attr("to", fl.to);
+    }
+    if (!m.topCapsule.empty()) root.child("top").attr("capsule", m.topCapsule);
+    return writeXml(root);
+}
+
+Model fromXml(const std::string& text) {
+    const XmlNode root = parseXml(text);
+    if (root.tag != "model") throw std::invalid_argument("fromXml: root must be <model>");
+    Model m;
+    m.name = root.attrOr("name");
+    for (const auto& n : root.children) {
+        if (n.tag == "protocol") {
+            ProtocolDecl p;
+            p.name = n.attrOr("name");
+            for (const auto* s : n.childrenNamed("signal"))
+                p.signals.push_back({s->attrOr("name"), s->attrOr("dir")});
+            m.protocols.push_back(std::move(p));
+        } else if (n.tag == "flowtype") {
+            m.flowTypes.push_back({n.attrOr("name"), parseFlowType(n.attrOr("type", "Real"))});
+        } else if (n.tag == "capsule") {
+            CapsuleClassDecl c;
+            c.name = n.attrOr("name");
+            for (const auto& ch : n.children) {
+                if (ch.tag == "port") {
+                    c.ports.push_back(portFromXml(ch));
+                } else if (ch.tag == "part") {
+                    c.parts.push_back(partFromXml(ch));
+                } else if (ch.tag == "connect") {
+                    c.connections.push_back({ch.attrOr("from"), ch.attrOr("to")});
+                } else if (ch.tag == "state") {
+                    c.states.push_back({ch.attrOr("name"), ch.attrOr("parent"),
+                                        ch.attrOr("initial") == "true"});
+                } else if (ch.tag == "transition") {
+                    c.transitions.push_back({ch.attrOr("from"), ch.attrOr("to"),
+                                             ch.attrOr("signal"), ch.attrOr("guard"),
+                                             ch.attrOr("action")});
+                }
+            }
+            m.capsules.push_back(std::move(c));
+        } else if (n.tag == "streamer") {
+            StreamerClassDecl s;
+            s.name = n.attrOr("name");
+            s.solver = n.attrOr("solver");
+            s.equations = n.attrOr("equations");
+            for (const auto& ch : n.children) {
+                if (ch.tag == "port") {
+                    s.ports.push_back(portFromXml(ch));
+                } else if (ch.tag == "part") {
+                    s.parts.push_back(partFromXml(ch));
+                } else if (ch.tag == "relay") {
+                    s.relays.push_back(
+                        {ch.attrOr("name"), ch.attrOr("flowtype"),
+                         static_cast<std::size_t>(std::stoul(ch.attrOr("fanout", "2")))});
+                } else if (ch.tag == "flow") {
+                    s.flows.push_back({ch.attrOr("from"), ch.attrOr("to")});
+                } else if (ch.tag == "param") {
+                    s.params[ch.attrOr("name")] = std::stod(ch.attrOr("value", "0"));
+                }
+            }
+            m.streamers.push_back(std::move(s));
+        } else if (n.tag == "top") {
+            m.topCapsule = n.attrOr("capsule");
+        }
+    }
+    return m;
+}
+
+void saveModel(const Model& m, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("saveModel: cannot open '" + path + "'");
+    f << toXml(m);
+}
+
+Model loadModel(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("loadModel: cannot open '" + path + "'");
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return fromXml(ss.str());
+}
+
+} // namespace urtx::model

@@ -1,0 +1,23 @@
+#pragma once
+/// \file model_io.hpp
+/// XMI-like XML interchange for models: every Model round-trips through
+/// toXml/fromXml losslessly (asserted by tests).
+
+#include <string>
+
+#include "model/model.hpp"
+
+namespace urtx::model {
+
+/// Serialize to the interchange XML format.
+std::string toXml(const Model& m);
+
+/// Parse a model back; throws std::invalid_argument on malformed
+/// documents (unknown tags are ignored for forward compatibility).
+Model fromXml(const std::string& text);
+
+/// Convenience file IO.
+void saveModel(const Model& m, const std::string& path);
+Model loadModel(const std::string& path);
+
+} // namespace urtx::model

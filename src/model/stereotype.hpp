@@ -1,0 +1,49 @@
+#pragma once
+/// \file stereotype.hpp
+/// The paper's Table 1: the eight new stereotypes the extension adds to
+/// UML-RT, represented as first-class metamodel data so tools (validator,
+/// code generator, benchmarks) can enumerate them.
+
+#include <string>
+#include <vector>
+
+namespace urtx::model {
+
+/// Every modeling concept of the platform, UML-RT originals and the
+/// extension's additions.
+enum class Stereotype {
+    // UML-RT side
+    Capsule,
+    Port,
+    Connect,
+    Protocol,
+    StateMachine,
+    TimeService,
+    // Extension side (this paper)
+    Streamer,
+    DPort,
+    SPort,
+    Flow,
+    Relay,
+    FlowTypeKind,
+    Solver,
+    Strategy,
+    Time,
+};
+
+const char* to_string(Stereotype s);
+
+/// One row of the paper's Table 1: a UML-RT concept and the extension
+/// concepts that mirror it.
+struct Table1Row {
+    Stereotype umlrt;
+    std::vector<Stereotype> extension;
+};
+
+/// The complete Table 1 ("New stereotypes comparing with UML-RT").
+const std::vector<Table1Row>& table1();
+
+/// Number of *new* stereotypes introduced (the paper says eight).
+std::size_t newStereotypeCount();
+
+} // namespace urtx::model

@@ -1,0 +1,100 @@
+#include "model/type_parser.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace urtx::model {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& s) : s_(s) {}
+
+    flow::FlowType parse() {
+        auto t = type();
+        skipWs();
+        if (pos_ != s_.size()) fail("trailing characters");
+        return t;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::invalid_argument("parseFlowType: " + why + " at position " +
+                                    std::to_string(pos_) + " in '" + s_ + "'");
+    }
+
+    void skipWs() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+
+    bool consume(char c) {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail(std::string("expected '") + c + "'");
+    }
+
+    std::string ident() {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected identifier");
+        return s_.substr(start, pos_ - start);
+    }
+
+    std::size_t number() {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+        if (pos_ == start) fail("expected number");
+        return static_cast<std::size_t>(std::stoull(s_.substr(start, pos_ - start)));
+    }
+
+    flow::FlowType type() {
+        skipWs();
+        if (consume('{')) return record();
+        const std::string id = ident();
+        if (id == "Bool") return flow::FlowType::boolean();
+        if (id == "Int") return flow::FlowType::integer();
+        if (id == "Real") return flow::FlowType::real();
+        if (id == "Vector") {
+            expect('<');
+            flow::FlowType elem = type();
+            expect(',');
+            const std::size_t n = number();
+            expect('>');
+            return flow::FlowType::vector(std::move(elem), n);
+        }
+        fail("unknown type name '" + id + "'");
+    }
+
+    flow::FlowType record() {
+        std::vector<flow::FlowType::Field> fields;
+        do {
+            std::string name = ident();
+            expect(':');
+            fields.push_back({std::move(name), type()});
+        } while (consume(','));
+        expect('}');
+        return flow::FlowType::record(std::move(fields));
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+flow::FlowType parseFlowType(const std::string& text) { return Parser(text).parse(); }
+
+} // namespace urtx::model

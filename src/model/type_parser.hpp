@@ -1,0 +1,23 @@
+#pragma once
+/// \file type_parser.hpp
+/// Parser for the textual flow-type grammar produced by
+/// flow::FlowType::toString():
+///
+///   type   := "Bool" | "Int" | "Real"
+///           | "Vector<" type "," count ">"
+///           | "{" field ("," field)* "}"
+///   field  := name ":" type
+///
+/// Used by the XML model interchange so flow types round-trip as strings.
+
+#include <string>
+
+#include "flow/flow_type.hpp"
+
+namespace urtx::model {
+
+/// Parse \p text into a FlowType; throws std::invalid_argument with a
+/// position-annotated message on malformed input.
+flow::FlowType parseFlowType(const std::string& text);
+
+} // namespace urtx::model

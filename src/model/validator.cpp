@@ -1,0 +1,363 @@
+#include "model/validator.hpp"
+
+#include <map>
+#include <set>
+
+namespace urtx::model {
+
+namespace {
+
+class Run {
+public:
+    explicit Run(const Model& m) : m_(m) {}
+
+    std::vector<Diagnostic> go() {
+        checkGlobalNames();
+        for (const auto& p : m_.protocols) checkProtocol(p);
+        for (const auto& c : m_.capsules) checkCapsule(c);
+        for (const auto& s : m_.streamers) checkStreamer(s);
+        checkTop();
+        return std::move(diags_);
+    }
+
+private:
+    void add(const char* rule, Severity sev, std::string element, std::string msg) {
+        diags_.push_back(Diagnostic{rule, sev, std::move(element), std::move(msg)});
+    }
+    void error(const char* rule, std::string element, std::string msg) {
+        add(rule, Severity::Error, std::move(element), std::move(msg));
+    }
+    void warn(const char* rule, std::string element, std::string msg) {
+        add(rule, Severity::Warning, std::move(element), std::move(msg));
+    }
+
+    void checkGlobalNames() {
+        std::set<std::string> seen;
+        for (const auto& c : m_.capsules) {
+            if (!seen.insert(c.name).second)
+                error("UQ2", c.name, "duplicate class name '" + c.name + "'");
+        }
+        for (const auto& s : m_.streamers) {
+            if (!seen.insert(s.name).second)
+                error("UQ2", s.name, "duplicate class name '" + s.name + "'");
+        }
+    }
+
+    void checkProtocol(const ProtocolDecl& p) {
+        std::set<std::string> sigs;
+        for (const auto& s : p.signals) {
+            if (s.dir != "in" && s.dir != "out" && s.dir != "inout")
+                error("PR1", p.name + "." + s.name,
+                      "signal direction must be in/out/inout, got '" + s.dir + "'");
+            if (!sigs.insert(s.name).second)
+                warn("PR1", p.name + "." + s.name, "duplicate signal declaration");
+        }
+    }
+
+    void checkLocalNames(const std::string& cls, const std::vector<PortDecl>& ports,
+                         const std::vector<PartDecl>& parts,
+                         const std::vector<RelayDecl>* relays) {
+        std::set<std::string> seen;
+        for (const auto& p : ports) {
+            if (!seen.insert(p.name).second)
+                error("UQ1", cls + "." + p.name, "duplicate port name");
+        }
+        for (const auto& p : parts) {
+            if (!seen.insert(p.name).second)
+                error("UQ1", cls + "." + p.name, "duplicate part name");
+        }
+        if (relays) {
+            for (const auto& r : *relays) {
+                if (!seen.insert(r.name).second)
+                    error("UQ1", cls + "." + r.name, "duplicate relay name");
+            }
+        }
+    }
+
+    void checkSignalPort(const std::string& cls, const PortDecl& p) {
+        if (p.protocol.empty() || !m_.findProtocol(p.protocol))
+            error("ST3", cls + "." + p.name,
+                  "signal port references unknown protocol '" + p.protocol + "'");
+    }
+
+    void checkDataPort(const std::string& cls, const PortDecl& p) {
+        if (p.flowType.empty() || !m_.findFlowType(p.flowType))
+            error("ST4", cls + "." + p.name,
+                  "data port references unknown flow type '" + p.flowType + "'");
+        if (p.dir != "in" && p.dir != "out")
+            error("ST4", cls + "." + p.name, "data port direction must be in/out");
+    }
+
+    void checkCapsule(const CapsuleClassDecl& c) {
+        checkLocalNames(c.name, c.ports, c.parts, nullptr);
+        for (const auto& p : c.ports) {
+            if (p.kind == PortDecl::Kind::Signal) {
+                checkSignalPort(c.name, p);
+            } else {
+                checkDataPort(c.name, p);
+                if (!p.relay)
+                    error("CP1", c.name + "." + p.name,
+                          "DPorts on capsules must be relay ports — capsules never process "
+                          "data (paper §2)");
+            }
+        }
+        for (const auto& part : c.parts) {
+            const bool isCapsule = m_.findCapsule(part.className) != nullptr;
+            const bool isStreamer = m_.findStreamer(part.className) != nullptr;
+            if (!isCapsule && !isStreamer)
+                error("CP2", c.name + "." + part.name,
+                      "part references unknown class '" + part.className + "'");
+            if (part.kind == PartDecl::Kind::Capsule && !isCapsule && isStreamer)
+                error("CP2", c.name + "." + part.name,
+                      "part declared as capsule but '" + part.className + "' is a streamer");
+        }
+        checkConnections(c);
+        checkStateMachine(c);
+    }
+
+    /// Resolve a capsule connection endpoint to its signal-port declaration.
+    const PortDecl* resolveCapsuleEndpoint(const CapsuleClassDecl& c, const std::string& ref,
+                                           bool& onBoundary) {
+        onBoundary = false;
+        const EndpointRef ep = splitEndpoint(ref);
+        if (ep.part.empty()) {
+            onBoundary = true;
+            for (const auto& p : c.ports) {
+                if (p.name == ep.port) return &p;
+            }
+            return nullptr;
+        }
+        for (const auto& part : c.parts) {
+            if (part.name != ep.part) continue;
+            if (const CapsuleClassDecl* sub = m_.findCapsule(part.className)) {
+                for (const auto& p : sub->ports) {
+                    if (p.name == ep.port) return &p;
+                }
+            } else if (const StreamerClassDecl* sub2 = m_.findStreamer(part.className)) {
+                for (const auto& p : sub2->ports) {
+                    if (p.name == ep.port) return &p;
+                }
+            }
+            return nullptr;
+        }
+        return nullptr;
+    }
+
+    void checkConnections(const CapsuleClassDecl& c) {
+        std::map<std::string, int> useCount;
+        for (const auto& con : c.connections) {
+            const std::string where = c.name + ": " + con.from + " <-> " + con.to;
+            bool fromBoundary = false, toBoundary = false;
+            const PortDecl* from = resolveCapsuleEndpoint(c, con.from, fromBoundary);
+            const PortDecl* to = resolveCapsuleEndpoint(c, con.to, toBoundary);
+            if (!from || !to) {
+                error("CP3", where, "connection endpoint does not resolve to a port");
+                continue;
+            }
+            if (from->kind != PortDecl::Kind::Signal || to->kind != PortDecl::Kind::Signal) {
+                error("CP3", where, "capsule connections join signal ports (flows join DPorts)");
+                continue;
+            }
+            if (from->protocol != to->protocol) {
+                error("CP3", where,
+                      "protocol mismatch ('" + from->protocol + "' vs '" + to->protocol + "')");
+                continue;
+            }
+            // Conjugation: export links (through a boundary relay) keep the
+            // role; peer links need opposite roles.
+            const bool exportLink = (fromBoundary && from->relay) || (toBoundary && to->relay);
+            if (exportLink) {
+                if (from->conjugated != to->conjugated)
+                    error("CP3", where, "export through a relay requires same conjugation");
+            } else if (from->conjugated == to->conjugated) {
+                error("CP3", where, "peer ports must have opposite conjugation");
+            }
+            // End ports carry one connection; relay ports bridge two.
+            struct EndUse {
+                const std::string* ref;
+                const PortDecl* port;
+            };
+            for (const EndUse& use : {EndUse{&con.from, from}, EndUse{&con.to, to}}) {
+                const int limit = use.port->relay ? 2 : 1;
+                if (++useCount[*use.ref] > limit)
+                    error("CP3", where, "port '" + *use.ref + "' is wired more than once");
+            }
+        }
+    }
+
+    void checkStateMachine(const CapsuleClassDecl& c) {
+        std::set<std::string> states;
+        for (const auto& s : c.states) states.insert(s.name);
+        for (const auto& s : c.states) {
+            if (!s.parent.empty() && !states.count(s.parent))
+                error("SM1", c.name + "." + s.name,
+                      "state parent '" + s.parent + "' is not declared");
+        }
+        for (const auto& t : c.transitions) {
+            if (!states.count(t.from))
+                error("SM1", c.name, "transition from unknown state '" + t.from + "'");
+            if (!states.count(t.to))
+                error("SM1", c.name, "transition to unknown state '" + t.to + "'");
+        }
+    }
+
+    struct PortInfo {
+        const PortDecl* decl = nullptr;
+        std::string path;
+    };
+
+    /// Resolve an endpoint "part.port" / "port" within a streamer class.
+    PortInfo resolveFlowEndpoint(const StreamerClassDecl& s, const std::string& ref,
+                                 bool& onBoundary, bool& isRelayNode, std::string& relayType) {
+        onBoundary = false;
+        isRelayNode = false;
+        const EndpointRef ep = splitEndpoint(ref);
+        if (ep.part.empty()) {
+            onBoundary = true;
+            for (const auto& p : s.ports) {
+                if (p.name == ep.port) return {&p, s.name + "." + p.name};
+            }
+            return {};
+        }
+        for (const auto& r : s.relays) {
+            if (r.name == ep.part) {
+                isRelayNode = true;
+                relayType = r.flowType;
+                return {nullptr, s.name + "." + ref};
+            }
+        }
+        for (const auto& part : s.parts) {
+            if (part.name != ep.part) continue;
+            const StreamerClassDecl* cls = m_.findStreamer(part.className);
+            if (!cls) return {};
+            for (const auto& p : cls->ports) {
+                if (p.name == ep.port) return {&p, s.name + "." + ref};
+            }
+        }
+        return {};
+    }
+
+    void checkStreamer(const StreamerClassDecl& s) {
+        checkLocalNames(s.name, s.ports, s.parts, &s.relays);
+        for (const auto& p : s.ports) {
+            if (p.kind == PortDecl::Kind::Signal) {
+                checkSignalPort(s.name, p);
+            } else {
+                checkDataPort(s.name, p);
+            }
+        }
+        // ST1: streamers never contain capsules.
+        for (const auto& part : s.parts) {
+            if (part.kind == PartDecl::Kind::Capsule || m_.findCapsule(part.className))
+                error("ST1", s.name + "." + part.name,
+                      "streamers must not contain capsules (paper §2)");
+            else if (!m_.findStreamer(part.className))
+                error("CP2", s.name + "." + part.name,
+                      "part references unknown class '" + part.className + "'");
+        }
+        // ST2: leaf streamers should have a solver.
+        if (s.parts.empty() && s.solver.empty())
+            warn("ST2", s.name,
+                 "leaf streamer declares no solver — behaviour is computed by a solver "
+                 "(paper §2)");
+        // RL1: relay fanout.
+        for (const auto& r : s.relays) {
+            if (r.fanout < 2)
+                error("RL1", s.name + "." + r.name,
+                      "relay must generate at least two flows (fanout >= 2)");
+            if (!m_.findFlowType(r.flowType))
+                error("ST4", s.name + "." + r.name,
+                      "relay references unknown flow type '" + r.flowType + "'");
+        }
+        checkFlows(s);
+    }
+
+    void checkFlows(const StreamerClassDecl& s) {
+        std::set<std::string> fedInputs;
+        std::set<std::string> usedOutputs;
+        for (const auto& fl : s.flows) {
+            bool srcBoundary = false, srcRelay = false, dstBoundary = false, dstRelay = false;
+            std::string srcRelayType, dstRelayType;
+            PortInfo src = resolveFlowEndpoint(s, fl.from, srcBoundary, srcRelay, srcRelayType);
+            PortInfo dst = resolveFlowEndpoint(s, fl.to, dstBoundary, dstRelay, dstRelayType);
+            const std::string where = s.name + ": " + fl.from + " -> " + fl.to;
+
+            if (!src.decl && !srcRelay) {
+                error("FL2", where, "flow source '" + fl.from + "' does not resolve to a DPort");
+                continue;
+            }
+            if (!dst.decl && !dstRelay) {
+                error("FL2", where,
+                      "flow destination '" + fl.to + "' does not resolve to a DPort");
+                continue;
+            }
+            // Determine effective direction & types.
+            auto typeName = [&](const PortInfo& pi, bool isRelay,
+                                const std::string& rt) -> std::string {
+                return isRelay ? rt : pi.decl->flowType;
+            };
+            const std::string srcType = typeName(src, srcRelay, srcRelayType);
+            const std::string dstType = typeName(dst, dstRelay, dstRelayType);
+            const FlowTypeDecl* st = m_.findFlowType(srcType);
+            const FlowTypeDecl* dt = m_.findFlowType(dstType);
+            if (st && dt && !st->type.subsetOf(dt->type))
+                error("FL1", where,
+                      "flow type " + st->type.toString() + " is not a subset of " +
+                          dt->type.toString() + " (paper §2)");
+
+            // Shape checks for non-relay endpoints.
+            if (src.decl && src.decl->kind != PortDecl::Kind::Data)
+                error("FL2", where, "flow source must be a DPort");
+            if (dst.decl && dst.decl->kind != PortDecl::Kind::Data)
+                error("FL2", where, "flow destination must be a DPort");
+            if (src.decl && dst.decl && !srcRelay && !dstRelay) {
+                const std::string sd = src.decl->dir, dd = dst.decl->dir;
+                const bool sibling = !srcBoundary && !dstBoundary && sd == "out" && dd == "in";
+                const bool forwardIn = srcBoundary && !dstBoundary && sd == "in" && dd == "in";
+                const bool forwardOut = !srcBoundary && dstBoundary && sd == "out" && dd == "out";
+                if (!sibling && !forwardIn && !forwardOut)
+                    error("FL2", where,
+                          "illegal flow shape (" + sd + (srcBoundary ? "@boundary" : "") +
+                              " -> " + dd + (dstBoundary ? "@boundary" : "") + ")");
+            }
+
+            // FL3: single feeder / single consumer.
+            if (!fedInputs.insert(fl.to).second)
+                error("FL3", where, "input '" + fl.to + "' is fed by more than one flow");
+            if (!usedOutputs.insert(fl.from).second)
+                error("FL3", where,
+                      "output '" + fl.from +
+                          "' feeds more than one flow; duplicate it with a relay (paper §2)");
+        }
+    }
+
+    void checkTop() {
+        if (!m_.topCapsule.empty() && !m_.findCapsule(m_.topCapsule))
+            error("TP1", m_.topCapsule, "top capsule class does not exist");
+    }
+
+    const Model& m_;
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace
+
+std::vector<Diagnostic> Validator::validate(const Model& m) const { return Run(m).go(); }
+
+bool Validator::ok(const std::vector<Diagnostic>& diags) {
+    for (const auto& d : diags) {
+        if (d.severity == Severity::Error) return false;
+    }
+    return true;
+}
+
+std::string Validator::render(const std::vector<Diagnostic>& diags) {
+    std::string out;
+    for (const auto& d : diags) {
+        out += (d.severity == Severity::Error ? "error" : "warning");
+        out += " [" + d.rule + "] " + d.element + ": " + d.message + "\n";
+    }
+    return out;
+}
+
+} // namespace urtx::model

@@ -1,0 +1,55 @@
+#pragma once
+/// \file validator.hpp
+/// Well-formedness checking of models against the rules the paper states.
+///
+/// Rule catalogue (ids cite the paper's section 2):
+///   UQ1  names of ports/parts/relays unique within a class
+///   UQ2  class names unique within the model
+///   PR1  protocol signal directions must be in/out/inout
+///   CP1  DPorts on capsules must be relay ports ("No data will be
+///        processed by capsules")
+///   CP2  capsule part classes must exist (capsule or streamer)
+///   CP3  signal connections must reference existing ports, with matching
+///        protocols
+///   ST1  streamers must not contain capsules ("streamers don't contain
+///        any capsule")
+///   ST2  leaf streamers should name a solver (warning) — "in a streamer,
+///        there is a solver"
+///   ST3  SPorts must reference an existing protocol
+///   ST4  DPorts must reference an existing flow type
+///   FL1  flows: the output DPort's flow type must be a subset of the
+///        input DPort's flow type
+///   FL2  flows must have a legal shape (sibling out->in, boundary in->in,
+///        boundary out->out)
+///   FL3  an input DPort has at most one feeder; fan-out requires a relay
+///   RL1  relay fanout must be >= 2 ("generates two similar flows")
+///   SM1  transitions must reference declared states
+///   TP1  the designated top capsule must exist
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace urtx::model {
+
+enum class Severity { Error, Warning };
+
+struct Diagnostic {
+    std::string rule;
+    Severity severity;
+    std::string element; ///< dotted path of the offending element
+    std::string message;
+};
+
+class Validator {
+public:
+    std::vector<Diagnostic> validate(const Model& m) const;
+
+    /// True when no Error-severity diagnostics are present.
+    static bool ok(const std::vector<Diagnostic>& diags);
+    /// Render diagnostics one per line.
+    static std::string render(const std::vector<Diagnostic>& diags);
+};
+
+} // namespace urtx::model

@@ -1,0 +1,222 @@
+#include "model/xml.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace urtx::model {
+
+const XmlNode* XmlNode::firstChild(const std::string& t) const {
+    for (const auto& c : children) {
+        if (c.tag == t) return &c;
+    }
+    return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::childrenNamed(const std::string& t) const {
+    std::vector<const XmlNode*> out;
+    for (const auto& c : children) {
+        if (c.tag == t) out.push_back(&c);
+    }
+    return out;
+}
+
+std::string XmlNode::attrOr(const std::string& key, std::string fallback) const {
+    auto it = attrs.find(key);
+    return it == attrs.end() ? fallback : it->second;
+}
+
+std::string xmlEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            case '\'': out += "&apos;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string xmlUnescape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size();) {
+        if (s[i] != '&') {
+            out += s[i++];
+            continue;
+        }
+        const auto semi = s.find(';', i);
+        if (semi == std::string::npos) throw std::invalid_argument("xmlUnescape: bare '&'");
+        const std::string ent = s.substr(i + 1, semi - i - 1);
+        if (ent == "amp") {
+            out += '&';
+        } else if (ent == "lt") {
+            out += '<';
+        } else if (ent == "gt") {
+            out += '>';
+        } else if (ent == "quot") {
+            out += '"';
+        } else if (ent == "apos") {
+            out += '\'';
+        } else {
+            throw std::invalid_argument("xmlUnescape: unknown entity '&" + ent + ";'");
+        }
+        i = semi + 1;
+    }
+    return out;
+}
+
+namespace {
+
+void writeNode(const XmlNode& n, std::string& out, int depth) {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += '<';
+    out += n.tag;
+    for (const auto& [k, v] : n.attrs) {
+        out += ' ';
+        out += k;
+        out += "=\"";
+        out += xmlEscape(v);
+        out += '"';
+    }
+    if (n.children.empty()) {
+        out += "/>\n";
+        return;
+    }
+    out += ">\n";
+    for (const auto& c : n.children) writeNode(c, out, depth + 1);
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += "</";
+    out += n.tag;
+    out += ">\n";
+}
+
+class XmlParser {
+public:
+    explicit XmlParser(const std::string& s) : s_(s) {}
+
+    XmlNode parse() {
+        skipProlog();
+        XmlNode root = element();
+        skipMisc();
+        if (pos_ != s_.size()) fail("trailing content after root element");
+        return root;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::invalid_argument("parseXml: " + why + " at position " + std::to_string(pos_));
+    }
+
+    void skipWs() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+
+    void skipComment() {
+        if (s_.compare(pos_, 4, "<!--") == 0) {
+            const auto end = s_.find("-->", pos_ + 4);
+            if (end == std::string::npos) fail("unterminated comment");
+            pos_ = end + 3;
+        }
+    }
+
+    void skipMisc() {
+        for (;;) {
+            const std::size_t before = pos_;
+            skipWs();
+            skipComment();
+            if (pos_ == before) return;
+        }
+    }
+
+    void skipProlog() {
+        skipWs();
+        if (s_.compare(pos_, 5, "<?xml") == 0) {
+            const auto end = s_.find("?>", pos_);
+            if (end == std::string::npos) fail("unterminated XML declaration");
+            pos_ = end + 2;
+        }
+        skipMisc();
+    }
+
+    std::string name() {
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_' ||
+                s_[pos_] == '-' || s_[pos_] == ':')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected name");
+        return s_.substr(start, pos_ - start);
+    }
+
+    XmlNode element() {
+        if (pos_ >= s_.size() || s_[pos_] != '<') fail("expected '<'");
+        ++pos_;
+        XmlNode node(name());
+        for (;;) {
+            skipWs();
+            if (pos_ >= s_.size()) fail("unterminated start tag");
+            if (s_[pos_] == '/') {
+                ++pos_;
+                if (pos_ >= s_.size() || s_[pos_] != '>') fail("expected '>' after '/'");
+                ++pos_;
+                return node; // self-closing
+            }
+            if (s_[pos_] == '>') {
+                ++pos_;
+                break;
+            }
+            // attribute
+            const std::string key = name();
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '=') fail("expected '=' in attribute");
+            ++pos_;
+            skipWs();
+            if (pos_ >= s_.size() || (s_[pos_] != '"' && s_[pos_] != '\'')) {
+                fail("expected quoted attribute value");
+            }
+            const char quote = s_[pos_++];
+            const auto end = s_.find(quote, pos_);
+            if (end == std::string::npos) fail("unterminated attribute value");
+            node.attrs[key] = xmlUnescape(s_.substr(pos_, end - pos_));
+            pos_ = end + 1;
+        }
+        // children until closing tag
+        for (;;) {
+            skipMisc();
+            if (pos_ + 1 < s_.size() && s_[pos_] == '<' && s_[pos_ + 1] == '/') {
+                pos_ += 2;
+                const std::string closing = name();
+                if (closing != node.tag)
+                    fail("mismatched closing tag '" + closing + "' for '" + node.tag + "'");
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_] != '>') fail("expected '>'");
+                ++pos_;
+                return node;
+            }
+            if (pos_ >= s_.size()) fail("unterminated element '" + node.tag + "'");
+            if (s_[pos_] != '<') fail("text content is not supported");
+            node.children.push_back(element());
+        }
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string writeXml(const XmlNode& root) {
+    std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+    writeNode(root, out, 0);
+    return out;
+}
+
+XmlNode parseXml(const std::string& text) { return XmlParser(text).parse(); }
+
+} // namespace urtx::model

@@ -1,0 +1,48 @@
+#pragma once
+/// \file xml.hpp
+/// Minimal XML document model with writer and parser — just enough for the
+/// XMI-like model interchange format (elements + attributes, no mixed
+/// content, UTF-8 passthrough).
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace urtx::model {
+
+struct XmlNode {
+    std::string tag;
+    std::map<std::string, std::string> attrs;
+    std::vector<XmlNode> children;
+
+    XmlNode() = default;
+    explicit XmlNode(std::string t) : tag(std::move(t)) {}
+
+    XmlNode& child(std::string tag) {
+        children.emplace_back(std::move(tag));
+        return children.back();
+    }
+    XmlNode& attr(const std::string& key, std::string value) {
+        attrs[key] = std::move(value);
+        return *this;
+    }
+
+    const XmlNode* firstChild(const std::string& tag) const;
+    std::vector<const XmlNode*> childrenNamed(const std::string& tag) const;
+    std::string attrOr(const std::string& key, std::string fallback = "") const;
+    bool hasAttr(const std::string& key) const { return attrs.count(key) > 0; }
+};
+
+/// Escape &, <, >, ", ' for attribute values.
+std::string xmlEscape(const std::string& s);
+std::string xmlUnescape(const std::string& s);
+
+/// Serialize with 2-space indentation.
+std::string writeXml(const XmlNode& root);
+
+/// Parse a single-rooted document; throws std::invalid_argument with a
+/// position-annotated message on malformed input. Comments and XML
+/// declarations are skipped.
+XmlNode parseXml(const std::string& text);
+
+} // namespace urtx::model

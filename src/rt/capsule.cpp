@@ -1,0 +1,83 @@
+#include "rt/capsule.hpp"
+
+#include <algorithm>
+
+#include "rt/controller.hpp"
+#include "rt/port.hpp"
+
+namespace urtx::rt {
+
+Capsule::Capsule(std::string name, Capsule* parent) : name_(std::move(name)), parent_(parent) {
+    if (parent_) parent_->children_.push_back(this);
+}
+
+Capsule::~Capsule() {
+    // Destroy owned children first (their destructors detach themselves).
+    owned_.clear();
+    if (parent_) {
+        auto& sibs = parent_->children_;
+        sibs.erase(std::remove(sibs.begin(), sibs.end(), this), sibs.end());
+    }
+}
+
+std::string Capsule::fullPath() const {
+    if (!parent_) return name_;
+    return parent_->fullPath() + "/" + name_;
+}
+
+Port* Capsule::findPort(std::string_view name) const {
+    for (Port* p : ports_) {
+        if (p->name() == name) return p;
+    }
+    return nullptr;
+}
+
+void Capsule::setContextRecursive(Controller* c) {
+    context_ = c;
+    for (Capsule* child : children_) child->setContextRecursive(c);
+}
+
+void Capsule::initialize() {
+    if (initialized_) return;
+    for (Capsule* child : children_) child->initialize();
+    onInit();
+    machine_.start();
+    initialized_ = true;
+}
+
+void Capsule::deliver(const Message& m) {
+    ++delivered_;
+    onMessage(m);
+}
+
+void Capsule::onMessage(const Message& m) {
+    if (!machine_.dispatch(m)) onUnhandled(m);
+}
+
+double Capsule::now() const { return context_ ? context_->clock().now() : 0.0; }
+
+TimerId Capsule::informIn(double delay, std::string_view sig, std::any data, Priority prio) {
+    if (!context_) return kInvalidTimer;
+    return context_->timers().informIn(*this, now(), delay, SignalRegistry::intern(sig),
+                                       std::move(data), prio);
+}
+
+TimerId Capsule::informEvery(double period, std::string_view sig, std::any data, Priority prio) {
+    if (!context_) return kInvalidTimer;
+    return context_->timers().informEvery(*this, now(), period, SignalRegistry::intern(sig),
+                                          std::move(data), prio);
+}
+
+bool Capsule::cancelTimer(TimerId id) {
+    return context_ ? context_->timers().cancel(id) : false;
+}
+
+void Capsule::registerPort(Port* p) { ports_.push_back(p); }
+
+void Capsule::unregisterPort(Port* p) {
+    ports_.erase(std::remove(ports_.begin(), ports_.end(), p), ports_.end());
+}
+
+void Capsule::adoptChild(std::unique_ptr<Capsule> c) { owned_.push_back(std::move(c)); }
+
+} // namespace urtx::rt

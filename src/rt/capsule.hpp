@@ -1,0 +1,111 @@
+#pragma once
+/// \file capsule.hpp
+/// UML-RT capsules: active objects with ports, state machines and
+/// hierarchical containment.
+///
+/// A capsule never shares data and never blocks: all interaction happens
+/// through messages arriving at its ports, processed one at a time with
+/// run-to-completion semantics by the controller (thread) the capsule is
+/// assigned to. Capsules may contain sub-capsules; per the paper they may
+/// also contain streamers (see flow::Streamer), while streamers never
+/// contain capsules.
+
+#include <any>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/message.hpp"
+#include "rt/state_machine.hpp"
+#include "rt/timer_service.hpp"
+
+namespace urtx::rt {
+
+class Port;
+class Controller;
+
+class Capsule {
+public:
+    explicit Capsule(std::string name, Capsule* parent = nullptr);
+    virtual ~Capsule();
+
+    Capsule(const Capsule&) = delete;
+    Capsule& operator=(const Capsule&) = delete;
+
+    const std::string& name() const { return name_; }
+    /// Slash-separated containment path, e.g. "system/controller".
+    std::string fullPath() const;
+    Capsule* parent() const { return parent_; }
+    const std::vector<Capsule*>& subCapsules() const { return children_; }
+
+    /// Ports registered on this capsule (registration happens in Port's
+    /// constructor).
+    const std::vector<Port*>& ports() const { return ports_; }
+    Port* findPort(std::string_view name) const;
+
+    /// The capsule's behaviour state machine (empty machines simply leave
+    /// every message to onMessage/onUnhandled).
+    StateMachine& machine() { return machine_; }
+    const StateMachine& machine() const { return machine_; }
+
+    /// The controller (logical thread) this capsule runs on.
+    Controller* context() const { return context_; }
+    void setContext(Controller* c) { context_ = c; }
+    /// Assign this capsule and its whole subtree to \p c.
+    void setContextRecursive(Controller* c);
+
+    /// Initialize this capsule subtree: onInit() then machine().start(),
+    /// children first (leaf-up), mirroring UML-RT incarnation order.
+    void initialize();
+    bool initialized() const { return initialized_; }
+
+    /// Deliver one message with run-to-completion semantics. Must only be
+    /// called from the owning controller's thread (or synchronously when
+    /// the capsule has no controller).
+    void deliver(const Message& m);
+
+    // --- Timing service convenience (requires a context) -----------------
+
+    /// Current time from the context clock (0 when there is no context).
+    double now() const;
+    /// One-shot timeout: \p sig is delivered to this capsule after \p delay.
+    TimerId informIn(double delay, std::string_view sig = "timeout", std::any data = {},
+                     Priority prio = Priority::General);
+    /// Periodic timeout every \p period seconds.
+    TimerId informEvery(double period, std::string_view sig = "timeout", std::any data = {},
+                        Priority prio = Priority::General);
+    bool cancelTimer(TimerId id);
+
+    /// Messages delivered to this capsule so far.
+    std::uint64_t delivered() const { return delivered_; }
+
+protected:
+    /// Default behaviour: dispatch to the state machine; unhandled messages
+    /// go to onUnhandled(). Override for bespoke handling.
+    virtual void onMessage(const Message& m);
+    /// Called once before the state machine starts.
+    virtual void onInit() {}
+    /// Called when neither the machine nor onMessage consumed the message.
+    virtual void onUnhandled(const Message&) {}
+
+private:
+    friend class Port;
+    friend class FrameService;
+
+    void registerPort(Port* p);
+    void unregisterPort(Port* p);
+    void adoptChild(std::unique_ptr<Capsule> c);
+
+    std::string name_;
+    Capsule* parent_;
+    std::vector<Capsule*> children_;
+    std::vector<std::unique_ptr<Capsule>> owned_; ///< children via FrameService
+    std::vector<Port*> ports_;
+    StateMachine machine_;
+    Controller* context_ = nullptr;
+    bool initialized_ = false;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace urtx::rt

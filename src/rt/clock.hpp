@@ -1,0 +1,63 @@
+#pragma once
+/// \file clock.hpp
+/// Time sources for the runtime.
+///
+/// The paper's "Time" stereotype is a *continuous variable usable as a
+/// simulation clock* — in this library that is VirtualClock, advanced by the
+/// simulation engine. RealClock maps to wall-clock time for soft-real-time
+/// execution. All times are seconds as double (continuous, per the paper).
+
+#include <atomic>
+#include <chrono>
+
+namespace urtx::rt {
+
+/// Abstract monotonically non-decreasing time source (seconds).
+class Clock {
+public:
+    virtual ~Clock() = default;
+    /// Current time in seconds.
+    virtual double now() const = 0;
+    /// True when the clock is advanced externally (simulation time).
+    virtual bool isVirtual() const = 0;
+};
+
+/// Simulation clock: the Time stereotype. Advanced explicitly by the
+/// simulation engine; readable concurrently from any thread.
+class VirtualClock final : public Clock {
+public:
+    explicit VirtualClock(double start = 0.0) : t_(start) {}
+
+    double now() const override { return t_.load(std::memory_order_acquire); }
+    bool isVirtual() const override { return true; }
+
+    /// Advance to an absolute time. Never moves backwards.
+    void advanceTo(double t) {
+        double cur = t_.load(std::memory_order_relaxed);
+        while (t > cur && !t_.compare_exchange_weak(cur, t, std::memory_order_release)) {
+        }
+    }
+
+    /// Advance by a delta (>= 0).
+    void advanceBy(double dt) { advanceTo(now() + dt); }
+
+private:
+    std::atomic<double> t_;
+};
+
+/// Wall-clock time source, zeroed at construction.
+class RealClock final : public Clock {
+public:
+    RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+    double now() const override {
+        const auto d = std::chrono::steady_clock::now() - epoch_;
+        return std::chrono::duration<double>(d).count();
+    }
+    bool isVirtual() const override { return false; }
+
+private:
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace urtx::rt

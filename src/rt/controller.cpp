@@ -1,0 +1,106 @@
+#include "rt/controller.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "rt/capsule.hpp"
+
+namespace urtx::rt {
+
+Controller::Controller(std::string name, std::shared_ptr<Clock> clock)
+    : name_(std::move(name)), clock_(std::move(clock)) {
+    if (!clock_) throw std::logic_error("Controller: null clock");
+}
+
+Controller::~Controller() { stop(); }
+
+VirtualClock* Controller::virtualClock() const {
+    return clock_->isVirtual() ? static_cast<VirtualClock*>(clock_.get()) : nullptr;
+}
+
+void Controller::attach(Capsule& root) {
+    root.setContextRecursive(this);
+    roots_.push_back(&root);
+}
+
+void Controller::initializeAll() {
+    for (Capsule* r : roots_) r->initialize();
+}
+
+void Controller::post(Message m) {
+    if (!m.receiver) throw std::logic_error("Controller::post: message without receiver");
+    queue_.push(std::move(m));
+}
+
+bool Controller::deliverNext() {
+    auto m = queue_.tryPop();
+    if (!m) return false;
+    m->receiver->deliver(*m);
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool Controller::dispatchOne() {
+    timers_.fireDue(queue_, clock_->now());
+    return deliverNext();
+}
+
+std::size_t Controller::dispatchAll() {
+    timers_.fireDue(queue_, clock_->now());
+    std::size_t n = 0;
+    while (deliverNext()) {
+        ++n;
+        timers_.fireDue(queue_, clock_->now());
+    }
+    return n;
+}
+
+std::size_t Controller::onTimeAdvanced() {
+    const std::size_t fired = timers_.fireDue(queue_, clock_->now());
+    queue_.kick();
+    return fired;
+}
+
+void Controller::start() {
+    if (running_.exchange(true)) return;
+    stopRequested_.store(false);
+    thread_ = std::thread([this] { run(); });
+}
+
+void Controller::stop() {
+    if (!running_.load()) return;
+    stopRequested_.store(true);
+    queue_.kick();
+    if (thread_.joinable()) thread_.join();
+    running_.store(false);
+}
+
+void Controller::run() {
+    using namespace std::chrono;
+    while (!stopRequested_.load()) {
+        timers_.fireDue(queue_, clock_->now());
+        auto m = queue_.tryPop();
+        if (!m) {
+            // Idle: block until a message arrives, a timer comes due (real
+            // clock), the virtual clock is advanced (kick), or stop.
+            const double due = timers_.nextDue();
+            auto deadline = steady_clock::now();
+            if (clock_->isVirtual() || std::isinf(due)) {
+                deadline += milliseconds(5);
+            } else {
+                const double wait = std::max(0.0, due - clock_->now());
+                deadline += duration_cast<steady_clock::duration>(duration<double>(wait));
+            }
+            m = queue_.waitPopUntil(deadline);
+            if (!m) continue;
+        }
+        m->receiver->deliver(*m);
+        dispatched_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Drain remaining messages so no work is silently lost on shutdown.
+    while (deliverNext()) {
+    }
+}
+
+} // namespace urtx::rt

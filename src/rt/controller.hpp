@@ -1,0 +1,90 @@
+#pragma once
+/// \file controller.hpp
+/// Controllers: the logical threads capsules run on.
+///
+/// A controller owns a priority message queue, a timer service and a clock.
+/// It can run *stepped* (dispatchOne/dispatchAll — used by the simulation
+/// engine and tests, with a VirtualClock) or *threaded* (start/stop — a real
+/// std::thread draining the queue, the paper's deployment where capsules
+/// and streamers live on different threads).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/clock.hpp"
+#include "rt/queue.hpp"
+#include "rt/timer_service.hpp"
+
+namespace urtx::rt {
+
+class Capsule;
+
+class Controller {
+public:
+    explicit Controller(std::string name = "controller",
+                        std::shared_ptr<Clock> clock = std::make_shared<VirtualClock>());
+    ~Controller();
+
+    Controller(const Controller&) = delete;
+    Controller& operator=(const Controller&) = delete;
+
+    const std::string& name() const { return name_; }
+    Clock& clock() const { return *clock_; }
+    std::shared_ptr<Clock> clockPtr() const { return clock_; }
+    /// The clock as a VirtualClock, or nullptr when running on wall time.
+    VirtualClock* virtualClock() const;
+    TimerService& timers() { return timers_; }
+    MessageQueue& queue() { return queue_; }
+
+    /// Assign \p root (and its subtree) to this controller.
+    void attach(Capsule& root);
+    /// Initialize all attached capsule trees (onInit + machine start).
+    void initializeAll();
+    const std::vector<Capsule*>& roots() const { return roots_; }
+
+    /// Thread-safe message injection; m.receiver must be set.
+    void post(Message m);
+
+    // --- Stepped execution ------------------------------------------------
+
+    /// Fire due timers, then deliver at most one message. Returns true when
+    /// a message was delivered.
+    bool dispatchOne();
+    /// Deliver messages until the queue is empty (firing due timers as time
+    /// stands still). Returns the number delivered.
+    std::size_t dispatchAll();
+    /// Called by the simulation engine after advancing a VirtualClock:
+    /// converts due timers into messages and wakes a blocked thread.
+    std::size_t onTimeAdvanced();
+
+    // --- Threaded execution ----------------------------------------------
+
+    /// Spawn the controller thread. Idempotent.
+    void start();
+    /// Request stop and join the thread. Remaining queued messages are
+    /// drained before the thread exits.
+    void stop();
+    bool running() const { return running_.load(); }
+
+    std::uint64_t dispatched() const { return dispatched_.load(); }
+
+private:
+    void run();
+    bool deliverNext(); // pop + deliver one, non-blocking
+
+    std::string name_;
+    std::shared_ptr<Clock> clock_;
+    TimerService timers_;
+    MessageQueue queue_;
+    std::vector<Capsule*> roots_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<std::uint64_t> dispatched_{0};
+};
+
+} // namespace urtx::rt

@@ -1,0 +1,18 @@
+#include "rt/frame_service.hpp"
+
+#include <algorithm>
+
+namespace urtx::rt {
+
+bool FrameService::destroy(Capsule& victim) {
+    Capsule* parent = victim.parent();
+    if (!parent) return false;
+    auto& owned = parent->owned_;
+    auto it = std::find_if(owned.begin(), owned.end(),
+                           [&](const std::unique_ptr<Capsule>& p) { return p.get() == &victim; });
+    if (it == owned.end()) return false;
+    owned.erase(it); // ~Capsule unwires ports and detaches from parent
+    return true;
+}
+
+} // namespace urtx::rt

@@ -1,0 +1,36 @@
+#pragma once
+/// \file frame_service.hpp
+/// UML-RT frame service: dynamic incarnation and destruction of capsules
+/// into optional slots of a running system.
+
+#include <memory>
+#include <utility>
+
+#include "rt/capsule.hpp"
+#include "rt/controller.hpp"
+
+namespace urtx::rt {
+
+class FrameService {
+public:
+    /// Create a capsule of type \p T as a dynamically owned child of
+    /// \p parent. T's constructor must accept (std::string name, Capsule*
+    /// parent, Args...). The new capsule inherits the parent's controller
+    /// and is initialized immediately when the parent already is.
+    template <class T, class... Args>
+    static T& incarnate(Capsule& parent, std::string name, Args&&... args) {
+        auto cap = std::make_unique<T>(std::move(name), &parent, std::forward<Args>(args)...);
+        T& ref = *cap;
+        parent.adoptChild(std::move(cap));
+        ref.setContextRecursive(parent.context());
+        if (parent.initialized()) ref.initialize();
+        return ref;
+    }
+
+    /// Destroy a dynamically incarnated capsule (must be an owned child of
+    /// its parent). Ports are unwired by their destructors. Returns false
+    /// when the capsule is not an incarnated child.
+    static bool destroy(Capsule& victim);
+};
+
+} // namespace urtx::rt

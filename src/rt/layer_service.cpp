@@ -1,0 +1,61 @@
+#include "rt/layer_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace urtx::rt {
+
+bool LayerService::publish(const std::string& service, Capsule& provider, const Protocol& proto,
+                           bool providerConjugated) {
+    if (spps_.count(service)) return false;
+    spps_.emplace(service, Spp{&provider, &proto, providerConjugated, {}});
+    return true;
+}
+
+bool LayerService::withdraw(const std::string& service) {
+    auto it = spps_.find(service);
+    if (it == spps_.end()) return false;
+    spps_.erase(it); // provider-end ports unwire in their destructors
+    return true;
+}
+
+bool LayerService::registerSap(Port& sap, const std::string& service) {
+    auto it = spps_.find(service);
+    if (it == spps_.end()) return false;
+    Spp& spp = it->second;
+    if (&sap.protocol() != spp.proto)
+        throw std::logic_error("LayerService: SAP protocol mismatch for service '" + service +
+                               "'");
+    if (sap.conjugated() == spp.conjugated)
+        throw std::logic_error("LayerService: SAP must be conjugated opposite to provider for '" +
+                               service + "'");
+    if (sap.isWired())
+        throw std::logic_error("LayerService: SAP '" + sap.name() + "' is already wired");
+
+    spp.ends.push_back(std::make_unique<Port>(
+        *spp.provider, service + "#" + std::to_string(spp.ends.size()), *spp.proto,
+        spp.conjugated));
+    connect(*spp.ends.back(), sap);
+    return true;
+}
+
+bool LayerService::deregisterSap(Port& sap) {
+    for (auto& [name, spp] : spps_) {
+        auto it = std::find_if(spp.ends.begin(), spp.ends.end(),
+                               [&](const std::unique_ptr<Port>& end) {
+                                   return end->resolvePeer() == &sap;
+                               });
+        if (it != spp.ends.end()) {
+            spp.ends.erase(it); // destructor unwires
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t LayerService::sapCount(const std::string& service) const {
+    auto it = spps_.find(service);
+    return it == spps_.end() ? 0 : it->second.ends.size();
+}
+
+} // namespace urtx::rt

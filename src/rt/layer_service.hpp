@@ -1,0 +1,64 @@
+#pragma once
+/// \file layer_service.hpp
+/// UML-RT layer service: unwired ports connected by *name* at run time.
+///
+/// A capsule publishes a service provision point (SPP) under a service
+/// name; other capsules attach service access points (SAPs) to that name.
+/// The layer service wires each registering SAP to a fresh end of the
+/// provider, so layered architectures (e.g. a logging or IO service shared
+/// by many capsules) don't need explicit connectors in the structure
+/// diagram. The paper's streamers use "operating system services" the same
+/// way — see flow::SPort + LayerService usage in the tests.
+///
+/// Model: an SPP is a factory of provider-side ports; each SAP
+/// registration creates one dedicated provider port owned by the service
+/// and wired to the SAP (point-to-point, preserving normal port
+/// semantics).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/capsule.hpp"
+#include "rt/port.hpp"
+
+namespace urtx::rt {
+
+class LayerService {
+public:
+    /// Publish \p provider as the handler capsule for \p service. Incoming
+    /// SAP connections get dedicated ports with \p proto in the given
+    /// conjugation on the provider side. Returns false when the name is
+    /// already taken.
+    bool publish(const std::string& service, Capsule& provider, const Protocol& proto,
+                 bool providerConjugated = true);
+
+    /// Withdraw a service; existing SAP wirings are disconnected.
+    bool withdraw(const std::string& service);
+
+    /// Register (and wire) \p sap to the named service. The SAP must be
+    /// unwired and use the service's protocol with the opposite
+    /// conjugation. Returns false when the service is unknown; throws
+    /// std::logic_error on protocol/conjugation mismatches.
+    bool registerSap(Port& sap, const std::string& service);
+
+    /// Unwire a previously registered SAP. Returns false if not found.
+    bool deregisterSap(Port& sap);
+
+    bool hasService(const std::string& service) const { return spps_.count(service) > 0; }
+    /// Number of SAPs currently wired to \p service.
+    std::size_t sapCount(const std::string& service) const;
+
+private:
+    struct Spp {
+        Capsule* provider;
+        const Protocol* proto;
+        bool conjugated;
+        std::vector<std::unique_ptr<Port>> ends; ///< one per registered SAP
+    };
+
+    std::map<std::string, Spp> spps_;
+};
+
+} // namespace urtx::rt

@@ -1,0 +1,16 @@
+#include "rt/message.hpp"
+
+namespace urtx::rt {
+
+const char* to_string(Priority p) {
+    switch (p) {
+        case Priority::Background: return "Background";
+        case Priority::Low: return "Low";
+        case Priority::General: return "General";
+        case Priority::High: return "High";
+        case Priority::Panic: return "Panic";
+    }
+    return "?";
+}
+
+} // namespace urtx::rt

@@ -1,0 +1,74 @@
+#pragma once
+/// \file message.hpp
+/// Asynchronous messages exchanged between capsules.
+///
+/// A message carries an interned signal id, a priority, and an arbitrary
+/// payload. Priorities follow the five UML-RT / RoseRT levels; within one
+/// priority level delivery order is FIFO (see MessageQueue).
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+#include "rt/signal.hpp"
+
+namespace urtx::rt {
+
+class Port;
+class Capsule;
+
+/// UML-RT message priority levels, lowest to highest urgency.
+enum class Priority : std::uint8_t {
+    Background = 0,
+    Low = 1,
+    General = 2,
+    High = 3,
+    Panic = 4,
+};
+
+/// Number of distinct priority levels.
+inline constexpr std::size_t kNumPriorities = 5;
+
+/// Human-readable priority name ("General", ...).
+const char* to_string(Priority p);
+
+/// A single asynchronous message.
+///
+/// Messages are value types: the payload is stored in a std::any and copied
+/// with the message. `dest` is the *end* port the message is addressed to
+/// (relay chains are resolved at send time), and `receiver` its owning
+/// capsule; both are set by Port::send / Controller::post.
+struct Message {
+    SignalId signal = kInvalidSignal;
+    Priority priority = Priority::General;
+    std::any data{};
+    Port* dest = nullptr;
+    Capsule* receiver = nullptr;
+    /// Monotonic per-controller sequence number, assigned on enqueue.
+    std::uint64_t sequence = 0;
+
+    Message() = default;
+    Message(SignalId sig, std::any payload = {}, Priority p = Priority::General)
+        : signal(sig), priority(p), data(std::move(payload)) {}
+
+    /// The interned name of this message's signal.
+    const std::string& signalName() const { return SignalRegistry::name(signal); }
+
+    /// Typed payload access; returns nullptr when the payload is absent or of
+    /// a different type.
+    template <class T>
+    const T* dataAs() const {
+        return std::any_cast<T>(&data);
+    }
+
+    /// Typed payload access with fallback.
+    template <class T>
+    T dataOr(T fallback) const {
+        if (const T* p = std::any_cast<T>(&data)) return *p;
+        return fallback;
+    }
+
+    bool hasData() const { return data.has_value(); }
+};
+
+} // namespace urtx::rt

@@ -1,0 +1,117 @@
+#include "rt/port.hpp"
+
+#include <stdexcept>
+
+#include "rt/capsule.hpp"
+#include "rt/controller.hpp"
+
+namespace urtx::rt {
+
+Port::Port(Capsule& owner, std::string name, const Protocol& proto, bool conjugated,
+           PortKind kind)
+    : owner_(&owner),
+      name_(std::move(name)),
+      proto_(&proto),
+      conjugated_(conjugated),
+      kind_(kind) {
+    owner_->registerPort(this);
+}
+
+Port::~Port() {
+    for (Port* p : links_) {
+        if (p) p->dropLink(this);
+    }
+    owner_->unregisterPort(this);
+}
+
+bool Port::addLink(Port* p) {
+    const std::size_t capacity = isRelay() ? 2 : 1;
+    for (std::size_t i = 0; i < capacity; ++i) {
+        if (!links_[i]) {
+            links_[i] = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+void Port::dropLink(Port* p) {
+    for (Port*& l : links_) {
+        if (l == p) l = nullptr;
+    }
+}
+
+Port* Port::resolvePeer() const {
+    const Port* prev = this;
+    Port* cur = links_[0] ? links_[0] : links_[1];
+    while (cur && cur->isRelay()) {
+        Port* next = (cur->links_[0] == prev) ? cur->links_[1] : cur->links_[0];
+        prev = cur;
+        cur = next;
+    }
+    return cur;
+}
+
+bool Port::send(SignalId sig, std::any data, Priority prio) {
+    if (!sendable(sig)) return false;
+    Port* dest = resolvePeer();
+    if (!dest) return false;
+    if (!dest->receivable(sig)) return false;
+    Message m(sig, std::move(data), prio);
+    m.dest = dest;
+    m.receiver = &dest->owner();
+    ++sent_;
+    if (Controller* c = m.receiver->context()) {
+        c->post(std::move(m));
+    } else {
+        // No controller: degenerate synchronous delivery, handy in tests.
+        m.receiver->deliver(m);
+    }
+    return true;
+}
+
+namespace {
+
+bool isParentOf(const Capsule& parent, const Capsule& child) {
+    return child.parent() == &parent;
+}
+
+} // namespace
+
+void connect(Port& a, Port& b) {
+    if (&a == &b) throw std::logic_error("connect(): cannot connect a port to itself");
+    if (&a.protocol() != &b.protocol())
+        throw std::logic_error("connect(): ports use different protocols ('" +
+                               a.protocol().name() + "' vs '" + b.protocol().name() + "')");
+
+    // Conjugation discipline. An *export* link crosses a composite boundary
+    // through a relay port on the parent: roles are preserved (same
+    // conjugation). Every other link joins two peers: roles must be
+    // opposite.
+    const bool aParent = isParentOf(a.owner(), b.owner());
+    const bool bParent = isParentOf(b.owner(), a.owner());
+    const bool exportLink = (aParent && a.isRelay()) || (bParent && b.isRelay());
+    if (exportLink) {
+        if (a.conjugated() != b.conjugated())
+            throw std::logic_error("connect(): export link through relay '" +
+                                   (aParent ? a.name() : b.name()) +
+                                   "' requires same conjugation on both sides");
+    } else {
+        if (a.conjugated() == b.conjugated())
+            throw std::logic_error("connect(): peer ports '" + a.name() + "' and '" + b.name() +
+                                   "' must have opposite conjugation");
+    }
+
+    if (!a.addLink(&b)) throw std::logic_error("connect(): port '" + a.name() + "' is fully wired");
+    if (!b.addLink(&a)) {
+        a.dropLink(&b);
+        throw std::logic_error("connect(): port '" + b.name() + "' is fully wired");
+    }
+}
+
+void disconnect(Port& a, Port& b) {
+    a.dropLink(&b);
+    b.dropLink(&a);
+}
+
+} // namespace urtx::rt

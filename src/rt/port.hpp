@@ -1,0 +1,101 @@
+#pragma once
+/// \file port.hpp
+/// UML-RT signal ports.
+///
+/// A port is a named interaction point of a capsule, typed by a Protocol and
+/// a conjugation flag. *End* ports terminate connections and deliver
+/// messages to their owning capsule; *relay* ports sit on composite capsule
+/// boundaries and forward connections inward/outward without processing —
+/// exactly the role the paper assigns to DPorts on capsules as well ("in
+/// capsules, DPorts are only used as relay ports").
+///
+/// Wiring model: every port carries up to two link slots. End ports use one;
+/// relay ports use both (outer + inner side). Message delivery resolves the
+/// chain of relays from the sending end port to the receiving end port at
+/// send time, so arbitrarily deep relay nesting costs one pointer hop per
+/// boundary crossed.
+
+#include <any>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rt/message.hpp"
+#include "rt/protocol.hpp"
+
+namespace urtx::rt {
+
+class Capsule;
+
+/// Kind of port: end ports terminate connections, relay ports forward them.
+enum class PortKind : std::uint8_t { End, Relay };
+
+class Port {
+public:
+    /// Construct a port owned by \p owner; registers itself with the owner.
+    Port(Capsule& owner, std::string name, const Protocol& proto, bool conjugated = false,
+         PortKind kind = PortKind::End);
+    ~Port();
+
+    Port(const Port&) = delete;
+    Port& operator=(const Port&) = delete;
+
+    const std::string& name() const { return name_; }
+    const Protocol& protocol() const { return *proto_; }
+    bool conjugated() const { return conjugated_; }
+    PortKind kind() const { return kind_; }
+    bool isRelay() const { return kind_ == PortKind::Relay; }
+    Capsule& owner() const { return *owner_; }
+
+    /// Number of occupied link slots (0..2).
+    int linkCount() const { return (links_[0] ? 1 : 0) + (links_[1] ? 1 : 0); }
+    bool isWired() const { return linkCount() > 0; }
+
+    /// Follow the connection away from this port to the terminating end
+    /// port; nullptr when the chain dangles (unwired relay).
+    Port* resolvePeer() const;
+
+    /// Send \p sig with optional payload to the connected peer end port.
+    /// Returns false (and delivers nothing) when the port is unwired, the
+    /// chain dangles, or the signal is not sendable in this port's role.
+    bool send(SignalId sig, std::any data = {}, Priority prio = Priority::General);
+    bool send(std::string_view sig, std::any data = {}, Priority prio = Priority::General) {
+        return send(SignalRegistry::intern(sig), std::move(data), prio);
+    }
+
+    /// Can this port's role emit \p sig?
+    bool sendable(SignalId sig) const { return proto_->sendable(sig, conjugated_); }
+    /// Can this port's role receive \p sig?
+    bool receivable(SignalId sig) const { return proto_->receivable(sig, conjugated_); }
+
+    /// Number of messages successfully sent through this port.
+    std::uint64_t sent() const { return sent_; }
+
+    /// Wire two ports together. Both must use the same protocol; the pair of
+    /// *end* roles eventually joined must have opposite conjugation (checked
+    /// per-link: a relay preserves role, so any directly linked pair must
+    /// also be role-compatible or involve a relay on the same capsule
+    /// boundary). Throws std::logic_error on violations.
+    friend void connect(Port& a, Port& b);
+
+    /// Remove the link between two directly connected ports (if present).
+    friend void disconnect(Port& a, Port& b);
+
+private:
+    bool addLink(Port* p);
+    void dropLink(Port* p);
+
+    Capsule* owner_;
+    std::string name_;
+    const Protocol* proto_;
+    bool conjugated_;
+    PortKind kind_;
+    std::array<Port*, 2> links_{};
+    std::uint64_t sent_ = 0;
+};
+
+void connect(Port& a, Port& b);
+void disconnect(Port& a, Port& b);
+
+} // namespace urtx::rt

@@ -1,0 +1,47 @@
+#include "rt/port_array.hpp"
+
+#include <stdexcept>
+
+namespace urtx::rt {
+
+PortArray::PortArray(Capsule& owner, std::string baseName, const Protocol& proto, std::size_t n,
+                     bool conjugated) {
+    if (n == 0) throw std::invalid_argument("PortArray: multiplicity must be positive");
+    ports_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ports_.push_back(std::make_unique<Port>(
+            owner, baseName + "[" + std::to_string(i) + "]", proto, conjugated));
+    }
+}
+
+std::size_t PortArray::broadcast(std::string_view sig, const std::any& data, Priority prio) {
+    std::size_t sent = 0;
+    for (auto& p : ports_) {
+        if (p->isWired() && p->send(sig, data, prio)) ++sent;
+    }
+    return sent;
+}
+
+std::optional<std::size_t> PortArray::indexOf(const Port* p) const {
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+        if (ports_[i].get() == p) return i;
+    }
+    return std::nullopt;
+}
+
+Port* PortArray::freeSlot() {
+    for (auto& p : ports_) {
+        if (!p->isWired()) return p.get();
+    }
+    return nullptr;
+}
+
+std::size_t PortArray::wiredCount() const {
+    std::size_t n = 0;
+    for (const auto& p : ports_) {
+        if (p->isWired()) ++n;
+    }
+    return n;
+}
+
+} // namespace urtx::rt

@@ -1,0 +1,48 @@
+#pragma once
+/// \file port_array.hpp
+/// Replicated ports: UML-RT port multiplicity.
+///
+/// A PortArray owns N independently wireable replications of one port role
+/// ("p[0]", "p[1]", ...). Typical use: a server capsule talking to a
+/// dynamic set of clients — broadcast() sends to every wired replication,
+/// indexOf() identifies which replication a received message arrived on.
+
+#include <any>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rt/port.hpp"
+
+namespace urtx::rt {
+
+class PortArray {
+public:
+    PortArray(Capsule& owner, std::string baseName, const Protocol& proto, std::size_t n,
+              bool conjugated = false);
+
+    std::size_t size() const { return ports_.size(); }
+    Port& at(std::size_t i) { return *ports_.at(i); }
+    Port& operator[](std::size_t i) { return *ports_[i]; }
+    const Port& operator[](std::size_t i) const { return *ports_[i]; }
+
+    /// Send \p sig on every *wired* replication; returns how many sends
+    /// succeeded.
+    std::size_t broadcast(std::string_view sig, const std::any& data = {},
+                          Priority prio = Priority::General);
+
+    /// Which replication does \p p belong to (e.g. for Message::dest)?
+    std::optional<std::size_t> indexOf(const Port* p) const;
+
+    /// First unwired replication, or nullptr when fully wired.
+    Port* freeSlot();
+
+    /// Number of wired replications.
+    std::size_t wiredCount() const;
+
+private:
+    std::vector<std::unique_ptr<Port>> ports_;
+};
+
+} // namespace urtx::rt

@@ -1,0 +1,44 @@
+#include "rt/protocol.hpp"
+
+#include <algorithm>
+
+namespace urtx::rt {
+
+Protocol& Protocol::add(std::string_view sig, SignalDir dir) {
+    const SignalId id = SignalRegistry::intern(sig);
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [id](const Entry& e) { return e.signal == id; });
+    if (it != entries_.end()) {
+        // Upgrading In/Out to InOut when declared both ways.
+        if (it->dir != dir) it->dir = SignalDir::InOut;
+        return *this;
+    }
+    entries_.push_back(Entry{id, dir});
+    return *this;
+}
+
+bool Protocol::receivable(SignalId sig, bool conjugated) const {
+    for (const Entry& e : entries_) {
+        if (e.signal != sig) continue;
+        if (e.dir == SignalDir::InOut) return true;
+        // Base receives In signals; conjugated receives Out signals.
+        return conjugated ? (e.dir == SignalDir::Out) : (e.dir == SignalDir::In);
+    }
+    return false;
+}
+
+bool Protocol::sendable(SignalId sig, bool conjugated) const {
+    for (const Entry& e : entries_) {
+        if (e.signal != sig) continue;
+        if (e.dir == SignalDir::InOut) return true;
+        return conjugated ? (e.dir == SignalDir::In) : (e.dir == SignalDir::Out);
+    }
+    return false;
+}
+
+bool Protocol::contains(SignalId sig) const {
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [sig](const Entry& e) { return e.signal == sig; });
+}
+
+} // namespace urtx::rt

@@ -1,0 +1,65 @@
+#pragma once
+/// \file protocol.hpp
+/// UML-RT protocols: named sets of incoming and outgoing signals.
+///
+/// A protocol defines the contract of a port from the *base* role's point of
+/// view: `out` signals are sent by a base port, `in` signals are received by
+/// it. A *conjugated* port plays the mirror role (its out-set is the
+/// protocol's in-set and vice versa), so two ports can be wired together
+/// exactly when they reference the same protocol with opposite conjugation.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/signal.hpp"
+
+namespace urtx::rt {
+
+/// Direction of a signal within a protocol, seen from the base role.
+enum class SignalDir : std::uint8_t { In, Out, InOut };
+
+/// A protocol: an immutable-after-setup signal contract shared by ports.
+///
+/// Typical usage is a function-local or namespace-scope object built with
+/// the fluent in()/out() API:
+/// \code
+///   rt::Protocol heater{"Heater"};
+///   heater.out("on").out("off").in("ack").in("fault");
+/// \endcode
+class Protocol {
+public:
+    struct Entry {
+        SignalId signal;
+        SignalDir dir;
+    };
+
+    explicit Protocol(std::string name) : name_(std::move(name)) {}
+
+    /// Declare a signal received by the base role.
+    Protocol& in(std::string_view sig) { return add(sig, SignalDir::In); }
+    /// Declare a signal sent by the base role.
+    Protocol& out(std::string_view sig) { return add(sig, SignalDir::Out); }
+    /// Declare a signal valid in both directions.
+    Protocol& inout(std::string_view sig) { return add(sig, SignalDir::InOut); }
+
+    const std::string& name() const { return name_; }
+    const std::vector<Entry>& entries() const { return entries_; }
+
+    /// Is \p sig receivable by the given role (base or conjugated)?
+    bool receivable(SignalId sig, bool conjugated) const;
+    /// Is \p sig sendable by the given role (base or conjugated)?
+    bool sendable(SignalId sig, bool conjugated) const;
+    /// Does the protocol mention \p sig at all?
+    bool contains(SignalId sig) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+private:
+    Protocol& add(std::string_view sig, SignalDir dir);
+
+    std::string name_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace urtx::rt

@@ -1,0 +1,108 @@
+#pragma once
+/// \file queue.hpp
+/// Thread-safe priority message queue used by controllers.
+///
+/// Five FIFO lanes (one per Priority level). pop() always drains the highest
+/// non-empty lane first; within a lane order is strictly FIFO. This mirrors
+/// the UML-RT controller queue semantics.
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "rt/message.hpp"
+
+namespace urtx::rt {
+
+class MessageQueue {
+public:
+    /// Enqueue a message (thread-safe). Assigns the per-queue sequence
+    /// number used by tests to assert FIFO-within-priority ordering.
+    void push(Message m) {
+        {
+            std::lock_guard lock(mu_);
+            m.sequence = nextSeq_++;
+            lanes_[static_cast<std::size_t>(m.priority)].push_back(std::move(m));
+            ++size_;
+        }
+        cv_.notify_one();
+    }
+
+    /// Non-blocking pop of the highest-priority message.
+    std::optional<Message> tryPop() {
+        std::lock_guard lock(mu_);
+        return popLocked();
+    }
+
+    /// Blocking pop; returns nullopt when the queue is closed and drained.
+    std::optional<Message> waitPop() {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+        return popLocked();
+    }
+
+    /// Blocking pop with a deadline; nullopt on timeout / closed-and-empty.
+    template <class Clock, class Duration>
+    std::optional<Message> waitPopUntil(std::chrono::time_point<Clock, Duration> deadline) {
+        std::unique_lock lock(mu_);
+        cv_.wait_until(lock, deadline, [this] { return size_ > 0 || closed_; });
+        return popLocked();
+    }
+
+    /// Close the queue: blocked consumers wake up and drain what remains.
+    void close() {
+        {
+            std::lock_guard lock(mu_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /// Wake any blocked consumer without pushing (used for timer deadlines).
+    void kick() { cv_.notify_all(); }
+
+    bool closed() const {
+        std::lock_guard lock(mu_);
+        return closed_;
+    }
+
+    std::size_t size() const {
+        std::lock_guard lock(mu_);
+        return size_;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /// Total number of messages ever enqueued.
+    std::uint64_t totalPushed() const {
+        std::lock_guard lock(mu_);
+        return nextSeq_;
+    }
+
+private:
+    std::optional<Message> popLocked() {
+        if (size_ == 0) return std::nullopt;
+        for (std::size_t p = kNumPriorities; p-- > 0;) {
+            auto& lane = lanes_[p];
+            if (!lane.empty()) {
+                Message m = std::move(lane.front());
+                lane.pop_front();
+                --size_;
+                return m;
+            }
+        }
+        return std::nullopt;
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::array<std::deque<Message>, kNumPriorities> lanes_;
+    std::size_t size_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace urtx::rt

@@ -1,0 +1,17 @@
+#pragma once
+/// \file rt.hpp
+/// Umbrella header for the UML-RT runtime service library.
+
+#include "rt/capsule.hpp"
+#include "rt/clock.hpp"
+#include "rt/controller.hpp"
+#include "rt/frame_service.hpp"
+#include "rt/layer_service.hpp"
+#include "rt/message.hpp"
+#include "rt/port.hpp"
+#include "rt/port_array.hpp"
+#include "rt/protocol.hpp"
+#include "rt/queue.hpp"
+#include "rt/signal.hpp"
+#include "rt/state_machine.hpp"
+#include "rt/timer_service.hpp"

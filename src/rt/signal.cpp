@@ -1,0 +1,48 @@
+#include "rt/signal.hpp"
+
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace urtx::rt {
+namespace {
+
+struct Registry {
+    std::mutex mu;
+    std::unordered_map<std::string, SignalId> byName;
+    std::deque<std::string> names; // stable storage, index == id
+
+    static Registry& instance() {
+        static Registry r;
+        return r;
+    }
+};
+
+} // namespace
+
+SignalId SignalRegistry::intern(std::string_view name) {
+    auto& r = Registry::instance();
+    std::lock_guard lock(r.mu);
+    auto it = r.byName.find(std::string(name));
+    if (it != r.byName.end()) return it->second;
+    const auto id = static_cast<SignalId>(r.names.size());
+    r.names.emplace_back(name);
+    r.byName.emplace(r.names.back(), id);
+    return id;
+}
+
+const std::string& SignalRegistry::name(SignalId id) {
+    auto& r = Registry::instance();
+    std::lock_guard lock(r.mu);
+    if (id >= r.names.size()) std::abort();
+    return r.names[id];
+}
+
+std::size_t SignalRegistry::size() {
+    auto& r = Registry::instance();
+    std::lock_guard lock(r.mu);
+    return r.names.size();
+}
+
+} // namespace urtx::rt

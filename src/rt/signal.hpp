@@ -1,0 +1,40 @@
+#pragma once
+/// \file signal.hpp
+/// Interned signal names for the UML-RT runtime.
+///
+/// UML-RT protocols exchange *signals*. To keep message dispatch cheap the
+/// runtime interns every signal name once into a process-wide registry and
+/// refers to it by a dense integer id afterwards.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace urtx::rt {
+
+/// Dense identifier of an interned signal name.
+using SignalId = std::uint32_t;
+
+/// Sentinel id meaning "no signal" / wildcard trigger.
+inline constexpr SignalId kInvalidSignal = 0xFFFFFFFFu;
+
+/// Process-wide, thread-safe signal name interner.
+///
+/// Ids are assigned densely in interning order and never recycled, so a
+/// SignalId stays valid for the lifetime of the process.
+class SignalRegistry {
+public:
+    /// Intern \p name, returning its (possibly pre-existing) id.
+    static SignalId intern(std::string_view name);
+
+    /// Look up the name of an interned signal. Aborts on invalid ids.
+    static const std::string& name(SignalId id);
+
+    /// Number of distinct signals interned so far.
+    static std::size_t size();
+};
+
+/// Convenience shorthand for SignalRegistry::intern.
+inline SignalId signal(std::string_view name) { return SignalRegistry::intern(name); }
+
+} // namespace urtx::rt

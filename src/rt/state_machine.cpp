@@ -1,0 +1,250 @@
+#include "rt/state_machine.hpp"
+
+#include <stdexcept>
+
+namespace urtx::rt {
+
+// ---------------------------------------------------------------- Transition
+
+Transition& Transition::on(std::string_view sig) {
+    triggers_.push_back(Trigger{nullptr, SignalRegistry::intern(sig)});
+    return *this;
+}
+
+Transition& Transition::on(const Port& port, std::string_view sig) {
+    triggers_.push_back(Trigger{&port, SignalRegistry::intern(sig)});
+    return *this;
+}
+
+Transition& Transition::onAny() {
+    triggers_.push_back(Trigger{});
+    return *this;
+}
+
+Transition& Transition::when(Guard g) {
+    guard_ = std::move(g);
+    return *this;
+}
+
+Transition& Transition::act(Action a) {
+    action_ = std::move(a);
+    return *this;
+}
+
+Transition& Transition::toShallowHistory() {
+    history_ = HistoryKind::Shallow;
+    return *this;
+}
+
+Transition& Transition::toDeepHistory() {
+    history_ = HistoryKind::Deep;
+    return *this;
+}
+
+Transition& Transition::named(std::string n) {
+    name_ = std::move(n);
+    return *this;
+}
+
+bool Transition::enabled(const Message& m) const {
+    bool triggered = false;
+    for (const Trigger& t : triggers_) {
+        if (t.matches(m)) {
+            triggered = true;
+            break;
+        }
+    }
+    if (!triggered) return false;
+    if (guard_ && !guard_(m)) return false;
+    return true;
+}
+
+// --------------------------------------------------------------------- State
+
+State& State::onEntry(Action a) {
+    entry_.push_back(std::move(a));
+    return *this;
+}
+
+State& State::onExit(Action a) {
+    exit_.push_back(std::move(a));
+    return *this;
+}
+
+bool State::isAncestorOf(const State& s) const {
+    for (const State* p = &s; p; p = p->parent_) {
+        if (p == this) return true;
+    }
+    return false;
+}
+
+std::string State::path() const {
+    if (!parent_) return name_;
+    if (!parent_->parent_) return name_; // children of top print bare
+    return parent_->path() + "/" + name_;
+}
+
+// -------------------------------------------------------------- StateMachine
+
+StateMachine::StateMachine() {
+    states_.push_back(std::unique_ptr<State>(new State(this, "<top>", nullptr)));
+    top_ = states_.back().get();
+}
+
+StateMachine::~StateMachine() = default;
+
+State& StateMachine::state(std::string name, State* parent) {
+    if (!parent) parent = top_;
+    if (parent->machine_ != this) throw std::logic_error("state(): parent belongs to another machine");
+    states_.push_back(std::unique_ptr<State>(new State(this, std::move(name), parent)));
+    State* s = states_.back().get();
+    parent->children_.push_back(s);
+    if (!parent->initial_) parent->initial_ = s; // first child is default initial
+    return *s;
+}
+
+void StateMachine::initial(State& s) {
+    if (!s.parent_) throw std::logic_error("initial(): top state has no parent");
+    s.parent_->initial_ = &s;
+}
+
+Transition& StateMachine::transition(State& src, State& dst) {
+    if (src.machine_ != this || dst.machine_ != this)
+        throw std::logic_error("transition(): states belong to another machine");
+    src.out_.push_back(std::unique_ptr<Transition>(new Transition(&src, &dst)));
+    return *src.out_.back();
+}
+
+Transition& StateMachine::internal(State& src) {
+    if (src.machine_ != this) throw std::logic_error("internal(): state belongs to another machine");
+    src.out_.push_back(std::unique_ptr<Transition>(new Transition(&src, nullptr)));
+    return *src.out_.back();
+}
+
+State* StateMachine::drillIn(State* s, HistoryKind hist) {
+    // Descend from an already-entered state s to a leaf, honoring history.
+    State* cur = s;
+    HistoryKind mode = hist;
+    while (true) {
+        State* next = nullptr;
+        switch (mode) {
+            case HistoryKind::None:
+                next = cur->initial_;
+                break;
+            case HistoryKind::Shallow:
+                next = cur->lastActive_ ? cur->lastActive_ : cur->initial_;
+                mode = HistoryKind::None; // only the first level restores
+                break;
+            case HistoryKind::Deep:
+                next = cur->lastActive_ ? cur->lastActive_ : cur->initial_;
+                break;
+        }
+        if (!next) return cur;
+        for (auto& a : next->entry_) a();
+        cur = next;
+    }
+}
+
+void StateMachine::start() {
+    if (current_) return;
+    current_ = drillIn(top_, HistoryKind::None);
+    runCompletions();
+}
+
+Transition* StateMachine::findCompletion() const {
+    static const Message kCompletion{};
+    for (State* s = current_; s; s = s->parent_) {
+        for (auto& tp : s->out_) {
+            if (!tp->triggers_.empty() || tp->isInternal()) continue;
+            if (tp->guard_ && !tp->guard_(kCompletion)) continue;
+            return tp.get();
+        }
+    }
+    return nullptr;
+}
+
+void StateMachine::runCompletions() {
+    static const Message kCompletion{};
+    for (int hops = 0; hops < 64; ++hops) {
+        Transition* t = findCompletion();
+        if (!t) return;
+        fire(*t, kCompletion);
+    }
+    throw std::logic_error(
+        "StateMachine: completion-transition cascade exceeded 64 hops (loop?)");
+}
+
+bool StateMachine::isIn(const State& s) const {
+    return current_ && s.isAncestorOf(*current_);
+}
+
+State* StateMachine::lca(State* a, State* b) const {
+    for (State* p = a; p; p = p->parent_) {
+        if (p->isAncestorOf(*b)) return p;
+    }
+    return top_;
+}
+
+void StateMachine::exitUpTo(State* domain) {
+    // Exit from the current leaf up to (excluding) domain, recording history.
+    State* s = current_;
+    while (s && s != domain) {
+        for (auto& a : s->exit_) a();
+        if (s->parent_) s->parent_->lastActive_ = s;
+        s = s->parent_;
+    }
+}
+
+State* StateMachine::enterDown(State* from, State* target, HistoryKind hist) {
+    // Run entry actions along the path from (exclusive) down to target
+    // (inclusive), then drill into target's substructure.
+    std::vector<State*> path;
+    for (State* s = target; s && s != from; s = s->parent_) path.push_back(s);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        for (auto& a : (*it)->entry_) a();
+    }
+    return drillIn(target, hist);
+}
+
+void StateMachine::fire(Transition& t, const Message& m) {
+    ++fired_;
+    if (t.isInternal()) {
+        if (t.action_) t.action_(m);
+        return;
+    }
+    State* src = t.source_;
+    State* dst = t.target_;
+    // Transition domain: the innermost state strictly containing both
+    // endpoints. External-transition semantics: when one endpoint is an
+    // ancestor of the other (including self-transitions), that ancestor is
+    // itself exited and re-entered, so the domain is its parent.
+    State* domain = lca(src, dst);
+    if (domain == src || domain == dst) domain = domain->parent_ ? domain->parent_ : top_;
+    exitUpTo(domain);
+    if (t.action_) t.action_(m);
+    current_ = enterDown(domain, dst, t.history_);
+}
+
+bool StateMachine::dispatch(const Message& m) {
+    if (!current_) start();
+    if (inDispatch_) throw std::logic_error("dispatch(): re-entrant dispatch violates run-to-completion");
+    inDispatch_ = true;
+    struct Reset {
+        bool& flag;
+        ~Reset() { flag = false; }
+    } reset{inDispatch_};
+
+    for (State* s = current_; s; s = s->parent_) {
+        for (auto& tp : s->out_) {
+            if (tp->enabled(m)) {
+                fire(*tp, m);
+                runCompletions();
+                return true;
+            }
+        }
+    }
+    ++unhandled_;
+    return false;
+}
+
+} // namespace urtx::rt

@@ -1,0 +1,196 @@
+#pragma once
+/// \file state_machine.hpp
+/// Hierarchical state machines with UML-RT run-to-completion semantics.
+///
+/// Supports composite states, entry/exit actions, guards, transition
+/// actions, internal transitions, wildcard triggers, and shallow/deep
+/// history. A machine is built with a small fluent API and then driven by
+/// dispatch(), which processes exactly one message to completion (RTC).
+///
+/// Transition selection is innermost-first: the current leaf state gets the
+/// first chance to handle a message, then its ancestors. Within one state,
+/// transitions are tried in declaration order.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/message.hpp"
+
+namespace urtx::rt {
+
+class Port;
+class State;
+class StateMachine;
+
+/// How a transition enters its target composite state.
+enum class HistoryKind : std::uint8_t {
+    None,    ///< descend via initial states
+    Shallow, ///< restore last active direct child, then initial below it
+    Deep,    ///< restore the full last active configuration
+};
+
+/// A transition trigger: a (port, signal) pair; nullptr port matches any
+/// port, kInvalidSignal matches any signal.
+struct Trigger {
+    const Port* port = nullptr;
+    SignalId signal = kInvalidSignal;
+
+    bool matches(const Message& m) const {
+        if (signal != kInvalidSignal && signal != m.signal) return false;
+        if (port != nullptr && port != m.dest) return false;
+        return true;
+    }
+};
+
+/// An outgoing transition of a state.
+class Transition {
+public:
+    using Action = std::function<void(const Message&)>;
+    using Guard = std::function<bool(const Message&)>;
+
+    /// Trigger on a signal arriving through any port.
+    Transition& on(std::string_view sig);
+    /// Trigger on a signal arriving through a specific port.
+    Transition& on(const Port& port, std::string_view sig);
+    /// Trigger on any message (wildcard).
+    Transition& onAny();
+    /// Guard predicate; the transition only fires when it returns true.
+    Transition& when(Guard g);
+    /// Effect executed between exit and entry actions.
+    Transition& act(Action a);
+    /// Enter the target via shallow history.
+    Transition& toShallowHistory();
+    /// Enter the target via deep history.
+    Transition& toDeepHistory();
+    /// Optional diagnostic name.
+    Transition& named(std::string n);
+
+    State* source() const { return source_; }
+    State* target() const { return target_; }
+    bool isInternal() const { return target_ == nullptr; }
+    const std::string& name() const { return name_; }
+    HistoryKind history() const { return history_; }
+
+private:
+    friend class State;
+    friend class StateMachine;
+    Transition(State* src, State* dst) : source_(src), target_(dst) {}
+
+    bool enabled(const Message& m) const;
+
+    State* source_;
+    State* target_;
+    std::vector<Trigger> triggers_;
+    Guard guard_;
+    Action action_;
+    HistoryKind history_ = HistoryKind::None;
+    std::string name_;
+};
+
+/// A (possibly composite) state.
+class State {
+public:
+    using Action = std::function<void()>;
+
+    const std::string& name() const { return name_; }
+    /// Slash-separated path from the machine top, e.g. "Active/Stabilize".
+    std::string path() const;
+    State* parent() const { return parent_; }
+    bool isComposite() const { return !children_.empty(); }
+    const std::vector<State*>& children() const { return children_; }
+    State* initialChild() const { return initial_; }
+
+    /// Register an entry action (multiple allowed, run in order).
+    State& onEntry(Action a);
+    /// Register an exit action (multiple allowed, run in order).
+    State& onExit(Action a);
+
+    /// Is this state equal to or an ancestor of \p s?
+    bool isAncestorOf(const State& s) const;
+
+private:
+    friend class StateMachine;
+    State(StateMachine* m, std::string name, State* parent)
+        : machine_(m), name_(std::move(name)), parent_(parent) {}
+
+    StateMachine* machine_;
+    std::string name_;
+    State* parent_;
+    std::vector<State*> children_;
+    State* initial_ = nullptr;
+    State* lastActive_ = nullptr; ///< last active direct child (history)
+    std::vector<Action> entry_;
+    std::vector<Action> exit_;
+    std::vector<std::unique_ptr<Transition>> out_;
+};
+
+/// The machine: owns its states and drives RTC dispatch.
+class StateMachine {
+public:
+    StateMachine();
+    ~StateMachine();
+    StateMachine(const StateMachine&) = delete;
+    StateMachine& operator=(const StateMachine&) = delete;
+
+    /// The implicit top (root) composite state.
+    State& top() { return *top_; }
+
+    /// Create a state under \p parent (top when null).
+    State& state(std::string name, State* parent = nullptr);
+
+    /// Declare \p s the initial child of its parent.
+    void initial(State& s);
+
+    /// Create an external transition from \p src to \p dst.
+    Transition& transition(State& src, State& dst);
+
+    /// Create an internal transition on \p src (no exit/entry, no move).
+    Transition& internal(State& src);
+
+    /// Enter the initial configuration (runs entry actions), then take any
+    /// enabled completion transitions. Idempotent.
+    void start();
+    bool started() const { return current_ != nullptr; }
+
+    /// Run-to-completion dispatch of one message. Returns true when some
+    /// transition handled it.
+    bool dispatch(const Message& m);
+
+    /// Innermost active state (nullptr before start()).
+    State* current() const { return current_; }
+    /// Is \p s part of the active configuration?
+    bool isIn(const State& s) const;
+    /// Name of the innermost active state ("" before start).
+    std::string currentPath() const { return current_ ? current_->path() : std::string{}; }
+
+    std::uint64_t transitionsTaken() const { return fired_; }
+    std::uint64_t messagesUnhandled() const { return unhandled_; }
+
+    /// True while dispatch() is on the call stack; used to assert RTC.
+    bool inDispatch() const { return inDispatch_; }
+
+private:
+    State* lca(State* a, State* b) const;
+    void exitUpTo(State* domain);
+    State* enterDown(State* from, State* target, HistoryKind hist);
+    State* drillIn(State* s, HistoryKind hist);
+    void fire(Transition& t, const Message& m);
+    /// Take *completion transitions* (external transitions declared with no
+    /// trigger) until quiescent. A cascade longer than 64 steps is treated
+    /// as a loop and throws.
+    void runCompletions();
+    Transition* findCompletion() const;
+
+    std::vector<std::unique_ptr<State>> states_;
+    State* top_;
+    State* current_ = nullptr;
+    std::uint64_t fired_ = 0;
+    std::uint64_t unhandled_ = 0;
+    bool inDispatch_ = false;
+};
+
+} // namespace urtx::rt

@@ -1,0 +1,81 @@
+#include "rt/timer_service.hpp"
+
+#include "rt/capsule.hpp"
+
+namespace urtx::rt {
+
+TimerId TimerService::schedule(Capsule& target, double due, double period, SignalId sig,
+                               std::any data, Priority prio) {
+    std::lock_guard lock(mu_);
+    const TimerId id = nextId_++;
+    heap_.push(Entry{due, period, id, sig, std::move(data), prio, &target});
+    ++live_;
+    return id;
+}
+
+TimerId TimerService::informIn(Capsule& target, double now, double delay, SignalId sig,
+                               std::any data, Priority prio) {
+    if (delay < 0) delay = 0;
+    return schedule(target, now + delay, 0.0, sig, std::move(data), prio);
+}
+
+TimerId TimerService::informEvery(Capsule& target, double now, double period, SignalId sig,
+                                  std::any data, Priority prio) {
+    if (period <= 0) return kInvalidTimer;
+    return schedule(target, now + period, period, sig, std::move(data), prio);
+}
+
+bool TimerService::cancel(TimerId id) {
+    std::lock_guard lock(mu_);
+    if (id == kInvalidTimer || id >= nextId_) return false;
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (inserted && live_ > 0) --live_;
+    return inserted;
+}
+
+double TimerService::nextDue() const {
+    std::lock_guard lock(mu_);
+    // Lazily skip cancelled heads is not possible on a const heap; report the
+    // head even if cancelled — the controller just wakes up and fires nothing.
+    if (heap_.empty()) return std::numeric_limits<double>::infinity();
+    return heap_.top().due;
+}
+
+std::size_t TimerService::fireDue(MessageQueue& out, double now) {
+    std::vector<Entry> fired;
+    {
+        std::lock_guard lock(mu_);
+        while (!heap_.empty() && heap_.top().due <= now) {
+            Entry e = heap_.top();
+            heap_.pop();
+            auto c = cancelled_.find(e.id);
+            if (c != cancelled_.end()) {
+                cancelled_.erase(c);
+                continue;
+            }
+            if (e.period > 0) {
+                Entry next = e;
+                next.due += e.period;
+                heap_.push(next);
+            } else {
+                --live_;
+            }
+            fired.push_back(std::move(e));
+        }
+    }
+    for (Entry& e : fired) {
+        Message m(e.signal, std::move(e.data), e.prio);
+        m.receiver = e.target;
+        m.dest = nullptr; // timer messages have no port of entry
+        out.push(std::move(m));
+    }
+    return fired.size();
+}
+
+std::size_t TimerService::pending() const {
+    std::lock_guard lock(mu_);
+    return live_;
+}
+
+} // namespace urtx::rt

@@ -1,0 +1,81 @@
+#pragma once
+/// \file timer_service.hpp
+/// UML-RT timing service: one-shot and periodic timers.
+///
+/// The paper notes "Timing in UML-RT is unpredictable" and introduces the
+/// continuous Time stereotype; here the timer service is driven by an
+/// explicit Clock so the same capsule code runs against wall-clock time
+/// (RealClock) or deterministic simulation time (VirtualClock).
+
+#include <any>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "rt/message.hpp"
+#include "rt/queue.hpp"
+
+namespace urtx::rt {
+
+class Capsule;
+
+/// Handle to a scheduled timer; used for cancellation.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// Min-heap based timer service; thread-safe.
+///
+/// Due timers are converted to ordinary messages (delivered to the target
+/// capsule with the configured signal) by fireDue(), which the owning
+/// controller calls whenever its clock advances.
+class TimerService {
+public:
+    /// Schedule a one-shot timer \p delay seconds from \p now.
+    TimerId informIn(Capsule& target, double now, double delay, SignalId sig,
+                     std::any data = {}, Priority prio = Priority::General);
+
+    /// Schedule a periodic timer with the given period (> 0).
+    TimerId informEvery(Capsule& target, double now, double period, SignalId sig,
+                        std::any data = {}, Priority prio = Priority::General);
+
+    /// Cancel a timer. Returns false when the id is unknown or already fired.
+    bool cancel(TimerId id);
+
+    /// Time of the earliest pending timer, +infinity when none.
+    double nextDue() const;
+
+    /// Convert all timers due at or before \p now into messages on \p out.
+    /// Periodic timers are rescheduled. Returns the number fired.
+    std::size_t fireDue(MessageQueue& out, double now);
+
+    /// Number of live (scheduled, uncancelled) timers.
+    std::size_t pending() const;
+
+private:
+    struct Entry {
+        double due;
+        double period; // 0 => one-shot
+        TimerId id;
+        SignalId signal;
+        std::any data;
+        Priority prio;
+        Capsule* target;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const { return a.due > b.due; }
+    };
+
+    TimerId schedule(Capsule& target, double due, double period, SignalId sig,
+                     std::any data, Priority prio);
+
+    mutable std::mutex mu_;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<TimerId> cancelled_;
+    std::size_t live_ = 0;
+    TimerId nextId_ = 1;
+};
+
+} // namespace urtx::rt

@@ -1,0 +1,201 @@
+#include "sim/hybrid_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "rt/capsule.hpp"
+
+namespace urtx::sim {
+
+const char* to_string(ExecutionMode m) {
+    switch (m) {
+        case ExecutionMode::SingleThread: return "SingleThread";
+        case ExecutionMode::MultiThread: return "MultiThread";
+    }
+    return "?";
+}
+
+HybridSystem::HybridSystem(double t0) : time_(t0) {
+    controllers_.push_back(std::make_unique<rt::Controller>("main", time_.clock()));
+}
+
+HybridSystem::~HybridSystem() {
+    for (auto& c : controllers_) c->stop();
+}
+
+rt::Controller& HybridSystem::addController(std::string name) {
+    controllers_.push_back(std::make_unique<rt::Controller>(std::move(name), time_.clock()));
+    return *controllers_.back();
+}
+
+void HybridSystem::addCapsule(rt::Capsule& root, rt::Controller* ctl) {
+    (ctl ? ctl : controllers_.front().get())->attach(root);
+}
+
+flow::SolverRunner& HybridSystem::addStreamerGroup(flow::Streamer& root,
+                                                   std::unique_ptr<solver::Integrator> method,
+                                                   double majorDt) {
+    runners_.push_back(std::make_unique<flow::SolverRunner>(root, std::move(method), majorDt));
+    return *runners_.back();
+}
+
+double HybridSystem::globalDt() const {
+    double dt = std::numeric_limits<double>::infinity();
+    for (const auto& r : runners_) dt = std::min(dt, r->majorDt());
+    if (std::isinf(dt)) dt = 1e-2; // capsule-only system: a sensible grid
+    return dt;
+}
+
+void HybridSystem::initialize() {
+    if (initialized_) return;
+    for (auto& c : controllers_) c->initializeAll();
+    for (auto& r : runners_) r->initialize(time_.now());
+    initialized_ = true;
+}
+
+void HybridSystem::drainControllersInline() {
+    // Messages can bounce between controllers; iterate to a fixed point.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto& c : controllers_) {
+            if (c->dispatchAll() > 0) progress = true;
+        }
+    }
+}
+
+void HybridSystem::pace(double simProgress,
+                        std::chrono::steady_clock::time_point wallStart) const {
+    if (realtimeFactor_ <= 0) return;
+    const auto target =
+        wallStart + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(simProgress / realtimeFactor_));
+    std::this_thread::sleep_until(target);
+}
+
+void HybridSystem::runSingleThread(double tEnd) {
+    const double dt = globalDt();
+    const double t0 = time_.now();
+    const auto wallStart = std::chrono::steady_clock::now();
+    const auto n = static_cast<std::uint64_t>(std::llround((tEnd - t0) / dt));
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        const double t = t0 + static_cast<double>(i) * dt;
+        pace(t - t0, wallStart);
+        // 1) event-driven world reacts to everything due strictly before t.
+        drainControllersInline();
+        // 2) continuous world advances to t (signals drained at step start).
+        for (auto& r : runners_) r->advanceTo(t);
+        // 3) time reaches t: timers fire, capsules react.
+        time_.advanceTo(t);
+        for (auto& c : controllers_) c->onTimeAdvanced();
+        drainControllersInline();
+        trace_.sample(t);
+        ++steps_;
+    }
+}
+
+namespace {
+
+/// One solver thread stepping its runner to granted target times.
+class SolverWorker {
+public:
+    explicit SolverWorker(flow::SolverRunner& r) : runner_(&r) {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~SolverWorker() {
+        {
+            std::lock_guard lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    void grant(double target) {
+        {
+            std::lock_guard lock(mu_);
+            target_ = target;
+            work_ = true;
+            done_ = false;
+        }
+        cv_.notify_all();
+    }
+
+    void awaitDone() {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return done_; });
+    }
+
+private:
+    void loop() {
+        std::unique_lock lock(mu_);
+        while (true) {
+            cv_.wait(lock, [this] { return work_ || stop_; });
+            if (stop_) return;
+            const double target = target_;
+            work_ = false;
+            lock.unlock();
+            runner_->advanceTo(target);
+            lock.lock();
+            done_ = true;
+            cv_.notify_all();
+        }
+    }
+
+    flow::SolverRunner* runner_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    double target_ = 0.0;
+    bool work_ = false;
+    bool done_ = true;
+    bool stop_ = false;
+};
+
+} // namespace
+
+void HybridSystem::runMultiThread(double tEnd) {
+    // Figure 3 deployment: controllers on their own threads, one solver
+    // thread per streamer group; only messages cross between them.
+    for (auto& c : controllers_) c->start();
+    {
+        std::vector<std::unique_ptr<SolverWorker>> workers;
+        workers.reserve(runners_.size());
+        for (auto& r : runners_) workers.push_back(std::make_unique<SolverWorker>(*r));
+
+        const double dt = globalDt();
+        const double t0 = time_.now();
+        const auto wallStart = std::chrono::steady_clock::now();
+        const auto n = static_cast<std::uint64_t>(std::llround((tEnd - t0) / dt));
+        for (std::uint64_t i = 1; i <= n; ++i) {
+            const double t = t0 + static_cast<double>(i) * dt;
+            pace(t - t0, wallStart);
+            for (auto& w : workers) w->grant(t);
+            for (auto& w : workers) w->awaitDone();
+            time_.advanceTo(t);
+            for (auto& c : controllers_) c->onTimeAdvanced();
+            trace_.sample(t);
+            ++steps_;
+        }
+        // Workers join here.
+    }
+    // Let in-flight messages settle, then stop (stop() drains the queue).
+    for (auto& c : controllers_) c->stop();
+}
+
+void HybridSystem::run(double tEnd, ExecutionMode mode) {
+    if (!initialized_) initialize();
+    if (tEnd <= time_.now()) return;
+    if (mode == ExecutionMode::SingleThread) {
+        runSingleThread(tEnd);
+    } else {
+        runMultiThread(tEnd);
+    }
+}
+
+} // namespace urtx::sim

@@ -1,0 +1,108 @@
+#pragma once
+/// \file hybrid_system.hpp
+/// The unified hybrid simulation engine — the paper's Figure 3 made
+/// executable.
+///
+/// A HybridSystem binds together:
+///  * one shared Time (the continuous simulation clock stereotype),
+///  * one or more Controllers hosting the event-driven capsules, and
+///  * one or more SolverRunners hosting the time-continuous streamers.
+///
+/// Two execution modes reproduce the paper's architectural comparison:
+///
+///  * SingleThread — everything interleaved on the caller's thread. This is
+///    what a plain UML-RT platform would force: the continuous equations
+///    run inside the same run-to-completion world as the capsules.
+///  * MultiThread — "capsules and streamers are assigned to different
+///    threads": every controller gets its own std::thread, every streamer
+///    group its own solver thread; they rendezvous on the time grid and
+///    exchange only messages (SPorts / controller queues).
+///
+/// Both modes advance the shared VirtualClock on a global step grid equal
+/// to the smallest solver major step; controllers fire timers and drain
+/// their queues as time advances.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/solver_runner.hpp"
+#include "flow/time.hpp"
+#include "rt/controller.hpp"
+#include "sim/trace.hpp"
+
+namespace urtx::sim {
+
+enum class ExecutionMode { SingleThread, MultiThread };
+
+const char* to_string(ExecutionMode m);
+
+class HybridSystem {
+public:
+    explicit HybridSystem(double t0 = 0.0);
+    ~HybridSystem();
+
+    HybridSystem(const HybridSystem&) = delete;
+    HybridSystem& operator=(const HybridSystem&) = delete;
+
+    flow::Time& time() { return time_; }
+    double now() const { return time_.now(); }
+
+    /// The default controller (created with the system).
+    rt::Controller& controller() { return *controllers_.front(); }
+    /// Create an additional controller (thread) sharing the clock.
+    rt::Controller& addController(std::string name);
+    const std::vector<std::unique_ptr<rt::Controller>>& controllers() const {
+        return controllers_;
+    }
+
+    /// Attach a capsule tree to a controller (default: the main one).
+    void addCapsule(rt::Capsule& root, rt::Controller* ctl = nullptr);
+
+    /// Register a streamer tree as one solver group (one thread in
+    /// MultiThread mode). Returns the runner for probing/strategy swaps.
+    flow::SolverRunner& addStreamerGroup(flow::Streamer& root,
+                                         std::unique_ptr<solver::Integrator> method,
+                                         double majorDt);
+    const std::vector<std::unique_ptr<flow::SolverRunner>>& runners() const { return runners_; }
+
+    /// Built-in trace sampled once per global step (after capsule drain).
+    Trace& trace() { return trace_; }
+
+    /// Initialize capsules (onInit + state machines) and solver groups.
+    void initialize();
+    bool initialized() const { return initialized_; }
+
+    /// Advance the whole system to \p tEnd.
+    void run(double tEnd, ExecutionMode mode = ExecutionMode::SingleThread);
+
+    /// Soft real-time pacing: when > 0, run() sleeps so simulated time
+    /// advances at most \p factor times wall-clock speed (1.0 = real time).
+    /// 0 disables pacing (as-fast-as-possible, the default).
+    void setRealtimeFactor(double factor) { realtimeFactor_ = factor; }
+    double realtimeFactor() const { return realtimeFactor_; }
+
+    /// Smallest solver major step = the global grid step.
+    double globalDt() const;
+
+    std::uint64_t steps() const { return steps_; }
+
+private:
+    void runSingleThread(double tEnd);
+    void runMultiThread(double tEnd);
+    void drainControllersInline();
+    /// Sleep so that simulated progress since run() start does not exceed
+    /// realtimeFactor_ times wall-clock progress.
+    void pace(double simProgress, std::chrono::steady_clock::time_point wallStart) const;
+
+    flow::Time time_;
+    std::vector<std::unique_ptr<rt::Controller>> controllers_;
+    std::vector<std::unique_ptr<flow::SolverRunner>> runners_;
+    Trace trace_;
+    bool initialized_ = false;
+    std::uint64_t steps_ = 0;
+    double realtimeFactor_ = 0.0;
+};
+
+} // namespace urtx::sim

@@ -1,0 +1,6 @@
+#pragma once
+/// \file sim.hpp
+/// Umbrella header for the hybrid simulation engine.
+
+#include "sim/hybrid_system.hpp"
+#include "sim/trace.hpp"

@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace urtx::sim {
+
+std::size_t Trace::channel(std::string name, Probe probe) {
+    names_.push_back(std::move(name));
+    probes_.push_back(std::move(probe));
+    if (!times_.empty())
+        throw std::logic_error("Trace::channel: cannot add channels after sampling started");
+    return names_.size() - 1;
+}
+
+void Trace::sample(double t) {
+    times_.push_back(t);
+    for (const Probe& p : probes_) data_.push_back(p());
+}
+
+std::vector<double> Trace::series(std::size_t ch) const {
+    std::vector<double> out;
+    out.reserve(rows());
+    for (std::size_t r = 0; r < rows(); ++r) out.push_back(valueAt(r, ch));
+    return out;
+}
+
+std::size_t Trace::indexOf(const std::string& name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name) return i;
+    }
+    throw std::invalid_argument("Trace: unknown channel '" + name + "'");
+}
+
+std::vector<double> Trace::series(const std::string& name) const {
+    return series(indexOf(name));
+}
+
+void Trace::writeCsv(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("Trace::writeCsv: cannot open '" + path + "'");
+    f << "t";
+    for (const auto& n : names_) f << "," << n;
+    f << "\n";
+    for (std::size_t r = 0; r < rows(); ++r) {
+        f << times_[r];
+        for (std::size_t c = 0; c < names_.size(); ++c) f << "," << valueAt(r, c);
+        f << "\n";
+    }
+}
+
+void Trace::clear() {
+    times_.clear();
+    data_.clear();
+}
+
+} // namespace urtx::sim

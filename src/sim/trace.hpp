@@ -1,0 +1,50 @@
+#pragma once
+/// \file trace.hpp
+/// Simulation trace: named probe channels sampled at engine steps and
+/// dumpable as CSV for the benchmark harnesses.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace urtx::sim {
+
+class Trace {
+public:
+    using Probe = std::function<double()>;
+
+    /// Register a channel; returns its index.
+    std::size_t channel(std::string name, Probe probe);
+
+    std::size_t channelCount() const { return names_.size(); }
+    const std::vector<std::string>& names() const { return names_; }
+
+    /// Sample every channel at time \p t.
+    void sample(double t);
+
+    std::size_t rows() const { return times_.size(); }
+    double timeAt(std::size_t row) const { return times_.at(row); }
+    double valueAt(std::size_t row, std::size_t ch) const {
+        return data_.at(row * names_.size() + ch);
+    }
+    /// All samples of one channel.
+    std::vector<double> series(std::size_t ch) const;
+    /// Series by channel name; throws when unknown.
+    std::vector<double> series(const std::string& name) const;
+
+    /// Write "t,ch1,ch2,..." CSV to \p path.
+    void writeCsv(const std::string& path) const;
+
+    void clear();
+
+private:
+    std::size_t indexOf(const std::string& name) const;
+
+    std::vector<std::string> names_;
+    std::vector<Probe> probes_;
+    std::vector<double> times_;
+    std::vector<double> data_; ///< row-major rows x channels
+};
+
+} // namespace urtx::sim

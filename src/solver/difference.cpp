@@ -1,0 +1,52 @@
+#include "solver/difference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urtx::solver {
+
+DifferenceEquation::DifferenceEquation(std::vector<double> b, std::vector<double> a)
+    : b_(std::move(b)), a_(std::move(a)) {
+    if (a_.empty() || a_[0] == 0.0)
+        throw std::invalid_argument("DifferenceEquation: a0 must be non-zero");
+    if (b_.empty()) throw std::invalid_argument("DifferenceEquation: empty numerator");
+    const double a0 = a_[0];
+    for (double& c : a_) c /= a0;
+    for (double& c : b_) c /= a0;
+    const std::size_t n = std::max(a_.size(), b_.size());
+    a_.resize(n, 0.0);
+    b_.resize(n, 0.0);
+    state_.assign(n > 0 ? n - 1 : 0, 0.0);
+}
+
+double DifferenceEquation::step(double u) {
+    ++samples_;
+    if (state_.empty()) return b_[0] * u;
+    // Direct form II transposed.
+    const double y = b_[0] * u + state_[0];
+    for (std::size_t i = 0; i + 1 < state_.size(); ++i)
+        state_[i] = b_[i + 1] * u + state_[i + 1] - a_[i + 1] * y;
+    state_.back() = b_[state_.size()] * u - a_[state_.size()] * y;
+    return y;
+}
+
+void DifferenceEquation::reset() {
+    std::fill(state_.begin(), state_.end(), 0.0);
+    samples_ = 0;
+}
+
+DifferenceEquation makeLowPass(double alpha) {
+    return DifferenceEquation({alpha}, {1.0, alpha - 1.0});
+}
+
+DifferenceEquation makeDiscreteIntegrator(double dt) {
+    return DifferenceEquation({dt}, {1.0, -1.0});
+}
+
+DifferenceEquation makeMovingAverage(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("makeMovingAverage: window must be positive");
+    std::vector<double> b(n, 1.0 / static_cast<double>(n));
+    return DifferenceEquation(std::move(b), {1.0});
+}
+
+} // namespace urtx::solver

@@ -1,0 +1,52 @@
+#pragma once
+/// \file difference.hpp
+/// Difference-equation engine for the time-discrete half of a hybrid model.
+///
+/// The paper integrates difference equations into capsule actions; this
+/// class is the reusable piece those actions call. It realizes a linear
+/// constant-coefficient difference equation
+///
+///   a0 y[n] + a1 y[n-1] + ... + aN y[n-N] = b0 u[n] + ... + bM u[n-M]
+///
+/// i.e. a discrete transfer function H(z) = B(z)/A(z), in direct form II
+/// transposed (good numerical behaviour, single delay line).
+
+#include <stdexcept>
+#include <vector>
+
+namespace urtx::solver {
+
+class DifferenceEquation {
+public:
+    /// \p b: numerator coefficients (b0..bM), \p a: denominator (a0..aN),
+    /// a0 != 0. Coefficients are normalized by a0 on construction.
+    DifferenceEquation(std::vector<double> b, std::vector<double> a);
+
+    /// Process one input sample, returning the output sample.
+    double step(double u);
+
+    /// Clear internal delay state (keeps coefficients).
+    void reset();
+
+    std::size_t order() const { return state_.size(); }
+    const std::vector<double>& numerator() const { return b_; }
+    const std::vector<double>& denominator() const { return a_; }
+    /// Samples processed since construction / reset.
+    std::size_t samples() const { return samples_; }
+
+private:
+    std::vector<double> b_, a_; // normalized, a_[0] == 1
+    std::vector<double> state_; // direct form II transposed delay line
+    std::size_t samples_ = 0;
+};
+
+/// First-order discrete low-pass: y[n] = y[n-1] + alpha (u[n] - y[n-1]).
+DifferenceEquation makeLowPass(double alpha);
+
+/// Discrete integrator (forward rectangle, gain dt).
+DifferenceEquation makeDiscreteIntegrator(double dt);
+
+/// Moving average of window \p n.
+DifferenceEquation makeMovingAverage(std::size_t n);
+
+} // namespace urtx::solver

@@ -1,0 +1,288 @@
+#include "solver/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace urtx::solver {
+
+namespace {
+
+void resize(Vec& v, std::size_t n) {
+    if (v.size() != n) v.assign(n, 0.0);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------- Euler
+
+void EulerIntegrator::step(const OdeSystem& sys, double t, double dt, Vec& x) {
+    const std::size_t n = sys.dim();
+    resize(k1_, n);
+    eval(sys, t, x, k1_);
+    for (std::size_t i = 0; i < n; ++i) x[i] += dt * k1_[i];
+    ++steps_;
+}
+
+// ---------------------------------------------------------------------- Heun
+
+void HeunIntegrator::step(const OdeSystem& sys, double t, double dt, Vec& x) {
+    const std::size_t n = sys.dim();
+    resize(k1_, n);
+    resize(k2_, n);
+    resize(tmp_, n);
+    eval(sys, t, x, k1_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + dt * k1_[i];
+    eval(sys, t + dt, tmp_, k2_);
+    for (std::size_t i = 0; i < n; ++i) x[i] += 0.5 * dt * (k1_[i] + k2_[i]);
+    ++steps_;
+}
+
+// ----------------------------------------------------------------------- RK4
+
+void Rk4Integrator::step(const OdeSystem& sys, double t, double dt, Vec& x) {
+    const std::size_t n = sys.dim();
+    resize(k1_, n);
+    resize(k2_, n);
+    resize(k3_, n);
+    resize(k4_, n);
+    resize(tmp_, n);
+    eval(sys, t, x, k1_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + 0.5 * dt * k1_[i];
+    eval(sys, t + 0.5 * dt, tmp_, k2_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + 0.5 * dt * k2_[i];
+    eval(sys, t + 0.5 * dt, tmp_, k3_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + dt * k3_[i];
+    eval(sys, t + dt, tmp_, k4_);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+    ++steps_;
+}
+
+// ---------------------------------------------------------------------- RK45
+
+namespace dp {
+// Dormand–Prince 5(4) tableau.
+constexpr double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5, c5 = 8.0 / 9;
+constexpr double a21 = 1.0 / 5;
+constexpr double a31 = 3.0 / 40, a32 = 9.0 / 40;
+constexpr double a41 = 44.0 / 45, a42 = -56.0 / 15, a43 = 32.0 / 9;
+constexpr double a51 = 19372.0 / 6561, a52 = -25360.0 / 2187, a53 = 64448.0 / 6561,
+                 a54 = -212.0 / 729;
+constexpr double a61 = 9017.0 / 3168, a62 = -355.0 / 33, a63 = 46732.0 / 5247, a64 = 49.0 / 176,
+                 a65 = -5103.0 / 18656;
+// b (5th order) == a7j.
+constexpr double b1 = 35.0 / 384, b3 = 500.0 / 1113, b4 = 125.0 / 192, b5 = -2187.0 / 6784,
+                 b6 = 11.0 / 84;
+// e = b5th - b4th (error estimator weights; e2 == 0).
+constexpr double e1 = 71.0 / 57600, e3 = -71.0 / 16695, e4 = 71.0 / 1920,
+                 e5 = -17253.0 / 339200, e6 = 22.0 / 525, e7 = -1.0 / 40;
+} // namespace dp
+
+double Rk45Integrator::attempt(const OdeSystem& sys, double t, double h, const Vec& x,
+                               Vec& xOut) {
+    using namespace dp;
+    const std::size_t n = sys.dim();
+    resize(k1_, n);
+    resize(k2_, n);
+    resize(k3_, n);
+    resize(k4_, n);
+    resize(k5_, n);
+    resize(k6_, n);
+    resize(k7_, n);
+    resize(tmp_, n);
+    resize(xOut, n);
+
+    eval(sys, t, x, k1_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + h * a21 * k1_[i];
+    eval(sys, t + c2 * h, tmp_, k2_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + h * (a31 * k1_[i] + a32 * k2_[i]);
+    eval(sys, t + c3 * h, tmp_, k3_);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp_[i] = x[i] + h * (a41 * k1_[i] + a42 * k2_[i] + a43 * k3_[i]);
+    eval(sys, t + c4 * h, tmp_, k4_);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp_[i] = x[i] + h * (a51 * k1_[i] + a52 * k2_[i] + a53 * k3_[i] + a54 * k4_[i]);
+    eval(sys, t + c5 * h, tmp_, k5_);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp_[i] =
+            x[i] + h * (a61 * k1_[i] + a62 * k2_[i] + a63 * k3_[i] + a64 * k4_[i] + a65 * k5_[i]);
+    eval(sys, t + h, tmp_, k6_);
+    for (std::size_t i = 0; i < n; ++i)
+        xOut[i] =
+            x[i] + h * (b1 * k1_[i] + b3 * k3_[i] + b4 * k4_[i] + b5 * k5_[i] + b6 * k6_[i]);
+    eval(sys, t + h, xOut, k7_);
+
+    // Scaled RMS error norm.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double e = h * (e1 * k1_[i] + e3 * k3_[i] + e4 * k4_[i] + e5 * k5_[i] +
+                              e6 * k6_[i] + e7 * k7_[i]);
+        const double scale = atol_ + rtol_ * std::max(std::abs(x[i]), std::abs(xOut[i]));
+        const double r = e / scale;
+        sum += r * r;
+    }
+    return n ? std::sqrt(sum / static_cast<double>(n)) : 0.0;
+}
+
+void Rk45Integrator::step(const OdeSystem& sys, double t, double dt, Vec& x) {
+    if (dt <= 0) return;
+    Vec xNew;
+    double remaining = dt;
+    double h = (hLast_ > 0 && hLast_ < dt) ? hLast_ : dt;
+    const double hMin = 1e-14 * std::max(1.0, std::abs(t) + dt);
+
+    while (remaining > 0) {
+        h = std::min(h, remaining);
+        const double err = attempt(sys, t, h, x, xNew);
+        if (err <= 1.0 || h <= hMin) {
+            t += h;
+            remaining -= h;
+            x = xNew;
+            ++accepted_;
+            ++steps_;
+            const double grow =
+                (err <= 1e-12) ? 5.0 : std::clamp(0.9 * std::pow(err, -0.2), 0.2, 5.0);
+            h *= grow;
+        } else {
+            ++rejected_;
+            h *= std::clamp(0.9 * std::pow(err, -0.2), 0.1, 0.9);
+            if (h < hMin) h = hMin;
+        }
+    }
+    hLast_ = h;
+}
+
+void Rk45Integrator::reset() {
+    Integrator::reset();
+    hLast_ = 0.0;
+    accepted_ = rejected_ = 0;
+}
+
+// ----------------------------------------------------------------------- AB2
+
+void AdamsBashforth2Integrator::step(const OdeSystem& sys, double t, double dt, Vec& x) {
+    const std::size_t n = sys.dim();
+    resize(k1_, n);
+    resize(tmp_, n);
+
+    // History is only valid when continuing the same trajectory with the
+    // same step size.
+    const bool contiguous = haveHistory_ && lastSys_ == &sys &&
+                            std::abs(lastT_ + lastDt_ - t) < 1e-12 * std::max(1.0, std::abs(t)) &&
+                            std::abs(lastDt_ - dt) < 1e-15;
+
+    eval(sys, t, x, k1_);
+    if (!contiguous) {
+        // Bootstrap with one Heun step.
+        resize(k2_, n);
+        for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + dt * k1_[i];
+        eval(sys, t + dt, tmp_, k2_);
+        for (std::size_t i = 0; i < n; ++i) x[i] += 0.5 * dt * (k1_[i] + k2_[i]);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] += dt * (1.5 * k1_[i] - 0.5 * fPrev_[i]);
+    }
+    fPrev_ = k1_;
+    lastT_ = t;
+    lastDt_ = dt;
+    lastSys_ = &sys;
+    haveHistory_ = true;
+    ++steps_;
+}
+
+void AdamsBashforth2Integrator::reset() {
+    Integrator::reset();
+    haveHistory_ = false;
+    lastSys_ = nullptr;
+}
+
+// ------------------------------------------------------ Implicit foundations
+
+namespace {
+
+/// Finite-difference Jacobian of f at (t, x): J(i,j) = df_i/dx_j.
+Matrix numericJacobian(const OdeSystem& sys, double t, const Vec& x, const Vec& f0,
+                       std::uint64_t& evalCount) {
+    const std::size_t n = x.size();
+    Matrix j(n, n);
+    Vec xp = x, fp(n);
+    for (std::size_t col = 0; col < n; ++col) {
+        const double eps = 1e-8 * std::max(1.0, std::abs(x[col]));
+        xp[col] = x[col] + eps;
+        sys.derivatives(t, xp, fp);
+        ++evalCount;
+        for (std::size_t row = 0; row < n; ++row) j(row, col) = (fp[row] - f0[row]) / eps;
+        xp[col] = x[col];
+    }
+    return j;
+}
+
+/// Solve y = x0 + dt*theta*f(t1,y) + c  via Newton. theta=1, c=0 gives
+/// implicit Euler; theta=1/2, c=dt/2*f0 gives trapezoidal.
+void newtonSolve(const OdeSystem& sys, double t1, double dt, double theta, const Vec& x0,
+                 const Vec& constPart, Vec& y, double tol, int maxIter,
+                 std::uint64_t& evalCount) {
+    const std::size_t n = x0.size();
+    Vec f(n), residual(n);
+    for (int it = 0; it < maxIter; ++it) {
+        sys.derivatives(t1, y, f);
+        ++evalCount;
+        for (std::size_t i = 0; i < n; ++i)
+            residual[i] = y[i] - x0[i] - dt * theta * f[i] - constPart[i];
+        if (normInf(residual) < tol) return;
+
+        Matrix jac = numericJacobian(sys, t1, y, f, evalCount);
+        // Newton matrix: I - dt*theta*J.
+        Matrix m = Matrix::identity(n);
+        m.addScaled(-dt * theta, jac);
+        for (std::size_t i = 0; i < n; ++i) residual[i] = -residual[i];
+        Vec d = LuFactor(std::move(m)).solve(residual);
+        axpy(1.0, d, y);
+        if (normInf(d) < tol) return;
+    }
+    throw std::runtime_error("implicit integrator: Newton iteration did not converge");
+}
+
+} // namespace
+
+void ImplicitEulerIntegrator::step(const OdeSystem& sys, double t, double dt, Vec& x) {
+    const std::size_t n = sys.dim();
+    Vec f0(n);
+    eval(sys, t, x, f0);
+    // Explicit Euler predictor.
+    Vec y = x;
+    axpy(dt, f0, y);
+    Vec zero(n, 0.0);
+    newtonSolve(sys, t + dt, dt, 1.0, x, zero, y, tol_, maxIter_, evalCounter(sys));
+    x = y;
+    ++steps_;
+}
+
+void TrapezoidalIntegrator::step(const OdeSystem& sys, double t, double dt, Vec& x) {
+    const std::size_t n = sys.dim();
+    Vec f0(n);
+    eval(sys, t, x, f0);
+    Vec y = x;
+    axpy(dt, f0, y); // predictor
+    Vec c(n);
+    for (std::size_t i = 0; i < n; ++i) c[i] = 0.5 * dt * f0[i];
+    newtonSolve(sys, t + dt, dt, 0.5, x, c, y, tol_, maxIter_, evalCounter(sys));
+    x = y;
+    ++steps_;
+}
+
+// ------------------------------------------------------------------- Factory
+
+std::unique_ptr<Integrator> makeIntegrator(const std::string& method) {
+    if (method == "Euler") return std::make_unique<EulerIntegrator>();
+    if (method == "Heun") return std::make_unique<HeunIntegrator>();
+    if (method == "RK4") return std::make_unique<Rk4Integrator>();
+    if (method == "RK45") return std::make_unique<Rk45Integrator>();
+    if (method == "AB2") return std::make_unique<AdamsBashforth2Integrator>();
+    if (method == "ImplicitEuler") return std::make_unique<ImplicitEulerIntegrator>();
+    if (method == "Trapezoidal") return std::make_unique<TrapezoidalIntegrator>();
+    throw std::invalid_argument("makeIntegrator: unknown method '" + method + "'");
+}
+
+} // namespace urtx::solver

@@ -1,0 +1,169 @@
+#pragma once
+/// \file integrator.hpp
+/// Integration-method strategies (ConcreteStrategyA/B/C of the paper's
+/// Figure 1): interchangeable numerical methods behind one interface.
+///
+/// Fixed-step methods advance exactly dt. The adaptive method (RK45)
+/// internally sub-steps with error control but still lands exactly on
+/// t + dt, so callers can treat every strategy uniformly.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "solver/ode.hpp"
+
+namespace urtx::solver {
+
+class Integrator {
+public:
+    virtual ~Integrator() = default;
+
+    /// Human-readable method name ("RK4", ...).
+    virtual const char* name() const = 0;
+    /// Classical order of accuracy.
+    virtual int order() const = 0;
+    /// Does the method control its own sub-step size?
+    virtual bool adaptive() const { return false; }
+
+    /// Advance \p x in place from \p t to \p t + \p dt (dt > 0).
+    virtual void step(const OdeSystem& sys, double t, double dt, Vec& x) = 0;
+
+    /// Reset internal statistics and any cached stage data.
+    virtual void reset() { steps_ = 0; }
+
+    /// Steps taken (for adaptive methods: accepted internal sub-steps).
+    std::uint64_t steps() const { return steps_; }
+
+protected:
+    /// Counting derivative evaluation used by all strategies.
+    static void eval(const OdeSystem& sys, double t, const Vec& x, Vec& dxdt) {
+        ++sys.evals_;
+        sys.derivatives(t, x, dxdt);
+    }
+    /// Access to the eval counter for strategies with bespoke inner loops
+    /// (implicit methods count Jacobian probes too).
+    static std::uint64_t& evalCounter(const OdeSystem& sys) { return sys.evals_; }
+    std::uint64_t steps_ = 0;
+};
+
+/// Forward Euler: x += dt f(t, x). Order 1.
+class EulerIntegrator final : public Integrator {
+public:
+    const char* name() const override { return "Euler"; }
+    int order() const override { return 1; }
+    void step(const OdeSystem& sys, double t, double dt, Vec& x) override;
+
+private:
+    Vec k1_;
+};
+
+/// Heun (explicit trapezoidal / RK2). Order 2.
+class HeunIntegrator final : public Integrator {
+public:
+    const char* name() const override { return "Heun"; }
+    int order() const override { return 2; }
+    void step(const OdeSystem& sys, double t, double dt, Vec& x) override;
+
+private:
+    Vec k1_, k2_, tmp_;
+};
+
+/// Classic Runge–Kutta 4. Order 4.
+class Rk4Integrator final : public Integrator {
+public:
+    const char* name() const override { return "RK4"; }
+    int order() const override { return 4; }
+    void step(const OdeSystem& sys, double t, double dt, Vec& x) override;
+
+private:
+    Vec k1_, k2_, k3_, k4_, tmp_;
+};
+
+/// Adaptive Dormand–Prince RK45 with PI step-size control.
+class Rk45Integrator final : public Integrator {
+public:
+    explicit Rk45Integrator(double rtol = 1e-6, double atol = 1e-9)
+        : rtol_(rtol), atol_(atol) {}
+
+    const char* name() const override { return "RK45"; }
+    int order() const override { return 5; }
+    bool adaptive() const override { return true; }
+    void step(const OdeSystem& sys, double t, double dt, Vec& x) override;
+    void reset() override;
+
+    double rtol() const { return rtol_; }
+    double atol() const { return atol_; }
+    void setTolerances(double rtol, double atol) {
+        rtol_ = rtol;
+        atol_ = atol;
+    }
+
+    std::uint64_t accepted() const { return accepted_; }
+    std::uint64_t rejected() const { return rejected_; }
+
+private:
+    /// One embedded 4(5) attempt from (t, x) with step h. Writes the 5th
+    /// order result into xOut and returns the scaled error norm.
+    double attempt(const OdeSystem& sys, double t, double h, const Vec& x, Vec& xOut);
+
+    double rtol_, atol_;
+    double hLast_ = 0.0; ///< carry the step size across calls
+    std::uint64_t accepted_ = 0, rejected_ = 0;
+    Vec k1_, k2_, k3_, k4_, k5_, k6_, k7_, tmp_;
+};
+
+/// Two-step Adams–Bashforth: x_{n+1} = x_n + h (3 f_n - f_{n-1}) / 2.
+/// Order 2 with a single new evaluation per step (cheapest order-2
+/// explicit method); the first step bootstraps with Heun. The history is
+/// invalidated when the step size or the system changes.
+class AdamsBashforth2Integrator final : public Integrator {
+public:
+    const char* name() const override { return "AB2"; }
+    int order() const override { return 2; }
+    void step(const OdeSystem& sys, double t, double dt, Vec& x) override;
+    void reset() override;
+
+private:
+    Vec fPrev_, k1_, k2_, tmp_;
+    double lastT_ = 0.0, lastDt_ = 0.0;
+    const OdeSystem* lastSys_ = nullptr;
+    bool haveHistory_ = false;
+};
+
+/// Implicit (backward) Euler with damped Newton iteration and a
+/// finite-difference Jacobian. A-stable; order 1.
+class ImplicitEulerIntegrator final : public Integrator {
+public:
+    explicit ImplicitEulerIntegrator(double newtonTol = 1e-10, int maxIter = 25)
+        : tol_(newtonTol), maxIter_(maxIter) {}
+
+    const char* name() const override { return "ImplicitEuler"; }
+    int order() const override { return 1; }
+    void step(const OdeSystem& sys, double t, double dt, Vec& x) override;
+
+private:
+    double tol_;
+    int maxIter_;
+};
+
+/// Implicit trapezoidal rule (Crank–Nicolson). A-stable; order 2.
+class TrapezoidalIntegrator final : public Integrator {
+public:
+    explicit TrapezoidalIntegrator(double newtonTol = 1e-10, int maxIter = 25)
+        : tol_(newtonTol), maxIter_(maxIter) {}
+
+    const char* name() const override { return "Trapezoidal"; }
+    int order() const override { return 2; }
+    void step(const OdeSystem& sys, double t, double dt, Vec& x) override;
+
+private:
+    double tol_;
+    int maxIter_;
+};
+
+/// Factory by method name ("Euler", "Heun", "RK4", "RK45", "ImplicitEuler",
+/// "Trapezoidal"); throws std::invalid_argument on unknown names.
+std::unique_ptr<Integrator> makeIntegrator(const std::string& method);
+
+} // namespace urtx::solver

@@ -1,0 +1,143 @@
+#include "solver/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace urtx::solver {
+
+double norm2(const Vec& v) {
+    double s = 0;
+    for (double x : v) s += x * x;
+    return std::sqrt(s);
+}
+
+double normInf(const Vec& v) {
+    double m = 0;
+    for (double x : v) m = std::max(m, std::abs(x));
+    return m;
+}
+
+void axpy(double s, const Vec& b, Vec& a) {
+    if (a.size() != b.size()) throw std::invalid_argument("axpy: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+double dot(const Vec& a, const Vec& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+    double s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+        if (r.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+}
+
+Vec Matrix::mul(const Vec& x) const {
+    if (x.size() != cols_) throw std::invalid_argument("Matrix::mul: size mismatch");
+    Vec y(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double s = 0;
+        for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * x[j];
+        y[i] = s;
+    }
+    return y;
+}
+
+Matrix Matrix::mul(const Matrix& b) const {
+    if (cols_ != b.rows_) throw std::invalid_argument("Matrix::mul: shape mismatch");
+    Matrix c(rows_, b.cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0) continue;
+            for (std::size_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+        }
+    return c;
+}
+
+void Matrix::addScaled(double s, const Matrix& b) {
+    if (rows_ != b.rows_ || cols_ != b.cols_)
+        throw std::invalid_argument("Matrix::addScaled: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * b.data_[i];
+}
+
+LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), piv_(lu_.rows()) {
+    if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuFactor: matrix not square");
+    const std::size_t n = lu_.rows();
+    for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot.
+        std::size_t p = k;
+        double best = std::abs(lu_(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(lu_(i, k));
+            if (v > best) {
+                best = v;
+                p = i;
+            }
+        }
+        if (best < 1e-300) throw std::runtime_error("LuFactor: singular matrix");
+        if (p != k) {
+            for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+            std::swap(piv_[k], piv_[p]);
+            pivSign_ = -pivSign_;
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            lu_(i, k) /= lu_(k, k);
+            const double lik = lu_(i, k);
+            if (lik == 0.0) continue;
+            for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= lik * lu_(k, j);
+        }
+    }
+}
+
+Vec LuFactor::solve(const Vec& b) const {
+    const std::size_t n = lu_.rows();
+    if (b.size() != n) throw std::invalid_argument("LuFactor::solve: size mismatch");
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+    // Forward substitution (unit lower).
+    for (std::size_t i = 1; i < n; ++i) {
+        double s = x[i];
+        for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+        x[i] = s;
+    }
+    // Back substitution.
+    for (std::size_t i = n; i-- > 0;) {
+        double s = x[i];
+        for (std::size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+        x[i] = s / lu_(i, i);
+    }
+    return x;
+}
+
+double LuFactor::determinant() const {
+    double d = pivSign_;
+    for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+    return d;
+}
+
+Vec solve(const Matrix& a, const Vec& b) { return LuFactor(a).solve(b); }
+
+} // namespace urtx::solver

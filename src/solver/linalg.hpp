@@ -1,0 +1,83 @@
+#pragma once
+/// \file linalg.hpp
+/// Small dense linear algebra used by the implicit integrators and the
+/// state-space control blocks. Not a general-purpose BLAS: sizes here are
+/// the handful of states of a control model, so clarity beats blocking.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace urtx::solver {
+
+/// Dynamic real vector.
+using Vec = std::vector<double>;
+
+/// Euclidean norm.
+double norm2(const Vec& v);
+/// Infinity norm.
+double normInf(const Vec& v);
+/// r = a + s*b (sizes must match).
+void axpy(double s, const Vec& b, Vec& a);
+/// Dot product.
+double dot(const Vec& a, const Vec& b);
+
+/// Row-major dense matrix.
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    /// Build from nested initializer lists; all rows must be equally long.
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    double& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+    double operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+    Matrix transposed() const;
+
+    /// y = A * x.
+    Vec mul(const Vec& x) const;
+    /// C = A * B.
+    Matrix mul(const Matrix& b) const;
+    /// Element-wise: A += s * B.
+    void addScaled(double s, const Matrix& b);
+
+    const std::vector<double>& data() const { return data_; }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Throws std::runtime_error when the matrix is singular to working
+/// precision.
+class LuFactor {
+public:
+    explicit LuFactor(Matrix a);
+
+    /// Solve A x = b; returns x.
+    Vec solve(const Vec& b) const;
+    /// det(A), including pivot sign.
+    double determinant() const;
+    std::size_t dim() const { return lu_.rows(); }
+
+private:
+    Matrix lu_;
+    std::vector<std::size_t> piv_;
+    int pivSign_ = 1;
+};
+
+/// Convenience one-shot solve of A x = b.
+Vec solve(const Matrix& a, const Vec& b);
+
+} // namespace urtx::solver

@@ -1,0 +1,53 @@
+#pragma once
+/// \file ode.hpp
+/// The continuous-system interface integrated by solver strategies.
+///
+/// A streamer network with continuous states presents itself to the solver
+/// as one OdeSystem: dx/dt = f(t, x). Inputs flow in through DPorts and are
+/// captured inside f by the network's output-propagation pass.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "solver/linalg.hpp"
+
+namespace urtx::solver {
+
+/// A first-order ODE system dx/dt = f(t, x).
+class OdeSystem {
+public:
+    virtual ~OdeSystem() = default;
+
+    /// State dimension (constant over the system's life).
+    virtual std::size_t dim() const = 0;
+
+    /// Evaluate dx/dt into \p dxdt (pre-sized to dim()).
+    virtual void derivatives(double t, const Vec& x, Vec& dxdt) const = 0;
+
+    /// Number of derivative evaluations performed (cost metric).
+    std::uint64_t evals() const { return evals_; }
+    void resetEvalCount() { evals_ = 0; }
+
+protected:
+    /// Implementations of derivatives() need not touch this; the counting
+    /// wrapper eval() below increments it.
+    mutable std::uint64_t evals_ = 0;
+    friend class Integrator;
+};
+
+/// Wrap a callable as an OdeSystem (handy in tests and benchmarks).
+class FnOde final : public OdeSystem {
+public:
+    using Fn = std::function<void(double, const Vec&, Vec&)>;
+    FnOde(std::size_t dim, Fn fn) : dim_(dim), fn_(std::move(fn)) {}
+
+    std::size_t dim() const override { return dim_; }
+    void derivatives(double t, const Vec& x, Vec& dxdt) const override { fn_(t, x, dxdt); }
+
+private:
+    std::size_t dim_;
+    Fn fn_;
+};
+
+} // namespace urtx::solver

@@ -1,0 +1,9 @@
+#pragma once
+/// \file solver.hpp
+/// Umbrella header for the numerical solver library.
+
+#include "solver/difference.hpp"
+#include "solver/integrator.hpp"
+#include "solver/linalg.hpp"
+#include "solver/ode.hpp"
+#include "solver/zero_crossing.hpp"

@@ -1,0 +1,110 @@
+#include "solver/zero_crossing.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace urtx::solver {
+
+namespace {
+
+bool signChanged(double a, double b, CrossingDir dir) {
+    switch (dir) {
+        case CrossingDir::Any:
+            return (a < 0 && b >= 0) || (a > 0 && b <= 0);
+        case CrossingDir::Rising:
+            return a < 0 && b >= 0;
+        case CrossingDir::Falling:
+            return a > 0 && b <= 0;
+    }
+    return false;
+}
+
+} // namespace
+
+void ZeroCrossingDetector::prime(double t, const Vec& x) {
+    lastValues_.resize(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) lastValues_[i] = events_[i](t, x);
+}
+
+namespace {
+
+/// Bisect on the sub-step size h in (0, dt] for one event, re-integrating
+/// from (t0, x0) so the localization matches the integrator's trajectory.
+double localize(const OdeSystem& sys, Integrator& method, const EventFn& g, CrossingDir dir,
+                double g0, double t0, double dt, const Vec& x0, double tol) {
+    double lo = 0.0, hi = dt;
+    Vec xMid;
+    const int maxIter =
+        std::max(4, static_cast<int>(std::ceil(std::log2(std::max(dt / tol, 2.0)))) + 2);
+    for (int it = 0; it < maxIter && (hi - lo) > tol; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        xMid = x0;
+        method.step(sys, t0, mid, xMid);
+        const double gm = g(t0 + mid, xMid);
+        if (signChanged(g0, gm, dir)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return hi; // just past the crossing so the sign has flipped
+}
+
+} // namespace
+
+bool ZeroCrossingDetector::checkAll(const OdeSystem& sys, Integrator& method, double t0,
+                                    double dt, const Vec& x0, const Vec& x1,
+                                    std::vector<Crossing>& out) {
+    out.clear();
+    if (events_.empty()) return false;
+    if (lastValues_.size() != events_.size()) prime(t0, x0);
+
+    const double t1 = t0 + dt;
+    std::vector<std::size_t> flagged;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const double g1 = events_[i](t1, x1);
+        if (signChanged(lastValues_[i], g1, dirs_[i])) flagged.push_back(i);
+    }
+    if (flagged.empty()) {
+        for (std::size_t i = 0; i < events_.size(); ++i) lastValues_[i] = events_[i](t1, x1);
+        return false;
+    }
+
+    // Localize each flagged event; the earliest wins.
+    double hEarliest = dt;
+    for (std::size_t i : flagged) {
+        const double h = localize(sys, method, events_[i], dirs_[i], lastValues_[i], t0, dt, x0,
+                                  tol_);
+        hEarliest = std::min(hEarliest, h);
+    }
+
+    // State at the earliest crossing; every event that has flipped by then
+    // is simultaneous and gets reported.
+    Vec xStar = x0;
+    method.step(sys, t0, hEarliest, xStar);
+    const double tStar = t0 + hEarliest;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const double gi = events_[i](tStar, xStar);
+        if (signChanged(lastValues_[i], gi, dirs_[i])) {
+            out.push_back(Crossing{i, tStar, xStar, lastValues_[i] < 0});
+        }
+        lastValues_[i] = gi; // latch; still-pending events keep their old sign
+    }
+    if (out.empty()) {
+        // Numerical edge: the earliest localized event flipped between its
+        // own hi-side probe and tStar evaluation. Report it explicitly.
+        const std::size_t i = flagged.front();
+        out.push_back(Crossing{i, tStar, xStar, lastValues_[i] >= 0});
+    }
+    return true;
+}
+
+bool ZeroCrossingDetector::check(const OdeSystem& sys, Integrator& method, double t0, double dt,
+                                 const Vec& x0, const Vec& x1, Crossing& out) {
+    std::vector<Crossing> all;
+    if (!checkAll(sys, method, t0, dt, x0, x1, all)) return false;
+    out = std::move(all.front());
+    return true;
+}
+
+} // namespace urtx::solver

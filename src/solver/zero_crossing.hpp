@@ -1,0 +1,73 @@
+#pragma once
+/// \file zero_crossing.hpp
+/// State-event detection for hybrid simulation.
+///
+/// Continuous streamers may expose event functions g(t, x); when g changes
+/// sign during an integration step the simulation engine must stop at the
+/// crossing and emit a signal to the event-driven (capsule) side. The
+/// localizer here is method-independent: it re-integrates from the saved
+/// step start while bisecting on the step size, so it works with any
+/// Integrator strategy.
+
+#include <functional>
+#include <vector>
+
+#include "solver/integrator.hpp"
+#include "solver/ode.hpp"
+
+namespace urtx::solver {
+
+/// A scalar event function g(t, x). A *crossing* happens when the sign of g
+/// changes between two successive major steps.
+using EventFn = std::function<double(double, const Vec&)>;
+
+/// Direction filter for crossings.
+enum class CrossingDir { Any, Rising, Falling };
+
+/// Result of a localized crossing.
+struct Crossing {
+    std::size_t index;  ///< which event function fired
+    double t;           ///< localized crossing time
+    Vec state;          ///< state at the crossing
+    bool rising;        ///< g went from <0 to >=0
+};
+
+/// Detects and localizes zero crossings over integration steps.
+class ZeroCrossingDetector {
+public:
+    /// \p tol: time localization tolerance (seconds).
+    explicit ZeroCrossingDetector(double tol = 1e-9) : tol_(tol) {}
+
+    void addEvent(EventFn g, CrossingDir dir = CrossingDir::Any) {
+        events_.push_back(std::move(g));
+        dirs_.push_back(dir);
+    }
+    std::size_t eventCount() const { return events_.size(); }
+
+    /// Called with the state at the start of a simulation to latch initial
+    /// signs.
+    void prime(double t, const Vec& x);
+
+    /// Inspect the step [t0, t0+dt] that moved the state from x0 to x1.
+    /// When some event crossed, localize the *earliest* crossing using
+    /// \p method re-integrating from x0, and return it. The caller should
+    /// then truncate its step to the returned time.
+    bool check(const OdeSystem& sys, Integrator& method, double t0, double dt, const Vec& x0,
+               const Vec& x1, Crossing& out);
+
+    /// Like check(), but reports *every* event that has crossed by the
+    /// localized earliest time — simultaneous crossings (e.g. identical
+    /// subsystems) are all delivered instead of being swallowed by the
+    /// re-latch. Events that cross later in [t0, t0+dt] stay pending and
+    /// surface on the next call.
+    bool checkAll(const OdeSystem& sys, Integrator& method, double t0, double dt, const Vec& x0,
+                  const Vec& x1, std::vector<Crossing>& out);
+
+private:
+    double tol_;
+    std::vector<EventFn> events_;
+    std::vector<CrossingDir> dirs_;
+    std::vector<double> lastValues_;
+};
+
+} // namespace urtx::solver

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "codegen/dot_export.hpp"
+#include "model/model.hpp"
+
+namespace cg = urtx::codegen;
+namespace m = urtx::model;
+namespace f = urtx::flow;
+
+namespace {
+
+m::Model figModel() {
+    m::Model mod;
+    mod.name = "fig";
+    mod.protocols.push_back({"Ctl", {{"go", "in"}}});
+    mod.flowTypes.push_back({"Scalar", f::FlowType::real()});
+
+    m::StreamerClassDecl sub;
+    sub.name = "Sub";
+    sub.solver = "RK4";
+    sub.ports.push_back({"u", m::PortDecl::Kind::Data, "", false, false, "Scalar", "in"});
+    sub.ports.push_back({"y", m::PortDecl::Kind::Data, "", false, false, "Scalar", "out"});
+    mod.streamers.push_back(sub);
+
+    m::StreamerClassDecl top;
+    top.name = "Top";
+    top.ports.push_back({"u", m::PortDecl::Kind::Data, "", false, false, "Scalar", "in"});
+    top.ports.push_back({"s", m::PortDecl::Kind::Signal, "Ctl", true, false, "", ""});
+    top.parts.push_back({"a", "Sub", m::PartDecl::Kind::Streamer});
+    top.parts.push_back({"b", "Sub", m::PartDecl::Kind::Streamer});
+    top.relays.push_back({"r", "Scalar", 2});
+    top.flows.push_back({"u", "a.u"});
+    top.flows.push_back({"a.y", "r.in"});
+    top.flows.push_back({"r.out0", "b.u"});
+    mod.streamers.push_back(top);
+
+    m::CapsuleClassDecl cap;
+    cap.name = "Cap";
+    cap.ports.push_back({"p", m::PortDecl::Kind::Signal, "Ctl", false, false, "", ""});
+    cap.parts.push_back({"grp", "Top", m::PartDecl::Kind::Streamer});
+    cap.states.push_back({"Idle", "", true});
+    cap.states.push_back({"Busy", "", false});
+    cap.transitions.push_back({"Idle", "Busy", "go", "armed", "start"});
+    mod.capsules.push_back(cap);
+    mod.topCapsule = "Cap";
+    return mod;
+}
+
+} // namespace
+
+TEST(DotExport, StreamerDiagramHasClustersPortsAndFlows) {
+    const auto mod = figModel();
+    const auto dot = cg::streamerDot(mod, mod.streamers[1]);
+    EXPECT_NE(dot.find("digraph Top"), std::string::npos);
+    EXPECT_NE(dot.find("<<streamer>> Top"), std::string::npos);
+    EXPECT_NE(dot.find("subgraph cluster_Top_a"), std::string::npos);
+    EXPECT_NE(dot.find("shape=circle"), std::string::npos) << "DPorts are circles (paper)";
+    EXPECT_NE(dot.find("shape=square"), std::string::npos) << "SPorts are squares (paper)";
+    EXPECT_NE(dot.find("<<relay>> r"), std::string::npos);
+    EXPECT_NE(dot.find("Top_a_y -> Top_r_in"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"flow\""), std::string::npos);
+}
+
+TEST(DotExport, CapsuleDiagramShowsContainment) {
+    const auto mod = figModel();
+    const auto dot = cg::capsuleDot(mod, mod.capsules[0]);
+    EXPECT_NE(dot.find("<<capsule>> Cap"), std::string::npos);
+    EXPECT_NE(dot.find("grp : Top"), std::string::npos);
+    EXPECT_NE(dot.find("style=rounded"), std::string::npos) << "streamer parts rounded";
+}
+
+TEST(DotExport, MachineDiagramHasInitialAndGuards) {
+    const auto mod = figModel();
+    const auto dot = cg::machineDot(mod.capsules[0]);
+    EXPECT_NE(dot.find("__init -> Idle"), std::string::npos);
+    EXPECT_NE(dot.find("Idle -> Busy"), std::string::npos);
+    EXPECT_NE(dot.find("go [armed] / start"), std::string::npos);
+}
+
+TEST(DotExport, ModelOverviewLinksContainment) {
+    const auto mod = figModel();
+    const auto dot = cg::modelDot(mod);
+    EXPECT_NE(dot.find("Cap -> Top"), std::string::npos);
+    EXPECT_NE(dot.find("__top -> Cap"), std::string::npos);
+    EXPECT_NE(dot.find("<<streamer>> Sub"), std::string::npos);
+}
+
+TEST(DotExport, OutputIsBalanced) {
+    // Cheap well-formedness: braces balance in every artifact.
+    const auto mod = figModel();
+    for (const std::string& dot :
+         {cg::streamerDot(mod, mod.streamers[1]), cg::capsuleDot(mod, mod.capsules[0]),
+          cg::machineDot(mod.capsules[0]), cg::modelDot(mod)}) {
+        int depth = 0;
+        for (char ch : dot) {
+            if (ch == '{') ++depth;
+            if (ch == '}') --depth;
+            EXPECT_GE(depth, 0);
+        }
+        EXPECT_EQ(depth, 0);
+    }
+}

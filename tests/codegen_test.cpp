@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "codegen/codegen.hpp"
+#include "model/validator.hpp"
+
+namespace cg = urtx::codegen;
+namespace m = urtx::model;
+namespace f = urtx::flow;
+
+namespace {
+
+m::Model demoModel() {
+    m::Model mod;
+    mod.name = "thermo";
+    mod.protocols.push_back({"Heater", {{"on", "out"}, {"off", "out"}, {"fault", "in"}}});
+    mod.flowTypes.push_back({"Temp", f::FlowType::real()});
+    mod.flowTypes.push_back(
+        {"State",
+         f::FlowType::record({{"T", f::FlowType::real()}, {"dT", f::FlowType::real()}})});
+
+    m::StreamerClassDecl room;
+    room.name = "RoomModel";
+    room.solver = "RK4";
+    room.equations = "dT/dt = -k (T - Tamb) + P u";
+    room.ports.push_back({"u", m::PortDecl::Kind::Data, "", false, false, "Temp", "in"});
+    room.ports.push_back({"T", m::PortDecl::Kind::Data, "", false, false, "Temp", "out"});
+    room.ports.push_back({"ctl", m::PortDecl::Kind::Signal, "Heater", true, false, "", ""});
+    mod.streamers.push_back(room);
+
+    m::StreamerClassDecl group;
+    group.name = "PlantGroup";
+    group.ports.push_back({"Tout", m::PortDecl::Kind::Data, "", false, false, "Temp", "out"});
+    group.parts.push_back({"room", "RoomModel", m::PartDecl::Kind::Streamer});
+    group.relays.push_back({"split", "Temp", 2});
+    group.flows.push_back({"room.T", "split.in"});
+    group.flows.push_back({"split.out0", "Tout"});
+    mod.streamers.push_back(group);
+
+    m::CapsuleClassDecl thermostat;
+    thermostat.name = "Thermostat";
+    thermostat.ports.push_back(
+        {"heater", m::PortDecl::Kind::Signal, "Heater", false, false, "", ""});
+    thermostat.states.push_back({"Idle", "", true});
+    thermostat.states.push_back({"Heating", "", false});
+    thermostat.transitions.push_back({"Idle", "Heating", "tooCold", "T < low", "send on"});
+    thermostat.transitions.push_back({"Heating", "Idle", "tooHot", "", ""});
+    mod.capsules.push_back(thermostat);
+    mod.topCapsule = "Thermostat";
+    return mod;
+}
+
+std::string fileNamed(const std::vector<cg::GeneratedFile>& files, const std::string& path) {
+    for (const auto& f2 : files) {
+        if (f2.path == path) return f2.content;
+    }
+    ADD_FAILURE() << "missing generated file " << path;
+    return "";
+}
+
+} // namespace
+
+TEST(Codegen, IdentifierSanitization) {
+    EXPECT_EQ(cg::CodeGenerator::identifier("simple"), "simple");
+    EXPECT_EQ(cg::CodeGenerator::identifier("with space"), "with_space");
+    EXPECT_EQ(cg::CodeGenerator::identifier("3rd"), "_3rd");
+    EXPECT_EQ(cg::CodeGenerator::identifier("a-b.c"), "a_b_c");
+    EXPECT_EQ(cg::CodeGenerator::identifier(""), "_");
+}
+
+TEST(Codegen, FlowTypeExprBuilds) {
+    EXPECT_EQ(cg::CodeGenerator::flowTypeExpr(f::FlowType::real()),
+              "urtx::flow::FlowType::real()");
+    EXPECT_EQ(cg::CodeGenerator::flowTypeExpr(f::FlowType::vector(f::FlowType::integer(), 3)),
+              "urtx::flow::FlowType::vector(urtx::flow::FlowType::integer(), 3)");
+    const auto rec = f::FlowType::record({{"a", f::FlowType::real()}});
+    EXPECT_EQ(cg::CodeGenerator::flowTypeExpr(rec),
+              "urtx::flow::FlowType::record({{\"a\", urtx::flow::FlowType::real()}})");
+}
+
+TEST(Codegen, GeneratesExpectedFileSet) {
+    const auto model = demoModel();
+    ASSERT_TRUE(m::Validator::ok(m::Validator().validate(model)));
+    const auto files = cg::CodeGenerator().generate(model);
+    ASSERT_EQ(files.size(), 8u); // protocols, flowtypes, 2 streamers, 1 capsule, main, cmake, dot
+    fileNamed(files, "gen_protocols.hpp");
+    fileNamed(files, "gen_flowtypes.hpp");
+    fileNamed(files, "gen_RoomModel.hpp");
+    fileNamed(files, "gen_PlantGroup.hpp");
+    fileNamed(files, "gen_Thermostat.hpp");
+    fileNamed(files, "main.cpp");
+    fileNamed(files, "CMakeLists.txt");
+    fileNamed(files, "model.dot");
+}
+
+TEST(Codegen, ProtocolHeaderContent) {
+    const auto files = cg::CodeGenerator().generate(demoModel());
+    const auto text = fileNamed(files, "gen_protocols.hpp");
+    EXPECT_NE(text.find("namespace gen::protocols"), std::string::npos);
+    EXPECT_NE(text.find("inline const urtx::rt::Protocol& Heater()"), std::string::npos);
+    EXPECT_NE(text.find("q.out(\"on\");"), std::string::npos);
+    EXPECT_NE(text.find("q.in(\"fault\");"), std::string::npos);
+}
+
+TEST(Codegen, FlowTypeHeaderContent) {
+    const auto files = cg::CodeGenerator().generate(demoModel());
+    const auto text = fileNamed(files, "gen_flowtypes.hpp");
+    EXPECT_NE(text.find("inline const urtx::flow::FlowType& Temp()"), std::string::npos);
+    EXPECT_NE(text.find("FlowType::record"), std::string::npos);
+}
+
+TEST(Codegen, CapsuleHeaderHasMachineAndHooks) {
+    const auto files = cg::CodeGenerator().generate(demoModel());
+    const auto text = fileNamed(files, "gen_Thermostat.hpp");
+    EXPECT_NE(text.find("class Thermostat : public urtx::rt::Capsule"), std::string::npos);
+    EXPECT_NE(text.find("urtx::rt::Port heater;"), std::string::npos);
+    EXPECT_NE(text.find("m.state(\"Idle\")"), std::string::npos);
+    EXPECT_NE(text.find(".on(\"tooCold\")"), std::string::npos);
+    EXPECT_NE(text.find("virtual void on_Idle_to_Heating(const urtx::rt::Message&)"),
+              std::string::npos);
+    EXPECT_NE(text.find("guard_Idle_to_Heating"), std::string::npos)
+        << "guarded transitions must expose a guard hook";
+    EXPECT_NE(text.find("m.initial(s_Idle);"), std::string::npos);
+}
+
+TEST(Codegen, StreamerHeadersHaveStructureAndStubs) {
+    const auto files = cg::CodeGenerator().generate(demoModel());
+    const auto leaf = fileNamed(files, "gen_RoomModel.hpp");
+    EXPECT_NE(leaf.find("class RoomModel : public urtx::flow::Streamer"), std::string::npos);
+    EXPECT_NE(leaf.find("urtx::flow::DPort u;"), std::string::npos);
+    EXPECT_NE(leaf.find("urtx::flow::SPort ctl;"), std::string::npos);
+    EXPECT_NE(leaf.find("TODO: equations"), std::string::npos);
+    EXPECT_NE(leaf.find("RK4"), std::string::npos) << "solver strategy must be named";
+
+    const auto comp = fileNamed(files, "gen_PlantGroup.hpp");
+    EXPECT_NE(comp.find("RoomModel room;"), std::string::npos);
+    EXPECT_NE(comp.find("urtx::flow::Relay split;"), std::string::npos);
+    EXPECT_NE(comp.find("urtx::flow::flow(room.T, split.in);"), std::string::npos)
+        << "flows must be wired in the constructor";
+    EXPECT_EQ(comp.find("TODO: equations"), std::string::npos)
+        << "composite streamers have no equation stubs";
+}
+
+TEST(Codegen, MainAndCmakeSkeletons) {
+    const auto files = cg::CodeGenerator().generate(demoModel());
+    const auto mainText = fileNamed(files, "main.cpp");
+    EXPECT_NE(mainText.find("gen::Thermostat top(\"top\");"), std::string::npos);
+    EXPECT_NE(mainText.find("initializeAll"), std::string::npos);
+    const auto cmake = fileNamed(files, "CMakeLists.txt");
+    EXPECT_NE(cmake.find("project(thermo CXX)"), std::string::npos);
+}
+
+TEST(Codegen, CustomNamespaceOption) {
+    cg::CodeGenerator::Options opts;
+    opts.ns = "acme";
+    opts.filePrefix = "acme_";
+    const auto files = cg::CodeGenerator(opts).generate(demoModel());
+    const auto text = fileNamed(files, "acme_protocols.hpp");
+    EXPECT_NE(text.find("namespace acme::protocols"), std::string::npos);
+}
+
+TEST(Codegen, WriteFilesCreatesTree) {
+    namespace fs = std::filesystem;
+    const std::string dir = "/tmp/urtx_codegen_test_out";
+    fs::remove_all(dir);
+    const auto files = cg::CodeGenerator().generate(demoModel());
+    cg::writeFiles(files, dir);
+    EXPECT_TRUE(fs::exists(dir + "/gen_Thermostat.hpp"));
+    EXPECT_TRUE(fs::exists(dir + "/main.cpp"));
+}
+
+TEST(Codegen, GeneratedCodeCompiles) {
+    // The strongest check: the generated headers + main must pass full
+    // compilation (syntax + template instantiation) against the library.
+    namespace fs = std::filesystem;
+    const std::string dir = "/tmp/urtx_codegen_compile_test";
+    fs::remove_all(dir);
+    cg::writeFiles(cg::CodeGenerator().generate(demoModel()), dir);
+
+    const std::string srcRoot = fs::absolute(fs::path(__FILE__).parent_path() / ".." / "src")
+                                    .lexically_normal()
+                                    .string();
+    const std::string cmd = "c++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror -I " + srcRoot +
+                            " -I " + dir + " " + dir + "/main.cpp 2> " + dir + "/compile.log";
+    const int rc = std::system(cmd.c_str());
+    std::ifstream log(dir + "/compile.log");
+    std::string logText((std::istreambuf_iterator<char>(log)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(rc, 0) << "generated code failed to compile:\n" << logText;
+}

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/control.hpp"
+#include "flow/relay.hpp"
+#include "flow/solver_runner.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+f::SolverRunner run(f::Streamer& top, double tEnd, double dt = 0.001,
+                    const char* method = "RK4") {
+    f::SolverRunner runner(top, s::makeIntegrator(method), dt);
+    runner.initialize(0.0);
+    runner.advanceTo(tEnd);
+    return runner;
+}
+
+} // namespace
+
+TEST(Dynamics, IntegratorRampsOnConstantInput) {
+    Plain top{"top"};
+    c::Constant u("u", &top, 2.0);
+    c::Integrator integ("x", &top, 1.0);
+    c::Recorder rec("rec", &top);
+    f::Relay r("r", &top, f::FlowType::real(), 2);
+    f::flow(u.out(), integ.in());
+    f::flow(integ.out(), r.in());
+    f::flow(r.out(0), rec.in());
+    // second relay branch dangles into a sink
+    c::Recorder rec2("rec2", &top);
+    f::flow(r.out(1), rec2.in());
+
+    run(top, 3.0);
+    EXPECT_NEAR(rec.last(), 1.0 + 2.0 * 3.0, 1e-9);
+}
+
+TEST(Dynamics, LimitedIntegratorFreezesAtBound) {
+    Plain top{"top"};
+    c::Constant u("u", &top, 1.0);
+    c::Integrator integ("x", &top, 0.0);
+    integ.withLimits(-1.0, 0.5);
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), integ.in());
+    f::flow(integ.out(), rec.in());
+
+    run(top, 2.0);
+    EXPECT_NEAR(rec.last(), 0.5, 1e-6) << "must saturate at the upper bound";
+    EXPECT_THROW(c::Integrator("bad", &top, 0.0).withLimits(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Dynamics, FirstOrderLagStepResponse) {
+    Plain top{"top"};
+    c::Step u("u", &top, 0.0, 0.0, 1.0);
+    c::FirstOrderLag lag("lag", &top, 0.5);
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), lag.in());
+    f::flow(lag.out(), rec.in());
+
+    run(top, 1.0);
+    EXPECT_NEAR(rec.last(), 1.0 - std::exp(-2.0), 1e-5);
+    EXPECT_THROW(c::FirstOrderLag("bad", &top, 0.0), std::invalid_argument);
+}
+
+TEST(Dynamics, StateSpaceMatchesHandRolledOscillator) {
+    // x'' = -x: A = [[0,1],[-1,0]], C = [1,0]. One full period returns x0.
+    Plain top{"top"};
+    c::Constant u("u", &top, 0.0);
+    c::StateSpace ss("ss", &top, s::Matrix{{0, 1}, {-1, 0}}, s::Matrix{{0}, {0}},
+                     s::Matrix{{1, 0}}, s::Matrix{{0}}, s::Vec{1.0, 0.0});
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), ss.in());
+    f::flow(ss.out(), rec.in());
+
+    run(top, 2.0 * M_PI);
+    EXPECT_NEAR(rec.last(), 1.0, 1e-4);
+}
+
+TEST(Dynamics, StateSpaceShapeValidation) {
+    Plain top{"top"};
+    EXPECT_THROW(c::StateSpace("bad", &top, s::Matrix{{0, 1}}, s::Matrix{{0}}, s::Matrix{{1}},
+                               s::Matrix{{0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(c::StateSpace("bad2", &top, s::Matrix{{0}}, s::Matrix{{0}, {1}},
+                               s::Matrix{{1}}, s::Matrix{{0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(c::StateSpace("bad3", &top, s::Matrix{{0}}, s::Matrix{{1}}, s::Matrix{{1}},
+                               s::Matrix{{0}}, s::Vec{1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Dynamics, StateSpaceFeedthroughDetection) {
+    Plain top{"top"};
+    c::StateSpace noD("noD", &top, s::Matrix{{0}}, s::Matrix{{1}}, s::Matrix{{1}},
+                      s::Matrix{{0}});
+    c::StateSpace withD("withD", &top, s::Matrix{{0}}, s::Matrix{{1}}, s::Matrix{{1}},
+                        s::Matrix{{2}});
+    EXPECT_FALSE(noD.directFeedthrough());
+    EXPECT_TRUE(withD.directFeedthrough());
+}
+
+TEST(Dynamics, TransferFunctionFirstOrderStep) {
+    // 1/(s+1): step response 1 - e^{-t}.
+    Plain top{"top"};
+    c::Step u("u", &top, 0.0);
+    c::TransferFunction tf("tf", &top, {1.0}, {1.0, 1.0});
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), tf.in());
+    f::flow(tf.out(), rec.in());
+    run(top, 2.0);
+    EXPECT_NEAR(rec.last(), 1.0 - std::exp(-2.0), 1e-5);
+}
+
+TEST(Dynamics, TransferFunctionSecondOrderDamped) {
+    // 1/(s^2 + 2 zeta wn s + wn^2) with zeta=1 (critical), wn=1:
+    // step response: 1 - (1+t) e^{-t}.
+    Plain top{"top"};
+    c::Step u("u", &top, 0.0);
+    c::TransferFunction tf("tf", &top, {1.0}, {1.0, 2.0, 1.0});
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), tf.in());
+    f::flow(tf.out(), rec.in());
+    run(top, 3.0);
+    EXPECT_NEAR(rec.last(), 1.0 - 4.0 * std::exp(-3.0), 1e-5);
+}
+
+TEST(Dynamics, TransferFunctionWithFeedthrough) {
+    // (s+2)/(s+1) has d=1; at t=0+ output jumps to 1 on a unit step.
+    Plain top{"top"};
+    c::Step u("u", &top, 0.0);
+    c::TransferFunction tf("tf", &top, {1.0, 2.0}, {1.0, 1.0});
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), tf.in());
+    f::flow(tf.out(), rec.in());
+    EXPECT_TRUE(tf.directFeedthrough());
+    run(top, 5.0);
+    // Analytic step response: y(t) = 2 - e^{-t}.
+    EXPECT_NEAR(rec.last(), 2.0 - std::exp(-5.0), 1e-5);
+}
+
+TEST(Dynamics, TransferFunctionRejectsImproper) {
+    Plain top{"top"};
+    EXPECT_THROW(c::TransferFunction("bad", &top, {1.0, 0.0, 0.0}, {1.0, 1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(c::TransferFunction("bad2", &top, {1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(Dynamics, PidProportionalOnly) {
+    Plain top{"top"};
+    c::Constant e("e", &top, 2.0);
+    c::Pid pid("pid", &top, 3.0, 0.0, 0.0);
+    c::Recorder rec("rec", &top);
+    f::flow(e.out(), pid.in());
+    f::flow(pid.out(), rec.in());
+    run(top, 0.1);
+    EXPECT_NEAR(rec.last(), 6.0, 1e-9);
+}
+
+TEST(Dynamics, PidIntegralRamps) {
+    Plain top{"top"};
+    c::Constant e("e", &top, 1.0);
+    c::Pid pid("pid", &top, 0.0, 2.0, 0.0);
+    c::Recorder rec("rec", &top);
+    f::flow(e.out(), pid.in());
+    f::flow(pid.out(), rec.in());
+    run(top, 1.0);
+    EXPECT_NEAR(rec.last(), 2.0, 1e-6) << "ki * integral(1) over 1 s";
+}
+
+TEST(Dynamics, PidClosedLoopRegulatesFirstOrderPlant) {
+    // Plant dx = u - x; PI controller drives x -> 1.
+    Plain top{"top"};
+    c::Step sp("sp", &top, 0.0, 0.0, 1.0);
+    c::Sum err("err", &top, "+-");
+    c::Pid pid("pid", &top, 4.0, 4.0, 0.0);
+    c::FirstOrderLag plant("plant", &top, 1.0);
+    f::Relay meas("meas", &top, f::FlowType::real(), 2);
+    c::Recorder rec("rec", &top);
+
+    f::flow(sp.out(), err.in(0));
+    f::flow(meas.out(0), err.in(1));
+    f::flow(err.out(), pid.in());
+    f::flow(pid.out(), plant.in());
+    f::flow(plant.out(), meas.in());
+    f::flow(meas.out(1), rec.in());
+
+    run(top, 5.0);
+    EXPECT_NEAR(rec.last(), 1.0, 1e-3) << "PI must remove steady-state error";
+}
+
+TEST(Dynamics, PidAntiWindupRecoversFaster) {
+    // Saturated actuator with big setpoint; compare windup vs anti-windup
+    // recovery after the setpoint drops.
+    double overshootLimited = 0.0, overshootUnlimited = 0.0;
+    for (int variant = 0; variant < 2; ++variant) {
+        Plain top{"top"};
+        c::Step sp("sp", &top, 0.0, 0.0, 5.0);
+        c::Sum err("err", &top, "+-");
+        c::Pid pid("pid", &top, 1.0, 5.0, 0.0);
+        if (variant == 0) pid.withLimits(-1.0, 1.0);
+        c::Saturation act("act", &top, -1.0, 1.0);
+        c::FirstOrderLag plant("plant", &top, 1.0);
+        f::Relay meas("meas", &top, f::FlowType::real(), 2);
+        c::Recorder rec("rec", &top);
+        f::flow(sp.out(), err.in(0));
+        f::flow(meas.out(0), err.in(1));
+        f::flow(err.out(), pid.in());
+        f::flow(pid.out(), act.in());
+        f::flow(act.out(), plant.in());
+        f::flow(plant.out(), meas.in());
+        f::flow(meas.out(1), rec.in());
+        f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.005);
+        runner.initialize(0.0);
+        runner.advanceTo(4.0);
+        sp.setParam("after", 0.5); // drop the setpoint
+        runner.advanceTo(12.0);
+        double peakAfterDrop = 0.0;
+        for (const auto& smp : rec.samples()) {
+            if (smp.t > 4.0) peakAfterDrop = std::max(peakAfterDrop, smp.v);
+        }
+        (variant == 0 ? overshootLimited : overshootUnlimited) = peakAfterDrop;
+    }
+    EXPECT_LT(overshootLimited, overshootUnlimited)
+        << "anti-windup must reduce post-saturation overshoot";
+}
+
+TEST(Dynamics, RateLimiterBoundsSlope) {
+    Plain top{"top"};
+    c::Step u("u", &top, 0.5, 0.0, 10.0);
+    c::RateLimiter rl("rl", &top, 2.0);
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), rl.in());
+    f::flow(rl.out(), rec.in());
+    run(top, 3.0, 0.01);
+    // After the step at 0.5 s, output climbs at <= 2/s: at t=3 -> <= 5.
+    double maxSlope = 0.0;
+    const auto& ss = rec.samples();
+    for (std::size_t i = 1; i < ss.size(); ++i) {
+        const double slope = (ss[i].v - ss[i - 1].v) / (ss[i].t - ss[i - 1].t);
+        maxSlope = std::max(maxSlope, slope);
+    }
+    EXPECT_LE(maxSlope, 2.0 + 1e-6);
+    EXPECT_NEAR(rec.last(), 5.0, 0.1);
+}
+
+TEST(Dynamics, TransportDelayShiftsSignal) {
+    Plain top{"top"};
+    c::Ramp u("u", &top, 1.0, 0.0);
+    c::TransportDelay delay("delay", &top, 0.5);
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), delay.in());
+    f::flow(delay.out(), rec.in());
+    run(top, 2.0, 0.01);
+    // y(2) = u(1.5) = 1.5.
+    EXPECT_NEAR(rec.last(), 1.5, 0.02);
+}
+
+TEST(Dynamics, ZeroOrderHoldSamplesPeriodically) {
+    Plain top{"top"};
+    c::Ramp u("u", &top, 1.0);
+    c::ZeroOrderHold zoh("zoh", &top, 0.5);
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), zoh.in());
+    f::flow(zoh.out(), rec.in());
+    run(top, 2.0, 0.05);
+    // Held value lags the ramp by at most one period.
+    for (const auto& smp : rec.samples()) {
+        EXPECT_LE(smp.t - smp.v, 0.5 + 0.05 + 1e-9) << "at t=" << smp.t;
+        EXPECT_GE(smp.t - smp.v, -1e-9);
+    }
+    EXPECT_THROW(c::ZeroOrderHold("bad", &top, 0.0), std::invalid_argument);
+}
+
+TEST(Dynamics, RecorderMetrics) {
+    Plain top{"top"};
+    c::Step u("u", &top, 0.0, 0.0, 1.0);
+    c::FirstOrderLag lag("lag", &top, 0.2);
+    c::Recorder rec("rec", &top);
+    f::flow(u.out(), lag.in());
+    f::flow(lag.out(), rec.in());
+    run(top, 3.0, 0.01);
+    EXPECT_NEAR(rec.peakAbs(), 1.0, 1e-3);
+    const double ts = rec.settlingTime(1.0, 0.02);
+    EXPECT_GT(ts, 0.0);
+    EXPECT_LT(ts, 1.5) << "tau=0.2 settles to 2% in ~4 tau";
+}

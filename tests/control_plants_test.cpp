@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/control.hpp"
+#include "control/plants.hpp"
+#include "flow/relay.hpp"
+#include "flow/solver_runner.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+} // namespace
+
+TEST(MassSpringDamper, UndampedOscillationFrequency) {
+    // m=1, k=4 -> wn = 2 rad/s; period pi.
+    Plain top{"top"};
+    c::MassSpringDamper msd("msd", &top, 1.0, 0.0, 4.0);
+    msd.setParam("x0", 1.0);
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.001);
+    runner.initialize(0.0);
+    runner.advanceTo(M_PI); // about one full period (grid may overshoot)
+    const double t = runner.time();
+    const auto x = runner.network().stateOf(msd, runner.state());
+    EXPECT_NEAR(x[0], std::cos(2.0 * t), 1e-8);
+    EXPECT_NEAR(x[1], -2.0 * std::sin(2.0 * t), 1e-8);
+}
+
+TEST(MassSpringDamper, EnergyDecaysWithDamping) {
+    Plain top{"top"};
+    c::MassSpringDamper msd("msd", &top, 1.0, 0.5, 4.0);
+    msd.setParam("x0", 1.0);
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.01);
+    runner.initialize(0.0);
+    const double e0 = msd.energy(1.0, 0.0);
+    double prevE = e0;
+    runner.setProbe([&](double, const f::Network& net) {
+        const auto x = net.stateOf(msd, runner.state());
+        const double e = msd.energy(x[0], x[1]);
+        EXPECT_LE(e, prevE + 1e-9) << "energy must be non-increasing with damping";
+        prevE = e;
+    });
+    runner.advanceTo(5.0);
+    EXPECT_LT(prevE, 0.2 * e0);
+}
+
+TEST(MassSpringDamper, StaticDeflectionUnderConstantForce) {
+    // Steady state: x = F/k.
+    Plain top{"top"};
+    c::Constant force("F", &top, 8.0);
+    c::MassSpringDamper msd("msd", &top, 1.0, 3.0, 4.0);
+    f::flow(force.out(), msd.force());
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.01);
+    runner.initialize(0.0);
+    runner.advanceTo(15.0);
+    const auto x = runner.network().stateOf(msd, runner.state());
+    EXPECT_NEAR(x[0], 2.0, 1e-6);
+}
+
+TEST(DcMotor, SteadyStateSpeedMatchesFormula) {
+    Plain top{"top"};
+    c::Constant volts("V", &top, 12.0);
+    c::DcMotor motor("motor", &top);
+    f::flow(volts.out(), motor.voltage());
+    f::SolverRunner runner(top, s::makeIntegrator("RK45"), 0.01);
+    runner.initialize(0.0);
+    runner.advanceTo(10.0);
+    EXPECT_NEAR(motor.speed().get(), motor.steadyStateSpeed(12.0), 1e-4);
+}
+
+TEST(DcMotor, LoadTorqueSlowsShaft) {
+    Plain top{"top"};
+    c::Constant volts("V", &top, 12.0);
+    c::Constant load("tau", &top, 0.005);
+    c::DcMotor motor("motor", &top);
+    f::flow(volts.out(), motor.voltage());
+    f::flow(load.out(), motor.load());
+    f::SolverRunner runner(top, s::makeIntegrator("RK45"), 0.01);
+    runner.initialize(0.0);
+    runner.advanceTo(10.0);
+    EXPECT_LT(motor.speed().get(), motor.steadyStateSpeed(12.0));
+    EXPECT_GT(motor.speed().get(), 0.0);
+}
+
+TEST(DcMotor, ClosedLoopSpeedControl) {
+    // PI speed loop around the motor: w -> 1 rad/s exactly.
+    Plain top{"top"};
+    c::Step ref("ref", &top, 0.0, 0.0, 1.0);
+    c::Sum err("err", &top, "+-");
+    c::Pid pi("pi", &top, 40.0, 60.0, 0.0);
+    c::DcMotor motor("motor", &top);
+    f::Relay meas("meas", &top, f::FlowType::real(), 2);
+    c::Recorder rec("rec", &top);
+    f::flow(ref.out(), err.in(0));
+    f::flow(meas.out(0), err.in(1));
+    f::flow(err.out(), pi.in());
+    f::flow(pi.out(), motor.voltage());
+    f::flow(motor.speed(), meas.in());
+    f::flow(meas.out(1), rec.in());
+
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.002);
+    runner.initialize(0.0);
+    runner.advanceTo(6.0);
+    EXPECT_NEAR(rec.last(), 1.0, 1e-3);
+}
+
+TEST(BouncingBall, BouncesWithGeometricDecay) {
+    Plain top{"top"};
+    c::BouncingBall ball("ball", &top, 1.0, 0.5);
+    c::Recorder rec("rec", &top);
+    f::flow(ball.height(), rec.in());
+
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.002);
+    runner.initialize(0.0);
+    runner.advanceTo(2.5);
+
+    EXPECT_GE(ball.bounces(), 3);
+    // Peak after first bounce ~ e^2 * h0 = 0.25.
+    double peakAfterFirst = 0.0;
+    const double t1 = std::sqrt(2.0 / 9.81); // first impact
+    for (const auto& smp : rec.samples()) {
+        if (smp.t > t1 && smp.t < 2.0 * t1) peakAfterFirst = std::max(peakAfterFirst, smp.v);
+    }
+    EXPECT_NEAR(peakAfterFirst, 0.25, 0.01);
+    // Height never goes (noticeably) below the floor.
+    for (const auto& smp : rec.samples()) EXPECT_GT(smp.v, -1e-3);
+}
+
+TEST(BouncingBall, RestitutionOneConservesPeaks) {
+    Plain top{"top"};
+    c::BouncingBall ball("ball", &top, 1.0, 1.0);
+    c::Recorder rec("rec", &top);
+    f::flow(ball.height(), rec.in());
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.002);
+    runner.initialize(0.0);
+    runner.advanceTo(3.0);
+    double maxAfterFirstBounce = 0.0;
+    const double t1 = std::sqrt(2.0 / 9.81);
+    for (const auto& smp : rec.samples()) {
+        if (smp.t > t1) maxAfterFirstBounce = std::max(maxAfterFirstBounce, smp.v);
+    }
+    EXPECT_NEAR(maxAfterFirstBounce, 1.0, 0.01) << "elastic ball returns to its drop height";
+}
+
+TEST(ThermalRc, ExponentialApproachToSteadyState) {
+    Plain top{"top"};
+    c::Constant p("P", &top, 2.0);
+    c::ThermalRc room("room", &top, /*C=*/10.0, /*Rth=*/5.0, /*Tamb=*/20.0, /*T0=*/20.0);
+    f::flow(p.out(), room.power());
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.5);
+    runner.initialize(0.0);
+    // tau = Rth*C = 50 s; steady state = 20 + 10 = 30.
+    runner.advanceTo(50.0);
+    const double expected = 20.0 + 10.0 * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(room.temperature().get(), expected, 1e-3);
+    EXPECT_DOUBLE_EQ(room.steadyState(2.0), 30.0);
+    runner.advanceTo(500.0);
+    EXPECT_NEAR(room.temperature().get(), 30.0, 1e-3);
+}

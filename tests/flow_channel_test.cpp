@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "flow/channel.hpp"
+
+namespace f = urtx::flow;
+
+TEST(SpscRing, StartsEmpty) {
+    f::SpscRing<int> ring(8);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(SpscRing, PushPopRoundTrip) {
+    f::SpscRing<int> ring(4);
+    EXPECT_TRUE(ring.push(1));
+    EXPECT_TRUE(ring.push(2));
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.pop().value(), 1);
+    EXPECT_EQ(ring.pop().value(), 2);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FullRingRejectsPush) {
+    f::SpscRing<int> ring(3); // rounds to capacity 3 usable slots (cap 4)
+    std::size_t pushed = 0;
+    while (ring.push(static_cast<int>(pushed))) ++pushed;
+    EXPECT_EQ(pushed, ring.capacity());
+    EXPECT_FALSE(ring.push(99));
+    EXPECT_EQ(ring.pop().value(), 0);
+    EXPECT_TRUE(ring.push(99)) << "slot freed by pop";
+}
+
+TEST(SpscRing, WrapAroundPreservesFifo) {
+    f::SpscRing<int> ring(4);
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(ring.push(2 * round));
+        EXPECT_TRUE(ring.push(2 * round + 1));
+        EXPECT_EQ(ring.pop().value(), 2 * round);
+        EXPECT_EQ(ring.pop().value(), 2 * round + 1);
+    }
+}
+
+TEST(SpscRing, CrossThreadStreamIsLossless) {
+    constexpr int kN = 100000;
+    f::SpscRing<int> ring(1024);
+    std::thread producer([&] {
+        for (int i = 0; i < kN;) {
+            if (ring.push(i)) ++i;
+        }
+    });
+    long long sum = 0;
+    int received = 0;
+    while (received < kN) {
+        if (auto v = ring.pop()) {
+            EXPECT_EQ(*v, received) << "FIFO order violated";
+            sum += *v;
+            ++received;
+        }
+    }
+    producer.join();
+    EXPECT_EQ(sum, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(BlockingChannel, TryPopOnEmpty) {
+    f::BlockingChannel<int> ch;
+    EXPECT_FALSE(ch.tryPop().has_value());
+    EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(BlockingChannel, FifoOrder) {
+    f::BlockingChannel<int> ch;
+    ch.push(1);
+    ch.push(2);
+    ch.push(3);
+    EXPECT_EQ(ch.tryPop().value(), 1);
+    EXPECT_EQ(ch.tryPop().value(), 2);
+    EXPECT_EQ(ch.tryPop().value(), 3);
+}
+
+TEST(BlockingChannel, WaitPopBlocksUntilPush) {
+    f::BlockingChannel<int> ch;
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ch.push(42);
+    });
+    EXPECT_EQ(ch.waitPop().value(), 42);
+    producer.join();
+}
+
+TEST(BlockingChannel, CloseReleasesWaiters) {
+    f::BlockingChannel<int> ch;
+    std::thread consumer([&] { EXPECT_FALSE(ch.waitPop().has_value()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ch.close();
+    consumer.join();
+}
+
+TEST(BlockingChannel, MultiProducerLosesNothing) {
+    f::BlockingChannel<int> ch;
+    constexpr int kThreads = 4, kPer = 2500;
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&] {
+            for (int i = 0; i < kPer; ++i) ch.push(1);
+        });
+    }
+    for (auto& t : producers) t.join();
+    int total = 0;
+    while (auto v = ch.tryPop()) total += *v;
+    EXPECT_EQ(total, kThreads * kPer);
+}

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "flow/dport.hpp"
+#include "flow/relay.hpp"
+#include "flow/streamer.hpp"
+
+namespace f = urtx::flow;
+using FT = f::FlowType;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+} // namespace
+
+TEST(DPort, BufferStartsZeroed) {
+    Plain s{"s"};
+    f::DPort p(s, "out", f::DPortDir::Out, FT::vector(FT::real(), 3));
+    EXPECT_EQ(p.width(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(p.get(i), 0.0);
+}
+
+TEST(DPort, SetAllValidatesWidth) {
+    Plain s{"s"};
+    f::DPort p(s, "out", f::DPortDir::Out, FT::vector(FT::real(), 2));
+    p.setAll({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(p.get(1), 2.0);
+    EXPECT_THROW(p.setAll({1.0}), std::invalid_argument);
+}
+
+TEST(DPort, SiblingFlowConnects) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent};
+    f::DPort out(a, "out", f::DPortDir::Out, FT::real());
+    f::DPort in(b, "in", f::DPortDir::In, FT::real());
+    f::flow(out, in);
+    EXPECT_EQ(in.fedBy(), &out);
+    ASSERT_EQ(out.feeds().size(), 1u);
+    EXPECT_EQ(out.feeds()[0], &in);
+}
+
+TEST(DPort, SelfConnectionThrows) {
+    Plain s{"s"};
+    f::DPort p(s, "p", f::DPortDir::Out, FT::real());
+    EXPECT_THROW(f::flow(p, p), std::logic_error);
+}
+
+TEST(DPort, SubsetRuleEnforced) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent};
+    f::DPort outReal(a, "out", f::DPortDir::Out, FT::real());
+    f::DPort inInt(b, "in", f::DPortDir::In, FT::integer());
+    EXPECT_THROW(f::flow(outReal, inInt), std::logic_error)
+        << "Real is not a subset of Int";
+}
+
+TEST(DPort, WideningConnectionAllowed) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent};
+    f::DPort outInt(a, "out", f::DPortDir::Out, FT::integer());
+    f::DPort inReal(b, "in", f::DPortDir::In, FT::real());
+    EXPECT_NO_THROW(f::flow(outInt, inReal));
+}
+
+TEST(DPort, DoubleFeedRejected) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent}, c{"c", &parent};
+    f::DPort o1(a, "o", f::DPortDir::Out, FT::real());
+    f::DPort o2(b, "o", f::DPortDir::Out, FT::real());
+    f::DPort in(c, "in", f::DPortDir::In, FT::real());
+    f::flow(o1, in);
+    EXPECT_THROW(f::flow(o2, in), std::logic_error);
+}
+
+TEST(DPort, FanOutWithoutRelayRejected) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent}, c{"c", &parent};
+    f::DPort out(a, "o", f::DPortDir::Out, FT::real());
+    f::DPort i1(b, "in", f::DPortDir::In, FT::real());
+    f::DPort i2(c, "in", f::DPortDir::In, FT::real());
+    f::flow(out, i1);
+    EXPECT_THROW(f::flow(out, i2), std::logic_error) << "fan-out requires a Relay";
+}
+
+TEST(DPort, IllegalShapesRejected) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent};
+    f::DPort inA(a, "in", f::DPortDir::In, FT::real());
+    f::DPort inB(b, "in", f::DPortDir::In, FT::real());
+    f::DPort outA(a, "out", f::DPortDir::Out, FT::real());
+    f::DPort outB(b, "out", f::DPortDir::Out, FT::real());
+    EXPECT_THROW(f::flow(inA, inB), std::logic_error) << "sibling in->in";
+    EXPECT_THROW(f::flow(outA, outB), std::logic_error) << "sibling out->out";
+    EXPECT_THROW(f::flow(inA, outB), std::logic_error) << "in->out";
+}
+
+TEST(DPort, BoundaryForwardInAllowed) {
+    Plain composite{"comp"};
+    Plain inner{"inner", &composite};
+    f::DPort boundary(composite, "in", f::DPortDir::In, FT::real());
+    f::DPort innerIn(inner, "in", f::DPortDir::In, FT::real());
+    EXPECT_NO_THROW(f::flow(boundary, innerIn));
+}
+
+TEST(DPort, BoundaryForwardOutAllowed) {
+    Plain composite{"comp"};
+    Plain inner{"inner", &composite};
+    f::DPort innerOut(inner, "out", f::DPortDir::Out, FT::real());
+    f::DPort boundary(composite, "out", f::DPortDir::Out, FT::real());
+    EXPECT_NO_THROW(f::flow(innerOut, boundary));
+}
+
+TEST(DPort, WrongDirectionBoundaryRejected) {
+    Plain composite{"comp"};
+    Plain inner{"inner", &composite};
+    f::DPort boundaryOut(composite, "out", f::DPortDir::Out, FT::real());
+    f::DPort innerIn(inner, "in", f::DPortDir::In, FT::real());
+    // parent's OUT feeding child's IN is not a legal shape.
+    EXPECT_THROW(f::flow(boundaryOut, innerIn), std::logic_error);
+}
+
+TEST(DPort, RefreshCopiesThroughProjection) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent};
+    f::DPort out(a, "out", f::DPortDir::Out,
+                 FT::record({{"pos", FT::real()}, {"vel", FT::real()}}));
+    f::DPort in(b, "in", f::DPortDir::In, FT::record({{"vel", FT::real()}}));
+    f::flow(out, in);
+    auto proj = FT::projection(out.type(), in.type());
+    ASSERT_TRUE(proj);
+    in.bindResolved(&out, *proj);
+    out.setAll({3.0, 7.0}); // pos=3, vel=7
+    in.refresh();
+    EXPECT_DOUBLE_EQ(in.get(0), 7.0) << "projection must pick the vel slot";
+    EXPECT_EQ(in.transfers(), 1u);
+}
+
+TEST(DPort, UnresolvedRefreshKeepsExternalValue) {
+    Plain s{"s"};
+    f::DPort in(s, "in", f::DPortDir::In, FT::real());
+    in.set(42.0);
+    in.refresh();
+    EXPECT_DOUBLE_EQ(in.get(), 42.0);
+    EXPECT_FALSE(in.isResolved());
+}
+
+TEST(DPort, DestructionUnlinksPeer) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent};
+    f::DPort out(a, "out", f::DPortDir::Out, FT::real());
+    {
+        f::DPort in(b, "in", f::DPortDir::In, FT::real());
+        f::flow(out, in);
+        EXPECT_EQ(out.feeds().size(), 1u);
+    }
+    EXPECT_TRUE(out.feeds().empty());
+}
+
+TEST(Relay, DuplicatesFlowToAllOutputs) {
+    Plain parent{"p"};
+    Plain src{"src", &parent}, s1{"s1", &parent}, s2{"s2", &parent};
+    f::DPort out(src, "out", f::DPortDir::Out, FT::real());
+    f::DPort in1(s1, "in", f::DPortDir::In, FT::real());
+    f::DPort in2(s2, "in", f::DPortDir::In, FT::real());
+
+    f::Relay relay("r", &parent, FT::real(), 2);
+    f::flow(out, relay.in());
+    f::flow(relay.out(0), in1);
+    f::flow(relay.out(1), in2);
+
+    out.set(5.5);
+    relay.in().bindResolved(&out, {0});
+    relay.in().refresh();
+    relay.outputs(0.0, {});
+    EXPECT_DOUBLE_EQ(relay.out(0).get(), 5.5);
+    EXPECT_DOUBLE_EQ(relay.out(1).get(), 5.5);
+}
+
+TEST(Relay, FanoutBelowTwoRejected) {
+    Plain parent{"p"};
+    EXPECT_THROW(f::Relay("r", &parent, FT::real(), 1), std::invalid_argument);
+}
+
+TEST(Relay, LargerFanoutsWork) {
+    Plain parent{"p"};
+    f::Relay relay("r", &parent, FT::real(), 5);
+    EXPECT_EQ(relay.fanout(), 5u);
+    relay.in().set(2.0);
+    relay.outputs(0.0, {});
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(relay.out(i).get(), 2.0);
+}
+
+TEST(Streamer, StructureAndParams) {
+    Plain top{"top"};
+    Plain child{"kid", &top};
+    EXPECT_TRUE(top.isComposite());
+    EXPECT_FALSE(child.isComposite());
+    EXPECT_EQ(child.fullPath(), "top/kid");
+    ASSERT_EQ(top.subStreamers().size(), 1u);
+
+    child.setParam("gain", 2.5);
+    EXPECT_TRUE(child.hasParam("gain"));
+    EXPECT_DOUBLE_EQ(child.param("gain"), 2.5);
+    EXPECT_DOUBLE_EQ(child.param("missing", -1.0), -1.0);
+}
+
+TEST(Streamer, FindPorts) {
+    Plain s{"s"};
+    f::DPort a(s, "a", f::DPortDir::In, FT::real());
+    f::DPort b(s, "b", f::DPortDir::Out, FT::real());
+    EXPECT_EQ(s.findDPort("a"), &a);
+    EXPECT_EQ(s.findDPort("b"), &b);
+    EXPECT_EQ(s.findDPort("c"), nullptr);
+    EXPECT_EQ(s.dports().size(), 2u);
+}

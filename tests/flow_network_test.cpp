@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "control/control.hpp"
+#include "flow/network.hpp"
+#include "flow/relay.hpp"
+#include "flow/solver_runner.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+using FT = f::FlowType;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+std::ptrdiff_t indexOf(const std::vector<f::Streamer*>& v, const f::Streamer& s) {
+    auto it = std::find(v.begin(), v.end(), &s);
+    return it == v.end() ? -1 : (it - v.begin());
+}
+
+} // namespace
+
+TEST(Network, CollectsLeavesOnly) {
+    Plain top{"top"};
+    Plain comp{"comp", &top};
+    c::Constant k1("k1", &top, 1.0);
+    c::Constant k2("k2", &comp, 2.0);
+    f::Network net(top);
+    EXPECT_EQ(net.leafCount(), 2u);
+    EXPECT_GE(indexOf(net.order(), k1), 0);
+    EXPECT_GE(indexOf(net.order(), k2), 0);
+    EXPECT_EQ(indexOf(net.order(), comp), -1);
+}
+
+TEST(Network, TopoOrdersFeedthroughChains) {
+    Plain top{"top"};
+    c::Gain g2("g2", &top, 2.0); // declared first but depends on g1
+    c::Gain g1("g1", &top, 3.0);
+    c::Constant src("src", &top, 1.0);
+    f::flow(src.out(), g1.in());
+    f::flow(g1.out(), g2.in());
+    f::Network net(top);
+    EXPECT_LT(indexOf(net.order(), g1), indexOf(net.order(), g2));
+    EXPECT_LT(indexOf(net.order(), src), indexOf(net.order(), g1));
+    EXPECT_EQ(net.connectionCount(), 2u);
+}
+
+TEST(Network, AlgebraicLoopDetected) {
+    Plain top{"top"};
+    c::Gain a("a", &top, 1.0);
+    c::Gain b("b", &top, 1.0);
+    f::flow(a.out(), b.in());
+    f::flow(b.out(), a.in());
+    EXPECT_THROW(f::Network net(top), std::logic_error);
+}
+
+TEST(Network, IntegratorBreaksLoop) {
+    // Feedback through an integrator is fine: dx = -x.
+    Plain top{"top"};
+    c::Integrator integ("x", &top, 1.0);
+    c::Gain fb("fb", &top, -1.0);
+    f::flow(integ.out(), fb.in());
+    f::flow(fb.out(), integ.in());
+    EXPECT_NO_THROW(f::Network net(top));
+}
+
+TEST(Network, PropagatesValuesThroughHierarchy) {
+    // top { const -> comp.in ; comp { in -> gain -> out } ; comp.out -> sink }
+    Plain top{"top"};
+    c::Constant src("src", &top, 4.0);
+    Plain comp{"comp", &top};
+    f::DPort compIn(comp, "in", f::DPortDir::In, FT::real());
+    f::DPort compOut(comp, "out", f::DPortDir::Out, FT::real());
+    c::Gain g("g", &comp, 10.0);
+    c::Recorder rec("rec", &top);
+
+    f::flow(src.out(), compIn);
+    f::flow(compIn, g.in());
+    f::flow(g.out(), compOut);
+    f::flow(compOut, rec.in());
+
+    f::Network net(top);
+    urtx::solver::Vec x;
+    net.initState(0.0, x);
+    net.computeOutputs(0.0, x);
+    EXPECT_DOUBLE_EQ(rec.in().fedBy() ? rec.in().get() : -1, 40.0);
+    EXPECT_DOUBLE_EQ(compOut.get(), 40.0) << "boundary port must expose the value";
+    EXPECT_GE(net.boundaryPortCount(), 1u);
+}
+
+TEST(Network, DeepHierarchyResolvesToLeafSource) {
+    Plain top{"top"};
+    c::Constant src("src", &top, 7.0);
+    Plain l1{"l1", &top};
+    Plain l2{"l2", &l1};
+    f::DPort in1(l1, "in", f::DPortDir::In, FT::real());
+    f::DPort in2(l2, "in", f::DPortDir::In, FT::real());
+    c::Gain g("g", &l2, 2.0);
+    f::flow(src.out(), in1);
+    f::flow(in1, in2);
+    f::flow(in2, g.in());
+
+    f::Network net(top);
+    EXPECT_EQ(g.in().resolvedSource(), &src.out())
+        << "resolution must chase through both boundaries to the leaf";
+    urtx::solver::Vec x;
+    net.initState(0.0, x);
+    net.computeOutputs(0.0, x);
+    EXPECT_DOUBLE_EQ(g.out().get(), 14.0);
+}
+
+TEST(Network, RelayFansOutInsideNetwork) {
+    Plain top{"top"};
+    c::Constant src("src", &top, 3.0);
+    f::Relay relay("r", &top, FT::real(), 2);
+    c::Gain g1("g1", &top, 1.0);
+    c::Gain g2("g2", &top, -1.0);
+    f::flow(src.out(), relay.in());
+    f::flow(relay.out(0), g1.in());
+    f::flow(relay.out(1), g2.in());
+
+    f::Network net(top);
+    urtx::solver::Vec x;
+    net.initState(0.0, x);
+    net.computeOutputs(0.0, x);
+    EXPECT_DOUBLE_EQ(g1.out().get(), 3.0);
+    EXPECT_DOUBLE_EQ(g2.out().get(), -3.0);
+}
+
+TEST(Network, StatePackingAndSpans) {
+    Plain top{"top"};
+    c::Integrator i1("i1", &top, 1.5);
+    c::Integrator i2("i2", &top, -2.5);
+    c::Constant src("src", &top, 0.0);
+    f::Relay r("r", &top, FT::real(), 2);
+    f::flow(src.out(), r.in());
+    f::flow(r.out(0), i1.in());
+    f::flow(r.out(1), i2.in());
+
+    f::Network net(top);
+    EXPECT_EQ(net.stateSize(), 2u);
+    urtx::solver::Vec x;
+    net.initState(0.0, x);
+    auto s1 = net.stateOf(i1, x);
+    auto s2 = net.stateOf(i2, x);
+    EXPECT_DOUBLE_EQ(s1[0], 1.5);
+    EXPECT_DOUBLE_EQ(s2[0], -2.5);
+}
+
+TEST(Network, DerivativesCollectPerLeaf) {
+    // dx1 = 2 (const), dx2 = x1 via gain? integrator input is const 2.
+    Plain top{"top"};
+    c::Constant src("src", &top, 2.0);
+    c::Integrator integ("integ", &top, 0.0);
+    f::flow(src.out(), integ.in());
+    f::Network net(top);
+    urtx::solver::Vec x, dx;
+    net.initState(0.0, x);
+    net.derivatives(0.0, x, dx);
+    ASSERT_EQ(dx.size(), 1u);
+    EXPECT_DOUBLE_EQ(dx[0], 2.0);
+}
+
+TEST(Network, OdeAdapterMatchesNetwork) {
+    Plain top{"top"};
+    c::Integrator integ("integ", &top, 1.0);
+    c::Gain fb("fb", &top, -3.0);
+    f::flow(integ.out(), fb.in());
+    f::flow(fb.out(), integ.in());
+    f::Network net(top);
+    f::Network::Ode ode(net);
+    EXPECT_EQ(ode.dim(), 1u);
+    urtx::solver::Vec x{2.0}, dx;
+    ode.derivatives(0.0, x, dx);
+    EXPECT_DOUBLE_EQ(dx[0], -6.0);
+}
+
+TEST(Network, UnfedInputActsAsExternalInput) {
+    Plain top{"top"};
+    c::Gain g("g", &top, 5.0);
+    f::Network net(top);
+    g.in().set(3.0); // external write
+    urtx::solver::Vec x;
+    net.initState(0.0, x);
+    net.computeOutputs(0.0, x);
+    EXPECT_DOUBLE_EQ(g.out().get(), 15.0);
+}
+
+TEST(Network, StateOfForeignStreamerThrows) {
+    Plain top{"top"};
+    c::Integrator i1("i1", &top, 0.0);
+    Plain other{"other"};
+    c::Integrator i2("i2", &other, 0.0);
+    f::Network net(top);
+    urtx::solver::Vec x;
+    net.initState(0.0, x);
+    EXPECT_THROW(net.stateOf(i2, x), std::logic_error);
+}
+
+TEST(Network, EventLeavesDiscovered) {
+    struct Bouncy : f::Streamer {
+        using f::Streamer::Streamer;
+        std::size_t stateSize() const override { return 1; }
+        bool hasEvent() const override { return true; }
+        double eventFunction(double, std::span<const double> x) const override { return x[0]; }
+    };
+    Plain top{"top"};
+    Bouncy b("ball", &top);
+    c::Constant k("k", &top, 0.0);
+    f::Network net(top);
+    ASSERT_EQ(net.eventLeaves().size(), 1u);
+    EXPECT_EQ(net.eventLeaves()[0], &b);
+    urtx::solver::Vec x{-2.0};
+    EXPECT_DOUBLE_EQ(net.eventValue(0, 0.0, x), -2.0);
+}
+
+// ------------------------- algebraic loop fixed point -----------------------
+
+TEST(NetworkLoops, FixedPointSolvesContractiveLoop) {
+    // x = 0.5 x + 1  =>  x = 2. Built as: sum(+const, +gain(x)) -> relay.
+    Plain top{"top"};
+    c::Constant one("one", &top, 1.0);
+    c::Sum sum("sum", &top, "++");
+    c::Gain half("half", &top, 0.5);
+    f::Relay r("r", &top, FT::real(), 2);
+    c::Gain probe("probe", &top, 1.0);
+    f::flow(one.out(), sum.in(0));
+    f::flow(half.out(), sum.in(1));
+    f::flow(sum.out(), r.in());
+    f::flow(r.out(0), half.in());
+    f::flow(r.out(1), probe.in());
+
+    f::NetworkOptions opts;
+    opts.allowAlgebraicLoops = true;
+    f::Network net(top, opts);
+    EXPECT_GE(net.loopMembers().size(), 2u);
+    urtx::solver::Vec x;
+    net.initState(0.0, x);
+    net.computeOutputs(0.0, x);
+    EXPECT_NEAR(probe.out().get(), 2.0, 1e-8);
+    EXPECT_GT(net.lastLoopIterations(), 1);
+}
+
+TEST(NetworkLoops, DefaultStillRejectsLoops) {
+    Plain top{"top"};
+    c::Gain a("a", &top, 0.5);
+    c::Gain b("b", &top, 0.5);
+    f::flow(a.out(), b.in());
+    f::flow(b.out(), a.in());
+    EXPECT_THROW(f::Network net(top), std::logic_error);
+}
+
+TEST(NetworkLoops, DivergentLoopReportsNonConvergence) {
+    // Loop gain 2 > 1: fixed point iteration diverges.
+    Plain top{"top"};
+    c::Constant one("one", &top, 1.0);
+    c::Sum sum("sum", &top, "++");
+    c::Gain two("two", &top, 2.0);
+    f::Relay r("r", &top, FT::real(), 2);
+    f::flow(one.out(), sum.in(0));
+    f::flow(two.out(), sum.in(1));
+    f::flow(sum.out(), r.in());
+    f::flow(r.out(0), two.in());
+    c::Recorder rec("rec", &top);
+    f::flow(r.out(1), rec.in());
+
+    f::NetworkOptions opts;
+    opts.allowAlgebraicLoops = true;
+    opts.loopMaxIterations = 30;
+    f::Network net(top, opts);
+    urtx::solver::Vec x;
+    net.initState(0.0, x);
+    EXPECT_THROW(net.computeOutputs(0.0, x), std::runtime_error);
+}
+
+TEST(NetworkLoops, LoopInsideDynamicSimulation) {
+    // Plant dx = u - x where u solves u = 0.5 u + x algebraically
+    // (=> u = 2x => dx = x: growth e^t).
+    Plain top{"top"};
+    c::Integrator integ("x", &top, 1.0);
+    f::Relay xr("xr", &top, FT::real(), 2);
+    c::Sum sum("sum", &top, "++");
+    c::Gain half("half", &top, 0.5);
+    f::Relay ur("ur", &top, FT::real(), 2);
+    c::Sum dyn("dyn", &top, "+-"); // u - x
+    f::flow(integ.out(), xr.in());
+    f::flow(xr.out(0), sum.in(0));
+    f::flow(half.out(), sum.in(1));
+    f::flow(sum.out(), ur.in());
+    f::flow(ur.out(0), half.in());
+    f::flow(ur.out(1), dyn.in(0));
+    f::flow(xr.out(1), dyn.in(1));
+    f::flow(dyn.out(), integ.in());
+
+    f::NetworkOptions opts;
+    opts.allowAlgebraicLoops = true;
+    f::SolverRunner runner(top, urtx::solver::makeIntegrator("RK4"), 0.001, opts);
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    EXPECT_NEAR(runner.state()[0], std::exp(1.0), 1e-4);
+}

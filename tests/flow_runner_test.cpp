@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/control.hpp"
+#include "flow/relay.hpp"
+#include "flow/solver_runner.hpp"
+#include "flow/sport.hpp"
+#include "rt/rt.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace rt = urtx::rt;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+/// Build dx = -x, x0 = 1 and record x.
+struct DecayModel {
+    Plain top{"top"};
+    c::Integrator integ{"x", &top, 1.0};
+    c::Gain fb{"fb", &top, -1.0};
+    c::Recorder rec{"rec", &top};
+    f::Relay relay{"r", &top, f::FlowType::real(), 2};
+
+    DecayModel() {
+        f::flow(integ.out(), relay.in());
+        f::flow(relay.out(0), fb.in());
+        f::flow(fb.out(), integ.in());
+        f::flow(relay.out(1), rec.in());
+    }
+};
+
+} // namespace
+
+TEST(SolverRunner, RejectsBadConstruction) {
+    Plain top{"top"};
+    EXPECT_THROW(f::SolverRunner(top, nullptr, 0.1), std::invalid_argument);
+    EXPECT_THROW(f::SolverRunner(top, s::makeIntegrator("RK4"), 0.0), std::invalid_argument);
+}
+
+TEST(SolverRunner, IntegratesExponentialDecay) {
+    DecayModel m;
+    f::SolverRunner runner(m.top, s::makeIntegrator("RK4"), 0.01);
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    EXPECT_NEAR(runner.time(), 1.0, 1e-9);
+    EXPECT_NEAR(m.rec.last(), std::exp(-1.0), 1e-5);
+    EXPECT_EQ(runner.majorSteps(), 100u);
+    EXPECT_EQ(m.rec.size(), 100u);
+}
+
+TEST(SolverRunner, StrategySwapMidRunPreservesState) {
+    // The paper's Figure 1: solver strategies are interchangeable.
+    DecayModel m;
+    f::SolverRunner runner(m.top, s::makeIntegrator("Euler"), 0.001);
+    runner.initialize(0.0);
+    runner.advanceTo(0.5);
+    EXPECT_STREQ(runner.integrator().name(), "Euler");
+    runner.setIntegrator(s::makeIntegrator("RK45"));
+    runner.advanceTo(1.0);
+    EXPECT_STREQ(runner.integrator().name(), "RK45");
+    EXPECT_NEAR(m.rec.last(), std::exp(-1.0), 1e-3);
+}
+
+TEST(SolverRunner, AllStrategiesAgreeOnSmoothProblem) {
+    double results[3];
+    const char* methods[3] = {"Heun", "RK4", "RK45"};
+    for (int i = 0; i < 3; ++i) {
+        DecayModel m;
+        f::SolverRunner runner(m.top, s::makeIntegrator(methods[i]), 0.01);
+        runner.initialize(0.0);
+        runner.advanceTo(2.0);
+        results[i] = m.rec.last();
+    }
+    EXPECT_NEAR(results[0], results[1], 1e-5);
+    EXPECT_NEAR(results[1], results[2], 1e-6);
+    EXPECT_NEAR(results[1], std::exp(-2.0), 1e-6);
+}
+
+TEST(SolverRunner, ProbeSeesEveryMajorStep) {
+    DecayModel m;
+    f::SolverRunner runner(m.top, s::makeIntegrator("RK4"), 0.1);
+    int calls = 0;
+    double lastT = -1;
+    runner.setProbe([&](double t, const f::Network&) {
+        ++calls;
+        EXPECT_GT(t, lastT);
+        lastT = t;
+    });
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    EXPECT_EQ(calls, 10);
+}
+
+TEST(SolverRunner, SignalsChangeParametersBetweenSteps) {
+    // A capsule retunes the feedback gain mid-run through an SPort.
+    static rt::Protocol tune = [] {
+        rt::Protocol p{"TuneRunner"};
+        p.out("setK");
+        return p;
+    }();
+
+    struct TunableGain : c::SisoBlock {
+        TunableGain(std::string n, f::Streamer* parent) : SisoBlock(std::move(n), parent) {
+            setParam("k", -1.0);
+        }
+        void outputs(double, std::span<const double>) override {
+            out_.set(param("k") * in_.get());
+        }
+        void onSignal(f::SPort&, const rt::Message& m) override {
+            if (m.signal == rt::signal("setK")) setParam("k", m.dataOr<double>(-1.0));
+        }
+    };
+
+    Plain top{"top"};
+    c::Integrator integ("x", &top, 1.0);
+    TunableGain fb("fb", &top);
+    f::flow(integ.out(), fb.in());
+    f::flow(fb.out(), integ.in());
+    f::SPort sp(fb, "tune", tune, true);
+
+    struct Tuner : rt::Capsule {
+        Tuner() : rt::Capsule("tuner"), port(*this, "p", tune, false) {}
+        rt::Port port;
+    } cap;
+    rt::connect(cap.port, sp.rtPort());
+
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.01);
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    const double atOne = runner.state()[0];
+    EXPECT_NEAR(atOne, std::exp(-1.0), 1e-5);
+
+    cap.port.send("setK", 0.0); // freeze: dx = 0
+    runner.advanceTo(2.0);
+    EXPECT_NEAR(runner.state()[0], atOne, 1e-9) << "after setK 0 the state must hold";
+    EXPECT_EQ(runner.signalsProcessed(), 1u);
+}
+
+TEST(SolverRunner, ZeroCrossingFiresEventAndSignal) {
+    // Falling ball; the streamer raises "impact" toward a capsule when
+    // height crosses zero.
+    static rt::Protocol impactProto = [] {
+        rt::Protocol p{"Impact"};
+        p.out("impact"); // sent by the streamer (base role)
+        return p;
+    }();
+
+    struct Ball : f::Streamer {
+        Ball(std::string n, f::Streamer* parent)
+            : f::Streamer(std::move(n), parent), sp(*this, "ev", impactProto, false) {}
+        f::SPort sp;
+        double impactTime = -1;
+
+        std::size_t stateSize() const override { return 2; }
+        void initState(double, std::span<double> x) override {
+            x[0] = 10.0; // height
+            x[1] = 0.0;  // velocity
+        }
+        void derivatives(double, std::span<const double> x, std::span<double> dx) override {
+            dx[0] = x[1];
+            dx[1] = -9.81;
+        }
+        bool hasEvent() const override { return true; }
+        double eventFunction(double, std::span<const double> x) const override { return x[0]; }
+        void onEvent(double t, bool) override {
+            impactTime = t;
+            sp.send("impact", t);
+        }
+    };
+
+    struct Watcher : rt::Capsule {
+        Watcher() : rt::Capsule("watcher"), port(*this, "p", impactProto, true) {}
+        rt::Port port;
+        double impactAt = -1;
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            if (m.signal == rt::signal("impact")) impactAt = m.dataOr<double>(-1);
+        }
+    } watcher;
+
+    Plain top{"top"};
+    Ball ball("ball", &top);
+    rt::connect(watcher.port, ball.sp.rtPort());
+
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.05);
+    runner.initialize(0.0);
+    runner.advanceTo(2.0);
+
+    const double expected = std::sqrt(2.0 * 10.0 / 9.81);
+    EXPECT_NEAR(ball.impactTime, expected, 1e-6);
+    EXPECT_NEAR(watcher.impactAt, expected, 1e-6);
+    EXPECT_EQ(runner.eventsFired(), 1u);
+}
+
+TEST(SolverRunner, UpdatePassDrivesDiscreteBlocks) {
+    Plain top{"top"};
+    c::Sine sine("sine", &top, 1.0, 2.0 * M_PI); // 1 Hz
+    c::ZeroOrderHold zoh("zoh", &top, 0.25);
+    c::Recorder rec("rec", &top);
+    f::flow(sine.out(), zoh.in());
+    f::flow(zoh.out(), rec.in());
+
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.05);
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    // ZOH output only changes every 0.25 s: count distinct values.
+    int changes = 0;
+    double prev = rec.samples().front().v;
+    for (const auto& sVal : rec.samples()) {
+        if (sVal.v != prev) {
+            ++changes;
+            prev = sVal.v;
+        }
+    }
+    EXPECT_LE(changes, 5);
+    EXPECT_GE(changes, 3);
+}
+
+TEST(SolverRunner, AdvanceToIsIdempotentAtTarget) {
+    DecayModel m;
+    f::SolverRunner runner(m.top, s::makeIntegrator("RK4"), 0.1);
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    const auto steps = runner.majorSteps();
+    runner.advanceTo(1.0);
+    EXPECT_EQ(runner.majorSteps(), steps);
+}

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "flow/sport.hpp"
+#include "flow/streamer.hpp"
+#include "rt/controller.hpp"
+
+namespace f = urtx::flow;
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Protocol& tuneProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Tune"};
+        q.out("setGain").in("alarm");
+        return q;
+    }();
+    return p;
+}
+
+/// Streamer that records incoming signals and tunes a parameter.
+struct Tunable : f::Streamer {
+    using f::Streamer::Streamer;
+    std::vector<std::string> log;
+
+    void onSignal(f::SPort& port, const rt::Message& m) override {
+        log.push_back(port.name() + ":" + m.signalName());
+        if (m.signal == rt::signal("setGain")) setParam("k", m.dataOr<double>(0.0));
+    }
+};
+
+struct Supervisor : rt::Capsule {
+    Supervisor(std::string n) : rt::Capsule(std::move(n)), ctl(*this, "ctl", tuneProto(), false) {}
+    rt::Port ctl;
+    int alarms = 0;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("alarm")) ++alarms;
+    }
+};
+
+} // namespace
+
+TEST(SPort, RegistersWithStreamer) {
+    Tunable s{"s"};
+    f::SPort sp(s, "ctl", tuneProto(), true);
+    EXPECT_EQ(s.sports().size(), 1u);
+    EXPECT_EQ(s.findSPort("ctl"), &sp);
+    EXPECT_EQ(s.findSPort("nope"), nullptr);
+    EXPECT_EQ(&sp.owner(), &s);
+    EXPECT_TRUE(sp.conjugated());
+}
+
+TEST(SPort, InboundSignalQueuesUntilDrained) {
+    Tunable s{"s"};
+    f::SPort sp(s, "ctl", tuneProto(), true);
+    Supervisor cap{"sup"};
+    rt::connect(cap.ctl, sp.rtPort());
+
+    EXPECT_TRUE(cap.ctl.send("setGain", 7.5));
+    EXPECT_EQ(sp.pending(), 1u);
+    EXPECT_TRUE(s.log.empty()) << "not delivered before drain (solver step boundary)";
+
+    EXPECT_EQ(sp.drain(), 1u);
+    ASSERT_EQ(s.log.size(), 1u);
+    EXPECT_EQ(s.log[0], "ctl:setGain");
+    EXPECT_DOUBLE_EQ(s.param("k"), 7.5);
+    EXPECT_EQ(sp.pending(), 0u);
+    EXPECT_EQ(sp.received(), 1u);
+}
+
+TEST(SPort, OutboundSignalReachesCapsule) {
+    Tunable s{"s"};
+    f::SPort sp(s, "ctl", tuneProto(), true);
+    Supervisor cap{"sup"};
+    rt::connect(cap.ctl, sp.rtPort());
+
+    EXPECT_TRUE(sp.send("alarm"));
+    // No controller on the capsule: synchronous delivery.
+    EXPECT_EQ(cap.alarms, 1);
+    EXPECT_EQ(sp.sent(), 1u);
+}
+
+TEST(SPort, OutboundThroughControllerIsAsynchronous) {
+    Tunable s{"s"};
+    f::SPort sp(s, "ctl", tuneProto(), true);
+    Supervisor cap{"sup"};
+    rt::connect(cap.ctl, sp.rtPort());
+    rt::Controller ctl{"main"};
+    ctl.attach(cap);
+
+    EXPECT_TRUE(sp.send("alarm"));
+    EXPECT_EQ(cap.alarms, 0) << "queued, not yet dispatched";
+    ctl.dispatchAll();
+    EXPECT_EQ(cap.alarms, 1);
+}
+
+TEST(SPort, ProtocolDirectionEnforced) {
+    Tunable s{"s"};
+    f::SPort sp(s, "ctl", tuneProto(), true);
+    Supervisor cap{"sup"};
+    rt::connect(cap.ctl, sp.rtPort());
+    EXPECT_FALSE(sp.send("setGain", 1.0)) << "conjugated side cannot send base out-signal";
+    EXPECT_FALSE(cap.ctl.send("alarm"));
+}
+
+TEST(SPort, UnwiredSendFailsGracefully) {
+    Tunable s{"s"};
+    f::SPort sp(s, "ctl", tuneProto(), true);
+    EXPECT_FALSE(sp.send("alarm"));
+}
+
+TEST(SPort, DrainPreservesOrder) {
+    Tunable s{"s"};
+    f::SPort sp(s, "ctl", tuneProto(), true);
+    Supervisor cap{"sup"};
+    rt::connect(cap.ctl, sp.rtPort());
+    cap.ctl.send("setGain", 1.0);
+    cap.ctl.send("setGain", 2.0);
+    cap.ctl.send("setGain", 3.0);
+    sp.drain();
+    EXPECT_DOUBLE_EQ(s.param("k"), 3.0) << "last write wins => FIFO order";
+    EXPECT_EQ(s.log.size(), 3u);
+}

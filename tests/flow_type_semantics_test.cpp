@@ -1,0 +1,120 @@
+/// \file flow_type_semantics_test.cpp
+/// Semantic property tests for flow-type projections: a projected transfer
+/// must move *fields by name* and *elements by index* — randomized over
+/// generated type pairs and values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "flow/flow_type.hpp"
+
+namespace f = urtx::flow;
+using FT = f::FlowType;
+
+namespace {
+
+/// Generate a random record type over a fixed field-name universe; each
+/// field is scalar or a small vector.
+FT randomRecord(std::mt19937& rng, int minFields) {
+    static const char* kNames[] = {"a", "b", "c", "d", "e", "f"};
+    std::vector<int> idx{0, 1, 2, 3, 4, 5};
+    std::shuffle(idx.begin(), idx.end(), rng);
+    std::uniform_int_distribution<int> extra(0, 2);
+    const int n = minFields + extra(rng);
+    std::vector<FT::Field> fields;
+    std::uniform_int_distribution<int> kind(0, 2);
+    for (int i = 0; i < n && i < 6; ++i) {
+        switch (kind(rng)) {
+            case 0: fields.push_back({kNames[idx[static_cast<std::size_t>(i)]], FT::real()}); break;
+            case 1: fields.push_back({kNames[idx[static_cast<std::size_t>(i)]], FT::integer()}); break;
+            default:
+                fields.push_back(
+                    {kNames[idx[static_cast<std::size_t>(i)]], FT::vector(FT::real(), 2)});
+        }
+    }
+    return FT::record(std::move(fields));
+}
+
+/// A sub-record of `big`: pick a subset of its fields, shuffled.
+FT subRecordOf(const FT& big, std::mt19937& rng) {
+    std::vector<FT::Field> fields(big.fields().begin(), big.fields().end());
+    std::shuffle(fields.begin(), fields.end(), rng);
+    std::uniform_int_distribution<std::size_t> count(1, fields.size());
+    fields.resize(count(rng));
+    return FT::record(std::move(fields));
+}
+
+} // namespace
+
+class ProjectionSemantics : public ::testing::TestWithParam<unsigned> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionSemantics,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u));
+
+TEST_P(ProjectionSemantics, FieldsTravelByName) {
+    std::mt19937 rng(GetParam());
+    for (int trial = 0; trial < 20; ++trial) {
+        const FT out = randomRecord(rng, 3);
+        const FT in = subRecordOf(out, rng);
+        ASSERT_TRUE(out.subsetOf(in)) << out.toString() << " vs " << in.toString();
+
+        const auto proj = FT::projection(out, in);
+        ASSERT_TRUE(proj.has_value());
+
+        // Fill the source buffer with slot indices as values.
+        std::vector<double> src(out.width());
+        for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<double>(i) + 100.0;
+        std::vector<double> dst(in.width());
+        for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[(*proj)[i]];
+
+        // Check: for every field of `in`, the transferred values equal the
+        // source values at that field's offset in `out`.
+        std::size_t dstOff = 0;
+        for (const auto& field : in.fields()) {
+            const auto srcOff = out.fieldOffset(field.name);
+            ASSERT_TRUE(srcOff.has_value()) << field.name;
+            for (std::size_t k = 0; k < field.type.width(); ++k) {
+                EXPECT_EQ(dst[dstOff + k], src[*srcOff + k])
+                    << "field '" << field.name << "' slot " << k << " (types "
+                    << out.toString() << " -> " << in.toString() << ")";
+            }
+            dstOff += field.type.width();
+        }
+    }
+}
+
+TEST_P(ProjectionSemantics, SubsetIsAntisymmetricUpToPermutation) {
+    std::mt19937 rng(GetParam() * 7919u);
+    for (int trial = 0; trial < 20; ++trial) {
+        const FT a = randomRecord(rng, 2);
+        const FT b = subRecordOf(a, rng);
+        if (a.subsetOf(b) && b.subsetOf(a)) {
+            // Mutual subset => same field multiset (name + type).
+            ASSERT_EQ(a.fields().size(), b.fields().size());
+            for (const auto& field : a.fields()) {
+                const FT* other = b.fieldType(field.name);
+                ASSERT_NE(other, nullptr) << field.name;
+                EXPECT_TRUE(field.type.equals(*other));
+            }
+        }
+    }
+}
+
+TEST_P(ProjectionSemantics, WideningPreservesValueThroughIntSlots) {
+    // Int ⊆ Real: integer-valued payloads survive widening transfers.
+    std::mt19937 rng(GetParam() * 104729u);
+    std::uniform_int_distribution<int> v(-1000, 1000);
+    const FT out = FT::record({{"x", FT::integer()}, {"y", FT::integer()}});
+    const FT in = FT::record({{"y", FT::real()}});
+    const auto proj = FT::projection(out, in);
+    ASSERT_TRUE(proj.has_value());
+    for (int trial = 0; trial < 50; ++trial) {
+        const double y = v(rng);
+        const std::vector<double> src{static_cast<double>(v(rng)), y};
+        EXPECT_EQ(src[(*proj)[0]], y);
+    }
+}

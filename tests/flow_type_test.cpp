@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/flow_type.hpp"
+
+namespace f = urtx::flow;
+using FT = f::FlowType;
+
+namespace {
+
+FT posVel() {
+    return FT::record({{"pos", FT::real()}, {"vel", FT::real()}});
+}
+FT posVelAcc() {
+    return FT::record({{"pos", FT::real()}, {"vel", FT::real()}, {"acc", FT::real()}});
+}
+
+} // namespace
+
+TEST(FlowType, ScalarWidths) {
+    EXPECT_EQ(FT::boolean().width(), 1u);
+    EXPECT_EQ(FT::integer().width(), 1u);
+    EXPECT_EQ(FT::real().width(), 1u);
+    EXPECT_TRUE(FT::real().isScalar());
+}
+
+TEST(FlowType, CompositeWidths) {
+    EXPECT_EQ(FT::vector(FT::real(), 3).width(), 3u);
+    EXPECT_EQ(posVel().width(), 2u);
+    EXPECT_EQ(FT::vector(posVel(), 2).width(), 4u);
+}
+
+TEST(FlowType, NumericWideningChain) {
+    EXPECT_TRUE(FT::boolean().subsetOf(FT::integer()));
+    EXPECT_TRUE(FT::integer().subsetOf(FT::real()));
+    EXPECT_TRUE(FT::boolean().subsetOf(FT::real()));
+    EXPECT_FALSE(FT::real().subsetOf(FT::integer()));
+    EXPECT_FALSE(FT::integer().subsetOf(FT::boolean()));
+}
+
+TEST(FlowType, VectorCovariance) {
+    EXPECT_TRUE(FT::vector(FT::integer(), 3).subsetOf(FT::vector(FT::real(), 3)));
+    EXPECT_FALSE(FT::vector(FT::real(), 3).subsetOf(FT::vector(FT::real(), 4)));
+    EXPECT_FALSE(FT::vector(FT::real(), 3).subsetOf(FT::real()));
+}
+
+TEST(FlowType, RecordWidthSubtyping) {
+    // A producer with MORE fields satisfies a consumer needing fewer.
+    EXPECT_TRUE(posVelAcc().subsetOf(posVel()));
+    EXPECT_FALSE(posVel().subsetOf(posVelAcc()));
+}
+
+TEST(FlowType, RecordDepthSubtyping) {
+    const FT intPos = FT::record({{"pos", FT::integer()}, {"vel", FT::real()}});
+    EXPECT_TRUE(intPos.subsetOf(posVel()));
+    EXPECT_FALSE(posVel().subsetOf(intPos));
+}
+
+TEST(FlowType, RecordFieldOrderIrrelevantForSubset) {
+    const FT swapped = FT::record({{"vel", FT::real()}, {"pos", FT::real()}});
+    EXPECT_TRUE(swapped.subsetOf(posVel()));
+    EXPECT_TRUE(posVel().subsetOf(swapped));
+    EXPECT_FALSE(swapped.equals(posVel())) << "equality is positional";
+}
+
+TEST(FlowType, RecordRejectsDuplicatesAndEmpty) {
+    EXPECT_THROW(FT::record({{"a", FT::real()}, {"a", FT::real()}}), std::invalid_argument);
+    EXPECT_THROW(FT::record({}), std::invalid_argument);
+    EXPECT_THROW(FT::vector(FT::real(), 0), std::invalid_argument);
+}
+
+TEST(FlowType, Equality) {
+    EXPECT_TRUE(FT::real().equals(FT::real()));
+    EXPECT_FALSE(FT::real().equals(FT::integer()));
+    EXPECT_TRUE(FT::vector(FT::real(), 2).equals(FT::vector(FT::real(), 2)));
+    EXPECT_FALSE(FT::vector(FT::real(), 2).equals(FT::vector(FT::real(), 3)));
+    EXPECT_TRUE(posVel().equals(posVel()));
+}
+
+TEST(FlowType, ToStringRendersStructure) {
+    EXPECT_EQ(FT::real().toString(), "Real");
+    EXPECT_EQ(FT::vector(FT::integer(), 4).toString(), "Vector<Int,4>");
+    EXPECT_EQ(posVel().toString(), "{pos:Real, vel:Real}");
+}
+
+TEST(FlowType, FieldOffsets) {
+    const FT t = posVelAcc();
+    EXPECT_EQ(t.fieldOffset("pos"), 0u);
+    EXPECT_EQ(t.fieldOffset("vel"), 1u);
+    EXPECT_EQ(t.fieldOffset("acc"), 2u);
+    EXPECT_FALSE(t.fieldOffset("jerk").has_value());
+    EXPECT_EQ(t.fieldType("vel")->kind(), FT::Kind::Real);
+    EXPECT_EQ(t.fieldType("nope"), nullptr);
+}
+
+TEST(FlowType, ProjectionIdentityForEqualTypes) {
+    auto p = FT::projection(FT::vector(FT::real(), 3), FT::vector(FT::real(), 3));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(FlowType, ProjectionSelectsRecordFields) {
+    // Output {pos,vel,acc} -> input {acc,pos}: input slot0 <- acc(=2),
+    // slot1 <- pos(=0).
+    const FT in = FT::record({{"acc", FT::real()}, {"pos", FT::real()}});
+    auto p = FT::projection(posVelAcc(), in);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, (std::vector<std::size_t>{2, 0}));
+}
+
+TEST(FlowType, ProjectionFailsOnIllegalPair) {
+    EXPECT_FALSE(FT::projection(FT::real(), FT::integer()).has_value());
+    EXPECT_FALSE(FT::projection(posVel(), posVelAcc()).has_value());
+}
+
+TEST(FlowType, ProjectionNestedRecordInVector) {
+    const FT big = FT::vector(posVelAcc(), 2);
+    const FT small = FT::vector(posVel(), 2);
+    auto p = FT::projection(big, small);
+    ASSERT_TRUE(p.has_value());
+    // Element 0: pos@0, vel@1; element 1 of source starts at 3.
+    EXPECT_EQ(*p, (std::vector<std::size_t>{0, 1, 3, 4}));
+}
+
+// -------- property-style sweep: subset must be reflexive & transitive ------
+
+class FlowTypeLattice : public ::testing::TestWithParam<int> {
+public:
+    static std::vector<FT> corpus() {
+        return {FT::boolean(),
+                FT::integer(),
+                FT::real(),
+                FT::vector(FT::real(), 2),
+                FT::vector(FT::integer(), 2),
+                FT::vector(FT::real(), 3),
+                posVel(),
+                posVelAcc(),
+                FT::record({{"pos", FT::integer()}, {"vel", FT::real()}}),
+                FT::vector(posVel(), 2)};
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FlowTypeLattice,
+                         ::testing::Range(0, static_cast<int>(10)));
+
+TEST_P(FlowTypeLattice, SubsetIsReflexive) {
+    const auto ts = corpus();
+    const FT& t = ts[static_cast<std::size_t>(GetParam())];
+    EXPECT_TRUE(t.subsetOf(t)) << t.toString();
+    EXPECT_TRUE(t.equals(t));
+}
+
+TEST_P(FlowTypeLattice, SubsetIsTransitive) {
+    const auto ts = corpus();
+    const FT& a = ts[static_cast<std::size_t>(GetParam())];
+    for (const FT& b : ts) {
+        if (!a.subsetOf(b)) continue;
+        for (const FT& c : ts) {
+            if (b.subsetOf(c)) {
+                EXPECT_TRUE(a.subsetOf(c))
+                    << a.toString() << " ⊆ " << b.toString() << " ⊆ " << c.toString();
+            }
+        }
+    }
+}
+
+TEST_P(FlowTypeLattice, SubsetImpliesProjectionExists) {
+    const auto ts = corpus();
+    const FT& a = ts[static_cast<std::size_t>(GetParam())];
+    for (const FT& b : ts) {
+        EXPECT_EQ(a.subsetOf(b), FT::projection(a, b).has_value())
+            << a.toString() << " vs " << b.toString();
+        if (auto p = FT::projection(a, b)) {
+            EXPECT_EQ(p->size(), b.width());
+            for (std::size_t slot : *p) EXPECT_LT(slot, a.width());
+        }
+    }
+}

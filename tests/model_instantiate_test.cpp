@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/control.hpp"
+#include "flow/solver_runner.hpp"
+#include "model/instantiate.hpp"
+#include "model/validator.hpp"
+
+namespace m = urtx::model;
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace rt = urtx::rt;
+
+namespace {
+
+/// Closed-loop model: step -> diff -> pid-ish gain -> plant(lag) -> back.
+m::Model loopModel() {
+    m::Model mod;
+    mod.name = "loop";
+    mod.flowTypes.push_back({"Scalar", f::FlowType::real()});
+    mod.protocols.push_back({"Ctl", {{"go", "in"}, {"done", "out"}}});
+
+    auto dport = [](std::string name, std::string dir) {
+        return m::PortDecl{std::move(name), m::PortDecl::Kind::Data, "",
+                           false, false, "Scalar", std::move(dir)};
+    };
+    auto leaf = [&](std::string name, std::map<std::string, double> params,
+                    std::vector<m::PortDecl> ports) {
+        m::StreamerClassDecl cls;
+        cls.name = std::move(name);
+        cls.solver = "RK4";
+        cls.params = std::move(params);
+        cls.ports = std::move(ports);
+        mod.streamers.push_back(std::move(cls));
+    };
+    leaf("Step", {{"t0", 0.0}, {"before", 0.0}, {"after", 1.0}}, {dport("out", "out")});
+    leaf("Diff", {}, {dport("in0", "in"), dport("in1", "in"), dport("out", "out")});
+    leaf("Gain", {{"k", 5.0}}, {dport("in", "in"), dport("out", "out")});
+    leaf("FirstOrderLag", {{"tau", 1.0}, {"x0", 0.0}},
+         {dport("in", "in"), dport("out", "out")});
+    leaf("Recorder", {}, {dport("in", "in")});
+
+    m::StreamerClassDecl top;
+    top.name = "Loop";
+    top.parts.push_back({"sp", "Step", m::PartDecl::Kind::Streamer});
+    top.parts.push_back({"err", "Diff", m::PartDecl::Kind::Streamer});
+    top.parts.push_back({"ctl", "Gain", m::PartDecl::Kind::Streamer});
+    top.parts.push_back({"plant", "FirstOrderLag", m::PartDecl::Kind::Streamer});
+    top.parts.push_back({"rec", "Recorder", m::PartDecl::Kind::Streamer});
+    top.relays.push_back({"meas", "Scalar", 2});
+    top.flows.push_back({"sp.out", "err.in0"});
+    top.flows.push_back({"meas.out0", "err.in1"});
+    top.flows.push_back({"err.out", "ctl.in"});
+    top.flows.push_back({"ctl.out", "plant.in"});
+    top.flows.push_back({"plant.out", "meas.in"});
+    top.flows.push_back({"meas.out1", "rec.in"});
+    mod.streamers.push_back(top);
+    return mod;
+}
+
+m::BehaviorRegistry standardRegistry() {
+    m::BehaviorRegistry reg;
+    reg.registerStandardBlocks();
+    return reg;
+}
+
+} // namespace
+
+TEST(Instantiate, RegistryKnowsStandardBlocks) {
+    const auto reg = standardRegistry();
+    for (const char* name : {"Constant", "Step", "Ramp", "Sine", "Gain", "Saturation",
+                             "Integrator", "FirstOrderLag", "Pid", "Sum2", "Diff", "Recorder"}) {
+        EXPECT_TRUE(reg.has(name)) << name;
+    }
+    EXPECT_FALSE(reg.has("FluxCapacitor"));
+}
+
+TEST(Instantiate, LeafBlockGetsParameters) {
+    const auto mod = loopModel();
+    const auto reg = standardRegistry();
+    m::Instantiator inst(mod, reg);
+    auto gain = inst.streamer("Gain", "g");
+    ASSERT_NE(gain, nullptr);
+    EXPECT_DOUBLE_EQ(gain->param("k"), 5.0);
+    EXPECT_NE(dynamic_cast<c::Gain*>(gain.get()), nullptr)
+        << "registered class must instantiate the real block type";
+}
+
+TEST(Instantiate, UnknownClassThrows) {
+    const auto mod = loopModel();
+    const auto reg = standardRegistry();
+    m::Instantiator inst(mod, reg);
+    EXPECT_THROW(inst.streamer("Ghost", "g"), std::invalid_argument);
+    EXPECT_THROW(inst.capsule("Ghost", "g"), std::invalid_argument);
+}
+
+TEST(Instantiate, CompositeBuildsStructure) {
+    const auto mod = loopModel();
+    const auto reg = standardRegistry();
+    m::Instantiator inst(mod, reg);
+    auto loop = inst.streamer("Loop", "loop");
+    ASSERT_NE(loop, nullptr);
+    EXPECT_TRUE(loop->isComposite());
+    EXPECT_EQ(loop->subStreamers().size(), 6u); // 5 parts + relay
+    // Children are the real registered types.
+    bool sawLag = false;
+    for (f::Streamer* child : loop->subStreamers()) {
+        if (dynamic_cast<c::FirstOrderLag*>(child)) sawLag = true;
+    }
+    EXPECT_TRUE(sawLag);
+}
+
+TEST(Instantiate, ModelDrivenClosedLoopSimulates) {
+    // The headline: a model authored as pure data runs as a live simulation
+    // with textbook first-order closed-loop response.
+    const auto mod = loopModel();
+    const auto reg = standardRegistry();
+    m::Instantiator inst(mod, reg);
+    auto loop = inst.streamer("Loop", "loop");
+
+    f::SolverRunner runner(*loop, s::makeIntegrator("RK4"), 0.001);
+    runner.initialize(0.0);
+    runner.advanceTo(3.0);
+
+    // Find the recorder.
+    c::Recorder* rec = nullptr;
+    for (f::Streamer* child : loop->subStreamers()) {
+        rec = dynamic_cast<c::Recorder*>(child);
+        if (rec) break;
+    }
+    ASSERT_NE(rec, nullptr);
+    // Closed loop: dx = (5(r - x) - x)/1 -> steady state 5/6, tau = 1/6.
+    EXPECT_NEAR(rec->last(), 5.0 / 6.0, 1e-3);
+    // Time constant check at t = 1/6: x ~ (5/6)(1 - e^-1).
+    bool found = false;
+    for (const auto& smp : rec->samples()) {
+        if (std::abs(smp.t - 1.0 / 6.0) < 1e-3) {
+            EXPECT_NEAR(smp.v, 5.0 / 6.0 * (1.0 - std::exp(-1.0)), 5e-3);
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Instantiate, UnregisteredLeafBecomesStructureOnly) {
+    m::Model mod;
+    mod.flowTypes.push_back({"Scalar", f::FlowType::real()});
+    m::StreamerClassDecl mystery;
+    mystery.name = "Mystery";
+    mystery.ports.push_back({"in", m::PortDecl::Kind::Data, "", false, false, "Scalar", "in"});
+    mystery.ports.push_back({"out", m::PortDecl::Kind::Data, "", false, false, "Scalar", "out"});
+    mystery.params["answer"] = 42.0;
+    mod.streamers.push_back(mystery);
+
+    m::BehaviorRegistry reg; // empty
+    m::Instantiator inst(mod, reg);
+    auto leaf = inst.streamer("Mystery", "m");
+    ASSERT_NE(leaf, nullptr);
+    EXPECT_EQ(leaf->stateSize(), 0u);
+    EXPECT_NE(leaf->findDPort("in"), nullptr);
+    EXPECT_NE(leaf->findDPort("out"), nullptr);
+    EXPECT_DOUBLE_EQ(leaf->param("answer"), 42.0);
+}
+
+TEST(Instantiate, SPortsGetBuiltProtocols) {
+    m::Model mod;
+    mod.protocols.push_back({"Ctl", {{"go", "in"}, {"done", "out"}}});
+    m::StreamerClassDecl cls;
+    cls.name = "Signaled";
+    cls.ports.push_back({"ctl", m::PortDecl::Kind::Signal, "Ctl", true, false, "", ""});
+    mod.streamers.push_back(cls);
+
+    m::BehaviorRegistry reg;
+    m::Instantiator inst(mod, reg);
+    auto leaf = inst.streamer("Signaled", "s");
+    ASSERT_EQ(leaf->sports().size(), 1u);
+    EXPECT_EQ(leaf->sports()[0]->protocol().name(), "Ctl");
+    EXPECT_TRUE(leaf->sports()[0]->conjugated());
+    // Protocol cache returns stable references.
+    EXPECT_EQ(&inst.protocol("Ctl"), &inst.protocol("Ctl"));
+    EXPECT_THROW(inst.protocol("Nope"), std::invalid_argument);
+}
+
+TEST(Instantiate, BadFlowReferenceThrows) {
+    auto mod = loopModel();
+    mod.streamers.back().flows.push_back({"ghost.out", "rec.in"});
+    const auto reg = standardRegistry();
+    m::Instantiator inst(mod, reg);
+    EXPECT_THROW(inst.streamer("Loop", "loop"), std::invalid_argument);
+}
+
+TEST(Instantiate, CapsuleMachineAnimates) {
+    m::Model mod;
+    mod.protocols.push_back({"Sw", {{"toggle", "in"}}});
+    m::CapsuleClassDecl cap;
+    cap.name = "Switch";
+    cap.ports.push_back({"in", m::PortDecl::Kind::Signal, "Sw", false, false, "", ""});
+    cap.states.push_back({"Off", "", true});
+    cap.states.push_back({"On", "", false});
+    cap.transitions.push_back({"Off", "On", "toggle", "", ""});
+    cap.transitions.push_back({"On", "Off", "toggle", "", ""});
+    mod.capsules.push_back(cap);
+
+    m::BehaviorRegistry reg;
+    m::Instantiator inst(mod, reg);
+    auto sw = inst.capsule("Switch", "sw");
+    sw->initialize();
+    EXPECT_EQ(sw->machine().currentPath(), "Off");
+    sw->deliver(rt::Message(rt::signal("toggle")));
+    EXPECT_EQ(sw->machine().currentPath(), "On");
+    sw->deliver(rt::Message(rt::signal("toggle")));
+    sw->deliver(rt::Message(rt::signal("toggle")));
+    EXPECT_EQ(sw->machine().currentPath(), "On");
+    ASSERT_EQ(sw->transitionLog.size(), 3u);
+    EXPECT_EQ(sw->transitionLog[0], "Off --toggle--> On");
+    EXPECT_EQ(sw->transitionLog[1], "On --toggle--> Off");
+}
+
+TEST(Instantiate, CapsuleHierarchicalStates) {
+    m::Model mod;
+    m::CapsuleClassDecl cap;
+    cap.name = "Nested";
+    cap.states.push_back({"Run", "", true});
+    cap.states.push_back({"Fast", "Run", true});
+    cap.states.push_back({"Slow", "Run", false});
+    cap.states.push_back({"Stop", "", false});
+    cap.transitions.push_back({"Fast", "Slow", "shift", "", ""});
+    cap.transitions.push_back({"Run", "Stop", "halt", "", ""});
+    mod.capsules.push_back(cap);
+
+    m::BehaviorRegistry reg;
+    m::Instantiator inst(mod, reg);
+    auto cps = inst.capsule("Nested", "n");
+    cps->initialize();
+    EXPECT_EQ(cps->machine().currentPath(), "Run/Fast");
+    cps->deliver(rt::Message(rt::signal("shift")));
+    EXPECT_EQ(cps->machine().currentPath(), "Run/Slow");
+    cps->deliver(rt::Message(rt::signal("halt")));
+    EXPECT_EQ(cps->machine().currentPath(), "Stop");
+}
+
+TEST(Instantiate, CapsuleContainsStreamersNotViceVersa) {
+    // Figure 3 containment through the instantiator.
+    m::Model mod;
+    mod.flowTypes.push_back({"Scalar", f::FlowType::real()});
+    m::StreamerClassDecl plant;
+    plant.name = "Gain";
+    plant.params["k"] = 2.0;
+    mod.streamers.push_back(plant);
+    m::CapsuleClassDecl cap;
+    cap.name = "Holder";
+    cap.parts.push_back({"g", "Gain", m::PartDecl::Kind::Streamer});
+    mod.capsules.push_back(cap);
+
+    auto reg = standardRegistry();
+    m::Instantiator inst(mod, reg);
+    auto holder = inst.capsule("Holder", "h");
+    ASSERT_EQ(holder->ownedStreamers.size(), 1u);
+    EXPECT_EQ(holder->ownedStreamers[0]->name(), "g");
+}
+
+TEST(Instantiate, SubCapsulesNestProperly) {
+    m::Model mod;
+    m::CapsuleClassDecl inner;
+    inner.name = "Inner";
+    inner.states.push_back({"Idle", "", true});
+    mod.capsules.push_back(inner);
+    m::CapsuleClassDecl outer;
+    outer.name = "Outer";
+    outer.parts.push_back({"kid", "Inner", m::PartDecl::Kind::Capsule});
+    mod.capsules.push_back(outer);
+
+    m::BehaviorRegistry reg;
+    m::Instantiator inst(mod, reg);
+    auto top = inst.capsule("Outer", "top");
+    ASSERT_EQ(top->subCapsules().size(), 1u);
+    EXPECT_EQ(top->subCapsules()[0]->fullPath(), "top/kid");
+    top->initialize();
+    EXPECT_TRUE(top->subCapsules()[0]->initialized());
+}
+
+TEST(Instantiate, ValidatedModelInstantiatesCleanly) {
+    const auto mod = loopModel();
+    const auto diags = m::Validator().validate(mod);
+    EXPECT_TRUE(m::Validator::ok(diags)) << m::Validator::render(diags);
+    const auto reg = standardRegistry();
+    m::Instantiator inst(mod, reg);
+    EXPECT_NO_THROW(inst.streamer("Loop", "loop"));
+}

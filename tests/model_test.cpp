@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "model/model.hpp"
+#include "model/stereotype.hpp"
+#include "model/type_parser.hpp"
+
+namespace m = urtx::model;
+namespace f = urtx::flow;
+
+// ------------------------------------------------------------------ Table 1
+
+TEST(Stereotype, Table1HasSixRows) {
+    const auto& rows = m::table1();
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].umlrt, m::Stereotype::Capsule);
+    ASSERT_EQ(rows[0].extension.size(), 1u);
+    EXPECT_EQ(rows[0].extension[0], m::Stereotype::Streamer);
+}
+
+TEST(Stereotype, Table1MatchesPaperRows) {
+    const auto& rows = m::table1();
+    // port -> DPort, SPort
+    EXPECT_EQ(rows[1].umlrt, m::Stereotype::Port);
+    EXPECT_EQ(rows[1].extension,
+              (std::vector<m::Stereotype>{m::Stereotype::DPort, m::Stereotype::SPort}));
+    // connect -> flow, relay
+    EXPECT_EQ(rows[2].umlrt, m::Stereotype::Connect);
+    EXPECT_EQ(rows[2].extension,
+              (std::vector<m::Stereotype>{m::Stereotype::Flow, m::Stereotype::Relay}));
+    // protocol -> flow type
+    EXPECT_EQ(rows[3].extension, (std::vector<m::Stereotype>{m::Stereotype::FlowTypeKind}));
+    // state machine -> solver, strategy
+    EXPECT_EQ(rows[4].extension,
+              (std::vector<m::Stereotype>{m::Stereotype::Solver, m::Stereotype::Strategy}));
+    // Time service -> Time
+    EXPECT_EQ(rows[5].extension, (std::vector<m::Stereotype>{m::Stereotype::Time}));
+}
+
+TEST(Stereotype, NamesRender) {
+    EXPECT_STREQ(m::to_string(m::Stereotype::Streamer), "streamer");
+    EXPECT_STREQ(m::to_string(m::Stereotype::DPort), "DPort");
+    EXPECT_STREQ(m::to_string(m::Stereotype::FlowTypeKind), "flow type");
+    EXPECT_STREQ(m::to_string(m::Stereotype::TimeService), "Time service");
+}
+
+TEST(Stereotype, NewStereotypeCountMatchesTable) {
+    // The table as printed in the paper lists nine extension names.
+    EXPECT_EQ(m::newStereotypeCount(), 9u);
+}
+
+// ------------------------------------------------------------------- lookup
+
+TEST(Model, LookupHelpers) {
+    m::Model mod;
+    mod.protocols.push_back({"P", {{"go", "out"}}});
+    mod.flowTypes.push_back({"T", f::FlowType::real()});
+    mod.capsules.push_back({"C", {}, {}, {}, {}, {}});
+    mod.streamers.push_back({"S", {}, {}, {}, {}, "RK4", ""});
+    EXPECT_NE(mod.findProtocol("P"), nullptr);
+    EXPECT_EQ(mod.findProtocol("Q"), nullptr);
+    EXPECT_NE(mod.findFlowType("T"), nullptr);
+    EXPECT_NE(mod.findCapsule("C"), nullptr);
+    EXPECT_NE(mod.findStreamer("S"), nullptr);
+    EXPECT_EQ(mod.findStreamer("C"), nullptr);
+}
+
+TEST(Model, SplitEndpoint) {
+    auto ep = m::splitEndpoint("part.port");
+    EXPECT_EQ(ep.part, "part");
+    EXPECT_EQ(ep.port, "port");
+    ep = m::splitEndpoint("boundary");
+    EXPECT_EQ(ep.part, "");
+    EXPECT_EQ(ep.port, "boundary");
+}
+
+// -------------------------------------------------------------- type parser
+
+TEST(TypeParser, Scalars) {
+    EXPECT_TRUE(m::parseFlowType("Real").equals(f::FlowType::real()));
+    EXPECT_TRUE(m::parseFlowType("Int").equals(f::FlowType::integer()));
+    EXPECT_TRUE(m::parseFlowType("Bool").equals(f::FlowType::boolean()));
+    EXPECT_TRUE(m::parseFlowType("  Real  ").equals(f::FlowType::real()));
+}
+
+TEST(TypeParser, Vector) {
+    EXPECT_TRUE(
+        m::parseFlowType("Vector<Real,3>").equals(f::FlowType::vector(f::FlowType::real(), 3)));
+    EXPECT_TRUE(m::parseFlowType("Vector< Int , 2 >")
+                    .equals(f::FlowType::vector(f::FlowType::integer(), 2)));
+}
+
+TEST(TypeParser, Record) {
+    const auto t = m::parseFlowType("{pos:Real, vel:Real}");
+    EXPECT_TRUE(t.equals(
+        f::FlowType::record({{"pos", f::FlowType::real()}, {"vel", f::FlowType::real()}})));
+}
+
+TEST(TypeParser, Nested) {
+    const auto t = m::parseFlowType("{wheel:Vector<Real,4>, mode:Int}");
+    EXPECT_EQ(t.width(), 5u);
+    EXPECT_EQ(t.fieldType("wheel")->count(), 4u);
+}
+
+TEST(TypeParser, RoundTripsToString) {
+    const char* cases[] = {"Real", "Bool", "Vector<Int,7>", "{a:Real, b:Vector<Real,2>}",
+                           "Vector<{x:Real, y:Real},3>"};
+    for (const char* c : cases) {
+        const auto t = m::parseFlowType(c);
+        EXPECT_TRUE(m::parseFlowType(t.toString()).equals(t)) << c;
+    }
+}
+
+TEST(TypeParser, RejectsMalformed) {
+    EXPECT_THROW(m::parseFlowType(""), std::invalid_argument);
+    EXPECT_THROW(m::parseFlowType("Float"), std::invalid_argument);
+    EXPECT_THROW(m::parseFlowType("Vector<Real>"), std::invalid_argument);
+    EXPECT_THROW(m::parseFlowType("Vector<Real,>"), std::invalid_argument);
+    EXPECT_THROW(m::parseFlowType("{a}"), std::invalid_argument);
+    EXPECT_THROW(m::parseFlowType("{a:Real"), std::invalid_argument);
+    EXPECT_THROW(m::parseFlowType("Real junk"), std::invalid_argument);
+    EXPECT_THROW(m::parseFlowType("Vector<Real,0>"), std::invalid_argument);
+}

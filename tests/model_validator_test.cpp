@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/validator.hpp"
+
+namespace m = urtx::model;
+namespace f = urtx::flow;
+
+namespace {
+
+/// A well-formed reference model resembling the paper's Figure 2/3.
+m::Model goodModel() {
+    m::Model mod;
+    mod.name = "fig23";
+    mod.protocols.push_back({"Ctl", {{"setpoint", "out"}, {"alarm", "in"}}});
+    mod.flowTypes.push_back({"Scalar", f::FlowType::real()});
+    mod.flowTypes.push_back(
+        {"PosVel",
+         f::FlowType::record({{"pos", f::FlowType::real()}, {"vel", f::FlowType::real()}})});
+    mod.flowTypes.push_back({"Pos", f::FlowType::record({{"pos", f::FlowType::real()}})});
+
+    // Leaf streamers.
+    m::StreamerClassDecl plant;
+    plant.name = "Plant";
+    plant.solver = "RK4";
+    plant.equations = "dx/dt = -k x + u";
+    plant.ports.push_back(
+        {"u", m::PortDecl::Kind::Data, "", false, false, "Scalar", "in"});
+    plant.ports.push_back(
+        {"y", m::PortDecl::Kind::Data, "", false, false, "PosVel", "out"});
+    plant.ports.push_back({"ctl", m::PortDecl::Kind::Signal, "Ctl", true, false, "", ""});
+    mod.streamers.push_back(plant);
+
+    m::StreamerClassDecl filt;
+    filt.name = "Filter";
+    filt.solver = "Euler";
+    filt.ports.push_back({"in", m::PortDecl::Kind::Data, "", false, false, "Pos", "in"});
+    filt.ports.push_back({"out", m::PortDecl::Kind::Data, "", false, false, "Scalar", "out"});
+    mod.streamers.push_back(filt);
+
+    // Composite streamer: Fig 2 topology with a relay.
+    m::StreamerClassDecl top;
+    top.name = "TopStreamer";
+    top.ports.push_back({"u", m::PortDecl::Kind::Data, "", false, false, "Scalar", "in"});
+    top.ports.push_back({"y", m::PortDecl::Kind::Data, "", false, false, "Scalar", "out"});
+    top.parts.push_back({"plant", "Plant", m::PartDecl::Kind::Streamer});
+    top.parts.push_back({"filter", "Filter", m::PartDecl::Kind::Streamer});
+    top.relays.push_back({"r", "PosVel", 2});
+    top.flows.push_back({"u", "plant.u"});            // boundary forward-in
+    top.flows.push_back({"plant.y", "r.in"});         // into relay
+    top.flows.push_back({"r.out0", "filter.in"});     // PosVel ⊆ Pos
+    top.flows.push_back({"filter.out", "y"});         // boundary forward-out
+    mod.streamers.push_back(top);
+
+    // Capsule containing the streamer (Fig 3).
+    m::CapsuleClassDecl cap;
+    cap.name = "Controller";
+    cap.ports.push_back({"ctl", m::PortDecl::Kind::Signal, "Ctl", false, false, "", ""});
+    cap.ports.push_back({"d", m::PortDecl::Kind::Data, "", false, true, "Scalar", "in"});
+    cap.parts.push_back({"grp", "TopStreamer", m::PartDecl::Kind::Streamer});
+    cap.states.push_back({"Idle", "", true});
+    cap.states.push_back({"Active", "", false});
+    cap.transitions.push_back({"Idle", "Active", "setpoint", "", ""});
+    mod.capsules.push_back(cap);
+    mod.topCapsule = "Controller";
+    return mod;
+}
+
+bool hasRule(const std::vector<m::Diagnostic>& ds, const std::string& rule) {
+    return std::any_of(ds.begin(), ds.end(),
+                       [&](const m::Diagnostic& d) { return d.rule == rule; });
+}
+
+} // namespace
+
+TEST(Validator, GoodModelPasses) {
+    const auto diags = m::Validator().validate(goodModel());
+    EXPECT_TRUE(m::Validator::ok(diags)) << m::Validator::render(diags);
+}
+
+TEST(Validator, CapsuleDPortMustBeRelay) {
+    auto mod = goodModel();
+    mod.capsules[0].ports[1].relay = false; // data port, not relay
+    const auto diags = m::Validator().validate(mod);
+    EXPECT_FALSE(m::Validator::ok(diags));
+    EXPECT_TRUE(hasRule(diags, "CP1"));
+}
+
+TEST(Validator, StreamerMustNotContainCapsule) {
+    auto mod = goodModel();
+    mod.streamers[2].parts.push_back({"bad", "Controller", m::PartDecl::Kind::Capsule});
+    const auto diags = m::Validator().validate(mod);
+    EXPECT_TRUE(hasRule(diags, "ST1"));
+}
+
+TEST(Validator, StreamerContainingCapsuleClassFlaggedEvenIfMarkedStreamer) {
+    auto mod = goodModel();
+    mod.streamers[2].parts.push_back({"bad", "Controller", m::PartDecl::Kind::Streamer});
+    const auto diags = m::Validator().validate(mod);
+    EXPECT_TRUE(hasRule(diags, "ST1"));
+}
+
+TEST(Validator, LeafStreamerWithoutSolverWarns) {
+    auto mod = goodModel();
+    mod.streamers[0].solver.clear();
+    const auto diags = m::Validator().validate(mod);
+    EXPECT_TRUE(m::Validator::ok(diags)) << "warning only";
+    EXPECT_TRUE(hasRule(diags, "ST2"));
+}
+
+TEST(Validator, FlowTypeSubsetEnforced) {
+    auto mod = goodModel();
+    // Reverse a flow so Pos feeds PosVel: not a subset.
+    mod.streamers[1].ports[0].flowType = "Scalar"; // Filter.in now Scalar
+    // PosVel (from relay) ⊄ Scalar.
+    const auto diags = m::Validator().validate(mod);
+    EXPECT_TRUE(hasRule(diags, "FL1"));
+}
+
+TEST(Validator, UnknownProtocolFlagged) {
+    auto mod = goodModel();
+    mod.capsules[0].ports[0].protocol = "Nope";
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "ST3"));
+}
+
+TEST(Validator, UnknownFlowTypeFlagged) {
+    auto mod = goodModel();
+    mod.streamers[0].ports[0].flowType = "Nope";
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "ST4"));
+}
+
+TEST(Validator, RelayFanoutMinimum) {
+    auto mod = goodModel();
+    mod.streamers[2].relays[0].fanout = 1;
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "RL1"));
+}
+
+TEST(Validator, DoubleFeedFlagged) {
+    auto mod = goodModel();
+    mod.streamers[2].flows.push_back({"r.out1", "filter.in"}); // second feeder
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "FL3"));
+}
+
+TEST(Validator, FanOutWithoutRelayFlagged) {
+    auto mod = goodModel();
+    mod.streamers[2].flows.push_back({"plant.y", "y"}); // plant.y used twice
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "FL3"));
+}
+
+TEST(Validator, IllegalFlowShapeFlagged) {
+    auto mod = goodModel();
+    mod.streamers[2].flows.push_back({"y", "plant.u"}); // boundary OUT as source of forward-in
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "FL2"));
+}
+
+TEST(Validator, DanglingFlowEndpointFlagged) {
+    auto mod = goodModel();
+    mod.streamers[2].flows.push_back({"plant.nonexistent", "y"});
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "FL2"));
+}
+
+TEST(Validator, UnknownPartClassFlagged) {
+    auto mod = goodModel();
+    mod.capsules[0].parts.push_back({"ghost", "Phantom", m::PartDecl::Kind::Capsule});
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "CP2"));
+}
+
+TEST(Validator, DuplicateNamesFlagged) {
+    auto mod = goodModel();
+    mod.streamers[2].ports.push_back(
+        {"u", m::PortDecl::Kind::Data, "", false, false, "Scalar", "in"});
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "UQ1"));
+
+    auto mod2 = goodModel();
+    mod2.capsules.push_back(mod2.capsules[0]);
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod2), "UQ2"));
+}
+
+TEST(Validator, BadSignalDirectionFlagged) {
+    auto mod = goodModel();
+    mod.protocols[0].signals.push_back({"weird", "sideways"});
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "PR1"));
+}
+
+TEST(Validator, TransitionsToUnknownStatesFlagged) {
+    auto mod = goodModel();
+    mod.capsules[0].transitions.push_back({"Idle", "Nowhere", "x", "", ""});
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "SM1"));
+}
+
+TEST(Validator, MissingTopCapsuleFlagged) {
+    auto mod = goodModel();
+    mod.topCapsule = "Ghost";
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "TP1"));
+}
+
+TEST(Validator, RenderListsDiagnostics) {
+    auto mod = goodModel();
+    mod.topCapsule = "Ghost";
+    const auto diags = m::Validator().validate(mod);
+    const std::string text = m::Validator::render(diags);
+    EXPECT_NE(text.find("TP1"), std::string::npos);
+    EXPECT_NE(text.find("error"), std::string::npos);
+}
+
+// ------------------------------ CP3: capsule signal connections -------------
+
+namespace {
+
+/// Model with a composite capsule wiring two sub-capsules plus a relay.
+m::Model wiredModel() {
+    m::Model mod;
+    mod.protocols.push_back({"Link", {{"req", "out"}, {"rsp", "in"}}});
+
+    m::CapsuleClassDecl client;
+    client.name = "Client";
+    client.ports.push_back({"p", m::PortDecl::Kind::Signal, "Link", false, false, "", ""});
+    mod.capsules.push_back(client);
+
+    m::CapsuleClassDecl server;
+    server.name = "Server";
+    server.ports.push_back({"p", m::PortDecl::Kind::Signal, "Link", true, false, "", ""});
+    mod.capsules.push_back(server);
+
+    m::CapsuleClassDecl system;
+    system.name = "System";
+    system.parts.push_back({"c", "Client", m::PartDecl::Kind::Capsule});
+    system.parts.push_back({"s", "Server", m::PartDecl::Kind::Capsule});
+    system.connections.push_back({"c.p", "s.p"});
+    mod.capsules.push_back(system);
+    return mod;
+}
+
+} // namespace
+
+TEST(Validator, Cp3GoodWiringPasses) {
+    const auto diags = m::Validator().validate(wiredModel());
+    EXPECT_TRUE(m::Validator::ok(diags)) << m::Validator::render(diags);
+}
+
+TEST(Validator, Cp3DanglingEndpointFlagged) {
+    auto mod = wiredModel();
+    mod.capsules[2].connections.push_back({"c.p", "ghost.p"});
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "CP3"));
+}
+
+TEST(Validator, Cp3ProtocolMismatchFlagged) {
+    auto mod = wiredModel();
+    mod.protocols.push_back({"Other", {{"x", "out"}}});
+    mod.capsules[1].ports[0].protocol = "Other";
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "CP3"));
+}
+
+TEST(Validator, Cp3SameConjugationPeersFlagged) {
+    auto mod = wiredModel();
+    mod.capsules[1].ports[0].conjugated = false; // both base now
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "CP3"));
+}
+
+TEST(Validator, Cp3DoubleWiringFlagged) {
+    auto mod = wiredModel();
+    mod.capsules[2].parts.push_back({"s2", "Server", m::PartDecl::Kind::Capsule});
+    mod.capsules[2].connections.push_back({"c.p", "s2.p"});
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "CP3"));
+}
+
+TEST(Validator, Cp3RelayExportSameConjugationOk) {
+    auto mod = wiredModel();
+    // Boundary relay on System exports the client role outward.
+    mod.capsules[2].ports.push_back(
+        {"ext", m::PortDecl::Kind::Signal, "Link", false, true, "", ""});
+    mod.capsules[2].connections.clear();
+    mod.capsules[2].connections.push_back({"ext", "c.p"}); // same conj through relay
+    const auto diags = m::Validator().validate(mod);
+    EXPECT_TRUE(m::Validator::ok(diags)) << m::Validator::render(diags);
+}
+
+TEST(Validator, Cp3DPortEndpointInConnectFlagged) {
+    auto mod = wiredModel();
+    mod.flowTypes.push_back({"Scalar", f::FlowType::real()});
+    mod.capsules[0].ports.push_back(
+        {"d", m::PortDecl::Kind::Data, "", false, true, "Scalar", "in"});
+    mod.capsules[2].connections.push_back({"c.d", "s.p"});
+    EXPECT_TRUE(hasRule(m::Validator().validate(mod), "CP3"));
+}

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "model/model_io.hpp"
+#include "model/validator.hpp"
+#include "model/xml.hpp"
+
+namespace m = urtx::model;
+namespace f = urtx::flow;
+
+// ----------------------------------------------------------------- XML layer
+
+TEST(Xml, EscapeRoundTrip) {
+    const std::string nasty = "a<b>&\"c'd";
+    EXPECT_EQ(m::xmlUnescape(m::xmlEscape(nasty)), nasty);
+    EXPECT_EQ(m::xmlEscape("<"), "&lt;");
+    EXPECT_THROW(m::xmlUnescape("&bogus;"), std::invalid_argument);
+    EXPECT_THROW(m::xmlUnescape("& alone"), std::invalid_argument);
+}
+
+TEST(Xml, WriteProducesWellFormedDocument) {
+    m::XmlNode root("model");
+    root.attr("name", "demo");
+    root.child("part").attr("class", "A<B>");
+    const std::string text = m::writeXml(root);
+    EXPECT_NE(text.find("<?xml"), std::string::npos);
+    EXPECT_NE(text.find("class=\"A&lt;B&gt;\""), std::string::npos);
+}
+
+TEST(Xml, ParseSimpleDocument) {
+    const auto n = m::parseXml("<a x=\"1\"><b/><b y=\"2\"/></a>");
+    EXPECT_EQ(n.tag, "a");
+    EXPECT_EQ(n.attrOr("x"), "1");
+    ASSERT_EQ(n.children.size(), 2u);
+    EXPECT_EQ(n.children[1].attrOr("y"), "2");
+    EXPECT_EQ(n.childrenNamed("b").size(), 2u);
+    EXPECT_NE(n.firstChild("b"), nullptr);
+    EXPECT_EQ(n.firstChild("c"), nullptr);
+}
+
+TEST(Xml, ParseHandlesDeclarationAndComments) {
+    const auto n = m::parseXml("<?xml version=\"1.0\"?>\n<!-- hi -->\n<a><!-- inner --><b/></a>");
+    EXPECT_EQ(n.tag, "a");
+    EXPECT_EQ(n.children.size(), 1u);
+}
+
+TEST(Xml, ParseSingleQuotedAttributes) {
+    const auto n = m::parseXml("<a x='hi'/>");
+    EXPECT_EQ(n.attrOr("x"), "hi");
+}
+
+TEST(Xml, ParseRejectsMalformed) {
+    EXPECT_THROW(m::parseXml(""), std::invalid_argument);
+    EXPECT_THROW(m::parseXml("<a>"), std::invalid_argument);
+    EXPECT_THROW(m::parseXml("<a></b>"), std::invalid_argument);
+    EXPECT_THROW(m::parseXml("<a x=1/>"), std::invalid_argument);
+    EXPECT_THROW(m::parseXml("<a>text</a>"), std::invalid_argument);
+    EXPECT_THROW(m::parseXml("<a/><b/>"), std::invalid_argument);
+}
+
+TEST(Xml, WriteParseRoundTrip) {
+    m::XmlNode root("model");
+    root.attr("name", "x");
+    auto& c = root.child("capsule");
+    c.attr("name", "C");
+    c.child("port").attr("name", "p").attr("protocol", "P");
+    const auto parsed = m::parseXml(m::writeXml(root));
+    EXPECT_EQ(parsed.tag, "model");
+    ASSERT_EQ(parsed.children.size(), 1u);
+    EXPECT_EQ(parsed.children[0].children[0].attrOr("name"), "p");
+}
+
+// ------------------------------------------------------------ model <-> XML
+
+namespace {
+
+m::Model sampleModel() {
+    m::Model mod;
+    mod.name = "sample";
+    mod.protocols.push_back({"Ctl", {{"go", "out"}, {"done", "in"}, {"ping", "inout"}}});
+    mod.flowTypes.push_back({"Scalar", f::FlowType::real()});
+    mod.flowTypes.push_back(
+        {"PV", f::FlowType::record({{"p", f::FlowType::real()}, {"v", f::FlowType::real()}})});
+
+    m::StreamerClassDecl plant;
+    plant.name = "Plant";
+    plant.solver = "RK45";
+    plant.equations = "dx = A x + B u";
+    plant.ports.push_back({"u", m::PortDecl::Kind::Data, "", false, false, "Scalar", "in"});
+    plant.ports.push_back({"y", m::PortDecl::Kind::Data, "", false, false, "PV", "out"});
+    plant.ports.push_back({"s", m::PortDecl::Kind::Signal, "Ctl", true, false, "", ""});
+    mod.streamers.push_back(plant);
+
+    m::StreamerClassDecl group;
+    group.name = "Group";
+    group.parts.push_back({"plant", "Plant", m::PartDecl::Kind::Streamer});
+    group.relays.push_back({"r", "PV", 3});
+    group.ports.push_back({"u", m::PortDecl::Kind::Data, "", false, false, "Scalar", "in"});
+    group.flows.push_back({"u", "plant.u"});
+    group.flows.push_back({"plant.y", "r.in"});
+    mod.streamers.push_back(group);
+
+    m::CapsuleClassDecl cap;
+    cap.name = "Super";
+    cap.ports.push_back({"ctl", m::PortDecl::Kind::Signal, "Ctl", false, false, "", ""});
+    cap.ports.push_back({"rel", m::PortDecl::Kind::Data, "", false, true, "Scalar", "in"});
+    cap.parts.push_back({"grp", "Group", m::PartDecl::Kind::Streamer});
+    cap.states.push_back({"Off", "", true});
+    cap.states.push_back({"On", "", false});
+    cap.states.push_back({"Fast", "On", false});
+    cap.transitions.push_back({"Off", "On", "go", "armed", "notifyStart"});
+    mod.capsules.push_back(cap);
+    mod.topCapsule = "Super";
+    return mod;
+}
+
+} // namespace
+
+TEST(ModelIo, RoundTripPreservesEverything) {
+    const m::Model orig = sampleModel();
+    const m::Model back = m::fromXml(m::toXml(orig));
+
+    EXPECT_EQ(back.name, orig.name);
+    ASSERT_EQ(back.protocols.size(), 1u);
+    EXPECT_EQ(back.protocols[0].signals.size(), 3u);
+    EXPECT_EQ(back.protocols[0].signals[2].dir, "inout");
+
+    ASSERT_EQ(back.flowTypes.size(), 2u);
+    EXPECT_TRUE(back.flowTypes[1].type.equals(orig.flowTypes[1].type));
+
+    ASSERT_EQ(back.streamers.size(), 2u);
+    const auto& plant = back.streamers[0];
+    EXPECT_EQ(plant.solver, "RK45");
+    EXPECT_EQ(plant.equations, "dx = A x + B u");
+    ASSERT_EQ(plant.ports.size(), 3u);
+    EXPECT_EQ(plant.ports[2].kind, m::PortDecl::Kind::Signal);
+    EXPECT_TRUE(plant.ports[2].conjugated);
+
+    const auto& group = back.streamers[1];
+    ASSERT_EQ(group.relays.size(), 1u);
+    EXPECT_EQ(group.relays[0].fanout, 3u);
+    ASSERT_EQ(group.flows.size(), 2u);
+    EXPECT_EQ(group.flows[1].from, "plant.y");
+
+    ASSERT_EQ(back.capsules.size(), 1u);
+    const auto& cap = back.capsules[0];
+    EXPECT_TRUE(cap.ports[1].relay);
+    ASSERT_EQ(cap.states.size(), 3u);
+    EXPECT_EQ(cap.states[2].parent, "On");
+    EXPECT_TRUE(cap.states[0].initial);
+    ASSERT_EQ(cap.transitions.size(), 1u);
+    EXPECT_EQ(cap.transitions[0].guard, "armed");
+    EXPECT_EQ(cap.transitions[0].action, "notifyStart");
+    EXPECT_EQ(back.topCapsule, "Super");
+}
+
+TEST(ModelIo, RoundTrippedModelStillValidates) {
+    // The sample is intentionally missing a solver on Group's leaf? Group
+    // has parts, so only warnings at most should appear.
+    const m::Model back = m::fromXml(m::toXml(sampleModel()));
+    const auto diags = m::Validator().validate(back);
+    EXPECT_TRUE(m::Validator::ok(diags)) << m::Validator::render(diags);
+}
+
+TEST(ModelIo, FileSaveLoad) {
+    const std::string path = "/tmp/urtx_model_io_test.xml";
+    m::saveModel(sampleModel(), path);
+    const m::Model back = m::loadModel(path);
+    EXPECT_EQ(back.name, "sample");
+    EXPECT_THROW(m::loadModel("/nonexistent/dir/x.xml"), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsWrongRoot) {
+    EXPECT_THROW(m::fromXml("<notmodel/>"), std::invalid_argument);
+}
+
+TEST(ModelIo, UnknownTagsIgnoredForForwardCompat) {
+    const m::Model back = m::fromXml("<model name=\"x\"><future-thing a=\"1\"/></model>");
+    EXPECT_EQ(back.name, "x");
+    EXPECT_TRUE(back.capsules.empty());
+}

@@ -1,0 +1,297 @@
+/// \file paper_claims_test.cpp
+/// One test per claim the paper makes in §2 — the traceability suite
+/// mapping sentences of the paper to executable checks. Quotes in the test
+/// comments are from the paper.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "control/control.hpp"
+#include "flow/flow.hpp"
+#include "model/stereotype.hpp"
+#include "model/validator.hpp"
+#include "rt/rt.hpp"
+#include "sim/sim.hpp"
+#include "solver/solver.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace rt = urtx::rt;
+namespace m = urtx::model;
+namespace sim = urtx::sim;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+} // namespace
+
+// "difference equations can be integrated into capsule's actions".
+TEST(PaperClaims, DifferenceEquationsRunInCapsuleActions) {
+    struct Filtering : rt::Capsule {
+        Filtering() : rt::Capsule("filter"), lp(s::makeLowPass(0.5)) {}
+        s::DifferenceEquation lp;
+        double y = 0;
+
+    protected:
+        void onInit() override { informEvery(0.1, "sample"); }
+        void onMessage(const rt::Message& msg) override {
+            if (msg.signal == rt::signal("sample")) y = lp.step(1.0); // action computes y[n]
+        }
+    };
+    rt::Controller ctl{"main"};
+    Filtering cap;
+    ctl.attach(cap);
+    ctl.initializeAll();
+    ctl.virtualClock()->advanceTo(5.0);
+    ctl.dispatchAll();
+    EXPECT_EQ(cap.lp.samples(), 50u);
+    EXPECT_NEAR(cap.y, 1.0, 1e-9) << "low-pass inside the action converges on its input";
+}
+
+// "to differential equations, this kind of integration is infeasible,
+// because these equations must be continuous computed, and UML-RT has a
+// 'run-to-complete' semantic."
+TEST(PaperClaims, RunToCompletionForbidsNestedDispatch) {
+    rt::StateMachine machine;
+    auto& a = machine.state("A");
+    auto& b = machine.state("B");
+    bool reentrantThrew = false;
+    machine.transition(a, b).on("go").act([&](const rt::Message&) {
+        // A capsule action cannot re-enter the dispatcher to "keep
+        // computing": RTC is enforced.
+        try {
+            machine.dispatch(rt::Message(rt::signal("go")));
+        } catch (const std::logic_error&) {
+            reentrantThrew = true;
+        }
+    });
+    machine.start();
+    machine.dispatch(rt::Message(rt::signal("go")));
+    EXPECT_TRUE(reentrantThrew);
+}
+
+// "streamers have ports through which they communicate with other objects,
+// and they can contain any number of sub-streamers."
+TEST(PaperClaims, StreamersHavePortsAndNestArbitrarily) {
+    Plain l0{"l0"};
+    Plain l1{"l1", &l0};
+    Plain l2{"l2", &l1};
+    Plain l3{"l3", &l2};
+    f::DPort d(l3, "d", f::DPortDir::Out, f::FlowType::real());
+    static rt::Protocol proto = [] {
+        rt::Protocol q{"PaperC"};
+        q.out("x");
+        return q;
+    }();
+    f::SPort sp(l3, "s", proto, false);
+    EXPECT_EQ(l3.fullPath(), "l0/l1/l2/l3");
+    EXPECT_EQ(l3.dports().size(), 1u);
+    EXPECT_EQ(l3.sports().size(), 1u);
+}
+
+// "To connect two DPorts, the output DPorts' flow type must be a subset of
+// the input DPorts flow type."
+TEST(PaperClaims, FlowTypeSubsetRuleGatesConnections) {
+    Plain parent{"p"};
+    Plain a{"a", &parent}, b{"b", &parent};
+    f::DPort outReal(a, "o", f::DPortDir::Out, f::FlowType::real());
+    f::DPort inInt(b, "i", f::DPortDir::In, f::FlowType::integer());
+    EXPECT_THROW(f::flow(outReal, inInt), std::logic_error);
+
+    f::DPort outInt(a, "o2", f::DPortDir::Out, f::FlowType::integer());
+    f::DPort inReal(b, "i2", f::DPortDir::In, f::FlowType::real());
+    EXPECT_NO_THROW(f::flow(outInt, inReal));
+}
+
+// "Relay is used as a relay point which generates two similar flows from a
+// flow."
+TEST(PaperClaims, RelayGeneratesTwoSimilarFlows) {
+    Plain top{"top"};
+    c::Sine src("src", &top, 2.0, 3.0);
+    f::Relay relay("r", &top, f::FlowType::real(), 2);
+    c::Recorder r1("r1", &top), r2("r2", &top);
+    f::flow(src.out(), relay.in());
+    f::flow(relay.out(0), r1.in());
+    f::flow(relay.out(1), r2.in());
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.01);
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    ASSERT_EQ(r1.size(), r2.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_DOUBLE_EQ(r1.samples()[i].v, r2.samples()[i].v) << "flows must be identical";
+    }
+}
+
+// "In a streamer, there is a solver responsible for receiving signal from
+// SPorts and data from DPorts ..., modifying parameters, computing
+// equations, and sending out the results."
+TEST(PaperClaims, SolverReceivesSignalsModifiesParametersComputes) {
+    static rt::Protocol tune = [] {
+        rt::Protocol q{"TuneClaims"};
+        q.out("setTau");
+        return q;
+    }();
+    struct Lag : f::Streamer {
+        Lag(std::string n, f::Streamer* parent)
+            : f::Streamer(std::move(n), parent),
+              in(*this, "in", f::DPortDir::In, f::FlowType::real()),
+              out(*this, "out", f::DPortDir::Out, f::FlowType::real()),
+              sp(*this, "sp", tune, true) {
+            setParam("tau", 1.0);
+        }
+        f::DPort in;
+        f::DPort out;
+        f::SPort sp;
+        std::size_t stateSize() const override { return 1; }
+        void derivatives(double, std::span<const double> x, std::span<double> dx) override {
+            dx[0] = (in.get() - x[0]) / param("tau");
+        }
+        void outputs(double, std::span<const double> x) override { out.set(x[0]); }
+        bool directFeedthrough() const override { return false; }
+        void onSignal(f::SPort&, const rt::Message& msg) override {
+            if (msg.signal == rt::signal("setTau")) setParam("tau", msg.dataOr<double>(1.0));
+        }
+    };
+
+    Plain top{"top"};
+    c::Constant u("u", &top, 1.0);
+    Lag lag("lag", &top);
+    f::flow(u.out(), lag.in);
+
+    rt::Capsule tuner{"tuner"};
+    rt::Port tp(tuner, "p", tune, false);
+    rt::connect(tp, lag.sp.rtPort());
+
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.01);
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    const double slowValue = lag.out.get(); // tau=1: 1-e^-1 = 0.632
+    EXPECT_NEAR(slowValue, 1.0 - std::exp(-1.0), 1e-4);
+    tp.send("setTau", 0.05); // much faster plant from here on
+    runner.advanceTo(1.5);
+    EXPECT_GT(lag.out.get(), 0.99) << "after retuning, response accelerates";
+}
+
+// "capsules can contain streamers, but streamers don't contain any capsule"
+// and "in capsules, DPorts are only used as relay ports. No data will be
+// processed by capsules."
+TEST(PaperClaims, ContainmentAndCapsuleDPortRulesValidated) {
+    m::Model mod;
+    mod.flowTypes.push_back({"Scalar", f::FlowType::real()});
+    m::StreamerClassDecl str;
+    str.name = "S";
+    str.solver = "RK4";
+    mod.streamers.push_back(str);
+    m::CapsuleClassDecl cap;
+    cap.name = "C";
+    cap.parts.push_back({"s", "S", m::PartDecl::Kind::Streamer}); // legal
+    cap.ports.push_back({"d", m::PortDecl::Kind::Data, "", false, true, "Scalar", "in"});
+    mod.capsules.push_back(cap);
+    auto diags = m::Validator().validate(mod);
+    EXPECT_TRUE(m::Validator::ok(diags)) << m::Validator::render(diags);
+
+    // Violations flip to errors.
+    mod.streamers[0].parts.push_back({"bad", "C", m::PartDecl::Kind::Capsule});
+    mod.capsules[0].ports[0].relay = false;
+    diags = m::Validator().validate(mod);
+    bool st1 = false, cp1 = false;
+    for (const auto& d : diags) {
+        if (d.rule == "ST1") st1 = true;
+        if (d.rule == "CP1") cp1 = true;
+    }
+    EXPECT_TRUE(st1);
+    EXPECT_TRUE(cp1);
+}
+
+// "capsules and streamers are assigned to different threads. Communication
+// between capsules and streamers is realized by communication mechanism of
+// threads."
+TEST(PaperClaims, SeparateThreadsCommunicateViaMessages) {
+    static rt::Protocol proto = [] {
+        rt::Protocol q{"ThreadsClaims"};
+        q.out("crossed");
+        return q;
+    }();
+    struct Emitter : f::Streamer {
+        Emitter(std::string n, f::Streamer* parent)
+            : f::Streamer(std::move(n), parent), sp(*this, "sp", proto, false) {}
+        f::SPort sp;
+        std::thread::id solverThread{};
+        void update(double t, std::span<double>) override {
+            solverThread = std::this_thread::get_id();
+            if (t > 0.049 && t < 0.06) sp.send("crossed");
+        }
+    };
+    struct Listener : rt::Capsule {
+        Listener() : rt::Capsule("listener"), port(*this, "p", proto, true) {}
+        rt::Port port;
+        std::atomic<bool> got{false};
+        std::thread::id capsuleThread{};
+
+    protected:
+        void onMessage(const rt::Message& msg) override {
+            if (msg.signal == rt::signal("crossed")) {
+                capsuleThread = std::this_thread::get_id();
+                got = true;
+            }
+        }
+    };
+
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    Emitter emitter("emitter", &top);
+    Listener listener;
+    rt::connect(listener.port, emitter.sp.rtPort());
+    sys.addCapsule(listener);
+    sys.addStreamerGroup(top, s::makeIntegrator("Euler"), 0.01);
+    sys.run(0.3, sim::ExecutionMode::MultiThread);
+
+    EXPECT_TRUE(listener.got.load());
+    EXPECT_NE(emitter.solverThread, std::thread::id{});
+    EXPECT_NE(listener.capsuleThread, std::thread::id{});
+    EXPECT_NE(emitter.solverThread, listener.capsuleThread)
+        << "capsule and streamer must run on different threads";
+}
+
+// "we introduce a Time stereotype, which is a continuous variable, can be
+// used as simulation clock."
+TEST(PaperClaims, TimeIsSharedContinuousClock) {
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    c::Constant u("u", &top, 0.0);
+    sys.addStreamerGroup(top, s::makeIntegrator("Euler"), 0.01);
+
+    struct Watcher : rt::Capsule {
+        using rt::Capsule::Capsule;
+        double sawTime = -1;
+
+    protected:
+        void onInit() override { informIn(0.25, "wake"); }
+        void onMessage(const rt::Message& msg) override {
+            if (msg.signal == rt::signal("wake")) sawTime = now();
+        }
+    } watcher{"watcher"};
+    sys.addCapsule(watcher);
+
+    sys.run(0.5);
+    // The capsule's timer and the solver ran against the same clock.
+    EXPECT_NEAR(watcher.sawTime, 0.25, 0.011);
+    EXPECT_NEAR(sys.now(), 0.5, 1e-12);
+    EXPECT_NEAR(sys.runners()[0]->time(), 0.5, 1e-9);
+}
+
+// Table 1 exists with the mapping the paper prints.
+TEST(PaperClaims, Table1MappingReproduced) {
+    const auto& rows = m::table1();
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].umlrt, m::Stereotype::Capsule);
+    EXPECT_EQ(rows[0].extension[0], m::Stereotype::Streamer);
+    EXPECT_EQ(rows[5].umlrt, m::Stereotype::TimeService);
+    EXPECT_EQ(rows[5].extension[0], m::Stereotype::Time);
+}

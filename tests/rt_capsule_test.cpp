@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rt/capsule.hpp"
+#include "rt/controller.hpp"
+#include "rt/frame_service.hpp"
+#include "rt/port.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Protocol& proto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"P"};
+        q.out("req").in("rsp");
+        return q;
+    }();
+    return p;
+}
+
+struct InitTracker : rt::Capsule {
+    using rt::Capsule::Capsule;
+    std::vector<std::string>* order = nullptr;
+
+protected:
+    void onInit() override {
+        if (order) order->push_back(name());
+    }
+};
+
+} // namespace
+
+TEST(Capsule, FullPathReflectsContainment) {
+    rt::Capsule sys{"system"};
+    rt::Capsule ctl{"controller", &sys};
+    rt::Capsule inner{"pid", &ctl};
+    EXPECT_EQ(inner.fullPath(), "system/controller/pid");
+    EXPECT_EQ(sys.fullPath(), "system");
+}
+
+TEST(Capsule, SubCapsulesRegisterWithParent) {
+    rt::Capsule sys{"system"};
+    rt::Capsule a{"a", &sys};
+    rt::Capsule b{"b", &sys};
+    ASSERT_EQ(sys.subCapsules().size(), 2u);
+    EXPECT_EQ(sys.subCapsules()[0], &a);
+    EXPECT_EQ(sys.subCapsules()[1], &b);
+}
+
+TEST(Capsule, DestructionDetachesFromParent) {
+    rt::Capsule sys{"system"};
+    {
+        rt::Capsule tmp{"tmp", &sys};
+        EXPECT_EQ(sys.subCapsules().size(), 1u);
+    }
+    EXPECT_TRUE(sys.subCapsules().empty());
+}
+
+TEST(Capsule, InitializeRunsChildrenFirst) {
+    std::vector<std::string> order;
+    InitTracker sys{"sys"};
+    InitTracker child{"child", &sys};
+    InitTracker grand{"grand", &child};
+    sys.order = &order;
+    child.order = &order;
+    grand.order = &order;
+    sys.initialize();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "grand");
+    EXPECT_EQ(order[1], "child");
+    EXPECT_EQ(order[2], "sys");
+    EXPECT_TRUE(sys.initialized());
+}
+
+TEST(Capsule, InitializeIsIdempotent) {
+    std::vector<std::string> order;
+    InitTracker sys{"sys"};
+    sys.order = &order;
+    sys.initialize();
+    sys.initialize();
+    EXPECT_EQ(order.size(), 1u);
+}
+
+TEST(Capsule, InitializeStartsMachine) {
+    rt::Capsule c{"c"};
+    auto& idle = c.machine().state("Idle");
+    c.initialize();
+    EXPECT_EQ(c.machine().current(), &idle);
+}
+
+TEST(Capsule, MachineDrivenMessageHandling) {
+    rt::Capsule c{"c"};
+    auto& off = c.machine().state("Off");
+    auto& on = c.machine().state("On");
+    c.machine().transition(off, on).on("power");
+    c.initialize();
+    c.deliver(rt::Message(rt::signal("power")));
+    EXPECT_TRUE(c.machine().isIn(on));
+    EXPECT_EQ(c.delivered(), 1u);
+}
+
+TEST(Capsule, UnhandledHookFires) {
+    struct C : rt::Capsule {
+        using rt::Capsule::Capsule;
+        int unhandled = 0;
+
+    protected:
+        void onUnhandled(const rt::Message&) override { ++unhandled; }
+    } c{"c"};
+    c.machine().state("Only");
+    c.initialize();
+    c.deliver(rt::Message(rt::signal("mystery")));
+    EXPECT_EQ(c.unhandled, 1);
+}
+
+TEST(Capsule, SetContextRecursivePropagates) {
+    rt::Controller ctl{"main"};
+    rt::Capsule sys{"sys"};
+    rt::Capsule child{"child", &sys};
+    sys.setContextRecursive(&ctl);
+    EXPECT_EQ(sys.context(), &ctl);
+    EXPECT_EQ(child.context(), &ctl);
+}
+
+TEST(Capsule, TimerConvenienceWithoutContextIsSafe) {
+    rt::Capsule c{"c"};
+    EXPECT_EQ(c.informIn(1.0), rt::kInvalidTimer);
+    EXPECT_EQ(c.informEvery(1.0), rt::kInvalidTimer);
+    EXPECT_FALSE(c.cancelTimer(1));
+    EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(FrameService, IncarnateAddsOwnedChild) {
+    rt::Capsule sys{"sys"};
+    sys.initialize();
+    auto& kid = rt::FrameService::incarnate<InitTracker>(sys, "kid");
+    EXPECT_EQ(kid.parent(), &sys);
+    EXPECT_EQ(sys.subCapsules().size(), 1u);
+    EXPECT_TRUE(kid.initialized()) << "incarnating into an initialized parent initializes the child";
+}
+
+TEST(FrameService, IncarnateInheritsContext) {
+    rt::Controller ctl{"main"};
+    rt::Capsule sys{"sys"};
+    ctl.attach(sys);
+    auto& kid = rt::FrameService::incarnate<InitTracker>(sys, "kid");
+    EXPECT_EQ(kid.context(), &ctl);
+}
+
+namespace {
+struct PortedCapsule : rt::Capsule {
+    PortedCapsule(std::string name, rt::Capsule* parent)
+        : rt::Capsule(std::move(name), parent), port(*this, "p", proto(), true) {}
+    rt::Port port;
+};
+} // namespace
+
+TEST(FrameService, DestroyRemovesAndUnwires) {
+    rt::Capsule sys{"sys"};
+    rt::Capsule peer{"peer"};
+    rt::Port peerPort(peer, "p", proto(), false);
+
+    auto& kid = rt::FrameService::incarnate<PortedCapsule>(sys, "kid");
+    rt::connect(peerPort, kid.port);
+    EXPECT_TRUE(peerPort.isWired());
+
+    EXPECT_TRUE(rt::FrameService::destroy(kid));
+    EXPECT_TRUE(sys.subCapsules().empty());
+    EXPECT_FALSE(peerPort.isWired()) << "destroying the capsule must unwire its ports";
+}
+
+TEST(FrameService, DestroyRejectsNonIncarnated) {
+    rt::Capsule sys{"sys"};
+    rt::Capsule staticChild{"static", &sys};
+    EXPECT_FALSE(rt::FrameService::destroy(staticChild));
+    EXPECT_FALSE(rt::FrameService::destroy(sys));
+}

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rt/clock.hpp"
+
+namespace rt = urtx::rt;
+
+TEST(VirtualClock, StartsAtConstructionTime) {
+    rt::VirtualClock c(5.0);
+    EXPECT_DOUBLE_EQ(c.now(), 5.0);
+    EXPECT_TRUE(c.isVirtual());
+}
+
+TEST(VirtualClock, AdvanceToMovesForward) {
+    rt::VirtualClock c;
+    c.advanceTo(1.5);
+    EXPECT_DOUBLE_EQ(c.now(), 1.5);
+    c.advanceBy(0.5);
+    EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+TEST(VirtualClock, NeverMovesBackwards) {
+    rt::VirtualClock c(10.0);
+    c.advanceTo(3.0); // ignored
+    EXPECT_DOUBLE_EQ(c.now(), 10.0);
+    c.advanceBy(-5.0); // ignored (negative delta)
+    EXPECT_DOUBLE_EQ(c.now(), 10.0);
+}
+
+TEST(VirtualClock, ConcurrentAdvanceIsMonotonic) {
+    rt::VirtualClock c;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&c, t] {
+            for (int i = 0; i < 1000; ++i) {
+                c.advanceTo(static_cast<double>(t * 1000 + i) * 1e-3);
+            }
+        });
+    }
+    std::thread reader([&c] {
+        double prev = 0.0;
+        for (int i = 0; i < 10000; ++i) {
+            const double now = c.now();
+            EXPECT_GE(now, prev) << "clock regressed";
+            prev = now;
+        }
+    });
+    for (auto& w : writers) w.join();
+    reader.join();
+    EXPECT_DOUBLE_EQ(c.now(), 3.999);
+}
+
+TEST(RealClock, ProgressesWithWallTime) {
+    rt::RealClock c;
+    EXPECT_FALSE(c.isVirtual());
+    const double t0 = c.now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    const double t1 = c.now();
+    EXPECT_GE(t1 - t0, 0.010);
+    EXPECT_LT(t1 - t0, 5.0);
+}
+
+TEST(RealClock, StartsNearZero) {
+    rt::RealClock c;
+    EXPECT_GE(c.now(), 0.0);
+    EXPECT_LT(c.now(), 1.0);
+}

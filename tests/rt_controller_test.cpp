@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "rt/capsule.hpp"
+#include "rt/controller.hpp"
+#include "rt/port.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Protocol& pingProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"PingCtl"};
+        q.out("ping").in("pong");
+        return q;
+    }();
+    return p;
+}
+
+struct Counter : rt::Capsule {
+    using rt::Capsule::Capsule;
+    std::atomic<int> got{0};
+
+protected:
+    void onMessage(const rt::Message&) override { ++got; }
+};
+
+rt::Message to(rt::Capsule& c, const char* sig) {
+    rt::Message m(rt::signal(sig));
+    m.receiver = &c;
+    return m;
+}
+
+} // namespace
+
+TEST(Controller, SteppedDispatchDeliversInOrder) {
+    rt::Controller ctl{"main"};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    ctl.post(to(cap, "a"));
+    ctl.post(to(cap, "b"));
+    EXPECT_TRUE(ctl.dispatchOne());
+    EXPECT_EQ(cap.got, 1);
+    EXPECT_EQ(ctl.dispatchAll(), 1u);
+    EXPECT_EQ(cap.got, 2);
+    EXPECT_FALSE(ctl.dispatchOne());
+    EXPECT_EQ(ctl.dispatched(), 2u);
+}
+
+TEST(Controller, PostWithoutReceiverThrows) {
+    rt::Controller ctl{"main"};
+    EXPECT_THROW(ctl.post(rt::Message(rt::signal("x"))), std::logic_error);
+}
+
+TEST(Controller, AttachSetsContextRecursively) {
+    rt::Controller ctl{"main"};
+    rt::Capsule sys{"sys"};
+    rt::Capsule kid{"kid", &sys};
+    ctl.attach(sys);
+    EXPECT_EQ(kid.context(), &ctl);
+    ASSERT_EQ(ctl.roots().size(), 1u);
+    EXPECT_EQ(ctl.roots()[0], &sys);
+}
+
+TEST(Controller, InitializeAllInitializesRoots) {
+    rt::Controller ctl{"main"};
+    rt::Capsule sys{"sys"};
+    ctl.attach(sys);
+    ctl.initializeAll();
+    EXPECT_TRUE(sys.initialized());
+}
+
+TEST(Controller, VirtualClockTimersFireOnAdvance) {
+    rt::Controller ctl{"main"};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    cap.informIn(2.0, "tick");
+    EXPECT_EQ(ctl.dispatchAll(), 0u) << "not due yet";
+    ctl.virtualClock()->advanceTo(2.0);
+    EXPECT_EQ(ctl.dispatchAll(), 1u);
+    EXPECT_EQ(cap.got, 1);
+}
+
+TEST(Controller, PeriodicTimerAccumulates) {
+    rt::Controller ctl{"main"};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    cap.informEvery(1.0, "tick");
+    ctl.virtualClock()->advanceTo(5.0);
+    EXPECT_EQ(ctl.dispatchAll(), 5u);
+    EXPECT_EQ(cap.got, 5);
+}
+
+TEST(Controller, NowTracksVirtualClock) {
+    rt::Controller ctl{"main"};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    EXPECT_DOUBLE_EQ(cap.now(), 0.0);
+    ctl.virtualClock()->advanceTo(3.5);
+    EXPECT_DOUBLE_EQ(cap.now(), 3.5);
+}
+
+TEST(Controller, CancelledTimerNeverDelivers) {
+    rt::Controller ctl{"main"};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    auto id = cap.informIn(1.0, "tick");
+    EXPECT_TRUE(cap.cancelTimer(id));
+    ctl.virtualClock()->advanceTo(2.0);
+    EXPECT_EQ(ctl.dispatchAll(), 0u);
+}
+
+TEST(Controller, ThreadedModeDeliversCrossThread) {
+    rt::Controller ctl{"worker"};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    ctl.initializeAll();
+    ctl.start();
+    EXPECT_TRUE(ctl.running());
+    for (int i = 0; i < 100; ++i) ctl.post(to(cap, "m"));
+    // Wait for delivery.
+    for (int spin = 0; spin < 500 && cap.got.load() < 100; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(cap.got.load(), 100);
+    ctl.stop();
+    EXPECT_FALSE(ctl.running());
+}
+
+TEST(Controller, StopDrainsPendingMessages) {
+    rt::Controller ctl{"worker"};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    ctl.start();
+    for (int i = 0; i < 50; ++i) ctl.post(to(cap, "m"));
+    ctl.stop();
+    EXPECT_EQ(cap.got.load(), 50) << "stop() must drain the queue";
+}
+
+TEST(Controller, StartIsIdempotent) {
+    rt::Controller ctl{"worker"};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    ctl.start();
+    ctl.start();
+    ctl.post(to(cap, "m"));
+    ctl.stop();
+    EXPECT_EQ(cap.got.load(), 1);
+}
+
+TEST(Controller, RealClockTimerFiresInThreadedMode) {
+    auto clk = std::make_shared<rt::RealClock>();
+    rt::Controller ctl{"worker", clk};
+    Counter cap{"cap"};
+    ctl.attach(cap);
+    ctl.start();
+    cap.informIn(0.02, "tick"); // 20 ms
+    for (int spin = 0; spin < 500 && cap.got.load() < 1; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ctl.stop();
+    EXPECT_EQ(cap.got.load(), 1);
+}
+
+TEST(Controller, TwoControllersTalkThroughPorts) {
+    // The paper's deployment: peers on different threads communicate only
+    // via messages.
+    struct Echo : rt::Capsule {
+        Echo(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", pingProto(), true) {}
+        rt::Port port;
+        std::atomic<int> got{0};
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            ++got;
+            if (m.signal == rt::signal("ping")) port.send("pong");
+        }
+    };
+    struct Client : rt::Capsule {
+        Client(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", pingProto(), false) {}
+        rt::Port port;
+        std::atomic<int> pongs{0};
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            if (m.signal == rt::signal("pong")) ++pongs;
+        }
+    };
+
+    rt::Controller c1{"c1"}, c2{"c2"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    c1.attach(client);
+    c2.attach(echo);
+    c1.start();
+    c2.start();
+    constexpr int kPings = 200;
+    for (int i = 0; i < kPings; ++i) client.port.send("ping");
+    for (int spin = 0; spin < 2000 && client.pongs.load() < kPings; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    c1.stop();
+    c2.stop();
+    EXPECT_EQ(echo.got.load(), kPings);
+    EXPECT_EQ(client.pongs.load(), kPings);
+}

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rt/rt.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Protocol& handshake() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Handshake"};
+        q.out("syn").in("synAck").out("ack").in("data").out("close");
+        return q;
+    }();
+    return p;
+}
+
+/// Client side of a three-way handshake with a hierarchical machine.
+class Client : public rt::Capsule {
+public:
+    explicit Client(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", handshake(), false) {
+        auto& closed = machine().state("Closed");
+        auto& opening = machine().state("Opening");
+        auto& open = machine().state("Open");
+        auto& receiving = machine().state("Receiving", &open);
+        (void)receiving;
+        machine().initial(closed);
+        machine().transition(closed, opening).on("t_connect").act([this](const rt::Message&) {
+            port.send("syn");
+        });
+        machine().transition(opening, open).on(port, "synAck").act([this](const rt::Message&) {
+            port.send("ack");
+        });
+        machine().internal(open).on(port, "data").act([this](const rt::Message& m) {
+            received.push_back(m.dataOr<int>(-1));
+        });
+        machine().transition(open, closed).on("t_close").act([this](const rt::Message&) {
+            port.send("close");
+        });
+    }
+    rt::Port port;
+    std::vector<int> received;
+
+    void connect() { deliver(rt::Message(rt::signal("t_connect"))); }
+    void close() { deliver(rt::Message(rt::signal("t_close"))); }
+};
+
+/// Server side: answers syn, streams N data messages after ack.
+class Server : public rt::Capsule {
+public:
+    explicit Server(std::string n, int burst)
+        : rt::Capsule(std::move(n)), port(*this, "p", handshake(), true), burst_(burst) {
+        auto& idle = machine().state("Idle");
+        auto& established = machine().state("Established");
+        machine().initial(idle);
+        machine().transition(idle, established).on(port, "syn").act([this](const rt::Message&) {
+            port.send("synAck");
+        });
+        machine().internal(established).on(port, "ack").act([this](const rt::Message&) {
+            for (int i = 0; i < burst_; ++i) port.send("data", i);
+        });
+        machine().transition(established, idle).on(port, "close");
+    }
+    rt::Port port;
+
+private:
+    int burst_;
+};
+
+} // namespace
+
+TEST(RtIntegration, ThreeWayHandshakeAndBurst) {
+    rt::Controller ctl{"net"};
+    Client client{"client"};
+    Server server{"server", 5};
+    rt::connect(client.port, server.port);
+    ctl.attach(client);
+    ctl.attach(server);
+    ctl.initializeAll();
+
+    client.connect();
+    ctl.dispatchAll();
+    EXPECT_EQ(client.machine().currentPath(), "Open/Receiving");
+    EXPECT_EQ(client.received, (std::vector<int>{0, 1, 2, 3, 4}));
+
+    client.close();
+    ctl.dispatchAll();
+    EXPECT_EQ(client.machine().currentPath(), "Closed");
+    EXPECT_EQ(server.machine().currentPath(), "Idle");
+}
+
+TEST(RtIntegration, ReconnectAfterClose) {
+    rt::Controller ctl{"net"};
+    Client client{"client"};
+    Server server{"server", 2};
+    rt::connect(client.port, server.port);
+    ctl.attach(client);
+    ctl.attach(server);
+    ctl.initializeAll();
+
+    for (int round = 0; round < 3; ++round) {
+        client.connect();
+        ctl.dispatchAll();
+        client.close();
+        ctl.dispatchAll();
+    }
+    EXPECT_EQ(client.received.size(), 6u) << "two data per round, three rounds";
+}
+
+TEST(RtIntegration, DynamicIncarnationJoinsRunningSystem) {
+    // A hub capsule spawns workers at runtime via the frame service and
+    // wires them with dynamically created ports.
+    static rt::Protocol workProto = [] {
+        rt::Protocol q{"Work"};
+        q.out("job").in("done");
+        return q;
+    }();
+
+    struct Worker : rt::Capsule {
+        Worker(std::string n, rt::Capsule* parent)
+            : rt::Capsule(std::move(n), parent), port(*this, "w", workProto, true) {}
+        rt::Port port;
+        int jobs = 0;
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            if (m.signal == rt::signal("job")) {
+                ++jobs;
+                port.send("done");
+            }
+        }
+    };
+
+    struct Hub : rt::Capsule {
+        explicit Hub(std::string n) : rt::Capsule(std::move(n)) {}
+        std::vector<std::unique_ptr<rt::Port>> plugs;
+        int done = 0;
+
+        Worker& spawn() {
+            auto& w = rt::FrameService::incarnate<Worker>(*this, "w" + std::to_string(plugs.size()));
+            plugs.push_back(
+                std::make_unique<rt::Port>(*this, "plug" + std::to_string(plugs.size()),
+                                           workProto, false));
+            rt::connect(*plugs.back(), w.port);
+            return w;
+        }
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            if (m.signal == rt::signal("done")) ++done;
+        }
+    };
+
+    rt::Controller ctl{"main"};
+    Hub hub{"hub"};
+    ctl.attach(hub);
+    ctl.initializeAll();
+
+    auto& w0 = hub.spawn();
+    auto& w1 = hub.spawn();
+    // Incarnated children must share the controller context.
+    EXPECT_EQ(w0.context(), &ctl);
+
+    hub.plugs[0]->send("job");
+    hub.plugs[1]->send("job");
+    hub.plugs[1]->send("job");
+    ctl.dispatchAll();
+    EXPECT_EQ(w0.jobs, 1);
+    EXPECT_EQ(w1.jobs, 2);
+    EXPECT_EQ(hub.done, 3);
+
+    // Destroy one worker; its port unwires, sends to it now fail.
+    EXPECT_TRUE(rt::FrameService::destroy(w1));
+    EXPECT_FALSE(hub.plugs[1]->send("job"));
+    EXPECT_TRUE(hub.plugs[0]->send("job"));
+    ctl.dispatchAll();
+    EXPECT_EQ(hub.done, 4);
+}
+
+TEST(RtIntegration, MessagesThroughTwoCompositeBoundaries) {
+    static rt::Protocol deepProto = [] {
+        rt::Protocol q{"Deep"};
+        q.out("probe").in("echo");
+        return q;
+    }();
+
+    struct Leaf : rt::Capsule {
+        Leaf(std::string n, rt::Capsule* parent)
+            : rt::Capsule(std::move(n), parent), port(*this, "p", deepProto, true) {}
+        rt::Port port;
+        int probes = 0;
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            if (m.signal == rt::signal("probe")) {
+                ++probes;
+                port.send("echo");
+            }
+        }
+    };
+
+    // system > subsystem > leaf, with relay ports on each boundary.
+    rt::Capsule system{"system"};
+    rt::Capsule subsystem{"subsystem", &system};
+    Leaf leaf{"leaf", &subsystem};
+
+    rt::Port sysRelay(system, "r", deepProto, true, rt::PortKind::Relay);
+    rt::Port subRelay(subsystem, "r", deepProto, true, rt::PortKind::Relay);
+
+    rt::Capsule outside{"outside"};
+    rt::Port probe(outside, "probe", deepProto, false);
+
+    rt::connect(probe, sysRelay);
+    rt::connect(sysRelay, subRelay);
+    rt::connect(subRelay, leaf.port);
+
+    EXPECT_TRUE(probe.send("probe"));
+    EXPECT_EQ(leaf.probes, 1);
+    // The echo resolves back out to the outside capsule.
+    EXPECT_EQ(outside.delivered(), 1u);
+}
+
+TEST(RtIntegration, PriorityPreemptsAcrossCapsules) {
+    static rt::Protocol prioProto = [] {
+        rt::Protocol q{"Prio"};
+        q.inout("evt");
+        return q;
+    }();
+    struct Sink : rt::Capsule {
+        Sink(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", prioProto, true) {}
+        rt::Port port;
+        std::vector<std::string> order;
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            order.push_back(to_string(m.priority));
+        }
+    };
+    rt::Controller ctl{"main"};
+    rt::Capsule sender{"sender"};
+    rt::Port out(sender, "p", prioProto, false);
+    Sink sink{"sink"};
+    rt::connect(out, sink.port);
+    ctl.attach(sink);
+
+    out.send("evt", {}, rt::Priority::Low);
+    out.send("evt", {}, rt::Priority::Panic);
+    out.send("evt", {}, rt::Priority::General);
+    ctl.dispatchAll();
+    ASSERT_EQ(sink.order.size(), 3u);
+    EXPECT_EQ(sink.order[0], "Panic");
+    EXPECT_EQ(sink.order[1], "General");
+    EXPECT_EQ(sink.order[2], "Low");
+}
+
+// ------------------------------ replicated ports ----------------------------
+
+namespace {
+rt::Protocol& fanProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Fan"};
+        q.out("cmd").in("status");
+        return q;
+    }();
+    return p;
+}
+} // namespace
+
+TEST(PortArray, BroadcastReachesAllWiredClients) {
+    struct Client : rt::Capsule {
+        Client(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", fanProto(), true) {}
+        rt::Port port;
+        int cmds = 0;
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            if (m.signal == rt::signal("cmd")) ++cmds;
+        }
+    };
+    rt::Capsule hub{"hub"};
+    rt::PortArray fan(hub, "fan", fanProto(), 4, false);
+    EXPECT_EQ(fan.size(), 4u);
+
+    Client c0{"c0"}, c1{"c1"}, c2{"c2"};
+    rt::connect(fan[0], c0.port);
+    rt::connect(fan[1], c1.port);
+    rt::connect(fan[2], c2.port);
+    EXPECT_EQ(fan.wiredCount(), 3u);
+    EXPECT_EQ(fan.broadcast("cmd"), 3u) << "unwired replication must not count";
+    EXPECT_EQ(c0.cmds + c1.cmds + c2.cmds, 3);
+}
+
+TEST(PortArray, IndexOfIdentifiesReceivingReplication) {
+    struct Hub : rt::Capsule {
+        Hub() : rt::Capsule("hub"), fan(*this, "fan", fanProto(), 3, false) {}
+        rt::PortArray fan;
+        std::vector<std::size_t> from;
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            if (auto idx = fan.indexOf(m.dest)) from.push_back(*idx);
+        }
+    } hub;
+    struct Client : rt::Capsule {
+        Client(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", fanProto(), true) {}
+        rt::Port port;
+    } a{"a"}, b{"b"};
+    rt::connect(hub.fan[0], a.port);
+    rt::connect(hub.fan[2], b.port);
+
+    b.port.send("status");
+    a.port.send("status");
+    ASSERT_EQ(hub.from.size(), 2u);
+    EXPECT_EQ(hub.from[0], 2u);
+    EXPECT_EQ(hub.from[1], 0u);
+    EXPECT_FALSE(hub.fan.indexOf(&a.port).has_value());
+}
+
+TEST(PortArray, FreeSlotFindsUnwired) {
+    rt::Capsule hub{"hub"};
+    rt::PortArray fan(hub, "fan", fanProto(), 2, false);
+    struct Client : rt::Capsule {
+        Client(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", fanProto(), true) {}
+        rt::Port port;
+    } a{"a"}, b{"b"};
+    EXPECT_EQ(fan.freeSlot(), &fan[0]);
+    rt::connect(*fan.freeSlot(), a.port);
+    EXPECT_EQ(fan.freeSlot(), &fan[1]);
+    rt::connect(*fan.freeSlot(), b.port);
+    EXPECT_EQ(fan.freeSlot(), nullptr);
+    EXPECT_THROW(rt::PortArray(hub, "bad", fanProto(), 0), std::invalid_argument);
+}

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rt/rt.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Protocol& logProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Log"};
+        q.out("log").in("ack");
+        return q;
+    }();
+    return p;
+}
+
+/// Service provider: counts log lines and acks.
+struct Logger : rt::Capsule {
+    using rt::Capsule::Capsule;
+    std::vector<std::string> lines;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("log")) {
+            lines.push_back(m.dataOr<std::string>(""));
+            if (m.dest) m.dest->send("ack");
+        }
+    }
+};
+
+struct ClientCap : rt::Capsule {
+    explicit ClientCap(std::string n)
+        : rt::Capsule(std::move(n)), sap(*this, "logSap", logProto(), false) {}
+    rt::Port sap;
+    int acks = 0;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("ack")) ++acks;
+    }
+};
+
+} // namespace
+
+TEST(LayerService, PublishAndRegisterWiresSap) {
+    rt::LayerService layer;
+    Logger logger{"logger"};
+    ClientCap client{"client"};
+    EXPECT_TRUE(layer.publish("log", logger, logProto(), /*providerConjugated=*/true));
+    EXPECT_TRUE(layer.hasService("log"));
+    EXPECT_TRUE(layer.registerSap(client.sap, "log"));
+    EXPECT_EQ(layer.sapCount("log"), 1u);
+
+    EXPECT_TRUE(client.sap.send("log", std::string("hello")));
+    ASSERT_EQ(logger.lines.size(), 1u);
+    EXPECT_EQ(logger.lines[0], "hello");
+    EXPECT_EQ(client.acks, 1) << "provider replied through the dedicated end";
+}
+
+TEST(LayerService, MultipleSapsGetDedicatedEnds) {
+    rt::LayerService layer;
+    Logger logger{"logger"};
+    ClientCap a{"a"}, b{"b"};
+    layer.publish("log", logger, logProto());
+    layer.registerSap(a.sap, "log");
+    layer.registerSap(b.sap, "log");
+    EXPECT_EQ(layer.sapCount("log"), 2u);
+    a.sap.send("log", std::string("from-a"));
+    b.sap.send("log", std::string("from-b"));
+    ASSERT_EQ(logger.lines.size(), 2u);
+    EXPECT_EQ(a.acks, 1);
+    EXPECT_EQ(b.acks, 1);
+}
+
+TEST(LayerService, DuplicatePublishRejected) {
+    rt::LayerService layer;
+    Logger l1{"l1"}, l2{"l2"};
+    EXPECT_TRUE(layer.publish("svc", l1, logProto()));
+    EXPECT_FALSE(layer.publish("svc", l2, logProto()));
+}
+
+TEST(LayerService, UnknownServiceReturnsFalse) {
+    rt::LayerService layer;
+    ClientCap client{"client"};
+    EXPECT_FALSE(layer.registerSap(client.sap, "nothing"));
+    EXPECT_FALSE(layer.hasService("nothing"));
+    EXPECT_EQ(layer.sapCount("nothing"), 0u);
+}
+
+TEST(LayerService, ProtocolAndConjugationValidated) {
+    static rt::Protocol other = [] {
+        rt::Protocol q{"Other"};
+        q.out("x");
+        return q;
+    }();
+    rt::LayerService layer;
+    Logger logger{"logger"};
+    layer.publish("log", logger, logProto(), true);
+
+    rt::Capsule cap{"cap"};
+    rt::Port wrongProto(cap, "p1", other, false);
+    EXPECT_THROW(layer.registerSap(wrongProto, "log"), std::logic_error);
+
+    rt::Port wrongConj(cap, "p2", logProto(), true); // same as provider side
+    EXPECT_THROW(layer.registerSap(wrongConj, "log"), std::logic_error);
+
+    rt::Port good(cap, "p3", logProto(), false);
+    rt::Capsule peer{"peer"};
+    rt::Port peerPort(peer, "pp", logProto(), true);
+    rt::connect(good, peerPort);
+    EXPECT_THROW(layer.registerSap(good, "log"), std::logic_error) << "already wired";
+}
+
+TEST(LayerService, DeregisterUnwires) {
+    rt::LayerService layer;
+    Logger logger{"logger"};
+    ClientCap client{"client"};
+    layer.publish("log", logger, logProto());
+    layer.registerSap(client.sap, "log");
+    EXPECT_TRUE(layer.deregisterSap(client.sap));
+    EXPECT_EQ(layer.sapCount("log"), 0u);
+    EXPECT_FALSE(client.sap.isWired());
+    EXPECT_FALSE(client.sap.send("log", std::string("x")));
+    EXPECT_FALSE(layer.deregisterSap(client.sap)) << "double deregister";
+}
+
+TEST(LayerService, WithdrawDisconnectsEverything) {
+    rt::LayerService layer;
+    Logger logger{"logger"};
+    ClientCap client{"client"};
+    layer.publish("log", logger, logProto());
+    layer.registerSap(client.sap, "log");
+    EXPECT_TRUE(layer.withdraw("log"));
+    EXPECT_FALSE(layer.hasService("log"));
+    EXPECT_FALSE(client.sap.isWired());
+    EXPECT_FALSE(layer.withdraw("log"));
+}

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rt/capsule.hpp"
+#include "rt/port.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Protocol& pingProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Ping"};
+        q.out("ping").in("pong");
+        return q;
+    }();
+    return p;
+}
+
+/// Capsule that records every delivered message's signal name.
+struct Recorder : rt::Capsule {
+    using rt::Capsule::Capsule;
+    std::vector<std::string> log;
+
+protected:
+    void onMessage(const rt::Message& m) override { log.push_back(m.signalName()); }
+};
+
+} // namespace
+
+TEST(Port, DirectConnectionDeliversSynchronouslyWithoutController) {
+    Recorder a{"a"}, b{"b"};
+    rt::Port pa(a, "out", pingProto(), /*conjugated=*/false);
+    rt::Port pb(b, "in", pingProto(), /*conjugated=*/true);
+    rt::connect(pa, pb);
+    EXPECT_TRUE(pa.send("ping"));
+    ASSERT_EQ(b.log.size(), 1u);
+    EXPECT_EQ(b.log[0], "ping");
+    EXPECT_EQ(pa.sent(), 1u);
+}
+
+TEST(Port, ConjugatedSideSendsItsOwnSignals) {
+    Recorder a{"a"}, b{"b"};
+    rt::Port pa(a, "p", pingProto(), false);
+    rt::Port pb(b, "p", pingProto(), true);
+    rt::connect(pa, pb);
+    EXPECT_TRUE(pb.send("pong"));
+    ASSERT_EQ(a.log.size(), 1u);
+    EXPECT_EQ(a.log[0], "pong");
+}
+
+TEST(Port, SendingWrongDirectionFails) {
+    Recorder a{"a"}, b{"b"};
+    rt::Port pa(a, "p", pingProto(), false);
+    rt::Port pb(b, "p", pingProto(), true);
+    rt::connect(pa, pb);
+    EXPECT_FALSE(pa.send("pong")); // base cannot send an in-signal
+    EXPECT_FALSE(pb.send("ping"));
+    EXPECT_TRUE(b.log.empty());
+}
+
+TEST(Port, UnwiredSendFails) {
+    Recorder a{"a"};
+    rt::Port pa(a, "p", pingProto(), false);
+    EXPECT_FALSE(pa.send("ping"));
+    EXPECT_EQ(pa.sent(), 0u);
+}
+
+TEST(Port, SelfConnectionThrows) {
+    Recorder a{"a"};
+    rt::Port pa(a, "p", pingProto(), false);
+    EXPECT_THROW(rt::connect(pa, pa), std::logic_error);
+}
+
+TEST(Port, ProtocolMismatchThrows) {
+    static rt::Protocol other = [] {
+        rt::Protocol q{"Other"};
+        q.out("x");
+        return q;
+    }();
+    Recorder a{"a"}, b{"b"};
+    rt::Port pa(a, "p", pingProto(), false);
+    rt::Port pb(b, "p", other, true);
+    EXPECT_THROW(rt::connect(pa, pb), std::logic_error);
+}
+
+TEST(Port, SameConjugationPeersThrow) {
+    Recorder a{"a"}, b{"b"};
+    rt::Port pa(a, "p", pingProto(), false);
+    rt::Port pb(b, "p", pingProto(), false);
+    EXPECT_THROW(rt::connect(pa, pb), std::logic_error);
+}
+
+TEST(Port, EndPortRefusesSecondLink) {
+    Recorder a{"a"}, b{"b"}, c{"c"};
+    rt::Port pa(a, "p", pingProto(), false);
+    rt::Port pb(b, "p", pingProto(), true);
+    rt::Port pc(c, "p", pingProto(), true);
+    rt::connect(pa, pb);
+    EXPECT_THROW(rt::connect(pa, pc), std::logic_error);
+}
+
+TEST(Port, RelayChainResolvesAcrossBoundary) {
+    // outer sender -> [relay on composite] -> inner receiver
+    Recorder sender{"sender"};
+    Recorder composite{"composite"};
+    Recorder inner{"inner", &composite};
+
+    rt::Port out(sender, "out", pingProto(), false);
+    rt::Port relay(composite, "relay", pingProto(), true, rt::PortKind::Relay);
+    rt::Port in(inner, "in", pingProto(), true);
+
+    rt::connect(out, relay);  // sibling link: opposite conjugation
+    rt::connect(relay, in);   // export link: same conjugation
+    EXPECT_TRUE(out.send("ping"));
+    ASSERT_EQ(inner.log.size(), 1u);
+    EXPECT_EQ(inner.log[0], "ping");
+    EXPECT_TRUE(composite.log.empty()) << "relay must not process messages";
+}
+
+TEST(Port, TwoLevelRelayChain) {
+    Recorder sender{"sender"};
+    Recorder outer{"outer"};
+    Recorder mid{"mid", &outer};
+    Recorder leaf{"leaf", &mid};
+
+    rt::Port out(sender, "out", pingProto(), false);
+    rt::Port r1(outer, "r1", pingProto(), true, rt::PortKind::Relay);
+    rt::Port r2(mid, "r2", pingProto(), true, rt::PortKind::Relay);
+    rt::Port in(leaf, "in", pingProto(), true);
+
+    rt::connect(out, r1);
+    rt::connect(r1, r2);
+    rt::connect(r2, in);
+    EXPECT_TRUE(out.send("ping"));
+    ASSERT_EQ(leaf.log.size(), 1u);
+}
+
+TEST(Port, DanglingRelaySendFails) {
+    Recorder sender{"sender"};
+    Recorder composite{"composite"};
+    rt::Port out(sender, "out", pingProto(), false);
+    rt::Port relay(composite, "relay", pingProto(), true, rt::PortKind::Relay);
+    rt::connect(out, relay);
+    EXPECT_FALSE(out.send("ping")) << "relay with no inner binding dangles";
+}
+
+TEST(Port, ExportLinkRequiresSameConjugation) {
+    Recorder composite{"composite"};
+    Recorder inner{"inner", &composite};
+    rt::Port relay(composite, "relay", pingProto(), true, rt::PortKind::Relay);
+    rt::Port in(inner, "in", pingProto(), false); // wrong: differs from relay
+    EXPECT_THROW(rt::connect(relay, in), std::logic_error);
+}
+
+TEST(Port, InternalEndPortTalksToChild) {
+    // A parent's *end* port wired to a child's port: opposite conjugation.
+    Recorder parent{"parent"};
+    Recorder child{"child", &parent};
+    rt::Port pp(parent, "internal", pingProto(), false);
+    rt::Port cp(child, "up", pingProto(), true);
+    rt::connect(pp, cp);
+    EXPECT_TRUE(pp.send("ping"));
+    ASSERT_EQ(child.log.size(), 1u);
+    EXPECT_TRUE(cp.send("pong"));
+    ASSERT_EQ(parent.log.size(), 1u);
+}
+
+TEST(Port, DisconnectStopsDelivery) {
+    Recorder a{"a"}, b{"b"};
+    rt::Port pa(a, "p", pingProto(), false);
+    rt::Port pb(b, "p", pingProto(), true);
+    rt::connect(pa, pb);
+    rt::disconnect(pa, pb);
+    EXPECT_FALSE(pa.send("ping"));
+    EXPECT_FALSE(pa.isWired());
+    EXPECT_FALSE(pb.isWired());
+}
+
+TEST(Port, PortDestructionUnwiresPeer) {
+    Recorder a{"a"}, b{"b"};
+    rt::Port pa(a, "p", pingProto(), false);
+    {
+        rt::Port pb(b, "p", pingProto(), true);
+        rt::connect(pa, pb);
+        EXPECT_TRUE(pa.isWired());
+    }
+    EXPECT_FALSE(pa.isWired());
+    EXPECT_FALSE(pa.send("ping"));
+}
+
+TEST(Port, FindPortByName) {
+    Recorder a{"a"};
+    rt::Port p1(a, "north", pingProto(), false);
+    rt::Port p2(a, "south", pingProto(), true);
+    EXPECT_EQ(a.findPort("north"), &p1);
+    EXPECT_EQ(a.findPort("south"), &p2);
+    EXPECT_EQ(a.findPort("east"), nullptr);
+    EXPECT_EQ(a.ports().size(), 2u);
+}
+
+TEST(Port, PayloadArrivesIntact) {
+    Recorder a{"a"};
+    struct Sink : rt::Capsule {
+        using rt::Capsule::Capsule;
+        double got = 0;
+
+    protected:
+        void onMessage(const rt::Message& m) override { got = m.dataOr<double>(-1); }
+    } b{"b"};
+    rt::Port pa(a, "p", pingProto(), false);
+    rt::Port pb(b, "p", pingProto(), true);
+    rt::connect(pa, pb);
+    pa.send("ping", 3.25);
+    EXPECT_DOUBLE_EQ(b.got, 3.25);
+}

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "rt/protocol.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Protocol makeHeater() {
+    rt::Protocol p{"Heater"};
+    p.out("on").out("off").in("ack").in("fault").inout("ping");
+    return p;
+}
+
+} // namespace
+
+TEST(Protocol, BaseRoleSendsOutSignals) {
+    const auto p = makeHeater();
+    EXPECT_TRUE(p.sendable(rt::signal("on"), /*conjugated=*/false));
+    EXPECT_TRUE(p.sendable(rt::signal("off"), false));
+    EXPECT_FALSE(p.sendable(rt::signal("ack"), false));
+}
+
+TEST(Protocol, BaseRoleReceivesInSignals) {
+    const auto p = makeHeater();
+    EXPECT_TRUE(p.receivable(rt::signal("ack"), false));
+    EXPECT_TRUE(p.receivable(rt::signal("fault"), false));
+    EXPECT_FALSE(p.receivable(rt::signal("on"), false));
+}
+
+TEST(Protocol, ConjugatedRoleMirrors) {
+    const auto p = makeHeater();
+    EXPECT_TRUE(p.sendable(rt::signal("ack"), /*conjugated=*/true));
+    EXPECT_TRUE(p.receivable(rt::signal("on"), true));
+    EXPECT_FALSE(p.sendable(rt::signal("on"), true));
+    EXPECT_FALSE(p.receivable(rt::signal("ack"), true));
+}
+
+TEST(Protocol, InOutWorksBothWays) {
+    const auto p = makeHeater();
+    const auto ping = rt::signal("ping");
+    for (bool conj : {false, true}) {
+        EXPECT_TRUE(p.sendable(ping, conj));
+        EXPECT_TRUE(p.receivable(ping, conj));
+    }
+}
+
+TEST(Protocol, UnknownSignalIsNeither) {
+    const auto p = makeHeater();
+    const auto bogus = rt::signal("totally-unknown");
+    EXPECT_FALSE(p.sendable(bogus, false));
+    EXPECT_FALSE(p.receivable(bogus, false));
+    EXPECT_FALSE(p.contains(bogus));
+}
+
+TEST(Protocol, DuplicateDeclarationUpgradesToInOut) {
+    rt::Protocol p{"Dup"};
+    p.in("x").out("x");
+    const auto x = rt::signal("x");
+    EXPECT_TRUE(p.sendable(x, false));
+    EXPECT_TRUE(p.receivable(x, false));
+    EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Protocol, SizeCountsDistinctSignals) {
+    const auto p = makeHeater();
+    EXPECT_EQ(p.size(), 5u);
+}

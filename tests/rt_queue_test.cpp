@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rt/queue.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Message msg(const char* sig, rt::Priority p = rt::Priority::General) {
+    return rt::Message(rt::signal(sig), {}, p);
+}
+
+} // namespace
+
+TEST(MessageQueue, StartsEmpty) {
+    rt::MessageQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(MessageQueue, FifoWithinOnePriority) {
+    rt::MessageQueue q;
+    q.push(msg("a"));
+    q.push(msg("b"));
+    q.push(msg("c"));
+    EXPECT_EQ(q.tryPop()->signalName(), "a");
+    EXPECT_EQ(q.tryPop()->signalName(), "b");
+    EXPECT_EQ(q.tryPop()->signalName(), "c");
+}
+
+TEST(MessageQueue, HigherPriorityPreempts) {
+    rt::MessageQueue q;
+    q.push(msg("low", rt::Priority::Low));
+    q.push(msg("panic", rt::Priority::Panic));
+    q.push(msg("general", rt::Priority::General));
+    q.push(msg("high", rt::Priority::High));
+    q.push(msg("background", rt::Priority::Background));
+    EXPECT_EQ(q.tryPop()->signalName(), "panic");
+    EXPECT_EQ(q.tryPop()->signalName(), "high");
+    EXPECT_EQ(q.tryPop()->signalName(), "general");
+    EXPECT_EQ(q.tryPop()->signalName(), "low");
+    EXPECT_EQ(q.tryPop()->signalName(), "background");
+}
+
+TEST(MessageQueue, SequenceNumbersAreMonotonic) {
+    rt::MessageQueue q;
+    for (int i = 0; i < 10; ++i) q.push(msg("s"));
+    std::uint64_t prev = 0;
+    bool first = true;
+    while (auto m = q.tryPop()) {
+        if (!first) EXPECT_GT(m->sequence, prev);
+        prev = m->sequence;
+        first = false;
+    }
+    EXPECT_EQ(q.totalPushed(), 10u);
+}
+
+TEST(MessageQueue, CloseWakesBlockedConsumer) {
+    rt::MessageQueue q;
+    std::atomic<bool> woke{false};
+    std::thread consumer([&] {
+        auto m = q.waitPop();
+        EXPECT_FALSE(m.has_value());
+        woke = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    consumer.join();
+    EXPECT_TRUE(woke);
+}
+
+TEST(MessageQueue, WaitPopReceivesCrossThreadPush) {
+    rt::MessageQueue q;
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        q.push(msg("delivered"));
+    });
+    auto m = q.waitPop();
+    producer.join();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->signalName(), "delivered");
+}
+
+TEST(MessageQueue, ConcurrentProducersLoseNothing) {
+    rt::MessageQueue q;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 500;
+    std::vector<std::thread> producers;
+    producers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) q.push(msg("m"));
+        });
+    }
+    for (auto& t : producers) t.join();
+    std::size_t n = 0;
+    while (q.tryPop()) ++n;
+    EXPECT_EQ(n, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(MessageQueue, PerPriorityFifoHoldsUnderInterleaving) {
+    rt::MessageQueue q;
+    // Interleave two priorities; each lane must drain FIFO.
+    for (int i = 0; i < 5; ++i) {
+        q.push(rt::Message(rt::signal("h" + std::to_string(i)), {}, rt::Priority::High));
+        q.push(rt::Message(rt::signal("l" + std::to_string(i)), {}, rt::Priority::Low));
+    }
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(q.tryPop()->signalName(), "h" + std::to_string(i));
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(q.tryPop()->signalName(), "l" + std::to_string(i));
+}
+
+TEST(MessageQueue, PayloadSurvivesQueue) {
+    rt::MessageQueue q;
+    q.push(rt::Message(rt::signal("v"), 42.5));
+    auto m = q.tryPop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->dataOr<double>(0.0), 42.5);
+    EXPECT_EQ(m->dataAs<int>(), nullptr); // wrong type -> null
+}

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "rt/signal.hpp"
+
+namespace rt = urtx::rt;
+
+TEST(Signal, InternIsIdempotent) {
+    const auto a = rt::signal("sig.idempotent");
+    const auto b = rt::signal("sig.idempotent");
+    EXPECT_EQ(a, b);
+}
+
+TEST(Signal, DistinctNamesGetDistinctIds) {
+    const auto a = rt::signal("sig.distinct.a");
+    const auto b = rt::signal("sig.distinct.b");
+    EXPECT_NE(a, b);
+}
+
+TEST(Signal, NameRoundTrips) {
+    const auto id = rt::signal("sig.roundtrip");
+    EXPECT_EQ(rt::SignalRegistry::name(id), "sig.roundtrip");
+}
+
+TEST(Signal, EmptyNameIsInternable) {
+    const auto id = rt::signal("");
+    EXPECT_EQ(rt::SignalRegistry::name(id), "");
+}
+
+TEST(Signal, RegistrySizeGrowsMonotonically) {
+    const auto before = rt::SignalRegistry::size();
+    rt::signal("sig.growth.unique.xyz");
+    EXPECT_GE(rt::SignalRegistry::size(), before + 0); // may pre-exist
+    rt::signal("sig.growth.unique.xyz2");
+    EXPECT_GT(rt::SignalRegistry::size(), before);
+}
+
+TEST(Signal, ConcurrentInterningIsConsistent) {
+    constexpr int kThreads = 8;
+    constexpr int kNames = 64;
+    std::vector<std::vector<rt::SignalId>> ids(kThreads, std::vector<rt::SignalId>(kNames));
+    std::vector<std::thread> ts;
+    ts.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            for (int i = 0; i < kNames; ++i) {
+                ids[t][i] = rt::signal("sig.conc." + std::to_string(i));
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(ids[t], ids[0]) << "thread " << t << " saw different ids";
+    }
+    // All kNames ids distinct.
+    std::set<rt::SignalId> uniq(ids[0].begin(), ids[0].end());
+    EXPECT_EQ(uniq.size(), static_cast<std::size_t>(kNames));
+}

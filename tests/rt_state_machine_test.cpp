@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rt/state_machine.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+rt::Message msg(const char* sig) { return rt::Message(rt::signal(sig)); }
+
+/// Builds a machine and records every entry/exit/effect into `trace`.
+struct TraceFixture : ::testing::Test {
+    rt::StateMachine m;
+    std::vector<std::string> trace;
+
+    rt::State& traced(std::string name, rt::State* parent = nullptr) {
+        rt::State& s = m.state(name, parent);
+        trace_hooks(s, name);
+        return s;
+    }
+
+    void trace_hooks(rt::State& s, const std::string& name) {
+        s.onEntry([this, name] { trace.push_back("+" + name); });
+        s.onExit([this, name] { trace.push_back("-" + name); });
+    }
+
+    std::string joined() const {
+        std::string out;
+        for (const auto& t : trace) {
+            if (!out.empty()) out += " ";
+            out += t;
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+using StateMachineTest = TraceFixture;
+
+TEST_F(StateMachineTest, StartEntersInitialState) {
+    auto& idle = traced("Idle");
+    traced("Busy");
+    m.start();
+    EXPECT_EQ(m.current(), &idle);
+    EXPECT_EQ(joined(), "+Idle");
+    EXPECT_TRUE(m.started());
+}
+
+TEST_F(StateMachineTest, StartIsIdempotent) {
+    traced("Idle");
+    m.start();
+    m.start();
+    EXPECT_EQ(joined(), "+Idle");
+}
+
+TEST_F(StateMachineTest, ExplicitInitialOverridesFirstChild) {
+    traced("A");
+    auto& b = traced("B");
+    m.initial(b);
+    m.start();
+    EXPECT_EQ(m.current(), &b);
+}
+
+TEST_F(StateMachineTest, SimpleTransitionRunsExitEffectEntry) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    m.transition(a, b).on("go").act([this](const rt::Message&) { trace.push_back("fx"); });
+    m.start();
+    EXPECT_TRUE(m.dispatch(msg("go")));
+    EXPECT_EQ(joined(), "+A -A fx +B");
+    EXPECT_EQ(m.current(), &b);
+    EXPECT_EQ(m.transitionsTaken(), 1u);
+}
+
+TEST_F(StateMachineTest, UnmatchedSignalIsUnhandled) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    m.transition(a, b).on("go");
+    m.start();
+    EXPECT_FALSE(m.dispatch(msg("nope")));
+    EXPECT_EQ(m.current(), &a);
+    EXPECT_EQ(m.messagesUnhandled(), 1u);
+}
+
+TEST_F(StateMachineTest, GuardBlocksTransition) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    bool open = false;
+    m.transition(a, b).on("go").when([&](const rt::Message&) { return open; });
+    m.start();
+    EXPECT_FALSE(m.dispatch(msg("go")));
+    open = true;
+    EXPECT_TRUE(m.dispatch(msg("go")));
+    EXPECT_EQ(m.current(), &b);
+}
+
+TEST_F(StateMachineTest, DeclarationOrderBreaksTies) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    auto& c = traced("C");
+    m.transition(a, b).on("go");
+    m.transition(a, c).on("go");
+    m.start();
+    m.dispatch(msg("go"));
+    EXPECT_EQ(m.current(), &b) << "first declared transition wins";
+}
+
+TEST_F(StateMachineTest, InternalTransitionDoesNotExit) {
+    auto& a = traced("A");
+    int count = 0;
+    m.internal(a).on("poke").act([&](const rt::Message&) { ++count; });
+    m.start();
+    EXPECT_TRUE(m.dispatch(msg("poke")));
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(joined(), "+A") << "no exit/entry on internal transition";
+    EXPECT_EQ(m.current(), &a);
+}
+
+TEST_F(StateMachineTest, SelfTransitionExitsAndReenters) {
+    auto& a = traced("A");
+    m.transition(a, a).on("reset");
+    m.start();
+    m.dispatch(msg("reset"));
+    EXPECT_EQ(joined(), "+A -A +A");
+}
+
+TEST_F(StateMachineTest, CompositeEntryDescendsToInitialLeaf) {
+    auto& run = traced("Run");
+    auto& fast = traced("Fast", &run);
+    traced("Slow", &run);
+    m.start();
+    EXPECT_EQ(m.current(), &fast);
+    EXPECT_EQ(joined(), "+Run +Fast");
+    EXPECT_TRUE(m.isIn(run));
+    EXPECT_TRUE(m.isIn(fast));
+}
+
+TEST_F(StateMachineTest, InnermostTransitionWinsOverAncestor) {
+    auto& run = traced("Run");
+    auto& fast = traced("Fast", &run);
+    auto& slow = traced("Slow", &run);
+    auto& stop = traced("Stop");
+    m.transition(run, stop).on("go");   // ancestor handler
+    m.transition(fast, slow).on("go");  // leaf handler must win
+    m.start();
+    m.dispatch(msg("go"));
+    EXPECT_EQ(m.current(), &slow);
+}
+
+TEST_F(StateMachineTest, AncestorHandlesWhatLeafIgnores) {
+    auto& run = traced("Run");
+    traced("Fast", &run);
+    auto& stop = traced("Stop");
+    m.transition(run, stop).on("halt");
+    m.start();
+    EXPECT_TRUE(m.dispatch(msg("halt")));
+    EXPECT_EQ(m.current(), &stop);
+    EXPECT_EQ(joined(), "+Run +Fast -Fast -Run +Stop");
+}
+
+TEST_F(StateMachineTest, TransitionBetweenNestedLeavesExitsToLca) {
+    auto& a = traced("A");
+    auto& a1 = traced("A1", &a);
+    auto& b = traced("B");
+    auto& b1 = traced("B1", &b);
+    m.transition(a1, b1).on("jump");
+    m.start();
+    m.dispatch(msg("jump"));
+    EXPECT_EQ(joined(), "+A +A1 -A1 -A +B +B1");
+}
+
+TEST_F(StateMachineTest, TransitionToCompositeAncestorReentersIt) {
+    auto& run = traced("Run");
+    auto& fast = traced("Fast", &run);
+    traced("Slow", &run);
+    m.transition(fast, run).on("restart");
+    m.start();
+    m.dispatch(msg("restart"));
+    // External semantics: Run exits and re-enters, descending to initial.
+    EXPECT_EQ(joined(), "+Run +Fast -Fast -Run +Run +Fast");
+}
+
+TEST_F(StateMachineTest, TransitionFromCompositeIntoOwnChild) {
+    auto& run = traced("Run");
+    auto& fast = traced("Fast", &run);
+    auto& slow = traced("Slow", &run);
+    m.transition(run, slow).on("shift");
+    m.start();
+    EXPECT_EQ(m.current(), &fast);
+    m.dispatch(msg("shift"));
+    EXPECT_EQ(m.current(), &slow);
+    EXPECT_EQ(joined(), "+Run +Fast -Fast -Run +Run +Slow");
+}
+
+TEST_F(StateMachineTest, ShallowHistoryRestoresDirectChild) {
+    auto& run = traced("Run");
+    auto& fast = traced("Fast", &run);
+    auto& slow = traced("Slow", &run);
+    auto& paused = traced("Paused");
+    m.transition(fast, slow).on("shift");
+    m.transition(run, paused).on("pause");
+    m.transition(paused, run).on("resume").toShallowHistory();
+    m.start();
+    m.dispatch(msg("shift")); // now in Slow
+    m.dispatch(msg("pause"));
+    trace.clear();
+    m.dispatch(msg("resume"));
+    EXPECT_EQ(m.current(), &slow) << "history must restore Slow, not initial Fast";
+    EXPECT_EQ(joined(), "-Paused +Run +Slow");
+}
+
+TEST_F(StateMachineTest, DeepHistoryRestoresNestedLeaf) {
+    auto& run = traced("Run");
+    auto& auto_ = traced("Auto", &run);
+    traced("Coarse", &auto_);
+    auto& fine = traced("Fine", &auto_);
+    auto& paused = traced("Paused");
+    m.transition(*run.children()[0]->children()[0], fine).on("tune"); // Coarse -> Fine
+    m.transition(run, paused).on("pause");
+    m.transition(paused, run).on("resume").toDeepHistory();
+    m.start();
+    m.dispatch(msg("tune"));
+    EXPECT_EQ(m.current(), &fine);
+    m.dispatch(msg("pause"));
+    m.dispatch(msg("resume"));
+    EXPECT_EQ(m.current(), &fine) << "deep history must restore the nested leaf";
+}
+
+TEST_F(StateMachineTest, HistoryWithoutPriorVisitFallsBackToInitial) {
+    auto& run = traced("Run");
+    auto& fast = traced("Fast", &run);
+    traced("Slow", &run);
+    auto& idle = traced("Idle");
+    m.initial(idle);
+    m.transition(idle, run).on("go").toShallowHistory();
+    m.start();
+    m.dispatch(msg("go"));
+    EXPECT_EQ(m.current(), &fast);
+}
+
+TEST_F(StateMachineTest, WildcardTriggerMatchesAnything) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    m.transition(a, b).onAny();
+    m.start();
+    EXPECT_TRUE(m.dispatch(msg("whatever")));
+    EXPECT_EQ(m.current(), &b);
+}
+
+TEST_F(StateMachineTest, MultipleTriggersOnOneTransition) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    m.transition(a, b).on("x").on("y");
+    m.start();
+    EXPECT_TRUE(m.dispatch(msg("y")));
+    EXPECT_EQ(m.current(), &b);
+}
+
+TEST_F(StateMachineTest, ReentrantDispatchThrows) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    m.transition(a, b).on("go").act(
+        [this](const rt::Message&) { EXPECT_THROW(m.dispatch(msg("go")), std::logic_error); });
+    m.start();
+    m.dispatch(msg("go"));
+}
+
+TEST_F(StateMachineTest, IsInBeforeStartIsFalse) {
+    auto& a = traced("A");
+    EXPECT_FALSE(m.isIn(a));
+    EXPECT_EQ(m.current(), nullptr);
+    EXPECT_EQ(m.currentPath(), "");
+}
+
+TEST_F(StateMachineTest, PathRendersNesting) {
+    auto& run = traced("Run");
+    auto& fast = traced("Fast", &run);
+    m.start();
+    EXPECT_EQ(fast.path(), "Run/Fast");
+    EXPECT_EQ(m.currentPath(), "Run/Fast");
+}
+
+TEST_F(StateMachineTest, ForeignStateRejected) {
+    rt::StateMachine other;
+    auto& s1 = m.state("S1");
+    auto& f = other.state("F");
+    EXPECT_THROW(m.transition(s1, f), std::logic_error);
+    EXPECT_THROW(m.state("child", &f), std::logic_error);
+}
+
+TEST_F(StateMachineTest, EntryActionsRunInRegistrationOrder) {
+    auto& a = m.state("A");
+    a.onEntry([this] { trace.push_back("first"); });
+    a.onEntry([this] { trace.push_back("second"); });
+    m.start();
+    EXPECT_EQ(joined(), "first second");
+}
+
+// ----------------------------- completion transitions -----------------------
+
+TEST_F(StateMachineTest, CompletionTransitionFiresOnEntry) {
+    auto& deciding = traced("Deciding");
+    auto& done = traced("Done");
+    m.transition(deciding, done); // no trigger => completion
+    m.start();
+    EXPECT_EQ(m.current(), &done) << "completion must fire right after entry";
+    EXPECT_EQ(joined(), "+Deciding -Deciding +Done");
+}
+
+TEST_F(StateMachineTest, GuardedCompletionActsAsChoicePoint) {
+    auto& idle = traced("Idle");
+    auto& check = traced("Check");
+    auto& high = traced("High");
+    auto& low = traced("Low");
+    double level = 0.0;
+    m.transition(idle, check).on("sample");
+    m.transition(check, high).when([&](const rt::Message&) { return level > 0.5; });
+    m.transition(check, low).when([&](const rt::Message&) { return level <= 0.5; });
+    m.start();
+    level = 0.9;
+    m.dispatch(msg("sample"));
+    EXPECT_EQ(m.current(), &high);
+}
+
+TEST_F(StateMachineTest, CompletionCascadeRunsToQuiescence) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    auto& c2 = traced("C");
+    auto& d = traced("D");
+    m.transition(a, b).on("go");
+    m.transition(b, c2);
+    m.transition(c2, d);
+    m.start();
+    m.dispatch(msg("go"));
+    EXPECT_EQ(m.current(), &d);
+    EXPECT_EQ(m.transitionsTaken(), 3u);
+}
+
+TEST_F(StateMachineTest, CompletionGuardFalseHolds) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    m.transition(a, b).when([](const rt::Message&) { return false; });
+    m.start();
+    EXPECT_EQ(m.current(), &a);
+}
+
+TEST_F(StateMachineTest, CompletionLoopDetected) {
+    auto& a = traced("A");
+    auto& b = traced("B");
+    m.transition(a, b);
+    m.transition(b, a);
+    EXPECT_THROW(m.start(), std::logic_error);
+}
+
+TEST_F(StateMachineTest, CompletionNotTriggeredBySignals) {
+    // A triggerless transition must not be selectable by dispatch() with an
+    // arbitrary message when its guard blocked it at entry time.
+    auto& a = traced("A");
+    auto& b = traced("B");
+    bool open = false;
+    m.transition(a, b).when([&](const rt::Message&) { return open; });
+    m.start();
+    EXPECT_EQ(m.current(), &a);
+    open = true;
+    // dispatch of an unrelated signal is *unhandled* (no trigger matches) —
+    // completion transitions are only re-evaluated after real transitions.
+    EXPECT_FALSE(m.dispatch(msg("anything")));
+    EXPECT_EQ(m.current(), &a);
+}

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rt/capsule.hpp"
+#include "rt/queue.hpp"
+#include "rt/timer_service.hpp"
+
+namespace rt = urtx::rt;
+
+namespace {
+
+struct Fixture : ::testing::Test {
+    rt::Capsule cap{"target"};
+    rt::TimerService ts;
+    rt::MessageQueue q;
+};
+
+} // namespace
+
+using TimerTest = Fixture;
+
+TEST_F(TimerTest, OneShotFiresAtDueTime) {
+    ts.informIn(cap, /*now=*/0.0, /*delay=*/1.5, rt::signal("tick"));
+    EXPECT_EQ(ts.fireDue(q, 1.0), 0u);
+    EXPECT_EQ(ts.fireDue(q, 1.5), 1u);
+    auto m = q.tryPop();
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->signalName(), "tick");
+    EXPECT_EQ(m->receiver, &cap);
+    EXPECT_EQ(ts.pending(), 0u);
+}
+
+TEST_F(TimerTest, OneShotFiresOnlyOnce) {
+    ts.informIn(cap, 0.0, 1.0, rt::signal("tick"));
+    EXPECT_EQ(ts.fireDue(q, 2.0), 1u);
+    EXPECT_EQ(ts.fireDue(q, 3.0), 0u);
+}
+
+TEST_F(TimerTest, NegativeDelayClampsToNow) {
+    ts.informIn(cap, 5.0, -1.0, rt::signal("tick"));
+    EXPECT_EQ(ts.fireDue(q, 5.0), 1u);
+}
+
+TEST_F(TimerTest, PeriodicReschedules) {
+    ts.informEvery(cap, 0.0, 0.5, rt::signal("tick"));
+    EXPECT_EQ(ts.fireDue(q, 0.5), 1u);
+    EXPECT_EQ(ts.fireDue(q, 1.0), 1u);
+    EXPECT_EQ(ts.fireDue(q, 2.0), 2u); // catches up: 1.5 and 2.0
+    EXPECT_EQ(ts.pending(), 1u);
+}
+
+TEST_F(TimerTest, ZeroPeriodRejected) {
+    EXPECT_EQ(ts.informEvery(cap, 0.0, 0.0, rt::signal("tick")), rt::kInvalidTimer);
+    EXPECT_EQ(ts.pending(), 0u);
+}
+
+TEST_F(TimerTest, CancelPreventsFiring) {
+    auto id = ts.informIn(cap, 0.0, 1.0, rt::signal("tick"));
+    EXPECT_TRUE(ts.cancel(id));
+    EXPECT_EQ(ts.fireDue(q, 10.0), 0u);
+    EXPECT_EQ(ts.pending(), 0u);
+}
+
+TEST_F(TimerTest, CancelUnknownIdFails) {
+    EXPECT_FALSE(ts.cancel(rt::kInvalidTimer));
+    EXPECT_FALSE(ts.cancel(12345));
+}
+
+TEST_F(TimerTest, DoubleCancelFails) {
+    auto id = ts.informIn(cap, 0.0, 1.0, rt::signal("tick"));
+    EXPECT_TRUE(ts.cancel(id));
+    EXPECT_FALSE(ts.cancel(id));
+}
+
+TEST_F(TimerTest, CancelPeriodicStopsIt) {
+    auto id = ts.informEvery(cap, 0.0, 1.0, rt::signal("tick"));
+    EXPECT_EQ(ts.fireDue(q, 1.0), 1u);
+    EXPECT_TRUE(ts.cancel(id));
+    EXPECT_EQ(ts.fireDue(q, 5.0), 0u);
+}
+
+TEST_F(TimerTest, NextDueReportsEarliest) {
+    EXPECT_TRUE(std::isinf(ts.nextDue()));
+    ts.informIn(cap, 0.0, 3.0, rt::signal("a"));
+    ts.informIn(cap, 0.0, 1.0, rt::signal("b"));
+    EXPECT_DOUBLE_EQ(ts.nextDue(), 1.0);
+}
+
+TEST_F(TimerTest, FiringOrderFollowsDueTime) {
+    ts.informIn(cap, 0.0, 2.0, rt::signal("second"));
+    ts.informIn(cap, 0.0, 1.0, rt::signal("first"));
+    ts.fireDue(q, 3.0);
+    EXPECT_EQ(q.tryPop()->signalName(), "first");
+    EXPECT_EQ(q.tryPop()->signalName(), "second");
+}
+
+TEST_F(TimerTest, PayloadAndPriorityPropagate) {
+    ts.informIn(cap, 0.0, 1.0, rt::signal("tick"), 7, rt::Priority::High);
+    ts.fireDue(q, 1.0);
+    auto m = q.tryPop();
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->priority, rt::Priority::High);
+    EXPECT_EQ(m->dataOr<int>(0), 7);
+}

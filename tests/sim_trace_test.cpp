@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "control/control.hpp"
+#include "flow/flow.hpp"
+#include "sim/sim.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace sim = urtx::sim;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+} // namespace
+
+TEST(Trace, ChannelsRegisterAndSample) {
+    sim::Trace tr;
+    double v = 1.0;
+    const auto a = tr.channel("a", [&] { return v; });
+    const auto b = tr.channel("b", [&] { return 2.0 * v; });
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(tr.channelCount(), 2u);
+
+    tr.sample(0.0);
+    v = 3.0;
+    tr.sample(0.5);
+    EXPECT_EQ(tr.rows(), 2u);
+    EXPECT_DOUBLE_EQ(tr.timeAt(1), 0.5);
+    EXPECT_DOUBLE_EQ(tr.valueAt(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(tr.valueAt(1, 1), 6.0);
+    EXPECT_EQ(tr.series("a"), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Trace, AddChannelAfterSamplingThrows) {
+    sim::Trace tr;
+    tr.channel("a", [] { return 0.0; });
+    tr.sample(0.0);
+    EXPECT_THROW(tr.channel("b", [] { return 0.0; }), std::logic_error);
+}
+
+TEST(Trace, ClearResetsRowsKeepsChannels) {
+    sim::Trace tr;
+    tr.channel("a", [] { return 1.0; });
+    tr.sample(0.0);
+    tr.clear();
+    EXPECT_EQ(tr.rows(), 0u);
+    EXPECT_EQ(tr.channelCount(), 1u);
+    tr.sample(1.0);
+    EXPECT_EQ(tr.rows(), 1u);
+}
+
+TEST(Trace, CsvOutputWellFormed) {
+    sim::Trace tr;
+    double v = 0;
+    tr.channel("x", [&] { return v; });
+    tr.channel("y", [&] { return -v; });
+    for (int i = 0; i < 3; ++i) {
+        v = i;
+        tr.sample(0.1 * i);
+    }
+    const std::string path = "/tmp/urtx_trace_test.csv";
+    tr.writeCsv(path);
+
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "t,x,y");
+    int rows = 0;
+    while (std::getline(in, line)) ++rows;
+    EXPECT_EQ(rows, 3);
+    EXPECT_THROW(tr.writeCsv("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(Trace, UnknownSeriesThrows) {
+    sim::Trace tr;
+    tr.channel("a", [] { return 0.0; });
+    EXPECT_THROW(tr.series("zzz"), std::invalid_argument);
+    EXPECT_NO_THROW(tr.series(0u));
+}
+
+TEST(CsvSink, WritesRowsDuringSimulation) {
+    const std::string path = "/tmp/urtx_csvsink_test.csv";
+    {
+        Plain top{"top"};
+        c::Ramp u("u", &top, 2.0);
+        c::CsvSink sinkBlock("csv", &top, path, "t,ramp");
+        f::flow(u.out(), sinkBlock.in());
+        f::SolverRunner runner(top, s::makeIntegrator("Euler"), 0.1);
+        runner.initialize(0.0);
+        runner.advanceTo(1.0);
+        EXPECT_EQ(sinkBlock.rows(), 10u);
+    }
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "t,ramp");
+    std::string lastLine, line;
+    int rows = 0;
+    while (std::getline(in, line)) {
+        if (!line.empty()) {
+            lastLine = line;
+            ++rows;
+        }
+    }
+    EXPECT_EQ(rows, 10);
+    // Last row: t=1.0, ramp=2.0.
+    std::istringstream ss(lastLine);
+    std::string tStr, vStr;
+    std::getline(ss, tStr, ',');
+    std::getline(ss, vStr, ',');
+    EXPECT_NEAR(std::stod(tStr), 1.0, 1e-9);
+    EXPECT_NEAR(std::stod(vStr), 2.0, 1e-9);
+}
+
+TEST(CsvSink, BadPathThrows) {
+    Plain top{"top"};
+    EXPECT_THROW(c::CsvSink("csv", &top, "/no/such/dir/file.csv"), std::runtime_error);
+}
+
+TEST(SimDeterminism, SingleThreadRunsAreBitIdentical) {
+    auto runTrace = [] {
+        sim::HybridSystem sys;
+        Plain top{"top"};
+        c::Noise noise("n", &top, 1.0, 0.01, 1234);
+        c::Integrator integ("x", &top, 0.0);
+        f::flow(noise.out(), integ.in());
+        auto& runner = sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+        sys.trace().channel("x", [&runner] { return runner.state()[0]; });
+        sys.run(1.0);
+        return sys.trace().series("x");
+    };
+    const auto first = runTrace();
+    const auto second = runTrace();
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i], second[i]) << "row " << i << ": simulation must be deterministic";
+    }
+}
+
+TEST(Realtime, PacingBoundsSimulationRate) {
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    c::Constant u("u", &top, 0.0);
+    sys.addStreamerGroup(top, s::makeIntegrator("Euler"), 0.01);
+    sys.setRealtimeFactor(10.0); // 10x real time: 0.2 sim s >= 20 ms wall
+    EXPECT_DOUBLE_EQ(sys.realtimeFactor(), 10.0);
+    const auto start = std::chrono::steady_clock::now();
+    sys.run(0.2);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    EXPECT_GE(wall, 0.018) << "pacing must throttle the engine";
+}
+
+TEST(Realtime, ZeroFactorRunsUnthrottled) {
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    c::Constant u("u", &top, 0.0);
+    sys.addStreamerGroup(top, s::makeIntegrator("Euler"), 0.001);
+    const auto start = std::chrono::steady_clock::now();
+    sys.run(1.0); // 1000 tiny steps
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    EXPECT_LT(wall, 0.5) << "no pacing: must run far faster than real time";
+}

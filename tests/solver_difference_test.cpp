@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "solver/difference.hpp"
+
+namespace s = urtx::solver;
+
+TEST(Difference, PureGainHasNoState) {
+    s::DifferenceEquation eq({2.5}, {1.0});
+    EXPECT_EQ(eq.order(), 0u);
+    EXPECT_DOUBLE_EQ(eq.step(2.0), 5.0);
+    EXPECT_DOUBLE_EQ(eq.step(-1.0), -2.5);
+}
+
+TEST(Difference, NormalizationByA0) {
+    // 2 y[n] = 4 u[n]  ==  y[n] = 2 u[n].
+    s::DifferenceEquation eq({4.0}, {2.0});
+    EXPECT_DOUBLE_EQ(eq.step(1.0), 2.0);
+}
+
+TEST(Difference, RejectsBadCoefficients) {
+    EXPECT_THROW(s::DifferenceEquation({}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(s::DifferenceEquation({1.0}, {}), std::invalid_argument);
+    EXPECT_THROW(s::DifferenceEquation({1.0}, {0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Difference, DiscreteIntegratorAccumulates) {
+    auto eq = s::makeDiscreteIntegrator(0.5);
+    EXPECT_DOUBLE_EQ(eq.step(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(eq.step(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(eq.step(2.0), 2.0);
+}
+
+TEST(Difference, LowPassConvergesToStepInput) {
+    auto lp = s::makeLowPass(0.2);
+    double y = 0;
+    for (int i = 0; i < 200; ++i) y = lp.step(1.0);
+    EXPECT_NEAR(y, 1.0, 1e-9);
+}
+
+TEST(Difference, LowPassFirstSampleMatchesAlpha) {
+    auto lp = s::makeLowPass(0.25);
+    EXPECT_NEAR(lp.step(1.0), 0.25, 1e-12);
+    EXPECT_NEAR(lp.step(1.0), 0.25 + 0.75 * 0.25, 1e-12);
+}
+
+TEST(Difference, MovingAverageWindow) {
+    auto ma = s::makeMovingAverage(4);
+    EXPECT_DOUBLE_EQ(ma.step(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(ma.step(4.0), 2.0);
+    EXPECT_DOUBLE_EQ(ma.step(4.0), 3.0);
+    EXPECT_DOUBLE_EQ(ma.step(4.0), 4.0);
+    EXPECT_DOUBLE_EQ(ma.step(4.0), 4.0) << "window full: steady state";
+    EXPECT_THROW(s::makeMovingAverage(0), std::invalid_argument);
+}
+
+TEST(Difference, ResetClearsStateKeepsCoefficients) {
+    auto eq = s::makeDiscreteIntegrator(1.0);
+    eq.step(5.0);
+    EXPECT_EQ(eq.samples(), 1u);
+    eq.reset();
+    EXPECT_EQ(eq.samples(), 0u);
+    EXPECT_DOUBLE_EQ(eq.step(1.0), 1.0) << "integrator state must be cleared";
+}
+
+TEST(Difference, FirstOrderRecursionMatchesClosedForm) {
+    // y[n] = 0.5 y[n-1] + u[n] with unit step: y[n] = 2 (1 - 0.5^{n+1}).
+    s::DifferenceEquation eq({1.0}, {1.0, -0.5});
+    for (int n = 0; n < 20; ++n) {
+        const double expected = 2.0 * (1.0 - std::pow(0.5, n + 1));
+        EXPECT_NEAR(eq.step(1.0), expected, 1e-12) << "n=" << n;
+    }
+}
+
+TEST(Difference, SecondOrderImpulseResponse) {
+    // H(z) = 1 / (1 - 1.1 z^-1 + 0.3 z^-2); impulse response via recursion
+    // y[n] = 1.1 y[n-1] - 0.3 y[n-2] + delta[n].
+    s::DifferenceEquation eq({1.0}, {1.0, -1.1, 0.3});
+    std::vector<double> y;
+    y.push_back(eq.step(1.0));
+    for (int i = 0; i < 10; ++i) y.push_back(eq.step(0.0));
+    std::vector<double> ref{1.0};
+    double y1 = 1.0, y2 = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        const double v = 1.1 * y1 - 0.3 * y2;
+        ref.push_back(v);
+        y2 = y1;
+        y1 = v;
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-12) << "n=" << i;
+}
+
+TEST(Difference, FirTransferFunctionDelaysInput) {
+    // y[n] = u[n-2].
+    s::DifferenceEquation eq({0.0, 0.0, 1.0}, {1.0});
+    EXPECT_DOUBLE_EQ(eq.step(7.0), 0.0);
+    EXPECT_DOUBLE_EQ(eq.step(8.0), 0.0);
+    EXPECT_DOUBLE_EQ(eq.step(9.0), 7.0);
+    EXPECT_DOUBLE_EQ(eq.step(0.0), 8.0);
+    EXPECT_DOUBLE_EQ(eq.step(0.0), 9.0);
+}

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "solver/integrator.hpp"
+
+namespace s = urtx::solver;
+
+namespace {
+
+/// dx/dt = -x, x(0)=1, x(t)=exp(-t).
+s::FnOde decay() {
+    return s::FnOde(1, [](double, const s::Vec& x, s::Vec& dx) { dx[0] = -x[0]; });
+}
+
+/// Harmonic oscillator: x'' = -x as first-order system.
+s::FnOde oscillator() {
+    return s::FnOde(2, [](double, const s::Vec& x, s::Vec& dx) {
+        dx[0] = x[1];
+        dx[1] = -x[0];
+    });
+}
+
+/// Integrate sys from 0 to T with n fixed steps, return final state.
+s::Vec integrate(s::Integrator& m, const s::OdeSystem& sys, s::Vec x, double T, int n) {
+    const double dt = T / n;
+    double t = 0;
+    for (int i = 0; i < n; ++i, t += dt) m.step(sys, t, dt, x);
+    return x;
+}
+
+} // namespace
+
+// ------------------------------------------------- parameterized: all methods
+
+struct MethodCase {
+    std::string method;
+    int expectedOrder;
+};
+
+class IntegratorSuite : public ::testing::TestWithParam<MethodCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, IntegratorSuite,
+                         ::testing::Values(MethodCase{"Euler", 1}, MethodCase{"Heun", 2},
+                                           MethodCase{"RK4", 4}, MethodCase{"RK45", 5},
+                                           MethodCase{"AB2", 2},
+                                           MethodCase{"ImplicitEuler", 1},
+                                           MethodCase{"Trapezoidal", 2}),
+                         [](const auto& info) { return info.param.method; });
+
+TEST_P(IntegratorSuite, FactoryProducesWorkingMethod) {
+    auto m = s::makeIntegrator(GetParam().method);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->name(), GetParam().method);
+    EXPECT_EQ(m->order(), GetParam().expectedOrder);
+}
+
+TEST_P(IntegratorSuite, SolvesExponentialDecay) {
+    auto m = s::makeIntegrator(GetParam().method);
+    auto sys = decay();
+    auto x = integrate(*m, sys, {1.0}, 1.0, 200);
+    // Even Euler at dt=0.005 is within ~0.3%.
+    EXPECT_NEAR(x[0], std::exp(-1.0), 2e-3) << m->name();
+    EXPECT_GT(sys.evals(), 0u);
+    EXPECT_GT(m->steps(), 0u);
+}
+
+TEST_P(IntegratorSuite, SolvesOscillatorPhase) {
+    auto m = s::makeIntegrator(GetParam().method);
+    auto sys = oscillator();
+    // One period: x(2*pi) == x(0).
+    auto x = integrate(*m, sys, {1.0, 0.0}, 2.0 * M_PI, 2000);
+    EXPECT_NEAR(x[0], 1.0, 1e-2) << m->name();
+    EXPECT_NEAR(x[1], 0.0, 1e-2) << m->name();
+}
+
+TEST_P(IntegratorSuite, ConvergesAtNominalOrder) {
+    if (GetParam().method == "RK45") GTEST_SKIP() << "adaptive method has no fixed-step order";
+    auto m = s::makeIntegrator(GetParam().method);
+    auto sys = decay();
+    const double T = 1.0;
+    const double exact = std::exp(-T);
+
+    // Error at n and 2n steps; ratio ~ 2^order.
+    const int n = 40;
+    const double e1 = std::abs(integrate(*m, sys, {1.0}, T, n)[0] - exact);
+    const double e2 = std::abs(integrate(*m, sys, {1.0}, T, 2 * n)[0] - exact);
+    const double observedOrder = std::log2(e1 / e2);
+    EXPECT_NEAR(observedOrder, GetParam().expectedOrder, 0.35)
+        << m->name() << ": e1=" << e1 << " e2=" << e2;
+}
+
+TEST_P(IntegratorSuite, ZeroDtIsHarmlessForAdaptive) {
+    if (GetParam().method != "RK45") GTEST_SKIP();
+    auto m = s::makeIntegrator(GetParam().method);
+    auto sys = decay();
+    s::Vec x{1.0};
+    m->step(sys, 0.0, 0.0, x);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+// ------------------------------------------------------------- method-specific
+
+TEST(Integrator, FactoryRejectsUnknown) {
+    EXPECT_THROW(s::makeIntegrator("Simpson"), std::invalid_argument);
+}
+
+TEST(Integrator, Rk45MeetsTolerance) {
+    s::Rk45Integrator m(1e-10, 1e-12);
+    auto sys = decay();
+    s::Vec x{1.0};
+    m.step(sys, 0.0, 1.0, x);
+    EXPECT_NEAR(x[0], std::exp(-1.0), 1e-8);
+    EXPECT_GT(m.accepted(), 0u);
+}
+
+TEST(Integrator, Rk45LooseToleranceUsesFewerEvals) {
+    auto sysA = decay();
+    auto sysB = decay();
+    s::Rk45Integrator loose(1e-3, 1e-6), tight(1e-12, 1e-14);
+    s::Vec xa{1.0}, xb{1.0};
+    loose.step(sysA, 0.0, 5.0, xa);
+    tight.step(sysB, 0.0, 5.0, xb);
+    EXPECT_LT(sysA.evals(), sysB.evals());
+}
+
+TEST(Integrator, Rk45StepCountersReset) {
+    s::Rk45Integrator m;
+    auto sys = decay();
+    s::Vec x{1.0};
+    m.step(sys, 0.0, 1.0, x);
+    EXPECT_GT(m.accepted(), 0u);
+    m.reset();
+    EXPECT_EQ(m.accepted(), 0u);
+    EXPECT_EQ(m.rejected(), 0u);
+    EXPECT_EQ(m.steps(), 0u);
+}
+
+TEST(Integrator, StiffProblemExplodesExplicitlyButNotImplicitly) {
+    // dx/dt = -1000 x with dt = 0.01: explicit Euler amplification factor
+    // |1 - 10| = 9 per step -> divergence; implicit Euler is A-stable.
+    auto stiff = s::FnOde(1, [](double, const s::Vec& x, s::Vec& dx) { dx[0] = -1000.0 * x[0]; });
+
+    s::EulerIntegrator explicitEuler;
+    s::Vec xe{1.0};
+    for (int i = 0; i < 50; ++i) explicitEuler.step(stiff, i * 0.01, 0.01, xe);
+    EXPECT_GT(std::abs(xe[0]), 1e10) << "explicit Euler must diverge on stiff system";
+
+    s::ImplicitEulerIntegrator implicitEuler;
+    s::Vec xi{1.0};
+    for (int i = 0; i < 50; ++i) implicitEuler.step(stiff, i * 0.01, 0.01, xi);
+    EXPECT_LT(std::abs(xi[0]), 1.0) << "implicit Euler must stay stable";
+    EXPECT_GE(xi[0], 0.0);
+}
+
+TEST(Integrator, TrapezoidalExactForLinearInTime) {
+    // dx/dt = t integrates exactly under the trapezoidal rule.
+    auto sys = s::FnOde(1, [](double t, const s::Vec&, s::Vec& dx) { dx[0] = t; });
+    s::TrapezoidalIntegrator m;
+    s::Vec x{0.0};
+    double t = 0;
+    for (int i = 0; i < 10; ++i, t += 0.1) m.step(sys, t, 0.1, x);
+    EXPECT_NEAR(x[0], 0.5, 1e-9);
+}
+
+TEST(Integrator, ImplicitHandlesNonlinearSystem) {
+    // dx/dt = -x^3, known decreasing positive solution.
+    auto sys = s::FnOde(1, [](double, const s::Vec& x, s::Vec& dx) { dx[0] = -x[0] * x[0] * x[0]; });
+    s::ImplicitEulerIntegrator m;
+    s::Vec x{1.0};
+    double t = 0;
+    for (int i = 0; i < 100; ++i, t += 0.01) m.step(sys, t, 0.01, x);
+    // Analytic: x(t) = 1/sqrt(1+2t) -> x(1) ~ 0.57735.
+    EXPECT_NEAR(x[0], 1.0 / std::sqrt(3.0), 5e-3);
+}
+
+TEST(Integrator, EvalCountsAccumulateAndReset) {
+    auto sys = decay();
+    s::Rk4Integrator m;
+    s::Vec x{1.0};
+    m.step(sys, 0.0, 0.1, x);
+    EXPECT_EQ(sys.evals(), 4u);
+    m.step(sys, 0.1, 0.1, x);
+    EXPECT_EQ(sys.evals(), 8u);
+    sys.resetEvalCount();
+    EXPECT_EQ(sys.evals(), 0u);
+}
+
+TEST(Integrator, Rk45ExactlyLandsOnTargetTime) {
+    // Time-dependent RHS makes landing accuracy observable:
+    // dx/dt = cos(t), x(0)=0 -> x(T)=sin(T).
+    auto sys = s::FnOde(1, [](double t, const s::Vec&, s::Vec& dx) { dx[0] = std::cos(t); });
+    s::Rk45Integrator m(1e-9, 1e-12);
+    s::Vec x{0.0};
+    const double T = 3.7;
+    m.step(sys, 0.0, T, x);
+    EXPECT_NEAR(x[0], std::sin(T), 1e-7);
+}
+
+TEST(Integrator, Ab2HistoryInvalidatesOnDiscontinuity) {
+    // Solving then restarting at a different time must not reuse stale
+    // history (the bootstrap path must rerun).
+    auto sys = decay();
+    s::AdamsBashforth2Integrator m;
+    s::Vec x{1.0};
+    m.step(sys, 0.0, 0.01, x);
+    m.step(sys, 0.01, 0.01, x); // contiguous: multistep path
+    // Jump backwards (like a zero-crossing retry): must still be accurate.
+    s::Vec y{1.0};
+    m.step(sys, 0.0, 0.01, y);
+    EXPECT_NEAR(y[0], std::exp(-0.01), 1e-6) << "bootstrap must rerun after the jump";
+}
+
+TEST(Integrator, Ab2MatchesHeunOnFirstStepOnly) {
+    auto sysA = decay();
+    auto sysB = decay();
+    s::AdamsBashforth2Integrator ab2;
+    s::HeunIntegrator heun;
+    s::Vec xa{1.0}, xb{1.0};
+    ab2.step(sysA, 0.0, 0.1, xa);
+    heun.step(sysB, 0.0, 0.1, xb);
+    EXPECT_DOUBLE_EQ(xa[0], xb[0]) << "first AB2 step bootstraps with Heun";
+    // Second step diverges from Heun (multistep formula, 1 eval).
+    sysA.resetEvalCount();
+    ab2.step(sysA, 0.1, 0.1, xa);
+    EXPECT_EQ(sysA.evals(), 1u) << "continuing AB2 costs one evaluation per step";
+}

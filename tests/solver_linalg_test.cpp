@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "solver/linalg.hpp"
+
+namespace s = urtx::solver;
+
+TEST(Linalg, Norms) {
+    s::Vec v{3.0, -4.0};
+    EXPECT_DOUBLE_EQ(s::norm2(v), 5.0);
+    EXPECT_DOUBLE_EQ(s::normInf(v), 4.0);
+    EXPECT_DOUBLE_EQ(s::norm2({}), 0.0);
+}
+
+TEST(Linalg, AxpyAndDot) {
+    s::Vec a{1.0, 2.0}, b{10.0, 20.0};
+    s::axpy(0.5, b, a);
+    EXPECT_DOUBLE_EQ(a[0], 6.0);
+    EXPECT_DOUBLE_EQ(a[1], 12.0);
+    EXPECT_DOUBLE_EQ(s::dot({1, 2, 3}, {4, 5, 6}), 32.0);
+    EXPECT_THROW(s::axpy(1.0, {1.0}, a), std::invalid_argument);
+    EXPECT_THROW(s::dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Linalg, MatrixInitializerAndAccess) {
+    s::Matrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+    EXPECT_THROW((s::Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Linalg, IdentityAndTranspose) {
+    auto i3 = s::Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+    s::Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    auto t = m.transposed();
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_DOUBLE_EQ(t(1, 2), 6.0);
+}
+
+TEST(Linalg, MatVec) {
+    s::Matrix m{{1, 2}, {3, 4}};
+    auto y = m.mul(s::Vec{1.0, 1.0});
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+    EXPECT_THROW(m.mul(s::Vec{1.0}), std::invalid_argument);
+}
+
+TEST(Linalg, MatMul) {
+    s::Matrix a{{1, 2}, {3, 4}};
+    s::Matrix b{{0, 1}, {1, 0}};
+    auto c = a.mul(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Linalg, LuSolvesKnownSystem) {
+    s::Matrix a{{2, 1}, {1, 3}};
+    auto x = s::solve(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, LuRequiresPivoting) {
+    // Zero on the diagonal forces a row swap.
+    s::Matrix a{{0, 1}, {1, 0}};
+    auto x = s::solve(a, {2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, LuSingularThrows) {
+    s::Matrix a{{1, 2}, {2, 4}};
+    EXPECT_THROW(s::LuFactor{a}, std::runtime_error);
+}
+
+TEST(Linalg, LuNonSquareThrows) {
+    s::Matrix a(2, 3);
+    EXPECT_THROW(s::LuFactor{a}, std::invalid_argument);
+}
+
+TEST(Linalg, Determinant) {
+    s::Matrix a{{2, 0}, {0, 3}};
+    EXPECT_NEAR(s::LuFactor(a).determinant(), 6.0, 1e-12);
+    s::Matrix b{{0, 1}, {1, 0}};
+    EXPECT_NEAR(s::LuFactor(b).determinant(), -1.0, 1e-12);
+}
+
+TEST(Linalg, RandomSystemsRoundTrip) {
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + static_cast<std::size_t>(trial % 8);
+        s::Matrix a(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+            a(i, i) += 4.0; // diagonally dominant => well conditioned
+        }
+        s::Vec xTrue(n);
+        for (auto& v : xTrue) v = dist(rng);
+        const s::Vec b = a.mul(xTrue);
+        const s::Vec x = s::solve(a, b);
+        for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+    }
+}

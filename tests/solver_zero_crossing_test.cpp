@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "solver/zero_crossing.hpp"
+
+namespace s = urtx::solver;
+
+namespace {
+
+/// Falling ball: h' = v, v' = -g.
+s::FnOde ball() {
+    return s::FnOde(2, [](double, const s::Vec& x, s::Vec& dx) {
+        dx[0] = x[1];
+        dx[1] = -9.81;
+    });
+}
+
+} // namespace
+
+TEST(ZeroCrossing, NoEventsMeansNoCrossing) {
+    s::ZeroCrossingDetector det;
+    s::Rk4Integrator m;
+    auto sys = ball();
+    s::Vec x0{10.0, 0.0}, x1{9.0, -1.0};
+    s::Crossing c;
+    EXPECT_FALSE(det.check(sys, m, 0.0, 0.1, x0, x1, c));
+    EXPECT_EQ(det.eventCount(), 0u);
+}
+
+TEST(ZeroCrossing, DetectsAndLocalizesImpact) {
+    // Ball from h=10, v=0: impact at t = sqrt(2h/g) ~ 1.42785.
+    auto sys = ball();
+    s::Rk4Integrator m;
+    s::ZeroCrossingDetector det(1e-10);
+    det.addEvent([](double, const s::Vec& x) { return x[0]; }, s::CrossingDir::Falling);
+
+    s::Vec x{10.0, 0.0};
+    det.prime(0.0, x);
+    const double dt = 0.05;
+    double t = 0;
+    s::Crossing c{};
+    bool found = false;
+    for (int i = 0; i < 100 && !found; ++i) {
+        s::Vec x0 = x;
+        m.step(sys, t, dt, x);
+        found = det.check(sys, m, t, dt, x0, x, c);
+        if (found) break;
+        t += dt;
+    }
+    ASSERT_TRUE(found);
+    const double tImpact = std::sqrt(2.0 * 10.0 / 9.81);
+    EXPECT_NEAR(c.t, tImpact, 1e-6);
+    EXPECT_NEAR(c.state[0], 0.0, 1e-6);
+    EXPECT_LT(c.state[1], 0.0) << "still falling at impact";
+    EXPECT_FALSE(c.rising);
+    EXPECT_EQ(c.index, 0u);
+}
+
+TEST(ZeroCrossing, RisingFilterIgnoresFalling) {
+    auto sys = ball();
+    s::Rk4Integrator m;
+    s::ZeroCrossingDetector det;
+    det.addEvent([](double, const s::Vec& x) { return x[0]; }, s::CrossingDir::Rising);
+    s::Vec x{1.0, 0.0};
+    det.prime(0.0, x);
+    s::Crossing c{};
+    double t = 0;
+    bool found = false;
+    for (int i = 0; i < 40; ++i) {
+        s::Vec x0 = x;
+        m.step(sys, t, 0.05, x);
+        if (det.check(sys, m, t, 0.05, x0, x, c)) {
+            found = true;
+            break;
+        }
+        t += 0.05;
+    }
+    EXPECT_FALSE(found) << "falling crossing must not match a Rising filter";
+}
+
+TEST(ZeroCrossing, TimeBasedEventFires) {
+    // Event on simulation time itself: g = t - 0.33.
+    auto sys = s::FnOde(1, [](double, const s::Vec&, s::Vec& dx) { dx[0] = 1.0; });
+    s::Rk4Integrator m;
+    s::ZeroCrossingDetector det(1e-12);
+    det.addEvent([](double t, const s::Vec&) { return t - 0.33; }, s::CrossingDir::Rising);
+    s::Vec x{0.0};
+    det.prime(0.0, x);
+    s::Crossing c{};
+    double t = 0;
+    bool found = false;
+    for (int i = 0; i < 10; ++i) {
+        s::Vec x0 = x;
+        m.step(sys, t, 0.1, x);
+        if (det.check(sys, m, t, 0.1, x0, x, c)) {
+            found = true;
+            break;
+        }
+        t += 0.1;
+    }
+    ASSERT_TRUE(found);
+    EXPECT_NEAR(c.t, 0.33, 1e-9);
+    EXPECT_NEAR(c.state[0], 0.33, 1e-9);
+    EXPECT_TRUE(c.rising);
+}
+
+TEST(ZeroCrossing, MultipleEventsReportEarliestFlagged) {
+    auto sys = s::FnOde(1, [](double, const s::Vec&, s::Vec& dx) { dx[0] = 1.0; });
+    s::Rk4Integrator m;
+    s::ZeroCrossingDetector det(1e-12);
+    det.addEvent([](double t, const s::Vec&) { return t - 0.2; });
+    det.addEvent([](double t, const s::Vec&) { return t - 0.8; });
+    s::Vec x{0.0};
+    det.prime(0.0, x);
+    s::Crossing c{};
+    // Big step covering only the first event.
+    s::Vec x0 = x;
+    m.step(sys, 0.0, 0.5, x);
+    ASSERT_TRUE(det.check(sys, m, 0.0, 0.5, x0, x, c));
+    EXPECT_EQ(c.index, 0u);
+    EXPECT_NEAR(c.t, 0.2, 1e-9);
+}
+
+TEST(ZeroCrossing, RelatchesAfterCrossing) {
+    // After a detected crossing the detector must not re-report it.
+    auto sys = s::FnOde(1, [](double, const s::Vec&, s::Vec& dx) { dx[0] = 1.0; });
+    s::Rk4Integrator m;
+    s::ZeroCrossingDetector det(1e-12);
+    det.addEvent([](double t, const s::Vec&) { return t - 0.15; }, s::CrossingDir::Rising);
+    s::Vec x{0.0};
+    det.prime(0.0, x);
+    s::Crossing c{};
+    s::Vec x0 = x;
+    m.step(sys, 0.0, 0.2, x);
+    ASSERT_TRUE(det.check(sys, m, 0.0, 0.2, x0, x, c));
+    // Continue from the crossing point.
+    double t = c.t;
+    x = c.state;
+    for (int i = 0; i < 5; ++i) {
+        x0 = x;
+        m.step(sys, t, 0.2, x);
+        EXPECT_FALSE(det.check(sys, m, t, 0.2, x0, x, c)) << "crossing re-reported at step " << i;
+        t += 0.2;
+    }
+}
+
+TEST(ZeroCrossing, SimultaneousCrossingsAllReported) {
+    // Two identical surfaces cross at the same instant: both must be
+    // delivered (regression: the re-latch used to swallow the second).
+    auto sys = s::FnOde(1, [](double, const s::Vec&, s::Vec& dx) { dx[0] = 1.0; });
+    s::Rk4Integrator m;
+    s::ZeroCrossingDetector det(1e-12);
+    det.addEvent([](double t, const s::Vec&) { return t - 0.25; }, s::CrossingDir::Rising);
+    det.addEvent([](double t, const s::Vec&) { return t - 0.25; }, s::CrossingDir::Rising);
+    det.addEvent([](double t, const s::Vec&) { return t - 0.8; }, s::CrossingDir::Rising);
+
+    s::Vec x{0.0};
+    det.prime(0.0, x);
+    s::Vec x0 = x;
+    m.step(sys, 0.0, 0.5, x);
+    std::vector<s::Crossing> crossings;
+    ASSERT_TRUE(det.checkAll(sys, m, 0.0, 0.5, x0, x, crossings));
+    ASSERT_EQ(crossings.size(), 2u) << "both simultaneous events must be reported";
+    EXPECT_EQ(crossings[0].index, 0u);
+    EXPECT_EQ(crossings[1].index, 1u);
+    EXPECT_NEAR(crossings[0].t, 0.25, 1e-9);
+    EXPECT_DOUBLE_EQ(crossings[0].t, crossings[1].t);
+
+    // The third (later) event stays pending and fires on a later check.
+    double t = crossings[0].t;
+    x = crossings[0].state;
+    bool sawThird = false;
+    for (int i = 0; i < 10 && !sawThird; ++i) {
+        x0 = x;
+        m.step(sys, t, 0.2, x);
+        if (det.checkAll(sys, m, t, 0.2, x0, x, crossings)) {
+            ASSERT_EQ(crossings.size(), 1u);
+            EXPECT_EQ(crossings[0].index, 2u);
+            EXPECT_NEAR(crossings[0].t, 0.8, 1e-9);
+            sawThird = true;
+            break;
+        }
+        t += 0.2;
+    }
+    EXPECT_TRUE(sawThird);
+}
+
+TEST(ZeroCrossing, StaggeredCrossingsKeepLaterOnePending) {
+    // Two events in the SAME step but at different times: the earlier one
+    // fires; the later one must not be lost when the caller truncates.
+    auto sys = s::FnOde(1, [](double, const s::Vec&, s::Vec& dx) { dx[0] = 1.0; });
+    s::Rk4Integrator m;
+    s::ZeroCrossingDetector det(1e-12);
+    det.addEvent([](double t, const s::Vec&) { return t - 0.2; }, s::CrossingDir::Rising);
+    det.addEvent([](double t, const s::Vec&) { return t - 0.3; }, s::CrossingDir::Rising);
+    s::Vec x{0.0};
+    det.prime(0.0, x);
+    s::Vec x0 = x;
+    m.step(sys, 0.0, 0.5, x);
+    std::vector<s::Crossing> crossings;
+    ASSERT_TRUE(det.checkAll(sys, m, 0.0, 0.5, x0, x, crossings));
+    ASSERT_EQ(crossings.size(), 1u);
+    EXPECT_EQ(crossings[0].index, 0u);
+
+    // Resume from the truncation point; the second event fires next.
+    double t = crossings[0].t;
+    x = crossings[0].state;
+    x0 = x;
+    m.step(sys, t, 0.5 - t, x);
+    ASSERT_TRUE(det.checkAll(sys, m, t, 0.5 - t, x0, x, crossings));
+    ASSERT_EQ(crossings.size(), 1u);
+    EXPECT_EQ(crossings[0].index, 1u);
+    EXPECT_NEAR(crossings[0].t, 0.3, 1e-9);
+}
