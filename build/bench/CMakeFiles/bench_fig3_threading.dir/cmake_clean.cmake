@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_threading.dir/bench_fig3_threading.cpp.o"
+  "CMakeFiles/bench_fig3_threading.dir/bench_fig3_threading.cpp.o.d"
+  "bench_fig3_threading"
+  "bench_fig3_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

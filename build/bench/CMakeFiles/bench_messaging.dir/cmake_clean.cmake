@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_messaging.dir/bench_messaging.cpp.o"
+  "CMakeFiles/bench_messaging.dir/bench_messaging.cpp.o.d"
+  "bench_messaging"
+  "bench_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_stereotypes.dir/bench_table1_stereotypes.cpp.o"
+  "CMakeFiles/bench_table1_stereotypes.dir/bench_table1_stereotypes.cpp.o.d"
+  "bench_table1_stereotypes"
+  "bench_table1_stereotypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_stereotypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_motor_lab.dir/dc_motor_lab.cpp.o"
+  "CMakeFiles/dc_motor_lab.dir/dc_motor_lab.cpp.o.d"
+  "dc_motor_lab"
+  "dc_motor_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_motor_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

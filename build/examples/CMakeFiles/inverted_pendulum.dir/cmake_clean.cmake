@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverted_pendulum.dir/inverted_pendulum.cpp.o"
+  "CMakeFiles/inverted_pendulum.dir/inverted_pendulum.cpp.o.d"
+  "inverted_pendulum"
+  "inverted_pendulum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverted_pendulum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_driven.dir/model_driven.cpp.o"
+  "CMakeFiles/model_driven.dir/model_driven.cpp.o.d"
+  "model_driven"
+  "model_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

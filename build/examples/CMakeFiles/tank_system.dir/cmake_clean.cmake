@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tank_system.dir/tank_system.cpp.o"
+  "CMakeFiles/tank_system.dir/tank_system.cpp.o.d"
+  "tank_system"
+  "tank_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tank_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

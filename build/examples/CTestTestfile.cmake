@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_inverted_pendulum "/root/repo/build/examples/inverted_pendulum")
+set_tests_properties(example_inverted_pendulum PROPERTIES  TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cruise_control "/root/repo/build/examples/cruise_control")
+set_tests_properties(example_cruise_control PROPERTIES  TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tank_system "/root/repo/build/examples/tank_system")
+set_tests_properties(example_tank_system PROPERTIES  TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_codegen_demo "/root/repo/build/examples/codegen_demo")
+set_tests_properties(example_codegen_demo PROPERTIES  TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_model_driven "/root/repo/build/examples/model_driven")
+set_tests_properties(example_model_driven PROPERTIES  TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dc_motor_lab "/root/repo/build/examples/dc_motor_lab")
+set_tests_properties(example_dc_motor_lab PROPERTIES  TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen.dir/codegen.cpp.o"
+  "CMakeFiles/codegen.dir/codegen.cpp.o.d"
+  "CMakeFiles/codegen.dir/dot_export.cpp.o"
+  "CMakeFiles/codegen.dir/dot_export.cpp.o.d"
+  "libcodegen.a"
+  "libcodegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/discrete.cpp" "src/control/CMakeFiles/control.dir/discrete.cpp.o" "gcc" "src/control/CMakeFiles/control.dir/discrete.cpp.o.d"
+  "/root/repo/src/control/dynamics.cpp" "src/control/CMakeFiles/control.dir/dynamics.cpp.o" "gcc" "src/control/CMakeFiles/control.dir/dynamics.cpp.o.d"
+  "/root/repo/src/control/math_blocks.cpp" "src/control/CMakeFiles/control.dir/math_blocks.cpp.o" "gcc" "src/control/CMakeFiles/control.dir/math_blocks.cpp.o.d"
+  "/root/repo/src/control/plants.cpp" "src/control/CMakeFiles/control.dir/plants.cpp.o" "gcc" "src/control/CMakeFiles/control.dir/plants.cpp.o.d"
+  "/root/repo/src/control/sinks.cpp" "src/control/CMakeFiles/control.dir/sinks.cpp.o" "gcc" "src/control/CMakeFiles/control.dir/sinks.cpp.o.d"
+  "/root/repo/src/control/sources.cpp" "src/control/CMakeFiles/control.dir/sources.cpp.o" "gcc" "src/control/CMakeFiles/control.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

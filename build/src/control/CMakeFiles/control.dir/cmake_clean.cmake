@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control.dir/discrete.cpp.o"
+  "CMakeFiles/control.dir/discrete.cpp.o.d"
+  "CMakeFiles/control.dir/dynamics.cpp.o"
+  "CMakeFiles/control.dir/dynamics.cpp.o.d"
+  "CMakeFiles/control.dir/math_blocks.cpp.o"
+  "CMakeFiles/control.dir/math_blocks.cpp.o.d"
+  "CMakeFiles/control.dir/plants.cpp.o"
+  "CMakeFiles/control.dir/plants.cpp.o.d"
+  "CMakeFiles/control.dir/sinks.cpp.o"
+  "CMakeFiles/control.dir/sinks.cpp.o.d"
+  "CMakeFiles/control.dir/sources.cpp.o"
+  "CMakeFiles/control.dir/sources.cpp.o.d"
+  "libcontrol.a"
+  "libcontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

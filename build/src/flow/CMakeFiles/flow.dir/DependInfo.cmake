@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/dport.cpp" "src/flow/CMakeFiles/flow.dir/dport.cpp.o" "gcc" "src/flow/CMakeFiles/flow.dir/dport.cpp.o.d"
+  "/root/repo/src/flow/flow_type.cpp" "src/flow/CMakeFiles/flow.dir/flow_type.cpp.o" "gcc" "src/flow/CMakeFiles/flow.dir/flow_type.cpp.o.d"
+  "/root/repo/src/flow/network.cpp" "src/flow/CMakeFiles/flow.dir/network.cpp.o" "gcc" "src/flow/CMakeFiles/flow.dir/network.cpp.o.d"
+  "/root/repo/src/flow/relay.cpp" "src/flow/CMakeFiles/flow.dir/relay.cpp.o" "gcc" "src/flow/CMakeFiles/flow.dir/relay.cpp.o.d"
+  "/root/repo/src/flow/solver_runner.cpp" "src/flow/CMakeFiles/flow.dir/solver_runner.cpp.o" "gcc" "src/flow/CMakeFiles/flow.dir/solver_runner.cpp.o.d"
+  "/root/repo/src/flow/sport.cpp" "src/flow/CMakeFiles/flow.dir/sport.cpp.o" "gcc" "src/flow/CMakeFiles/flow.dir/sport.cpp.o.d"
+  "/root/repo/src/flow/streamer.cpp" "src/flow/CMakeFiles/flow.dir/streamer.cpp.o" "gcc" "src/flow/CMakeFiles/flow.dir/streamer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/rt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow.dir/dport.cpp.o"
+  "CMakeFiles/flow.dir/dport.cpp.o.d"
+  "CMakeFiles/flow.dir/flow_type.cpp.o"
+  "CMakeFiles/flow.dir/flow_type.cpp.o.d"
+  "CMakeFiles/flow.dir/network.cpp.o"
+  "CMakeFiles/flow.dir/network.cpp.o.d"
+  "CMakeFiles/flow.dir/relay.cpp.o"
+  "CMakeFiles/flow.dir/relay.cpp.o.d"
+  "CMakeFiles/flow.dir/solver_runner.cpp.o"
+  "CMakeFiles/flow.dir/solver_runner.cpp.o.d"
+  "CMakeFiles/flow.dir/sport.cpp.o"
+  "CMakeFiles/flow.dir/sport.cpp.o.d"
+  "CMakeFiles/flow.dir/streamer.cpp.o"
+  "CMakeFiles/flow.dir/streamer.cpp.o.d"
+  "libflow.a"
+  "libflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

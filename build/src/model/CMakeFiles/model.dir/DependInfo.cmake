@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/instantiate.cpp" "src/model/CMakeFiles/model.dir/instantiate.cpp.o" "gcc" "src/model/CMakeFiles/model.dir/instantiate.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/model.dir/model.cpp.o.d"
+  "/root/repo/src/model/model_io.cpp" "src/model/CMakeFiles/model.dir/model_io.cpp.o" "gcc" "src/model/CMakeFiles/model.dir/model_io.cpp.o.d"
+  "/root/repo/src/model/stereotype.cpp" "src/model/CMakeFiles/model.dir/stereotype.cpp.o" "gcc" "src/model/CMakeFiles/model.dir/stereotype.cpp.o.d"
+  "/root/repo/src/model/type_parser.cpp" "src/model/CMakeFiles/model.dir/type_parser.cpp.o" "gcc" "src/model/CMakeFiles/model.dir/type_parser.cpp.o.d"
+  "/root/repo/src/model/validator.cpp" "src/model/CMakeFiles/model.dir/validator.cpp.o" "gcc" "src/model/CMakeFiles/model.dir/validator.cpp.o.d"
+  "/root/repo/src/model/xml.cpp" "src/model/CMakeFiles/model.dir/xml.cpp.o" "gcc" "src/model/CMakeFiles/model.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/control.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model.dir/instantiate.cpp.o"
+  "CMakeFiles/model.dir/instantiate.cpp.o.d"
+  "CMakeFiles/model.dir/model.cpp.o"
+  "CMakeFiles/model.dir/model.cpp.o.d"
+  "CMakeFiles/model.dir/model_io.cpp.o"
+  "CMakeFiles/model.dir/model_io.cpp.o.d"
+  "CMakeFiles/model.dir/stereotype.cpp.o"
+  "CMakeFiles/model.dir/stereotype.cpp.o.d"
+  "CMakeFiles/model.dir/type_parser.cpp.o"
+  "CMakeFiles/model.dir/type_parser.cpp.o.d"
+  "CMakeFiles/model.dir/validator.cpp.o"
+  "CMakeFiles/model.dir/validator.cpp.o.d"
+  "CMakeFiles/model.dir/xml.cpp.o"
+  "CMakeFiles/model.dir/xml.cpp.o.d"
+  "libmodel.a"
+  "libmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

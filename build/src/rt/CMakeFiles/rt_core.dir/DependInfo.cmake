@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/capsule.cpp" "src/rt/CMakeFiles/rt_core.dir/capsule.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/capsule.cpp.o.d"
+  "/root/repo/src/rt/controller.cpp" "src/rt/CMakeFiles/rt_core.dir/controller.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/controller.cpp.o.d"
+  "/root/repo/src/rt/frame_service.cpp" "src/rt/CMakeFiles/rt_core.dir/frame_service.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/frame_service.cpp.o.d"
+  "/root/repo/src/rt/layer_service.cpp" "src/rt/CMakeFiles/rt_core.dir/layer_service.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/layer_service.cpp.o.d"
+  "/root/repo/src/rt/message.cpp" "src/rt/CMakeFiles/rt_core.dir/message.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/message.cpp.o.d"
+  "/root/repo/src/rt/port.cpp" "src/rt/CMakeFiles/rt_core.dir/port.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/port.cpp.o.d"
+  "/root/repo/src/rt/port_array.cpp" "src/rt/CMakeFiles/rt_core.dir/port_array.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/port_array.cpp.o.d"
+  "/root/repo/src/rt/protocol.cpp" "src/rt/CMakeFiles/rt_core.dir/protocol.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/rt/signal.cpp" "src/rt/CMakeFiles/rt_core.dir/signal.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/signal.cpp.o.d"
+  "/root/repo/src/rt/state_machine.cpp" "src/rt/CMakeFiles/rt_core.dir/state_machine.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/state_machine.cpp.o.d"
+  "/root/repo/src/rt/timer_service.cpp" "src/rt/CMakeFiles/rt_core.dir/timer_service.cpp.o" "gcc" "src/rt/CMakeFiles/rt_core.dir/timer_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_core.dir/capsule.cpp.o"
+  "CMakeFiles/rt_core.dir/capsule.cpp.o.d"
+  "CMakeFiles/rt_core.dir/controller.cpp.o"
+  "CMakeFiles/rt_core.dir/controller.cpp.o.d"
+  "CMakeFiles/rt_core.dir/frame_service.cpp.o"
+  "CMakeFiles/rt_core.dir/frame_service.cpp.o.d"
+  "CMakeFiles/rt_core.dir/layer_service.cpp.o"
+  "CMakeFiles/rt_core.dir/layer_service.cpp.o.d"
+  "CMakeFiles/rt_core.dir/message.cpp.o"
+  "CMakeFiles/rt_core.dir/message.cpp.o.d"
+  "CMakeFiles/rt_core.dir/port.cpp.o"
+  "CMakeFiles/rt_core.dir/port.cpp.o.d"
+  "CMakeFiles/rt_core.dir/port_array.cpp.o"
+  "CMakeFiles/rt_core.dir/port_array.cpp.o.d"
+  "CMakeFiles/rt_core.dir/protocol.cpp.o"
+  "CMakeFiles/rt_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/rt_core.dir/signal.cpp.o"
+  "CMakeFiles/rt_core.dir/signal.cpp.o.d"
+  "CMakeFiles/rt_core.dir/state_machine.cpp.o"
+  "CMakeFiles/rt_core.dir/state_machine.cpp.o.d"
+  "CMakeFiles/rt_core.dir/timer_service.cpp.o"
+  "CMakeFiles/rt_core.dir/timer_service.cpp.o.d"
+  "librt_core.a"
+  "librt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/hybrid_system.cpp.o"
+  "CMakeFiles/sim.dir/hybrid_system.cpp.o.d"
+  "CMakeFiles/sim.dir/trace.cpp.o"
+  "CMakeFiles/sim.dir/trace.cpp.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

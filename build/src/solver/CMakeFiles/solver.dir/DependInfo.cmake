@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/difference.cpp" "src/solver/CMakeFiles/solver.dir/difference.cpp.o" "gcc" "src/solver/CMakeFiles/solver.dir/difference.cpp.o.d"
+  "/root/repo/src/solver/integrator.cpp" "src/solver/CMakeFiles/solver.dir/integrator.cpp.o" "gcc" "src/solver/CMakeFiles/solver.dir/integrator.cpp.o.d"
+  "/root/repo/src/solver/linalg.cpp" "src/solver/CMakeFiles/solver.dir/linalg.cpp.o" "gcc" "src/solver/CMakeFiles/solver.dir/linalg.cpp.o.d"
+  "/root/repo/src/solver/zero_crossing.cpp" "src/solver/CMakeFiles/solver.dir/zero_crossing.cpp.o" "gcc" "src/solver/CMakeFiles/solver.dir/zero_crossing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

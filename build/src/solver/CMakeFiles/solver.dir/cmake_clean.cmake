@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver.dir/difference.cpp.o"
+  "CMakeFiles/solver.dir/difference.cpp.o.d"
+  "CMakeFiles/solver.dir/integrator.cpp.o"
+  "CMakeFiles/solver.dir/integrator.cpp.o.d"
+  "CMakeFiles/solver.dir/linalg.cpp.o"
+  "CMakeFiles/solver.dir/linalg.cpp.o.d"
+  "CMakeFiles/solver.dir/zero_crossing.cpp.o"
+  "CMakeFiles/solver.dir/zero_crossing.cpp.o.d"
+  "libsolver.a"
+  "libsolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_dot_test.dir/codegen_dot_test.cpp.o"
+  "CMakeFiles/codegen_dot_test.dir/codegen_dot_test.cpp.o.d"
+  "codegen_dot_test"
+  "codegen_dot_test.pdb"
+  "codegen_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

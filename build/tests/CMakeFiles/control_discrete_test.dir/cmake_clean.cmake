@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_discrete_test.dir/control_discrete_test.cpp.o"
+  "CMakeFiles/control_discrete_test.dir/control_discrete_test.cpp.o.d"
+  "control_discrete_test"
+  "control_discrete_test.pdb"
+  "control_discrete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_discrete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_dynamics_test.dir/control_dynamics_test.cpp.o"
+  "CMakeFiles/control_dynamics_test.dir/control_dynamics_test.cpp.o.d"
+  "control_dynamics_test"
+  "control_dynamics_test.pdb"
+  "control_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_plants_test.dir/control_plants_test.cpp.o"
+  "CMakeFiles/control_plants_test.dir/control_plants_test.cpp.o.d"
+  "control_plants_test"
+  "control_plants_test.pdb"
+  "control_plants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_plants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_sport_test.dir/flow_sport_test.cpp.o"
+  "CMakeFiles/flow_sport_test.dir/flow_sport_test.cpp.o.d"
+  "flow_sport_test"
+  "flow_sport_test.pdb"
+  "flow_sport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_sport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

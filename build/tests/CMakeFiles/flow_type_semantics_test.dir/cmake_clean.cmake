@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_type_semantics_test.dir/flow_type_semantics_test.cpp.o"
+  "CMakeFiles/flow_type_semantics_test.dir/flow_type_semantics_test.cpp.o.d"
+  "flow_type_semantics_test"
+  "flow_type_semantics_test.pdb"
+  "flow_type_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_type_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_instantiate_test.dir/model_instantiate_test.cpp.o"
+  "CMakeFiles/model_instantiate_test.dir/model_instantiate_test.cpp.o.d"
+  "model_instantiate_test"
+  "model_instantiate_test.pdb"
+  "model_instantiate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_instantiate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

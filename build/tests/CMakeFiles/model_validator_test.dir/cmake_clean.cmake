@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_validator_test.dir/model_validator_test.cpp.o"
+  "CMakeFiles/model_validator_test.dir/model_validator_test.cpp.o.d"
+  "model_validator_test"
+  "model_validator_test.pdb"
+  "model_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_xml_test.dir/model_xml_test.cpp.o"
+  "CMakeFiles/model_xml_test.dir/model_xml_test.cpp.o.d"
+  "model_xml_test"
+  "model_xml_test.pdb"
+  "model_xml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

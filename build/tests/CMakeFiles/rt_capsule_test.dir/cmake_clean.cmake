@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_capsule_test.dir/rt_capsule_test.cpp.o"
+  "CMakeFiles/rt_capsule_test.dir/rt_capsule_test.cpp.o.d"
+  "rt_capsule_test"
+  "rt_capsule_test.pdb"
+  "rt_capsule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_capsule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

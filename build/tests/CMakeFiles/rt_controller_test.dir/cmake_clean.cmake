@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_controller_test.dir/rt_controller_test.cpp.o"
+  "CMakeFiles/rt_controller_test.dir/rt_controller_test.cpp.o.d"
+  "rt_controller_test"
+  "rt_controller_test.pdb"
+  "rt_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

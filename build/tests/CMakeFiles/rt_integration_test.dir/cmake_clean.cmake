@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_integration_test.dir/rt_integration_test.cpp.o"
+  "CMakeFiles/rt_integration_test.dir/rt_integration_test.cpp.o.d"
+  "rt_integration_test"
+  "rt_integration_test.pdb"
+  "rt_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

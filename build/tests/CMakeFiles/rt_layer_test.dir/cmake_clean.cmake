@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_layer_test.dir/rt_layer_test.cpp.o"
+  "CMakeFiles/rt_layer_test.dir/rt_layer_test.cpp.o.d"
+  "rt_layer_test"
+  "rt_layer_test.pdb"
+  "rt_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

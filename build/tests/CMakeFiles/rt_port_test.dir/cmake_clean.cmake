@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_port_test.dir/rt_port_test.cpp.o"
+  "CMakeFiles/rt_port_test.dir/rt_port_test.cpp.o.d"
+  "rt_port_test"
+  "rt_port_test.pdb"
+  "rt_port_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_protocol_test.dir/rt_protocol_test.cpp.o"
+  "CMakeFiles/rt_protocol_test.dir/rt_protocol_test.cpp.o.d"
+  "rt_protocol_test"
+  "rt_protocol_test.pdb"
+  "rt_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_signal_test.dir/rt_signal_test.cpp.o"
+  "CMakeFiles/rt_signal_test.dir/rt_signal_test.cpp.o.d"
+  "rt_signal_test"
+  "rt_signal_test.pdb"
+  "rt_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

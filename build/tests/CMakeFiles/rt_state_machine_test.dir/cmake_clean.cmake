@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_state_machine_test.dir/rt_state_machine_test.cpp.o"
+  "CMakeFiles/rt_state_machine_test.dir/rt_state_machine_test.cpp.o.d"
+  "rt_state_machine_test"
+  "rt_state_machine_test.pdb"
+  "rt_state_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_state_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

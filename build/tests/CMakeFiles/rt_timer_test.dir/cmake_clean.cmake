@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_timer_test.dir/rt_timer_test.cpp.o"
+  "CMakeFiles/rt_timer_test.dir/rt_timer_test.cpp.o.d"
+  "rt_timer_test"
+  "rt_timer_test.pdb"
+  "rt_timer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_difference_test.dir/solver_difference_test.cpp.o"
+  "CMakeFiles/solver_difference_test.dir/solver_difference_test.cpp.o.d"
+  "solver_difference_test"
+  "solver_difference_test.pdb"
+  "solver_difference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_difference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

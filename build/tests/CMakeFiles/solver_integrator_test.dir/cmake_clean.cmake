@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_integrator_test.dir/solver_integrator_test.cpp.o"
+  "CMakeFiles/solver_integrator_test.dir/solver_integrator_test.cpp.o.d"
+  "solver_integrator_test"
+  "solver_integrator_test.pdb"
+  "solver_integrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_integrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_linalg_test.dir/solver_linalg_test.cpp.o"
+  "CMakeFiles/solver_linalg_test.dir/solver_linalg_test.cpp.o.d"
+  "solver_linalg_test"
+  "solver_linalg_test.pdb"
+  "solver_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_zero_crossing_test.dir/solver_zero_crossing_test.cpp.o"
+  "CMakeFiles/solver_zero_crossing_test.dir/solver_zero_crossing_test.cpp.o.d"
+  "solver_zero_crossing_test"
+  "solver_zero_crossing_test.pdb"
+  "solver_zero_crossing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_zero_crossing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
