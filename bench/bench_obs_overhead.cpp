@@ -1,0 +1,200 @@
+/// \file bench_obs_overhead.cpp
+/// Measures the cost of the observability layer on the two hot paths it
+/// instruments — Controller dispatch and SolverRunner::step — in three
+/// configurations:
+///
+///   off      — metrics and tracer runtime-disabled (the default): every
+///              instrumented site pays one relaxed atomic load. This is the
+///              configuration whose overhead must be within noise of the
+///              uninstrumented seed (<= 2%).
+///   metrics  — metrics on (clock reads + striped counters/histograms).
+///   full     — metrics + tracer on (ring-buffer spans on top).
+///
+/// Compiling with -DURTX_OBS_DISABLE=ON removes even the relaxed loads; the
+/// "off" row here is the upper bound on what a default build pays.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "control/control.hpp"
+#include "flow/flow.hpp"
+#include "obs/obs.hpp"
+#include "rt/rt.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace rt = urtx::rt;
+namespace b = urtx::bench;
+namespace obs = urtx::obs;
+
+namespace {
+
+rt::Protocol& proto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"ObsBench"};
+        q.out("req").in("rsp");
+        return q;
+    }();
+    return p;
+}
+
+struct Echo : rt::Capsule {
+    explicit Echo(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", proto(), true) {}
+    rt::Port port;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("req")) port.send("rsp");
+    }
+};
+
+struct Client : rt::Capsule {
+    explicit Client(std::string n)
+        : rt::Capsule(std::move(n)), port(*this, "p", proto(), false) {}
+    rt::Port port;
+    std::uint64_t rsps = 0;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("rsp")) ++rsps;
+    }
+};
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+/// Per-op seconds for N request/response round trips through the
+/// controller queue (2 dispatches per round trip).
+double dispatchHotPath(int rounds) {
+    rt::Controller ctl{"bench"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    const double wall = b::timeMedian(
+        [&] {
+            for (int i = 0; i < rounds; ++i) {
+                client.port.send("req");
+                ctl.dispatchAll();
+            }
+        },
+        5);
+    return wall / (2.0 * rounds); // per dispatch
+}
+
+/// Per-step seconds for a small coupled plant advanced one major step at a
+/// time (dim kept small so instrumentation cost is visible, not drowned).
+double solverHotPath(int steps, std::size_t dim) {
+    Plain top{"plant"};
+    struct Coupled : f::Streamer {
+        Coupled(std::string n, f::Streamer* p, std::size_t d)
+            : f::Streamer(std::move(n), p), dim_(d) {}
+        std::size_t dim_;
+        std::size_t stateSize() const override { return dim_; }
+        void initState(double, std::span<double> x) override {
+            for (std::size_t i = 0; i < dim_; ++i) x[i] = 1.0;
+        }
+        void derivatives(double, std::span<const double> x, std::span<double> dx) override {
+            for (std::size_t i = 0; i < dim_; ++i) dx[i] = -x[i];
+        }
+        bool directFeedthrough() const override { return false; }
+    };
+    Coupled plant("p", &top, dim);
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 1e-3);
+    runner.initialize(0.0);
+    const double wall = b::timeMedian(
+        [&] {
+            for (int i = 0; i < steps; ++i) runner.step();
+        },
+        5);
+    return wall / steps;
+}
+
+struct Config {
+    const char* name;
+    bool metrics;
+    bool tracer;
+};
+
+} // namespace
+
+int main() {
+    std::puts("==============================================================");
+    std::puts("Observability overhead on the runtime hot paths");
+    std::puts("==============================================================");
+#if URTX_OBS
+    std::puts("compiled with URTX_OBS=1 (instrumentation present, runtime-gated)\n");
+#else
+    std::puts("compiled with URTX_OBS=0 (instrumentation compiled out)\n");
+#endif
+
+    const Config configs[] = {
+        {"off (default)", false, false},
+        {"metrics", true, false},
+        {"metrics+tracer", true, true},
+    };
+
+    constexpr int kDispatchRounds = 100000;
+    constexpr int kSolverSteps = 20000;
+    constexpr std::size_t kDim = 16;
+
+    double dispatchBase = 0, solverBase = 0;
+    std::printf("%-16s %18s %10s %18s %10s\n", "config", "dispatch [ns/op]", "vs off",
+                "solver step [ns]", "vs off");
+    b::rule();
+    for (const Config& cfg : configs) {
+        obs::setMetricsEnabled(cfg.metrics);
+        obs::Tracer::global().setEnabled(cfg.tracer);
+        obs::Registry::global().reset();
+        obs::Tracer::global().clear();
+
+        const double dispatch = dispatchHotPath(kDispatchRounds);
+        const double solver = solverHotPath(kSolverSteps, kDim);
+        if (!cfg.metrics && !cfg.tracer) {
+            dispatchBase = dispatch;
+            solverBase = solver;
+        }
+        std::printf("%-16s %18.1f %9.1f%% %18.1f %9.1f%%\n", cfg.name, dispatch * 1e9,
+                    (dispatch / dispatchBase - 1.0) * 100.0, solver * 1e9,
+                    (solver / solverBase - 1.0) * 100.0);
+    }
+    obs::setMetricsEnabled(false);
+    obs::Tracer::global().setEnabled(false);
+
+    std::puts("\nWhat the enabled run recorded (sanity that the cost bought data):");
+    obs::setMetricsEnabled(true);
+    obs::Tracer::global().setEnabled(true);
+    obs::Registry::global().reset();
+    obs::Tracer::global().clear();
+    b::keep(dispatchHotPath(1000));
+    b::keep(solverHotPath(1000, kDim));
+    obs::setMetricsEnabled(false);
+    obs::Tracer::global().setEnabled(false);
+
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const auto* disp = snap.counter("rt.messages_dispatched");
+    const auto* steps = snap.counter("flow.solver_major_steps");
+    const auto* lat = snap.histogram("rt.dispatch_latency_seconds.general");
+    const auto* step = snap.histogram("flow.solver_step_seconds");
+    std::printf("  dispatches counted: %llu (mean service %.0f ns)\n",
+                static_cast<unsigned long long>(disp ? disp->value : 0),
+                (lat ? lat->mean() : 0.0) * 1e9);
+    std::printf("  solver steps counted: %llu (mean %.0f ns)\n",
+                static_cast<unsigned long long>(steps ? steps->value : 0),
+                (step ? step->mean() : 0.0) * 1e9);
+    std::printf("  trace events retained: %zu (dropped by ring wrap: %llu)\n",
+                obs::Tracer::global().eventCount(),
+                static_cast<unsigned long long>(obs::Tracer::global().droppedCount()));
+
+    std::puts("\nAcceptance: the 'off (default)' rows ARE the shipped configuration —");
+    std::puts("their deltas vs the seed hot paths are one relaxed atomic load per");
+    std::puts("site, which the vs-off columns bound from above. Enabled overhead is");
+    std::puts("the price of per-dispatch clock reads + histogram updates, and the");
+    std::puts("tracer adds two clock reads + a ring write per span.");
+    return 0;
+}

@@ -15,10 +15,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "control/control.hpp"
 #include "flow/flow.hpp"
 #include "model/stereotype.hpp"
+#include "obs/obs.hpp"
 #include "rt/rt.hpp"
 
 namespace rt = urtx::rt;
@@ -249,7 +251,17 @@ void printTable1() {
 
 int main(int argc, char** argv) {
     printTable1();
+    // Count operations while the benchmarks run (timing stays off the
+    // measured loops' critical path only when metrics are disabled; with
+    // them on, the numbers include the instrumentation — which is itself a
+    // stereotype cost worth recording).
+    urtx::obs::setMetricsEnabled(true);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    urtx::obs::setMetricsEnabled(false);
+    // JSON sidecar so later PRs can diff perf trajectories from counters.
+    const std::string sidecar = "bench_table1_metrics.json";
+    std::ofstream(sidecar) << urtx::obs::Registry::global().snapshot().toJson();
+    std::printf("\nmetrics sidecar: %s\n", sidecar.c_str());
     return 0;
 }

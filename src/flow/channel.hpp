@@ -40,8 +40,15 @@ public:
         if (next == tail_.load(std::memory_order_acquire)) return false;
         buf_[head] = std::move(value);
         head_.store(next, std::memory_order_release);
+        const std::size_t depth = (next - tail_.load(std::memory_order_relaxed)) & mask_;
+        if (depth > hwm_.load(std::memory_order_relaxed))
+            hwm_.store(depth, std::memory_order_relaxed);
         return true;
     }
+
+    /// Highest occupancy observed by the producer (approximate: the
+    /// consumer may have drained concurrently).
+    std::size_t highWater() const { return hwm_.load(std::memory_order_relaxed); }
 
     /// Consumer side. Returns nullopt when empty.
     std::optional<T> pop() {
@@ -69,6 +76,7 @@ private:
     std::size_t mask_ = 0;
     alignas(64) std::atomic<std::size_t> head_{0};
     alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> hwm_{0}; ///< written by producer only
 };
 
 /// Mutex-based MPMC FIFO with blocking and non-blocking pops.
@@ -79,8 +87,15 @@ public:
         {
             std::lock_guard lock(mu_);
             q_.push_back(std::move(value));
+            if (q_.size() > hwm_) hwm_ = q_.size();
         }
         cv_.notify_one();
+    }
+
+    /// Highest occupancy ever observed.
+    std::size_t highWater() const {
+        std::lock_guard lock(mu_);
+        return hwm_;
     }
 
     std::optional<T> tryPop() {
@@ -118,6 +133,7 @@ private:
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<T> q_;
+    std::size_t hwm_ = 0;
     bool closed_ = false;
 };
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "flow/flow_type.hpp"
+#include "obs/metrics.hpp"
 
 namespace urtx::flow {
 
@@ -72,6 +73,7 @@ public:
         const double* src = resolvedSource_->data();
         for (std::size_t i = 0; i < projection_.size(); ++i) buffer_[i] = src[projection_[i]];
         ++transfers_;
+        if (obs::metricsOn()) obs::wellknown().flowDportTransfers->inc();
     }
 
     /// Number of refresh() copies performed (dataflow cost metric).

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace urtx::flow {
 
 Relay::Relay(std::string name, Streamer* parent, FlowType type, std::size_t fanout)
@@ -21,6 +23,7 @@ void Relay::outputs(double /*t*/, std::span<const double> /*x*/) {
     for (auto& o : outs_) {
         for (std::size_t i = 0; i < src.size(); ++i) o->set(src[i], i);
     }
+    if (obs::metricsOn()) obs::wellknown().flowRelayFanout->add(outs_.size());
 }
 
 } // namespace urtx::flow

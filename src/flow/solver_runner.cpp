@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "flow/sport.hpp"
+#include "obs/obs.hpp"
 
 namespace urtx::flow {
 
@@ -48,6 +49,7 @@ void SolverRunner::drainSignals() {
 void SolverRunner::integrateSegment(double tEnd) {
     std::vector<solver::Crossing> crossings;
     while (t_ < tEnd - 1e-15) {
+        ++minorSteps_;
         const double dt = tEnd - t_;
         const solver::Vec x0 = x_;
         method_->step(ode_, t_, dt, x_);
@@ -68,6 +70,11 @@ void SolverRunner::integrateSegment(double tEnd) {
                 ++eventsFired_;
             }
             if (anyReset) net_.computeOutputs(t_, x_);
+            if (obs::metricsOn()) {
+                const auto& wk = obs::wellknown();
+                wk.simZeroCrossings->add(crossings.size());
+                wk.simZcIterations->inc();
+            }
             // The event handlers may have changed parameters or state;
             // re-prime the detector at the new point.
             detector_.prime(t_, x_);
@@ -78,10 +85,21 @@ void SolverRunner::integrateSegment(double tEnd) {
 }
 
 void SolverRunner::step() {
+    URTX_TRACE_SPAN("flow", "solver.step");
     if (!initialized_) initialize(t_);
     drainSignals();
     const double tEnd = t_ + majorDt_;
-    integrateSegment(tEnd);
+    if (obs::metricsOn()) {
+        const auto& wk = obs::wellknown();
+        const std::uint64_t minor0 = minorSteps_;
+        const std::uint64_t t0 = obs::nowNanos();
+        integrateSegment(tEnd);
+        wk.flowSolverStep->observe(static_cast<double>(obs::nowNanos() - t0) * 1e-9);
+        wk.flowMajorSteps->inc();
+        wk.flowMinorSteps->add(minorSteps_ - minor0);
+    } else {
+        integrateSegment(tEnd);
+    }
     net_.computeOutputs(t_, x_);
     net_.update(t_, x_);
     ++majorSteps_;

@@ -66,6 +66,9 @@ public:
     void setProbe(Probe p) { probe_ = std::move(p); }
 
     std::uint64_t majorSteps() const { return majorSteps_; }
+    /// Integration segments taken inside major steps (>= majorSteps(); the
+    /// excess is event-truncation restarts).
+    std::uint64_t minorSteps() const { return minorSteps_; }
     std::uint64_t signalsProcessed() const { return signalsProcessed_; }
     std::uint64_t eventsFired() const { return eventsFired_; }
 
@@ -84,6 +87,7 @@ private:
     Probe probe_;
     bool initialized_ = false;
     std::uint64_t majorSteps_ = 0;
+    std::uint64_t minorSteps_ = 0;
     std::uint64_t signalsProcessed_ = 0;
     std::uint64_t eventsFired_ = 0;
 };

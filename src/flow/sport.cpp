@@ -1,6 +1,7 @@
 #include "flow/sport.hpp"
 
 #include "flow/streamer.hpp"
+#include "obs/obs.hpp"
 
 namespace urtx::flow {
 
@@ -35,19 +36,29 @@ bool SPort::conjugated() const { return agent_->port.conjugated(); }
 rt::Port& SPort::rtPort() { return agent_->port; }
 
 bool SPort::send(std::string_view sig, std::any data, rt::Priority prio) {
+    if (obs::metricsOn()) obs::wellknown().flowSportSends->inc();
     return agent_->port.send(sig, std::move(data), prio);
 }
 
 bool SPort::send(rt::SignalId sig, std::any data, rt::Priority prio) {
+    if (obs::metricsOn()) obs::wellknown().flowSportSends->inc();
     return agent_->port.send(sig, std::move(data), prio);
 }
 
 std::uint64_t SPort::sent() const { return agent_->port.sent(); }
 
 void SPort::enqueue(const rt::Message& m) {
-    std::lock_guard lock(mu_);
-    inbox_.push_back(m);
-    ++received_;
+    std::size_t depth;
+    {
+        std::lock_guard lock(mu_);
+        inbox_.push_back(m);
+        ++received_;
+        depth = inbox_.size();
+        if (depth > inboxHwm_) inboxHwm_ = depth;
+    }
+    if (obs::metricsOn()) {
+        obs::wellknown().flowSportInboxHwm->max(static_cast<double>(depth));
+    }
 }
 
 std::size_t SPort::pending() const {
@@ -60,6 +71,9 @@ std::size_t SPort::drain() {
     {
         std::lock_guard lock(mu_);
         batch.swap(inbox_);
+    }
+    if (!batch.empty() && obs::metricsOn()) {
+        obs::wellknown().flowSportDrained->add(batch.size());
     }
     for (const rt::Message& m : batch) owner_->onSignal(*this, m);
     return batch.size();

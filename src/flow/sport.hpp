@@ -61,6 +61,11 @@ public:
 
     std::uint64_t received() const { return received_; }
     std::uint64_t sent() const;
+    /// Highest inbox depth ever observed (channel occupancy high-water mark).
+    std::size_t inboxHighWater() const {
+        std::lock_guard lock(mu_);
+        return inboxHwm_;
+    }
 
 private:
     class Agent;
@@ -73,6 +78,7 @@ private:
     mutable std::mutex mu_;
     std::deque<rt::Message> inbox_;
     std::uint64_t received_ = 0;
+    std::size_t inboxHwm_ = 0;
 };
 
 } // namespace urtx::flow

@@ -1,0 +1,380 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace urtx::obs {
+
+std::uint64_t nowNanos() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace detail {
+
+std::size_t threadIndex() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+}
+
+} // namespace detail
+
+// --- Counter ----------------------------------------------------------------
+
+std::uint64_t Counter::value() const {
+    std::uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void Counter::reset() {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// --- Gauge ------------------------------------------------------------------
+
+std::uint64_t Gauge::pack(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::unpack(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+void Gauge::max(double v) {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (unpack(cur) < v &&
+           !bits_.compare_exchange_weak(cur, pack(v), std::memory_order_relaxed)) {
+    }
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+        throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+    for (Stripe& s : stripes_) {
+        s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+    }
+}
+
+void Histogram::observe(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    Stripe& s = stripes_[detail::threadIndex() % kStripes];
+    s.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+    std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+    for (const Stripe& s : stripes_) {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            out[i] += s.buckets[i].load(std::memory_order_relaxed);
+        }
+    }
+    return out;
+}
+
+std::uint64_t Histogram::count() const {
+    std::uint64_t total = 0;
+    for (const Stripe& s : stripes_) total += s.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+double Histogram::sum() const {
+    double total = 0;
+    for (const Stripe& s : stripes_) total += s.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+void Histogram::reset() {
+    for (Stripe& s : stripes_) {
+        for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0.0, std::memory_order_relaxed);
+    }
+}
+
+// --- Snapshot ---------------------------------------------------------------
+
+namespace {
+
+template <class V>
+auto* findByName(V& vec, std::string_view name) {
+    for (auto& s : vec) {
+        if (s.name == name) return &s;
+    }
+    return static_cast<decltype(&vec.front())>(nullptr);
+}
+
+/// "rt.dispatch-latency" -> "urtx_rt_dispatch_latency".
+std::string promName(const std::string& name) {
+    std::string out = "urtx_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void jsonNumber(std::ostringstream& os, double v) {
+    if (std::isfinite(v)) {
+        os.precision(17);
+        os << v;
+    } else {
+        os << (v > 0 ? "1e308" : "-1e308"); // JSON has no Inf
+    }
+}
+
+} // namespace
+
+void Snapshot::merge(const Snapshot& other) {
+    for (const CounterSample& c : other.counters) {
+        if (auto* mine = findByName(counters, c.name)) {
+            mine->value += c.value;
+        } else {
+            counters.push_back(c);
+        }
+    }
+    for (const GaugeSample& g : other.gauges) {
+        if (auto* mine = findByName(gauges, g.name)) {
+            mine->value = std::max(mine->value, g.value);
+        } else {
+            gauges.push_back(g);
+        }
+    }
+    for (const HistogramSample& h : other.histograms) {
+        auto* mine = findByName(histograms, h.name);
+        if (!mine) {
+            histograms.push_back(h);
+            continue;
+        }
+        if (mine->bounds != h.bounds) {
+            throw std::logic_error("Snapshot::merge: histogram '" + h.name +
+                                   "' has mismatched bounds");
+        }
+        for (std::size_t i = 0; i < mine->counts.size(); ++i) mine->counts[i] += h.counts[i];
+        mine->count += h.count;
+        mine->sum += h.sum;
+    }
+}
+
+const CounterSample* Snapshot::counter(std::string_view name) const {
+    return findByName(counters, name);
+}
+const GaugeSample* Snapshot::gauge(std::string_view name) const {
+    return findByName(gauges, name);
+}
+const HistogramSample* Snapshot::histogram(std::string_view name) const {
+    return findByName(histograms, name);
+}
+
+std::string Snapshot::toPrometheus() const {
+    std::ostringstream os;
+    os.precision(17);
+    for (const CounterSample& c : counters) {
+        const std::string n = promName(c.name);
+        os << "# TYPE " << n << " counter\n" << n << " " << c.value << "\n";
+    }
+    for (const GaugeSample& g : gauges) {
+        const std::string n = promName(g.name);
+        os << "# TYPE " << n << " gauge\n" << n << " " << g.value << "\n";
+    }
+    for (const HistogramSample& h : histograms) {
+        const std::string n = promName(h.name);
+        os << "# TYPE " << n << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            cum += h.counts[i];
+            os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << "\n";
+        }
+        cum += h.counts.back();
+        os << n << "_bucket{le=\"+Inf\"} " << cum << "\n";
+        os << n << "_sum " << h.sum << "\n";
+        os << n << "_count " << h.count << "\n";
+    }
+    return os.str();
+}
+
+std::string Snapshot::toJson() const {
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        if (i) os << ",";
+        os << "\"" << counters[i].name << "\":" << counters[i].value;
+    }
+    os << "},\"gauges\":{";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        if (i) os << ",";
+        os << "\"" << gauges[i].name << "\":";
+        jsonNumber(os, gauges[i].value);
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const HistogramSample& h = histograms[i];
+        if (i) os << ",";
+        os << "\"" << h.name << "\":{\"bounds\":[";
+        for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+            if (b) os << ",";
+            jsonNumber(os, h.bounds[b]);
+        }
+        os << "],\"counts\":[";
+        for (std::size_t b = 0; b < h.counts.size(); ++b) {
+            if (b) os << ",";
+            os << h.counts[b];
+        }
+        os << "],\"count\":" << h.count << ",\"sum\":";
+        jsonNumber(os, h.sum);
+        os << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+    static Registry r;
+    return r;
+}
+
+Registry::Entry* Registry::find(std::string_view name) {
+    for (auto& e : entries_) {
+        if (e->name == name) return e.get();
+    }
+    return nullptr;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard lock(mu_);
+    if (Entry* e = find(name)) {
+        if (e->kind != MetricKind::Counter)
+            throw std::logic_error("Registry: '" + std::string(name) + "' is not a counter");
+        return *e->c;
+    }
+    auto e = std::make_unique<Entry>();
+    e->name = std::string(name);
+    e->kind = MetricKind::Counter;
+    e->c = std::make_unique<Counter>();
+    entries_.push_back(std::move(e));
+    return *entries_.back()->c;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    std::lock_guard lock(mu_);
+    if (Entry* e = find(name)) {
+        if (e->kind != MetricKind::Gauge)
+            throw std::logic_error("Registry: '" + std::string(name) + "' is not a gauge");
+        return *e->g;
+    }
+    auto e = std::make_unique<Entry>();
+    e->name = std::string(name);
+    e->kind = MetricKind::Gauge;
+    e->g = std::make_unique<Gauge>();
+    entries_.push_back(std::move(e));
+    return *entries_.back()->g;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+    std::lock_guard lock(mu_);
+    if (Entry* e = find(name)) {
+        if (e->kind != MetricKind::Histogram)
+            throw std::logic_error("Registry: '" + std::string(name) + "' is not a histogram");
+        if (e->h->bounds() != bounds)
+            throw std::logic_error("Registry: histogram '" + std::string(name) +
+                                   "' re-registered with different bounds");
+        return *e->h;
+    }
+    auto e = std::make_unique<Entry>();
+    e->name = std::string(name);
+    e->kind = MetricKind::Histogram;
+    e->h = std::make_unique<Histogram>(std::move(bounds));
+    entries_.push_back(std::move(e));
+    return *entries_.back()->h;
+}
+
+Snapshot Registry::snapshot() const {
+    std::lock_guard lock(mu_);
+    Snapshot snap;
+    for (const auto& e : entries_) {
+        switch (e->kind) {
+            case MetricKind::Counter:
+                snap.counters.push_back({e->name, e->c->value()});
+                break;
+            case MetricKind::Gauge:
+                snap.gauges.push_back({e->name, e->g->value()});
+                break;
+            case MetricKind::Histogram:
+                snap.histograms.push_back({e->name, e->h->bounds(), e->h->counts(),
+                                           e->h->count(), e->h->sum()});
+                break;
+        }
+    }
+    return snap;
+}
+
+void Registry::reset() {
+    std::lock_guard lock(mu_);
+    for (auto& e : entries_) {
+        switch (e->kind) {
+            case MetricKind::Counter: e->c->reset(); break;
+            case MetricKind::Gauge: e->g->reset(); break;
+            case MetricKind::Histogram: e->h->reset(); break;
+        }
+    }
+}
+
+// --- Wellknown --------------------------------------------------------------
+
+namespace {
+
+/// Latency buckets in seconds: 100ns .. 100ms, roughly 1-2.5-5 per decade.
+std::vector<double> latencyBounds() {
+    return {1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5,
+            5e-5, 1e-4,   2.5e-4, 5e-4, 1e-3, 2.5e-3, 1e-2, 1e-1};
+}
+
+std::vector<double> jitterBounds() {
+    return {1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+}
+
+} // namespace
+
+const Wellknown& wellknown() {
+    static const Wellknown wk = [] {
+        Registry& r = Registry::global();
+        Wellknown w{};
+        w.rtDispatched = &r.counter("rt.messages_dispatched");
+        w.rtTimersFired = &r.counter("rt.timers_fired");
+        w.rtQueueDepthHwm = &r.gauge("rt.queue_depth_hwm");
+        w.rtTimerJitter = &r.histogram("rt.timer_fire_jitter_seconds", jitterBounds());
+        static const char* prioNames[5] = {"background", "low", "general", "high", "panic"};
+        for (std::size_t p = 0; p < w.rtDispatchLatency.size(); ++p) {
+            w.rtDispatchLatency[p] = &r.histogram(
+                std::string("rt.dispatch_latency_seconds.") + prioNames[p], latencyBounds());
+        }
+        w.flowDportTransfers = &r.counter("flow.dport_transfers");
+        w.flowSportSends = &r.counter("flow.sport_sends");
+        w.flowSportDrained = &r.counter("flow.sport_drained");
+        w.flowSportInboxHwm = &r.gauge("flow.sport_inbox_hwm");
+        w.flowRelayFanout = &r.counter("flow.relay_fanout");
+        w.flowSolverStep = &r.histogram("flow.solver_step_seconds", latencyBounds());
+        w.flowMajorSteps = &r.counter("flow.solver_major_steps");
+        w.flowMinorSteps = &r.counter("flow.solver_minor_steps");
+        w.simSteps = &r.counter("sim.grid_steps");
+        w.simZeroCrossings = &r.counter("sim.zero_crossings");
+        w.simZcIterations = &r.counter("sim.zero_crossing_iterations");
+        w.simTimersPendingHwm = &r.gauge("sim.timers_pending_hwm");
+        return w;
+    }();
+    return wk;
+}
+
+} // namespace urtx::obs

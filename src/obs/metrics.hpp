@@ -1,0 +1,232 @@
+#pragma once
+/// \file metrics.hpp
+/// Runtime metrics: named counters, gauges and fixed-bucket histograms with
+/// lock-free striped accumulation and snapshot/merge.
+///
+/// Writers never take a lock: each metric holds a small array of cache-line
+/// padded atomic slots and a thread picks its slot by a thread-local index,
+/// so concurrent increments from the controller / solver / streamer threads
+/// do not contend. Reading (snapshot) sums the stripes. Snapshots are plain
+/// value types that can be merged across runs or processes and exported as
+/// Prometheus text or JSON.
+///
+/// All hot-path updates are gated behind the process-wide runtime switch
+/// urtx::obs::metricsOn(); when the library is compiled with URTX_OBS=0 the
+/// switch folds to a compile-time false and instrumented sites become
+/// no-ops.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef URTX_OBS
+#define URTX_OBS 1
+#endif
+
+namespace urtx::obs {
+
+/// Monotonic nanoseconds (steady clock) for latency measurement.
+std::uint64_t nowNanos();
+
+namespace detail {
+#if URTX_OBS
+inline std::atomic<bool> gMetricsEnabled{false};
+#endif
+/// Small dense per-thread index used to pick a stripe.
+std::size_t threadIndex();
+} // namespace detail
+
+/// Runtime switch for metric *timing* instrumentation (clock reads and
+/// histogram observes on hot paths). Defaults to off so uninstrumented
+/// workloads pay only one relaxed load per site.
+#if URTX_OBS
+inline bool metricsOn() { return detail::gMetricsEnabled.load(std::memory_order_relaxed); }
+inline void setMetricsEnabled(bool on) {
+    detail::gMetricsEnabled.store(on, std::memory_order_relaxed);
+}
+#else
+constexpr bool metricsOn() { return false; }
+inline void setMetricsEnabled(bool) {}
+#endif
+
+/// Number of accumulation stripes per metric. Threads map onto stripes by
+/// a dense thread index, so up to kStripes writer threads never share a
+/// cache line.
+inline constexpr std::size_t kStripes = 16;
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+/// Monotonic event count. add() is wait-free.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) { stripe().fetch_add(n, std::memory_order_relaxed); }
+    void inc() { add(1); }
+    /// Sum over all stripes.
+    std::uint64_t value() const;
+    void reset();
+
+private:
+    struct alignas(64) Slot {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::atomic<std::uint64_t>& stripe() {
+        return slots_[detail::threadIndex() % kStripes].v;
+    }
+    std::array<Slot, kStripes> slots_;
+};
+
+/// Last-value / extremum metric (queue depths, high-water marks).
+class Gauge {
+public:
+    void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+    /// Raise the gauge to \p v if larger (high-water-mark update).
+    void max(double v);
+    double value() const { return unpack(bits_.load(std::memory_order_relaxed)); }
+    void reset() { set(0.0); }
+
+private:
+    static std::uint64_t pack(double v);
+    static double unpack(std::uint64_t b);
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-boundary latency/size histogram. observe() is wait-free: one
+/// bucket search plus striped relaxed increments.
+class Histogram {
+public:
+    /// \p bounds: strictly increasing bucket upper bounds (inclusive, "le"
+    /// semantics); an implicit +Inf bucket is appended.
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+    const std::vector<double>& bounds() const { return bounds_; }
+    /// Per-bucket (non-cumulative) counts, size bounds()+1 (last = +Inf).
+    std::vector<std::uint64_t> counts() const;
+    std::uint64_t count() const;
+    double sum() const;
+    void reset();
+
+private:
+    struct alignas(64) Stripe {
+        std::vector<std::atomic<std::uint64_t>> buckets;
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+    };
+    std::vector<double> bounds_;
+    std::array<Stripe, kStripes> stripes_;
+};
+
+// --- snapshots --------------------------------------------------------------
+
+struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+};
+
+struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts; ///< per-bucket, size bounds+1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// A point-in-time copy of a registry. Mergeable: counters and histogram
+/// buckets add; gauges keep the maximum (all built-in gauges are
+/// high-water marks).
+struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+
+    void merge(const Snapshot& other);
+
+    const CounterSample* counter(std::string_view name) const;
+    const GaugeSample* gauge(std::string_view name) const;
+    const HistogramSample* histogram(std::string_view name) const;
+
+    /// Prometheus text exposition format (names prefixed "urtx_", dots
+    /// mapped to underscores, histogram buckets cumulative per the spec).
+    std::string toPrometheus() const;
+    /// Machine-readable JSON object.
+    std::string toJson() const;
+};
+
+// --- registry ---------------------------------------------------------------
+
+/// Name -> metric map. Creation takes a mutex; returned references are
+/// stable for the registry's lifetime, so hot paths hold them directly.
+class Registry {
+public:
+    /// The process-wide registry used by the runtime instrumentation.
+    static Registry& global();
+
+    /// Find-or-create. Throws std::logic_error when the name exists with a
+    /// different kind (or, for histograms, different bounds).
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+    Snapshot snapshot() const;
+    /// Zero every metric (benchmark harness between configurations).
+    void reset();
+
+private:
+    struct Entry {
+        std::string name;
+        MetricKind kind;
+        std::unique_ptr<Counter> c;
+        std::unique_ptr<Gauge> g;
+        std::unique_ptr<Histogram> h;
+    };
+    Entry* find(std::string_view name);
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+// --- well-known runtime metrics --------------------------------------------
+
+/// The metrics the runtime layers (rt / flow / sim) write. Resolved once
+/// against Registry::global() so instrumented sites pay a function-local
+/// static guard, not a name lookup. Registering them eagerly also makes
+/// every metric appear in exports even when still zero.
+struct Wellknown {
+    // rt: controller dispatch loop + timer service
+    Counter* rtDispatched;
+    Counter* rtTimersFired;
+    Gauge* rtQueueDepthHwm;
+    Histogram* rtTimerJitter;
+    std::array<Histogram*, 5> rtDispatchLatency; ///< indexed by rt::Priority
+
+    // flow: dataflow ports, signal ports, relays, solver runner
+    Counter* flowDportTransfers;
+    Counter* flowSportSends;
+    Counter* flowSportDrained;
+    Gauge* flowSportInboxHwm;
+    Counter* flowRelayFanout;
+    Histogram* flowSolverStep;
+    Counter* flowMajorSteps;
+    Counter* flowMinorSteps;
+
+    // sim: hybrid engine
+    Counter* simSteps;
+    Counter* simZeroCrossings;
+    Counter* simZcIterations;
+    Gauge* simTimersPendingHwm;
+};
+
+const Wellknown& wellknown();
+
+} // namespace urtx::obs

@@ -1,0 +1,10 @@
+#pragma once
+/// \file obs.hpp
+/// Umbrella header for the observability layer: metrics registry
+/// (counters / gauges / histograms with Prometheus + JSON export) and the
+/// low-overhead event tracer (Chrome trace-event export).
+///
+/// See docs/OBSERVABILITY.md for how to enable and read the output.
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"

@@ -1,0 +1,147 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace urtx::obs {
+
+/// Fixed-capacity event ring written by exactly one thread. head_ counts
+/// events ever written; slot = head_ % capacity. The writer publishes each
+/// event with a release store of head_ so a quiescent reader sees complete
+/// slots.
+class Tracer::Ring {
+public:
+    Ring(std::size_t capacity, std::uint32_t tid)
+        : slots_(std::max<std::size_t>(capacity, 1)), tid_(tid) {}
+
+    void push(const TraceEvent& ev) {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        TraceEvent& slot = slots_[h % slots_.size()];
+        slot = ev;
+        slot.tid = tid_;
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    std::size_t retained() const {
+        const std::uint64_t h = head_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(std::min<std::uint64_t>(h, slots_.size()));
+    }
+
+    std::uint64_t dropped() const {
+        const std::uint64_t h = head_.load(std::memory_order_acquire);
+        return h > slots_.size() ? h - slots_.size() : 0;
+    }
+
+    void clear() { head_.store(0, std::memory_order_release); }
+
+    /// Oldest-to-newest copy of the retained events.
+    void collectInto(std::vector<TraceEvent>& out) const {
+        const std::uint64_t h = head_.load(std::memory_order_acquire);
+        const std::uint64_t n = std::min<std::uint64_t>(h, slots_.size());
+        for (std::uint64_t i = h - n; i < h; ++i) out.push_back(slots_[i % slots_.size()]);
+    }
+
+private:
+    std::vector<TraceEvent> slots_;
+    std::uint32_t tid_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+Tracer::Tracer() : epoch_(nowNanos()) {}
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+    static Tracer* t = new Tracer(); // leaked: threads may trace at exit
+    return *t;
+}
+
+void Tracer::setRingCapacity(std::size_t events) {
+    capacity_.store(std::max<std::size_t>(events, 1), std::memory_order_relaxed);
+}
+
+Tracer::Ring& Tracer::localRing() {
+    thread_local Ring* ring = nullptr;
+    if (!ring) {
+        std::lock_guard lock(mu_);
+        const auto tid = static_cast<std::uint32_t>(rings_.size());
+        rings_.push_back(std::make_unique<Ring>(capacity_.load(std::memory_order_relaxed), tid));
+        ring = rings_.back().get();
+    }
+    return *ring;
+}
+
+void Tracer::record(const char* cat, const char* name, char phase, std::uint64_t ts,
+                    std::uint64_t dur) {
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.name = name;
+    ev.cat = cat;
+    ev.phase = phase;
+    localRing().push(ev);
+}
+
+void Tracer::instant(const char* cat, const char* name) {
+    if (!enabled()) return;
+    record(cat, name, 'i', nowNanos(), 0);
+}
+
+std::size_t Tracer::eventCount() const {
+    std::lock_guard lock(mu_);
+    std::size_t n = 0;
+    for (const auto& r : rings_) n += r->retained();
+    return n;
+}
+
+std::uint64_t Tracer::droppedCount() const {
+    std::lock_guard lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) n += r->dropped();
+    return n;
+}
+
+void Tracer::clear() {
+    std::lock_guard lock(mu_);
+    for (auto& r : rings_) r->clear();
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard lock(mu_);
+        for (const auto& r : rings_) r->collectInto(out);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+    return out;
+}
+
+void Tracer::writeChromeTrace(std::ostream& os) const {
+    const std::vector<TraceEvent> events = collect();
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& ev : events) {
+        if (!first) os << ",";
+        first = false;
+        // Chrome expects microseconds; keep sub-us resolution as decimals.
+        const double ts = static_cast<double>(ev.ts - std::min(ev.ts, epoch_)) / 1e3;
+        os << "{\"name\":\"" << (ev.name ? ev.name : "?") << "\",\"cat\":\""
+           << (ev.cat ? ev.cat : "urtx") << "\",\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":"
+           << ev.tid << ",\"ts\":" << ts;
+        if (ev.phase == 'X') os << ",\"dur\":" << static_cast<double>(ev.dur) / 1e3;
+        if (ev.phase == 'i') os << ",\"s\":\"t\"";
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+void Tracer::writeChromeTrace(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("Tracer::writeChromeTrace: cannot open '" + path + "'");
+    writeChromeTrace(static_cast<std::ostream&>(f));
+}
+
+} // namespace urtx::obs

@@ -1,0 +1,129 @@
+#pragma once
+/// \file tracer.hpp
+/// Low-overhead event tracing: per-thread fixed-capacity ring buffers of
+/// timestamped events, exported as Chrome trace-event JSON
+/// (chrome://tracing / https://ui.perfetto.dev).
+///
+/// Recording an event is two clock reads (for spans), a handful of stores
+/// into a thread-private ring slot and one release store of the head index
+/// — tens of nanoseconds. When tracing is disabled at runtime a span costs
+/// one relaxed load; when compiled with URTX_OBS=0 the URTX_TRACE_* macros
+/// expand to nothing.
+///
+/// Event names and categories must be string literals (or otherwise outlive
+/// the tracer): only the pointer is stored.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp" // URTX_OBS, nowNanos
+
+namespace urtx::obs {
+
+/// One trace event. POD so ring writes are a few stores.
+struct TraceEvent {
+    std::uint64_t ts = 0;    ///< ns since the tracer epoch
+    std::uint64_t dur = 0;   ///< ns; 0 for instants
+    const char* name = nullptr;
+    const char* cat = nullptr;
+    char phase = 'i';        ///< 'X' complete span, 'i' instant
+    std::uint32_t tid = 0;   ///< dense per-thread id assigned at first event
+};
+
+class Tracer {
+public:
+    /// The process-wide tracer used by the URTX_TRACE_* macros.
+    static Tracer& global();
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+    /// Ring capacity (events) for buffers created *after* the call; each
+    /// recording thread gets one ring lazily on its first event.
+    void setRingCapacity(std::size_t events);
+    std::size_t ringCapacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+    /// Record a complete ('X') or instant ('i') event on the calling
+    /// thread's ring. \p ts is absolute nowNanos(); the epoch offset is
+    /// applied on export. Oldest events are overwritten when the ring is
+    /// full.
+    void record(const char* cat, const char* name, char phase, std::uint64_t ts,
+                std::uint64_t dur);
+    /// Record an instant event timestamped now. No-op when disabled.
+    void instant(const char* cat, const char* name);
+
+    /// Events currently retained across all threads' rings.
+    std::size_t eventCount() const;
+    /// Events overwritten by ring wraparound across all rings.
+    std::uint64_t droppedCount() const;
+    /// Drop all retained events (rings stay registered).
+    void clear();
+
+    /// All retained events, sorted by timestamp. Call while recording
+    /// threads are quiescent: slots being overwritten concurrently would be
+    /// torn.
+    std::vector<TraceEvent> collect() const;
+
+    /// Chrome trace-event JSON ("traceEvents" array of X/i events, ts/dur
+    /// in microseconds). Same quiescence requirement as collect().
+    void writeChromeTrace(std::ostream& os) const;
+    void writeChromeTrace(const std::string& path) const;
+
+private:
+    class Ring;
+    Tracer();
+    ~Tracer();
+    Ring& localRing();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::size_t> capacity_{1u << 16};
+    std::uint64_t epoch_;
+    mutable std::mutex mu_; ///< guards rings_ registration/iteration
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII scoped span: records one complete ('X') event covering its
+/// lifetime. Cheap no-op when the tracer is disabled at construction.
+class Span {
+public:
+    Span(const char* cat, const char* name) {
+        if (Tracer::global().enabled()) {
+            cat_ = cat;
+            name_ = name;
+            start_ = nowNanos();
+        }
+    }
+    ~Span() {
+        if (cat_) {
+            const std::uint64_t end = nowNanos();
+            Tracer::global().record(cat_, name_, 'X', start_, end - start_);
+        }
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    const char* cat_ = nullptr;
+    const char* name_ = nullptr;
+    std::uint64_t start_ = 0;
+};
+
+} // namespace urtx::obs
+
+#if URTX_OBS
+#define URTX_OBS_CONCAT2(a, b) a##b
+#define URTX_OBS_CONCAT(a, b) URTX_OBS_CONCAT2(a, b)
+/// Scoped span over the rest of the enclosing block.
+#define URTX_TRACE_SPAN(cat, name) \
+    ::urtx::obs::Span URTX_OBS_CONCAT(urtx_span_, __LINE__) { cat, name }
+/// Point-in-time marker.
+#define URTX_TRACE_INSTANT(cat, name) ::urtx::obs::Tracer::global().instant(cat, name)
+#else
+#define URTX_TRACE_SPAN(cat, name) ((void)0)
+#define URTX_TRACE_INSTANT(cat, name) ((void)0)
+#endif

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "rt/capsule.hpp"
 
 namespace urtx::rt {
@@ -33,11 +34,27 @@ void Controller::post(Message m) {
     queue_.push(std::move(m));
 }
 
+void Controller::deliver(Message& m) {
+    URTX_TRACE_SPAN("rt", "dispatch");
+    if (obs::metricsOn()) {
+        const auto& wk = obs::wellknown();
+        // +1: the popped message itself counts toward the observed depth.
+        wk.rtQueueDepthHwm->max(static_cast<double>(queue_.size() + 1));
+        const std::uint64_t t0 = obs::nowNanos();
+        m.receiver->deliver(m);
+        const auto p = static_cast<std::size_t>(m.priority);
+        wk.rtDispatchLatency[p]->observe(static_cast<double>(obs::nowNanos() - t0) * 1e-9);
+        wk.rtDispatched->inc();
+    } else {
+        m.receiver->deliver(m);
+    }
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool Controller::deliverNext() {
     auto m = queue_.tryPop();
     if (!m) return false;
-    m->receiver->deliver(*m);
-    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    deliver(*m);
     return true;
 }
 
@@ -95,8 +112,7 @@ void Controller::run() {
             m = queue_.waitPopUntil(deadline);
             if (!m) continue;
         }
-        m->receiver->deliver(*m);
-        dispatched_.fetch_add(1, std::memory_order_relaxed);
+        deliver(*m);
     }
     // Drain remaining messages so no work is silently lost on shutdown.
     while (deliverNext()) {

@@ -74,7 +74,8 @@ public:
 
 private:
     void run();
-    bool deliverNext(); // pop + deliver one, non-blocking
+    bool deliverNext();       // pop + deliver one, non-blocking
+    void deliver(Message& m); // instrumented delivery shared by both paths
 
     std::string name_;
     std::shared_ptr<Clock> clock_;

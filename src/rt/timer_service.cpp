@@ -1,5 +1,6 @@
 #include "rt/timer_service.hpp"
 
+#include "obs/obs.hpp"
 #include "rt/capsule.hpp"
 
 namespace urtx::rt {
@@ -63,6 +64,14 @@ std::size_t TimerService::fireDue(MessageQueue& out, double now) {
             }
             fired.push_back(std::move(e));
         }
+    }
+    if (!fired.empty() && obs::metricsOn()) {
+        const auto& wk = obs::wellknown();
+        wk.rtTimersFired->add(fired.size());
+        // Jitter: how far past its due time a timer actually fired. Under a
+        // VirtualClock this is exact grid slack; under a RealClock it is
+        // scheduling latency.
+        for (const Entry& e : fired) wk.rtTimerJitter->observe(now - e.due);
     }
     for (Entry& e : fired) {
         Message m(e.signal, std::move(e.data), e.prio);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "rt/capsule.hpp"
 
 namespace urtx::sim {
@@ -57,6 +58,15 @@ void HybridSystem::initialize() {
     initialized_ = true;
 }
 
+void HybridSystem::observeStep() {
+    if (!obs::metricsOn()) return;
+    const auto& wk = obs::wellknown();
+    wk.simSteps->inc();
+    std::size_t pending = 0;
+    for (const auto& c : controllers_) pending += c->timers().pending();
+    wk.simTimersPendingHwm->max(static_cast<double>(pending));
+}
+
 void HybridSystem::drainControllersInline() {
     // Messages can bounce between controllers; iterate to a fixed point.
     bool progress = true;
@@ -83,18 +93,23 @@ void HybridSystem::runSingleThread(double tEnd) {
     const auto wallStart = std::chrono::steady_clock::now();
     const auto n = static_cast<std::uint64_t>(std::llround((tEnd - t0) / dt));
     for (std::uint64_t i = 1; i <= n; ++i) {
+        URTX_TRACE_SPAN("sim", "grid.step");
         const double t = t0 + static_cast<double>(i) * dt;
         pace(t - t0, wallStart);
         // 1) event-driven world reacts to everything due strictly before t.
         drainControllersInline();
         // 2) continuous world advances to t (signals drained at step start).
-        for (auto& r : runners_) r->advanceTo(t);
+        {
+            URTX_TRACE_SPAN("sim", "solve");
+            for (auto& r : runners_) r->advanceTo(t);
+        }
         // 3) time reaches t: timers fire, capsules react.
         time_.advanceTo(t);
         for (auto& c : controllers_) c->onTimeAdvanced();
         drainControllersInline();
         trace_.sample(t);
         ++steps_;
+        observeStep();
     }
 }
 
@@ -173,14 +188,19 @@ void HybridSystem::runMultiThread(double tEnd) {
         const auto wallStart = std::chrono::steady_clock::now();
         const auto n = static_cast<std::uint64_t>(std::llround((tEnd - t0) / dt));
         for (std::uint64_t i = 1; i <= n; ++i) {
+            URTX_TRACE_SPAN("sim", "grid.step");
             const double t = t0 + static_cast<double>(i) * dt;
             pace(t - t0, wallStart);
             for (auto& w : workers) w->grant(t);
-            for (auto& w : workers) w->awaitDone();
+            {
+                URTX_TRACE_SPAN("sim", "await.solvers");
+                for (auto& w : workers) w->awaitDone();
+            }
             time_.advanceTo(t);
             for (auto& c : controllers_) c->onTimeAdvanced();
             trace_.sample(t);
             ++steps_;
+            observeStep();
         }
         // Workers join here.
     }

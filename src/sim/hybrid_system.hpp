@@ -92,6 +92,8 @@ private:
     void runSingleThread(double tEnd);
     void runMultiThread(double tEnd);
     void drainControllersInline();
+    /// Per-grid-step metric updates (no-op when metrics are off).
+    void observeStep();
     /// Sleep so that simulated progress since run() start does not exceed
     /// realtimeFactor_ times wall-clock progress.
     void pace(double simProgress, std::chrono::steady_clock::time_point wallStart) const;

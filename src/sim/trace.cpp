@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace urtx::sim {
@@ -14,8 +15,16 @@ std::size_t Trace::channel(std::string name, Probe probe) {
 }
 
 void Trace::sample(double t) {
+    const std::size_t call = sampleCalls_++;
+    if (every_ > 1 && call % every_ != 0) return;
     times_.push_back(t);
     for (const Probe& p : probes_) data_.push_back(p());
+}
+
+void Trace::sampleEvery(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Trace::sampleEvery: stride must be >= 1");
+    every_ = n;
+    sampleCalls_ = 0;
 }
 
 std::vector<double> Trace::series(std::size_t ch) const {
@@ -39,6 +48,7 @@ std::vector<double> Trace::series(const std::string& name) const {
 void Trace::writeCsv(const std::string& path) const {
     std::ofstream f(path);
     if (!f) throw std::runtime_error("Trace::writeCsv: cannot open '" + path + "'");
+    f.precision(std::numeric_limits<double>::max_digits10);
     f << "t";
     for (const auto& n : names_) f << "," << n;
     f << "\n";
@@ -49,9 +59,35 @@ void Trace::writeCsv(const std::string& path) const {
     }
 }
 
+void Trace::merge(const Trace& other) {
+    if (names_ != other.names_) {
+        throw std::invalid_argument("Trace::merge: channel names differ");
+    }
+    const std::size_t ch = names_.size();
+    std::vector<double> times;
+    std::vector<double> data;
+    times.reserve(rows() + other.rows());
+    data.reserve(data_.size() + other.data_.size());
+    std::size_t i = 0, j = 0;
+    auto take = [&](const Trace& src, std::size_t row) {
+        times.push_back(src.times_[row]);
+        for (std::size_t c = 0; c < ch; ++c) data.push_back(src.data_[row * ch + c]);
+    };
+    while (i < rows() || j < other.rows()) {
+        if (j >= other.rows() || (i < rows() && times_[i] <= other.times_[j])) {
+            take(*this, i++);
+        } else {
+            take(other, j++);
+        }
+    }
+    times_ = std::move(times);
+    data_ = std::move(data);
+}
+
 void Trace::clear() {
     times_.clear();
     data_.clear();
+    sampleCalls_ = 0;
 }
 
 } // namespace urtx::sim

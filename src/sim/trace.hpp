@@ -20,8 +20,15 @@ public:
     std::size_t channelCount() const { return names_.size(); }
     const std::vector<std::string>& names() const { return names_; }
 
-    /// Sample every channel at time \p t.
+    /// Sample every channel at time \p t. When a decimation stride is set
+    /// (sampleEvery), only every nth call records a row.
     void sample(double t);
+
+    /// Record only every \p n-th sample() call (n >= 1; 1 = record all,
+    /// the default). The first call after this always records, so long
+    /// simulations keep a bounded, evenly spaced trace.
+    void sampleEvery(std::size_t n);
+    std::size_t decimation() const { return every_; }
 
     std::size_t rows() const { return times_.size(); }
     double timeAt(std::size_t row) const { return times_.at(row); }
@@ -33,8 +40,16 @@ public:
     /// Series by channel name; throws when unknown.
     std::vector<double> series(const std::string& name) const;
 
-    /// Write "t,ch1,ch2,..." CSV to \p path.
+    /// Write "t,ch1,ch2,..." CSV to \p path with full double round-trip
+    /// precision (max_digits10).
     void writeCsv(const std::string& path) const;
+
+    /// Combine \p other's rows into this trace, keeping rows ordered by
+    /// time (both traces must already be time-ordered, which sample()
+    /// guarantees; ties keep this trace's rows first). Channel names must
+    /// match exactly — this is how per-thread traces of the same probes
+    /// are recombined after a multi-threaded run.
+    void merge(const Trace& other);
 
     void clear();
 
@@ -45,6 +60,8 @@ private:
     std::vector<Probe> probes_;
     std::vector<double> times_;
     std::vector<double> data_; ///< row-major rows x channels
+    std::size_t every_ = 1;    ///< decimation stride
+    std::size_t sampleCalls_ = 0;
 };
 
 } // namespace urtx::sim

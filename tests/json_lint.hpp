@@ -1,0 +1,138 @@
+#pragma once
+/// \file json_lint.hpp
+/// Minimal recursive-descent JSON well-formedness checker for tests that
+/// validate exported artifacts (metrics JSON, Chrome trace-event files)
+/// without pulling in a JSON library.
+
+#include <cctype>
+#include <string>
+
+namespace urtx::testjson {
+
+class Lint {
+public:
+    explicit Lint(const std::string& text) : s_(text) {}
+
+    /// True when the whole input is exactly one valid JSON value.
+    bool valid() {
+        pos_ = 0;
+        err_.clear();
+        skipWs();
+        if (!value()) return false;
+        skipWs();
+        if (pos_ != s_.size()) {
+            err_ = "trailing characters at offset " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+    const std::string& error() const { return err_; }
+
+private:
+    bool fail(const std::string& what) {
+        if (err_.empty()) err_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void skipWs() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+
+    bool consume(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char* word) {
+        const std::string w(word);
+        if (s_.compare(pos_, w.size(), w) == 0) {
+            pos_ += w.size();
+            return true;
+        }
+        return fail("expected literal " + w);
+    }
+
+    bool string() {
+        if (!consume('"')) return fail("expected '\"'");
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"') return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size()) break;
+                ++pos_; // accept any escaped char (incl. start of \uXXXX)
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool number() {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) return fail("expected number");
+        return true;
+    }
+
+    bool value() {
+        skipWs();
+        if (pos_ >= s_.size()) return fail("unexpected end of input");
+        const char c = s_[pos_];
+        if (c == '{') return object();
+        if (c == '[') return array();
+        if (c == '"') return string();
+        if (c == 't') return literal("true");
+        if (c == 'f') return literal("false");
+        if (c == 'n') return literal("null");
+        return number();
+    }
+
+    bool object() {
+        consume('{');
+        skipWs();
+        if (consume('}')) return true;
+        while (true) {
+            skipWs();
+            if (!string()) return false;
+            skipWs();
+            if (!consume(':')) return fail("expected ':'");
+            if (!value()) return false;
+            skipWs();
+            if (consume('}')) return true;
+            if (!consume(',')) return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array() {
+        consume('[');
+        skipWs();
+        if (consume(']')) return true;
+        while (true) {
+            if (!value()) return false;
+            skipWs();
+            if (consume(']')) return true;
+            if (!consume(',')) return fail("expected ',' or ']'");
+        }
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+inline bool wellFormed(const std::string& text, std::string* err = nullptr) {
+    Lint lint(text);
+    const bool ok = lint.valid();
+    if (err) *err = lint.error();
+    return ok;
+}
+
+} // namespace urtx::testjson

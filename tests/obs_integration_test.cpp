@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "control/control.hpp"
+#include "flow/flow.hpp"
+#include "json_lint.hpp"
+#include "obs/obs.hpp"
+#include "rt/rt.hpp"
+#include "sim/sim.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace rt = urtx::rt;
+namespace sim = urtx::sim;
+namespace obs = urtx::obs;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+struct Ticker : rt::Capsule {
+    using rt::Capsule::Capsule;
+    int ticks = 0;
+
+protected:
+    void onInit() override { informEvery(0.01, "tick"); }
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("tick")) ++ticks;
+    }
+};
+
+/// A streamer whose event function crosses zero at x = 0 (falling from 1).
+struct Decay : f::Streamer {
+    using f::Streamer::Streamer;
+    std::size_t stateSize() const override { return 1; }
+    void initState(double, std::span<double> x) override { x[0] = 1.0; }
+    void derivatives(double, std::span<const double>, std::span<double> dx) override {
+        dx[0] = -2.0;
+    }
+    bool hasEvent() const override { return true; }
+    double eventFunction(double, std::span<const double> x) const override { return x[0] - 0.5; }
+    int events = 0;
+    void onEvent(double, bool) override { ++events; }
+};
+
+struct MetricsOn : ::testing::Test {
+    void SetUp() override {
+        obs::wellknown(); // eager registration — snapshots have a stable schema
+        obs::Registry::global().reset();
+        obs::setMetricsEnabled(true);
+    }
+    void TearDown() override {
+        obs::setMetricsEnabled(false);
+        obs::Registry::global().reset();
+    }
+};
+
+} // namespace
+
+TEST_F(MetricsOn, HybridRunPopulatesRuntimeMetrics) {
+    sim::HybridSystem sys;
+    Plain group{"plant"};
+    c::Ramp u("u", &group, 1.0);
+    c::Integrator xi("x", &group, 0.0);
+    f::flow(u.out(), xi.in());
+    Ticker cap{"cap"};
+    sys.addCapsule(cap);
+    sys.addStreamerGroup(group, s::makeIntegrator("RK4"), 0.01);
+    sys.run(0.2);
+
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    EXPECT_GE(snap.counter("rt.messages_dispatched")->value, 19u);
+    EXPECT_GE(snap.counter("rt.timers_fired")->value, 19u);
+    EXPECT_GE(snap.gauge("rt.queue_depth_hwm")->value, 1.0);
+    EXPECT_GE(snap.counter("flow.solver_major_steps")->value, 20u);
+    EXPECT_GE(snap.counter("flow.solver_minor_steps")->value, 20u);
+    EXPECT_GE(snap.counter("flow.dport_transfers")->value, 1u);
+    EXPECT_EQ(snap.counter("sim.grid_steps")->value, 20u);
+    // The dispatch latency histogram saw every capsule message.
+    const auto* lat = snap.histogram("rt.dispatch_latency_seconds.general");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_GE(lat->count, 19u);
+    EXPECT_GT(lat->sum, 0.0);
+    const auto* step = snap.histogram("flow.solver_step_seconds");
+    ASSERT_NE(step, nullptr);
+    EXPECT_GE(step->count, 20u);
+}
+
+// Metrics + tracer on across the MultiThread deployment: controller thread,
+// solver thread and engine thread all write telemetry concurrently. Run under
+// -DURTX_SANITIZE=thread this is the data-race check for the whole layer.
+TEST_F(MetricsOn, MultiThreadRunIsRaceFree) {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().setEnabled(true);
+    sim::HybridSystem sys;
+    Plain group{"plant"};
+    c::Ramp u("u", &group, 1.0);
+    c::Integrator xi("x", &group, 0.0);
+    f::flow(u.out(), xi.in());
+    Ticker cap{"cap"};
+    sys.addCapsule(cap);
+    sys.addStreamerGroup(group, s::makeIntegrator("RK4"), 0.01);
+    sys.run(0.1, sim::ExecutionMode::MultiThread);
+    obs::Tracer::global().setEnabled(false);
+
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    EXPECT_GE(snap.counter("rt.messages_dispatched")->value, 9u);
+    EXPECT_GE(snap.counter("flow.solver_major_steps")->value, 10u);
+    EXPECT_EQ(snap.counter("sim.grid_steps")->value, 10u);
+    EXPECT_GT(obs::Tracer::global().eventCount(), 0u);
+    obs::Tracer::global().clear();
+}
+
+TEST_F(MetricsOn, ZeroCrossingsAreCounted) {
+    Plain top{"top"};
+    Decay d("decay", &top);
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.05);
+    runner.initialize(0.0);
+    runner.advanceTo(1.0);
+    EXPECT_EQ(d.events, 1);
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    EXPECT_EQ(snap.counter("sim.zero_crossings")->value, 1u);
+    EXPECT_GE(snap.counter("sim.zero_crossing_iterations")->value, 1u);
+}
+
+TEST_F(MetricsOn, SportTrafficIsCounted) {
+    static rt::Protocol proto = [] {
+        rt::Protocol q{"ObsPing"};
+        q.out("ping").in("pong");
+        return q;
+    }();
+    struct Echo : f::Streamer {
+        using f::Streamer::Streamer;
+        int got = 0;
+        void onSignal(f::SPort&, const rt::Message&) override { ++got; }
+    };
+    Echo streamer{"s"};
+    f::SPort sp(streamer, "ctl", proto, true);
+    rt::Capsule cap{"cap"};
+    rt::Port cp(cap, "p", proto, false);
+    rt::connect(cp, sp.rtPort());
+    cp.send("ping");
+    cp.send("ping");
+    EXPECT_EQ(sp.pending(), 2u);
+    EXPECT_EQ(sp.inboxHighWater(), 2u);
+    sp.drain();
+
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    EXPECT_EQ(snap.counter("flow.sport_drained")->value, 2u);
+    EXPECT_DOUBLE_EQ(snap.gauge("flow.sport_inbox_hwm")->value, 2.0);
+}
+
+TEST_F(MetricsOn, DisabledSwitchStopsAccumulation) {
+    obs::setMetricsEnabled(false);
+    rt::Controller ctl{"quiet"};
+    Ticker cap{"cap"};
+    ctl.attach(cap);
+    ctl.initializeAll();
+    auto* vc = ctl.virtualClock();
+    ASSERT_NE(vc, nullptr);
+    vc->advanceTo(0.05);
+    ctl.dispatchAll();
+    EXPECT_GT(cap.ticks, 0);
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    EXPECT_EQ(snap.counter("rt.messages_dispatched")->value, 0u);
+    EXPECT_EQ(snap.counter("rt.timers_fired")->value, 0u);
+}
+
+TEST_F(MetricsOn, TracerCapturesRuntimeSpans) {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().setEnabled(true);
+    sim::HybridSystem sys;
+    Plain group{"plant"};
+    c::Constant u("u", &group, 1.0);
+    sys.addStreamerGroup(group, s::makeIntegrator("Euler"), 0.01);
+    sys.run(0.1);
+    obs::Tracer::global().setEnabled(false);
+
+    bool sawGridStep = false, sawSolverStep = false;
+    for (const auto& ev : obs::Tracer::global().collect()) {
+        const std::string_view name = ev.name ? ev.name : "";
+        if (name == "grid.step") sawGridStep = true;
+        if (name == "solver.step") sawSolverStep = true;
+    }
+    EXPECT_TRUE(sawGridStep);
+    EXPECT_TRUE(sawSolverStep);
+
+    std::ostringstream os;
+    obs::Tracer::global().writeChromeTrace(os);
+    std::string err;
+    EXPECT_TRUE(urtx::testjson::wellFormed(os.str(), &err)) << err;
+    obs::Tracer::global().clear();
+}

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "json_lint.hpp"
+#include "obs/metrics.hpp"
+
+namespace obs = urtx::obs;
+
+TEST(Counter, ConcurrentWritersSumExactly) {
+    obs::Counter c;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 100000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, MaxKeepsHighWaterMark) {
+    obs::Gauge g;
+    g.max(3.0);
+    g.max(1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 3.0);
+    g.max(7.5);
+    EXPECT_DOUBLE_EQ(g.value(), 7.5);
+    g.set(2.0);
+    EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Gauge, ConcurrentMaxConverges) {
+    obs::Gauge g;
+    std::vector<std::thread> threads;
+    for (int t = 1; t <= 8; ++t) {
+        threads.emplace_back([&g, t] {
+            for (int i = 0; i < 10000; ++i) g.max(static_cast<double>(t * 10000 + i));
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_DOUBLE_EQ(g.value(), 89999.0);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+    obs::Histogram h({1.0, 2.0, 3.0});
+    for (double v : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 99.0}) h.observe(v);
+    const auto counts = h.counts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 2u); // 0.5, 1.0  (le="1")
+    EXPECT_EQ(counts[1], 2u); // 1.5, 2.0
+    EXPECT_EQ(counts[2], 2u); // 2.5, 3.0
+    EXPECT_EQ(counts[3], 1u); // 99 -> +Inf
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 2.5 + 3.0 + 99.0, 1e-12);
+}
+
+TEST(Histogram, UnsortedBoundsThrow) {
+    EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, ConcurrentObserversCountExactly) {
+    obs::Histogram h({0.25, 0.5, 0.75});
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i) {
+                h.observe(static_cast<double>(i % 100) / 100.0);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+    std::uint64_t bucketTotal = 0;
+    for (auto c : h.counts()) bucketTotal += c;
+    EXPECT_EQ(bucketTotal, h.count());
+}
+
+TEST(Registry, FindOrCreateAndKindMismatch) {
+    obs::Registry r;
+    obs::Counter& a = r.counter("x.count");
+    obs::Counter& b = r.counter("x.count");
+    EXPECT_EQ(&a, &b);
+    EXPECT_THROW(r.gauge("x.count"), std::logic_error);
+    EXPECT_THROW(r.histogram("x.count", {1.0}), std::logic_error);
+    r.histogram("x.hist", {1.0, 2.0});
+    EXPECT_THROW(r.histogram("x.hist", {1.0, 3.0}), std::logic_error);
+    EXPECT_NO_THROW(r.histogram("x.hist", {1.0, 2.0}));
+}
+
+TEST(Registry, SnapshotUnderConcurrentWriters) {
+    obs::Registry r;
+    obs::Counter& c = r.counter("writes");
+    obs::Histogram& h = r.histogram("values", {10.0, 20.0});
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&] {
+            while (!stop.load()) {
+                c.inc();
+                h.observe(15.0);
+            }
+        });
+    }
+    // Snapshots race with the writers: totals must be consistent within
+    // each metric and monotone across snapshots.
+    std::uint64_t last = 0;
+    for (int i = 0; i < 50; ++i) {
+        const obs::Snapshot snap = r.snapshot();
+        const auto* cs = snap.counter("writes");
+        ASSERT_NE(cs, nullptr);
+        EXPECT_GE(cs->value, last);
+        last = cs->value;
+    }
+    stop.store(true);
+    for (auto& t : writers) t.join();
+    const obs::Snapshot fin = r.snapshot();
+    EXPECT_EQ(fin.counter("writes")->value, c.value());
+    EXPECT_EQ(fin.histogram("values")->count, h.count());
+}
+
+TEST(Snapshot, MergeAddsCountersAndHistogramsMaxesGauges) {
+    obs::Registry r1, r2;
+    r1.counter("n").add(5);
+    r2.counter("n").add(7);
+    r2.counter("only2").add(3);
+    r1.gauge("depth").max(4.0);
+    r2.gauge("depth").max(9.0);
+    r1.histogram("lat", {1.0, 2.0}).observe(0.5);
+    r2.histogram("lat", {1.0, 2.0}).observe(1.5);
+
+    obs::Snapshot a = r1.snapshot();
+    const obs::Snapshot b = r2.snapshot();
+    a.merge(b);
+
+    EXPECT_EQ(a.counter("n")->value, 12u);
+    EXPECT_EQ(a.counter("only2")->value, 3u);
+    EXPECT_DOUBLE_EQ(a.gauge("depth")->value, 9.0);
+    const auto* h = a.histogram("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2u);
+    EXPECT_EQ(h->counts[0], 1u);
+    EXPECT_EQ(h->counts[1], 1u);
+    EXPECT_NEAR(h->sum, 2.0, 1e-12);
+}
+
+TEST(Snapshot, MergeMismatchedHistogramBoundsThrows) {
+    obs::Registry r1, r2;
+    r1.histogram("h", {1.0}).observe(0.5);
+    r2.histogram("h", {2.0}).observe(0.5);
+    obs::Snapshot a = r1.snapshot();
+    EXPECT_THROW(a.merge(r2.snapshot()), std::logic_error);
+}
+
+TEST(Snapshot, PrometheusTextHasCumulativeBuckets) {
+    obs::Registry r;
+    r.counter("rt.dispatched").add(42);
+    r.gauge("rt.queue_depth_hwm").max(17.0);
+    obs::Histogram& h = r.histogram("rt.latency", {1.0, 2.0});
+    h.observe(0.5);
+    h.observe(0.7);
+    h.observe(1.5);
+    h.observe(9.0);
+    const std::string text = r.snapshot().toPrometheus();
+
+    EXPECT_NE(text.find("# TYPE urtx_rt_dispatched counter"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_dispatched 42"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE urtx_rt_queue_depth_hwm gauge"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_queue_depth_hwm 17"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE urtx_rt_latency histogram"), std::string::npos);
+    // Buckets must be cumulative per the Prometheus exposition format.
+    EXPECT_NE(text.find("urtx_rt_latency_bucket{le=\"1\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_latency_bucket{le=\"2\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_latency_bucket{le=\"+Inf\"} 4"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_latency_count 4"), std::string::npos);
+}
+
+TEST(Snapshot, JsonExportIsWellFormed) {
+    obs::Registry r;
+    r.counter("a.b").add(1);
+    r.gauge("c.d").set(2.5);
+    r.histogram("e.f", {1.0, 2.0}).observe(1.5);
+    const std::string json = r.snapshot().toJson();
+    std::string err;
+    EXPECT_TRUE(urtx::testjson::wellFormed(json, &err)) << err << "\n" << json;
+    EXPECT_NE(json.find("\"a.b\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Wellknown, RegistersEveryRuntimeMetricEagerly) {
+    const obs::Wellknown& wk = obs::wellknown();
+    ASSERT_NE(wk.rtDispatched, nullptr);
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    // The acceptance-critical metrics must appear in exports even when 0.
+    EXPECT_NE(snap.gauge("rt.queue_depth_hwm"), nullptr);
+    EXPECT_NE(snap.histogram("rt.dispatch_latency_seconds.general"), nullptr);
+    EXPECT_NE(snap.histogram("flow.solver_step_seconds"), nullptr);
+    EXPECT_NE(snap.counter("sim.zero_crossings"), nullptr);
+    const std::string prom = snap.toPrometheus();
+    EXPECT_NE(prom.find("urtx_rt_queue_depth_hwm"), std::string::npos);
+    EXPECT_NE(prom.find("urtx_flow_solver_step_seconds_bucket"), std::string::npos);
+    EXPECT_NE(prom.find("urtx_sim_zero_crossings"), std::string::npos);
+}
+
+TEST(RuntimeSwitch, DefaultsOffAndToggles) {
+    EXPECT_FALSE(obs::metricsOn());
+    obs::setMetricsEnabled(true);
+    EXPECT_TRUE(obs::metricsOn());
+    obs::setMetricsEnabled(false);
+    EXPECT_FALSE(obs::metricsOn());
+}

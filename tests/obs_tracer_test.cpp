@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "json_lint.hpp"
+#include "obs/tracer.hpp"
+
+namespace obs = urtx::obs;
+
+namespace {
+
+/// The global tracer is process-wide; each test starts from a clean slate.
+struct TracerTest : ::testing::Test {
+    void SetUp() override {
+        obs::Tracer::global().clear();
+        obs::Tracer::global().setEnabled(true);
+    }
+    void TearDown() override {
+        obs::Tracer::global().setEnabled(false);
+        obs::Tracer::global().clear();
+    }
+};
+
+} // namespace
+
+TEST_F(TracerTest, SpanRecordsCompleteEvent) {
+    {
+        obs::Span span("test", "unit.work");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto events = obs::Tracer::global().collect();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "unit.work");
+    EXPECT_STREQ(events[0].cat, "test");
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_GE(events[0].dur, 1000000u) << "span must cover the 1ms sleep";
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+    obs::Tracer::global().setEnabled(false);
+    {
+        obs::Span span("test", "ignored");
+    }
+    obs::Tracer::global().instant("test", "ignored");
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
+}
+
+TEST_F(TracerTest, SpanStartedWhileEnabledStillCompletes) {
+    // Disabling mid-span must not lose the already-started span.
+    {
+        obs::Span span("test", "crossing");
+        obs::Tracer::global().setEnabled(false);
+    }
+    EXPECT_EQ(obs::Tracer::global().collect().size(), 1u);
+}
+
+TEST_F(TracerTest, InstantEventsAreTimestampedAndOrdered) {
+    obs::Tracer::global().instant("test", "first");
+    obs::Tracer::global().instant("test", "second");
+    const auto events = obs::Tracer::global().collect();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_STREQ(events[0].name, "first");
+    EXPECT_STREQ(events[1].name, "second");
+    EXPECT_LE(events[0].ts, events[1].ts);
+    EXPECT_EQ(events[0].phase, 'i');
+}
+
+TEST_F(TracerTest, RingWrapsKeepingNewestEvents) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.setRingCapacity(8);
+    // A fresh thread gets a fresh ring with the small capacity.
+    std::thread writer([&tracer] {
+        for (int i = 0; i < 20; ++i) tracer.instant("wrap", "evt");
+    });
+    writer.join();
+    tracer.setRingCapacity(1u << 16);
+
+    std::size_t wrapped = 0;
+    std::uint64_t lastTs = 0;
+    bool ordered = true;
+    for (const auto& ev : tracer.collect()) {
+        if (std::string_view(ev.cat ? ev.cat : "") != "wrap") continue;
+        ++wrapped;
+        if (ev.ts < lastTs) ordered = false;
+        lastTs = ev.ts;
+    }
+    EXPECT_EQ(wrapped, 8u) << "ring must retain exactly its capacity";
+    EXPECT_TRUE(ordered) << "retained events must be the newest, in order";
+    EXPECT_GE(tracer.droppedCount(), 12u);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonIsWellFormed) {
+    {
+        obs::Span outer("test", "outer");
+        obs::Span inner("test", "inner");
+    }
+    obs::Tracer::global().instant("test", "marker");
+
+    std::ostringstream os;
+    obs::Tracer::global().writeChromeTrace(os);
+    const std::string json = os.str();
+
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(json, &err)) << err << "\n" << json;
+    // Golden structural facts every Chrome trace viewer relies on.
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+}
+
+TEST_F(TracerTest, ChromeTraceFileRoundTrip) {
+    obs::Tracer::global().instant("test", "filed");
+    const std::string path = "/tmp/urtx_tracer_test.json";
+    obs::Tracer::global().writeChromeTrace(path);
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    EXPECT_TRUE(urtx::testjson::wellFormed(ss.str(), &err)) << err;
+    EXPECT_THROW(obs::Tracer::global().writeChromeTrace("/no/such/dir/x.json"),
+                 std::runtime_error);
+}
+
+TEST_F(TracerTest, ClearDropsEventsKeepsRings) {
+    obs::Tracer::global().instant("test", "gone");
+    EXPECT_GE(obs::Tracer::global().eventCount(), 1u);
+    obs::Tracer::global().clear();
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
+    obs::Tracer::global().instant("test", "back");
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 1u);
+}
+
+TEST_F(TracerTest, MultiThreadedSpansLandInSeparateRings) {
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 10; ++i) {
+                obs::Span span("mt", "worker.op");
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    std::size_t mine = 0;
+    std::set<std::uint32_t> tids;
+    for (const auto& ev : obs::Tracer::global().collect()) {
+        if (std::string_view(ev.cat ? ev.cat : "") != "mt") continue;
+        ++mine;
+        tids.insert(ev.tid);
+    }
+    EXPECT_EQ(mine, static_cast<std::size_t>(kThreads) * 10);
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}

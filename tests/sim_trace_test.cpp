@@ -87,6 +87,93 @@ TEST(Trace, UnknownSeriesThrows) {
     EXPECT_NO_THROW(tr.series(0u));
 }
 
+TEST(Trace, CsvRoundTripsFullDoublePrecision) {
+    sim::Trace tr;
+    const double value = 1.0 / 3.0; // not representable in few digits
+    tr.channel("x", [&] { return value; });
+    tr.sample(0.1); // 0.1 is inexact in binary; must survive the round trip
+    const std::string path = "/tmp/urtx_trace_precision.csv";
+    tr.writeCsv(path);
+
+    std::ifstream in(path);
+    std::string header, row;
+    std::getline(in, header);
+    std::getline(in, row);
+    const auto comma = row.find(',');
+    ASSERT_NE(comma, std::string::npos);
+    EXPECT_EQ(std::stod(row.substr(0, comma)), 0.1) << "time must round-trip exactly";
+    EXPECT_EQ(std::stod(row.substr(comma + 1)), value) << "value must round-trip exactly";
+}
+
+TEST(Trace, MergeInterleavesRowsByTime) {
+    double v = 0;
+    sim::Trace a, b;
+    a.channel("x", [&] { return v; });
+    b.channel("x", [&] { return v; });
+    v = 1.0;
+    a.sample(0.0);
+    v = 3.0;
+    a.sample(0.2);
+    v = 2.0;
+    b.sample(0.1);
+    v = 4.0;
+    b.sample(0.3);
+
+    a.merge(b);
+    ASSERT_EQ(a.rows(), 4u);
+    EXPECT_DOUBLE_EQ(a.timeAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(a.timeAt(1), 0.1);
+    EXPECT_DOUBLE_EQ(a.timeAt(2), 0.2);
+    EXPECT_DOUBLE_EQ(a.timeAt(3), 0.3);
+    EXPECT_EQ(a.series("x"), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Trace, MergeKeepsSelfFirstOnTies) {
+    sim::Trace a, b;
+    a.channel("x", [] { return 1.0; });
+    b.channel("x", [] { return 2.0; });
+    a.sample(0.5);
+    b.sample(0.5);
+    a.merge(b);
+    ASSERT_EQ(a.rows(), 2u);
+    EXPECT_DOUBLE_EQ(a.valueAt(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a.valueAt(1, 0), 2.0);
+}
+
+TEST(Trace, MergeChannelMismatchThrows) {
+    sim::Trace a, b;
+    a.channel("x", [] { return 0.0; });
+    b.channel("y", [] { return 0.0; });
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Trace, SampleEveryDecimates) {
+    sim::Trace tr;
+    tr.channel("x", [] { return 1.0; });
+    tr.sampleEvery(3);
+    EXPECT_EQ(tr.decimation(), 3u);
+    for (int i = 0; i < 10; ++i) tr.sample(0.1 * i);
+    // Calls 0, 3, 6, 9 are recorded.
+    ASSERT_EQ(tr.rows(), 4u);
+    EXPECT_DOUBLE_EQ(tr.timeAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(tr.timeAt(1), 0.3);
+    EXPECT_DOUBLE_EQ(tr.timeAt(2), 0.6);
+    EXPECT_DOUBLE_EQ(tr.timeAt(3), 0.9);
+    EXPECT_THROW(tr.sampleEvery(0), std::invalid_argument);
+}
+
+TEST(Trace, ClearResetsDecimationPhase) {
+    sim::Trace tr;
+    tr.channel("x", [] { return 1.0; });
+    tr.sampleEvery(2);
+    tr.sample(0.0); // recorded (call 0)
+    tr.sample(0.1); // skipped
+    tr.clear();
+    tr.sample(0.2); // call counter reset: recorded again
+    ASSERT_EQ(tr.rows(), 1u);
+    EXPECT_DOUBLE_EQ(tr.timeAt(0), 0.2);
+}
+
 TEST(CsvSink, WritesRowsDuringSimulation) {
     const std::string path = "/tmp/urtx_csvsink_test.csv";
     {
