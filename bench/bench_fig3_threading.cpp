@@ -96,6 +96,129 @@ protected:
     }
 };
 
+/// Replica of the pre-pool per-runner SolverWorker (one mutex + condvar
+/// pair per runner, 2 wakeups per worker per grant) — kept here as the
+/// baseline for the handoff-overhead comparison against sim::SolverPool.
+class LegacyWorker {
+public:
+    explicit LegacyWorker(f::SolverRunner& r) : runner_(&r) {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~LegacyWorker() {
+        {
+            std::lock_guard lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    void grant(double target) {
+        {
+            std::lock_guard lock(mu_);
+            target_ = target;
+            work_ = true;
+            done_ = false;
+        }
+        cv_.notify_all();
+    }
+
+    void awaitDone() {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return done_; });
+    }
+
+private:
+    void loop() {
+        std::unique_lock lock(mu_);
+        while (true) {
+            cv_.wait(lock, [this] { return work_ || stop_; });
+            if (stop_) return;
+            const double target = target_;
+            work_ = false;
+            lock.unlock();
+            runner_->advanceTo(target);
+            lock.lock();
+            done_ = true;
+            cv_.notify_all();
+        }
+    }
+
+    f::SolverRunner* runner_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    double target_ = 0.0;
+    bool work_ = false;
+    bool done_ = true;
+    bool stop_ = false;
+};
+
+/// Pure synchronization cost: no-op grants (target == current runner time,
+/// so advanceTo returns immediately) through both handoff designs.
+void handoffOverhead() {
+    std::puts("\nSolver handoff overhead (no-op grants, pure synchronization):");
+    std::puts("(legacy = per-runner mutex/condvar SolverWorker, the pre-pool design;");
+    std::puts(" pool   = persistent epoch-barrier SolverPool used by MultiThread now)");
+    std::printf("  %-8s %12s %12s %7s %s\n", "runners", "legacy", "pool", "ratio",
+                "pool barrier wait (sim.barrier_wait_seconds)");
+    b::rule();
+
+    constexpr int S = 20000; // grants per configuration
+    for (std::size_t nr : {1u, 2u, 4u}) {
+        std::vector<std::unique_ptr<Plain>> tops;
+        std::vector<std::unique_ptr<c::Constant>> consts;
+        std::vector<std::unique_ptr<f::SolverRunner>> runners;
+        for (std::size_t i = 0; i < nr; ++i) {
+            tops.push_back(std::make_unique<Plain>("noop" + std::to_string(i)));
+            consts.push_back(std::make_unique<c::Constant>("k", tops.back().get(), 0.0));
+            runners.push_back(std::make_unique<f::SolverRunner>(
+                *tops.back(), s::makeIntegrator("Euler"), 1.0));
+            runners.back()->initialize(0.0);
+        }
+
+        double legacy;
+        {
+            std::vector<std::unique_ptr<LegacyWorker>> workers;
+            for (auto& r : runners) workers.push_back(std::make_unique<LegacyWorker>(*r));
+            legacy = b::timeOnce([&] {
+                for (int s = 0; s < S; ++s) {
+                    for (auto& w : workers) w->grant(0.0);
+                    for (auto& w : workers) w->awaitDone();
+                }
+            });
+        }
+
+        double poolWall;
+        double barrierMean;
+        {
+            std::vector<f::SolverRunner*> raw;
+            for (auto& r : runners) raw.push_back(r.get());
+            sim::SolverPool pool(std::move(raw));
+            // Timed loop runs with metrics off so both sides pay zero
+            // instrumentation cost; a second, metrics-on loop populates the
+            // sim.barrier_wait_seconds histogram the executor exports.
+            poolWall = b::timeOnce([&] {
+                for (int s = 0; s < S; ++s) pool.advanceAllTo(0.0, 0.0);
+            });
+            obs::Registry::global().reset();
+            obs::setMetricsEnabled(true);
+            for (int s = 0; s < S; ++s) pool.advanceAllTo(0.0, 0.0);
+            obs::setMetricsEnabled(false);
+            const obs::Snapshot snap = obs::Registry::global().snapshot();
+            barrierMean = snap.histogram("sim.barrier_wait_seconds")->mean();
+            obs::Registry::global().reset();
+        }
+
+        std::printf("  %-8zu %9.2f us %9.2f us %6.2fx %23.2f us mean\n", nr,
+                    legacy / S * 1e6, poolWall / S * 1e6, legacy / poolWall,
+                    barrierMean * 1e6);
+    }
+    std::puts("  (one epoch publish + one latch wait per grant regardless of runner");
+    std::puts("   count, vs 2 lock/wake round-trips per worker per grant before)");
+}
+
 struct Result {
     double wall;
     int ticks;
@@ -274,6 +397,8 @@ int main() {
                     sim::to_string(mode), responder.pings.load(), emitter.pongs.load(),
                     wall * 1e3);
     }
+
+    handoffOverhead();
 
     telemetryRun(256, tEnd);
 

@@ -1,5 +1,6 @@
 #include "flow/solver_runner.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "flow/sport.hpp"
@@ -84,11 +85,12 @@ void SolverRunner::integrateSegment(double tEnd) {
     }
 }
 
-void SolverRunner::step() {
+void SolverRunner::step() { stepTo(t_ + majorDt_); }
+
+void SolverRunner::stepTo(double tEnd) {
     URTX_TRACE_SPAN("flow", "solver.step");
     if (!initialized_) initialize(t_);
     drainSignals();
-    const double tEnd = t_ + majorDt_;
     if (obs::metricsOn()) {
         const auto& wk = obs::wellknown();
         const std::uint64_t minor0 = minorSteps_;
@@ -106,9 +108,16 @@ void SolverRunner::step() {
     if (probe_) probe_(t_, net_);
 }
 
-void SolverRunner::advanceTo(double tTarget) {
+void SolverRunner::advanceTo(double tTarget, double tLimit) {
     if (!initialized_) initialize(t_);
-    while (t_ < tTarget - 1e-12) step();
+    const double lim = std::max(tTarget, tLimit); // a limit below the target cannot stall us
+    while (t_ < tTarget - 1e-12) stepTo(std::min(t_ + majorDt_, lim));
+}
+
+std::size_t SolverRunner::pendingSignals() const {
+    std::size_t n = 0;
+    for (const SPort* sp : net_.allSPorts()) n += sp->pending();
+    return n;
 }
 
 } // namespace urtx::flow

@@ -19,6 +19,7 @@
 ///   4. run the discrete update pass and the probe at the boundary
 
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "flow/network.hpp"
@@ -54,8 +55,22 @@ public:
     /// Advance one major step (signals -> integrate [-> events] -> update).
     void step();
 
-    /// Advance in major steps until time() >= tTarget (within 1e-12).
-    void advanceTo(double tTarget);
+    /// Advance one (possibly truncated) major step ending exactly at
+    /// \p tEnd. step() == stepTo(time() + majorDt()).
+    void stepTo(double tEnd);
+
+    /// Advance in majorDt strides until time() >= tTarget (within 1e-12).
+    /// Strides never cross \p tLimit: the stride that would overshoot it is
+    /// truncated to land exactly on the limit. The executors pass their run
+    /// horizon so the final grid step ends exactly at tEnd; the default
+    /// (+inf) keeps the historical overshoot-to-the-next-major-boundary
+    /// behaviour for direct callers.
+    void advanceTo(double tTarget,
+                   double tLimit = std::numeric_limits<double>::infinity());
+
+    /// Messages queued on this runner's SPorts and not yet drained — work
+    /// the solver will consume at its next step boundary. Thread-safe.
+    std::size_t pendingSignals() const;
 
     double time() const { return t_; }
     const solver::Vec& state() const { return x_; }

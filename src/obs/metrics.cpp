@@ -345,6 +345,13 @@ std::vector<double> jitterBounds() {
     return {1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
 }
 
+/// Barrier handoffs sit between ~50ns (spin hit) and ~100us (futex park +
+/// scheduler), finer at the low end than the generic latency buckets.
+std::vector<double> barrierBounds() {
+    return {2.5e-8, 5e-8, 1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6,
+            1e-5,   2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2};
+}
+
 } // namespace
 
 const Wellknown& wellknown() {
@@ -372,6 +379,9 @@ const Wellknown& wellknown() {
         w.simZeroCrossings = &r.counter("sim.zero_crossings");
         w.simZcIterations = &r.counter("sim.zero_crossing_iterations");
         w.simTimersPendingHwm = &r.gauge("sim.timers_pending_hwm");
+        w.simMacroSteps = &r.counter("sim.macro_steps_coalesced");
+        w.simDrainRounds = &r.counter("sim.drain_rounds");
+        w.simBarrierWait = &r.histogram("sim.barrier_wait_seconds", barrierBounds());
         return w;
     }();
     return wk;

@@ -225,6 +225,9 @@ struct Wellknown {
     Counter* simZeroCrossings;
     Counter* simZcIterations;
     Gauge* simTimersPendingHwm;
+    Counter* simMacroSteps;    ///< grid steps absorbed into coalesced solver grants
+    Counter* simDrainRounds;   ///< inter-controller drain fixed-point rounds
+    Histogram* simBarrierWait; ///< per-grant solver handoff: publish -> all arrived
 };
 
 const Wellknown& wellknown();

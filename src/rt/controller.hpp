@@ -38,7 +38,18 @@ public:
     /// The clock as a VirtualClock, or nullptr when running on wall time.
     VirtualClock* virtualClock() const;
     TimerService& timers() { return timers_; }
+    const TimerService& timers() const { return timers_; }
     MessageQueue& queue() { return queue_; }
+    const MessageQueue& queue() const { return queue_; }
+
+    /// Deadline of the earliest pending timer, +infinity when none. Used by
+    /// the simulation engine to bound macro-steps: the grid may coalesce
+    /// quiet steps but must not run past the next timer firing.
+    double nextTimerDue() const { return timers_.nextDue(); }
+    /// True when there is nothing for this controller to do right now: no
+    /// queued messages and no pending timers. Thread-safe but advisory —
+    /// a message can arrive immediately after the check.
+    bool quiescent() const { return queue_.size() == 0 && timers_.pending() == 0; }
 
     /// Assign \p root (and its subtree) to this controller.
     void attach(Capsule& root);

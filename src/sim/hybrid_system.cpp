@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/obs.hpp"
 #include "rt/capsule.hpp"
+#include "sim/solver_pool.hpp"
 
 namespace urtx::sim {
 
@@ -51,6 +50,16 @@ double HybridSystem::globalDt() const {
     return dt;
 }
 
+void HybridSystem::setMacroStepLimit(std::uint64_t k) {
+    if (k < 1) throw std::invalid_argument("HybridSystem: macro-step limit must be >= 1");
+    macroStepLimit_ = k;
+}
+
+void HybridSystem::setDrainRoundLimit(std::size_t rounds) {
+    if (rounds < 1) throw std::invalid_argument("HybridSystem: drain round limit must be >= 1");
+    drainRoundLimit_ = rounds;
+}
+
 void HybridSystem::initialize() {
     if (initialized_) return;
     for (auto& c : controllers_) c->initializeAll();
@@ -58,24 +67,36 @@ void HybridSystem::initialize() {
     initialized_ = true;
 }
 
-void HybridSystem::observeStep() {
+void HybridSystem::observeStep(std::uint64_t k) {
     if (!obs::metricsOn()) return;
     const auto& wk = obs::wellknown();
-    wk.simSteps->inc();
+    wk.simSteps->add(k);
     std::size_t pending = 0;
     for (const auto& c : controllers_) pending += c->timers().pending();
     wk.simTimersPendingHwm->max(static_cast<double>(pending));
 }
 
 void HybridSystem::drainControllersInline() {
-    // Messages can bounce between controllers; iterate to a fixed point.
+    // Messages can bounce between controllers; iterate to a fixed point —
+    // but a bounded one: two capsules replying to each other forever would
+    // otherwise livelock the simulator inside a single grid step.
+    std::size_t rounds = 0;
     bool progress = true;
     while (progress) {
+        if (++rounds > drainRoundLimit_) {
+            throw std::runtime_error(
+                "HybridSystem: controller message drain exceeded " +
+                std::to_string(drainRoundLimit_) +
+                " rounds without reaching a fixed point; capsules are likely "
+                "ping-ponging messages (livelock). Raise setDrainRoundLimit() "
+                "if the burst is legitimate.");
+        }
         progress = false;
         for (auto& c : controllers_) {
             if (c->dispatchAll() > 0) progress = true;
         }
     }
+    if (obs::metricsOn()) obs::wellknown().simDrainRounds->add(rounds);
 }
 
 void HybridSystem::pace(double simProgress,
@@ -87,123 +108,124 @@ void HybridSystem::pace(double simProgress,
     std::this_thread::sleep_until(target);
 }
 
-void HybridSystem::runSingleThread(double tEnd) {
+namespace {
+
+/// Number of grid steps from t0 to tEnd at step dt, final step clamped to
+/// land exactly on tEnd. A ratio within one part in 1e9 of an integer is
+/// that integer (absorbing representation error without adding a spurious
+/// ~1e-15-long step); otherwise the fractional remainder becomes a real
+/// partial step — llround here was the old stop-short/overshoot bug
+/// (tEnd=1.0, dt=0.3 used to end at t=0.9).
+std::uint64_t gridStepCount(double t0, double tEnd, double dt) {
+    const double ratio = (tEnd - t0) / dt;
+    const double rounded = std::round(ratio);
+    double n;
+    if (std::abs(ratio - rounded) <= 1e-9 * std::max(1.0, std::abs(rounded))) {
+        n = rounded;
+    } else {
+        n = std::ceil(ratio);
+    }
+    return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n));
+}
+
+} // namespace
+
+std::uint64_t HybridSystem::macroSpan(std::uint64_t i, std::uint64_t n, double t0,
+                                      double dt) const {
+    std::uint64_t span = std::min<std::uint64_t>(macroStepLimit_, n - i + 1);
+    if (span <= 1 || realtimeFactor_ > 0.0) return 1;
+    // Coalescing must be unobservable: the trace samples per grid step,
+    // queued messages deserve a drain/clock rendezvous now, and queued
+    // SPort signals mean the capsule world is mid-conversation with a
+    // solver. (In MultiThread mode the queue check is advisory — a message
+    // can land right after it — which only shortens, never breaks, the
+    // rendezvous pattern the mode already has.)
+    if (trace_.channelCount() > 0) return 1;
+    for (const auto& c : controllers_) {
+        if (c->queue().size() > 0) return 1;
+    }
+    for (const auto& r : runners_) {
+        if (r->pendingSignals() > 0) return 1;
+    }
+    double nextDue = std::numeric_limits<double>::infinity();
+    for (const auto& c : controllers_) nextDue = std::min(nextDue, c->nextTimerDue());
+    if (std::isfinite(nextDue)) {
+        const double ti = t0 + static_cast<double>(i) * dt;
+        if (nextDue <= ti + 1e-12) return 1;
+        // First grid index at/after the deadline: the grant may end there
+        // (the timer then fires at the same grid time as under single
+        // stepping) but must not cross it.
+        const auto j = static_cast<std::uint64_t>(std::ceil((nextDue - t0) / dt - 1e-9));
+        if (j <= i) return 1;
+        span = std::min(span, j - i + 1);
+    }
+    return span;
+}
+
+void HybridSystem::runGrid(double tEnd, SolverPool* pool) {
     const double dt = globalDt();
     const double t0 = time_.now();
     const auto wallStart = std::chrono::steady_clock::now();
-    const auto n = static_cast<std::uint64_t>(std::llround((tEnd - t0) / dt));
-    for (std::uint64_t i = 1; i <= n; ++i) {
+    const std::uint64_t n = gridStepCount(t0, tEnd, dt);
+    const auto gridTime = [&](std::uint64_t i) {
+        return i >= n ? tEnd : std::min(t0 + static_cast<double>(i) * dt, tEnd);
+    };
+    for (std::uint64_t i = 1; i <= n;) {
         URTX_TRACE_SPAN("sim", "grid.step");
-        const double t = t0 + static_cast<double>(i) * dt;
+        const std::uint64_t k = macroSpan(i, n, t0, dt);
+        const double t = gridTime(i + k - 1);
         pace(t - t0, wallStart);
-        // 1) event-driven world reacts to everything due strictly before t.
-        drainControllersInline();
-        // 2) continuous world advances to t (signals drained at step start).
+        // 1) event-driven world reacts to everything due strictly before t
+        //    (inline only; in MultiThread mode the controllers run freely).
+        if (!pool) drainControllersInline();
+        // 2) continuous world advances to t (signals drained at each major
+        //    step boundary inside the runners).
         {
             URTX_TRACE_SPAN("sim", "solve");
-            for (auto& r : runners_) r->advanceTo(t);
+            if (pool) {
+                pool->advanceAllTo(t, tEnd);
+            } else {
+                for (auto& r : runners_) r->advanceTo(t, tEnd);
+            }
         }
         // 3) time reaches t: timers fire, capsules react.
         time_.advanceTo(t);
         for (auto& c : controllers_) c->onTimeAdvanced();
-        drainControllersInline();
+        if (!pool) drainControllersInline();
         trace_.sample(t);
-        ++steps_;
-        observeStep();
+        steps_ += k;
+        if (k > 1) {
+            ++macroGrants_;
+            macroStepsCoalesced_ += k - 1;
+            if (obs::metricsOn()) obs::wellknown().simMacroSteps->add(k - 1);
+        }
+        observeStep(k);
+        i += k;
     }
 }
 
-namespace {
-
-/// One solver thread stepping its runner to granted target times.
-class SolverWorker {
-public:
-    explicit SolverWorker(flow::SolverRunner& r) : runner_(&r) {
-        thread_ = std::thread([this] { loop(); });
-    }
-
-    ~SolverWorker() {
-        {
-            std::lock_guard lock(mu_);
-            stop_ = true;
-        }
-        cv_.notify_all();
-        if (thread_.joinable()) thread_.join();
-    }
-
-    void grant(double target) {
-        {
-            std::lock_guard lock(mu_);
-            target_ = target;
-            work_ = true;
-            done_ = false;
-        }
-        cv_.notify_all();
-    }
-
-    void awaitDone() {
-        std::unique_lock lock(mu_);
-        cv_.wait(lock, [this] { return done_; });
-    }
-
-private:
-    void loop() {
-        std::unique_lock lock(mu_);
-        while (true) {
-            cv_.wait(lock, [this] { return work_ || stop_; });
-            if (stop_) return;
-            const double target = target_;
-            work_ = false;
-            lock.unlock();
-            runner_->advanceTo(target);
-            lock.lock();
-            done_ = true;
-            cv_.notify_all();
-        }
-    }
-
-    flow::SolverRunner* runner_;
-    std::thread thread_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    double target_ = 0.0;
-    bool work_ = false;
-    bool done_ = true;
-    bool stop_ = false;
-};
-
-} // namespace
+void HybridSystem::runSingleThread(double tEnd) { runGrid(tEnd, nullptr); }
 
 void HybridSystem::runMultiThread(double tEnd) {
-    // Figure 3 deployment: controllers on their own threads, one solver
-    // thread per streamer group; only messages cross between them.
+    // Figure 3 deployment: controllers on their own threads, all solver
+    // groups on a persistent epoch-barrier pool; only messages cross
+    // between them.
     for (auto& c : controllers_) c->start();
-    {
-        std::vector<std::unique_ptr<SolverWorker>> workers;
-        workers.reserve(runners_.size());
-        for (auto& r : runners_) workers.push_back(std::make_unique<SolverWorker>(*r));
-
-        const double dt = globalDt();
-        const double t0 = time_.now();
-        const auto wallStart = std::chrono::steady_clock::now();
-        const auto n = static_cast<std::uint64_t>(std::llround((tEnd - t0) / dt));
-        for (std::uint64_t i = 1; i <= n; ++i) {
-            URTX_TRACE_SPAN("sim", "grid.step");
-            const double t = t0 + static_cast<double>(i) * dt;
-            pace(t - t0, wallStart);
-            for (auto& w : workers) w->grant(t);
-            {
-                URTX_TRACE_SPAN("sim", "await.solvers");
-                for (auto& w : workers) w->awaitDone();
-            }
-            time_.advanceTo(t);
-            for (auto& c : controllers_) c->onTimeAdvanced();
-            trace_.sample(t);
-            ++steps_;
-            observeStep();
-        }
-        // Workers join here.
+    std::vector<flow::SolverRunner*> raw;
+    raw.reserve(runners_.size());
+    for (auto& r : runners_) raw.push_back(r.get());
+    SolverPool pool(std::move(raw));
+    try {
+        runGrid(tEnd, &pool);
+    } catch (...) {
+        // A worker (or capsule-drain) exception must not leak running
+        // threads: park the pool, stop the controllers, then rethrow from
+        // run() as the contract promises.
+        pool.shutdown();
+        for (auto& c : controllers_) c->stop();
+        throw;
     }
+    pool.shutdown();
     // Let in-flight messages settle, then stop (stop() drains the queue).
     for (auto& c : controllers_) c->stop();
 }

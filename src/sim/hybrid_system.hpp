@@ -14,13 +14,18 @@
 ///    what a plain UML-RT platform would force: the continuous equations
 ///    run inside the same run-to-completion world as the capsules.
 ///  * MultiThread — "capsules and streamers are assigned to different
-///    threads": every controller gets its own std::thread, every streamer
-///    group its own solver thread; they rendezvous on the time grid and
-///    exchange only messages (SPorts / controller queues).
+///    threads": every controller gets its own std::thread, the streamer
+///    groups run on a persistent SolverPool synchronized by an epoch
+///    barrier; they rendezvous on the time grid and exchange only messages
+///    (SPorts / controller queues).
 ///
 /// Both modes advance the shared VirtualClock on a global step grid equal
-/// to the smallest solver major step; controllers fire timers and drain
-/// their queues as time advances.
+/// to the smallest solver major step; the final (possibly partial) step is
+/// clamped so the run lands exactly on tEnd. On quiet stretches — no timer
+/// due before the target, no queued messages or SPort signals, no trace
+/// channels, no pacing — the grid loop coalesces up to macroStepLimit()
+/// grid steps into one solver grant (macro-stepping), cutting barrier
+/// crossings without changing any observable trajectory.
 
 #include <chrono>
 #include <memory>
@@ -33,6 +38,8 @@
 #include "sim/trace.hpp"
 
 namespace urtx::sim {
+
+class SolverPool;
 
 enum class ExecutionMode { SingleThread, MultiThread };
 
@@ -60,7 +67,7 @@ public:
     /// Attach a capsule tree to a controller (default: the main one).
     void addCapsule(rt::Capsule& root, rt::Controller* ctl = nullptr);
 
-    /// Register a streamer tree as one solver group (one thread in
+    /// Register a streamer tree as one solver group (one pool thread in
     /// MultiThread mode). Returns the runner for probing/strategy swaps.
     flow::SolverRunner& addStreamerGroup(flow::Streamer& root,
                                          std::unique_ptr<solver::Integrator> method,
@@ -74,7 +81,9 @@ public:
     void initialize();
     bool initialized() const { return initialized_; }
 
-    /// Advance the whole system to \p tEnd.
+    /// Advance the whole system to \p tEnd. Exceptions thrown by capsule or
+    /// streamer code propagate to the caller in both modes; in MultiThread
+    /// mode the solver pool and controller threads are stopped first.
     void run(double tEnd, ExecutionMode mode = ExecutionMode::SingleThread);
 
     /// Soft real-time pacing: when > 0, run() sleeps so simulated time
@@ -82,6 +91,23 @@ public:
     /// 0 disables pacing (as-fast-as-possible, the default).
     void setRealtimeFactor(double factor) { realtimeFactor_ = factor; }
     double realtimeFactor() const { return realtimeFactor_; }
+
+    /// Coalesce up to \p k quiet grid steps into one solver grant (>= 1;
+    /// 1 disables macro-stepping). Coalescing only engages when it cannot
+    /// be observed: no trace channels, every controller queue empty, no
+    /// SPort signal queued, no timer due before the coalesced target and
+    /// no real-time pacing.
+    void setMacroStepLimit(std::uint64_t k);
+    std::uint64_t macroStepLimit() const { return macroStepLimit_; }
+    /// Number of coalesced grants issued / grid steps absorbed into them.
+    std::uint64_t macroGrants() const { return macroGrants_; }
+    std::uint64_t macroStepsCoalesced() const { return macroStepsCoalesced_; }
+
+    /// Cap on inter-controller message drain rounds per grid step; when two
+    /// capsules ping-pong messages forever the drain throws instead of
+    /// livelocking the simulator (>= 1).
+    void setDrainRoundLimit(std::size_t rounds);
+    std::size_t drainRoundLimit() const { return drainRoundLimit_; }
 
     /// Smallest solver major step = the global grid step.
     double globalDt() const;
@@ -91,9 +117,15 @@ public:
 private:
     void runSingleThread(double tEnd);
     void runMultiThread(double tEnd);
+    /// The shared grid loop: \p pool == nullptr advances runners inline
+    /// (SingleThread) and drains controllers between steps; otherwise
+    /// solver grants go through the epoch barrier.
+    void runGrid(double tEnd, SolverPool* pool);
+    /// Grid steps [i .. i+span-1] that can be granted at once (>= 1).
+    std::uint64_t macroSpan(std::uint64_t i, std::uint64_t n, double t0, double dt) const;
     void drainControllersInline();
-    /// Per-grid-step metric updates (no-op when metrics are off).
-    void observeStep();
+    /// Per-grant metric updates for \p k grid steps (no-op when metrics off).
+    void observeStep(std::uint64_t k);
     /// Sleep so that simulated progress since run() start does not exceed
     /// realtimeFactor_ times wall-clock progress.
     void pace(double simProgress, std::chrono::steady_clock::time_point wallStart) const;
@@ -105,6 +137,10 @@ private:
     bool initialized_ = false;
     std::uint64_t steps_ = 0;
     double realtimeFactor_ = 0.0;
+    std::uint64_t macroStepLimit_ = 32;
+    std::uint64_t macroGrants_ = 0;
+    std::uint64_t macroStepsCoalesced_ = 0;
+    std::size_t drainRoundLimit_ = 10000;
 };
 
 } // namespace urtx::sim

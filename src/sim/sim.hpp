@@ -3,4 +3,5 @@
 /// Umbrella header for the hybrid simulation engine.
 
 #include "sim/hybrid_system.hpp"
+#include "sim/solver_pool.hpp"
 #include "sim/trace.hpp"

@@ -1,0 +1,116 @@
+#include "sim/solver_pool.hpp"
+
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace urtx::sim {
+
+namespace {
+
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+SolverPool::SolverPool(std::vector<flow::SolverRunner*> runners)
+    : runners_(std::move(runners)), errors_(runners_.size()) {
+    // On a single hardware thread, a spinning worker only delays the thread
+    // it is waiting for; park immediately there.
+    spinLimit_ = std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+    threads_.reserve(runners_.size());
+    for (std::size_t i = 0; i < runners_.size(); ++i) {
+        threads_.emplace_back([this, i] { workerLoop(i); });
+    }
+}
+
+SolverPool::~SolverPool() { shutdown(); }
+
+void SolverPool::workerLoop(std::size_t idx) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t e = epoch_.load(std::memory_order_acquire);
+        unsigned spins = 0;
+        while (e == seen) {
+            if (spins++ < spinLimit_) {
+                cpuRelax();
+            } else {
+                epoch_.wait(seen, std::memory_order_acquire);
+            }
+            e = epoch_.load(std::memory_order_acquire);
+        }
+        seen = e;
+        if (stop_.load(std::memory_order_relaxed)) return;
+        try {
+            runners_[idx]->advanceTo(target_, tLimit_);
+        } catch (...) {
+            errors_[idx] = std::current_exception();
+            failed_.store(true, std::memory_order_release);
+        }
+        // Last arrival wakes the engine; intermediate decrements need no
+        // notify (the engine re-checks the value whenever it wakes).
+        if (remaining_.fetch_sub(1, std::memory_order_release) == 1) {
+            remaining_.notify_all();
+        }
+    }
+}
+
+void SolverPool::advanceAllTo(double target, double tLimit) {
+    if (stop_.load(std::memory_order_relaxed)) {
+        throw std::logic_error("SolverPool: advanceAllTo after shutdown");
+    }
+    if (threads_.empty()) return; // constructed with no runners
+
+    const bool measure = obs::metricsOn();
+    const std::uint64_t t0 = measure ? obs::nowNanos() : 0;
+
+    target_ = target;
+    tLimit_ = tLimit;
+    remaining_.store(threads_.size(), std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+
+    std::size_t r = remaining_.load(std::memory_order_acquire);
+    unsigned spins = 0;
+    while (r != 0) {
+        if (spins++ < spinLimit_) {
+            cpuRelax();
+        } else {
+            remaining_.wait(r, std::memory_order_acquire);
+        }
+        r = remaining_.load(std::memory_order_acquire);
+    }
+
+    if (measure) {
+        obs::wellknown().simBarrierWait->observe(static_cast<double>(obs::nowNanos() - t0) *
+                                                 1e-9);
+    }
+    if (failed_.load(std::memory_order_acquire)) {
+        shutdown();
+        for (std::exception_ptr& e : errors_) {
+            if (e) std::rethrow_exception(e);
+        }
+        throw std::runtime_error("SolverPool: worker failed without recording an exception");
+    }
+}
+
+void SolverPool::shutdown() noexcept {
+    if (threads_.empty()) return;
+    stop_.store(true, std::memory_order_relaxed);
+    remaining_.store(threads_.size(), std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread& t : threads_) {
+        if (t.joinable()) t.join();
+    }
+    threads_.clear();
+}
+
+} // namespace urtx::sim

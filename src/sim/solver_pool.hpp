@@ -1,0 +1,78 @@
+#pragma once
+/// \file solver_pool.hpp
+/// Persistent solver thread pool driven by an epoch barrier.
+///
+/// The first MultiThread executor gave every SolverRunner its own
+/// mutex/condvar pair, so each grid step paid two lock+wake round trips
+/// *per runner* (grant and completion). This pool amortizes the handoff to
+/// a constant cost regardless of runner count:
+///
+///   grant      — the engine writes the target time, resets one counting
+///                latch, and publishes a new epoch with a single
+///                release-store (plus one notify for parked workers);
+///   workers    — spin briefly on the epoch word, then fall back to
+///                std::atomic::wait; the acquire-load of the new epoch
+///                makes the target visible;
+///   completion — each worker decrements the latch with a release-RMW;
+///                the engine spins-then-waits for zero. The RMW chain
+///                forms one release sequence, so the engine's acquire
+///                observes every runner's state writes.
+///
+/// Exceptions thrown inside a worker (solver divergence, user equations)
+/// are captured per-worker via std::exception_ptr; the grant still
+/// completes (no hang), the pool shuts down cleanly, and the first error
+/// is rethrown to the engine thread — which lets HybridSystem::run
+/// propagate it to the caller instead of std::terminate'ing the process.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "flow/solver_runner.hpp"
+
+namespace urtx::sim {
+
+class SolverPool {
+public:
+    /// Spawns one persistent thread per runner. Runners must outlive the pool.
+    explicit SolverPool(std::vector<flow::SolverRunner*> runners);
+    ~SolverPool();
+
+    SolverPool(const SolverPool&) = delete;
+    SolverPool& operator=(const SolverPool&) = delete;
+
+    /// Grant every runner permission to advance to \p target (strides
+    /// clamped at \p tLimit, see SolverRunner::advanceTo) and block until
+    /// all have arrived. Rethrows the first worker exception after shutting
+    /// the pool down; the pool is unusable afterwards.
+    void advanceAllTo(double target, double tLimit);
+
+    /// Stop and join all workers. Idempotent; called by the destructor.
+    void shutdown() noexcept;
+
+    std::size_t size() const { return runners_.size(); }
+
+private:
+    void workerLoop(std::size_t idx);
+
+    std::vector<flow::SolverRunner*> runners_;
+    std::vector<std::exception_ptr> errors_; ///< slot idx written only by worker idx
+    std::vector<std::thread> threads_;
+
+    /// Grant word: bumped (release) to publish target_/tLimit_; workers
+    /// spin-then-wait on it. Separate cache lines keep the completion
+    /// traffic off the grant word.
+    alignas(64) std::atomic<std::uint64_t> epoch_{0};
+    /// Counting latch: set to size() before each grant, decremented once
+    /// per worker; the engine waits for zero.
+    alignas(64) std::atomic<std::size_t> remaining_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> failed_{false};
+    double target_ = 0.0; ///< published by the epoch release-store
+    double tLimit_ = 0.0; ///< likewise
+    unsigned spinLimit_;  ///< 0 on single-core hosts (spinning starves the worker)
+};
+
+} // namespace urtx::sim

@@ -1,0 +1,426 @@
+/// \file sim_executor_test.cpp
+/// Executor-hardening regression tests: grid clamping on non-commensurate
+/// horizons, worker exception propagation through the epoch-barrier solver
+/// pool, the bounded inter-controller drain, macro-stepping, and
+/// SingleThread == MultiThread equivalence (multi-rate and fig3-shaped
+/// topologies).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "control/control.hpp"
+#include "flow/sport.hpp"
+#include "obs/obs.hpp"
+#include "sim/sim.hpp"
+
+namespace f = urtx::flow;
+namespace c = urtx::control;
+namespace s = urtx::solver;
+namespace rt = urtx::rt;
+namespace sim = urtx::sim;
+namespace obs = urtx::obs;
+
+namespace {
+
+struct Plain : f::Streamer {
+    using f::Streamer::Streamer;
+};
+
+/// dx/dt = 1 until t passes failAt, then the model "diverges" (throws).
+struct Throwing : f::Streamer {
+    Throwing(std::string n, f::Streamer* parent, double failAt)
+        : f::Streamer(std::move(n), parent), failAt_(failAt) {}
+    double failAt_;
+    std::size_t stateSize() const override { return 1; }
+    void derivatives(double t, std::span<const double>, std::span<double> dx) override {
+        if (t > failAt_) throw std::runtime_error("solver diverged");
+        dx[0] = 1.0;
+    }
+    bool directFeedthrough() const override { return false; }
+};
+
+rt::Protocol& pingPongProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"ExecPingPong"};
+        q.out("ping").in("pong");
+        return q;
+    }();
+    return p;
+}
+
+/// Replies to every pong with a ping, forever.
+struct Pinger : rt::Capsule {
+    Pinger() : rt::Capsule("pinger"), port(*this, "p", pingPongProto(), false) {}
+    rt::Port port;
+
+    void kickoff() { port.send("ping"); }
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("pong")) port.send("ping");
+    }
+};
+
+/// Replies to every ping with a pong, forever.
+struct Ponger : rt::Capsule {
+    Ponger() : rt::Capsule("ponger"), port(*this, "p", pingPongProto(), true) {}
+    rt::Port port;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("ping")) port.send("pong");
+    }
+};
+
+struct Ticker : rt::Capsule {
+    Ticker(std::string n, double period) : rt::Capsule(std::move(n)), period_(period) {}
+    double period_;
+    std::atomic<int> ticks{0};
+
+protected:
+    void onInit() override { informEvery(period_, "tick"); }
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("tick")) ++ticks;
+    }
+};
+
+} // namespace
+
+// --- bugfix 1: non-commensurate tEnd/dt ------------------------------------
+
+TEST(ExecutorGrid, FinalStepClampsToHorizonSingleThread) {
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    c::Constant u("u", &top, 1.0);
+    c::Integrator xi("x", &top, 0.0);
+    f::flow(u.out(), xi.in());
+    auto& runner = sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.3);
+    sys.run(1.0, sim::ExecutionMode::SingleThread);
+    // Pre-fix: llround(1.0/0.3) == 3 grid steps -> the run stopped at 0.9.
+    EXPECT_NEAR(sys.now(), 1.0, 1e-12);
+    EXPECT_NEAR(runner.time(), 1.0, 1e-9);
+    EXPECT_NEAR(runner.state()[0], 1.0, 1e-9);
+    EXPECT_EQ(sys.steps(), 4u); // 0.3, 0.6, 0.9, then the clamped 1.0
+}
+
+TEST(ExecutorGrid, FinalStepClampsToHorizonMultiThread) {
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    c::Constant u("u", &top, 1.0);
+    c::Integrator xi("x", &top, 0.0);
+    f::flow(u.out(), xi.in());
+    auto& runner = sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.3);
+    sys.run(1.0, sim::ExecutionMode::MultiThread);
+    EXPECT_NEAR(sys.now(), 1.0, 1e-12);
+    EXPECT_NEAR(runner.time(), 1.0, 1e-9);
+    EXPECT_NEAR(runner.state()[0], 1.0, 1e-9);
+    EXPECT_EQ(sys.steps(), 4u);
+}
+
+TEST(ExecutorGrid, TimerInsideClampedTailStillFires) {
+    sim::HybridSystem sys;
+    struct Once : rt::Capsule {
+        using rt::Capsule::Capsule;
+        int fired = 0;
+
+    protected:
+        void onInit() override { informIn(0.95, "late"); }
+        void onMessage(const rt::Message& m) override {
+            if (m.signal == rt::signal("late")) ++fired;
+        }
+    } cap{"cap"};
+    sys.addCapsule(cap);
+    Plain top{"top"};
+    c::Constant u("u", &top, 0.0);
+    sys.addStreamerGroup(top, s::makeIntegrator("Euler"), 0.3);
+    sys.run(1.0);
+    // Pre-fix the run ended at 0.9 and the 0.95 timer was silently lost.
+    EXPECT_EQ(cap.fired, 1);
+}
+
+TEST(ExecutorGrid, CommensurateGridIsUnchanged) {
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    c::Constant u("u", &top, 1.0);
+    c::Integrator xi("x", &top, 0.0);
+    f::flow(u.out(), xi.in());
+    sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+    sys.run(1.0);
+    EXPECT_EQ(sys.steps(), 100u); // no spurious 101st sliver step
+    EXPECT_NEAR(sys.now(), 1.0, 1e-12);
+}
+
+// --- bugfix 2: worker exception propagation ---------------------------------
+
+TEST(ExecutorExceptions, SolverThrowPropagatesFromMultiThreadRun) {
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    Throwing bad("bad", &top, 0.05);
+    sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+    // Pre-fix the exception hit the SolverWorker thread boundary and
+    // std::terminate'd the whole process.
+    EXPECT_THROW(sys.run(0.2, sim::ExecutionMode::MultiThread), std::runtime_error);
+    // The pool and the controller threads were shut down cleanly.
+    for (const auto& c : sys.controllers()) EXPECT_FALSE(c->running());
+}
+
+TEST(ExecutorExceptions, SolverThrowPropagatesFromSingleThreadRun) {
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    Throwing bad("bad", &top, 0.05);
+    sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+    EXPECT_THROW(sys.run(0.2, sim::ExecutionMode::SingleThread), std::runtime_error);
+}
+
+TEST(ExecutorExceptions, PoolRejectsUseAfterFailure) {
+    Plain top{"top"};
+    Throwing bad("bad", &top, 0.05);
+    f::SolverRunner runner(top, s::makeIntegrator("RK4"), 0.01);
+    runner.initialize(0.0);
+    sim::SolverPool pool({&runner});
+    EXPECT_THROW(pool.advanceAllTo(0.2, 0.2), std::runtime_error);
+    EXPECT_THROW(pool.advanceAllTo(0.3, 0.3), std::logic_error);
+}
+
+TEST(ExecutorExceptions, PoolAdvancesAllRunners) {
+    Plain a{"a"}, b{"b"};
+    c::Constant ua("u", &a, 1.0);
+    c::Integrator xa("x", &a, 0.0);
+    f::flow(ua.out(), xa.in());
+    c::Constant ub("u", &b, -2.0);
+    c::Integrator xb("x", &b, 0.0);
+    f::flow(ub.out(), xb.in());
+    f::SolverRunner ra(a, s::makeIntegrator("RK4"), 0.01);
+    f::SolverRunner rb(b, s::makeIntegrator("RK4"), 0.01);
+    ra.initialize(0.0);
+    rb.initialize(0.0);
+    sim::SolverPool pool({&ra, &rb});
+    for (int i = 1; i <= 10; ++i) pool.advanceAllTo(0.05 * i, 0.5);
+    pool.shutdown();
+    EXPECT_NEAR(ra.state()[0], 0.5, 1e-9);
+    EXPECT_NEAR(rb.state()[0], -1.0, 1e-9);
+    EXPECT_NEAR(ra.time(), 0.5, 1e-9);
+}
+
+// --- bugfix 3: bounded inter-controller drain --------------------------------
+
+TEST(ExecutorDrain, PingPongLivelockThrowsInsteadOfHanging) {
+    sim::HybridSystem sys;
+    auto& other = sys.addController("second");
+    Pinger pinger;
+    Ponger ponger;
+    rt::connect(pinger.port, ponger.port);
+    sys.addCapsule(pinger);
+    sys.addCapsule(ponger, &other);
+    sys.initialize();
+    pinger.kickoff();
+    // Pre-fix drainControllersInline iterated to a fixed point that never
+    // comes: the simulator livelocked inside the first grid step.
+    EXPECT_THROW(sys.run(0.1, sim::ExecutionMode::SingleThread), std::runtime_error);
+}
+
+TEST(ExecutorDrain, DrainRoundLimitIsConfigurable) {
+    sim::HybridSystem sys;
+    EXPECT_EQ(sys.drainRoundLimit(), 10000u);
+    sys.setDrainRoundLimit(17);
+    EXPECT_EQ(sys.drainRoundLimit(), 17u);
+    EXPECT_THROW(sys.setDrainRoundLimit(0), std::invalid_argument);
+    EXPECT_THROW(sys.setMacroStepLimit(0), std::invalid_argument);
+}
+
+TEST(ExecutorDrain, BoundedConversationStillCompletes) {
+    // A finite burst (ping-pong that stops after 100 exchanges) must be
+    // drained fully without tripping the cap.
+    struct CountingPinger : rt::Capsule {
+        CountingPinger() : rt::Capsule("cp"), port(*this, "p", pingPongProto(), false) {}
+        rt::Port port;
+        int pongs = 0;
+
+        void kickoff() { port.send("ping"); }
+
+    protected:
+        void onMessage(const rt::Message& m) override {
+            if (m.signal == rt::signal("pong") && ++pongs < 100) port.send("ping");
+        }
+    };
+    sim::HybridSystem sys;
+    auto& other = sys.addController("second");
+    CountingPinger pinger;
+    Ponger ponger;
+    rt::connect(pinger.port, ponger.port);
+    sys.addCapsule(pinger);
+    sys.addCapsule(ponger, &other);
+    sys.initialize();
+    pinger.kickoff();
+    sys.run(0.1);
+    EXPECT_EQ(pinger.pongs, 100);
+    EXPECT_NEAR(sys.now(), 0.1, 1e-12);
+}
+
+// --- multi-rate runners and mode equivalence ---------------------------------
+
+TEST(ExecutorEquivalence, MultiRateRunnersMatchAcrossModes) {
+    // globalDt = 0.01 (runner A); runner B steps internally at 0.025 and is
+    // granted grid times it overshoots — its stride pattern must be
+    // identical in both executors, and both must land exactly on tEnd.
+    auto simulate = [](sim::ExecutionMode mode) {
+        sim::HybridSystem sys;
+        Plain a{"a"}, b{"b"};
+        c::Sine ua("u", &a, 1.0, 2.0);
+        c::Integrator xa("x", &a, 0.0);
+        f::flow(ua.out(), xa.in());
+        c::Sine ub("u", &b, 2.0, 3.0);
+        c::Integrator xb("x", &b, 0.0);
+        f::flow(ub.out(), xb.in());
+        sys.addStreamerGroup(a, s::makeIntegrator("RK4"), 0.01);
+        sys.addStreamerGroup(b, s::makeIntegrator("RK4"), 0.025);
+        sys.run(1.0, mode);
+        struct Out {
+            double xa, xb, ta, tb, now;
+            std::uint64_t stepsA, stepsB;
+        };
+        return Out{sys.runners()[0]->state()[0], sys.runners()[1]->state()[0],
+                   sys.runners()[0]->time(),     sys.runners()[1]->time(),
+                   sys.now(),                    sys.runners()[0]->majorSteps(),
+                   sys.runners()[1]->majorSteps()};
+    };
+    const auto st = simulate(sim::ExecutionMode::SingleThread);
+    const auto mt = simulate(sim::ExecutionMode::MultiThread);
+    EXPECT_EQ(st.xa, mt.xa) << "same grants, same strides: bitwise-identical state";
+    EXPECT_EQ(st.xb, mt.xb);
+    EXPECT_EQ(st.ta, mt.ta);
+    EXPECT_EQ(st.tb, mt.tb);
+    EXPECT_EQ(st.stepsA, mt.stepsA);
+    EXPECT_EQ(st.stepsB, mt.stepsB);
+    EXPECT_NEAR(st.ta, 1.0, 1e-9);
+    EXPECT_NEAR(st.tb, 1.0, 1e-9) << "coarse runner must also land on tEnd";
+    // Analytic check: d(xa)/dt = sin(2t) -> (1 - cos(2))/2 at t=1.
+    EXPECT_NEAR(st.xa, (1.0 - std::cos(2.0)) / 2.0, 1e-6);
+}
+
+TEST(ExecutorEquivalence, Fig3TopologyTraceIdenticalAcrossModes) {
+    // Fig3 shape: periodic-timer supervisor capsule + continuous plant,
+    // with a trace channel on the plant state. The channel forces per-step
+    // sampling (macro-stepping disengages), and the series must match
+    // bitwise between the executors.
+    auto simulate = [](sim::ExecutionMode mode) {
+        sim::HybridSystem sys;
+        Ticker sup("supervisor", 0.01);
+        sys.addCapsule(sup);
+        Plain top{"top"};
+        c::Sine u("u", &top, 1.0, 2.0);
+        c::Integrator xi("x", &top, 0.0);
+        f::flow(u.out(), xi.in());
+        auto& runner = sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+        sys.trace().channel("x", [&runner] { return runner.state()[0]; });
+        sys.run(0.5, mode);
+        struct Out {
+            std::vector<double> xs;
+            std::uint64_t macroGrants;
+            int ticks;
+        };
+        return Out{sys.trace().series("x"), sys.macroGrants(), sup.ticks.load()};
+    };
+    const auto st = simulate(sim::ExecutionMode::SingleThread);
+    const auto mt = simulate(sim::ExecutionMode::MultiThread);
+    EXPECT_EQ(st.macroGrants, 0u) << "trace channels must disable macro-stepping";
+    EXPECT_EQ(mt.macroGrants, 0u);
+    ASSERT_EQ(st.xs.size(), 50u);
+    ASSERT_EQ(mt.xs.size(), st.xs.size());
+    for (std::size_t i = 0; i < st.xs.size(); ++i) {
+        EXPECT_EQ(st.xs[i], mt.xs[i]) << "trace row " << i;
+    }
+    EXPECT_EQ(st.ticks, mt.ticks);
+    EXPECT_GE(st.ticks, 49); // 50th due time can land just past tEnd (FP accumulation)
+}
+
+// --- macro-stepping ----------------------------------------------------------
+
+TEST(MacroStepping, EngagesOnQuietRunsAndPreservesResults) {
+    auto simulate = [](std::uint64_t limit, sim::ExecutionMode mode) {
+        sim::HybridSystem sys;
+        sys.setMacroStepLimit(limit);
+        Plain top{"top"};
+        c::Sine u("u", &top, 1.0, 2.0);
+        c::Integrator xi("x", &top, 0.0);
+        f::flow(u.out(), xi.in());
+        sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+        sys.run(2.0, mode);
+        struct Out {
+            double x;
+            std::uint64_t steps, grants, coalesced;
+        };
+        return Out{sys.runners()[0]->state()[0], sys.steps(), sys.macroGrants(),
+                   sys.macroStepsCoalesced()};
+    };
+    for (auto mode : {sim::ExecutionMode::SingleThread, sim::ExecutionMode::MultiThread}) {
+        const auto plain = simulate(1, mode);
+        const auto macro = simulate(32, mode);
+        EXPECT_EQ(plain.grants, 0u);
+        EXPECT_GT(macro.grants, 0u) << "quiet timer-free run must coalesce";
+        EXPECT_GT(macro.coalesced, 100u);
+        EXPECT_EQ(plain.steps, macro.steps) << "steps() still counts grid steps";
+        EXPECT_EQ(plain.x, macro.x) << "identical stride sequence -> identical state";
+    }
+}
+
+TEST(MacroStepping, BoundedByTimerDeadlines) {
+    // Ticks every 5 grid steps: grants must stop exactly at each deadline,
+    // so the tick count matches fine stepping and no tick fires late.
+    auto simulate = [](std::uint64_t limit) {
+        sim::HybridSystem sys;
+        sys.setMacroStepLimit(limit);
+        Ticker cap("cap", 0.05);
+        sys.addCapsule(cap);
+        Plain top{"top"};
+        c::Constant u("u", &top, 1.0);
+        c::Integrator xi("x", &top, 0.0);
+        f::flow(u.out(), xi.in());
+        sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+        sys.run(1.0);
+        struct Out {
+            int ticks;
+            std::uint64_t steps, grants;
+            double x;
+        };
+        return Out{cap.ticks.load(), sys.steps(), sys.macroGrants(),
+                   sys.runners()[0]->state()[0]};
+    };
+    const auto fine = simulate(1);
+    const auto macro = simulate(32);
+    EXPECT_GE(fine.ticks, 19); // 20th due time can land just past tEnd (FP accumulation)
+    EXPECT_EQ(macro.ticks, fine.ticks) << "every timer deadline hit on its own grid point";
+    EXPECT_EQ(macro.steps, 100u);
+    EXPECT_GT(macro.grants, 0u);
+    EXPECT_EQ(fine.x, macro.x);
+}
+
+TEST(MacroStepping, MetricsCountCoalescedStepsAndBarrierWaits) {
+#if !URTX_OBS
+    GTEST_SKIP() << "observability compiled out (URTX_OBS=0)";
+#endif
+    obs::wellknown();
+    obs::Registry::global().reset();
+    obs::setMetricsEnabled(true);
+    sim::HybridSystem sys;
+    Plain top{"top"};
+    c::Constant u("u", &top, 1.0);
+    c::Integrator xi("x", &top, 0.0);
+    f::flow(u.out(), xi.in());
+    sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+    sys.run(1.0, sim::ExecutionMode::MultiThread);
+    obs::setMetricsEnabled(false);
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    EXPECT_EQ(snap.counter("sim.grid_steps")->value, 100u);
+    EXPECT_EQ(snap.counter("sim.macro_steps_coalesced")->value, sys.macroStepsCoalesced());
+    EXPECT_GT(sys.macroStepsCoalesced(), 0u);
+    const auto* bw = snap.histogram("sim.barrier_wait_seconds");
+    ASSERT_NE(bw, nullptr);
+    EXPECT_EQ(bw->count, sys.steps() - sys.macroStepsCoalesced())
+        << "one barrier wait per solver grant";
+    EXPECT_GT(bw->sum, 0.0);
+    obs::Registry::global().reset();
+}
