@@ -40,7 +40,8 @@ public:
         : f::Streamer(std::move(name), parent),
           h1(*this, "h1", f::DPortDir::Out, f::FlowType::real()),
           h2(*this, "h2", f::DPortDir::Out, f::FlowType::real()),
-          ctl(*this, "ctl", tankProtocol(), false) {
+          ctl(*this, "ctl", tankProtocol(), false),
+          faultIn(*this, "faultIn", tankProtocol(), false) {
         setParam("qin", 0.8);   // pump flow
         setParam("valve", 1.0); // commanded opening
         setParam("stuck", 0.0); // fault flag
@@ -51,6 +52,7 @@ public:
     f::DPort h1;
     f::DPort h2;
     f::SPort ctl;
+    f::SPort faultIn; ///< second signal path: fault injection
 
     double valveOpening() const {
         return param("stuck") > 0.5 ? param("stuckAt") : param("valve");
@@ -120,26 +122,25 @@ public:
     rt::Port plant;
 };
 
-/// Scripted fault injector (a second capsule sharing the same SPort would
-/// need a relay; instead it owns its own signal port pair).
+/// Scripted fault injector. It talks to the plant through a dedicated
+/// SPort (SPorts are point-to-point, so it cannot share the supervisor's):
+/// in MultiThread mode a direct setParam() from this capsule's thread
+/// would race the solver thread reading parameters mid-equation — signals
+/// are drained at step boundaries, which is the thread-safe path.
 class FaultInjector final : public rt::Capsule {
 public:
-    FaultInjector(std::string name, TwoTank& tank)
-        : rt::Capsule(std::move(name)), tank_(tank) {}
+    explicit FaultInjector(std::string name)
+        : rt::Capsule(std::move(name)), plant(*this, "plant", tankProtocol(), true) {}
+    rt::Port plant;
 
 protected:
     void onInit() override { informIn(30.0, "inject"); }
     void onMessage(const rt::Message& m) override {
         if (m.signalName() == "inject") {
-            // Direct parameter poke stands in for an OS service call; a
-            // production model would use a second SPort on the plant.
-            tank_.setParam("stuck", 1.0);
+            plant.send("stickValve", now());
             std::printf("  [%6.2f s] fault injector: valve stuck!\n", now());
         }
     }
-
-private:
-    TwoTank& tank_;
 };
 
 } // namespace
@@ -153,8 +154,9 @@ int main() {
     f::Streamer group{"process"};
     TwoTank tank("tanks", &group);
     TankSupervisor sup("supervisor");
-    FaultInjector fault("fault", tank);
+    FaultInjector fault("fault");
     rt::connect(sup.plant, tank.ctl.rtPort());
+    rt::connect(fault.plant, tank.faultIn.rtPort());
 
     sys.addCapsule(sup);
     sys.addCapsule(fault);

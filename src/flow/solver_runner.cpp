@@ -120,4 +120,8 @@ std::size_t SolverRunner::pendingSignals() const {
     return n;
 }
 
+bool SolverRunner::canEmitMidSpan() const {
+    return !net_.eventLeaves().empty() || !net_.allSPorts().empty();
+}
+
 } // namespace urtx::flow

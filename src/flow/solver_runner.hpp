@@ -72,6 +72,15 @@ public:
     /// the solver will consume at its next step boundary. Thread-safe.
     std::size_t pendingSignals() const;
 
+    /// True when this network can emit observable work from *inside* an
+    /// advanceTo() span: a leaf exposes a zero-crossing surface (onEvent
+    /// typically sends a signal toward the capsule world) or any streamer
+    /// owns an SPort (update()/onEvent() may call SPort::send() at any
+    /// major-step boundary). Structural — fixed once the network is
+    /// flattened. The executor refuses to coalesce grid steps for such
+    /// runners, because it cannot foresee mid-span emissions.
+    bool canEmitMidSpan() const;
+
     double time() const { return t_; }
     const solver::Vec& state() const { return x_; }
     solver::Vec& state() { return x_; }

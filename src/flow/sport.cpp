@@ -12,7 +12,7 @@ namespace urtx::flow {
 class SPort::Agent final : public rt::Capsule {
 public:
     Agent(SPort& sp, std::string name, const rt::Protocol& proto, bool conjugated)
-        : rt::Capsule(std::move(name)), sport_(sp), port(*this, "signal", proto, conjugated) {}
+        : rt::Capsule(std::move(name)), port(*this, "signal", proto, conjugated), sport_(sp) {}
 
     rt::Port port;
 

@@ -12,6 +12,11 @@ Capsule::Capsule(std::string name, Capsule* parent) : name_(std::move(name)), pa
 }
 
 Capsule::~Capsule() {
+    // Member ports of derived capsules are already gone by now (members
+    // destruct before the base). Anything still registered is owned
+    // externally — e.g. a LayerService provider end — and may outlive this
+    // capsule: orphan it so its destructor does not touch a dead capsule.
+    for (Port* p : ports_) p->owner_ = nullptr;
     // Destroy owned children first (their destructors detach themselves).
     owned_.clear();
     if (parent_) {

@@ -36,6 +36,11 @@ void Controller::post(Message m) {
 
 void Controller::deliver(Message& m) {
     URTX_TRACE_SPAN("rt", "dispatch");
+    // Seq-cst raise/bump/clear: the engine's macro-step validation relies
+    // on a total order over these and its own reads (see macroSpan). On a
+    // throw the flag stays raised — conservative: coalescing stays off
+    // while the exception unwinds the run.
+    dispatching_.store(true);
     if (obs::metricsOn()) {
         const auto& wk = obs::wellknown();
         // +1: the popped message itself counts toward the observed depth.
@@ -48,7 +53,8 @@ void Controller::deliver(Message& m) {
     } else {
         m.receiver->deliver(m);
     }
-    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    dispatched_.fetch_add(1);
+    dispatching_.store(false);
 }
 
 bool Controller::deliverNext() {

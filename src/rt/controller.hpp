@@ -82,6 +82,13 @@ public:
     bool running() const { return running_.load(); }
 
     std::uint64_t dispatched() const { return dispatched_.load(); }
+    /// True while a message handler is executing (threaded or stepped
+    /// path). Together with dispatched(), this lets the simulation engine
+    /// validate that no handler ran across a read of the timer horizon:
+    /// every handler execution either overlaps the window (dispatching()
+    /// observed true at one of its ends — both flag and counter are
+    /// sequentially consistent) or bumps dispatched() between two reads.
+    bool dispatching() const { return dispatching_.load(); }
 
 private:
     void run();
@@ -97,6 +104,7 @@ private:
     std::atomic<bool> running_{false};
     std::atomic<bool> stopRequested_{false};
     std::atomic<std::uint64_t> dispatched_{0};
+    std::atomic<bool> dispatching_{false};
 };
 
 } // namespace urtx::rt

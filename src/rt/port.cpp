@@ -21,7 +21,9 @@ Port::~Port() {
     for (Port* p : links_) {
         if (p) p->dropLink(this);
     }
-    owner_->unregisterPort(this);
+    // owner_ is null when the owning capsule died first and orphaned this
+    // port (externally owned ports, e.g. LayerService provider ends).
+    if (owner_) owner_->unregisterPort(this);
 }
 
 bool Port::addLink(Port* p) {

@@ -83,6 +83,8 @@ public:
     friend void disconnect(Port& a, Port& b);
 
 private:
+    friend class Capsule; ///< ~Capsule orphans still-registered ports
+
     bool addLink(Port* p);
     void dropLink(Port* p);
 

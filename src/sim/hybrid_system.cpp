@@ -131,16 +131,37 @@ std::uint64_t gridStepCount(double t0, double tEnd, double dt) {
 } // namespace
 
 std::uint64_t HybridSystem::macroSpan(std::uint64_t i, std::uint64_t n, double t0,
-                                      double dt) const {
+                                      double dt, bool mt) const {
     std::uint64_t span = std::min<std::uint64_t>(macroStepLimit_, n - i + 1);
     if (span <= 1 || realtimeFactor_ > 0.0) return 1;
-    // Coalescing must be unobservable: the trace samples per grid step,
-    // queued messages deserve a drain/clock rendezvous now, and queued
-    // SPort signals mean the capsule world is mid-conversation with a
-    // solver. (In MultiThread mode the queue check is advisory — a message
-    // can land right after it — which only shortens, never breaks, the
-    // rendezvous pattern the mode already has.)
+    // Coalescing must be unobservable. Structural veto first: a runner
+    // whose network has zero-crossing surfaces or SPorts can emit signals
+    // from *inside* a coalesced grant (onEvent / update -> SPort::send),
+    // and the capsule reaction must get its drain/clock rendezvous at the
+    // very next grid step. The engine cannot foresee those emissions, so
+    // it never coalesces for such runners.
+    for (const auto& r : runners_) {
+        if (r->canEmitMidSpan()) return 1;
+    }
+    // Dynamic vetoes: the trace samples per grid step, and queued messages
+    // deserve a drain/clock rendezvous now.
     if (trace_.channelCount() > 0) return 1;
+    // In MultiThread mode controllers run concurrently, so a handler could
+    // schedule a timer after the nextTimerDue() read below and have the
+    // grant cross it. Bracket the reads with a dispatch snapshot: any
+    // handler overlapping the window is seen dispatching at one of the two
+    // checks, and any handler completing inside it bumps the dispatched
+    // sum — either way we fall back to a single step. With all controllers
+    // validated idle and all queues empty, nothing can create a timer
+    // mid-span: solvers able to send are structurally excluded above and
+    // time only advances from this loop.
+    std::uint64_t dispatchSum0 = 0;
+    if (mt) {
+        for (const auto& c : controllers_) {
+            if (c->dispatching()) return 1;
+            dispatchSum0 += c->dispatched();
+        }
+    }
     for (const auto& c : controllers_) {
         if (c->queue().size() > 0) return 1;
     }
@@ -159,6 +180,14 @@ std::uint64_t HybridSystem::macroSpan(std::uint64_t i, std::uint64_t n, double t
         if (j <= i) return 1;
         span = std::min(span, j - i + 1);
     }
+    if (mt) {
+        std::uint64_t dispatchSum1 = 0;
+        for (const auto& c : controllers_) {
+            if (c->dispatching()) return 1;
+            dispatchSum1 += c->dispatched();
+        }
+        if (dispatchSum1 != dispatchSum0) return 1;
+    }
     return span;
 }
 
@@ -172,7 +201,7 @@ void HybridSystem::runGrid(double tEnd, SolverPool* pool) {
     };
     for (std::uint64_t i = 1; i <= n;) {
         URTX_TRACE_SPAN("sim", "grid.step");
-        const std::uint64_t k = macroSpan(i, n, t0, dt);
+        const std::uint64_t k = macroSpan(i, n, t0, dt, pool != nullptr);
         const double t = gridTime(i + k - 1);
         pace(t - t0, wallStart);
         // 1) event-driven world reacts to everything due strictly before t

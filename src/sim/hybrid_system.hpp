@@ -21,11 +21,14 @@
 ///
 /// Both modes advance the shared VirtualClock on a global step grid equal
 /// to the smallest solver major step; the final (possibly partial) step is
-/// clamped so the run lands exactly on tEnd. On quiet stretches — no timer
-/// due before the target, no queued messages or SPort signals, no trace
-/// channels, no pacing — the grid loop coalesces up to macroStepLimit()
-/// grid steps into one solver grant (macro-stepping), cutting barrier
-/// crossings without changing any observable trajectory.
+/// clamped so the run lands exactly on tEnd. On quiet stretches — every
+/// runner structurally unable to emit mid-span (no zero-crossing surfaces,
+/// no SPorts), no timer due before the target, no queued messages, no
+/// trace channels, no pacing — the grid loop coalesces up to
+/// macroStepLimit() grid steps into one solver grant (macro-stepping),
+/// cutting barrier crossings without changing any observable trajectory.
+/// In MultiThread mode the timer check is additionally validated against
+/// concurrent controller dispatch activity at grant time.
 
 #include <chrono>
 #include <memory>
@@ -94,9 +97,13 @@ public:
 
     /// Coalesce up to \p k quiet grid steps into one solver grant (>= 1;
     /// 1 disables macro-stepping). Coalescing only engages when it cannot
-    /// be observed: no trace channels, every controller queue empty, no
-    /// SPort signal queued, no timer due before the coalesced target and
-    /// no real-time pacing.
+    /// be observed: no runner can emit signals mid-span (a network with
+    /// zero-crossing event surfaces or SPorts structurally disables
+    /// coalescing — see flow::SolverRunner::canEmitMidSpan), no trace
+    /// channels, every controller queue empty, no SPort signal queued, no
+    /// timer due before the coalesced target and no real-time pacing; in
+    /// MultiThread mode additionally no controller handler ran while the
+    /// span was computed.
     void setMacroStepLimit(std::uint64_t k);
     std::uint64_t macroStepLimit() const { return macroStepLimit_; }
     /// Number of coalesced grants issued / grid steps absorbed into them.
@@ -122,7 +129,10 @@ private:
     /// solver grants go through the epoch barrier.
     void runGrid(double tEnd, SolverPool* pool);
     /// Grid steps [i .. i+span-1] that can be granted at once (>= 1).
-    std::uint64_t macroSpan(std::uint64_t i, std::uint64_t n, double t0, double dt) const;
+    /// \p mt: MultiThread mode — controllers run concurrently, so the
+    /// timer-horizon read is bracketed by a dispatch-activity check.
+    std::uint64_t macroSpan(std::uint64_t i, std::uint64_t n, double t0, double dt,
+                            bool mt) const;
     void drainControllersInline();
     /// Per-grant metric updates for \p k grid steps (no-op when metrics off).
     void observeStep(std::uint64_t k);

@@ -26,8 +26,16 @@ SolverPool::SolverPool(std::vector<flow::SolverRunner*> runners)
     // it is waiting for; park immediately there.
     spinLimit_ = std::thread::hardware_concurrency() > 1 ? 4096 : 0;
     threads_.reserve(runners_.size());
-    for (std::size_t i = 0; i < runners_.size(); ++i) {
-        threads_.emplace_back([this, i] { workerLoop(i); });
+    try {
+        for (std::size_t i = 0; i < runners_.size(); ++i) {
+            threads_.emplace_back([this, i] { workerLoop(i); });
+        }
+    } catch (...) {
+        // Spawn failed partway: the object never finishes constructing, so
+        // ~SolverPool will not run — park and join the threads spawned so
+        // far here, or their destruction std::terminate's the process.
+        shutdown();
+        throw;
     }
 }
 

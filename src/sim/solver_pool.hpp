@@ -61,18 +61,23 @@ private:
     std::vector<std::exception_ptr> errors_; ///< slot idx written only by worker idx
     std::vector<std::thread> threads_;
 
-    /// Grant word: bumped (release) to publish target_/tLimit_; workers
-    /// spin-then-wait on it. Separate cache lines keep the completion
-    /// traffic off the grant word.
+    /// Grant line: the epoch word plus everything its release-store
+    /// publishes. Workers read target_/tLimit_/stop_ only after acquiring
+    /// a fresh epoch, so co-locating them costs nothing; failed_ rides
+    /// here too (written only on the rare error path, read by the engine
+    /// once per grant). spinLimit_ is read-only after construction.
     alignas(64) std::atomic<std::uint64_t> epoch_{0};
-    /// Counting latch: set to size() before each grant, decremented once
-    /// per worker; the engine waits for zero.
-    alignas(64) std::atomic<std::size_t> remaining_{0};
-    std::atomic<bool> stop_{false};
-    std::atomic<bool> failed_{false};
     double target_ = 0.0; ///< published by the epoch release-store
     double tLimit_ = 0.0; ///< likewise
-    unsigned spinLimit_;  ///< 0 on single-core hosts (spinning starves the worker)
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> failed_{false};
+    unsigned spinLimit_ = 0; ///< 0 on single-core hosts (spinning starves the worker)
+    /// Counting latch: set to size() before each grant, decremented once
+    /// per worker; the engine waits for zero. Last member on its own
+    /// 64-byte boundary (the alignas tail-pads the object), so completion
+    /// RMW traffic never invalidates the grant line and grant reads never
+    /// bounce the latch line.
+    alignas(64) std::atomic<std::size_t> remaining_{0};
 };
 
 } // namespace urtx::sim

@@ -49,6 +49,9 @@ struct Decay : f::Streamer {
 
 struct MetricsOn : ::testing::Test {
     void SetUp() override {
+#if !URTX_OBS
+        GTEST_SKIP() << "observability compiled out (URTX_OBS=0)";
+#endif
         obs::wellknown(); // eager registration — snapshots have a stable schema
         obs::Registry::global().reset();
         obs::setMetricsEnabled(true);

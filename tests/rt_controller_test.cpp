@@ -210,3 +210,20 @@ TEST(Controller, TwoControllersTalkThroughPorts) {
     EXPECT_EQ(echo.got.load(), kPings);
     EXPECT_EQ(client.pongs.load(), kPings);
 }
+
+TEST(Controller, DispatchingFlagRaisedOnlyInsideHandlers) {
+    rt::Controller ctl{"main"};
+    struct Probe : rt::Capsule {
+        using rt::Capsule::Capsule;
+        bool sawFlag = false;
+
+    protected:
+        void onMessage(const rt::Message&) override { sawFlag = context()->dispatching(); }
+    } cap{"probe"};
+    ctl.attach(cap);
+    EXPECT_FALSE(ctl.dispatching());
+    ctl.post(to(cap, "m"));
+    ctl.dispatchAll();
+    EXPECT_TRUE(cap.sawFlag) << "flag must be visible from inside a handler";
+    EXPECT_FALSE(ctl.dispatching()) << "flag must clear after the handler returns";
+}

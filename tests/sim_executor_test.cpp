@@ -424,3 +424,131 @@ TEST(MacroStepping, MetricsCountCoalescedStepsAndBarrierWaits) {
     EXPECT_GT(bw->sum, 0.0);
     obs::Registry::global().reset();
 }
+
+// --- macro-stepping vs. mid-span emissions (event surfaces / SPorts) --------
+
+namespace {
+
+rt::Protocol& brakeProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"ExecBrake"};
+        q.out("cross").in("brake");
+        return q;
+    }();
+    return p;
+}
+
+/// x' = rate; a rising crossing of x = 0.505 notifies the capsule world,
+/// which replies "brake" -> rate = -1 at the next step boundary.
+struct Brakeable : f::Streamer {
+    Brakeable(std::string n, f::Streamer* parent)
+        : f::Streamer(std::move(n), parent), ctl(*this, "ctl", brakeProto(), false) {
+        setParam("rate", 1.0);
+    }
+    f::SPort ctl;
+    std::size_t stateSize() const override { return 1; }
+    void initState(double, std::span<double> x) override { x[0] = 0.0; }
+    void derivatives(double, std::span<const double>, std::span<double> dx) override {
+        dx[0] = param("rate");
+    }
+    bool directFeedthrough() const override { return false; }
+    bool hasEvent() const override { return true; }
+    double eventFunction(double, std::span<const double> x) const override {
+        return x[0] - 0.505;
+    }
+    void onEvent(double t, bool rising) override {
+        if (rising) ctl.send("cross", t);
+    }
+    void onSignal(f::SPort&, const rt::Message& m) override {
+        if (m.signal == rt::signal("brake")) setParam("rate", -1.0);
+    }
+};
+
+struct BrakeSupervisor : rt::Capsule {
+    BrakeSupervisor() : rt::Capsule("sup"), plant(*this, "plant", brakeProto(), true) {}
+    rt::Port plant;
+    std::atomic<int> crossings{0};
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("cross")) {
+            ++crossings;
+            plant.send("brake");
+        }
+    }
+};
+
+} // namespace
+
+TEST(MacroStepping, CanEmitMidSpanIsStructural) {
+    // Pure dataflow network: no event surfaces, no SPorts -> may coalesce.
+    Plain pure{"pure"};
+    c::Constant u("u", &pure, 1.0);
+    c::Integrator xi("x", &pure, 0.0);
+    f::flow(u.out(), xi.in());
+    f::SolverRunner rPure(pure, s::makeIntegrator("Euler"), 0.01);
+    EXPECT_FALSE(rPure.canEmitMidSpan());
+
+    // An SPort alone (update() could send through it) already vetoes.
+    Plain sigTop{"sig"};
+    c::Constant u2("u", &sigTop, 1.0);
+    f::SPort sp(sigTop, "ctl", brakeProto());
+    f::SolverRunner rSig(sigTop, s::makeIntegrator("Euler"), 0.01);
+    EXPECT_TRUE(rSig.canEmitMidSpan());
+
+    // Event surface + SPort (the tank/pendulum example shape).
+    Plain evTop{"ev"};
+    Brakeable ev("plant", &evTop);
+    f::SolverRunner rEv(evTop, s::makeIntegrator("Euler"), 0.01);
+    EXPECT_TRUE(rEv.canEmitMidSpan());
+}
+
+TEST(MacroStepping, EventEmittingStreamerNeverCoalesces) {
+    auto simulate = [](std::uint64_t limit) {
+        sim::HybridSystem sys;
+        sys.setMacroStepLimit(limit);
+        BrakeSupervisor sup;
+        sys.addCapsule(sup);
+        Plain top{"top"};
+        Brakeable plant("plant", &top);
+        rt::connect(sup.plant, plant.ctl.rtPort());
+        sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+        sys.run(1.0, sim::ExecutionMode::SingleThread);
+        struct Out {
+            double x, rate;
+            std::uint64_t grants;
+            int crossings;
+        };
+        return Out{sys.runners()[0]->state()[0], plant.param("rate"), sys.macroGrants(),
+                   sup.crossings.load()};
+    };
+    // Pre-fix, macroSpan only looked at pre-grant discrete state: the
+    // default limit (32) coalesced straight over the zero crossing at
+    // t = 0.505, so the capsule's braking reply was deferred to the end of
+    // the coalesced grant (t = 0.64) and the trajectory bent late.
+    const auto fine = simulate(1);
+    const auto macro = simulate(32);
+    EXPECT_EQ(macro.grants, 0u) << "event/SPort networks must disable macro-stepping";
+    EXPECT_EQ(fine.crossings, 1);
+    EXPECT_EQ(macro.crossings, fine.crossings);
+    EXPECT_EQ(macro.x, fine.x) << "identical grant sequence -> identical trajectory";
+    EXPECT_EQ(macro.rate, -1.0);
+    // x rises to ~0.51 (brake lands at the next grid boundary after the
+    // crossing), then falls for the rest of the run: x(1) ~ 0.51 - 0.49.
+    EXPECT_NEAR(fine.x, 0.02, 0.02);
+}
+
+TEST(MacroStepping, EventEmittingStreamerMultiThreadStillReacts) {
+    sim::HybridSystem sys; // default macro limit: 32
+    BrakeSupervisor sup;
+    sys.addCapsule(sup);
+    Plain top{"top"};
+    Brakeable plant("plant", &top);
+    rt::connect(sup.plant, plant.ctl.rtPort());
+    sys.addStreamerGroup(top, s::makeIntegrator("RK4"), 0.01);
+    sys.run(1.0, sim::ExecutionMode::MultiThread);
+    EXPECT_EQ(sys.macroGrants(), 0u);
+    // Controller::stop() drains the queue, so the crossing notification is
+    // handled even if it raced the end of the run.
+    EXPECT_EQ(sup.crossings.load(), 1);
+}
