@@ -17,6 +17,8 @@
 /// message-service latency. Expected shape: the two-thread design wins
 /// once continuous work per step dominates; at tiny ODE sizes the barrier
 /// overhead makes it slower (crossover).
+///
+/// A machine-readable summary of every table is written to BENCH_fig3.json.
 
 #include <atomic>
 #include <cmath>
@@ -47,6 +49,55 @@ namespace {
 struct Plain : f::Streamer {
     using f::Streamer::Streamer;
 };
+
+/// Machine-readable rows mirrored into BENCH_fig3.json for scripted
+/// consumption (CI artifact diffing, paper figure regeneration).
+struct JsonReport {
+    struct Scaling {
+        std::size_t dim;
+        double stMs, mtMs, measured, projected;
+        int ticks;
+    };
+    struct TwoGroup {
+        std::size_t dim;
+        double stMs, mtMs, speedup;
+    };
+    struct Handoff {
+        std::size_t runners;
+        double legacyUs, poolUs, ratio, barrierMeanUs;
+    };
+    std::vector<Scaling> scaling;
+    std::vector<TwoGroup> twoGroup;
+    std::vector<Handoff> handoff;
+
+    void write(const char* path) const {
+        std::ofstream j(path);
+        j << "{\"bench\":\"fig3_threading\",\"scaling\":[";
+        for (std::size_t i = 0; i < scaling.size(); ++i) {
+            const auto& r = scaling[i];
+            j << (i ? "," : "") << "{\"dim\":" << r.dim << ",\"single_thread_ms\":" << r.stMs
+              << ",\"multi_thread_ms\":" << r.mtMs << ",\"measured_speedup\":" << r.measured
+              << ",\"projected_speedup\":" << r.projected << ",\"ticks\":" << r.ticks << "}";
+        }
+        j << "],\"two_groups\":[";
+        for (std::size_t i = 0; i < twoGroup.size(); ++i) {
+            const auto& r = twoGroup[i];
+            j << (i ? "," : "") << "{\"dim\":" << r.dim << ",\"single_thread_ms\":" << r.stMs
+              << ",\"multi_thread_ms\":" << r.mtMs << ",\"speedup\":" << r.speedup << "}";
+        }
+        j << "],\"handoff\":[";
+        for (std::size_t i = 0; i < handoff.size(); ++i) {
+            const auto& r = handoff[i];
+            j << (i ? "," : "") << "{\"runners\":" << r.runners
+              << ",\"legacy_us_per_grant\":" << r.legacyUs << ",\"pool_us_per_grant\":" << r.poolUs
+              << ",\"ratio\":" << r.ratio << ",\"barrier_wait_mean_us\":" << r.barrierMeanUs
+              << "}";
+        }
+        j << "]}\n";
+    }
+};
+
+JsonReport gReport;
 
 /// A dense coupled linear plant: dx_i = -x_i + 0.1 * mean(x) + u. Work per
 /// derivative evaluation is O(n^2/8) to emulate nontrivial equations.
@@ -214,6 +265,8 @@ void handoffOverhead() {
         std::printf("  %-8zu %9.2f us %9.2f us %6.2fx %23.2f us mean\n", nr,
                     legacy / S * 1e6, poolWall / S * 1e6, legacy / poolWall,
                     barrierMean * 1e6);
+        gReport.handoff.push_back({nr, legacy / S * 1e6, poolWall / S * 1e6, legacy / poolWall,
+                                   barrierMean * 1e6});
     }
     std::puts("  (one epoch publish + one latch wait per grant regardless of runner");
     std::puts("   count, vs 2 lock/wake round-trips per worker per grant before)");
@@ -320,6 +373,8 @@ int main() {
         const double projected = st.wall / std::max(solverOnly, capsuleOnly);
         std::printf("  %-10zu %13.2f %13.2f %9.2fx %11.2fx %5d/%d\n", dim, st.wall * 1e3,
                     mt.wall * 1e3, st.wall / mt.wall, projected, mt.ticks, expectedTicks);
+        gReport.scaling.push_back(
+            {dim, st.wall * 1e3, mt.wall * 1e3, st.wall / mt.wall, projected, mt.ticks});
         if (st.ticks < expectedTicks - 2 || mt.ticks < expectedTicks - 2) {
             std::printf("  WARNING: tick shortfall (st=%d mt=%d)\n", st.ticks, mt.ticks);
         }
@@ -349,6 +404,7 @@ int main() {
         const double st = runTwo(sim::ExecutionMode::SingleThread);
         const double mt = runTwo(sim::ExecutionMode::MultiThread);
         std::printf("  %-10zu %14.2f %14.2f %9.2fx\n", dim, st * 1e3, mt * 1e3, st / mt);
+        gReport.twoGroup.push_back({dim, st * 1e3, mt * 1e3, st / mt});
     }
 
     // --- capsule service latency under continuous load -----------------------
@@ -401,6 +457,9 @@ int main() {
     handoffOverhead();
 
     telemetryRun(256, tEnd);
+
+    gReport.write("BENCH_fig3.json");
+    std::puts("\nwrote BENCH_fig3.json");
 
     std::puts("\nShape check: the projected column shows the paper's claim — the");
     std::puts("two-thread deployment wins once continuous work rivals the reactive");

@@ -195,6 +195,12 @@ BENCHMARK(BM_priority_queue_mixed);
 } // namespace
 
 int main(int argc, char** argv) {
+    // The causal-tracing fields (spanId + enqueueNanos) ride in every
+    // message; keep their footprint visible so a regression in the struct
+    // layout (message.hpp documents 64 bytes on LP64) shows up here.
+    std::printf("sizeof(rt::Message) = %zu bytes (documented layout: 64 on x86-64/LP64)\n\n",
+                sizeof(rt::Message));
+
     // Run the mechanisms with the telemetry layer counting, then summarize
     // what actually moved — grounds the per-op timings in traffic volumes.
     urtx::obs::setMetricsEnabled(true);

@@ -3,19 +3,25 @@
 /// instruments — Controller dispatch and SolverRunner::step — in three
 /// configurations:
 ///
-///   off      — metrics and tracer runtime-disabled (the default): every
-///              instrumented site pays one relaxed atomic load. This is the
-///              configuration whose overhead must be within noise of the
-///              uninstrumented seed (<= 2%).
+///   off      — metrics, tracer and health monitors runtime-disabled (the
+///              default): every instrumented site pays one relaxed atomic
+///              load. This is the configuration whose overhead must be
+///              within noise of the uninstrumented seed (<= 2%).
 ///   metrics  — metrics on (clock reads + striped counters/histograms).
 ///   full     — metrics + tracer on (ring-buffer spans on top).
+///   causal   — everything on: tracer flow events, deadline monitor and
+///              flight recorder riding the causal span path.
 ///
 /// Compiling with -DURTX_OBS_DISABLE=ON removes even the relaxed loads; the
 /// "off" row here is the upper bound on what a default build pays.
+///
+/// A machine-readable summary is written to BENCH_obs.json.
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "control/control.hpp"
@@ -119,7 +125,29 @@ struct Config {
     const char* name;
     bool metrics;
     bool tracer;
+    bool causal; ///< monitor + flight recorder (deadline checks on the hop path)
 };
+
+struct Row {
+    const char* name;
+    double dispatchNs;
+    double dispatchPct;
+    double solverNs;
+    double solverPct;
+};
+
+void writeJson(const std::vector<Row>& rows) {
+    std::ofstream f("BENCH_obs.json");
+    f << "{\"bench\":\"obs_overhead\",\"urtx_obs\":" << (URTX_OBS ? 1 : 0) << ",\"configs\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        if (i) f << ",";
+        f << "{\"name\":\"" << r.name << "\",\"dispatch_ns\":" << r.dispatchNs
+          << ",\"dispatch_vs_off_pct\":" << r.dispatchPct << ",\"solver_step_ns\":" << r.solverNs
+          << ",\"solver_vs_off_pct\":" << r.solverPct << "}";
+    }
+    f << "]}\n";
+}
 
 } // namespace
 
@@ -134,15 +162,17 @@ int main() {
 #endif
 
     const Config configs[] = {
-        {"off (default)", false, false},
-        {"metrics", true, false},
-        {"metrics+tracer", true, true},
+        {"off (default)", false, false, false},
+        {"metrics", true, false, false},
+        {"metrics+tracer", true, true, false},
+        {"causal (all on)", true, true, true},
     };
 
     constexpr int kDispatchRounds = 100000;
     constexpr int kSolverSteps = 20000;
     constexpr std::size_t kDim = 16;
 
+    std::vector<Row> rows;
     double dispatchBase = 0, solverBase = 0;
     std::printf("%-16s %18s %10s %18s %10s\n", "config", "dispatch [ns/op]", "vs off",
                 "solver step [ns]", "vs off");
@@ -150,21 +180,29 @@ int main() {
     for (const Config& cfg : configs) {
         obs::setMetricsEnabled(cfg.metrics);
         obs::Tracer::global().setEnabled(cfg.tracer);
+        obs::Monitor::global().setEnabled(cfg.causal);
+        obs::FlightRecorder::global().setEnabled(cfg.causal);
         obs::Registry::global().reset();
         obs::Tracer::global().clear();
 
         const double dispatch = dispatchHotPath(kDispatchRounds);
         const double solver = solverHotPath(kSolverSteps, kDim);
-        if (!cfg.metrics && !cfg.tracer) {
+        if (!cfg.metrics && !cfg.tracer && !cfg.causal) {
             dispatchBase = dispatch;
             solverBase = solver;
         }
-        std::printf("%-16s %18.1f %9.1f%% %18.1f %9.1f%%\n", cfg.name, dispatch * 1e9,
-                    (dispatch / dispatchBase - 1.0) * 100.0, solver * 1e9,
-                    (solver / solverBase - 1.0) * 100.0);
+        const double dPct = (dispatch / dispatchBase - 1.0) * 100.0;
+        const double sPct = (solver / solverBase - 1.0) * 100.0;
+        std::printf("%-16s %18.1f %9.1f%% %18.1f %9.1f%%\n", cfg.name, dispatch * 1e9, dPct,
+                    solver * 1e9, sPct);
+        rows.push_back(Row{cfg.name, dispatch * 1e9, dPct, solver * 1e9, sPct});
     }
     obs::setMetricsEnabled(false);
     obs::Tracer::global().setEnabled(false);
+    obs::Monitor::global().setEnabled(false);
+    obs::FlightRecorder::global().setEnabled(false);
+    writeJson(rows);
+    std::puts("\nwrote BENCH_obs.json");
 
     std::puts("\nWhat the enabled run recorded (sanity that the cost bought data):");
     obs::setMetricsEnabled(true);

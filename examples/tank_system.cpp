@@ -9,12 +9,18 @@
 /// where a in [0,1] is the valve opening. At t = 30 s the valve sticks
 /// (fault); the supervisor detects the resulting high level in tank1 via a
 /// zero-crossing event and shuts the inflow pump.
+///
+/// The run also exercises the real-time health layer: the flight recorder
+/// keeps a causal log of every emit/reaction, the monitor checks that the
+/// supervisor reacts to "levelHigh" within 2 ms of the plant raising it,
+/// and the post-mortem is dumped to tank_postmortem.json at the end.
 
 #include <cmath>
 #include <cstdio>
 #include <span>
 
 #include "flow/flow.hpp"
+#include "obs/obs.hpp"
 #include "rt/rt.hpp"
 #include "sim/sim.hpp"
 
@@ -149,6 +155,15 @@ int main() {
     std::puts("two-tank system: level supervision with a stuck-valve fault at t=30 s");
     std::puts("----------------------------------------------------------------------");
 
+    // Health layer: causal flight recording plus a reaction deadline — the
+    // supervisor must start handling "levelHigh" within 2 ms (wall clock)
+    // of the plant emitting it.
+    namespace obs = urtx::obs;
+    obs::FlightRecorder::global().setDumpPath("tank_postmortem.json");
+    obs::FlightRecorder::global().setEnabled(true);
+    obs::Monitor::global().setEnabled(true);
+    obs::Monitor::global().require(rt::signal("levelHigh"), "levelHigh", 2e-3);
+
     sim::HybridSystem sys;
 
     f::Streamer group{"process"};
@@ -177,5 +192,21 @@ int main() {
                 sup.machine().currentPath().c_str());
     std::printf("ran in %s mode, %llu steps\n", sim::to_string(sim::ExecutionMode::MultiThread),
                 static_cast<unsigned long long>(sys.steps()));
+
+    const obs::Snapshot health = obs::Registry::global().snapshot();
+    const auto* hop = health.histogram("rt.hop_latency_seconds.levelHigh");
+    std::printf("health: levelHigh reactions %llu, deadline misses %llu, worst hop %.1f us\n",
+                static_cast<unsigned long long>(hop ? hop->count : 0),
+                static_cast<unsigned long long>(obs::Monitor::global().misses()),
+                (health.gauge("rt.hop_latency_worst_seconds.levelHigh")
+                     ? health.gauge("rt.hop_latency_worst_seconds.levelHigh")->value
+                     : 0.0) *
+                    1e6);
+    const std::string dump = obs::FlightRecorder::global().dumpNow("end of run (demo)");
+    std::printf("post-mortem (%zu causal events) written to %s\n",
+                obs::FlightRecorder::global().eventCount(),
+                dump.empty() ? "(write failed)" : dump.c_str());
+    obs::Monitor::global().setEnabled(false);
+    obs::FlightRecorder::global().setEnabled(false);
     return 0;
 }

@@ -62,8 +62,14 @@ void SolverRunner::integrateSegment(double tEnd) {
             x_ = crossings.front().state;
             net_.computeOutputs(t_, x_);
             bool anyReset = false;
+            const bool record = obs::causalBit(obs::kCausalRecorder);
             for (const solver::Crossing& c : crossings) {
                 Streamer* leaf = net_.eventLeaves().at(c.index);
+                if (record) {
+                    obs::FlightRecorder::global().note(
+                        "flow", 0, "zero-crossing #%zu (%s) in %s at t=%.6f", c.index,
+                        c.rising ? "rising" : "falling", leaf->name().c_str(), t_);
+                }
                 leaf->onEvent(t_, c.rising);
                 // Impulsive state reset (e.g. restitution): apply to the
                 // leaf's segment.

@@ -75,7 +75,11 @@ std::size_t SPort::drain() {
     if (!batch.empty() && obs::metricsOn()) {
         obs::wellknown().flowSportDrained->add(batch.size());
     }
-    for (const rt::Message& m : batch) owner_->onSignal(*this, m);
+    const bool causal = obs::causalOn();
+    for (const rt::Message& m : batch) {
+        if (causal && m.spanId) rt::obs_detail::onHandle(m, "sport.drain");
+        owner_->onSignal(*this, m);
+    }
     return batch.size();
 }
 

@@ -1,0 +1,153 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace urtx::obs {
+
+FlightRecorder::FlightRecorder() : slots_(1024) {}
+
+FlightRecorder& FlightRecorder::global() {
+    static FlightRecorder* r = new FlightRecorder(); // leaked: hooks may fire at exit
+    return *r;
+}
+
+void FlightRecorder::setEnabled(bool on) { detail::setCausalBit(kCausalRecorder, on); }
+
+void FlightRecorder::setCapacity(std::size_t events) {
+    std::lock_guard lock(mu_);
+    slots_.assign(std::max<std::size_t>(events, 1), Slot{});
+    head_ = 0;
+}
+
+void FlightRecorder::setDumpPath(std::string path) {
+    std::lock_guard lock(mu_);
+    dumpPath_ = std::move(path);
+}
+
+std::string FlightRecorder::dumpPath() const {
+    std::lock_guard lock(mu_);
+    return dumpPath_;
+}
+
+void FlightRecorder::note(const char* cat, std::uint64_t spanId, const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::lock_guard lock(mu_);
+    Slot& s = slots_[head_ % slots_.size()];
+    s.ts = nowNanos();
+    s.spanId = spanId;
+    s.cat = cat;
+    std::vsnprintf(s.text, sizeof(s.text), fmt, args);
+    ++head_;
+    va_end(args);
+}
+
+std::size_t FlightRecorder::eventCount() const {
+    std::lock_guard lock(mu_);
+    return static_cast<std::size_t>(std::min<std::uint64_t>(head_, slots_.size()));
+}
+
+std::uint64_t FlightRecorder::droppedCount() const {
+    std::lock_guard lock(mu_);
+    return head_ > slots_.size() ? head_ - slots_.size() : 0;
+}
+
+void FlightRecorder::clear() {
+    std::lock_guard lock(mu_);
+    head_ = 0;
+}
+
+namespace {
+
+void jsonEscape(std::ostringstream& os, std::string_view s) {
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+}
+
+} // namespace
+
+std::string FlightRecorder::dumpString(std::string_view reason) const {
+    std::ostringstream os;
+    os << "{\"reason\":\"";
+    jsonEscape(os, reason);
+    os << "\",\"dumped_at_ns\":" << nowNanos();
+    {
+        std::lock_guard lock(mu_);
+        const std::uint64_t n = std::min<std::uint64_t>(head_, slots_.size());
+        os << ",\"events_dropped\":" << (head_ > slots_.size() ? head_ - slots_.size() : 0);
+        os << ",\"events\":[";
+        for (std::uint64_t i = head_ - n; i < head_; ++i) {
+            const Slot& s = slots_[i % slots_.size()];
+            if (i != head_ - n) os << ",";
+            os << "{\"ts\":" << s.ts << ",\"cat\":\"" << s.cat << "\",\"span\":" << s.spanId
+               << ",\"text\":\"";
+            jsonEscape(os, s.text);
+            os << "\"}";
+        }
+        os << "]";
+    }
+    // The last metrics snapshot rides along so a post-mortem shows both the
+    // recent causal history and the aggregate state it ended in.
+    os << ",\"metrics\":" << Registry::global().snapshot().toJson() << "}";
+    return os.str();
+}
+
+std::string FlightRecorder::dumpNow(std::string_view reason) noexcept {
+    try {
+        const std::string body = dumpString(reason);
+        std::string path;
+        {
+            std::lock_guard lock(mu_);
+            path = dumpPath_;
+        }
+        std::ofstream f(path);
+        if (!f) return {};
+        f << body;
+        f.close();
+        {
+            std::lock_guard lock(mu_);
+            lastDumpPath_ = path;
+        }
+        dumps_.fetch_add(1, std::memory_order_relaxed);
+#if URTX_OBS
+        wellknown().obsPostmortemDumps->inc();
+#endif
+        return path;
+    } catch (...) {
+        return {};
+    }
+}
+
+void FlightRecorder::onFault(const char* what) noexcept {
+    if (!causalBit(kCausalRecorder)) return;
+    try {
+        note("fault", 0, "FAULT: %s", what);
+        dumpNow(std::string("fault: ") + what);
+    } catch (...) {
+    }
+}
+
+std::string FlightRecorder::lastDumpPath() const {
+    std::lock_guard lock(mu_);
+    return lastDumpPath_;
+}
+
+} // namespace urtx::obs

@@ -1,0 +1,100 @@
+#pragma once
+/// \file flight_recorder.hpp
+/// Always-on post-mortem flight recorder: a bounded ring of recent
+/// annotated runtime events plus the current metrics snapshot, dumped to a
+/// JSON file when something goes wrong — so a failed run leaves evidence
+/// without rerunning under full tracing.
+///
+/// Once enabled, the runtime hooks append low-rate annotated events (signal
+/// emits and reactions with their causal span ids, zero crossings, deadline
+/// misses, solver stalls, faults). A note is one vsnprintf into a
+/// fixed-size slot under a mutex — cheap at the rates these events occur,
+/// and the ring never allocates after construction.
+///
+/// Dump triggers:
+///  * a solver worker throws (SolverPool / HybridSystem fault path),
+///  * a deadline declared with abortOnMiss is missed (Monitor),
+///  * the watchdog flags a stalled solver grant (Watchdog),
+///  * the user calls dumpNow().
+///
+/// The dump file is a single JSON object:
+///   { "reason": "...", "dumped_at_ns": N, "events_dropped": N,
+///     "events": [ {"ts": ns, "cat": "rt", "span": id, "text": "..."} ... ],
+///     "metrics": { ...Snapshot::toJson()... } }
+/// Events appear oldest-to-newest; the causal chain of a message is the set
+/// of events sharing its span id (e.g. "emit brake #42" ... "handle brake
+/// #42 (+120.3 us)").
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace urtx::obs {
+
+class FlightRecorder {
+public:
+    /// The process-wide recorder used by the runtime hooks.
+    static FlightRecorder& global();
+
+    /// Runtime switch; when off, instrumented sites pay one relaxed load
+    /// (the shared causal-mask gate).
+    void setEnabled(bool on);
+    bool enabled() const { return causalBit(kCausalRecorder); }
+
+    /// Ring capacity in events (default 1024). Clears retained events.
+    void setCapacity(std::size_t events);
+
+    /// Path automatic dumps are written to (default "urtx_postmortem.json",
+    /// overwritten by each dump so the file always holds the latest fault).
+    void setDumpPath(std::string path);
+    std::string dumpPath() const;
+
+    /// Append one annotated event (printf-style; text truncated to the slot
+    /// size). \p spanId links the note into a causal chain; 0 = none.
+    void note(const char* cat, std::uint64_t spanId, const char* fmt, ...)
+        __attribute__((format(printf, 4, 5)));
+
+    /// Number of events currently retained / lost to ring wraparound.
+    std::size_t eventCount() const;
+    std::uint64_t droppedCount() const;
+    void clear();
+
+    /// Render the post-mortem JSON without touching the filesystem.
+    std::string dumpString(std::string_view reason) const;
+
+    /// Write the post-mortem file; returns its path. Also bumps the
+    /// obs.postmortem_dumps counter. Never throws (a recorder that kills
+    /// the run it is documenting would be worse than useless); on I/O
+    /// failure the dump is lost and lastDumpPath() is left unchanged.
+    std::string dumpNow(std::string_view reason) noexcept;
+
+    /// Fault hook used by the executor: note + dumpNow when enabled.
+    void onFault(const char* what) noexcept;
+
+    std::uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+    std::string lastDumpPath() const;
+
+private:
+    struct Slot {
+        std::uint64_t ts = 0;
+        std::uint64_t spanId = 0;
+        const char* cat = "";
+        char text[104] = {};
+    };
+
+    FlightRecorder();
+
+    mutable std::mutex mu_; ///< guards slots_/head_ and path strings
+    std::vector<Slot> slots_;
+    std::uint64_t head_ = 0; ///< events ever written; slot = head_ % capacity
+    std::string dumpPath_ = "urtx_postmortem.json";
+    std::string lastDumpPath_;
+    std::atomic<std::uint64_t> dumps_{0};
+};
+
+} // namespace urtx::obs

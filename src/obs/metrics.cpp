@@ -367,6 +367,8 @@ const Wellknown& wellknown() {
             w.rtDispatchLatency[p] = &r.histogram(
                 std::string("rt.dispatch_latency_seconds.") + prioNames[p], latencyBounds());
         }
+        w.rtDeadlineMiss = &r.counter("rt.deadline_miss");
+        w.rtHopLatency = &r.histogram("rt.hop_latency_seconds", latencyBounds());
         w.flowDportTransfers = &r.counter("flow.dport_transfers");
         w.flowSportSends = &r.counter("flow.sport_sends");
         w.flowSportDrained = &r.counter("flow.sport_drained");
@@ -382,6 +384,8 @@ const Wellknown& wellknown() {
         w.simMacroSteps = &r.counter("sim.macro_steps_coalesced");
         w.simDrainRounds = &r.counter("sim.drain_rounds");
         w.simBarrierWait = &r.histogram("sim.barrier_wait_seconds", barrierBounds());
+        w.simSolverStalls = &r.counter("sim.solver_grant_stalls");
+        w.obsPostmortemDumps = &r.counter("obs.postmortem_dumps");
         return w;
     }();
     return wk;

@@ -36,10 +36,55 @@ std::uint64_t nowNanos();
 namespace detail {
 #if URTX_OBS
 inline std::atomic<bool> gMetricsEnabled{false};
+/// Bitmask of causal-tracking consumers (tracer / monitor / recorder /
+/// watchdog). Message emit/handle sites check one relaxed load of this
+/// mask; when zero, no span ids are assigned and no clocks are read.
+inline std::atomic<std::uint32_t> gCausalMask{0};
+/// Monotonic span-id source (0 is reserved for "untracked").
+inline std::atomic<std::uint64_t> gNextSpanId{1};
 #endif
 /// Small dense per-thread index used to pick a stripe.
 std::size_t threadIndex();
 } // namespace detail
+
+/// Consumers of causal message tracking; each keeps its own bit in the
+/// shared mask so hot paths pay one load for all of them.
+inline constexpr std::uint32_t kCausalTracer = 1u << 0;
+inline constexpr std::uint32_t kCausalMonitor = 1u << 1;
+inline constexpr std::uint32_t kCausalRecorder = 1u << 2;
+inline constexpr std::uint32_t kCausalWatchdog = 1u << 3;
+
+#if URTX_OBS
+/// True when any causal-tracking consumer is enabled: emit sites then
+/// stamp messages with a span id + enqueue timestamp.
+inline bool causalOn() {
+    return detail::gCausalMask.load(std::memory_order_relaxed) != 0;
+}
+/// True when the specific consumer \p bit is enabled.
+inline bool causalBit(std::uint32_t bit) {
+    return (detail::gCausalMask.load(std::memory_order_relaxed) & bit) != 0;
+}
+/// Fresh process-unique causal span id (never 0).
+inline std::uint64_t newSpanId() {
+    return detail::gNextSpanId.fetch_add(1, std::memory_order_relaxed);
+}
+namespace detail {
+inline void setCausalBit(std::uint32_t bit, bool on) {
+    if (on) {
+        gCausalMask.fetch_or(bit, std::memory_order_relaxed);
+    } else {
+        gCausalMask.fetch_and(~bit, std::memory_order_relaxed);
+    }
+}
+} // namespace detail
+#else
+constexpr bool causalOn() { return false; }
+constexpr bool causalBit(std::uint32_t) { return false; }
+inline std::uint64_t newSpanId() { return 0; }
+namespace detail {
+inline void setCausalBit(std::uint32_t, bool) {}
+} // namespace detail
+#endif
 
 /// Runtime switch for metric *timing* instrumentation (clock reads and
 /// histogram observes on hot paths). Defaults to off so uninstrumented
@@ -209,6 +254,8 @@ struct Wellknown {
     Gauge* rtQueueDepthHwm;
     Histogram* rtTimerJitter;
     std::array<Histogram*, 5> rtDispatchLatency; ///< indexed by rt::Priority
+    Counter* rtDeadlineMiss;  ///< monitored reactions past their budget (all signals)
+    Histogram* rtHopLatency;  ///< emit -> handle latency across all tracked signals
 
     // flow: dataflow ports, signal ports, relays, solver runner
     Counter* flowDportTransfers;
@@ -228,6 +275,10 @@ struct Wellknown {
     Counter* simMacroSteps;    ///< grid steps absorbed into coalesced solver grants
     Counter* simDrainRounds;   ///< inter-controller drain fixed-point rounds
     Histogram* simBarrierWait; ///< per-grant solver handoff: publish -> all arrived
+    Counter* simSolverStalls;  ///< watchdog-flagged solver grants past their budget
+
+    // obs: the health layer observing itself
+    Counter* obsPostmortemDumps; ///< flight-recorder dump files written
 };
 
 const Wellknown& wellknown();

@@ -1,0 +1,153 @@
+#include "obs/monitor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/flight_recorder.hpp"
+
+namespace urtx::obs {
+
+// --- Monitor ----------------------------------------------------------------
+
+Monitor& Monitor::global() {
+    static Monitor* m = new Monitor(); // leaked: hooks may fire at exit
+    return *m;
+}
+
+void Monitor::setEnabled(bool on) { detail::setCausalBit(kCausalMonitor, on); }
+
+Monitor::PerSignal& Monitor::entryFor(MonitoredSignal signal, const char* name) {
+    std::lock_guard lock(mu_);
+    const std::size_t idx = signal % kMaxTracked;
+    if (PerSignal* e = table_[idx].load(std::memory_order_acquire)) return *e;
+    auto e = std::make_unique<PerSignal>();
+    e->name = name;
+    Registry& r = Registry::global();
+    const std::string base(name);
+    e->latency = &r.histogram("rt.hop_latency_seconds." + base,
+                              wellknown().rtHopLatency->bounds());
+    e->worst = &r.gauge("rt.hop_latency_worst_seconds." + base);
+    owned_.push_back(std::move(e));
+    table_[idx].store(owned_.back().get(), std::memory_order_release);
+    return *owned_.back();
+}
+
+void Monitor::require(MonitoredSignal signal, const char* name, double budgetSeconds,
+                      bool abortOnMiss, std::function<void(const DeadlineMiss&)> onMiss) {
+    PerSignal& e = entryFor(signal, name);
+    std::lock_guard lock(mu_);
+    if (!e.misses) {
+        e.misses = &Registry::global().counter("rt.deadline_miss." + std::string(name));
+    }
+    e.budget = budgetSeconds;
+    e.abortOnMiss = abortOnMiss;
+    e.onMiss = std::move(onMiss);
+}
+
+void Monitor::clear() {
+    std::lock_guard lock(mu_);
+    for (auto& slot : table_) slot.store(nullptr, std::memory_order_release);
+    owned_.clear();
+}
+
+std::uint64_t Monitor::misses() const { return wellknown().rtDeadlineMiss->value(); }
+
+void Monitor::onHop(MonitoredSignal signal, const char* name, std::uint64_t spanId,
+                    std::uint64_t enqueueNanos, const char* site) {
+    if (enqueueNanos == 0) return; // unstamped message (tracking enabled mid-flight)
+    const double latency = static_cast<double>(nowNanos() - enqueueNanos) * 1e-9;
+    wellknown().rtHopLatency->observe(latency);
+    PerSignal* e = table_[signal % kMaxTracked].load(std::memory_order_acquire);
+    if (!e) e = &entryFor(signal, name);
+    e->latency->observe(latency);
+    e->worst->max(latency);
+    if (e->budget >= 0.0 && latency > e->budget) {
+        wellknown().rtDeadlineMiss->inc();
+        if (e->misses) e->misses->inc();
+        DeadlineMiss miss;
+        miss.signal = signal;
+        miss.name = e->name;
+        miss.spanId = spanId;
+        miss.latencySeconds = latency;
+        miss.budgetSeconds = e->budget;
+        miss.site = site;
+        if (causalBit(kCausalRecorder)) {
+            FlightRecorder::global().note("monitor", spanId,
+                                          "DEADLINE MISS %s at %s: %.1f us > budget %.1f us",
+                                          e->name, site, latency * 1e6, e->budget * 1e6);
+        }
+        if (e->onMiss) e->onMiss(miss);
+        if (e->abortOnMiss) {
+            FlightRecorder::global().dumpNow(std::string("deadline miss: signal '") + e->name +
+                                             "' handled at " + site + " after " +
+                                             std::to_string(latency * 1e6) + " us (budget " +
+                                             std::to_string(e->budget * 1e6) + " us)");
+        }
+    }
+}
+
+// --- Watchdog ---------------------------------------------------------------
+
+Watchdog& Watchdog::global() {
+    static Watchdog* w = new Watchdog(); // leaked: pool hooks may fire at exit
+    return *w;
+}
+
+void Watchdog::setBudget(double seconds) {
+    budgetSeconds_.store(seconds, std::memory_order_relaxed);
+}
+
+void Watchdog::setCallback(std::function<void(double)> cb) {
+    std::lock_guard lock(cbMu_);
+    callback_ = std::move(cb);
+}
+
+void Watchdog::start() {
+    if (running_.exchange(true)) return;
+    stopRequested_.store(false);
+    detail::setCausalBit(kCausalWatchdog, true);
+    thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::stop() {
+    if (!running_.load()) return;
+    stopRequested_.store(true);
+    if (thread_.joinable()) thread_.join();
+    detail::setCausalBit(kCausalWatchdog, false);
+    running_.store(false);
+}
+
+void Watchdog::loop() {
+    std::uint64_t flaggedGrant = 0; // grantStart value already reported
+    while (!stopRequested_.load(std::memory_order_relaxed)) {
+        const double budget = budgetSeconds_.load(std::memory_order_relaxed);
+        // Poll a few times per budget so detection latency stays a fraction
+        // of the budget without burning a core on tight budgets.
+        const double poll = budget > 0 ? std::clamp(budget / 4.0, 100e-6, 50e-3) : 10e-3;
+        std::this_thread::sleep_for(std::chrono::duration<double>(poll));
+        if (budget <= 0) continue;
+        const std::uint64_t start = grantStart_.load(std::memory_order_relaxed);
+        if (start == 0 || start == flaggedGrant) continue;
+        const double age = static_cast<double>(nowNanos() - start) * 1e-9;
+        if (age <= budget) continue;
+        flaggedGrant = start; // one report per stuck grant
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        wellknown().simSolverStalls->inc();
+        if (causalBit(kCausalRecorder)) {
+            FlightRecorder::global().note(
+                "watchdog", 0, "SOLVER STALL: grant running %.2f ms > budget %.2f ms",
+                age * 1e3, budget * 1e3);
+            FlightRecorder::global().dumpNow(
+                "solver grant stalled: " + std::to_string(age * 1e3) + " ms > budget " +
+                std::to_string(budget * 1e3) + " ms");
+        }
+        std::function<void(double)> cb;
+        {
+            std::lock_guard lock(cbMu_);
+            cb = callback_;
+        }
+        if (cb) cb(age);
+    }
+}
+
+} // namespace urtx::obs

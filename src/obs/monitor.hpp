@@ -1,0 +1,144 @@
+#pragma once
+/// \file monitor.hpp
+/// Online real-time health monitors: per-signal deadline checks on the
+/// causal message path, and a watchdog for stalled solver grants.
+///
+/// The telemetry layer (metrics.hpp / tracer.hpp) counts and times
+/// individual sites; the Monitor observes the *real-time contract*: did the
+/// reaction to a signal start within its declared budget of the emit?
+/// Capsule and streamer reactions are both covered — Controller::deliver
+/// checks messages handled by capsules, SPort::drain checks messages handed
+/// to streamers — because rt::Message carries its emit timestamp and causal
+/// span id from the emitting site (Port::send, timer fire, SPort::send).
+///
+/// All hot-path work is gated behind the shared causal mask (one relaxed
+/// load per site, see obs::causalOn) and compiles out under URTX_OBS=0.
+///
+/// The Watchdog covers the failure mode deadlines cannot: a SolverPool
+/// grant that never completes (diverging equations, a livelocked event
+/// loop, a deadlocked worker). A background thread flags any grant older
+/// than the wall-clock budget, bumps sim.solver_grant_stalls, invokes the
+/// optional callback and asks the FlightRecorder for a post-mortem dump.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace urtx::obs {
+
+/// Mirror of rt::SignalId (a dense interned-name index). Kept as a plain
+/// integer here so the obs layer does not depend on rt headers.
+using MonitoredSignal = std::uint32_t;
+
+/// Everything a deadline-miss observer gets to see.
+struct DeadlineMiss {
+    MonitoredSignal signal = 0;
+    const char* name = "";        ///< interned signal name (process lifetime)
+    std::uint64_t spanId = 0;     ///< causal span of the late message
+    double latencySeconds = 0.0;  ///< emit -> handle latency observed
+    double budgetSeconds = 0.0;   ///< the declared deadline
+    const char* site = "";        ///< "dispatch" (capsule) or "sport.drain" (streamer)
+};
+
+class Monitor {
+public:
+    /// The process-wide monitor consulted by the runtime hooks.
+    static Monitor& global();
+
+    /// Runtime switch. When off, instrumented sites pay one relaxed load.
+    void setEnabled(bool on);
+    bool enabled() const { return causalBit(kCausalMonitor); }
+
+    /// Declare that every reaction to \p signal must begin within
+    /// \p budgetSeconds of its emit. \p name must outlive the monitor
+    /// (interned signal names qualify). On a miss: rt.deadline_miss and the
+    /// per-signal miss counter bump, the per-signal worst-case gauge rises,
+    /// \p onMiss (if any) runs on the handling thread, and with
+    /// \p abortOnMiss the FlightRecorder writes a post-mortem dump.
+    void require(MonitoredSignal signal, const char* name, double budgetSeconds,
+                 bool abortOnMiss = false,
+                 std::function<void(const DeadlineMiss&)> onMiss = {});
+
+    /// Drop every declared deadline and per-signal cache (tests).
+    void clear();
+
+    /// Total deadline misses observed since the last metrics reset.
+    std::uint64_t misses() const;
+
+    /// Hot-path hook: a message emitted at \p enqueueNanos with causal span
+    /// \p spanId is being handled now. Records per-signal and aggregate
+    /// emit->handle latency histograms, the worst-case gauge, and checks
+    /// the declared deadline. \p name is the interned signal name.
+    void onHop(MonitoredSignal signal, const char* name, std::uint64_t spanId,
+               std::uint64_t enqueueNanos, const char* site);
+
+private:
+    Monitor() = default;
+
+    struct PerSignal {
+        const char* name = "";
+        Histogram* latency = nullptr;  ///< rt.hop_latency_seconds.<name>
+        Gauge* worst = nullptr;        ///< rt.hop_latency_worst_seconds.<name>
+        Counter* misses = nullptr;     ///< rt.deadline_miss.<name>; null until require()
+        double budget = -1.0;          ///< < 0: no deadline declared
+        bool abortOnMiss = false;
+        std::function<void(const DeadlineMiss&)> onMiss;
+    };
+
+    PerSignal& entryFor(MonitoredSignal signal, const char* name);
+
+    /// Dense signal-id -> entry table. Slots are installed once under mu_
+    /// and published with a release store; the hot path does one relaxed
+    /// bounds check plus one acquire load. Entries are never removed except
+    /// by clear() (which requires quiescent hooks, as tests are).
+    static constexpr std::size_t kMaxTracked = 4096;
+    std::mutex mu_;
+    std::vector<std::unique_ptr<PerSignal>> owned_;
+    std::atomic<PerSignal*> table_[kMaxTracked] = {};
+};
+
+class Watchdog {
+public:
+    static Watchdog& global();
+
+    /// Wall-clock budget for one solver grant; <= 0 disables the check.
+    void setBudget(double seconds);
+    double budget() const { return budgetSeconds_.load(std::memory_order_relaxed); }
+
+    /// Invoked (from the watchdog thread) when a stall is flagged, with the
+    /// grant's age in seconds.
+    void setCallback(std::function<void(double stalledSeconds)> cb);
+
+    /// Spawn / join the watchdog thread. start() is idempotent and also
+    /// enables the SolverPool arm/disarm hooks (kCausalWatchdog bit).
+    void start();
+    void stop();
+    bool running() const { return running_.load(std::memory_order_relaxed); }
+
+    /// SolverPool hooks: bracket one epoch-barrier grant. Cheap (one store).
+    void grantBegan() { grantStart_.store(nowNanos(), std::memory_order_relaxed); }
+    void grantEnded() { grantStart_.store(0, std::memory_order_relaxed); }
+
+    /// Stalls flagged since process start.
+    std::uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+
+private:
+    Watchdog() = default;
+    void loop();
+
+    std::atomic<double> budgetSeconds_{0.0};
+    std::atomic<std::uint64_t> grantStart_{0}; ///< nowNanos at grant; 0 = idle
+    std::atomic<std::uint64_t> stalls_{0};
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::mutex cbMu_;
+    std::function<void(double)> callback_;
+    std::thread thread_;
+};
+
+} // namespace urtx::obs

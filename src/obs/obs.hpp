@@ -1,10 +1,14 @@
 #pragma once
 /// \file obs.hpp
 /// Umbrella header for the observability layer: metrics registry
-/// (counters / gauges / histograms with Prometheus + JSON export) and the
-/// low-overhead event tracer (Chrome trace-event export).
+/// (counters / gauges / histograms with Prometheus + JSON export), the
+/// low-overhead event tracer (Chrome trace-event export incl. causal flow
+/// events), the real-time health monitors (per-signal deadlines + solver
+/// watchdog) and the post-mortem flight recorder.
 ///
 /// See docs/OBSERVABILITY.md for how to enable and read the output.
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/tracer.hpp"

@@ -10,8 +10,15 @@ namespace urtx::obs {
 
 /// Fixed-capacity event ring written by exactly one thread. head_ counts
 /// events ever written; slot = head_ % capacity. The writer publishes each
-/// event with a release store of head_ so a quiescent reader sees complete
-/// slots.
+/// event with a release store of head_.
+///
+/// Slot fields are individually atomic (relaxed stores compile to plain
+/// moves on mainstream ISAs) so a reader may copy slots while the writer
+/// runs without a data race. Torn *combinations* (fields from two different
+/// events) are caught by a per-slot seqlock: the writer brackets the field
+/// stores with seq = 2h+1 (in progress) / 2h+2 (event h published), and the
+/// reader keeps a copied slot only when seq read the same completed value
+/// before and after the field copy — see collectInto.
 class Tracer::Ring {
 public:
     Ring(std::size_t capacity, std::uint32_t tid)
@@ -19,9 +26,16 @@ public:
 
     void push(const TraceEvent& ev) {
         const std::uint64_t h = head_.load(std::memory_order_relaxed);
-        TraceEvent& slot = slots_[h % slots_.size()];
-        slot = ev;
-        slot.tid = tid_;
+        Slot& slot = slots_[h % slots_.size()];
+        slot.seq.store(2 * h + 1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        slot.ts.store(ev.ts, std::memory_order_relaxed);
+        slot.dur.store(ev.dur, std::memory_order_relaxed);
+        slot.id.store(ev.id, std::memory_order_relaxed);
+        slot.name.store(ev.name, std::memory_order_relaxed);
+        slot.cat.store(ev.cat, std::memory_order_relaxed);
+        slot.phase.store(ev.phase, std::memory_order_relaxed);
+        slot.seq.store(2 * h + 2, std::memory_order_release);
         head_.store(h + 1, std::memory_order_release);
     }
 
@@ -37,15 +51,46 @@ public:
 
     void clear() { head_.store(0, std::memory_order_release); }
 
-    /// Oldest-to-newest copy of the retained events.
+    /// Oldest-to-newest copy of the retained events, concurrency-safe.
+    /// Each slot copy is validated with its seqlock: seq must read the
+    /// published value for exactly write index i (2i+2) both before and
+    /// after the field copy, else the writer lapped us mid-copy and the
+    /// slot is discarded (it was about to be lost to wraparound anyway).
+    /// With the writer quiescent every retained slot validates, so the
+    /// snapshot is exact.
     void collectInto(std::vector<TraceEvent>& out) const {
-        const std::uint64_t h = head_.load(std::memory_order_acquire);
-        const std::uint64_t n = std::min<std::uint64_t>(h, slots_.size());
-        for (std::uint64_t i = h - n; i < h; ++i) out.push_back(slots_[i % slots_.size()]);
+        const std::uint64_t cap = slots_.size();
+        const std::uint64_t h1 = head_.load(std::memory_order_acquire);
+        const std::uint64_t n = std::min<std::uint64_t>(h1, cap);
+        for (std::uint64_t i = h1 - n; i < h1; ++i) {
+            const Slot& s = slots_[i % cap];
+            const std::uint64_t want = 2 * i + 2;
+            if (s.seq.load(std::memory_order_acquire) != want) continue;
+            TraceEvent ev;
+            ev.ts = s.ts.load(std::memory_order_relaxed);
+            ev.dur = s.dur.load(std::memory_order_relaxed);
+            ev.id = s.id.load(std::memory_order_relaxed);
+            ev.name = s.name.load(std::memory_order_relaxed);
+            ev.cat = s.cat.load(std::memory_order_relaxed);
+            ev.phase = s.phase.load(std::memory_order_relaxed);
+            ev.tid = tid_;
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s.seq.load(std::memory_order_relaxed) != want) continue;
+            out.push_back(ev);
+        }
     }
 
 private:
-    std::vector<TraceEvent> slots_;
+    struct Slot {
+        std::atomic<std::uint64_t> seq{0};
+        std::atomic<std::uint64_t> ts{0};
+        std::atomic<std::uint64_t> dur{0};
+        std::atomic<std::uint64_t> id{0};
+        std::atomic<const char*> name{nullptr};
+        std::atomic<const char*> cat{nullptr};
+        std::atomic<char> phase{'i'};
+    };
+    std::vector<Slot> slots_;
     std::uint32_t tid_;
     std::atomic<std::uint64_t> head_{0};
 };
@@ -74,10 +119,11 @@ Tracer::Ring& Tracer::localRing() {
 }
 
 void Tracer::record(const char* cat, const char* name, char phase, std::uint64_t ts,
-                    std::uint64_t dur) {
+                    std::uint64_t dur, std::uint64_t id) {
     TraceEvent ev;
     ev.ts = ts;
     ev.dur = dur;
+    ev.id = id;
     ev.name = name;
     ev.cat = cat;
     ev.phase = phase;
@@ -87,6 +133,16 @@ void Tracer::record(const char* cat, const char* name, char phase, std::uint64_t
 void Tracer::instant(const char* cat, const char* name) {
     if (!enabled()) return;
     record(cat, name, 'i', nowNanos(), 0);
+}
+
+void Tracer::flowBegin(const char* cat, const char* name, std::uint64_t id) {
+    if (!enabled()) return;
+    record(cat, name, 's', nowNanos(), 0, id);
+}
+
+void Tracer::flowEnd(const char* cat, const char* name, std::uint64_t id) {
+    if (!enabled()) return;
+    record(cat, name, 'f', nowNanos(), 0, id);
 }
 
 std::size_t Tracer::eventCount() const {
@@ -133,6 +189,12 @@ void Tracer::writeChromeTrace(std::ostream& os) const {
            << ev.tid << ",\"ts\":" << ts;
         if (ev.phase == 'X') os << ",\"dur\":" << static_cast<double>(ev.dur) / 1e3;
         if (ev.phase == 'i') os << ",\"s\":\"t\"";
+        if (ev.phase == 's' || ev.phase == 'f') {
+            os << ",\"id\":\"" << ev.id << "\"";
+            // Bind the finish to its enclosing slice so Perfetto draws the
+            // arrow into the handler span rather than a floating point.
+            if (ev.phase == 'f') os << ",\"bp\":\"e\"";
+        }
         os << "}";
     }
     os << "],\"displayTimeUnit\":\"ms\"}";

@@ -10,8 +10,15 @@
 /// one relaxed load; when compiled with URTX_OBS=0 the URTX_TRACE_* macros
 /// expand to nothing.
 ///
-/// Event names and categories must be string literals (or otherwise outlive
-/// the tracer): only the pointer is stored.
+/// Besides 'X' spans and 'i' instants, the tracer records *flow events*
+/// ('s' start / 'f' finish) carrying a 64-bit binding id — the causal span
+/// id stamped on rt::Message at its emitting site. Perfetto draws an arrow
+/// from the 's' (emit) to the matching 'f' (reaction) even when they lie on
+/// different threads, which is exactly the discrete<->continuous handoff
+/// the platform exists to make visible.
+///
+/// Event names and categories must be string literals or otherwise outlive
+/// the tracer (interned signal names qualify): only the pointer is stored.
 
 #include <atomic>
 #include <cstdint>
@@ -21,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "obs/metrics.hpp" // URTX_OBS, nowNanos
+#include "obs/metrics.hpp" // URTX_OBS, nowNanos, causal mask
 
 namespace urtx::obs {
 
@@ -29,9 +36,10 @@ namespace urtx::obs {
 struct TraceEvent {
     std::uint64_t ts = 0;    ///< ns since the tracer epoch
     std::uint64_t dur = 0;   ///< ns; 0 for instants
+    std::uint64_t id = 0;    ///< flow binding id ('s'/'f' phases); 0 otherwise
     const char* name = nullptr;
     const char* cat = nullptr;
-    char phase = 'i';        ///< 'X' complete span, 'i' instant
+    char phase = 'i';        ///< 'X' span, 'i' instant, 's'/'f' flow start/finish
     std::uint32_t tid = 0;   ///< dense per-thread id assigned at first event
 };
 
@@ -41,21 +49,29 @@ public:
     static Tracer& global();
 
     bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    void setEnabled(bool on) {
+        enabled_.store(on, std::memory_order_relaxed);
+        detail::setCausalBit(kCausalTracer, on);
+    }
 
     /// Ring capacity (events) for buffers created *after* the call; each
     /// recording thread gets one ring lazily on its first event.
     void setRingCapacity(std::size_t events);
     std::size_t ringCapacity() const { return capacity_.load(std::memory_order_relaxed); }
 
-    /// Record a complete ('X') or instant ('i') event on the calling
-    /// thread's ring. \p ts is absolute nowNanos(); the epoch offset is
-    /// applied on export. Oldest events are overwritten when the ring is
-    /// full.
+    /// Record an event on the calling thread's ring. \p ts is absolute
+    /// nowNanos(); the epoch offset is applied on export. Oldest events are
+    /// overwritten when the ring is full. \p id is the flow binding id for
+    /// 's'/'f' phases (ignored by the exporter otherwise).
     void record(const char* cat, const char* name, char phase, std::uint64_t ts,
-                std::uint64_t dur);
+                std::uint64_t dur, std::uint64_t id = 0);
     /// Record an instant event timestamped now. No-op when disabled.
     void instant(const char* cat, const char* name);
+    /// Flow-event pair: call flowBegin at the emitting site and flowEnd at
+    /// the handling site with the same \p name and \p id. No-ops when
+    /// disabled.
+    void flowBegin(const char* cat, const char* name, std::uint64_t id);
+    void flowEnd(const char* cat, const char* name, std::uint64_t id);
 
     /// Events currently retained across all threads' rings.
     std::size_t eventCount() const;
@@ -64,13 +80,15 @@ public:
     /// Drop all retained events (rings stay registered).
     void clear();
 
-    /// All retained events, sorted by timestamp. Call while recording
-    /// threads are quiescent: slots being overwritten concurrently would be
-    /// torn.
+    /// All retained events, sorted by timestamp. Safe to call while other
+    /// threads keep recording: each ring's head is re-read after the copy
+    /// and any slot that may have been overwritten mid-copy is discarded
+    /// (it counts as dropped-by-wraparound, which it is). Slot fields are
+    /// individually atomic, so a concurrent snapshot is race-free.
     std::vector<TraceEvent> collect() const;
 
-    /// Chrome trace-event JSON ("traceEvents" array of X/i events, ts/dur
-    /// in microseconds). Same quiescence requirement as collect().
+    /// Chrome trace-event JSON ("traceEvents" array of X/i/s/f events,
+    /// ts/dur in microseconds). Same concurrency guarantee as collect().
     void writeChromeTrace(std::ostream& os) const;
     void writeChromeTrace(const std::string& path) const;
 

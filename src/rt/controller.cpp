@@ -36,6 +36,7 @@ void Controller::post(Message m) {
 
 void Controller::deliver(Message& m) {
     URTX_TRACE_SPAN("rt", "dispatch");
+    if (obs::causalOn() && m.spanId) obs_detail::onHandle(m, "dispatch");
     // Seq-cst raise/bump/clear: the engine's macro-step validation relies
     // on a total order over these and its own reads (see macroSpan). On a
     // throw the flag stays raised — conservative: coalescing stays off

@@ -1,6 +1,59 @@
 #include "rt/message.hpp"
 
+#include "obs/obs.hpp"
+
 namespace urtx::rt {
+
+namespace obs_detail {
+
+void onEmit(Message& m, const char* site) {
+#if URTX_OBS
+    m.spanId = obs::newSpanId();
+    m.enqueueNanos = obs::nowNanos();
+    // Interned signal names live for the whole process, so their c_str is
+    // a valid tracer name pointer.
+    const char* name = SignalRegistry::name(m.signal).c_str();
+    if (obs::causalBit(obs::kCausalTracer)) {
+        obs::Tracer::global().flowBegin("signal", name, m.spanId);
+    }
+    if (obs::causalBit(obs::kCausalRecorder)) {
+        obs::FlightRecorder::global().note("rt", m.spanId, "emit %s #%llu via %s", name,
+                                           static_cast<unsigned long long>(m.spanId), site);
+    }
+#else
+    (void)m;
+    (void)site;
+#endif
+}
+
+void onHandle(const Message& m, const char* site) {
+#if URTX_OBS
+    if (m.spanId == 0) return;
+    const char* name = SignalRegistry::name(m.signal).c_str();
+    if (obs::causalBit(obs::kCausalTracer)) {
+        obs::Tracer::global().flowEnd("signal", name, m.spanId);
+    }
+    // Recorder note before the monitor: a deadline miss with abortOnMiss
+    // dumps from inside onHop, and the dump must already hold the handle
+    // event of the chain it documents.
+    if (obs::causalBit(obs::kCausalRecorder)) {
+        const double us = m.enqueueNanos
+                              ? static_cast<double>(obs::nowNanos() - m.enqueueNanos) * 1e-3
+                              : 0.0;
+        obs::FlightRecorder::global().note("rt", m.spanId, "handle %s #%llu at %s (+%.1f us)",
+                                           name, static_cast<unsigned long long>(m.spanId),
+                                           site, us);
+    }
+    if (obs::causalBit(obs::kCausalMonitor)) {
+        obs::Monitor::global().onHop(m.signal, name, m.spanId, m.enqueueNanos, site);
+    }
+#else
+    (void)m;
+    (void)site;
+#endif
+}
+
+} // namespace obs_detail
 
 const char* to_string(Priority p) {
     switch (p) {

@@ -38,6 +38,15 @@ const char* to_string(Priority p);
 /// with the message. `dest` is the *end* port the message is addressed to
 /// (relay chains are resolved at send time), and `receiver` its owning
 /// capsule; both are set by Port::send / Controller::post.
+///
+/// Layout (x86-64 / LP64): 64 bytes total —
+///   signal(4) + priority(1) + pad(3) | data std::any(16) | dest(8) |
+///   receiver(8) | sequence(8) | spanId(8) | enqueueNanos(8).
+/// The observability fields spanId/enqueueNanos are *stamped* only while a
+/// causal-tracking consumer is enabled (obs::causalOn(), one relaxed load
+/// at the emit site); otherwise they ride along as 16 zero bytes, so the
+/// disabled dispatch path pays no clock read and no extra branch work
+/// (bench_messaging keeps this honest).
 struct Message {
     SignalId signal = kInvalidSignal;
     Priority priority = Priority::General;
@@ -46,6 +55,12 @@ struct Message {
     Capsule* receiver = nullptr;
     /// Monotonic per-controller sequence number, assigned on enqueue.
     std::uint64_t sequence = 0;
+    /// Causal span id propagated from the emitting site (Port::send, timer
+    /// fire, SPort::send) to the handling site; 0 = untracked.
+    std::uint64_t spanId = 0;
+    /// obs::nowNanos() at the emitting site; 0 = unstamped. Basis for the
+    /// emit->reaction hop latency and deadline checks.
+    std::uint64_t enqueueNanos = 0;
 
     Message() = default;
     Message(SignalId sig, std::any payload = {}, Priority p = Priority::General)
@@ -70,5 +85,21 @@ struct Message {
 
     bool hasData() const { return data.has_value(); }
 };
+
+namespace obs_detail {
+
+/// Stamp \p m with a fresh causal span id + enqueue timestamp and notify
+/// the enabled causal consumers (tracer 's' flow event, flight-recorder
+/// note). Call only after checking obs::causalOn(); \p site is a short
+/// stable label of the emitting mechanism ("port", "timer", ...).
+void onEmit(Message& m, const char* site);
+
+/// The handling side of the hop: record the tracer 'f' flow event, the
+/// per-signal latency/deadline checks (Monitor) and the flight-recorder
+/// note. Call only after checking obs::causalOn(); no-op for unstamped
+/// messages. \p site is "dispatch" (capsule) or "sport.drain" (streamer).
+void onHandle(const Message& m, const char* site);
+
+} // namespace obs_detail
 
 } // namespace urtx::rt

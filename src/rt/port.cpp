@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "rt/capsule.hpp"
 #include "rt/controller.hpp"
 
@@ -62,6 +63,7 @@ bool Port::send(SignalId sig, std::any data, Priority prio) {
     Message m(sig, std::move(data), prio);
     m.dest = dest;
     m.receiver = &dest->owner();
+    if (obs::causalOn()) obs_detail::onEmit(m, "port");
     ++sent_;
     if (Controller* c = m.receiver->context()) {
         c->post(std::move(m));

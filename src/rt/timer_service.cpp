@@ -73,10 +73,12 @@ std::size_t TimerService::fireDue(MessageQueue& out, double now) {
         // scheduling latency.
         for (const Entry& e : fired) wk.rtTimerJitter->observe(now - e.due);
     }
+    const bool causal = obs::causalOn();
     for (Entry& e : fired) {
         Message m(e.signal, std::move(e.data), e.prio);
         m.receiver = e.target;
         m.dest = nullptr; // timer messages have no port of entry
+        if (causal) obs_detail::onEmit(m, "timer");
         out.push(std::move(m));
     }
     return fired.size();

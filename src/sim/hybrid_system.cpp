@@ -262,10 +262,18 @@ void HybridSystem::runMultiThread(double tEnd) {
 void HybridSystem::run(double tEnd, ExecutionMode mode) {
     if (!initialized_) initialize();
     if (tEnd <= time_.now()) return;
-    if (mode == ExecutionMode::SingleThread) {
-        runSingleThread(tEnd);
-    } else {
-        runMultiThread(tEnd);
+    try {
+        if (mode == ExecutionMode::SingleThread) {
+            runSingleThread(tEnd);
+        } else {
+            runMultiThread(tEnd);
+        }
+    } catch (const std::exception& ex) {
+        // Post-mortem on the way out: the flight recorder still holds the
+        // causal history leading up to the failure. (If the solver pool
+        // already dumped for this fault, this dump simply supersedes it.)
+        obs::FlightRecorder::global().onFault(ex.what());
+        throw;
     }
 }
 

@@ -78,6 +78,10 @@ void SolverPool::advanceAllTo(double target, double tLimit) {
 
     const bool measure = obs::metricsOn();
     const std::uint64_t t0 = measure ? obs::nowNanos() : 0;
+    // Arm the watchdog for the whole grant: it fires if the barrier below
+    // has not been crossed within the configured wall-clock budget.
+    const bool watched = obs::causalBit(obs::kCausalWatchdog);
+    if (watched) obs::Watchdog::global().grantBegan();
 
     target_ = target;
     tLimit_ = tLimit;
@@ -96,6 +100,7 @@ void SolverPool::advanceAllTo(double target, double tLimit) {
         r = remaining_.load(std::memory_order_acquire);
     }
 
+    if (watched) obs::Watchdog::global().grantEnded();
     if (measure) {
         obs::wellknown().simBarrierWait->observe(static_cast<double>(obs::nowNanos() - t0) *
                                                  1e-9);
@@ -103,7 +108,19 @@ void SolverPool::advanceAllTo(double target, double tLimit) {
     if (failed_.load(std::memory_order_acquire)) {
         shutdown();
         for (std::exception_ptr& e : errors_) {
-            if (e) std::rethrow_exception(e);
+            if (!e) continue;
+            // Capture the post-mortem *before* unwinding destroys state the
+            // flight recorder and metrics still describe.
+            if (obs::causalBit(obs::kCausalRecorder)) {
+                try {
+                    std::rethrow_exception(e);
+                } catch (const std::exception& ex) {
+                    obs::FlightRecorder::global().onFault(ex.what());
+                } catch (...) {
+                    obs::FlightRecorder::global().onFault("non-std exception in solver worker");
+                }
+            }
+            std::rethrow_exception(e);
         }
         throw std::runtime_error("SolverPool: worker failed without recording an exception");
     }

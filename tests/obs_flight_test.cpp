@@ -1,0 +1,279 @@
+/// Tests for the post-mortem flight recorder: the bounded note ring, dump
+/// JSON shape, and the automatic dump triggers on the executor fault path
+/// and on a tank-style SPort-injected fault missing its deadline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include "flow/flow.hpp"
+#include "json_lint.hpp"
+#include "obs/obs.hpp"
+#include "rt/rt.hpp"
+#include "sim/sim.hpp"
+
+namespace obs = urtx::obs;
+namespace rt = urtx::rt;
+namespace f = urtx::flow;
+namespace sim = urtx::sim;
+namespace s = urtx::solver;
+
+namespace {
+
+std::string readFile(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct FlightTest : ::testing::Test {
+    void SetUp() override {
+#if !URTX_OBS
+        GTEST_SKIP() << "observability compiled out (URTX_OBS=0)";
+#endif
+        obs::wellknown();
+        obs::Registry::global().reset();
+        obs::Monitor::global().clear();
+        obs::FlightRecorder::global().clear();
+        obs::FlightRecorder::global().setCapacity(1024);
+    }
+    void TearDown() override {
+        obs::Monitor::global().setEnabled(false);
+        obs::FlightRecorder::global().setEnabled(false);
+        obs::Monitor::global().clear();
+        obs::Registry::global().reset();
+    }
+};
+
+} // namespace
+
+TEST_F(FlightTest, NotesAccumulateAndDumpStringIsWellFormedJson) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.setEnabled(true);
+    rec.note("test", 7, "first %d", 1);
+    rec.note("test", 7, "second %s", "note");
+    rec.note("test", 0, "unlinked");
+    rec.setEnabled(false);
+
+    EXPECT_EQ(rec.eventCount(), 3u);
+    EXPECT_EQ(rec.droppedCount(), 0u);
+    const std::string dump = rec.dumpString("unit \"quoted\" reason");
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(dump, &err)) << err << "\n" << dump;
+    EXPECT_NE(dump.find("\"reason\":\"unit \\\"quoted\\\" reason\""), std::string::npos);
+    EXPECT_NE(dump.find("first 1"), std::string::npos);
+    EXPECT_NE(dump.find("second note"), std::string::npos);
+    EXPECT_NE(dump.find("\"span\":7"), std::string::npos);
+    EXPECT_NE(dump.find("\"metrics\":{"), std::string::npos);
+}
+
+TEST_F(FlightTest, BoundedRingKeepsNewestNotes) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.setCapacity(4);
+    rec.setEnabled(true);
+    for (int i = 0; i < 10; ++i) rec.note("test", 0, "note-%03d", i);
+    rec.setEnabled(false);
+
+    EXPECT_EQ(rec.eventCount(), 4u);
+    EXPECT_EQ(rec.droppedCount(), 6u);
+    const std::string dump = rec.dumpString("wrap");
+    EXPECT_EQ(dump.find("note-005"), std::string::npos) << "oldest notes must be gone";
+    EXPECT_NE(dump.find("note-006"), std::string::npos);
+    EXPECT_NE(dump.find("note-009"), std::string::npos);
+    EXPECT_NE(dump.find("\"events_dropped\":6"), std::string::npos);
+}
+
+TEST_F(FlightTest, DumpNowWritesFileAndCounts) {
+    const std::string path = "/tmp/urtx_flight_dumpnow.json";
+    std::remove(path.c_str());
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.setDumpPath(path);
+    rec.setEnabled(true);
+    rec.note("test", 0, "before the dump");
+    const std::uint64_t dumps0 = rec.dumps();
+    EXPECT_EQ(rec.dumpNow("user requested"), path);
+    rec.setEnabled(false);
+
+    EXPECT_EQ(rec.dumps(), dumps0 + 1);
+    EXPECT_EQ(rec.lastDumpPath(), path);
+    const std::string dump = readFile(path);
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(dump, &err)) << err;
+    EXPECT_NE(dump.find("\"reason\":\"user requested\""), std::string::npos);
+    EXPECT_NE(dump.find("before the dump"), std::string::npos);
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const auto* c = snap.counter("obs.postmortem_dumps");
+    ASSERT_NE(c, nullptr);
+    EXPECT_GE(c->value, 1u);
+}
+
+TEST_F(FlightTest, DumpNowToUnwritablePathFailsQuietly) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.setDumpPath("/no/such/dir/urtx.json");
+    EXPECT_EQ(rec.dumpNow("doomed"), "") << "I/O failure must not throw";
+    rec.setDumpPath("urtx_postmortem.json");
+}
+
+namespace {
+
+/// Streamer whose derivatives blow up past a trigger time — the solver
+/// worker throws mid-grant.
+struct Exploding : f::Streamer {
+    Exploding(std::string n, f::Streamer* p, double tBoom)
+        : f::Streamer(std::move(n), p), tBoom_(tBoom) {}
+    double tBoom_;
+    std::size_t stateSize() const override { return 1; }
+    void initState(double, std::span<double> x) override { x[0] = 1.0; }
+    void derivatives(double t, std::span<const double>, std::span<double> dx) override {
+        if (t > tBoom_) throw std::runtime_error("equations diverged (test fault)");
+        dx[0] = -1.0;
+    }
+    bool directFeedthrough() const override { return false; }
+};
+
+} // namespace
+
+TEST_F(FlightTest, SolverExceptionTriggersPostmortemDump) {
+    const std::string path = "/tmp/urtx_flight_solverfault.json";
+    std::remove(path.c_str());
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.setDumpPath(path);
+    rec.setEnabled(true);
+
+    sim::HybridSystem sys;
+    f::Streamer group{"g"};
+    Exploding plant("boom", &group, 0.05);
+    sys.addStreamerGroup(group, s::makeIntegrator("RK4"), 0.01);
+    EXPECT_THROW(sys.run(0.2, sim::ExecutionMode::MultiThread), std::runtime_error);
+    rec.setEnabled(false);
+
+    const std::string dump = readFile(path);
+    ASSERT_FALSE(dump.empty()) << "solver fault must auto-dump";
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(dump, &err)) << err;
+    EXPECT_NE(dump.find("equations diverged (test fault)"), std::string::npos);
+    EXPECT_NE(dump.find("FAULT:"), std::string::npos);
+}
+
+namespace {
+
+/// Minimal replica of the tank example's fault path: a capsule injects
+/// "stickValve" into the plant through a dedicated SPort at t = 0.03 s.
+rt::Protocol& tankProto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"FlightTank"};
+        q.in("stickValve");
+        return q;
+    }();
+    return p;
+}
+
+struct MiniTank : f::Streamer {
+    MiniTank(std::string n, f::Streamer* p)
+        : f::Streamer(std::move(n), p), faultIn(*this, "faultIn", tankProto(), false) {
+        setParam("stuck", 0.0);
+    }
+    f::SPort faultIn;
+    std::size_t stateSize() const override { return 1; }
+    void initState(double, std::span<double> x) override { x[0] = 1.0; }
+    void derivatives(double, std::span<const double> x, std::span<double> dx) override {
+        dx[0] = param("stuck") > 0.5 ? 0.0 : -0.2 * x[0];
+    }
+    bool directFeedthrough() const override { return false; }
+    void onSignal(f::SPort&, const rt::Message& m) override {
+        if (m.signal == rt::signal("stickValve")) setParam("stuck", 1.0);
+    }
+};
+
+struct MiniInjector : rt::Capsule {
+    explicit MiniInjector(std::string n)
+        : rt::Capsule(std::move(n)), plant(*this, "plant", tankProto(), true) {}
+    rt::Port plant;
+
+protected:
+    void onInit() override { informIn(0.03, "inject"); }
+    void onMessage(const rt::Message& m) override {
+        if (m.signalName() == "inject") plant.send("stickValve", now());
+    }
+};
+
+} // namespace
+
+TEST_F(FlightTest, TankFaultInjectionDumpsItsCausalChain) {
+    const std::string path = "/tmp/urtx_flight_tankfault.json";
+    std::remove(path.c_str());
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.setDumpPath(path);
+    rec.setEnabled(true);
+    obs::Monitor::global().setEnabled(true);
+    // Budget 0 with abortOnMiss: the injected fault's SPort hop is always
+    // "late", forcing the automatic post-mortem — the tank-example fault
+    // drill from the issue.
+    obs::Monitor::global().require(rt::signal("stickValve"), "stickValve", 0.0,
+                                   /*abortOnMiss=*/true);
+
+    sim::HybridSystem sys;
+    f::Streamer group{"g"};
+    MiniTank tank("tank", &group);
+    MiniInjector fault("fault");
+    rt::connect(fault.plant, tank.faultIn.rtPort());
+    sys.addCapsule(fault);
+    sys.addStreamerGroup(group, s::makeIntegrator("RK4"), 0.01);
+    sys.run(0.1, sim::ExecutionMode::SingleThread);
+    obs::Monitor::global().setEnabled(false);
+    rec.setEnabled(false);
+
+    EXPECT_GT(tank.param("stuck"), 0.5) << "fault must have reached the plant";
+    const std::string dump = readFile(path);
+    ASSERT_FALSE(dump.empty()) << "missed deadline with abortOnMiss must auto-dump";
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(dump, &err)) << err;
+    EXPECT_NE(dump.find("deadline miss: signal 'stickValve'"), std::string::npos);
+    // Causal chain of the faulting signal: emit at the injector's port,
+    // handle at the SPort drain, same span id.
+    const auto emitAt = dump.find("emit stickValve #");
+    ASSERT_NE(emitAt, std::string::npos) << dump;
+    const std::size_t digits = emitAt + 17;
+    const std::string span =
+        dump.substr(digits, dump.find_first_not_of("0123456789", digits) - digits);
+    EXPECT_NE(dump.find("handle stickValve #" + span), std::string::npos)
+        << "dump must contain the handle half of span " << span;
+    EXPECT_NE(dump.find("DEADLINE MISS stickValve at sport.drain"), std::string::npos);
+    EXPECT_NE(dump.find("\"metrics\":"), std::string::npos);
+}
+
+TEST_F(FlightTest, TankFaultChainAlsoCapturedInMultiThread) {
+    const std::string path = "/tmp/urtx_flight_tankfault_mt.json";
+    std::remove(path.c_str());
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.setDumpPath(path);
+    rec.setEnabled(true);
+    obs::Monitor::global().setEnabled(true);
+    obs::Monitor::global().require(rt::signal("stickValve"), "stickValve", 0.0,
+                                   /*abortOnMiss=*/true);
+
+    sim::HybridSystem sys;
+    f::Streamer group{"g"};
+    MiniTank tank("tank", &group);
+    MiniInjector fault("fault");
+    rt::connect(fault.plant, tank.faultIn.rtPort());
+    sys.addCapsule(fault);
+    sys.addStreamerGroup(group, s::makeIntegrator("RK4"), 0.01);
+    sys.run(0.1, sim::ExecutionMode::MultiThread);
+    obs::Monitor::global().setEnabled(false);
+    rec.setEnabled(false);
+
+    EXPECT_GT(tank.param("stuck"), 0.5);
+    const std::string dump = readFile(path);
+    ASSERT_FALSE(dump.empty());
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(dump, &err)) << err;
+    EXPECT_NE(dump.find("emit stickValve #"), std::string::npos);
+    EXPECT_NE(dump.find("handle stickValve #"), std::string::npos);
+}

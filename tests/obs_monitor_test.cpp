@@ -1,0 +1,342 @@
+/// Tests for the real-time health layer: causal span propagation from emit
+/// sites into the tracer, per-signal hop-latency accounting, deadline
+/// monitors (with and without abortOnMiss) and the solver-grant watchdog.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "flow/flow.hpp"
+#include "json_lint.hpp"
+#include "obs/obs.hpp"
+#include "rt/rt.hpp"
+
+namespace obs = urtx::obs;
+namespace rt = urtx::rt;
+namespace f = urtx::flow;
+
+namespace {
+
+rt::Protocol& proto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Health"};
+        q.out("req").in("rsp");
+        return q;
+    }();
+    return p;
+}
+
+struct Echo : rt::Capsule {
+    explicit Echo(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", proto(), true) {}
+    rt::Port port;
+    std::uint64_t lastSpan = ~0ull;
+    std::uint64_t lastEnqueue = ~0ull;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        lastSpan = m.spanId;
+        lastEnqueue = m.enqueueNanos;
+        if (m.signal == rt::signal("req")) port.send("rsp");
+    }
+};
+
+struct Client : rt::Capsule {
+    explicit Client(std::string n)
+        : rt::Capsule(std::move(n)), port(*this, "p", proto(), false) {}
+    rt::Port port;
+};
+
+std::string readFile(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/// Every consumer off, metrics zeroed, recorder pointed at a throwaway path.
+struct HealthTest : ::testing::Test {
+    void SetUp() override {
+#if !URTX_OBS
+        GTEST_SKIP() << "observability compiled out (URTX_OBS=0)";
+#endif
+        obs::wellknown();
+        obs::Registry::global().reset();
+        obs::Monitor::global().clear();
+        obs::Tracer::global().clear();
+        obs::FlightRecorder::global().clear();
+    }
+    void TearDown() override {
+        obs::Tracer::global().setEnabled(false);
+        obs::Monitor::global().setEnabled(false);
+        obs::FlightRecorder::global().setEnabled(false);
+        obs::Watchdog::global().stop();
+        obs::Monitor::global().clear();
+        obs::Registry::global().reset();
+    }
+};
+
+} // namespace
+
+TEST_F(HealthTest, DisabledCausalLeavesMessagesUnstamped) {
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    client.port.send("req");
+    ctl.dispatchAll();
+    EXPECT_EQ(echo.lastSpan, 0u) << "no causal consumer enabled: span must stay 0";
+    EXPECT_EQ(echo.lastEnqueue, 0u);
+}
+
+TEST_F(HealthTest, SpanIdsPropagateIntoTracerFlowEvents) {
+    obs::Tracer::global().setEnabled(true);
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    client.port.send("req");
+    ctl.dispatchAll();
+    obs::Tracer::global().setEnabled(false);
+
+    EXPECT_NE(echo.lastSpan, 0u) << "tracer enabled: messages must carry a span id";
+    std::set<std::uint64_t> begins, ends;
+    for (const auto& ev : obs::Tracer::global().collect()) {
+        if (!ev.name || std::string(ev.name) != "req") continue;
+        if (ev.phase == 's') begins.insert(ev.id);
+        if (ev.phase == 'f') ends.insert(ev.id);
+    }
+    ASSERT_FALSE(begins.empty()) << "emit must record an 's' flow event named after the signal";
+    ASSERT_FALSE(ends.empty()) << "handling must record the matching 'f' flow event";
+    EXPECT_EQ(begins, ends) << "'s'/'f' pairs must agree on the span id for Perfetto arrows";
+    EXPECT_NE(begins.count(echo.lastSpan), 0u);
+}
+
+TEST_F(HealthTest, FlowEventsSurviveChromeExport) {
+    obs::Tracer::global().setEnabled(true);
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    client.port.send("req");
+    ctl.dispatchAll();
+    obs::Tracer::global().setEnabled(false);
+
+    std::ostringstream os;
+    obs::Tracer::global().writeChromeTrace(os);
+    const std::string json = os.str();
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(json, &err)) << err;
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos)
+        << "'f' events must bind to the enclosing slice";
+    EXPECT_NE(json.find("\"id\":\""), std::string::npos);
+}
+
+TEST_F(HealthTest, HopLatencyLandsInAggregateAndPerSignalHistograms) {
+    obs::Monitor::global().setEnabled(true);
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    client.port.send("req");
+    ctl.dispatchAll();
+    obs::Monitor::global().setEnabled(false);
+
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const auto* agg = snap.histogram("rt.hop_latency_seconds");
+    ASSERT_NE(agg, nullptr);
+    EXPECT_GE(agg->count, 2u) << "req and rsp hops both measured";
+    const auto* per = snap.histogram("rt.hop_latency_seconds.req");
+    ASSERT_NE(per, nullptr) << "per-signal histogram auto-registered on first hop";
+    EXPECT_GE(per->count, 1u);
+    const auto* worst = snap.gauge("rt.hop_latency_worst_seconds.req");
+    ASSERT_NE(worst, nullptr);
+    EXPECT_GT(worst->value, 0.0);
+    EXPECT_EQ(obs::Monitor::global().misses(), 0u) << "no deadline declared, no misses";
+}
+
+TEST_F(HealthTest, TimerFiresAreStampedAndMeasured) {
+    obs::Monitor::global().setEnabled(true);
+    rt::Controller ctl{"ctl"};
+    Echo echo{"echo"};
+    ctl.attach(echo);
+    ctl.timers().informIn(echo, 0.0, 0.0, rt::signal("tick"));
+    ctl.dispatchAll();
+    obs::Monitor::global().setEnabled(false);
+
+    EXPECT_NE(echo.lastSpan, 0u) << "timer-fired messages must carry spans too";
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const auto* per = snap.histogram("rt.hop_latency_seconds.tick");
+    ASSERT_NE(per, nullptr);
+    EXPECT_GE(per->count, 1u);
+}
+
+TEST_F(HealthTest, DeadlineMissBumpsCountersAndRunsCallback) {
+    obs::Monitor::global().setEnabled(true);
+    obs::DeadlineMiss seen{};
+    std::atomic<int> calls{0};
+    // Budget 0: any real hop latency is a miss.
+    obs::Monitor::global().require(rt::signal("req"), "req", 0.0, false,
+                                   [&](const obs::DeadlineMiss& m) {
+                                       seen = m;
+                                       ++calls;
+                                   });
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    client.port.send("req");
+    ctl.dispatchAll();
+    obs::Monitor::global().setEnabled(false);
+
+    EXPECT_GE(obs::Monitor::global().misses(), 1u);
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const auto* miss = snap.counter("rt.deadline_miss.req");
+    ASSERT_NE(miss, nullptr);
+    EXPECT_GE(miss->value, 1u);
+    ASSERT_GE(calls.load(), 1);
+    EXPECT_STREQ(seen.name, "req");
+    EXPECT_STREQ(seen.site, "dispatch");
+    EXPECT_NE(seen.spanId, 0u);
+    EXPECT_GT(seen.latencySeconds, 0.0);
+    EXPECT_EQ(seen.budgetSeconds, 0.0);
+}
+
+TEST_F(HealthTest, GenerousBudgetDoesNotMiss) {
+    obs::Monitor::global().setEnabled(true);
+    obs::Monitor::global().require(rt::signal("req"), "req", 10.0);
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    client.port.send("req");
+    ctl.dispatchAll();
+    obs::Monitor::global().setEnabled(false);
+    EXPECT_EQ(obs::Monitor::global().misses(), 0u);
+}
+
+TEST_F(HealthTest, AbortOnMissDumpsParseableCausalChain) {
+    const std::string path = "/tmp/urtx_monitor_abort_dump.json";
+    std::remove(path.c_str());
+    obs::FlightRecorder::global().setDumpPath(path);
+    obs::FlightRecorder::global().setEnabled(true);
+    obs::Monitor::global().setEnabled(true);
+    obs::Monitor::global().require(rt::signal("req"), "req", 0.0, /*abortOnMiss=*/true);
+
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Echo echo{"echo"};
+    rt::connect(client.port, echo.port);
+    ctl.attach(client);
+    ctl.attach(echo);
+    client.port.send("req");
+    ctl.dispatchAll();
+    obs::Monitor::global().setEnabled(false);
+    obs::FlightRecorder::global().setEnabled(false);
+
+    EXPECT_EQ(obs::FlightRecorder::global().lastDumpPath(), path);
+    const std::string dump = readFile(path);
+    ASSERT_FALSE(dump.empty()) << "abortOnMiss must write the post-mortem file";
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(dump, &err)) << err;
+    EXPECT_NE(dump.find("deadline miss: signal 'req'"), std::string::npos);
+    EXPECT_NE(dump.find("DEADLINE MISS req at dispatch"), std::string::npos);
+    // The causal chain: the emit and handle notes of the late message share
+    // its span id with the miss note.
+    const auto emitAt = dump.find("emit req #");
+    ASSERT_NE(emitAt, std::string::npos);
+    const std::string span = dump.substr(emitAt + 10, dump.find_first_not_of(
+                                                          "0123456789", emitAt + 10) -
+                                                          (emitAt + 10));
+    EXPECT_NE(dump.find("handle req #" + span), std::string::npos)
+        << "dump must contain the handle event of span " << span;
+    EXPECT_NE(dump.find("\"metrics\":"), std::string::npos);
+}
+
+TEST_F(HealthTest, WatchdogFlagsStalledGrantAndDumps) {
+    const std::string path = "/tmp/urtx_watchdog_dump.json";
+    std::remove(path.c_str());
+    obs::FlightRecorder::global().setDumpPath(path);
+    obs::FlightRecorder::global().setEnabled(true);
+
+    obs::Watchdog& dog = obs::Watchdog::global();
+    const std::uint64_t stalls0 = dog.stalls();
+    std::atomic<int> barks{0};
+    dog.setCallback([&](double) { ++barks; });
+    dog.setBudget(0.005);
+    dog.start();
+    EXPECT_TRUE(dog.running());
+    EXPECT_TRUE(obs::causalBit(obs::kCausalWatchdog)) << "start() must arm the pool hooks";
+
+    dog.grantBegan(); // simulate a SolverPool grant that never completes
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (dog.stalls() == stalls0 && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    dog.grantEnded();
+    dog.stop();
+    dog.setCallback({});
+    dog.setBudget(0.0);
+    obs::FlightRecorder::global().setEnabled(false);
+
+    EXPECT_GE(dog.stalls(), stalls0 + 1) << "stalled grant must be flagged within 5s";
+    EXPECT_GE(barks.load(), 1);
+    EXPECT_FALSE(dog.running());
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const auto* stalls = snap.counter("sim.solver_grant_stalls");
+    ASSERT_NE(stalls, nullptr);
+    EXPECT_GE(stalls->value, 1u);
+    const std::string dump = readFile(path);
+    ASSERT_FALSE(dump.empty());
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(dump, &err)) << err;
+    EXPECT_NE(dump.find("SOLVER STALL"), std::string::npos);
+    EXPECT_NE(dump.find("solver grant stalled"), std::string::npos);
+}
+
+TEST_F(HealthTest, SportDrainChecksStreamerSideDeadlines) {
+    // Capsule -> SPort -> streamer: the handling site is SPort::drain.
+    struct Sink : f::Streamer {
+        using f::Streamer::Streamer;
+        std::uint64_t got = 0;
+        void onSignal(f::SPort&, const rt::Message&) override { ++got; }
+    };
+    obs::Monitor::global().setEnabled(true);
+    obs::DeadlineMiss seen{};
+    obs::Monitor::global().require(rt::signal("req"), "req", 0.0, false,
+                                   [&](const obs::DeadlineMiss& m) { seen = m; });
+
+    Sink streamer{"sink"};
+    f::SPort sp(streamer, "ctl", proto(), true);
+    rt::Capsule cap{"cap"};
+    rt::Port cp(cap, "p", proto(), false);
+    rt::connect(cp, sp.rtPort());
+    cp.send("req");
+    sp.drain();
+    obs::Monitor::global().setEnabled(false);
+
+    EXPECT_EQ(streamer.got, 1u);
+    EXPECT_GE(obs::Monitor::global().misses(), 1u);
+    EXPECT_STREQ(seen.site, "sport.drain");
+    EXPECT_NE(seen.spanId, 0u);
+}
