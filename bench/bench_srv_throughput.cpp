@@ -1,0 +1,159 @@
+/// \file bench_srv_throughput.cpp
+/// Serving-engine throughput: one 64-scenario batch executed at worker
+/// counts 1 / 2 / 4, with a bit-identity check on every per-scenario trace
+/// across worker counts (the scheduler must change wall time only, never
+/// trajectories). A machine-readable summary is written to BENCH_srv.json.
+///
+/// Speedup is only meaningful on a multi-core host; the JSON records
+/// hardware_concurrency so single-core CI numbers are not mistaken for a
+/// scaling regression.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "srv/engine.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace srv = urtx::srv;
+namespace scen = urtx::srv::scenarios;
+
+namespace {
+
+/// 64 jobs, 4 scenario kinds x 16 parameter variants, all SingleThread.
+std::vector<srv::ScenarioSpec> batch64() {
+    std::vector<srv::ScenarioSpec> specs;
+    for (int i = 0; i < 16; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "tank";
+        s.name = "tank" + std::to_string(i);
+        s.horizon = 8.0;
+        s.params.set("qin", 0.5 + 0.02 * i);
+        specs.push_back(std::move(s));
+    }
+    for (int i = 0; i < 16; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "cruise";
+        s.name = "cruise" + std::to_string(i);
+        s.horizon = 5.0;
+        s.params.set("v0", 8.0 + i);
+        specs.push_back(std::move(s));
+    }
+    for (int i = 0; i < 16; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "pendulum";
+        s.name = "pend" + std::to_string(i);
+        s.horizon = 3.0;
+        s.params.set("theta0", 0.02 + 0.01 * i);
+        specs.push_back(std::move(s));
+    }
+    for (int i = 0; i < 16; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "faulty";
+        s.name = "benign" + std::to_string(i);
+        s.horizon = 2.0;
+        s.params.set("throwAt", 1e18);
+        s.params.set("dt", 0.002 + 0.0005 * i);
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+struct Row {
+    std::size_t workers = 0;
+    double wallSeconds = 0.0;
+    double speedup = 1.0;
+    std::uint64_t steals = 0;
+    bool tracesMatchBaseline = true;
+};
+
+} // namespace
+
+int main() {
+    scen::registerBuiltins();
+    const auto specs = batch64();
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    std::printf("srv serving-engine throughput: %zu-scenario batch\n", specs.size());
+    std::printf("hardware_concurrency = %u\n\n", hw);
+    urtx::bench::rule();
+    std::printf("%8s %14s %10s %8s %16s\n", "workers", "wall [s]", "speedup", "steals",
+                "traces==1-worker");
+    urtx::bench::rule();
+
+    // Baseline: 1 worker. Per-scenario trace hashes are the reference the
+    // parallel runs must reproduce bit-for-bit.
+    std::vector<std::uint64_t> baselineHash;
+    std::vector<Row> rows;
+    double baselineWall = 0.0;
+
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        srv::EngineConfig cfg;
+        cfg.workers = workers;
+        cfg.scopedMetrics = false; // measure scheduling, not snapshotting
+        cfg.postmortems = false;
+        srv::ServeEngine engine(cfg);
+
+        srv::BatchResult best;
+        const double wall = urtx::bench::timeMedian(
+            [&] { best = engine.run(specs); }, /*reps=*/3);
+
+        Row row;
+        row.workers = workers;
+        row.wallSeconds = wall;
+        row.steals = best.steals;
+        if (best.count(srv::ScenarioStatus::Succeeded) != specs.size()) {
+            std::fprintf(stderr, "FATAL: %zu-worker run had failures\n", workers);
+            return 1;
+        }
+        if (workers == 1) {
+            baselineWall = wall;
+            for (const srv::ScenarioResult& r : best.results)
+                baselineHash.push_back(r.trace.hash());
+        } else {
+            for (std::size_t i = 0; i < best.results.size(); ++i) {
+                if (best.results[i].trace.hash() != baselineHash[i]) {
+                    row.tracesMatchBaseline = false;
+                    std::fprintf(stderr, "FATAL: trace divergence at job %zu (%s)\n", i,
+                                 best.results[i].name.c_str());
+                }
+            }
+            if (!row.tracesMatchBaseline) return 1;
+        }
+        row.speedup = baselineWall / wall;
+        rows.push_back(row);
+        std::printf("%8zu %14.4f %9.2fx %8llu %16s\n", workers, wall, row.speedup,
+                    static_cast<unsigned long long>(row.steals),
+                    row.tracesMatchBaseline ? "yes" : "NO");
+    }
+    urtx::bench::rule();
+    if (hw < 4) {
+        std::printf("note: only %u hardware thread(s); parallel speedup is not "
+                    "expected to materialize on this host.\n", hw);
+    }
+
+    std::ofstream f("BENCH_srv.json");
+    f << "{\n  \"benchmark\": \"srv_throughput\",\n";
+    f << "  \"batch_jobs\": " << specs.size() << ",\n";
+    f << "  \"hardware_concurrency\": " << hw << ",\n";
+    f << "  \"reps_per_config\": 3,\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"workers\": %zu, \"wall_seconds\": %.6f, \"speedup_vs_1\": "
+                      "%.3f, \"steals\": %llu, \"traces_bit_identical\": %s}%s\n",
+                      r.workers, r.wallSeconds, r.speedup,
+                      static_cast<unsigned long long>(r.steals),
+                      r.tracesMatchBaseline ? "true" : "false",
+                      i + 1 < rows.size() ? "," : "");
+        f << buf;
+    }
+    f << "  ]\n}\n";
+    std::puts("\nwrote BENCH_srv.json");
+    return 0;
+}

@@ -6,196 +6,26 @@
 /// States: Off -> Standby -> Active, with Override while the driver brakes
 /// (shallow history restores Active afterwards). The streamer side holds
 /// the longitudinal dynamics m v' = F - b v - c v² and a gated PI law.
+/// The components live in the shared scenario library (src/srv/scenarios)
+/// — this example constructs the same CruiseScenario the batch server
+/// builds by name, with the narrative turned on.
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
-#include <span>
 
-#include "flow/flow.hpp"
-#include "rt/rt.hpp"
 #include "sim/sim.hpp"
+#include "srv/scenarios/scenarios.hpp"
 
-namespace f = urtx::flow;
-namespace rt = urtx::rt;
 namespace sim = urtx::sim;
-
-namespace {
-
-rt::Protocol& cruiseProtocol() {
-    static rt::Protocol p = [] {
-        rt::Protocol q{"Cruise"};
-        q.in("power").in("set").in("cancel").in("brake").in("resume"); // driver -> capsule
-        q.out("enable").out("disable").out("setpoint");                // capsule -> plant group
-        return q;
-    }();
-    return p;
-}
-
-/// Vehicle longitudinal dynamics.
-class Vehicle final : public f::Streamer {
-public:
-    Vehicle(std::string name, f::Streamer* parent)
-        : f::Streamer(std::move(name), parent),
-          force(*this, "force", f::DPortDir::In, f::FlowType::real()),
-          speed(*this, "speed", f::DPortDir::Out, f::FlowType::real()) {
-        setParam("m", 1200.0);
-        setParam("b", 30.0);
-        setParam("c", 0.9);
-        setParam("v0", 20.0);
-    }
-
-    f::DPort force;
-    f::DPort speed;
-
-    std::size_t stateSize() const override { return 1; }
-    void initState(double, std::span<double> x) override { x[0] = param("v0"); }
-    void derivatives(double, std::span<const double> x, std::span<double> dx) override {
-        const double v = x[0];
-        dx[0] = (force.get() - param("b") * v - param("c") * v * std::abs(v)) / param("m");
-    }
-    void outputs(double, std::span<const double> x) override { speed.set(x[0]); }
-    bool directFeedthrough() const override { return false; }
-};
-
-/// Gated PI speed controller (the streamer solver tunes its parameters on
-/// signals from the cruise capsule).
-class SpeedController final : public f::Streamer {
-public:
-    SpeedController(std::string name, f::Streamer* parent)
-        : f::Streamer(std::move(name), parent),
-          meas(*this, "meas", f::DPortDir::In, f::FlowType::real()),
-          force(*this, "force", f::DPortDir::Out, f::FlowType::real()),
-          ctl(*this, "ctl", cruiseProtocol(), true) {
-        setParam("enabled", 0.0);
-        setParam("vset", 0.0);
-        setParam("kp", 900.0);
-        setParam("ki", 120.0);
-    }
-
-    f::DPort meas;
-    f::DPort force;
-    f::SPort ctl;
-
-    std::size_t stateSize() const override { return 1; } // integral of error
-    void derivatives(double, std::span<const double>, std::span<double> dx) override {
-        dx[0] = param("enabled") > 0.5 ? (param("vset") - meas.get()) : 0.0;
-    }
-    void outputs(double, std::span<const double> x) override {
-        if (param("enabled") < 0.5) {
-            force.set(0.0);
-            return;
-        }
-        const double e = param("vset") - meas.get();
-        const double u = param("kp") * e + param("ki") * x[0];
-        force.set(std::clamp(u, -4000.0, 4000.0));
-    }
-    void update(double, std::span<double> x) override {
-        if (param("enabled") < 0.5) x[0] = 0.0; // reset integral when disabled
-    }
-    void onSignal(f::SPort&, const rt::Message& m) override {
-        if (m.signal == rt::signal("enable")) setParam("enabled", 1.0);
-        if (m.signal == rt::signal("disable")) setParam("enabled", 0.0);
-        if (m.signal == rt::signal("setpoint")) setParam("vset", m.dataOr<double>(0.0));
-    }
-};
-
-/// The cruise capsule: Off / Standby / Active(+Override via history).
-class CruiseCapsule final : public rt::Capsule {
-public:
-    explicit CruiseCapsule(std::string name)
-        : rt::Capsule(std::move(name)),
-          driver(*this, "driver", cruiseProtocol(), false),
-          plant(*this, "plant", cruiseProtocol(), false) {
-        auto& off = machine().state("Off");
-        auto& standby = machine().state("Standby");
-        auto& active = machine().state("Active");
-        auto& overrideSt = machine().state("Override");
-        machine().initial(off);
-
-        machine().transition(off, standby).on(driver, "power");
-        machine().transition(standby, off).on(driver, "power");
-        machine().transition(standby, active).on(driver, "set").act([this](const rt::Message& m) {
-            const double v = m.dataOr<double>(25.0);
-            std::printf("  [%6.2f s] cruise: Standby -> Active (set %.1f m/s)\n", now(), v);
-            plant.send("setpoint", v);
-            plant.send("enable");
-        });
-        machine().internal(active).on(driver, "set").act([this](const rt::Message& m) {
-            const double v = m.dataOr<double>(25.0);
-            std::printf("  [%6.2f s] cruise: new setpoint %.1f m/s\n", now(), v);
-            plant.send("setpoint", v);
-        });
-        machine().transition(active, overrideSt).on(driver, "brake").act(
-            [this](const rt::Message&) {
-                std::printf("  [%6.2f s] cruise: Active -> Override (brake)\n", now());
-                plant.send("disable");
-            });
-        machine().transition(overrideSt, active).on(driver, "resume").act(
-            [this](const rt::Message&) {
-                std::printf("  [%6.2f s] cruise: Override -> Active (resume)\n", now());
-                plant.send("enable");
-            });
-        machine().transition(active, standby).on(driver, "cancel").act(
-            [this](const rt::Message&) {
-                std::printf("  [%6.2f s] cruise: Active -> Standby (cancel)\n", now());
-                plant.send("disable");
-            });
-    }
-
-    rt::Port driver;
-    rt::Port plant;
-};
-
-/// Driver inputs delivered through timers (scripted scenario).
-class Driver final : public rt::Capsule {
-public:
-    explicit Driver(std::string name)
-        : rt::Capsule(std::move(name)), out(*this, "out", cruiseProtocol(), true) {}
-    rt::Port out;
-
-protected:
-    void onInit() override {
-        informIn(1.0, "t_power");
-        informIn(2.0, "t_set");
-        informIn(20.0, "t_brake");
-        informIn(25.0, "t_resume");
-        informIn(40.0, "t_faster");
-    }
-    void onMessage(const rt::Message& m) override {
-        const auto sig = m.signalName();
-        if (sig == "t_power") out.send("power");
-        if (sig == "t_set") out.send("set", 30.0);
-        if (sig == "t_brake") out.send("brake");
-        if (sig == "t_resume") out.send("resume");
-        if (sig == "t_faster") out.send("set", 35.0);
-    }
-};
-
-} // namespace
+namespace scen = urtx::srv::scenarios;
 
 int main() {
     std::puts("cruise control: Off/Standby/Active/Override over vehicle dynamics");
     std::puts("------------------------------------------------------------------");
 
-    sim::HybridSystem sys;
-
-    f::Streamer group{"drivetrain"};
-    Vehicle car("car", &group);
-    SpeedController pi("pi", &group);
-    f::flow(car.speed, pi.meas);
-    f::flow(pi.force, car.force);
-
-    CruiseCapsule cruise("cruise");
-    Driver driver("driver");
-    rt::connect(driver.out, cruise.driver);
-    rt::connect(cruise.plant, pi.ctl.rtPort());
-
-    sys.addCapsule(cruise);
-    sys.addCapsule(driver);
-    sys.addStreamerGroup(group, urtx::solver::makeIntegrator("RK4"), 0.02);
-    sys.trace().channel("v", [&] { return car.speed.get(); });
-    sys.trace().channel("F", [&] { return pi.force.get(); });
+    urtx::srv::ScenarioParams params;
+    params.set("verbose", 1.0);
+    scen::CruiseScenario scenario(params);
+    sim::HybridSystem& sys = scenario.system();
 
     sys.run(60.0);
 
@@ -205,7 +35,8 @@ int main() {
         std::printf("  %6.2f   %7.2f   %7.1f\n", tr.timeAt(r), tr.valueAt(r, 0),
                     tr.valueAt(r, 1));
     }
-    std::printf("\nfinal speed %.2f m/s (setpoint 35) — capsule state: %s\n", car.speed.get(),
-                cruise.machine().currentPath().c_str());
+    std::printf("\nfinal speed %.2f m/s (setpoint 35) — capsule state: %s\n",
+                scenario.car().speed.get(),
+                scenario.cruise().machine().currentPath().c_str());
     return 0;
 }

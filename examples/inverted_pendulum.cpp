@@ -4,191 +4,38 @@
 ///
 /// * The *pendulum* streamer integrates  ml² θ'' = mgl sin θ - b θ' + u.
 /// * The *controller* streamer computes the torque u using one of two
-///   interchangeable control laws (strategies):
-///     - "swingup":  energy pumping  u = k_e (E* - E) sign(θ' cos θ)
-///     - "balance":  state feedback  u = -K [θ - π, θ']
+///   interchangeable control laws (strategies): "swingup" energy pumping
+///   and "balance" state feedback.
 /// * The *supervisor* capsule is the State side: its machine switches
 ///   SwingUp -> Balance when the pendulum reports (zero-crossing event)
 ///   that it entered the catch zone around the upright position.
 /// * On top of that, the *integration* strategy itself is swapped at
 ///   runtime (Euler -> RK45) to show solver interchangeability.
+///
+/// The components live in the shared scenario library (src/srv/scenarios);
+/// this example builds the same PendulumScenario the batch server uses,
+/// starting on Euler and swapping strategies mid-run.
 
 #include <cmath>
 #include <cstdio>
-#include <span>
 
-#include "flow/flow.hpp"
-#include "rt/rt.hpp"
 #include "sim/sim.hpp"
+#include "srv/scenarios/scenarios.hpp"
 
-namespace f = urtx::flow;
-namespace rt = urtx::rt;
 namespace sim = urtx::sim;
-
-namespace {
-
-constexpr double kGravity = 9.81;
-constexpr double kMass = 0.2;    // kg
-constexpr double kLength = 0.5;  // m
-constexpr double kDamping = 0.01;
-
-rt::Protocol& modeProtocol() {
-    static rt::Protocol p = [] {
-        rt::Protocol q{"PendulumMode"};
-        q.out("nearUpright").out("leftZone"); // pendulum -> supervisor
-        q.in("setMode");                      // supervisor -> controller
-        return q;
-    }();
-    return p;
-}
-
-class Pendulum final : public f::Streamer {
-public:
-    Pendulum(std::string name, f::Streamer* parent)
-        : f::Streamer(std::move(name), parent),
-          torque(*this, "torque", f::DPortDir::In, f::FlowType::real()),
-          state(*this, "state", f::DPortDir::Out,
-                f::FlowType::record(
-                    {{"theta", f::FlowType::real()}, {"omega", f::FlowType::real()}})),
-          events(*this, "events", modeProtocol(), false) {}
-
-    f::DPort torque;
-    f::DPort state;
-    f::SPort events;
-
-    std::size_t stateSize() const override { return 2; }
-    void initState(double, std::span<double> x) override {
-        x[0] = 0.05; // hanging down (theta measured from the downward position)
-        x[1] = 0.0;
-    }
-    void derivatives(double, std::span<const double> x, std::span<double> dx) override {
-        // theta measured from the hanging position; upright is theta = pi.
-        const double ml2 = kMass * kLength * kLength;
-        dx[0] = x[1];
-        dx[1] = (-kMass * kGravity * kLength * std::sin(x[0]) - kDamping * x[1] + torque.get()) /
-                ml2;
-    }
-    void outputs(double, std::span<const double> x) override {
-        state.set(x[0], 0);
-        state.set(x[1], 1);
-    }
-    bool directFeedthrough() const override { return false; }
-
-    /// Catch zone: |θ - π| < 0.15 rad and |θ'| < 2 rad/s.
-    bool hasEvent() const override { return true; }
-    double eventFunction(double, std::span<const double> x) const override {
-        const double dTheta = std::abs(std::remainder(x[0] - M_PI, 2.0 * M_PI));
-        const double speedOk = 2.0 - std::abs(x[1]);
-        return std::min(0.15 - dTheta, speedOk);
-    }
-    void onEvent(double t, bool rising) override {
-        events.send(rising ? "nearUpright" : "leftZone", t);
-    }
-};
-
-/// Strategy side of Figure 1: two torque laws behind one streamer.
-class PendulumController final : public f::Streamer {
-public:
-    PendulumController(std::string name, f::Streamer* parent)
-        : f::Streamer(std::move(name), parent),
-          meas(*this, "meas", f::DPortDir::In,
-               f::FlowType::record(
-                   {{"theta", f::FlowType::real()}, {"omega", f::FlowType::real()}})),
-          torque(*this, "torque", f::DPortDir::Out, f::FlowType::real()),
-          mode(*this, "mode", modeProtocol(), true) {
-        setParam("balancing", 0.0);
-    }
-
-    f::DPort meas;
-    f::DPort torque;
-    f::SPort mode;
-
-    void outputs(double, std::span<const double>) override {
-        const double theta = meas.get(0);
-        const double omega = meas.get(1);
-        double u;
-        if (param("balancing") > 0.5) {
-            // Strategy B: LQR-ish state feedback around upright.
-            const double e = std::remainder(theta - M_PI, 2.0 * M_PI);
-            u = -(kBalanceKp * e + kBalanceKd * omega);
-        } else {
-            // Strategy A: energy pumping toward E* (upright energy, with a
-            // small margin so the pendulum actually crests the top).
-            // dE/dt = u * omega, so u = k (E* - E) sign(omega) raises E
-            // monotonically toward E*.
-            const double ml2 = kMass * kLength * kLength;
-            const double energy = 0.5 * ml2 * omega * omega -
-                                  kMass * kGravity * kLength * std::cos(theta);
-            const double eStar = 1.02 * kMass * kGravity * kLength;
-            const double drive = (eStar - energy) * (omega >= 0 ? 1.0 : -1.0);
-            u = std::clamp(kSwingGain * drive, -kTorqueMax, kTorqueMax);
-        }
-        torque.set(std::clamp(u, -kTorqueMax, kTorqueMax));
-    }
-
-    void onSignal(f::SPort&, const rt::Message& m) override {
-        if (m.signal == rt::signal("setMode")) setParam("balancing", m.dataOr<double>(0.0));
-    }
-
-private:
-    static constexpr double kSwingGain = 4.0;
-    static constexpr double kBalanceKp = 8.0;
-    static constexpr double kBalanceKd = 2.0;
-    static constexpr double kTorqueMax = 1.5;
-};
-
-/// State side of Figure 1: the supervisor capsule.
-class Supervisor final : public rt::Capsule {
-public:
-    Supervisor(std::string name, rt::Port*& modePortOut)
-        : rt::Capsule(std::move(name)),
-          fromPlant(*this, "fromPlant", modeProtocol(), true),
-          toController(*this, "toController", modeProtocol(), false) {
-        modePortOut = &toController;
-        auto& swingUp = machine().state("SwingUp");
-        auto& balance = machine().state("Balance");
-        machine().initial(swingUp);
-        machine().transition(swingUp, balance).on("nearUpright").act([this](const rt::Message& m) {
-            std::printf("  [%6.3f s] supervisor: SwingUp -> Balance\n", m.dataOr<double>(0.0));
-            toController.send("setMode", 1.0);
-            ++switches;
-        });
-        machine().transition(balance, swingUp).on("leftZone").act([this](const rt::Message& m) {
-            std::printf("  [%6.3f s] supervisor: Balance -> SwingUp (fell out)\n",
-                        m.dataOr<double>(0.0));
-            toController.send("setMode", 0.0);
-            ++switches;
-        });
-    }
-
-    rt::Port fromPlant;
-    rt::Port toController;
-    int switches = 0;
-};
-
-} // namespace
+namespace scen = urtx::srv::scenarios;
 
 int main() {
     std::puts("inverted pendulum: swing-up + catch with strategy-swapped solvers");
     std::puts("------------------------------------------------------------------");
 
-    sim::HybridSystem sys;
-
-    f::Streamer group{"pendulumGroup"};
-    Pendulum pend("pendulum", &group);
-    PendulumController ctl("controller", &group);
-    f::flow(pend.state, ctl.meas);
-    f::flow(ctl.torque, pend.torque);
-
-    rt::Port* modePort = nullptr;
-    Supervisor sup("supervisor", modePort);
-    rt::connect(sup.fromPlant, pend.events.rtPort());
-    rt::connect(sup.toController, ctl.mode.rtPort());
-
-    sys.addCapsule(sup);
-    auto& runner = sys.addStreamerGroup(group, urtx::solver::makeIntegrator("Euler"), 0.002);
-    sys.trace().channel("theta", [&] { return pend.state.get(0); });
-    sys.trace().channel("torque", [&] { return ctl.torque.get(); });
+    urtx::srv::ScenarioParams params;
+    params.set("verbose", 1.0);
+    params.set("integrator", std::string("Euler"));
+    scen::PendulumScenario scenario(params);
+    sim::HybridSystem& sys = scenario.system();
+    auto& runner = scenario.runner();
+    scen::Pendulum& pend = scenario.pendulum();
 
     // Phase 1 with the cheap Euler strategy.
     sys.run(2.0);
@@ -199,7 +46,7 @@ int main() {
 
     const double thetaEnd = std::remainder(pend.state.get(0) - M_PI, 2.0 * M_PI);
     std::printf("\nfinal: |theta - pi| = %.4f rad, omega = %.4f rad/s, mode switches = %d\n",
-                std::abs(thetaEnd), pend.state.get(1), sup.switches);
+                std::abs(thetaEnd), pend.state.get(1), scenario.supervisor().switches);
     std::printf("solver: %s, events fired = %llu\n", runner.integrator().name(),
                 static_cast<unsigned long long>(runner.eventsFired()));
     if (std::abs(thetaEnd) < 0.1) {

@@ -3,153 +3,26 @@
 /// events driving safety logic and a supervisor capsule reconfiguring the
 /// continuous world at run time.
 ///
-/// Plant:  tank1 --(valve)--> tank2 --(outlet)-->
-///   dh1/dt = (qin - k1 a sqrt(h1)) / A1
-///   dh2/dt = (k1 a sqrt(h1) - k2 sqrt(h2)) / A2
-/// where a in [0,1] is the valve opening. At t = 30 s the valve sticks
-/// (fault); the supervisor detects the resulting high level in tank1 via a
-/// zero-crossing event and shuts the inflow pump.
-///
-/// The run also exercises the real-time health layer: the flight recorder
-/// keeps a causal log of every emit/reaction, the monitor checks that the
-/// supervisor reacts to "levelHigh" within 2 ms of the plant raising it,
-/// and the post-mortem is dumped to tank_postmortem.json at the end.
+/// The system itself (plant, supervisor, fault injector) lives in the
+/// shared scenario library (src/srv/scenarios) where batch serving builds
+/// it by name; this example constructs the same TankScenario directly,
+/// runs it verbosely, and layers the real-time health demo on top: the
+/// flight recorder keeps a causal log of every emit/reaction, the monitor
+/// checks that the supervisor reacts to "levelHigh" within 2 ms of the
+/// plant raising it, and the post-mortem is dumped to tank_postmortem.json
+/// at the end.
 
-#include <cmath>
 #include <cstdio>
-#include <span>
 
-#include "flow/flow.hpp"
 #include "obs/obs.hpp"
 #include "rt/rt.hpp"
 #include "sim/sim.hpp"
+#include "srv/scenarios/scenarios.hpp"
 
-namespace f = urtx::flow;
 namespace rt = urtx::rt;
 namespace sim = urtx::sim;
-
-namespace {
-
-rt::Protocol& tankProtocol() {
-    static rt::Protocol p = [] {
-        rt::Protocol q{"Tank"};
-        q.out("levelHigh").out("levelOk");      // plant -> supervisor
-        q.in("setPump").in("setValve").in("stickValve"); // supervisor/fault -> plant
-        return q;
-    }();
-    return p;
-}
-
-class TwoTank final : public f::Streamer {
-public:
-    TwoTank(std::string name, f::Streamer* parent)
-        : f::Streamer(std::move(name), parent),
-          h1(*this, "h1", f::DPortDir::Out, f::FlowType::real()),
-          h2(*this, "h2", f::DPortDir::Out, f::FlowType::real()),
-          ctl(*this, "ctl", tankProtocol(), false),
-          faultIn(*this, "faultIn", tankProtocol(), false) {
-        setParam("qin", 0.8);   // pump flow
-        setParam("valve", 1.0); // commanded opening
-        setParam("stuck", 0.0); // fault flag
-        setParam("stuckAt", 0.15);
-        setParam("hmax", 2.0);  // alarm threshold for tank1
-    }
-
-    f::DPort h1;
-    f::DPort h2;
-    f::SPort ctl;
-    f::SPort faultIn; ///< second signal path: fault injection
-
-    double valveOpening() const {
-        return param("stuck") > 0.5 ? param("stuckAt") : param("valve");
-    }
-
-    std::size_t stateSize() const override { return 2; }
-    void initState(double, std::span<double> x) override {
-        x[0] = 1.0;
-        x[1] = 0.5;
-    }
-    void derivatives(double, std::span<const double> x, std::span<double> dx) override {
-        const double a = valveOpening();
-        const double q12 = 0.6 * a * std::sqrt(std::max(0.0, x[0]));
-        const double qout = 0.5 * std::sqrt(std::max(0.0, x[1]));
-        dx[0] = (param("qin") - q12) / 1.0;
-        dx[1] = (q12 - qout) / 1.5;
-    }
-    void outputs(double, std::span<const double> x) override {
-        h1.set(x[0]);
-        h2.set(x[1]);
-    }
-    bool directFeedthrough() const override { return false; }
-
-    bool hasEvent() const override { return true; }
-    double eventFunction(double, std::span<const double> x) const override {
-        return param("hmax") - x[0]; // negative => overfull
-    }
-    void onEvent(double t, bool rising) override {
-        if (!rising) {
-            std::printf("  [%6.2f s] plant: tank1 level %.3f m crossed ALARM threshold\n", t,
-                        h1.get());
-            ctl.send("levelHigh", t);
-        } else {
-            std::printf("  [%6.2f s] plant: tank1 back below threshold\n", t);
-            ctl.send("levelOk", t);
-        }
-    }
-    void onSignal(f::SPort&, const rt::Message& m) override {
-        if (m.signal == rt::signal("setPump")) setParam("qin", m.dataOr<double>(0.0));
-        if (m.signal == rt::signal("setValve")) setParam("valve", m.dataOr<double>(1.0));
-        if (m.signal == rt::signal("stickValve")) {
-            setParam("stuck", 1.0);
-            std::printf("  [%6.2f s] plant: FAULT injected — valve stuck at %.0f %%\n",
-                        m.dataOr<double>(0.0), 100.0 * param("stuckAt"));
-        }
-    }
-};
-
-class TankSupervisor final : public rt::Capsule {
-public:
-    explicit TankSupervisor(std::string name)
-        : rt::Capsule(std::move(name)), plant(*this, "plant", tankProtocol(), true) {
-        auto& normal = machine().state("Normal");
-        auto& shutdown = machine().state("Shutdown");
-        machine().initial(normal);
-        machine().transition(normal, shutdown).on("levelHigh").act([this](const rt::Message& m) {
-            std::printf("  [%6.2f s] supervisor: Normal -> Shutdown (pump off)\n",
-                        m.dataOr<double>(0.0));
-            plant.send("setPump", 0.0);
-        });
-        machine().transition(shutdown, normal).on("levelOk").act([this](const rt::Message& m) {
-            std::printf("  [%6.2f s] supervisor: Shutdown -> Normal (pump restored at 50 %%)\n",
-                        m.dataOr<double>(0.0));
-            plant.send("setPump", 0.4);
-        });
-    }
-    rt::Port plant;
-};
-
-/// Scripted fault injector. It talks to the plant through a dedicated
-/// SPort (SPorts are point-to-point, so it cannot share the supervisor's):
-/// in MultiThread mode a direct setParam() from this capsule's thread
-/// would race the solver thread reading parameters mid-equation — signals
-/// are drained at step boundaries, which is the thread-safe path.
-class FaultInjector final : public rt::Capsule {
-public:
-    explicit FaultInjector(std::string name)
-        : rt::Capsule(std::move(name)), plant(*this, "plant", tankProtocol(), true) {}
-    rt::Port plant;
-
-protected:
-    void onInit() override { informIn(30.0, "inject"); }
-    void onMessage(const rt::Message& m) override {
-        if (m.signalName() == "inject") {
-            plant.send("stickValve", now());
-            std::printf("  [%6.2f s] fault injector: valve stuck!\n", now());
-        }
-    }
-};
-
-} // namespace
+namespace obs = urtx::obs;
+namespace scen = urtx::srv::scenarios;
 
 int main() {
     std::puts("two-tank system: level supervision with a stuck-valve fault at t=30 s");
@@ -158,27 +31,16 @@ int main() {
     // Health layer: causal flight recording plus a reaction deadline — the
     // supervisor must start handling "levelHigh" within 2 ms (wall clock)
     // of the plant emitting it.
-    namespace obs = urtx::obs;
     obs::FlightRecorder::global().setDumpPath("tank_postmortem.json");
     obs::FlightRecorder::global().setEnabled(true);
     obs::Monitor::global().setEnabled(true);
     obs::Monitor::global().require(rt::signal("levelHigh"), "levelHigh", 2e-3);
 
-    sim::HybridSystem sys;
-
-    f::Streamer group{"process"};
-    TwoTank tank("tanks", &group);
-    TankSupervisor sup("supervisor");
-    FaultInjector fault("fault");
-    rt::connect(sup.plant, tank.ctl.rtPort());
-    rt::connect(fault.plant, tank.faultIn.rtPort());
-
-    sys.addCapsule(sup);
-    sys.addCapsule(fault);
-    sys.addStreamerGroup(group, urtx::solver::makeIntegrator("RK45"), 0.05);
-    sys.trace().channel("h1", [&] { return tank.h1.get(); });
-    sys.trace().channel("h2", [&] { return tank.h2.get(); });
-    sys.trace().channel("pump", [&] { return tank.param("qin"); });
+    urtx::srv::ScenarioParams params;
+    params.set("verbose", 1.0);
+    scen::TankScenario scenario(params);
+    sim::HybridSystem& sys = scenario.system();
+    scen::TwoTank& tank = scenario.tank();
 
     sys.run(120.0, sim::ExecutionMode::MultiThread);
 
@@ -189,7 +51,7 @@ int main() {
                     tr.valueAt(r, 1), tr.valueAt(r, 2));
     }
     std::printf("\nfinal: h1 = %.3f m (alarm at 2.0), supervisor state: %s\n", tank.h1.get(),
-                sup.machine().currentPath().c_str());
+                scenario.supervisor().machine().currentPath().c_str());
     std::printf("ran in %s mode, %llu steps\n", sim::to_string(sim::ExecutionMode::MultiThread),
                 static_cast<unsigned long long>(sys.steps()));
 

@@ -8,11 +8,32 @@
 
 namespace urtx::obs {
 
-FlightRecorder::FlightRecorder() : slots_(1024) {}
+namespace {
+/// The recorder installed on this thread; null means "use the process one".
+thread_local FlightRecorder* tInstalled = nullptr;
+} // namespace
 
-FlightRecorder& FlightRecorder::global() {
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(std::max<std::size_t>(capacity, 1)) {}
+
+FlightRecorder& FlightRecorder::process() {
     static FlightRecorder* r = new FlightRecorder(); // leaked: hooks may fire at exit
     return *r;
+}
+
+FlightRecorder& FlightRecorder::global() { return tInstalled ? *tInstalled : process(); }
+
+FlightRecorder* FlightRecorder::installed() { return tInstalled; }
+
+ScopedFlightRecorder::ScopedFlightRecorder(FlightRecorder* r) {
+    if (!r) return;
+    prev_ = tInstalled;
+    tInstalled = r;
+    active_ = true;
+}
+
+ScopedFlightRecorder::~ScopedFlightRecorder() {
+    if (active_) tInstalled = prev_;
 }
 
 void FlightRecorder::setEnabled(bool on) { detail::setCausalBit(kCausalRecorder, on); }

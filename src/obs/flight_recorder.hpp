@@ -38,8 +38,20 @@ namespace urtx::obs {
 
 class FlightRecorder {
 public:
-    /// The process-wide recorder used by the runtime hooks.
+    /// A private recorder (scenario-local post-mortems). \p capacity is the
+    /// event ring size.
+    explicit FlightRecorder(std::size_t capacity = 1024);
+
+    /// The recorder the runtime hooks write to: the one installed on this
+    /// thread (ScopedFlightRecorder), or the process-wide one. Threads with
+    /// nothing installed keep the process recorder — existing callers see
+    /// no behavior change.
     static FlightRecorder& global();
+    /// Always the process-wide recorder, regardless of installed scopes.
+    static FlightRecorder& process();
+    /// The recorder installed on this thread, or nullptr (for propagating a
+    /// scope into threads spawned on behalf of the current one).
+    static FlightRecorder* installed();
 
     /// Runtime switch; when off, instrumented sites pay one relaxed load
     /// (the shared causal-mask gate).
@@ -87,14 +99,29 @@ private:
         char text[104] = {};
     };
 
-    FlightRecorder();
-
     mutable std::mutex mu_; ///< guards slots_/head_ and path strings
     std::vector<Slot> slots_;
     std::uint64_t head_ = 0; ///< events ever written; slot = head_ % capacity
     std::string dumpPath_ = "urtx_postmortem.json";
     std::string lastDumpPath_;
     std::atomic<std::uint64_t> dumps_{0};
+};
+
+/// RAII scope installing \p r as the current flight recorder for this
+/// thread, restoring the previous installation on destruction. Null is a
+/// no-op. Pairs with ScopedRegistry to give one scenario its own
+/// observability sandbox.
+class ScopedFlightRecorder {
+public:
+    explicit ScopedFlightRecorder(FlightRecorder* r);
+    ~ScopedFlightRecorder();
+
+    ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+    ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+
+private:
+    FlightRecorder* prev_ = nullptr;
+    bool active_ = false;
 };
 
 } // namespace urtx::obs

@@ -240,9 +240,38 @@ std::string Snapshot::toJson() const {
 
 // --- Registry ---------------------------------------------------------------
 
-Registry& Registry::global() {
+namespace {
+
+std::uint64_t nextRegistryUid() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The registry installed on this thread; null means "use the process one".
+thread_local Registry* tInstalled = nullptr;
+
+} // namespace
+
+Registry::Registry() : uid_(nextRegistryUid()) {}
+
+Registry& Registry::process() {
     static Registry r;
     return r;
+}
+
+Registry& Registry::global() { return tInstalled ? *tInstalled : process(); }
+
+Registry* Registry::installed() { return tInstalled; }
+
+ScopedRegistry::ScopedRegistry(Registry* r) {
+    if (!r) return;
+    prev_ = tInstalled;
+    tInstalled = r;
+    active_ = true;
+}
+
+ScopedRegistry::~ScopedRegistry() {
+    if (active_) tInstalled = prev_;
 }
 
 Registry::Entry* Registry::find(std::string_view name) {
@@ -352,43 +381,64 @@ std::vector<double> barrierBounds() {
             1e-5,   2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2};
 }
 
+Wellknown buildWellknown(Registry& r) {
+    Wellknown w{};
+    w.rtDispatched = &r.counter("rt.messages_dispatched");
+    w.rtTimersFired = &r.counter("rt.timers_fired");
+    w.rtQueueDepthHwm = &r.gauge("rt.queue_depth_hwm");
+    w.rtTimerJitter = &r.histogram("rt.timer_fire_jitter_seconds", jitterBounds());
+    static const char* prioNames[5] = {"background", "low", "general", "high", "panic"};
+    for (std::size_t p = 0; p < w.rtDispatchLatency.size(); ++p) {
+        w.rtDispatchLatency[p] = &r.histogram(
+            std::string("rt.dispatch_latency_seconds.") + prioNames[p], latencyBounds());
+    }
+    w.rtDeadlineMiss = &r.counter("rt.deadline_miss");
+    w.rtHopLatency = &r.histogram("rt.hop_latency_seconds", latencyBounds());
+    w.flowDportTransfers = &r.counter("flow.dport_transfers");
+    w.flowSportSends = &r.counter("flow.sport_sends");
+    w.flowSportDrained = &r.counter("flow.sport_drained");
+    w.flowSportInboxHwm = &r.gauge("flow.sport_inbox_hwm");
+    w.flowRelayFanout = &r.counter("flow.relay_fanout");
+    w.flowSolverStep = &r.histogram("flow.solver_step_seconds", latencyBounds());
+    w.flowMajorSteps = &r.counter("flow.solver_major_steps");
+    w.flowMinorSteps = &r.counter("flow.solver_minor_steps");
+    w.simSteps = &r.counter("sim.grid_steps");
+    w.simZeroCrossings = &r.counter("sim.zero_crossings");
+    w.simZcIterations = &r.counter("sim.zero_crossing_iterations");
+    w.simTimersPendingHwm = &r.gauge("sim.timers_pending_hwm");
+    w.simMacroSteps = &r.counter("sim.macro_steps_coalesced");
+    w.simDrainRounds = &r.counter("sim.drain_rounds");
+    w.simBarrierWait = &r.histogram("sim.barrier_wait_seconds", barrierBounds());
+    w.simSolverStalls = &r.counter("sim.solver_grant_stalls");
+    w.obsPostmortemDumps = &r.counter("obs.postmortem_dumps");
+    return w;
+}
+
 } // namespace
 
+const Wellknown& Registry::wellknown() {
+    if (const Wellknown* w = wk_.load(std::memory_order_acquire)) return *w;
+    // Build without holding mu_ (the registrations below take it). A racing
+    // builder resolves the same find-or-create pointers, so the loser's
+    // table is identical and simply discarded.
+    auto own = std::make_unique<const Wellknown>(buildWellknown(*this));
+    const Wellknown* expected = nullptr;
+    if (wk_.compare_exchange_strong(expected, own.get(), std::memory_order_acq_rel)) {
+        wkOwned_ = std::move(own); // single writer: only the CAS winner
+        return *wkOwned_;
+    }
+    return *expected;
+}
+
 const Wellknown& wellknown() {
-    static const Wellknown wk = [] {
-        Registry& r = Registry::global();
-        Wellknown w{};
-        w.rtDispatched = &r.counter("rt.messages_dispatched");
-        w.rtTimersFired = &r.counter("rt.timers_fired");
-        w.rtQueueDepthHwm = &r.gauge("rt.queue_depth_hwm");
-        w.rtTimerJitter = &r.histogram("rt.timer_fire_jitter_seconds", jitterBounds());
-        static const char* prioNames[5] = {"background", "low", "general", "high", "panic"};
-        for (std::size_t p = 0; p < w.rtDispatchLatency.size(); ++p) {
-            w.rtDispatchLatency[p] = &r.histogram(
-                std::string("rt.dispatch_latency_seconds.") + prioNames[p], latencyBounds());
-        }
-        w.rtDeadlineMiss = &r.counter("rt.deadline_miss");
-        w.rtHopLatency = &r.histogram("rt.hop_latency_seconds", latencyBounds());
-        w.flowDportTransfers = &r.counter("flow.dport_transfers");
-        w.flowSportSends = &r.counter("flow.sport_sends");
-        w.flowSportDrained = &r.counter("flow.sport_drained");
-        w.flowSportInboxHwm = &r.gauge("flow.sport_inbox_hwm");
-        w.flowRelayFanout = &r.counter("flow.relay_fanout");
-        w.flowSolverStep = &r.histogram("flow.solver_step_seconds", latencyBounds());
-        w.flowMajorSteps = &r.counter("flow.solver_major_steps");
-        w.flowMinorSteps = &r.counter("flow.solver_minor_steps");
-        w.simSteps = &r.counter("sim.grid_steps");
-        w.simZeroCrossings = &r.counter("sim.zero_crossings");
-        w.simZcIterations = &r.counter("sim.zero_crossing_iterations");
-        w.simTimersPendingHwm = &r.gauge("sim.timers_pending_hwm");
-        w.simMacroSteps = &r.counter("sim.macro_steps_coalesced");
-        w.simDrainRounds = &r.counter("sim.drain_rounds");
-        w.simBarrierWait = &r.histogram("sim.barrier_wait_seconds", barrierBounds());
-        w.simSolverStalls = &r.counter("sim.solver_grant_stalls");
-        w.obsPostmortemDumps = &r.counter("obs.postmortem_dumps");
-        return w;
-    }();
-    return wk;
+    thread_local const Wellknown* cached = nullptr;
+    thread_local std::uint64_t cachedUid = 0; // no registry has uid 0
+    Registry& r = Registry::global();
+    if (cachedUid != r.uid()) {
+        cached = &r.wellknown();
+        cachedUid = r.uid();
+    }
+    return *cached;
 }
 
 } // namespace urtx::obs

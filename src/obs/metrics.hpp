@@ -210,12 +210,31 @@ struct Snapshot {
 
 // --- registry ---------------------------------------------------------------
 
+struct Wellknown;
+
 /// Name -> metric map. Creation takes a mutex; returned references are
 /// stable for the registry's lifetime, so hot paths hold them directly.
+///
+/// Scoping: by default there is one process-wide registry, but a caller may
+/// construct additional registries and *install* one as the current
+/// registry for a thread (ScopedRegistry). Registry::global() — the lookup
+/// every instrumented site goes through — then resolves to the installed
+/// registry on that thread, so concurrent simulation scenarios can each
+/// accumulate into a private registry instead of interleaving their
+/// counters. Threads with nothing installed keep the process-wide registry;
+/// existing callers see no behavior change.
 class Registry {
 public:
-    /// The process-wide registry used by the runtime instrumentation.
+    Registry();
+
+    /// The registry instrumentation resolves against: the one installed on
+    /// this thread (ScopedRegistry), or the process-wide one.
     static Registry& global();
+    /// Always the process-wide registry, regardless of installed scopes.
+    static Registry& process();
+    /// The registry installed on this thread, or nullptr. Used to propagate
+    /// a scope into threads spawned on behalf of the current one.
+    static Registry* installed();
 
     /// Find-or-create. Throws std::logic_error when the name exists with a
     /// different kind (or, for histograms, different bounds).
@@ -226,6 +245,15 @@ public:
     Snapshot snapshot() const;
     /// Zero every metric (benchmark harness between configurations).
     void reset();
+
+    /// This registry's table of well-known runtime metrics, built lazily on
+    /// first use. Instrumented sites reach it through obs::wellknown().
+    const Wellknown& wellknown();
+
+    /// Process-unique id; never reused even if an address is. Lets the
+    /// per-thread wellknown() cache detect that a destroyed registry's
+    /// address was recycled by a new one.
+    std::uint64_t uid() const { return uid_; }
 
 private:
     struct Entry {
@@ -239,14 +267,33 @@ private:
 
     mutable std::mutex mu_;
     std::vector<std::unique_ptr<Entry>> entries_;
+    std::uint64_t uid_;
+    std::atomic<const Wellknown*> wk_{nullptr}; ///< published once, owned below
+    std::unique_ptr<const Wellknown> wkOwned_;
+};
+
+/// RAII scope installing \p r as the current registry for this thread and
+/// restoring the previous installation on destruction. A null \p r is a
+/// no-op (convenient for call sites with optional scoping). Nests.
+class ScopedRegistry {
+public:
+    explicit ScopedRegistry(Registry* r);
+    ~ScopedRegistry();
+
+    ScopedRegistry(const ScopedRegistry&) = delete;
+    ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+private:
+    Registry* prev_ = nullptr;
+    bool active_ = false;
 };
 
 // --- well-known runtime metrics --------------------------------------------
 
-/// The metrics the runtime layers (rt / flow / sim) write. Resolved once
-/// against Registry::global() so instrumented sites pay a function-local
-/// static guard, not a name lookup. Registering them eagerly also makes
-/// every metric appear in exports even when still zero.
+/// The metrics the runtime layers (rt / flow / sim) write. Each Registry
+/// owns one table, built on first use, so instrumented sites pay a cached
+/// pointer read, not a name lookup. Registering the whole table eagerly
+/// also makes every metric appear in exports even when still zero.
 struct Wellknown {
     // rt: controller dispatch loop + timer service
     Counter* rtDispatched;
@@ -281,6 +328,9 @@ struct Wellknown {
     Counter* obsPostmortemDumps; ///< flight-recorder dump files written
 };
 
+/// The well-known table of the current registry (Registry::global()). A
+/// per-thread cache keyed by registry uid makes the common case one
+/// thread-local read plus one compare.
 const Wellknown& wellknown();
 
 } // namespace urtx::obs

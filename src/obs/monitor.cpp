@@ -22,7 +22,10 @@ Monitor::PerSignal& Monitor::entryFor(MonitoredSignal signal, const char* name) 
     if (PerSignal* e = table_[idx].load(std::memory_order_acquire)) return *e;
     auto e = std::make_unique<PerSignal>();
     e->name = name;
-    Registry& r = Registry::global();
+    // Always the process registry: the monitor is process-wide and caches
+    // these pointers for its lifetime, so binding them to a (possibly
+    // short-lived) scenario-scoped registry would leave them dangling.
+    Registry& r = Registry::process();
     const std::string base(name);
     e->latency = &r.histogram("rt.hop_latency_seconds." + base,
                               wellknown().rtHopLatency->bounds());
@@ -37,7 +40,7 @@ void Monitor::require(MonitoredSignal signal, const char* name, double budgetSec
     PerSignal& e = entryFor(signal, name);
     std::lock_guard lock(mu_);
     if (!e.misses) {
-        e.misses = &Registry::global().counter("rt.deadline_miss." + std::string(name));
+        e.misses = &Registry::process().counter("rt.deadline_miss." + std::string(name));
     }
     e.budget = budgetSeconds;
     e.abortOnMiss = abortOnMiss;

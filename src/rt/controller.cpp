@@ -89,7 +89,16 @@ std::size_t Controller::onTimeAdvanced() {
 void Controller::start() {
     if (running_.exchange(true)) return;
     stopRequested_.store(false);
-    thread_ = std::thread([this] { run(); });
+    // Propagate the spawning thread's observability scope (per-scenario
+    // registry / flight recorder, if any) onto the controller thread, so a
+    // scoped scenario's capsule metrics land in its own registry.
+    obs::Registry* reg = obs::Registry::installed();
+    obs::FlightRecorder* rec = obs::FlightRecorder::installed();
+    thread_ = std::thread([this, reg, rec] {
+        obs::ScopedRegistry scope(reg);
+        obs::ScopedFlightRecorder rscope(rec);
+        run();
+    });
 }
 
 void Controller::stop() {

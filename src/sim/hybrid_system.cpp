@@ -200,6 +200,11 @@ void HybridSystem::runGrid(double tEnd, SolverPool* pool) {
         return i >= n ? tEnd : std::min(t0 + static_cast<double>(i) * dt, tEnd);
     };
     for (std::uint64_t i = 1; i <= n;) {
+        if (stopRequested_.load(std::memory_order_relaxed)) {
+            throw std::runtime_error(
+                "HybridSystem: run aborted at t=" + std::to_string(time_.now()) +
+                " (requestStop)");
+        }
         URTX_TRACE_SPAN("sim", "grid.step");
         const std::uint64_t k = macroSpan(i, n, t0, dt, pool != nullptr);
         const double t = gridTime(i + k - 1);

@@ -30,6 +30,7 @@
 /// In MultiThread mode the timer check is additionally validated against
 /// concurrent controller dispatch activity at grant time.
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -116,6 +117,14 @@ public:
     void setDrainRoundLimit(std::size_t rounds);
     std::size_t drainRoundLimit() const { return drainRoundLimit_; }
 
+    /// Cooperative abort: thread-safe request for the current (or next)
+    /// run() to stop at the next grid step by throwing std::runtime_error.
+    /// Sticky until clearStopRequest() — a serving-engine watchdog can trip
+    /// it just before run() enters the grid loop and still take effect.
+    void requestStop() { stopRequested_.store(true, std::memory_order_relaxed); }
+    bool stopRequested() const { return stopRequested_.load(std::memory_order_relaxed); }
+    void clearStopRequest() { stopRequested_.store(false, std::memory_order_relaxed); }
+
     /// Smallest solver major step = the global grid step.
     double globalDt() const;
 
@@ -151,6 +160,7 @@ private:
     std::uint64_t macroGrants_ = 0;
     std::uint64_t macroStepsCoalesced_ = 0;
     std::size_t drainRoundLimit_ = 10000;
+    std::atomic<bool> stopRequested_{false};
 };
 
 } // namespace urtx::sim

@@ -25,10 +25,18 @@ SolverPool::SolverPool(std::vector<flow::SolverRunner*> runners)
     // On a single hardware thread, a spinning worker only delays the thread
     // it is waiting for; park immediately there.
     spinLimit_ = std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+    // Workers inherit the spawning thread's observability scope so a scoped
+    // scenario's solver metrics land in its own registry.
+    obs::Registry* reg = obs::Registry::installed();
+    obs::FlightRecorder* rec = obs::FlightRecorder::installed();
     threads_.reserve(runners_.size());
     try {
         for (std::size_t i = 0; i < runners_.size(); ++i) {
-            threads_.emplace_back([this, i] { workerLoop(i); });
+            threads_.emplace_back([this, i, reg, rec] {
+                obs::ScopedRegistry scope(reg);
+                obs::ScopedFlightRecorder rscope(rec);
+                workerLoop(i);
+            });
         }
     } catch (...) {
         // Spawn failed partway: the object never finishes constructing, so

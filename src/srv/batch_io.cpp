@@ -1,0 +1,174 @@
+#include "srv/batch_io.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "srv/json.hpp"
+
+namespace urtx::srv {
+
+namespace {
+
+sim::ExecutionMode parseMode(const std::string& s) {
+    if (s == "single" || s == "single_thread") return sim::ExecutionMode::SingleThread;
+    if (s == "multi" || s == "multi_thread") return sim::ExecutionMode::MultiThread;
+    throw std::runtime_error("batch file: unknown execution mode '" + s +
+                             "' (expected \"single\" or \"multi\")");
+}
+
+ScenarioParams parseParams(const json::Value& obj) {
+    ScenarioParams p;
+    for (const auto& [key, v] : obj.object) {
+        if (v.isNumber()) {
+            p.set(key, v.number);
+        } else if (v.isBool()) {
+            p.set(key, v.boolean ? 1.0 : 0.0);
+        } else if (v.isString()) {
+            p.set(key, v.string);
+        } else {
+            throw std::runtime_error("batch file: param '" + key +
+                                     "' must be a number, bool or string");
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+BatchFile parseBatchFile(std::string_view text) {
+    std::string err;
+    const std::optional<json::Value> doc = json::parse(text, &err);
+    if (!doc) throw std::runtime_error("batch file: " + err);
+    if (!doc->isObject()) throw std::runtime_error("batch file: top level must be an object");
+
+    BatchFile out;
+    out.config.workers = static_cast<std::size_t>(doc->numOr("workers", 0));
+    out.config.defaultCostSeconds =
+        doc->numOr("default_cost_seconds", out.config.defaultCostSeconds);
+    out.config.scopedMetrics = doc->boolOr("scoped_metrics", out.config.scopedMetrics);
+    out.config.postmortems = doc->boolOr("postmortems", out.config.postmortems);
+    out.config.admissionControl =
+        doc->boolOr("admission_control", out.config.admissionControl);
+
+    const json::Value* jobs = doc->find("jobs");
+    if (!jobs || !jobs->isArray()) {
+        throw std::runtime_error("batch file: missing \"jobs\" array");
+    }
+
+    for (const json::Value& job : jobs->array) {
+        if (!job.isObject()) throw std::runtime_error("batch file: each job must be an object");
+        ScenarioSpec base;
+        base.scenario = job.strOr("scenario", "");
+        if (base.scenario.empty()) {
+            throw std::runtime_error("batch file: job missing \"scenario\" name");
+        }
+        base.name = job.strOr("name", "");
+        base.horizon = job.numOr("horizon", base.horizon);
+        base.mode = parseMode(job.strOr("mode", "single"));
+        base.deadlineSeconds = job.numOr("deadline_seconds", 0.0);
+        base.costSeconds = job.numOr("cost_seconds", 0.0);
+        base.wallBudgetSeconds = job.numOr("wall_budget_seconds", 0.0);
+        if (const json::Value* params = job.find("params")) {
+            if (!params->isObject()) {
+                throw std::runtime_error("batch file: \"params\" must be an object");
+            }
+            base.params = parseParams(*params);
+        }
+
+        // "repeat": expand into N copies; "sweep" optionally varies one
+        // numeric parameter linearly from..to across the copies.
+        const auto repeat = static_cast<std::size_t>(job.numOr("repeat", 1));
+        const json::Value* sweep = job.find("sweep");
+        std::string sweepParam;
+        double sweepFrom = 0, sweepTo = 0;
+        if (sweep) {
+            if (!sweep->isObject() || sweep->strOr("param", "").empty()) {
+                throw std::runtime_error(
+                    "batch file: \"sweep\" needs {\"param\": ..., \"from\": ..., \"to\": ...}");
+            }
+            sweepParam = sweep->strOr("param", "");
+            sweepFrom = sweep->numOr("from", 0.0);
+            sweepTo = sweep->numOr("to", sweepFrom);
+        }
+        for (std::size_t k = 0; k < std::max<std::size_t>(repeat, 1); ++k) {
+            ScenarioSpec s = base;
+            if (repeat > 1 || sweep) {
+                s.name = (base.name.empty() ? base.scenario : base.name) + "#" +
+                         std::to_string(k);
+            }
+            if (sweep) {
+                const double t =
+                    repeat > 1 ? static_cast<double>(k) / static_cast<double>(repeat - 1)
+                               : 0.0;
+                s.params.set(sweepParam, sweepFrom + t * (sweepTo - sweepFrom));
+            }
+            out.jobs.push_back(std::move(s));
+        }
+    }
+    // Default names by final position so reports are unambiguous.
+    for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+        if (out.jobs[i].name.empty()) out.jobs[i].name = "scenario#" + std::to_string(i);
+    }
+    return out;
+}
+
+std::string reportJson(const BatchResult& batch, bool includeMetrics) {
+    std::string out;
+    out.reserve(4096);
+    out += "{\n  \"batch\": {";
+    out += "\"jobs\": " + std::to_string(batch.results.size());
+    out += ", \"workers\": " + std::to_string(batch.workers);
+    out += ", \"wall_seconds\": " + json::number(batch.wallSeconds);
+    out += ", \"succeeded\": " + std::to_string(batch.count(ScenarioStatus::Succeeded));
+    out += ", \"failed\": " + std::to_string(batch.count(ScenarioStatus::Failed));
+    out += ", \"rejected\": " + std::to_string(batch.count(ScenarioStatus::Rejected));
+    out += ", \"steals\": " + std::to_string(batch.steals);
+    out += ", \"watchdog_trips\": " + std::to_string(batch.watchdogTrips);
+    out += "},\n  \"results\": [\n";
+    bool first = true;
+    for (const ScenarioResult& r : batch.results) {
+        if (!first) out += ",\n";
+        first = false;
+        out += "    {\"name\": \"" + json::escape(r.name) + "\"";
+        out += ", \"scenario\": \"" + json::escape(r.scenario) + "\"";
+        out += ", \"status\": \"" + std::string(to_string(r.status)) + "\"";
+        out += ", \"passed\": ";
+        out += r.passed ? "true" : "false";
+        if (!r.verdictDetail.empty()) {
+            out += ", \"verdict\": \"" + json::escape(r.verdictDetail) + "\"";
+        }
+        if (!r.error.empty()) out += ", \"error\": \"" + json::escape(r.error) + "\"";
+        if (r.worker != SIZE_MAX) {
+            out += ", \"worker\": " + std::to_string(r.worker);
+            out += ", \"stolen\": ";
+            out += r.stolen ? "true" : "false";
+            out += ", \"queue_wait_seconds\": " + json::number(r.queueWaitSeconds);
+            out += ", \"wall_seconds\": " + json::number(r.wallSeconds);
+            out += ", \"finished_at_seconds\": " + json::number(r.finishedAtSeconds);
+        }
+        out += ", \"deadline_met\": ";
+        out += r.deadlineMet ? "true" : "false";
+        if (r.status == ScenarioStatus::Succeeded) {
+            out += ", \"sim_time\": " + json::number(r.simTime);
+            out += ", \"steps\": " + std::to_string(r.steps);
+            out += ", \"trace_rows\": " + std::to_string(r.trace.rows());
+            char hash[24];
+            std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, r.trace.hash());
+            out += ", \"trace_hash\": \"" + std::string(hash) + "\"";
+        }
+        if (r.watchdogTripped) out += ", \"watchdog_tripped\": true";
+        if (includeMetrics &&
+            (!r.metrics.counters.empty() || !r.metrics.gauges.empty() ||
+             !r.metrics.histograms.empty())) {
+            out += ", \"metrics\": " + r.metrics.toJson();
+        }
+        if (!r.postmortemJson.empty()) out += ", \"postmortem\": " + r.postmortemJson;
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace urtx::srv

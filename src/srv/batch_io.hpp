@@ -1,0 +1,30 @@
+#pragma once
+/// \file batch_io.hpp
+/// Serialization boundary of the serving engine: parse a JSON job file
+/// into (EngineConfig, ScenarioSpecs), render a BatchResult as the JSON
+/// report. See docs/SERVING.md for both schemas.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "srv/engine.hpp"
+#include "srv/scenario.hpp"
+
+namespace urtx::srv {
+
+struct BatchFile {
+    EngineConfig config;
+    std::vector<ScenarioSpec> jobs;
+};
+
+/// Parse a job file. Unknown scenario names are not checked here (the
+/// engine reports them as failures); malformed JSON or a structurally
+/// invalid file throws std::runtime_error with a reason.
+BatchFile parseBatchFile(std::string_view text);
+
+/// Render the report. \p includeMetrics embeds each job's scoped metrics
+/// snapshot; post-mortems of failed jobs are always embedded when present.
+std::string reportJson(const BatchResult& batch, bool includeMetrics = true);
+
+} // namespace urtx::srv

@@ -1,0 +1,360 @@
+#include "srv/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace urtx::srv {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsBetween(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/// What the engine watchdog needs to see about a worker's current job.
+/// sys is only valid while set; the worker clears it (under mu) before the
+/// HybridSystem is destroyed, so the watchdog can never poke a dead system.
+struct RunningSlot {
+    std::mutex mu;
+    sim::HybridSystem* sys = nullptr;
+    Clock::time_point start{};
+    double budgetSeconds = 0.0;
+    bool tripped = false;
+};
+
+/// Clears the slot's system pointer before the scenario (declared earlier
+/// in the same scope, hence destroyed later) tears the system down — on
+/// both the normal and the exceptional exit path.
+struct SlotGuard {
+    RunningSlot& slot;
+    ~SlotGuard() {
+        std::lock_guard<std::mutex> lk(slot.mu);
+        slot.sys = nullptr;
+    }
+};
+
+std::vector<double> wallBounds() {
+    return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0, 100.0};
+}
+
+} // namespace
+
+std::size_t BatchResult::count(ScenarioStatus s) const {
+    std::size_t n = 0;
+    for (const ScenarioResult& r : results) {
+        if (r.status == s) ++n;
+    }
+    return n;
+}
+
+ServeEngine::ServeEngine(EngineConfig cfg) : cfg_(cfg) {
+    // Engine accounting lives in the process registry: a scenario's scoped
+    // registry dies with its job, and these pointers are written from
+    // worker threads that have a scope installed.
+    obs::Registry& r = obs::Registry::process();
+    jobsSubmitted_ = &r.counter("srv.jobs_submitted");
+    jobsCompleted_ = &r.counter("srv.jobs_completed");
+    jobsFailed_ = &r.counter("srv.jobs_failed");
+    jobsRejected_ = &r.counter("srv.jobs_rejected");
+    steals_ = &r.counter("srv.steals");
+    watchdogTrips_ = &r.counter("srv.watchdog_trips");
+    deadlinesMet_ = &r.counter("srv.deadlines_met");
+    deadlinesMissed_ = &r.counter("srv.deadlines_missed");
+    queueWait_ = &r.histogram("srv.queue_wait_seconds", wallBounds());
+    jobWall_ = &r.histogram("srv.job_wall_seconds", wallBounds());
+    workersBusyHwm_ = &r.gauge("srv.workers_busy_hwm");
+}
+
+BatchResult ServeEngine::run(const std::vector<ScenarioSpec>& specs,
+                             const ScenarioLibrary& lib) {
+    const std::size_t n = specs.size();
+    std::size_t workers = cfg_.workers;
+    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+    if (workers > n && n > 0) workers = n;
+
+    BatchResult batch;
+    batch.workers = workers;
+    batch.results.resize(n);
+    jobsSubmitted_->add(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        batch.results[i].name = specs[i].name.empty()
+                                    ? "scenario#" + std::to_string(i)
+                                    : specs[i].name;
+        batch.results[i].scenario = specs[i].scenario;
+    }
+    if (n == 0) return batch;
+
+    const auto est = [&](std::size_t i) {
+        return specs[i].costSeconds > 0 ? specs[i].costSeconds : cfg_.defaultCostSeconds;
+    };
+
+    // --- plan: EDF order, greedy min-load assignment ------------------------
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const double da = specs[a].deadlineSeconds;
+        const double db = specs[b].deadlineSeconds;
+        if ((da > 0) != (db > 0)) return da > 0; // deadline-less jobs last
+        return da > 0 && da < db;
+    });
+
+    std::vector<std::deque<std::size_t>> queues(workers);
+    std::vector<std::unique_ptr<std::mutex>> queueMu(workers);
+    for (auto& m : queueMu) m = std::make_unique<std::mutex>();
+    std::vector<double> load(workers, 0.0);
+    std::vector<std::size_t> plannedWorker(n, 0);
+    std::size_t queued = 0;
+
+    for (std::size_t i : order) {
+        std::size_t best = 0;
+        for (std::size_t w = 1; w < workers; ++w) {
+            if (load[w] < load[best]) best = w;
+        }
+        const double projected = load[best] + est(i);
+        const double deadline = specs[i].deadlineSeconds;
+        if (cfg_.admissionControl && deadline > 0 && projected > deadline) {
+            ScenarioResult& res = batch.results[i];
+            res.status = ScenarioStatus::Rejected;
+            res.deadlineMet = false;
+            res.error = "admission control: projected completion " +
+                        std::to_string(projected) + "s exceeds deadline " +
+                        std::to_string(deadline) + "s";
+            jobsRejected_->inc();
+            deadlinesMissed_->inc();
+            continue;
+        }
+        plannedWorker[i] = best;
+        queues[best].push_back(i);
+        load[best] = projected;
+        ++queued;
+    }
+
+    // --- execute ------------------------------------------------------------
+    // The recorder enable switch is a process-global causal-gate bit, so it
+    // is toggled once around the whole batch (each job still records into
+    // its own scoped ring) and restored afterwards — a batch must not leave
+    // the process recorder enabled behind the caller's back.
+    struct RecorderGate {
+        bool activated;
+        explicit RecorderGate(bool wanted)
+            : activated(wanted && !obs::FlightRecorder::process().enabled()) {
+            if (activated) obs::FlightRecorder::process().setEnabled(true);
+        }
+        ~RecorderGate() {
+            if (activated) obs::FlightRecorder::process().setEnabled(false);
+        }
+    } recorderGate(cfg_.postmortems);
+
+    // Same deal for the metrics gate: scoped per-job snapshots are only
+    // meaningful if instrumented sites actually record, so turn the gate on
+    // for the batch and put it back the way we found it.
+    struct MetricsGate {
+        bool activated;
+        explicit MetricsGate(bool wanted) : activated(wanted && !obs::metricsOn()) {
+            if (activated) obs::setMetricsEnabled(true);
+        }
+        ~MetricsGate() {
+            if (activated) obs::setMetricsEnabled(false);
+        }
+    } metricsGate(cfg_.scopedMetrics);
+
+    const Clock::time_point batchStart = Clock::now();
+    std::atomic<std::size_t> remaining{queued};
+    std::atomic<std::uint64_t> stealCount{0};
+    std::atomic<std::uint64_t> tripCount{0};
+    std::atomic<std::size_t> busy{0};
+    std::vector<RunningSlot> slots(workers);
+    std::atomic<bool> watchdogRun{true};
+
+    const auto runJob = [&](std::size_t idx, std::size_t w, RunningSlot& slot) {
+        const ScenarioSpec& spec = specs[idx];
+        ScenarioResult& res = batch.results[idx];
+        const double dispatchAt = secondsBetween(batchStart, Clock::now());
+        res.queueWaitSeconds = dispatchAt;
+        res.worker = w;
+        res.stolen = (w != plannedWorker[idx]);
+        queueWait_->observe(dispatchAt);
+        if (res.stolen) {
+            steals_->inc();
+            stealCount.fetch_add(1, std::memory_order_relaxed);
+        }
+
+        if (cfg_.admissionControl && spec.deadlineSeconds > 0 &&
+            dispatchAt + est(idx) > spec.deadlineSeconds) {
+            res.status = ScenarioStatus::Rejected;
+            res.deadlineMet = false;
+            res.error = "admission control: dispatched at " + std::to_string(dispatchAt) +
+                        "s, estimate " + std::to_string(est(idx)) +
+                        "s cannot meet deadline " + std::to_string(spec.deadlineSeconds) + "s";
+            jobsRejected_->inc();
+            deadlinesMissed_->inc();
+            return;
+        }
+
+        const std::size_t nowBusy = busy.fetch_add(1, std::memory_order_relaxed) + 1;
+        workersBusyHwm_->max(static_cast<double>(nowBusy));
+
+        obs::Registry local;
+        obs::FlightRecorder recorder(cfg_.recorderCapacity);
+        // Unique automatic-dump path per job: concurrent failures must not
+        // overwrite each other's post-mortem file.
+        recorder.setDumpPath("urtx_postmortem_job" + std::to_string(idx) + ".json");
+        obs::ScopedRegistry scope(cfg_.scopedMetrics ? &local : nullptr);
+        obs::ScopedFlightRecorder rscope(cfg_.postmortems ? &recorder : nullptr);
+
+        const Clock::time_point runStart = Clock::now();
+        try {
+            std::unique_ptr<Scenario> sc = lib.build(spec.scenario, spec.params);
+            sim::HybridSystem& sys = sc->system();
+            {
+                std::lock_guard<std::mutex> lk(slot.mu);
+                slot.sys = &sys;
+                slot.start = runStart;
+                slot.budgetSeconds = spec.wallBudgetSeconds;
+                slot.tripped = false;
+            }
+            SlotGuard guard{slot}; // after sc: clears slot before ~Scenario
+            sys.run(spec.horizon, spec.mode);
+            res.simTime = sys.now();
+            res.steps = sys.steps();
+            res.trace = TraceData::from(sys.trace());
+            res.passed = sc->verdict(res.verdictDetail);
+            res.status = ScenarioStatus::Succeeded;
+            jobsCompleted_->inc();
+        } catch (const std::exception& ex) {
+            bool tripped = false;
+            {
+                std::lock_guard<std::mutex> lk(slot.mu);
+                tripped = slot.tripped;
+            }
+            res.status = ScenarioStatus::Failed;
+            res.watchdogTripped = tripped;
+            res.error = tripped ? "watchdog: wall budget " +
+                                      std::to_string(spec.wallBudgetSeconds) +
+                                      "s exceeded (" + ex.what() + ")"
+                                : ex.what();
+            if (cfg_.postmortems) res.postmortemJson = recorder.dumpString(res.error);
+            jobsFailed_->inc();
+        } catch (...) {
+            res.status = ScenarioStatus::Failed;
+            res.error = "unknown exception";
+            if (cfg_.postmortems) res.postmortemJson = recorder.dumpString(res.error);
+            jobsFailed_->inc();
+        }
+        busy.fetch_sub(1, std::memory_order_relaxed);
+
+        const Clock::time_point end = Clock::now();
+        res.wallSeconds = secondsBetween(runStart, end);
+        res.finishedAtSeconds = secondsBetween(batchStart, end);
+        jobWall_->observe(res.wallSeconds);
+        if (spec.deadlineSeconds > 0) {
+            res.deadlineMet = res.finishedAtSeconds <= spec.deadlineSeconds;
+            (res.deadlineMet ? deadlinesMet_ : deadlinesMissed_)->inc();
+        }
+        if (cfg_.scopedMetrics) res.metrics = local.snapshot();
+    };
+
+    // Claim the next job: own queue front first; else steal from the back
+    // of the fullest sibling queue. Returns SIZE_MAX when nothing was
+    // claimable this instant (another worker may still be mid-claim).
+    const auto claim = [&](std::size_t w, bool& stole) -> std::size_t {
+        stole = false;
+        {
+            std::lock_guard<std::mutex> lk(*queueMu[w]);
+            if (!queues[w].empty()) {
+                const std::size_t idx = queues[w].front();
+                queues[w].pop_front();
+                return idx;
+            }
+        }
+        // Pick the richest victim (size read under its lock), then re-check
+        // under the lock at steal time — it may have drained in between.
+        std::size_t victim = SIZE_MAX;
+        std::size_t most = 0;
+        for (std::size_t v = 0; v < workers; ++v) {
+            if (v == w) continue;
+            std::size_t sz;
+            {
+                std::lock_guard<std::mutex> lk(*queueMu[v]);
+                sz = queues[v].size();
+            }
+            if (sz > most) {
+                most = sz;
+                victim = v;
+            }
+        }
+        if (victim == SIZE_MAX) return SIZE_MAX;
+        std::lock_guard<std::mutex> lk(*queueMu[victim]);
+        if (queues[victim].empty()) return SIZE_MAX;
+        const std::size_t idx = queues[victim].back();
+        queues[victim].pop_back();
+        stole = true;
+        return idx;
+    };
+
+    const auto workerLoop = [&](std::size_t w) {
+        while (remaining.load(std::memory_order_acquire) > 0) {
+            bool stole = false;
+            const std::size_t idx = claim(w, stole);
+            if (idx == SIZE_MAX) {
+                std::this_thread::yield();
+                continue;
+            }
+            runJob(idx, w, slots[w]);
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    };
+
+    // Watchdog: only spun up when some job actually carries a wall budget.
+    bool anyBudget = false;
+    for (const ScenarioSpec& s : specs) anyBudget |= s.wallBudgetSeconds > 0;
+    std::thread watchdog;
+    if (anyBudget && cfg_.watchdogPollSeconds > 0) {
+        watchdog = std::thread([&] {
+            const auto poll = std::chrono::duration<double>(cfg_.watchdogPollSeconds);
+            while (watchdogRun.load(std::memory_order_acquire)) {
+                for (RunningSlot& slot : slots) {
+                    std::lock_guard<std::mutex> lk(slot.mu);
+                    if (!slot.sys || slot.tripped || slot.budgetSeconds <= 0) continue;
+                    if (secondsBetween(slot.start, Clock::now()) > slot.budgetSeconds) {
+                        slot.sys->requestStop();
+                        slot.tripped = true;
+                        watchdogTrips_->inc();
+                        tripCount.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+                std::this_thread::sleep_for(poll);
+            }
+        });
+    }
+
+    if (workers == 1) {
+        workerLoop(0); // degenerate pool: run inline, no thread hop
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] { workerLoop(w); });
+        }
+        for (std::thread& t : pool) t.join();
+    }
+
+    watchdogRun.store(false, std::memory_order_release);
+    if (watchdog.joinable()) watchdog.join();
+
+    batch.wallSeconds = secondsBetween(batchStart, Clock::now());
+    batch.steals = stealCount.load(std::memory_order_relaxed);
+    batch.watchdogTrips = tripCount.load(std::memory_order_relaxed);
+    return batch;
+}
+
+} // namespace urtx::srv

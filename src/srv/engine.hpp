@@ -1,0 +1,112 @@
+#pragma once
+/// \file engine.hpp
+/// The scenario-serving engine: run a batch of ScenarioSpecs across a
+/// worker pool with work stealing, deadline-driven admission control and
+/// per-scenario fault isolation.
+///
+/// Scheduling
+/// ----------
+/// Jobs are planned earliest-deadline-first onto per-worker deques by
+/// greedy min-projected-load assignment (deadline-less jobs go last, in
+/// submission order). Each worker drains its own deque from the front and,
+/// when empty, steals from the back of the most-loaded sibling — so a skewed
+/// cost estimate degrades into stealing, not idle workers.
+///
+/// Admission control
+/// -----------------
+/// A job carrying a deadline is checked twice against its wall-cost
+/// estimate (spec.costSeconds, defaulting to EngineConfig::defaultCostSeconds):
+/// at planning time (projected queue position would already blow the
+/// deadline) and again at dispatch (elapsed + estimate past the deadline).
+/// Rejected jobs never build a system; they report ScenarioStatus::Rejected
+/// with the reason, and feed the srv.jobs_rejected counter.
+///
+/// Isolation
+/// ---------
+/// Every job runs against a private HybridSystem built fresh from its
+/// factory, under a private obs::Registry and obs::FlightRecorder installed
+/// for the duration of the run (ScopedRegistry / ScopedFlightRecorder —
+/// propagated into controller and solver-pool threads the run spawns). A
+/// throwing scenario is caught on its worker: the job reports Failed with
+/// the exception text and a flight-recorder post-mortem JSON; every other
+/// job is untouched. Jobs with a wallBudgetSeconds are additionally guarded
+/// by the engine watchdog thread, which trips HybridSystem::requestStop so
+/// a runaway simulation aborts cooperatively at its next grid step.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "srv/scenario.hpp"
+
+namespace urtx::obs {
+class Counter;
+class Gauge;
+class Histogram;
+} // namespace urtx::obs
+
+namespace urtx::srv {
+
+struct EngineConfig {
+    /// Worker threads; 0 = hardware concurrency.
+    std::size_t workers = 0;
+    /// Admission-control wall-cost estimate for jobs that declare none.
+    double defaultCostSeconds = 0.05;
+    /// Give each job a private metrics registry (snapshot attached to its
+    /// result); the engine enables the process metrics gate for the duration
+    /// of the batch and restores it afterwards. Off = jobs write the process
+    /// registry like any other code, at whatever gate state the caller set.
+    bool scopedMetrics = true;
+    /// Give each job a private flight recorder and attach its dump to the
+    /// result on failure.
+    bool postmortems = true;
+    /// Enforce deadlines at planning and dispatch time. Off = deadlines are
+    /// only reported (deadlineMet), never rejected.
+    bool admissionControl = true;
+    /// Watchdog poll period for wall-budget enforcement.
+    double watchdogPollSeconds = 0.005;
+    /// Event capacity of each per-job flight recorder.
+    std::size_t recorderCapacity = 256;
+};
+
+struct BatchResult {
+    std::vector<ScenarioResult> results; ///< submission order
+    std::size_t workers = 0;
+    double wallSeconds = 0.0;
+    std::uint64_t steals = 0;
+    std::uint64_t watchdogTrips = 0;
+
+    std::size_t count(ScenarioStatus s) const;
+};
+
+class ServeEngine {
+public:
+    explicit ServeEngine(EngineConfig cfg = {});
+
+    /// Run the whole batch; blocks until every job has succeeded, failed or
+    /// been rejected. Results come back in submission order.
+    BatchResult run(const std::vector<ScenarioSpec>& specs,
+                    const ScenarioLibrary& lib = ScenarioLibrary::global());
+
+    const EngineConfig& config() const { return cfg_; }
+
+private:
+    EngineConfig cfg_;
+
+    // srv.* metrics, bound eagerly to the process registry (engine-level
+    // accounting must not land in a scenario's private registry, and the
+    // pointers must outlive every scoped thread that writes them).
+    obs::Counter* jobsSubmitted_;
+    obs::Counter* jobsCompleted_;
+    obs::Counter* jobsFailed_;
+    obs::Counter* jobsRejected_;
+    obs::Counter* steals_;
+    obs::Counter* watchdogTrips_;
+    obs::Counter* deadlinesMet_;
+    obs::Counter* deadlinesMissed_;
+    obs::Histogram* queueWait_;
+    obs::Histogram* jobWall_;
+    obs::Gauge* workersBusyHwm_;
+};
+
+} // namespace urtx::srv

@@ -1,0 +1,264 @@
+#include "srv/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace urtx::srv::json {
+
+const Value* Value::find(std::string_view key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const Member& m : object) {
+        if (m.first == key) return &m.second;
+    }
+    return nullptr;
+}
+
+double Value::numOr(std::string_view key, double fallback) const {
+    const Value* v = find(key);
+    if (!v) return fallback;
+    if (v->isNumber()) return v->number;
+    if (v->isBool()) return v->boolean ? 1.0 : 0.0;
+    return fallback;
+}
+
+std::string Value::strOr(std::string_view key, std::string fallback) const {
+    const Value* v = find(key);
+    return v && v->isString() ? v->string : fallback;
+}
+
+bool Value::boolOr(std::string_view key, bool fallback) const {
+    const Value* v = find(key);
+    return v && v->isBool() ? v->boolean : fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser. Depth-limited so a pathological input cannot
+/// blow the stack.
+class Parser {
+public:
+    explicit Parser(std::string_view s) : s_(s) {}
+
+    std::optional<Value> run(std::string* err) {
+        Value v;
+        skipWs();
+        if (!value(v, 0)) {
+            if (err) *err = err_;
+            return std::nullopt;
+        }
+        skipWs();
+        if (pos_ != s_.size()) {
+            if (err) *err = "trailing characters at offset " + std::to_string(pos_);
+            return std::nullopt;
+        }
+        return v;
+    }
+
+private:
+    static constexpr std::size_t kMaxDepth = 64;
+
+    bool fail(const std::string& what) {
+        if (err_.empty()) err_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void skipWs() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+
+    bool consume(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char* word, Value& out, Value&& v) {
+        const std::string_view w(word);
+        if (s_.compare(pos_, w.size(), w) != 0) return fail("bad literal");
+        pos_ += w.size();
+        out = std::move(v);
+        return true;
+    }
+
+    bool string(std::string& out) {
+        if (!consume('"')) return fail("expected '\"'");
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"') return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size()) break;
+            const char e = s_[pos_++];
+            switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else return fail("bad \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point (surrogate pairs are
+                    // beyond what job files need; a lone surrogate encodes
+                    // as its raw value).
+                    if (cp < 0x80) {
+                        out.push_back(static_cast<char>(cp));
+                    } else if (cp < 0x800) {
+                        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                    } else {
+                        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                    }
+                    break;
+                }
+                default: return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool number(Value& out) {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) return fail("expected value");
+        const std::string text(s_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double v = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size() || !std::isfinite(v)) {
+            pos_ = start;
+            return fail("bad number");
+        }
+        out.kind = Value::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool value(Value& out, std::size_t depth) {
+        if (depth > kMaxDepth) return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= s_.size()) return fail("unexpected end of input");
+        const char c = s_[pos_];
+        if (c == '{') return object(out, depth);
+        if (c == '[') return array(out, depth);
+        if (c == '"') {
+            out.kind = Value::Kind::String;
+            return string(out.string);
+        }
+        if (c == 't') {
+            Value v;
+            v.kind = Value::Kind::Bool;
+            v.boolean = true;
+            return literal("true", out, std::move(v));
+        }
+        if (c == 'f') {
+            Value v;
+            v.kind = Value::Kind::Bool;
+            v.boolean = false;
+            return literal("false", out, std::move(v));
+        }
+        if (c == 'n') return literal("null", out, Value{});
+        return number(out);
+    }
+
+    bool object(Value& out, std::size_t depth) {
+        consume('{');
+        out.kind = Value::Kind::Object;
+        skipWs();
+        if (consume('}')) return true;
+        while (true) {
+            skipWs();
+            Value::Member m;
+            if (!string(m.first)) return false;
+            skipWs();
+            if (!consume(':')) return fail("expected ':'");
+            if (!value(m.second, depth + 1)) return false;
+            out.object.push_back(std::move(m));
+            skipWs();
+            if (consume('}')) return true;
+            if (!consume(',')) return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array(Value& out, std::size_t depth) {
+        consume('[');
+        out.kind = Value::Kind::Array;
+        skipWs();
+        if (consume(']')) return true;
+        while (true) {
+            Value v;
+            if (!value(v, depth + 1)) return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (consume(']')) return true;
+            if (!consume(',')) return fail("expected ',' or ']'");
+        }
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* err) {
+    return Parser(text).run(err);
+}
+
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+std::string number(double v) {
+    if (!std::isfinite(v)) return v > 0 ? "1e308" : "-1e308";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace urtx::srv::json

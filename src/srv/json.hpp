@@ -1,0 +1,62 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON document model for the serving layer: parse a job file,
+/// emit a result report. No external dependency — the repo's exporters
+/// already hand-emit JSON (obs::Snapshot::toJson, FlightRecorder), this
+/// adds the read side plus a couple of shared emit helpers.
+///
+/// The model is deliberately small: a Value is a tagged struct holding all
+/// alternatives (cheap at job-file sizes, no variant gymnastics), objects
+/// preserve member order, numbers are doubles (job files carry horizons,
+/// deadlines and parameter overrides — all doubles by construction).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace urtx::srv::json {
+
+class Value {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    using Member = std::pair<std::string, Value>;
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<Member> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const Value* find(std::string_view key) const;
+
+    /// Typed object-member accessors with fallbacks (absent or wrong-typed
+    /// members yield the fallback; booleans coerce to 0/1 for numOr).
+    double numOr(std::string_view key, double fallback) const;
+    std::string strOr(std::string_view key, std::string fallback) const;
+    bool boolOr(std::string_view key, bool fallback) const;
+};
+
+/// Parse one complete JSON document. On failure returns nullopt and, when
+/// \p err is given, a message with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* err = nullptr);
+
+/// Escape \p s for embedding inside a JSON string literal (no quotes).
+std::string escape(std::string_view s);
+
+/// Render a double as a JSON number (finite round-trip precision; the
+/// non-finite values JSON cannot express clamp to +/-1e308).
+std::string number(double v);
+
+} // namespace urtx::srv::json

@@ -1,0 +1,107 @@
+#include "srv/scenario.hpp"
+
+#include <stdexcept>
+
+namespace urtx::srv {
+
+double ScenarioParams::num(const std::string& key, double fallback) const {
+    const auto it = nums_.find(key);
+    return it != nums_.end() ? it->second : fallback;
+}
+
+std::string ScenarioParams::str(const std::string& key, std::string fallback) const {
+    const auto it = strs_.find(key);
+    return it != strs_.end() ? it->second : fallback;
+}
+
+ScenarioLibrary& ScenarioLibrary::global() {
+    static ScenarioLibrary lib;
+    return lib;
+}
+
+void ScenarioLibrary::add(std::string name, std::string description, ScenarioFactory make) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Entry& e : entries_) {
+        if (e.name == name) {
+            e.description = std::move(description);
+            e.make = std::move(make);
+            return;
+        }
+    }
+    entries_.push_back({std::move(name), std::move(description), std::move(make)});
+}
+
+bool ScenarioLibrary::has(std::string_view name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Entry& e : entries_) {
+        if (e.name == name) return true;
+    }
+    return false;
+}
+
+std::vector<std::pair<std::string, std::string>> ScenarioLibrary::list() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.emplace_back(e.name, e.description);
+    return out;
+}
+
+std::unique_ptr<Scenario> ScenarioLibrary::build(const std::string& name,
+                                                 const ScenarioParams& p) const {
+    ScenarioFactory make;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const Entry& e : entries_) {
+            if (e.name == name) {
+                make = e.make;
+                break;
+            }
+        }
+    }
+    if (!make) throw std::invalid_argument("ScenarioLibrary: unknown scenario '" + name + "'");
+    return make(p);
+}
+
+const char* to_string(ScenarioStatus s) {
+    switch (s) {
+        case ScenarioStatus::Succeeded: return "succeeded";
+        case ScenarioStatus::Failed: return "failed";
+        case ScenarioStatus::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+std::uint64_t TraceData::hash() const {
+    // FNV-1a over the raw 8-byte patterns: any bit-level divergence in the
+    // trajectory (times or samples) changes the hash.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](double d) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        for (int i = 0; i < 8; ++i) {
+            h ^= (bits >> (i * 8)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    };
+    for (double t : times) mix(t);
+    for (double v : data) mix(v);
+    return h;
+}
+
+TraceData TraceData::from(const sim::Trace& t) {
+    TraceData out;
+    out.channels = t.names();
+    const std::size_t rows = t.rows();
+    const std::size_t cols = out.channels.size();
+    out.times.reserve(rows);
+    out.data.reserve(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        out.times.push_back(t.timeAt(r));
+        for (std::size_t c = 0; c < cols; ++c) out.data.push_back(t.valueAt(r, c));
+    }
+    return out;
+}
+
+} // namespace urtx::srv

@@ -1,0 +1,167 @@
+#pragma once
+/// \file scenario.hpp
+/// Scenario model for the serving engine.
+///
+/// A *scenario* is a self-contained hybrid simulation job: a factory builds
+/// a private HybridSystem (plus the capsules / streamers it wires up),
+/// the engine runs it to a horizon, and a verdict hook grades the final
+/// state. Factories live in a ScenarioLibrary so job files, tests, the
+/// examples and the engine all construct the same systems — one definition
+/// per system instead of one copy per call site.
+///
+/// A ScenarioSpec is the serializable half: which factory, which parameter
+/// overrides, how far to run, and the serving constraints (completion
+/// deadline for admission control, wall-clock budget for the watchdog).
+/// A ScenarioResult is everything the engine reports back per job.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/hybrid_system.hpp"
+
+namespace urtx::srv {
+
+/// Factory inputs: numeric and string parameter overrides. Numeric
+/// parameters typically forward into flow::Streamer::setParam; string
+/// parameters select discrete choices (integrator method, variants).
+class ScenarioParams {
+public:
+    double num(const std::string& key, double fallback = 0.0) const;
+    std::string str(const std::string& key, std::string fallback = {}) const;
+    bool hasNum(const std::string& key) const { return nums_.count(key) > 0; }
+    bool hasStr(const std::string& key) const { return strs_.count(key) > 0; }
+
+    void set(const std::string& key, double value) { nums_[key] = value; }
+    void set(const std::string& key, std::string value) { strs_[key] = std::move(value); }
+
+    const std::map<std::string, double>& nums() const { return nums_; }
+    const std::map<std::string, std::string>& strs() const { return strs_; }
+
+private:
+    std::map<std::string, double> nums_;
+    std::map<std::string, std::string> strs_;
+};
+
+/// A built, runnable scenario instance. Owns its HybridSystem and every
+/// capsule / streamer wired into it; destruction tears the whole world
+/// down. Concrete scenarios may expose their components for examples and
+/// tests to poke at.
+class Scenario {
+public:
+    virtual ~Scenario() = default;
+
+    virtual sim::HybridSystem& system() = 0;
+
+    /// Post-run pass/fail judgment on the final state; append a
+    /// human-readable explanation to \p detail. Default: pass.
+    virtual bool verdict(std::string& detail) const {
+        (void)detail;
+        return true;
+    }
+};
+
+using ScenarioFactory = std::function<std::unique_ptr<Scenario>(const ScenarioParams&)>;
+
+/// Name -> factory registry. Thread-safe; a batch run only reads it.
+class ScenarioLibrary {
+public:
+    /// The process-wide library (builtins registered by
+    /// scenarios::registerBuiltins, tests may add their own).
+    static ScenarioLibrary& global();
+
+    /// Register (or replace) a factory.
+    void add(std::string name, std::string description, ScenarioFactory make);
+    bool has(std::string_view name) const;
+    /// (name, description) pairs in registration order.
+    std::vector<std::pair<std::string, std::string>> list() const;
+
+    /// Build an instance; throws std::invalid_argument for unknown names.
+    std::unique_ptr<Scenario> build(const std::string& name, const ScenarioParams& p) const;
+
+private:
+    struct Entry {
+        std::string name;
+        std::string description;
+        ScenarioFactory make;
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_;
+};
+
+/// One job in a batch: factory + overrides + horizon + serving constraints.
+struct ScenarioSpec {
+    std::string name;     ///< job name in the report (default: scenario#index)
+    std::string scenario; ///< ScenarioLibrary factory name
+    ScenarioParams params;
+    double horizon = 1.0; ///< simulate to t = horizon
+    sim::ExecutionMode mode = sim::ExecutionMode::SingleThread;
+    /// Wall-clock completion deadline measured from batch start; jobs whose
+    /// deadline cannot be met are rejected by admission control. 0 = none.
+    double deadlineSeconds = 0.0;
+    /// Estimated wall cost used by admission control; 0 = engine default.
+    double costSeconds = 0.0;
+    /// Per-run wall-clock budget enforced by the engine watchdog via
+    /// HybridSystem::requestStop. 0 = none.
+    double wallBudgetSeconds = 0.0;
+};
+
+enum class ScenarioStatus : std::uint8_t {
+    Succeeded, ///< ran to its horizon (verdict may still be fail)
+    Failed,    ///< threw, or the watchdog stopped it
+    Rejected   ///< admission control refused to run it
+};
+
+const char* to_string(ScenarioStatus s);
+
+/// Plain copy of a finished trace: safe to keep after the scenario (and the
+/// probe targets its Trace pointed into) is destroyed.
+struct TraceData {
+    std::vector<std::string> channels;
+    std::vector<double> times;
+    std::vector<double> data; ///< row-major rows x channels
+
+    std::size_t rows() const { return times.size(); }
+    double valueAt(std::size_t row, std::size_t ch) const {
+        return data.at(row * channels.size() + ch);
+    }
+
+    /// FNV-1a over the raw bit patterns of times and data — equal hashes
+    /// across runs mean bit-identical trajectories.
+    std::uint64_t hash() const;
+
+    static TraceData from(const sim::Trace& t);
+};
+
+/// Everything the engine reports for one job.
+struct ScenarioResult {
+    std::string name;
+    std::string scenario;
+    ScenarioStatus status = ScenarioStatus::Rejected;
+    bool passed = false;        ///< verdict; meaningful when Succeeded
+    std::string verdictDetail;
+    std::string error;          ///< failure / rejection reason
+    bool watchdogTripped = false;
+
+    std::size_t worker = SIZE_MAX; ///< worker that ran it; SIZE_MAX = never ran
+    bool stolen = false;           ///< ran on a worker it was not planned onto
+    double queueWaitSeconds = 0.0; ///< batch start -> dispatch
+    double wallSeconds = 0.0;      ///< dispatch -> finish
+    double finishedAtSeconds = 0.0; ///< batch start -> finish
+    bool deadlineMet = true;       ///< finishedAt <= deadline (when declared)
+
+    double simTime = 0.0;
+    std::uint64_t steps = 0;
+    TraceData trace;
+    obs::Snapshot metrics;      ///< scenario-scoped registry snapshot
+    std::string postmortemJson; ///< flight-recorder dump; non-empty on failure
+};
+
+} // namespace urtx::srv

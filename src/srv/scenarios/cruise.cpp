@@ -1,0 +1,60 @@
+#include "srv/scenarios/scenarios.hpp"
+
+namespace urtx::srv::scenarios {
+
+rt::Protocol& cruiseProtocol() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Cruise"};
+        q.in("power").in("set").in("cancel").in("brake").in("resume"); // driver -> capsule
+        q.out("enable").out("disable").out("setpoint"); // capsule -> plant group
+        return q;
+    }();
+    return p;
+}
+
+CruiseScenario::CruiseScenario(const ScenarioParams& p) {
+    const bool verbose = p.num("verbose", 0.0) > 0.5;
+    scale_ = p.num("script_scale", 1.0);
+    car_ = std::make_unique<Vehicle>("car", &group_);
+    pi_ = std::make_unique<SpeedController>("pi", &group_);
+    flow::flow(car_->speed, pi_->meas);
+    flow::flow(pi_->force, car_->force);
+    applyParams(*car_, p);
+    applyParams(*pi_, p);
+    cruise_ = std::make_unique<CruiseCapsule>("cruise", verbose);
+    driver_ = std::make_unique<CruiseDriver>("driver", scale_);
+    rt::connect(driver_->out, cruise_->driver);
+    rt::connect(cruise_->plant, pi_->ctl.rtPort());
+    sys_.addCapsule(*cruise_);
+    sys_.addCapsule(*driver_);
+    sys_.addStreamerGroup(group_, solver::makeIntegrator(p.str("integrator", "RK4")),
+                          p.num("dt", 0.02));
+    sys_.trace().channel("v", [this] { return car_->speed.get(); });
+    sys_.trace().channel("F", [this] { return pi_->force.get(); });
+}
+
+bool CruiseScenario::verdict(std::string& detail) const {
+    const double v = car_->speed.get();
+    char buf[144];
+    if (!std::isfinite(v) || std::abs(v) > 150.0) {
+        std::snprintf(buf, sizeof(buf), "speed diverged: v = %g m/s", v);
+        detail += buf;
+        return false;
+    }
+    const double vset = pi_->param("vset");
+    std::snprintf(buf, sizeof(buf), "v = %.2f m/s, setpoint %.1f m/s, cruise %s", v, vset,
+                  cruise_->machine().currentPath().c_str());
+    detail += buf;
+    // Tracking is only judged in the script's settled windows — at least
+    // ten (scaled) seconds after an engagement-affecting driver event
+    // (set @2, brake @20, resume @25, new setpoint @40).
+    const double t = scale_ > 0 ? sys_.now() / scale_ : sys_.now();
+    const bool settled = (t >= 12.0 && t < 20.0) || (t >= 35.0 && t < 40.0) || t >= 50.0;
+    if (pi_->param("enabled") > 0.5 && settled && std::abs(v - vset) >= 2.0) {
+        detail += " — tracking error out of band";
+        return false;
+    }
+    return true;
+}
+
+} // namespace urtx::srv::scenarios

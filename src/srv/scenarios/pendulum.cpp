@@ -1,0 +1,162 @@
+#include "srv/scenarios/scenarios.hpp"
+
+namespace urtx::srv::scenarios {
+
+namespace {
+constexpr double kGravity = 9.81;
+constexpr double kMass = 0.2;   // kg
+constexpr double kLength = 0.5; // m
+constexpr double kDamping = 0.01;
+} // namespace
+
+rt::Protocol& pendulumProtocol() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"PendulumMode"};
+        q.out("nearUpright").out("leftZone"); // pendulum -> supervisor
+        q.in("setMode");                      // supervisor -> controller
+        return q;
+    }();
+    return p;
+}
+
+Pendulum::Pendulum(std::string name, flow::Streamer* parent)
+    : flow::Streamer(std::move(name), parent),
+      torque(*this, "torque", flow::DPortDir::In, flow::FlowType::real()),
+      state(*this, "state", flow::DPortDir::Out,
+            flow::FlowType::record(
+                {{"theta", flow::FlowType::real()}, {"omega", flow::FlowType::real()}})),
+      events(*this, "events", pendulumProtocol(), false) {
+    setParam("theta0", 0.05); // initial angle from the hanging position
+    setParam("omega0", 0.0);
+}
+
+void Pendulum::initState(double, std::span<double> x) {
+    x[0] = param("theta0");
+    x[1] = param("omega0");
+}
+
+void Pendulum::derivatives(double, std::span<const double> x, std::span<double> dx) {
+    const double ml2 = kMass * kLength * kLength;
+    dx[0] = x[1];
+    dx[1] = (-kMass * kGravity * kLength * std::sin(x[0]) - kDamping * x[1] + torque.get()) /
+            ml2;
+}
+
+void Pendulum::outputs(double, std::span<const double> x) {
+    state.set(x[0], 0);
+    state.set(x[1], 1);
+}
+
+/// Catch zone: |θ - π| < 0.15 rad and |θ'| < 2 rad/s.
+double Pendulum::eventFunction(double, std::span<const double> x) const {
+    const double dTheta = std::abs(std::remainder(x[0] - M_PI, 2.0 * M_PI));
+    const double speedOk = 2.0 - std::abs(x[1]);
+    return std::min(0.15 - dTheta, speedOk);
+}
+
+void Pendulum::onEvent(double t, bool rising) {
+    events.send(rising ? "nearUpright" : "leftZone", t);
+}
+
+PendulumController::PendulumController(std::string name, flow::Streamer* parent)
+    : flow::Streamer(std::move(name), parent),
+      meas(*this, "meas", flow::DPortDir::In,
+           flow::FlowType::record(
+               {{"theta", flow::FlowType::real()}, {"omega", flow::FlowType::real()}})),
+      torque(*this, "torque", flow::DPortDir::Out, flow::FlowType::real()),
+      mode(*this, "mode", pendulumProtocol(), true) {
+    setParam("balancing", 0.0);
+    setParam("swingGain", 4.0);
+    setParam("balanceKp", 8.0);
+    setParam("balanceKd", 2.0);
+    setParam("torqueMax", 1.5);
+}
+
+void PendulumController::outputs(double, std::span<const double>) {
+    const double theta = meas.get(0);
+    const double omega = meas.get(1);
+    const double uMax = param("torqueMax");
+    double u;
+    if (param("balancing") > 0.5) {
+        // Strategy B: LQR-ish state feedback around upright.
+        const double e = std::remainder(theta - M_PI, 2.0 * M_PI);
+        u = -(param("balanceKp") * e + param("balanceKd") * omega);
+    } else {
+        // Strategy A: energy pumping toward E* (upright energy, with a
+        // small margin so the pendulum actually crests the top).
+        const double ml2 = kMass * kLength * kLength;
+        const double energy =
+            0.5 * ml2 * omega * omega - kMass * kGravity * kLength * std::cos(theta);
+        const double eStar = 1.02 * kMass * kGravity * kLength;
+        const double drive = (eStar - energy) * (omega >= 0 ? 1.0 : -1.0);
+        u = std::clamp(param("swingGain") * drive, -uMax, uMax);
+    }
+    torque.set(std::clamp(u, -uMax, uMax));
+}
+
+void PendulumController::onSignal(flow::SPort&, const rt::Message& m) {
+    if (m.signal == rt::signal("setMode")) setParam("balancing", m.dataOr<double>(0.0));
+}
+
+PendulumSupervisor::PendulumSupervisor(std::string name, bool verbose)
+    : rt::Capsule(std::move(name)),
+      fromPlant(*this, "fromPlant", pendulumProtocol(), true),
+      toController(*this, "toController", pendulumProtocol(), false) {
+    auto& swingUp = machine().state("SwingUp");
+    auto& balance = machine().state("Balance");
+    machine().initial(swingUp);
+    machine().transition(swingUp, balance).on("nearUpright").act(
+        [this, verbose](const rt::Message& m) {
+            if (verbose) {
+                std::printf("  [%6.3f s] supervisor: SwingUp -> Balance\n",
+                            m.dataOr<double>(0.0));
+            }
+            toController.send("setMode", 1.0);
+            ++switches;
+        });
+    machine().transition(balance, swingUp).on("leftZone").act(
+        [this, verbose](const rt::Message& m) {
+            if (verbose) {
+                std::printf("  [%6.3f s] supervisor: Balance -> SwingUp (fell out)\n",
+                            m.dataOr<double>(0.0));
+            }
+            toController.send("setMode", 0.0);
+            ++switches;
+        });
+}
+
+PendulumScenario::PendulumScenario(const ScenarioParams& p) {
+    const bool verbose = p.num("verbose", 0.0) > 0.5;
+    pend_ = std::make_unique<Pendulum>("pendulum", &group_);
+    ctl_ = std::make_unique<PendulumController>("controller", &group_);
+    flow::flow(pend_->state, ctl_->meas);
+    flow::flow(ctl_->torque, pend_->torque);
+    applyParams(*pend_, p);
+    applyParams(*ctl_, p);
+    sup_ = std::make_unique<PendulumSupervisor>("supervisor", verbose);
+    rt::connect(sup_->fromPlant, pend_->events.rtPort());
+    rt::connect(sup_->toController, ctl_->mode.rtPort());
+    sys_.addCapsule(*sup_);
+    runner_ = &sys_.addStreamerGroup(group_, solver::makeIntegrator(p.str("integrator", "RK45")),
+                                     p.num("dt", 0.002));
+    sys_.trace().channel("theta", [this] { return pend_->state.get(0); });
+    sys_.trace().channel("torque", [this] { return ctl_->torque.get(); });
+}
+
+bool PendulumScenario::verdict(std::string& detail) const {
+    const double theta = pend_->state.get(0);
+    const double omega = pend_->state.get(1);
+    const double err = std::abs(std::remainder(theta - M_PI, 2.0 * M_PI));
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "|theta - pi| = %.4f rad, omega = %.4f rad/s, mode switches = %d", err,
+                  omega, sup_->switches);
+    detail += buf;
+    if (sys_.now() < 15.0) {
+        detail += " (horizon too short to judge balance)";
+        return true;
+    }
+    return err < 0.15 && std::abs(omega) < 2.0;
+}
+
+} // namespace urtx::srv::scenarios

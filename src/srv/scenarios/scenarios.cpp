@@ -1,0 +1,64 @@
+#include "srv/scenarios/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace urtx::srv::scenarios {
+
+void applyParams(flow::Streamer& s, const ScenarioParams& p) {
+    for (const auto& [key, value] : p.nums()) {
+        if (s.hasParam(key)) s.setParam(key, value);
+    }
+}
+
+// --- deliberate failure -----------------------------------------------------
+
+class FaultyScenario::ThrowingStreamer final : public flow::Streamer {
+public:
+    ThrowingStreamer(std::string name, flow::Streamer* parent, double throwAt)
+        : flow::Streamer(std::move(name), parent),
+          x(*this, "x", flow::DPortDir::Out, flow::FlowType::real()),
+          throwAt_(throwAt) {}
+
+    flow::DPort x;
+
+    std::size_t stateSize() const override { return 1; }
+    void initState(double, std::span<double> s) override { s[0] = 0.0; }
+    void derivatives(double, std::span<const double>, std::span<double> dx) override {
+        dx[0] = 1.0;
+    }
+    void outputs(double, std::span<const double> s) override { x.set(s[0]); }
+    bool directFeedthrough() const override { return false; }
+    void update(double t, std::span<double>) override {
+        if (t >= throwAt_) {
+            throw std::runtime_error("injected failure: ThrowingStreamer tripped at t=" +
+                                     std::to_string(t));
+        }
+    }
+
+private:
+    double throwAt_;
+};
+
+FaultyScenario::FaultyScenario(const ScenarioParams& p) {
+    leaf_ = std::make_unique<ThrowingStreamer>("bomb", &group_, p.num("throwAt", 0.25));
+    sys_.addStreamerGroup(group_, solver::makeIntegrator(p.str("integrator", "Euler")),
+                          p.num("dt", 0.01));
+    sys_.trace().channel("x", [this] { return leaf_->x.get(); });
+}
+
+FaultyScenario::~FaultyScenario() = default;
+
+// --- registry ---------------------------------------------------------------
+
+void registerBuiltins(ScenarioLibrary& lib) {
+    lib.add("tank", "two-tank level supervision with a stuck-valve fault injection",
+            [](const ScenarioParams& p) { return std::make_unique<TankScenario>(p); });
+    lib.add("cruise", "cruise-control state machine over vehicle longitudinal dynamics",
+            [](const ScenarioParams& p) { return std::make_unique<CruiseScenario>(p); });
+    lib.add("pendulum", "inverted-pendulum swing-up and catch with mode-switching control",
+            [](const ScenarioParams& p) { return std::make_unique<PendulumScenario>(p); });
+    lib.add("faulty", "deliberately throwing scenario (fault-isolation and watchdog tests)",
+            [](const ScenarioParams& p) { return std::make_unique<FaultyScenario>(p); });
+}
+
+} // namespace urtx::srv::scenarios

@@ -1,0 +1,491 @@
+#pragma once
+/// \file scenarios.hpp
+/// The repo's built-in scenario factories: the tank / cruise-control /
+/// inverted-pendulum systems that used to be constructed inline in the
+/// examples, packaged as reusable Scenario classes, plus a deliberately
+/// throwing scenario for fault-isolation tests.
+///
+/// The component classes (streamers, capsules) are defined here so the
+/// examples can keep poking at them directly (probe ports, read state
+/// machines, swap integrators) while batch serving builds the very same
+/// systems by name through the ScenarioLibrary. All narrative printf
+/// output is gated behind the "verbose" parameter (default off — a batch
+/// worker pool printing interleaved narration would be noise).
+///
+/// Common parameters (every factory):
+///   verbose     0/1   narrative output (default 0)
+///   integrator  name  solver::makeIntegrator name (per-scenario default)
+///   dt          s     solver major step (per-scenario default)
+/// Any other numeric parameter naming an existing streamer parameter is
+/// forwarded (e.g. tank "qin", cruise "v0", see each class).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "flow/flow.hpp"
+#include "rt/rt.hpp"
+#include "sim/sim.hpp"
+#include "srv/scenario.hpp"
+
+namespace urtx::srv::scenarios {
+
+/// Register "tank", "cruise", "pendulum" and "faulty" into \p lib.
+void registerBuiltins(ScenarioLibrary& lib = ScenarioLibrary::global());
+
+/// Forward every numeric override in \p p that names an existing parameter
+/// of \p s (unknown keys are ignored — they may belong to a sibling).
+void applyParams(flow::Streamer& s, const ScenarioParams& p);
+
+// --- two-tank level control (examples/tank_system.cpp) ----------------------
+
+rt::Protocol& tankProtocol();
+
+/// Plant:  tank1 --(valve)--> tank2 --(outlet)-->
+///   dh1/dt = (qin - k1 a sqrt(h1)) / A1
+///   dh2/dt = (k1 a sqrt(h1) - k2 sqrt(h2)) / A2
+/// with a zero-crossing alarm surface at h1 = hmax.
+class TwoTank final : public flow::Streamer {
+public:
+    TwoTank(std::string name, flow::Streamer* parent)
+        : flow::Streamer(std::move(name), parent),
+          h1(*this, "h1", flow::DPortDir::Out, flow::FlowType::real()),
+          h2(*this, "h2", flow::DPortDir::Out, flow::FlowType::real()),
+          ctl(*this, "ctl", tankProtocol(), false),
+          faultIn(*this, "faultIn", tankProtocol(), false) {
+        setParam("qin", 0.8);   // pump flow
+        setParam("valve", 1.0); // commanded opening
+        setParam("stuck", 0.0); // fault flag
+        setParam("stuckAt", 0.15);
+        setParam("hmax", 2.0); // alarm threshold for tank1
+        setParam("h1_0", 1.0);
+        setParam("h2_0", 0.5);
+        setParam("verbose", 0.0);
+    }
+
+    flow::DPort h1;
+    flow::DPort h2;
+    flow::SPort ctl;
+    flow::SPort faultIn; ///< second signal path: fault injection
+
+    double valveOpening() const {
+        return param("stuck") > 0.5 ? param("stuckAt") : param("valve");
+    }
+
+    std::size_t stateSize() const override { return 2; }
+    void initState(double, std::span<double> x) override {
+        x[0] = param("h1_0");
+        x[1] = param("h2_0");
+    }
+    void derivatives(double, std::span<const double> x, std::span<double> dx) override {
+        const double a = valveOpening();
+        const double q12 = 0.6 * a * std::sqrt(std::max(0.0, x[0]));
+        const double qout = 0.5 * std::sqrt(std::max(0.0, x[1]));
+        dx[0] = (param("qin") - q12) / 1.0;
+        dx[1] = (q12 - qout) / 1.5;
+    }
+    void outputs(double, std::span<const double> x) override {
+        h1.set(x[0]);
+        h2.set(x[1]);
+    }
+    bool directFeedthrough() const override { return false; }
+
+    bool hasEvent() const override { return true; }
+    double eventFunction(double, std::span<const double> x) const override {
+        return param("hmax") - x[0]; // negative => overfull
+    }
+    void onEvent(double t, bool rising) override {
+        if (!rising) {
+            if (param("verbose") > 0.5) {
+                std::printf("  [%6.2f s] plant: tank1 level %.3f m crossed ALARM threshold\n",
+                            t, h1.get());
+            }
+            ctl.send("levelHigh", t);
+        } else {
+            if (param("verbose") > 0.5) {
+                std::printf("  [%6.2f s] plant: tank1 back below threshold\n", t);
+            }
+            ctl.send("levelOk", t);
+        }
+    }
+    void onSignal(flow::SPort&, const rt::Message& m) override {
+        if (m.signal == rt::signal("setPump")) setParam("qin", m.dataOr<double>(0.0));
+        if (m.signal == rt::signal("setValve")) setParam("valve", m.dataOr<double>(1.0));
+        if (m.signal == rt::signal("stickValve")) {
+            setParam("stuck", 1.0);
+            if (param("verbose") > 0.5) {
+                std::printf("  [%6.2f s] plant: FAULT injected — valve stuck at %.0f %%\n",
+                            m.dataOr<double>(0.0), 100.0 * param("stuckAt"));
+            }
+        }
+    }
+};
+
+/// Normal <-> Shutdown on the plant's levelHigh / levelOk alarms.
+class TankSupervisor final : public rt::Capsule {
+public:
+    explicit TankSupervisor(std::string name, bool verbose = false)
+        : rt::Capsule(std::move(name)), plant(*this, "plant", tankProtocol(), true) {
+        auto& normal = machine().state("Normal");
+        auto& shutdown = machine().state("Shutdown");
+        machine().initial(normal);
+        machine().transition(normal, shutdown).on("levelHigh").act(
+            [this, verbose](const rt::Message& m) {
+                if (verbose) {
+                    std::printf("  [%6.2f s] supervisor: Normal -> Shutdown (pump off)\n",
+                                m.dataOr<double>(0.0));
+                }
+                plant.send("setPump", 0.0);
+            });
+        machine().transition(shutdown, normal).on("levelOk").act(
+            [this, verbose](const rt::Message& m) {
+                if (verbose) {
+                    std::printf(
+                        "  [%6.2f s] supervisor: Shutdown -> Normal (pump restored at 50 %%)\n",
+                        m.dataOr<double>(0.0));
+                }
+                plant.send("setPump", 0.4);
+            });
+    }
+    rt::Port plant;
+};
+
+/// Scripted fault injector. It talks to the plant through a dedicated
+/// SPort (SPorts are point-to-point, so it cannot share the supervisor's):
+/// in MultiThread mode a direct setParam() from this capsule's thread
+/// would race the solver thread reading parameters mid-equation — signals
+/// are drained at step boundaries, which is the thread-safe path.
+class FaultInjector final : public rt::Capsule {
+public:
+    /// \p faultAt < 0 disables the injection.
+    explicit FaultInjector(std::string name, double faultAt = 30.0, bool verbose = false)
+        : rt::Capsule(std::move(name)),
+          plant(*this, "plant", tankProtocol(), true),
+          faultAt_(faultAt),
+          verbose_(verbose) {}
+    rt::Port plant;
+
+protected:
+    void onInit() override {
+        if (faultAt_ >= 0) informIn(faultAt_, "inject");
+    }
+    void onMessage(const rt::Message& m) override {
+        if (m.signalName() == "inject") {
+            plant.send("stickValve", now());
+            if (verbose_) std::printf("  [%6.2f s] fault injector: valve stuck!\n", now());
+        }
+    }
+
+private:
+    double faultAt_;
+    bool verbose_;
+};
+
+/// Extra parameters: faultAt (s, default 30; < 0 disables the fault) plus
+/// every TwoTank parameter. Trace channels: h1, h2, pump. Verdict: tank1
+/// never parked above the alarm threshold.
+class TankScenario final : public Scenario {
+public:
+    explicit TankScenario(const ScenarioParams& p);
+
+    sim::HybridSystem& system() override { return sys_; }
+    bool verdict(std::string& detail) const override;
+
+    TwoTank& tank() { return *tank_; }
+    TankSupervisor& supervisor() { return *sup_; }
+
+private:
+    sim::HybridSystem sys_;
+    flow::Streamer group_{"process"};
+    std::unique_ptr<TwoTank> tank_;
+    std::unique_ptr<TankSupervisor> sup_;
+    std::unique_ptr<FaultInjector> fault_;
+};
+
+// --- cruise control (examples/cruise_control.cpp) ---------------------------
+
+rt::Protocol& cruiseProtocol();
+
+/// Vehicle longitudinal dynamics m v' = F - b v - c v|v|.
+class Vehicle final : public flow::Streamer {
+public:
+    Vehicle(std::string name, flow::Streamer* parent)
+        : flow::Streamer(std::move(name), parent),
+          force(*this, "force", flow::DPortDir::In, flow::FlowType::real()),
+          speed(*this, "speed", flow::DPortDir::Out, flow::FlowType::real()) {
+        setParam("m", 1200.0);
+        setParam("b", 30.0);
+        setParam("c", 0.9);
+        setParam("v0", 20.0);
+    }
+
+    flow::DPort force;
+    flow::DPort speed;
+
+    std::size_t stateSize() const override { return 1; }
+    void initState(double, std::span<double> x) override { x[0] = param("v0"); }
+    void derivatives(double, std::span<const double> x, std::span<double> dx) override {
+        const double v = x[0];
+        dx[0] = (force.get() - param("b") * v - param("c") * v * std::abs(v)) / param("m");
+    }
+    void outputs(double, std::span<const double> x) override { speed.set(x[0]); }
+    bool directFeedthrough() const override { return false; }
+};
+
+/// Gated PI speed controller (the streamer solver tunes its parameters on
+/// signals from the cruise capsule).
+class SpeedController final : public flow::Streamer {
+public:
+    SpeedController(std::string name, flow::Streamer* parent)
+        : flow::Streamer(std::move(name), parent),
+          meas(*this, "meas", flow::DPortDir::In, flow::FlowType::real()),
+          force(*this, "force", flow::DPortDir::Out, flow::FlowType::real()),
+          ctl(*this, "ctl", cruiseProtocol(), true) {
+        setParam("enabled", 0.0);
+        setParam("vset", 0.0);
+        setParam("kp", 900.0);
+        setParam("ki", 120.0);
+    }
+
+    flow::DPort meas;
+    flow::DPort force;
+    flow::SPort ctl;
+
+    std::size_t stateSize() const override { return 1; } // integral of error
+    void derivatives(double, std::span<const double>, std::span<double> dx) override {
+        dx[0] = param("enabled") > 0.5 ? (param("vset") - meas.get()) : 0.0;
+    }
+    void outputs(double, std::span<const double> x) override {
+        if (param("enabled") < 0.5) {
+            force.set(0.0);
+            return;
+        }
+        const double e = param("vset") - meas.get();
+        const double u = param("kp") * e + param("ki") * x[0];
+        force.set(std::clamp(u, -4000.0, 4000.0));
+    }
+    void update(double, std::span<double> x) override {
+        if (param("enabled") < 0.5) x[0] = 0.0; // reset integral when disabled
+    }
+    void onSignal(flow::SPort&, const rt::Message& m) override {
+        if (m.signal == rt::signal("enable")) setParam("enabled", 1.0);
+        if (m.signal == rt::signal("disable")) setParam("enabled", 0.0);
+        if (m.signal == rt::signal("setpoint")) setParam("vset", m.dataOr<double>(0.0));
+    }
+};
+
+/// The cruise capsule: Off / Standby / Active / Override.
+class CruiseCapsule final : public rt::Capsule {
+public:
+    explicit CruiseCapsule(std::string name, bool verbose = false)
+        : rt::Capsule(std::move(name)),
+          driver(*this, "driver", cruiseProtocol(), false),
+          plant(*this, "plant", cruiseProtocol(), false) {
+        auto& off = machine().state("Off");
+        auto& standby = machine().state("Standby");
+        auto& active = machine().state("Active");
+        auto& overrideSt = machine().state("Override");
+        machine().initial(off);
+
+        machine().transition(off, standby).on(driver, "power");
+        machine().transition(standby, off).on(driver, "power");
+        machine().transition(standby, active).on(driver, "set").act(
+            [this, verbose](const rt::Message& m) {
+                const double v = m.dataOr<double>(25.0);
+                if (verbose) {
+                    std::printf("  [%6.2f s] cruise: Standby -> Active (set %.1f m/s)\n",
+                                now(), v);
+                }
+                plant.send("setpoint", v);
+                plant.send("enable");
+            });
+        machine().internal(active).on(driver, "set").act(
+            [this, verbose](const rt::Message& m) {
+                const double v = m.dataOr<double>(25.0);
+                if (verbose) {
+                    std::printf("  [%6.2f s] cruise: new setpoint %.1f m/s\n", now(), v);
+                }
+                plant.send("setpoint", v);
+            });
+        machine().transition(active, overrideSt).on(driver, "brake").act(
+            [this, verbose](const rt::Message&) {
+                if (verbose) {
+                    std::printf("  [%6.2f s] cruise: Active -> Override (brake)\n", now());
+                }
+                plant.send("disable");
+            });
+        machine().transition(overrideSt, active).on(driver, "resume").act(
+            [this, verbose](const rt::Message&) {
+                if (verbose) {
+                    std::printf("  [%6.2f s] cruise: Override -> Active (resume)\n", now());
+                }
+                plant.send("enable");
+            });
+        machine().transition(active, standby).on(driver, "cancel").act(
+            [this, verbose](const rt::Message&) {
+                if (verbose) {
+                    std::printf("  [%6.2f s] cruise: Active -> Standby (cancel)\n", now());
+                }
+                plant.send("disable");
+            });
+    }
+
+    rt::Port driver;
+    rt::Port plant;
+};
+
+/// Driver inputs delivered through timers (scripted scenario): power at
+/// 1 s, set 30 m/s at 2 s, brake at 20 s, resume at 25 s, set 35 m/s at
+/// 40 s — scaled by the "script_scale" parameter so short-horizon batch
+/// jobs still exercise the whole state machine.
+class CruiseDriver final : public rt::Capsule {
+public:
+    explicit CruiseDriver(std::string name, double scale = 1.0)
+        : rt::Capsule(std::move(name)),
+          out(*this, "out", cruiseProtocol(), true),
+          scale_(scale) {}
+    rt::Port out;
+
+protected:
+    void onInit() override {
+        informIn(1.0 * scale_, "t_power");
+        informIn(2.0 * scale_, "t_set");
+        informIn(20.0 * scale_, "t_brake");
+        informIn(25.0 * scale_, "t_resume");
+        informIn(40.0 * scale_, "t_faster");
+    }
+    void onMessage(const rt::Message& m) override {
+        const auto sig = m.signalName();
+        if (sig == "t_power") out.send("power");
+        if (sig == "t_set") out.send("set", 30.0);
+        if (sig == "t_brake") out.send("brake");
+        if (sig == "t_resume") out.send("resume");
+        if (sig == "t_faster") out.send("set", 35.0);
+    }
+
+private:
+    double scale_;
+};
+
+/// Extra parameters: script_scale (default 1) plus every Vehicle /
+/// SpeedController parameter (v0, vset, kp, ...). Trace channels: v, F.
+/// Verdict: speed stays physical, and once the controller is engaged and
+/// given time to settle it tracks the setpoint.
+class CruiseScenario final : public Scenario {
+public:
+    explicit CruiseScenario(const ScenarioParams& p);
+
+    sim::HybridSystem& system() override { return sys_; }
+    bool verdict(std::string& detail) const override;
+
+    Vehicle& car() { return *car_; }
+    SpeedController& pi() { return *pi_; }
+    CruiseCapsule& cruise() { return *cruise_; }
+
+private:
+    sim::HybridSystem sys_;
+    flow::Streamer group_{"drivetrain"};
+    std::unique_ptr<Vehicle> car_;
+    std::unique_ptr<SpeedController> pi_;
+    std::unique_ptr<CruiseCapsule> cruise_;
+    std::unique_ptr<CruiseDriver> driver_;
+    double scale_ = 1.0;
+};
+
+// --- inverted pendulum (examples/inverted_pendulum.cpp) ---------------------
+
+rt::Protocol& pendulumProtocol();
+
+/// ml² θ'' = -mgl sin θ - b θ' + u, θ measured from the hanging position
+/// (upright is θ = π), with a catch-zone zero-crossing surface.
+class Pendulum final : public flow::Streamer {
+public:
+    Pendulum(std::string name, flow::Streamer* parent);
+
+    flow::DPort torque;
+    flow::DPort state;
+    flow::SPort events;
+
+    std::size_t stateSize() const override { return 2; }
+    void initState(double, std::span<double> x) override;
+    void derivatives(double, std::span<const double> x, std::span<double> dx) override;
+    void outputs(double, std::span<const double> x) override;
+    bool directFeedthrough() const override { return false; }
+    bool hasEvent() const override { return true; }
+    double eventFunction(double, std::span<const double> x) const override;
+    void onEvent(double t, bool rising) override;
+};
+
+/// Strategy side of the paper's Figure 1: two torque laws behind one
+/// streamer — "swingup" energy pumping and "balance" state feedback.
+class PendulumController final : public flow::Streamer {
+public:
+    PendulumController(std::string name, flow::Streamer* parent);
+
+    flow::DPort meas;
+    flow::DPort torque;
+    flow::SPort mode;
+
+    void outputs(double, std::span<const double>) override;
+    void onSignal(flow::SPort&, const rt::Message& m) override;
+};
+
+/// State side of Figure 1: SwingUp <-> Balance on the catch-zone events.
+class PendulumSupervisor final : public rt::Capsule {
+public:
+    explicit PendulumSupervisor(std::string name, bool verbose = false);
+
+    rt::Port fromPlant;
+    rt::Port toController;
+    int switches = 0;
+};
+
+/// Extra parameters: integrator (default "RK45"), dt (default 0.002) plus
+/// the Pendulum / PendulumController parameters (theta0, swingGain, ...).
+/// Trace channels: theta, torque. Verdict: balanced upright once the
+/// horizon is long enough to judge.
+class PendulumScenario final : public Scenario {
+public:
+    explicit PendulumScenario(const ScenarioParams& p);
+
+    sim::HybridSystem& system() override { return sys_; }
+    bool verdict(std::string& detail) const override;
+
+    Pendulum& pendulum() { return *pend_; }
+    PendulumController& controller() { return *ctl_; }
+    PendulumSupervisor& supervisor() { return *sup_; }
+    flow::SolverRunner& runner() { return *runner_; }
+
+private:
+    sim::HybridSystem sys_;
+    flow::Streamer group_{"pendulumGroup"};
+    std::unique_ptr<Pendulum> pend_;
+    std::unique_ptr<PendulumController> ctl_;
+    std::unique_ptr<PendulumSupervisor> sup_;
+    flow::SolverRunner* runner_ = nullptr;
+};
+
+// --- deliberate failure (isolation tests) -----------------------------------
+
+/// Integrates dx/dt = 1 and throws std::runtime_error from update() once
+/// t >= throwAt. Parameters: throwAt (default 0.25; a huge value turns
+/// this into a well-behaved long-running job for watchdog tests), dt
+/// (default 0.01). Trace channel: x.
+class FaultyScenario final : public Scenario {
+public:
+    explicit FaultyScenario(const ScenarioParams& p);
+    ~FaultyScenario() override;
+
+    sim::HybridSystem& system() override { return sys_; }
+
+private:
+    class ThrowingStreamer;
+    sim::HybridSystem sys_;
+    flow::Streamer group_{"faultyGroup"};
+    std::unique_ptr<ThrowingStreamer> leaf_;
+};
+
+} // namespace urtx::srv::scenarios

@@ -1,0 +1,44 @@
+#include "srv/scenarios/scenarios.hpp"
+
+namespace urtx::srv::scenarios {
+
+rt::Protocol& tankProtocol() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Tank"};
+        q.out("levelHigh").out("levelOk");               // plant -> supervisor
+        q.in("setPump").in("setValve").in("stickValve"); // supervisor/fault -> plant
+        return q;
+    }();
+    return p;
+}
+
+TankScenario::TankScenario(const ScenarioParams& p) {
+    const bool verbose = p.num("verbose", 0.0) > 0.5;
+    tank_ = std::make_unique<TwoTank>("tanks", &group_);
+    sup_ = std::make_unique<TankSupervisor>("supervisor", verbose);
+    fault_ = std::make_unique<FaultInjector>("fault", p.num("faultAt", 30.0), verbose);
+    applyParams(*tank_, p);
+    rt::connect(sup_->plant, tank_->ctl.rtPort());
+    rt::connect(fault_->plant, tank_->faultIn.rtPort());
+    sys_.addCapsule(*sup_);
+    sys_.addCapsule(*fault_);
+    sys_.addStreamerGroup(group_, solver::makeIntegrator(p.str("integrator", "RK45")),
+                          p.num("dt", 0.05));
+    sys_.trace().channel("h1", [this] { return tank_->h1.get(); });
+    sys_.trace().channel("h2", [this] { return tank_->h2.get(); });
+    sys_.trace().channel("pump", [this] { return tank_->param("qin"); });
+}
+
+bool TankScenario::verdict(std::string& detail) const {
+    const double level = tank_->h1.get();
+    const double hmax = tank_->param("hmax");
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "h1 = %.3f m (alarm %.3f m), supervisor %s", level,
+                  hmax, sup_->machine().currentPath().c_str());
+    detail += buf;
+    // The supervisor may let the level hover around the threshold (alarm ->
+    // pump off -> drain -> pump on), but it must never park above it.
+    return level <= hmax + 0.05;
+}
+
+} // namespace urtx::srv::scenarios

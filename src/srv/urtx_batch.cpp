@@ -1,0 +1,135 @@
+/// \file urtx_batch.cpp
+/// Batch scenario server CLI: read a JSON job file, run every job across
+/// the serving engine's worker pool, write a JSON report.
+///
+///   urtx_batch jobs.json [-o report.json] [--workers N] [--strict]
+///              [--quiet] [--no-metrics]
+///   urtx_batch --list
+///
+/// Exit status: 0 when the batch ran (even with failed jobs — the report
+/// carries the per-job verdicts); with --strict, 1 when any job failed,
+/// was rejected, or finished with a false verdict. 2 on usage / I/O /
+/// job-file errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "srv/batch_io.hpp"
+#include "srv/engine.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace srv = urtx::srv;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s <jobs.json> [-o FILE] [--workers N] [--strict] [--quiet]\n"
+                 "          [--no-metrics]\n"
+                 "       %s --list\n",
+                 argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string jobsPath;
+    std::string outPath = "urtx_batch_report.json";
+    long workersOverride = -1;
+    bool strict = false;
+    bool quiet = false;
+    bool metrics = true;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--no-metrics") {
+            metrics = false;
+        } else if (arg == "-o" || arg == "--out") {
+            if (++i >= argc) return usage(argv[0]);
+            outPath = argv[i];
+        } else if (arg == "--workers") {
+            if (++i >= argc) return usage(argv[0]);
+            workersOverride = std::strtol(argv[i], nullptr, 10);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+            return usage(argv[0]);
+        } else if (jobsPath.empty()) {
+            jobsPath = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    srv::scenarios::registerBuiltins();
+
+    if (list) {
+        for (const auto& [name, description] : srv::ScenarioLibrary::global().list()) {
+            std::printf("%-10s %s\n", name.c_str(), description.c_str());
+        }
+        return 0;
+    }
+    if (jobsPath.empty()) return usage(argv[0]);
+
+    std::ifstream in(jobsPath);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", argv[0], jobsPath.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    srv::BatchFile batch;
+    try {
+        batch = srv::parseBatchFile(text.str());
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
+        return 2;
+    }
+    if (workersOverride >= 0) batch.config.workers = static_cast<std::size_t>(workersOverride);
+
+    srv::ServeEngine engine(batch.config);
+    const srv::BatchResult result = engine.run(batch.jobs);
+
+    const std::string report = srv::reportJson(result, metrics);
+    std::ofstream out(outPath);
+    if (!out) {
+        std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], outPath.c_str());
+        return 2;
+    }
+    out << report;
+
+    bool verdictFail = false;
+    if (!quiet) {
+        std::printf("batch: %zu jobs on %zu workers in %.3f s — %zu succeeded, %zu failed, "
+                    "%zu rejected, %llu steals\n",
+                    result.results.size(), result.workers, result.wallSeconds,
+                    result.count(srv::ScenarioStatus::Succeeded),
+                    result.count(srv::ScenarioStatus::Failed),
+                    result.count(srv::ScenarioStatus::Rejected),
+                    static_cast<unsigned long long>(result.steals));
+    }
+    for (const srv::ScenarioResult& r : result.results) {
+        const bool ok = r.status == srv::ScenarioStatus::Succeeded && r.passed;
+        if (!ok) verdictFail = true;
+        if (!quiet) {
+            std::printf("  %-24s %-9s %s%s%s\n", r.name.c_str(), to_string(r.status),
+                        r.status == srv::ScenarioStatus::Succeeded
+                            ? (r.passed ? "pass" : "VERDICT FAIL")
+                            : r.error.c_str(),
+                        r.verdictDetail.empty() ? "" : " — ", r.verdictDetail.c_str());
+        }
+    }
+    if (!quiet) std::printf("report written to %s\n", outPath.c_str());
+    return strict && verdictFail ? 1 : 0;
+}

@@ -1,0 +1,145 @@
+/// \file obs_scope_test.cpp
+/// Registry / FlightRecorder scoping: installable per-thread handles so
+/// concurrent scenarios can each observe into a private sandbox, with the
+/// process-wide defaults untouched for everyone else.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace obs = urtx::obs;
+
+TEST(ObsScope, DefaultResolvesToProcessRegistry) {
+    EXPECT_EQ(&obs::Registry::global(), &obs::Registry::process());
+    EXPECT_EQ(obs::Registry::installed(), nullptr);
+}
+
+TEST(ObsScope, ScopedRegistryRedirectsGlobal) {
+    const std::uint64_t before = obs::Registry::process().counter("scope.test").value();
+    {
+        obs::Registry local;
+        obs::ScopedRegistry scope(&local);
+        EXPECT_EQ(&obs::Registry::global(), &local);
+        EXPECT_EQ(obs::Registry::installed(), &local);
+        obs::Registry::global().counter("scope.test").add(5);
+        EXPECT_EQ(local.counter("scope.test").value(), 5u);
+    }
+    // Back to the process registry, which never saw the writes.
+    EXPECT_EQ(&obs::Registry::global(), &obs::Registry::process());
+    EXPECT_EQ(obs::Registry::process().counter("scope.test").value(), before);
+}
+
+TEST(ObsScope, ScopesNestAndRestore) {
+    obs::Registry a;
+    obs::Registry b;
+    obs::ScopedRegistry sa(&a);
+    EXPECT_EQ(&obs::Registry::global(), &a);
+    {
+        obs::ScopedRegistry sb(&b);
+        EXPECT_EQ(&obs::Registry::global(), &b);
+    }
+    EXPECT_EQ(&obs::Registry::global(), &a);
+}
+
+TEST(ObsScope, NullScopeIsNoOp) {
+    obs::Registry a;
+    obs::ScopedRegistry sa(&a);
+    {
+        obs::ScopedRegistry none(nullptr);
+        EXPECT_EQ(&obs::Registry::global(), &a);
+    }
+    EXPECT_EQ(&obs::Registry::global(), &a);
+}
+
+TEST(ObsScope, ScopeIsPerThread) {
+    obs::Registry local;
+    obs::ScopedRegistry scope(&local);
+    obs::Registry* seen = &local;
+    std::thread t([&] { seen = obs::Registry::installed(); });
+    t.join();
+    // A fresh thread has no installation — propagation is explicit.
+    EXPECT_EQ(seen, nullptr);
+}
+
+TEST(ObsScope, WellknownIsPerRegistry) {
+    obs::Registry a;
+    obs::Registry b;
+    const obs::Wellknown* wa = &a.wellknown();
+    const obs::Wellknown* wb = &b.wellknown();
+    EXPECT_NE(wa, wb);
+    EXPECT_EQ(wa, &a.wellknown()); // stable across calls
+
+    // The free function resolves through the installed registry.
+    {
+        obs::ScopedRegistry scope(&a);
+        EXPECT_EQ(&obs::wellknown(), wa);
+    }
+    {
+        obs::ScopedRegistry scope(&b);
+        EXPECT_EQ(&obs::wellknown(), wb);
+    }
+}
+
+TEST(ObsScope, WellknownWritesLandInScopedRegistry) {
+    obs::Registry local;
+    {
+        obs::ScopedRegistry scope(&local);
+        obs::wellknown().simSteps->add(42);
+    }
+    const obs::Snapshot snap = local.snapshot();
+    const auto* steps = snap.counter("sim.grid_steps");
+    ASSERT_NE(steps, nullptr);
+    EXPECT_EQ(steps->value, 42u);
+}
+
+TEST(ObsScope, WellknownCacheSurvivesRegistryAddressReuse) {
+    // Destroy-and-recreate registries repeatedly: if the thread-local
+    // wellknown cache keyed on the registry address (instead of its uid),
+    // an address reused by a new registry would serve the dead registry's
+    // table. uids are process-unique, so each round must see its own.
+    for (int i = 0; i < 8; ++i) {
+        auto r = std::make_unique<obs::Registry>();
+        obs::ScopedRegistry scope(r.get());
+        EXPECT_EQ(&obs::wellknown(), &r->wellknown());
+        obs::wellknown().simSteps->inc();
+        const obs::Snapshot snap = r->snapshot();
+        const auto* c = snap.counter("sim.grid_steps");
+        ASSERT_NE(c, nullptr);
+        EXPECT_EQ(c->value, 1u) << "round " << i << " leaked into a recycled registry";
+    }
+}
+
+TEST(ObsScope, UidsAreUnique) {
+    obs::Registry a;
+    obs::Registry b;
+    EXPECT_NE(a.uid(), b.uid());
+    EXPECT_NE(a.uid(), obs::Registry::process().uid());
+    EXPECT_NE(a.uid(), 0u);
+}
+
+TEST(ObsScope, ScopedFlightRecorderRedirects) {
+    obs::FlightRecorder& proc = obs::FlightRecorder::process();
+    EXPECT_EQ(&obs::FlightRecorder::global(), &proc);
+    obs::FlightRecorder local(64);
+    {
+        obs::ScopedFlightRecorder scope(&local);
+        EXPECT_EQ(&obs::FlightRecorder::global(), &local);
+        EXPECT_EQ(obs::FlightRecorder::installed(), &local);
+        obs::FlightRecorder::global().note("test", 0, "scoped event %d", 1);
+    }
+    EXPECT_EQ(&obs::FlightRecorder::global(), &proc);
+    EXPECT_EQ(local.eventCount(), 1u);
+}
+
+TEST(ObsScope, FlightRecorderCapacityCtor) {
+    obs::FlightRecorder tiny(2);
+    tiny.note("t", 0, "a");
+    tiny.note("t", 0, "b");
+    tiny.note("t", 0, "c");
+    EXPECT_EQ(tiny.eventCount(), 2u);
+    EXPECT_EQ(tiny.droppedCount(), 1u);
+}

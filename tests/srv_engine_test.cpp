@@ -1,0 +1,386 @@
+/// \file srv_engine_test.cpp
+/// The scenario-serving engine: scheduling determinism, crash isolation,
+/// admission control, watchdog enforcement, work stealing, report output.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json_lint.hpp"
+#include "obs/metrics.hpp"
+#include "srv/batch_io.hpp"
+#include "srv/engine.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace srv = urtx::srv;
+namespace scen = urtx::srv::scenarios;
+
+namespace {
+
+srv::ScenarioLibrary& lib() {
+    static srv::ScenarioLibrary l;
+    static const bool registered = (scen::registerBuiltins(l), true);
+    (void)registered;
+    return l;
+}
+
+/// A 32-job mixed batch with per-job parameter variation — every job is a
+/// SingleThread simulation, so its trajectory must not depend on which
+/// worker runs it or in what order.
+std::vector<srv::ScenarioSpec> mixedBatch() {
+    std::vector<srv::ScenarioSpec> specs;
+    for (int i = 0; i < 8; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "tank";
+        s.name = "tank" + std::to_string(i);
+        s.horizon = 4.0;
+        s.params.set("qin", 0.5 + 0.05 * i);
+        specs.push_back(std::move(s));
+    }
+    for (int i = 0; i < 8; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "cruise";
+        s.name = "cruise" + std::to_string(i);
+        s.horizon = 3.0;
+        s.params.set("v0", 10.0 + i);
+        specs.push_back(std::move(s));
+    }
+    for (int i = 0; i < 8; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "pendulum";
+        s.name = "pend" + std::to_string(i);
+        s.horizon = 1.0;
+        s.params.set("theta0", 0.05 + 0.01 * i);
+        s.params.set("dt", 0.005);
+        s.params.set("integrator", std::string("RK4"));
+        specs.push_back(std::move(s));
+    }
+    for (int i = 0; i < 8; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "faulty";
+        s.name = "benign" + std::to_string(i);
+        s.horizon = 0.5;
+        s.params.set("throwAt", 1e18);
+        s.params.set("dt", 0.01 + 0.001 * i);
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+} // namespace
+
+TEST(SrvEngine, EmptyBatch) {
+    srv::ServeEngine engine;
+    const srv::BatchResult r = engine.run({}, lib());
+    EXPECT_TRUE(r.results.empty());
+    EXPECT_DOUBLE_EQ(r.wallSeconds, 0.0);
+}
+
+TEST(SrvEngine, DeterminismAcrossWorkerCounts) {
+    const auto specs = mixedBatch();
+
+    srv::EngineConfig one;
+    one.workers = 1;
+    srv::ServeEngine e1(one);
+    const srv::BatchResult r1 = e1.run(specs, lib());
+
+    srv::EngineConfig four;
+    four.workers = 4;
+    srv::ServeEngine e4(four);
+    const srv::BatchResult r4 = e4.run(specs, lib());
+
+    ASSERT_EQ(r1.results.size(), 32u);
+    ASSERT_EQ(r4.results.size(), 32u);
+    EXPECT_EQ(r1.count(srv::ScenarioStatus::Succeeded), 32u);
+    EXPECT_EQ(r4.count(srv::ScenarioStatus::Succeeded), 32u);
+    for (std::size_t i = 0; i < 32; ++i) {
+        const srv::ScenarioResult& a = r1.results[i];
+        const srv::ScenarioResult& b = r4.results[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.steps, b.steps) << a.name;
+        EXPECT_EQ(a.trace.rows(), b.trace.rows()) << a.name;
+        EXPECT_EQ(a.trace.hash(), b.trace.hash())
+            << a.name << ": trajectory depends on worker count";
+        EXPECT_TRUE(b.passed) << a.name << ": " << b.verdictDetail;
+    }
+    // Same spec list, different params per job -> distinct trajectories.
+    EXPECT_NE(r1.results[0].trace.hash(), r1.results[1].trace.hash());
+}
+
+TEST(SrvEngine, CrashIsolation) {
+    std::vector<srv::ScenarioSpec> specs;
+    for (int i = 0; i < 6; ++i) {
+        srv::ScenarioSpec s;
+        s.scenario = "tank";
+        s.name = "ok" + std::to_string(i);
+        s.horizon = 3.0;
+        specs.push_back(std::move(s));
+    }
+    srv::ScenarioSpec bad;
+    bad.scenario = "faulty";
+    bad.name = "bomb";
+    bad.horizon = 1.0;
+    bad.params.set("throwAt", 0.05);
+    specs.insert(specs.begin() + 3, std::move(bad)); // in the middle
+
+    srv::EngineConfig cfg;
+    cfg.workers = 4;
+    srv::ServeEngine engine(cfg);
+    const srv::BatchResult r = engine.run(specs, lib());
+
+    ASSERT_EQ(r.results.size(), 7u);
+    EXPECT_EQ(r.count(srv::ScenarioStatus::Succeeded), 6u);
+    EXPECT_EQ(r.count(srv::ScenarioStatus::Failed), 1u);
+    for (const srv::ScenarioResult& res : r.results) {
+        if (res.name == "bomb") {
+            EXPECT_EQ(res.status, srv::ScenarioStatus::Failed);
+            EXPECT_NE(res.error.find("injected failure"), std::string::npos) << res.error;
+            // The post-mortem rides along as well-formed JSON.
+            ASSERT_FALSE(res.postmortemJson.empty());
+            std::string err;
+            EXPECT_TRUE(urtx::testjson::wellFormed(res.postmortemJson, &err)) << err;
+        } else {
+            EXPECT_EQ(res.status, srv::ScenarioStatus::Succeeded) << res.name << ": "
+                                                                  << res.error;
+            EXPECT_TRUE(res.passed) << res.name;
+        }
+    }
+}
+
+TEST(SrvEngine, AdmissionRejectsAtPlanningTime) {
+    std::vector<srv::ScenarioSpec> specs;
+    srv::ScenarioSpec impossible;
+    impossible.scenario = "faulty";
+    impossible.name = "impossible";
+    impossible.horizon = 0.01;
+    impossible.params.set("throwAt", 1e18);
+    impossible.costSeconds = 50.0; // estimate alone blows the deadline
+    impossible.deadlineSeconds = 10.0;
+    specs.push_back(impossible);
+
+    srv::ScenarioSpec fine;
+    fine.scenario = "faulty";
+    fine.name = "fine";
+    fine.horizon = 0.01;
+    fine.params.set("throwAt", 1e18);
+    fine.costSeconds = 0.01;
+    fine.deadlineSeconds = 100.0;
+    specs.push_back(fine);
+
+    srv::EngineConfig cfg;
+    cfg.workers = 1;
+    srv::ServeEngine engine(cfg);
+    const srv::BatchResult r = engine.run(specs, lib());
+
+    ASSERT_EQ(r.results.size(), 2u);
+    EXPECT_EQ(r.results[0].status, srv::ScenarioStatus::Rejected);
+    EXPECT_NE(r.results[0].error.find("admission control"), std::string::npos);
+    EXPECT_FALSE(r.results[0].deadlineMet);
+    EXPECT_EQ(r.results[0].worker, SIZE_MAX); // never dispatched, never built
+    EXPECT_EQ(r.results[1].status, srv::ScenarioStatus::Succeeded);
+    EXPECT_TRUE(r.results[1].deadlineMet);
+}
+
+TEST(SrvEngine, AdmissionRejectsAtDispatchTime) {
+    // One worker; the EDF-first job underestimates its cost and runs long,
+    // so the second job's deadline is already blown when it is dispatched.
+    std::vector<srv::ScenarioSpec> specs;
+    srv::ScenarioSpec slow;
+    slow.scenario = "pendulum";
+    slow.name = "slow";
+    slow.horizon = 60.0; // tens of milliseconds of wall time
+    slow.costSeconds = 0.001;
+    slow.deadlineSeconds = 0.02;
+    specs.push_back(slow);
+
+    srv::ScenarioSpec late;
+    late.scenario = "faulty";
+    late.name = "late";
+    late.horizon = 0.01;
+    late.params.set("throwAt", 1e18);
+    late.costSeconds = 0.001;
+    late.deadlineSeconds = 0.03;
+    specs.push_back(late);
+
+    srv::EngineConfig cfg;
+    cfg.workers = 1;
+    srv::ServeEngine engine(cfg);
+    const srv::BatchResult r = engine.run(specs, lib());
+
+    ASSERT_EQ(r.results.size(), 2u);
+    // "slow" ran (EDF put it first) but missed its own deadline.
+    EXPECT_EQ(r.results[0].status, srv::ScenarioStatus::Succeeded);
+    EXPECT_FALSE(r.results[0].deadlineMet);
+    // "late" was rejected at dispatch: elapsed + estimate past its deadline.
+    EXPECT_EQ(r.results[1].status, srv::ScenarioStatus::Rejected);
+    EXPECT_NE(r.results[1].error.find("dispatched at"), std::string::npos)
+        << r.results[1].error;
+}
+
+TEST(SrvEngine, WatchdogStopsRunawayJob) {
+    srv::ScenarioSpec runaway;
+    runaway.scenario = "faulty";
+    runaway.name = "runaway";
+    runaway.horizon = 1e4; // ~1e6 grid steps: far longer than the budget
+    runaway.params.set("throwAt", 1e18);
+    runaway.wallBudgetSeconds = 0.05;
+
+    srv::ScenarioSpec sibling;
+    sibling.scenario = "tank";
+    sibling.name = "sibling";
+    sibling.horizon = 2.0;
+
+    srv::EngineConfig cfg;
+    cfg.workers = 2;
+    srv::ServeEngine engine(cfg);
+    const srv::BatchResult r = engine.run({runaway, sibling}, lib());
+
+    ASSERT_EQ(r.results.size(), 2u);
+    const srv::ScenarioResult& res = r.results[0];
+    EXPECT_EQ(res.status, srv::ScenarioStatus::Failed);
+    EXPECT_TRUE(res.watchdogTripped);
+    EXPECT_NE(res.error.find("watchdog"), std::string::npos) << res.error;
+    EXPECT_GE(r.watchdogTrips, 1u);
+    EXPECT_EQ(r.results[1].status, srv::ScenarioStatus::Succeeded);
+}
+
+TEST(SrvEngine, WorkStealingBalancesSkewedEstimates) {
+    // Equal estimates, skewed real costs: worker 0 gets {slow, fast},
+    // worker 1 gets {fast, fast}; worker 1 drains in microseconds and must
+    // steal worker 0's queued job instead of idling.
+    std::vector<srv::ScenarioSpec> specs;
+    srv::ScenarioSpec slow;
+    slow.scenario = "pendulum";
+    slow.name = "slow";
+    slow.horizon = 40.0;
+    specs.push_back(slow);
+    for (int i = 0; i < 3; ++i) {
+        srv::ScenarioSpec fast;
+        fast.scenario = "faulty";
+        fast.name = "fast" + std::to_string(i);
+        fast.horizon = 0.01;
+        fast.params.set("throwAt", 1e18);
+        specs.push_back(std::move(fast));
+    }
+
+    srv::EngineConfig cfg;
+    cfg.workers = 2;
+    srv::ServeEngine engine(cfg);
+    const srv::BatchResult r = engine.run(specs, lib());
+
+    EXPECT_EQ(r.count(srv::ScenarioStatus::Succeeded), 4u);
+    EXPECT_GE(r.steals, 1u);
+    bool sawStolen = false;
+    for (const srv::ScenarioResult& res : r.results) sawStolen |= res.stolen;
+    EXPECT_TRUE(sawStolen);
+}
+
+TEST(SrvEngine, ScopedMetricsLandInResult) {
+    srv::ScenarioSpec s;
+    s.scenario = "tank";
+    s.name = "metrics";
+    s.horizon = 3.0;
+
+    srv::EngineConfig cfg;
+    cfg.workers = 1;
+    srv::ServeEngine engine(cfg);
+    const std::uint64_t processSteps =
+        urtx::obs::Registry::process().counter("sim.grid_steps").value();
+    const srv::BatchResult r = engine.run({s}, lib());
+
+    ASSERT_EQ(r.results.size(), 1u);
+    const srv::ScenarioResult& res = r.results[0];
+    EXPECT_EQ(res.status, srv::ScenarioStatus::Succeeded);
+#if !defined(URTX_OBS) || URTX_OBS
+    // The scenario's sim.grid_steps landed in its private snapshot...
+    const auto* steps = res.metrics.counter("sim.grid_steps");
+    ASSERT_NE(steps, nullptr);
+    EXPECT_EQ(steps->value, res.steps);
+    // ...and NOT in the process registry.
+    EXPECT_EQ(urtx::obs::Registry::process().counter("sim.grid_steps").value(), processSteps);
+#endif
+}
+
+TEST(SrvEngine, ReportJsonIsWellFormed) {
+    auto specs = mixedBatch();
+    specs.resize(6);
+    srv::ScenarioSpec bad;
+    bad.scenario = "faulty";
+    bad.name = "bomb";
+    bad.horizon = 1.0;
+    bad.params.set("throwAt", 0.02);
+    specs.push_back(std::move(bad));
+    srv::ScenarioSpec unknown;
+    unknown.scenario = "no-such-scenario";
+    unknown.name = "unknown";
+    specs.push_back(std::move(unknown));
+
+    srv::EngineConfig cfg;
+    cfg.workers = 2;
+    srv::ServeEngine engine(cfg);
+    const srv::BatchResult r = engine.run(specs, lib());
+
+    const std::string report = srv::reportJson(r, /*includeMetrics=*/true);
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(report, &err)) << err << "\n" << report;
+    EXPECT_NE(report.find("\"trace_hash\""), std::string::npos);
+    EXPECT_NE(report.find("\"postmortem\""), std::string::npos);
+    EXPECT_NE(report.find("no-such-scenario"), std::string::npos);
+}
+
+TEST(SrvEngine, ParseBatchFileRoundTrip) {
+    const std::string text = R"({
+        "workers": 3,
+        "default_cost_seconds": 0.1,
+        "admission_control": false,
+        "jobs": [
+            {"scenario": "tank", "horizon": 12, "mode": "multi",
+             "deadline_seconds": 5, "params": {"qin": 0.7, "verbose": false}},
+            {"scenario": "cruise", "name": "sweep", "repeat": 3,
+             "sweep": {"param": "v0", "from": 10, "to": 20}}
+        ]
+    })";
+    const srv::BatchFile f = srv::parseBatchFile(text);
+    EXPECT_EQ(f.config.workers, 3u);
+    EXPECT_DOUBLE_EQ(f.config.defaultCostSeconds, 0.1);
+    EXPECT_FALSE(f.config.admissionControl);
+    ASSERT_EQ(f.jobs.size(), 4u);
+    EXPECT_EQ(f.jobs[0].scenario, "tank");
+    EXPECT_EQ(f.jobs[0].mode, urtx::sim::ExecutionMode::MultiThread);
+    EXPECT_DOUBLE_EQ(f.jobs[0].deadlineSeconds, 5.0);
+    EXPECT_DOUBLE_EQ(f.jobs[0].params.num("qin", 0), 0.7);
+    EXPECT_DOUBLE_EQ(f.jobs[0].params.num("verbose", 1), 0.0); // bool -> 0/1
+    EXPECT_EQ(f.jobs[1].name, "sweep#0");
+    EXPECT_DOUBLE_EQ(f.jobs[1].params.num("v0", 0), 10.0);
+    EXPECT_DOUBLE_EQ(f.jobs[2].params.num("v0", 0), 15.0);
+    EXPECT_DOUBLE_EQ(f.jobs[3].params.num("v0", 0), 20.0);
+
+    EXPECT_THROW(srv::parseBatchFile("{}"), std::runtime_error);
+    EXPECT_THROW(srv::parseBatchFile("not json"), std::runtime_error);
+    EXPECT_THROW(srv::parseBatchFile(R"({"jobs": [{"horizon": 1}]})"), std::runtime_error);
+    EXPECT_THROW(srv::parseBatchFile(R"({"jobs": [{"scenario": "t", "mode": "warp"}]})"),
+                 std::runtime_error);
+}
+
+TEST(SrvEngine, UnknownScenarioFailsAloneWithoutAborting) {
+    std::vector<srv::ScenarioSpec> specs;
+    srv::ScenarioSpec unknown;
+    unknown.scenario = "no-such-scenario";
+    unknown.name = "unknown";
+    specs.push_back(std::move(unknown));
+    srv::ScenarioSpec ok;
+    ok.scenario = "faulty";
+    ok.name = "ok";
+    ok.horizon = 0.01;
+    ok.params.set("throwAt", 1e18);
+    specs.push_back(std::move(ok));
+
+    srv::ServeEngine engine;
+    const srv::BatchResult r = engine.run(specs, lib());
+    ASSERT_EQ(r.results.size(), 2u);
+    EXPECT_EQ(r.results[0].status, srv::ScenarioStatus::Failed);
+    EXPECT_NE(r.results[0].error.find("unknown scenario"), std::string::npos);
+    EXPECT_EQ(r.results[1].status, srv::ScenarioStatus::Succeeded);
+}

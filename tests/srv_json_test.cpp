@@ -1,0 +1,106 @@
+/// \file srv_json_test.cpp
+/// The serving layer's JSON document model: parser, accessors, emit
+/// helpers.
+
+#include "srv/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace json = urtx::srv::json;
+
+TEST(SrvJson, ParsesScalars) {
+    EXPECT_TRUE(json::parse("null")->isNull());
+    EXPECT_TRUE(json::parse("true")->boolean);
+    EXPECT_FALSE(json::parse("false")->boolean);
+    EXPECT_DOUBLE_EQ(json::parse("-12.5e2")->number, -1250.0);
+    EXPECT_EQ(json::parse("\"hi\"")->string, "hi");
+}
+
+TEST(SrvJson, ParsesNestedDocument) {
+    const auto doc = json::parse(R"({
+        "jobs": [{"scenario": "tank", "horizon": 5.0, "deep": {"a": [1, 2, 3]}}],
+        "workers": 4
+    })");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_DOUBLE_EQ(doc->numOr("workers", 0), 4.0);
+    const json::Value* jobs = doc->find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_TRUE(jobs->isArray());
+    ASSERT_EQ(jobs->array.size(), 1u);
+    EXPECT_EQ(jobs->array[0].strOr("scenario", ""), "tank");
+    EXPECT_DOUBLE_EQ(jobs->array[0].numOr("horizon", 0), 5.0);
+}
+
+TEST(SrvJson, ObjectPreservesMemberOrder) {
+    const auto doc = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->object.size(), 3u);
+    EXPECT_EQ(doc->object[0].first, "z");
+    EXPECT_EQ(doc->object[1].first, "a");
+    EXPECT_EQ(doc->object[2].first, "m");
+}
+
+TEST(SrvJson, StringEscapes) {
+    const auto doc = json::parse(R"("line\nquote\"tab\tuA")");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->string, "line\nquote\"tab\tuA");
+}
+
+TEST(SrvJson, UnicodeEscapeEncodesUtf8) {
+    const auto doc = json::parse(R"("é€")"); // é €
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->string, "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(SrvJson, RejectsMalformedInput) {
+    std::string err;
+    EXPECT_FALSE(json::parse("{", &err).has_value());
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(json::parse("{\"a\" 1}").has_value());
+    EXPECT_FALSE(json::parse("[1, 2,]").has_value());
+    EXPECT_FALSE(json::parse("tru").has_value());
+    EXPECT_FALSE(json::parse("1 2").has_value());
+    EXPECT_FALSE(json::parse("\"unterminated").has_value());
+    EXPECT_FALSE(json::parse("").has_value());
+}
+
+TEST(SrvJson, RejectsNonFiniteNumbers) {
+    EXPECT_FALSE(json::parse("1e999").has_value());
+    EXPECT_FALSE(json::parse("nan").has_value());
+}
+
+TEST(SrvJson, RejectsPathologicalNesting) {
+    std::string deep;
+    for (int i = 0; i < 100; ++i) deep += "[";
+    for (int i = 0; i < 100; ++i) deep += "]";
+    std::string err;
+    EXPECT_FALSE(json::parse(deep, &err).has_value());
+    EXPECT_NE(err.find("nesting"), std::string::npos);
+}
+
+TEST(SrvJson, AccessorsFallBack) {
+    const auto doc = json::parse(R"({"n": 1, "s": "x", "b": true})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->numOr("missing", 7.5), 7.5);
+    EXPECT_DOUBLE_EQ(doc->numOr("s", 7.5), 7.5); // wrong type -> fallback
+    EXPECT_DOUBLE_EQ(doc->numOr("b", 0.0), 1.0); // bools coerce for numOr
+    EXPECT_EQ(doc->strOr("missing", "d"), "d");
+    EXPECT_TRUE(doc->boolOr("b", false));
+    EXPECT_FALSE(doc->boolOr("n", false)); // numbers do not coerce to bool
+}
+
+TEST(SrvJson, EscapeHelper) {
+    EXPECT_EQ(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(SrvJson, NumberHelperRoundTrips) {
+    const std::string s = json::number(0.069369678);
+    EXPECT_DOUBLE_EQ(json::parse(s)->number, 0.069369678);
+    // Non-finite values clamp to something JSON can carry.
+    EXPECT_TRUE(json::parse(json::number(1.0 / 0.0)).has_value());
+    EXPECT_TRUE(json::parse(json::number(-1.0 / 0.0)).has_value());
+}

@@ -1,0 +1,114 @@
+/// \file srv_scenarios_test.cpp
+/// The shared scenario factories: registration, parameter overrides, and
+/// the behavior of each built-in system when built by name.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "srv/scenario.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace srv = urtx::srv;
+namespace scen = urtx::srv::scenarios;
+
+namespace {
+
+srv::ScenarioLibrary& lib() {
+    static srv::ScenarioLibrary l;
+    static const bool registered = (scen::registerBuiltins(l), true);
+    (void)registered;
+    return l;
+}
+
+} // namespace
+
+TEST(SrvScenarios, BuiltinsRegister) {
+    EXPECT_TRUE(lib().has("tank"));
+    EXPECT_TRUE(lib().has("cruise"));
+    EXPECT_TRUE(lib().has("pendulum"));
+    EXPECT_TRUE(lib().has("faulty"));
+    EXPECT_FALSE(lib().has("nonsense"));
+    EXPECT_EQ(lib().list().size(), 4u);
+}
+
+TEST(SrvScenarios, UnknownNameThrows) {
+    EXPECT_THROW(lib().build("nonsense", {}), std::invalid_argument);
+}
+
+TEST(SrvScenarios, ReRegisteringReplaces) {
+    srv::ScenarioLibrary l;
+    scen::registerBuiltins(l);
+    scen::registerBuiltins(l); // idempotent: replaces, does not duplicate
+    EXPECT_EQ(l.list().size(), 4u);
+}
+
+TEST(SrvScenarios, TankRunsAndTraces) {
+    srv::ScenarioParams p;
+    p.set("qin", 0.6);
+    const auto sc = lib().build("tank", p);
+    auto* tank = dynamic_cast<scen::TankScenario*>(sc.get());
+    ASSERT_NE(tank, nullptr);
+    EXPECT_DOUBLE_EQ(tank->tank().param("qin"), 0.6); // override forwarded
+    sc->system().run(5.0);
+    EXPECT_GT(sc->system().trace().rows(), 0u);
+    EXPECT_EQ(sc->system().trace().names().size(), 3u); // h1, h2, pump
+    std::string detail;
+    EXPECT_TRUE(sc->verdict(detail));
+    EXPECT_FALSE(detail.empty());
+}
+
+TEST(SrvScenarios, ParamsForwardOnlyKnownKeys) {
+    srv::ScenarioParams p;
+    p.set("v0", 12.0);
+    p.set("no_such_param", 99.0);
+    const auto sc = lib().build("cruise", p);
+    auto* cruise = dynamic_cast<scen::CruiseScenario*>(sc.get());
+    ASSERT_NE(cruise, nullptr);
+    EXPECT_DOUBLE_EQ(cruise->car().param("v0"), 12.0);
+    EXPECT_FALSE(cruise->car().hasParam("no_such_param"));
+}
+
+TEST(SrvScenarios, PendulumIntegratorParam) {
+    srv::ScenarioParams p;
+    p.set("integrator", std::string("Euler"));
+    const auto sc = lib().build("pendulum", p);
+    auto* pend = dynamic_cast<scen::PendulumScenario*>(sc.get());
+    ASSERT_NE(pend, nullptr);
+    EXPECT_STREQ(pend->runner().integrator().name(), "Euler");
+    sc->system().run(0.5);
+    std::string detail;
+    EXPECT_TRUE(sc->verdict(detail)); // short horizon: not judged, but detailed
+    EXPECT_NE(detail.find("theta"), std::string::npos);
+}
+
+TEST(SrvScenarios, FaultyThrowsAtConfiguredTime) {
+    srv::ScenarioParams p;
+    p.set("throwAt", 0.1);
+    const auto sc = lib().build("faulty", p);
+    EXPECT_THROW(sc->system().run(1.0), std::runtime_error);
+    EXPECT_LT(sc->system().now(), 1.0); // aborted mid-run
+}
+
+TEST(SrvScenarios, FaultyBenignBeforeThrowTime) {
+    srv::ScenarioParams p;
+    p.set("throwAt", 1e18);
+    const auto sc = lib().build("faulty", p);
+    sc->system().run(0.5);
+    EXPECT_DOUBLE_EQ(sc->system().now(), 0.5);
+}
+
+TEST(SrvScenarios, TraceDataCopiesAndHashes) {
+    const auto sc = lib().build("tank", {});
+    sc->system().run(2.0);
+    const srv::TraceData a = srv::TraceData::from(sc->system().trace());
+    const srv::TraceData b = srv::TraceData::from(sc->system().trace());
+    EXPECT_GT(a.rows(), 0u);
+    EXPECT_EQ(a.channels.size(), 3u);
+    EXPECT_EQ(a.hash(), b.hash());
+    srv::TraceData c = b;
+    c.data[0] += 1e-12; // any bit-level change must change the hash
+    EXPECT_NE(a.hash(), c.hash());
+    EXPECT_DOUBLE_EQ(a.valueAt(0, 0), sc->system().trace().valueAt(0, 0));
+}
