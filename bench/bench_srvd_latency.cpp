@@ -1,0 +1,154 @@
+/// \file bench_srvd_latency.cpp
+/// Serving-daemon request latency through the real wire path (socketpair +
+/// newline-delimited JSON), one request in flight at a time so each number
+/// is a round-trip, not a throughput artifact. Three configurations over
+/// the same 256-job stream:
+///
+///   cold   — warm cache and result cache disabled: every job builds its
+///            scenario from scratch (the pre-daemon cost model);
+///   warm   — warm cache on, result cache off: every job after the first
+///            runs on a reset cached instance (no rebuild, real execution);
+///   cached — result cache on: bit-identical reruns replay the stored
+///            record without touching the engine at all.
+///
+/// A machine-readable summary is written to BENCH_srvd.json. The headline
+/// claim is warm p50 < cold p50 (construction cost off the request path).
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "srv/daemon/daemon.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace srv = urtx::srv;
+namespace scen = urtx::srv::scenarios;
+
+namespace {
+
+constexpr int kJobs = 256;
+
+/// One-request-at-a-time client on the test end of a socketpair.
+class Client {
+public:
+    explicit Client(srv::ServeDaemon& daemon) {
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return;
+        fd_ = sv[0];
+        daemon.adoptConnection(sv[1]);
+    }
+    ~Client() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    bool ok() const { return fd_ >= 0; }
+
+    /// Send one job line and block until its record line arrives.
+    bool roundTrip(const std::string& jobLine) {
+        std::string out = jobLine + "\n";
+        std::size_t off = 0;
+        while (off < out.size()) {
+            const ssize_t n = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+            if (n <= 0) return false;
+            off += static_cast<std::size_t>(n);
+        }
+        for (;;) {
+            if (pending_.find('\n') != std::string::npos) {
+                pending_.erase(0, pending_.find('\n') + 1);
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) return false;
+            pending_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+private:
+    int fd_ = -1;
+    std::string pending_;
+};
+
+struct Row {
+    const char* mode;
+    double p50Ms = 0, p99Ms = 0, meanMs = 0;
+};
+
+Row measure(const char* mode, std::size_t warmCap, std::size_t resultCap) {
+    srv::DaemonConfig cfg;
+    cfg.engine.workers = 1; // latency, not throughput
+    cfg.engine.scopedMetrics = false;
+    cfg.engine.postmortems = false;
+    cfg.warmCacheCapacity = warmCap;
+    cfg.resultCacheCapacity = resultCap;
+    srv::ServeDaemon daemon(cfg);
+    if (!daemon.start()) std::abort();
+    Client c(daemon);
+    if (!c.ok()) std::abort();
+
+    const std::string job =
+        "{\"scenario\": \"tank\", \"name\": \"j\", \"horizon\": 2, \"mode\": \"single\"}";
+    std::vector<double> ms;
+    ms.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+        const double s = urtx::bench::timeOnce([&] {
+            if (!c.roundTrip(job)) std::abort();
+        });
+        ms.push_back(s * 1e3);
+    }
+    daemon.stop();
+
+    std::sort(ms.begin(), ms.end());
+    Row row;
+    row.mode = mode;
+    row.p50Ms = ms[ms.size() / 2];
+    row.p99Ms = ms[(ms.size() * 99) / 100];
+    for (const double v : ms) row.meanMs += v;
+    row.meanMs /= static_cast<double>(ms.size());
+    return row;
+}
+
+} // namespace
+
+int main() {
+    scen::registerBuiltins();
+    std::printf("srvd request latency: %d sequential jobs per configuration\n\n", kJobs);
+    urtx::bench::rule();
+    std::printf("%8s %12s %12s %12s\n", "mode", "p50 [ms]", "p99 [ms]", "mean [ms]");
+    urtx::bench::rule();
+
+    std::vector<Row> rows;
+    rows.push_back(measure("cold", 0, 0));
+    rows.push_back(measure("warm", 4, 0));
+    rows.push_back(measure("cached", 4, 256));
+    for (const Row& r : rows) {
+        std::printf("%8s %12.4f %12.4f %12.4f\n", r.mode, r.p50Ms, r.p99Ms, r.meanMs);
+    }
+    urtx::bench::rule();
+
+    const bool warmWins = rows[1].p50Ms < rows[0].p50Ms;
+    std::printf("warm p50 %s cold p50 (%.4f vs %.4f ms)\n", warmWins ? "<" : ">=",
+                rows[1].p50Ms, rows[0].p50Ms);
+
+    std::ofstream f("BENCH_srvd.json");
+    f << "{\n  \"benchmark\": \"srvd_latency\",\n";
+    f << "  \"jobs_per_mode\": " << kJobs << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"mode\": \"%s\", \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                      "\"mean_ms\": %.4f}%s\n",
+                      rows[i].mode, rows[i].p50Ms, rows[i].p99Ms, rows[i].meanMs,
+                      i + 1 < rows.size() ? "," : "");
+        f << buf;
+    }
+    f << "  ],\n  \"warm_p50_below_cold_p50\": " << (warmWins ? "true" : "false")
+      << "\n}\n";
+    std::puts("wrote BENCH_srvd.json");
+    return 0;
+}

@@ -13,9 +13,7 @@
 #include <cstdio>
 
 #include "control/control.hpp"
-#include "flow/flow.hpp"
-#include "rt/rt.hpp"
-#include "sim/sim.hpp"
+#include "urtx.hpp"
 
 namespace f = urtx::flow;
 namespace c = urtx::control;
@@ -163,7 +161,6 @@ int main() {
     std::puts("dc motor lab: 3 stations, replicated ports, layer-service logging");
     std::puts("-------------------------------------------------------------------");
 
-    sim::HybridSystem sys;
     constexpr std::size_t kStations = 3;
 
     f::Streamer plantGroup{"lab"};
@@ -179,17 +176,15 @@ int main() {
     layer.publish("log", logger, logProtocol(), /*providerConjugated=*/true);
     layer.registerSap(sup.logSap, "log");
 
+    urtx::SystemBuilder b;
+    b.capsule(sup).capsule(logger).streamer(plantGroup, "RK45", 0.01);
     for (std::size_t i = 0; i < kStations; ++i) {
-        rt::connect(sup.stations[i], stations[i]->monitor.ctl.rtPort());
+        b.flow(sup.stations[i], stations[i]->monitor.ctl);
+        b.trace("w" + std::to_string(i),
+                [&, i] { return stations[i]->motor.speed().get(); });
     }
-
-    sys.addCapsule(sup);
-    sys.addCapsule(logger);
-    sys.addStreamerGroup(plantGroup, s::makeIntegrator("RK45"), 0.01);
-    for (std::size_t i = 0; i < kStations; ++i) {
-        sys.trace().channel("w" + std::to_string(i),
-                            [&, i] { return stations[i]->motor.speed().get(); });
-    }
+    auto sysPtr = b.build();
+    sim::HybridSystem& sys = *sysPtr;
 
     sys.run(12.0, sim::ExecutionMode::MultiThread);
 

@@ -15,9 +15,7 @@
 #include <cstdio>
 #include <span>
 
-#include "flow/flow.hpp"
-#include "rt/rt.hpp"
-#include "sim/sim.hpp"
+#include "urtx.hpp"
 
 namespace f = urtx::flow;
 namespace rt = urtx::rt;
@@ -109,17 +107,21 @@ int main() {
     std::puts("urtx quickstart: bang-bang thermostat over a continuous room model");
     std::puts("-------------------------------------------------------------------");
 
-    sim::HybridSystem sys;
-
     f::Streamer plantGroup{"plant"};
     Room room("room", &plantGroup);
     Thermostat thermo("thermostat");
-    rt::connect(thermo.port, room.ctl.rtPort()); // SPort <-> capsule port
 
-    sys.addCapsule(thermo);
-    auto& runner = sys.addStreamerGroup(plantGroup, urtx::solver::makeIntegrator("RK4"), 0.05);
-    sys.trace().channel("T", [&] { return room.temp.get(); });
-    sys.trace().channel("heat", [&] { return room.param("heat"); });
+    // One fluent expression assembles the whole system: the capsule world,
+    // the solver group and the cross-world connection.
+    urtx::SystemBuilder b;
+    b.capsule(thermo)
+        .streamer(plantGroup, "RK4", 0.05)
+        .flow(thermo.port, room.ctl) // capsule <-> SPort
+        .trace("T", [&] { return room.temp.get(); })
+        .trace("heat", [&] { return room.param("heat"); });
+    auto& runner = b.lastRunner();
+    auto sysPtr = b.build();
+    sim::HybridSystem& sys = *sysPtr;
 
     // Cold start: the room is below `low`, so kick the loop off by letting
     // the first crossing happen naturally (T starts at 15 < 19 => the event

@@ -43,6 +43,17 @@ void SolverRunner::initialize(double t0) {
     initialized_ = true;
 }
 
+void SolverRunner::reset(double t0) {
+    if (!initialized_) return;
+    for (SPort* sp : net_.allSPorts()) sp->clearInbox();
+    t_ = t0;
+    net_.initState(t0, x_);
+    method_->reset();
+    detector_.prime(t0, x_);
+    net_.computeOutputs(t0, x_);
+    majorSteps_ = minorSteps_ = signalsProcessed_ = eventsFired_ = 0;
+}
+
 void SolverRunner::drainSignals() {
     for (SPort* sp : net_.allSPorts()) signalsProcessed_ += sp->drain();
 }

@@ -52,6 +52,15 @@ public:
     void initialize(double t0 = 0.0);
     bool initialized() const { return initialized_; }
 
+    /// Rewind an initialized runner to \p t0 for another run of the same
+    /// network: drop undrained SPort messages, re-evaluate initial states
+    /// from the (caller-restored) streamer parameters, reset the integrator
+    /// strategy, and re-prime event detection. Zero-crossing surfaces stay
+    /// registered — only their primed values are refreshed. Step counters
+    /// are zeroed so per-run statistics start clean. No-op when the runner
+    /// was never initialized.
+    void reset(double t0 = 0.0);
+
     /// Advance one major step (signals -> integrate [-> events] -> update).
     void step();
 

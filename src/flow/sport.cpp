@@ -83,4 +83,11 @@ std::size_t SPort::drain() {
     return batch.size();
 }
 
+std::size_t SPort::clearInbox() {
+    std::lock_guard lock(mu_);
+    const std::size_t dropped = inbox_.size();
+    inbox_.clear();
+    return dropped;
+}
+
 } // namespace urtx::flow

@@ -59,6 +59,10 @@ public:
     /// solver at step boundaries. Returns the number delivered.
     std::size_t drain();
 
+    /// Drop queued messages without delivering them (between-runs reset).
+    /// Returns the number discarded. The high-water mark is kept.
+    std::size_t clearInbox();
+
     std::uint64_t received() const { return received_; }
     std::uint64_t sent() const;
     /// Highest inbox depth ever observed (channel occupancy high-water mark).

@@ -63,6 +63,8 @@ public:
     double param(const std::string& key, double fallback = 0.0) const;
     bool hasParam(const std::string& key) const { return params_.count(key) > 0; }
     const std::map<std::string, double>& params() const { return params_; }
+    /// Replace the whole parameter map (snapshot restore on system reset).
+    void restoreParams(std::map<std::string, double> snapshot) { params_ = std::move(snapshot); }
 
     // -- leaf behaviour hooks --------------------------------------------------
     /// Number of continuous states this leaf contributes.

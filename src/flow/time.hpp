@@ -28,6 +28,8 @@ public:
 
     void advanceTo(double t) { clock_->advanceTo(t); }
     void advanceBy(double dt) { clock_->advanceBy(dt); }
+    /// Rewind between runs (see rt::VirtualClock::resetTo).
+    void resetTo(double t) { clock_->resetTo(t); }
 
     const std::shared_ptr<rt::VirtualClock>& clock() const { return clock_; }
 

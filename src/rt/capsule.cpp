@@ -50,6 +50,14 @@ void Capsule::initialize() {
     initialized_ = true;
 }
 
+void Capsule::reset() {
+    if (!initialized_) return;
+    for (Capsule* child : children_) child->reset();
+    onReset();
+    machine_.reset();
+    initialized_ = false;
+}
+
 void Capsule::deliver(const Message& m) {
     ++delivered_;
     onMessage(m);

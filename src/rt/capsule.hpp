@@ -60,6 +60,13 @@ public:
     void initialize();
     bool initialized() const { return initialized_; }
 
+    /// Rewind this capsule subtree to its pre-initialize() state so the same
+    /// instance can run again: children first, onReset() then
+    /// machine().reset(), clearing the initialized flag. The next
+    /// initialize() re-runs onInit() and re-enters the initial
+    /// configuration.
+    void reset();
+
     /// Deliver one message with run-to-completion semantics. Must only be
     /// called from the owning controller's thread (or synchronously when
     /// the capsule has no controller).
@@ -86,6 +93,9 @@ protected:
     virtual void onMessage(const Message& m);
     /// Called once before the state machine starts.
     virtual void onInit() {}
+    /// Called by reset() before the machine is rewound; restore any member
+    /// state onInit() does not set (counters, cached readings, ...).
+    virtual void onReset() {}
     /// Called when neither the machine nor onMessage consumed the message.
     virtual void onUnhandled(const Message&) {}
 

@@ -41,6 +41,12 @@ public:
     /// Advance by a delta (>= 0).
     void advanceBy(double dt) { advanceTo(now() + dt); }
 
+    /// Rewind to an arbitrary time — the one operation advanceTo() forbids.
+    /// Only valid while nothing is concurrently reading simulation time
+    /// (i.e. between runs); the simulation engine uses it to restore a
+    /// finished system to its start time for warm reuse.
+    void resetTo(double t) { t_.store(t, std::memory_order_release); }
+
 private:
     std::atomic<double> t_;
 };

@@ -29,6 +29,13 @@ void Controller::initializeAll() {
     for (Capsule* r : roots_) r->initialize();
 }
 
+void Controller::reset() {
+    if (running_.load()) throw std::logic_error("Controller::reset: controller is running");
+    queue_.clear();
+    timers_.clear();
+    for (Capsule* r : roots_) r->reset();
+}
+
 void Controller::post(Message m) {
     if (!m.receiver) throw std::logic_error("Controller::post: message without receiver");
     queue_.push(std::move(m));

@@ -55,6 +55,10 @@ public:
     void attach(Capsule& root);
     /// Initialize all attached capsule trees (onInit + machine start).
     void initializeAll();
+    /// Rewind to the pre-initializeAll() state: drop queued messages and
+    /// scheduled timers, reset every attached capsule tree. Must not be
+    /// called while the controller thread is running.
+    void reset();
     const std::vector<Capsule*>& roots() const { return roots_; }
 
     /// Thread-safe message injection; m.receiver must be set.

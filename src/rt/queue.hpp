@@ -64,6 +64,16 @@ public:
     /// Wake any blocked consumer without pushing (used for timer deadlines).
     void kick() { cv_.notify_all(); }
 
+    /// Drop every queued message (all lanes). Sequence numbering continues
+    /// where it left off. Returns the number of messages discarded.
+    std::size_t clear() {
+        std::lock_guard lock(mu_);
+        std::size_t dropped = size_;
+        for (auto& lane : lanes_) lane.clear();
+        size_ = 0;
+        return dropped;
+    }
+
     bool closed() const {
         std::lock_guard lock(mu_);
         return closed_;

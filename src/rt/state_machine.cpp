@@ -151,6 +151,12 @@ void StateMachine::start() {
     runCompletions();
 }
 
+void StateMachine::reset() {
+    if (inDispatch_) throw std::logic_error("StateMachine::reset() during dispatch");
+    current_ = nullptr;
+    for (auto& s : states_) s->lastActive_ = nullptr;
+}
+
 Transition* StateMachine::findCompletion() const {
     static const Message kCompletion{};
     for (State* s = current_; s; s = s->parent_) {

@@ -156,6 +156,11 @@ public:
     void start();
     bool started() const { return current_ != nullptr; }
 
+    /// Forget the active configuration and all history so a later start()
+    /// re-enters the initial configuration from scratch. No exit actions
+    /// run — this is a between-runs rewind, not an orderly shutdown.
+    void reset();
+
     /// Run-to-completion dispatch of one message. Returns true when some
     /// transition handled it.
     bool dispatch(const Message& m);

@@ -89,4 +89,11 @@ std::size_t TimerService::pending() const {
     return live_;
 }
 
+void TimerService::clear() {
+    std::lock_guard lock(mu_);
+    heap_ = {};
+    cancelled_.clear();
+    live_ = 0;
+}
+
 } // namespace urtx::rt

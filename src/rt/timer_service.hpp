@@ -54,6 +54,10 @@ public:
     /// Number of live (scheduled, uncancelled) timers.
     std::size_t pending() const;
 
+    /// Drop every scheduled timer (fired or not). Timer ids keep
+    /// incrementing so stale TimerIds can never cancel a new timer.
+    void clear();
+
 private:
     struct Entry {
         double due;

@@ -19,7 +19,7 @@ const char* to_string(ExecutionMode m) {
     return "?";
 }
 
-HybridSystem::HybridSystem(double t0) : time_(t0) {
+HybridSystem::HybridSystem(double t0) : time_(t0), t0_(t0) {
     controllers_.push_back(std::make_unique<rt::Controller>("main", time_.clock()));
 }
 
@@ -62,9 +62,37 @@ void HybridSystem::setDrainRoundLimit(std::size_t rounds) {
 
 void HybridSystem::initialize() {
     if (initialized_) return;
+    if (!paramsSnapshotted_) {
+        // Capture every streamer's parameter map before any capsule or
+        // solver code runs: runs mutate parameters through signals, and
+        // reset() must put them back for bit-identical warm reruns.
+        const auto snapshotTree = [this](flow::Streamer& s, auto&& self) -> void {
+            paramSnapshots_.emplace_back(&s, s.params());
+            for (flow::Streamer* child : s.subStreamers()) self(*child, self);
+        };
+        for (auto& r : runners_) snapshotTree(r->network().root(), snapshotTree);
+        paramsSnapshotted_ = true;
+    }
     for (auto& c : controllers_) c->initializeAll();
     for (auto& r : runners_) r->initialize(time_.now());
     initialized_ = true;
+}
+
+void HybridSystem::reset() {
+    if (!initialized_) return;
+    for (auto& c : controllers_) {
+        if (c->running()) throw std::logic_error("HybridSystem::reset: controller running");
+    }
+    time_.resetTo(t0_);
+    for (auto& c : controllers_) c->reset();
+    for (auto& [streamer, snapshot] : paramSnapshots_) streamer->restoreParams(snapshot);
+    for (auto& r : runners_) r->reset(t0_);
+    trace_.clear(); // keeps channels, drops samples
+    steps_ = 0;
+    macroGrants_ = 0;
+    macroStepsCoalesced_ = 0;
+    clearStopRequest();
+    initialized_ = false; // next run() re-runs onInit + machine start
 }
 
 void HybridSystem::observeStep(std::uint64_t k) {

@@ -32,8 +32,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "flow/solver_runner.hpp"
@@ -84,6 +86,19 @@ public:
     /// Initialize capsules (onInit + state machines) and solver groups.
     void initialize();
     bool initialized() const { return initialized_; }
+
+    /// Rewind the whole system to its pre-initialize() state so the same
+    /// instance can run again from t0 (warm reuse by the serving layer):
+    /// the clock returns to the construction time, controllers drop queued
+    /// messages/timers and reset their capsule trees, every streamer's
+    /// parameter map is restored to the snapshot taken at first
+    /// initialize() (runs mutate parameters through signals), solver
+    /// runners re-evaluate initial state and re-prime event detection, the
+    /// trace keeps its channels but drops its samples, and step/macro
+    /// counters plus any pending stop request are cleared. The next run()
+    /// re-initializes capsules and state machines. Must not be called while
+    /// a run() is in flight.
+    void reset();
 
     /// Advance the whole system to \p tEnd. Exceptions thrown by capsule or
     /// streamer code propagate to the caller in both modes; in MultiThread
@@ -150,8 +165,14 @@ private:
     void pace(double simProgress, std::chrono::steady_clock::time_point wallStart) const;
 
     flow::Time time_;
+    double t0_;
     std::vector<std::unique_ptr<rt::Controller>> controllers_;
     std::vector<std::unique_ptr<flow::SolverRunner>> runners_;
+    /// Per-runner, per-streamer parameter snapshots captured at first
+    /// initialize(); restored by reset() so warm reruns see pristine
+    /// parameters even after signal-driven mutation.
+    std::vector<std::pair<flow::Streamer*, std::map<std::string, double>>> paramSnapshots_;
+    bool paramsSnapshotted_ = false;
     Trace trace_;
     bool initialized_ = false;
     std::uint64_t steps_ = 0;

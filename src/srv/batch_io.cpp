@@ -9,14 +9,14 @@
 
 namespace urtx::srv {
 
-namespace {
-
-sim::ExecutionMode parseMode(const std::string& s) {
+sim::ExecutionMode parseExecutionMode(const std::string& s) {
     if (s == "single" || s == "single_thread") return sim::ExecutionMode::SingleThread;
     if (s == "multi" || s == "multi_thread") return sim::ExecutionMode::MultiThread;
     throw std::runtime_error("batch file: unknown execution mode '" + s +
                              "' (expected \"single\" or \"multi\")");
 }
+
+namespace {
 
 ScenarioParams parseParams(const json::Value& obj) {
     ScenarioParams p;
@@ -36,6 +36,72 @@ ScenarioParams parseParams(const json::Value& obj) {
 }
 
 } // namespace
+
+std::vector<ScenarioSpec> parseJobObject(const json::Value& job) {
+    if (!job.isObject()) throw std::runtime_error("batch file: each job must be an object");
+    // Same contract as scenario params: unknown keys are structured errors,
+    // not silent no-ops — a typoed "horizion" must not run a default job.
+    static constexpr std::string_view kJobKeys[] = {
+        "scenario",     "name",         "horizon",             "mode",
+        "deadline_seconds", "cost_seconds", "wall_budget_seconds", "params",
+        "repeat",       "sweep"};
+    for (const auto& [key, v] : job.object) {
+        bool known = false;
+        for (const std::string_view k : kJobKeys) known = known || key == k;
+        if (!known) {
+            throw std::runtime_error("batch file: unknown job key '" + key + "'");
+        }
+    }
+    ScenarioSpec base;
+    base.scenario = job.strOr("scenario", "");
+    if (base.scenario.empty()) {
+        throw std::runtime_error("batch file: job missing \"scenario\" name");
+    }
+    base.name = job.strOr("name", "");
+    base.horizon = job.numOr("horizon", base.horizon);
+    base.mode = parseExecutionMode(job.strOr("mode", "single"));
+    base.deadlineSeconds = job.numOr("deadline_seconds", 0.0);
+    base.costSeconds = job.numOr("cost_seconds", 0.0);
+    base.wallBudgetSeconds = job.numOr("wall_budget_seconds", 0.0);
+    if (const json::Value* params = job.find("params")) {
+        if (!params->isObject()) {
+            throw std::runtime_error("batch file: \"params\" must be an object");
+        }
+        base.params = parseParams(*params);
+    }
+
+    // "repeat": expand into N copies; "sweep" optionally varies one
+    // numeric parameter linearly from..to across the copies.
+    const auto repeat = static_cast<std::size_t>(job.numOr("repeat", 1));
+    const json::Value* sweep = job.find("sweep");
+    std::string sweepParam;
+    double sweepFrom = 0, sweepTo = 0;
+    if (sweep) {
+        if (!sweep->isObject() || sweep->strOr("param", "").empty()) {
+            throw std::runtime_error(
+                "batch file: \"sweep\" needs {\"param\": ..., \"from\": ..., \"to\": ...}");
+        }
+        sweepParam = sweep->strOr("param", "");
+        sweepFrom = sweep->numOr("from", 0.0);
+        sweepTo = sweep->numOr("to", sweepFrom);
+    }
+    std::vector<ScenarioSpec> out;
+    for (std::size_t k = 0; k < std::max<std::size_t>(repeat, 1); ++k) {
+        ScenarioSpec s = base;
+        if (repeat > 1 || sweep) {
+            s.name = (base.name.empty() ? base.scenario : base.name) + "#" +
+                     std::to_string(k);
+        }
+        if (sweep) {
+            const double t =
+                repeat > 1 ? static_cast<double>(k) / static_cast<double>(repeat - 1)
+                           : 0.0;
+            s.params.set(sweepParam, sweepFrom + t * (sweepTo - sweepFrom));
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
 
 BatchFile parseBatchFile(std::string_view text) {
     std::string err;
@@ -58,59 +124,87 @@ BatchFile parseBatchFile(std::string_view text) {
     }
 
     for (const json::Value& job : jobs->array) {
-        if (!job.isObject()) throw std::runtime_error("batch file: each job must be an object");
-        ScenarioSpec base;
-        base.scenario = job.strOr("scenario", "");
-        if (base.scenario.empty()) {
-            throw std::runtime_error("batch file: job missing \"scenario\" name");
-        }
-        base.name = job.strOr("name", "");
-        base.horizon = job.numOr("horizon", base.horizon);
-        base.mode = parseMode(job.strOr("mode", "single"));
-        base.deadlineSeconds = job.numOr("deadline_seconds", 0.0);
-        base.costSeconds = job.numOr("cost_seconds", 0.0);
-        base.wallBudgetSeconds = job.numOr("wall_budget_seconds", 0.0);
-        if (const json::Value* params = job.find("params")) {
-            if (!params->isObject()) {
-                throw std::runtime_error("batch file: \"params\" must be an object");
-            }
-            base.params = parseParams(*params);
-        }
-
-        // "repeat": expand into N copies; "sweep" optionally varies one
-        // numeric parameter linearly from..to across the copies.
-        const auto repeat = static_cast<std::size_t>(job.numOr("repeat", 1));
-        const json::Value* sweep = job.find("sweep");
-        std::string sweepParam;
-        double sweepFrom = 0, sweepTo = 0;
-        if (sweep) {
-            if (!sweep->isObject() || sweep->strOr("param", "").empty()) {
-                throw std::runtime_error(
-                    "batch file: \"sweep\" needs {\"param\": ..., \"from\": ..., \"to\": ...}");
-            }
-            sweepParam = sweep->strOr("param", "");
-            sweepFrom = sweep->numOr("from", 0.0);
-            sweepTo = sweep->numOr("to", sweepFrom);
-        }
-        for (std::size_t k = 0; k < std::max<std::size_t>(repeat, 1); ++k) {
-            ScenarioSpec s = base;
-            if (repeat > 1 || sweep) {
-                s.name = (base.name.empty() ? base.scenario : base.name) + "#" +
-                         std::to_string(k);
-            }
-            if (sweep) {
-                const double t =
-                    repeat > 1 ? static_cast<double>(k) / static_cast<double>(repeat - 1)
-                               : 0.0;
-                s.params.set(sweepParam, sweepFrom + t * (sweepTo - sweepFrom));
-            }
-            out.jobs.push_back(std::move(s));
-        }
+        std::vector<ScenarioSpec> expanded = parseJobObject(job);
+        for (ScenarioSpec& s : expanded) out.jobs.push_back(std::move(s));
     }
     // Default names by final position so reports are unambiguous.
     for (std::size_t i = 0; i < out.jobs.size(); ++i) {
         if (out.jobs[i].name.empty()) out.jobs[i].name = "scenario#" + std::to_string(i);
     }
+    return out;
+}
+
+std::string jobJson(const ScenarioSpec& spec) {
+    std::string out = "{\"scenario\": \"" + json::escape(spec.scenario) + "\"";
+    if (!spec.name.empty()) out += ", \"name\": \"" + json::escape(spec.name) + "\"";
+    out += ", \"horizon\": " + json::number(spec.horizon);
+    out += ", \"mode\": \"";
+    out += spec.mode == sim::ExecutionMode::MultiThread ? "multi" : "single";
+    out += "\"";
+    if (spec.deadlineSeconds > 0) {
+        out += ", \"deadline_seconds\": " + json::number(spec.deadlineSeconds);
+    }
+    if (spec.costSeconds > 0) out += ", \"cost_seconds\": " + json::number(spec.costSeconds);
+    if (spec.wallBudgetSeconds > 0) {
+        out += ", \"wall_budget_seconds\": " + json::number(spec.wallBudgetSeconds);
+    }
+    if (!spec.params.nums().empty() || !spec.params.strs().empty()) {
+        out += ", \"params\": {";
+        bool first = true;
+        for (const auto& [k, v] : spec.params.nums()) {
+            if (!first) out += ", ";
+            first = false;
+            out += "\"" + json::escape(k) + "\": " + json::number(v);
+        }
+        for (const auto& [k, v] : spec.params.strs()) {
+            if (!first) out += ", ";
+            first = false;
+            out += "\"" + json::escape(k) + "\": \"" + json::escape(v) + "\"";
+        }
+        out += "}";
+    }
+    out += "}";
+    return out;
+}
+
+std::string resultJson(const ScenarioResult& r, bool includeMetrics) {
+    std::string out = "{\"name\": \"" + json::escape(r.name) + "\"";
+    out += ", \"scenario\": \"" + json::escape(r.scenario) + "\"";
+    out += ", \"status\": \"" + std::string(to_string(r.status)) + "\"";
+    out += ", \"passed\": ";
+    out += r.passed ? "true" : "false";
+    if (!r.verdictDetail.empty()) {
+        out += ", \"verdict\": \"" + json::escape(r.verdictDetail) + "\"";
+    }
+    if (!r.error.empty()) out += ", \"error\": \"" + json::escape(r.error) + "\"";
+    if (r.worker != SIZE_MAX) {
+        out += ", \"worker\": " + std::to_string(r.worker);
+        out += ", \"stolen\": ";
+        out += r.stolen ? "true" : "false";
+        out += ", \"queue_wait_seconds\": " + json::number(r.queueWaitSeconds);
+        out += ", \"wall_seconds\": " + json::number(r.wallSeconds);
+        out += ", \"finished_at_seconds\": " + json::number(r.finishedAtSeconds);
+    }
+    out += ", \"deadline_met\": ";
+    out += r.deadlineMet ? "true" : "false";
+    if (r.status == ScenarioStatus::Succeeded) {
+        out += ", \"sim_time\": " + json::number(r.simTime);
+        out += ", \"steps\": " + std::to_string(r.steps);
+        out += ", \"trace_rows\": " + std::to_string(r.trace.rows());
+        char hash[24];
+        std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, r.trace.hash());
+        out += ", \"trace_hash\": \"" + std::string(hash) + "\"";
+    }
+    if (r.warmReuse) out += ", \"warm_reuse\": true";
+    if (r.cachedResult) out += ", \"cached_result\": true";
+    if (r.watchdogTripped) out += ", \"watchdog_tripped\": true";
+    if (includeMetrics &&
+        (!r.metrics.counters.empty() || !r.metrics.gauges.empty() ||
+         !r.metrics.histograms.empty())) {
+        out += ", \"metrics\": " + r.metrics.toJson();
+    }
+    if (!r.postmortemJson.empty()) out += ", \"postmortem\": " + r.postmortemJson;
+    out += "}";
     return out;
 }
 
@@ -131,41 +225,7 @@ std::string reportJson(const BatchResult& batch, bool includeMetrics) {
     for (const ScenarioResult& r : batch.results) {
         if (!first) out += ",\n";
         first = false;
-        out += "    {\"name\": \"" + json::escape(r.name) + "\"";
-        out += ", \"scenario\": \"" + json::escape(r.scenario) + "\"";
-        out += ", \"status\": \"" + std::string(to_string(r.status)) + "\"";
-        out += ", \"passed\": ";
-        out += r.passed ? "true" : "false";
-        if (!r.verdictDetail.empty()) {
-            out += ", \"verdict\": \"" + json::escape(r.verdictDetail) + "\"";
-        }
-        if (!r.error.empty()) out += ", \"error\": \"" + json::escape(r.error) + "\"";
-        if (r.worker != SIZE_MAX) {
-            out += ", \"worker\": " + std::to_string(r.worker);
-            out += ", \"stolen\": ";
-            out += r.stolen ? "true" : "false";
-            out += ", \"queue_wait_seconds\": " + json::number(r.queueWaitSeconds);
-            out += ", \"wall_seconds\": " + json::number(r.wallSeconds);
-            out += ", \"finished_at_seconds\": " + json::number(r.finishedAtSeconds);
-        }
-        out += ", \"deadline_met\": ";
-        out += r.deadlineMet ? "true" : "false";
-        if (r.status == ScenarioStatus::Succeeded) {
-            out += ", \"sim_time\": " + json::number(r.simTime);
-            out += ", \"steps\": " + std::to_string(r.steps);
-            out += ", \"trace_rows\": " + std::to_string(r.trace.rows());
-            char hash[24];
-            std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, r.trace.hash());
-            out += ", \"trace_hash\": \"" + std::string(hash) + "\"";
-        }
-        if (r.watchdogTripped) out += ", \"watchdog_tripped\": true";
-        if (includeMetrics &&
-            (!r.metrics.counters.empty() || !r.metrics.gauges.empty() ||
-             !r.metrics.histograms.empty())) {
-            out += ", \"metrics\": " + r.metrics.toJson();
-        }
-        if (!r.postmortemJson.empty()) out += ", \"postmortem\": " + r.postmortemJson;
-        out += "}";
+        out += "    " + resultJson(r, includeMetrics);
     }
     out += "\n  ]\n}\n";
     return out;

@@ -11,6 +11,10 @@
 #include "srv/engine.hpp"
 #include "srv/scenario.hpp"
 
+namespace urtx::srv::json {
+class Value;
+} // namespace urtx::srv::json
+
 namespace urtx::srv {
 
 struct BatchFile {
@@ -22,6 +26,24 @@ struct BatchFile {
 /// engine reports them as failures); malformed JSON or a structurally
 /// invalid file throws std::runtime_error with a reason.
 BatchFile parseBatchFile(std::string_view text);
+
+/// Parse an execution-mode string ("single"/"single_thread" or
+/// "multi"/"multi_thread"); throws std::runtime_error otherwise.
+sim::ExecutionMode parseExecutionMode(const std::string& s);
+
+/// Parse one job object (same schema as an element of the batch file's
+/// "jobs" array, including "repeat"/"sweep" expansion) into the specs it
+/// denotes. Throws std::runtime_error on structural errors. Shared by the
+/// batch file reader and the daemon's per-line wire protocol.
+std::vector<ScenarioSpec> parseJobObject(const json::Value& job);
+
+/// Serialize one spec as a single-line job object that parseJobObject
+/// round-trips (scenario, name, horizon, mode, deadlines, params).
+std::string jobJson(const ScenarioSpec& spec);
+
+/// Render one result as a single-line JSON record (the same record shape
+/// reportJson embeds per job). Streamed by the daemon as jobs complete.
+std::string resultJson(const ScenarioResult& r, bool includeMetrics = true);
 
 /// Render the report. \p includeMetrics embeds each job's scoped metrics
 /// snapshot; post-mortems of failed jobs are always embedded when present.

@@ -1,0 +1,104 @@
+#include "srv/cache.hpp"
+
+namespace urtx::srv {
+
+WarmScenarioCache::Lease WarmScenarioCache::acquire(std::uint64_t key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return {};
+    }
+    Lease lease{std::move(it->second->scenario), true};
+    lru_.erase(it->second);
+    index_.erase(it);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return lease;
+}
+
+void WarmScenarioCache::release(std::uint64_t key, std::unique_ptr<Scenario> scenario) {
+    if (!scenario || capacity_ == 0) return;
+    // Reset outside the lock: it touches solver state and capsule trees and
+    // may take real time; only the park/evict bookkeeping is serialized.
+    bool ok = false;
+    try {
+        ok = scenario->reset();
+    } catch (...) {
+        ok = false;
+    }
+    if (!ok) return; // not reusable — destroy instead of parking
+    std::unique_ptr<Scenario> evicted;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        lru_.push_front(Entry{key, std::move(scenario)});
+        index_.emplace(key, lru_.begin());
+        if (lru_.size() > capacity_) {
+            const auto last = std::prev(lru_.end());
+            auto range = index_.equal_range(last->key);
+            for (auto i = range.first; i != range.second; ++i) {
+                if (i->second == last) {
+                    index_.erase(i);
+                    break;
+                }
+            }
+            evicted = std::move(last->scenario);
+            lru_.erase(last);
+        }
+    }
+    // `evicted` destroys its whole HybridSystem here, outside the lock.
+}
+
+std::size_t WarmScenarioCache::size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return lru_.size();
+}
+
+void WarmScenarioCache::clear() {
+    std::list<Entry> drop;
+    std::lock_guard<std::mutex> lk(mu_);
+    index_.clear();
+    drop.swap(lru_);
+}
+
+std::optional<ScenarioResult> ResultCache::lookup(std::uint64_t jobHash) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = index_.find(jobHash);
+    if (it == index_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second); // bump to most recent
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->result;
+}
+
+void ResultCache::store(std::uint64_t jobHash, const ScenarioResult& result) {
+    if (capacity_ == 0 || result.status != ScenarioStatus::Succeeded) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = index_.find(jobHash);
+    if (it != index_.end()) {
+        it->second->result = result;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{jobHash, result});
+    index_.emplace(jobHash, lru_.begin());
+    if (lru_.size() > capacity_) {
+        const auto last = std::prev(lru_.end());
+        index_.erase(last->key);
+        lru_.erase(last);
+    }
+}
+
+std::size_t ResultCache::size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return lru_.size();
+}
+
+void ResultCache::clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    index_.clear();
+    lru_.clear();
+}
+
+} // namespace urtx::srv

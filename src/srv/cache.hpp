@@ -1,0 +1,106 @@
+#pragma once
+/// \file cache.hpp
+/// The serving layer's two caches.
+///
+/// WarmScenarioCache keeps *built systems* alive between jobs: a released
+/// instance is reset (clock, capsules, solver state, parameters) and parked
+/// under its ScenarioSpec::warmKey(), so the next job with the same model
+/// identity skips factory construction entirely. Scenarios whose reset()
+/// declines — or throws — are destroyed instead of cached; correctness
+/// never depends on a hit.
+///
+/// ResultCache keeps *finished results* keyed by ScenarioSpec::jobHash():
+/// a bit-identical rerun (same model, horizon and mode) replays the stored
+/// ScenarioResult without running anything. Only Succeeded results are
+/// stored — failures and rejections depend on transient conditions
+/// (watchdog budgets, admission load) and must re-run.
+///
+/// Both are bounded LRU and thread-safe; both are owned by whoever wires
+/// them into the engine (the daemon), not by the engine itself.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "srv/scenario.hpp"
+
+namespace urtx::srv {
+
+class WarmScenarioCache {
+public:
+    explicit WarmScenarioCache(std::size_t capacity = 16) : capacity_(capacity) {}
+
+    /// What acquire() hands out: the instance (nullptr on a miss) and
+    /// whether it came warm from the cache.
+    struct Lease {
+        std::unique_ptr<Scenario> scenario;
+        bool warm = false;
+    };
+
+    /// Pop an instance parked under \p key; Lease.scenario is nullptr on a
+    /// miss (the caller builds fresh).
+    Lease acquire(std::uint64_t key);
+
+    /// Hand an instance back after its run. The cache resets it and parks
+    /// it under \p key; instances that refuse to reset (or throw while
+    /// resetting) are destroyed. Evicts least-recently-used beyond
+    /// capacity. Null scenarios are ignored.
+    void release(std::uint64_t key, std::unique_ptr<Scenario> scenario);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+    void clear();
+
+private:
+    struct Entry {
+        std::uint64_t key;
+        std::unique_ptr<Scenario> scenario;
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::list<Entry> lru_; ///< front = most recently used
+    /// key -> entries (several instances of one model may be parked while
+    /// parallel workers run the same sweep).
+    std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator> index_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+class ResultCache {
+public:
+    explicit ResultCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+    /// Stored result for \p jobHash, or nullopt.
+    std::optional<ScenarioResult> lookup(std::uint64_t jobHash);
+
+    /// Store a finished result; anything but Succeeded is ignored.
+    void store(std::uint64_t jobHash, const ScenarioResult& result);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+    void clear();
+
+private:
+    struct Entry {
+        std::uint64_t key;
+        ScenarioResult result;
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace urtx::srv

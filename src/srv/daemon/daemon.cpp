@@ -1,0 +1,416 @@
+#include "srv/daemon/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "srv/batch_io.hpp"
+#include "srv/json.hpp"
+
+namespace urtx::srv {
+
+/// One client connection. Lifetime is shared between the reader thread,
+/// the accept/sweep bookkeeping and every in-flight job callback — the fd
+/// closes only in the destructor, after the last of them lets go, so a
+/// completion callback can never race a close/reuse of the descriptor.
+struct ServeDaemon::Conn {
+    explicit Conn(int f) : fd(f) {}
+    ~Conn() {
+        if (fd >= 0) ::close(fd);
+    }
+
+    int fd;
+    std::mutex writeMu;              ///< serializes whole-record writes
+    std::mutex mu;                   ///< guards inFlight with cv
+    std::condition_variable cv;      ///< backpressure + drain wakeups
+    std::size_t inFlight = 0;        ///< submitted but not yet streamed
+    std::atomic<bool> dead{false};   ///< write failed / client gone
+    std::atomic<bool> finished{false}; ///< reader exited and in-flight drained
+    std::atomic<std::uint64_t> seq{0}; ///< default job names per connection
+    std::thread reader;
+};
+
+namespace {
+
+ScenarioResult rejectionRecord(const ScenarioSpec& spec, std::string verdict,
+                               std::string error) {
+    ScenarioResult r;
+    r.name = spec.name;
+    r.scenario = spec.scenario;
+    r.status = ScenarioStatus::Rejected;
+    r.passed = false;
+    r.verdictDetail = std::move(verdict);
+    r.error = std::move(error);
+    return r;
+}
+
+std::string errorRecord(const std::string& message) {
+    return "{\"status\": \"error\", \"error\": \"" + json::escape(message) + "\"}";
+}
+
+} // namespace
+
+ServeDaemon::ServeDaemon(DaemonConfig cfg, const ScenarioLibrary& lib)
+    : cfg_(std::move(cfg)),
+      lib_(lib),
+      warmCache_(cfg_.warmCacheCapacity),
+      resultCache_(cfg_.resultCacheCapacity),
+      engine_(cfg_.engine) {
+    obs::Registry& r = obs::Registry::process();
+    connectionsGauge_ = &r.gauge("srvd.connections");
+    connectionsTotal_ = &r.counter("srvd.connections_total");
+    jobsReceived_ = &r.counter("srvd.jobs_received");
+    jobsStreamed_ = &r.counter("srvd.jobs_streamed");
+    rejectedDraining_ = &r.counter("srvd.rejected_draining");
+    badLines_ = &r.counter("srvd.bad_lines");
+    queueDepthGauge_ = &r.gauge("srvd.queue_depth");
+    resultCacheHitRatio_ = &r.gauge("srvd.result_cache_hit_ratio");
+    warmCacheHitRatio_ = &r.gauge("srvd.warm_cache_hit_ratio");
+    drainSeconds_ = &r.gauge("srvd.drain_seconds");
+
+    if (cfg_.warmCacheCapacity > 0) engine_.setWarmCache(&warmCache_);
+    session_ = engine_.startSession(lib_);
+}
+
+ServeDaemon::~ServeDaemon() { stop(); }
+
+bool ServeDaemon::start(std::string* err) {
+    const auto fail = [&](const std::string& what) {
+        if (err) *err = what + ": " + std::strerror(errno);
+        for (int fd : listenFds_) ::close(fd);
+        listenFds_.clear();
+        return false;
+    };
+
+    if (!cfg_.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (cfg_.socketPath.size() >= sizeof(addr.sun_path)) {
+            if (err) *err = "socket path too long: " + cfg_.socketPath;
+            return false;
+        }
+        std::strncpy(addr.sun_path, cfg_.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) return fail("socket(AF_UNIX)");
+        ::unlink(cfg_.socketPath.c_str()); // stale socket from a prior run
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+            ::close(fd);
+            return fail("bind(" + cfg_.socketPath + ")");
+        }
+        if (::listen(fd, 64) != 0) {
+            ::close(fd);
+            return fail("listen(" + cfg_.socketPath + ")");
+        }
+        listenFds_.push_back(fd);
+    }
+
+    // TCP is opt-in via a nonzero port. No listeners configured at all is
+    // legal too — tests drive adoptConnection() directly.
+    if (cfg_.tcpPort != 0) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return fail("socket(AF_INET)");
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(cfg_.tcpPort);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // loopback only
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+            ::close(fd);
+            return fail("bind(127.0.0.1:" + std::to_string(cfg_.tcpPort) + ")");
+        }
+        if (::listen(fd, 64) != 0) {
+            ::close(fd);
+            return fail("listen(tcp)");
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+            boundTcpPort_ = ntohs(bound.sin_port);
+        }
+        listenFds_.push_back(fd);
+    }
+
+    for (int fd : listenFds_) {
+        acceptThreads_.emplace_back([this, fd] { acceptLoop(fd); });
+    }
+    return true;
+}
+
+void ServeDaemon::acceptLoop(int listenFd) {
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return; // listener closed (stop) or fatal — accept loop ends
+        }
+        adoptConnection(fd);
+    }
+}
+
+void ServeDaemon::adoptConnection(int fd) {
+    if (stopping_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        return;
+    }
+    auto conn = std::make_shared<Conn>(fd);
+    {
+        std::lock_guard<std::mutex> lk(connsMu_);
+        sweepFinishedConnections();
+        conns_.push_back(conn);
+    }
+    connectionsTotal_->inc();
+    connectionsServed_.fetch_add(1, std::memory_order_relaxed);
+    connectionsGauge_->set(static_cast<double>(activeConnections()));
+    conn->reader = std::thread([this, conn] { readerLoop(conn); });
+}
+
+void ServeDaemon::sweepFinishedConnections() {
+    // Caller holds connsMu_. Reap connections whose reader has exited and
+    // whose in-flight work is fully streamed.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->finished.load(std::memory_order_acquire) && (*it)->reader.joinable()) {
+            (*it)->reader.join();
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::size_t ServeDaemon::activeConnections() const {
+    std::lock_guard<std::mutex> lk(connsMu_);
+    std::size_t n = 0;
+    for (const auto& c : conns_) {
+        if (!c->finished.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+}
+
+void ServeDaemon::readerLoop(std::shared_ptr<Conn> conn) {
+    std::string buf;
+    char chunk[4096];
+    while (!conn->dead.load(std::memory_order_acquire) &&
+           !stopping_.load(std::memory_order_acquire)) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            break; // EOF or error: client stopped sending
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+             nl = buf.find('\n', start)) {
+            std::string line = buf.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            if (!line.empty()) handleLine(conn, line);
+        }
+        buf.erase(0, start);
+        if (buf.size() > cfg_.maxLineBytes) {
+            writeRecord(conn, errorRecord("request line exceeds " +
+                                          std::to_string(cfg_.maxLineBytes) + " bytes"));
+            badLines_->inc();
+            break;
+        }
+    }
+    // The client may half-close and keep reading: stream every in-flight
+    // record before declaring the connection finished.
+    {
+        std::unique_lock<std::mutex> lk(conn->mu);
+        conn->cv.wait(lk, [&] { return conn->inFlight == 0; });
+    }
+    // Signal EOF to a half-closed client that is still tailing results; the
+    // fd itself stays open until the Conn is reaped (callbacks may hold it).
+    ::shutdown(conn->fd, SHUT_RDWR);
+    conn->finished.store(true, std::memory_order_release);
+    conn->cv.notify_all();
+    connectionsGauge_->set(static_cast<double>(activeConnections()));
+}
+
+void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::string& line) {
+    std::string err;
+    const std::optional<json::Value> doc = json::parse(line, &err);
+    if (!doc || !doc->isObject()) {
+        writeRecord(conn, errorRecord(doc ? "request must be a JSON object" : err));
+        badLines_->inc();
+        return;
+    }
+    std::vector<ScenarioSpec> specs;
+    try {
+        specs = parseJobObject(*doc);
+    } catch (const std::exception& ex) {
+        writeRecord(conn, errorRecord(ex.what()));
+        badLines_->inc();
+        return;
+    }
+    for (ScenarioSpec& spec : specs) {
+        if (spec.name.empty()) {
+            spec.name = spec.scenario + "#" +
+                        std::to_string(conn->seq.fetch_add(1, std::memory_order_relaxed));
+        }
+        dispatchSpec(conn, std::move(spec));
+    }
+}
+
+void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec) {
+    jobsReceived_->inc();
+
+    if (draining_.load(std::memory_order_acquire)) {
+        rejectedDraining_->inc();
+        writeRecord(conn, resultJson(rejectionRecord(spec, "draining",
+                                                     "daemon is draining"),
+                                     cfg_.includeMetrics));
+        return;
+    }
+
+    // Bit-identical rerun: replay the stored record without touching the
+    // engine. jobHash covers scenario + params + horizon + mode, so the
+    // replayed trace hash is the one a fresh run would produce.
+    if (cfg_.resultCacheCapacity > 0) {
+        if (std::optional<ScenarioResult> hit = resultCache_.lookup(spec.jobHash())) {
+            hit->name = spec.name;
+            hit->cachedResult = true;
+            updateCacheGauges();
+            writeRecord(conn, resultJson(*hit, cfg_.includeMetrics));
+            return;
+        }
+        updateCacheGauges();
+    }
+
+    // Backpressure: stall the reader at the in-flight window; the kernel
+    // socket buffer then pushes back on the client.
+    {
+        std::unique_lock<std::mutex> lk(conn->mu);
+        conn->cv.wait(lk, [&] {
+            return conn->inFlight < cfg_.maxInFlightPerConnection ||
+                   conn->dead.load(std::memory_order_acquire) ||
+                   stopping_.load(std::memory_order_acquire);
+        });
+        if (conn->dead.load(std::memory_order_acquire)) return;
+        ++conn->inFlight;
+    }
+
+    const std::uint64_t jobHash = spec.jobHash();
+    const bool submitted = session_->submit(
+        spec, [this, conn, jobHash](ScenarioResult res) {
+            if (cfg_.resultCacheCapacity > 0) resultCache_.store(jobHash, res);
+            updateCacheGauges();
+            queueDepthGauge_->set(static_cast<double>(session_->queueDepth()));
+            if (!conn->dead.load(std::memory_order_acquire)) {
+                writeRecord(conn, resultJson(res, cfg_.includeMetrics));
+            }
+            {
+                std::lock_guard<std::mutex> lk(conn->mu);
+                --conn->inFlight;
+            }
+            conn->cv.notify_all();
+        });
+
+    if (!submitted) {
+        // Raced with beginDrain: report the same structured rejection the
+        // fast path produces, and give the window slot back.
+        {
+            std::lock_guard<std::mutex> lk(conn->mu);
+            --conn->inFlight;
+        }
+        conn->cv.notify_all();
+        rejectedDraining_->inc();
+        writeRecord(conn, resultJson(rejectionRecord(spec, "draining",
+                                                     "daemon is draining"),
+                                     cfg_.includeMetrics));
+        return;
+    }
+    queueDepthGauge_->set(static_cast<double>(session_->queueDepth()));
+}
+
+void ServeDaemon::writeRecord(const std::shared_ptr<Conn>& conn,
+                              const std::string& record) {
+    if (conn->dead.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lk(conn->writeMu);
+    std::string line = record;
+    line.push_back('\n');
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::send(conn->fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            // Client gone (EPIPE/ECONNRESET/...): poison the connection so
+            // later callbacks discard instead of writing into the void.
+            conn->dead.store(true, std::memory_order_release);
+            conn->cv.notify_all();
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    jobsStreamed_->inc();
+}
+
+void ServeDaemon::updateCacheGauges() {
+    const auto ratio = [](std::uint64_t hits, std::uint64_t misses) {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    };
+    resultCacheHitRatio_->set(ratio(resultCache_.hits(), resultCache_.misses()));
+    warmCacheHitRatio_->set(ratio(warmCache_.hits(), warmCache_.misses()));
+}
+
+void ServeDaemon::beginDrain() {
+    draining_.store(true, std::memory_order_release);
+    session_->beginDrain();
+}
+
+void ServeDaemon::stop() {
+    std::lock_guard<std::mutex> stopLk(stopMu_);
+    if (stopped_) return;
+    const auto drainStart = std::chrono::steady_clock::now();
+    beginDrain();
+
+    // Close listeners first: no new connections while draining.
+    stopping_.store(true, std::memory_order_release);
+    for (int fd : listenFds_) ::shutdown(fd, SHUT_RDWR);
+    for (std::thread& t : acceptThreads_) {
+        if (t.joinable()) t.join();
+    }
+    for (int fd : listenFds_) ::close(fd);
+    listenFds_.clear();
+    acceptThreads_.clear();
+
+    // Every admitted job runs to completion and its record is written by
+    // the completion callback before drainWait returns.
+    session_->drainWait();
+    lastDrainSeconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - drainStart)
+            .count();
+    drainSeconds_->set(lastDrainSeconds_);
+    session_->stop();
+
+    // Unblock readers (recv / backpressure waits) and join them.
+    std::list<std::shared_ptr<Conn>> conns;
+    {
+        std::lock_guard<std::mutex> lk(connsMu_);
+        conns.swap(conns_);
+    }
+    for (auto& c : conns) {
+        ::shutdown(c->fd, SHUT_RDWR);
+        c->cv.notify_all();
+    }
+    for (auto& c : conns) {
+        if (c->reader.joinable()) c->reader.join();
+    }
+    conns.clear();
+
+    if (!cfg_.socketPath.empty()) ::unlink(cfg_.socketPath.c_str());
+    connectionsGauge_->set(0.0);
+    stopped_ = true;
+}
+
+} // namespace urtx::srv

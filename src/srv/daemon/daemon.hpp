@@ -1,0 +1,174 @@
+#pragma once
+/// \file daemon.hpp
+/// The persistent serving daemon core: a ServeDaemon keeps one
+/// ServeEngine::Session (worker pool + watchdog) resident, accepts
+/// newline-delimited JSON job requests over a Unix-domain socket and/or a
+/// loopback TCP socket, and streams back one result record per line as
+/// jobs complete — out of submission order, matched by "name".
+///
+/// Wire protocol (docs/SERVING.md has the full schema)
+/// ---------------------------------------------------
+/// Request lines are job objects in the batch-file "jobs" element schema
+/// (scenario, name, horizon, mode, params, repeat/sweep, deadlines).
+/// Response lines are the per-job result records reportJson() embeds,
+/// plus "warm_reuse"/"cached_result" flags. A malformed line yields one
+/// {"status": "error", "error": ...} record instead of killing the
+/// connection. While draining, every job line yields a Rejected record
+/// with verdict "draining".
+///
+/// Caching
+/// -------
+/// Jobs first consult the ResultCache by ScenarioSpec::jobHash(): a hit
+/// replays the stored record (bit-identical trace hash) without touching
+/// the engine. Misses run on the session; successful runs park their
+/// scenario instance in the WarmScenarioCache by warmKey() and store the
+/// result.
+///
+/// Backpressure
+/// ------------
+/// Each connection has a bounded in-flight window: once
+/// maxInFlightPerConnection jobs are submitted-but-unreported the reader
+/// stops consuming the socket until results drain, so one firehose client
+/// cannot flood the queue (TCP/Unix buffers then push back on the writer).
+///
+/// Shutdown
+/// --------
+/// beginDrain() (SIGTERM in urtx_served) stops admitting work but keeps
+/// every admitted job running to its streamed record; stop() waits for
+/// that drain, then closes connections and joins every thread. No job is
+/// lost or double-reported across the drain edge.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "srv/cache.hpp"
+#include "srv/engine.hpp"
+#include "srv/scenario.hpp"
+
+namespace urtx::obs {
+class Counter;
+class Gauge;
+} // namespace urtx::obs
+
+namespace urtx::srv {
+
+struct DaemonConfig {
+    /// Unix-domain socket path; empty = no Unix listener.
+    std::string socketPath;
+    /// Loopback (127.0.0.1) TCP port; 0 = no TCP listener.
+    std::uint16_t tcpPort = 0;
+    /// Engine/worker-pool configuration for the resident session.
+    EngineConfig engine;
+    /// Warm scenario instances parked between jobs (0 disables).
+    std::size_t warmCacheCapacity = 16;
+    /// Stored results replayed for bit-identical reruns (0 disables).
+    std::size_t resultCacheCapacity = 256;
+    /// Per-connection submitted-but-unreported window; the reader stalls
+    /// at the limit.
+    std::size_t maxInFlightPerConnection = 64;
+    /// Hard cap on one request line (malformed clients can't balloon RAM).
+    std::size_t maxLineBytes = 1 << 20;
+    /// Embed each job's scoped metrics snapshot in its streamed record.
+    bool includeMetrics = false;
+};
+
+class ServeDaemon {
+public:
+    explicit ServeDaemon(DaemonConfig cfg,
+                         const ScenarioLibrary& lib = ScenarioLibrary::global());
+    ~ServeDaemon(); ///< stop() if still running
+
+    ServeDaemon(const ServeDaemon&) = delete;
+    ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+    /// Bind the configured listeners and start their accept threads (the
+    /// session itself starts in the constructor). Returns false with a
+    /// reason when a bind fails. Callable without any listener configured —
+    /// adoptConnection() then drives the daemon directly (tests).
+    bool start(std::string* err = nullptr);
+
+    /// Serve an already-connected stream socket (accept loops use this;
+    /// tests hand in one end of a socketpair). The daemon owns \p fd.
+    void adoptConnection(int fd);
+
+    /// Stop admitting jobs; admitted ones keep running and streaming.
+    void beginDrain();
+    bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+    /// Graceful shutdown: beginDrain, wait for every admitted job's record
+    /// to be written, close listeners and connections, join every thread.
+    /// Idempotent.
+    void stop();
+
+    /// Seconds the last stop() spent draining (srvd.drain_seconds).
+    double lastDrainSeconds() const { return lastDrainSeconds_; }
+
+    std::size_t activeConnections() const;
+    std::uint64_t connectionsServed() const {
+        return connectionsServed_.load(std::memory_order_relaxed);
+    }
+
+    ServeEngine& engine() { return engine_; }
+    ServeEngine::Session& session() { return *session_; }
+    WarmScenarioCache& warmCache() { return warmCache_; }
+    ResultCache& resultCache() { return resultCache_; }
+    const DaemonConfig& config() const { return cfg_; }
+
+    /// Bound TCP port (after start(); useful when cfg.tcpPort was
+    /// ephemeral). 0 when no TCP listener.
+    std::uint16_t boundTcpPort() const { return boundTcpPort_; }
+
+private:
+    struct Conn;
+
+    void readerLoop(std::shared_ptr<Conn> conn);
+    void acceptLoop(int listenFd);
+    void handleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
+    void dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec);
+    void writeRecord(const std::shared_ptr<Conn>& conn, const std::string& record);
+    void updateCacheGauges();
+    void sweepFinishedConnections();
+
+    DaemonConfig cfg_;
+    const ScenarioLibrary& lib_;
+    WarmScenarioCache warmCache_;
+    ResultCache resultCache_;
+    ServeEngine engine_;
+    std::unique_ptr<ServeEngine::Session> session_;
+
+    std::vector<int> listenFds_;
+    std::vector<std::thread> acceptThreads_;
+    std::uint16_t boundTcpPort_ = 0;
+
+    mutable std::mutex connsMu_;
+    std::list<std::shared_ptr<Conn>> conns_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopping_{false};
+    bool stopped_ = false;
+    std::mutex stopMu_;
+    std::atomic<std::uint64_t> connectionsServed_{0};
+    double lastDrainSeconds_ = 0.0;
+
+    // srvd.* metrics (process registry; bound once in the constructor).
+    obs::Gauge* connectionsGauge_;
+    obs::Counter* connectionsTotal_;
+    obs::Counter* jobsReceived_;
+    obs::Counter* jobsStreamed_;
+    obs::Counter* rejectedDraining_;
+    obs::Counter* badLines_;
+    obs::Gauge* queueDepthGauge_;
+    obs::Gauge* resultCacheHitRatio_;
+    obs::Gauge* warmCacheHitRatio_;
+    obs::Gauge* drainSeconds_;
+};
+
+} // namespace urtx::srv

@@ -1,0 +1,219 @@
+/// \file urtx_client.cpp
+/// Submit jobs to a running urtx_served and tail the streamed result
+/// records. Jobs come from a batch file (same schema as urtx_batch,
+/// including repeat/sweep expansion) or single job lines on stdin ("-").
+///
+///   urtx_client --socket PATH jobs.json [--strict] [--quiet]
+///   urtx_client --tcp PORT jobs.json
+///   echo '{"scenario": "tank"}' | urtx_client --socket PATH -
+///
+/// Records stream to stdout as the daemon finishes them (out of
+/// submission order). Exit status: 0 when every job succeeded with a
+/// passing verdict under --strict (otherwise 0 once all records arrive);
+/// 1 under --strict with any failure/rejection; 2 on usage/connect/parse
+/// errors, or when the daemon closes early with records outstanding.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "srv/batch_io.hpp"
+#include "srv/json.hpp"
+
+namespace srv = urtx::srv;
+namespace json = urtx::srv::json;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s (--socket PATH | --tcp PORT) <jobs.json|-> [--strict]\n"
+                 "          [--quiet]\n",
+                 argv0);
+    return 2;
+}
+
+int connectUnix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return -1;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int connectTcp(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool sendAll(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string socketPath;
+    std::uint16_t tcpPort = 0;
+    std::string jobsPath;
+    bool strict = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            if (++i >= argc) return usage(argv[0]);
+            socketPath = argv[i];
+        } else if (arg == "--tcp") {
+            if (++i >= argc) return usage(argv[0]);
+            tcpPort = static_cast<std::uint16_t>(std::strtoul(argv[i], nullptr, 10));
+        } else if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "-" || arg.empty() || arg[0] != '-') {
+            if (!jobsPath.empty()) return usage(argv[0]);
+            jobsPath = arg;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (jobsPath.empty() || (socketPath.empty() && tcpPort == 0)) return usage(argv[0]);
+
+    // Assemble the job lines before connecting so a parse error never
+    // half-submits a batch.
+    std::vector<std::string> lines;
+    std::size_t expected = 0;
+    if (jobsPath == "-") {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (line.empty()) continue;
+            std::string err;
+            const auto doc = json::parse(line, &err);
+            if (!doc) {
+                std::fprintf(stderr, "%s: stdin: %s\n", argv[0], err.c_str());
+                return 2;
+            }
+            std::vector<srv::ScenarioSpec> specs;
+            try {
+                specs = srv::parseJobObject(*doc);
+            } catch (const std::exception& ex) {
+                std::fprintf(stderr, "%s: stdin: %s\n", argv[0], ex.what());
+                return 2;
+            }
+            for (const srv::ScenarioSpec& s : specs) lines.push_back(srv::jobJson(s));
+        }
+    } else {
+        std::ifstream in(jobsPath);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot read '%s'\n", argv[0], jobsPath.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        srv::BatchFile batch;
+        try {
+            batch = srv::parseBatchFile(text.str());
+        } catch (const std::exception& ex) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
+            return 2;
+        }
+        for (const srv::ScenarioSpec& s : batch.jobs) lines.push_back(srv::jobJson(s));
+    }
+    expected = lines.size();
+    if (expected == 0) {
+        if (!quiet) std::fprintf(stderr, "%s: no jobs to submit\n", argv[0]);
+        return 0;
+    }
+
+    const int fd = socketPath.empty() ? connectTcp(tcpPort) : connectUnix(socketPath);
+    if (fd < 0) {
+        std::fprintf(stderr, "%s: cannot connect (%s)\n", argv[0], std::strerror(errno));
+        return 2;
+    }
+
+    for (const std::string& l : lines) {
+        if (!sendAll(fd, l + "\n")) {
+            std::fprintf(stderr, "%s: send failed (%s)\n", argv[0], std::strerror(errno));
+            ::close(fd);
+            return 2;
+        }
+    }
+    ::shutdown(fd, SHUT_WR); // half-close: everything submitted, now tail
+
+    std::string buf;
+    char chunk[4096];
+    std::size_t received = 0;
+    bool anyBad = false;
+    while (received < expected) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break; // daemon closed early
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+             nl = buf.find('\n', start)) {
+            const std::string line = buf.substr(start, nl - start);
+            start = nl + 1;
+            if (line.empty()) continue;
+            ++received;
+            std::printf("%s\n", line.c_str());
+            const auto rec = json::parse(line);
+            const std::string status = rec ? rec->strOr("status", "error") : "error";
+            if (status != "succeeded" || !(rec && rec->boolOr("passed", false))) {
+                anyBad = true;
+            }
+            if (!quiet && rec) {
+                std::fprintf(stderr, "  %-24s %-9s%s%s\n",
+                             rec->strOr("name", "?").c_str(), status.c_str(),
+                             rec->boolOr("cached_result", false) ? " [cached]" : "",
+                             rec->boolOr("warm_reuse", false) ? " [warm]" : "");
+            }
+        }
+        buf.erase(0, start);
+    }
+    ::close(fd);
+
+    if (received < expected) {
+        std::fprintf(stderr, "%s: connection closed with %zu of %zu records received\n",
+                     argv[0], received, expected);
+        return 2;
+    }
+    return strict && anyBad ? 1 : 0;
+}

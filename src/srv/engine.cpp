@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "srv/cache.hpp"
 
 namespace urtx::srv {
 
@@ -44,6 +48,89 @@ struct SlotGuard {
 
 std::vector<double> wallBounds() {
     return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0, 100.0};
+}
+
+/// Everything the run-one-job core needs from the engine. The counters are
+/// process-registry pointers (valid for the process lifetime).
+struct ExecCtx {
+    const EngineConfig* cfg;
+    obs::Counter* jobsCompleted;
+    obs::Counter* jobsFailed;
+    WarmScenarioCache* warmCache;
+};
+
+/// The shared run-one-job core, used by batch workers and session workers
+/// alike: install scoped obs, build the scenario (or lease a warm instance
+/// from the cache), run it under the watchdog slot, grade the verdict, and
+/// isolate any fault into the result. Fills status / passed / error / trace
+/// / wallSeconds / metrics; dispatch bookkeeping (queue wait, steal flags,
+/// deadline accounting) stays with the caller.
+void executeScenario(const ExecCtx& ctx, const ScenarioSpec& spec, ScenarioResult& res,
+                     RunningSlot& slot, const ScenarioLibrary& lib, std::size_t jobId) {
+    obs::Registry local;
+    obs::FlightRecorder recorder(ctx.cfg->recorderCapacity);
+    // Unique automatic-dump path per job: concurrent failures must not
+    // overwrite each other's post-mortem file.
+    recorder.setDumpPath("urtx_postmortem_job" + std::to_string(jobId) + ".json");
+    obs::ScopedRegistry scope(ctx.cfg->scopedMetrics ? &local : nullptr);
+    obs::ScopedFlightRecorder rscope(ctx.cfg->postmortems ? &recorder : nullptr);
+
+    const Clock::time_point runStart = Clock::now();
+    try {
+        std::unique_ptr<Scenario> sc;
+        if (ctx.warmCache) {
+            auto lease = ctx.warmCache->acquire(spec.warmKey());
+            if (lease.scenario) {
+                sc = std::move(lease.scenario);
+                res.warmReuse = true;
+            }
+        }
+        if (!sc) sc = lib.build(spec.scenario, spec.params);
+        sim::HybridSystem& sys = sc->system();
+        {
+            std::lock_guard<std::mutex> lk(slot.mu);
+            slot.sys = &sys;
+            slot.start = runStart;
+            slot.budgetSeconds = spec.wallBudgetSeconds;
+            slot.tripped = false;
+        }
+        SlotGuard guard{slot}; // after sc: clears slot before ~Scenario
+        sys.run(spec.horizon, spec.mode);
+        // Detach from the watchdog *now*: the cache release below resets
+        // the system (including its stop-request flag), and a late
+        // requestStop() would poison the parked instance's next run.
+        {
+            std::lock_guard<std::mutex> lk(slot.mu);
+            slot.sys = nullptr;
+        }
+        res.simTime = sys.now();
+        res.steps = sys.steps();
+        res.trace = TraceData::from(sys.trace());
+        res.passed = sc->verdict(res.verdictDetail);
+        res.status = ScenarioStatus::Succeeded;
+        ctx.jobsCompleted->inc();
+        if (ctx.warmCache) ctx.warmCache->release(spec.warmKey(), std::move(sc));
+    } catch (const std::exception& ex) {
+        bool tripped = false;
+        {
+            std::lock_guard<std::mutex> lk(slot.mu);
+            tripped = slot.tripped;
+        }
+        res.status = ScenarioStatus::Failed;
+        res.watchdogTripped = tripped;
+        res.error = tripped ? "watchdog: wall budget " + std::to_string(spec.wallBudgetSeconds) +
+                                  "s exceeded (" + ex.what() + ")"
+                            : ex.what();
+        if (ctx.cfg->postmortems) res.postmortemJson = recorder.dumpString(res.error);
+        ctx.jobsFailed->inc();
+    } catch (...) {
+        res.status = ScenarioStatus::Failed;
+        res.error = "unknown exception";
+        if (ctx.cfg->postmortems) res.postmortemJson = recorder.dumpString(res.error);
+        ctx.jobsFailed->inc();
+    }
+    res.wallSeconds = secondsBetween(runStart, Clock::now());
+    if (ctx.cfg->scopedMetrics) res.metrics = local.snapshot();
 }
 
 } // namespace
@@ -203,64 +290,16 @@ BatchResult ServeEngine::run(const std::vector<ScenarioSpec>& specs,
         const std::size_t nowBusy = busy.fetch_add(1, std::memory_order_relaxed) + 1;
         workersBusyHwm_->max(static_cast<double>(nowBusy));
 
-        obs::Registry local;
-        obs::FlightRecorder recorder(cfg_.recorderCapacity);
-        // Unique automatic-dump path per job: concurrent failures must not
-        // overwrite each other's post-mortem file.
-        recorder.setDumpPath("urtx_postmortem_job" + std::to_string(idx) + ".json");
-        obs::ScopedRegistry scope(cfg_.scopedMetrics ? &local : nullptr);
-        obs::ScopedFlightRecorder rscope(cfg_.postmortems ? &recorder : nullptr);
-
-        const Clock::time_point runStart = Clock::now();
-        try {
-            std::unique_ptr<Scenario> sc = lib.build(spec.scenario, spec.params);
-            sim::HybridSystem& sys = sc->system();
-            {
-                std::lock_guard<std::mutex> lk(slot.mu);
-                slot.sys = &sys;
-                slot.start = runStart;
-                slot.budgetSeconds = spec.wallBudgetSeconds;
-                slot.tripped = false;
-            }
-            SlotGuard guard{slot}; // after sc: clears slot before ~Scenario
-            sys.run(spec.horizon, spec.mode);
-            res.simTime = sys.now();
-            res.steps = sys.steps();
-            res.trace = TraceData::from(sys.trace());
-            res.passed = sc->verdict(res.verdictDetail);
-            res.status = ScenarioStatus::Succeeded;
-            jobsCompleted_->inc();
-        } catch (const std::exception& ex) {
-            bool tripped = false;
-            {
-                std::lock_guard<std::mutex> lk(slot.mu);
-                tripped = slot.tripped;
-            }
-            res.status = ScenarioStatus::Failed;
-            res.watchdogTripped = tripped;
-            res.error = tripped ? "watchdog: wall budget " +
-                                      std::to_string(spec.wallBudgetSeconds) +
-                                      "s exceeded (" + ex.what() + ")"
-                                : ex.what();
-            if (cfg_.postmortems) res.postmortemJson = recorder.dumpString(res.error);
-            jobsFailed_->inc();
-        } catch (...) {
-            res.status = ScenarioStatus::Failed;
-            res.error = "unknown exception";
-            if (cfg_.postmortems) res.postmortemJson = recorder.dumpString(res.error);
-            jobsFailed_->inc();
-        }
+        const ExecCtx ctx{&cfg_, jobsCompleted_, jobsFailed_, warmCache_};
+        executeScenario(ctx, spec, res, slot, lib, idx);
         busy.fetch_sub(1, std::memory_order_relaxed);
 
-        const Clock::time_point end = Clock::now();
-        res.wallSeconds = secondsBetween(runStart, end);
-        res.finishedAtSeconds = secondsBetween(batchStart, end);
+        res.finishedAtSeconds = secondsBetween(batchStart, Clock::now());
         jobWall_->observe(res.wallSeconds);
         if (spec.deadlineSeconds > 0) {
             res.deadlineMet = res.finishedAtSeconds <= spec.deadlineSeconds;
             (res.deadlineMet ? deadlinesMet_ : deadlinesMissed_)->inc();
         }
-        if (cfg_.scopedMetrics) res.metrics = local.snapshot();
     };
 
     // Claim the next job: own queue front first; else steal from the back
@@ -355,6 +394,238 @@ BatchResult ServeEngine::run(const std::vector<ScenarioSpec>& specs,
     batch.steals = stealCount.load(std::memory_order_relaxed);
     batch.watchdogTrips = tripCount.load(std::memory_order_relaxed);
     return batch;
+}
+
+// --- persistent session -----------------------------------------------------
+
+namespace {
+
+struct PendingJob {
+    ScenarioSpec spec;
+    ServeEngine::Session::Callback cb;
+    Clock::time_point submitted;
+};
+
+/// EDF key: (absolute deadline in steady-clock seconds, submission seq).
+/// Deadline-less jobs sort last (+inf) and FIFO among themselves.
+using EdfKey = std::pair<double, std::uint64_t>;
+
+double absoluteDeadline(Clock::time_point submitted, double deadlineSeconds) {
+    if (deadlineSeconds <= 0) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(submitted.time_since_epoch()).count() +
+           deadlineSeconds;
+}
+
+} // namespace
+
+struct ServeEngine::Session::Impl {
+    ServeEngine* engine;
+    const ScenarioLibrary* lib;
+    EngineConfig cfg;          ///< snapshot at session start
+    WarmScenarioCache* warmCache;
+    obs::Counter* jobsSubmitted;
+    obs::Counter* jobsCompleted;
+    obs::Counter* jobsFailed;
+    obs::Counter* jobsRejected;
+    obs::Counter* watchdogTrips;
+    obs::Counter* deadlinesMet;
+    obs::Counter* deadlinesMissed;
+    obs::Histogram* queueWait;
+    obs::Histogram* jobWall;
+
+    std::size_t workers = 1;
+    std::deque<RunningSlot> slots; ///< deque: RunningSlot is not movable
+    std::vector<std::thread> pool;
+    std::thread watchdog;
+    std::atomic<bool> watchdogRun{true};
+
+    mutable std::mutex mu;
+    std::condition_variable cv;     ///< workers: work available / stopping
+    std::condition_variable idleCv; ///< drainWait: queue empty + all idle
+    std::map<EdfKey, PendingJob> queue;
+    std::uint64_t seq = 0;
+    std::size_t inFlight = 0;
+    std::uint64_t jobId = 0; ///< monotonically unique post-mortem file ids
+    bool draining = false;
+    bool stopping = false;
+    bool joined = false;
+
+    double est(const ScenarioSpec& s) const {
+        return s.costSeconds > 0 ? s.costSeconds : cfg.defaultCostSeconds;
+    }
+
+    void workerLoop(std::size_t w) {
+        for (;;) {
+            PendingJob job;
+            std::size_t myJobId;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                cv.wait(lk, [&] { return stopping || !queue.empty(); });
+                if (queue.empty()) return; // stopping and drained
+                auto node = queue.extract(queue.begin());
+                job = std::move(node.mapped());
+                ++inFlight;
+                myJobId = jobId++;
+            }
+
+            ScenarioResult res;
+            res.name = job.spec.name.empty() ? "scenario#" + std::to_string(myJobId)
+                                             : job.spec.name;
+            res.scenario = job.spec.scenario;
+            const double waited = secondsBetween(job.submitted, Clock::now());
+            res.queueWaitSeconds = waited;
+            res.worker = w;
+            queueWait->observe(waited);
+
+            if (cfg.admissionControl && job.spec.deadlineSeconds > 0 &&
+                waited + est(job.spec) > job.spec.deadlineSeconds) {
+                res.status = ScenarioStatus::Rejected;
+                res.deadlineMet = false;
+                res.error = "admission control: dispatched " + std::to_string(waited) +
+                            "s after submit, estimate " + std::to_string(est(job.spec)) +
+                            "s cannot meet deadline " +
+                            std::to_string(job.spec.deadlineSeconds) + "s";
+                jobsRejected->inc();
+                deadlinesMissed->inc();
+            } else {
+                const ExecCtx ctx{&cfg, jobsCompleted, jobsFailed, warmCache};
+                executeScenario(ctx, job.spec, res, slots[w], *lib, myJobId);
+                res.finishedAtSeconds = secondsBetween(job.submitted, Clock::now());
+                jobWall->observe(res.wallSeconds);
+                if (job.spec.deadlineSeconds > 0) {
+                    res.deadlineMet = res.finishedAtSeconds <= job.spec.deadlineSeconds;
+                    (res.deadlineMet ? deadlinesMet : deadlinesMissed)->inc();
+                }
+            }
+
+            if (job.cb) {
+                try {
+                    job.cb(std::move(res));
+                } catch (...) {
+                    // A reporting failure (dead client) must not kill the worker.
+                }
+            }
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                --inFlight;
+                if (queue.empty() && inFlight == 0) idleCv.notify_all();
+            }
+        }
+    }
+
+    void watchdogLoop() {
+        const auto poll = std::chrono::duration<double>(cfg.watchdogPollSeconds);
+        while (watchdogRun.load(std::memory_order_acquire)) {
+            for (RunningSlot& slot : slots) {
+                std::lock_guard<std::mutex> lk(slot.mu);
+                if (!slot.sys || slot.tripped || slot.budgetSeconds <= 0) continue;
+                if (secondsBetween(slot.start, Clock::now()) > slot.budgetSeconds) {
+                    slot.sys->requestStop();
+                    slot.tripped = true;
+                    watchdogTrips->inc();
+                }
+            }
+            std::this_thread::sleep_for(poll);
+        }
+    }
+};
+
+ServeEngine::Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+ServeEngine::Session::~Session() {
+    if (impl_) stop();
+}
+
+bool ServeEngine::Session::submit(ScenarioSpec spec, Callback done) {
+    Impl& im = *impl_;
+    const Clock::time_point now = Clock::now();
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        if (im.draining || im.stopping) return false;
+        const EdfKey key{absoluteDeadline(now, spec.deadlineSeconds), im.seq++};
+        im.queue.emplace(key, PendingJob{std::move(spec), std::move(done), now});
+    }
+    im.jobsSubmitted->inc();
+    im.cv.notify_one();
+    return true;
+}
+
+void ServeEngine::Session::beginDrain() {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->draining = true;
+}
+
+bool ServeEngine::Session::draining() const {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    return impl_->draining;
+}
+
+void ServeEngine::Session::drainWait() {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->idleCv.wait(lk, [this] {
+        return impl_->queue.empty() && impl_->inFlight == 0;
+    });
+}
+
+void ServeEngine::Session::stop() {
+    Impl& im = *impl_;
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        if (im.joined) return;
+        im.draining = true;
+        im.stopping = true;
+    }
+    im.cv.notify_all();
+    for (std::thread& t : im.pool) {
+        if (t.joinable()) t.join();
+    }
+    im.watchdogRun.store(false, std::memory_order_release);
+    if (im.watchdog.joinable()) im.watchdog.join();
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.joined = true;
+    im.idleCv.notify_all();
+}
+
+std::size_t ServeEngine::Session::queueDepth() const {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    return impl_->queue.size();
+}
+
+std::size_t ServeEngine::Session::inFlight() const {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    return impl_->inFlight;
+}
+
+std::unique_ptr<ServeEngine::Session> ServeEngine::startSession(const ScenarioLibrary& lib) {
+    auto impl = std::make_unique<Session::Impl>();
+    impl->engine = this;
+    impl->lib = &lib;
+    impl->cfg = cfg_;
+    impl->warmCache = warmCache_;
+    impl->jobsSubmitted = jobsSubmitted_;
+    impl->jobsCompleted = jobsCompleted_;
+    impl->jobsFailed = jobsFailed_;
+    impl->jobsRejected = jobsRejected_;
+    impl->watchdogTrips = watchdogTrips_;
+    impl->deadlinesMet = deadlinesMet_;
+    impl->deadlinesMissed = deadlinesMissed_;
+    impl->queueWait = queueWait_;
+    impl->jobWall = jobWall_;
+
+    std::size_t workers = cfg_.workers;
+    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+    impl->workers = workers;
+    for (std::size_t w = 0; w < workers; ++w) impl->slots.emplace_back();
+
+    Session::Impl* raw = impl.get();
+    impl->pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        impl->pool.emplace_back([raw, w] { raw->workerLoop(w); });
+    }
+    if (cfg_.watchdogPollSeconds > 0) {
+        impl->watchdog = std::thread([raw] { raw->watchdogLoop(); });
+    }
+    return std::unique_ptr<Session>(new Session(std::move(impl)));
 }
 
 } // namespace urtx::srv

@@ -35,6 +35,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "srv/scenario.hpp"
@@ -46,6 +48,8 @@ class Histogram;
 } // namespace urtx::obs
 
 namespace urtx::srv {
+
+class WarmScenarioCache;
 
 struct EngineConfig {
     /// Worker threads; 0 = hardware concurrency.
@@ -88,10 +92,64 @@ public:
     BatchResult run(const std::vector<ScenarioSpec>& specs,
                     const ScenarioLibrary& lib = ScenarioLibrary::global());
 
+    /// Attach a warm-scenario cache (caller-owned, must outlive the engine
+    /// and every session): jobs then acquire built instances by
+    /// ScenarioSpec::warmKey() and park them back after a successful run.
+    /// nullptr detaches. Affects both run() batches and sessions started
+    /// afterwards.
+    void setWarmCache(WarmScenarioCache* cache) { warmCache_ = cache; }
+    WarmScenarioCache* warmCache() const { return warmCache_; }
+
     const EngineConfig& config() const { return cfg_; }
+
+    /// A resident worker pool that outlives any single batch: jobs are
+    /// submitted one at a time, scheduled earliest-absolute-deadline-first,
+    /// and reported through a per-job callback as they finish. This is the
+    /// serving daemon's engine face — the pool, the watchdog and any warm
+    /// cache stay hot between requests.
+    ///
+    /// Deadlines are measured from *submit* (not batch start); admission
+    /// control re-checks at dispatch exactly like the batch path. stop()
+    /// and the destructor drain gracefully: everything admitted still runs,
+    /// nothing new is accepted.
+    class Session {
+    public:
+        /// Invoked on a worker thread when the job finishes (any status).
+        using Callback = std::function<void(ScenarioResult)>;
+
+        ~Session(); ///< stops (graceful drain) if still running
+        Session(const Session&) = delete;
+        Session& operator=(const Session&) = delete;
+
+        /// Queue one job. Returns false — without queuing — once draining
+        /// or stopped; the caller owns the structured rejection.
+        bool submit(ScenarioSpec spec, Callback done);
+
+        /// Stop accepting jobs; admitted ones keep running.
+        void beginDrain();
+        bool draining() const;
+        /// Block until the queue is empty and every worker is idle.
+        void drainWait();
+        /// beginDrain + drainWait + join the pool. Idempotent.
+        void stop();
+
+        std::size_t queueDepth() const;
+        std::size_t inFlight() const;
+
+    private:
+        friend class ServeEngine;
+        struct Impl;
+        explicit Session(std::unique_ptr<Impl> impl);
+        std::unique_ptr<Impl> impl_;
+    };
+
+    /// Spin up a resident session (workers + watchdog started immediately).
+    std::unique_ptr<Session> startSession(
+        const ScenarioLibrary& lib = ScenarioLibrary::global());
 
 private:
     EngineConfig cfg_;
+    WarmScenarioCache* warmCache_ = nullptr;
 
     // srv.* metrics, bound eagerly to the process registry (engine-level
     // accounting must not land in a scenario's private registry, and the

@@ -84,6 +84,20 @@ private:
         return true;
     }
 
+    bool hex4(unsigned& cp) {
+        if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+        cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+        }
+        return true;
+    }
+
     bool string(std::string& out) {
         if (!consume('"')) return fail("expected '\"'");
         out.clear();
@@ -106,26 +120,37 @@ private:
                 case 'r': out.push_back('\r'); break;
                 case 't': out.push_back('\t'); break;
                 case 'u': {
-                    if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
                     unsigned cp = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        const char h = s_[pos_++];
-                        cp <<= 4;
-                        if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-                        else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-                        else return fail("bad \\u escape");
+                    if (!hex4(cp)) return false;
+                    // Surrogate pairs: a high surrogate must be followed by
+                    // an escaped low surrogate; the pair combines into one
+                    // supplementary-plane code point. Lone surrogates are a
+                    // parse error — they have no valid UTF-8 encoding, so
+                    // accepting them would break escape/parse round-trips.
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        if (pos_ + 2 > s_.size() || s_[pos_] != '\\' || s_[pos_ + 1] != 'u') {
+                            return fail("unpaired high surrogate");
+                        }
+                        pos_ += 2;
+                        unsigned lo = 0;
+                        if (!hex4(lo)) return false;
+                        if (lo < 0xDC00 || lo > 0xDFFF) return fail("unpaired high surrogate");
+                        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        return fail("unpaired low surrogate");
                     }
-                    // UTF-8 encode the BMP code point (surrogate pairs are
-                    // beyond what job files need; a lone surrogate encodes
-                    // as its raw value).
                     if (cp < 0x80) {
                         out.push_back(static_cast<char>(cp));
                     } else if (cp < 0x800) {
                         out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
                         out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-                    } else {
+                    } else if (cp < 0x10000) {
                         out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                    } else {
+                        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+                        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
                         out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
                         out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
                     }
@@ -259,6 +284,75 @@ std::string number(double v) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+namespace {
+
+void stringifyInto(const Value& v, std::string& out) {
+    switch (v.kind) {
+        case Value::Kind::Null: out += "null"; break;
+        case Value::Kind::Bool: out += v.boolean ? "true" : "false"; break;
+        case Value::Kind::Number: out += number(v.number); break;
+        case Value::Kind::String:
+            out.push_back('"');
+            out += escape(v.string);
+            out.push_back('"');
+            break;
+        case Value::Kind::Array: {
+            out.push_back('[');
+            bool first = true;
+            for (const Value& e : v.array) {
+                if (!first) out.push_back(',');
+                first = false;
+                stringifyInto(e, out);
+            }
+            out.push_back(']');
+            break;
+        }
+        case Value::Kind::Object: {
+            out.push_back('{');
+            bool first = true;
+            for (const Value::Member& m : v.object) {
+                if (!first) out.push_back(',');
+                first = false;
+                out.push_back('"');
+                out += escape(m.first);
+                out += "\":";
+                stringifyInto(m.second, out);
+            }
+            out.push_back('}');
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::string stringify(const Value& v) {
+    std::string out;
+    stringifyInto(v, out);
+    return out;
+}
+
+Value makeString(std::string s) {
+    Value v;
+    v.kind = Value::Kind::String;
+    v.string = std::move(s);
+    return v;
+}
+
+Value makeNumber(double n) {
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.number = n;
+    return v;
+}
+
+Value makeBool(bool b) {
+    Value v;
+    v.kind = Value::Kind::Bool;
+    v.boolean = b;
+    return v;
 }
 
 } // namespace urtx::srv::json

@@ -59,4 +59,14 @@ std::string escape(std::string_view s);
 /// non-finite values JSON cannot express clamp to +/-1e308).
 std::string number(double v);
 
+/// Serialize a Value back to a compact single-line document that parse()
+/// accepts (member order preserved, strings escaped, numbers at full
+/// round-trip precision). parse(stringify(v)) == v for any parsed v.
+std::string stringify(const Value& v);
+
+/// Convenience builders for hand-assembled documents.
+Value makeString(std::string s);
+Value makeNumber(double v);
+Value makeBool(bool b);
+
 } // namespace urtx::srv::json

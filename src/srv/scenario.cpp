@@ -14,21 +14,63 @@ std::string ScenarioParams::str(const std::string& key, std::string fallback) co
     return it != strs_.end() ? it->second : fallback;
 }
 
+std::vector<std::string> ParamSchema::unknownKeys(const ScenarioParams& p) const {
+    std::vector<std::string> out;
+    if (open) return out;
+    for (const auto& [key, value] : p.nums()) {
+        (void)value;
+        if (nums.count(key) == 0) out.push_back(key);
+    }
+    for (const auto& [key, value] : p.strs()) {
+        (void)value;
+        if (strs.count(key) == 0) out.push_back(key);
+    }
+    return out;
+}
+
+namespace {
+
+std::string unknownParamMessage(const std::string& scenario,
+                                const std::vector<std::string>& keys) {
+    std::string msg = "scenario '" + scenario + "': unknown parameter";
+    if (keys.size() > 1) msg += "s";
+    msg += " ";
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i) msg += ", ";
+        msg += "'" + keys[i] + "'";
+    }
+    return msg;
+}
+
+} // namespace
+
+UnknownParamError::UnknownParamError(std::string scenario, std::vector<std::string> keys)
+    : std::invalid_argument(unknownParamMessage(scenario, keys)),
+      scenario_(std::move(scenario)),
+      keys_(std::move(keys)) {}
+
 ScenarioLibrary& ScenarioLibrary::global() {
     static ScenarioLibrary lib;
     return lib;
 }
 
 void ScenarioLibrary::add(std::string name, std::string description, ScenarioFactory make) {
+    add(std::move(name), std::move(description), ParamSchema{}, std::move(make));
+}
+
+void ScenarioLibrary::add(std::string name, std::string description, ParamSchema schema,
+                          ScenarioFactory make) {
     std::lock_guard<std::mutex> lk(mu_);
     for (Entry& e : entries_) {
         if (e.name == name) {
             e.description = std::move(description);
+            e.schema = std::move(schema);
             e.make = std::move(make);
             return;
         }
     }
-    entries_.push_back({std::move(name), std::move(description), std::move(make)});
+    entries_.push_back(
+        {std::move(name), std::move(description), std::move(schema), std::move(make)});
 }
 
 bool ScenarioLibrary::has(std::string_view name) const {
@@ -47,6 +89,19 @@ std::vector<std::pair<std::string, std::string>> ScenarioLibrary::list() const {
     return out;
 }
 
+ParamSchema ScenarioLibrary::schema(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Entry& e : entries_) {
+        if (e.name == name) return e.schema;
+    }
+    throw std::invalid_argument("ScenarioLibrary: unknown scenario '" + name + "'");
+}
+
+void ScenarioLibrary::validate(const std::string& name, const ScenarioParams& p) const {
+    auto unknown = schema(name).unknownKeys(p);
+    if (!unknown.empty()) throw UnknownParamError(name, std::move(unknown));
+}
+
 std::unique_ptr<Scenario> ScenarioLibrary::build(const std::string& name,
                                                  const ScenarioParams& p) const {
     ScenarioFactory make;
@@ -54,6 +109,8 @@ std::unique_ptr<Scenario> ScenarioLibrary::build(const std::string& name,
         std::lock_guard<std::mutex> lk(mu_);
         for (const Entry& e : entries_) {
             if (e.name == name) {
+                auto unknown = e.schema.unknownKeys(p);
+                if (!unknown.empty()) throw UnknownParamError(name, std::move(unknown));
                 make = e.make;
                 break;
             }
@@ -61,6 +118,60 @@ std::unique_ptr<Scenario> ScenarioLibrary::build(const std::string& name,
     }
     if (!make) throw std::invalid_argument("ScenarioLibrary: unknown scenario '" + name + "'");
     return make(p);
+}
+
+namespace {
+
+/// Incremental FNV-1a, shared by the spec hashes below and TraceData::hash.
+struct Fnv1a {
+    std::uint64_t h = 1469598103934665603ull;
+
+    void byte(unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    void bytes(const void* p, std::size_t n) {
+        const auto* c = static_cast<const unsigned char*>(p);
+        for (std::size_t i = 0; i < n; ++i) byte(c[i]);
+    }
+    /// Length-prefixed so {"ab","c"} and {"a","bc"} differ.
+    void str(const std::string& s) {
+        const std::uint64_t n = s.size();
+        bytes(&n, sizeof(n));
+        bytes(s.data(), s.size());
+    }
+    void f64(double d) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        bytes(&bits, sizeof(bits));
+    }
+};
+
+} // namespace
+
+std::uint64_t ScenarioSpec::warmKey() const {
+    Fnv1a f;
+    f.str(scenario);
+    // std::map iteration is key-sorted, so insertion order cannot leak in.
+    for (const auto& [key, value] : params.nums()) {
+        f.str(key);
+        f.f64(value);
+    }
+    for (const auto& [key, value] : params.strs()) {
+        f.str(key);
+        f.str(value);
+    }
+    return f.h;
+}
+
+std::uint64_t ScenarioSpec::jobHash() const {
+    Fnv1a f;
+    const std::uint64_t wk = warmKey();
+    f.bytes(&wk, sizeof(wk));
+    f.f64(horizon);
+    f.byte(mode == sim::ExecutionMode::MultiThread ? 1 : 0);
+    return f.h;
 }
 
 const char* to_string(ScenarioStatus s) {

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +50,37 @@ private:
     std::map<std::string, std::string> strs_;
 };
 
+/// The declared parameter surface of a factory: which numeric and string
+/// keys it accepts (key -> one-line description, shown in error messages
+/// and --list output). Factories registered with a schema get their
+/// overrides validated at build time; unknown keys are a structured
+/// UnknownParamError instead of a silent no-op, so a typo ("quin" for
+/// "qin") fails loudly rather than running the wrong experiment.
+struct ParamSchema {
+    std::map<std::string, std::string> nums;
+    std::map<std::string, std::string> strs;
+    /// Open schemas accept any key (ad-hoc factories, tests).
+    bool open = true;
+
+    /// Keys in \p p that this schema does not declare (empty when open).
+    std::vector<std::string> unknownKeys(const ScenarioParams& p) const;
+};
+
+/// Thrown when a spec carries parameter keys the target factory does not
+/// declare. Carries the offending scenario and keys so serving layers can
+/// report a structured rejection instead of a flat what() string.
+class UnknownParamError : public std::invalid_argument {
+public:
+    UnknownParamError(std::string scenario, std::vector<std::string> keys);
+
+    const std::string& scenario() const { return scenario_; }
+    const std::vector<std::string>& keys() const { return keys_; }
+
+private:
+    std::string scenario_;
+    std::vector<std::string> keys_;
+};
+
 /// A built, runnable scenario instance. Owns its HybridSystem and every
 /// capsule / streamer wired into it; destruction tears the whole world
 /// down. Concrete scenarios may expose their components for examples and
@@ -65,6 +97,12 @@ public:
         (void)detail;
         return true;
     }
+
+    /// Rewind this instance to its just-built state so it can run again
+    /// (warm reuse by the serving layer, skipping factory construction).
+    /// Return true only when the rerun is indistinguishable from a fresh
+    /// build — bit-identical trajectories. Default: not reusable.
+    virtual bool reset() { return false; }
 };
 
 using ScenarioFactory = std::function<std::unique_ptr<Scenario>(const ScenarioParams&)>;
@@ -76,19 +114,34 @@ public:
     /// scenarios::registerBuiltins, tests may add their own).
     static ScenarioLibrary& global();
 
-    /// Register (or replace) a factory.
+    /// Register (or replace) a factory with an open schema (no parameter
+    /// validation — ad-hoc factories, tests).
     void add(std::string name, std::string description, ScenarioFactory make);
+    /// Register (or replace) a factory with a declared parameter surface;
+    /// build() rejects undeclared keys with UnknownParamError.
+    void add(std::string name, std::string description, ParamSchema schema,
+             ScenarioFactory make);
     bool has(std::string_view name) const;
     /// (name, description) pairs in registration order.
     std::vector<std::pair<std::string, std::string>> list() const;
+    /// The declared schema (open when the factory was registered without
+    /// one); throws std::invalid_argument for unknown names.
+    ParamSchema schema(const std::string& name) const;
 
-    /// Build an instance; throws std::invalid_argument for unknown names.
+    /// Check \p p against the factory's schema without building; throws
+    /// UnknownParamError on undeclared keys, std::invalid_argument on an
+    /// unknown scenario name.
+    void validate(const std::string& name, const ScenarioParams& p) const;
+
+    /// Build an instance; throws std::invalid_argument for unknown names
+    /// and UnknownParamError for undeclared parameter keys.
     std::unique_ptr<Scenario> build(const std::string& name, const ScenarioParams& p) const;
 
 private:
     struct Entry {
         std::string name;
         std::string description;
+        ParamSchema schema;
         ScenarioFactory make;
     };
 
@@ -111,6 +164,17 @@ struct ScenarioSpec {
     /// Per-run wall-clock budget enforced by the engine watchdog via
     /// HybridSystem::requestStop. 0 = none.
     double wallBudgetSeconds = 0.0;
+
+    /// FNV-1a over the *model identity*: scenario name + canonical
+    /// (sorted-key) parameters. Two specs with equal warm keys build
+    /// interchangeable systems, so a warm cached instance of one can serve
+    /// the other after reset(). Horizon, mode and serving constraints are
+    /// deliberately excluded — they do not change what gets built.
+    std::uint64_t warmKey() const;
+    /// FNV-1a over the full *job identity*: warmKey() + horizon bits +
+    /// execution mode. Equal job hashes mean bit-identical runs, so a
+    /// result cache may replay a stored ScenarioResult.
+    std::uint64_t jobHash() const;
 };
 
 enum class ScenarioStatus : std::uint8_t {
@@ -152,6 +216,8 @@ struct ScenarioResult {
 
     std::size_t worker = SIZE_MAX; ///< worker that ran it; SIZE_MAX = never ran
     bool stolen = false;           ///< ran on a worker it was not planned onto
+    bool warmReuse = false;        ///< ran on a reset cached instance (no rebuild)
+    bool cachedResult = false;     ///< replayed from the result cache (no run at all)
     double queueWaitSeconds = 0.0; ///< batch start -> dispatch
     double wallSeconds = 0.0;      ///< dispatch -> finish
     double finishedAtSeconds = 0.0; ///< batch start -> finish

@@ -17,20 +17,22 @@ CruiseScenario::CruiseScenario(const ScenarioParams& p) {
     scale_ = p.num("script_scale", 1.0);
     car_ = std::make_unique<Vehicle>("car", &group_);
     pi_ = std::make_unique<SpeedController>("pi", &group_);
-    flow::flow(car_->speed, pi_->meas);
-    flow::flow(pi_->force, car_->force);
     applyParams(*car_, p);
     applyParams(*pi_, p);
     cruise_ = std::make_unique<CruiseCapsule>("cruise", verbose);
     driver_ = std::make_unique<CruiseDriver>("driver", scale_);
-    rt::connect(driver_->out, cruise_->driver);
-    rt::connect(cruise_->plant, pi_->ctl.rtPort());
-    sys_.addCapsule(*cruise_);
-    sys_.addCapsule(*driver_);
-    sys_.addStreamerGroup(group_, solver::makeIntegrator(p.str("integrator", "RK4")),
-                          p.num("dt", 0.02));
-    sys_.trace().channel("v", [this] { return car_->speed.get(); });
-    sys_.trace().channel("F", [this] { return pi_->force.get(); });
+    // Data flows must exist before .streamer() flattens the network.
+    sys_ = urtx::system()
+               .flow(car_->speed, pi_->meas)
+               .flow(pi_->force, car_->force)
+               .capsule(*cruise_)
+               .capsule(*driver_)
+               .streamer(group_, p.str("integrator", "RK4"), p.num("dt", 0.02))
+               .flow(driver_->out, cruise_->driver)
+               .flow(cruise_->plant, pi_->ctl)
+               .trace("v", [this] { return car_->speed.get(); })
+               .trace("F", [this] { return pi_->force.get(); })
+               .build();
 }
 
 bool CruiseScenario::verdict(std::string& detail) const {
@@ -48,7 +50,7 @@ bool CruiseScenario::verdict(std::string& detail) const {
     // Tracking is only judged in the script's settled windows — at least
     // ten (scaled) seconds after an engagement-affecting driver event
     // (set @2, brake @20, resume @25, new setpoint @40).
-    const double t = scale_ > 0 ? sys_.now() / scale_ : sys_.now();
+    const double t = scale_ > 0 ? sys_->now() / scale_ : sys_->now();
     const bool settled = (t >= 12.0 && t < 20.0) || (t >= 35.0 && t < 40.0) || t >= 50.0;
     if (pi_->param("enabled") > 0.5 && settled && std::abs(v - vset) >= 2.0) {
         detail += " — tracking error out of band";

@@ -129,18 +129,21 @@ PendulumScenario::PendulumScenario(const ScenarioParams& p) {
     const bool verbose = p.num("verbose", 0.0) > 0.5;
     pend_ = std::make_unique<Pendulum>("pendulum", &group_);
     ctl_ = std::make_unique<PendulumController>("controller", &group_);
-    flow::flow(pend_->state, ctl_->meas);
-    flow::flow(ctl_->torque, pend_->torque);
     applyParams(*pend_, p);
     applyParams(*ctl_, p);
     sup_ = std::make_unique<PendulumSupervisor>("supervisor", verbose);
-    rt::connect(sup_->fromPlant, pend_->events.rtPort());
-    rt::connect(sup_->toController, ctl_->mode.rtPort());
-    sys_.addCapsule(*sup_);
-    runner_ = &sys_.addStreamerGroup(group_, solver::makeIntegrator(p.str("integrator", "RK45")),
-                                     p.num("dt", 0.002));
-    sys_.trace().channel("theta", [this] { return pend_->state.get(0); });
-    sys_.trace().channel("torque", [this] { return ctl_->torque.get(); });
+    // Data flows must exist before .streamer() flattens the network.
+    urtx::SystemBuilder b;
+    b.flow(pend_->state, ctl_->meas)
+        .flow(ctl_->torque, pend_->torque)
+        .capsule(*sup_)
+        .streamer(group_, p.str("integrator", "RK45"), p.num("dt", 0.002))
+        .flow(sup_->fromPlant, pend_->events)
+        .flow(sup_->toController, ctl_->mode)
+        .trace("theta", [this] { return pend_->state.get(0); })
+        .trace("torque", [this] { return ctl_->torque.get(); });
+    runner_ = &b.lastRunner();
+    sys_ = b.build();
 }
 
 bool PendulumScenario::verdict(std::string& detail) const {
@@ -152,7 +155,7 @@ bool PendulumScenario::verdict(std::string& detail) const {
                   "|theta - pi| = %.4f rad, omega = %.4f rad/s, mode switches = %d", err,
                   omega, sup_->switches);
     detail += buf;
-    if (sys_.now() < 15.0) {
+    if (sys_->now() < 15.0) {
         detail += " (horizon too short to judge balance)";
         return true;
     }

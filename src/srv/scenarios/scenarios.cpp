@@ -41,23 +41,87 @@ private:
 
 FaultyScenario::FaultyScenario(const ScenarioParams& p) {
     leaf_ = std::make_unique<ThrowingStreamer>("bomb", &group_, p.num("throwAt", 0.25));
-    sys_.addStreamerGroup(group_, solver::makeIntegrator(p.str("integrator", "Euler")),
-                          p.num("dt", 0.01));
-    sys_.trace().channel("x", [this] { return leaf_->x.get(); });
+    sys_ = urtx::system()
+               .streamer(group_, p.str("integrator", "Euler"), p.num("dt", 0.01))
+               .trace("x", [this] { return leaf_->x.get(); })
+               .build();
 }
 
 FaultyScenario::~FaultyScenario() = default;
 
 // --- registry ---------------------------------------------------------------
 
+namespace {
+
+/// Keys every builtin accepts.
+ParamSchema commonSchema() {
+    ParamSchema s;
+    s.open = false;
+    s.nums["verbose"] = "narrative output (0/1, default 0)";
+    s.nums["dt"] = "solver major step (seconds, per-scenario default)";
+    s.strs["integrator"] = "solver::makeIntegrator name (per-scenario default)";
+    return s;
+}
+
+ParamSchema tankSchema() {
+    ParamSchema s = commonSchema();
+    s.nums["faultAt"] = "valve-stuck injection time (s, < 0 disables; default 30)";
+    s.nums["qin"] = "pump inflow (default 0.8)";
+    s.nums["valve"] = "commanded valve opening (default 1.0)";
+    s.nums["stuck"] = "valve stuck fault flag (default 0)";
+    s.nums["stuckAt"] = "opening the valve sticks at (default 0.15)";
+    s.nums["hmax"] = "tank1 alarm threshold (default 2.0)";
+    s.nums["h1_0"] = "tank1 initial level (default 1.0)";
+    s.nums["h2_0"] = "tank2 initial level (default 0.5)";
+    return s;
+}
+
+ParamSchema cruiseSchema() {
+    ParamSchema s = commonSchema();
+    s.nums["script_scale"] = "driver script time scale (default 1)";
+    s.nums["m"] = "vehicle mass (default 1200)";
+    s.nums["b"] = "linear drag (default 30)";
+    s.nums["c"] = "quadratic drag (default 0.9)";
+    s.nums["v0"] = "initial speed (default 20)";
+    s.nums["enabled"] = "PI initially engaged (default 0)";
+    s.nums["vset"] = "initial setpoint (default 0)";
+    s.nums["kp"] = "PI proportional gain (default 900)";
+    s.nums["ki"] = "PI integral gain (default 120)";
+    return s;
+}
+
+ParamSchema pendulumSchema() {
+    ParamSchema s = commonSchema();
+    s.nums["theta0"] = "initial angle from hanging (default 0.05)";
+    s.nums["omega0"] = "initial angular velocity (default 0)";
+    s.nums["balancing"] = "start in balance mode (default 0)";
+    s.nums["swingGain"] = "energy-pumping gain (default 4)";
+    s.nums["balanceKp"] = "balance proportional gain (default 8)";
+    s.nums["balanceKd"] = "balance derivative gain (default 2)";
+    s.nums["torqueMax"] = "torque saturation (default 1.5)";
+    return s;
+}
+
+ParamSchema faultySchema() {
+    ParamSchema s = commonSchema();
+    s.nums["throwAt"] = "simulation time the streamer throws at (default 0.25)";
+    return s;
+}
+
+} // namespace
+
 void registerBuiltins(ScenarioLibrary& lib) {
     lib.add("tank", "two-tank level supervision with a stuck-valve fault injection",
+            tankSchema(),
             [](const ScenarioParams& p) { return std::make_unique<TankScenario>(p); });
     lib.add("cruise", "cruise-control state machine over vehicle longitudinal dynamics",
+            cruiseSchema(),
             [](const ScenarioParams& p) { return std::make_unique<CruiseScenario>(p); });
     lib.add("pendulum", "inverted-pendulum swing-up and catch with mode-switching control",
+            pendulumSchema(),
             [](const ScenarioParams& p) { return std::make_unique<PendulumScenario>(p); });
     lib.add("faulty", "deliberately throwing scenario (fault-isolation and watchdog tests)",
+            faultySchema(),
             [](const ScenarioParams& p) { return std::make_unique<FaultyScenario>(p); });
 }
 

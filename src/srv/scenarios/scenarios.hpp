@@ -26,18 +26,20 @@
 #include <span>
 #include <string>
 
-#include "flow/flow.hpp"
-#include "rt/rt.hpp"
-#include "sim/sim.hpp"
 #include "srv/scenario.hpp"
+#include "urtx.hpp"
 
 namespace urtx::srv::scenarios {
 
-/// Register "tank", "cruise", "pendulum" and "faulty" into \p lib.
+/// Register "tank", "cruise", "pendulum" and "faulty" into \p lib. Each
+/// factory is registered with a closed ParamSchema covering its full
+/// parameter surface, so a misspelt key is an UnknownParamError at build
+/// time instead of a silently ignored override.
 void registerBuiltins(ScenarioLibrary& lib = ScenarioLibrary::global());
 
 /// Forward every numeric override in \p p that names an existing parameter
-/// of \p s (unknown keys are ignored — they may belong to a sibling).
+/// of \p s (keys belonging to a sibling streamer are skipped here; keys
+/// belonging to *nobody* were already rejected by the factory's schema).
 void applyParams(flow::Streamer& s, const ScenarioParams& p);
 
 // --- two-tank level control (examples/tank_system.cpp) ----------------------
@@ -191,14 +193,18 @@ class TankScenario final : public Scenario {
 public:
     explicit TankScenario(const ScenarioParams& p);
 
-    sim::HybridSystem& system() override { return sys_; }
+    sim::HybridSystem& system() override { return *sys_; }
     bool verdict(std::string& detail) const override;
+    bool reset() override {
+        sys_->reset();
+        return true;
+    }
 
     TwoTank& tank() { return *tank_; }
     TankSupervisor& supervisor() { return *sup_; }
 
 private:
-    sim::HybridSystem sys_;
+    std::unique_ptr<sim::HybridSystem> sys_;
     flow::Streamer group_{"process"};
     std::unique_ptr<TwoTank> tank_;
     std::unique_ptr<TankSupervisor> sup_;
@@ -378,15 +384,19 @@ class CruiseScenario final : public Scenario {
 public:
     explicit CruiseScenario(const ScenarioParams& p);
 
-    sim::HybridSystem& system() override { return sys_; }
+    sim::HybridSystem& system() override { return *sys_; }
     bool verdict(std::string& detail) const override;
+    bool reset() override {
+        sys_->reset();
+        return true;
+    }
 
     Vehicle& car() { return *car_; }
     SpeedController& pi() { return *pi_; }
     CruiseCapsule& cruise() { return *cruise_; }
 
 private:
-    sim::HybridSystem sys_;
+    std::unique_ptr<sim::HybridSystem> sys_;
     flow::Streamer group_{"drivetrain"};
     std::unique_ptr<Vehicle> car_;
     std::unique_ptr<SpeedController> pi_;
@@ -441,6 +451,9 @@ public:
     rt::Port fromPlant;
     rt::Port toController;
     int switches = 0;
+
+protected:
+    void onReset() override { switches = 0; }
 };
 
 /// Extra parameters: integrator (default "RK45"), dt (default 0.002) plus
@@ -451,8 +464,12 @@ class PendulumScenario final : public Scenario {
 public:
     explicit PendulumScenario(const ScenarioParams& p);
 
-    sim::HybridSystem& system() override { return sys_; }
+    sim::HybridSystem& system() override { return *sys_; }
     bool verdict(std::string& detail) const override;
+    bool reset() override {
+        sys_->reset();
+        return true;
+    }
 
     Pendulum& pendulum() { return *pend_; }
     PendulumController& controller() { return *ctl_; }
@@ -460,7 +477,7 @@ public:
     flow::SolverRunner& runner() { return *runner_; }
 
 private:
-    sim::HybridSystem sys_;
+    std::unique_ptr<sim::HybridSystem> sys_;
     flow::Streamer group_{"pendulumGroup"};
     std::unique_ptr<Pendulum> pend_;
     std::unique_ptr<PendulumController> ctl_;
@@ -479,11 +496,11 @@ public:
     explicit FaultyScenario(const ScenarioParams& p);
     ~FaultyScenario() override;
 
-    sim::HybridSystem& system() override { return sys_; }
+    sim::HybridSystem& system() override { return *sys_; }
 
 private:
     class ThrowingStreamer;
-    sim::HybridSystem sys_;
+    std::unique_ptr<sim::HybridSystem> sys_;
     flow::Streamer group_{"faultyGroup"};
     std::unique_ptr<ThrowingStreamer> leaf_;
 };

@@ -18,15 +18,16 @@ TankScenario::TankScenario(const ScenarioParams& p) {
     sup_ = std::make_unique<TankSupervisor>("supervisor", verbose);
     fault_ = std::make_unique<FaultInjector>("fault", p.num("faultAt", 30.0), verbose);
     applyParams(*tank_, p);
-    rt::connect(sup_->plant, tank_->ctl.rtPort());
-    rt::connect(fault_->plant, tank_->faultIn.rtPort());
-    sys_.addCapsule(*sup_);
-    sys_.addCapsule(*fault_);
-    sys_.addStreamerGroup(group_, solver::makeIntegrator(p.str("integrator", "RK45")),
-                          p.num("dt", 0.05));
-    sys_.trace().channel("h1", [this] { return tank_->h1.get(); });
-    sys_.trace().channel("h2", [this] { return tank_->h2.get(); });
-    sys_.trace().channel("pump", [this] { return tank_->param("qin"); });
+    sys_ = urtx::system()
+               .capsule(*sup_)
+               .capsule(*fault_)
+               .streamer(group_, p.str("integrator", "RK45"), p.num("dt", 0.05))
+               .flow(sup_->plant, tank_->ctl)
+               .flow(fault_->plant, tank_->faultIn)
+               .trace("h1", [this] { return tank_->h1.get(); })
+               .trace("h2", [this] { return tank_->h2.get(); })
+               .trace("pump", [this] { return tank_->param("qin"); })
+               .build();
 }
 
 bool TankScenario::verdict(std::string& detail) const {

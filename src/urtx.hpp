@@ -1,0 +1,151 @@
+#pragma once
+/// \file urtx.hpp
+/// The library's single public entry point: one include for every layer
+/// (UML-RT runtime, streamer/dataflow extension, solvers, hybrid engine,
+/// observability) plus the stable `urtx::` facade — a fluent
+/// SystemBuilder that assembles a HybridSystem without touching the
+/// layer-by-layer wiring calls.
+///
+///     #include "urtx.hpp"
+///
+///     Plant plant("plant", nullptr);
+///     Supervisor sup("sup");
+///     auto sys = urtx::system()
+///                    .capsule(sup)
+///                    .streamer(plant, "RK45", 0.01)
+///                    .flow(sup.port, plant.ctl)          // port <-> SPort
+///                    .trace("y", [&] { return plant.y.get(); })
+///                    .build();
+///     sys->run(10.0);
+///
+/// Migration from the layer APIs (all of which keep working — the facade
+/// is sugar over them, never a replacement; see docs/ARCHITECTURE.md for
+/// the full table):
+///
+///     sim::HybridSystem sys;             -> urtx::system()            [+ .build()]
+///     sys.addController("io")            -> .controller("io")
+///     sys.addCapsule(c, ctl)             -> .capsule(c)   (after .controller())
+///     sys.addStreamerGroup(s,
+///         solver::makeIntegrator(m), dt) -> .streamer(s, m, dt)
+///     rt::connect(a, b)                  -> .flow(a, b)
+///     rt::connect(a, sp.rtPort())        -> .flow(a, sp)
+///     flow::flow(src, dst)               -> .flow(src, dst)
+///     sys.trace().channel(n, p)          -> .trace(n, p)
+///     sys.setRealtimeFactor(f)           -> .realtime(f)
+///     sys.setMacroStepLimit(k)           -> .macroSteps(k)
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "flow/flow.hpp"
+#include "obs/metrics.hpp"
+#include "rt/rt.hpp"
+#include "sim/sim.hpp"
+#include "solver/integrator.hpp"
+
+namespace urtx {
+
+/// Fluent assembly of a HybridSystem. Every method returns *this so a
+/// whole system reads as one expression; build() releases the finished
+/// system (the builder is then empty). The builder owns nothing but the
+/// system under construction: capsules and streamers stay caller-owned,
+/// exactly as with the layer APIs.
+class SystemBuilder {
+public:
+    explicit SystemBuilder(double t0 = 0.0)
+        : sys_(std::make_unique<sim::HybridSystem>(t0)) {}
+
+    SystemBuilder(SystemBuilder&&) = default;
+    SystemBuilder& operator=(SystemBuilder&&) = default;
+
+    /// Make \p name the current controller (created on first mention);
+    /// capsules added afterwards attach to it. Without any controller()
+    /// call, capsules attach to the system's default main controller.
+    SystemBuilder& controller(const std::string& name) {
+        current_ = nullptr;
+        for (const auto& c : sys_->controllers()) {
+            if (c->name() == name) {
+                current_ = c.get();
+                break;
+            }
+        }
+        if (!current_) current_ = &sys_->addController(name);
+        return *this;
+    }
+
+    /// Attach a capsule tree to the current controller.
+    SystemBuilder& capsule(rt::Capsule& root) {
+        sys_->addCapsule(root, current_);
+        return *this;
+    }
+
+    /// Register a streamer tree as one solver group (its own pool thread
+    /// in MultiThread mode) integrated by \p method at major step \p dt.
+    SystemBuilder& streamer(urtx::flow::Streamer& root, const std::string& method = "RK45",
+                            double majorDt = 0.01) {
+        lastRunner_ = &sys_->addStreamerGroup(root, solver::makeIntegrator(method), majorDt);
+        return *this;
+    }
+
+    /// Connect two UML-RT ports (capsule <-> capsule).
+    SystemBuilder& flow(rt::Port& a, rt::Port& b) {
+        rt::connect(a, b);
+        return *this;
+    }
+    /// Connect a capsule port to a streamer's signal port (either order).
+    SystemBuilder& flow(rt::Port& a, urtx::flow::SPort& b) {
+        rt::connect(a, b.rtPort());
+        return *this;
+    }
+    SystemBuilder& flow(urtx::flow::SPort& a, rt::Port& b) {
+        rt::connect(a.rtPort(), b);
+        return *this;
+    }
+    /// The paper's flow connector between data ports.
+    SystemBuilder& flow(urtx::flow::DPort& src, urtx::flow::DPort& dst) {
+        urtx::flow::flow(src, dst);
+        return *this;
+    }
+
+    /// Register a trace probe sampled once per grid step.
+    SystemBuilder& trace(std::string name, std::function<double()> probe) {
+        sys_->trace().channel(std::move(name), std::move(probe));
+        return *this;
+    }
+
+    /// Soft real-time pacing factor (see HybridSystem::setRealtimeFactor).
+    SystemBuilder& realtime(double factor) {
+        sys_->setRealtimeFactor(factor);
+        return *this;
+    }
+
+    /// Macro-step coalescing limit (see HybridSystem::setMacroStepLimit).
+    SystemBuilder& macroSteps(std::uint64_t k) {
+        sys_->setMacroStepLimit(k);
+        return *this;
+    }
+
+    /// The runner created by the most recent streamer() — for probing,
+    /// tolerance tweaks or strategy swaps before build().
+    urtx::flow::SolverRunner& lastRunner() { return *lastRunner_; }
+
+    /// The system under construction (e.g. for calls the facade does not
+    /// wrap). Valid until build().
+    sim::HybridSystem& peek() { return *sys_; }
+
+    /// Release the assembled system. The builder is empty afterwards.
+    std::unique_ptr<sim::HybridSystem> build() { return std::move(sys_); }
+
+private:
+    std::unique_ptr<sim::HybridSystem> sys_;
+    rt::Controller* current_ = nullptr;
+    urtx::flow::SolverRunner* lastRunner_ = nullptr;
+};
+
+/// Entry point of the facade: urtx::system().capsule(...).streamer(...)
+inline SystemBuilder system(double t0 = 0.0) { return SystemBuilder(t0); }
+
+} // namespace urtx

@@ -1,0 +1,385 @@
+/// \file srv_daemon_test.cpp
+/// ServeDaemon lifecycle tests driven through socketpair(2): the test holds
+/// the client end, the daemon adopts the server end, and the wire protocol
+/// (newline-delimited JSON in both directions) is exercised without any
+/// filesystem socket or child process.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "srv/daemon/daemon.hpp"
+#include "srv/json.hpp"
+#include "srv/scenario.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace srv = urtx::srv;
+namespace json = urtx::srv::json;
+
+namespace {
+
+void registerOnce() {
+    static const bool done =
+        (srv::scenarios::registerBuiltins(srv::ScenarioLibrary::global()), true);
+    (void)done;
+}
+
+/// Client end of a socketpair whose other end a daemon adopted. Reads are
+/// line-buffered with a receive timeout so a broken daemon fails the test
+/// instead of hanging it.
+class Client {
+public:
+    explicit Client(srv::ServeDaemon& daemon, int timeoutSeconds = 30) {
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+            ADD_FAILURE() << "socketpair failed";
+            return;
+        }
+        fd_ = sv[0];
+        timeval tv{timeoutSeconds, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        daemon.adoptConnection(sv[1]);
+    }
+    ~Client() { close(); }
+
+    void close() {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+
+    /// Half-close: no more requests, but results keep streaming.
+    void shutdownWrites() const {
+        if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+    }
+
+    bool sendLine(const std::string& line) const {
+        std::string buf = line + "\n";
+        std::size_t off = 0;
+        while (off < buf.size()) {
+            const ssize_t n =
+                ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+            if (n <= 0) return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /// Next record line, or nullopt on EOF / timeout.
+    std::optional<std::string> readLine() {
+        for (;;) {
+            const auto nl = pending_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = pending_.substr(0, nl);
+                pending_.erase(0, nl + 1);
+                return line;
+            }
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) return std::nullopt;
+            pending_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    json::Value readRecord() {
+        const auto line = readLine();
+        if (!line) {
+            ADD_FAILURE() << "no record (EOF or timeout)";
+            return {};
+        }
+        std::string err;
+        auto v = json::parse(*line, &err);
+        if (!v) {
+            ADD_FAILURE() << "unparseable record: " << err << " in " << *line;
+            return {};
+        }
+        return *v;
+    }
+
+    int fd() const { return fd_; }
+
+private:
+    int fd_ = -1;
+    std::string pending_;
+};
+
+srv::DaemonConfig testConfig() {
+    srv::DaemonConfig cfg;
+    cfg.engine.workers = 2;
+    cfg.engine.scopedMetrics = false;
+    cfg.engine.postmortems = false;
+    cfg.warmCacheCapacity = 4;
+    cfg.resultCacheCapacity = 32;
+    cfg.maxInFlightPerConnection = 8;
+    return cfg;
+}
+
+std::string tankJob(const std::string& name, double horizon = 2.0) {
+    return "{\"scenario\": \"tank\", \"name\": \"" + name +
+           "\", \"horizon\": " + std::to_string(horizon) + ", \"mode\": \"single\"}";
+}
+
+} // namespace
+
+TEST(SrvDaemonTest, ConnectSubmitStreamDisconnect) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    {
+        Client c(daemon);
+        constexpr int kJobs = 4;
+        for (int i = 0; i < kJobs; ++i) {
+            ASSERT_TRUE(c.sendLine(tankJob("job" + std::to_string(i))));
+        }
+        std::set<std::string> names;
+        for (int i = 0; i < kJobs; ++i) {
+            const json::Value rec = c.readRecord();
+            EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+            EXPECT_TRUE(rec.boolOr("passed", false));
+            names.insert(rec.strOr("name", ""));
+        }
+        // Out-of-order delivery is allowed; every name exactly once is not.
+        EXPECT_EQ(names.size(), kJobs);
+        for (int i = 0; i < kJobs; ++i) {
+            EXPECT_TRUE(names.count("job" + std::to_string(i)));
+        }
+    }
+    daemon.stop();
+    EXPECT_EQ(daemon.connectionsServed(), 1u);
+    EXPECT_EQ(daemon.activeConnections(), 0u);
+}
+
+TEST(SrvDaemonTest, HalfCloseStillStreamsAllResults) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+    constexpr int kJobs = 3;
+    for (int i = 0; i < kJobs; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("hc" + std::to_string(i))));
+    }
+    c.shutdownWrites(); // urtx_client's submit-then-tail pattern
+    int got = 0;
+    while (auto line = c.readLine()) {
+        std::string err;
+        auto rec = json::parse(*line, &err);
+        ASSERT_TRUE(rec) << err;
+        EXPECT_EQ(rec->strOr("status", ""), "succeeded");
+        ++got;
+    }
+    EXPECT_EQ(got, kJobs);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, ResultCacheHitIsBitIdentical) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine(tankJob("cold")));
+    const json::Value cold = c.readRecord();
+    ASSERT_EQ(cold.strOr("status", ""), "succeeded");
+    EXPECT_FALSE(cold.boolOr("cached_result", false));
+    const std::string coldHash = cold.strOr("trace_hash", "");
+    ASSERT_FALSE(coldHash.empty());
+
+    // Same job bytes again: replayed from the result cache, same hash,
+    // requested name stamped onto the stored record.
+    ASSERT_TRUE(c.sendLine(tankJob("replay")));
+    const json::Value hit = c.readRecord();
+    EXPECT_EQ(hit.strOr("status", ""), "succeeded");
+    EXPECT_TRUE(hit.boolOr("cached_result", false));
+    EXPECT_EQ(hit.strOr("name", ""), "replay");
+    EXPECT_EQ(hit.strOr("trace_hash", ""), coldHash);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, WarmReuseIsBitIdentical) {
+    registerOnce();
+    // Result cache off: the second run must actually execute, on the warm
+    // instance parked by the first, and still hash identically.
+    srv::DaemonConfig cfg = testConfig();
+    cfg.resultCacheCapacity = 0;
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine(tankJob("cold")));
+    const json::Value cold = c.readRecord();
+    ASSERT_EQ(cold.strOr("status", ""), "succeeded");
+    EXPECT_FALSE(cold.boolOr("warm_reuse", false));
+    const std::string coldHash = cold.strOr("trace_hash", "");
+    ASSERT_FALSE(coldHash.empty());
+
+    ASSERT_TRUE(c.sendLine(tankJob("warm")));
+    const json::Value warm = c.readRecord();
+    EXPECT_EQ(warm.strOr("status", ""), "succeeded");
+    EXPECT_FALSE(warm.boolOr("cached_result", false));
+    EXPECT_TRUE(warm.boolOr("warm_reuse", false));
+    EXPECT_EQ(warm.strOr("trace_hash", ""), coldHash);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, MidStreamClientDeathDoesNotKillDaemon) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    {
+        Client dying(daemon);
+        for (int i = 0; i < 6; ++i) {
+            ASSERT_TRUE(dying.sendLine(tankJob("doomed" + std::to_string(i))));
+        }
+        dying.close(); // results now hit a dead socket mid-stream
+    }
+    // The daemon must survive and keep serving new connections.
+    Client c(daemon);
+    ASSERT_TRUE(c.sendLine(tankJob("survivor")));
+    const json::Value rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+    EXPECT_EQ(rec.strOr("name", ""), "survivor");
+    daemon.stop();
+    EXPECT_EQ(daemon.connectionsServed(), 2u);
+}
+
+TEST(SrvDaemonTest, MalformedLinesYieldErrorRecords) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine("this is not json"));
+    json::Value rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("status", ""), "error");
+    EXPECT_NE(rec.strOr("error", ""), "");
+
+    ASSERT_TRUE(c.sendLine("[1, 2, 3]")); // valid JSON, not a job object
+    rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("status", ""), "error");
+
+    ASSERT_TRUE(c.sendLine("{\"scenario\": \"tank\", \"bogus_key\": 1}"));
+    rec = c.readRecord(); // unknown keys are structured errors, not ignored
+    EXPECT_EQ(rec.strOr("status", ""), "error");
+    EXPECT_NE(rec.strOr("error", "").find("bogus_key"), std::string::npos);
+
+    // The connection survives all three and still runs real jobs.
+    ASSERT_TRUE(c.sendLine(tankJob("after-errors")));
+    rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, RepeatJobsExpandIntoDistinctRecords) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+    ASSERT_TRUE(c.sendLine(
+        "{\"scenario\": \"tank\", \"name\": \"rep\", \"horizon\": 2, "
+        "\"mode\": \"single\", \"repeat\": 3}"));
+    std::set<std::string> names;
+    for (int i = 0; i < 3; ++i) {
+        const json::Value rec = c.readRecord();
+        EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+        names.insert(rec.strOr("name", ""));
+    }
+    EXPECT_EQ(names.size(), 3u);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, DrainUnderLoadLosesAndDuplicatesNothing) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.resultCacheCapacity = 0; // every job must really run
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    constexpr int kAdmitted = 6;
+    for (int i = 0; i < kAdmitted; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("pre" + std::to_string(i), 4.0)));
+    }
+    daemon.beginDrain();
+    EXPECT_TRUE(daemon.draining());
+
+    constexpr int kRejected = 3;
+    for (int i = 0; i < kRejected; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("late" + std::to_string(i))));
+    }
+    c.shutdownWrites();
+
+    std::set<std::string> succeeded;
+    std::set<std::string> rejected;
+    while (auto line = c.readLine()) {
+        std::string err;
+        auto rec = json::parse(*line, &err);
+        ASSERT_TRUE(rec) << err;
+        const std::string status = rec->strOr("status", "");
+        const std::string name = rec->strOr("name", "");
+        if (status == "succeeded") {
+            EXPECT_TRUE(succeeded.insert(name).second)
+                << "double-reported job " << name;
+        } else {
+            ASSERT_EQ(status, "rejected") << *line;
+            EXPECT_EQ(rec->strOr("verdict", ""), "draining");
+            EXPECT_TRUE(rejected.insert(name).second)
+                << "double-reported rejection " << name;
+        }
+    }
+    // Every record accounted for exactly once across the drain edge. The
+    // admitted prefix may straddle the beginDrain() call, so jobs the reader
+    // had not yet dispatched when drain hit are allowed to come back
+    // rejected — but nothing may vanish or appear twice.
+    EXPECT_EQ(succeeded.size() + rejected.size(),
+              static_cast<std::size_t>(kAdmitted + kRejected));
+    for (int i = 0; i < kRejected; ++i) {
+        EXPECT_TRUE(rejected.count("late" + std::to_string(i)))
+            << "post-drain job late" << i << " was not rejected";
+    }
+    daemon.stop();
+    EXPECT_GE(daemon.lastDrainSeconds(), 0.0);
+}
+
+TEST(SrvDaemonTest, StopRejectsNewConnections) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    daemon.stop();
+    int sv[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    daemon.adoptConnection(sv[1]); // stopped daemon must close, not adopt
+    char byte;
+    EXPECT_EQ(::recv(sv[0], &byte, 1, 0), 0); // immediate EOF
+    ::close(sv[0]);
+    EXPECT_EQ(daemon.activeConnections(), 0u);
+}
+
+TEST(SrvDaemonTest, BackpressureWindowStillCompletesEverything) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.maxInFlightPerConnection = 2; // force the reader to stall repeatedly
+    cfg.resultCacheCapacity = 0;
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+    constexpr int kJobs = 10;
+    for (int i = 0; i < kJobs; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("bp" + std::to_string(i))));
+    }
+    c.shutdownWrites();
+    std::set<std::string> names;
+    while (auto line = c.readLine()) {
+        std::string err;
+        auto rec = json::parse(*line, &err);
+        ASSERT_TRUE(rec) << err;
+        EXPECT_EQ(rec->strOr("status", ""), "succeeded");
+        names.insert(rec->strOr("name", ""));
+    }
+    EXPECT_EQ(names.size(), kJobs);
+    daemon.stop();
+}

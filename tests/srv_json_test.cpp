@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 namespace json = urtx::srv::json;
@@ -103,4 +104,133 @@ TEST(SrvJson, NumberHelperRoundTrips) {
     // Non-finite values clamp to something JSON can carry.
     EXPECT_TRUE(json::parse(json::number(1.0 / 0.0)).has_value());
     EXPECT_TRUE(json::parse(json::number(-1.0 / 0.0)).has_value());
+}
+
+TEST(SrvJson, SurrogatePairDecodesToAstralUtf8) {
+    const auto doc = json::parse("\"\\uD83D\\uDE00\""); // U+1F600
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->string, "\xF0\x9F\x98\x80");
+}
+
+TEST(SrvJson, LoneSurrogatesAreStructuredErrors) {
+    std::string err;
+    EXPECT_FALSE(json::parse(R"("\uD83D")", &err).has_value()); // high alone
+    EXPECT_NE(err.find("surrogate"), std::string::npos);
+    EXPECT_FALSE(json::parse(R"("\uDE00")").has_value());      // low alone
+    EXPECT_FALSE(json::parse(R"("\uD83Dxx")").has_value());    // high + junk
+    EXPECT_FALSE(json::parse(R"("\uD83DA")").has_value()); // high + BMP
+}
+
+TEST(SrvJson, RejectsTrailingGarbage) {
+    std::string err;
+    EXPECT_FALSE(json::parse("{\"a\": 1} extra", &err).has_value());
+    EXPECT_NE(err.find("trailing"), std::string::npos);
+    EXPECT_FALSE(json::parse("[1, 2]]").has_value());
+    EXPECT_FALSE(json::parse("null null").has_value());
+    EXPECT_FALSE(json::parse("42garbage").has_value());
+    // Trailing whitespace is not garbage.
+    EXPECT_TRUE(json::parse("{\"a\": 1}  \n\t ").has_value());
+}
+
+TEST(SrvJson, StringifyEmitsParseableDocuments) {
+    json::Value obj;
+    obj.kind = json::Value::Kind::Object;
+    obj.object.emplace_back("name", json::makeString("tank\n\"x\""));
+    obj.object.emplace_back("horizon", json::makeNumber(12.5));
+    obj.object.emplace_back("strict", json::makeBool(true));
+    json::Value arr;
+    arr.kind = json::Value::Kind::Array;
+    arr.array.push_back(json::makeNumber(1));
+    arr.array.push_back(json::Value{}); // null
+    obj.object.emplace_back("xs", std::move(arr));
+
+    const std::string text = json::stringify(obj);
+    const auto back = json::parse(text);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->strOr("name", ""), "tank\n\"x\"");
+    EXPECT_DOUBLE_EQ(back->numOr("horizon", 0), 12.5);
+    EXPECT_TRUE(back->boolOr("strict", false));
+    ASSERT_EQ(back->find("xs")->array.size(), 2u);
+    EXPECT_TRUE(back->find("xs")->array[1].isNull());
+}
+
+/// Fuzz-style round-trip: pseudo-random documents (deterministic LCG)
+/// must survive stringify -> parse -> stringify bit-identically.
+namespace {
+
+std::uint32_t lcg(std::uint32_t& s) { return s = s * 1664525u + 1013904223u; }
+
+json::Value randomValue(std::uint32_t& s, int depth) {
+    json::Value v;
+    switch (lcg(s) % (depth > 3 ? 4u : 6u)) {
+        case 0: break; // null
+        case 1:
+            v = json::makeBool(lcg(s) & 1);
+            break;
+        case 2:
+            v = json::makeNumber(static_cast<double>(static_cast<std::int32_t>(lcg(s))) /
+                                 (1.0 + (lcg(s) % 1000)));
+            break;
+        case 3: {
+            std::string str;
+            const std::uint32_t n = lcg(s) % 12;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                // Bytes across the printable/control/quote/backslash space,
+                // plus multi-byte UTF-8 and astral characters via escapes.
+                switch (lcg(s) % 5) {
+                    case 0: str.push_back(static_cast<char>('a' + (lcg(s) % 26))); break;
+                    case 1: str.push_back(static_cast<char>(lcg(s) % 0x20)); break;
+                    case 2: str += "\"\\"; break;
+                    case 3: str += "\xc3\xa9"; break;          // é
+                    case 4: str += "\xF0\x9F\x98\x80"; break;  // 😀
+                }
+            }
+            v = json::makeString(std::move(str));
+            break;
+        }
+        case 4: {
+            v.kind = json::Value::Kind::Array;
+            const std::uint32_t n = lcg(s) % 4;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                v.array.push_back(randomValue(s, depth + 1));
+            }
+            break;
+        }
+        case 5: {
+            v.kind = json::Value::Kind::Object;
+            const std::uint32_t n = lcg(s) % 4;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                v.object.emplace_back("k" + std::to_string(i), randomValue(s, depth + 1));
+            }
+            break;
+        }
+    }
+    return v;
+}
+
+} // namespace
+
+TEST(SrvJson, FuzzRoundTripIsStable) {
+    std::uint32_t seed = 0xC0FFEE;
+    for (int i = 0; i < 500; ++i) {
+        const json::Value v = randomValue(seed, 0);
+        const std::string once = json::stringify(v);
+        std::string err;
+        const auto back = json::parse(once, &err);
+        ASSERT_TRUE(back.has_value()) << "iteration " << i << ": " << err << "\n" << once;
+        EXPECT_EQ(json::stringify(*back), once) << "iteration " << i;
+    }
+}
+
+TEST(SrvJson, EscapedSurrogatePairRoundTrips) {
+    // An astral char written as escapes must parse to the same string as
+    // the raw UTF-8, and re-stringify to a parseable document.
+    const auto a = json::parse("\"\\uD83D\\uDE00!\"");
+    const auto b = json::parse("\"\xF0\x9F\x98\x80!\"");
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->string, b->string);
+    const auto again = json::parse(json::stringify(*a));
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->string, a->string);
 }

@@ -59,15 +59,55 @@ TEST(SrvScenarios, TankRunsAndTraces) {
     EXPECT_FALSE(detail.empty());
 }
 
-TEST(SrvScenarios, ParamsForwardOnlyKnownKeys) {
+TEST(SrvScenarios, KnownParamsForward) {
     srv::ScenarioParams p;
     p.set("v0", 12.0);
-    p.set("no_such_param", 99.0);
     const auto sc = lib().build("cruise", p);
     auto* cruise = dynamic_cast<scen::CruiseScenario*>(sc.get());
     ASSERT_NE(cruise, nullptr);
     EXPECT_DOUBLE_EQ(cruise->car().param("v0"), 12.0);
-    EXPECT_FALSE(cruise->car().hasParam("no_such_param"));
+}
+
+TEST(SrvScenarios, UnknownParamIsStructuredError) {
+    srv::ScenarioParams p;
+    p.set("v0", 12.0);
+    p.set("no_such_param", 99.0);
+    try {
+        lib().build("cruise", p);
+        FAIL() << "expected UnknownParamError";
+    } catch (const srv::UnknownParamError& e) {
+        EXPECT_EQ(e.scenario(), "cruise");
+        ASSERT_EQ(e.keys().size(), 1u);
+        EXPECT_EQ(e.keys()[0], "no_such_param");
+        EXPECT_NE(std::string(e.what()).find("no_such_param"), std::string::npos);
+    }
+}
+
+TEST(SrvScenarios, UnknownStringParamRejectedToo) {
+    srv::ScenarioParams p;
+    p.set("integraator", std::string("Euler")); // typo'd key
+    EXPECT_THROW(lib().build("pendulum", p), srv::UnknownParamError);
+}
+
+TEST(SrvScenarios, ValidateWithoutBuilding) {
+    srv::ScenarioParams good;
+    good.set("theta0", 0.1);
+    EXPECT_NO_THROW(lib().validate("pendulum", good));
+    srv::ScenarioParams bad;
+    bad.set("thetaO", 0.1);
+    EXPECT_THROW(lib().validate("pendulum", bad), srv::UnknownParamError);
+    EXPECT_THROW(lib().validate("no-such-scenario", good), std::invalid_argument);
+}
+
+TEST(SrvScenarios, AdHocFactoriesStayOpen) {
+    srv::ScenarioLibrary local;
+    local.add("open", "schema-less factory",
+              [](const srv::ScenarioParams& p) -> std::unique_ptr<srv::Scenario> {
+                  return std::make_unique<scen::CruiseScenario>(p);
+              });
+    srv::ScenarioParams p;
+    p.set("anything_goes", 1.0);
+    EXPECT_NO_THROW(local.validate("open", p));
 }
 
 TEST(SrvScenarios, PendulumIntegratorParam) {

@@ -1,0 +1,163 @@
+/// \file urtx_facade_test.cpp
+/// The urtx:: facade is sugar over the layer APIs, never a divergence:
+/// a SystemBuilder-assembled system must be bit-identical to the same
+/// system wired by hand, and reset() must restore bit-identical reruns.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+
+#include "srv/scenario.hpp"
+#include "urtx.hpp"
+
+namespace f = urtx::flow;
+namespace rt = urtx::rt;
+namespace sim = urtx::sim;
+namespace srv = urtx::srv;
+
+namespace {
+
+rt::Protocol& pingProtocol() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"FacadePing"};
+        q.out("crossed");
+        return q;
+    }();
+    return p;
+}
+
+/// dx/dt = -k x with a zero-crossing event at x = half of x0.
+class Decay final : public f::Streamer {
+public:
+    Decay(std::string name, f::Streamer* parent)
+        : f::Streamer(std::move(name), parent),
+          out(*this, "out", f::DPortDir::Out, f::FlowType::real()),
+          ctl(*this, "ctl", pingProtocol(), /*conjugated=*/false) {
+        setParam("k", 0.7);
+        setParam("x0", 2.0);
+    }
+
+    f::DPort out;
+    f::SPort ctl;
+
+    std::size_t stateSize() const override { return 1; }
+    void initState(double, std::span<double> x) override { x[0] = param("x0"); }
+    void derivatives(double, std::span<const double> x, std::span<double> dx) override {
+        dx[0] = -param("k") * x[0];
+    }
+    void outputs(double, std::span<const double> x) override { out.set(x[0]); }
+    bool directFeedthrough() const override { return false; }
+    bool hasEvent() const override { return true; }
+    double eventFunction(double, std::span<const double> x) const override {
+        return x[0] - 0.5 * param("x0");
+    }
+    void onEvent(double t, bool rising) override {
+        if (!rising) ctl.send("crossed", t);
+    }
+};
+
+class Watcher final : public rt::Capsule {
+public:
+    explicit Watcher(std::string name)
+        : rt::Capsule(std::move(name)), port(*this, "port", pingProtocol(), true) {}
+    rt::Port port;
+    int crossings = 0;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        if (m.signal == rt::signal("crossed")) ++crossings;
+    }
+};
+
+std::uint64_t runAndHash(sim::HybridSystem& sys, Decay& plant) {
+    (void)plant;
+    sys.run(4.0, sim::ExecutionMode::SingleThread);
+    return srv::TraceData::from(sys.trace()).hash();
+}
+
+} // namespace
+
+TEST(UrtxFacadeTest, BuilderMatchesLayerApiBitForBit) {
+    std::uint64_t layerHash = 0;
+    int layerCrossings = 0;
+    {
+        f::Streamer group{"group"};
+        Decay plant("plant", &group);
+        Watcher watcher("watcher");
+
+        sim::HybridSystem sys;
+        sys.addCapsule(watcher);
+        sys.addStreamerGroup(group, urtx::solver::makeIntegrator("RK4"), 0.01);
+        rt::connect(watcher.port, plant.ctl.rtPort());
+        sys.trace().channel("x", [&] { return plant.out.get(); });
+        layerHash = runAndHash(sys, plant);
+        layerCrossings = watcher.crossings;
+    }
+
+    f::Streamer group{"group"};
+    Decay plant("plant", &group);
+    Watcher watcher("watcher");
+
+    urtx::SystemBuilder b;
+    b.capsule(watcher)
+        .streamer(group, "RK4", 0.01)
+        .flow(watcher.port, plant.ctl)
+        .trace("x", [&] { return plant.out.get(); });
+    auto sys = b.build();
+
+    EXPECT_EQ(runAndHash(*sys, plant), layerHash);
+    EXPECT_EQ(watcher.crossings, layerCrossings);
+    EXPECT_GT(watcher.crossings, 0);
+}
+
+TEST(UrtxFacadeTest, NamedControllerIsCreatedOnceAndReused) {
+    Watcher a("a");
+    Watcher b("b");
+    urtx::SystemBuilder builder;
+    builder.controller("io").capsule(a).controller("io").capsule(b);
+    sim::HybridSystem& sys = builder.peek();
+    // Default main controller plus exactly one "io" despite two mentions.
+    ASSERT_EQ(sys.controllers().size(), 2u);
+    EXPECT_EQ(sys.controllers()[1]->name(), "io");
+}
+
+TEST(UrtxFacadeTest, ResetRestoresBitIdenticalRuns) {
+    f::Streamer group{"group"};
+    Decay plant("plant", &group);
+    Watcher watcher("watcher");
+
+    urtx::SystemBuilder b;
+    b.capsule(watcher)
+        .streamer(group, "RK45", 0.02)
+        .flow(watcher.port, plant.ctl)
+        .trace("x", [&] { return plant.out.get(); });
+    auto sys = b.build();
+
+    const std::uint64_t first = runAndHash(*sys, plant);
+    const int firstCrossings = watcher.crossings;
+
+    sys->reset();
+    EXPECT_EQ(sys->trace().rows(), 0u);
+
+    const std::uint64_t second = runAndHash(*sys, plant);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(watcher.crossings, 2 * firstCrossings);
+}
+
+TEST(UrtxFacadeTest, LastRunnerExposesTheNewestGroup) {
+    f::Streamer g1{"g1"};
+    Decay d1("d1", &g1);
+    f::Streamer g2{"g2"};
+    Decay d2("d2", &g2);
+
+    urtx::SystemBuilder b;
+    b.streamer(g1, "Euler", 0.01);
+    f::SolverRunner* first = &b.lastRunner();
+    b.streamer(g2, "Euler", 0.01);
+    EXPECT_NE(&b.lastRunner(), first);
+    auto sys = b.build();
+    sys->run(0.5, sim::ExecutionMode::SingleThread);
+    EXPECT_GT(d1.out.get(), 0.0);
+    EXPECT_GT(d2.out.get(), 0.0);
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Daemon smoke test: start urtx_served on a throwaway Unix socket, push a
+# batch through urtx_client in strict mode, then SIGTERM the daemon and
+# require a clean drain. Usage:
+#
+#   srvd_smoke.sh <urtx_served> <urtx_client> <batch.json>
+#
+# Exit 0 only when every job verdict passed AND the daemon drained on
+# SIGTERM with exit code 0. Used by ctest (urtx_served_smoke) and the
+# release CI leg.
+set -eu
+
+SERVED=$1
+CLIENT=$2
+BATCH=$3
+
+DIR=$(mktemp -d)
+SOCK="$DIR/srvd.sock"
+trap 'kill "$SERVED_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+"$SERVED" --socket "$SOCK" --workers 2 --quiet &
+SERVED_PID=$!
+
+# Wait for the listener (the daemon unlinks a stale path, then binds).
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "FAIL: $SOCK never appeared" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$CLIENT" --socket "$SOCK" --strict "$BATCH" > "$DIR/records.jsonl"
+RECORDS=$(wc -l < "$DIR/records.jsonl")
+echo "client streamed $RECORDS records, all verdicts passed"
+
+# Second pass must be served from the result cache, bit-identically.
+"$CLIENT" --socket "$SOCK" --strict "$BATCH" > "$DIR/records2.jsonl"
+if ! grep -q '"cached_result": true' "$DIR/records2.jsonl"; then
+    echo "FAIL: second pass produced no cached_result records" >&2
+    exit 1
+fi
+echo "second pass replayed from the result cache"
+
+kill -TERM "$SERVED_PID"
+STATUS=0
+wait "$SERVED_PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: urtx_served exited $STATUS on SIGTERM" >&2
+    exit 1
+fi
+echo "daemon drained cleanly on SIGTERM"
