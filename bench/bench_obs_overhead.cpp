@@ -11,6 +11,10 @@
 ///   full     — metrics + tracer on (ring-buffer spans on top).
 ///   causal   — everything on: tracer flow events, deadline monitor and
 ///              flight recorder riding the causal span path.
+///   causal@N% — causal with span sampling at rate N/100: the admission
+///              decision is made once per span at the emitting site, so
+///              unadmitted spans skip the stamp, the flow events and the
+///              hop-latency observes entirely.
 ///
 /// Compiling with -DURTX_OBS_DISABLE=ON removes even the relaxed loads; the
 /// "off" row here is the upper bound on what a default build pays.
@@ -126,6 +130,7 @@ struct Config {
     bool metrics;
     bool tracer;
     bool causal; ///< monitor + flight recorder (deadline checks on the hop path)
+    double sampling = 1.0; ///< span sampling rate fed to the registry
 };
 
 struct Row {
@@ -166,6 +171,14 @@ int main() {
         {"metrics", true, false, false},
         {"metrics+tracer", true, true, false},
         {"causal (all on)", true, true, true},
+        // Sampled causal tracing: the per-span admission decision, made
+        // once at the emit site, thins the whole causal path — stamp, flow
+        // events, dispatch slice, monitor hop check. Metrics timing is an
+        // orthogonal knob with its own row, so these rows run it disabled
+        // to isolate what always-on causal tracing costs at a production
+        // rate (the acceptance bound is the 1% row's dispatch column).
+        {"causal@10%", false, true, true, 0.1},
+        {"causal@1%", false, true, true, 0.01},
     };
 
     constexpr int kDispatchRounds = 100000;
@@ -182,6 +195,7 @@ int main() {
         obs::Tracer::global().setEnabled(cfg.tracer);
         obs::Monitor::global().setEnabled(cfg.causal);
         obs::FlightRecorder::global().setEnabled(cfg.causal);
+        obs::Registry::global().setSpanSamplingRate(cfg.sampling);
         obs::Registry::global().reset();
         obs::Tracer::global().clear();
 
@@ -201,6 +215,7 @@ int main() {
     obs::Tracer::global().setEnabled(false);
     obs::Monitor::global().setEnabled(false);
     obs::FlightRecorder::global().setEnabled(false);
+    obs::Registry::global().setSpanSamplingRate(1.0);
     writeJson(rows);
     std::puts("\nwrote BENCH_obs.json");
 
@@ -233,6 +248,9 @@ int main() {
     std::puts("their deltas vs the seed hot paths are one relaxed atomic load per");
     std::puts("site, which the vs-off columns bound from above. Enabled overhead is");
     std::puts("the price of per-dispatch clock reads + histogram updates, and the");
-    std::puts("tracer adds two clock reads + a ring write per span.");
+    std::puts("tracer adds two clock reads + a ring write per span. The causal@N%");
+    std::puts("rows show sampled causal tracing: unadmitted spans pay only the");
+    std::puts("sampler's thread-local countdown, so the causal path's cost scales");
+    std::puts("with the admission rate instead of the message rate.");
     return 0;
 }

@@ -77,6 +77,9 @@ std::size_t SPort::drain() {
     }
     const bool causal = obs::causalOn();
     for (const rt::Message& m : batch) {
+        // Span close site: m.spanId == 0 covers both "tracking was off at
+        // emit" and "the sampler skipped this span" — either way the
+        // message crosses the boundary without causal work.
         if (causal && m.spanId) rt::obs_detail::onHandle(m, "sport.drain");
         owner_->onSignal(*this, m);
     }

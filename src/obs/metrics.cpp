@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -113,15 +114,71 @@ auto* findByName(V& vec, std::string_view name) {
     return static_cast<decltype(&vec.front())>(nullptr);
 }
 
-/// "rt.dispatch-latency" -> "urtx_rt_dispatch_latency".
-std::string promName(const std::string& name) {
+/// "rt.dispatch-latency" -> "urtx_rt_dispatch_latency". Every character
+/// outside the exposition format's metric-name alphabet ([a-zA-Z0-9_:])
+/// maps to '_' — that covers the '.' separators in srvd.* / srv.* / rt.*
+/// names and anything odd a user-interned signal drags in; the "urtx_"
+/// prefix keeps the first character legal.
+std::string promName(std::string_view name) {
     std::string out = "urtx_";
     for (char c : name) {
         const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                        (c >= '0' && c <= '9') || c == '_';
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
         out.push_back(ok ? c : '_');
     }
     return out;
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline are the only characters that need it.
+std::string promEscapeLabel(std::string_view v) {
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/// Registry families whose trailing dotted segment is an open-ended
+/// identity (a signal name, a priority), exported as a proper label
+/// instead of being mangled into the metric name — signal names are
+/// user-interned strings and may contain anything, which only a quoted
+/// (escaped) label value can carry faithfully.
+struct LabeledFamily {
+    std::string_view prefix; ///< registry-name prefix incl. trailing '.'
+    std::string_view label;
+};
+constexpr LabeledFamily kLabeledFamilies[] = {
+    {"rt.hop_latency_seconds.", "signal"},
+    {"rt.hop_latency_worst_seconds.", "signal"},
+    {"rt.deadline_miss.", "signal"},
+    {"rt.dispatch_latency_seconds.", "priority"},
+};
+
+/// A registry name resolved to its exposition-format series: sanitized
+/// metric name plus an optional 'key="escaped-value"' label pair.
+struct PromSeries {
+    std::string name;
+    std::string label; ///< empty, or e.g. signal="brake"
+};
+
+PromSeries promSeries(const std::string& raw) {
+    for (const LabeledFamily& fam : kLabeledFamilies) {
+        if (raw.size() > fam.prefix.size() &&
+            raw.compare(0, fam.prefix.size(), fam.prefix) == 0) {
+            return {promName(std::string_view(raw).substr(0, fam.prefix.size() - 1)),
+                    std::string(fam.label) + "=\"" +
+                        promEscapeLabel(std::string_view(raw).substr(fam.prefix.size())) +
+                        "\""};
+        }
+    }
+    return {promName(raw), {}};
 }
 
 void jsonNumber(std::ostringstream& os, double v) {
@@ -131,6 +188,31 @@ void jsonNumber(std::ostringstream& os, double v) {
     } else {
         os << (v > 0 ? "1e308" : "-1e308"); // JSON has no Inf
     }
+}
+
+/// Metric names come from user-interned signal names (rt.deadline_miss.*),
+/// so JSON keys must escape them like any other string literal.
+std::string jsonEscape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -177,30 +259,66 @@ const HistogramSample* Snapshot::histogram(std::string_view name) const {
 }
 
 std::string Snapshot::toPrometheus() const {
-    std::ostringstream os;
-    os.precision(17);
+    // The exposition format requires every series of one metric name to
+    // appear as a single block under one TYPE line, but labeled children
+    // (rt.hop_latency_seconds.<signal>) register interleaved with other
+    // metrics — so group lines per output name first, preserving
+    // first-seen order across names.
+    std::vector<std::pair<std::string, std::string>> groups; // name -> lines
+    std::vector<std::string> types;                          // parallel TYPE
+    const auto groupFor = [&](const std::string& name,
+                              const char* type) -> std::string& {
+        for (std::size_t i = 0; i < groups.size(); ++i) {
+            if (groups[i].first == name) return groups[i].second;
+        }
+        groups.emplace_back(name, std::string());
+        types.push_back("# TYPE " + name + " " + type + "\n");
+        return groups.back().second;
+    };
+    const auto fmt = [](double v) {
+        std::ostringstream os;
+        os.precision(17);
+        os << v;
+        return os.str();
+    };
+
     for (const CounterSample& c : counters) {
-        const std::string n = promName(c.name);
-        os << "# TYPE " << n << " counter\n" << n << " " << c.value << "\n";
+        const PromSeries s = promSeries(c.name);
+        std::string& out = groupFor(s.name, "counter");
+        out += s.name;
+        if (!s.label.empty()) out += "{" + s.label + "}";
+        out += " " + std::to_string(c.value) + "\n";
     }
     for (const GaugeSample& g : gauges) {
-        const std::string n = promName(g.name);
-        os << "# TYPE " << n << " gauge\n" << n << " " << g.value << "\n";
+        const PromSeries s = promSeries(g.name);
+        std::string& out = groupFor(s.name, "gauge");
+        out += s.name;
+        if (!s.label.empty()) out += "{" + s.label + "}";
+        out += " " + fmt(g.value) + "\n";
     }
     for (const HistogramSample& h : histograms) {
-        const std::string n = promName(h.name);
-        os << "# TYPE " << n << " histogram\n";
+        const PromSeries s = promSeries(h.name);
+        std::string& out = groupFor(s.name, "histogram");
+        const std::string comma = s.label.empty() ? "" : s.label + ",";
         std::uint64_t cum = 0;
         for (std::size_t i = 0; i < h.bounds.size(); ++i) {
             cum += h.counts[i];
-            os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << "\n";
+            out += s.name + "_bucket{" + comma + "le=\"" + fmt(h.bounds[i]) + "\"} " +
+                   std::to_string(cum) + "\n";
         }
         cum += h.counts.back();
-        os << n << "_bucket{le=\"+Inf\"} " << cum << "\n";
-        os << n << "_sum " << h.sum << "\n";
-        os << n << "_count " << h.count << "\n";
+        out += s.name + "_bucket{" + comma + "le=\"+Inf\"} " + std::to_string(cum) + "\n";
+        out += s.name + "_sum";
+        if (!s.label.empty()) out += "{" + s.label + "}";
+        out += " " + fmt(h.sum) + "\n";
+        out += s.name + "_count";
+        if (!s.label.empty()) out += "{" + s.label + "}";
+        out += " " + std::to_string(h.count) + "\n";
     }
-    return os.str();
+
+    std::string text;
+    for (std::size_t i = 0; i < groups.size(); ++i) text += types[i] + groups[i].second;
+    return text;
 }
 
 std::string Snapshot::toJson() const {
@@ -208,19 +326,19 @@ std::string Snapshot::toJson() const {
     os << "{\"counters\":{";
     for (std::size_t i = 0; i < counters.size(); ++i) {
         if (i) os << ",";
-        os << "\"" << counters[i].name << "\":" << counters[i].value;
+        os << "\"" << jsonEscape(counters[i].name) << "\":" << counters[i].value;
     }
     os << "},\"gauges\":{";
     for (std::size_t i = 0; i < gauges.size(); ++i) {
         if (i) os << ",";
-        os << "\"" << gauges[i].name << "\":";
+        os << "\"" << jsonEscape(gauges[i].name) << "\":";
         jsonNumber(os, gauges[i].value);
     }
     os << "},\"histograms\":{";
     for (std::size_t i = 0; i < histograms.size(); ++i) {
         const HistogramSample& h = histograms[i];
         if (i) os << ",";
-        os << "\"" << h.name << "\":{\"bounds\":[";
+        os << "\"" << jsonEscape(h.name) << "\":{\"bounds\":[";
         for (std::size_t b = 0; b < h.bounds.size(); ++b) {
             if (b) os << ",";
             jsonNumber(os, h.bounds[b]);
@@ -253,6 +371,26 @@ thread_local Registry* tInstalled = nullptr;
 } // namespace
 
 Registry::Registry() : uid_(nextRegistryUid()) {}
+
+void Registry::setSpanSamplingRate(double rate) {
+    rate = std::max(rate, static_cast<double>(URTX_OBS_SAMPLING_FLOOR));
+    std::uint32_t period;
+    if (!(rate > 0.0)) {
+        period = 0;
+    } else if (rate >= 1.0) {
+        period = 1;
+    } else {
+        const double p = std::round(1.0 / rate);
+        period = p >= 4294967295.0 ? 4294967295u
+                                   : static_cast<std::uint32_t>(std::max(p, 2.0));
+    }
+    samplingPeriod_.store(period, std::memory_order_relaxed);
+}
+
+double Registry::spanSamplingRate() const {
+    const std::uint32_t p = samplingPeriod_.load(std::memory_order_relaxed);
+    return p == 0 ? 0.0 : 1.0 / static_cast<double>(p);
+}
 
 Registry& Registry::process() {
     static Registry r;
@@ -411,6 +549,7 @@ Wellknown buildWellknown(Registry& r) {
     w.simBarrierWait = &r.histogram("sim.barrier_wait_seconds", barrierBounds());
     w.simSolverStalls = &r.counter("sim.solver_grant_stalls");
     w.obsPostmortemDumps = &r.counter("obs.postmortem_dumps");
+    w.obsSpansSampled = &r.counter("obs.spans_sampled");
     return w;
 }
 

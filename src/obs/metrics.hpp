@@ -28,6 +28,14 @@
 #define URTX_OBS 1
 #endif
 
+/// Compile-time floor on the causal span sampling rate. A build can pin
+/// e.g. -DURTX_OBS_SAMPLING_FLOOR=0.01 so no runtime knob (wire verb,
+/// config file) can ever turn production tracing fully off; the default
+/// floor of 0 allows rate 0 (sample nothing).
+#ifndef URTX_OBS_SAMPLING_FLOOR
+#define URTX_OBS_SAMPLING_FLOOR 0.0
+#endif
+
 namespace urtx::obs {
 
 /// Monotonic nanoseconds (steady clock) for latency measurement.
@@ -255,6 +263,22 @@ public:
     /// address was recycled by a new one.
     std::uint64_t uid() const { return uid_; }
 
+    /// Causal span sampling rate (obs.sampling.rate): the fraction of
+    /// causal spans admitted at their origin (Port::send, timer fire,
+    /// SPort-agent emit). Admitted spans pay the full causal cost (span id,
+    /// clock read, flow events, hop/deadline checks, recorder notes);
+    /// unadmitted spans are left unstamped (spanId 0) and every downstream
+    /// consumer skips them. Stored as an integer period N (admit every Nth
+    /// span per thread, deterministically — no wall-clock entropy): 0 =
+    /// admit none, 1 = admit all (the default), else round(1/rate). The
+    /// rate is clamped to at least URTX_OBS_SAMPLING_FLOOR.
+    void setSpanSamplingRate(double rate);
+    double spanSamplingRate() const;
+    /// The raw admit-every-Nth period behind the rate (0 = never).
+    std::uint32_t spanSamplingPeriod() const {
+        return samplingPeriod_.load(std::memory_order_relaxed);
+    }
+
 private:
     struct Entry {
         std::string name;
@@ -268,6 +292,7 @@ private:
     mutable std::mutex mu_;
     std::vector<std::unique_ptr<Entry>> entries_;
     std::uint64_t uid_;
+    std::atomic<std::uint32_t> samplingPeriod_{1}; ///< 0 never, 1 all, N every Nth
     std::atomic<const Wellknown*> wk_{nullptr}; ///< published once, owned below
     std::unique_ptr<const Wellknown> wkOwned_;
 };
@@ -326,11 +351,48 @@ struct Wellknown {
 
     // obs: the health layer observing itself
     Counter* obsPostmortemDumps; ///< flight-recorder dump files written
+    Counter* obsSpansSampled;    ///< causal spans admitted by the sampler
 };
 
 /// The well-known table of the current registry (Registry::global()). A
 /// per-thread cache keyed by registry uid makes the common case one
 /// thread-local read plus one compare.
 const Wellknown& wellknown();
+
+// --- causal span sampling ---------------------------------------------------
+
+#if URTX_OBS
+/// The per-span sampling decision, made exactly once at a causal span's
+/// origin (after the causalOn() gate) and propagated with the span id:
+/// true = stamp the message and pay the full causal path, false = leave it
+/// unstamped so every downstream consumer skips it.
+///
+/// Deterministic counter-based 1-in-N admission against the *current*
+/// registry's period (so a scoped scenario can sample at its own rate):
+/// each thread counts down from a phase staggered by its dense thread
+/// index — no wall-clock or PRNG entropy in the decision, so reruns admit
+/// the same spans. At the default rate 1.0 the countdown is bypassed
+/// entirely. Admissions count into obs.spans_sampled, which lets tests tie
+/// the hop-latency histogram total back to the sampler.
+inline bool sampleSpan() {
+    Registry& r = Registry::global();
+    const std::uint32_t period = r.spanSamplingPeriod();
+    if (period == 0) return false;
+    if (period > 1) {
+        thread_local std::uint32_t left = 0;
+        thread_local std::uint64_t uid = 0;
+        if (uid != r.uid()) {
+            uid = r.uid();
+            left = static_cast<std::uint32_t>(detail::threadIndex() % period) + 1;
+        }
+        if (--left != 0) return false;
+        left = period;
+    }
+    wellknown().obsSpansSampled->inc();
+    return true;
+}
+#else
+constexpr bool sampleSpan() { return false; }
+#endif
 
 } // namespace urtx::obs

@@ -8,26 +8,51 @@
 
 namespace urtx::obs {
 
-/// Fixed-capacity event ring written by exactly one thread. head_ counts
-/// events ever written; slot = head_ % capacity. The writer publishes each
-/// event with a release store of head_.
+namespace {
+/// Default stripe pool size. Generous relative to typical worker counts so
+/// hot threads land on private stripes even before the embedder calls
+/// setStripeCount; each stripe is lazily allocated, so unused entries cost
+/// one pointer.
+constexpr std::size_t kDefaultStripes = 32;
+constexpr std::size_t kMaxStripes = 256;
+} // namespace
+
+/// Fixed-capacity multi-writer event ring. head_ counts claims ever made;
+/// slot = head_ % capacity. A writer claims its write index with a
+/// fetch_add, then claims the *slot* by CASing the slot's seqlock from an
+/// older even (published/empty) value to 2h+1. The claim fails — and the
+/// event is counted lost instead of written — when the slot already shows a
+/// later claim (a concurrent writer lapped us) or an odd value (an earlier
+/// writer is still mid-write; co-writing would tear its event). With one
+/// writer per stripe the CAS always succeeds and the fast path is the same
+/// handful of stores as a single-writer seqlock ring.
 ///
 /// Slot fields are individually atomic (relaxed stores compile to plain
-/// moves on mainstream ISAs) so a reader may copy slots while the writer
-/// runs without a data race. Torn *combinations* (fields from two different
-/// events) are caught by a per-slot seqlock: the writer brackets the field
-/// stores with seq = 2h+1 (in progress) / 2h+2 (event h published), and the
-/// reader keeps a copied slot only when seq read the same completed value
-/// before and after the field copy — see collectInto.
+/// moves on mainstream ISAs) so a reader may copy slots while writers run
+/// without a data race. Torn *combinations* (fields from two different
+/// events) are caught by the seqlock: the writer brackets the field stores
+/// with seq = 2h+1 (in progress) / 2h+2 (event h published), and the reader
+/// keeps a copied slot only when seq read the same completed value before
+/// and after the field copy — see collectInto.
 class Tracer::Ring {
 public:
-    Ring(std::size_t capacity, std::uint32_t tid)
-        : slots_(std::max<std::size_t>(capacity, 1)), tid_(tid) {}
+    explicit Ring(std::size_t capacity) : slots_(std::max<std::size_t>(capacity, 1)) {}
 
     void push(const TraceEvent& ev) {
-        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        const std::uint64_t h = head_.fetch_add(1, std::memory_order_relaxed);
         Slot& slot = slots_[h % slots_.size()];
-        slot.seq.store(2 * h + 1, std::memory_order_relaxed);
+        const std::uint64_t claim = 2 * h + 1;
+        std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+        for (;;) {
+            if (seq >= claim || (seq & 1)) {
+                // Lapped by a later writer, or an earlier writer is still
+                // publishing into this slot. Either way the ring is being
+                // overrun; drop this event rather than tear another.
+                lost_.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            if (slot.seq.compare_exchange_weak(seq, claim, std::memory_order_relaxed)) break;
+        }
         std::atomic_thread_fence(std::memory_order_release);
         slot.ts.store(ev.ts, std::memory_order_relaxed);
         slot.dur.store(ev.dur, std::memory_order_relaxed);
@@ -35,8 +60,8 @@ public:
         slot.name.store(ev.name, std::memory_order_relaxed);
         slot.cat.store(ev.cat, std::memory_order_relaxed);
         slot.phase.store(ev.phase, std::memory_order_relaxed);
-        slot.seq.store(2 * h + 2, std::memory_order_release);
-        head_.store(h + 1, std::memory_order_release);
+        slot.tid.store(ev.tid, std::memory_order_relaxed);
+        slot.seq.store(claim + 1, std::memory_order_release);
     }
 
     std::size_t retained() const {
@@ -46,17 +71,29 @@ public:
 
     std::uint64_t dropped() const {
         const std::uint64_t h = head_.load(std::memory_order_acquire);
-        return h > slots_.size() ? h - slots_.size() : 0;
+        const std::uint64_t wrapped = h > slots_.size() ? h - slots_.size() : 0;
+        return wrapped + lost_.load(std::memory_order_relaxed);
     }
 
-    void clear() { head_.store(0, std::memory_order_release); }
+    /// Reset to empty. Seqs must go back to 0 too: a stale published seq
+    /// would outrank the small claim values of a restarted head and make
+    /// push() drop everything. Callers quiesce writers first (Tracer::clear
+    /// documents this).
+    void clear() {
+        head_.store(0, std::memory_order_release);
+        lost_.store(0, std::memory_order_relaxed);
+        for (Slot& s : slots_) s.seq.store(0, std::memory_order_release);
+    }
 
     /// Oldest-to-newest copy of the retained events, concurrency-safe.
     /// Each slot copy is validated with its seqlock: seq must read the
     /// published value for exactly write index i (2i+2) both before and
-    /// after the field copy, else the writer lapped us mid-copy and the
-    /// slot is discarded (it was about to be lost to wraparound anyway).
-    /// With the writer quiescent every retained slot validates, so the
+    /// after the field copy, else a writer lapped us mid-copy and the slot
+    /// is discarded (it was about to be lost to wraparound anyway). A
+    /// writer caught between claim and publish (seq == 2i+1) is retried a
+    /// bounded number of times — usually it finishes within a few stores —
+    /// so a preempted writer can delay the collector but never wedge it.
+    /// With writers quiescent every retained slot validates, so the
     /// snapshot is exact.
     void collectInto(std::vector<TraceEvent>& out) const {
         const std::uint64_t cap = slots_.size();
@@ -65,18 +102,24 @@ public:
         for (std::uint64_t i = h1 - n; i < h1; ++i) {
             const Slot& s = slots_[i % cap];
             const std::uint64_t want = 2 * i + 2;
-            if (s.seq.load(std::memory_order_acquire) != want) continue;
-            TraceEvent ev;
-            ev.ts = s.ts.load(std::memory_order_relaxed);
-            ev.dur = s.dur.load(std::memory_order_relaxed);
-            ev.id = s.id.load(std::memory_order_relaxed);
-            ev.name = s.name.load(std::memory_order_relaxed);
-            ev.cat = s.cat.load(std::memory_order_relaxed);
-            ev.phase = s.phase.load(std::memory_order_relaxed);
-            ev.tid = tid_;
-            std::atomic_thread_fence(std::memory_order_acquire);
-            if (s.seq.load(std::memory_order_relaxed) != want) continue;
-            out.push_back(ev);
+            for (int attempt = 0; attempt < 64; ++attempt) {
+                const std::uint64_t sq = s.seq.load(std::memory_order_acquire);
+                if (sq != want) {
+                    if (sq + 1 == want) continue; // mid-publish: brief retry
+                    break; // lapped, abandoned claim, or older event: skip
+                }
+                TraceEvent ev;
+                ev.ts = s.ts.load(std::memory_order_relaxed);
+                ev.dur = s.dur.load(std::memory_order_relaxed);
+                ev.id = s.id.load(std::memory_order_relaxed);
+                ev.name = s.name.load(std::memory_order_relaxed);
+                ev.cat = s.cat.load(std::memory_order_relaxed);
+                ev.phase = s.phase.load(std::memory_order_relaxed);
+                ev.tid = s.tid.load(std::memory_order_relaxed);
+                std::atomic_thread_fence(std::memory_order_acquire);
+                if (s.seq.load(std::memory_order_relaxed) == want) out.push_back(ev);
+                break;
+            }
         }
     }
 
@@ -89,13 +132,27 @@ private:
         std::atomic<const char*> name{nullptr};
         std::atomic<const char*> cat{nullptr};
         std::atomic<char> phase{'i'};
+        std::atomic<std::uint32_t> tid{0};
     };
     std::vector<Slot> slots_;
-    std::uint32_t tid_;
     std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> lost_{0}; ///< writes abandoned under contention
 };
 
-Tracer::Tracer() : epoch_(nowNanos()) {}
+/// A fixed-size array of lazily created stripes. Lookup is lock-free: the
+/// stripe pointer is installed with a CAS on first use, so recording
+/// threads never touch the tracer mutex.
+struct Tracer::Pool {
+    explicit Pool(std::size_t n) : stripes(n) {
+        for (auto& s : stripes) s.store(nullptr, std::memory_order_relaxed);
+    }
+    ~Pool() {
+        for (auto& s : stripes) delete s.load(std::memory_order_relaxed);
+    }
+    std::vector<std::atomic<Ring*>> stripes;
+};
+
+Tracer::Tracer() : epoch_(nowNanos()), pool_(std::make_shared<Pool>(kDefaultStripes)) {}
 Tracer::~Tracer() = default;
 
 Tracer& Tracer::global() {
@@ -107,14 +164,45 @@ void Tracer::setRingCapacity(std::size_t events) {
     capacity_.store(std::max<std::size_t>(events, 1), std::memory_order_relaxed);
 }
 
+void Tracer::setStripeCount(std::size_t n) {
+    n = std::min(std::max<std::size_t>(n, 1), kMaxStripes);
+    std::lock_guard lock(mu_);
+    retired_.push_back(pool_);
+    pool_ = std::make_shared<Pool>(n);
+    // Invalidate every thread's cached stripe pointer; the swap itself is
+    // published by the mutex localRing() takes on the re-resolve.
+    generation_.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t Tracer::stripeCount() const {
+    std::lock_guard lock(mu_);
+    return pool_->stripes.size();
+}
+
+std::shared_ptr<Tracer::Pool> Tracer::currentPool() const {
+    std::lock_guard lock(mu_);
+    return pool_;
+}
+
 Tracer::Ring& Tracer::localRing() {
-    thread_local Ring* ring = nullptr;
+    thread_local Ring* cached = nullptr;
+    thread_local std::uint64_t cachedGen = 0;
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (cached && cachedGen == gen) return *cached;
+    const std::shared_ptr<Pool> pool = currentPool();
+    auto& stripe = pool->stripes[detail::threadIndex() % pool->stripes.size()];
+    Ring* ring = stripe.load(std::memory_order_acquire);
     if (!ring) {
-        std::lock_guard lock(mu_);
-        const auto tid = static_cast<std::uint32_t>(rings_.size());
-        rings_.push_back(std::make_unique<Ring>(capacity_.load(std::memory_order_relaxed), tid));
-        ring = rings_.back().get();
+        auto fresh = std::make_unique<Ring>(capacity_.load(std::memory_order_relaxed));
+        Ring* expected = nullptr;
+        if (stripe.compare_exchange_strong(expected, fresh.get(), std::memory_order_acq_rel)) {
+            ring = fresh.release(); // pool owns it now
+        } else {
+            ring = expected; // another thread won the install
+        }
     }
+    cached = ring;
+    cachedGen = gen;
     return *ring;
 }
 
@@ -127,6 +215,7 @@ void Tracer::record(const char* cat, const char* name, char phase, std::uint64_t
     ev.name = name;
     ev.cat = cat;
     ev.phase = phase;
+    ev.tid = static_cast<std::uint32_t>(detail::threadIndex());
     localRing().push(ev);
 }
 
@@ -146,37 +235,47 @@ void Tracer::flowEnd(const char* cat, const char* name, std::uint64_t id) {
 }
 
 std::size_t Tracer::eventCount() const {
-    std::lock_guard lock(mu_);
+    const std::shared_ptr<Pool> pool = currentPool();
     std::size_t n = 0;
-    for (const auto& r : rings_) n += r->retained();
+    for (const auto& s : pool->stripes) {
+        if (const Ring* r = s.load(std::memory_order_acquire)) n += r->retained();
+    }
     return n;
 }
 
 std::uint64_t Tracer::droppedCount() const {
-    std::lock_guard lock(mu_);
+    const std::shared_ptr<Pool> pool = currentPool();
     std::uint64_t n = 0;
-    for (const auto& r : rings_) n += r->dropped();
+    for (const auto& s : pool->stripes) {
+        if (const Ring* r = s.load(std::memory_order_acquire)) n += r->dropped();
+    }
     return n;
 }
 
 void Tracer::clear() {
-    std::lock_guard lock(mu_);
-    for (auto& r : rings_) r->clear();
+    const std::shared_ptr<Pool> pool = currentPool();
+    for (auto& s : pool->stripes) {
+        if (Ring* r = s.load(std::memory_order_acquire)) r->clear();
+    }
 }
 
-std::vector<TraceEvent> Tracer::collect() const {
+std::vector<TraceEvent> Tracer::collect(std::size_t lastN) const {
     std::vector<TraceEvent> out;
     {
-        std::lock_guard lock(mu_);
-        for (const auto& r : rings_) r->collectInto(out);
+        const std::shared_ptr<Pool> pool = currentPool();
+        for (const auto& s : pool->stripes) {
+            if (const Ring* r = s.load(std::memory_order_acquire)) r->collectInto(out);
+        }
     }
     std::stable_sort(out.begin(), out.end(),
                      [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+    if (lastN != 0 && out.size() > lastN)
+        out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(lastN));
     return out;
 }
 
-void Tracer::writeChromeTrace(std::ostream& os) const {
-    const std::vector<TraceEvent> events = collect();
+void Tracer::writeChromeTrace(std::ostream& os, std::size_t lastN) const {
+    const std::vector<TraceEvent> events = collect(lastN);
     os << "{\"traceEvents\":[";
     bool first = true;
     for (const TraceEvent& ev : events) {

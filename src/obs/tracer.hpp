@@ -1,14 +1,21 @@
 #pragma once
 /// \file tracer.hpp
-/// Low-overhead event tracing: per-thread fixed-capacity ring buffers of
-/// timestamped events, exported as Chrome trace-event JSON
+/// Low-overhead event tracing: a striped pool of fixed-capacity ring
+/// buffers of timestamped events, exported as Chrome trace-event JSON
 /// (chrome://tracing / https://ui.perfetto.dev).
 ///
 /// Recording an event is two clock reads (for spans), a handful of stores
-/// into a thread-private ring slot and one release store of the head index
-/// — tens of nanoseconds. When tracing is disabled at runtime a span costs
+/// into a ring slot and one release store publishing the slot's seqlock —
+/// tens of nanoseconds. When tracing is disabled at runtime a span costs
 /// one relaxed load; when compiled with URTX_OBS=0 the URTX_TRACE_* macros
 /// expand to nothing.
+///
+/// Threads map onto stripes by detail::threadIndex() % stripeCount(), so a
+/// pool sized to the worker count (see setStripeCount) gives each hot
+/// thread a private ring; an under-sized pool degrades gracefully because
+/// every slot is a tiny multi-writer seqlock — concurrent writers to one
+/// slot never tear an event, the later claim wins and the earlier one is
+/// counted as dropped.
 ///
 /// Besides 'X' spans and 'i' instants, the tracer records *flow events*
 /// ('s' start / 'f' finish) carrying a 64-bit binding id — the causal span
@@ -40,7 +47,7 @@ struct TraceEvent {
     const char* name = nullptr;
     const char* cat = nullptr;
     char phase = 'i';        ///< 'X' span, 'i' instant, 's'/'f' flow start/finish
-    std::uint32_t tid = 0;   ///< dense per-thread id assigned at first event
+    std::uint32_t tid = 0;   ///< recording thread (detail::threadIndex())
 };
 
 class Tracer {
@@ -54,12 +61,22 @@ public:
         detail::setCausalBit(kCausalTracer, on);
     }
 
-    /// Ring capacity (events) for buffers created *after* the call; each
-    /// recording thread gets one ring lazily on its first event.
+    /// Ring capacity (events) for stripes created *after* the call; stripes
+    /// materialise lazily on a thread's first recorded event. Existing
+    /// stripes keep their capacity and their retained events.
     void setRingCapacity(std::size_t events);
     std::size_t ringCapacity() const { return capacity_.load(std::memory_order_relaxed); }
 
-    /// Record an event on the calling thread's ring. \p ts is absolute
+    /// Replace the stripe pool with a fresh one of \p n stripes (clamped to
+    /// [1, 256]). Size this to the number of recording threads — e.g. the
+    /// solver-pool worker count — so concurrent writers never share a
+    /// stripe. Retained events are dropped (the old pool is retired, not
+    /// freed: threads still holding a cached stripe pointer may finish an
+    /// in-flight record into it harmlessly).
+    void setStripeCount(std::size_t n);
+    std::size_t stripeCount() const;
+
+    /// Record an event on the calling thread's stripe. \p ts is absolute
     /// nowNanos(); the epoch offset is applied on export. Oldest events are
     /// overwritten when the ring is full. \p id is the flow binding id for
     /// 's'/'f' phases (ignored by the exporter otherwise).
@@ -73,44 +90,62 @@ public:
     void flowBegin(const char* cat, const char* name, std::uint64_t id);
     void flowEnd(const char* cat, const char* name, std::uint64_t id);
 
-    /// Events currently retained across all threads' rings.
+    /// Events currently retained across all stripes (approximate while
+    /// writers are running).
     std::size_t eventCount() const;
-    /// Events overwritten by ring wraparound across all rings.
+    /// Events lost: overwritten by ring wraparound, plus the rare write
+    /// abandoned because a concurrent writer lapped its slot first.
     std::uint64_t droppedCount() const;
-    /// Drop all retained events (rings stay registered).
+    /// Drop all retained events (stripes stay allocated). Call with writers
+    /// quiescent: a concurrent writer may resurrect its in-flight event.
     void clear();
 
-    /// All retained events, sorted by timestamp. Safe to call while other
-    /// threads keep recording: each ring's head is re-read after the copy
-    /// and any slot that may have been overwritten mid-copy is discarded
-    /// (it counts as dropped-by-wraparound, which it is). Slot fields are
-    /// individually atomic, so a concurrent snapshot is race-free.
-    std::vector<TraceEvent> collect() const;
+    /// All retained events sorted by timestamp; a non-zero \p lastN keeps
+    /// only the newest N. Safe to call while other threads keep recording:
+    /// each slot copy is validated by its seqlock and discarded when a
+    /// writer lapped it mid-copy (it counts as dropped-by-wraparound, which
+    /// it is). A writer caught mid-publish is retried a bounded number of
+    /// times, so a stalled writer cannot starve the collector.
+    std::vector<TraceEvent> collect(std::size_t lastN = 0) const;
 
     /// Chrome trace-event JSON ("traceEvents" array of X/i/s/f events,
-    /// ts/dur in microseconds). Same concurrency guarantee as collect().
-    void writeChromeTrace(std::ostream& os) const;
+    /// ts/dur in microseconds), optionally sliced to the newest \p lastN
+    /// events. Same concurrency guarantee as collect().
+    void writeChromeTrace(std::ostream& os, std::size_t lastN = 0) const;
     void writeChromeTrace(const std::string& path) const;
 
 private:
     class Ring;
+    struct Pool;
     Tracer();
     ~Tracer();
     Ring& localRing();
+    std::shared_ptr<Pool> currentPool() const;
 
     std::atomic<bool> enabled_{false};
     std::atomic<std::size_t> capacity_{1u << 16};
     std::uint64_t epoch_;
-    mutable std::mutex mu_; ///< guards rings_ registration/iteration
-    std::vector<std::unique_ptr<Ring>> rings_;
+    /// Bumped by setStripeCount so threads drop their cached stripe pointer.
+    std::atomic<std::uint64_t> generation_{1};
+    mutable std::mutex mu_; ///< guards pool_/retired_ swap and iteration
+    std::shared_ptr<Pool> pool_;
+    /// Retired pools are kept alive for the process lifetime: a thread that
+    /// cached a stripe pointer before a setStripeCount may still complete
+    /// one in-flight record into it.
+    std::vector<std::shared_ptr<Pool>> retired_;
 };
 
 /// RAII scoped span: records one complete ('X') event covering its
 /// lifetime. Cheap no-op when the tracer is disabled at construction.
 class Span {
 public:
-    Span(const char* cat, const char* name) {
-        if (Tracer::global().enabled()) {
+    Span(const char* cat, const char* name) : Span(cat, name, true) {}
+    /// Conditional span: records only when \p wanted — used by sites whose
+    /// slice should follow the causal span sampler's per-message decision
+    /// (see URTX_TRACE_SPAN_IF). \p wanted false costs nothing, not even
+    /// the enabled() load.
+    Span(const char* cat, const char* name, bool wanted) {
+        if (wanted && Tracer::global().enabled()) {
             cat_ = cat;
             name_ = name;
             start_ = nowNanos();
@@ -139,9 +174,14 @@ private:
 /// Scoped span over the rest of the enclosing block.
 #define URTX_TRACE_SPAN(cat, name) \
     ::urtx::obs::Span URTX_OBS_CONCAT(urtx_span_, __LINE__) { cat, name }
+/// Scoped span recorded only when \p cond holds (evaluated once, before
+/// the enabled check).
+#define URTX_TRACE_SPAN_IF(cat, name, cond) \
+    ::urtx::obs::Span URTX_OBS_CONCAT(urtx_span_, __LINE__) { cat, name, (cond) }
 /// Point-in-time marker.
 #define URTX_TRACE_INSTANT(cat, name) ::urtx::obs::Tracer::global().instant(cat, name)
 #else
 #define URTX_TRACE_SPAN(cat, name) ((void)0)
+#define URTX_TRACE_SPAN_IF(cat, name, cond) ((void)0)
 #define URTX_TRACE_INSTANT(cat, name) ((void)0)
 #endif

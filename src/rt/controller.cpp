@@ -42,7 +42,12 @@ void Controller::post(Message m) {
 }
 
 void Controller::deliver(Message& m) {
-    URTX_TRACE_SPAN("rt", "dispatch");
+    // With causal tracing active the dispatch slice follows the span
+    // sampler's decision made at the emit site: an unsampled message
+    // (spanId == 0) records no slice, so the per-message tracer cost scales
+    // with the admission rate. With causal consumers off every dispatch
+    // keeps its slice, as before.
+    URTX_TRACE_SPAN_IF("rt", "dispatch", !obs::causalOn() || m.spanId != 0);
     if (obs::causalOn() && m.spanId) obs_detail::onHandle(m, "dispatch");
     // Seq-cst raise/bump/clear: the engine's macro-step validation relies
     // on a total order over these and its own reads (see macroSpan). On a

@@ -44,9 +44,12 @@ const char* to_string(Priority p);
 ///   receiver(8) | sequence(8) | spanId(8) | enqueueNanos(8).
 /// The observability fields spanId/enqueueNanos are *stamped* only while a
 /// causal-tracking consumer is enabled (obs::causalOn(), one relaxed load
-/// at the emit site); otherwise they ride along as 16 zero bytes, so the
-/// disabled dispatch path pays no clock read and no extra branch work
-/// (bench_messaging keeps this honest).
+/// at the emit site) AND the per-span sampler admits the span
+/// (obs::sampleSpan(), decided once at the emitting site); otherwise they
+/// ride along as 16 zero bytes, so the disabled dispatch path pays no
+/// clock read and no extra branch work, and an unsampled span pays only
+/// the gate load plus a thread-local countdown (bench_messaging and
+/// bench_obs_overhead keep this honest).
 struct Message {
     SignalId signal = kInvalidSignal;
     Priority priority = Priority::General;
@@ -90,8 +93,9 @@ namespace obs_detail {
 
 /// Stamp \p m with a fresh causal span id + enqueue timestamp and notify
 /// the enabled causal consumers (tracer 's' flow event, flight-recorder
-/// note). Call only after checking obs::causalOn(); \p site is a short
-/// stable label of the emitting mechanism ("port", "timer", ...).
+/// note). Call only after obs::causalOn() AND the per-span sampling
+/// decision obs::sampleSpan() both pass; \p site is a short stable label
+/// of the emitting mechanism ("port", "timer", ...).
 void onEmit(Message& m, const char* site);
 
 /// The handling side of the hop: record the tracer 'f' flow event, the

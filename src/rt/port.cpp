@@ -63,7 +63,11 @@ bool Port::send(SignalId sig, std::any data, Priority prio) {
     Message m(sig, std::move(data), prio);
     m.dest = dest;
     m.receiver = &dest->owner();
-    if (obs::causalOn()) obs_detail::onEmit(m, "port");
+    // Span origin: one relaxed mask load when causal tracking is off; with
+    // it on, the sampler decides here — once per span — whether this hop
+    // pays the full causal path. Unsampled messages stay unstamped
+    // (spanId 0) and every handling-side consumer skips them.
+    if (obs::causalOn() && obs::sampleSpan()) obs_detail::onEmit(m, "port");
     ++sent_;
     if (Controller* c = m.receiver->context()) {
         c->post(std::move(m));

@@ -78,7 +78,8 @@ std::size_t TimerService::fireDue(MessageQueue& out, double now) {
         Message m(e.signal, std::move(e.data), e.prio);
         m.receiver = e.target;
         m.dest = nullptr; // timer messages have no port of entry
-        if (causal) obs_detail::onEmit(m, "timer");
+        // Per-fire sampling decision: each timer message is its own span.
+        if (causal && obs::sampleSpan()) obs_detail::onEmit(m, "timer");
         out.push(std::move(m));
     }
     return fired.size();

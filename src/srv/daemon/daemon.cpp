@@ -9,8 +9,11 @@
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
+#include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/tracer.hpp"
 #include "srv/batch_io.hpp"
 #include "srv/json.hpp"
 
@@ -243,6 +246,12 @@ void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::strin
         badLines_->inc();
         return;
     }
+    // Control verbs ride the same line protocol as jobs, discriminated by a
+    // string "op" member (job objects never carry one).
+    if (const json::Value* op = doc->find("op"); op && op->isString()) {
+        handleControl(conn, op->string, *doc);
+        return;
+    }
     std::vector<ScenarioSpec> specs;
     try {
         specs = parseJobObject(*doc);
@@ -258,6 +267,84 @@ void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::strin
         }
         dispatchSpec(conn, std::move(spec));
     }
+}
+
+void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::string& op,
+                                const json::Value& doc) {
+    // Observability must stay reachable while draining: verbs are answered
+    // unconditionally and never enter the job pipeline (no in-flight slot,
+    // no srvd.jobs_* accounting).
+    std::ostringstream out;
+    if (op == "metrics") {
+        const obs::Snapshot snap = obs::Registry::process().snapshot();
+        out << "{\"op\": \"metrics\", \"status\": \"ok\", \"prometheus\": \""
+            << json::escape(snap.toPrometheus()) << "\", \"snapshot\": " << snap.toJson()
+            << "}";
+    } else if (op == "trace") {
+        std::size_t lastN = 0;
+        if (const json::Value* n = doc.find("last_n"); n && n->isNumber() && n->number > 0) {
+            lastN = static_cast<std::size_t>(n->number);
+        }
+        const obs::Tracer& tracer = obs::Tracer::global();
+        out << "{\"op\": \"trace\", \"status\": \"ok\", \"events_retained\": "
+            << tracer.eventCount() << ", \"events_dropped\": " << tracer.droppedCount()
+            << ", \"trace\": ";
+        tracer.writeChromeTrace(out, lastN);
+        out << "}";
+    } else if (op == "health") {
+        const obs::Watchdog& wd = obs::Watchdog::global();
+        obs::Registry& reg = obs::Registry::process();
+        out << "{\"op\": \"health\", \"status\": \"ok\""
+            << ", \"draining\": " << (draining() ? "true" : "false")
+            << ", \"drain_seconds\": " << json::number(lastDrainSeconds())
+            << ", \"connections\": " << activeConnections()
+            << ", \"queue_depth\": " << session_->queueDepth()
+            << ", \"jobs_received\": " << jobsReceived_->value()
+            << ", \"jobs_streamed\": " << jobsStreamed_->value()
+            << ", \"rejected_draining\": " << rejectedDraining_->value()
+            << ", \"bad_lines\": " << badLines_->value()
+            << ", \"deadline_misses\": " << obs::Monitor::global().misses();
+        // Per-signal miss counters live in the process registry as
+        // rt.deadline_miss.<signal>; surface them as a nested map.
+        out << ", \"deadline_miss_by_signal\": {";
+        constexpr std::string_view kMissPrefix = "rt.deadline_miss.";
+        bool first = true;
+        for (const obs::CounterSample& c : reg.snapshot().counters) {
+            if (c.name.compare(0, kMissPrefix.size(), kMissPrefix) != 0) continue;
+            if (!first) out << ", ";
+            first = false;
+            out << "\"" << json::escape(c.name.substr(kMissPrefix.size())) << "\": " << c.value;
+        }
+        out << "}"
+            << ", \"watchdog\": {\"running\": " << (wd.running() ? "true" : "false")
+            << ", \"budget_seconds\": " << json::number(wd.budget())
+            << ", \"stalls\": " << wd.stalls() << "}"
+            << ", \"sampling\": {\"rate\": " << json::number(reg.spanSamplingRate())
+            << ", \"period\": " << reg.spanSamplingPeriod() << "}"
+            << ", \"tracer\": {\"enabled\": "
+            << (obs::Tracer::global().enabled() ? "true" : "false")
+            << ", \"events\": " << obs::Tracer::global().eventCount()
+            << ", \"dropped\": " << obs::Tracer::global().droppedCount() << "}}";
+    } else if (op == "set_sampling") {
+        const json::Value* rate = doc.find("rate");
+        if (!rate || !rate->isNumber()) {
+            writeLine(conn, errorRecord("set_sampling requires a numeric 'rate'"));
+            badLines_->inc();
+            return;
+        }
+        obs::Registry& reg = obs::Registry::process();
+        reg.setSpanSamplingRate(rate->number);
+        // Echo the *applied* rate: the compile-time floor and the integer
+        // period rounding may both have adjusted the request.
+        out << "{\"op\": \"set_sampling\", \"status\": \"ok\", \"rate\": "
+            << json::number(reg.spanSamplingRate())
+            << ", \"period\": " << reg.spanSamplingPeriod() << "}";
+    } else {
+        writeLine(conn, errorRecord("unknown op '" + op + "'"));
+        badLines_->inc();
+        return;
+    }
+    writeLine(conn, out.str());
 }
 
 void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec) {
@@ -331,11 +418,11 @@ void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec s
     queueDepthGauge_->set(static_cast<double>(session_->queueDepth()));
 }
 
-void ServeDaemon::writeRecord(const std::shared_ptr<Conn>& conn,
-                              const std::string& record) {
+void ServeDaemon::writeLine(const std::shared_ptr<Conn>& conn,
+                            const std::string& payload) {
     if (conn->dead.load(std::memory_order_acquire)) return;
     std::lock_guard<std::mutex> lk(conn->writeMu);
-    std::string line = record;
+    std::string line = payload;
     line.push_back('\n');
     std::size_t off = 0;
     while (off < line.size()) {
@@ -351,7 +438,13 @@ void ServeDaemon::writeRecord(const std::shared_ptr<Conn>& conn,
         }
         off += static_cast<std::size_t>(n);
     }
-    jobsStreamed_->inc();
+}
+
+void ServeDaemon::writeRecord(const std::shared_ptr<Conn>& conn,
+                              const std::string& record) {
+    if (conn->dead.load(std::memory_order_acquire)) return;
+    writeLine(conn, record);
+    if (!conn->dead.load(std::memory_order_acquire)) jobsStreamed_->inc();
 }
 
 void ServeDaemon::updateCacheGauges() {

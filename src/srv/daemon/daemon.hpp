@@ -16,6 +16,16 @@
 /// connection. While draining, every job line yields a Rejected record
 /// with verdict "draining".
 ///
+/// A request object carrying a string member "op" is a *control verb*, not
+/// a job: "metrics" (Prometheus text + JSON snapshot of the process
+/// registry), "trace" (Chrome-trace slice of the global tracer, optional
+/// "last_n"), "health" (deadline misses, watchdog, drain status, queue
+/// depth, sampling rate) and "set_sampling" (runtime span-sampling rate,
+/// floor-clamped). Control verbs respond with exactly one JSON line, never
+/// count as jobs, and keep working while the daemon drains — the
+/// observability surface must stay up precisely when the daemon is
+/// shutting down.
+///
 /// Caching
 /// -------
 /// Jobs first consult the ResultCache by ScenarioSpec::jobHash(): a hit
@@ -59,6 +69,10 @@ class Gauge;
 } // namespace urtx::obs
 
 namespace urtx::srv {
+
+namespace json {
+class Value;
+} // namespace json
 
 struct DaemonConfig {
     /// Unix-domain socket path; empty = no Unix listener.
@@ -132,8 +146,11 @@ private:
     void readerLoop(std::shared_ptr<Conn> conn);
     void acceptLoop(int listenFd);
     void handleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
+    void handleControl(const std::shared_ptr<Conn>& conn, const std::string& op,
+                       const json::Value& doc);
     void dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec);
     void writeRecord(const std::shared_ptr<Conn>& conn, const std::string& record);
+    void writeLine(const std::shared_ptr<Conn>& conn, const std::string& payload);
     void updateCacheGauges();
     void sweepFinishedConnections();
 

@@ -7,6 +7,19 @@
 ///   urtx_client --tcp PORT jobs.json
 ///   echo '{"scenario": "tank"}' | urtx_client --socket PATH -
 ///
+/// Observability verbs (usable with or without a jobs file; applied before
+/// any jobs are submitted):
+///
+///   urtx_client --socket PATH --metrics          # Prometheus text to stdout
+///   urtx_client --socket PATH --health           # health JSON line
+///   urtx_client --socket PATH --trace [--trace-last N]  # Chrome trace JSON
+///   urtx_client --socket PATH --set-sampling 0.01 jobs.json
+///
+/// --metrics decodes the daemon's response and prints the embedded
+/// Prometheus exposition text; the other verbs print the raw one-line JSON
+/// response (pipe --trace through `jq .trace` for a chrome://tracing
+/// file).
+///
 /// Records stream to stdout as the daemon finishes them (out of
 /// submission order). Exit status: 0 when every job succeeded with a
 /// passing verdict under --strict (otherwise 0 once all records arrive);
@@ -38,8 +51,9 @@ namespace {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s (--socket PATH | --tcp PORT) <jobs.json|-> [--strict]\n"
-                 "          [--quiet]\n",
+                 "usage: %s (--socket PATH | --tcp PORT) [<jobs.json|->] [--strict]\n"
+                 "          [--quiet] [--metrics] [--health] [--trace [--trace-last N]]\n"
+                 "          [--set-sampling RATE]\n",
                  argv0);
     return 2;
 }
@@ -93,6 +107,11 @@ int main(int argc, char** argv) {
     std::string jobsPath;
     bool strict = false;
     bool quiet = false;
+    bool wantMetrics = false;
+    bool wantHealth = false;
+    bool wantTrace = false;
+    std::size_t traceLast = 0;
+    double setSampling = -1.0; // < 0: don't send the verb
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -106,6 +125,18 @@ int main(int argc, char** argv) {
             strict = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--metrics") {
+            wantMetrics = true;
+        } else if (arg == "--health") {
+            wantHealth = true;
+        } else if (arg == "--trace") {
+            wantTrace = true;
+        } else if (arg == "--trace-last") {
+            if (++i >= argc) return usage(argv[0]);
+            traceLast = static_cast<std::size_t>(std::strtoul(argv[i], nullptr, 10));
+        } else if (arg == "--set-sampling") {
+            if (++i >= argc) return usage(argv[0]);
+            setSampling = std::strtod(argv[i], nullptr);
         } else if (arg == "-" || arg.empty() || arg[0] != '-') {
             if (!jobsPath.empty()) return usage(argv[0]);
             jobsPath = arg;
@@ -114,13 +145,24 @@ int main(int argc, char** argv) {
             return usage(argv[0]);
         }
     }
-    if (jobsPath.empty() || (socketPath.empty() && tcpPort == 0)) return usage(argv[0]);
+    const bool anyVerb = wantMetrics || wantHealth || wantTrace || setSampling >= 0.0;
+    if ((jobsPath.empty() && !anyVerb) || (socketPath.empty() && tcpPort == 0)) {
+        return usage(argv[0]);
+    }
 
-    // Assemble the job lines before connecting so a parse error never
-    // half-submits a batch.
+    // Assemble every request line before connecting so a parse error never
+    // half-submits a batch. set_sampling goes first — it must take effect
+    // before any job samples against the process registry — and the
+    // read-only verbs last, after the jobs are at least submitted.
     std::vector<std::string> lines;
     std::size_t expected = 0;
-    if (jobsPath == "-") {
+    if (setSampling >= 0.0) {
+        lines.push_back("{\"op\": \"set_sampling\", \"rate\": " + json::number(setSampling) +
+                        "}");
+    }
+    if (jobsPath.empty()) {
+        // verbs only
+    } else if (jobsPath == "-") {
         std::string line;
         while (std::getline(std::cin, line)) {
             if (line.empty()) continue;
@@ -155,6 +197,13 @@ int main(int argc, char** argv) {
             return 2;
         }
         for (const srv::ScenarioSpec& s : batch.jobs) lines.push_back(srv::jobJson(s));
+    }
+    if (wantMetrics) lines.push_back("{\"op\": \"metrics\"}");
+    if (wantHealth) lines.push_back("{\"op\": \"health\"}");
+    if (wantTrace) {
+        std::string verb = "{\"op\": \"trace\"";
+        if (traceLast > 0) verb += ", \"last_n\": " + std::to_string(traceLast);
+        lines.push_back(verb + "}");
     }
     expected = lines.size();
     if (expected == 0) {
@@ -193,8 +242,28 @@ int main(int argc, char** argv) {
             start = nl + 1;
             if (line.empty()) continue;
             ++received;
-            std::printf("%s\n", line.c_str());
             const auto rec = json::parse(line);
+            // Control-verb responses are not job records: --metrics prints
+            // the decoded Prometheus text, the rest print their raw JSON
+            // line; none of them participate in --strict verdicts.
+            if (rec && rec->find("op")) {
+                const std::string op = rec->strOr("op", "");
+                if (rec->strOr("status", "error") != "ok") {
+                    anyBad = true;
+                    std::printf("%s\n", line.c_str());
+                } else if (op == "metrics") {
+                    const json::Value* prom = rec->find("prometheus");
+                    if (prom && prom->isString()) {
+                        std::fputs(prom->string.c_str(), stdout);
+                    } else {
+                        std::printf("%s\n", line.c_str());
+                    }
+                } else {
+                    std::printf("%s\n", line.c_str());
+                }
+                continue;
+            }
+            std::printf("%s\n", line.c_str());
             const std::string status = rec ? rec->strOr("status", "error") : "error";
             if (status != "succeeded" || !(rec && rec->boolOr("passed", false))) {
                 anyBad = true;

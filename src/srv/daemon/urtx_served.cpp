@@ -6,16 +6,25 @@
 ///
 ///   urtx_served --socket PATH [--tcp PORT] [--workers N]
 ///               [--warm-cache N] [--result-cache N] [--window N]
-///               [--metrics] [--quiet]
+///               [--sampling RATE] [--metrics] [--quiet]
+///
+/// --sampling sets the initial causal span sampling rate (process
+/// registry; jobs inherit it). Clients adjust it later with the
+/// {"op": "set_sampling"} wire verb and read metrics/trace/health with the
+/// other control verbs (docs/SERVING.md).
 ///
 /// Exit status: 0 after a clean drain, 2 on usage/bind errors.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "srv/daemon/daemon.hpp"
 #include "srv/scenarios/scenarios.hpp"
 
@@ -27,7 +36,7 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--tcp PORT] [--workers N]\n"
                  "          [--warm-cache N] [--result-cache N] [--window N]\n"
-                 "          [--metrics] [--quiet]\n",
+                 "          [--sampling RATE] [--metrics] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -37,6 +46,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
     srv::DaemonConfig cfg;
     bool quiet = false;
+    double sampling = -1.0; // < 0: leave the registry default (1.0)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -69,6 +79,10 @@ int main(int argc, char** argv) {
             if (!v) return usage(argv[0]);
             cfg.maxInFlightPerConnection =
                 static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--sampling") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            sampling = std::strtod(v, nullptr);
         } else if (arg == "--metrics") {
             cfg.includeMetrics = true;
         } else if (arg == "--quiet") {
@@ -90,6 +104,15 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
 
     srv::scenarios::registerBuiltins();
+    if (sampling >= 0.0) urtx::obs::Registry::process().setSpanSamplingRate(sampling);
+    // Size the tracer stripe pool to the recording threads (workers + the
+    // daemon's own reader/accept threads) so concurrent jobs never share a
+    // tracing ring while the trace/health verbs collect.
+    {
+        std::size_t workers = cfg.engine.workers;
+        if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+        urtx::obs::Tracer::global().setStripeCount(workers + 8);
+    }
     srv::ServeDaemon daemon(std::move(cfg));
     std::string err;
     if (!daemon.start(&err)) {

@@ -68,6 +68,10 @@ struct ExecCtx {
 void executeScenario(const ExecCtx& ctx, const ScenarioSpec& spec, ScenarioResult& res,
                      RunningSlot& slot, const ScenarioLibrary& lib, std::size_t jobId) {
     obs::Registry local;
+    // A job's spans sample against its own scoped registry, so the fleet's
+    // process-wide sampling rate (set_sampling wire verb, --sampling flag)
+    // must be inherited here or served jobs would always sample at 1.0.
+    local.setSpanSamplingRate(obs::Registry::process().spanSamplingRate());
     obs::FlightRecorder recorder(ctx.cfg->recorderCapacity);
     // Unique automatic-dump path per job: concurrent failures must not
     // overwrite each other's post-mortem file.

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -181,6 +184,135 @@ TEST(Snapshot, PrometheusTextHasCumulativeBuckets) {
     EXPECT_NE(text.find("urtx_rt_latency_bucket{le=\"2\"} 3"), std::string::npos);
     EXPECT_NE(text.find("urtx_rt_latency_bucket{le=\"+Inf\"} 4"), std::string::npos);
     EXPECT_NE(text.find("urtx_rt_latency_count 4"), std::string::npos);
+}
+
+namespace {
+
+/// Minimal exposition-format linter: every line is a comment or
+/// `name[{labels}] value` with a legal metric name and a parseable value,
+/// and every metric name is introduced by exactly one TYPE line.
+void lintPrometheus(const std::string& text) {
+    const auto legalName = [](const std::string& n) {
+        if (n.empty()) return false;
+        for (char c : n) {
+            const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '_' || c == ':';
+            if (!ok) return false;
+        }
+        return !(n[0] >= '0' && n[0] <= '9');
+    };
+    std::map<std::string, int> typeLines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) nl = text.size();
+        const std::string line = text.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty()) continue;
+        if (line.rfind("# TYPE ", 0) == 0) {
+            const std::size_t sp = line.find(' ', 7);
+            ASSERT_NE(sp, std::string::npos) << line;
+            ++typeLines[line.substr(7, sp - 7)];
+            continue;
+        }
+        ASSERT_NE(line[0], '#') << "only TYPE comments are emitted: " << line;
+        std::size_t nameEnd = line.find_first_of("{ ");
+        ASSERT_NE(nameEnd, std::string::npos) << line;
+        EXPECT_TRUE(legalName(line.substr(0, nameEnd))) << line;
+        std::size_t valueAt = nameEnd;
+        if (line[nameEnd] == '{') {
+            // Skip the label set; '}' inside quoted values is escaped away.
+            bool inStr = false;
+            std::size_t i = nameEnd + 1;
+            for (; i < line.size(); ++i) {
+                if (inStr && line[i] == '\\') {
+                    ++i;
+                } else if (line[i] == '"') {
+                    inStr = !inStr;
+                } else if (!inStr && line[i] == '}') {
+                    break;
+                }
+            }
+            ASSERT_LT(i, line.size()) << "unterminated label set: " << line;
+            valueAt = i + 1;
+        }
+        ASSERT_LT(valueAt, line.size()) << line;
+        ASSERT_EQ(line[valueAt], ' ') << line;
+        char* end = nullptr;
+        (void)std::strtod(line.c_str() + valueAt + 1, &end);
+        EXPECT_EQ(*end, '\0') << "unparseable sample value: " << line;
+    }
+    for (const auto& [name, n] : typeLines) {
+        EXPECT_EQ(n, 1) << "metric '" << name << "' must have exactly one TYPE block";
+    }
+}
+
+/// Undo promEscapeLabel: the inverse the round-trip test closes over.
+std::string unescapeLabel(const std::string& v) {
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (v[i] == '\\' && i + 1 < v.size()) {
+            const char c = v[++i];
+            out.push_back(c == 'n' ? '\n' : c);
+        } else {
+            out.push_back(v[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Snapshot, PrometheusLabeledFamiliesShareOneTypeBlock) {
+    obs::Registry r;
+    r.counter("rt.deadline_miss").add(3);
+    r.counter("rt.deadline_miss.brake").add(2);
+    r.counter("srvd.jobs_received").add(1); // interleaves between the children
+    r.counter("rt.deadline_miss.throttle").add(1);
+    obs::Histogram& agg = r.histogram("rt.hop_latency_seconds", {1.0});
+    agg.observe(0.5);
+    r.histogram("rt.hop_latency_seconds.brake", {1.0}).observe(0.5);
+    const std::string text = r.snapshot().toPrometheus();
+    lintPrometheus(text);
+
+    // srvd.* dots mangle to underscores; per-signal children become labels.
+    EXPECT_NE(text.find("urtx_srvd_jobs_received 1"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_deadline_miss 3"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_deadline_miss{signal=\"brake\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_deadline_miss{signal=\"throttle\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_hop_latency_seconds_bucket{signal=\"brake\",le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("urtx_rt_hop_latency_seconds_count{signal=\"brake\"} 1"),
+              std::string::npos);
+    // Registration interleaved other metrics between the children, yet all
+    // series of one name must sit under a single TYPE line (lint checks
+    // uniqueness; this checks the children didn't fork a second name).
+    EXPECT_EQ(text.find("urtx_rt_deadline_miss_signal"), std::string::npos)
+        << "children must become labels, not mangled standalone names";
+}
+
+TEST(Snapshot, PrometheusLabelValuesRoundTripHostileSignalNames) {
+    obs::Registry r;
+    const std::string nasty = "we\"ird\\sig\nnal.v2";
+    r.counter("rt.deadline_miss." + nasty).add(5);
+    const std::string text = r.snapshot().toPrometheus();
+    lintPrometheus(text);
+
+    const std::string needle = "urtx_rt_deadline_miss{signal=\"";
+    const std::size_t at = text.find(needle);
+    ASSERT_NE(at, std::string::npos) << text;
+    // Scan the escaped value to its true closing quote, then invert the
+    // escaping: the original signal name must come back byte-for-byte.
+    std::size_t i = at + needle.size();
+    std::string escaped;
+    while (i < text.size() && text[i] != '"') {
+        escaped.push_back(text[i]);
+        if (text[i] == '\\') escaped.push_back(text[++i]);
+        ++i;
+    }
+    EXPECT_EQ(unescapeLabel(escaped), nasty);
+    EXPECT_EQ(text.find('\n', at), text.find("\"} 5", at) + 4)
+        << "a raw newline inside a label value would split the sample line";
 }
 
 TEST(Snapshot, JsonExportIsWellFormed) {

@@ -1,0 +1,233 @@
+/// \file obs_sampling_test.cpp
+/// Causal span sampling: the per-span admission decision made once at the
+/// emitting site (Port::send / timer fire), its deterministic 1-in-N
+/// countdown, the obs.spans_sampled accounting that ties the hop-latency
+/// histogram back to the sampler, and the invariance of simulation results
+/// (TraceData hashes) under any sampling rate.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "rt/rt.hpp"
+#include "srv/engine.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace obs = urtx::obs;
+namespace rt = urtx::rt;
+namespace srv = urtx::srv;
+
+namespace {
+
+rt::Protocol& proto() {
+    static rt::Protocol p = [] {
+        rt::Protocol q{"Sampling"};
+        q.out("req").in("rsp");
+        return q;
+    }();
+    return p;
+}
+
+/// One-way receiver: never replies, so every causal span in a test comes
+/// from the client's sends and the counts below are exact.
+struct Sink : rt::Capsule {
+    explicit Sink(std::string n) : rt::Capsule(std::move(n)), port(*this, "p", proto(), true) {}
+    rt::Port port;
+    std::size_t received = 0;
+    std::size_t stamped = 0;
+
+protected:
+    void onMessage(const rt::Message& m) override {
+        ++received;
+        if (m.spanId != 0) ++stamped;
+    }
+};
+
+struct Client : rt::Capsule {
+    explicit Client(std::string n)
+        : rt::Capsule(std::move(n)), port(*this, "p", proto(), false) {}
+    rt::Port port;
+};
+
+/// Counts the tracer's 's' (emit) flow events named \p signal.
+std::size_t emitEventsNamed(const char* signal) {
+    std::size_t n = 0;
+    for (const auto& ev : obs::Tracer::global().collect()) {
+        if (ev.phase == 's' && ev.name && std::string(ev.name) == signal) ++n;
+    }
+    return n;
+}
+
+struct SamplingTest : ::testing::Test {
+    void SetUp() override {
+#if !URTX_OBS
+        GTEST_SKIP() << "observability compiled out (URTX_OBS=0)";
+#endif
+        obs::Registry::process().setSpanSamplingRate(1.0);
+        obs::Registry::process().reset();
+        obs::Tracer::global().clear();
+        obs::Monitor::global().clear();
+    }
+    void TearDown() override {
+        obs::Tracer::global().setEnabled(false);
+        obs::Monitor::global().setEnabled(false);
+        obs::Registry::process().setSpanSamplingRate(1.0);
+        obs::Registry::process().reset();
+        obs::Tracer::global().clear();
+        obs::Monitor::global().clear();
+    }
+};
+
+/// Drive \p sends one-way messages through a fresh controller under a
+/// private scoped registry carrying \p rate. Using a fresh Registry per
+/// call gives the sampler's thread-local countdown a fresh uid, so the
+/// admission phase is deterministic regardless of what earlier tests did
+/// on this thread.
+struct RunStats {
+    std::size_t received = 0;
+    std::size_t stamped = 0;
+    std::uint64_t sampledCounter = 0;
+    obs::Snapshot snapshot;
+};
+
+RunStats runOneWay(double rate, std::size_t sends) {
+    obs::Registry reg;
+    reg.setSpanSamplingRate(rate);
+    obs::ScopedRegistry scope(&reg);
+
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Sink sink{"sink"};
+    rt::connect(client.port, sink.port);
+    ctl.attach(client);
+    ctl.attach(sink);
+    for (std::size_t i = 0; i < sends; ++i) client.port.send("req");
+    ctl.dispatchAll();
+
+    RunStats st;
+    st.received = sink.received;
+    st.stamped = sink.stamped;
+    st.snapshot = reg.snapshot();
+    if (const auto* c = st.snapshot.counter("obs.spans_sampled")) st.sampledCounter = c->value;
+    return st;
+}
+
+} // namespace
+
+TEST_F(SamplingTest, RateMapsToIntegerPeriod) {
+    obs::Registry reg;
+    EXPECT_EQ(reg.spanSamplingPeriod(), 1u) << "default: sample everything";
+    reg.setSpanSamplingRate(0.5);
+    EXPECT_EQ(reg.spanSamplingPeriod(), 2u);
+    reg.setSpanSamplingRate(0.01);
+    EXPECT_EQ(reg.spanSamplingPeriod(), 100u);
+    EXPECT_DOUBLE_EQ(reg.spanSamplingRate(), 0.01);
+    reg.setSpanSamplingRate(2.0);
+    EXPECT_EQ(reg.spanSamplingPeriod(), 1u) << "rates above 1 clamp to all";
+    reg.setSpanSamplingRate(0.0);
+    EXPECT_EQ(reg.spanSamplingPeriod(), 0u) << "zero (above the default floor) = never";
+    EXPECT_DOUBLE_EQ(reg.spanSamplingRate(), 0.0);
+    reg.setSpanSamplingRate(-1.0);
+    EXPECT_EQ(reg.spanSamplingPeriod(), 0u) << "negative clamps to the floor";
+    reg.setSpanSamplingRate(1e-12);
+    EXPECT_EQ(reg.spanSamplingPeriod(), 4294967295u) << "tiny rates saturate the period";
+}
+
+TEST_F(SamplingTest, DefaultRateStampsEverySpan) {
+    obs::Tracer::global().setEnabled(true);
+    const RunStats st = runOneWay(1.0, 20);
+    obs::Tracer::global().setEnabled(false);
+
+    EXPECT_EQ(st.received, 20u);
+    EXPECT_EQ(st.stamped, 20u) << "rate 1.0 must behave exactly like unsampled tracing";
+    EXPECT_EQ(st.sampledCounter, 20u);
+    EXPECT_EQ(emitEventsNamed("req"), 20u);
+}
+
+TEST_F(SamplingTest, RateZeroNeverStampsAndRecordsNoFlowEvents) {
+    obs::Tracer::global().setEnabled(true);
+    const RunStats st = runOneWay(0.0, 20);
+    obs::Tracer::global().setEnabled(false);
+
+    EXPECT_EQ(st.received, 20u) << "sampling must not drop the messages themselves";
+    EXPECT_EQ(st.stamped, 0u) << "rate 0: every span stays unstamped";
+    EXPECT_EQ(st.sampledCounter, 0u);
+    EXPECT_EQ(emitEventsNamed("req"), 0u) << "no 's' flow events without admitted spans";
+}
+
+TEST_F(SamplingTest, FractionalRateAdmitsExactlyEveryNth) {
+    obs::Tracer::global().setEnabled(true);
+    const RunStats st = runOneWay(0.25, 40);
+    obs::Tracer::global().setEnabled(false);
+
+    // Single emitting thread, period 4, 40 sends: exactly 10 admissions at
+    // any countdown phase — the decision is deterministic, not statistical.
+    EXPECT_EQ(st.stamped, 10u);
+    EXPECT_EQ(st.sampledCounter, 10u);
+    EXPECT_EQ(emitEventsNamed("req"), 10u);
+}
+
+TEST_F(SamplingTest, HopHistogramCountMatchesSamplerAdmissions) {
+    obs::Monitor::global().setEnabled(true);
+    const RunStats st = runOneWay(0.25, 40);
+    obs::Monitor::global().setEnabled(false);
+
+    const auto* hops = st.snapshot.histogram("rt.hop_latency_seconds");
+    ASSERT_NE(hops, nullptr);
+    EXPECT_EQ(hops->count, st.sampledCounter)
+        << "every admitted span is measured once; unadmitted spans never reach the monitor";
+    EXPECT_EQ(hops->count, 10u);
+}
+
+TEST_F(SamplingTest, SpanIdsStayUniqueUnderSampling) {
+    obs::Tracer::global().setEnabled(true);
+    obs::Registry reg;
+    reg.setSpanSamplingRate(0.5);
+    obs::ScopedRegistry scope(&reg);
+
+    rt::Controller ctl{"ctl"};
+    Client client{"client"};
+    Sink sink{"sink"};
+    rt::connect(client.port, sink.port);
+    ctl.attach(client);
+    ctl.attach(sink);
+    for (int i = 0; i < 30; ++i) client.port.send("req");
+    ctl.dispatchAll();
+    obs::Tracer::global().setEnabled(false);
+
+    std::set<std::uint64_t> ids;
+    for (const auto& ev : obs::Tracer::global().collect()) {
+        if (ev.phase == 's' && ev.id != 0) ids.insert(ev.id);
+    }
+    EXPECT_EQ(ids.size(), 15u) << "admitted spans keep globally unique ids";
+}
+
+TEST_F(SamplingTest, TraceHashesInvariantUnderSamplingRate) {
+    // The sampler must only thin *observability*, never the simulation:
+    // the same scenario at rate 1.0, 1% and 0 yields bit-identical
+    // trajectories. Jobs inherit the process rate into their scoped
+    // registries (ServeEngine::executeScenario).
+    srv::ScenarioLibrary lib;
+    srv::scenarios::registerBuiltins(lib);
+    srv::ScenarioSpec spec;
+    spec.scenario = "tank";
+    spec.name = "tank";
+    spec.horizon = 2.0;
+
+    obs::Tracer::global().setEnabled(true);
+    std::set<std::uint64_t> hashes;
+    for (double rate : {1.0, 0.01, 0.0}) {
+        obs::Registry::process().setSpanSamplingRate(rate);
+        srv::ServeEngine engine;
+        const srv::BatchResult r = engine.run({spec}, lib);
+        ASSERT_EQ(r.results.size(), 1u);
+        ASSERT_EQ(r.results[0].status, srv::ScenarioStatus::Succeeded)
+            << r.results[0].error;
+        hashes.insert(r.results[0].trace.hash());
+    }
+    obs::Tracer::global().setEnabled(false);
+    obs::Registry::process().setSpanSamplingRate(1.0);
+    EXPECT_EQ(hashes.size(), 1u) << "sampling rate leaked into simulation results";
+}

@@ -139,6 +139,31 @@ TEST_F(TracerTest, ClearDropsEventsKeepsRings) {
     EXPECT_EQ(obs::Tracer::global().eventCount(), 1u);
 }
 
+TEST_F(TracerTest, CollectLastNSlicesNewestEvents) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.instant("slice", "a");
+    tracer.instant("slice", "b");
+    tracer.instant("slice", "c");
+    tracer.instant("slice", "d");
+
+    const auto all = tracer.collect();
+    ASSERT_EQ(all.size(), 4u);
+    const auto last2 = tracer.collect(2);
+    ASSERT_EQ(last2.size(), 2u);
+    EXPECT_STREQ(last2[0].name, "c");
+    EXPECT_STREQ(last2[1].name, "d");
+    EXPECT_EQ(tracer.collect(100).size(), 4u) << "lastN beyond the total is a no-op";
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os, 1);
+    const std::string json = os.str();
+    std::string err;
+    ASSERT_TRUE(urtx::testjson::wellFormed(json, &err)) << err;
+    EXPECT_NE(json.find("\"name\":\"d\""), std::string::npos);
+    EXPECT_EQ(json.find("\"name\":\"c\""), std::string::npos)
+        << "writeChromeTrace(os, 1) must slice to the newest event";
+}
+
 TEST_F(TracerTest, MultiThreadedSpansLandInSeparateRings) {
     constexpr int kThreads = 4;
     std::vector<std::thread> threads;

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "srv/daemon/daemon.hpp"
 #include "srv/json.hpp"
 #include "srv/scenario.hpp"
@@ -357,6 +359,154 @@ TEST(SrvDaemonTest, StopRejectsNewConnections) {
     EXPECT_EQ(::recv(sv[0], &byte, 1, 0), 0); // immediate EOF
     ::close(sv[0]);
     EXPECT_EQ(daemon.activeConnections(), 0u);
+}
+
+TEST(SrvDaemonTest, MetricsVerbReturnsPrometheusAndSnapshot) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"metrics\"}"));
+    const json::Value rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("op", ""), "metrics");
+    EXPECT_EQ(rec.strOr("status", ""), "ok");
+    // The embedded exposition text is a JSON string; after parsing it must
+    // be the literal scrape payload, TYPE lines and all.
+    const std::string prom = rec.strOr("prometheus", "");
+    EXPECT_NE(prom.find("# TYPE urtx_srvd_jobs_received counter"), std::string::npos);
+    EXPECT_NE(prom.find("urtx_srvd_connections 1"), std::string::npos)
+        << "the gauge must see this very connection";
+    const json::Value* snap = rec.find("snapshot");
+    ASSERT_NE(snap, nullptr);
+    ASSERT_TRUE(snap->isObject());
+    EXPECT_NE(snap->find("counters"), nullptr);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, HealthVerbTracksJobDeltasAndAnswersWhileDraining) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"health\"}"));
+    const json::Value h0 = c.readRecord();
+    EXPECT_EQ(h0.strOr("op", ""), "health");
+    EXPECT_EQ(h0.strOr("status", ""), "ok");
+    EXPECT_FALSE(h0.boolOr("draining", true));
+    ASSERT_NE(h0.find("sampling"), nullptr);
+    ASSERT_NE(h0.find("watchdog"), nullptr);
+    ASSERT_NE(h0.find("tracer"), nullptr);
+    ASSERT_NE(h0.find("deadline_miss_by_signal"), nullptr);
+
+    // srvd.* counters are process-wide, so assert deltas: one job moves
+    // received and streamed by exactly one, while the verb responses
+    // themselves (three extra lines on this socket by the end) never touch
+    // the job accounting.
+    ASSERT_TRUE(c.sendLine(tankJob("health-probe")));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+    // The streamed counter is bumped by the completion thread just after
+    // the record bytes go out, so reading the record only bounds it from
+    // below — poll until the increment lands.
+    double received = 0, streamed = 0;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        ASSERT_TRUE(c.sendLine("{\"op\": \"health\"}"));
+        const json::Value h1 = c.readRecord();
+        received = h1.numOr("jobs_received", -1) - h0.numOr("jobs_received", -1);
+        streamed = h1.numOr("jobs_streamed", -1) - h0.numOr("jobs_streamed", -1);
+        if (streamed >= 1.0) break;
+        ::usleep(1000);
+    }
+    EXPECT_EQ(received, 1.0);
+    EXPECT_EQ(streamed, 1.0);
+
+    // Observability stays reachable during drain: the verb is answered,
+    // not rejected, and reports the drain in progress.
+    daemon.beginDrain();
+    ASSERT_TRUE(c.sendLine("{\"op\": \"health\"}"));
+    const json::Value h2 = c.readRecord();
+    EXPECT_EQ(h2.strOr("status", ""), "ok");
+    EXPECT_TRUE(h2.boolOr("draining", false));
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, SetSamplingVerbRoundTripsAppliedRate) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"set_sampling\", \"rate\": 0.25}"));
+    const json::Value rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("op", ""), "set_sampling");
+    EXPECT_EQ(rec.strOr("status", ""), "ok");
+    EXPECT_DOUBLE_EQ(rec.numOr("rate", -1.0), 0.25);
+    EXPECT_DOUBLE_EQ(rec.numOr("period", -1.0), 4.0);
+    EXPECT_DOUBLE_EQ(urtx::obs::Registry::process().spanSamplingRate(), 0.25)
+        << "the verb must land on the registry jobs inherit from";
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"set_sampling\"}"));
+    const json::Value bad = c.readRecord();
+    EXPECT_EQ(bad.strOr("status", ""), "error");
+    EXPECT_NE(bad.strOr("error", "").find("rate"), std::string::npos);
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"set_sampling\", \"rate\": 1.0}"));
+    EXPECT_DOUBLE_EQ(c.readRecord().numOr("rate", -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(urtx::obs::Registry::process().spanSamplingRate(), 1.0);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, TraceVerbEmbedsChromeTraceWithLastN) {
+#if !URTX_OBS
+    GTEST_SKIP() << "observability compiled out (URTX_OBS=0)";
+#endif
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    urtx::obs::Tracer& tracer = urtx::obs::Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+    tracer.instant("verb", "older");
+    tracer.instant("verb", "newest");
+    tracer.setEnabled(false);
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"trace\", \"last_n\": 1}"));
+    const auto line = c.readLine();
+    ASSERT_TRUE(line.has_value());
+    std::string err;
+    const auto rec = json::parse(*line, &err);
+    ASSERT_TRUE(rec) << err;
+    EXPECT_EQ(rec->strOr("op", ""), "trace");
+    EXPECT_EQ(rec->strOr("status", ""), "ok");
+    EXPECT_GE(rec->numOr("events_retained", -1.0), 2.0);
+    EXPECT_GE(rec->numOr("events_dropped", -1.0), 0.0);
+    // The trace member is embedded Chrome-trace JSON, sliced to last_n.
+    ASSERT_NE(rec->find("trace"), nullptr);
+    EXPECT_NE(line->find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(line->find("\"name\":\"newest\""), std::string::npos);
+    EXPECT_EQ(line->find("\"name\":\"older\""), std::string::npos)
+        << "last_n: 1 must slice to the newest event";
+    tracer.clear();
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, UnknownOpIsRejectedWithoutKillingTheConnection) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"frobnicate\"}"));
+    const json::Value rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("status", ""), "error");
+    EXPECT_NE(rec.strOr("error", "").find("frobnicate"), std::string::npos);
+
+    ASSERT_TRUE(c.sendLine(tankJob("after-unknown-op")));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+    daemon.stop();
 }
 
 TEST(SrvDaemonTest, BackpressureWindowStillCompletesEverything) {

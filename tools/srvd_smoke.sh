@@ -44,6 +44,40 @@ if ! grep -q '"cached_result": true' "$DIR/records2.jsonl"; then
 fi
 echo "second pass replayed from the result cache"
 
+# Live observability verbs against the same daemon: the metrics verb must
+# return scrapeable exposition text that saw the jobs above, and the health
+# verb must answer ok with the sampling state embedded.
+"$CLIENT" --socket "$SOCK" --metrics > "$DIR/metrics.txt"
+if ! grep -q '^# TYPE urtx_srvd_jobs_received counter$' "$DIR/metrics.txt"; then
+    echo "FAIL: metrics verb returned no exposition TYPE line" >&2
+    exit 1
+fi
+if grep -q '^urtx_srvd_jobs_received 0$' "$DIR/metrics.txt"; then
+    echo "FAIL: metrics verb did not see the jobs this script ran" >&2
+    exit 1
+fi
+echo "metrics verb returned live exposition text"
+
+"$CLIENT" --socket "$SOCK" --health > "$DIR/health.json"
+for needle in '"op": "health"' '"status": "ok"' '"draining": false' '"sampling":'; do
+    if ! grep -qF "$needle" "$DIR/health.json"; then
+        echo "FAIL: health verb response lacks $needle" >&2
+        cat "$DIR/health.json" >&2
+        exit 1
+    fi
+done
+echo "health verb answered ok"
+
+"$CLIENT" --socket "$SOCK" --trace --trace-last 100 > "$DIR/trace.json"
+for needle in '"op": "trace"' '"status": "ok"' '"traceEvents":'; do
+    if ! grep -qF "$needle" "$DIR/trace.json"; then
+        echo "FAIL: trace verb response lacks $needle" >&2
+        cat "$DIR/trace.json" >&2
+        exit 1
+    fi
+done
+echo "trace verb returned an embedded Chrome trace"
+
 kill -TERM "$SERVED_PID"
 STATUS=0
 wait "$SERVED_PID" || STATUS=$?
