@@ -1,23 +1,33 @@
 /// \file bench_srvd_latency.cpp
-/// Serving-daemon request latency through the real wire path (socketpair +
-/// newline-delimited JSON), one request in flight at a time so each number
-/// is a round-trip, not a throughput artifact. Three configurations over
+/// Serving-daemon request latency through the real wire path (socketpair
+/// into the epoll reactor), one request in flight at a time so each number
+/// is a round-trip, not a throughput artifact. Four configurations over
 /// the same 256-job stream:
 ///
-///   cold   — warm cache and result cache disabled: every job builds its
-///            scenario from scratch (the pre-daemon cost model);
-///   warm   — warm cache on, result cache off: every job after the first
-///            runs on a reset cached instance (no rebuild, real execution);
-///   cached — result cache on: bit-identical reruns replay the stored
-///            record without touching the engine at all.
+///   cold       — warm cache and result cache disabled: every job builds
+///                its scenario from scratch (the pre-daemon cost model);
+///   warm       — warm cache on, result cache off: every job after the
+///                first runs on a reset cached instance (no rebuild);
+///   cached     — result cache on: bit-identical reruns replay the stored
+///                record without touching the engine at all;
+///   cached-bin — same replay over the generated binary framing (no JSON
+///                parse/render on the request path).
+///
+/// A second table drives the reactor to saturation: C binary connections
+/// (C up to 512), one cached job in flight on each, measuring sustained
+/// requests/second and per-request latency percentiles as C grows.
 ///
 /// A machine-readable summary is written to BENCH_srvd.json. The headline
-/// claim is warm p50 < cold p50 (construction cost off the request path).
+/// claims are warm p50 < cold p50 (construction cost off the request
+/// path) and binary cached p50 <= JSON cached p50 (framing is not the
+/// bottleneck).
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -25,16 +35,38 @@
 
 #include "bench_util.hpp"
 #include "srv/daemon/daemon.hpp"
+#include "srv/daemon/framing.hpp"
 #include "srv/scenarios/scenarios.hpp"
 
 namespace srv = urtx::srv;
 namespace scen = urtx::srv::scenarios;
+namespace wire = urtx::srv::wire;
+namespace wiregen = urtx::srv::wiregen;
 
 namespace {
 
 constexpr int kJobs = 256;
 
-/// One-request-at-a-time client on the test end of a socketpair.
+srv::ScenarioSpec benchSpec() {
+    srv::ScenarioSpec spec;
+    spec.scenario = "tank";
+    spec.name = "j";
+    spec.horizon = 2.0;
+    spec.mode = urtx::sim::ExecutionMode::SingleThread;
+    return spec;
+}
+
+bool sendAll(int fd, const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// One-request-at-a-time JSON client on the test end of a socketpair.
 class Client {
 public:
     explicit Client(srv::ServeDaemon& daemon) {
@@ -50,13 +82,7 @@ public:
 
     /// Send one job line and block until its record line arrives.
     bool roundTrip(const std::string& jobLine) {
-        std::string out = jobLine + "\n";
-        std::size_t off = 0;
-        while (off < out.size()) {
-            const ssize_t n = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
-            if (n <= 0) return false;
-            off += static_cast<std::size_t>(n);
-        }
+        if (!sendAll(fd_, jobLine + "\n")) return false;
         for (;;) {
             if (pending_.find('\n') != std::string::npos) {
                 pending_.erase(0, pending_.find('\n') + 1);
@@ -74,19 +100,85 @@ private:
     std::string pending_;
 };
 
-struct Row {
-    const char* mode;
-    double p50Ms = 0, p99Ms = 0, meanMs = 0;
+/// One-request-at-a-time binary-framing client: preamble handshake in the
+/// constructor, then Job frame out / Result frame in per round-trip.
+class BinClient {
+public:
+    explicit BinClient(srv::ServeDaemon& daemon) {
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return;
+        fd_ = sv[0];
+        daemon.adoptConnection(sv[1]);
+        if (!sendAll(fd_, wire::preamble()) || !readBytes(wiregen::kPreambleBytes)) {
+            ::close(fd_);
+            fd_ = -1;
+            return;
+        }
+        pending_.erase(0, wiregen::kPreambleBytes);
+    }
+    ~BinClient() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    bool ok() const { return fd_ >= 0; }
+
+    bool roundTrip(const std::string& jobFrame) {
+        if (!sendAll(fd_, jobFrame)) return false;
+        for (;;) {
+            const auto h = wire::peekFrameHeader(pending_);
+            if (h && pending_.size() >= wiregen::kFrameHeaderBytes + h->length) {
+                pending_.erase(0, wiregen::kFrameHeaderBytes + h->length);
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) return false;
+            pending_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+private:
+    bool readBytes(std::size_t n) {
+        while (pending_.size() < n) {
+            char chunk[4096];
+            const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (r <= 0) return false;
+            pending_.append(chunk, static_cast<std::size_t>(r));
+        }
+        return true;
+    }
+
+    int fd_ = -1;
+    std::string pending_;
 };
 
-Row measure(const char* mode, std::size_t warmCap, std::size_t resultCap) {
+srv::DaemonConfig benchConfig(std::size_t warmCap, std::size_t resultCap) {
     srv::DaemonConfig cfg;
     cfg.engine.workers = 1; // latency, not throughput
     cfg.engine.scopedMetrics = false;
     cfg.engine.postmortems = false;
     cfg.warmCacheCapacity = warmCap;
     cfg.resultCacheCapacity = resultCap;
-    srv::ServeDaemon daemon(cfg);
+    return cfg;
+}
+
+struct Row {
+    const char* mode;
+    double p50Ms = 0, p99Ms = 0, meanMs = 0;
+};
+
+Row summarize(const char* mode, std::vector<double>& ms) {
+    std::sort(ms.begin(), ms.end());
+    Row row;
+    row.mode = mode;
+    row.p50Ms = ms[ms.size() / 2];
+    row.p99Ms = ms[(ms.size() * 99) / 100];
+    for (const double v : ms) row.meanMs += v;
+    row.meanMs /= static_cast<double>(ms.size());
+    return row;
+}
+
+Row measure(const char* mode, std::size_t warmCap, std::size_t resultCap) {
+    srv::ServeDaemon daemon(benchConfig(warmCap, resultCap));
     if (!daemon.start()) std::abort();
     Client c(daemon);
     if (!c.ok()) std::abort();
@@ -102,14 +194,137 @@ Row measure(const char* mode, std::size_t warmCap, std::size_t resultCap) {
         ms.push_back(s * 1e3);
     }
     daemon.stop();
+    return summarize(mode, ms);
+}
 
+Row measureBinary(const char* mode, std::size_t warmCap, std::size_t resultCap) {
+    srv::ServeDaemon daemon(benchConfig(warmCap, resultCap));
+    if (!daemon.start()) std::abort();
+    BinClient c(daemon);
+    if (!c.ok()) std::abort();
+
+    std::string jobFrame;
+    wire::appendFrame(jobFrame, wire::FrameType::Job, wire::jobToWire(benchSpec()).encode());
+    std::vector<double> ms;
+    ms.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+        const double s = urtx::bench::timeOnce([&] {
+            if (!c.roundTrip(jobFrame)) std::abort();
+        });
+        ms.push_back(s * 1e3);
+    }
+    daemon.stop();
+    return summarize(mode, ms);
+}
+
+struct SatRow {
+    int connections = 0;
+    int jobs = 0;
+    double qps = 0, p50Ms = 0, p99Ms = 0;
+    bool sustained = false; ///< every connection completed its quota
+};
+
+/// Saturation loop: \p connections binary clients against one cached
+/// daemon, a single poll(2) ring with one job in flight per connection
+/// until each completes \p perConn round-trips.
+SatRow saturate(int connections, int perConn, const std::string& jobFrame) {
+    using clock = std::chrono::steady_clock;
+
+    srv::DaemonConfig cfg = benchConfig(4, 256);
+    cfg.engine.workers = 2;
+    srv::ServeDaemon daemon(cfg);
+    if (!daemon.start()) std::abort();
+
+    // Pre-warm the result cache so the table measures the serving edge
+    // (reactor + framing), not 512 concurrent simulations.
+    {
+        BinClient warm(daemon);
+        if (!warm.ok() || !warm.roundTrip(jobFrame)) std::abort();
+    }
+
+    struct SatConn {
+        int fd = -1;
+        std::string in;
+        clock::time_point sentAt;
+        int remaining = 0;
+        bool handshaken = false;
+        bool done = false;
+    };
+    std::vector<SatConn> conns(static_cast<std::size_t>(connections));
+    for (auto& sc : conns) {
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) std::abort();
+        sc.fd = sv[0];
+        sc.remaining = perConn;
+        daemon.adoptConnection(sv[1]);
+        if (!sendAll(sc.fd, wire::preamble())) std::abort();
+    }
+
+    std::vector<double> ms;
+    ms.reserve(static_cast<std::size_t>(connections) * static_cast<std::size_t>(perConn));
+    std::vector<pollfd> pfds(conns.size());
+    int active = connections;
+    const auto wallStart = clock::now();
+
+    while (active > 0) {
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            pfds[i].fd = conns[i].done ? -1 : conns[i].fd;
+            pfds[i].events = POLLIN;
+            pfds[i].revents = 0;
+        }
+        if (::poll(pfds.data(), pfds.size(), 30000) <= 0) break; // stall guard
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            SatConn& sc = conns[i];
+            if (sc.done || !(pfds[i].revents & (POLLIN | POLLHUP))) continue;
+            char chunk[8192];
+            const ssize_t n = ::recv(sc.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+            if (n <= 0) {
+                sc.done = true;
+                --active;
+                continue;
+            }
+            sc.in.append(chunk, static_cast<std::size_t>(n));
+            if (!sc.handshaken) {
+                if (sc.in.size() < wiregen::kPreambleBytes) continue;
+                if (!wire::checkPreamble(sc.in.data())) std::abort();
+                sc.in.erase(0, wiregen::kPreambleBytes);
+                sc.handshaken = true;
+                sc.sentAt = clock::now();
+                if (!sendAll(sc.fd, jobFrame)) std::abort();
+            }
+            for (;;) {
+                const auto h = wire::peekFrameHeader(sc.in);
+                if (!h || sc.in.size() < wiregen::kFrameHeaderBytes + h->length) break;
+                sc.in.erase(0, wiregen::kFrameHeaderBytes + h->length);
+                ms.push_back(std::chrono::duration<double, std::milli>(clock::now() -
+                                                                       sc.sentAt)
+                                 .count());
+                if (--sc.remaining > 0) {
+                    sc.sentAt = clock::now();
+                    if (!sendAll(sc.fd, jobFrame)) std::abort();
+                } else {
+                    sc.done = true;
+                    --active;
+                    break;
+                }
+            }
+        }
+    }
+    const double wallSeconds =
+        std::chrono::duration<double>(clock::now() - wallStart).count();
+    for (auto& sc : conns) ::close(sc.fd);
+    daemon.stop();
+
+    SatRow row;
+    row.connections = connections;
+    row.jobs = static_cast<int>(ms.size());
+    row.sustained = ms.size() ==
+                    static_cast<std::size_t>(connections) * static_cast<std::size_t>(perConn);
+    if (ms.empty()) return row;
+    row.qps = static_cast<double>(ms.size()) / wallSeconds;
     std::sort(ms.begin(), ms.end());
-    Row row;
-    row.mode = mode;
     row.p50Ms = ms[ms.size() / 2];
     row.p99Ms = ms[(ms.size() * 99) / 100];
-    for (const double v : ms) row.meanMs += v;
-    row.meanMs /= static_cast<double>(ms.size());
     return row;
 }
 
@@ -119,21 +334,43 @@ int main() {
     scen::registerBuiltins();
     std::printf("srvd request latency: %d sequential jobs per configuration\n\n", kJobs);
     urtx::bench::rule();
-    std::printf("%8s %12s %12s %12s\n", "mode", "p50 [ms]", "p99 [ms]", "mean [ms]");
+    std::printf("%12s %12s %12s %12s\n", "mode", "p50 [ms]", "p99 [ms]", "mean [ms]");
     urtx::bench::rule();
 
     std::vector<Row> rows;
     rows.push_back(measure("cold", 0, 0));
     rows.push_back(measure("warm", 4, 0));
     rows.push_back(measure("cached", 4, 256));
+    rows.push_back(measureBinary("cached-bin", 4, 256));
     for (const Row& r : rows) {
-        std::printf("%8s %12.4f %12.4f %12.4f\n", r.mode, r.p50Ms, r.p99Ms, r.meanMs);
+        std::printf("%12s %12.4f %12.4f %12.4f\n", r.mode, r.p50Ms, r.p99Ms, r.meanMs);
     }
     urtx::bench::rule();
 
     const bool warmWins = rows[1].p50Ms < rows[0].p50Ms;
+    const bool binaryWins = rows[3].p50Ms <= rows[2].p50Ms;
     std::printf("warm p50 %s cold p50 (%.4f vs %.4f ms)\n", warmWins ? "<" : ">=",
                 rows[1].p50Ms, rows[0].p50Ms);
+    std::printf("binary cached p50 %s JSON cached p50 (%.4f vs %.4f ms)\n",
+                binaryWins ? "<=" : ">", rows[3].p50Ms, rows[2].p50Ms);
+
+    std::string jobFrame;
+    wire::appendFrame(jobFrame, wire::FrameType::Job, wire::jobToWire(benchSpec()).encode());
+
+    std::printf("\nsaturation: concurrent binary connections, 1 cached job in flight each\n\n");
+    urtx::bench::rule();
+    std::printf("%6s %8s %12s %12s %12s %10s\n", "conns", "jobs", "qps", "p50 [ms]",
+                "p99 [ms]", "sustained");
+    urtx::bench::rule();
+    std::vector<SatRow> sat;
+    for (const int c : {1, 8, 64, 256, 512}) {
+        const int perConn = c >= 256 ? 16 : 32;
+        sat.push_back(saturate(c, perConn, jobFrame));
+        const SatRow& s = sat.back();
+        std::printf("%6d %8d %12.0f %12.4f %12.4f %10s\n", s.connections, s.jobs, s.qps,
+                    s.p50Ms, s.p99Ms, s.sustained ? "yes" : "NO");
+    }
+    urtx::bench::rule();
 
     std::ofstream f("BENCH_srvd.json");
     f << "{\n  \"benchmark\": \"srvd_latency\",\n";
@@ -147,7 +384,19 @@ int main() {
                       i + 1 < rows.size() ? "," : "");
         f << buf;
     }
+    f << "  ],\n  \"saturation\": [\n";
+    for (std::size_t i = 0; i < sat.size(); ++i) {
+        char buf[224];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"connections\": %d, \"jobs\": %d, \"qps\": %.0f, "
+                      "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"sustained\": %s}%s\n",
+                      sat[i].connections, sat[i].jobs, sat[i].qps, sat[i].p50Ms,
+                      sat[i].p99Ms, sat[i].sustained ? "true" : "false",
+                      i + 1 < sat.size() ? "," : "");
+        f << buf;
+    }
     f << "  ],\n  \"warm_p50_below_cold_p50\": " << (warmWins ? "true" : "false")
+      << ",\n  \"binary_cached_p50_le_json_cached_p50\": " << (binaryWins ? "true" : "false")
       << "\n}\n";
     std::puts("wrote BENCH_srvd.json");
     return 0;

@@ -1,0 +1,47 @@
+/// \file urtx_wiregen.cpp
+/// Build-time generator for the serving daemon's binary wire protocol:
+/// renders the descriptors in wire_schema.cpp into one C++ header.
+///
+///   urtx_wiregen <output.hpp>   # write the header (only when changed)
+///   urtx_wiregen -              # print to stdout
+///
+/// CMake runs this as a custom command; src/srv/daemon, urtx_client, the
+/// benches and the framing tests all include the generated header.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "codegen/wire_schema.hpp"
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <output.hpp|->\n", argv[0]);
+        return 2;
+    }
+    const std::string header =
+        urtx::codegen::wire::generateWireHeader(urtx::codegen::wire::servingProtocol());
+    const std::string path = argv[1];
+    if (path == "-") {
+        std::cout << header;
+        return 0;
+    }
+    // Skip the write when nothing changed so dependents don't rebuild.
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream existing;
+            existing << in.rdbuf();
+            if (existing.str() == header) return 0;
+        }
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], path.c_str());
+        return 2;
+    }
+    out << header;
+    return 0;
+}

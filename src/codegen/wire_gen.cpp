@@ -1,0 +1,280 @@
+#include "codegen/wire_gen.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace urtx::codegen::wire {
+
+const char* cppType(FieldKind k) {
+    switch (k) {
+    case FieldKind::U8: return "std::uint8_t";
+    case FieldKind::U64: return "std::uint64_t";
+    case FieldKind::F64: return "double";
+    case FieldKind::Bool: return "bool";
+    case FieldKind::Str: return "std::string";
+    case FieldKind::NumMap: return "std::map<std::string, double>";
+    case FieldKind::StrMap: return "std::map<std::string, std::string>";
+    }
+    return "void";
+}
+
+namespace {
+
+void validate(const Protocol& p) {
+    if (p.magic.size() != 4) {
+        throw std::invalid_argument("wire protocol magic must be exactly 4 bytes");
+    }
+    if (p.ns.empty()) throw std::invalid_argument("wire protocol needs a namespace");
+    std::set<unsigned> frameIds;
+    for (const FrameKind& f : p.frames) {
+        if (f.id == 0 || f.id > 255 || !frameIds.insert(f.id).second) {
+            throw std::invalid_argument("frame type '" + f.name +
+                                        "' needs a unique id in 1..255");
+        }
+    }
+    for (const Message& m : p.messages) {
+        std::set<unsigned> tags;
+        for (const Field& f : m.fields) {
+            if (f.id == 0 || f.id > 255 || !tags.insert(f.id).second) {
+                throw std::invalid_argument("field '" + m.name + "." + f.name +
+                                            "' needs a unique tag in 1..255");
+            }
+        }
+    }
+}
+
+/// The fixed support code every generated header carries: byte emitters
+/// and the bounds-checked Cursor all decoders read through.
+const char* kPrologue = R"(
+inline void putU8(std::string& out, std::uint8_t v) {
+    out.push_back(static_cast<char>(v));
+}
+inline void putU32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+inline void putU64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+inline void putF64(std::string& out, double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+inline void putStr(std::string& out, const std::string& s) {
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+/// Bounds-checked reader: every accessor either consumes exactly its
+/// bytes or fails (recording the first failure reason) — a hostile or
+/// truncated payload can never read past the buffer.
+struct Cursor {
+    const unsigned char* p;
+    const unsigned char* end;
+    std::string* err;
+
+    bool fail(const char* what) {
+        if (err && err->empty()) *err = what;
+        return false;
+    }
+    std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+    bool u8(std::uint8_t& v) {
+        if (remaining() < 1) return fail("truncated u8");
+        v = *p++;
+        return true;
+    }
+    bool u32(std::uint32_t& v) {
+        if (remaining() < 4) return fail("truncated u32");
+        v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(*p++) << (8 * i);
+        return true;
+    }
+    bool u64(std::uint64_t& v) {
+        if (remaining() < 8) return fail("truncated u64");
+        v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(*p++) << (8 * i);
+        return true;
+    }
+    bool f64(double& v) {
+        std::uint64_t bits = 0;
+        if (!u64(bits)) return fail("truncated f64");
+        std::memcpy(&v, &bits, sizeof(v));
+        return true;
+    }
+    bool boolean(bool& v) {
+        std::uint8_t b = 0;
+        if (!u8(b)) return fail("truncated bool");
+        v = b != 0;
+        return true;
+    }
+    bool str(std::string& v) {
+        std::uint32_t n = 0;
+        if (!u32(n)) return fail("truncated string length");
+        if (remaining() < n) return fail("string length exceeds payload");
+        v.assign(reinterpret_cast<const char*>(p), n);
+        p += n;
+        return true;
+    }
+};
+)";
+
+void emitEncodeField(std::ostringstream& o, const Field& f) {
+    const std::string tag = "putU8(out, " + std::to_string(f.id) + ");";
+    switch (f.kind) {
+    case FieldKind::U8:
+        o << "        " << tag << " putU8(out, " << f.name << ");\n";
+        break;
+    case FieldKind::U64:
+        o << "        " << tag << " putU64(out, " << f.name << ");\n";
+        break;
+    case FieldKind::F64:
+        o << "        " << tag << " putF64(out, " << f.name << ");\n";
+        break;
+    case FieldKind::Bool:
+        o << "        " << tag << " putU8(out, " << f.name << " ? 1 : 0);\n";
+        break;
+    case FieldKind::Str:
+        o << "        if (!" << f.name << ".empty()) { " << tag << " putStr(out, "
+          << f.name << "); }\n";
+        break;
+    case FieldKind::NumMap:
+    case FieldKind::StrMap: {
+        const char* put = f.kind == FieldKind::NumMap ? "putF64" : "putStr";
+        o << "        if (!" << f.name << ".empty()) {\n"
+          << "            " << tag << "\n"
+          << "            putU32(out, static_cast<std::uint32_t>(" << f.name
+          << ".size()));\n"
+          << "            for (const auto& kv : " << f.name << ") {\n"
+          << "                putStr(out, kv.first);\n"
+          << "                " << put << "(out, kv.second);\n"
+          << "            }\n"
+          << "        }\n";
+        break;
+    }
+    }
+}
+
+void emitDecodeField(std::ostringstream& o, const Field& f) {
+    o << "            case " << f.id << ":";
+    switch (f.kind) {
+    case FieldKind::U8:
+        o << " if (!c.u8(out." << f.name << ")) return false; break;\n";
+        break;
+    case FieldKind::U64:
+        o << " if (!c.u64(out." << f.name << ")) return false; break;\n";
+        break;
+    case FieldKind::F64:
+        o << " if (!c.f64(out." << f.name << ")) return false; break;\n";
+        break;
+    case FieldKind::Bool:
+        o << " if (!c.boolean(out." << f.name << ")) return false; break;\n";
+        break;
+    case FieldKind::Str:
+        o << " if (!c.str(out." << f.name << ")) return false; break;\n";
+        break;
+    case FieldKind::NumMap:
+    case FieldKind::StrMap: {
+        const char* valueDecl = f.kind == FieldKind::NumMap ? "double v = 0" : "std::string v";
+        const char* read = f.kind == FieldKind::NumMap ? "c.f64(v)" : "c.str(v)";
+        o << " {\n"
+          << "                std::uint32_t n = 0;\n"
+          << "                if (!c.u32(n)) return false;\n"
+          << "                if (n > c.remaining()) return c.fail(\"map count exceeds "
+             "payload\");\n"
+          << "                out." << f.name << ".clear();\n"
+          << "                for (std::uint32_t i = 0; i < n; ++i) {\n"
+          << "                    std::string k;\n"
+          << "                    " << valueDecl << ";\n"
+          << "                    if (!c.str(k) || !" << read << ") return false;\n"
+          << "                    out." << f.name << "[std::move(k)] = std::move(v);\n"
+          << "                }\n"
+          << "                break;\n"
+          << "            }\n";
+        break;
+    }
+    }
+}
+
+void emitMessage(std::ostringstream& o, const Message& m) {
+    if (!m.comment.empty()) o << "/// " << m.comment << "\n";
+    o << "struct " << m.name << " {\n";
+    for (const Field& f : m.fields) {
+        o << "    " << cppType(f.kind) << " " << f.name;
+        if (!f.init.empty()) {
+            o << " = " << f.init;
+        } else if (f.kind != FieldKind::Str && f.kind != FieldKind::NumMap &&
+                   f.kind != FieldKind::StrMap) {
+            o << " = 0";
+        }
+        o << ";";
+        if (!f.comment.empty()) o << " ///< " << f.comment;
+        o << "\n";
+    }
+    o << "\n    void encodeTo(std::string& out) const {\n";
+    for (const Field& f : m.fields) emitEncodeField(o, f);
+    o << "    }\n";
+    o << "    std::string encode() const {\n"
+      << "        std::string out;\n"
+      << "        out.reserve(64);\n"
+      << "        encodeTo(out);\n"
+      << "        return out;\n"
+      << "    }\n\n";
+    o << "    /// Decode a complete payload. On failure returns false with the\n"
+      << "    /// first error in *err (when given); out is partially filled.\n"
+      << "    static bool decode(" << m.name
+      << "& out, const void* data, std::size_t size,\n"
+      << "                       std::string* err = nullptr) {\n"
+      << "        Cursor c{static_cast<const unsigned char*>(data),\n"
+      << "                 static_cast<const unsigned char*>(data) + size, err};\n"
+      << "        while (c.p < c.end) {\n"
+      << "            std::uint8_t tag = 0;\n"
+      << "            if (!c.u8(tag)) return false;\n"
+      << "            switch (tag) {\n";
+    for (const Field& f : m.fields) emitDecodeField(o, f);
+    o << "            default: return c.fail(\"unknown field tag\");\n"
+      << "            }\n"
+      << "        }\n"
+      << "        return true;\n"
+      << "    }\n";
+    o << "};\n\n";
+}
+
+} // namespace
+
+std::string generateWireHeader(const Protocol& p) {
+    validate(p);
+    std::ostringstream o;
+    o << "#pragma once\n"
+      << "// GENERATED by urtx_wiregen from the descriptors in\n"
+      << "// src/codegen/wire_schema.cpp — do not edit by hand.\n"
+      << "//\n"
+      << "// Length-prefixed binary framing of the serving job/record schema:\n"
+      << "// preamble = 4-byte magic \"" << p.magic << "\" + u8 version + u8 flags + u16\n"
+      << "// reserved; each frame = u32 little-endian payload length + u8 frame\n"
+      << "// type + payload. Message payloads are tag-prefixed fields (u8 tag,\n"
+      << "// then a fixed per-kind layout); see docs/SERVING.md.\n\n"
+      << "#include <cstddef>\n"
+      << "#include <cstdint>\n"
+      << "#include <cstring>\n"
+      << "#include <map>\n"
+      << "#include <string>\n\n"
+      << "namespace " << p.ns << " {\n";
+    o << "\ninline constexpr char kMagic[5] = \"" << p.magic << "\";\n"
+      << "inline constexpr std::uint8_t kVersion = " << p.version << ";\n"
+      << "inline constexpr std::size_t kPreambleBytes = 8;\n"
+      << "inline constexpr std::size_t kFrameHeaderBytes = 5; // u32 length + u8 type\n\n"
+      << "enum class FrameType : std::uint8_t {\n";
+    for (const FrameKind& f : p.frames) {
+        o << "    " << f.name << " = " << f.id << ",";
+        if (!f.comment.empty()) o << " ///< " << f.comment;
+        o << "\n";
+    }
+    o << "};\n";
+    o << kPrologue << "\n";
+    for (const Message& m : p.messages) emitMessage(o, m);
+    o << "} // namespace " << p.ns << "\n";
+    return o.str();
+}
+
+} // namespace urtx::codegen::wire

@@ -1,0 +1,70 @@
+#pragma once
+/// \file wire_gen.hpp
+/// Descriptor-driven binary wire-protocol generation — the serving edge's
+/// end of the paper's "until generation code" toolchain, in the spirit of
+/// descriptor-walking protobuf-to-C++ generators: a Protocol describes
+/// messages as flat field lists (name, kind, tag id, default), and the
+/// generator emits one self-contained C++ header with
+///
+///  * little-endian byte helpers (putU8/U32/U64/F64, putStr) and a
+///    bounds-checked Cursor reader that fails on truncation instead of
+///    reading past the payload,
+///  * one struct per message with an encodeTo()/encode() pair and a
+///    static decode() that rejects unknown field tags, truncated fields
+///    and hostile map counts with a structured error string,
+///  * the frame constants shared by every speaker of the protocol
+///    (magic, version, preamble size, frame-header size, FrameType enum).
+///
+/// Field encoding is tag-prefixed: one u8 tag, then a fixed layout per
+/// kind. Scalars are always emitted; strings and maps only when non-empty
+/// (absent fields decode to their declared default). The generated header
+/// has no dependencies beyond <cstdint>/<cstring>/<map>/<string>, so the
+/// daemon, the client, benches and tests can all include it.
+
+#include <string>
+#include <vector>
+
+namespace urtx::codegen::wire {
+
+/// Wire kinds a field can have. Scalars are fixed-width little-endian;
+/// Str is u32 length + bytes; NumMap/StrMap are u32 count + (key, value)
+/// pairs in std::map (i.e. sorted-key, canonical) order.
+enum class FieldKind { U8, U64, F64, Bool, Str, NumMap, StrMap };
+
+struct Field {
+    std::string name; ///< C++ member name (snake_case, used verbatim)
+    FieldKind kind;
+    unsigned id;      ///< wire tag, unique per message, 1..255
+    std::string init; ///< member initializer expression ("" = value-init)
+    std::string comment;
+};
+
+struct Message {
+    std::string name; ///< generated struct name
+    std::vector<Field> fields;
+    std::string comment;
+};
+
+/// A named frame type carried by the length-prefixed framing layer.
+struct FrameKind {
+    std::string name;
+    unsigned id;
+    std::string comment;
+};
+
+struct Protocol {
+    std::string ns;          ///< namespace of the generated code
+    std::string magic;       ///< exactly 4 bytes, starts the preamble
+    unsigned version = 1;    ///< negotiated in the preamble
+    std::vector<FrameKind> frames;
+    std::vector<Message> messages;
+};
+
+/// Emit the complete header for \p p. Throws std::invalid_argument on a
+/// malformed protocol (duplicate/zero tags, magic not 4 bytes, ...).
+std::string generateWireHeader(const Protocol& p);
+
+/// C++ type spelled for a field kind (e.g. "std::uint64_t").
+const char* cppType(FieldKind k);
+
+} // namespace urtx::codegen::wire

@@ -1,0 +1,76 @@
+#include "codegen/wire_schema.hpp"
+
+namespace urtx::codegen::wire {
+
+Protocol servingProtocol() {
+    Protocol p;
+    p.ns = "urtx::srv::wiregen";
+    p.magic = "URTX";
+    p.version = 1;
+    p.frames = {
+        {"Job", 1, "client -> daemon: one encoded WireJob (pre-expanded spec)"},
+        {"Result", 2, "daemon -> client: one encoded WireResult"},
+        {"Error", 3, "daemon -> client: JSON error-record text payload"},
+        {"Control", 4, "client -> daemon: control-verb JSON object text"},
+        {"ControlResponse", 5, "daemon -> client: control-verb response JSON text"},
+    };
+
+    // Mirrors ScenarioSpec / the batch-file job object schema. Binary jobs
+    // are fully expanded client-side: no repeat/sweep on the wire, each
+    // frame is exactly one runnable spec. Params ride as two canonical
+    // (sorted-key) maps — the same split ScenarioParams keeps and
+    // ParamSchema validates.
+    Message job;
+    job.name = "WireJob";
+    job.comment =
+        "One serving job: ScenarioSpec on the wire (jobJson's field set).";
+    job.fields = {
+        {"scenario", FieldKind::Str, 1, "", "ScenarioLibrary factory name"},
+        {"name", FieldKind::Str, 2, "", "report name; empty = daemon default"},
+        {"horizon", FieldKind::F64, 3, "1.0", "simulate to t = horizon"},
+        {"mode", FieldKind::U8, 4, "", "0 = single_thread, 1 = multi_thread"},
+        {"deadline_seconds", FieldKind::F64, 5, "", "0 = no deadline"},
+        {"cost_seconds", FieldKind::F64, 6, "", "admission cost estimate"},
+        {"wall_budget_seconds", FieldKind::F64, 7, "", "watchdog budget"},
+        {"num_params", FieldKind::NumMap, 8, "", "numeric parameter overrides"},
+        {"str_params", FieldKind::StrMap, 9, "", "string parameter overrides"},
+    };
+
+    // Mirrors srv::ResultRecord — the flat record resultJson() renders, so
+    // a binary client re-renders byte-identical JSON from the decoded
+    // struct (trace hash included verbatim; bit-identity checks compare it
+    // across framings).
+    Message res;
+    res.name = "WireResult";
+    res.comment = "One streamed result record: srv::ResultRecord on the wire.";
+    res.fields = {
+        {"name", FieldKind::Str, 1, "", ""},
+        {"scenario", FieldKind::Str, 2, "", ""},
+        {"status", FieldKind::U8, 3, "", "ScenarioStatus as u8"},
+        {"passed", FieldKind::Bool, 4, "", "scenario verdict"},
+        {"verdict", FieldKind::Str, 5, "", "human-readable verdict detail"},
+        {"error", FieldKind::Str, 6, "", "failure / rejection reason"},
+        {"worker", FieldKind::U64, 7, "0xffffffffffffffffull",
+         "worker index; max = never dispatched"},
+        {"stolen", FieldKind::Bool, 8, "", ""},
+        {"deadline_met", FieldKind::Bool, 9, "true", ""},
+        {"warm_reuse", FieldKind::Bool, 10, "", ""},
+        {"cached_result", FieldKind::Bool, 11, "", ""},
+        {"watchdog_tripped", FieldKind::Bool, 12, "", ""},
+        {"queue_wait_seconds", FieldKind::F64, 13, "", ""},
+        {"wall_seconds", FieldKind::F64, 14, "", ""},
+        {"finished_at_seconds", FieldKind::F64, 15, "", ""},
+        {"sim_time", FieldKind::F64, 16, "", ""},
+        {"steps", FieldKind::U64, 17, "", ""},
+        {"trace_rows", FieldKind::U64, 18, "", ""},
+        {"trace_hash", FieldKind::U64, 19, "",
+         "FNV-1a over the raw trace bits (bit-identity checks)"},
+        {"metrics_json", FieldKind::Str, 20, "", "embedded Snapshot::toJson()"},
+        {"postmortem_json", FieldKind::Str, 21, "", "flight-recorder dump"},
+    };
+
+    p.messages = {job, res};
+    return p;
+}
+
+} // namespace urtx::codegen::wire

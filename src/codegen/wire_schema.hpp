@@ -1,0 +1,16 @@
+#pragma once
+/// \file wire_schema.hpp
+/// The serving daemon's wire-protocol descriptors: WireJob mirrors
+/// ScenarioSpec (the batch-file job schema ParamSchema validates against)
+/// and WireResult mirrors the flat result record resultJson() renders.
+/// src/srv/daemon includes the header urtx_wiregen generates from these
+/// descriptors at build time; tests assert the mirror stays field-complete.
+
+#include "codegen/wire_gen.hpp"
+
+namespace urtx::codegen::wire {
+
+/// The complete serving protocol: frame types + WireJob/WireResult.
+Protocol servingProtocol();
+
+} // namespace urtx::codegen::wire

@@ -167,17 +167,47 @@ std::string jobJson(const ScenarioSpec& spec) {
     return out;
 }
 
-std::string resultJson(const ScenarioResult& r, bool includeMetrics) {
+ResultRecord flattenResult(const ScenarioResult& r, bool includeMetrics) {
+    ResultRecord rec;
+    rec.name = r.name;
+    rec.scenario = r.scenario;
+    rec.status = r.status;
+    rec.passed = r.passed;
+    rec.verdict = r.verdictDetail;
+    rec.error = r.error;
+    rec.worker = r.worker == SIZE_MAX ? UINT64_MAX : static_cast<std::uint64_t>(r.worker);
+    rec.stolen = r.stolen;
+    rec.deadlineMet = r.deadlineMet;
+    rec.warmReuse = r.warmReuse;
+    rec.cachedResult = r.cachedResult;
+    rec.watchdogTripped = r.watchdogTripped;
+    rec.queueWaitSeconds = r.queueWaitSeconds;
+    rec.wallSeconds = r.wallSeconds;
+    rec.finishedAtSeconds = r.finishedAtSeconds;
+    rec.simTime = r.simTime;
+    rec.steps = r.steps;
+    rec.traceRows = r.trace.rows();
+    rec.traceHash = r.status == ScenarioStatus::Succeeded ? r.trace.hash() : 0;
+    if (includeMetrics &&
+        (!r.metrics.counters.empty() || !r.metrics.gauges.empty() ||
+         !r.metrics.histograms.empty())) {
+        rec.metricsJson = r.metrics.toJson();
+    }
+    rec.postmortemJson = r.postmortemJson;
+    return rec;
+}
+
+std::string recordJson(const ResultRecord& r) {
     std::string out = "{\"name\": \"" + json::escape(r.name) + "\"";
     out += ", \"scenario\": \"" + json::escape(r.scenario) + "\"";
     out += ", \"status\": \"" + std::string(to_string(r.status)) + "\"";
     out += ", \"passed\": ";
     out += r.passed ? "true" : "false";
-    if (!r.verdictDetail.empty()) {
-        out += ", \"verdict\": \"" + json::escape(r.verdictDetail) + "\"";
+    if (!r.verdict.empty()) {
+        out += ", \"verdict\": \"" + json::escape(r.verdict) + "\"";
     }
     if (!r.error.empty()) out += ", \"error\": \"" + json::escape(r.error) + "\"";
-    if (r.worker != SIZE_MAX) {
+    if (r.worker != UINT64_MAX) {
         out += ", \"worker\": " + std::to_string(r.worker);
         out += ", \"stolen\": ";
         out += r.stolen ? "true" : "false";
@@ -190,22 +220,22 @@ std::string resultJson(const ScenarioResult& r, bool includeMetrics) {
     if (r.status == ScenarioStatus::Succeeded) {
         out += ", \"sim_time\": " + json::number(r.simTime);
         out += ", \"steps\": " + std::to_string(r.steps);
-        out += ", \"trace_rows\": " + std::to_string(r.trace.rows());
+        out += ", \"trace_rows\": " + std::to_string(r.traceRows);
         char hash[24];
-        std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, r.trace.hash());
+        std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, r.traceHash);
         out += ", \"trace_hash\": \"" + std::string(hash) + "\"";
     }
     if (r.warmReuse) out += ", \"warm_reuse\": true";
     if (r.cachedResult) out += ", \"cached_result\": true";
     if (r.watchdogTripped) out += ", \"watchdog_tripped\": true";
-    if (includeMetrics &&
-        (!r.metrics.counters.empty() || !r.metrics.gauges.empty() ||
-         !r.metrics.histograms.empty())) {
-        out += ", \"metrics\": " + r.metrics.toJson();
-    }
+    if (!r.metricsJson.empty()) out += ", \"metrics\": " + r.metricsJson;
     if (!r.postmortemJson.empty()) out += ", \"postmortem\": " + r.postmortemJson;
     out += "}";
     return out;
+}
+
+std::string resultJson(const ScenarioResult& r, bool includeMetrics) {
+    return recordJson(flattenResult(r, includeMetrics));
 }
 
 std::string reportJson(const BatchResult& batch, bool includeMetrics) {

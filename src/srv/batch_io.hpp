@@ -4,6 +4,7 @@
 /// into (EngineConfig, ScenarioSpecs), render a BatchResult as the JSON
 /// report. See docs/SERVING.md for both schemas.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,8 +42,46 @@ std::vector<ScenarioSpec> parseJobObject(const json::Value& job);
 /// round-trips (scenario, name, horizon, mode, deadlines, params).
 std::string jobJson(const ScenarioSpec& spec);
 
+/// The flat, serialization-ready mirror of a ScenarioResult: every sparse
+/// field resolved (trace reduced to rows + hash, metrics/post-mortem to
+/// embedded JSON text). One renderer consumes it — the daemon's JSON
+/// path and a binary client re-rendering decoded records produce
+/// byte-identical lines — and the generated WireResult message mirrors it
+/// field for field (src/codegen/wire_schema.cpp).
+struct ResultRecord {
+    std::string name;
+    std::string scenario;
+    ScenarioStatus status = ScenarioStatus::Rejected;
+    bool passed = false;
+    std::string verdict;
+    std::string error;
+    std::uint64_t worker = UINT64_MAX; ///< UINT64_MAX = never dispatched
+    bool stolen = false;
+    bool deadlineMet = true;
+    bool warmReuse = false;
+    bool cachedResult = false;
+    bool watchdogTripped = false;
+    double queueWaitSeconds = 0.0;
+    double wallSeconds = 0.0;
+    double finishedAtSeconds = 0.0;
+    double simTime = 0.0;
+    std::uint64_t steps = 0;
+    std::uint64_t traceRows = 0;
+    std::uint64_t traceHash = 0;
+    std::string metricsJson;    ///< empty = omit
+    std::string postmortemJson; ///< empty = omit
+};
+
+/// Flatten a ScenarioResult (computes the trace hash once; honors
+/// \p includeMetrics the way resultJson always has).
+ResultRecord flattenResult(const ScenarioResult& r, bool includeMetrics = true);
+
+/// Render a flat record as the single-line JSON result schema.
+std::string recordJson(const ResultRecord& r);
+
 /// Render one result as a single-line JSON record (the same record shape
 /// reportJson embeds per job). Streamed by the daemon as jobs complete.
+/// Equivalent to recordJson(flattenResult(r, includeMetrics)).
 std::string resultJson(const ScenarioResult& r, bool includeMetrics = true);
 
 /// Render the report. \p includeMetrics embeds each job's scoped metrics

@@ -1,13 +1,13 @@
 #include "srv/daemon/daemon.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <sstream>
 
@@ -15,32 +15,51 @@
 #include "obs/monitor.hpp"
 #include "obs/tracer.hpp"
 #include "srv/batch_io.hpp"
+#include "srv/daemon/framing.hpp"
 #include "srv/json.hpp"
 
 namespace urtx::srv {
 
-/// One client connection. Lifetime is shared between the reader thread,
-/// the accept/sweep bookkeeping and every in-flight job callback — the fd
-/// closes only in the destructor, after the last of them lets go, so a
-/// completion callback can never race a close/reuse of the descriptor.
+/// One client connection on the reactor. The reactor thread owns the
+/// parse-side state (mode, inBuf, readPaused, registered); the write side
+/// (outBuf, fdClosed) is guarded by outMu because completion callbacks
+/// write records from worker threads. The fd closes exactly once, on the
+/// reactor thread, only after in-flight work drained and the out buffer
+/// flushed — so a completion callback can never race a close/reuse of the
+/// descriptor (it observes fdClosed under outMu instead).
 struct ServeDaemon::Conn {
     explicit Conn(int f) : fd(f) {}
     ~Conn() {
-        if (fd >= 0) ::close(fd);
+        if (!fdClosed && fd >= 0) ::close(fd);
     }
 
-    int fd;
-    std::mutex writeMu;              ///< serializes whole-record writes
-    std::mutex mu;                   ///< guards inFlight with cv
-    std::condition_variable cv;      ///< backpressure + drain wakeups
-    std::size_t inFlight = 0;        ///< submitted but not yet streamed
-    std::atomic<bool> dead{false};   ///< write failed / client gone
-    std::atomic<bool> finished{false}; ///< reader exited and in-flight drained
-    std::atomic<std::uint64_t> seq{0}; ///< default job names per connection
-    std::thread reader;
+    enum class Mode : std::uint8_t { Sniff, Json, Binary };
+
+    const int fd;
+
+    // Reactor-thread-only state.
+    Mode mode = Mode::Sniff;
+    std::string inBuf;
+    bool registered = false; ///< in the reactor's interest set
+
+    // Shared state.
+    std::mutex outMu;
+    std::string outBuf;   ///< bytes awaiting writability (guarded by outMu)
+    bool fdClosed = false; ///< guarded by outMu
+    std::atomic<bool> readPaused{false}; ///< written by reactor; stop() reads
+    std::atomic<std::size_t> inFlight{0}; ///< submitted but not yet streamed
+    std::atomic<bool> dead{false};    ///< write failed / client gone
+    std::atomic<bool> peerEof{false}; ///< no more input (EOF/reset/protocol kill)
+    std::atomic<bool> pokePending{false}; ///< dedupes queued pokes
+    std::atomic<std::uint64_t> seq{0};    ///< default job names per connection
 };
 
 namespace {
+
+void setNonBlocking(int fd) {
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
 
 ScenarioResult rejectionRecord(const ScenarioSpec& spec, std::string verdict,
                                std::string error) {
@@ -60,12 +79,47 @@ std::string errorRecord(const std::string& message) {
 
 } // namespace
 
+AcceptRetry acceptRetryClass(int err) {
+    switch (err) {
+    // Per-connection failures: the connection that was being accepted is
+    // gone (aborted handshake, network blip). The listener is fine.
+    case EINTR:
+    case ECONNABORTED:
+#ifdef EPROTO
+    case EPROTO:
+#endif
+    case ENETDOWN:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+#ifdef EHOSTDOWN
+    case EHOSTDOWN:
+#endif
+#ifdef ENONET
+    case ENONET:
+#endif
+    case EOPNOTSUPP:
+        return AcceptRetry::Retry;
+    // Resource exhaustion: accepting again immediately would spin; back
+    // off briefly and let connections drain fds first.
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+        return AcceptRetry::RetryAfterBackoff;
+    // EBADF/EINVAL/ENOTSOCK/...: the listener itself is unusable (stop()
+    // closed it, or it was never a listening socket).
+    default:
+        return AcceptRetry::Fatal;
+    }
+}
+
 ServeDaemon::ServeDaemon(DaemonConfig cfg, const ScenarioLibrary& lib)
     : cfg_(std::move(cfg)),
       lib_(lib),
       warmCache_(cfg_.warmCacheCapacity),
       resultCache_(cfg_.resultCacheCapacity),
-      engine_(cfg_.engine) {
+      engine_(cfg_.engine),
+      reactor_(std::make_unique<Reactor>(cfg_.reactorBackend)) {
     obs::Registry& r = obs::Registry::process();
     connectionsGauge_ = &r.gauge("srvd.connections");
     connectionsTotal_ = &r.counter("srvd.connections_total");
@@ -73,6 +127,8 @@ ServeDaemon::ServeDaemon(DaemonConfig cfg, const ScenarioLibrary& lib)
     jobsStreamed_ = &r.counter("srvd.jobs_streamed");
     rejectedDraining_ = &r.counter("srvd.rejected_draining");
     badLines_ = &r.counter("srvd.bad_lines");
+    acceptErrors_ = &r.counter("srvd.accept_errors");
+    binaryConnections_ = &r.counter("srvd.binary_connections");
     queueDepthGauge_ = &r.gauge("srvd.queue_depth");
     resultCacheHitRatio_ = &r.gauge("srvd.result_cache_hit_ratio");
     warmCacheHitRatio_ = &r.gauge("srvd.warm_cache_hit_ratio");
@@ -84,11 +140,13 @@ ServeDaemon::ServeDaemon(DaemonConfig cfg, const ScenarioLibrary& lib)
 
 ServeDaemon::~ServeDaemon() { stop(); }
 
+Reactor::Backend ServeDaemon::reactorBackend() const { return reactor_->backend(); }
+
 bool ServeDaemon::start(std::string* err) {
+    std::vector<int> bound;
     const auto fail = [&](const std::string& what) {
         if (err) *err = what + ": " + std::strerror(errno);
-        for (int fd : listenFds_) ::close(fd);
-        listenFds_.clear();
+        for (int fd : bound) ::close(fd);
         return false;
     };
 
@@ -107,11 +165,11 @@ bool ServeDaemon::start(std::string* err) {
             ::close(fd);
             return fail("bind(" + cfg_.socketPath + ")");
         }
-        if (::listen(fd, 64) != 0) {
+        if (::listen(fd, 128) != 0) {
             ::close(fd);
             return fail("listen(" + cfg_.socketPath + ")");
         }
-        listenFds_.push_back(fd);
+        bound.push_back(fd);
     }
 
     // TCP is opt-in via a nonzero port. No listeners configured at all is
@@ -129,33 +187,38 @@ bool ServeDaemon::start(std::string* err) {
             ::close(fd);
             return fail("bind(127.0.0.1:" + std::to_string(cfg_.tcpPort) + ")");
         }
-        if (::listen(fd, 64) != 0) {
+        if (::listen(fd, 128) != 0) {
             ::close(fd);
             return fail("listen(tcp)");
         }
-        sockaddr_in bound{};
-        socklen_t len = sizeof(bound);
-        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-            boundTcpPort_ = ntohs(bound.sin_port);
+        sockaddr_in boundAddr{};
+        socklen_t len = sizeof(boundAddr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&boundAddr), &len) == 0) {
+            boundTcpPort_ = ntohs(boundAddr.sin_port);
         }
-        listenFds_.push_back(fd);
+        bound.push_back(fd);
     }
 
-    for (int fd : listenFds_) {
-        acceptThreads_.emplace_back([this, fd] { acceptLoop(fd); });
+    // Hand the listeners to the reactor only once every bind succeeded.
+    if (!bound.empty()) {
+        for (int fd : bound) setNonBlocking(fd);
+        listenersClosed_.store(false, std::memory_order_release);
+        {
+            std::lock_guard<std::mutex> lk(opsMu_);
+            pendingListenFds_.insert(pendingListenFds_.end(), bound.begin(), bound.end());
+        }
     }
+    ensureReactorStarted();
+    reactor_->wakeup();
     return true;
 }
 
-void ServeDaemon::acceptLoop(int listenFd) {
-    while (!stopping_.load(std::memory_order_acquire)) {
-        const int fd = ::accept(listenFd, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR) continue;
-            return; // listener closed (stop) or fatal — accept loop ends
-        }
-        adoptConnection(fd);
-    }
+void ServeDaemon::ensureReactorStarted() {
+    std::lock_guard<std::mutex> lk(reactorStartMu_);
+    if (reactorRunning_.load(std::memory_order_acquire)) return;
+    reactorStop_.store(false, std::memory_order_release);
+    reactorThread_ = std::thread([this] { reactorLoop(); });
+    reactorRunning_.store(true, std::memory_order_release);
 }
 
 void ServeDaemon::adoptConnection(int fd) {
@@ -163,86 +226,479 @@ void ServeDaemon::adoptConnection(int fd) {
         ::close(fd);
         return;
     }
+    setNonBlocking(fd);
+    ensureReactorStarted();
     auto conn = std::make_shared<Conn>(fd);
     {
-        std::lock_guard<std::mutex> lk(connsMu_);
-        sweepFinishedConnections();
-        conns_.push_back(conn);
+        std::lock_guard<std::mutex> lk(opsMu_);
+        adoptQueue_.push_back(std::move(conn));
     }
     connectionsTotal_->inc();
     connectionsServed_.fetch_add(1, std::memory_order_relaxed);
-    connectionsGauge_->set(static_cast<double>(activeConnections()));
-    conn->reader = std::thread([this, conn] { readerLoop(conn); });
-}
-
-void ServeDaemon::sweepFinishedConnections() {
-    // Caller holds connsMu_. Reap connections whose reader has exited and
-    // whose in-flight work is fully streamed.
-    for (auto it = conns_.begin(); it != conns_.end();) {
-        if ((*it)->finished.load(std::memory_order_acquire) && (*it)->reader.joinable()) {
-            (*it)->reader.join();
-            it = conns_.erase(it);
-        } else {
-            ++it;
-        }
-    }
+    reactor_->wakeup();
 }
 
 std::size_t ServeDaemon::activeConnections() const {
     std::lock_guard<std::mutex> lk(connsMu_);
-    std::size_t n = 0;
-    for (const auto& c : conns_) {
-        if (!c->finished.load(std::memory_order_acquire)) ++n;
-    }
-    return n;
+    return conns_.size();
 }
 
-void ServeDaemon::readerLoop(std::shared_ptr<Conn> conn) {
-    std::string buf;
-    char chunk[4096];
-    while (!conn->dead.load(std::memory_order_acquire) &&
-           !stopping_.load(std::memory_order_acquire)) {
-        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR) continue;
-            break; // EOF or error: client stopped sending
+// ---------------------------------------------------------------------------
+// Reactor thread
+// ---------------------------------------------------------------------------
+
+void ServeDaemon::reactorLoop() {
+    for (;;) {
+        drainReactorOps();
+        if (reactorStop_.load(std::memory_order_acquire)) break;
+        const std::vector<Reactor::Event> events = reactor_->poll(-1);
+        for (const Reactor::Event& ev : events) {
+            if (listenSet_.count(ev.fd) != 0) {
+                onListenReadable(ev.fd);
+                continue;
+            }
+            std::shared_ptr<Conn> conn;
+            {
+                std::lock_guard<std::mutex> lk(connsMu_);
+                auto it = conns_.find(ev.fd);
+                if (it != conns_.end()) conn = it->second;
+            }
+            // A conn closed earlier in this batch leaves stale events.
+            if (conn) onConnEvent(conn, ev);
         }
-        buf.append(chunk, static_cast<std::size_t>(n));
-        std::size_t start = 0;
-        for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
-             nl = buf.find('\n', start)) {
-            std::string line = buf.substr(start, nl - start);
-            start = nl + 1;
-            if (!line.empty() && line.back() == '\r') line.pop_back();
-            if (!line.empty()) handleLine(conn, line);
+    }
+
+    // Teardown (stop() requested): close every remaining connection and
+    // listener on this thread, so fd lifecycle stays single-threaded.
+    drainReactorOps();
+    std::vector<std::shared_ptr<Conn>> remaining;
+    {
+        std::lock_guard<std::mutex> lk(connsMu_);
+        for (auto& [fd, c] : conns_) remaining.push_back(c);
+        conns_.clear();
+    }
+    for (const auto& c : remaining) {
+        if (c->registered) {
+            reactor_->remove(c->fd);
+            c->registered = false;
         }
-        buf.erase(0, start);
-        if (buf.size() > cfg_.maxLineBytes) {
-            writeRecord(conn, errorRecord("request line exceeds " +
-                                          std::to_string(cfg_.maxLineBytes) + " bytes"));
-            badLines_->inc();
+        std::lock_guard<std::mutex> olk(c->outMu);
+        if (!c->fdClosed) {
+            c->fdClosed = true;
+            ::shutdown(c->fd, SHUT_RDWR);
+            ::close(c->fd);
+        }
+    }
+    for (int fd : listenSet_) {
+        reactor_->remove(fd);
+        ::close(fd);
+    }
+    listenSet_.clear();
+    listenersClosed_.store(true, std::memory_order_release);
+    connectionsGauge_->set(0.0);
+}
+
+void ServeDaemon::drainReactorOps() {
+    std::vector<std::shared_ptr<Conn>> adopts;
+    std::vector<std::shared_ptr<Conn>> pokes;
+    std::vector<int> newListeners;
+    {
+        std::lock_guard<std::mutex> lk(opsMu_);
+        adopts.swap(adoptQueue_);
+        pokes.swap(pokeQueue_);
+        newListeners.swap(pendingListenFds_);
+    }
+    const bool closingListeners = closeListenersReq_.load(std::memory_order_acquire);
+    for (int fd : newListeners) {
+        if (closingListeners || reactorStop_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            continue;
+        }
+        listenSet_.insert(fd);
+        reactor_->add(fd, /*read=*/true, /*write=*/false);
+    }
+    if (closingListeners && !listenersClosed_.load(std::memory_order_acquire)) {
+        for (int fd : listenSet_) {
+            reactor_->remove(fd);
+            ::shutdown(fd, SHUT_RDWR);
+            ::close(fd);
+        }
+        listenSet_.clear();
+        listenersClosed_.store(true, std::memory_order_release);
+    }
+    for (const auto& c : adopts) registerConn(c);
+    for (const auto& c : pokes) {
+        c->pokePending.store(false, std::memory_order_release);
+        handlePoke(c);
+    }
+}
+
+void ServeDaemon::registerConn(const std::shared_ptr<Conn>& conn) {
+    if (reactorStop_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> olk(conn->outMu);
+        if (!conn->fdClosed) {
+            conn->fdClosed = true;
+            ::close(conn->fd);
+        }
+        return;
+    }
+    std::size_t count = 0;
+    {
+        std::lock_guard<std::mutex> lk(connsMu_);
+        conns_[conn->fd] = conn;
+        count = conns_.size();
+    }
+    conn->registered = reactor_->add(conn->fd, /*read=*/true, /*write=*/false);
+    connectionsGauge_->set(static_cast<double>(count));
+}
+
+void ServeDaemon::onListenReadable(int listenFd) {
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            adoptConnection(fd);
+            continue;
+        }
+        const int e = errno;
+        if (e == EAGAIN || e == EWOULDBLOCK) return;
+        switch (acceptRetryClass(e)) {
+        case AcceptRetry::Retry:
+            if (e != EINTR) acceptErrors_->inc();
+            continue;
+        case AcceptRetry::RetryAfterBackoff:
+            // Out of fds/memory: a tight retry loop would spin at 100% CPU.
+            // Sleep briefly and lean on level-triggered readiness to try
+            // again next poll, once connections have given fds back.
+            acceptErrors_->inc();
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            return;
+        case AcceptRetry::Fatal:
+            // stop() closed the listener under us, or it never was one.
+            return;
+        }
+    }
+}
+
+void ServeDaemon::onConnEvent(const std::shared_ptr<Conn>& conn,
+                              const Reactor::Event& ev) {
+    if (ev.writable) flushConn(conn);
+    if (ev.readable || ev.hangup) readFromConn(conn, ev.hangup);
+    updateInterest(conn);
+    finishIfDone(conn);
+}
+
+void ServeDaemon::readFromConn(const std::shared_ptr<Conn>& conn, bool hangup) {
+    if (!conn->peerEof.load(std::memory_order_acquire) &&
+        !conn->dead.load(std::memory_order_acquire)) {
+        char chunk[16384];
+        std::size_t total = 0;
+        for (;;) {
+            // While paused we normally leave data in the kernel buffer (that
+            // is the backpressure), but on hangup there will be no further
+            // readable events — drain what remains now.
+            if (conn->readPaused.load(std::memory_order_relaxed) && !hangup) break;
+            const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+            if (n > 0) {
+                conn->inBuf.append(chunk, static_cast<std::size_t>(n));
+                total += static_cast<std::size_t>(n);
+                // Cap one event's haul so a firehose client can't starve the
+                // other connections; level-triggering resumes us.
+                if (total >= (256u << 10) && !hangup) break;
+                continue;
+            }
+            if (n == 0) {
+                conn->peerEof.store(true, std::memory_order_release);
+                break;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            conn->peerEof.store(true, std::memory_order_release); // ECONNRESET etc.
             break;
         }
     }
-    // The client may half-close and keep reading: stream every in-flight
-    // record before declaring the connection finished.
-    {
-        std::unique_lock<std::mutex> lk(conn->mu);
-        conn->cv.wait(lk, [&] { return conn->inFlight == 0; });
-    }
-    // Signal EOF to a half-closed client that is still tailing results; the
-    // fd itself stays open until the Conn is reaped (callbacks may hold it).
-    ::shutdown(conn->fd, SHUT_RDWR);
-    conn->finished.store(true, std::memory_order_release);
-    conn->cv.notify_all();
-    connectionsGauge_->set(static_cast<double>(activeConnections()));
+    processInput(conn);
 }
+
+void ServeDaemon::processInput(const std::shared_ptr<Conn>& conn) {
+    if (conn->dead.load(std::memory_order_acquire)) {
+        conn->inBuf.clear();
+        conn->readPaused.store(false, std::memory_order_relaxed);
+        return;
+    }
+    if (conn->mode == Conn::Mode::Sniff) {
+        if (conn->inBuf.empty()) return;
+        if (conn->inBuf[0] == wiregen::kMagic[0]) {
+            if (conn->inBuf.size() < wiregen::kPreambleBytes) {
+                if (!conn->peerEof.load(std::memory_order_acquire)) return;
+                conn->mode = Conn::Mode::Json; // truncated hello at EOF
+            } else if (wire::checkPreamble(conn->inBuf.data())) {
+                conn->mode = Conn::Mode::Binary;
+                conn->inBuf.erase(0, wiregen::kPreambleBytes);
+                binaryConnections_->inc();
+                writeOut(conn, wire::preamble()); // echo = handshake accept
+            } else {
+                // First byte matched by coincidence: newline-JSON fallback.
+                conn->mode = Conn::Mode::Json;
+            }
+        } else {
+            conn->mode = Conn::Mode::Json;
+        }
+    }
+    if (conn->mode == Conn::Mode::Binary) {
+        processBinaryFrames(conn);
+    } else {
+        processJsonLines(conn);
+    }
+}
+
+void ServeDaemon::processJsonLines(const std::shared_ptr<Conn>& conn) {
+    std::string& buf = conn->inBuf;
+    std::size_t start = 0;
+    for (;;) {
+        if (conn->dead.load(std::memory_order_acquire)) {
+            buf.clear();
+            conn->readPaused.store(false, std::memory_order_relaxed);
+            return;
+        }
+        // Backpressure: at the in-flight window stop consuming; the poke on
+        // each completion resumes us.
+        if (conn->inFlight.load(std::memory_order_acquire) >=
+            cfg_.maxInFlightPerConnection) {
+            conn->readPaused.store(true, std::memory_order_relaxed);
+            break;
+        }
+        conn->readPaused.store(false, std::memory_order_relaxed);
+        const std::size_t nl = buf.find('\n', start);
+        if (nl == std::string::npos) {
+            if (buf.size() - start > cfg_.maxLineBytes) {
+                buf.erase(0, start);
+                failProtocol(conn, "request line exceeds " +
+                                       std::to_string(cfg_.maxLineBytes) + " bytes");
+                return;
+            }
+            break;
+        }
+        std::string line = buf.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty()) handleLine(conn, line);
+    }
+    buf.erase(0, std::min(start, buf.size()));
+}
+
+void ServeDaemon::processBinaryFrames(const std::shared_ptr<Conn>& conn) {
+    std::string& buf = conn->inBuf;
+    std::size_t start = 0;
+    for (;;) {
+        if (conn->dead.load(std::memory_order_acquire)) {
+            buf.clear();
+            conn->readPaused.store(false, std::memory_order_relaxed);
+            return;
+        }
+        if (conn->peerEof.load(std::memory_order_acquire) && buf.empty()) break;
+        if (conn->inFlight.load(std::memory_order_acquire) >=
+            cfg_.maxInFlightPerConnection) {
+            conn->readPaused.store(true, std::memory_order_relaxed);
+            break;
+        }
+        conn->readPaused.store(false, std::memory_order_relaxed);
+        const std::string_view rest(buf.data() + start, buf.size() - start);
+        const std::optional<wire::FrameHeader> h = wire::peekFrameHeader(rest);
+        if (!h) break;
+        // Reject a hostile length prefix before waiting for its payload.
+        if (h->length > cfg_.maxLineBytes) {
+            buf.erase(0, std::min(start, buf.size()));
+            failProtocol(conn, "frame payload of " + std::to_string(h->length) +
+                                   " bytes exceeds " + std::to_string(cfg_.maxLineBytes));
+            return;
+        }
+        const std::size_t need = wiregen::kFrameHeaderBytes + h->length;
+        if (rest.size() < need) break;
+        const std::string_view payload =
+            rest.substr(wiregen::kFrameHeaderBytes, h->length);
+        start += need;
+        handleFrame(conn, h->type, payload);
+        // failProtocol inside handleFrame clears buf; the min() below keeps
+        // the trailing erase in range either way.
+        if (buf.empty()) start = 0;
+    }
+    buf.erase(0, std::min(start, buf.size()));
+}
+
+void ServeDaemon::handleFrame(const std::shared_ptr<Conn>& conn, std::uint8_t type,
+                              std::string_view payload) {
+    using wire::FrameType;
+    switch (static_cast<FrameType>(type)) {
+    case FrameType::Job: {
+        wiregen::WireJob w;
+        std::string err;
+        if (!wiregen::WireJob::decode(w, payload.data(), payload.size(), &err)) {
+            // Malformed payload: one error record, connection survives —
+            // mirrors a malformed JSON line.
+            writeError(conn, "bad job frame: " + err);
+            badLines_->inc();
+            return;
+        }
+        ScenarioSpec spec = wire::jobFromWire(w);
+        if (spec.name.empty()) {
+            spec.name = spec.scenario + "#" +
+                        std::to_string(conn->seq.fetch_add(1, std::memory_order_relaxed));
+        }
+        dispatchSpec(conn, std::move(spec));
+        return;
+    }
+    case FrameType::Control: {
+        const std::string text(payload);
+        std::string err;
+        const std::optional<json::Value> doc = json::parse(text, &err);
+        if (!doc || !doc->isObject()) {
+            writeControlResp(conn,
+                             errorRecord(doc ? "control frame must carry a JSON object"
+                                             : err));
+            badLines_->inc();
+            return;
+        }
+        const json::Value* op = doc->find("op");
+        if (!op || !op->isString()) {
+            writeControlResp(conn, errorRecord("control frame requires a string 'op'"));
+            badLines_->inc();
+            return;
+        }
+        handleControl(conn, op->string, *doc);
+        return;
+    }
+    default:
+        // The client-side frame types (Result/Error/ControlResponse) and
+        // unknown ids are protocol violations on this direction.
+        badLines_->inc();
+        failProtocol(conn, "unexpected frame type " + std::to_string(type));
+        return;
+    }
+}
+
+void ServeDaemon::failProtocol(const std::shared_ptr<Conn>& conn,
+                               const std::string& message) {
+    // The stream can't be resynced: report once, stop reading, and let the
+    // connection drain its in-flight records before closing.
+    writeError(conn, message);
+    badLines_->inc();
+    conn->inBuf.clear();
+    conn->readPaused.store(false, std::memory_order_relaxed);
+    conn->peerEof.store(true, std::memory_order_release);
+}
+
+void ServeDaemon::updateInterest(const std::shared_ptr<Conn>& conn) {
+    bool wantWrite = false;
+    bool closed = false;
+    {
+        std::lock_guard<std::mutex> lk(conn->outMu);
+        closed = conn->fdClosed;
+        wantWrite = !conn->outBuf.empty() && !conn->dead.load(std::memory_order_acquire);
+    }
+    if (closed) return;
+    const bool wantRead = !conn->readPaused.load(std::memory_order_relaxed) &&
+                          !conn->peerEof.load(std::memory_order_acquire) &&
+                          !conn->dead.load(std::memory_order_acquire);
+    if (!wantRead && !wantWrite) {
+        // Deregister entirely: zero-interest fds still surface EPOLLHUP
+        // level-triggered, which would spin the reactor while a paused or
+        // draining connection finishes up.
+        if (conn->registered) {
+            reactor_->remove(conn->fd);
+            conn->registered = false;
+        }
+        return;
+    }
+    if (!conn->registered) {
+        conn->registered = reactor_->add(conn->fd, wantRead, wantWrite);
+        return;
+    }
+    reactor_->modify(conn->fd, wantRead, wantWrite);
+}
+
+void ServeDaemon::handlePoke(const std::shared_ptr<Conn>& conn) {
+    flushConn(conn);
+    if (conn->readPaused.load(std::memory_order_relaxed) &&
+        conn->inFlight.load(std::memory_order_acquire) <
+            cfg_.maxInFlightPerConnection) {
+        conn->readPaused.store(false, std::memory_order_relaxed);
+        processInput(conn); // resume on buffered input before new reads
+    }
+    updateInterest(conn);
+    finishIfDone(conn);
+}
+
+void ServeDaemon::flushConn(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard<std::mutex> lk(conn->outMu);
+    if (conn->fdClosed || conn->dead.load(std::memory_order_acquire)) {
+        conn->outBuf.clear();
+        return;
+    }
+    std::size_t off = 0;
+    while (off < conn->outBuf.size()) {
+        const ssize_t n = ::send(conn->fd, conn->outBuf.data() + off,
+                                 conn->outBuf.size() - off, MSG_NOSIGNAL);
+        if (n >= 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        conn->dead.store(true, std::memory_order_release);
+        conn->outBuf.clear();
+        return;
+    }
+    conn->outBuf.erase(0, off);
+}
+
+void ServeDaemon::finishIfDone(const std::shared_ptr<Conn>& conn) {
+    bool outEmpty = false;
+    {
+        std::lock_guard<std::mutex> lk(conn->outMu);
+        if (conn->fdClosed) return;
+        outEmpty = conn->outBuf.empty();
+    }
+    const bool dead = conn->dead.load(std::memory_order_acquire);
+    if (!conn->peerEof.load(std::memory_order_acquire) && !dead) return;
+    if (conn->inFlight.load(std::memory_order_acquire) != 0) return;
+    // Paused implies buffered requests; completion pokes resume and drain
+    // them before we can get here with inFlight == 0 again.
+    if (conn->readPaused.load(std::memory_order_relaxed)) return;
+    if (!outEmpty && !dead) return; // still flushing tail records
+    closeConn(conn);
+}
+
+void ServeDaemon::closeConn(const std::shared_ptr<Conn>& conn) {
+    if (conn->registered) {
+        reactor_->remove(conn->fd);
+        conn->registered = false;
+    }
+    {
+        std::lock_guard<std::mutex> lk(conn->outMu);
+        if (conn->fdClosed) return;
+        conn->fdClosed = true;
+        conn->outBuf.clear();
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+    std::size_t count = 0;
+    {
+        std::lock_guard<std::mutex> lk(connsMu_);
+        conns_.erase(conn->fd);
+        count = conns_.size();
+    }
+    connectionsGauge_->set(static_cast<double>(count));
+}
+
+// ---------------------------------------------------------------------------
+// Request handling (reactor thread)
+// ---------------------------------------------------------------------------
 
 void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::string& line) {
     std::string err;
     const std::optional<json::Value> doc = json::parse(line, &err);
     if (!doc || !doc->isObject()) {
-        writeRecord(conn, errorRecord(doc ? "request must be a JSON object" : err));
+        writeError(conn, doc ? "request must be a JSON object" : err);
         badLines_->inc();
         return;
     }
@@ -256,7 +712,7 @@ void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::strin
     try {
         specs = parseJobObject(*doc);
     } catch (const std::exception& ex) {
-        writeRecord(conn, errorRecord(ex.what()));
+        writeError(conn, ex.what());
         badLines_->inc();
         return;
     }
@@ -303,6 +759,7 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
             << ", \"jobs_streamed\": " << jobsStreamed_->value()
             << ", \"rejected_draining\": " << rejectedDraining_->value()
             << ", \"bad_lines\": " << badLines_->value()
+            << ", \"accept_errors\": " << acceptErrors_->value()
             << ", \"deadline_misses\": " << obs::Monitor::global().misses();
         // Per-signal miss counters live in the process registry as
         // rt.deadline_miss.<signal>; surface them as a nested map.
@@ -328,7 +785,7 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
     } else if (op == "set_sampling") {
         const json::Value* rate = doc.find("rate");
         if (!rate || !rate->isNumber()) {
-            writeLine(conn, errorRecord("set_sampling requires a numeric 'rate'"));
+            writeControlResp(conn, errorRecord("set_sampling requires a numeric 'rate'"));
             badLines_->inc();
             return;
         }
@@ -340,11 +797,11 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
             << json::number(reg.spanSamplingRate())
             << ", \"period\": " << reg.spanSamplingPeriod() << "}";
     } else {
-        writeLine(conn, errorRecord("unknown op '" + op + "'"));
+        writeControlResp(conn, errorRecord("unknown op '" + op + "'"));
         badLines_->inc();
         return;
     }
-    writeLine(conn, out.str());
+    writeControlResp(conn, out.str());
 }
 
 void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec) {
@@ -352,9 +809,7 @@ void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec s
 
     if (draining_.load(std::memory_order_acquire)) {
         rejectedDraining_->inc();
-        writeRecord(conn, resultJson(rejectionRecord(spec, "draining",
-                                                     "daemon is draining"),
-                                     cfg_.includeMetrics));
+        writeResult(conn, rejectionRecord(spec, "draining", "daemon is draining"));
         return;
     }
 
@@ -366,85 +821,128 @@ void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec s
             hit->name = spec.name;
             hit->cachedResult = true;
             updateCacheGauges();
-            writeRecord(conn, resultJson(*hit, cfg_.includeMetrics));
+            writeResult(conn, *hit);
             return;
         }
         updateCacheGauges();
     }
 
-    // Backpressure: stall the reader at the in-flight window; the kernel
-    // socket buffer then pushes back on the client.
-    {
-        std::unique_lock<std::mutex> lk(conn->mu);
-        conn->cv.wait(lk, [&] {
-            return conn->inFlight < cfg_.maxInFlightPerConnection ||
-                   conn->dead.load(std::memory_order_acquire) ||
-                   stopping_.load(std::memory_order_acquire);
-        });
-        if (conn->dead.load(std::memory_order_acquire)) return;
-        ++conn->inFlight;
-    }
-
     const std::uint64_t jobHash = spec.jobHash();
+    conn->inFlight.fetch_add(1, std::memory_order_acq_rel);
     const bool submitted = session_->submit(
         spec, [this, conn, jobHash](ScenarioResult res) {
             if (cfg_.resultCacheCapacity > 0) resultCache_.store(jobHash, res);
             updateCacheGauges();
             queueDepthGauge_->set(static_cast<double>(session_->queueDepth()));
             if (!conn->dead.load(std::memory_order_acquire)) {
-                writeRecord(conn, resultJson(res, cfg_.includeMetrics));
+                writeResult(conn, res);
             }
-            {
-                std::lock_guard<std::mutex> lk(conn->mu);
-                --conn->inFlight;
-            }
-            conn->cv.notify_all();
+            conn->inFlight.fetch_sub(1, std::memory_order_acq_rel);
+            // Hand resume/flush/finish back to the reactor thread.
+            poke(conn);
         });
 
     if (!submitted) {
         // Raced with beginDrain: report the same structured rejection the
         // fast path produces, and give the window slot back.
-        {
-            std::lock_guard<std::mutex> lk(conn->mu);
-            --conn->inFlight;
-        }
-        conn->cv.notify_all();
+        conn->inFlight.fetch_sub(1, std::memory_order_acq_rel);
         rejectedDraining_->inc();
-        writeRecord(conn, resultJson(rejectionRecord(spec, "draining",
-                                                     "daemon is draining"),
-                                     cfg_.includeMetrics));
+        writeResult(conn, rejectionRecord(spec, "draining", "daemon is draining"));
         return;
     }
     queueDepthGauge_->set(static_cast<double>(session_->queueDepth()));
 }
 
-void ServeDaemon::writeLine(const std::shared_ptr<Conn>& conn,
-                            const std::string& payload) {
+// ---------------------------------------------------------------------------
+// Writers (any thread)
+// ---------------------------------------------------------------------------
+
+void ServeDaemon::writeResult(const std::shared_ptr<Conn>& conn,
+                              const ScenarioResult& res) {
     if (conn->dead.load(std::memory_order_acquire)) return;
-    std::lock_guard<std::mutex> lk(conn->writeMu);
-    std::string line = payload;
-    line.push_back('\n');
-    std::size_t off = 0;
-    while (off < line.size()) {
-        const ssize_t n =
-            ::send(conn->fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            // Client gone (EPIPE/ECONNRESET/...): poison the connection so
-            // later callbacks discard instead of writing into the void.
-            conn->dead.store(true, std::memory_order_release);
-            conn->cv.notify_all();
-            return;
-        }
-        off += static_cast<std::size_t>(n);
+    const ResultRecord rec = flattenResult(res, cfg_.includeMetrics);
+    std::string bytes;
+    if (conn->mode == Conn::Mode::Binary) {
+        wire::appendFrame(bytes, wire::FrameType::Result,
+                          wire::resultToWire(rec).encode());
+    } else {
+        bytes = recordJson(rec);
+        bytes.push_back('\n');
     }
+    writeOut(conn, bytes);
+    if (!conn->dead.load(std::memory_order_acquire)) jobsStreamed_->inc();
 }
 
-void ServeDaemon::writeRecord(const std::shared_ptr<Conn>& conn,
-                              const std::string& record) {
+void ServeDaemon::writeError(const std::shared_ptr<Conn>& conn,
+                             const std::string& message) {
     if (conn->dead.load(std::memory_order_acquire)) return;
-    writeLine(conn, record);
+    const std::string record = errorRecord(message);
+    std::string bytes;
+    if (conn->mode == Conn::Mode::Binary) {
+        wire::appendFrame(bytes, wire::FrameType::Error, record);
+    } else {
+        bytes = record;
+        bytes.push_back('\n');
+    }
+    writeOut(conn, bytes);
     if (!conn->dead.load(std::memory_order_acquire)) jobsStreamed_->inc();
+}
+
+void ServeDaemon::writeControlResp(const std::shared_ptr<Conn>& conn,
+                                   const std::string& payload) {
+    if (conn->dead.load(std::memory_order_acquire)) return;
+    std::string bytes;
+    if (conn->mode == Conn::Mode::Binary) {
+        wire::appendFrame(bytes, wire::FrameType::ControlResponse, payload);
+    } else {
+        bytes = payload;
+        bytes.push_back('\n');
+    }
+    writeOut(conn, bytes);
+}
+
+void ServeDaemon::writeOut(const std::shared_ptr<Conn>& conn, std::string_view bytes) {
+    bool needPoke = false;
+    {
+        std::lock_guard<std::mutex> lk(conn->outMu);
+        if (conn->fdClosed || conn->dead.load(std::memory_order_acquire)) return;
+        if (conn->outBuf.empty()) {
+            // Fast path: write straight to the socket; spill only what the
+            // kernel buffer refuses.
+            std::size_t off = 0;
+            while (off < bytes.size()) {
+                const ssize_t n = ::send(conn->fd, bytes.data() + off,
+                                         bytes.size() - off, MSG_NOSIGNAL);
+                if (n >= 0) {
+                    off += static_cast<std::size_t>(n);
+                    continue;
+                }
+                if (errno == EINTR) continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                // Client gone (EPIPE/ECONNRESET/...): poison the connection
+                // so later records discard instead of writing into the void.
+                conn->dead.store(true, std::memory_order_release);
+                break;
+            }
+            if (!conn->dead.load(std::memory_order_acquire) && off < bytes.size()) {
+                conn->outBuf.assign(bytes.substr(off));
+            }
+        } else {
+            conn->outBuf.append(bytes);
+        }
+        needPoke = conn->dead.load(std::memory_order_acquire) || !conn->outBuf.empty();
+        if (conn->dead.load(std::memory_order_acquire)) conn->outBuf.clear();
+    }
+    if (needPoke) poke(conn);
+}
+
+void ServeDaemon::poke(const std::shared_ptr<Conn>& conn) {
+    if (conn->pokePending.exchange(true, std::memory_order_acq_rel)) return;
+    {
+        std::lock_guard<std::mutex> lk(opsMu_);
+        pokeQueue_.push_back(conn);
+    }
+    reactor_->wakeup();
 }
 
 void ServeDaemon::updateCacheGauges() {
@@ -456,6 +954,10 @@ void ServeDaemon::updateCacheGauges() {
     warmCacheHitRatio_->set(ratio(warmCache_.hits(), warmCache_.misses()));
 }
 
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
 void ServeDaemon::beginDrain() {
     draining_.store(true, std::memory_order_release);
     session_->beginDrain();
@@ -466,40 +968,78 @@ void ServeDaemon::stop() {
     if (stopped_) return;
     const auto drainStart = std::chrono::steady_clock::now();
     beginDrain();
-
-    // Close listeners first: no new connections while draining.
     stopping_.store(true, std::memory_order_release);
-    for (int fd : listenFds_) ::shutdown(fd, SHUT_RDWR);
-    for (std::thread& t : acceptThreads_) {
-        if (t.joinable()) t.join();
-    }
-    for (int fd : listenFds_) ::close(fd);
-    listenFds_.clear();
-    acceptThreads_.clear();
 
-    // Every admitted job runs to completion and its record is written by
-    // the completion callback before drainWait returns.
+    // Close listeners first: no new connections while draining. The
+    // reactor owns the fds, so it does the closing.
+    if (reactorRunning_.load(std::memory_order_acquire)) {
+        closeListenersReq_.store(true, std::memory_order_release);
+        reactor_->wakeup();
+        while (!listenersClosed_.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    } else {
+        std::lock_guard<std::mutex> lk(opsMu_);
+        for (int fd : pendingListenFds_) ::close(fd);
+        pendingListenFds_.clear();
+        listenersClosed_.store(true, std::memory_order_release);
+    }
+
+    // Every admitted job runs to completion and its record is handed to the
+    // connection by the completion callback before drainWait returns.
     session_->drainWait();
+
+    // Let the reactor finish the tail: resume paused connections (their
+    // buffered requests become drain rejections), and flush every buffered
+    // record to clients that are still reading.
+    for (;;) {
+        bool pending = false;
+        {
+            std::lock_guard<std::mutex> lk(connsMu_);
+            for (const auto& [fd, c] : conns_) {
+                if (c->dead.load(std::memory_order_acquire)) continue;
+                if (c->inFlight.load(std::memory_order_acquire) != 0 ||
+                    c->readPaused.load(std::memory_order_acquire)) {
+                    pending = true;
+                    break;
+                }
+                std::lock_guard<std::mutex> olk(c->outMu);
+                if (!c->fdClosed && !c->outBuf.empty()) {
+                    pending = true;
+                    break;
+                }
+            }
+        }
+        if (!pending) break;
+        reactor_->wakeup();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
     lastDrainSeconds_ =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - drainStart)
             .count();
     drainSeconds_->set(lastDrainSeconds_);
     session_->stop();
 
-    // Unblock readers (recv / backpressure waits) and join them.
-    std::list<std::shared_ptr<Conn>> conns;
+    // Tear down the reactor; its exit path closes all remaining fds.
+    if (reactorRunning_.load(std::memory_order_acquire)) {
+        reactorStop_.store(true, std::memory_order_release);
+        reactor_->wakeup();
+        if (reactorThread_.joinable()) reactorThread_.join();
+        reactorRunning_.store(false, std::memory_order_release);
+    }
     {
-        std::lock_guard<std::mutex> lk(connsMu_);
-        conns.swap(conns_);
+        std::lock_guard<std::mutex> lk(opsMu_);
+        for (const auto& c : adoptQueue_) {
+            std::lock_guard<std::mutex> olk(c->outMu);
+            if (!c->fdClosed) {
+                c->fdClosed = true;
+                ::close(c->fd);
+            }
+        }
+        adoptQueue_.clear();
+        pokeQueue_.clear();
     }
-    for (auto& c : conns) {
-        ::shutdown(c->fd, SHUT_RDWR);
-        c->cv.notify_all();
-    }
-    for (auto& c : conns) {
-        if (c->reader.joinable()) c->reader.join();
-    }
-    conns.clear();
 
     if (!cfg_.socketPath.empty()) ::unlink(cfg_.socketPath.c_str());
     connectionsGauge_->set(0.0);

@@ -1,65 +1,67 @@
 #pragma once
 /// \file daemon.hpp
 /// The persistent serving daemon core: a ServeDaemon keeps one
-/// ServeEngine::Session (worker pool + watchdog) resident, accepts
-/// newline-delimited JSON job requests over a Unix-domain socket and/or a
-/// loopback TCP socket, and streams back one result record per line as
-/// jobs complete — out of submission order, matched by "name".
+/// ServeEngine::Session (worker pool + watchdog) resident and serves job
+/// requests over a Unix-domain socket and/or a loopback TCP socket. Since
+/// the reactor rewrite every connection is multiplexed onto ONE event
+/// thread (epoll, poll fallback): nonblocking fds, per-connection
+/// read/write buffers, and level-triggered readiness — thousands of
+/// concurrent connections cost a map entry each, not a thread each.
 ///
-/// Wire protocol (docs/SERVING.md has the full schema)
-/// ---------------------------------------------------
-/// Request lines are job objects in the batch-file "jobs" element schema
-/// (scenario, name, horizon, mode, params, repeat/sweep, deadlines).
-/// Response lines are the per-job result records reportJson() embeds,
-/// plus "warm_reuse"/"cached_result" flags. A malformed line yields one
-/// {"status": "error", "error": ...} record instead of killing the
-/// connection. While draining, every job line yields a Rejected record
-/// with verdict "draining".
+/// Wire protocols (docs/SERVING.md has the full schemas)
+/// -----------------------------------------------------
+/// A connection's first byte negotiates its framing, fixed for the
+/// connection's lifetime:
 ///
-/// A request object carrying a string member "op" is a *control verb*, not
-/// a job: "metrics" (Prometheus text + JSON snapshot of the process
-/// registry), "trace" (Chrome-trace slice of the global tracer, optional
-/// "last_n"), "health" (deadline misses, watchdog, drain status, queue
-/// depth, sampling rate) and "set_sampling" (runtime span-sampling rate,
-/// floor-clamped). Control verbs respond with exactly one JSON line, never
-/// count as jobs, and keep working while the daemon drains — the
-/// observability surface must stay up precisely when the daemon is
-/// shutting down.
+///  * newline-JSON (fallback, the original protocol): request lines are
+///    job objects in the batch-file "jobs" element schema (including
+///    repeat/sweep expansion); response lines are per-job result records.
+///    A malformed line yields one {"status": "error", ...} record and the
+///    connection lives on.
+///  * binary framing: the 8-byte preamble "URTX" + version (echoed back
+///    as the accept) switches to length-prefixed frames carrying
+///    generated WireJob/WireResult messages (src/codegen emits the
+///    codec from the ScenarioSpec/result-record descriptors). Results are
+///    bit-identical across framings — the trace hash in a binary record
+///    is the same FNV-1a a JSON record renders.
 ///
-/// Caching
-/// -------
-/// Jobs first consult the ResultCache by ScenarioSpec::jobHash(): a hit
-/// replays the stored record (bit-identical trace hash) without touching
-/// the engine. Misses run on the session; successful runs park their
-/// scenario instance in the WarmScenarioCache by warmKey() and store the
-/// result.
+/// A request carrying a string "op" member (sent as a JSON line or inside
+/// a Control frame) is a *control verb*, not a job: "metrics", "trace",
+/// "health", "set_sampling". Verbs respond with exactly one JSON
+/// line/ControlResponse frame, never count as jobs, and keep answering
+/// while the daemon drains.
 ///
-/// Backpressure
-/// ------------
-/// Each connection has a bounded in-flight window: once
-/// maxInFlightPerConnection jobs are submitted-but-unreported the reader
-/// stops consuming the socket until results drain, so one firehose client
-/// cannot flood the queue (TCP/Unix buffers then push back on the writer).
+/// Caching, backpressure, shutdown
+/// -------------------------------
+/// Jobs consult the ResultCache by jobHash() (bit-identical replay), then
+/// run on the session, parking instances in the WarmScenarioCache by
+/// warmKey(). Each connection has a bounded submitted-but-unreported
+/// window: at the limit the reactor stops *reading* that fd (the kernel
+/// buffer then pushes back on the client) and resumes as results stream.
+/// beginDrain()/stop() reject new jobs, finish every admitted one, flush
+/// every buffered record, then close — no job lost or double-reported.
 ///
-/// Shutdown
-/// --------
-/// beginDrain() (SIGTERM in urtx_served) stops admitting work but keeps
-/// every admitted job running to its streamed record; stop() waits for
-/// that drain, then closes connections and joins every thread. No job is
-/// lost or double-reported across the drain edge.
+/// Two historical edge bugs are fixed structurally here: a transient
+/// accept(2) errno (EMFILE/ENFILE/ECONNABORTED/...) no longer kills the
+/// listener — it is retried (with a short backoff on fd exhaustion) and
+/// counted in srvd.accept_errors; and finished connections are reaped the
+/// moment they drain, not when the *next* connection happens to arrive.
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "srv/cache.hpp"
+#include "srv/daemon/reactor.hpp"
 #include "srv/engine.hpp"
 #include "srv/scenario.hpp"
 
@@ -74,6 +76,15 @@ namespace json {
 class Value;
 } // namespace json
 
+/// How the reactor should treat an accept(2) failure. Exposed for tests:
+/// the classification is the accept-loop-death bugfix.
+enum class AcceptRetry : std::uint8_t {
+    Retry,             ///< transient per-connection error: try again now
+    RetryAfterBackoff, ///< fd/memory exhaustion: sleep briefly, then retry
+    Fatal,             ///< the listener itself is gone (EBADF/EINVAL/...)
+};
+AcceptRetry acceptRetryClass(int err);
+
 struct DaemonConfig {
     /// Unix-domain socket path; empty = no Unix listener.
     std::string socketPath;
@@ -85,13 +96,16 @@ struct DaemonConfig {
     std::size_t warmCacheCapacity = 16;
     /// Stored results replayed for bit-identical reruns (0 disables).
     std::size_t resultCacheCapacity = 256;
-    /// Per-connection submitted-but-unreported window; the reader stalls
-    /// at the limit.
+    /// Per-connection submitted-but-unreported window; the reactor stops
+    /// reading the fd at the limit.
     std::size_t maxInFlightPerConnection = 64;
-    /// Hard cap on one request line (malformed clients can't balloon RAM).
+    /// Hard cap on one request line / binary frame payload (malformed
+    /// clients can't balloon RAM).
     std::size_t maxLineBytes = 1 << 20;
     /// Embed each job's scoped metrics snapshot in its streamed record.
     bool includeMetrics = false;
+    /// Event backend; Auto = epoll where available, else poll.
+    Reactor::Backend reactorBackend = Reactor::Backend::Auto;
 };
 
 class ServeDaemon {
@@ -103,23 +117,24 @@ public:
     ServeDaemon(const ServeDaemon&) = delete;
     ServeDaemon& operator=(const ServeDaemon&) = delete;
 
-    /// Bind the configured listeners and start their accept threads (the
+    /// Bind the configured listeners and start the reactor thread (the
     /// session itself starts in the constructor). Returns false with a
     /// reason when a bind fails. Callable without any listener configured —
-    /// adoptConnection() then drives the daemon directly (tests).
+    /// adoptConnection() then drives the daemon directly (tests, benches).
     bool start(std::string* err = nullptr);
 
-    /// Serve an already-connected stream socket (accept loops use this;
-    /// tests hand in one end of a socketpair). The daemon owns \p fd.
+    /// Serve an already-connected stream socket (the accept path uses
+    /// this; tests hand in one end of a socketpair). The daemon owns
+    /// \p fd and switches it nonblocking.
     void adoptConnection(int fd);
 
     /// Stop admitting jobs; admitted ones keep running and streaming.
     void beginDrain();
     bool draining() const { return draining_.load(std::memory_order_acquire); }
 
-    /// Graceful shutdown: beginDrain, wait for every admitted job's record
-    /// to be written, close listeners and connections, join every thread.
-    /// Idempotent.
+    /// Graceful shutdown: beginDrain, run every admitted job to its
+    /// streamed record, flush every connection buffer, close listeners and
+    /// connections, join the reactor. Idempotent.
     void stop();
 
     /// Seconds the last stop() spent draining (srvd.drain_seconds).
@@ -136,6 +151,10 @@ public:
     ResultCache& resultCache() { return resultCache_; }
     const DaemonConfig& config() const { return cfg_; }
 
+    /// The backend the reactor resolved (Auto -> Epoll/Poll); meaningful
+    /// after start().
+    Reactor::Backend reactorBackend() const;
+
     /// Bound TCP port (after start(); useful when cfg.tcpPort was
     /// ephemeral). 0 when no TCP listener.
     std::uint16_t boundTcpPort() const { return boundTcpPort_; }
@@ -143,16 +162,40 @@ public:
 private:
     struct Conn;
 
-    void readerLoop(std::shared_ptr<Conn> conn);
-    void acceptLoop(int listenFd);
+    // Reactor thread body and helpers (reactor thread only unless noted).
+    void reactorLoop();
+    void ensureReactorStarted();
+    void drainReactorOps();
+    void registerConn(const std::shared_ptr<Conn>& conn);
+    void onListenReadable(int listenFd);
+    void onConnEvent(const std::shared_ptr<Conn>& conn, const Reactor::Event& ev);
+    void readFromConn(const std::shared_ptr<Conn>& conn, bool hangup);
+    void processInput(const std::shared_ptr<Conn>& conn);
+    void processJsonLines(const std::shared_ptr<Conn>& conn);
+    void processBinaryFrames(const std::shared_ptr<Conn>& conn);
+    void handleFrame(const std::shared_ptr<Conn>& conn, std::uint8_t type,
+                     std::string_view payload);
+    void updateInterest(const std::shared_ptr<Conn>& conn);
+    void handlePoke(const std::shared_ptr<Conn>& conn);
+    void flushConn(const std::shared_ptr<Conn>& conn);
+    void finishIfDone(const std::shared_ptr<Conn>& conn);
+    void closeConn(const std::shared_ptr<Conn>& conn);
+    void failProtocol(const std::shared_ptr<Conn>& conn, const std::string& message);
+
     void handleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
     void handleControl(const std::shared_ptr<Conn>& conn, const std::string& op,
                        const json::Value& doc);
     void dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec);
-    void writeRecord(const std::shared_ptr<Conn>& conn, const std::string& record);
-    void writeLine(const std::shared_ptr<Conn>& conn, const std::string& payload);
+
+    // Mode-aware writers (any thread; they hand buffered bytes to the
+    // reactor via poke()).
+    void writeResult(const std::shared_ptr<Conn>& conn, const ScenarioResult& res);
+    void writeError(const std::shared_ptr<Conn>& conn, const std::string& message);
+    void writeControlResp(const std::shared_ptr<Conn>& conn, const std::string& payload);
+    void writeOut(const std::shared_ptr<Conn>& conn, std::string_view bytes);
+    void poke(const std::shared_ptr<Conn>& conn); ///< any thread
+
     void updateCacheGauges();
-    void sweepFinishedConnections();
 
     DaemonConfig cfg_;
     const ScenarioLibrary& lib_;
@@ -161,12 +204,25 @@ private:
     ServeEngine engine_;
     std::unique_ptr<ServeEngine::Session> session_;
 
-    std::vector<int> listenFds_;
-    std::vector<std::thread> acceptThreads_;
+    std::unique_ptr<Reactor> reactor_;
+    std::thread reactorThread_;
+    std::mutex reactorStartMu_;
+    std::atomic<bool> reactorRunning_{false};
+    std::atomic<bool> reactorStop_{false};
+
+    std::unordered_set<int> listenSet_; ///< reactor thread only
+    std::atomic<bool> closeListenersReq_{false};
+    std::atomic<bool> listenersClosed_{true};
     std::uint16_t boundTcpPort_ = 0;
 
+    // Cross-thread op queues drained by the reactor at each wakeup.
+    std::mutex opsMu_;
+    std::vector<std::shared_ptr<Conn>> adoptQueue_;
+    std::vector<std::shared_ptr<Conn>> pokeQueue_;
+    std::vector<int> pendingListenFds_;
+
     mutable std::mutex connsMu_;
-    std::list<std::shared_ptr<Conn>> conns_;
+    std::unordered_map<int, std::shared_ptr<Conn>> conns_; ///< fd -> conn
 
     std::atomic<bool> draining_{false};
     std::atomic<bool> stopping_{false};
@@ -182,6 +238,8 @@ private:
     obs::Counter* jobsStreamed_;
     obs::Counter* rejectedDraining_;
     obs::Counter* badLines_;
+    obs::Counter* acceptErrors_;
+    obs::Counter* binaryConnections_;
     obs::Gauge* queueDepthGauge_;
     obs::Gauge* resultCacheHitRatio_;
     obs::Gauge* warmCacheHitRatio_;

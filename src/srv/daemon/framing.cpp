@@ -1,0 +1,131 @@
+#include "srv/daemon/framing.hpp"
+
+#include <cstring>
+
+namespace urtx::srv::wire {
+
+std::string preamble() {
+    std::string p(wiregen::kMagic, 4);
+    p.push_back(static_cast<char>(wiregen::kVersion));
+    p.push_back('\0'); // flags (none defined yet)
+    p.push_back('\0'); // reserved
+    p.push_back('\0');
+    return p;
+}
+
+bool checkPreamble(const void* data, std::string* err) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    if (std::memcmp(p, wiregen::kMagic, 4) != 0) {
+        if (err) *err = "bad wire magic";
+        return false;
+    }
+    if (p[4] != wiregen::kVersion) {
+        if (err) {
+            *err = "unsupported wire version " + std::to_string(p[4]) +
+                   " (daemon speaks " + std::to_string(wiregen::kVersion) + ")";
+        }
+        return false;
+    }
+    return true;
+}
+
+void appendFrame(std::string& out, FrameType type, std::string_view payload) {
+    wiregen::putU32(out, static_cast<std::uint32_t>(payload.size()));
+    wiregen::putU8(out, static_cast<std::uint8_t>(type));
+    out.append(payload);
+}
+
+std::optional<FrameHeader> peekFrameHeader(std::string_view buf) {
+    if (buf.size() < wiregen::kFrameHeaderBytes) return std::nullopt;
+    const auto* p = reinterpret_cast<const unsigned char*>(buf.data());
+    FrameHeader h;
+    h.length = 0;
+    for (int i = 0; i < 4; ++i) h.length |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    h.type = p[4];
+    return h;
+}
+
+wiregen::WireJob jobToWire(const ScenarioSpec& spec) {
+    wiregen::WireJob w;
+    w.scenario = spec.scenario;
+    w.name = spec.name;
+    w.horizon = spec.horizon;
+    w.mode = spec.mode == sim::ExecutionMode::MultiThread ? 1 : 0;
+    w.deadline_seconds = spec.deadlineSeconds;
+    w.cost_seconds = spec.costSeconds;
+    w.wall_budget_seconds = spec.wallBudgetSeconds;
+    w.num_params = spec.params.nums();
+    for (const auto& [k, v] : spec.params.strs()) w.str_params[k] = v;
+    return w;
+}
+
+ScenarioSpec jobFromWire(const wiregen::WireJob& w) {
+    ScenarioSpec spec;
+    spec.scenario = w.scenario;
+    spec.name = w.name;
+    spec.horizon = w.horizon;
+    spec.mode = w.mode == 1 ? sim::ExecutionMode::MultiThread
+                            : sim::ExecutionMode::SingleThread;
+    spec.deadlineSeconds = w.deadline_seconds;
+    spec.costSeconds = w.cost_seconds;
+    spec.wallBudgetSeconds = w.wall_budget_seconds;
+    for (const auto& [k, v] : w.num_params) spec.params.set(k, v);
+    for (const auto& [k, v] : w.str_params) spec.params.set(k, v);
+    return spec;
+}
+
+wiregen::WireResult resultToWire(const ResultRecord& r) {
+    wiregen::WireResult w;
+    w.name = r.name;
+    w.scenario = r.scenario;
+    w.status = static_cast<std::uint8_t>(r.status);
+    w.passed = r.passed;
+    w.verdict = r.verdict;
+    w.error = r.error;
+    w.worker = r.worker;
+    w.stolen = r.stolen;
+    w.deadline_met = r.deadlineMet;
+    w.warm_reuse = r.warmReuse;
+    w.cached_result = r.cachedResult;
+    w.watchdog_tripped = r.watchdogTripped;
+    w.queue_wait_seconds = r.queueWaitSeconds;
+    w.wall_seconds = r.wallSeconds;
+    w.finished_at_seconds = r.finishedAtSeconds;
+    w.sim_time = r.simTime;
+    w.steps = r.steps;
+    w.trace_rows = r.traceRows;
+    w.trace_hash = r.traceHash;
+    w.metrics_json = r.metricsJson;
+    w.postmortem_json = r.postmortemJson;
+    return w;
+}
+
+ResultRecord resultFromWire(const wiregen::WireResult& w) {
+    ResultRecord r;
+    r.name = w.name;
+    r.scenario = w.scenario;
+    r.status = w.status <= static_cast<std::uint8_t>(ScenarioStatus::Rejected)
+                   ? static_cast<ScenarioStatus>(w.status)
+                   : ScenarioStatus::Rejected;
+    r.passed = w.passed;
+    r.verdict = w.verdict;
+    r.error = w.error;
+    r.worker = w.worker;
+    r.stolen = w.stolen;
+    r.deadlineMet = w.deadline_met;
+    r.warmReuse = w.warm_reuse;
+    r.cachedResult = w.cached_result;
+    r.watchdogTripped = w.watchdog_tripped;
+    r.queueWaitSeconds = w.queue_wait_seconds;
+    r.wallSeconds = w.wall_seconds;
+    r.finishedAtSeconds = w.finished_at_seconds;
+    r.simTime = w.sim_time;
+    r.steps = w.steps;
+    r.traceRows = w.trace_rows;
+    r.traceHash = w.trace_hash;
+    r.metricsJson = w.metrics_json;
+    r.postmortemJson = w.postmortem_json;
+    return r;
+}
+
+} // namespace urtx::srv::wire

@@ -1,0 +1,64 @@
+#pragma once
+/// \file framing.hpp
+/// Runtime face of the generated binary wire protocol: preamble
+/// negotiation, length-prefixed frame assembly/parsing, and the
+/// conversions between serving types (ScenarioSpec, ResultRecord) and the
+/// generated messages (WireJob, WireResult) in urtx_wire_format.hpp.
+///
+/// Negotiation: a connection's first byte decides its framing. '{' (or
+/// anything that is not the magic's first byte) keeps the newline-JSON
+/// protocol unchanged; the 8-byte preamble "URTX" + version + flags +
+/// reserved switches to binary frames, and the daemon echoes the preamble
+/// back as the accept. Framing is per connection and fixed once decided.
+///
+/// Frame layout (all little-endian):
+///     u32 payload_length | u8 frame_type | payload bytes
+/// Job/Result payloads are generated-message encodings; Error, Control
+/// and ControlResponse payloads carry the corresponding JSON line of the
+/// fallback protocol verbatim, so the observability surface is identical
+/// across framings.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "srv/batch_io.hpp"
+#include "srv/scenario.hpp"
+#include "urtx_wire_format.hpp"
+
+namespace urtx::srv::wire {
+
+using wiregen::FrameType;
+
+/// The 8-byte hello a binary client sends and the daemon echoes.
+std::string preamble();
+
+/// Validate an 8-byte preamble (magic + supported version).
+bool checkPreamble(const void* data, std::string* err = nullptr);
+
+/// Append one frame (header + payload) to \p out.
+void appendFrame(std::string& out, FrameType type, std::string_view payload);
+
+/// A parsed frame header.
+struct FrameHeader {
+    std::uint32_t length = 0;
+    std::uint8_t type = 0;
+};
+
+/// Peek a frame header from \p buf (returns nullopt while fewer than
+/// kFrameHeaderBytes are buffered). The caller enforces its own length
+/// cap before waiting for the payload.
+std::optional<FrameHeader> peekFrameHeader(std::string_view buf);
+
+/// ScenarioSpec -> WireJob (exact mirror; repeat/sweep are client-side).
+wiregen::WireJob jobToWire(const ScenarioSpec& spec);
+/// WireJob -> ScenarioSpec.
+ScenarioSpec jobFromWire(const wiregen::WireJob& w);
+
+/// ResultRecord -> WireResult (exact mirror).
+wiregen::WireResult resultToWire(const ResultRecord& r);
+/// WireResult -> ResultRecord. Unknown status bytes clamp to Rejected.
+ResultRecord resultFromWire(const wiregen::WireResult& w);
+
+} // namespace urtx::srv::wire

@@ -1,0 +1,164 @@
+#include "srv/daemon/reactor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define URTX_HAVE_EPOLL 1
+#else
+#define URTX_HAVE_EPOLL 0
+#endif
+
+namespace urtx::srv {
+
+namespace {
+
+void setNonBlockingCloexec(int fd) {
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    const int fdfl = ::fcntl(fd, F_GETFD, 0);
+    if (fdfl >= 0) ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC);
+}
+
+} // namespace
+
+Reactor::Reactor(Backend backend) : backend_(backend) {
+    if (backend_ == Backend::Auto) {
+        backend_ = URTX_HAVE_EPOLL ? Backend::Epoll : Backend::Poll;
+    }
+#if !URTX_HAVE_EPOLL
+    backend_ = Backend::Poll;
+#endif
+    if (::pipe(wakePipe_) != 0) {
+        wakePipe_[0] = wakePipe_[1] = -1;
+    } else {
+        setNonBlockingCloexec(wakePipe_[0]);
+        setNonBlockingCloexec(wakePipe_[1]);
+    }
+#if URTX_HAVE_EPOLL
+    if (backend_ == Backend::Epoll) {
+        epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+        if (epollFd_ < 0) {
+            backend_ = Backend::Poll; // degraded but functional
+        } else if (wakePipe_[0] >= 0) {
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.fd = wakePipe_[0];
+            ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakePipe_[0], &ev);
+        }
+    }
+#endif
+}
+
+Reactor::~Reactor() {
+    if (epollFd_ >= 0) ::close(epollFd_);
+    if (wakePipe_[0] >= 0) ::close(wakePipe_[0]);
+    if (wakePipe_[1] >= 0) ::close(wakePipe_[1]);
+}
+
+bool Reactor::add(int fd, bool read, bool write) {
+    interest_[fd] = Interest{read, write};
+#if URTX_HAVE_EPOLL
+    if (backend_ == Backend::Epoll) {
+        epoll_event ev{};
+        ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            interest_.erase(fd);
+            return false;
+        }
+    }
+#endif
+    return true;
+}
+
+bool Reactor::modify(int fd, bool read, bool write) {
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) return false;
+    if (it->second.read == read && it->second.write == write) return true;
+    it->second = Interest{read, write};
+#if URTX_HAVE_EPOLL
+    if (backend_ == Backend::Epoll) {
+        epoll_event ev{};
+        ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+        ev.data.fd = fd;
+        return ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+    }
+#endif
+    return true;
+}
+
+void Reactor::remove(int fd) {
+    if (interest_.erase(fd) == 0) return;
+#if URTX_HAVE_EPOLL
+    if (backend_ == Backend::Epoll) {
+        ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+#endif
+}
+
+std::vector<Reactor::Event> Reactor::poll(int timeoutMs) {
+    scratch_.clear();
+#if URTX_HAVE_EPOLL
+    if (backend_ == Backend::Epoll) {
+        epoll_event evs[64];
+        const int n = ::epoll_wait(epollFd_, evs, 64, timeoutMs);
+        if (n < 0) return scratch_; // EINTR: caller just polls again
+        for (int i = 0; i < n; ++i) {
+            const int fd = evs[i].data.fd;
+            if (fd == wakePipe_[0]) {
+                char buf[256];
+                while (::read(wakePipe_[0], buf, sizeof(buf)) > 0) {
+                }
+                continue;
+            }
+            Event e;
+            e.fd = fd;
+            e.readable = (evs[i].events & EPOLLIN) != 0;
+            e.writable = (evs[i].events & EPOLLOUT) != 0;
+            e.hangup = (evs[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+            scratch_.push_back(e);
+        }
+        return scratch_;
+    }
+#endif
+    std::vector<pollfd> pfds;
+    pfds.reserve(interest_.size() + 1);
+    if (wakePipe_[0] >= 0) pfds.push_back(pollfd{wakePipe_[0], POLLIN, 0});
+    for (const auto& [fd, in] : interest_) {
+        short ev = 0;
+        if (in.read) ev |= POLLIN;
+        if (in.write) ev |= POLLOUT;
+        pfds.push_back(pollfd{fd, ev, 0});
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), timeoutMs);
+    if (n <= 0) return scratch_;
+    for (const pollfd& p : pfds) {
+        if (p.revents == 0) continue;
+        if (p.fd == wakePipe_[0]) {
+            char buf[256];
+            while (::read(wakePipe_[0], buf, sizeof(buf)) > 0) {
+            }
+            continue;
+        }
+        Event e;
+        e.fd = p.fd;
+        e.readable = (p.revents & POLLIN) != 0;
+        e.writable = (p.revents & POLLOUT) != 0;
+        e.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+        scratch_.push_back(e);
+    }
+    return scratch_;
+}
+
+void Reactor::wakeup() {
+    if (wakePipe_[1] < 0) return;
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wakePipe_[1], &b, 1);
+}
+
+} // namespace urtx::srv

@@ -1,0 +1,80 @@
+#pragma once
+/// \file reactor.hpp
+/// A single-threaded readiness reactor for the serving daemon: one epoll
+/// instance (poll(2) fallback — selectable for tests, automatic on
+/// non-Linux builds) multiplexes the listen sockets and every connection
+/// fd, so thousands of concurrent connections cost two fds and zero
+/// threads instead of one thread each.
+///
+/// Threading contract
+/// ------------------
+/// add/modify/remove/poll are reactor-thread-only (the daemon's event
+/// thread). The only cross-thread entry point is wakeup(), which makes a
+/// blocked poll() return immediately — worker callbacks use it to hand
+/// flush/resume work to the event thread through the daemon's own queues.
+/// Events are level-triggered: a handler that leaves data unread or
+/// unwritten simply runs again on the next poll.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace urtx::srv {
+
+class Reactor {
+public:
+    enum class Backend : std::uint8_t {
+        Auto,  ///< epoll where available, else poll
+        Epoll, ///< epoll_wait(2) — Linux only
+        Poll,  ///< poll(2) — portable fallback
+    };
+
+    struct Event {
+        int fd = -1;
+        bool readable = false;
+        bool writable = false;
+        bool hangup = false; ///< EPOLLHUP/EPOLLERR (POLLHUP/POLLERR/POLLNVAL)
+    };
+
+    explicit Reactor(Backend backend = Backend::Auto);
+    ~Reactor();
+
+    Reactor(const Reactor&) = delete;
+    Reactor& operator=(const Reactor&) = delete;
+
+    /// The backend actually in use (Auto resolved).
+    Backend backend() const { return backend_; }
+
+    /// Watch \p fd. \p write arms write-readiness too (read is always on
+    /// unless paused via modify). Reactor thread only.
+    bool add(int fd, bool read, bool write);
+    /// Re-arm the interest set of a watched fd. Reactor thread only.
+    bool modify(int fd, bool read, bool write);
+    /// Stop watching \p fd (the caller still owns/closes it).
+    void remove(int fd);
+    std::size_t watched() const { return interest_.size(); }
+
+    /// Block up to \p timeoutMs (-1 = forever) for events or a wakeup().
+    /// Returns the ready events; a pending wakeup is consumed silently.
+    std::vector<Event> poll(int timeoutMs);
+
+    /// Make a concurrent/subsequent poll() return immediately. Safe from
+    /// any thread, async-signal-unsafe-free (one pipe write).
+    void wakeup();
+
+private:
+    struct Interest {
+        bool read = false;
+        bool write = false;
+    };
+
+    Backend backend_;
+    int epollFd_ = -1;     ///< epoll backend only
+    int wakePipe_[2] = {-1, -1};
+    std::unordered_map<int, Interest> interest_;
+    std::vector<Event> scratch_;
+};
+
+} // namespace urtx::srv

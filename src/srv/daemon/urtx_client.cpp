@@ -5,7 +5,15 @@
 ///
 ///   urtx_client --socket PATH jobs.json [--strict] [--quiet]
 ///   urtx_client --tcp PORT jobs.json
+///   urtx_client --socket PATH --binary jobs.json   # length-prefixed frames
 ///   echo '{"scenario": "tank"}' | urtx_client --socket PATH -
+///
+/// --binary negotiates the generated length-prefixed wire protocol (the
+/// "URTX" preamble; see docs/SERVING.md): jobs travel as encoded WireJob
+/// frames and results come back as WireResult frames, which the client
+/// re-renders to the exact JSON record lines the fallback protocol
+/// streams — output is byte-identical across framings, trace hashes
+/// included.
 ///
 /// Observability verbs (usable with or without a jobs file; applied before
 /// any jobs are submitted):
@@ -42,18 +50,21 @@
 #include <vector>
 
 #include "srv/batch_io.hpp"
+#include "srv/daemon/framing.hpp"
 #include "srv/json.hpp"
 
 namespace srv = urtx::srv;
 namespace json = urtx::srv::json;
+namespace wire = urtx::srv::wire;
+namespace wiregen = urtx::srv::wiregen;
 
 namespace {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s (--socket PATH | --tcp PORT) [<jobs.json|->] [--strict]\n"
-                 "          [--quiet] [--metrics] [--health] [--trace [--trace-last N]]\n"
-                 "          [--set-sampling RATE]\n",
+                 "          [--quiet] [--binary] [--metrics] [--health]\n"
+                 "          [--trace [--trace-last N]] [--set-sampling RATE]\n",
                  argv0);
     return 2;
 }
@@ -99,6 +110,14 @@ bool sendAll(int fd, const std::string& data) {
     return true;
 }
 
+/// One queued request: either a job spec (framed or rendered per mode) or
+/// a control-verb JSON text (sent verbatim in both framings).
+struct Request {
+    bool isControl = false;
+    srv::ScenarioSpec spec;
+    std::string control;
+};
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -107,6 +126,7 @@ int main(int argc, char** argv) {
     std::string jobsPath;
     bool strict = false;
     bool quiet = false;
+    bool binary = false;
     bool wantMetrics = false;
     bool wantHealth = false;
     bool wantTrace = false;
@@ -125,6 +145,8 @@ int main(int argc, char** argv) {
             strict = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--binary") {
+            binary = true;
         } else if (arg == "--metrics") {
             wantMetrics = true;
         } else if (arg == "--health") {
@@ -150,15 +172,25 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
     }
 
-    // Assemble every request line before connecting so a parse error never
+    // Assemble every request before connecting so a parse error never
     // half-submits a batch. set_sampling goes first — it must take effect
     // before any job samples against the process registry — and the
     // read-only verbs last, after the jobs are at least submitted.
-    std::vector<std::string> lines;
-    std::size_t expected = 0;
+    std::vector<Request> requests;
+    const auto pushControl = [&](std::string text) {
+        Request r;
+        r.isControl = true;
+        r.control = std::move(text);
+        requests.push_back(std::move(r));
+    };
+    const auto pushJob = [&](srv::ScenarioSpec spec) {
+        Request r;
+        r.spec = std::move(spec);
+        requests.push_back(std::move(r));
+    };
     if (setSampling >= 0.0) {
-        lines.push_back("{\"op\": \"set_sampling\", \"rate\": " + json::number(setSampling) +
-                        "}");
+        pushControl("{\"op\": \"set_sampling\", \"rate\": " + json::number(setSampling) +
+                    "}");
     }
     if (jobsPath.empty()) {
         // verbs only
@@ -179,7 +211,7 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "%s: stdin: %s\n", argv[0], ex.what());
                 return 2;
             }
-            for (const srv::ScenarioSpec& s : specs) lines.push_back(srv::jobJson(s));
+            for (srv::ScenarioSpec& s : specs) pushJob(std::move(s));
         }
     } else {
         std::ifstream in(jobsPath);
@@ -196,16 +228,16 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
             return 2;
         }
-        for (const srv::ScenarioSpec& s : batch.jobs) lines.push_back(srv::jobJson(s));
+        for (srv::ScenarioSpec& s : batch.jobs) pushJob(std::move(s));
     }
-    if (wantMetrics) lines.push_back("{\"op\": \"metrics\"}");
-    if (wantHealth) lines.push_back("{\"op\": \"health\"}");
+    if (wantMetrics) pushControl("{\"op\": \"metrics\"}");
+    if (wantHealth) pushControl("{\"op\": \"health\"}");
     if (wantTrace) {
         std::string verb = "{\"op\": \"trace\"";
         if (traceLast > 0) verb += ", \"last_n\": " + std::to_string(traceLast);
-        lines.push_back(verb + "}");
+        pushControl(verb + "}");
     }
-    expected = lines.size();
+    const std::size_t expected = requests.size();
     if (expected == 0) {
         if (!quiet) std::fprintf(stderr, "%s: no jobs to submit\n", argv[0]);
         return 0;
@@ -217,65 +249,135 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    for (const std::string& l : lines) {
-        if (!sendAll(fd, l + "\n")) {
-            std::fprintf(stderr, "%s: send failed (%s)\n", argv[0], std::strerror(errno));
-            ::close(fd);
-            return 2;
+    std::string outbound;
+    if (binary) {
+        outbound = wire::preamble();
+        for (const Request& r : requests) {
+            if (r.isControl) {
+                wire::appendFrame(outbound, wire::FrameType::Control, r.control);
+            } else {
+                wire::appendFrame(outbound, wire::FrameType::Job,
+                                  wire::jobToWire(r.spec).encode());
+            }
         }
+    } else {
+        for (const Request& r : requests) {
+            outbound += r.isControl ? r.control : srv::jobJson(r.spec);
+            outbound.push_back('\n');
+        }
+    }
+    if (!sendAll(fd, outbound)) {
+        std::fprintf(stderr, "%s: send failed (%s)\n", argv[0], std::strerror(errno));
+        ::close(fd);
+        return 2;
     }
     ::shutdown(fd, SHUT_WR); // half-close: everything submitted, now tail
 
-    std::string buf;
-    char chunk[4096];
     std::size_t received = 0;
     bool anyBad = false;
-    while (received < expected) {
+    // One streamed record (or control response), already rendered as a JSON
+    // line — identical handling for both framings.
+    const auto handleRecordLine = [&](const std::string& line) {
+        if (line.empty()) return;
+        ++received;
+        const auto rec = json::parse(line);
+        // Control-verb responses are not job records: --metrics prints
+        // the decoded Prometheus text, the rest print their raw JSON
+        // line; none of them participate in --strict verdicts.
+        if (rec && rec->find("op")) {
+            const std::string op = rec->strOr("op", "");
+            if (rec->strOr("status", "error") != "ok") {
+                anyBad = true;
+                std::printf("%s\n", line.c_str());
+            } else if (op == "metrics") {
+                const json::Value* prom = rec->find("prometheus");
+                if (prom && prom->isString()) {
+                    std::fputs(prom->string.c_str(), stdout);
+                } else {
+                    std::printf("%s\n", line.c_str());
+                }
+            } else {
+                std::printf("%s\n", line.c_str());
+            }
+            return;
+        }
+        std::printf("%s\n", line.c_str());
+        const std::string status = rec ? rec->strOr("status", "error") : "error";
+        if (status != "succeeded" || !(rec && rec->boolOr("passed", false))) {
+            anyBad = true;
+        }
+        if (!quiet && rec) {
+            std::fprintf(stderr, "  %-24s %-9s%s%s\n",
+                         rec->strOr("name", "?").c_str(), status.c_str(),
+                         rec->boolOr("cached_result", false) ? " [cached]" : "",
+                         rec->boolOr("warm_reuse", false) ? " [warm]" : "");
+        }
+    };
+
+    std::string buf;
+    char chunk[4096];
+    bool handshook = !binary;
+    bool wireError = false;
+    while (received < expected && !wireError) {
         const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n < 0 && errno == EINTR) continue;
         if (n <= 0) break; // daemon closed early
         buf.append(chunk, static_cast<std::size_t>(n));
-        std::size_t start = 0;
-        for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
-             nl = buf.find('\n', start)) {
-            const std::string line = buf.substr(start, nl - start);
-            start = nl + 1;
-            if (line.empty()) continue;
-            ++received;
-            const auto rec = json::parse(line);
-            // Control-verb responses are not job records: --metrics prints
-            // the decoded Prometheus text, the rest print their raw JSON
-            // line; none of them participate in --strict verdicts.
-            if (rec && rec->find("op")) {
-                const std::string op = rec->strOr("op", "");
-                if (rec->strOr("status", "error") != "ok") {
-                    anyBad = true;
-                    std::printf("%s\n", line.c_str());
-                } else if (op == "metrics") {
-                    const json::Value* prom = rec->find("prometheus");
-                    if (prom && prom->isString()) {
-                        std::fputs(prom->string.c_str(), stdout);
-                    } else {
-                        std::printf("%s\n", line.c_str());
-                    }
-                } else {
-                    std::printf("%s\n", line.c_str());
+        if (binary) {
+            if (!handshook) {
+                if (buf.size() < wiregen::kPreambleBytes) continue;
+                std::string err;
+                if (!wire::checkPreamble(buf.data(), &err)) {
+                    std::fprintf(stderr, "%s: handshake rejected: %s\n", argv[0],
+                                 err.c_str());
+                    ::close(fd);
+                    return 2;
                 }
-                continue;
+                buf.erase(0, wiregen::kPreambleBytes);
+                handshook = true;
             }
-            std::printf("%s\n", line.c_str());
-            const std::string status = rec ? rec->strOr("status", "error") : "error";
-            if (status != "succeeded" || !(rec && rec->boolOr("passed", false))) {
-                anyBad = true;
+            for (;;) {
+                const auto h = wire::peekFrameHeader(buf);
+                if (!h || buf.size() < wiregen::kFrameHeaderBytes + h->length) break;
+                const char* payload = buf.data() + wiregen::kFrameHeaderBytes;
+                const std::size_t len = h->length;
+                switch (static_cast<wire::FrameType>(h->type)) {
+                case wire::FrameType::Result: {
+                    wiregen::WireResult w;
+                    std::string err;
+                    if (!wiregen::WireResult::decode(w, payload, len, &err)) {
+                        std::fprintf(stderr, "%s: bad result frame: %s\n", argv[0],
+                                     err.c_str());
+                        wireError = true;
+                        break;
+                    }
+                    handleRecordLine(srv::recordJson(wire::resultFromWire(w)));
+                    break;
+                }
+                case wire::FrameType::Error:
+                case wire::FrameType::ControlResponse:
+                    // JSON text payloads, verbatim from the fallback protocol.
+                    handleRecordLine(std::string(payload, len));
+                    break;
+                default:
+                    std::fprintf(stderr, "%s: unexpected frame type %u\n", argv[0],
+                                 static_cast<unsigned>(h->type));
+                    wireError = true;
+                    break;
+                }
+                if (wireError) break;
+                buf.erase(0, wiregen::kFrameHeaderBytes + len);
             }
-            if (!quiet && rec) {
-                std::fprintf(stderr, "  %-24s %-9s%s%s\n",
-                             rec->strOr("name", "?").c_str(), status.c_str(),
-                             rec->boolOr("cached_result", false) ? " [cached]" : "",
-                             rec->boolOr("warm_reuse", false) ? " [warm]" : "");
+        } else {
+            std::size_t start = 0;
+            for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+                 nl = buf.find('\n', start)) {
+                const std::string line = buf.substr(start, nl - start);
+                start = nl + 1;
+                handleRecordLine(line);
             }
+            buf.erase(0, start);
         }
-        buf.erase(0, start);
     }
     ::close(fd);
 

@@ -6,7 +6,11 @@
 ///
 ///   urtx_served --socket PATH [--tcp PORT] [--workers N]
 ///               [--warm-cache N] [--result-cache N] [--window N]
-///               [--sampling RATE] [--metrics] [--quiet]
+///               [--sampling RATE] [--reactor auto|epoll|poll]
+///               [--metrics] [--quiet]
+///
+/// --reactor pins the event backend (default auto: epoll on Linux, poll
+/// elsewhere) — mostly useful for exercising the poll fallback in CI.
 ///
 /// --sampling sets the initial causal span sampling rate (process
 /// registry; jobs inherit it). Clients adjust it later with the
@@ -36,7 +40,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--tcp PORT] [--workers N]\n"
                  "          [--warm-cache N] [--result-cache N] [--window N]\n"
-                 "          [--sampling RATE] [--metrics] [--quiet]\n",
+                 "          [--sampling RATE] [--reactor auto|epoll|poll]\n"
+                 "          [--metrics] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -83,6 +88,20 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             sampling = std::strtod(v, nullptr);
+        } else if (arg == "--reactor") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            const std::string backend = v;
+            if (backend == "auto") {
+                cfg.reactorBackend = srv::Reactor::Backend::Auto;
+            } else if (backend == "epoll") {
+                cfg.reactorBackend = srv::Reactor::Backend::Epoll;
+            } else if (backend == "poll") {
+                cfg.reactorBackend = srv::Reactor::Backend::Poll;
+            } else {
+                std::fprintf(stderr, "%s: unknown reactor backend '%s'\n", argv[0], v);
+                return usage(argv[0]);
+            }
         } else if (arg == "--metrics") {
             cfg.includeMetrics = true;
         } else if (arg == "--quiet") {

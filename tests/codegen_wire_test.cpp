@@ -1,0 +1,102 @@
+/// \file codegen_wire_test.cpp
+/// Tests for the descriptor-driven wire-protocol generator: a malformed
+/// Protocol must throw std::invalid_argument before any code is emitted,
+/// and the serving protocol's generated header must carry the structures
+/// the daemon/client compile against.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "codegen/wire_gen.hpp"
+#include "codegen/wire_schema.hpp"
+
+namespace cw = urtx::codegen::wire;
+
+namespace {
+
+cw::Protocol minimalProtocol() {
+    cw::Protocol p;
+    p.ns = "test::wiregen";
+    p.magic = "TST0";
+    p.frames = {{"Job", 1, ""}};
+    p.messages = {{"Msg", {{"value", cw::FieldKind::U64, 1, "", ""}}, ""}};
+    return p;
+}
+
+} // namespace
+
+TEST(CodegenWireTest, ServingProtocolGeneratesTheExpectedSurface) {
+    const std::string header = cw::generateWireHeader(cw::servingProtocol());
+    // The pieces every speaker of the protocol compiles against.
+    EXPECT_NE(header.find("namespace urtx::srv::wiregen {"), std::string::npos);
+    EXPECT_NE(header.find("inline constexpr char kMagic[5] = \"URTX\";"),
+              std::string::npos);
+    EXPECT_NE(header.find("enum class FrameType : std::uint8_t {"),
+              std::string::npos);
+    EXPECT_NE(header.find("struct WireJob {"), std::string::npos);
+    EXPECT_NE(header.find("struct WireResult {"), std::string::npos);
+    EXPECT_NE(header.find("struct Cursor {"), std::string::npos);
+    // Encoders and bounds-checked decoders are emitted per message.
+    EXPECT_NE(header.find("static bool decode(WireJob& out"), std::string::npos);
+    EXPECT_NE(header.find("static bool decode(WireResult& out"), std::string::npos);
+    // Maps are guarded against hostile counts in generated code.
+    EXPECT_NE(header.find("map count exceeds payload"), std::string::npos);
+    EXPECT_NE(header.find("unknown field tag"), std::string::npos);
+}
+
+TEST(CodegenWireTest, GeneratedHeaderIsDeterministic) {
+    EXPECT_EQ(cw::generateWireHeader(cw::servingProtocol()),
+              cw::generateWireHeader(cw::servingProtocol()));
+}
+
+TEST(CodegenWireTest, MagicMustBeExactlyFourBytes) {
+    cw::Protocol p = minimalProtocol();
+    p.magic = "TOOLONG";
+    EXPECT_THROW(cw::generateWireHeader(p), std::invalid_argument);
+    p.magic = "abc";
+    EXPECT_THROW(cw::generateWireHeader(p), std::invalid_argument);
+}
+
+TEST(CodegenWireTest, NamespaceIsRequired) {
+    cw::Protocol p = minimalProtocol();
+    p.ns.clear();
+    EXPECT_THROW(cw::generateWireHeader(p), std::invalid_argument);
+}
+
+TEST(CodegenWireTest, DuplicateFrameIdsAreRejected) {
+    cw::Protocol p = minimalProtocol();
+    p.frames.push_back({"Result", 1, ""});
+    EXPECT_THROW(cw::generateWireHeader(p), std::invalid_argument);
+}
+
+TEST(CodegenWireTest, ZeroFrameIdIsRejected) {
+    cw::Protocol p = minimalProtocol();
+    p.frames = {{"Job", 0, ""}};
+    EXPECT_THROW(cw::generateWireHeader(p), std::invalid_argument);
+}
+
+TEST(CodegenWireTest, DuplicateFieldTagsAreRejected) {
+    cw::Protocol p = minimalProtocol();
+    p.messages[0].fields.push_back({"other", cw::FieldKind::Str, 1, "", ""});
+    EXPECT_THROW(cw::generateWireHeader(p), std::invalid_argument);
+}
+
+TEST(CodegenWireTest, ZeroFieldTagIsRejected) {
+    cw::Protocol p = minimalProtocol();
+    p.messages[0].fields[0].id = 0;
+    EXPECT_THROW(cw::generateWireHeader(p), std::invalid_argument);
+}
+
+TEST(CodegenWireTest, FieldKindsSpellTheRightCppTypes) {
+    EXPECT_STREQ(cw::cppType(cw::FieldKind::U8), "std::uint8_t");
+    EXPECT_STREQ(cw::cppType(cw::FieldKind::U64), "std::uint64_t");
+    EXPECT_STREQ(cw::cppType(cw::FieldKind::F64), "double");
+    EXPECT_STREQ(cw::cppType(cw::FieldKind::Bool), "bool");
+    EXPECT_STREQ(cw::cppType(cw::FieldKind::Str), "std::string");
+    EXPECT_STREQ(cw::cppType(cw::FieldKind::NumMap),
+                 "std::map<std::string, double>");
+    EXPECT_STREQ(cw::cppType(cw::FieldKind::StrMap),
+                 "std::map<std::string, std::string>");
+}

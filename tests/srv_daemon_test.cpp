@@ -6,23 +6,33 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "srv/batch_io.hpp"
 #include "srv/daemon/daemon.hpp"
+#include "srv/daemon/framing.hpp"
 #include "srv/json.hpp"
 #include "srv/scenario.hpp"
 #include "srv/scenarios/scenarios.hpp"
 
 namespace srv = urtx::srv;
 namespace json = urtx::srv::json;
+namespace wire = urtx::srv::wire;
+namespace wiregen = urtx::srv::wiregen;
 
 namespace {
 
@@ -109,6 +119,139 @@ private:
     int fd_ = -1;
     std::string pending_;
 };
+
+/// Client end of a socketpair speaking the binary framing: sends the
+/// preamble on construction and checks the daemon's echo.
+class BinaryClient {
+public:
+    explicit BinaryClient(srv::ServeDaemon& daemon, int timeoutSeconds = 30) {
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+            ADD_FAILURE() << "socketpair failed";
+            return;
+        }
+        fd_ = sv[0];
+        timeval tv{timeoutSeconds, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        daemon.adoptConnection(sv[1]);
+        if (!sendRaw(wire::preamble())) return;
+        std::string hello;
+        ok_ = readExact(wiregen::kPreambleBytes, &hello) &&
+              wire::checkPreamble(hello.data());
+    }
+    ~BinaryClient() { close(); }
+
+    bool ok() const { return ok_; }
+    int fd() const { return fd_; }
+
+    void close() {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+
+    void shutdownWrites() const {
+        if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+    }
+
+    bool sendRaw(const std::string& bytes) const {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n =
+                ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+            if (n <= 0) return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    bool sendFrame(wire::FrameType type, const std::string& payload) const {
+        std::string out;
+        wire::appendFrame(out, type, payload);
+        return sendRaw(out);
+    }
+
+    bool sendJob(const srv::ScenarioSpec& spec) const {
+        return sendFrame(wire::FrameType::Job, wire::jobToWire(spec).encode());
+    }
+
+    /// Next frame as (type, payload), or nullopt on EOF / timeout.
+    std::optional<std::pair<std::uint8_t, std::string>> readFrame() {
+        std::string hdr;
+        if (!readExact(wiregen::kFrameHeaderBytes, &hdr)) return std::nullopt;
+        const auto h = wire::peekFrameHeader(hdr);
+        std::string payload;
+        if (!readExact(h->length, &payload)) return std::nullopt;
+        return std::make_pair(h->type, std::move(payload));
+    }
+
+    /// Next record, re-rendered to the JSON line schema: Result frames are
+    /// decoded and rendered with recordJson; Error/ControlResponse payloads
+    /// are the JSON text itself.
+    json::Value readRecord() {
+        const auto f = readFrame();
+        if (!f) {
+            ADD_FAILURE() << "no frame (EOF or timeout)";
+            return {};
+        }
+        std::string line;
+        if (f->first == static_cast<std::uint8_t>(wire::FrameType::Result)) {
+            wiregen::WireResult w;
+            std::string err;
+            if (!wiregen::WireResult::decode(w, f->second.data(), f->second.size(),
+                                             &err)) {
+                ADD_FAILURE() << "undecodable result frame: " << err;
+                return {};
+            }
+            line = srv::recordJson(wire::resultFromWire(w));
+        } else {
+            line = f->second;
+        }
+        std::string err;
+        auto v = json::parse(line, &err);
+        if (!v) {
+            ADD_FAILURE() << "unparseable record: " << err << " in " << line;
+            return {};
+        }
+        return *v;
+    }
+
+private:
+    bool readExact(std::size_t n, std::string* out) {
+        while (pending_.size() < n) {
+            char chunk[4096];
+            const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (r <= 0) return false;
+            pending_.append(chunk, static_cast<std::size_t>(r));
+        }
+        out->assign(pending_, 0, n);
+        pending_.erase(0, n);
+        return true;
+    }
+
+    int fd_ = -1;
+    bool ok_ = false;
+    std::string pending_;
+};
+
+std::size_t openFdCount() {
+    DIR* d = ::opendir("/proc/self/fd");
+    if (!d) return 0;
+    std::size_t n = 0;
+    while (const dirent* e = ::readdir(d)) {
+        if (e->d_name[0] != '.') ++n;
+    }
+    ::closedir(d);
+    return n;
+}
+
+srv::ScenarioSpec tankSpec(const std::string& name, double horizon = 2.0) {
+    srv::ScenarioSpec spec;
+    spec.scenario = "tank";
+    spec.name = name;
+    spec.horizon = horizon;
+    spec.mode = urtx::sim::ExecutionMode::SingleThread;
+    return spec;
+}
 
 srv::DaemonConfig testConfig() {
     srv::DaemonConfig cfg;
@@ -531,5 +674,193 @@ TEST(SrvDaemonTest, BackpressureWindowStillCompletesEverything) {
         names.insert(rec->strOr("name", ""));
     }
     EXPECT_EQ(names.size(), kJobs);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, AcceptErrnoClassification) {
+    using srv::AcceptRetry;
+    // Transient per-connection failures: keep accepting immediately.
+    EXPECT_EQ(srv::acceptRetryClass(EINTR), AcceptRetry::Retry);
+    EXPECT_EQ(srv::acceptRetryClass(ECONNABORTED), AcceptRetry::Retry);
+    EXPECT_EQ(srv::acceptRetryClass(EPROTO), AcceptRetry::Retry);
+    // Resource exhaustion: back off briefly, the listener stays armed.
+    EXPECT_EQ(srv::acceptRetryClass(EMFILE), AcceptRetry::RetryAfterBackoff);
+    EXPECT_EQ(srv::acceptRetryClass(ENFILE), AcceptRetry::RetryAfterBackoff);
+    EXPECT_EQ(srv::acceptRetryClass(ENOBUFS), AcceptRetry::RetryAfterBackoff);
+    EXPECT_EQ(srv::acceptRetryClass(ENOMEM), AcceptRetry::RetryAfterBackoff);
+    // Programming errors on the listener itself: give up on this fd.
+    EXPECT_EQ(srv::acceptRetryClass(EBADF), AcceptRetry::Fatal);
+    EXPECT_EQ(srv::acceptRetryClass(EINVAL), AcceptRetry::Fatal);
+    EXPECT_EQ(srv::acceptRetryClass(ENOTSOCK), AcceptRetry::Fatal);
+}
+
+TEST(SrvDaemonTest, IdleDaemonReapsFinishedConnections) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+
+    // Warm up one full connect/serve/disconnect cycle so lazily created
+    // resources (worker threads, epoll registrations) are in the baseline.
+    {
+        Client c(daemon);
+        ASSERT_TRUE(c.sendLine(tankJob("warmup")));
+        EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+    }
+    for (int spin = 0; spin < 500 && daemon.activeConnections() != 0; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(daemon.activeConnections(), 0u);
+    const std::size_t baseline = openFdCount();
+    ASSERT_GT(baseline, 0u);
+
+    constexpr int kCycles = 12;
+    for (int i = 0; i < kCycles; ++i) {
+        Client c(daemon);
+        ASSERT_TRUE(c.sendLine(tankJob("cycle" + std::to_string(i))));
+        EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+    }
+    // The regression: closed connections must be reaped without waiting for
+    // the *next* connection to arrive. No further client connects here.
+    for (int spin = 0; spin < 500 && daemon.activeConnections() != 0; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(daemon.activeConnections(), 0u);
+    std::size_t fds = openFdCount();
+    for (int spin = 0; spin < 500 && fds > baseline; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        fds = openFdCount();
+    }
+    EXPECT_EQ(fds, baseline)
+        << "daemon leaked fds across " << kCycles << " connection cycles";
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, BinaryFramingIsBitIdenticalToJson) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.resultCacheCapacity = 0; // force both framings to run the job
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+
+    Client jsonClient(daemon);
+    ASSERT_TRUE(jsonClient.sendLine(tankJob("same-job")));
+    const json::Value viaJson = jsonClient.readRecord();
+
+    BinaryClient binClient(daemon);
+    ASSERT_TRUE(binClient.ok()) << "binary preamble was not echoed";
+    ASSERT_TRUE(binClient.sendJob(tankSpec("same-job")));
+    const json::Value viaBinary = binClient.readRecord();
+
+    EXPECT_EQ(viaJson.strOr("status", ""), "succeeded");
+    EXPECT_EQ(viaBinary.strOr("status", ""), "succeeded");
+    // Same simulation, so the causal trace hash — a digest over every
+    // recorded event — must match bit-for-bit across framings.
+    const std::string jsonHash = viaJson.strOr("trace_hash", "json");
+    const std::string binHash = viaBinary.strOr("trace_hash", "bin");
+    EXPECT_FALSE(jsonHash.empty());
+    EXPECT_EQ(jsonHash, binHash);
+    EXPECT_EQ(viaJson.numOr("steps", -1.0), viaBinary.numOr("steps", -2.0));
+    EXPECT_EQ(viaJson.numOr("sim_time", -1.0), viaBinary.numOr("sim_time", -2.0));
+    EXPECT_EQ(viaJson.strOr("verdict", "a"), viaBinary.strOr("verdict", "b"));
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, BinaryDecodeErrorKeepsConnectionAlive) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    BinaryClient c(daemon);
+    ASSERT_TRUE(c.ok());
+
+    // A Job frame whose payload is not a decodable WireJob: the daemon must
+    // answer with an Error frame and keep serving the connection.
+    ASSERT_TRUE(c.sendFrame(wire::FrameType::Job, "\xff\xff\xff\xff garbage"));
+    const json::Value err = c.readRecord();
+    EXPECT_EQ(err.strOr("status", ""), "error");
+
+    ASSERT_TRUE(c.sendJob(tankSpec("after-garbage")));
+    const json::Value rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+    EXPECT_EQ(rec.strOr("name", ""), "after-garbage");
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, OversizeFrameLengthPrefixKillsConnection) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    BinaryClient c(daemon);
+    ASSERT_TRUE(c.ok());
+
+    // Hand-build a frame header claiming a multi-gigabyte payload. The
+    // daemon must refuse to buffer it: one Error frame, then EOF.
+    std::string hostile;
+    const std::uint32_t huge = 0x7fffffffu;
+    hostile.push_back(static_cast<char>(huge & 0xff));
+    hostile.push_back(static_cast<char>((huge >> 8) & 0xff));
+    hostile.push_back(static_cast<char>((huge >> 16) & 0xff));
+    hostile.push_back(static_cast<char>((huge >> 24) & 0xff));
+    hostile.push_back(static_cast<char>(wire::FrameType::Job));
+    ASSERT_TRUE(c.sendRaw(hostile));
+
+    const auto errFrame = c.readFrame();
+    ASSERT_TRUE(errFrame.has_value());
+    EXPECT_EQ(errFrame->first, static_cast<std::uint8_t>(wire::FrameType::Error));
+    EXPECT_FALSE(c.readFrame().has_value()) << "connection must close after "
+                                               "an oversize length prefix";
+
+    // The daemon itself survives and serves fresh connections.
+    Client fresh(daemon);
+    ASSERT_TRUE(fresh.sendLine(tankJob("after-oversize")));
+    EXPECT_EQ(fresh.readRecord().strOr("status", ""), "succeeded");
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, MidFrameDisconnectDoesNotKillDaemon) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    {
+        BinaryClient c(daemon);
+        ASSERT_TRUE(c.ok());
+        // Announce a 64-byte Job frame but hang up after 3 payload bytes.
+        std::string partial;
+        wire::appendFrame(partial, wire::FrameType::Job,
+                          std::string(64, 'x'));
+        partial.resize(wiregen::kFrameHeaderBytes + 3);
+        ASSERT_TRUE(c.sendRaw(partial));
+        c.close();
+    }
+    // Truncated-frame teardown must not take the reactor with it.
+    for (int spin = 0; spin < 500 && daemon.activeConnections() != 0; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(daemon.activeConnections(), 0u);
+
+    BinaryClient fresh(daemon);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(fresh.sendJob(tankSpec("after-truncation")));
+    EXPECT_EQ(fresh.readRecord().strOr("status", ""), "succeeded");
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, PollBackendServesIdentically) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.reactorBackend = srv::Reactor::Backend::Poll;
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+    EXPECT_EQ(daemon.reactorBackend(), srv::Reactor::Backend::Poll);
+
+    Client jsonClient(daemon);
+    ASSERT_TRUE(jsonClient.sendLine(tankJob("poll-json")));
+    EXPECT_EQ(jsonClient.readRecord().strOr("status", ""), "succeeded");
+
+    BinaryClient binClient(daemon);
+    ASSERT_TRUE(binClient.ok());
+    ASSERT_TRUE(binClient.sendJob(tankSpec("poll-binary")));
+    const json::Value rec = binClient.readRecord();
+    EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+    EXPECT_EQ(rec.strOr("name", ""), "poll-binary");
     daemon.stop();
 }

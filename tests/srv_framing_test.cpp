@@ -1,0 +1,226 @@
+/// \file srv_framing_test.cpp
+/// Binary wire-protocol tests against the generated codec and the framing
+/// layer: preamble negotiation, frame header parsing, job/result
+/// round-trips, truncation fuzzing at every prefix length, hostile map
+/// counts, unknown tags, and the JSON re-rendering identity a binary
+/// client relies on (recordJson over a decoded WireResult must be
+/// byte-identical to the daemon's own JSON line).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "srv/batch_io.hpp"
+#include "srv/daemon/framing.hpp"
+#include "srv/scenario.hpp"
+
+namespace srv = urtx::srv;
+namespace wire = urtx::srv::wire;
+namespace wiregen = urtx::srv::wiregen;
+
+namespace {
+
+srv::ScenarioSpec fullSpec() {
+    srv::ScenarioSpec spec;
+    spec.name = "frame-test";
+    spec.scenario = "tank";
+    spec.horizon = 3.25;
+    spec.mode = urtx::sim::ExecutionMode::MultiThread;
+    spec.deadlineSeconds = 1.5;
+    spec.costSeconds = 0.25;
+    spec.wallBudgetSeconds = 2.0;
+    spec.params.set("qin", 0.75);
+    spec.params.set("setpoint", 1.125);
+    spec.params.set("controller", std::string("pid"));
+    return spec;
+}
+
+srv::ResultRecord fullRecord() {
+    srv::ResultRecord r;
+    r.name = "frame-test";
+    r.scenario = "tank";
+    r.status = srv::ScenarioStatus::Succeeded;
+    r.passed = true;
+    r.verdict = "level settled";
+    r.worker = 3;
+    r.stolen = true;
+    r.deadlineMet = true;
+    r.warmReuse = true;
+    r.cachedResult = false;
+    r.watchdogTripped = false;
+    r.queueWaitSeconds = 0.001;
+    r.wallSeconds = 0.125;
+    r.finishedAtSeconds = 0.5;
+    r.simTime = 3.25;
+    r.steps = 1234;
+    r.traceRows = 56;
+    r.traceHash = 0xdeadbeefcafef00dull;
+    r.metricsJson = "{\"counters\": {}}";
+    return r;
+}
+
+} // namespace
+
+TEST(SrvFramingTest, PreambleRoundTripsAndRejectsCorruption) {
+    const std::string hello = wire::preamble();
+    ASSERT_EQ(hello.size(), wiregen::kPreambleBytes);
+    EXPECT_EQ(hello.substr(0, 4), "URTX");
+    std::string err;
+    EXPECT_TRUE(wire::checkPreamble(hello.data(), &err)) << err;
+
+    std::string badMagic = hello;
+    badMagic[0] = 'X';
+    EXPECT_FALSE(wire::checkPreamble(badMagic.data(), &err));
+    EXPECT_FALSE(err.empty());
+
+    std::string badVersion = hello;
+    badVersion[4] = static_cast<char>(wiregen::kVersion + 1);
+    EXPECT_FALSE(wire::checkPreamble(badVersion.data()));
+}
+
+TEST(SrvFramingTest, FrameHeaderPeeksTypeAndLength) {
+    std::string out;
+    wire::appendFrame(out, wire::FrameType::Result, "payload");
+    ASSERT_EQ(out.size(), wiregen::kFrameHeaderBytes + 7);
+
+    // Fewer than kFrameHeaderBytes buffered: not yet parseable.
+    for (std::size_t n = 0; n < wiregen::kFrameHeaderBytes; ++n) {
+        EXPECT_FALSE(wire::peekFrameHeader(std::string_view(out).substr(0, n)));
+    }
+    const auto h = wire::peekFrameHeader(out);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->length, 7u);
+    EXPECT_EQ(h->type, static_cast<std::uint8_t>(wire::FrameType::Result));
+}
+
+TEST(SrvFramingTest, JobRoundTripPreservesEveryField) {
+    const srv::ScenarioSpec spec = fullSpec();
+    const std::string bytes = wire::jobToWire(spec).encode();
+
+    wiregen::WireJob w;
+    std::string err;
+    ASSERT_TRUE(wiregen::WireJob::decode(w, bytes.data(), bytes.size(), &err))
+        << err;
+    const srv::ScenarioSpec back = wire::jobFromWire(w);
+
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.scenario, spec.scenario);
+    EXPECT_EQ(back.horizon, spec.horizon);
+    EXPECT_EQ(back.mode, spec.mode);
+    EXPECT_EQ(back.deadlineSeconds, spec.deadlineSeconds);
+    EXPECT_EQ(back.costSeconds, spec.costSeconds);
+    EXPECT_EQ(back.wallBudgetSeconds, spec.wallBudgetSeconds);
+    EXPECT_EQ(back.params.nums(), spec.params.nums());
+    EXPECT_EQ(back.params.strs(), spec.params.strs());
+    // Equal job hashes mean the daemon treats both as bit-identical runs.
+    EXPECT_EQ(back.jobHash(), spec.jobHash());
+    EXPECT_EQ(back.warmKey(), spec.warmKey());
+}
+
+TEST(SrvFramingTest, ResultRoundTripRendersByteIdenticalJson) {
+    const srv::ResultRecord r = fullRecord();
+    const std::string bytes = wire::resultToWire(r).encode();
+
+    wiregen::WireResult w;
+    std::string err;
+    ASSERT_TRUE(wiregen::WireResult::decode(w, bytes.data(), bytes.size(), &err))
+        << err;
+    const srv::ResultRecord back = wire::resultFromWire(w);
+
+    // The identity the binary client depends on: re-rendering the decoded
+    // record produces the exact JSON line the daemon would have streamed.
+    EXPECT_EQ(srv::recordJson(back), srv::recordJson(r));
+    EXPECT_EQ(back.traceHash, r.traceHash);
+    EXPECT_EQ(back.status, r.status);
+    EXPECT_EQ(back.worker, r.worker);
+}
+
+TEST(SrvFramingTest, UnknownStatusByteClampsToRejected) {
+    wiregen::WireResult w = wire::resultToWire(fullRecord());
+    w.status = 99;
+    const srv::ResultRecord back = wire::resultFromWire(w);
+    EXPECT_EQ(back.status, srv::ScenarioStatus::Rejected);
+}
+
+TEST(SrvFramingTest, TruncationFuzzNeverReadsPastTheBuffer) {
+    const std::string job = wire::jobToWire(fullSpec()).encode();
+    const std::string res = wire::resultToWire(fullRecord()).encode();
+
+    // Every proper prefix must decode cleanly: either a structured failure
+    // (with a reason) or a success that stopped exactly on a field
+    // boundary. Crashes / overreads are what ASan and the Cursor's bounds
+    // checks turn into failures here.
+    for (std::size_t n = 0; n < job.size(); ++n) {
+        wiregen::WireJob w;
+        std::string err;
+        if (!wiregen::WireJob::decode(w, job.data(), n, &err)) {
+            EXPECT_FALSE(err.empty()) << "failed decode at " << n
+                                      << " bytes must explain itself";
+        }
+    }
+    for (std::size_t n = 0; n < res.size(); ++n) {
+        wiregen::WireResult w;
+        std::string err;
+        if (!wiregen::WireResult::decode(w, res.data(), n, &err)) {
+            EXPECT_FALSE(err.empty());
+        }
+    }
+    // Chopping the final byte always lands mid-field for these payloads
+    // (both end in a non-empty string / map entry).
+    wiregen::WireJob wj;
+    EXPECT_FALSE(wiregen::WireJob::decode(wj, job.data(), job.size() - 1));
+    wiregen::WireResult wr;
+    EXPECT_FALSE(wiregen::WireResult::decode(wr, res.data(), res.size() - 1));
+}
+
+TEST(SrvFramingTest, HostileMapCountIsRejectedNotAllocated) {
+    // Field tag 8 (num_params) claiming 2^32-1 entries in a 9-byte payload:
+    // the decoder must fail on the count, not loop allocating.
+    std::string hostile;
+    wiregen::putU8(hostile, 8);
+    wiregen::putU32(hostile, 0xffffffffu);
+    wiregen::putU32(hostile, 0); // pretend-key so remaining() > 0
+
+    wiregen::WireJob w;
+    std::string err;
+    EXPECT_FALSE(wiregen::WireJob::decode(w, hostile.data(), hostile.size(), &err));
+    EXPECT_EQ(err, "map count exceeds payload");
+}
+
+TEST(SrvFramingTest, OversizeStringLengthIsRejected) {
+    std::string hostile;
+    wiregen::putU8(hostile, 1); // scenario
+    wiregen::putU32(hostile, 0x7fffffffu);
+    hostile += "abc";
+
+    wiregen::WireJob w;
+    std::string err;
+    EXPECT_FALSE(wiregen::WireJob::decode(w, hostile.data(), hostile.size(), &err));
+    EXPECT_EQ(err, "string length exceeds payload");
+}
+
+TEST(SrvFramingTest, UnknownFieldTagIsRejected) {
+    std::string hostile;
+    wiregen::putU8(hostile, 200);
+
+    wiregen::WireJob w;
+    std::string err;
+    EXPECT_FALSE(wiregen::WireJob::decode(w, hostile.data(), hostile.size(), &err));
+    EXPECT_EQ(err, "unknown field tag");
+}
+
+TEST(SrvFramingTest, AbsentFieldsDecodeToDeclaredDefaults) {
+    // An empty payload is a valid message: every field at its default.
+    wiregen::WireJob w;
+    ASSERT_TRUE(wiregen::WireJob::decode(w, "", 0));
+    EXPECT_EQ(w.horizon, 1.0);
+    EXPECT_EQ(w.mode, 0);
+    EXPECT_TRUE(w.scenario.empty());
+    EXPECT_TRUE(w.num_params.empty());
+
+    wiregen::WireResult r;
+    ASSERT_TRUE(wiregen::WireResult::decode(r, "", 0));
+    EXPECT_EQ(r.worker, UINT64_MAX);
+    EXPECT_TRUE(r.deadline_met);
+}

@@ -44,6 +44,37 @@ if ! grep -q '"cached_result": true' "$DIR/records2.jsonl"; then
 fi
 echo "second pass replayed from the result cache"
 
+# Third pass over the binary framing: the generated wire protocol must
+# produce records identical to the JSON passes (same names, same trace
+# hashes — the client re-renders decoded frames through the same
+# renderer), not merely "a" result.
+"$CLIENT" --socket "$SOCK" --strict --binary "$BATCH" > "$DIR/records_bin.jsonl"
+extract_hashes() {
+    sed -n 's/.*"name": "\([^"]*\)".*"trace_hash": "\([^"]*\)".*/\1 \2/p' "$1" | sort
+}
+extract_hashes "$DIR/records.jsonl" > "$DIR/hashes_json.txt"
+extract_hashes "$DIR/records_bin.jsonl" > "$DIR/hashes_bin.txt"
+if ! cmp -s "$DIR/hashes_json.txt" "$DIR/hashes_bin.txt"; then
+    echo "FAIL: binary pass trace hashes differ from the JSON pass" >&2
+    diff "$DIR/hashes_json.txt" "$DIR/hashes_bin.txt" >&2 || true
+    exit 1
+fi
+if [ ! -s "$DIR/hashes_json.txt" ]; then
+    echo "FAIL: no name/trace_hash pairs extracted to compare" >&2
+    exit 1
+fi
+echo "binary pass produced bit-identical trace hashes"
+
+# Control verbs ride the binary framing too (Control/ControlResponse
+# frames carry the JSON text verbatim).
+"$CLIENT" --socket "$SOCK" --binary --health > "$DIR/health_bin.json"
+if ! grep -qF '"status": "ok"' "$DIR/health_bin.json"; then
+    echo "FAIL: binary health verb did not answer ok" >&2
+    cat "$DIR/health_bin.json" >&2
+    exit 1
+fi
+echo "binary health verb answered ok"
+
 # Live observability verbs against the same daemon: the metrics verb must
 # return scrapeable exposition text that saw the jobs above, and the health
 # verb must answer ok with the sampling state embedded.
