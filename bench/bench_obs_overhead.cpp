@@ -15,22 +15,30 @@
 ///              decision is made once per span at the emitting site, so
 ///              unadmitted spans skip the stamp, the flow events and the
 ///              hop-latency observes entirely.
+///   stats-ticker on — metrics plus a background StatsWindow ticking a
+///              full registry snapshot every 10 ms (the daemon's windowed
+///              stats engine at 100x its default cadence). Bounds what the
+///              snapshot walk steals from the hot paths.
 ///
 /// Compiling with -DURTX_OBS_DISABLE=ON removes even the relaxed loads; the
 /// "off" row here is the upper bound on what a default build pays.
 ///
 /// A machine-readable summary is written to BENCH_obs.json.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "control/control.hpp"
 #include "flow/flow.hpp"
 #include "obs/obs.hpp"
+#include "obs/window.hpp"
 #include "rt/rt.hpp"
 
 namespace f = urtx::flow;
@@ -131,6 +139,7 @@ struct Config {
     bool tracer;
     bool causal; ///< monitor + flight recorder (deadline checks on the hop path)
     double sampling = 1.0; ///< span sampling rate fed to the registry
+    bool ticker = false;   ///< background StatsWindow snapshotting at 10 ms
 };
 
 struct Row {
@@ -179,6 +188,10 @@ int main() {
         // rate (the acceptance bound is the 1% row's dispatch column).
         {"causal@10%", false, true, true, 0.1},
         {"causal@1%", false, true, true, 0.01},
+        // The daemon's windowed stats engine: a reactor tick snapshots the
+        // whole registry into a ring. 10 ms here vs the daemon's 1 s
+        // default, so the row is a 100x upper bound on ticker steal.
+        {"stats-ticker on", true, false, false, 1.0, true},
     };
 
     constexpr int kDispatchRounds = 100000;
@@ -199,8 +212,24 @@ int main() {
         obs::Registry::global().reset();
         obs::Tracer::global().clear();
 
+        std::atomic<bool> tickerStop{false};
+        std::thread tickerThread;
+        if (cfg.ticker) {
+            tickerThread = std::thread([&tickerStop] {
+                obs::StatsWindow win(obs::Registry::global(), 128);
+                while (!tickerStop.load(std::memory_order_relaxed)) {
+                    win.tick();
+                    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                }
+            });
+        }
+
         const double dispatch = dispatchHotPath(kDispatchRounds);
         const double solver = solverHotPath(kSolverSteps, kDim);
+        if (tickerThread.joinable()) {
+            tickerStop.store(true, std::memory_order_relaxed);
+            tickerThread.join();
+        }
         if (!cfg.metrics && !cfg.tracer && !cfg.causal) {
             dispatchBase = dispatch;
             solverBase = solver;

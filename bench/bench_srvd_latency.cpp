@@ -11,11 +11,16 @@
 ///   cached     — result cache on: bit-identical reruns replay the stored
 ///                record without touching the engine at all;
 ///   cached-bin — same replay over the generated binary framing (no JSON
-///                parse/render on the request path).
+///                parse/render on the request path);
+///   cached-bin+tick — cached-bin with the windowed stats ticker running
+///                at 10 ms (100x the daemon default), bounding what the
+///                reactor-thread snapshot walk adds to the request path.
 ///
 /// A second table drives the reactor to saturation: C binary connections
 /// (C up to 512), one cached job in flight on each, measuring sustained
-/// requests/second and per-request latency percentiles as C grows.
+/// requests/second and per-request latency percentiles as C grows. The
+/// 64-connection point repeats with the 10 ms ticker on; the acceptance
+/// bound is a cached-throughput regression under 2%.
 ///
 /// A machine-readable summary is written to BENCH_srvd.json. The headline
 /// claims are warm p50 < cold p50 (construction cost off the request
@@ -151,13 +156,15 @@ private:
     std::string pending_;
 };
 
-srv::DaemonConfig benchConfig(std::size_t warmCap, std::size_t resultCap) {
+srv::DaemonConfig benchConfig(std::size_t warmCap, std::size_t resultCap,
+                              double statsTick = 0.0) {
     srv::DaemonConfig cfg;
     cfg.engine.workers = 1; // latency, not throughput
     cfg.engine.scopedMetrics = false;
     cfg.engine.postmortems = false;
     cfg.warmCacheCapacity = warmCap;
     cfg.resultCacheCapacity = resultCap;
+    cfg.statsTickSeconds = statsTick; // 0 = pre-ticker serving edge
     return cfg;
 }
 
@@ -197,8 +204,9 @@ Row measure(const char* mode, std::size_t warmCap, std::size_t resultCap) {
     return summarize(mode, ms);
 }
 
-Row measureBinary(const char* mode, std::size_t warmCap, std::size_t resultCap) {
-    srv::ServeDaemon daemon(benchConfig(warmCap, resultCap));
+Row measureBinary(const char* mode, std::size_t warmCap, std::size_t resultCap,
+                  double statsTick = 0.0) {
+    srv::ServeDaemon daemon(benchConfig(warmCap, resultCap, statsTick));
     if (!daemon.start()) std::abort();
     BinClient c(daemon);
     if (!c.ok()) std::abort();
@@ -227,10 +235,11 @@ struct SatRow {
 /// Saturation loop: \p connections binary clients against one cached
 /// daemon, a single poll(2) ring with one job in flight per connection
 /// until each completes \p perConn round-trips.
-SatRow saturate(int connections, int perConn, const std::string& jobFrame) {
+SatRow saturate(int connections, int perConn, const std::string& jobFrame,
+                double statsTick = 0.0) {
     using clock = std::chrono::steady_clock;
 
-    srv::DaemonConfig cfg = benchConfig(4, 256);
+    srv::DaemonConfig cfg = benchConfig(4, 256, statsTick);
     cfg.engine.workers = 2;
     srv::ServeDaemon daemon(cfg);
     if (!daemon.start()) std::abort();
@@ -342,6 +351,7 @@ int main() {
     rows.push_back(measure("warm", 4, 0));
     rows.push_back(measure("cached", 4, 256));
     rows.push_back(measureBinary("cached-bin", 4, 256));
+    rows.push_back(measureBinary("cached-bin+tick", 4, 256, 0.01));
     for (const Row& r : rows) {
         std::printf("%12s %12.4f %12.4f %12.4f\n", r.mode, r.p50Ms, r.p99Ms, r.meanMs);
     }
@@ -372,6 +382,18 @@ int main() {
     }
     urtx::bench::rule();
 
+    // Windowed-stats ticker steal at load: repeat the 64-connection point
+    // with a 10 ms tick (100x the daemon's 1 s default) on the reactor
+    // thread. Acceptance: cached throughput regression below 2%.
+    const SatRow tickOff = sat[2];
+    const SatRow tickOn = saturate(64, 32, jobFrame, 0.01);
+    const double tickerRegressionPct =
+        tickOff.qps > 0.0 ? (1.0 - tickOn.qps / tickOff.qps) * 100.0 : 0.0;
+    const bool tickerOk = tickerRegressionPct < 2.0;
+    std::printf("\nstats ticker at 10 ms, 64 conns: %.0f qps vs %.0f qps off "
+                "(regression %.2f%%, bound < 2%%: %s)\n",
+                tickOn.qps, tickOff.qps, tickerRegressionPct, tickerOk ? "ok" : "EXCEEDED");
+
     std::ofstream f("BENCH_srvd.json");
     f << "{\n  \"benchmark\": \"srvd_latency\",\n";
     f << "  \"jobs_per_mode\": " << kJobs << ",\n  \"rows\": [\n";
@@ -396,8 +418,17 @@ int main() {
         f << buf;
     }
     f << "  ],\n  \"warm_p50_below_cold_p50\": " << (warmWins ? "true" : "false")
-      << ",\n  \"binary_cached_p50_le_json_cached_p50\": " << (binaryWins ? "true" : "false")
-      << "\n}\n";
+      << ",\n  \"binary_cached_p50_le_json_cached_p50\": " << (binaryWins ? "true" : "false");
+    {
+        char buf[224];
+        std::snprintf(buf, sizeof(buf),
+                      ",\n  \"ticker_on\": {\"tick_seconds\": 0.01, \"connections\": 64, "
+                      "\"qps\": %.0f, \"qps_off\": %.0f, \"regression_pct\": %.2f, "
+                      "\"below_2pct\": %s}\n}\n",
+                      tickOn.qps, tickOff.qps, tickerRegressionPct,
+                      tickerOk ? "true" : "false");
+        f << buf;
+    }
     std::puts("wrote BENCH_srvd.json");
     return 0;
 }

@@ -6,7 +6,12 @@ Protocol servingProtocol() {
     Protocol p;
     p.ns = "urtx::srv::wiregen";
     p.magic = "URTX";
-    p.version = 1;
+    // v2: WireJob.profile (tag 10) + WireResult.stages (tag 22). The bump
+    // keeps the change preamble-negotiated: a peer built against v1 fails
+    // the 8-byte handshake up front (and falls back to newline-JSON, which
+    // simply omits unknown keys it never sends) instead of hitting an
+    // unknown-tag decode error mid-stream.
+    p.version = 2;
     p.frames = {
         {"Job", 1, "client -> daemon: one encoded WireJob (pre-expanded spec)"},
         {"Result", 2, "daemon -> client: one encoded WireResult"},
@@ -34,6 +39,8 @@ Protocol servingProtocol() {
         {"wall_budget_seconds", FieldKind::F64, 7, "", "watchdog budget"},
         {"num_params", FieldKind::NumMap, 8, "", "numeric parameter overrides"},
         {"str_params", FieldKind::StrMap, 9, "", "string parameter overrides"},
+        {"profile", FieldKind::Bool, 10, "",
+         "attach the per-stage latency table to the result record"},
     };
 
     // Mirrors srv::ResultRecord — the flat record resultJson() renders, so
@@ -67,6 +74,8 @@ Protocol servingProtocol() {
          "FNV-1a over the raw trace bits (bit-identity checks)"},
         {"metrics_json", FieldKind::Str, 20, "", "embedded Snapshot::toJson()"},
         {"postmortem_json", FieldKind::Str, 21, "", "flight-recorder dump"},
+        {"stages", FieldKind::NumMap, 22, "",
+         "stage name -> offset seconds from receive; empty unless profiled"},
     };
 
     p.messages = {job, res};

@@ -159,6 +159,7 @@ constexpr LabeledFamily kLabeledFamilies[] = {
     {"rt.hop_latency_worst_seconds.", "signal"},
     {"rt.deadline_miss.", "signal"},
     {"rt.dispatch_latency_seconds.", "priority"},
+    {"srvd.accept_errors.", "class"},
 };
 
 /// A registry name resolved to its exposition-format series: sanitized
@@ -502,10 +503,13 @@ void Registry::reset() {
 
 namespace {
 
-/// Latency buckets in seconds: 100ns .. 100ms, roughly 1-2.5-5 per decade.
+/// Latency buckets in seconds: 25ns .. 100ms, roughly 1-2.5-5 per decade.
+/// The sub-100ns tiers exist because per-dispatch service times sit around
+/// 100ns and the windowed quantile interpolation clips anything below the
+/// lowest bound to a single coarse bucket.
 std::vector<double> latencyBounds() {
-    return {1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5,
-            5e-5, 1e-4,   2.5e-4, 5e-4, 1e-3, 2.5e-3, 1e-2, 1e-1};
+    return {2.5e-8, 5e-8,   1e-7, 2.5e-7, 5e-7, 1e-6,   2.5e-6, 5e-6, 1e-5,
+            2.5e-5, 5e-5,   1e-4, 2.5e-4, 5e-4, 1e-3,   2.5e-3, 1e-2, 1e-1};
 }
 
 std::vector<double> jitterBounds() {

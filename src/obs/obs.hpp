@@ -11,4 +11,6 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/profile.hpp"
 #include "obs/tracer.hpp"
+#include "obs/window.hpp"

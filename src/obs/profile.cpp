@@ -1,0 +1,39 @@
+#include "obs/profile.hpp"
+
+namespace urtx::obs {
+
+const std::array<const char*, kStageCount>& stageNames() {
+    static const std::array<const char*, kStageCount> names = {
+        "decode",       "admission", "queue_wait", "warm_acquire",
+        "cold_build",   "solve",     "encode",     "reply",
+    };
+    return names;
+}
+
+const char* stageName(Stage s) { return stageNames()[static_cast<std::size_t>(s)]; }
+
+double StageProfile::offsetSeconds(Stage s) const {
+    const std::uint64_t t = stampOf(s);
+    if (t == 0 || originNanos == 0 || t < originNanos) return 0.0;
+    return static_cast<double>(t - originNanos) * 1e-9;
+}
+
+void StageProfile::merge(const StageProfile& other) {
+    if (originNanos == 0) originNanos = other.originNanos;
+    enabled = enabled || other.enabled;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+        if (stampNanos[i] == 0) stampNanos[i] = other.stampNanos[i];
+    }
+}
+
+std::map<std::string, double> StageProfile::toMap() const {
+    std::map<std::string, double> out;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+        if (stampNanos[i] != 0) {
+            out[stageNames()[i]] = offsetSeconds(static_cast<Stage>(i));
+        }
+    }
+    return out;
+}
+
+} // namespace urtx::obs

@@ -1,0 +1,89 @@
+#pragma once
+/// \file profile.hpp
+/// Per-job stage profiling for the serving stack: monotonic stage stamps
+/// from the moment a job's bytes arrive to the moment its reply is handed
+/// to the socket.
+///
+/// A StageProfile carries one absolute monotonic timestamp (obs::nowNanos)
+/// per pipeline stage plus the job's receive time as the origin. Stages are
+/// stamped where they complete — decode and admission on the daemon's
+/// reactor thread, queue-wait / warm-acquire / cold-build / solve on the
+/// engine worker, encode and reply back on the completion path — and merge
+/// trivially across threads because every stamp shares the one steady
+/// clock. Rendering converts to per-stage offsets in seconds from the
+/// origin, so a well-formed table is monotone non-decreasing in stage
+/// order and the last stamp approximates the job's end-to-end latency.
+///
+/// The engine stamps its stages unconditionally (four clock reads against
+/// a millisecond-scale solve — noise); `enabled` only controls whether the
+/// table is attached to the emitted ResultRecord, which is what the
+/// per-job `"profile": true` opt-in toggles.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace urtx::obs {
+
+/// Serving-pipeline stages in wire-visible order. WarmAcquire and
+/// ColdBuild are alternatives: exactly one is stamped per executed job.
+enum class Stage : std::uint8_t {
+    Decode,      ///< request bytes parsed into a ScenarioSpec
+    Admission,   ///< accepted past drain/cache checks and submitted
+    QueueWait,   ///< dequeued by an engine worker
+    WarmAcquire, ///< live instance taken from the warm-scenario cache
+    ColdBuild,   ///< scenario built from its factory
+    Solve,       ///< simulation run returned
+    Encode,      ///< result record serialized
+    Reply,       ///< reply handed to the connection's output buffer
+};
+
+inline constexpr std::size_t kStageCount = 8;
+
+/// Canonical lowercase stage names in stage order — the order renderers
+/// emit the table in (std::map would alphabetize and scramble it).
+const std::array<const char*, kStageCount>& stageNames();
+
+/// Wire/JSON name of one stage ("decode", "queue_wait", ...).
+const char* stageName(Stage s);
+
+/// One job's stage table: absolute nanosecond stamps against a shared
+/// origin. Value-copyable; zero stamp = stage not reached.
+struct StageProfile {
+    bool enabled = false;        ///< attach the table to the emitted record
+    std::uint64_t originNanos = 0;
+    std::array<std::uint64_t, kStageCount> stampNanos{};
+
+    /// Set the origin to now (or keep an externally captured receive time
+    /// by assigning originNanos directly).
+    void start() { originNanos = nowNanos(); }
+    /// Stamp a stage at now. A first stamp with no origin adopts it as the
+    /// origin, so engine-only tables (urtx_batch, no daemon receive time)
+    /// are still offsets from their first stage.
+    void stamp(Stage s) {
+        const std::uint64_t t = nowNanos();
+        if (originNanos == 0) originNanos = t;
+        stampNanos[static_cast<std::size_t>(s)] = t;
+    }
+    bool stamped(Stage s) const { return stampNanos[static_cast<std::size_t>(s)] != 0; }
+    std::uint64_t stampOf(Stage s) const { return stampNanos[static_cast<std::size_t>(s)]; }
+
+    /// Offset of a stamped stage from the origin, in seconds; clamps below
+    /// at 0 so clock-adjacent stamps never render negative. 0 if unstamped.
+    double offsetSeconds(Stage s) const;
+
+    /// Adopt \p other's origin (when unset here) and any stamps this
+    /// profile is missing — how daemon-side stamps and engine-side stamps
+    /// combine into one table.
+    void merge(const StageProfile& other);
+
+    /// Stage name -> offset seconds, stamped stages only. The map is the
+    /// wire representation (NumMap); renderers restore stage order via
+    /// stageNames().
+    std::map<std::string, double> toMap() const;
+};
+
+} // namespace urtx::obs

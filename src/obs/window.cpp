@@ -1,0 +1,172 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urtx::obs {
+
+// --- StatsWindow ------------------------------------------------------------
+
+StatsWindow::StatsWindow(Registry& source, std::size_t capacity)
+    : source_(source), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void StatsWindow::tick() { tickAt(nowNanos()); }
+
+void StatsWindow::tickAt(std::uint64_t monoNanos) {
+    Entry e;
+    e.nanos = monoNanos;
+    e.snap = source_.snapshot();
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(std::move(e));
+    while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::size_t StatsWindow::ticks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+double StatsWindow::coverageSeconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < 2) return 0.0;
+    return static_cast<double>(ring_.back().nanos - ring_.front().nanos) * 1e-9;
+}
+
+const StatsWindow::Entry* StatsWindow::baseline(double windowSeconds,
+                                                std::uint64_t nowNs) const {
+    // Caller holds mu_.
+    if (ring_.empty()) return nullptr;
+    const auto windowNs = static_cast<std::uint64_t>(windowSeconds * 1e9);
+    // Newest entry whose age meets the window; the ring is time-ordered, so
+    // scan from the back.
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+        if (nowNs >= it->nanos && nowNs - it->nanos >= windowNs) return &*it;
+    }
+    return &ring_.front();
+}
+
+double StatsWindow::rate(std::string_view name, double windowSeconds) const {
+    return rateAt(name, windowSeconds, nowNanos());
+}
+
+double StatsWindow::rateAt(std::string_view name, double windowSeconds,
+                           std::uint64_t nowNs) const {
+    const Snapshot now = source_.snapshot();
+    const CounterSample* cur = now.counter(name);
+    if (!cur) return 0.0;
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* base = baseline(windowSeconds, nowNs);
+    if (!base || nowNs <= base->nanos) return 0.0;
+    const double dt = static_cast<double>(nowNs - base->nanos) * 1e-9;
+    std::uint64_t then = 0;
+    if (const CounterSample* prev = base->snap.counter(name)) then = prev->value;
+    if (cur->value <= then) return 0.0;
+    return static_cast<double>(cur->value - then) / dt;
+}
+
+StatsWindow::WindowedQuantiles StatsWindow::quantiles(std::string_view name,
+                                                      double windowSeconds) const {
+    return quantilesAt(name, windowSeconds, nowNanos());
+}
+
+StatsWindow::WindowedQuantiles StatsWindow::quantilesAt(std::string_view name,
+                                                        double windowSeconds,
+                                                        std::uint64_t nowNs) const {
+    WindowedQuantiles out;
+    const Snapshot now = source_.snapshot();
+    const HistogramSample* cur = now.histogram(name);
+    if (!cur) return out;
+    std::vector<std::uint64_t> deltas = cur->counts;
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* base = baseline(windowSeconds, nowNs);
+    if (base) {
+        if (const HistogramSample* prev = base->snap.histogram(name)) {
+            if (prev->counts.size() == deltas.size()) {
+                for (std::size_t i = 0; i < deltas.size(); ++i) {
+                    deltas[i] -= std::min(deltas[i], prev->counts[i]);
+                }
+            }
+        }
+        if (nowNs > base->nanos) {
+            out.windowSeconds = static_cast<double>(nowNs - base->nanos) * 1e-9;
+        }
+    }
+    for (std::uint64_t d : deltas) out.count += d;
+    if (out.count == 0) return out;
+    out.p50 = quantileFromDeltas(cur->bounds, deltas, 0.50);
+    out.p90 = quantileFromDeltas(cur->bounds, deltas, 0.90);
+    out.p99 = quantileFromDeltas(cur->bounds, deltas, 0.99);
+    return out;
+}
+
+double StatsWindow::quantileFromDeltas(const std::vector<double>& bounds,
+                                       const std::vector<std::uint64_t>& deltaCounts,
+                                       double q) {
+    if (bounds.empty() || deltaCounts.size() != bounds.size() + 1) return 0.0;
+    std::uint64_t total = 0;
+    for (std::uint64_t d : deltaCounts) total += d;
+    if (total == 0) return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const double target = q * static_cast<double>(total);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < deltaCounts.size(); ++i) {
+        const double inBucket = static_cast<double>(deltaCounts[i]);
+        if (cum + inBucket < target || inBucket == 0.0) {
+            cum += inBucket;
+            continue;
+        }
+        if (i >= bounds.size()) return bounds.back();  // +Inf bucket: clamp
+        const double lower = i == 0 ? 0.0 : bounds[i - 1];
+        const double upper = bounds[i];
+        const double frac = (target - cum) / inBucket;
+        return lower + (upper - lower) * frac;
+    }
+    return bounds.back();
+}
+
+// --- WcetTracker ------------------------------------------------------------
+
+WcetTracker::WcetTracker(std::size_t window) : window_(window == 0 ? 1 : window) {}
+
+void WcetTracker::observe(std::string_view scenario, std::string_view solver,
+                          double solveSeconds) {
+    if (!(solveSeconds >= 0.0)) return;  // rejects NaN and negatives
+    std::lock_guard<std::mutex> lock(mu_);
+    Ring& ring = keys_[{std::string(scenario), std::string(solver)}];
+    if (ring.samples.size() < window_) {
+        ring.samples.push_back(solveSeconds);
+    } else {
+        ring.samples[ring.next] = solveSeconds;
+        ring.next = (ring.next + 1) % window_;
+    }
+    ++ring.count;
+    ring.last = solveSeconds;
+    ring.worst = std::max(ring.worst, solveSeconds);
+}
+
+std::vector<WcetTracker::Entry> WcetTracker::table() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry> out;
+    out.reserve(keys_.size());
+    for (const auto& [key, ring] : keys_) {
+        Entry e;
+        e.scenario = key.first;
+        e.solver = key.second;
+        e.count = ring.count;
+        e.last = ring.last;
+        e.worst = ring.worst;
+        if (!ring.samples.empty()) {
+            std::vector<double> sorted = ring.samples;
+            std::sort(sorted.begin(), sorted.end());
+            e.rollingMax = sorted.back();
+            const std::size_t n = sorted.size();
+            const auto rank = static_cast<std::size_t>(
+                std::ceil(0.99 * static_cast<double>(n)));
+            e.p99 = sorted[std::min(rank == 0 ? 0 : rank - 1, n - 1)];
+        }
+        out.push_back(std::move(e));
+    }
+    return out;  // std::map iteration order == sorted by (scenario, solver)
+}
+
+} // namespace urtx::obs

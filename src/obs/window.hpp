@@ -1,0 +1,147 @@
+#pragma once
+/// \file window.hpp
+/// Windowed statistics over Registry snapshots: rolling rates and
+/// histogram quantiles computed from *deltas* between periodic snapshots
+/// instead of lifetime totals.
+///
+/// The Registry's counters and histograms only ever accumulate, so "how
+/// busy is the daemon right now" is unanswerable from a single snapshot.
+/// StatsWindow keeps a ring of timestamped snapshots captured by a caller-
+/// driven tick (the serving daemon drives it from its reactor loop's poll
+/// timeout); a query takes one fresh snapshot and subtracts the ring entry
+/// closest to the requested window, so a 10s rate is (counter now − counter
+/// 10s ago) / elapsed and a windowed quantile interpolates over the bucket
+/// *deltas* accumulated inside the window only.
+///
+/// WcetTracker complements the windows with per-key worst-case-execution-
+/// time tracking: a bounded ring of recent solve times per
+/// (scenario, solver) key yielding rolling max and p99 next to the lifetime
+/// worst — the measured-WCET input the schedulability-analysis admission
+/// work (ROADMAP item 5a) reads.
+///
+/// Thread-safety: every public member takes an internal mutex; ticks are
+/// expected at O(1 Hz) and queries at control-verb rate, so the lock is
+/// never contended on a hot path.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace urtx::obs {
+
+/// Ring of periodic Registry snapshots with delta-based rolling rates and
+/// windowed histogram quantiles.
+class StatsWindow {
+public:
+    /// \p source: the registry to snapshot (held by reference; must outlive
+    /// the window). \p capacity: ring size — at a 1 Hz tick, 128 entries
+    /// cover every window up to two minutes.
+    explicit StatsWindow(Registry& source, std::size_t capacity = 128);
+
+    /// Capture one snapshot now. Called by whoever owns the cadence (the
+    /// daemon's reactor tick); never called internally by queries.
+    void tick();
+    /// Test seam: capture a snapshot but record \p monoNanos as its
+    /// timestamp, so tests can lay out a deterministic timeline.
+    void tickAt(std::uint64_t monoNanos);
+
+    /// Number of snapshots currently retained.
+    std::size_t ticks() const;
+    /// Seconds between the oldest and newest retained snapshot (0 with
+    /// fewer than two).
+    double coverageSeconds() const;
+
+    /// Rolling rate of counter \p name per second over the trailing
+    /// \p windowSeconds: the delta between a fresh snapshot and the ring
+    /// entry nearest the window boundary, divided by the *actual* elapsed
+    /// time between the two. Returns 0 with an empty ring or an unknown
+    /// counter.
+    double rate(std::string_view name, double windowSeconds) const;
+
+    struct WindowedQuantiles {
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+        std::uint64_t count = 0;     ///< observations inside the window
+        double windowSeconds = 0.0;  ///< actual span the deltas cover
+    };
+
+    /// Windowed histogram quantiles for \p name: cumulative-bucket linear
+    /// interpolation over the per-bucket count deltas accumulated inside
+    /// the trailing \p windowSeconds. Zero-filled with no data.
+    WindowedQuantiles quantiles(std::string_view name, double windowSeconds) const;
+
+    /// Test seams: same queries with an injected "now" timestamp.
+    double rateAt(std::string_view name, double windowSeconds, std::uint64_t nowNs) const;
+    WindowedQuantiles quantilesAt(std::string_view name, double windowSeconds,
+                                  std::uint64_t nowNs) const;
+
+    /// The quantile estimator itself, exposed for direct testing: \p bounds
+    /// are the finite "le" bucket bounds, \p deltaCounts the per-bucket
+    /// count deltas (size bounds+1, last = +Inf bucket), \p q in (0, 1].
+    /// Linear interpolation inside the bucket containing the target rank;
+    /// mass in the +Inf bucket clamps to the highest finite bound (the
+    /// Prometheus histogram_quantile convention). Returns 0 on no mass.
+    static double quantileFromDeltas(const std::vector<double>& bounds,
+                                     const std::vector<std::uint64_t>& deltaCounts, double q);
+
+private:
+    struct Entry {
+        std::uint64_t nanos = 0;
+        Snapshot snap;
+    };
+    /// Newest ring entry at least \p windowSeconds older than \p nowNs, or
+    /// the oldest entry when none is that old; nullptr on an empty ring.
+    const Entry* baseline(double windowSeconds, std::uint64_t nowNs) const;
+
+    Registry& source_;
+    std::size_t capacity_;
+    std::deque<Entry> ring_;
+    mutable std::mutex mu_;
+};
+
+/// Rolling worst-case-execution-time tracker: per (scenario, solver) key, a
+/// bounded ring of the most recent solve times yielding rolling max and
+/// nearest-rank p99, plus the lifetime worst and count.
+class WcetTracker {
+public:
+    /// \p window: ring capacity per key (rolling max / p99 span).
+    explicit WcetTracker(std::size_t window = 256);
+
+    void observe(std::string_view scenario, std::string_view solver, double solveSeconds);
+
+    struct Entry {
+        std::string scenario;
+        std::string solver;
+        std::uint64_t count = 0;  ///< lifetime observations
+        double last = 0.0;        ///< most recent solve time
+        double worst = 0.0;       ///< lifetime maximum
+        double rollingMax = 0.0;  ///< maximum over the retained ring
+        double p99 = 0.0;         ///< nearest-rank p99 over the retained ring
+    };
+
+    /// Current table, sorted by (scenario, solver).
+    std::vector<Entry> table() const;
+
+private:
+    struct Ring {
+        std::vector<double> samples;  ///< ring storage, size <= window
+        std::size_t next = 0;         ///< overwrite cursor once full
+        std::uint64_t count = 0;
+        double last = 0.0;
+        double worst = 0.0;
+    };
+
+    std::size_t window_;
+    std::map<std::pair<std::string, std::string>, Ring> keys_;
+    mutable std::mutex mu_;
+};
+
+} // namespace urtx::obs

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
 #include "srv/json.hpp"
 
 namespace urtx::srv {
@@ -44,7 +45,7 @@ std::vector<ScenarioSpec> parseJobObject(const json::Value& job) {
     static constexpr std::string_view kJobKeys[] = {
         "scenario",     "name",         "horizon",             "mode",
         "deadline_seconds", "cost_seconds", "wall_budget_seconds", "params",
-        "repeat",       "sweep"};
+        "repeat",       "sweep",        "profile"};
     for (const auto& [key, v] : job.object) {
         bool known = false;
         for (const std::string_view k : kJobKeys) known = known || key == k;
@@ -63,6 +64,7 @@ std::vector<ScenarioSpec> parseJobObject(const json::Value& job) {
     base.deadlineSeconds = job.numOr("deadline_seconds", 0.0);
     base.costSeconds = job.numOr("cost_seconds", 0.0);
     base.wallBudgetSeconds = job.numOr("wall_budget_seconds", 0.0);
+    base.profile = job.boolOr("profile", false);
     if (const json::Value* params = job.find("params")) {
         if (!params->isObject()) {
             throw std::runtime_error("batch file: \"params\" must be an object");
@@ -148,6 +150,7 @@ std::string jobJson(const ScenarioSpec& spec) {
     if (spec.wallBudgetSeconds > 0) {
         out += ", \"wall_budget_seconds\": " + json::number(spec.wallBudgetSeconds);
     }
+    if (spec.profile) out += ", \"profile\": true";
     if (!spec.params.nums().empty() || !spec.params.strs().empty()) {
         out += ", \"params\": {";
         bool first = true;
@@ -194,6 +197,7 @@ ResultRecord flattenResult(const ScenarioResult& r, bool includeMetrics) {
         rec.metricsJson = r.metrics.toJson();
     }
     rec.postmortemJson = r.postmortemJson;
+    if (r.profile.enabled) rec.stages = r.profile.toMap();
     return rec;
 }
 
@@ -228,6 +232,27 @@ std::string recordJson(const ResultRecord& r) {
     if (r.warmReuse) out += ", \"warm_reuse\": true";
     if (r.cachedResult) out += ", \"cached_result\": true";
     if (r.watchdogTripped) out += ", \"watchdog_tripped\": true";
+    if (!r.stages.empty()) {
+        // Canonical stage order first (the wire map alphabetizes), then any
+        // keys outside the known set so nothing is silently dropped.
+        out += ", \"stages\": {";
+        bool firstStage = true;
+        auto emit = [&](const std::string& k, double v) {
+            if (!firstStage) out += ", ";
+            firstStage = false;
+            out += "\"" + json::escape(k) + "\": " + json::number(v);
+        };
+        for (const char* stage : obs::stageNames()) {
+            const auto it = r.stages.find(stage);
+            if (it != r.stages.end()) emit(it->first, it->second);
+        }
+        for (const auto& [k, v] : r.stages) {
+            bool known = false;
+            for (const char* stage : obs::stageNames()) known = known || k == stage;
+            if (!known) emit(k, v);
+        }
+        out += "}";
+    }
     if (!r.metricsJson.empty()) out += ", \"metrics\": " + r.metricsJson;
     if (!r.postmortemJson.empty()) out += ", \"postmortem\": " + r.postmortemJson;
     out += "}";

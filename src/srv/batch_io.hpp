@@ -5,6 +5,7 @@
 /// report. See docs/SERVING.md for both schemas.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,6 +71,10 @@ struct ResultRecord {
     std::uint64_t traceHash = 0;
     std::string metricsJson;    ///< empty = omit
     std::string postmortemJson; ///< empty = omit
+    /// Stage name -> offset seconds from receive ("profile": true jobs
+    /// only; empty = omit). Rendered in canonical stage order via
+    /// obs::stageNames(), not map order.
+    std::map<std::string, double> stages;
 };
 
 /// Flatten a ScenarioResult (computes the trace hash once; honors

@@ -77,6 +77,15 @@ std::string errorRecord(const std::string& message) {
     return "{\"status\": \"error\", \"error\": \"" + json::escape(message) + "\"}";
 }
 
+/// Bucket bounds for srvd.request_latency_seconds. Cached-path replies land
+/// in single-digit microseconds, so the ladder starts at 1µs; the top end
+/// covers multi-second cold solves.
+std::vector<double> requestLatencyBounds() {
+    return {1e-6, 2.5e-6, 5e-6,  1e-5,   2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+            1e-3, 2.5e-3, 5e-3,  1e-2,   2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+            1.0,  2.5,    10.0};
+}
+
 } // namespace
 
 AcceptRetry acceptRetryClass(int err) {
@@ -119,7 +128,8 @@ ServeDaemon::ServeDaemon(DaemonConfig cfg, const ScenarioLibrary& lib)
       warmCache_(cfg_.warmCacheCapacity),
       resultCache_(cfg_.resultCacheCapacity),
       engine_(cfg_.engine),
-      reactor_(std::make_unique<Reactor>(cfg_.reactorBackend)) {
+      reactor_(std::make_unique<Reactor>(cfg_.reactorBackend)),
+      statsWindow_(obs::Registry::process(), cfg_.statsWindowCapacity) {
     obs::Registry& r = obs::Registry::process();
     connectionsGauge_ = &r.gauge("srvd.connections");
     connectionsTotal_ = &r.counter("srvd.connections_total");
@@ -128,11 +138,20 @@ ServeDaemon::ServeDaemon(DaemonConfig cfg, const ScenarioLibrary& lib)
     rejectedDraining_ = &r.counter("srvd.rejected_draining");
     badLines_ = &r.counter("srvd.bad_lines");
     acceptErrors_ = &r.counter("srvd.accept_errors");
+    acceptErrorsRetry_ = &r.counter("srvd.accept_errors.retry");
+    acceptErrorsBackoff_ = &r.counter("srvd.accept_errors.backoff");
+    acceptErrorsFatal_ = &r.counter("srvd.accept_errors.fatal");
     binaryConnections_ = &r.counter("srvd.binary_connections");
     queueDepthGauge_ = &r.gauge("srvd.queue_depth");
     resultCacheHitRatio_ = &r.gauge("srvd.result_cache_hit_ratio");
     warmCacheHitRatio_ = &r.gauge("srvd.warm_cache_hit_ratio");
     drainSeconds_ = &r.gauge("srvd.drain_seconds");
+    uptimeGauge_ = &r.gauge("srvd.uptime_seconds");
+    samplingRateGauge_ = &r.gauge("obs.span_sampling_rate");
+    tracerStripesGauge_ = &r.gauge("obs.tracer_stripes");
+    requestLatency_ = &r.histogram("srvd.request_latency_seconds", requestLatencyBounds());
+    startNanos_ = obs::nowNanos();
+    refreshRuntimeGauges();
 
     if (cfg_.warmCacheCapacity > 0) engine_.setWarmCache(&warmCache_);
     session_ = engine_.startSession(lib_);
@@ -248,10 +267,30 @@ std::size_t ServeDaemon::activeConnections() const {
 // ---------------------------------------------------------------------------
 
 void ServeDaemon::reactorLoop() {
+    // The stats ticker rides the reactor's poll timeout: with no tick
+    // configured the loop blocks forever as before; with one it wakes at
+    // the next tick deadline, snapshots, and re-arms. Job traffic wakes the
+    // poll early, so ticks never delay I/O — and a busy poll loop still
+    // ticks on time because the deadline check runs every iteration.
+    const bool ticking = cfg_.statsTickSeconds > 0.0;
+    const std::uint64_t periodNs =
+        ticking ? static_cast<std::uint64_t>(cfg_.statsTickSeconds * 1e9) : 0;
+    std::uint64_t nextTickNs = ticking ? obs::nowNanos() + periodNs : 0;
     for (;;) {
         drainReactorOps();
         if (reactorStop_.load(std::memory_order_acquire)) break;
-        const std::vector<Reactor::Event> events = reactor_->poll(-1);
+        int timeoutMs = -1;
+        if (ticking) {
+            std::uint64_t now = obs::nowNanos();
+            if (now >= nextTickNs) {
+                tickStats();
+                now = obs::nowNanos();
+                nextTickNs = now + periodNs;
+            }
+            // Round up so we never spin sub-millisecond before a deadline.
+            timeoutMs = static_cast<int>((nextTickNs - now) / 1000000u) + 1;
+        }
+        const std::vector<Reactor::Event> events = reactor_->poll(timeoutMs);
         for (const Reactor::Event& ev : events) {
             if (listenSet_.count(ev.fd) != 0) {
                 onListenReadable(ev.fd);
@@ -363,17 +402,28 @@ void ServeDaemon::onListenReadable(int listenFd) {
         if (e == EAGAIN || e == EWOULDBLOCK) return;
         switch (acceptRetryClass(e)) {
         case AcceptRetry::Retry:
-            if (e != EINTR) acceptErrors_->inc();
+            if (e != EINTR) {
+                acceptErrors_->inc();
+                acceptErrorsRetry_->inc();
+            }
             continue;
         case AcceptRetry::RetryAfterBackoff:
             // Out of fds/memory: a tight retry loop would spin at 100% CPU.
             // Sleep briefly and lean on level-triggered readiness to try
             // again next poll, once connections have given fds back.
             acceptErrors_->inc();
+            acceptErrorsBackoff_->inc();
             std::this_thread::sleep_for(std::chrono::milliseconds(10));
             return;
         case AcceptRetry::Fatal:
-            // stop() closed the listener under us, or it never was one.
+            // stop() closing the listener under us surfaces as EBADF here;
+            // that clean-shutdown race is not an error, so only count a
+            // fatal when nobody asked the listeners to go away.
+            if (!stopping_.load(std::memory_order_acquire) &&
+                !closeListenersReq_.load(std::memory_order_acquire)) {
+                acceptErrors_->inc();
+                acceptErrorsFatal_->inc();
+            }
             return;
         }
     }
@@ -530,6 +580,7 @@ void ServeDaemon::handleFrame(const std::shared_ptr<Conn>& conn, std::uint8_t ty
     using wire::FrameType;
     switch (static_cast<FrameType>(type)) {
     case FrameType::Job: {
+        const std::uint64_t recvNs = obs::nowNanos();
         wiregen::WireJob w;
         std::string err;
         if (!wiregen::WireJob::decode(w, payload.data(), payload.size(), &err)) {
@@ -544,7 +595,7 @@ void ServeDaemon::handleFrame(const std::shared_ptr<Conn>& conn, std::uint8_t ty
             spec.name = spec.scenario + "#" +
                         std::to_string(conn->seq.fetch_add(1, std::memory_order_relaxed));
         }
-        dispatchSpec(conn, std::move(spec));
+        dispatchSpec(conn, std::move(spec), recvNs, obs::nowNanos());
         return;
     }
     case FrameType::Control: {
@@ -695,6 +746,7 @@ void ServeDaemon::closeConn(const std::shared_ptr<Conn>& conn) {
 // ---------------------------------------------------------------------------
 
 void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::string& line) {
+    const std::uint64_t recvNs = obs::nowNanos();
     std::string err;
     const std::optional<json::Value> doc = json::parse(line, &err);
     if (!doc || !doc->isObject()) {
@@ -716,12 +768,15 @@ void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::strin
         badLines_->inc();
         return;
     }
+    // One line can expand (via "repeat") into several specs; they share the
+    // line's receive stamp and end-of-parse decode stamp.
+    const std::uint64_t decodedNs = obs::nowNanos();
     for (ScenarioSpec& spec : specs) {
         if (spec.name.empty()) {
             spec.name = spec.scenario + "#" +
                         std::to_string(conn->seq.fetch_add(1, std::memory_order_relaxed));
         }
-        dispatchSpec(conn, std::move(spec));
+        dispatchSpec(conn, std::move(spec), recvNs, decodedNs);
     }
 }
 
@@ -731,7 +786,12 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
     // unconditionally and never enter the job pipeline (no in-flight slot,
     // no srvd.jobs_* accounting).
     std::ostringstream out;
+    if (op == "stats") {
+        writeControlResp(conn, statsJson());
+        return;
+    }
     if (op == "metrics") {
+        refreshRuntimeGauges();
         const obs::Snapshot snap = obs::Registry::process().snapshot();
         out << "{\"op\": \"metrics\", \"status\": \"ok\", \"prometheus\": \""
             << json::escape(snap.toPrometheus()) << "\", \"snapshot\": " << snap.toJson()
@@ -760,6 +820,11 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
             << ", \"rejected_draining\": " << rejectedDraining_->value()
             << ", \"bad_lines\": " << badLines_->value()
             << ", \"accept_errors\": " << acceptErrors_->value()
+            << ", \"accept_errors_by_class\": {\"retry\": " << acceptErrorsRetry_->value()
+            << ", \"backoff\": " << acceptErrorsBackoff_->value()
+            << ", \"fatal\": " << acceptErrorsFatal_->value() << "}"
+            << ", \"uptime_seconds\": "
+            << json::number(static_cast<double>(obs::nowNanos() - startNanos_) * 1e-9)
             << ", \"deadline_misses\": " << obs::Monitor::global().misses();
         // Per-signal miss counters live in the process registry as
         // rt.deadline_miss.<signal>; surface them as a nested map.
@@ -804,38 +869,78 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
     writeControlResp(conn, out.str());
 }
 
-void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec) {
+void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec,
+                               std::uint64_t recvNanos, std::uint64_t decodedNanos) {
     jobsReceived_->inc();
+
+    // Daemon-side stage seed: receive time is the table's origin; decode
+    // and admission are stamped here, the engine's stamps merge in on the
+    // completion path.
+    obs::StageProfile seed;
+    seed.enabled = spec.profile;
+    seed.originNanos = recvNanos;
+    seed.stampNanos[static_cast<std::size_t>(obs::Stage::Decode)] = decodedNanos;
 
     if (draining_.load(std::memory_order_acquire)) {
         rejectedDraining_->inc();
-        writeResult(conn, rejectionRecord(spec, "draining", "daemon is draining"));
+        writeResult(conn, rejectionRecord(spec, "draining", "daemon is draining"),
+                    recvNanos);
         return;
     }
 
     // Bit-identical rerun: replay the stored record without touching the
-    // engine. jobHash covers scenario + params + horizon + mode, so the
-    // replayed trace hash is the one a fresh run would produce.
+    // engine. jobHash covers scenario + params + horizon + mode (profile is
+    // deliberately excluded), so the replayed trace hash is the one a fresh
+    // run would produce. The stored stage table is from the original run —
+    // stale for this request — so a profiled hit gets a fresh daemon-side
+    // table with no engine stages (nothing executed).
     if (cfg_.resultCacheCapacity > 0) {
         if (std::optional<ScenarioResult> hit = resultCache_.lookup(spec.jobHash())) {
             hit->name = spec.name;
             hit->cachedResult = true;
+            hit->profile = obs::StageProfile{};
+            if (spec.profile) {
+                seed.stamp(obs::Stage::Admission);
+                hit->profile = seed;
+            }
             updateCacheGauges();
-            writeResult(conn, *hit);
+            writeResult(conn, *hit, recvNanos);
             return;
         }
         updateCacheGauges();
     }
 
     const std::uint64_t jobHash = spec.jobHash();
+    const std::string scenario = spec.scenario;
+    const std::string solver = spec.params.str("integrator", "default");
     conn->inFlight.fetch_add(1, std::memory_order_acq_rel);
+    seed.stamp(obs::Stage::Admission);
     const bool submitted = session_->submit(
-        spec, [this, conn, jobHash](ScenarioResult res) {
+        spec, [this, conn, jobHash, seed, scenario, solver](ScenarioResult res) {
+            // Solve time (build/acquire -> run returned) feeds the WCET
+            // table for every executed job — the engine stamps
+            // unconditionally, so unprofiled traffic contributes too.
+            if (res.profile.stamped(obs::Stage::Solve)) {
+                const std::uint64_t from =
+                    res.profile.stamped(obs::Stage::WarmAcquire)
+                        ? res.profile.stampOf(obs::Stage::WarmAcquire)
+                        : res.profile.stampOf(obs::Stage::ColdBuild);
+                const std::uint64_t solve = res.profile.stampOf(obs::Stage::Solve);
+                if (from != 0 && solve >= from) {
+                    wcet_.observe(scenario, solver,
+                                  static_cast<double>(solve - from) * 1e-9);
+                }
+            }
+            // Fold the daemon's receive/decode/admission stamps into the
+            // engine's table; the seed's earlier origin wins in the merge.
+            obs::StageProfile merged = seed;
+            merged.merge(res.profile);
+            res.profile = merged;
             if (cfg_.resultCacheCapacity > 0) resultCache_.store(jobHash, res);
             updateCacheGauges();
             queueDepthGauge_->set(static_cast<double>(session_->queueDepth()));
             if (!conn->dead.load(std::memory_order_acquire)) {
-                writeResult(conn, res);
+                writeResult(conn, res, seed.originNanos);
             }
             conn->inFlight.fetch_sub(1, std::memory_order_acq_rel);
             // Hand resume/flush/finish back to the reactor thread.
@@ -847,7 +952,8 @@ void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec s
         // fast path produces, and give the window slot back.
         conn->inFlight.fetch_sub(1, std::memory_order_acq_rel);
         rejectedDraining_->inc();
-        writeResult(conn, rejectionRecord(spec, "draining", "daemon is draining"));
+        writeResult(conn, rejectionRecord(spec, "draining", "daemon is draining"),
+                    recvNanos);
         return;
     }
     queueDepthGauge_->set(static_cast<double>(session_->queueDepth()));
@@ -858,19 +964,41 @@ void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec s
 // ---------------------------------------------------------------------------
 
 void ServeDaemon::writeResult(const std::shared_ptr<Conn>& conn,
-                              const ScenarioResult& res) {
+                              const ScenarioResult& res, std::uint64_t recvNanos) {
     if (conn->dead.load(std::memory_order_acquire)) return;
-    const ResultRecord rec = flattenResult(res, cfg_.includeMetrics);
-    std::string bytes;
-    if (conn->mode == Conn::Mode::Binary) {
-        wire::appendFrame(bytes, wire::FrameType::Result,
-                          wire::resultToWire(rec).encode());
-    } else {
-        bytes = recordJson(rec);
-        bytes.push_back('\n');
+    ResultRecord rec = flattenResult(res, cfg_.includeMetrics);
+    const auto render = [&] {
+        std::string b;
+        if (conn->mode == Conn::Mode::Binary) {
+            wire::appendFrame(b, wire::FrameType::Result,
+                              wire::resultToWire(rec).encode());
+        } else {
+            b = recordJson(rec);
+            b.push_back('\n');
+        }
+        return b;
+    };
+    std::string bytes = render();
+    if (res.profile.enabled && res.profile.originNanos != 0) {
+        // The encode and reply stamps must land *inside* the bytes being
+        // timed, so profiled records render twice: the first pass above
+        // measures serialization, then the table gains encode/reply and the
+        // record re-renders with the full eight stages. Reply marks the
+        // hand-off decision, not the final memcpy — the second render sits
+        // between the stamp and writeOut, a documented sub-stage skew.
+        // Unprofiled records take the single-render path untouched.
+        obs::StageProfile full = res.profile;
+        full.stamp(obs::Stage::Encode);
+        full.stamp(obs::Stage::Reply);
+        rec.stages = full.toMap();
+        bytes = render();
     }
     writeOut(conn, bytes);
     if (!conn->dead.load(std::memory_order_acquire)) jobsStreamed_->inc();
+    if (recvNanos != 0) {
+        requestLatency_->observe(static_cast<double>(obs::nowNanos() - recvNanos) *
+                                 1e-9);
+    }
 }
 
 void ServeDaemon::writeError(const std::shared_ptr<Conn>& conn,
@@ -952,6 +1080,81 @@ void ServeDaemon::updateCacheGauges() {
     };
     resultCacheHitRatio_->set(ratio(resultCache_.hits(), resultCache_.misses()));
     warmCacheHitRatio_->set(ratio(warmCache_.hits(), warmCache_.misses()));
+}
+
+// ---------------------------------------------------------------------------
+// Windowed stats
+// ---------------------------------------------------------------------------
+
+void ServeDaemon::refreshRuntimeGauges() {
+    uptimeGauge_->set(static_cast<double>(obs::nowNanos() - startNanos_) * 1e-9);
+    obs::Registry& reg = obs::Registry::process();
+    samplingRateGauge_->set(reg.spanSamplingRate());
+    tracerStripesGauge_->set(static_cast<double>(obs::Tracer::global().stripeCount()));
+}
+
+void ServeDaemon::tickStats() {
+    refreshRuntimeGauges();
+    queueDepthGauge_->set(static_cast<double>(session_->queueDepth()));
+    statsWindow_.tick();
+}
+
+std::string ServeDaemon::statsJson() {
+    refreshRuntimeGauges();
+    std::ostringstream out;
+    out << "{\"op\": \"stats\", \"status\": \"ok\""
+        << ", \"draining\": " << (draining() ? "true" : "false")
+        << ", \"uptime_seconds\": "
+        << json::number(static_cast<double>(obs::nowNanos() - startNanos_) * 1e-9)
+        << ", \"ticker\": {\"period_seconds\": " << json::number(cfg_.statsTickSeconds)
+        << ", \"ticks\": " << statsWindow_.ticks()
+        << ", \"coverage_seconds\": " << json::number(statsWindow_.coverageSeconds())
+        << "}";
+
+    // Rolling rates from snapshot deltas. Errors = malformed requests plus
+    // engine-side job failures; both are "the client saw something bad".
+    struct Win {
+        const char* key;
+        double seconds;
+    };
+    constexpr Win kWindows[] = {{"1s", 1.0}, {"10s", 10.0}, {"60s", 60.0}};
+    out << ", \"rates\": {";
+    bool first = true;
+    for (const Win& w : kWindows) {
+        const double req = statsWindow_.rate("srvd.jobs_received", w.seconds);
+        const double err = statsWindow_.rate("srvd.bad_lines", w.seconds) +
+                           statsWindow_.rate("srv.jobs_failed", w.seconds);
+        if (!first) out << ", ";
+        first = false;
+        out << "\"" << w.key << "\": {\"req_per_s\": " << json::number(req)
+            << ", \"err_per_s\": " << json::number(err) << "}";
+    }
+    out << "}";
+
+    // Windowed latency quantiles over the longest window (cumulative-bucket
+    // interpolation over snapshot deltas — see obs::StatsWindow).
+    const obs::StatsWindow::WindowedQuantiles q =
+        statsWindow_.quantiles("srvd.request_latency_seconds", 60.0);
+    out << ", \"latency_seconds\": {\"family\": \"srvd.request_latency_seconds\""
+        << ", \"window_seconds\": " << json::number(q.windowSeconds)
+        << ", \"count\": " << q.count << ", \"p50\": " << json::number(q.p50)
+        << ", \"p90\": " << json::number(q.p90) << ", \"p99\": " << json::number(q.p99)
+        << "}";
+
+    out << ", \"wcet\": [";
+    first = true;
+    for (const obs::WcetTracker::Entry& e : wcet_.table()) {
+        if (!first) out << ", ";
+        first = false;
+        out << "{\"scenario\": \"" << json::escape(e.scenario) << "\", \"solver\": \""
+            << json::escape(e.solver) << "\", \"count\": " << e.count
+            << ", \"last_seconds\": " << json::number(e.last)
+            << ", \"worst_seconds\": " << json::number(e.worst)
+            << ", \"rolling_max_seconds\": " << json::number(e.rollingMax)
+            << ", \"p99_seconds\": " << json::number(e.p99) << "}";
+    }
+    out << "]}";
+    return out.str();
 }
 
 // ---------------------------------------------------------------------------

@@ -60,6 +60,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/window.hpp"
 #include "srv/cache.hpp"
 #include "srv/daemon/reactor.hpp"
 #include "srv/engine.hpp"
@@ -68,6 +69,7 @@
 namespace urtx::obs {
 class Counter;
 class Gauge;
+class Histogram;
 } // namespace urtx::obs
 
 namespace urtx::srv {
@@ -106,6 +108,14 @@ struct DaemonConfig {
     bool includeMetrics = false;
     /// Event backend; Auto = epoll where available, else poll.
     Reactor::Backend reactorBackend = Reactor::Backend::Auto;
+    /// Windowed-stats snapshot tick period, driven off the reactor's poll
+    /// timeout. 0 disables the ticker (the stats verb then reports empty
+    /// windows). One registry snapshot per tick — negligible next to job
+    /// traffic at the 1 Hz default.
+    double statsTickSeconds = 1.0;
+    /// Snapshot ring capacity (128 ticks at 1 Hz cover a 2-minute span,
+    /// comfortably past the 60s window).
+    std::size_t statsWindowCapacity = 128;
 };
 
 class ServeDaemon {
@@ -149,6 +159,8 @@ public:
     ServeEngine::Session& session() { return *session_; }
     WarmScenarioCache& warmCache() { return warmCache_; }
     ResultCache& resultCache() { return resultCache_; }
+    obs::StatsWindow& statsWindow() { return statsWindow_; }
+    obs::WcetTracker& wcetTracker() { return wcet_; }
     const DaemonConfig& config() const { return cfg_; }
 
     /// The backend the reactor resolved (Auto -> Epoll/Poll); meaningful
@@ -185,11 +197,28 @@ private:
     void handleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
     void handleControl(const std::shared_ptr<Conn>& conn, const std::string& op,
                        const json::Value& doc);
-    void dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec);
+    /// \p recvNanos / \p decodedNanos: monotonic stamps from the request's
+    /// arrival and end-of-parse, feeding srvd.request_latency_seconds and
+    /// the decode stage of profiled jobs.
+    void dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec spec,
+                      std::uint64_t recvNanos, std::uint64_t decodedNanos);
+
+    /// Reactor-tick body: refresh runtime gauges and capture one windowed-
+    /// stats snapshot.
+    void tickStats();
+    /// Update uptime / sampling-rate / tracer-stripe gauges so snapshots
+    /// and verb responses carry current values.
+    void refreshRuntimeGauges();
+    /// The {"op":"stats"} response body (windowed rates, latency
+    /// quantiles, WCET table).
+    std::string statsJson();
 
     // Mode-aware writers (any thread; they hand buffered bytes to the
     // reactor via poke()).
-    void writeResult(const std::shared_ptr<Conn>& conn, const ScenarioResult& res);
+    /// \p recvNanos: when nonzero, observe receive->reply into
+    /// srvd.request_latency_seconds after the write.
+    void writeResult(const std::shared_ptr<Conn>& conn, const ScenarioResult& res,
+                     std::uint64_t recvNanos = 0);
     void writeError(const std::shared_ptr<Conn>& conn, const std::string& message);
     void writeControlResp(const std::shared_ptr<Conn>& conn, const std::string& payload);
     void writeOut(const std::shared_ptr<Conn>& conn, std::string_view bytes);
@@ -238,12 +267,24 @@ private:
     obs::Counter* jobsStreamed_;
     obs::Counter* rejectedDraining_;
     obs::Counter* badLines_;
-    obs::Counter* acceptErrors_;
+    obs::Counter* acceptErrors_; ///< aggregate across all classes
+    obs::Counter* acceptErrorsRetry_;
+    obs::Counter* acceptErrorsBackoff_;
+    obs::Counter* acceptErrorsFatal_;
     obs::Counter* binaryConnections_;
     obs::Gauge* queueDepthGauge_;
     obs::Gauge* resultCacheHitRatio_;
     obs::Gauge* warmCacheHitRatio_;
     obs::Gauge* drainSeconds_;
+    obs::Gauge* uptimeGauge_;
+    obs::Gauge* samplingRateGauge_;
+    obs::Gauge* tracerStripesGauge_;
+    obs::Histogram* requestLatency_; ///< receive -> reply, incl. cached hits
+
+    // Windowed stats (ticked by the reactor) + per-scenario WCET table.
+    obs::StatsWindow statsWindow_;
+    obs::WcetTracker wcet_;
+    std::uint64_t startNanos_ = 0;
 };
 
 } // namespace urtx::srv

@@ -56,6 +56,7 @@ wiregen::WireJob jobToWire(const ScenarioSpec& spec) {
     w.wall_budget_seconds = spec.wallBudgetSeconds;
     w.num_params = spec.params.nums();
     for (const auto& [k, v] : spec.params.strs()) w.str_params[k] = v;
+    w.profile = spec.profile;
     return w;
 }
 
@@ -71,6 +72,7 @@ ScenarioSpec jobFromWire(const wiregen::WireJob& w) {
     spec.wallBudgetSeconds = w.wall_budget_seconds;
     for (const auto& [k, v] : w.num_params) spec.params.set(k, v);
     for (const auto& [k, v] : w.str_params) spec.params.set(k, v);
+    spec.profile = w.profile;
     return spec;
 }
 
@@ -97,6 +99,7 @@ wiregen::WireResult resultToWire(const ResultRecord& r) {
     w.trace_hash = r.traceHash;
     w.metrics_json = r.metricsJson;
     w.postmortem_json = r.postmortemJson;
+    w.stages = r.stages;
     return w;
 }
 
@@ -125,6 +128,7 @@ ResultRecord resultFromWire(const wiregen::WireResult& w) {
     r.traceHash = w.trace_hash;
     r.metricsJson = w.metrics_json;
     r.postmortemJson = w.postmortem_json;
+    r.stages = w.stages;
     return r;
 }
 

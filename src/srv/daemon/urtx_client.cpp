@@ -20,6 +20,7 @@
 ///
 ///   urtx_client --socket PATH --metrics          # Prometheus text to stdout
 ///   urtx_client --socket PATH --health           # health JSON line
+///   urtx_client --socket PATH --stats            # windowed rates/quantiles/WCET
 ///   urtx_client --socket PATH --trace [--trace-last N]  # Chrome trace JSON
 ///   urtx_client --socket PATH --set-sampling 0.01 jobs.json
 ///
@@ -27,6 +28,11 @@
 /// Prometheus exposition text; the other verbs print the raw one-line JSON
 /// response (pipe --trace through `jq .trace` for a chrome://tracing
 /// file).
+///
+/// --profile sets "profile": true on every submitted job: each returned
+/// record carries a "stages" table of per-stage offsets (seconds from
+/// receive) without perturbing the result payload — trace hashes stay
+/// identical to unprofiled runs.
 ///
 /// Records stream to stdout as the daemon finishes them (out of
 /// submission order). Exit status: 0 when every job succeeded with a
@@ -63,8 +69,8 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s (--socket PATH | --tcp PORT) [<jobs.json|->] [--strict]\n"
-                 "          [--quiet] [--binary] [--metrics] [--health]\n"
-                 "          [--trace [--trace-last N]] [--set-sampling RATE]\n",
+                 "          [--quiet] [--binary] [--profile] [--metrics] [--health]\n"
+                 "          [--stats] [--trace [--trace-last N]] [--set-sampling RATE]\n",
                  argv0);
     return 2;
 }
@@ -127,8 +133,10 @@ int main(int argc, char** argv) {
     bool strict = false;
     bool quiet = false;
     bool binary = false;
+    bool profile = false;
     bool wantMetrics = false;
     bool wantHealth = false;
+    bool wantStats = false;
     bool wantTrace = false;
     std::size_t traceLast = 0;
     double setSampling = -1.0; // < 0: don't send the verb
@@ -147,10 +155,14 @@ int main(int argc, char** argv) {
             quiet = true;
         } else if (arg == "--binary") {
             binary = true;
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--metrics") {
             wantMetrics = true;
         } else if (arg == "--health") {
             wantHealth = true;
+        } else if (arg == "--stats") {
+            wantStats = true;
         } else if (arg == "--trace") {
             wantTrace = true;
         } else if (arg == "--trace-last") {
@@ -167,7 +179,8 @@ int main(int argc, char** argv) {
             return usage(argv[0]);
         }
     }
-    const bool anyVerb = wantMetrics || wantHealth || wantTrace || setSampling >= 0.0;
+    const bool anyVerb =
+        wantMetrics || wantHealth || wantStats || wantTrace || setSampling >= 0.0;
     if ((jobsPath.empty() && !anyVerb) || (socketPath.empty() && tcpPort == 0)) {
         return usage(argv[0]);
     }
@@ -186,6 +199,7 @@ int main(int argc, char** argv) {
     const auto pushJob = [&](srv::ScenarioSpec spec) {
         Request r;
         r.spec = std::move(spec);
+        if (profile) r.spec.profile = true;
         requests.push_back(std::move(r));
     };
     if (setSampling >= 0.0) {
@@ -232,6 +246,7 @@ int main(int argc, char** argv) {
     }
     if (wantMetrics) pushControl("{\"op\": \"metrics\"}");
     if (wantHealth) pushControl("{\"op\": \"health\"}");
+    if (wantStats) pushControl("{\"op\": \"stats\"}");
     if (wantTrace) {
         std::string verb = "{\"op\": \"trace\"";
         if (traceLast > 0) verb += ", \"last_n\": " + std::to_string(traceLast);

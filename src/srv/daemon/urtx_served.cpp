@@ -6,11 +6,15 @@
 ///
 ///   urtx_served --socket PATH [--tcp PORT] [--workers N]
 ///               [--warm-cache N] [--result-cache N] [--window N]
-///               [--sampling RATE] [--reactor auto|epoll|poll]
-///               [--metrics] [--quiet]
+///               [--sampling RATE] [--stats-tick SECONDS]
+///               [--reactor auto|epoll|poll] [--metrics] [--quiet]
 ///
 /// --reactor pins the event backend (default auto: epoll on Linux, poll
 /// elsewhere) — mostly useful for exercising the poll fallback in CI.
+///
+/// --stats-tick sets the windowed-stats snapshot cadence (default 1 s; 0
+/// disables the ticker, leaving the {"op": "stats"} verb with empty
+/// windows).
 ///
 /// --sampling sets the initial causal span sampling rate (process
 /// registry; jobs inherit it). Clients adjust it later with the
@@ -40,8 +44,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--tcp PORT] [--workers N]\n"
                  "          [--warm-cache N] [--result-cache N] [--window N]\n"
-                 "          [--sampling RATE] [--reactor auto|epoll|poll]\n"
-                 "          [--metrics] [--quiet]\n",
+                 "          [--sampling RATE] [--stats-tick SECONDS]\n"
+                 "          [--reactor auto|epoll|poll] [--metrics] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -88,6 +92,10 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             sampling = std::strtod(v, nullptr);
+        } else if (arg == "--stats-tick") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.statsTickSeconds = std::strtod(v, nullptr);
         } else if (arg == "--reactor") {
             const char* v = next();
             if (!v) return usage(argv[0]);

@@ -46,8 +46,13 @@ struct SlotGuard {
     }
 };
 
+/// Job wall / queue-wait buckets. The sub-100µs tiers matter for the
+/// serving path: daemon queue waits and cached replays sit in the µs
+/// range, and windowed quantile interpolation clips anything below the
+/// lowest bound into one coarse bucket.
 std::vector<double> wallBounds() {
-    return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0, 100.0};
+    return {1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,  1e-4, 3e-4, 1e-3, 3e-3,
+            1e-2, 3e-2,   1e-1, 3e-1, 1.0,    3.0, 10.0, 30.0, 100.0};
 }
 
 /// Everything the run-one-job core needs from the engine. The counters are
@@ -89,7 +94,12 @@ void executeScenario(const ExecCtx& ctx, const ScenarioSpec& spec, ScenarioResul
                 res.warmReuse = true;
             }
         }
-        if (!sc) sc = lib.build(spec.scenario, spec.params);
+        if (sc) {
+            res.profile.stamp(obs::Stage::WarmAcquire);
+        } else {
+            sc = lib.build(spec.scenario, spec.params);
+            res.profile.stamp(obs::Stage::ColdBuild);
+        }
         sim::HybridSystem& sys = sc->system();
         {
             std::lock_guard<std::mutex> lk(slot.mu);
@@ -100,6 +110,7 @@ void executeScenario(const ExecCtx& ctx, const ScenarioSpec& spec, ScenarioResul
         }
         SlotGuard guard{slot}; // after sc: clears slot before ~Scenario
         sys.run(spec.horizon, spec.mode);
+        res.profile.stamp(obs::Stage::Solve);
         // Detach from the watchdog *now*: the cache release below resets
         // the system (including its stop-request flag), and a late
         // requestStop() would poison the parked instance's next run.
@@ -273,6 +284,8 @@ BatchResult ServeEngine::run(const std::vector<ScenarioSpec>& specs,
         res.queueWaitSeconds = dispatchAt;
         res.worker = w;
         res.stolen = (w != plannedWorker[idx]);
+        res.profile.enabled = spec.profile;
+        res.profile.stamp(obs::Stage::QueueWait);
         queueWait_->observe(dispatchAt);
         if (res.stolen) {
             steals_->inc();
@@ -479,6 +492,8 @@ struct ServeEngine::Session::Impl {
             const double waited = secondsBetween(job.submitted, Clock::now());
             res.queueWaitSeconds = waited;
             res.worker = w;
+            res.profile.enabled = job.spec.profile;
+            res.profile.stamp(obs::Stage::QueueWait);
             queueWait->observe(waited);
 
             if (cfg.admissionControl && job.spec.deadlineSeconds > 0 &&

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "sim/hybrid_system.hpp"
 
 namespace urtx::srv {
@@ -164,6 +165,11 @@ struct ScenarioSpec {
     /// Per-run wall-clock budget enforced by the engine watchdog via
     /// HybridSystem::requestStop. 0 = none.
     double wallBudgetSeconds = 0.0;
+    /// Attach the per-stage latency table to this job's result record
+    /// ("profile": true in the job object). Pure observability: excluded
+    /// from warmKey()/jobHash(), so profiled runs share caches with — and
+    /// stay bit-identical to — unprofiled ones.
+    bool profile = false;
 
     /// FNV-1a over the *model identity*: scenario name + canonical
     /// (sorted-key) parameters. Two specs with equal warm keys build
@@ -228,6 +234,11 @@ struct ScenarioResult {
     TraceData trace;
     obs::Snapshot metrics;      ///< scenario-scoped registry snapshot
     std::string postmortemJson; ///< flight-recorder dump; non-empty on failure
+
+    /// Stage stamps (queue-wait / warm-acquire / cold-build / solve filled
+    /// by the engine; decode / admission / encode / reply by the daemon).
+    /// Rendered into the record only when profile.enabled.
+    obs::StageProfile profile;
 };
 
 } // namespace urtx::srv

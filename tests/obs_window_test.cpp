@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/window.hpp"
+
+namespace obs = urtx::obs;
+
+namespace {
+
+constexpr std::uint64_t kSec = 1000000000ull;
+
+} // namespace
+
+// --- quantileFromDeltas -----------------------------------------------------
+
+TEST(QuantileFromDeltas, InterpolatesInsideBucket) {
+    const std::vector<double> bounds = {1.0, 2.0, 4.0};
+    // All mass in the (1, 2] bucket: rank fraction interpolates linearly.
+    const std::vector<std::uint64_t> deltas = {0, 10, 0, 0};
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas(bounds, deltas, 0.50), 1.5);
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas(bounds, deltas, 0.90), 1.9);
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas(bounds, deltas, 1.0), 2.0);
+}
+
+TEST(QuantileFromDeltas, ExactBucketEdgeAndFirstBucket) {
+    const std::vector<double> bounds = {1.0, 2.0, 4.0};
+    // First bucket interpolates from an implicit lower edge of 0.
+    const std::vector<std::uint64_t> deltas = {10, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas(bounds, deltas, 0.50), 0.5);
+    // q landing exactly on a bucket's cumulative edge returns that bound.
+    const std::vector<std::uint64_t> split = {5, 5, 0, 0};
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas(bounds, split, 0.50), 1.0);
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas(bounds, split, 0.75), 1.5);
+}
+
+TEST(QuantileFromDeltas, InfBucketClampsToHighestBound) {
+    const std::vector<double> bounds = {1.0, 2.0, 4.0};
+    const std::vector<std::uint64_t> deltas = {0, 0, 0, 5};
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas(bounds, deltas, 0.50), 4.0);
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas(bounds, deltas, 0.99), 4.0);
+}
+
+TEST(QuantileFromDeltas, DegenerateInputsReturnZero) {
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas({}, {}, 0.5), 0.0);
+    // No mass in the window.
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas({1.0}, {0, 0}, 0.5), 0.0);
+    // Size mismatch between bounds and deltas.
+    EXPECT_DOUBLE_EQ(obs::StatsWindow::quantileFromDeltas({1.0, 2.0}, {1, 2}, 0.5), 0.0);
+}
+
+// --- StatsWindow rates ------------------------------------------------------
+
+TEST(StatsWindow, RateFromSnapshotDeltas) {
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("jobs");
+    obs::StatsWindow win(reg);
+
+    c.add(10);
+    win.tickAt(1 * kSec);
+    c.add(20);
+    // Baseline is the tick 2s ago; 20 new counts over 2s = 10/s.
+    EXPECT_DOUBLE_EQ(win.rateAt("jobs", 1.0, 3 * kSec), 10.0);
+    // Unknown counter and empty window both read 0.
+    EXPECT_DOUBLE_EQ(win.rateAt("nope", 1.0, 3 * kSec), 0.0);
+    obs::StatsWindow empty(reg);
+    EXPECT_DOUBLE_EQ(empty.rateAt("jobs", 1.0, 3 * kSec), 0.0);
+}
+
+TEST(StatsWindow, RatePicksNewestBaselineOldEnough) {
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("jobs");
+    obs::StatsWindow win(reg);
+
+    win.tickAt(0);
+    c.add(100);
+    win.tickAt(1 * kSec);
+    c.add(100);
+    win.tickAt(2 * kSec);
+    // now = 2.5s, window = 1s: the 1s tick (age 1.5s, value 100) is the
+    // newest old-enough baseline; 100 new counts over 1.5s.
+    const double r = win.rateAt("jobs", 1.0, 2 * kSec + kSec / 2);
+    EXPECT_NEAR(r, 100.0 / 1.5, 1e-9);
+}
+
+TEST(StatsWindow, NonIncreasingCounterReadsZero) {
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("jobs");
+    obs::StatsWindow win(reg);
+    c.add(5);
+    win.tickAt(1 * kSec);
+    EXPECT_DOUBLE_EQ(win.rateAt("jobs", 1.0, 3 * kSec), 0.0);
+}
+
+TEST(StatsWindow, CapacityTrimsOldestAndCoverageTracksSpan) {
+    obs::Registry reg;
+    obs::StatsWindow win(reg, 2);
+    win.tickAt(0);
+    win.tickAt(1 * kSec);
+    win.tickAt(2 * kSec);
+    EXPECT_EQ(win.ticks(), 2u);
+    EXPECT_DOUBLE_EQ(win.coverageSeconds(), 1.0);
+}
+
+// --- StatsWindow quantiles --------------------------------------------------
+
+TEST(StatsWindow, WindowedQuantilesSeeOnlyInWindowMass) {
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+    obs::StatsWindow win(reg);
+
+    // Pre-window mass: 5 observations in (1, 2].
+    for (int i = 0; i < 5; ++i) h.observe(1.5);
+    win.tickAt(1 * kSec);
+    // In-window mass: 10 observations in (2, 4].
+    for (int i = 0; i < 10; ++i) h.observe(3.0);
+
+    const auto q = win.quantilesAt("lat", 1.0, 3 * kSec);
+    EXPECT_EQ(q.count, 10u);
+    EXPECT_DOUBLE_EQ(q.windowSeconds, 2.0);
+    // All windowed mass sits in (2, 4]: p50 interpolates to the middle.
+    EXPECT_DOUBLE_EQ(q.p50, 3.0);
+    EXPECT_DOUBLE_EQ(q.p90, 2.0 + 2.0 * 0.9);
+    EXPECT_NEAR(q.p99, 2.0 + 2.0 * 0.99, 1e-12);
+}
+
+TEST(StatsWindow, QuantilesUnknownHistogramIsZeroFilled) {
+    obs::Registry reg;
+    obs::StatsWindow win(reg);
+    const auto q = win.quantilesAt("missing", 1.0, kSec);
+    EXPECT_EQ(q.count, 0u);
+    EXPECT_DOUBLE_EQ(q.p50, 0.0);
+    EXPECT_DOUBLE_EQ(q.p99, 0.0);
+}
+
+// --- WcetTracker ------------------------------------------------------------
+
+TEST(WcetTracker, RolloverKeepsRollingStatsAndLifetimeWorst) {
+    obs::WcetTracker wcet(4);
+    for (double s : {10.0, 1.0, 2.0, 3.0, 4.0, 5.0}) wcet.observe("tank", "rk45", s);
+    const auto table = wcet.table();
+    ASSERT_EQ(table.size(), 1u);
+    const auto& e = table[0];
+    EXPECT_EQ(e.scenario, "tank");
+    EXPECT_EQ(e.solver, "rk45");
+    EXPECT_EQ(e.count, 6u);
+    EXPECT_DOUBLE_EQ(e.last, 5.0);
+    // The 10.0 sample rolled out of the window but stays the lifetime worst.
+    EXPECT_DOUBLE_EQ(e.worst, 10.0);
+    EXPECT_DOUBLE_EQ(e.rollingMax, 5.0);
+    EXPECT_DOUBLE_EQ(e.p99, 5.0); // nearest rank over {2, 3, 4, 5}
+}
+
+TEST(WcetTracker, RejectsNonFiniteAndNegative) {
+    obs::WcetTracker wcet;
+    wcet.observe("tank", "rk45", -1.0);
+    wcet.observe("tank", "rk45", std::nan(""));
+    EXPECT_TRUE(wcet.table().empty());
+    wcet.observe("tank", "rk45", 0.25);
+    ASSERT_EQ(wcet.table().size(), 1u);
+    EXPECT_EQ(wcet.table()[0].count, 1u);
+}
+
+TEST(WcetTracker, TableSortedByScenarioThenSolver) {
+    obs::WcetTracker wcet;
+    wcet.observe("tank", "rk45", 0.1);
+    wcet.observe("cruise", "rk4", 0.2);
+    wcet.observe("cruise", "euler", 0.3);
+    const auto table = wcet.table();
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(table[0].scenario, "cruise");
+    EXPECT_EQ(table[0].solver, "euler");
+    EXPECT_EQ(table[1].solver, "rk4");
+    EXPECT_EQ(table[2].scenario, "tank");
+}
+
+// --- StageProfile -----------------------------------------------------------
+
+TEST(StageProfile, StampsAreMonotoneOffsetsFromOrigin) {
+    obs::StageProfile p;
+    p.originNanos = 100;
+    p.stampNanos[static_cast<std::size_t>(obs::Stage::Decode)] = 150;
+    p.stampNanos[static_cast<std::size_t>(obs::Stage::Admission)] = 200;
+    p.stampNanos[static_cast<std::size_t>(obs::Stage::Solve)] = 1100;
+    EXPECT_DOUBLE_EQ(p.offsetSeconds(obs::Stage::Decode), 50e-9);
+    EXPECT_DOUBLE_EQ(p.offsetSeconds(obs::Stage::Solve), 1000e-9);
+    // Unstamped stages are absent from the map, not zero entries.
+    const auto m = p.toMap();
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.count("queue_wait"), 0u);
+    EXPECT_DOUBLE_EQ(m.at("admission"), 100e-9);
+}
+
+TEST(StageProfile, MergeAdoptsOriginAndMissingStamps) {
+    obs::StageProfile daemon;
+    daemon.originNanos = 100;
+    daemon.stampNanos[static_cast<std::size_t>(obs::Stage::Decode)] = 150;
+
+    obs::StageProfile engine;
+    engine.enabled = true;
+    engine.stampNanos[static_cast<std::size_t>(obs::Stage::QueueWait)] = 300;
+    engine.stampNanos[static_cast<std::size_t>(obs::Stage::Solve)] = 900;
+
+    daemon.merge(engine);
+    EXPECT_TRUE(daemon.enabled);
+    EXPECT_EQ(daemon.originNanos, 100u); // earlier origin wins
+    EXPECT_TRUE(daemon.stamped(obs::Stage::Decode));
+    EXPECT_DOUBLE_EQ(daemon.offsetSeconds(obs::Stage::QueueWait), 200e-9);
+    EXPECT_DOUBLE_EQ(daemon.offsetSeconds(obs::Stage::Solve), 800e-9);
+}
+
+TEST(StageProfile, FirstStampAdoptsOriginWhenUnset) {
+    obs::StageProfile p;
+    p.stamp(obs::Stage::QueueWait);
+    EXPECT_NE(p.originNanos, 0u);
+    EXPECT_EQ(p.originNanos, p.stampOf(obs::Stage::QueueWait));
+    EXPECT_DOUBLE_EQ(p.offsetSeconds(obs::Stage::QueueWait), 0.0);
+}

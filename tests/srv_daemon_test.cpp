@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/tracer.hpp"
 #include "srv/batch_io.hpp"
 #include "srv/daemon/daemon.hpp"
@@ -841,6 +842,258 @@ TEST(SrvDaemonTest, MidFrameDisconnectDoesNotKillDaemon) {
     ASSERT_TRUE(fresh.ok());
     ASSERT_TRUE(fresh.sendJob(tankSpec("after-truncation")));
     EXPECT_EQ(fresh.readRecord().strOr("status", ""), "succeeded");
+    daemon.stop();
+}
+
+namespace {
+
+std::string profiledTankJob(const std::string& name, double horizon = 2.0) {
+    return "{\"scenario\": \"tank\", \"name\": \"" + name +
+           "\", \"horizon\": " + std::to_string(horizon) +
+           ", \"mode\": \"single\", \"profile\": true}";
+}
+
+/// Stage offsets from a record's "stages" member in canonical stage order
+/// (only stamped stages appear in the table).
+std::vector<std::pair<std::string, double>> stageOffsets(const json::Value& rec) {
+    std::vector<std::pair<std::string, double>> out;
+    const json::Value* stages = rec.find("stages");
+    if (!stages || !stages->isObject()) return out;
+    for (const char* stage : urtx::obs::stageNames()) {
+        if (const json::Value* v = stages->find(stage); v && v->isNumber()) {
+            out.emplace_back(stage, v->number);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(SrvDaemonTest, StatsVerbReturnsWindowedRatesLatencyAndWcet) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.statsTickSeconds = 0.02; // fast ticks so the window fills in-test
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    // Rates are deltas against a snapshot tick, so a baseline tick must
+    // exist before the jobs run — wait for the ticker's first capture.
+    for (int attempt = 0; attempt < 500; ++attempt) {
+        ASSERT_TRUE(c.sendLine("{\"op\": \"stats\"}"));
+        const json::Value probe = c.readRecord();
+        const json::Value* t = probe.find("ticker");
+        ASSERT_NE(t, nullptr);
+        if (t->numOr("ticks", 0.0) >= 1.0) break;
+        ::usleep(2000);
+    }
+
+    // Run real jobs so rates, the latency histogram, and the WCET table all
+    // have mass.
+    ASSERT_TRUE(c.sendLine(tankJob("stats-a")));
+    ASSERT_TRUE(c.sendLine(tankJob("stats-b", 3.0)));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+
+    json::Value stats;
+    double reqRate = 0.0;
+    for (int attempt = 0; attempt < 500; ++attempt) {
+        ASSERT_TRUE(c.sendLine("{\"op\": \"stats\"}"));
+        stats = c.readRecord();
+        ASSERT_EQ(stats.strOr("op", ""), "stats");
+        ASSERT_EQ(stats.strOr("status", ""), "ok");
+        if (const json::Value* rates = stats.find("rates")) {
+            if (const json::Value* w = rates->find("60s")) {
+                reqRate = w->numOr("req_per_s", 0.0);
+            }
+        }
+        if (reqRate > 0.0) break;
+        ::usleep(2000);
+    }
+    EXPECT_GT(reqRate, 0.0) << "jobs before the verb must register in the window";
+    EXPECT_FALSE(stats.boolOr("draining", true));
+    EXPECT_GT(stats.numOr("uptime_seconds", -1.0), 0.0);
+
+    const json::Value* ticker = stats.find("ticker");
+    ASSERT_NE(ticker, nullptr);
+    EXPECT_DOUBLE_EQ(ticker->numOr("period_seconds", 0.0), 0.02);
+    EXPECT_GE(ticker->numOr("ticks", 0.0), 1.0);
+
+    // All three windows are present with both rate series.
+    const json::Value* rates = stats.find("rates");
+    ASSERT_NE(rates, nullptr);
+    for (const char* w : {"1s", "10s", "60s"}) {
+        const json::Value* win = rates->find(w);
+        ASSERT_NE(win, nullptr) << w;
+        EXPECT_GE(win->numOr("req_per_s", -1.0), 0.0);
+        EXPECT_GE(win->numOr("err_per_s", -1.0), 0.0);
+    }
+
+    const json::Value* lat = stats.find("latency_seconds");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->strOr("family", ""), "srvd.request_latency_seconds");
+    EXPECT_GE(lat->numOr("count", -1.0), 2.0);
+    EXPECT_GE(lat->numOr("p99", -1.0), lat->numOr("p50", 0.0));
+
+    // Both jobs solved tank with the default integrator: one WCET row.
+    const json::Value* wcet = stats.find("wcet");
+    ASSERT_NE(wcet, nullptr);
+    ASSERT_TRUE(wcet->isArray());
+    ASSERT_GE(wcet->array.size(), 1u);
+    const json::Value& row = wcet->array[0];
+    EXPECT_EQ(row.strOr("scenario", ""), "tank");
+    EXPECT_EQ(row.strOr("solver", ""), "default");
+    EXPECT_GE(row.numOr("count", 0.0), 2.0);
+    EXPECT_GT(row.numOr("worst_seconds", 0.0), 0.0);
+    EXPECT_GE(row.numOr("worst_seconds", 0.0), row.numOr("p99_seconds", 0.0));
+    EXPECT_GE(row.numOr("rolling_max_seconds", 0.0), row.numOr("last_seconds", 0.0));
+
+    // Observability stays reachable while draining.
+    daemon.beginDrain();
+    ASSERT_TRUE(c.sendLine("{\"op\": \"stats\"}"));
+    const json::Value draining = c.readRecord();
+    EXPECT_EQ(draining.strOr("status", ""), "ok");
+    EXPECT_TRUE(draining.boolOr("draining", false));
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, StatsVerbJsonAndBinaryFramingsAgree) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.statsTickSeconds = 0.02;
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+
+    Client jsonClient(daemon);
+    ASSERT_TRUE(jsonClient.sendLine("{\"op\": \"stats\"}"));
+    const json::Value viaJson = jsonClient.readRecord();
+
+    BinaryClient binClient(daemon);
+    ASSERT_TRUE(binClient.ok());
+    ASSERT_TRUE(binClient.sendFrame(wire::FrameType::Control, "{\"op\": \"stats\"}"));
+    const json::Value viaBinary = binClient.readRecord();
+
+    // Same verb, same schema across framings (values differ: time moved).
+    for (const json::Value* rec : {&viaJson, &viaBinary}) {
+        EXPECT_EQ(rec->strOr("op", ""), "stats");
+        EXPECT_EQ(rec->strOr("status", ""), "ok");
+        EXPECT_NE(rec->find("ticker"), nullptr);
+        EXPECT_NE(rec->find("rates"), nullptr);
+        EXPECT_NE(rec->find("latency_seconds"), nullptr);
+        EXPECT_NE(rec->find("wcet"), nullptr);
+    }
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, ProfiledJobCarriesMonotoneStageTable) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.resultCacheCapacity = 0; // the profiled job must really run
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    // Unprofiled jobs must not grow a stages member.
+    ASSERT_TRUE(c.sendLine(tankJob("plain")));
+    const json::Value plain = c.readRecord();
+    ASSERT_EQ(plain.strOr("status", ""), "succeeded");
+    EXPECT_EQ(plain.find("stages"), nullptr);
+
+    ASSERT_TRUE(c.sendLine(profiledTankJob("profiled")));
+    const json::Value prof = c.readRecord();
+    ASSERT_EQ(prof.strOr("status", ""), "succeeded");
+    const auto stages = stageOffsets(prof);
+    ASSERT_FALSE(stages.empty()) << "profiled record must carry a stage table";
+
+    // Offsets from receive must be non-decreasing in canonical stage order,
+    // and an executed job stamps the full pipeline: decode through solve
+    // plus encode/reply (warm_acquire and cold_build are alternatives).
+    double prev = 0.0;
+    for (const auto& [name, offset] : stages) {
+        EXPECT_GE(offset, prev) << "stage " << name << " went backwards";
+        prev = offset;
+    }
+    std::set<std::string> present;
+    for (const auto& [name, offset] : stages) present.insert(name);
+    for (const char* required : {"decode", "admission", "queue_wait", "solve",
+                                 "encode", "reply"}) {
+        EXPECT_TRUE(present.count(required)) << "missing stage " << required;
+    }
+    EXPECT_TRUE(present.count("warm_acquire") || present.count("cold_build"));
+
+    // Stage-sum sanity: offsets are cumulative, so the reply offset is the
+    // in-daemon end-to-end latency; it must cover the measured solve wall
+    // time and stay within a loose bound of it (the job was milliseconds,
+    // the bound allows scheduler noise but catches unit errors).
+    const double reply = stages.back().second;
+    EXPECT_EQ(stages.back().first, "reply");
+    const double wall = prof.numOr("wall_seconds", -1.0);
+    ASSERT_GE(wall, 0.0);
+    EXPECT_GE(reply, wall) << "end-to-end must include the solve wall time";
+    EXPECT_LT(reply, wall + 5.0) << "reply offset implausibly far past the solve";
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, ProfiledRunStaysBitIdenticalToUnprofiled) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.resultCacheCapacity = 0; // both submissions must execute
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine(tankJob("plain")));
+    const json::Value plain = c.readRecord();
+    ASSERT_EQ(plain.strOr("status", ""), "succeeded");
+    const std::string plainHash = plain.strOr("trace_hash", "");
+    ASSERT_FALSE(plainHash.empty());
+
+    // profile is pure observability: excluded from warm/job hashing, so the
+    // profiled rerun reuses the warm instance and reproduces the trace.
+    ASSERT_TRUE(c.sendLine(profiledTankJob("profiled")));
+    const json::Value prof = c.readRecord();
+    ASSERT_EQ(prof.strOr("status", ""), "succeeded");
+    EXPECT_EQ(prof.strOr("trace_hash", ""), plainHash);
+    EXPECT_TRUE(prof.boolOr("warm_reuse", false));
+    EXPECT_NE(prof.find("stages"), nullptr);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, ProfiledCacheHitGetsFreshDaemonSideTable) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig()); // result cache on
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    ASSERT_TRUE(c.sendLine(tankJob("cold")));
+    const json::Value cold = c.readRecord();
+    ASSERT_EQ(cold.strOr("status", ""), "succeeded");
+    ASSERT_FALSE(cold.boolOr("cached_result", false));
+
+    // Same job bytes, now profiled: served from the result cache (profile
+    // must not change the job hash), with a daemon-side table only — no
+    // engine stages, nothing executed.
+    ASSERT_TRUE(c.sendLine(profiledTankJob("hit")));
+    const json::Value hit = c.readRecord();
+    ASSERT_EQ(hit.strOr("status", ""), "succeeded");
+    EXPECT_TRUE(hit.boolOr("cached_result", false));
+    EXPECT_EQ(hit.strOr("trace_hash", ""), cold.strOr("trace_hash", "x"));
+    const auto stages = stageOffsets(hit);
+    ASSERT_FALSE(stages.empty());
+    std::set<std::string> present;
+    for (const auto& [name, offset] : stages) present.insert(name);
+    EXPECT_TRUE(present.count("decode"));
+    EXPECT_TRUE(present.count("admission"));
+    EXPECT_TRUE(present.count("reply"));
+    EXPECT_FALSE(present.count("solve")) << "cache hits never solve";
+    EXPECT_FALSE(present.count("queue_wait"));
+
+    // An unprofiled replay of the same job stays clean: the stored record
+    // must not leak the original run's stage table.
+    ASSERT_TRUE(c.sendLine(tankJob("replay")));
+    const json::Value replay = c.readRecord();
+    EXPECT_TRUE(replay.boolOr("cached_result", false));
+    EXPECT_EQ(replay.find("stages"), nullptr);
     daemon.stop();
 }
 

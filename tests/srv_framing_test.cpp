@@ -57,6 +57,8 @@ srv::ResultRecord fullRecord() {
     r.traceRows = 56;
     r.traceHash = 0xdeadbeefcafef00dull;
     r.metricsJson = "{\"counters\": {}}";
+    r.stages = {{"decode", 2.5e-6}, {"admission", 4.0e-6}, {"solve", 1.25e-3},
+                {"reply", 1.5e-3}};
     return r;
 }
 
@@ -134,6 +136,7 @@ TEST(SrvFramingTest, ResultRoundTripRendersByteIdenticalJson) {
     EXPECT_EQ(back.traceHash, r.traceHash);
     EXPECT_EQ(back.status, r.status);
     EXPECT_EQ(back.worker, r.worker);
+    EXPECT_EQ(back.stages, r.stages);
 }
 
 TEST(SrvFramingTest, UnknownStatusByteClampsToRejected) {

@@ -18,7 +18,9 @@ DIR=$(mktemp -d)
 SOCK="$DIR/srvd.sock"
 trap 'kill "$SERVED_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
-"$SERVED" --socket "$SOCK" --workers 2 --quiet &
+# Fast stats ticks so the windowed-rates assertion below doesn't have to
+# wait out the 1 s default cadence.
+"$SERVED" --socket "$SOCK" --workers 2 --stats-tick 0.05 --quiet &
 SERVED_PID=$!
 
 # Wait for the listener (the daemon unlinks a stale path, then binds).
@@ -43,6 +45,58 @@ if ! grep -q '"cached_result": true' "$DIR/records2.jsonl"; then
     exit 1
 fi
 echo "second pass replayed from the result cache"
+
+# The stats verb must report nonzero windowed request rates after the two
+# passes above. Rates are snapshot deltas, so retry briefly while the
+# ticker catches up.
+i=0
+while :; do
+    "$CLIENT" --socket "$SOCK" --stats > "$DIR/stats.json"
+    for needle in '"op": "stats"' '"status": "ok"' '"ticker":' '"rates":' \
+                  '"latency_seconds":' '"wcet":'; do
+        if ! grep -qF "$needle" "$DIR/stats.json"; then
+            echo "FAIL: stats verb response lacks $needle" >&2
+            cat "$DIR/stats.json" >&2
+            exit 1
+        fi
+    done
+    if grep -o '"req_per_s": [0-9.eE+-]*' "$DIR/stats.json" |
+        awk '{ if ($2 + 0 > 0) found = 1 } END { exit found ? 0 : 1 }'; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "FAIL: stats verb never reported a nonzero windowed request rate" >&2
+        cat "$DIR/stats.json" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "stats verb reported nonzero windowed request rates"
+
+# A profiled job (distinct horizon so the result cache can't answer it)
+# must echo a stage table whose offsets are monotone non-decreasing in the
+# rendered (canonical) order.
+echo '{"scenario": "tank", "name": "prof-smoke", "horizon": 2.75, "mode": "single"}' |
+    "$CLIENT" --socket "$SOCK" --profile --strict - > "$DIR/profiled.jsonl"
+STAGES=$(sed -n 's/.*"stages": {\([^}]*\)}.*/\1/p' "$DIR/profiled.jsonl")
+if [ -z "$STAGES" ]; then
+    echo "FAIL: profiled job record carries no stage table" >&2
+    cat "$DIR/profiled.jsonl" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$STAGES" | awk -F'[:,]' '{
+        prev = -1
+        for (i = 2; i <= NF; i += 2) {
+            v = $i + 0
+            if (v < prev) exit 1
+            prev = v
+        }
+    }'; then
+    echo "FAIL: profiled stage offsets are not monotone: $STAGES" >&2
+    exit 1
+fi
+echo "profiled job echoed a monotone stage table"
 
 # Third pass over the binary framing: the generated wire protocol must
 # produce records identical to the JSON passes (same names, same trace
