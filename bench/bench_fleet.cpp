@@ -1,0 +1,407 @@
+/// \file bench_fleet.cpp
+/// Fleet-tier throughput: a RouterDaemon fronting N in-process urtx_served
+/// shards (loopback TCP, ephemeral ports), driven by one pipelined JSON
+/// client over a 600-distinct-job working set that deliberately exceeds a
+/// single shard's 256-entry result cache.
+///
+/// The claim being measured is *aggregate cache capacity scaling*: with
+/// one shard the working set cycles through the LRU result cache and every
+/// request pays a full scenario solve; with four shards consistent hashing
+/// splits the same keys ~150 per shard, the whole set fits in the fleet's
+/// 4 x 256 aggregate capacity, and steady-state passes replay from cache.
+/// Rows report sustained QPS over three timed passes (after one untimed
+/// populate pass) and the fleet result-cache hit ratio measured over the
+/// timed window via the router's aggregated health verb. A standalone
+/// (router-less) single daemon runs the same workload to anchor the
+/// baseline the router must not regress.
+///
+/// A failover probe runs against the hot 4-shard fleet: one shard is
+/// stopped, detection is the time for the router to eject it, recovery is
+/// the time for a 64-job burst (every reply required, no duplicates) to
+/// complete on the survivors.
+///
+/// A machine-readable summary is written to BENCH_fleet.json. Headline
+/// acceptance: 4-shard cached QPS >= 3x the 1-shard QPS through the same
+/// router, and the 4-shard per-shard hit ratio >= the standalone daemon's.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "srv/daemon/daemon.hpp"
+#include "srv/json.hpp"
+#include "srv/router/router.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace srv = urtx::srv;
+namespace router = urtx::srv::router;
+namespace json = urtx::srv::json;
+namespace scen = urtx::srv::scenarios;
+
+namespace {
+
+constexpr std::size_t kDistinct = 600; ///< > one shard's result cache (256)
+constexpr int kPasses = 3;             ///< timed steady-state passes
+constexpr std::size_t kWindow = 64;    ///< client pipelining depth
+
+using clock_t_ = std::chrono::steady_clock;
+
+bool sendAll(int fd, const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Pipelined newline-JSON client on the test end of an adopted socketpair.
+class PipeClient {
+public:
+    explicit PipeClient(const std::function<void(int)>& adopt) {
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return;
+        fd_ = sv[0];
+        adopt(sv[1]);
+    }
+    ~PipeClient() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    bool ok() const { return fd_ >= 0; }
+
+    bool sendLine(const std::string& line) {
+        return sendAll(fd_, line + "\n");
+    }
+
+    bool readLine(std::string* out) {
+        for (;;) {
+            const auto nl = pending_.find('\n');
+            if (nl != std::string::npos) {
+                out->assign(pending_, 0, nl);
+                pending_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[65536];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) return false;
+            pending_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    /// One control verb round-trip, parsed.
+    bool verb(const std::string& line, json::Value* out) {
+        if (!sendLine(line)) return false;
+        std::string reply;
+        if (!readLine(&reply)) return false;
+        const auto v = json::parse(reply);
+        if (!v) return false;
+        *out = *v;
+        return true;
+    }
+
+private:
+    int fd_ = -1;
+    std::string pending_;
+};
+
+srv::DaemonConfig shardConfig() {
+    srv::DaemonConfig cfg;
+    cfg.engine.workers = 1;
+    cfg.engine.scopedMetrics = false;
+    cfg.engine.postmortems = false;
+    cfg.warmCacheCapacity = 8;
+    cfg.resultCacheCapacity = 256;
+    cfg.tcpEphemeral = true;
+    cfg.statsTickSeconds = 0.0;
+    return cfg;
+}
+
+/// The working set: kDistinct tank jobs with distinct parameter overrides,
+/// so each carries a distinct warm/result-cache key.
+std::vector<std::string> makeJobs() {
+    std::vector<std::string> jobs;
+    jobs.reserve(kDistinct);
+    for (std::size_t i = 0; i < kDistinct; ++i) {
+        jobs.push_back("{\"scenario\": \"tank\", \"name\": \"w" + std::to_string(i) +
+                       "\", \"horizon\": 4.0, \"mode\": \"single\", \"params\": "
+                       "{\"qin\": " +
+                       json::number(0.3 + 0.0003 * static_cast<double>(i)) + "}}");
+    }
+    return jobs;
+}
+
+struct WorkloadResult {
+    double wallSeconds = 0;
+    std::size_t completed = 0;
+    std::size_t succeeded = 0;
+};
+
+/// Drive \p passes full passes over \p jobs with kWindow requests in
+/// flight; counts replies by substring so parse cost stays off the path.
+WorkloadResult runPasses(PipeClient& c, const std::vector<std::string>& jobs,
+                         int passes) {
+    WorkloadResult res;
+    const std::size_t total = jobs.size() * static_cast<std::size_t>(passes);
+    std::size_t sent = 0;
+    std::string line;
+    const auto start = clock_t_::now();
+    while (res.completed < total) {
+        while (sent < total && sent - res.completed < kWindow) {
+            if (!c.sendLine(jobs[sent % jobs.size()])) return res;
+            ++sent;
+        }
+        if (!c.readLine(&line)) return res;
+        ++res.completed;
+        if (line.find("\"status\": \"succeeded\"") != std::string::npos) {
+            ++res.succeeded;
+        }
+    }
+    res.wallSeconds = std::chrono::duration<double>(clock_t_::now() - start).count();
+    return res;
+}
+
+struct CacheCounts {
+    double hits = 0, misses = 0;
+};
+
+/// Result-cache hit/miss totals from a health document: the router's
+/// aggregated "fleet" section when present, the daemon's own
+/// "result_cache" section otherwise.
+CacheCounts cacheCounts(const json::Value& health) {
+    const json::Value* rc = nullptr;
+    if (const json::Value* fleet = health.find("fleet")) {
+        rc = fleet->find("result_cache");
+    }
+    if (rc == nullptr) rc = health.find("result_cache");
+    CacheCounts c;
+    if (rc != nullptr) {
+        c.hits = rc->numOr("hits", 0);
+        c.misses = rc->numOr("misses", 0);
+    }
+    return c;
+}
+
+struct Row {
+    std::string mode;
+    std::size_t shards = 0;
+    double qps = 0;
+    double hitRatio = 0; ///< over the timed window only
+    std::size_t completed = 0;
+    std::size_t succeeded = 0;
+};
+
+struct Fleet {
+    std::vector<std::unique_ptr<srv::ServeDaemon>> shards;
+    std::unique_ptr<router::RouterDaemon> rt;
+
+    explicit Fleet(std::size_t n) {
+        std::vector<std::uint16_t> ports;
+        for (std::size_t i = 0; i < n; ++i) {
+            shards.push_back(std::make_unique<srv::ServeDaemon>(shardConfig()));
+            if (!shards.back()->start()) std::abort();
+            ports.push_back(shards.back()->boundTcpPort());
+        }
+        router::RouterConfig cfg;
+        for (std::size_t i = 0; i < n; ++i) {
+            router::BackendAddress a;
+            a.id = "s" + std::to_string(i);
+            a.tcpPort = ports[i];
+            cfg.backends.push_back(a);
+        }
+        cfg.probeIntervalSeconds = 0.1;
+        cfg.probeTimeoutSeconds = 0.5;
+        cfg.reconnectSeconds = 0.1;
+        cfg.statsTickSeconds = 0.0;
+        rt = std::make_unique<router::RouterDaemon>(std::move(cfg));
+        if (!rt->start()) std::abort();
+        const auto deadline = clock_t_::now() + std::chrono::seconds(10);
+        while (rt->backendsUp() < n && clock_t_::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        if (rt->backendsUp() < n) std::abort();
+    }
+    ~Fleet() {
+        if (rt) rt->stop();
+        for (auto& s : shards) s->stop();
+    }
+};
+
+Row measureFleet(std::size_t n, const std::vector<std::string>& jobs) {
+    Fleet fleet(n);
+    PipeClient c([&](int fd) { fleet.rt->adoptConnection(fd); });
+    if (!c.ok()) std::abort();
+
+    runPasses(c, jobs, 1); // untimed populate pass
+
+    json::Value before;
+    if (!c.verb("{\"op\": \"health\"}", &before)) std::abort();
+    const WorkloadResult w = runPasses(c, jobs, kPasses);
+    json::Value after;
+    if (!c.verb("{\"op\": \"health\"}", &after)) std::abort();
+
+    const CacheCounts b = cacheCounts(before), a = cacheCounts(after);
+    const double dh = a.hits - b.hits, dm = a.misses - b.misses;
+
+    Row row;
+    row.mode = "routed";
+    row.shards = n;
+    row.completed = w.completed;
+    row.succeeded = w.succeeded;
+    row.qps = w.wallSeconds > 0 ? static_cast<double>(w.completed) / w.wallSeconds : 0;
+    row.hitRatio = (dh + dm) > 0 ? dh / (dh + dm) : 0;
+    return row;
+}
+
+Row measureStandalone(const std::vector<std::string>& jobs) {
+    srv::ServeDaemon daemon(shardConfig());
+    if (!daemon.start()) std::abort();
+    PipeClient c([&](int fd) { daemon.adoptConnection(fd); });
+    if (!c.ok()) std::abort();
+
+    runPasses(c, jobs, 1);
+    json::Value before;
+    if (!c.verb("{\"op\": \"health\"}", &before)) std::abort();
+    const WorkloadResult w = runPasses(c, jobs, kPasses);
+    json::Value after;
+    if (!c.verb("{\"op\": \"health\"}", &after)) std::abort();
+    daemon.stop();
+
+    const CacheCounts b = cacheCounts(before), a = cacheCounts(after);
+    const double dh = a.hits - b.hits, dm = a.misses - b.misses;
+
+    Row row;
+    row.mode = "standalone";
+    row.shards = 1;
+    row.completed = w.completed;
+    row.succeeded = w.succeeded;
+    row.qps = w.wallSeconds > 0 ? static_cast<double>(w.completed) / w.wallSeconds : 0;
+    row.hitRatio = (dh + dm) > 0 ? dh / (dh + dm) : 0;
+    return row;
+}
+
+struct FailoverResult {
+    double detectSeconds = 0;
+    double recoverSeconds = 0;
+    std::size_t burstJobs = 0;
+    std::size_t replies = 0;
+    std::size_t succeeded = 0;
+    bool noDuplicates = false;
+};
+
+/// Stop one shard of a hot 4-shard fleet and require a 64-job burst to
+/// complete on the survivors: detection = ejection latency, recovery =
+/// burst completion from the instant of the kill.
+FailoverResult measureFailover(const std::vector<std::string>& jobs) {
+    Fleet fleet(4);
+    PipeClient c([&](int fd) { fleet.rt->adoptConnection(fd); });
+    if (!c.ok()) std::abort();
+    runPasses(c, jobs, 1); // make the caches hot
+
+    FailoverResult res;
+    res.burstJobs = 64;
+    const auto t0 = clock_t_::now();
+    fleet.shards[0]->stop();
+    while (fleet.rt->backendsUp() != 3 &&
+           clock_t_::now() - t0 < std::chrono::seconds(10)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    res.detectSeconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < res.burstJobs; ++i) {
+        if (!c.sendLine(jobs[i])) std::abort();
+    }
+    std::string line;
+    for (std::size_t i = 0; i < res.burstJobs; ++i) {
+        if (!c.readLine(&line)) break;
+        ++res.replies;
+        if (line.find("\"status\": \"succeeded\"") != std::string::npos) {
+            ++res.succeeded;
+        }
+        const auto v = json::parse(line);
+        if (v) names.insert(v->strOr("name", ""));
+    }
+    res.recoverSeconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+    res.noDuplicates = names.size() == res.replies;
+    return res;
+}
+
+} // namespace
+
+int main() {
+    scen::registerBuiltins();
+    const std::vector<std::string> jobs = makeJobs();
+    std::printf("fleet throughput: %zu distinct jobs, %d timed passes, "
+                "result cache 256/shard\n\n",
+                kDistinct, kPasses);
+    std::printf("%12s %8s %12s %12s %12s\n", "mode", "shards", "qps", "hit ratio",
+                "succeeded");
+
+    std::vector<Row> rows;
+    rows.push_back(measureStandalone(jobs));
+    for (const std::size_t n : {1u, 2u, 4u}) {
+        rows.push_back(measureFleet(n, jobs));
+    }
+    for (const Row& r : rows) {
+        std::printf("%12s %8zu %12.0f %12.3f %9zu/%zu\n", r.mode.c_str(), r.shards,
+                    r.qps, r.hitRatio, r.succeeded, r.completed);
+    }
+
+    const Row& standalone = rows[0];
+    const Row& one = rows[1];
+    const Row& four = rows[3];
+    const double speedup = one.qps > 0 ? four.qps / one.qps : 0;
+    const bool scalingOk = speedup >= 3.0;
+    const bool hitRatioOk = four.hitRatio >= standalone.hitRatio;
+    std::printf("\n4-shard vs 1-shard routed QPS: %.2fx (bound >= 3x: %s)\n", speedup,
+                scalingOk ? "ok" : "MISSED");
+    std::printf("4-shard hit ratio %.3f vs standalone %.3f (>=: %s)\n", four.hitRatio,
+                standalone.hitRatio, hitRatioOk ? "ok" : "MISSED");
+
+    const FailoverResult fo = measureFailover(jobs);
+    std::printf("failover: detect %.3fs, recover %.3fs, burst %zu/%zu succeeded, "
+                "duplicates: %s\n",
+                fo.detectSeconds, fo.recoverSeconds, fo.succeeded, fo.burstJobs,
+                fo.noDuplicates ? "none" : "FOUND");
+
+    std::ofstream f("BENCH_fleet.json");
+    f << "{\n  \"benchmark\": \"fleet_router\",\n";
+    f << "  \"distinct_jobs\": " << kDistinct << ",\n  \"timed_passes\": " << kPasses
+      << ",\n  \"result_cache_per_shard\": 256,\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        char buf[224];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"mode\": \"%s\", \"shards\": %zu, \"qps\": %.0f, "
+                      "\"hit_ratio\": %.4f, \"completed\": %zu, \"succeeded\": %zu}%s\n",
+                      rows[i].mode.c_str(), rows[i].shards, rows[i].qps,
+                      rows[i].hitRatio, rows[i].completed, rows[i].succeeded,
+                      i + 1 < rows.size() ? "," : "");
+        f << buf;
+    }
+    char buf[352];
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n  \"speedup_4shard_vs_1shard\": %.2f,\n"
+                  "  \"cached_qps_scaling_ge_3x\": %s,\n"
+                  "  \"per_shard_hit_ratio_ge_standalone\": %s,\n"
+                  "  \"failover\": {\"fleet\": 4, \"detect_seconds\": %.4f, "
+                  "\"recover_seconds\": %.4f, \"burst_jobs\": %zu, \"replies\": %zu, "
+                  "\"succeeded\": %zu, \"no_duplicates\": %s}\n}\n",
+                  speedup, scalingOk ? "true" : "false", hitRatioOk ? "true" : "false",
+                  fo.detectSeconds, fo.recoverSeconds, fo.burstJobs, fo.replies,
+                  fo.succeeded, fo.noDuplicates ? "true" : "false");
+    f << buf;
+    std::puts("\nwrote BENCH_fleet.json");
+    return scalingOk && hitRatioOk && fo.replies == fo.burstJobs ? 0 : 1;
+}

@@ -145,6 +145,14 @@ ServeDaemon::ServeDaemon(DaemonConfig cfg, const ScenarioLibrary& lib)
     queueDepthGauge_ = &r.gauge("srvd.queue_depth");
     resultCacheHitRatio_ = &r.gauge("srvd.result_cache_hit_ratio");
     warmCacheHitRatio_ = &r.gauge("srvd.warm_cache_hit_ratio");
+    warmCacheHits_ = &r.gauge("srvd.warm_cache.hits");
+    warmCacheMisses_ = &r.gauge("srvd.warm_cache.misses");
+    warmCacheSize_ = &r.gauge("srvd.warm_cache.size");
+    warmCacheCapacity_ = &r.gauge("srvd.warm_cache.capacity");
+    resultCacheHits_ = &r.gauge("srvd.result_cache.hits");
+    resultCacheMisses_ = &r.gauge("srvd.result_cache.misses");
+    resultCacheSize_ = &r.gauge("srvd.result_cache.size");
+    resultCacheCapacity_ = &r.gauge("srvd.result_cache.capacity");
     drainSeconds_ = &r.gauge("srvd.drain_seconds");
     uptimeGauge_ = &r.gauge("srvd.uptime_seconds");
     samplingRateGauge_ = &r.gauge("obs.span_sampling_rate");
@@ -191,16 +199,17 @@ bool ServeDaemon::start(std::string* err) {
         bound.push_back(fd);
     }
 
-    // TCP is opt-in via a nonzero port. No listeners configured at all is
-    // legal too — tests drive adoptConnection() directly.
-    if (cfg_.tcpPort != 0) {
+    // TCP is opt-in via a nonzero port (or an explicit ephemeral-port
+    // request). No listeners configured at all is legal too — tests drive
+    // adoptConnection() directly.
+    if (cfg_.tcpPort != 0 || cfg_.tcpEphemeral) {
         const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0) return fail("socket(AF_INET)");
         const int one = 1;
         ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
-        addr.sin_port = htons(cfg_.tcpPort);
+        addr.sin_port = htons(cfg_.tcpEphemeral ? 0 : cfg_.tcpPort);
         addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // loopback only
         if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
             ::close(fd);
@@ -824,8 +833,26 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
             << ", \"backoff\": " << acceptErrorsBackoff_->value()
             << ", \"fatal\": " << acceptErrorsFatal_->value() << "}"
             << ", \"uptime_seconds\": "
-            << json::number(static_cast<double>(obs::nowNanos() - startNanos_) * 1e-9)
-            << ", \"deadline_misses\": " << obs::Monitor::global().misses();
+            << json::number(static_cast<double>(obs::nowNanos() - startNanos_) * 1e-9);
+        // Cache occupancy and lifetime hit/miss counts: the fleet router's
+        // cache-affinity claim is verified per shard from these.
+        const auto cacheJson = [&out](const char* key, std::size_t size,
+                                      std::size_t capacity, std::uint64_t hits,
+                                      std::uint64_t misses) {
+            const std::uint64_t total = hits + misses;
+            out << ", \"" << key << "\": {\"size\": " << size
+                << ", \"capacity\": " << capacity << ", \"hits\": " << hits
+                << ", \"misses\": " << misses << ", \"hit_ratio\": "
+                << json::number(total == 0 ? 0.0
+                                           : static_cast<double>(hits) /
+                                                 static_cast<double>(total))
+                << "}";
+        };
+        cacheJson("warm_cache", warmCache_.size(), warmCache_.capacity(),
+                  warmCache_.hits(), warmCache_.misses());
+        cacheJson("result_cache", resultCache_.size(), resultCache_.capacity(),
+                  resultCache_.hits(), resultCache_.misses());
+        out << ", \"deadline_misses\": " << obs::Monitor::global().misses();
         // Per-signal miss counters live in the process registry as
         // rt.deadline_miss.<signal>; surface them as a nested map.
         out << ", \"deadline_miss_by_signal\": {";
@@ -1080,6 +1107,14 @@ void ServeDaemon::updateCacheGauges() {
     };
     resultCacheHitRatio_->set(ratio(resultCache_.hits(), resultCache_.misses()));
     warmCacheHitRatio_->set(ratio(warmCache_.hits(), warmCache_.misses()));
+    warmCacheHits_->set(static_cast<double>(warmCache_.hits()));
+    warmCacheMisses_->set(static_cast<double>(warmCache_.misses()));
+    warmCacheSize_->set(static_cast<double>(warmCache_.size()));
+    warmCacheCapacity_->set(static_cast<double>(warmCache_.capacity()));
+    resultCacheHits_->set(static_cast<double>(resultCache_.hits()));
+    resultCacheMisses_->set(static_cast<double>(resultCache_.misses()));
+    resultCacheSize_->set(static_cast<double>(resultCache_.size()));
+    resultCacheCapacity_->set(static_cast<double>(resultCache_.capacity()));
 }
 
 // ---------------------------------------------------------------------------
@@ -1091,6 +1126,7 @@ void ServeDaemon::refreshRuntimeGauges() {
     obs::Registry& reg = obs::Registry::process();
     samplingRateGauge_->set(reg.spanSamplingRate());
     tracerStripesGauge_->set(static_cast<double>(obs::Tracer::global().stripeCount()));
+    updateCacheGauges();
 }
 
 void ServeDaemon::tickStats() {

@@ -90,8 +90,14 @@ AcceptRetry acceptRetryClass(int err);
 struct DaemonConfig {
     /// Unix-domain socket path; empty = no Unix listener.
     std::string socketPath;
-    /// Loopback (127.0.0.1) TCP port; 0 = no TCP listener.
+    /// Loopback (127.0.0.1) TCP port; 0 = no TCP listener unless
+    /// tcpEphemeral asks the kernel for one.
     std::uint16_t tcpPort = 0;
+    /// Bind a loopback TCP listener on an ephemeral port (tcpPort ignored;
+    /// read the result from boundTcpPort()). Lets a fleet harness spawn N
+    /// daemons without port-collision races — urtx_served --port 0 sets
+    /// this and prints the "PORT <n>" line the harness scrapes.
+    bool tcpEphemeral = false;
     /// Engine/worker-pool configuration for the resident session.
     EngineConfig engine;
     /// Warm scenario instances parked between jobs (0 disables).
@@ -275,6 +281,17 @@ private:
     obs::Gauge* queueDepthGauge_;
     obs::Gauge* resultCacheHitRatio_;
     obs::Gauge* warmCacheHitRatio_;
+    // Cache occupancy + lifetime hit/miss counts mirrored from the cache
+    // objects (srvd.warm_cache.* / srvd.result_cache.*), so a fleet router
+    // can verify per-shard cache affinity from the metrics/health verbs.
+    obs::Gauge* warmCacheHits_;
+    obs::Gauge* warmCacheMisses_;
+    obs::Gauge* warmCacheSize_;
+    obs::Gauge* warmCacheCapacity_;
+    obs::Gauge* resultCacheHits_;
+    obs::Gauge* resultCacheMisses_;
+    obs::Gauge* resultCacheSize_;
+    obs::Gauge* resultCacheCapacity_;
     obs::Gauge* drainSeconds_;
     obs::Gauge* uptimeGauge_;
     obs::Gauge* samplingRateGauge_;

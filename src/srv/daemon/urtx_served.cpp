@@ -4,10 +4,16 @@
 /// TCP. SIGTERM/SIGINT drain gracefully: admitted jobs finish and stream
 /// their records, new jobs are rejected with verdict "draining".
 ///
-///   urtx_served --socket PATH [--tcp PORT] [--workers N]
+///   urtx_served --socket PATH [--tcp PORT | --port PORT] [--workers N]
 ///               [--warm-cache N] [--result-cache N] [--window N]
 ///               [--sampling RATE] [--stats-tick SECONDS]
 ///               [--reactor auto|epoll|poll] [--metrics] [--quiet]
+///
+/// --port is --tcp that also accepts 0: the daemon then binds an ephemeral
+/// loopback port chosen by the kernel. Whenever a TCP listener is bound the
+/// daemon prints one "PORT <n>" line on *stdout* (flushed before serving),
+/// so a fleet harness can spawn N daemons with --port 0 and scrape their
+/// real ports without port-collision races.
 ///
 /// --reactor pins the event backend (default auto: epoll on Linux, poll
 /// elsewhere) — mostly useful for exercising the poll fallback in CI.
@@ -42,7 +48,7 @@ namespace {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s --socket PATH [--tcp PORT] [--workers N]\n"
+                 "usage: %s --socket PATH [--tcp PORT | --port PORT] [--workers N]\n"
                  "          [--warm-cache N] [--result-cache N] [--window N]\n"
                  "          [--sampling RATE] [--stats-tick SECONDS]\n"
                  "          [--reactor auto|epoll|poll] [--metrics] [--quiet]\n",
@@ -70,6 +76,11 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             cfg.tcpPort = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--port") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.tcpPort = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+            cfg.tcpEphemeral = cfg.tcpPort == 0;
         } else if (arg == "--workers") {
             const char* v = next();
             if (!v) return usage(argv[0]);
@@ -119,7 +130,9 @@ int main(int argc, char** argv) {
             return usage(argv[0]);
         }
     }
-    if (cfg.socketPath.empty() && cfg.tcpPort == 0) return usage(argv[0]);
+    if (cfg.socketPath.empty() && cfg.tcpPort == 0 && !cfg.tcpEphemeral) {
+        return usage(argv[0]);
+    }
 
     // Route SIGTERM/SIGINT to an explicit sigwait below (inherited by every
     // daemon thread) so shutdown is a drain, not a kill.
@@ -145,6 +158,13 @@ int main(int argc, char** argv) {
     if (!daemon.start(&err)) {
         std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
         return 2;
+    }
+    // The machine-scrapeable port announcement goes to stdout (and is
+    // flushed before any serving happens) so `urtx_served --port 0 | head -1`
+    // style harness plumbing never races the bind.
+    if (daemon.boundTcpPort() != 0) {
+        std::printf("PORT %u\n", daemon.boundTcpPort());
+        std::fflush(stdout);
     }
     if (!quiet) {
         if (!daemon.config().socketPath.empty()) {

@@ -1,0 +1,84 @@
+#include "srv/router/ring.hpp"
+
+#include <algorithm>
+
+namespace urtx::srv::router {
+
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t vnodeHash(const std::string& id, std::size_t vnode) {
+    return mix64(fnv1a(id + "#" + std::to_string(vnode)));
+}
+
+} // namespace
+
+HashRing::HashRing(std::size_t virtualNodes)
+    : virtualNodes_(virtualNodes == 0 ? 1 : virtualNodes) {}
+
+void HashRing::add(const std::string& id) {
+    if (contains(id)) return;
+    const auto backend = static_cast<std::uint32_t>(backends_.size());
+    backends_.push_back(id);
+    points_.reserve(points_.size() + virtualNodes_);
+    for (std::size_t v = 0; v < virtualNodes_; ++v) {
+        points_.push_back(Point{vnodeHash(id, v), backend});
+    }
+    std::sort(points_.begin(), points_.end(),
+              [](const Point& a, const Point& b) { return a.hash < b.hash; });
+}
+
+void HashRing::remove(const std::string& id) {
+    const auto it = std::find(backends_.begin(), backends_.end(), id);
+    if (it == backends_.end()) return;
+    backends_.erase(it);
+    // Rebuild from scratch: indices into backends_ shifted, and rebalance is
+    // rare (ejection / re-admission), so simplicity beats an in-place patch.
+    std::vector<std::string> ids = std::move(backends_);
+    backends_.clear();
+    points_.clear();
+    for (const std::string& b : ids) add(b);
+}
+
+bool HashRing::contains(const std::string& id) const {
+    return std::find(backends_.begin(), backends_.end(), id) != backends_.end();
+}
+
+std::size_t HashRing::lowerPoint(std::uint64_t h) const {
+    const auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point& p, std::uint64_t v) { return p.hash < v; });
+    return it == points_.end() ? 0 : static_cast<std::size_t>(it - points_.begin());
+}
+
+const std::string* HashRing::owner(std::uint64_t key) const {
+    if (points_.empty()) return nullptr;
+    return &backends_[points_[lowerPoint(mix64(key))].backend];
+}
+
+const std::string* HashRing::successor(std::uint64_t key, const std::string& exclude) const {
+    if (points_.empty()) return nullptr;
+    const std::size_t start = lowerPoint(mix64(key));
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        const std::string& id = backends_[points_[(start + i) % points_.size()].backend];
+        if (id != exclude) return &id;
+    }
+    return nullptr;
+}
+
+} // namespace urtx::srv::router

@@ -1,0 +1,65 @@
+#pragma once
+/// \file ring.hpp
+/// Consistent-hash ring for the fleet router.
+///
+/// Each backend contributes `virtualNodes` points on a 64-bit ring (hash of
+/// "<id>#<vnode>"), and a key is owned by the first point clockwise from the
+/// key's own hash. Virtual nodes smooth the shard-size distribution (with 64
+/// vnodes the max/min shard load ratio over a uniform key corpus stays well
+/// under 2); consistency bounds rebalancing — removing one of N backends
+/// remaps only that backend's ~1/N of the keyspace, everything else keeps
+/// its owner, so the surviving shards' warm/result caches stay hot.
+///
+/// Keys are ScenarioSpec::warmKey() values (FNV-1a); the ring re-mixes both
+/// keys and vnode hashes through a 64-bit finalizer so FNV's weaker high
+/// bits cannot cluster the ring. Not thread-safe — the router mutates and
+/// reads it from its single reactor thread.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urtx::srv::router {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x);
+
+class HashRing {
+public:
+    explicit HashRing(std::size_t virtualNodes = 64);
+
+    /// Add a backend's vnodes (no-op when already present).
+    void add(const std::string& id);
+    /// Remove a backend's vnodes (no-op when absent).
+    void remove(const std::string& id);
+    bool contains(const std::string& id) const;
+
+    std::size_t backendCount() const { return backends_.size(); }
+    std::size_t virtualNodes() const { return virtualNodes_; }
+    bool empty() const { return points_.empty(); }
+    /// Backend ids in insertion order.
+    const std::vector<std::string>& backends() const { return backends_; }
+
+    /// The backend owning \p key, or nullptr on an empty ring. The pointer
+    /// is invalidated by the next add/remove.
+    const std::string* owner(std::uint64_t key) const;
+
+    /// The first backend clockwise from \p key that is not \p exclude —
+    /// where a key lands after its owner is ejected. nullptr when no other
+    /// backend exists.
+    const std::string* successor(std::uint64_t key, const std::string& exclude) const;
+
+private:
+    struct Point {
+        std::uint64_t hash;
+        std::uint32_t backend; ///< index into backends_
+    };
+
+    std::size_t lowerPoint(std::uint64_t h) const;
+
+    std::size_t virtualNodes_;
+    std::vector<std::string> backends_;
+    std::vector<Point> points_; ///< sorted by hash
+};
+
+} // namespace urtx::srv::router

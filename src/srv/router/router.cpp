@@ -1,0 +1,1589 @@
+#include "srv/router/router.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
+#include "srv/batch_io.hpp"
+#include "srv/daemon/framing.hpp"
+#include "srv/json.hpp"
+
+namespace urtx::srv::router {
+
+namespace {
+
+void setNonBlocking(int fd) {
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+std::string errorRecord(const std::string& message) {
+    return "{\"status\": \"error\", \"error\": \"" + json::escape(message) + "\"}";
+}
+
+ResultRecord rejectionRec(const ScenarioSpec& spec, std::string verdict,
+                          std::string error) {
+    ResultRecord r;
+    r.name = spec.name;
+    r.scenario = spec.scenario;
+    r.status = ScenarioStatus::Rejected;
+    r.passed = false;
+    r.verdict = std::move(verdict);
+    r.error = std::move(error);
+    return r;
+}
+
+/// Same ladder as srvd.request_latency_seconds so fleet and standalone
+/// latency histograms are directly comparable.
+std::vector<double> requestLatencyBounds() {
+    return {1e-6, 2.5e-6, 5e-6,  1e-5,   2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+            1e-3, 2.5e-3, 5e-3,  1e-2,   2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+            1.0,  2.5,    10.0};
+}
+
+/// Router-assigned reply token <-> the job name sent upstream. Tokens never
+/// collide with client names because the client's name never crosses the
+/// router; it is restored from the Pending entry on the way back.
+std::string tokenName(std::uint64_t token) { return "r" + std::to_string(token); }
+
+bool tokenFromName(const std::string& name, std::uint64_t& token) {
+    if (name.size() < 2 || name[0] != 'r') return false;
+    std::uint64_t v = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9') return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    token = v;
+    return true;
+}
+
+/// Generous cap for backend -> router frames: a shard's trace/metrics
+/// control responses can far exceed the client-side request cap.
+constexpr std::size_t kBackendFrameCap = 64u << 20;
+
+constexpr std::uint64_t kTickNs = 25ull * 1000 * 1000; // 25 ms housekeeping
+
+} // namespace
+
+/// One downstream client connection. All state is reactor-thread-only —
+/// unlike ServeDaemon there are no worker threads; backend replies arrive
+/// on the same reactor that owns the client, so no locking is needed.
+struct RouterDaemon::Client {
+    explicit Client(int f) : fd(f) {}
+    ~Client() {
+        if (!fdClosed && fd >= 0) ::close(fd);
+    }
+
+    enum class Mode : std::uint8_t { Sniff, Json, Binary };
+
+    const int fd;
+    Mode mode = Mode::Sniff;
+    std::string inBuf;
+    std::string outBuf;
+    bool registered = false;
+    bool readPaused = false;
+    bool peerEof = false;
+    bool dead = false;
+    bool fdClosed = false;
+    /// Routed jobs + outstanding fan-outs awaiting a reply to this client.
+    std::size_t inFlight = 0;
+    /// True while the input loop is consuming this client's buffer: a
+    /// same-stack completion (e.g. an empty fan-out) must not close the
+    /// connection out from under the loop.
+    bool processing = false;
+    std::uint64_t seq = 0; ///< default job names per connection
+};
+
+/// A client-issued control verb in flight across the fleet: one expected
+/// response per shard it was sent to; completes (and answers the client)
+/// when the last shard responds or is torn down.
+struct RouterDaemon::Fanout {
+    std::shared_ptr<Client> client;
+    std::string op;
+    std::size_t awaiting = 0;
+    /// True while startFanout is still enqueueing: a shard torn down by its
+    /// own enqueue answers immediately, and completion must wait for the
+    /// remaining shards to be offered the verb first.
+    bool dispatching = false;
+    std::vector<std::pair<std::string, std::string>> responses; ///< shard id, payload
+};
+
+/// One upstream urtx_served shard and its (single, pipelined) connection.
+struct RouterDaemon::Backend {
+    /// Down -> Connecting -> Handshaking -> Probation -> Up. Probation is
+    /// connected + preamble-accepted but not yet ring-admitted: one clean
+    /// health probe response promotes it (first admission or re-admission).
+    enum class State : std::uint8_t { Down, Connecting, Handshaking, Probation, Up };
+
+    BackendAddress addr;
+    State state = State::Down;
+    int fd = -1;
+    bool registered = false;
+    std::string inBuf;
+    std::string outBuf;
+    std::size_t preambleGot = 0; ///< echoed-preamble bytes consumed
+
+    /// Control responses come back in request order on a daemon connection,
+    /// so a FIFO of waiters matches them: a null fanout is an internal
+    /// health probe.
+    std::deque<std::shared_ptr<Fanout>> controlFifo;
+    std::unordered_set<std::uint64_t> inflightTokens;
+
+    bool probeOutstanding = false;
+    bool probeCountedOverdue = false;
+    std::uint64_t probeSentNs = 0;
+    std::uint64_t lastProbeNs = 0;
+    std::uint64_t nextConnectNs = 0;
+    std::uint64_t ejections = 0;
+    bool everAdmitted = false;
+};
+
+/// One routed job: which client asked, what it was really called, where it
+/// currently sits, and how often it has been (re)placed.
+struct RouterDaemon::Pending {
+    std::shared_ptr<Client> client;
+    std::string originalName;
+    ScenarioSpec spec; ///< name rewritten to the reply token
+    std::uint64_t key = 0;
+    std::string backendId; ///< current placement
+    std::uint64_t recvNs = 0;
+    std::uint64_t sentNs = 0;
+    unsigned attempts = 0;
+};
+
+RouterDaemon::RouterDaemon(RouterConfig cfg)
+    : cfg_(std::move(cfg)),
+      ring_(cfg_.virtualNodes),
+      reactor_(std::make_unique<Reactor>(cfg_.reactorBackend)),
+      statsWindow_(obs::Registry::process(), cfg_.statsWindowCapacity) {
+    obs::Registry& r = obs::Registry::process();
+    connectionsTotal_ = &r.counter("router.connections_total");
+    connectionsGauge_ = &r.gauge("router.connections");
+    jobsReceived_ = &r.counter("router.jobs_received");
+    jobsRouted_ = &r.counter("router.jobs_routed");
+    jobsCompleted_ = &r.counter("router.jobs_completed");
+    jobsFailed_ = &r.counter("router.jobs_failed");
+    rejectedDraining_ = &r.counter("router.rejected_draining");
+    rejectedNoBackend_ = &r.counter("router.rejected_no_backend");
+    retries_ = &r.counter("router.retries");
+    backendEjections_ = &r.counter("router.backend_ejections");
+    backendReadmissions_ = &r.counter("router.backend_readmissions");
+    probeTimeouts_ = &r.counter("router.probe_timeouts");
+    hedgeEjections_ = &r.counter("router.hedge_ejections");
+    badLines_ = &r.counter("router.bad_lines");
+    orphanReplies_ = &r.counter("router.orphan_replies");
+    backendsUpGauge_ = &r.gauge("router.backends_up");
+    pendingGauge_ = &r.gauge("router.pending_jobs");
+    requestLatency_ =
+        &r.histogram("router.request_latency_seconds", requestLatencyBounds());
+    startNanos_ = obs::nowNanos();
+
+    for (const BackendAddress& a : cfg_.backends) {
+        auto b = std::make_unique<Backend>();
+        b->addr = a;
+        if (b->addr.id.empty()) {
+            b->addr.id = !a.socketPath.empty()
+                             ? a.socketPath
+                             : "127.0.0.1:" + std::to_string(a.tcpPort);
+        }
+        backends_.push_back(std::move(b));
+    }
+}
+
+RouterDaemon::~RouterDaemon() { stop(); }
+
+bool RouterDaemon::start(std::string* err) {
+    std::vector<int> bound;
+    const auto fail = [&](const std::string& what) {
+        if (err) *err = what + ": " + std::strerror(errno);
+        for (int fd : bound) ::close(fd);
+        return false;
+    };
+
+    if (!cfg_.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (cfg_.socketPath.size() >= sizeof(addr.sun_path)) {
+            if (err) *err = "socket path too long: " + cfg_.socketPath;
+            return false;
+        }
+        std::strncpy(addr.sun_path, cfg_.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) return fail("socket(AF_UNIX)");
+        ::unlink(cfg_.socketPath.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+            ::close(fd);
+            return fail("bind(" + cfg_.socketPath + ")");
+        }
+        if (::listen(fd, 128) != 0) {
+            ::close(fd);
+            return fail("listen(" + cfg_.socketPath + ")");
+        }
+        bound.push_back(fd);
+    }
+
+    if (cfg_.tcpPort != 0 || cfg_.tcpEphemeral) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return fail("socket(AF_INET)");
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(cfg_.tcpEphemeral ? 0 : cfg_.tcpPort);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+            ::close(fd);
+            return fail("bind(127.0.0.1:" + std::to_string(cfg_.tcpPort) + ")");
+        }
+        if (::listen(fd, 128) != 0) {
+            ::close(fd);
+            return fail("listen(tcp)");
+        }
+        sockaddr_in boundAddr{};
+        socklen_t len = sizeof(boundAddr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&boundAddr), &len) == 0) {
+            boundTcpPort_ = ntohs(boundAddr.sin_port);
+        }
+        bound.push_back(fd);
+    }
+
+    if (!bound.empty()) {
+        for (int fd : bound) setNonBlocking(fd);
+        listenersClosed_.store(false, std::memory_order_release);
+        std::lock_guard<std::mutex> lk(opsMu_);
+        pendingListenFds_.insert(pendingListenFds_.end(), bound.begin(), bound.end());
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(startMu_);
+        if (!reactorRunning_.load(std::memory_order_acquire)) {
+            reactorStop_.store(false, std::memory_order_release);
+            reactorThread_ = std::thread([this] { reactorLoop(); });
+            reactorRunning_.store(true, std::memory_order_release);
+        }
+    }
+    reactor_->wakeup();
+    return true;
+}
+
+void RouterDaemon::adoptConnection(int fd) {
+    if (stopping_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        return;
+    }
+    setNonBlocking(fd);
+    {
+        std::lock_guard<std::mutex> lk(startMu_);
+        if (!reactorRunning_.load(std::memory_order_acquire)) {
+            reactorStop_.store(false, std::memory_order_release);
+            reactorThread_ = std::thread([this] { reactorLoop(); });
+            reactorRunning_.store(true, std::memory_order_release);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(opsMu_);
+        adoptQueue_.push_back(fd);
+    }
+    connectionsTotal_->inc();
+    reactor_->wakeup();
+}
+
+void RouterDaemon::beginDrain() {
+    draining_.store(true, std::memory_order_release);
+    reactor_->wakeup();
+}
+
+// ---------------------------------------------------------------------------
+// Reactor thread
+// ---------------------------------------------------------------------------
+
+void RouterDaemon::reactorLoop() {
+    const std::uint64_t statsPeriodNs =
+        cfg_.statsTickSeconds > 0.0
+            ? static_cast<std::uint64_t>(cfg_.statsTickSeconds * 1e9)
+            : 0;
+    nextStatsTickNs_ = statsPeriodNs != 0 ? obs::nowNanos() + statsPeriodNs : 0;
+    std::uint64_t nextTickNs = obs::nowNanos();
+    for (;;) {
+        drainOps();
+        if (reactorStop_.load(std::memory_order_acquire)) break;
+        std::uint64_t now = obs::nowNanos();
+        if (now >= nextTickNs) {
+            tick(now);
+            now = obs::nowNanos();
+            nextTickNs = now + kTickNs;
+        }
+        const int timeoutMs = static_cast<int>((nextTickNs - now) / 1000000u) + 1;
+        const std::vector<Reactor::Event> events = reactor_->poll(timeoutMs);
+        for (const Reactor::Event& ev : events) {
+            if (std::find(listenFds_.begin(), listenFds_.end(), ev.fd) !=
+                listenFds_.end()) {
+                onListenReadable(ev.fd);
+                continue;
+            }
+            if (auto it = clients_.find(ev.fd); it != clients_.end()) {
+                // Copy: the handler may closeClient() and erase the map node
+                // out from under a reference into it.
+                const std::shared_ptr<Client> c = it->second;
+                onClientEvent(c, ev);
+                continue;
+            }
+            for (auto& b : backends_) {
+                if (b->fd == ev.fd) {
+                    onBackendEvent(*b, ev);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Teardown on this thread so fd lifecycle stays single-threaded.
+    drainOps();
+    std::vector<std::shared_ptr<Client>> remaining;
+    remaining.reserve(clients_.size());
+    for (auto& [fd, c] : clients_) remaining.push_back(c);
+    clients_.clear();
+    clientCount_.store(0, std::memory_order_release);
+    for (const auto& c : remaining) {
+        if (c->registered) reactor_->remove(c->fd);
+        c->registered = false;
+        if (!c->fdClosed) {
+            c->fdClosed = true;
+            ::shutdown(c->fd, SHUT_RDWR);
+            ::close(c->fd);
+        }
+    }
+    for (auto& b : backends_) {
+        if (b->fd >= 0) {
+            if (b->registered) reactor_->remove(b->fd);
+            b->registered = false;
+            ::close(b->fd);
+            b->fd = -1;
+        }
+        b->state = Backend::State::Down;
+    }
+    for (int fd : listenFds_) {
+        reactor_->remove(fd);
+        ::close(fd);
+    }
+    listenFds_.clear();
+    listenersClosed_.store(true, std::memory_order_release);
+    connectionsGauge_->set(0.0);
+}
+
+void RouterDaemon::drainOps() {
+    std::vector<int> adopts;
+    std::vector<int> newListeners;
+    {
+        std::lock_guard<std::mutex> lk(opsMu_);
+        adopts.swap(adoptQueue_);
+        newListeners.swap(pendingListenFds_);
+    }
+    const bool closing = closeListenersReq_.load(std::memory_order_acquire);
+    for (int fd : newListeners) {
+        if (closing || reactorStop_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            continue;
+        }
+        listenFds_.push_back(fd);
+        reactor_->add(fd, /*read=*/true, /*write=*/false);
+    }
+    if (closing && !listenersClosed_.load(std::memory_order_acquire)) {
+        for (int fd : listenFds_) {
+            reactor_->remove(fd);
+            ::shutdown(fd, SHUT_RDWR);
+            ::close(fd);
+        }
+        listenFds_.clear();
+        listenersClosed_.store(true, std::memory_order_release);
+    }
+    for (int fd : adopts) {
+        if (reactorStop_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            continue;
+        }
+        registerClient(std::make_shared<Client>(fd));
+    }
+}
+
+void RouterDaemon::tick(std::uint64_t nowNs) {
+    // Backend lifecycle: reconnect the down, probe the live, eject the
+    // unresponsive. All from this one place, all on the reactor thread.
+    const auto probeIntervalNs =
+        static_cast<std::uint64_t>(cfg_.probeIntervalSeconds * 1e9);
+    const auto probeTimeoutNs =
+        static_cast<std::uint64_t>(cfg_.probeTimeoutSeconds * 1e9);
+    const auto hedgeNs = static_cast<std::uint64_t>(cfg_.hedgeTimeoutSeconds * 1e9);
+
+    for (auto& bp : backends_) {
+        Backend& b = *bp;
+        if (b.state == Backend::State::Down) {
+            if (nowNs >= b.nextConnectNs) connectBackend(b, nowNs);
+            continue;
+        }
+        if (b.state == Backend::State::Connecting ||
+            b.state == Backend::State::Handshaking) {
+            // A connect/handshake that outlives the probe timeout is a dead
+            // or wedged shard; give the socket back and retry later.
+            if (nowNs - b.probeSentNs > probeTimeoutNs) {
+                backendDown(b, "connect timeout");
+            }
+            continue;
+        }
+        if (!b.probeOutstanding) {
+            if (nowNs - b.lastProbeNs >= probeIntervalNs) sendProbe(b, nowNs);
+            continue;
+        }
+        const std::uint64_t overdue = nowNs - b.probeSentNs;
+        if (overdue > probeTimeoutNs && !b.probeCountedOverdue) {
+            b.probeCountedOverdue = true;
+            probeTimeouts_->inc();
+        }
+        if (overdue >
+            probeTimeoutNs * static_cast<std::uint64_t>(
+                                 std::max(1, cfg_.probeFailThreshold))) {
+            backendDown(b, "probe timeout");
+            continue;
+        }
+        if (overdue > probeTimeoutNs && hedgeNs != 0) {
+            // Hedge: a stranded job plus one overdue probe is enough — do
+            // not wait out the full threshold while a client blocks.
+            bool stranded = false;
+            for (const std::uint64_t token : b.inflightTokens) {
+                const auto it = pending_.find(token);
+                if (it != pending_.end() && nowNs - it->second.sentNs > hedgeNs) {
+                    stranded = true;
+                    break;
+                }
+            }
+            if (stranded) {
+                hedgeEjections_->inc();
+                backendDown(b, "hedge timeout with stranded job");
+                continue;
+            }
+        }
+    }
+
+    if (nextStatsTickNs_ != 0 && nowNs >= nextStatsTickNs_) {
+        backendsUpGauge_->set(static_cast<double>(backendsUp_.load()));
+        pendingGauge_->set(static_cast<double>(pending_.size()));
+        statsWindow_.tick();
+        nextStatsTickNs_ =
+            nowNs + static_cast<std::uint64_t>(cfg_.statsTickSeconds * 1e9);
+    }
+
+    // Drain completion: every routed job answered, every reply flushed.
+    if (stopping_.load(std::memory_order_acquire) &&
+        !drainComplete_.load(std::memory_order_acquire)) {
+        bool quiescent = pending_.empty();
+        if (quiescent) {
+            for (const auto& [fd, c] : clients_) {
+                if (c->dead) continue;
+                if (c->inFlight != 0 || c->readPaused || !c->outBuf.empty()) {
+                    quiescent = false;
+                    break;
+                }
+            }
+        }
+        if (quiescent) drainComplete_.store(true, std::memory_order_release);
+    }
+}
+
+void RouterDaemon::onListenReadable(int listenFd) {
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            setNonBlocking(fd);
+            connectionsTotal_->inc();
+            registerClient(std::make_shared<Client>(fd));
+            continue;
+        }
+        if (errno == EINTR) continue;
+        return; // EAGAIN, or the listener is going away under stop()
+    }
+}
+
+void RouterDaemon::registerClient(const std::shared_ptr<Client>& c) {
+    clients_[c->fd] = c;
+    clientCount_.store(clients_.size(), std::memory_order_release);
+    connectionsGauge_->set(static_cast<double>(clients_.size()));
+    c->registered = reactor_->add(c->fd, /*read=*/true, /*write=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+void RouterDaemon::onClientEvent(const std::shared_ptr<Client>& c,
+                                 const Reactor::Event& ev) {
+    if (ev.writable) flushClient(c);
+    if (ev.readable || ev.hangup) readClient(c, ev.hangup);
+    updateClientInterest(c);
+    finishClientIfDone(c);
+}
+
+void RouterDaemon::readClient(const std::shared_ptr<Client>& c, bool hangup) {
+    if (!c->peerEof && !c->dead) {
+        char chunk[16384];
+        std::size_t total = 0;
+        for (;;) {
+            if (c->readPaused && !hangup) break;
+            const ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
+            if (n > 0) {
+                c->inBuf.append(chunk, static_cast<std::size_t>(n));
+                total += static_cast<std::size_t>(n);
+                if (total >= (256u << 10) && !hangup) break;
+                continue;
+            }
+            if (n == 0) {
+                c->peerEof = true;
+                break;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            c->peerEof = true; // ECONNRESET etc.
+            break;
+        }
+    }
+    processClientInput(c);
+}
+
+void RouterDaemon::processClientInput(const std::shared_ptr<Client>& c) {
+    if (c->dead) {
+        c->inBuf.clear();
+        c->readPaused = false;
+        return;
+    }
+    if (c->mode == Client::Mode::Sniff) {
+        if (c->inBuf.empty()) return;
+        if (c->inBuf[0] == wiregen::kMagic[0]) {
+            if (c->inBuf.size() < wiregen::kPreambleBytes) {
+                if (!c->peerEof) return;
+                c->mode = Client::Mode::Json; // truncated hello at EOF
+            } else if (wire::checkPreamble(c->inBuf.data())) {
+                c->mode = Client::Mode::Binary;
+                c->inBuf.erase(0, wiregen::kPreambleBytes);
+                writeClientOut(c, wire::preamble()); // echo = handshake accept
+            } else {
+                c->mode = Client::Mode::Json;
+            }
+        } else {
+            c->mode = Client::Mode::Json;
+        }
+    }
+    if (c->mode == Client::Mode::Binary) {
+        processClientFrames(c);
+    } else {
+        processClientJson(c);
+    }
+}
+
+void RouterDaemon::processClientJson(const std::shared_ptr<Client>& c) {
+    std::string& buf = c->inBuf;
+    std::size_t start = 0;
+    c->processing = true;
+    for (;;) {
+        if (c->dead) {
+            buf.clear();
+            c->readPaused = false;
+            c->processing = false;
+            return;
+        }
+        if (c->inFlight >= cfg_.maxInFlightPerClient) {
+            c->readPaused = true;
+            break;
+        }
+        c->readPaused = false;
+        const std::size_t nl = buf.find('\n', start);
+        if (nl == std::string::npos) {
+            if (buf.size() - start > cfg_.maxLineBytes) {
+                buf.erase(0, start);
+                failClientProtocol(c, "request line exceeds " +
+                                          std::to_string(cfg_.maxLineBytes) + " bytes");
+                c->processing = false;
+                return;
+            }
+            break;
+        }
+        std::string line = buf.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty()) handleClientLine(c, line);
+        if (buf.empty()) start = 0; // failClientProtocol cleared the buffer
+    }
+    buf.erase(0, std::min(start, buf.size()));
+    c->processing = false;
+    finishClientIfDone(c);
+}
+
+void RouterDaemon::processClientFrames(const std::shared_ptr<Client>& c) {
+    std::string& buf = c->inBuf;
+    std::size_t start = 0;
+    c->processing = true;
+    for (;;) {
+        if (c->dead) {
+            buf.clear();
+            c->readPaused = false;
+            c->processing = false;
+            return;
+        }
+        if (c->peerEof && buf.empty()) break;
+        if (c->inFlight >= cfg_.maxInFlightPerClient) {
+            c->readPaused = true;
+            break;
+        }
+        c->readPaused = false;
+        const std::string_view rest(buf.data() + start, buf.size() - start);
+        const std::optional<wire::FrameHeader> h = wire::peekFrameHeader(rest);
+        if (!h) break;
+        if (h->length > cfg_.maxLineBytes) {
+            buf.erase(0, std::min(start, buf.size()));
+            failClientProtocol(c, "frame payload of " + std::to_string(h->length) +
+                                      " bytes exceeds " +
+                                      std::to_string(cfg_.maxLineBytes));
+            c->processing = false;
+            return;
+        }
+        const std::size_t need = wiregen::kFrameHeaderBytes + h->length;
+        if (rest.size() < need) break;
+        const std::string payload(rest.substr(wiregen::kFrameHeaderBytes, h->length));
+        start += need;
+        switch (static_cast<wire::FrameType>(h->type)) {
+        case wire::FrameType::Job: {
+            const std::uint64_t recvNs = obs::nowNanos();
+            wiregen::WireJob w;
+            std::string err;
+            if (!wiregen::WireJob::decode(w, payload.data(), payload.size(), &err)) {
+                writeClientError(c, "bad job frame: " + err);
+                badLines_->inc();
+                break;
+            }
+            routeSpec(c, wire::jobFromWire(w), recvNs);
+            break;
+        }
+        case wire::FrameType::Control: {
+            std::string err;
+            const std::optional<json::Value> doc = json::parse(payload, &err);
+            if (!doc || !doc->isObject()) {
+                writeClientControl(
+                    c, errorRecord(doc ? "control frame must carry a JSON object"
+                                       : err));
+                badLines_->inc();
+                break;
+            }
+            const json::Value* op = doc->find("op");
+            if (!op || !op->isString()) {
+                writeClientControl(c,
+                                   errorRecord("control frame requires a string 'op'"));
+                badLines_->inc();
+                break;
+            }
+            handleClientControl(c, op->string, *doc);
+            break;
+        }
+        default:
+            badLines_->inc();
+            failClientProtocol(c, "unexpected frame type " + std::to_string(h->type));
+            c->processing = false;
+            return;
+        }
+        if (buf.empty()) start = 0;
+    }
+    buf.erase(0, std::min(start, buf.size()));
+    c->processing = false;
+    finishClientIfDone(c);
+}
+
+void RouterDaemon::handleClientLine(const std::shared_ptr<Client>& c,
+                                    const std::string& line) {
+    const std::uint64_t recvNs = obs::nowNanos();
+    std::string err;
+    const std::optional<json::Value> doc = json::parse(line, &err);
+    if (!doc || !doc->isObject()) {
+        writeClientError(c, doc ? "request must be a JSON object" : err);
+        badLines_->inc();
+        return;
+    }
+    if (const json::Value* op = doc->find("op"); op && op->isString()) {
+        handleClientControl(c, op->string, *doc);
+        return;
+    }
+    std::vector<ScenarioSpec> specs;
+    try {
+        specs = parseJobObject(*doc);
+    } catch (const std::exception& ex) {
+        writeClientError(c, ex.what());
+        badLines_->inc();
+        return;
+    }
+    for (ScenarioSpec& spec : specs) routeSpec(c, std::move(spec), recvNs);
+}
+
+void RouterDaemon::handleClientControl(const std::shared_ptr<Client>& c,
+                                       const std::string& op, const json::Value& doc) {
+    // The fleet-wide verbs fan out to every live shard and aggregate;
+    // everything else is answered (or rejected) locally. Observability must
+    // stay reachable while draining, so none of this checks draining_.
+    if (op == "metrics" || op == "health" || op == "stats" || op == "trace" ||
+        op == "set_sampling") {
+        if (op == "set_sampling") {
+            const json::Value* rate = doc.find("rate");
+            if (!rate || !rate->isNumber()) {
+                writeClientControl(c,
+                                   errorRecord("set_sampling requires a numeric 'rate'"));
+                badLines_->inc();
+                return;
+            }
+        }
+        startFanout(c, op, json::stringify(doc));
+        return;
+    }
+    writeClientControl(c, errorRecord("unknown op '" + op + "'"));
+    badLines_->inc();
+}
+
+void RouterDaemon::routeSpec(const std::shared_ptr<Client>& c, ScenarioSpec spec,
+                             std::uint64_t recvNs) {
+    jobsReceived_->inc();
+    if (spec.name.empty()) spec.name = spec.scenario + "#" + std::to_string(c->seq++);
+    if (draining_.load(std::memory_order_acquire)) {
+        rejectedDraining_->inc();
+        writeClientRejection(c, spec, "draining", "router is draining");
+        return;
+    }
+    if (ring_.empty()) {
+        rejectedNoBackend_->inc();
+        writeClientRejection(c, spec, "no_backend", "no backend available");
+        return;
+    }
+    const std::uint64_t token = nextToken_++;
+    Pending p;
+    p.client = c;
+    p.originalName = std::move(spec.name);
+    spec.name = tokenName(token);
+    p.key = spec.warmKey();
+    p.spec = std::move(spec);
+    p.recvNs = recvNs;
+    pending_.emplace(token, std::move(p));
+    c->inFlight++;
+    setPendingCount();
+    dispatchToken(token);
+}
+
+void RouterDaemon::updateClientInterest(const std::shared_ptr<Client>& c) {
+    if (c->fdClosed) return;
+    const bool wantWrite = !c->outBuf.empty() && !c->dead;
+    const bool wantRead = !c->readPaused && !c->peerEof && !c->dead;
+    if (!wantRead && !wantWrite) {
+        if (c->registered) {
+            reactor_->remove(c->fd);
+            c->registered = false;
+        }
+        return;
+    }
+    if (!c->registered) {
+        c->registered = reactor_->add(c->fd, wantRead, wantWrite);
+        return;
+    }
+    reactor_->modify(c->fd, wantRead, wantWrite);
+}
+
+void RouterDaemon::flushClient(const std::shared_ptr<Client>& c) {
+    if (c->fdClosed || c->dead) {
+        c->outBuf.clear();
+        return;
+    }
+    std::size_t off = 0;
+    while (off < c->outBuf.size()) {
+        const ssize_t n = ::send(c->fd, c->outBuf.data() + off,
+                                 c->outBuf.size() - off, MSG_NOSIGNAL);
+        if (n >= 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        c->dead = true;
+        c->outBuf.clear();
+        return;
+    }
+    c->outBuf.erase(0, off);
+}
+
+void RouterDaemon::finishClientIfDone(const std::shared_ptr<Client>& c) {
+    if (c->fdClosed || c->processing) return;
+    if (!c->peerEof && !c->dead) return;
+    if (c->inFlight != 0) return;
+    if (c->readPaused) return; // buffered requests still pending resume
+    if (!c->outBuf.empty() && !c->dead) return;
+    closeClient(c);
+}
+
+void RouterDaemon::closeClient(const std::shared_ptr<Client>& c) {
+    if (c->registered) {
+        reactor_->remove(c->fd);
+        c->registered = false;
+    }
+    if (c->fdClosed) return;
+    c->fdClosed = true;
+    c->outBuf.clear();
+    ::shutdown(c->fd, SHUT_RDWR);
+    ::close(c->fd);
+    clients_.erase(c->fd);
+    clientCount_.store(clients_.size(), std::memory_order_release);
+    connectionsGauge_->set(static_cast<double>(clients_.size()));
+}
+
+void RouterDaemon::failClientProtocol(const std::shared_ptr<Client>& c,
+                                      const std::string& msg) {
+    writeClientError(c, msg);
+    badLines_->inc();
+    c->inBuf.clear();
+    c->readPaused = false;
+    c->peerEof = true;
+}
+
+void RouterDaemon::resumeClient(const std::shared_ptr<Client>& c) {
+    if (c->fdClosed) return;
+    if (c->readPaused && c->inFlight < cfg_.maxInFlightPerClient) {
+        c->readPaused = false;
+        processClientInput(c); // buffered input before new reads
+    }
+    updateClientInterest(c);
+    finishClientIfDone(c);
+}
+
+void RouterDaemon::writeClientRecord(const std::shared_ptr<Client>& c,
+                                     const ResultRecord& rec) {
+    if (c->dead || c->fdClosed) return;
+    std::string bytes;
+    if (c->mode == Client::Mode::Binary) {
+        wire::appendFrame(bytes, wire::FrameType::Result,
+                          wire::resultToWire(rec).encode());
+    } else {
+        bytes = recordJson(rec);
+        bytes.push_back('\n');
+    }
+    writeClientOut(c, bytes);
+}
+
+void RouterDaemon::writeClientError(const std::shared_ptr<Client>& c,
+                                    const std::string& message) {
+    if (c->dead || c->fdClosed) return;
+    const std::string record = errorRecord(message);
+    std::string bytes;
+    if (c->mode == Client::Mode::Binary) {
+        wire::appendFrame(bytes, wire::FrameType::Error, record);
+    } else {
+        bytes = record;
+        bytes.push_back('\n');
+    }
+    writeClientOut(c, bytes);
+}
+
+void RouterDaemon::writeClientControl(const std::shared_ptr<Client>& c,
+                                      const std::string& payload) {
+    if (c->dead || c->fdClosed) return;
+    std::string bytes;
+    if (c->mode == Client::Mode::Binary) {
+        wire::appendFrame(bytes, wire::FrameType::ControlResponse, payload);
+    } else {
+        bytes = payload;
+        bytes.push_back('\n');
+    }
+    writeClientOut(c, bytes);
+}
+
+void RouterDaemon::writeClientRejection(const std::shared_ptr<Client>& c,
+                                        const ScenarioSpec& spec,
+                                        const std::string& verdict,
+                                        const std::string& error) {
+    writeClientRecord(c, rejectionRec(spec, verdict, error));
+}
+
+void RouterDaemon::writeClientOut(const std::shared_ptr<Client>& c,
+                                  std::string_view bytes) {
+    if (c->fdClosed || c->dead) return;
+    if (c->outBuf.empty()) {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n = ::send(c->fd, bytes.data() + off, bytes.size() - off,
+                                     MSG_NOSIGNAL);
+            if (n >= 0) {
+                off += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            c->dead = true; // EPIPE/ECONNRESET: discard later records
+            return;
+        }
+        if (off < bytes.size()) c->outBuf.assign(bytes.substr(off));
+    } else {
+        c->outBuf.append(bytes);
+    }
+    updateClientInterest(c);
+}
+
+// ---------------------------------------------------------------------------
+// Backend side
+// ---------------------------------------------------------------------------
+
+RouterDaemon::Backend* RouterDaemon::backendById(const std::string& id) {
+    for (auto& b : backends_) {
+        if (b->addr.id == id) return b.get();
+    }
+    return nullptr;
+}
+
+void RouterDaemon::connectBackend(Backend& b, std::uint64_t nowNs) {
+    int fd = -1;
+    if (!b.addr.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (b.addr.socketPath.size() >= sizeof(addr.sun_path)) {
+            b.nextConnectNs =
+                nowNs + static_cast<std::uint64_t>(cfg_.reconnectSeconds * 1e9);
+            return;
+        }
+        std::strncpy(addr.sun_path, b.addr.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd >= 0) {
+            setNonBlocking(fd);
+            if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+                errno != EINPROGRESS) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+    } else {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(b.addr.tcpPort);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd >= 0) {
+            setNonBlocking(fd);
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+                errno != EINPROGRESS) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+    }
+    if (fd < 0) {
+        b.nextConnectNs =
+            nowNs + static_cast<std::uint64_t>(cfg_.reconnectSeconds * 1e9);
+        return;
+    }
+    b.fd = fd;
+    b.state = Backend::State::Connecting;
+    b.probeSentNs = nowNs; // reused as the connect deadline origin
+    b.registered = reactor_->add(fd, /*read=*/false, /*write=*/true);
+}
+
+void RouterDaemon::onBackendEvent(Backend& b, const Reactor::Event& ev) {
+    if (b.state == Backend::State::Connecting) {
+        if (ev.hangup && !ev.writable) {
+            backendDown(b, "connect refused");
+            return;
+        }
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        ::getsockopt(b.fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr != 0) {
+            backendDown(b, std::string("connect: ") + std::strerror(soerr));
+            return;
+        }
+        finishBackendConnect(b);
+        return;
+    }
+    if (ev.writable) {
+        // Flush the out buffer straight from here (same pattern as clients).
+        std::size_t off = 0;
+        while (off < b.outBuf.size()) {
+            const ssize_t n = ::send(b.fd, b.outBuf.data() + off,
+                                     b.outBuf.size() - off, MSG_NOSIGNAL);
+            if (n >= 0) {
+                off += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            backendDown(b, "write error");
+            return;
+        }
+        b.outBuf.erase(0, off);
+    }
+    if (ev.readable || ev.hangup) readBackend(b);
+    if (b.fd >= 0 && b.state != Backend::State::Down) updateBackendInterest(b);
+}
+
+void RouterDaemon::finishBackendConnect(Backend& b) {
+    b.state = Backend::State::Handshaking;
+    b.preambleGot = 0;
+    b.probeSentNs = obs::nowNanos(); // handshake deadline origin
+    writeBackend(b, wire::preamble());
+    if (b.fd >= 0) updateBackendInterest(b);
+}
+
+void RouterDaemon::readBackend(Backend& b) {
+    char chunk[65536];
+    for (;;) {
+        const ssize_t n = ::recv(b.fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            b.inBuf.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            // EOF from a shard with work outstanding: instant ejection.
+            processBackendInput(b);
+            if (b.state != Backend::State::Down) backendDown(b, "connection closed");
+            return;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        processBackendInput(b);
+        if (b.state != Backend::State::Down) backendDown(b, "read error");
+        return;
+    }
+    processBackendInput(b);
+}
+
+void RouterDaemon::processBackendInput(Backend& b) {
+    if (b.state == Backend::State::Handshaking) {
+        if (b.inBuf.size() < wiregen::kPreambleBytes) return;
+        std::string err;
+        if (!wire::checkPreamble(b.inBuf.data(), &err)) {
+            backendDown(b, "bad preamble echo: " + err);
+            return;
+        }
+        b.inBuf.erase(0, wiregen::kPreambleBytes);
+        b.state = Backend::State::Probation;
+        b.probeOutstanding = false;
+        sendProbe(b, obs::nowNanos()); // a clean response admits the shard
+    }
+    std::string& buf = b.inBuf;
+    std::size_t start = 0;
+    for (;;) {
+        if (b.state == Backend::State::Down || b.fd < 0) return; // torn down mid-loop
+        const std::string_view rest(buf.data() + start, buf.size() - start);
+        const std::optional<wire::FrameHeader> h = wire::peekFrameHeader(rest);
+        if (!h) break;
+        if (h->length > kBackendFrameCap) {
+            backendDown(b, "oversized frame from shard");
+            return;
+        }
+        const std::size_t need = wiregen::kFrameHeaderBytes + h->length;
+        if (rest.size() < need) break;
+        const std::string payload(rest.substr(wiregen::kFrameHeaderBytes, h->length));
+        start += need;
+        switch (static_cast<wire::FrameType>(h->type)) {
+        case wire::FrameType::Result: {
+            wiregen::WireResult w;
+            std::string err;
+            if (!wiregen::WireResult::decode(w, payload.data(), payload.size(), &err)) {
+                backendDown(b, "bad result frame: " + err);
+                return;
+            }
+            handleBackendResult(b, wire::resultFromWire(w));
+            break;
+        }
+        case wire::FrameType::Error: {
+            // The daemon only emits Error for malformed input; the router
+            // sends well-formed frames, so treat it as a shard-side fault
+            // on whatever is oldest rather than guessing a token.
+            orphanReplies_->inc();
+            break;
+        }
+        case wire::FrameType::ControlResponse:
+            handleBackendControlResp(b, payload);
+            break;
+        default:
+            backendDown(b, "unexpected frame type from shard");
+            return;
+        }
+        if (b.state == Backend::State::Down || b.fd < 0) return;
+    }
+    buf.erase(0, std::min(start, buf.size()));
+}
+
+void RouterDaemon::handleBackendResult(Backend& b, const ResultRecord& rec) {
+    std::uint64_t token = 0;
+    if (!tokenFromName(rec.name, token) || pending_.find(token) == pending_.end()) {
+        orphanReplies_->inc();
+        return;
+    }
+    // A shard that started draining rejects the job instead of running it.
+    // Eject it and let backendDown retry everything it still holds — this
+    // token included, which is why it stays in the inflight set here.
+    if (rec.status == ScenarioStatus::Rejected && rec.verdict == "draining") {
+        backendDown(b, "shard draining");
+        return;
+    }
+    b.inflightTokens.erase(token);
+    deliverToken(token, rec);
+}
+
+void RouterDaemon::handleBackendControlResp(Backend& b, const std::string& payload) {
+    if (b.controlFifo.empty()) {
+        orphanReplies_->inc();
+        return;
+    }
+    std::shared_ptr<Fanout> f = std::move(b.controlFifo.front());
+    b.controlFifo.pop_front();
+    if (!f) {
+        // Internal health probe.
+        b.probeOutstanding = false;
+        b.probeCountedOverdue = false;
+        std::string err;
+        const std::optional<json::Value> doc = json::parse(payload, &err);
+        const bool drainingShard = doc && doc->boolOr("draining", false);
+        if (drainingShard) {
+            backendDown(b, "shard draining");
+            return;
+        }
+        if (b.state == Backend::State::Probation) admitBackend(b);
+        return;
+    }
+    fanoutResponse(f, b.addr.id, payload);
+}
+
+void RouterDaemon::admitBackend(Backend& b) {
+    b.state = Backend::State::Up;
+    ring_.add(b.addr.id);
+    if (b.everAdmitted) backendReadmissions_->inc();
+    b.everAdmitted = true;
+    backendsUp_.store(ring_.backendCount(), std::memory_order_release);
+    backendsUpGauge_->set(static_cast<double>(ring_.backendCount()));
+}
+
+void RouterDaemon::backendDown(Backend& b, const std::string& reason) {
+    const bool wasUp = b.state == Backend::State::Up;
+    if (b.fd >= 0) {
+        if (b.registered) reactor_->remove(b.fd);
+        b.registered = false;
+        ::close(b.fd);
+        b.fd = -1;
+    }
+    b.state = Backend::State::Down;
+    b.inBuf.clear();
+    b.outBuf.clear();
+    b.probeOutstanding = false;
+    b.probeCountedOverdue = false;
+    b.nextConnectNs =
+        obs::nowNanos() + static_cast<std::uint64_t>(cfg_.reconnectSeconds * 1e9);
+
+    // Outstanding fan-outs get a structured per-shard error so the merged
+    // response still completes.
+    std::deque<std::shared_ptr<Fanout>> waiters;
+    waiters.swap(b.controlFifo);
+    for (auto& f : waiters) {
+        if (f) fanoutResponse(f, b.addr.id, errorRecord("shard down: " + reason));
+    }
+
+    if (wasUp) {
+        ring_.remove(b.addr.id);
+        backendEjections_->inc();
+        b.ejections++;
+        backendsUp_.store(ring_.backendCount(), std::memory_order_release);
+        backendsUpGauge_->set(static_cast<double>(ring_.backendCount()));
+    }
+
+    // Retry the dead shard's jobs on their ring successor (the connection
+    // is gone, so a duplicate reply for any of these is impossible).
+    std::unordered_set<std::uint64_t> tokens;
+    tokens.swap(b.inflightTokens);
+    for (const std::uint64_t token : tokens) retryToken(token, b.addr.id);
+}
+
+void RouterDaemon::sendProbe(Backend& b, std::uint64_t nowNs) {
+    b.controlFifo.push_back(nullptr);
+    b.probeOutstanding = true;
+    b.probeCountedOverdue = false;
+    b.probeSentNs = nowNs;
+    b.lastProbeNs = nowNs;
+    std::string bytes;
+    wire::appendFrame(bytes, wire::FrameType::Control, "{\"op\": \"health\"}");
+    writeBackend(b, bytes);
+}
+
+void RouterDaemon::writeBackend(Backend& b, std::string_view bytes) {
+    if (b.fd < 0) return;
+    if (b.outBuf.empty()) {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n =
+                ::send(b.fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+            if (n >= 0) {
+                off += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            backendDown(b, "write error");
+            return;
+        }
+        if (off < bytes.size()) b.outBuf.assign(bytes.substr(off));
+    } else {
+        b.outBuf.append(bytes);
+    }
+    updateBackendInterest(b);
+}
+
+void RouterDaemon::updateBackendInterest(Backend& b) {
+    if (b.fd < 0) return;
+    const bool wantWrite = !b.outBuf.empty();
+    const bool wantRead = b.state != Backend::State::Connecting;
+    if (!b.registered) {
+        b.registered = reactor_->add(b.fd, wantRead, wantWrite);
+        return;
+    }
+    reactor_->modify(b.fd, wantRead, wantWrite);
+}
+
+// ---------------------------------------------------------------------------
+// Routing core
+// ---------------------------------------------------------------------------
+
+void RouterDaemon::dispatchToken(std::uint64_t token) {
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    Pending& p = it->second;
+    const std::string* ownerId = ring_.owner(p.key);
+    Backend* b = ownerId ? backendById(*ownerId) : nullptr;
+    if (!b || b->state != Backend::State::Up) {
+        failToken(token, "no backend available");
+        return;
+    }
+    p.backendId = b->addr.id;
+    p.sentNs = obs::nowNanos();
+    p.attempts++;
+    jobsRouted_->inc();
+    std::string bytes;
+    wire::appendFrame(bytes, wire::FrameType::Job, wire::jobToWire(p.spec).encode());
+    b->inflightTokens.insert(token);
+    writeBackend(*b, bytes);
+}
+
+void RouterDaemon::retryToken(std::uint64_t token, const std::string& deadBackend) {
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    Pending& p = it->second;
+    p.backendId.clear();
+    const unsigned maxAttempts =
+        cfg_.maxAttemptsPerJob != 0
+            ? cfg_.maxAttemptsPerJob
+            : static_cast<unsigned>(std::max<std::size_t>(1, cfg_.backends.size()));
+    if (p.attempts >= maxAttempts) {
+        failToken(token, "shard " + deadBackend + " failed and retries exhausted");
+        return;
+    }
+    // After ring_.remove the dead shard's keys already point at their
+    // successor, but the ejection may still be pending (drain rejection
+    // path), so exclude it explicitly.
+    const std::string* nextId = ring_.successor(p.key, deadBackend);
+    Backend* b = nextId ? backendById(*nextId) : nullptr;
+    if (!b || b->state != Backend::State::Up) {
+        failToken(token, "shard " + deadBackend + " failed and no successor is up");
+        return;
+    }
+    retries_->inc();
+    p.backendId = b->addr.id;
+    p.sentNs = obs::nowNanos();
+    p.attempts++;
+    jobsRouted_->inc();
+    std::string bytes;
+    wire::appendFrame(bytes, wire::FrameType::Job, wire::jobToWire(p.spec).encode());
+    b->inflightTokens.insert(token);
+    writeBackend(*b, bytes);
+}
+
+void RouterDaemon::failToken(std::uint64_t token, const std::string& error) {
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    setPendingCount();
+    jobsFailed_->inc();
+    ResultRecord rec;
+    rec.name = p.originalName;
+    rec.scenario = p.spec.scenario;
+    rec.status = ScenarioStatus::Failed;
+    rec.passed = false;
+    rec.error = error;
+    const std::shared_ptr<Client> c = p.client;
+    if (c) {
+        writeClientRecord(c, rec);
+        if (c->inFlight > 0) c->inFlight--;
+        if (p.recvNs != 0) {
+            requestLatency_->observe(static_cast<double>(obs::nowNanos() - p.recvNs) *
+                                     1e-9);
+        }
+        resumeClient(c);
+    }
+}
+
+void RouterDaemon::deliverToken(std::uint64_t token, ResultRecord rec) {
+    auto it = pending_.find(token);
+    if (it == pending_.end()) {
+        orphanReplies_->inc();
+        return;
+    }
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    setPendingCount();
+    rec.name = p.originalName;
+    jobsCompleted_->inc();
+    const std::shared_ptr<Client> c = p.client;
+    if (c) {
+        writeClientRecord(c, rec);
+        if (c->inFlight > 0) c->inFlight--;
+        if (p.recvNs != 0) {
+            requestLatency_->observe(static_cast<double>(obs::nowNanos() - p.recvNs) *
+                                     1e-9);
+        }
+        resumeClient(c);
+    }
+}
+
+void RouterDaemon::setPendingCount() {
+    pendingCount_.store(pending_.size(), std::memory_order_release);
+    pendingGauge_->set(static_cast<double>(pending_.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out verbs
+// ---------------------------------------------------------------------------
+
+void RouterDaemon::startFanout(const std::shared_ptr<Client>& c, const std::string& op,
+                               const std::string& verbJson) {
+    auto f = std::make_shared<Fanout>();
+    f->client = c;
+    f->op = op;
+    f->dispatching = true;
+    c->inFlight++;
+    std::string bytes;
+    wire::appendFrame(bytes, wire::FrameType::Control, verbJson);
+    for (auto& bp : backends_) {
+        Backend& b = *bp;
+        if (b.state != Backend::State::Up) continue;
+        b.controlFifo.push_back(f);
+        f->awaiting++;
+        // writeBackend may tear the shard down, in which case backendDown
+        // already answered this fan-out for the shard with an error entry.
+        writeBackend(b, bytes);
+    }
+    f->dispatching = false;
+    if (f->awaiting == 0) finishFanout(f);
+}
+
+void RouterDaemon::fanoutResponse(const std::shared_ptr<Fanout>& f,
+                                  const std::string& shardId,
+                                  const std::string& payload) {
+    f->responses.emplace_back(shardId, payload);
+    if (f->awaiting > 0) f->awaiting--;
+    if (f->awaiting == 0 && !f->dispatching) finishFanout(f);
+}
+
+void RouterDaemon::finishFanout(const std::shared_ptr<Fanout>& f) {
+    const std::shared_ptr<Client>& c = f->client;
+    std::ostringstream out;
+    out << "{\"op\": \"" << json::escape(f->op) << "\", \"status\": \"ok\""
+        << ", \"router\": " << (f->op == "stats" ? routerStatsJson() : routerSection());
+
+    if (f->op == "health") {
+        // Fleet aggregate: sum each shard's cache occupancy/traffic so the
+        // capacity-scaling story is one lookup, not N.
+        double whits = 0, wmiss = 0, wsize = 0, wcap = 0;
+        double rhits = 0, rmiss = 0, rsize = 0, rcap = 0;
+        std::size_t healthyShards = 0;
+        for (const auto& [id, payload] : f->responses) {
+            const std::optional<json::Value> doc = json::parse(payload);
+            if (!doc || !doc->isObject()) continue;
+            const json::Value* wc = doc->find("warm_cache");
+            const json::Value* rc = doc->find("result_cache");
+            if (!wc && !rc) continue;
+            healthyShards++;
+            if (wc) {
+                whits += wc->numOr("hits", 0);
+                wmiss += wc->numOr("misses", 0);
+                wsize += wc->numOr("size", 0);
+                wcap += wc->numOr("capacity", 0);
+            }
+            if (rc) {
+                rhits += rc->numOr("hits", 0);
+                rmiss += rc->numOr("misses", 0);
+                rsize += rc->numOr("size", 0);
+                rcap += rc->numOr("capacity", 0);
+            }
+        }
+        const auto agg = [&out](const char* key, double hits, double misses,
+                                double size, double cap) {
+            const double total = hits + misses;
+            out << ", \"" << key << "\": {\"size\": " << json::number(size)
+                << ", \"capacity\": " << json::number(cap)
+                << ", \"hits\": " << json::number(hits)
+                << ", \"misses\": " << json::number(misses)
+                << ", \"hit_ratio\": " << json::number(total == 0 ? 0.0 : hits / total)
+                << "}";
+        };
+        out << ", \"fleet\": {\"shards_reporting\": " << healthyShards;
+        agg("warm_cache", whits, wmiss, wsize, wcap);
+        agg("result_cache", rhits, rmiss, rsize, rcap);
+        out << "}";
+    }
+
+    out << ", \"shards\": {";
+    bool first = true;
+    for (const auto& [id, payload] : f->responses) {
+        if (!first) out << ", ";
+        first = false;
+        // Payloads are complete JSON documents; embed them verbatim.
+        out << "\"" << json::escape(id) << "\": " << payload;
+    }
+    out << "}}";
+    writeClientControl(c, out.str());
+    if (c->inFlight > 0) c->inFlight--;
+    resumeClient(c);
+}
+
+std::string RouterDaemon::routerSection() {
+    std::ostringstream out;
+    out << "{\"draining\": " << (draining() ? "true" : "false")
+        << ", \"uptime_seconds\": "
+        << json::number(static_cast<double>(obs::nowNanos() - startNanos_) * 1e-9)
+        << ", \"connections\": " << clients_.size()
+        << ", \"backends_up\": " << ring_.backendCount()
+        << ", \"pending_jobs\": " << pending_.size()
+        << ", \"virtual_nodes\": " << ring_.virtualNodes()
+        << ", \"jobs_received\": " << jobsReceived_->value()
+        << ", \"jobs_routed\": " << jobsRouted_->value()
+        << ", \"jobs_completed\": " << jobsCompleted_->value()
+        << ", \"jobs_failed\": " << jobsFailed_->value()
+        << ", \"retries\": " << retries_->value()
+        << ", \"rejected_draining\": " << rejectedDraining_->value()
+        << ", \"rejected_no_backend\": " << rejectedNoBackend_->value()
+        << ", \"backend_ejections\": " << backendEjections_->value()
+        << ", \"backend_readmissions\": " << backendReadmissions_->value()
+        << ", \"probe_timeouts\": " << probeTimeouts_->value()
+        << ", \"hedge_ejections\": " << hedgeEjections_->value()
+        << ", \"bad_lines\": " << badLines_->value()
+        << ", \"orphan_replies\": " << orphanReplies_->value() << ", \"backends\": [";
+    bool first = true;
+    for (const auto& bp : backends_) {
+        const Backend& b = *bp;
+        const char* state = "down";
+        switch (b.state) {
+        case Backend::State::Down: state = "down"; break;
+        case Backend::State::Connecting: state = "connecting"; break;
+        case Backend::State::Handshaking: state = "handshaking"; break;
+        case Backend::State::Probation: state = "probation"; break;
+        case Backend::State::Up: state = "up"; break;
+        }
+        if (!first) out << ", ";
+        first = false;
+        out << "{\"id\": \"" << json::escape(b.addr.id) << "\", \"state\": \"" << state
+            << "\", \"ejections\": " << b.ejections
+            << ", \"inflight\": " << b.inflightTokens.size() << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string RouterDaemon::routerStatsJson() {
+    std::ostringstream out;
+    out << "{\"draining\": " << (draining() ? "true" : "false")
+        << ", \"uptime_seconds\": "
+        << json::number(static_cast<double>(obs::nowNanos() - startNanos_) * 1e-9)
+        << ", \"ticker\": {\"period_seconds\": " << json::number(cfg_.statsTickSeconds)
+        << ", \"ticks\": " << statsWindow_.ticks()
+        << ", \"coverage_seconds\": " << json::number(statsWindow_.coverageSeconds())
+        << "}";
+    struct Win {
+        const char* key;
+        double seconds;
+    };
+    constexpr Win kWindows[] = {{"1s", 1.0}, {"10s", 10.0}, {"60s", 60.0}};
+    out << ", \"rates\": {";
+    bool first = true;
+    for (const Win& w : kWindows) {
+        const double req = statsWindow_.rate("router.jobs_received", w.seconds);
+        const double err = statsWindow_.rate("router.bad_lines", w.seconds) +
+                           statsWindow_.rate("router.jobs_failed", w.seconds);
+        if (!first) out << ", ";
+        first = false;
+        out << "\"" << w.key << "\": {\"req_per_s\": " << json::number(req)
+            << ", \"err_per_s\": " << json::number(err) << "}";
+    }
+    out << "}";
+    const obs::StatsWindow::WindowedQuantiles q =
+        statsWindow_.quantiles("router.request_latency_seconds", 60.0);
+    out << ", \"latency_seconds\": {\"family\": \"router.request_latency_seconds\""
+        << ", \"window_seconds\": " << json::number(q.windowSeconds)
+        << ", \"count\": " << q.count << ", \"p50\": " << json::number(q.p50)
+        << ", \"p90\": " << json::number(q.p90) << ", \"p99\": " << json::number(q.p99)
+        << "}, \"backends_up\": " << ring_.backendCount()
+        << ", \"pending_jobs\": " << pending_.size() << "}";
+    return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void RouterDaemon::stop() {
+    std::lock_guard<std::mutex> stopLk(stopMu_);
+    if (stopped_) return;
+    beginDrain();
+    stopping_.store(true, std::memory_order_release);
+
+    if (reactorRunning_.load(std::memory_order_acquire)) {
+        closeListenersReq_.store(true, std::memory_order_release);
+        reactor_->wakeup();
+        while (!listenersClosed_.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        // The reactor's tick declares the drain complete once every routed
+        // job has answered and every client buffer flushed; retries, probe
+        // ejections and failure records all bound the wait.
+        while (!drainComplete_.load(std::memory_order_acquire)) {
+            reactor_->wakeup();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        reactorStop_.store(true, std::memory_order_release);
+        reactor_->wakeup();
+        if (reactorThread_.joinable()) reactorThread_.join();
+        reactorRunning_.store(false, std::memory_order_release);
+    } else {
+        std::lock_guard<std::mutex> lk(opsMu_);
+        for (int fd : pendingListenFds_) ::close(fd);
+        pendingListenFds_.clear();
+        for (int fd : adoptQueue_) ::close(fd);
+        adoptQueue_.clear();
+        listenersClosed_.store(true, std::memory_order_release);
+    }
+
+    if (!cfg_.socketPath.empty()) ::unlink(cfg_.socketPath.c_str());
+    connectionsGauge_->set(0.0);
+    stopped_ = true;
+}
+
+} // namespace urtx::srv::router

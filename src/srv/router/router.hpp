@@ -1,0 +1,283 @@
+#pragma once
+/// \file router.hpp
+/// The fleet-tier sharding router: a standalone daemon that speaks the
+/// urtx_served wire protocol (both newline-JSON and binary framing,
+/// preamble-negotiated per client connection) on the front and proxies each
+/// job to one of N urtx_served backends on the back, chosen by consistent-
+/// hashing the job's ScenarioSpec::warmKey() onto a virtual-node ring — so
+/// every backend's WarmScenarioCache and ResultCache stay hot for "its"
+/// scenarios, and the fleet's aggregate cache capacity scales with N.
+///
+/// Proxying
+/// --------
+/// Upstream connections always use the generated binary framing (one
+/// pipelined connection per backend). Replies are matched per connection:
+/// job results by a router-assigned token spliced into the job name
+/// (restored before the record reaches the client — the name is excluded
+/// from warmKey()/jobHash(), so caching and trace hashes are untouched),
+/// and control responses by FIFO order (the daemon answers verbs in
+/// request order on its reactor thread).
+///
+/// Robustness
+/// ----------
+/// A periodic health probe ({"op": "health"}) rides every backend
+/// connection. A backend is *ejected* — removed from the ring, connection
+/// torn down — when its connection dies, when it rejects jobs as draining,
+/// or when probes go unanswered past the timeout threshold; a stranded
+/// in-flight job older than the hedge timeout tightens that to a single
+/// overdue probe, bounding how long a wedged shard can sit on a reply.
+/// Jobs in flight on an ejected backend are retried on the ring successor.
+/// Because a retry happens only after the old connection is gone, a job
+/// can never produce two replies; because scenario runs are deterministic,
+/// a retried job's trace hash is bit-identical to the original's. Ejected
+/// backends are probed for *re-admission*: reconnect, handshake, one clean
+/// health response, and they rejoin the ring (moving only their own shard
+/// of the keyspace back).
+///
+/// Control verbs from clients fan out: metrics / health / stats collect
+/// one response per live shard and answer with the merged document (plus a
+/// "router" section); set_sampling broadcasts to every shard. Graceful
+/// drain (stop()) rejects new jobs with verdict "draining", waits for
+/// every routed job's reply to reach its client, flushes, then closes.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/window.hpp"
+#include "srv/daemon/reactor.hpp"
+#include "srv/router/ring.hpp"
+#include "srv/scenario.hpp"
+
+namespace urtx::obs {
+class Counter;
+class Gauge;
+class Histogram;
+} // namespace urtx::obs
+
+namespace urtx::srv {
+struct ResultRecord;
+namespace json {
+class Value;
+} // namespace json
+
+namespace router {
+
+/// One urtx_served backend: a loopback TCP port or a Unix-domain socket
+/// path (exactly one set). `id` names the shard in metrics, health output
+/// and tests; empty = derived from the address.
+struct BackendAddress {
+    std::string id;
+    std::string socketPath;
+    std::uint16_t tcpPort = 0;
+};
+
+struct RouterConfig {
+    /// Front listeners (same semantics as DaemonConfig).
+    std::string socketPath;
+    std::uint16_t tcpPort = 0;
+    bool tcpEphemeral = false;
+
+    std::vector<BackendAddress> backends;
+
+    /// Virtual nodes per backend on the consistent-hash ring.
+    std::size_t virtualNodes = 64;
+    /// Health-probe cadence per backend connection.
+    double probeIntervalSeconds = 0.25;
+    /// A probe unanswered this long counts as one failure.
+    double probeTimeoutSeconds = 1.0;
+    /// Consecutive unanswered-probe intervals before ejection.
+    int probeFailThreshold = 2;
+    /// An in-flight job stranded this long forces its backend's ejection
+    /// check after a single overdue probe (instead of the full threshold).
+    double hedgeTimeoutSeconds = 3.0;
+    /// Reconnect/re-admission attempt cadence for down/ejected backends.
+    double reconnectSeconds = 0.25;
+    /// Give up on a job after this many placements (0 = number of backends).
+    unsigned maxAttemptsPerJob = 0;
+
+    /// Per-client submitted-but-unreplied window; reads pause at the limit.
+    std::size_t maxInFlightPerClient = 256;
+    /// Hard cap on one request line / frame payload.
+    std::size_t maxLineBytes = 1 << 20;
+    Reactor::Backend reactorBackend = Reactor::Backend::Auto;
+    /// Windowed-stats snapshot cadence for the router's own stats section
+    /// (0 disables).
+    double statsTickSeconds = 1.0;
+    std::size_t statsWindowCapacity = 128;
+};
+
+class RouterDaemon {
+public:
+    explicit RouterDaemon(RouterConfig cfg);
+    ~RouterDaemon(); ///< stop() if still running
+
+    RouterDaemon(const RouterDaemon&) = delete;
+    RouterDaemon& operator=(const RouterDaemon&) = delete;
+
+    /// Bind the front listeners and start the reactor (backend connections
+    /// are established asynchronously; poll backendsUp() or the health verb
+    /// for readiness). Returns false with a reason on bind failure.
+    bool start(std::string* err = nullptr);
+
+    /// Serve an already-connected client stream socket (tests hand in one
+    /// end of a socketpair). The router owns \p fd.
+    void adoptConnection(int fd);
+
+    /// Stop admitting jobs (new ones get verdict "draining"); in-flight
+    /// jobs keep streaming.
+    void beginDrain();
+    bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+    /// Graceful shutdown: beginDrain, wait for every routed job's reply to
+    /// reach its client, flush, close everything, join. Idempotent.
+    void stop();
+
+    std::uint16_t boundTcpPort() const { return boundTcpPort_; }
+    /// Backends currently in the ring (connected + probe-healthy).
+    std::size_t backendsUp() const { return backendsUp_.load(std::memory_order_acquire); }
+    /// Jobs routed but not yet replied to a client.
+    std::size_t pendingJobs() const { return pendingCount_.load(std::memory_order_acquire); }
+    std::size_t activeConnections() const {
+        return clientCount_.load(std::memory_order_acquire);
+    }
+    const RouterConfig& config() const { return cfg_; }
+
+private:
+    struct Client;
+    struct Backend;
+    struct Fanout;
+    struct Pending;
+
+    // Reactor thread body and helpers (reactor thread only).
+    void reactorLoop();
+    void drainOps();
+    void tick(std::uint64_t nowNs);
+    void onListenReadable(int listenFd);
+    void registerClient(const std::shared_ptr<Client>& c);
+
+    // Client side.
+    void onClientEvent(const std::shared_ptr<Client>& c, const Reactor::Event& ev);
+    void readClient(const std::shared_ptr<Client>& c, bool hangup);
+    void processClientInput(const std::shared_ptr<Client>& c);
+    void processClientJson(const std::shared_ptr<Client>& c);
+    void processClientFrames(const std::shared_ptr<Client>& c);
+    void handleClientLine(const std::shared_ptr<Client>& c, const std::string& line);
+    void handleClientControl(const std::shared_ptr<Client>& c, const std::string& op,
+                             const json::Value& doc);
+    void routeSpec(const std::shared_ptr<Client>& c, ScenarioSpec spec,
+                   std::uint64_t recvNs);
+    void updateClientInterest(const std::shared_ptr<Client>& c);
+    void flushClient(const std::shared_ptr<Client>& c);
+    void finishClientIfDone(const std::shared_ptr<Client>& c);
+    void closeClient(const std::shared_ptr<Client>& c);
+    void failClientProtocol(const std::shared_ptr<Client>& c, const std::string& msg);
+    void resumeClient(const std::shared_ptr<Client>& c);
+
+    // Record/response writers toward a client (reactor thread).
+    void writeClientRecord(const std::shared_ptr<Client>& c, const ResultRecord& rec);
+    void writeClientError(const std::shared_ptr<Client>& c, const std::string& message);
+    void writeClientControl(const std::shared_ptr<Client>& c, const std::string& payload);
+    void writeClientRejection(const std::shared_ptr<Client>& c, const ScenarioSpec& spec,
+                              const std::string& verdict, const std::string& error);
+    void writeClientOut(const std::shared_ptr<Client>& c, std::string_view bytes);
+
+    // Backend side.
+    Backend* backendById(const std::string& id);
+    void connectBackend(Backend& b, std::uint64_t nowNs);
+    void onBackendEvent(Backend& b, const Reactor::Event& ev);
+    void finishBackendConnect(Backend& b);
+    void readBackend(Backend& b);
+    void processBackendInput(Backend& b);
+    void handleBackendResult(Backend& b, const ResultRecord& rec);
+    void handleBackendControlResp(Backend& b, const std::string& payload);
+    void admitBackend(Backend& b);
+    void backendDown(Backend& b, const std::string& reason);
+    void sendProbe(Backend& b, std::uint64_t nowNs);
+    void writeBackend(Backend& b, std::string_view bytes);
+    void updateBackendInterest(Backend& b);
+
+    // Routing core.
+    void dispatchToken(std::uint64_t token);
+    void retryToken(std::uint64_t token, const std::string& deadBackend);
+    void failToken(std::uint64_t token, const std::string& error);
+    void deliverToken(std::uint64_t token, ResultRecord rec);
+    void setPendingCount();
+
+    // Fan-out verbs.
+    void startFanout(const std::shared_ptr<Client>& c, const std::string& op,
+                     const std::string& verbJson);
+    void fanoutResponse(const std::shared_ptr<Fanout>& f, const std::string& shardId,
+                        const std::string& payload);
+    void finishFanout(const std::shared_ptr<Fanout>& f);
+    std::string routerSection();
+    std::string routerStatsJson();
+
+    RouterConfig cfg_;
+    HashRing ring_;
+
+    std::unique_ptr<Reactor> reactor_;
+    std::thread reactorThread_;
+    std::mutex startMu_;
+    std::atomic<bool> reactorRunning_{false};
+    std::atomic<bool> reactorStop_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> drainComplete_{false};
+    bool stopped_ = false;
+    std::mutex stopMu_;
+
+    std::vector<int> listenFds_; ///< reactor thread only
+    std::atomic<bool> closeListenersReq_{false};
+    std::atomic<bool> listenersClosed_{true};
+    std::uint16_t boundTcpPort_ = 0;
+
+    // Cross-thread op queue (adopted fds + pending listeners).
+    std::mutex opsMu_;
+    std::vector<int> adoptQueue_;
+    std::vector<int> pendingListenFds_;
+
+    // Reactor-thread-only state.
+    std::unordered_map<int, std::shared_ptr<Client>> clients_; ///< fd -> client
+    std::vector<std::unique_ptr<Backend>> backends_;
+    std::unordered_map<std::uint64_t, Pending> pending_;       ///< token -> job
+    std::uint64_t nextToken_ = 1;
+    std::uint64_t startNanos_ = 0;
+    std::uint64_t nextStatsTickNs_ = 0;
+
+    std::atomic<std::size_t> pendingCount_{0};
+    std::atomic<std::size_t> clientCount_{0};
+    std::atomic<std::size_t> backendsUp_{0};
+
+    // router.* metrics (process registry).
+    obs::Counter* connectionsTotal_;
+    obs::Gauge* connectionsGauge_;
+    obs::Counter* jobsReceived_;
+    obs::Counter* jobsRouted_;
+    obs::Counter* jobsCompleted_;
+    obs::Counter* jobsFailed_;
+    obs::Counter* rejectedDraining_;
+    obs::Counter* rejectedNoBackend_;
+    obs::Counter* retries_;
+    obs::Counter* backendEjections_;
+    obs::Counter* backendReadmissions_;
+    obs::Counter* probeTimeouts_;
+    obs::Counter* hedgeEjections_;
+    obs::Counter* badLines_;
+    obs::Counter* orphanReplies_;
+    obs::Gauge* backendsUpGauge_;
+    obs::Gauge* pendingGauge_;
+    obs::Histogram* requestLatency_; ///< client receive -> reply handed off
+
+    obs::StatsWindow statsWindow_;
+};
+
+} // namespace router
+} // namespace urtx::srv

@@ -1,0 +1,224 @@
+/// \file urtx_router.cpp
+/// The fleet router CLI: front a ring of urtx_served shards with one
+/// consistent-hash sharding daemon speaking the same wire protocol.
+///
+///   urtx_router --backend SPEC [--backend SPEC ...]
+///               [--socket PATH] [--tcp PORT | --port PORT] [--vnodes N]
+///               [--probe-interval S] [--probe-timeout S] [--probe-fail N]
+///               [--hedge-timeout S] [--reconnect S] [--window N]
+///               [--stats-tick S] [--reactor auto|epoll|poll]
+///               [--shard-pid PID ...] [--quiet]
+///
+/// A backend SPEC is "[id=]PORT" (loopback TCP) or "[id=]/path" (Unix
+/// socket); the optional id names the shard in health/metrics output.
+/// --port 0 binds an ephemeral loopback port and prints one "PORT <n>"
+/// line on stdout, same contract as urtx_served.
+///
+/// SIGTERM/SIGINT drain the fleet tier gracefully: the router stops
+/// admitting jobs (structured "draining" rejections), waits until every
+/// routed job's reply reached its client, then — when --shard-pid was
+/// given — propagates SIGTERM to each shard so the whole fleet drains
+/// without losing or duplicating a single job.
+///
+/// Exit status: 0 after a clean drain, 2 on usage/bind errors.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "srv/router/router.hpp"
+
+namespace router = urtx::srv::router;
+namespace srv = urtx::srv;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s --backend SPEC [--backend SPEC ...]\n"
+                 "          [--socket PATH] [--tcp PORT | --port PORT] [--vnodes N]\n"
+                 "          [--probe-interval S] [--probe-timeout S] [--probe-fail N]\n"
+                 "          [--hedge-timeout S] [--reconnect S] [--window N]\n"
+                 "          [--stats-tick S] [--reactor auto|epoll|poll]\n"
+                 "          [--shard-pid PID ...] [--quiet]\n"
+                 "  SPEC: [id=]PORT (loopback TCP) or [id=]/path (Unix socket)\n",
+                 argv0);
+    return 2;
+}
+
+bool parseBackendSpec(const std::string& spec, router::BackendAddress& out) {
+    std::string rest = spec;
+    const std::size_t eq = rest.find('=');
+    if (eq != std::string::npos && rest.find('/') != 0) {
+        out.id = rest.substr(0, eq);
+        rest = rest.substr(eq + 1);
+    }
+    if (rest.empty()) return false;
+    if (rest.find('/') != std::string::npos) {
+        out.socketPath = rest;
+        return true;
+    }
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(rest.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port == 0 || port > 65535) return false;
+    out.tcpPort = static_cast<std::uint16_t>(port);
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    router::RouterConfig cfg;
+    std::vector<pid_t> shardPids;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (arg == "--backend") {
+            const char* v = next();
+            router::BackendAddress addr;
+            if (!v || !parseBackendSpec(v, addr)) {
+                std::fprintf(stderr, "%s: bad backend spec '%s'\n", argv[0],
+                             v ? v : "");
+                return usage(argv[0]);
+            }
+            cfg.backends.push_back(std::move(addr));
+        } else if (arg == "--socket") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.socketPath = v;
+        } else if (arg == "--tcp") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.tcpPort = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--port") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.tcpPort = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+            cfg.tcpEphemeral = cfg.tcpPort == 0;
+        } else if (arg == "--vnodes") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.virtualNodes = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--probe-interval") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.probeIntervalSeconds = std::strtod(v, nullptr);
+        } else if (arg == "--probe-timeout") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.probeTimeoutSeconds = std::strtod(v, nullptr);
+        } else if (arg == "--probe-fail") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.probeFailThreshold = static_cast<int>(std::strtol(v, nullptr, 10));
+        } else if (arg == "--hedge-timeout") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.hedgeTimeoutSeconds = std::strtod(v, nullptr);
+        } else if (arg == "--reconnect") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.reconnectSeconds = std::strtod(v, nullptr);
+        } else if (arg == "--window") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.maxInFlightPerClient =
+                static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--stats-tick") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cfg.statsTickSeconds = std::strtod(v, nullptr);
+        } else if (arg == "--reactor") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            const std::string backend = v;
+            if (backend == "auto") {
+                cfg.reactorBackend = srv::Reactor::Backend::Auto;
+            } else if (backend == "epoll") {
+                cfg.reactorBackend = srv::Reactor::Backend::Epoll;
+            } else if (backend == "poll") {
+                cfg.reactorBackend = srv::Reactor::Backend::Poll;
+            } else {
+                std::fprintf(stderr, "%s: unknown reactor backend '%s'\n", argv[0], v);
+                return usage(argv[0]);
+            }
+        } else if (arg == "--shard-pid") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            shardPids.push_back(static_cast<pid_t>(std::strtol(v, nullptr, 10)));
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (cfg.backends.empty()) {
+        std::fprintf(stderr, "%s: at least one --backend is required\n", argv[0]);
+        return usage(argv[0]);
+    }
+    if (cfg.socketPath.empty() && cfg.tcpPort == 0 && !cfg.tcpEphemeral) {
+        return usage(argv[0]);
+    }
+
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    router::RouterDaemon daemon(std::move(cfg));
+    std::string err;
+    if (!daemon.start(&err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
+    }
+    // Same machine-scrapeable contract as urtx_served: announce the real
+    // port on stdout, flushed before any serving happens.
+    if (daemon.boundTcpPort() != 0) {
+        std::printf("PORT %u\n", daemon.boundTcpPort());
+        std::fflush(stdout);
+    }
+    if (!quiet) {
+        if (!daemon.config().socketPath.empty()) {
+            std::fprintf(stderr, "urtx_router: listening on %s\n",
+                         daemon.config().socketPath.c_str());
+        }
+        if (daemon.boundTcpPort() != 0) {
+            std::fprintf(stderr, "urtx_router: listening on 127.0.0.1:%u\n",
+                         daemon.boundTcpPort());
+        }
+        std::fprintf(stderr, "urtx_router: %zu backend(s) configured\n",
+                     daemon.config().backends.size());
+    }
+
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    if (!quiet) {
+        std::fprintf(stderr, "urtx_router: %s — draining fleet\n",
+                     sig == SIGTERM ? "SIGTERM" : "SIGINT");
+    }
+    // Drain order matters: the router first stops admitting and waits for
+    // every routed job's reply to reach its client — the shards must stay
+    // up for that — and only then passes the drain downstream.
+    daemon.stop();
+    for (const pid_t pid : shardPids) {
+        if (pid > 0) ::kill(pid, SIGTERM);
+    }
+    if (!quiet) {
+        std::fprintf(stderr, "urtx_router: drained (%zu shard(s) signalled)\n",
+                     shardPids.size());
+    }
+    return 0;
+}

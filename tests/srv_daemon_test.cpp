@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <dirent.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <optional>
 #include <set>
 #include <string>
@@ -907,7 +909,13 @@ TEST(SrvDaemonTest, StatsVerbReturnsWindowedRatesLatencyAndWcet) {
                 reqRate = w->numOr("req_per_s", 0.0);
             }
         }
-        if (reqRate > 0.0) break;
+        // Latency mass rides the same snapshot tick as the rates; wait for
+        // both jobs to land so the histogram assertions below are stable.
+        double latCount = 0.0;
+        if (const json::Value* lat = stats.find("latency_seconds")) {
+            latCount = lat->numOr("count", 0.0);
+        }
+        if (reqRate > 0.0 && latCount >= 2.0) break;
         ::usleep(2000);
     }
     EXPECT_GT(reqRate, 0.0) << "jobs before the verb must register in the window";
@@ -1115,5 +1123,92 @@ TEST(SrvDaemonTest, PollBackendServesIdentically) {
     const json::Value rec = binClient.readRecord();
     EXPECT_EQ(rec.strOr("status", ""), "succeeded");
     EXPECT_EQ(rec.strOr("name", ""), "poll-binary");
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, EphemeralTcpPortBindsAnnouncesAndServes) {
+    registerOnce();
+    srv::DaemonConfig cfg = testConfig();
+    cfg.tcpEphemeral = true;
+    srv::ServeDaemon daemon(cfg);
+    ASSERT_TRUE(daemon.start());
+    const std::uint16_t port = daemon.boundTcpPort();
+    ASSERT_NE(port, 0) << "ephemeral bind must report the kernel-chosen port";
+
+    // A second ephemeral daemon coexists: no fixed-port collision, which is
+    // what lets a fleet harness spawn N shards on one host.
+    srv::ServeDaemon second(cfg);
+    ASSERT_TRUE(second.start());
+    EXPECT_NE(second.boundTcpPort(), 0);
+    EXPECT_NE(second.boundTcpPort(), port);
+    second.stop();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    timeval tv{30, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+        << "connect to announced port failed: " << std::strerror(errno);
+
+    const std::string line = tankJob("over-tcp") + "\n";
+    ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(line.size()));
+    std::string reply;
+    char chunk[4096];
+    while (reply.find('\n') == std::string::npos) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        ASSERT_GT(n, 0) << "no reply over TCP";
+        reply.append(chunk, static_cast<std::size_t>(n));
+    }
+    const auto rec = json::parse(reply.substr(0, reply.find('\n')));
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->strOr("status", ""), "succeeded");
+    EXPECT_EQ(rec->strOr("name", ""), "over-tcp");
+    ::close(fd);
+    daemon.stop();
+}
+
+TEST(SrvDaemonTest, HealthVerbReportsCacheOccupancyAndHitCounts) {
+    registerOnce();
+    srv::ServeDaemon daemon(testConfig());
+    ASSERT_TRUE(daemon.start());
+    Client c(daemon);
+
+    // Cold run (miss) then identical replay (hit) gives every cache section
+    // something nonzero to report.
+    ASSERT_TRUE(c.sendLine(tankJob("occ")));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+    ASSERT_TRUE(c.sendLine(tankJob("occ")));
+    EXPECT_TRUE(c.readRecord().boolOr("cached_result", false));
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"health\"}"));
+    const json::Value doc = c.readRecord();
+    EXPECT_EQ(doc.strOr("status", ""), "ok");
+
+    const json::Value* rc = doc.find("result_cache");
+    ASSERT_NE(rc, nullptr) << "health must carry result_cache";
+    EXPECT_EQ(rc->numOr("capacity", 0), 32.0);
+    EXPECT_GE(rc->numOr("size", 0), 1.0);
+    EXPECT_GE(rc->numOr("hits", 0), 1.0);
+    EXPECT_GE(rc->numOr("misses", 0), 1.0);
+    EXPECT_GT(rc->numOr("hit_ratio", 0), 0.0);
+    EXPECT_LE(rc->numOr("hit_ratio", 2), 1.0);
+
+    const json::Value* wc = doc.find("warm_cache");
+    ASSERT_NE(wc, nullptr) << "health must carry warm_cache";
+    EXPECT_EQ(wc->numOr("capacity", 0), 4.0);
+    EXPECT_GE(wc->numOr("size", 0), 1.0);
+    EXPECT_GE(wc->numOr("misses", 0), 1.0);
+
+    // The same occupancy numbers surface as process gauges for scrapers.
+    auto& reg = urtx::obs::Registry::process();
+    EXPECT_EQ(reg.gauge("srvd.result_cache.capacity").value(), 32.0);
+    EXPECT_GE(reg.gauge("srvd.result_cache.size").value(), 1.0);
+    EXPECT_GE(reg.gauge("srvd.result_cache.hits").value(), 1.0);
+    EXPECT_EQ(reg.gauge("srvd.warm_cache.capacity").value(), 4.0);
     daemon.stop();
 }

@@ -1,0 +1,191 @@
+/// \file srv_ring_test.cpp
+/// Consistent-hash ring properties the fleet router's cache-affinity story
+/// rests on: shard loads stay balanced (virtual nodes smooth the split),
+/// and removing one of N backends remaps only that backend's ~1/N of the
+/// keyspace — every other key keeps its owner, so the surviving shards'
+/// caches stay hot across a rebalance.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "srv/router/ring.hpp"
+
+using urtx::srv::router::HashRing;
+using urtx::srv::router::mix64;
+
+namespace {
+
+constexpr std::size_t kKeys = 40000;
+
+std::vector<std::string> makeIds(std::size_t n) {
+    std::vector<std::string> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ids.push_back("shard" + std::to_string(i));
+    return ids;
+}
+
+/// Keys in the router are 64-bit FNV-1a warm keys; a mixed counter is a
+/// fair stand-in for that distribution.
+std::uint64_t key(std::size_t i) { return mix64(0x51ed0badull + i); }
+
+std::map<std::string, std::size_t> loads(const HashRing& ring) {
+    std::map<std::string, std::size_t> counts;
+    for (const std::string& id : ring.backends()) counts[id] = 0;
+    for (std::size_t i = 0; i < kKeys; ++i) {
+        const std::string* owner = ring.owner(key(i));
+        if (owner == nullptr) {
+            ADD_FAILURE() << "empty ring";
+            break;
+        }
+        counts[*owner]++;
+    }
+    return counts;
+}
+
+double maxMinRatio(const std::map<std::string, std::size_t>& counts) {
+    std::size_t mn = SIZE_MAX, mx = 0;
+    for (const auto& [id, n] : counts) {
+        mn = std::min(mn, n);
+        mx = std::max(mx, n);
+    }
+    return mn == 0 ? 1e9 : static_cast<double>(mx) / static_cast<double>(mn);
+}
+
+} // namespace
+
+TEST(HashRing, EmptyRingHasNoOwner) {
+    HashRing ring(64);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.owner(123), nullptr);
+    EXPECT_EQ(ring.successor(123, "x"), nullptr);
+    EXPECT_EQ(ring.backendCount(), 0u);
+}
+
+TEST(HashRing, AddRemoveContains) {
+    HashRing ring(8);
+    ring.add("a");
+    ring.add("b");
+    ring.add("a"); // duplicate add is a no-op
+    EXPECT_EQ(ring.backendCount(), 2u);
+    EXPECT_TRUE(ring.contains("a"));
+    ring.remove("a");
+    EXPECT_FALSE(ring.contains("a"));
+    EXPECT_EQ(ring.backendCount(), 1u);
+    ring.remove("zzz"); // absent remove is a no-op
+    EXPECT_EQ(ring.backendCount(), 1u);
+}
+
+TEST(HashRing, SingleBackendOwnsEverything) {
+    HashRing ring(16);
+    ring.add("only");
+    for (std::size_t i = 0; i < 100; ++i) {
+        ASSERT_EQ(*ring.owner(key(i)), "only");
+        EXPECT_EQ(ring.successor(key(i), "only"), nullptr);
+    }
+}
+
+/// Balance across fleet sizes at the router's default 64 vnodes: the
+/// heaviest shard carries no more than ~2x the lightest over a uniform
+/// key corpus.
+TEST(HashRing, BalancedAcrossFleetSizes) {
+    for (const std::size_t fleet : {4u, 8u, 16u}) {
+        HashRing ring(64);
+        for (const std::string& id : makeIds(fleet)) ring.add(id);
+        const auto counts = loads(ring);
+        ASSERT_EQ(counts.size(), fleet);
+        EXPECT_LT(maxMinRatio(counts), 2.5)
+            << "fleet of " << fleet << " unbalanced";
+        // Every shard gets a meaningful share (> 1/4 of a fair split).
+        for (const auto& [id, n] : counts) {
+            EXPECT_GT(n, kKeys / fleet / 4) << id << " starved";
+        }
+    }
+}
+
+/// More virtual nodes tighten the spread: 64 vnodes must beat 4 on the
+/// same fleet, and coarse rings still leave no shard empty.
+TEST(HashRing, MoreVnodesImproveBalance) {
+    std::map<std::size_t, double> ratioByVnodes;
+    for (const std::size_t vnodes : {4u, 8u, 16u, 64u}) {
+        HashRing ring(vnodes);
+        for (const std::string& id : makeIds(8)) ring.add(id);
+        const auto counts = loads(ring);
+        for (const auto& [id, n] : counts) EXPECT_GT(n, 0u) << id << " empty";
+        ratioByVnodes[vnodes] = maxMinRatio(counts);
+    }
+    EXPECT_LT(ratioByVnodes[64], ratioByVnodes[4]);
+    EXPECT_LT(ratioByVnodes[64], 2.5);
+}
+
+/// The consistency property itself: ejecting one of N backends remaps
+/// exactly the keys it owned (~1/N of the corpus) and nothing else.
+TEST(HashRing, RemovalRemapsOnlyTheEjectedShard) {
+    constexpr std::size_t kFleet = 8;
+    HashRing ring(64);
+    for (const std::string& id : makeIds(kFleet)) ring.add(id);
+
+    std::vector<std::string> before(kKeys);
+    for (std::size_t i = 0; i < kKeys; ++i) before[i] = *ring.owner(key(i));
+
+    const std::string victim = "shard3";
+    ring.remove(victim);
+
+    std::size_t remapped = 0;
+    for (std::size_t i = 0; i < kKeys; ++i) {
+        const std::string& after = *ring.owner(key(i));
+        if (before[i] == victim) {
+            EXPECT_NE(after, victim);
+            remapped++;
+        } else {
+            // Survivors keep every key they already owned.
+            ASSERT_EQ(after, before[i]) << "key " << i << " moved needlessly";
+        }
+    }
+    // The ejected shard owned ~1/8 of the corpus; allow generous slack.
+    EXPECT_GT(remapped, kKeys / kFleet / 2);
+    EXPECT_LT(remapped, kKeys / kFleet * 2);
+}
+
+/// Re-admission restores the exact original ownership: vnode hashes depend
+/// only on the id, not on insertion order, so an eject + rejoin cycle is a
+/// true round trip.
+TEST(HashRing, ReAdmissionRestoresOwnership) {
+    HashRing ring(64);
+    for (const std::string& id : makeIds(6)) ring.add(id);
+    std::vector<std::string> before(kKeys);
+    for (std::size_t i = 0; i < kKeys; ++i) before[i] = *ring.owner(key(i));
+
+    ring.remove("shard2");
+    ring.add("shard2");
+    for (std::size_t i = 0; i < kKeys; ++i) {
+        ASSERT_EQ(*ring.owner(key(i)), before[i]) << "key " << i;
+    }
+}
+
+/// successor() is where a key lands after its owner is ejected: it must
+/// never return the excluded shard, and it must agree with what owner()
+/// reports once the shard is actually removed.
+TEST(HashRing, SuccessorMatchesPostRemovalOwner) {
+    HashRing ring(64);
+    for (const std::string& id : makeIds(5)) ring.add(id);
+
+    const std::string victim = "shard1";
+    std::vector<std::pair<std::uint64_t, std::string>> predicted;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        const std::uint64_t k = key(i);
+        if (*ring.owner(k) != victim) continue;
+        const std::string* next = ring.successor(k, victim);
+        ASSERT_NE(next, nullptr);
+        EXPECT_NE(*next, victim);
+        predicted.emplace_back(k, *next);
+    }
+    ASSERT_FALSE(predicted.empty());
+    ring.remove(victim);
+    for (const auto& [k, expected] : predicted) {
+        EXPECT_EQ(*ring.owner(k), expected);
+    }
+}

@@ -1,0 +1,562 @@
+/// \file srv_router_test.cpp
+/// Fleet-tier tests: a RouterDaemon fronting real in-process ServeDaemon
+/// shards over loopback TCP (ephemeral ports), driven by a socketpair
+/// client. Covers routing + name restoration, cache affinity, aggregated
+/// control verbs, failover (shard dies mid-stream: retried jobs stay
+/// bit-identical, nothing is lost or duplicated, ejections are counted),
+/// re-admission after a shard returns, and graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "srv/daemon/daemon.hpp"
+#include "srv/daemon/framing.hpp"
+#include "srv/json.hpp"
+#include "srv/router/router.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace srv = urtx::srv;
+namespace router = urtx::srv::router;
+namespace json = urtx::srv::json;
+namespace wire = urtx::srv::wire;
+namespace wiregen = urtx::srv::wiregen;
+
+namespace {
+
+void registerOnce() {
+    static const bool done =
+        (srv::scenarios::registerBuiltins(srv::ScenarioLibrary::global()), true);
+    (void)done;
+}
+
+bool waitFor(const std::function<bool()>& pred, double seconds = 15.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred()) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+srv::DaemonConfig shardConfig() {
+    srv::DaemonConfig cfg;
+    cfg.engine.workers = 1;
+    cfg.engine.scopedMetrics = false;
+    cfg.engine.postmortems = false;
+    cfg.warmCacheCapacity = 4;
+    cfg.resultCacheCapacity = 64;
+    cfg.tcpEphemeral = true;
+    cfg.statsTickSeconds = 0.0;
+    return cfg;
+}
+
+router::RouterConfig routerConfig(const std::vector<std::uint16_t>& ports) {
+    router::RouterConfig cfg;
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+        router::BackendAddress a;
+        a.id = "s" + std::to_string(i);
+        a.tcpPort = ports[i];
+        cfg.backends.push_back(a);
+    }
+    cfg.probeIntervalSeconds = 0.05;
+    cfg.probeTimeoutSeconds = 0.3;
+    cfg.probeFailThreshold = 2;
+    cfg.hedgeTimeoutSeconds = 1.0;
+    cfg.reconnectSeconds = 0.05;
+    cfg.statsTickSeconds = 0.2;
+    return cfg;
+}
+
+/// A fleet of in-process shards plus the router in front of them.
+struct Fleet {
+    explicit Fleet(std::size_t n) {
+        registerOnce();
+        std::vector<std::uint16_t> ports;
+        for (std::size_t i = 0; i < n; ++i) {
+            shards.push_back(std::make_unique<srv::ServeDaemon>(shardConfig()));
+            std::string err;
+            EXPECT_TRUE(shards.back()->start(&err)) << err;
+            EXPECT_NE(shards.back()->boundTcpPort(), 0);
+            ports.push_back(shards.back()->boundTcpPort());
+        }
+        rt = std::make_unique<router::RouterDaemon>(routerConfig(ports));
+        std::string err;
+        EXPECT_TRUE(rt->start(&err)) << err;
+    }
+    ~Fleet() {
+        if (rt) rt->stop();
+        for (auto& s : shards) s->stop();
+    }
+
+    bool waitUp(std::size_t n) {
+        return waitFor([&] { return rt->backendsUp() == n; });
+    }
+
+    std::vector<std::unique_ptr<srv::ServeDaemon>> shards;
+    std::unique_ptr<router::RouterDaemon> rt;
+};
+
+/// Line-protocol client on a socketpair the router adopted.
+class Client {
+public:
+    explicit Client(router::RouterDaemon& rt, int timeoutSeconds = 30) {
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+            ADD_FAILURE() << "socketpair failed";
+            return;
+        }
+        fd_ = sv[0];
+        timeval tv{timeoutSeconds, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        rt.adoptConnection(sv[1]);
+    }
+    ~Client() { close(); }
+
+    void close() {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+
+    bool sendLine(const std::string& line) const {
+        std::string buf = line + "\n";
+        std::size_t off = 0;
+        while (off < buf.size()) {
+            const ssize_t n =
+                ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+            if (n <= 0) return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    std::optional<std::string> readLine() {
+        for (;;) {
+            const auto nl = pending_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = pending_.substr(0, nl);
+                pending_.erase(0, nl + 1);
+                return line;
+            }
+            char chunk[65536];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) return std::nullopt;
+            pending_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    json::Value readRecord() {
+        const auto line = readLine();
+        if (!line) {
+            ADD_FAILURE() << "no record (EOF or timeout)";
+            return {};
+        }
+        std::string err;
+        auto v = json::parse(*line, &err);
+        if (!v) {
+            ADD_FAILURE() << "unparseable record: " << err << " in " << *line;
+            return {};
+        }
+        return *v;
+    }
+
+private:
+    int fd_ = -1;
+    std::string pending_;
+};
+
+std::string tankJob(const std::string& name, double qin) {
+    return "{\"scenario\": \"tank\", \"name\": \"" + name +
+           "\", \"horizon\": 1.5, \"mode\": \"single\", \"params\": {\"qin\": " +
+           json::number(qin) + "}}";
+}
+
+std::uint64_t counterValue(const char* name) {
+    return urtx::obs::Registry::process().counter(name).value();
+}
+
+/// Pick a currently-free loopback port the kernel just handed out. Used by
+/// the re-admission test, which needs a shard to come back on the same
+/// address the router knows.
+std::uint16_t pickFreePort() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return 0;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    std::uint16_t port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        socklen_t len = sizeof(addr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+            port = ntohs(addr.sin_port);
+        }
+    }
+    ::close(fd);
+    return port;
+}
+
+} // namespace
+
+TEST(SrvRouterTest, RoutesJobsRestoresNamesAndKeepsCacheAffinity) {
+    Fleet fleet(2);
+    ASSERT_TRUE(fleet.waitUp(2));
+    Client c(*fleet.rt);
+
+    constexpr std::size_t kJobs = 12;
+    std::map<std::string, std::string> hashes;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("job" + std::to_string(i), 0.3 + 0.01 * i)));
+    }
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        const json::Value rec = c.readRecord();
+        EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+        EXPECT_TRUE(rec.boolOr("passed", false));
+        const std::string name = rec.strOr("name", "");
+        EXPECT_TRUE(hashes.emplace(name, rec.strOr("trace_hash", "")).second)
+            << "duplicate reply for " << name;
+    }
+    ASSERT_EQ(hashes.size(), kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        EXPECT_TRUE(hashes.count("job" + std::to_string(i)));
+    }
+
+    // Same jobs again: consistent hashing pins each warm key to the same
+    // shard, so every rerun replays from that shard's result cache with the
+    // identical trace hash.
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("job" + std::to_string(i), 0.3 + 0.01 * i)));
+    }
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        const json::Value rec = c.readRecord();
+        EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+        EXPECT_TRUE(rec.boolOr("cached_result", false))
+            << rec.strOr("name", "") << " missed its shard's result cache";
+        EXPECT_EQ(rec.strOr("trace_hash", "x"),
+                  hashes[rec.strOr("name", "")]);
+    }
+}
+
+TEST(SrvRouterTest, HealthFanoutAggregatesShardsAndFleetCaches) {
+    Fleet fleet(2);
+    ASSERT_TRUE(fleet.waitUp(2));
+    Client c(*fleet.rt);
+
+    ASSERT_TRUE(c.sendLine(tankJob("warm", 0.4)));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"health\"}"));
+    const json::Value doc = c.readRecord();
+    EXPECT_EQ(doc.strOr("op", ""), "health");
+    EXPECT_EQ(doc.strOr("status", ""), "ok");
+
+    const json::Value* rt = doc.find("router");
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->numOr("backends_up", 0), 2.0);
+    EXPECT_GE(rt->numOr("jobs_completed", 0), 1.0);
+    const json::Value* backends = rt->find("backends");
+    ASSERT_NE(backends, nullptr);
+    EXPECT_EQ(backends->array.size(), 2u);
+
+    const json::Value* shards = doc.find("shards");
+    ASSERT_NE(shards, nullptr);
+    ASSERT_TRUE(shards->isObject());
+    EXPECT_EQ(shards->object.size(), 2u);
+    for (const auto& [id, shard] : shards->object) {
+        EXPECT_EQ(shard.strOr("op", ""), "health") << id;
+        EXPECT_NE(shard.find("result_cache"), nullptr) << id;
+    }
+
+    const json::Value* fleetAgg = doc.find("fleet");
+    ASSERT_NE(fleetAgg, nullptr);
+    EXPECT_EQ(fleetAgg->numOr("shards_reporting", 0), 2.0);
+    const json::Value* rc = fleetAgg->find("result_cache");
+    ASSERT_NE(rc, nullptr);
+    // Two shards with capacity 64 each: aggregate capacity is the sum.
+    EXPECT_EQ(rc->numOr("capacity", 0), 128.0);
+    EXPECT_GE(rc->numOr("misses", 0), 1.0);
+}
+
+TEST(SrvRouterTest, SetSamplingBroadcastsToEveryShard) {
+    Fleet fleet(2);
+    ASSERT_TRUE(fleet.waitUp(2));
+    Client c(*fleet.rt);
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"set_sampling\", \"rate\": 1.0}"));
+    const json::Value doc = c.readRecord();
+    EXPECT_EQ(doc.strOr("op", ""), "set_sampling");
+    const json::Value* shards = doc.find("shards");
+    ASSERT_NE(shards, nullptr);
+    EXPECT_EQ(shards->object.size(), 2u);
+    for (const auto& [id, shard] : shards->object) {
+        EXPECT_EQ(shard.strOr("status", ""), "ok") << id;
+        EXPECT_EQ(shard.numOr("rate", 0.0), 1.0) << id;
+    }
+
+    // Bad rate is rejected without touching the fleet.
+    ASSERT_TRUE(c.sendLine("{\"op\": \"set_sampling\"}"));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "error");
+}
+
+TEST(SrvRouterTest, StatsFanoutCarriesRouterWindows) {
+    Fleet fleet(1);
+    ASSERT_TRUE(fleet.waitUp(1));
+    Client c(*fleet.rt);
+    ASSERT_TRUE(c.sendLine(tankJob("stat", 0.5)));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"stats\"}"));
+    const json::Value doc = c.readRecord();
+    EXPECT_EQ(doc.strOr("op", ""), "stats");
+    const json::Value* rt = doc.find("router");
+    ASSERT_NE(rt, nullptr);
+    EXPECT_NE(rt->find("rates"), nullptr);
+    EXPECT_NE(rt->find("latency_seconds"), nullptr);
+    const json::Value* shards = doc.find("shards");
+    ASSERT_NE(shards, nullptr);
+    EXPECT_EQ(shards->object.size(), 1u);
+}
+
+TEST(SrvRouterTest, UnknownOpAndBadJsonYieldErrorsNotDisconnects) {
+    Fleet fleet(1);
+    ASSERT_TRUE(fleet.waitUp(1));
+    Client c(*fleet.rt);
+
+    ASSERT_TRUE(c.sendLine("{\"op\": \"launch_missiles\"}"));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "error");
+    ASSERT_TRUE(c.sendLine("not json at all"));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "error");
+    // The connection survived both.
+    ASSERT_TRUE(c.sendLine(tankJob("after", 0.45)));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+}
+
+TEST(SrvRouterTest, FailoverLosesNothingDuplicatesNothingStaysBitIdentical) {
+    Fleet fleet(3);
+    ASSERT_TRUE(fleet.waitUp(3));
+    Client c(*fleet.rt);
+
+    constexpr std::size_t kJobs = 24;
+    std::map<std::string, std::string> hashes;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("fo" + std::to_string(i), 0.3 + 0.005 * i)));
+    }
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        const json::Value rec = c.readRecord();
+        ASSERT_EQ(rec.strOr("status", ""), "succeeded") << rec.strOr("name", "");
+        hashes[rec.strOr("name", "")] = rec.strOr("trace_hash", "");
+    }
+    ASSERT_EQ(hashes.size(), kJobs);
+
+    const std::uint64_t ejectionsBefore = counterValue("router.backend_ejections");
+    const std::uint64_t retriesBefore = counterValue("router.retries");
+
+    // Kill shard 0 mid-stream: it starts draining, so every job the router
+    // has routed (or routes) to it comes back as a structured "draining"
+    // rejection -> the router ejects the shard and retries those jobs on
+    // their ring successor. The client must still see exactly one reply
+    // per job, every one succeeded, every trace hash unchanged.
+    fleet.shards[0]->beginDrain();
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("fo" + std::to_string(i), 0.3 + 0.005 * i)));
+    }
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        const json::Value rec = c.readRecord();
+        const std::string name = rec.strOr("name", "");
+        ASSERT_EQ(rec.strOr("status", ""), "succeeded")
+            << name << ": " << rec.strOr("error", "");
+        EXPECT_TRUE(seen.insert(name).second) << "duplicate reply for " << name;
+        EXPECT_EQ(rec.strOr("trace_hash", "x"), hashes[name])
+            << name << " retried with a different trajectory";
+    }
+    EXPECT_EQ(seen.size(), kJobs);
+
+    ASSERT_TRUE(waitFor([&] { return fleet.rt->backendsUp() == 2; }));
+    EXPECT_GE(counterValue("router.backend_ejections"), ejectionsBefore + 1);
+    EXPECT_GE(counterValue("router.retries"), retriesBefore);
+
+    // The survivors keep serving.
+    ASSERT_TRUE(c.sendLine(tankJob("post-failover", 0.6)));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+}
+
+TEST(SrvRouterTest, HardShardDeathAlsoEjectsAndRecovers) {
+    Fleet fleet(2);
+    ASSERT_TRUE(fleet.waitUp(2));
+    Client c(*fleet.rt);
+
+    const std::uint64_t ejectionsBefore = counterValue("router.backend_ejections");
+    // A full stop closes the shard's listener and its router connection:
+    // the router sees EOF (or a draining probe) and must eject.
+    fleet.shards[1]->stop();
+    ASSERT_TRUE(waitFor([&] { return fleet.rt->backendsUp() == 1; }));
+    EXPECT_GE(counterValue("router.backend_ejections"), ejectionsBefore + 1);
+
+    constexpr std::size_t kJobs = 8;
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("hd" + std::to_string(i), 0.35 + 0.01 * i)));
+    }
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        const json::Value rec = c.readRecord();
+        EXPECT_EQ(rec.strOr("status", ""), "succeeded");
+        seen.insert(rec.strOr("name", ""));
+    }
+    EXPECT_EQ(seen.size(), kJobs);
+}
+
+TEST(SrvRouterTest, ShardReadmissionRejoinsTheRing) {
+    registerOnce();
+    const std::uint16_t port = pickFreePort();
+    ASSERT_NE(port, 0);
+
+    srv::DaemonConfig cfg = shardConfig();
+    cfg.tcpEphemeral = false;
+    cfg.tcpPort = port;
+    auto shard = std::make_unique<srv::ServeDaemon>(cfg);
+    std::string err;
+    ASSERT_TRUE(shard->start(&err)) << err;
+
+    router::RouterDaemon rt(routerConfig({port}));
+    ASSERT_TRUE(rt.start(&err)) << err;
+    ASSERT_TRUE(waitFor([&] { return rt.backendsUp() == 1; }));
+
+    const std::uint64_t readmitBefore = counterValue("router.backend_readmissions");
+    shard->stop();
+    ASSERT_TRUE(waitFor([&] { return rt.backendsUp() == 0; }));
+
+    // With the ring empty, jobs are rejected with a structured verdict.
+    {
+        Client c(rt);
+        ASSERT_TRUE(c.sendLine(tankJob("while-down", 0.4)));
+        const json::Value rec = c.readRecord();
+        EXPECT_EQ(rec.strOr("status", ""), "rejected");
+        EXPECT_EQ(rec.strOr("verdict", ""), "no_backend");
+    }
+
+    // The shard comes back on the same address; the router's reconnect
+    // probe readmits it and jobs flow again.
+    shard = std::make_unique<srv::ServeDaemon>(cfg);
+    ASSERT_TRUE(shard->start(&err)) << err;
+    ASSERT_TRUE(waitFor([&] { return rt.backendsUp() == 1; }));
+    EXPECT_GE(counterValue("router.backend_readmissions"), readmitBefore + 1);
+
+    Client c(rt);
+    ASSERT_TRUE(c.sendLine(tankJob("after-return", 0.4)));
+    EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+
+    rt.stop();
+    shard->stop();
+}
+
+TEST(SrvRouterTest, DrainRejectsNewJobsAndStopsCleanly) {
+    Fleet fleet(1);
+    ASSERT_TRUE(fleet.waitUp(1));
+    Client c(*fleet.rt);
+
+    constexpr std::size_t kJobs = 4;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        ASSERT_TRUE(c.sendLine(tankJob("dr" + std::to_string(i), 0.4 + 0.01 * i)));
+    }
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");
+    }
+
+    fleet.rt->beginDrain();
+    ASSERT_TRUE(c.sendLine(tankJob("late", 0.9)));
+    const json::Value rec = c.readRecord();
+    EXPECT_EQ(rec.strOr("status", ""), "rejected");
+    EXPECT_EQ(rec.strOr("verdict", ""), "draining");
+    EXPECT_EQ(rec.strOr("error", ""), "router is draining");
+
+    // Health must stay answerable while draining.
+    ASSERT_TRUE(c.sendLine("{\"op\": \"health\"}"));
+    const json::Value health = c.readRecord();
+    EXPECT_EQ(health.strOr("status", ""), "ok");
+    ASSERT_NE(health.find("router"), nullptr);
+    EXPECT_TRUE(health.find("router")->boolOr("draining", false));
+
+    fleet.rt->stop(); // no routed jobs outstanding: returns promptly
+    EXPECT_EQ(fleet.rt->pendingJobs(), 0u);
+}
+
+TEST(SrvRouterTest, BinaryFramedClientRoundTripsThroughTheFleet) {
+    Fleet fleet(2);
+    ASSERT_TRUE(fleet.waitUp(2));
+
+    int sv[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    timeval tv{30, 0};
+    ::setsockopt(sv[0], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    fleet.rt->adoptConnection(sv[1]);
+    const int fd = sv[0];
+
+    const auto sendRaw = [&](const std::string& bytes) {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n =
+                ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+            ASSERT_GT(n, 0);
+            off += static_cast<std::size_t>(n);
+        }
+    };
+    std::string pending;
+    const auto readExact = [&](std::size_t want, std::string* out) {
+        while (pending.size() < want) {
+            char chunk[65536];
+            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            ASSERT_GT(n, 0) << "EOF/timeout from router";
+            pending.append(chunk, static_cast<std::size_t>(n));
+        }
+        *out = pending.substr(0, want);
+        pending.erase(0, want);
+    };
+
+    sendRaw(wire::preamble());
+    std::string hello;
+    readExact(wiregen::kPreambleBytes, &hello);
+    ASSERT_TRUE(wire::checkPreamble(hello.data()));
+
+    srv::ScenarioSpec spec;
+    spec.scenario = "tank";
+    spec.name = "bin0";
+    spec.horizon = 1.5;
+    spec.params.set("qin", 0.42);
+    std::string frame;
+    wire::appendFrame(frame, wire::FrameType::Job, wire::jobToWire(spec).encode());
+    sendRaw(frame);
+
+    std::string header;
+    readExact(wiregen::kFrameHeaderBytes, &header);
+    const auto h = wire::peekFrameHeader(header);
+    ASSERT_TRUE(h.has_value());
+    ASSERT_EQ(static_cast<wire::FrameType>(h->type), wire::FrameType::Result);
+    std::string payload;
+    readExact(h->length, &payload);
+    wiregen::WireResult w;
+    std::string err;
+    ASSERT_TRUE(wiregen::WireResult::decode(w, payload.data(), payload.size(), &err))
+        << err;
+    const srv::ResultRecord rec = wire::resultFromWire(w);
+    EXPECT_EQ(rec.name, "bin0");
+    EXPECT_EQ(rec.status, srv::ScenarioStatus::Succeeded);
+    EXPECT_NE(rec.traceHash, 0u);
+    ::close(sv[0]);
+}

@@ -1,0 +1,165 @@
+#!/usr/bin/env sh
+# Fleet smoke test: spawn three urtx_served shards on ephemeral loopback
+# ports, front them with urtx_router, and drive the whole tier end to end
+# through urtx_client. Usage:
+#
+#   fleet_smoke.sh <urtx_served> <urtx_router> <urtx_client> <batch.json>
+#
+# Checks, in order: a strict batch pass through the router succeeds; the
+# aggregated health verb sees all three shards; a second pass replays from
+# the shards' result caches; after one shard is killed hard the same batch
+# still succeeds with bit-identical trace hashes (consistent hashing moved
+# only the dead shard's keys); and SIGTERM drains the router cleanly,
+# propagating the drain to the surviving shards. Exit 0 only when every
+# stage holds. Used by ctest (urtx_fleet_smoke) and the release CI leg.
+set -eu
+
+SERVED=$1
+ROUTER=$2
+CLIENT=$3
+BATCH=$4
+
+DIR=$(mktemp -d)
+S1_PID=""; S2_PID=""; S3_PID=""; ROUTER_PID=""
+trap 'kill $S1_PID $S2_PID $S3_PID $ROUTER_PID 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+# A shard on an ephemeral port announces "PORT <n>" on stdout; scrape it.
+spawn_shard() {
+    "$SERVED" --port 0 --workers 1 --quiet > "$DIR/$1.port" &
+    eval "$2=$!"
+    i=0
+    while ! grep -q '^PORT ' "$DIR/$1.port" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: shard $1 never announced its port" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+spawn_shard s1 S1_PID
+spawn_shard s2 S2_PID
+spawn_shard s3 S3_PID
+P1=$(awk '{print $2; exit}' "$DIR/s1.port")
+P2=$(awk '{print $2; exit}' "$DIR/s2.port")
+P3=$(awk '{print $2; exit}' "$DIR/s3.port")
+echo "3 shards up on ports $P1 $P2 $P3"
+
+# Fast probe knobs so ejection/health convergence doesn't stall the test.
+"$ROUTER" --backend "s1=$P1" --backend "s2=$P2" --backend "s3=$P3" \
+    --port 0 --probe-interval 0.1 --probe-timeout 0.5 --reconnect 0.1 \
+    --shard-pid "$S2_PID" --shard-pid "$S3_PID" --quiet > "$DIR/router.port" &
+ROUTER_PID=$!
+i=0
+while ! grep -q '^PORT ' "$DIR/router.port" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "FAIL: router never announced its port" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+RPORT=$(awk '{print $2; exit}' "$DIR/router.port")
+echo "router up on port $RPORT"
+
+# The router connects to its backends asynchronously; wait until the
+# aggregated health verb reports the full ring.
+i=0
+while :; do
+    "$CLIENT" --tcp "$RPORT" --health > "$DIR/health.json" 2>/dev/null || true
+    if grep -qF '"backends_up": 3' "$DIR/health.json"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "FAIL: router never admitted all 3 backends" >&2
+        cat "$DIR/health.json" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+for needle in '"op": "health"' '"status": "ok"' '"shards":' '"fleet":'; do
+    if ! grep -qF "$needle" "$DIR/health.json"; then
+        echo "FAIL: aggregated health lacks $needle" >&2
+        cat "$DIR/health.json" >&2
+        exit 1
+    fi
+done
+echo "aggregated health sees all 3 shards"
+
+# Pass 1: strict batch through the router (names restored, all verdicts).
+"$CLIENT" --tcp "$RPORT" --strict "$BATCH" > "$DIR/pass1.jsonl"
+echo "pass 1 streamed $(wc -l < "$DIR/pass1.jsonl") records through the router"
+
+# Pass 2: consistent hashing pins each job to the same shard, so the rerun
+# must replay from the fleet's result caches.
+"$CLIENT" --tcp "$RPORT" --strict "$BATCH" > "$DIR/pass2.jsonl"
+if ! grep -q '"cached_result": true' "$DIR/pass2.jsonl"; then
+    echo "FAIL: second pass produced no cached_result records" >&2
+    exit 1
+fi
+echo "pass 2 replayed from the fleet's result caches"
+
+extract_hashes() {
+    sed -n 's/.*"name": "\([^"]*\)".*"trace_hash": "\([^"]*\)".*/\1 \2/p' "$1" | sort
+}
+extract_hashes "$DIR/pass1.jsonl" > "$DIR/hashes1.txt"
+if [ ! -s "$DIR/hashes1.txt" ]; then
+    echo "FAIL: no name/trace_hash pairs in pass 1" >&2
+    exit 1
+fi
+
+# Kill one shard hard (no drain) and rerun: the router must eject it,
+# reroute its keys to the ring successor, and the replayed batch must stay
+# bit-identical — deterministic runs survive failover.
+kill -9 "$S1_PID"
+"$CLIENT" --tcp "$RPORT" --strict "$BATCH" > "$DIR/pass3.jsonl"
+extract_hashes "$DIR/pass3.jsonl" > "$DIR/hashes3.txt"
+if ! cmp -s "$DIR/hashes1.txt" "$DIR/hashes3.txt"; then
+    echo "FAIL: post-failover trace hashes differ from pass 1" >&2
+    diff "$DIR/hashes1.txt" "$DIR/hashes3.txt" >&2 || true
+    exit 1
+fi
+echo "shard kill survived: batch bit-identical on the surviving shards"
+
+i=0
+while :; do
+    "$CLIENT" --tcp "$RPORT" --health > "$DIR/health2.json" 2>/dev/null || true
+    if grep -qF '"backends_up": 2' "$DIR/health2.json"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "FAIL: health never reported the dead shard's ejection" >&2
+        cat "$DIR/health2.json" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! grep -qF '"backend_ejections"' "$DIR/health2.json"; then
+    echo "FAIL: health carries no backend_ejections counter" >&2
+    exit 1
+fi
+echo "health reports the ejection (2 backends up)"
+
+# Fleet-wide graceful drain: SIGTERM to the router must exit 0 and pass
+# SIGTERM to the shards it was given; the surviving shards must drain to 0.
+kill -TERM "$ROUTER_PID"
+STATUS=0
+wait "$ROUTER_PID" || STATUS=$?
+ROUTER_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: urtx_router exited $STATUS on SIGTERM" >&2
+    exit 1
+fi
+for pid in "$S2_PID" "$S3_PID"; do
+    STATUS=0
+    wait "$pid" || STATUS=$?
+    if [ "$STATUS" -ne 0 ]; then
+        echo "FAIL: shard $pid exited $STATUS after propagated drain" >&2
+        exit 1
+    fi
+done
+S2_PID=""; S3_PID=""
+echo "fleet drained cleanly on SIGTERM"
