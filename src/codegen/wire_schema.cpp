@@ -11,7 +11,10 @@ Protocol servingProtocol() {
     // the 8-byte handshake up front (and falls back to newline-JSON, which
     // simply omits unknown keys it never sends) instead of hitting an
     // unknown-tag decode error mid-stream.
-    p.version = 2;
+    // v3: WireResult.error_code (tag 23) — the stable machine-readable id
+    // of the unified error schema, so binary clients re-render the same
+    // {"error": {"code", "message"}} object the JSON path emits.
+    p.version = 3;
     p.frames = {
         {"Job", 1, "client -> daemon: one encoded WireJob (pre-expanded spec)"},
         {"Result", 2, "daemon -> client: one encoded WireResult"},
@@ -76,6 +79,8 @@ Protocol servingProtocol() {
         {"postmortem_json", FieldKind::Str, 21, "", "flight-recorder dump"},
         {"stages", FieldKind::NumMap, 22, "",
          "stage name -> offset seconds from receive; empty unless profiled"},
+        {"error_code", FieldKind::Str, 23, "",
+         "stable machine-readable error id (unified error schema)"},
     };
 
     p.messages = {job, res};

@@ -49,11 +49,11 @@ void DPort::clearResolved() {
     projection_.clear();
 }
 
-void flow(DPort& src, DPort& dst) {
-    if (&src == &dst) throw std::logic_error("flow(): cannot connect a DPort to itself");
+std::string checkFlow(const DPort& src, const DPort& dst) {
+    if (&src == &dst) return "flow(): cannot connect a DPort to itself";
 
-    Streamer* sOwner = &src.owner();
-    Streamer* dOwner = &dst.owner();
+    const Streamer* sOwner = &src.owner();
+    const Streamer* dOwner = &dst.owner();
     const bool sibling = src.dir() == DPortDir::Out && dst.dir() == DPortDir::In &&
                          sOwner != dOwner && sOwner->parent() == dOwner->parent();
     const bool forwardIn = src.dir() == DPortDir::In && dst.dir() == DPortDir::In &&
@@ -61,22 +61,27 @@ void flow(DPort& src, DPort& dst) {
     const bool forwardOut = src.dir() == DPortDir::Out && dst.dir() == DPortDir::Out &&
                             sOwner->parent() == dOwner;
     if (!sibling && !forwardIn && !forwardOut)
-        throw std::logic_error("flow(): illegal connection shape " + src.fullName() + " -> " +
-                               dst.fullName() +
-                               " (must be sibling out->in, parent in->child in, or child "
-                               "out->parent out)");
+        return "flow(): illegal connection shape " + src.fullName() + " -> " + dst.fullName() +
+               " (must be sibling out->in, parent in->child in, or child "
+               "out->parent out)";
 
     if (dst.fedBy_)
-        throw std::logic_error("flow(): " + dst.fullName() + " is already fed by " +
-                               dst.fedBy_->fullName());
+        return "flow(): " + dst.fullName() + " is already fed by " + dst.fedBy_->fullName();
     if (!src.feeds_.empty())
-        throw std::logic_error("flow(): " + src.fullName() +
-                               " already feeds a flow; use a Relay to duplicate flows");
+        return "flow(): " + src.fullName() +
+               " already feeds a flow; use a Relay to duplicate flows";
 
     if (!src.type().subsetOf(dst.type()))
-        throw std::logic_error("flow(): flow type " + src.type().toString() + " of " +
-                               src.fullName() + " is not a subset of " + dst.type().toString() +
-                               " required by " + dst.fullName());
+        return "flow(): flow type " + src.type().toString() + " of " + src.fullName() +
+               " is not a subset of " + dst.type().toString() + " required by " +
+               dst.fullName();
+
+    return {};
+}
+
+void flow(DPort& src, DPort& dst) {
+    std::string err = checkFlow(src, dst);
+    if (!err.empty()) throw std::logic_error(std::move(err));
 
     dst.fedBy_ = &src;
     src.feeds_.push_back(&dst);

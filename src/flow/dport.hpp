@@ -81,6 +81,7 @@ public:
 
 private:
     friend void flow(DPort& src, DPort& dst);
+    friend std::string checkFlow(const DPort& src, const DPort& dst);
 
     Streamer* owner_;
     std::string name_;
@@ -95,6 +96,13 @@ private:
     std::vector<std::size_t> projection_;
     std::uint64_t transfers_ = 0;
 };
+
+/// Dry-run legality check for flow(src, dst): structural shape,
+/// single-feeder/single-consumer discipline, flow-type subset rule.
+/// Returns the empty string when the connection is legal, otherwise the
+/// same diagnostic message flow() would throw. Never mutates anything —
+/// the basis of SystemBuilder::validate().
+std::string checkFlow(const DPort& src, const DPort& dst);
 
 /// The paper's "flow" connector: connect \p src to \p dst, enforcing the
 /// structural shapes above, single-feeder/single-consumer discipline and

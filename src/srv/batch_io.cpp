@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/profile.hpp"
+#include "srv/error.hpp"
 #include "srv/json.hpp"
 
 namespace urtx::srv {
@@ -178,6 +179,11 @@ ResultRecord flattenResult(const ScenarioResult& r, bool includeMetrics) {
     rec.passed = r.passed;
     rec.verdict = r.verdictDetail;
     rec.error = r.error;
+    rec.errorCode = r.errorCode;
+    if (rec.errorCode.empty() && !rec.error.empty()) {
+        rec.errorCode =
+            r.status == ScenarioStatus::Rejected ? "job.rejected" : "job.failed";
+    }
     rec.worker = r.worker == SIZE_MAX ? UINT64_MAX : static_cast<std::uint64_t>(r.worker);
     rec.stolen = r.stolen;
     rec.deadlineMet = r.deadlineMet;
@@ -210,7 +216,14 @@ std::string recordJson(const ResultRecord& r) {
     if (!r.verdict.empty()) {
         out += ", \"verdict\": \"" + json::escape(r.verdict) + "\"";
     }
-    if (!r.error.empty()) out += ", \"error\": \"" + json::escape(r.error) + "\"";
+    if (!r.error.empty()) {
+        // Unified error schema: structured object under "error", flat
+        // string kept one release under "error_string" (deprecated).
+        out += ", \"error\": " +
+               errorJson(ErrorInfo(r.errorCode.empty() ? "job.failed" : r.errorCode,
+                                   r.error));
+        out += ", \"error_string\": \"" + json::escape(r.error) + "\"";
+    }
     if (r.worker != UINT64_MAX) {
         out += ", \"worker\": " + std::to_string(r.worker);
         out += ", \"stolen\": ";

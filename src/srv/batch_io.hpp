@@ -55,7 +55,8 @@ struct ResultRecord {
     ScenarioStatus status = ScenarioStatus::Rejected;
     bool passed = false;
     std::string verdict;
-    std::string error;
+    std::string error;     ///< human-readable failure / rejection reason
+    std::string errorCode; ///< stable machine-readable id; defaulted by status when unset
     std::uint64_t worker = UINT64_MAX; ///< UINT64_MAX = never dispatched
     bool stolen = false;
     bool deadlineMet = true;

@@ -16,7 +16,9 @@
 #include "obs/tracer.hpp"
 #include "srv/batch_io.hpp"
 #include "srv/daemon/framing.hpp"
+#include "srv/error.hpp"
 #include "srv/json.hpp"
+#include "srv/model/service.hpp"
 
 namespace urtx::srv {
 
@@ -62,19 +64,16 @@ void setNonBlocking(int fd) {
 }
 
 ScenarioResult rejectionRecord(const ScenarioSpec& spec, std::string verdict,
-                               std::string error) {
+                               std::string code, std::string error) {
     ScenarioResult r;
     r.name = spec.name;
     r.scenario = spec.scenario;
     r.status = ScenarioStatus::Rejected;
     r.passed = false;
     r.verdictDetail = std::move(verdict);
+    r.errorCode = std::move(code);
     r.error = std::move(error);
     return r;
-}
-
-std::string errorRecord(const std::string& message) {
-    return "{\"status\": \"error\", \"error\": \"" + json::escape(message) + "\"}";
 }
 
 /// Bucket bounds for srvd.request_latency_seconds. Cached-path replies land
@@ -122,7 +121,7 @@ AcceptRetry acceptRetryClass(int err) {
     }
 }
 
-ServeDaemon::ServeDaemon(DaemonConfig cfg, const ScenarioLibrary& lib)
+ServeDaemon::ServeDaemon(DaemonConfig cfg, ScenarioLibrary& lib)
     : cfg_(std::move(cfg)),
       lib_(lib),
       warmCache_(cfg_.warmCacheCapacity),
@@ -595,7 +594,7 @@ void ServeDaemon::handleFrame(const std::shared_ptr<Conn>& conn, std::uint8_t ty
         if (!wiregen::WireJob::decode(w, payload.data(), payload.size(), &err)) {
             // Malformed payload: one error record, connection survives —
             // mirrors a malformed JSON line.
-            writeError(conn, "bad job frame: " + err);
+            writeError(conn, ErrorInfo("proto.bad-frame", "bad job frame: " + err));
             badLines_->inc();
             return;
         }
@@ -612,15 +611,17 @@ void ServeDaemon::handleFrame(const std::shared_ptr<Conn>& conn, std::uint8_t ty
         std::string err;
         const std::optional<json::Value> doc = json::parse(text, &err);
         if (!doc || !doc->isObject()) {
-            writeControlResp(conn,
-                             errorRecord(doc ? "control frame must carry a JSON object"
-                                             : err));
+            writeControlResp(
+                conn, errorRecord(doc ? ErrorInfo("verb.bad-argument",
+                                                  "control frame must carry a JSON object")
+                                      : ErrorInfo("proto.bad-json", err)));
             badLines_->inc();
             return;
         }
         const json::Value* op = doc->find("op");
         if (!op || !op->isString()) {
-            writeControlResp(conn, errorRecord("control frame requires a string 'op'"));
+            writeControlResp(conn, errorRecord(ErrorInfo("verb.bad-argument",
+                                                      "control frame requires a string 'op'")));
             badLines_->inc();
             return;
         }
@@ -640,7 +641,7 @@ void ServeDaemon::failProtocol(const std::shared_ptr<Conn>& conn,
                                const std::string& message) {
     // The stream can't be resynced: report once, stop reading, and let the
     // connection drain its in-flight records before closing.
-    writeError(conn, message);
+    writeError(conn, ErrorInfo("proto.violation", message));
     badLines_->inc();
     conn->inBuf.clear();
     conn->readPaused.store(false, std::memory_order_relaxed);
@@ -759,7 +760,8 @@ void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::strin
     std::string err;
     const std::optional<json::Value> doc = json::parse(line, &err);
     if (!doc || !doc->isObject()) {
-        writeError(conn, doc ? "request must be a JSON object" : err);
+        writeError(conn, doc ? ErrorInfo("proto.bad-request", "request must be a JSON object")
+                             : ErrorInfo("proto.bad-json", err));
         badLines_->inc();
         return;
     }
@@ -773,7 +775,7 @@ void ServeDaemon::handleLine(const std::shared_ptr<Conn>& conn, const std::strin
     try {
         specs = parseJobObject(*doc);
     } catch (const std::exception& ex) {
-        writeError(conn, ex.what());
+        writeError(conn, ErrorInfo("job.bad-spec", ex.what()));
         badLines_->inc();
         return;
     }
@@ -877,7 +879,9 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
     } else if (op == "set_sampling") {
         const json::Value* rate = doc.find("rate");
         if (!rate || !rate->isNumber()) {
-            writeControlResp(conn, errorRecord("set_sampling requires a numeric 'rate'"));
+            writeControlResp(conn,
+                             errorRecord(ErrorInfo("verb.bad-argument",
+                                                   "set_sampling requires a numeric 'rate'")));
             badLines_->inc();
             return;
         }
@@ -888,8 +892,17 @@ void ServeDaemon::handleControl(const std::shared_ptr<Conn>& conn, const std::st
         out << "{\"op\": \"set_sampling\", \"status\": \"ok\", \"rate\": "
             << json::number(reg.spanSamplingRate())
             << ", \"period\": " << reg.spanSamplingPeriod() << "}";
+    } else if (op == "define_scenario") {
+        const model::DefineOutcome res = model::defineScenario(lib_, doc);
+        if (!res.ok) badLines_->inc();
+        writeControlResp(conn, res.response);
+        return;
+    } else if (op == "list_scenarios") {
+        writeControlResp(conn, model::listScenariosJson(lib_));
+        return;
     } else {
-        writeControlResp(conn, errorRecord("unknown op '" + op + "'"));
+        writeControlResp(conn, errorRecord(ErrorInfo("proto.unknown-op",
+                                                     "unknown op '" + op + "'")));
         badLines_->inc();
         return;
     }
@@ -910,7 +923,8 @@ void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec s
 
     if (draining_.load(std::memory_order_acquire)) {
         rejectedDraining_->inc();
-        writeResult(conn, rejectionRecord(spec, "draining", "daemon is draining"),
+        writeResult(conn, rejectionRecord(spec, "draining", "job.rejected.draining",
+                                    "daemon is draining"),
                     recvNanos);
         return;
     }
@@ -979,7 +993,8 @@ void ServeDaemon::dispatchSpec(const std::shared_ptr<Conn>& conn, ScenarioSpec s
         // fast path produces, and give the window slot back.
         conn->inFlight.fetch_sub(1, std::memory_order_acq_rel);
         rejectedDraining_->inc();
-        writeResult(conn, rejectionRecord(spec, "draining", "daemon is draining"),
+        writeResult(conn, rejectionRecord(spec, "draining", "job.rejected.draining",
+                                    "daemon is draining"),
                     recvNanos);
         return;
     }
@@ -1028,10 +1043,9 @@ void ServeDaemon::writeResult(const std::shared_ptr<Conn>& conn,
     }
 }
 
-void ServeDaemon::writeError(const std::shared_ptr<Conn>& conn,
-                             const std::string& message) {
+void ServeDaemon::writeError(const std::shared_ptr<Conn>& conn, const ErrorInfo& err) {
     if (conn->dead.load(std::memory_order_acquire)) return;
-    const std::string record = errorRecord(message);
+    const std::string record = errorRecord(err);
     std::string bytes;
     if (conn->mode == Conn::Mode::Binary) {
         wire::appendFrame(bytes, wire::FrameType::Error, record);

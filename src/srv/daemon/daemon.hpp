@@ -64,6 +64,7 @@
 #include "srv/cache.hpp"
 #include "srv/daemon/reactor.hpp"
 #include "srv/engine.hpp"
+#include "srv/error.hpp"
 #include "srv/scenario.hpp"
 
 namespace urtx::obs {
@@ -126,8 +127,9 @@ struct DaemonConfig {
 
 class ServeDaemon {
 public:
-    explicit ServeDaemon(DaemonConfig cfg,
-                         const ScenarioLibrary& lib = ScenarioLibrary::global());
+    /// \p lib is mutable because {"op": "define_scenario"} registers
+    /// uploaded model documents into it beside the builtins.
+    explicit ServeDaemon(DaemonConfig cfg, ScenarioLibrary& lib = ScenarioLibrary::global());
     ~ServeDaemon(); ///< stop() if still running
 
     ServeDaemon(const ServeDaemon&) = delete;
@@ -225,7 +227,7 @@ private:
     /// srvd.request_latency_seconds after the write.
     void writeResult(const std::shared_ptr<Conn>& conn, const ScenarioResult& res,
                      std::uint64_t recvNanos = 0);
-    void writeError(const std::shared_ptr<Conn>& conn, const std::string& message);
+    void writeError(const std::shared_ptr<Conn>& conn, const ErrorInfo& err);
     void writeControlResp(const std::shared_ptr<Conn>& conn, const std::string& payload);
     void writeOut(const std::shared_ptr<Conn>& conn, std::string_view bytes);
     void poke(const std::shared_ptr<Conn>& conn); ///< any thread
@@ -233,7 +235,7 @@ private:
     void updateCacheGauges();
 
     DaemonConfig cfg_;
-    const ScenarioLibrary& lib_;
+    ScenarioLibrary& lib_;
     WarmScenarioCache warmCache_;
     ResultCache resultCache_;
     ServeEngine engine_;

@@ -84,6 +84,7 @@ wiregen::WireResult resultToWire(const ResultRecord& r) {
     w.passed = r.passed;
     w.verdict = r.verdict;
     w.error = r.error;
+    w.error_code = r.errorCode;
     w.worker = r.worker;
     w.stolen = r.stolen;
     w.deadline_met = r.deadlineMet;
@@ -113,6 +114,7 @@ ResultRecord resultFromWire(const wiregen::WireResult& w) {
     r.passed = w.passed;
     r.verdict = w.verdict;
     r.error = w.error;
+    r.errorCode = w.error_code;
     r.worker = w.worker;
     r.stolen = w.stolen;
     r.deadlineMet = w.deadline_met;

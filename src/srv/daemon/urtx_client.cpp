@@ -23,6 +23,14 @@
 ///   urtx_client --socket PATH --stats            # windowed rates/quantiles/WCET
 ///   urtx_client --socket PATH --trace [--trace-last N]  # Chrome trace JSON
 ///   urtx_client --socket PATH --set-sampling 0.01 jobs.json
+///   urtx_client --socket PATH --define-model tank.model.json jobs.json
+///   urtx_client --socket PATH --list-scenarios
+///
+/// --define-model uploads a scenario model document (docs/MODEL_FORMAT.md)
+/// via {"op": "define_scenario"} before any jobs are submitted, so the
+/// same invocation can immediately run the model it defined; repeatable.
+/// --list-scenarios prints the daemon's scenario catalogue (names,
+/// descriptions, parameter schemas with defaults and bounds).
 ///
 /// --metrics decodes the daemon's response and prints the embedded
 /// Prometheus exposition text; the other verbs print the raw one-line JSON
@@ -70,7 +78,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s (--socket PATH | --tcp PORT) [<jobs.json|->] [--strict]\n"
                  "          [--quiet] [--binary] [--profile] [--metrics] [--health]\n"
-                 "          [--stats] [--trace [--trace-last N]] [--set-sampling RATE]\n",
+                 "          [--stats] [--trace [--trace-last N]] [--set-sampling RATE]\n"
+                 "          [--define-model FILE]... [--list-scenarios]\n",
                  argv0);
     return 2;
 }
@@ -138,6 +147,8 @@ int main(int argc, char** argv) {
     bool wantHealth = false;
     bool wantStats = false;
     bool wantTrace = false;
+    bool wantListScenarios = false;
+    std::vector<std::string> modelPaths;
     std::size_t traceLast = 0;
     double setSampling = -1.0; // < 0: don't send the verb
 
@@ -171,6 +182,11 @@ int main(int argc, char** argv) {
         } else if (arg == "--set-sampling") {
             if (++i >= argc) return usage(argv[0]);
             setSampling = std::strtod(argv[i], nullptr);
+        } else if (arg == "--define-model") {
+            if (++i >= argc) return usage(argv[0]);
+            modelPaths.emplace_back(argv[i]);
+        } else if (arg == "--list-scenarios") {
+            wantListScenarios = true;
         } else if (arg == "-" || arg.empty() || arg[0] != '-') {
             if (!jobsPath.empty()) return usage(argv[0]);
             jobsPath = arg;
@@ -179,8 +195,8 @@ int main(int argc, char** argv) {
             return usage(argv[0]);
         }
     }
-    const bool anyVerb =
-        wantMetrics || wantHealth || wantStats || wantTrace || setSampling >= 0.0;
+    const bool anyVerb = wantMetrics || wantHealth || wantStats || wantTrace ||
+                         wantListScenarios || !modelPaths.empty() || setSampling >= 0.0;
     if ((jobsPath.empty() && !anyVerb) || (socketPath.empty() && tcpPort == 0)) {
         return usage(argv[0]);
     }
@@ -204,6 +220,26 @@ int main(int argc, char** argv) {
     };
     if (setSampling >= 0.0) {
         pushControl("{\"op\": \"set_sampling\", \"rate\": " + json::number(setSampling) +
+                    "}");
+    }
+    // Model uploads precede the jobs so a batch can run the scenarios it
+    // just defined.
+    for (const std::string& path : modelPaths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot read '%s'\n", argv[0], path.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string err;
+        const auto doc = json::parse(text.str(), &err);
+        if (!doc || !doc->isObject()) {
+            std::fprintf(stderr, "%s: %s: %s\n", argv[0], path.c_str(),
+                         doc ? "model document must be a JSON object" : err.c_str());
+            return 2;
+        }
+        pushControl("{\"op\": \"define_scenario\", \"model\": " + json::stringify(*doc) +
                     "}");
     }
     if (jobsPath.empty()) {
@@ -244,6 +280,7 @@ int main(int argc, char** argv) {
         }
         for (srv::ScenarioSpec& s : batch.jobs) pushJob(std::move(s));
     }
+    if (wantListScenarios) pushControl("{\"op\": \"list_scenarios\"}");
     if (wantMetrics) pushControl("{\"op\": \"metrics\"}");
     if (wantHealth) pushControl("{\"op\": \"health\"}");
     if (wantStats) pushControl("{\"op\": \"stats\"}");

@@ -125,6 +125,19 @@ void executeScenario(const ExecCtx& ctx, const ScenarioSpec& spec, ScenarioResul
         res.status = ScenarioStatus::Succeeded;
         ctx.jobsCompleted->inc();
         if (ctx.warmCache) ctx.warmCache->release(spec.warmKey(), std::move(sc));
+    } catch (const UnknownParamError& ex) {
+        res.status = ScenarioStatus::Failed;
+        res.error = ex.what();
+        res.errorCode = "param.unknown";
+        if (ctx.cfg->postmortems) res.postmortemJson = recorder.dumpString(res.error);
+        ctx.jobsFailed->inc();
+    } catch (const std::invalid_argument& ex) {
+        // Unknown scenario name, parameter bound violation, bad solver name.
+        res.status = ScenarioStatus::Failed;
+        res.error = ex.what();
+        res.errorCode = "job.bad-argument";
+        if (ctx.cfg->postmortems) res.postmortemJson = recorder.dumpString(res.error);
+        ctx.jobsFailed->inc();
     } catch (const std::exception& ex) {
         bool tripped = false;
         {
@@ -136,11 +149,13 @@ void executeScenario(const ExecCtx& ctx, const ScenarioSpec& spec, ScenarioResul
         res.error = tripped ? "watchdog: wall budget " + std::to_string(spec.wallBudgetSeconds) +
                                   "s exceeded (" + ex.what() + ")"
                             : ex.what();
+        res.errorCode = tripped ? "job.failed.watchdog" : "job.failed.exception";
         if (ctx.cfg->postmortems) res.postmortemJson = recorder.dumpString(res.error);
         ctx.jobsFailed->inc();
     } catch (...) {
         res.status = ScenarioStatus::Failed;
         res.error = "unknown exception";
+        res.errorCode = "job.failed.exception";
         if (ctx.cfg->postmortems) res.postmortemJson = recorder.dumpString(res.error);
         ctx.jobsFailed->inc();
     }
@@ -227,6 +242,7 @@ BatchResult ServeEngine::run(const std::vector<ScenarioSpec>& specs,
             ScenarioResult& res = batch.results[i];
             res.status = ScenarioStatus::Rejected;
             res.deadlineMet = false;
+            res.errorCode = "job.rejected.deadline";
             res.error = "admission control: projected completion " +
                         std::to_string(projected) + "s exceeds deadline " +
                         std::to_string(deadline) + "s";
@@ -296,6 +312,7 @@ BatchResult ServeEngine::run(const std::vector<ScenarioSpec>& specs,
             dispatchAt + est(idx) > spec.deadlineSeconds) {
             res.status = ScenarioStatus::Rejected;
             res.deadlineMet = false;
+            res.errorCode = "job.rejected.deadline";
             res.error = "admission control: dispatched at " + std::to_string(dispatchAt) +
                         "s, estimate " + std::to_string(est(idx)) +
                         "s cannot meet deadline " + std::to_string(spec.deadlineSeconds) + "s";
@@ -500,6 +517,7 @@ struct ServeEngine::Session::Impl {
                 waited + est(job.spec) > job.spec.deadlineSeconds) {
                 res.status = ScenarioStatus::Rejected;
                 res.deadlineMet = false;
+                res.errorCode = "job.rejected.deadline";
                 res.error = "admission control: dispatched " + std::to_string(waited) +
                             "s after submit, estimate " + std::to_string(est(job.spec)) +
                             "s cannot meet deadline " +

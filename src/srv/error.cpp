@@ -1,0 +1,20 @@
+#include "srv/error.hpp"
+
+#include "srv/json.hpp"
+
+namespace urtx::srv {
+
+std::string errorJson(const ErrorInfo& e) {
+    std::string out = "{\"code\": \"" + json::escape(e.code) + "\", \"message\": \"" +
+                      json::escape(e.message) + "\"";
+    if (!e.contextJson.empty()) out += ", \"context\": " + e.contextJson;
+    out += "}";
+    return out;
+}
+
+std::string errorRecord(const ErrorInfo& e) {
+    return "{\"status\": \"error\", \"error\": " + errorJson(e) + ", \"error_string\": \"" +
+           json::escape(e.message) + "\"}";
+}
+
+} // namespace urtx::srv

@@ -1,0 +1,46 @@
+#pragma once
+/// \file error.hpp
+/// The unified wire error schema.
+///
+/// Every verb failure, protocol violation and job rejection the serving
+/// tier reports — newline-JSON lines, binary Error frames, router-forwarded
+/// shard failures — shares one structured shape:
+///
+///   {"status": "error",
+///    "error": {"code": "<stable-id>", "message": "...", "context": {...}},
+///    "error_string": "..."}
+///
+/// `code` is a stable dotted identifier (e.g. "proto.unknown-op",
+/// "model.invalid", "router.shard-down") that clients can branch on without
+/// parsing prose; `context` is an optional JSON object carrying
+/// machine-readable detail (the offending op, validator diagnostics, ...).
+/// `error_string` mirrors `message` for clients of the pre-schema protocol
+/// that expected a flat string; it is deprecated and kept for one release
+/// (docs/SERVING.md lists the schema and the current code registry).
+
+#include <string>
+#include <utility>
+
+namespace urtx::srv {
+
+/// One structured wire error: stable code + human message + optional
+/// serialized JSON context object.
+struct ErrorInfo {
+    std::string code;
+    std::string message;
+    std::string contextJson; ///< serialized JSON object; empty = no context
+
+    ErrorInfo() = default;
+    ErrorInfo(std::string c, std::string m, std::string ctx = {})
+        : code(std::move(c)), message(std::move(m)), contextJson(std::move(ctx)) {}
+};
+
+/// The bare error object: {"code": ..., "message": ..., "context": {...}}
+/// (context omitted when empty).
+std::string errorJson(const ErrorInfo& e);
+
+/// A full one-line error response:
+/// {"status": "error", "error": {...}, "error_string": "..."}
+std::string errorRecord(const ErrorInfo& e);
+
+} // namespace urtx::srv

@@ -1,0 +1,207 @@
+#include "srv/model/compile.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "flow/relay.hpp"
+#include "flow/sport.hpp"
+#include "rt/capsule.hpp"
+#include "rt/port.hpp"
+#include "srv/model/components.hpp"
+#include "srv/scenarios/scenarios.hpp"
+#include "urtx.hpp"
+
+namespace urtx::srv::model {
+
+namespace {
+
+flow::FlowType relayType(const std::string& name) {
+    if (name == "int") return flow::FlowType::integer();
+    if (name == "bool") return flow::FlowType::boolean();
+    return flow::FlowType::real();
+}
+
+/// Split a (validated) "comp.port" endpoint.
+std::pair<std::string, std::string> split(const std::string& ep) {
+    const std::size_t dot = ep.find('.');
+    return {ep.substr(0, dot), ep.substr(dot + 1)};
+}
+
+/// A compiled model instance. Member order mirrors the builtin scenario
+/// classes (sys_ first, then group roots, then components) so teardown
+/// order matches: components before their group, groups before the system.
+class CompiledScenario final : public Scenario {
+public:
+    CompiledScenario(std::shared_ptr<const ModelDoc> doc, const ScenarioParams& p);
+
+    sim::HybridSystem& system() override { return *sys_; }
+    bool reset() override {
+        sys_->reset();
+        return true;
+    }
+
+private:
+    flow::DPort& dport(const std::string& ep);
+
+    std::shared_ptr<const ModelDoc> doc_;
+    std::unique_ptr<sim::HybridSystem> sys_;
+    std::vector<std::unique_ptr<flow::Streamer>> groups_;
+    std::vector<std::unique_ptr<flow::Streamer>> streamers_;
+    std::vector<std::unique_ptr<flow::Relay>> relays_;
+    std::vector<std::unique_ptr<rt::Capsule>> capsules_;
+    std::map<std::string, flow::Streamer*> streamerOf_;
+    std::map<std::string, flow::Relay*> relayOf_;
+    std::map<std::string, rt::Capsule*> capsuleOf_;
+};
+
+flow::DPort& CompiledScenario::dport(const std::string& ep) {
+    const auto [comp, port] = split(ep);
+    if (const auto it = streamerOf_.find(comp); it != streamerOf_.end()) {
+        return *it->second->findDPort(port);
+    }
+    flow::Relay& rel = *relayOf_.at(comp);
+    if (port == "in") return rel.in();
+    return rel.out(static_cast<std::size_t>(std::stoul(port.substr(3))));
+}
+
+CompiledScenario::CompiledScenario(std::shared_ptr<const ModelDoc> doc,
+                                   const ScenarioParams& p)
+    : doc_(std::move(doc)) {
+    const ModelDoc& m = *doc_;
+    const ComponentRegistry& reg = ComponentRegistry::global();
+
+    for (const ParamDecl& pd : m.params) {
+        if (!p.hasNum(pd.name)) continue;
+        const double v = p.num(pd.name);
+        if ((pd.hasMin && v < pd.min) || (pd.hasMax && v > pd.max)) {
+            throw std::invalid_argument("model '" + m.name + "': parameter '" + pd.name +
+                                        "' = " + std::to_string(v) +
+                                        " violates its declared bounds");
+        }
+    }
+
+    std::map<std::string, flow::Streamer*> groupOf;
+    for (const GroupDecl& g : m.groups) {
+        groups_.push_back(std::make_unique<flow::Streamer>(g.name));
+        groupOf[g.name] = groups_.back().get();
+    }
+    for (const ComponentDecl& c : m.components) {
+        const ComponentType& t = *reg.find(c.type);
+        if (t.kind != ComponentType::Kind::Streamer) continue;
+        streamers_.push_back(t.makeStreamer(c.name, groupOf.at(c.group), p));
+        streamerOf_[c.name] = streamers_.back().get();
+    }
+    for (const RelayDecl& rd : m.relays) {
+        relays_.push_back(std::make_unique<flow::Relay>(rd.name, groupOf.at(rd.group),
+                                                        relayType(rd.type), rd.fanout));
+        relayOf_[rd.name] = relays_.back().get();
+    }
+    for (const ComponentDecl& c : m.components) {
+        const ComponentType& t = *reg.find(c.type);
+        if (t.kind != ComponentType::Kind::Capsule) continue;
+        capsules_.push_back(t.makeCapsule(c.name, p));
+        capsuleOf_[c.name] = capsules_.back().get();
+    }
+    for (auto& s : streamers_) scenarios::applyParams(*s, p);
+
+    urtx::SystemBuilder b;
+    for (const FlowDecl& f : m.flows) {
+        // Dataflows before .streamer() flattens the network, as in the
+        // builtin factories.
+        const auto [fc, fp] = split(f.from);
+        const auto [tc, tp] = split(f.to);
+        const bool fromCapsule = capsuleOf_.count(fc) > 0;
+        const bool toCapsule = capsuleOf_.count(tc) > 0;
+        if (fromCapsule || toCapsule) continue; // signal flow, wired later
+        if (streamerOf_.count(fc) && streamerOf_.at(fc)->findSPort(fp)) continue;
+        if (streamerOf_.count(tc) && streamerOf_.at(tc)->findSPort(tp)) continue;
+        b.flow(dport(f.from), dport(f.to));
+    }
+    for (auto& c : capsules_) b.capsule(*c);
+    for (std::size_t i = 0; i < m.groups.size(); ++i) {
+        b.streamer(*groups_[i], p.str("integrator", m.groups[i].integrator),
+                   p.num("dt", m.groups[i].dt));
+    }
+    for (const FlowDecl& f : m.flows) {
+        const auto [fc, fp] = split(f.from);
+        const auto [tc, tp] = split(f.to);
+        rt::Port* fromPort = capsuleOf_.count(fc) ? capsuleOf_.at(fc)->findPort(fp) : nullptr;
+        rt::Port* toPort = capsuleOf_.count(tc) ? capsuleOf_.at(tc)->findPort(tp) : nullptr;
+        flow::SPort* fromSig =
+            streamerOf_.count(fc) ? streamerOf_.at(fc)->findSPort(fp) : nullptr;
+        flow::SPort* toSig = streamerOf_.count(tc) ? streamerOf_.at(tc)->findSPort(tp) : nullptr;
+        if (fromPort && toPort) {
+            b.flow(*fromPort, *toPort);
+        } else if (fromPort && toSig) {
+            b.flow(*fromPort, *toSig);
+        } else if (fromSig && toPort) {
+            b.flow(*fromSig, *toPort);
+        }
+        // else: a dataflow, already wired above
+    }
+    for (const TraceDecl& t : m.traces) {
+        const auto [comp, rest] = split(t.probe);
+        if (rest.rfind("param.", 0) == 0) {
+            flow::Streamer* s = streamerOf_.at(comp);
+            const std::string key = rest.substr(6);
+            b.trace(t.channel, [s, key] { return s->param(key); });
+            continue;
+        }
+        std::string port = rest;
+        std::size_t index = 0;
+        if (const std::size_t br = rest.find('['); br != std::string::npos) {
+            index = static_cast<std::size_t>(std::stoul(rest.substr(br + 1)));
+            port = rest.substr(0, br);
+        }
+        const flow::DPort* d = &dport(comp + "." + port);
+        b.trace(t.channel, [d, index] { return d->get(index); });
+    }
+    sys_ = b.build();
+}
+
+} // namespace
+
+ParamSchema schemaFor(const ModelDoc& doc) {
+    const ComponentRegistry& reg = ComponentRegistry::global();
+    ParamSchema s;
+    s.open = false;
+    s.str("integrator", "solver strategy for every group",
+          doc.groups.empty() ? "RK45" : doc.groups.front().integrator);
+    s.num("dt", "major step override for every group (s)",
+          doc.groups.empty() ? 0.01 : doc.groups.front().dt);
+    s.num("verbose", "verbose capsule logging when > 0.5", 0.0);
+    for (const ComponentDecl& c : doc.components) {
+        const ComponentType* t = reg.find(c.type);
+        if (!t) continue;
+        for (const CtorParam& cp : t->ctorParams) {
+            s.num(cp.name, cp.doc + " (" + c.name + ")", cp.def);
+        }
+        for (const auto& [key, def] : t->defaultParams) {
+            s.num(key, "parameter of " + c.name + " (" + c.type + ")", def);
+        }
+    }
+    for (const ParamDecl& p : doc.params) {
+        auto& info = s.num(p.name, p.doc);
+        if (p.hasDefault) info.withDefault(p.def);
+        if (p.hasMin) info.withMin(p.min);
+        if (p.hasMax) info.withMax(p.max);
+    }
+    return s;
+}
+
+std::unique_ptr<Scenario> compileModel(std::shared_ptr<const ModelDoc> doc,
+                                       const ScenarioParams& p) {
+    return std::make_unique<CompiledScenario>(std::move(doc), p);
+}
+
+void registerModel(ScenarioLibrary& lib, std::shared_ptr<const ModelDoc> doc) {
+    std::string desc = doc->description.empty() ? "uploaded model document"
+                                                : doc->description;
+    const std::string name = doc->name;
+    lib.add(name, std::move(desc), schemaFor(*doc),
+            [doc](const ScenarioParams& p) { return compileModel(doc, p); });
+}
+
+} // namespace urtx::srv::model

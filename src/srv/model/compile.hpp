@@ -1,0 +1,46 @@
+#pragma once
+/// \file compile.hpp
+/// The model compiler: lowers a *validated* ModelDoc onto
+/// urtx::SystemBuilder into a live, warm-cacheable Scenario.
+///
+/// The compiler replays exactly the construction order the builtin C++
+/// factories use, so a committed .model.json re-expressing a builtin
+/// produces bit-identical trajectories (equal trace hashes):
+///
+///   1. group root streamers (document order)
+///   2. streamer components as children of their group (document order)
+///   3. relays, then capsules (document order)
+///   4. applyParams on each streamer component (document order)
+///   5. SystemBuilder: DPort dataflows first ("data flows must exist
+///      before .streamer() flattens the network"), then capsules, then one
+///      .streamer() per group — integrator/dt overridable per job via the
+///      "integrator"/"dt" parameters, exactly like the builtins — then
+///      signal flows, then traces, then build().
+
+#include <memory>
+#include <string>
+
+#include "srv/model/model.hpp"
+#include "srv/scenario.hpp"
+
+namespace urtx::srv::model {
+
+/// Derive the declared parameter surface of a model: its "params" entries
+/// plus the auto keys every compiled model accepts (integrator, dt,
+/// verbose), each component type's constructor parameters, and each
+/// streamer component's own parameter map. Closed schema.
+ParamSchema schemaFor(const ModelDoc& doc);
+
+/// Register \p doc (already parse- and validation-clean) as a factory in
+/// \p lib under doc->name, beside the builtins: same schema validation,
+/// same warmKey/jobHash/trace-hash participation, warm-reusable via
+/// HybridSystem::reset. Replaces any previous registration of that name.
+void registerModel(ScenarioLibrary& lib, std::shared_ptr<const ModelDoc> doc);
+
+/// Build one live instance (used by registerModel's factory; exposed for
+/// tests). Throws std::invalid_argument when \p p violates a declared
+/// parameter bound.
+std::unique_ptr<Scenario> compileModel(std::shared_ptr<const ModelDoc> doc,
+                                       const ScenarioParams& p);
+
+} // namespace urtx::srv::model

@@ -1,0 +1,203 @@
+#include "srv/model/components.hpp"
+
+#include <algorithm>
+
+#include "flow/sport.hpp"
+#include "rt/port.hpp"
+#include "rt/protocol.hpp"
+#include "srv/scenarios/scenarios.hpp"
+
+namespace urtx::srv::model {
+
+ComponentRegistry& ComponentRegistry::global() {
+    static ComponentRegistry reg = [] {
+        ComponentRegistry r;
+        registerBuiltinComponents(r);
+        return r;
+    }();
+    return reg;
+}
+
+void ComponentRegistry::add(ComponentType type) {
+    // Introspect the port surface from a throwaway prototype so the
+    // validator checks the same structure the compiler will build.
+    type.ports.clear();
+    type.defaultParams.clear();
+    const ScenarioParams defaults;
+    if (type.kind == ComponentType::Kind::Streamer) {
+        flow::Streamer proto("__proto");
+        const auto inst = type.makeStreamer("__p", &proto, defaults);
+        for (const flow::DPort* d : inst->dports()) {
+            PortInfo pi;
+            pi.kind = PortInfo::Kind::DPort;
+            pi.name = d->name();
+            pi.dir = d->dir();
+            pi.type = d->type();
+            type.ports.push_back(std::move(pi));
+        }
+        for (const flow::SPort* s : inst->sports()) {
+            PortInfo pi;
+            pi.kind = PortInfo::Kind::SPort;
+            pi.name = s->name();
+            pi.conjugated = s->conjugated();
+            pi.protocol = s->protocol().name();
+            type.ports.push_back(std::move(pi));
+        }
+        type.defaultParams = inst->params();
+    } else {
+        const auto inst = type.makeCapsule("__p", defaults);
+        for (const rt::Port* p : inst->ports()) {
+            PortInfo pi;
+            pi.kind = PortInfo::Kind::RtPort;
+            pi.name = p->name();
+            pi.conjugated = p->conjugated();
+            pi.protocol = p->protocol().name();
+            type.ports.push_back(std::move(pi));
+        }
+    }
+    for (ComponentType& t : types_) {
+        if (t.name == type.name) {
+            t = std::move(type);
+            return;
+        }
+    }
+    types_.push_back(std::move(type));
+}
+
+const ComponentType* ComponentRegistry::find(std::string_view name) const {
+    for (const ComponentType& t : types_) {
+        if (t.name == name) return &t;
+    }
+    return nullptr;
+}
+
+std::vector<std::string> ComponentRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(types_.size());
+    for (const ComponentType& t : types_) out.push_back(t.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+const PortInfo* findPort(const ComponentType& t, std::string_view port) {
+    for (const PortInfo& p : t.ports) {
+        if (p.name == port) return &p;
+    }
+    return nullptr;
+}
+
+void registerBuiltinComponents(ComponentRegistry& reg) {
+    namespace sc = urtx::srv::scenarios;
+    const auto verboseOf = [](const ScenarioParams& p) { return p.num("verbose", 0.0) > 0.5; };
+
+    // --- tank family --------------------------------------------------------
+    {
+        ComponentType t;
+        t.name = "TwoTank";
+        t.kind = ComponentType::Kind::Streamer;
+        t.doc = "two-tank level plant with stuck-valve fault and alarm events";
+        t.makeStreamer = [](std::string n, flow::Streamer* parent, const ScenarioParams&) {
+            return std::make_unique<sc::TwoTank>(std::move(n), parent);
+        };
+        reg.add(std::move(t));
+    }
+    {
+        ComponentType t;
+        t.name = "TankSupervisor";
+        t.kind = ComponentType::Kind::Capsule;
+        t.doc = "Normal <-> Shutdown supervisor on the tank alarm signals";
+        t.makeCapsule = [verboseOf](std::string n, const ScenarioParams& p) {
+            return std::make_unique<sc::TankSupervisor>(std::move(n), verboseOf(p));
+        };
+        reg.add(std::move(t));
+    }
+    {
+        ComponentType t;
+        t.name = "FaultInjector";
+        t.kind = ComponentType::Kind::Capsule;
+        t.doc = "scripted valve-stuck fault injection capsule";
+        t.ctorParams = {{"faultAt", "valve-stuck injection time (s, < 0 disables)", 30.0}};
+        t.makeCapsule = [verboseOf](std::string n, const ScenarioParams& p) {
+            return std::make_unique<sc::FaultInjector>(std::move(n), p.num("faultAt", 30.0),
+                                                       verboseOf(p));
+        };
+        reg.add(std::move(t));
+    }
+
+    // --- cruise family ------------------------------------------------------
+    {
+        ComponentType t;
+        t.name = "Vehicle";
+        t.kind = ComponentType::Kind::Streamer;
+        t.doc = "vehicle longitudinal dynamics m v' = F - b v - c v|v|";
+        t.makeStreamer = [](std::string n, flow::Streamer* parent, const ScenarioParams&) {
+            return std::make_unique<sc::Vehicle>(std::move(n), parent);
+        };
+        reg.add(std::move(t));
+    }
+    {
+        ComponentType t;
+        t.name = "SpeedController";
+        t.kind = ComponentType::Kind::Streamer;
+        t.doc = "gated PI speed controller tuned over its SPort";
+        t.makeStreamer = [](std::string n, flow::Streamer* parent, const ScenarioParams&) {
+            return std::make_unique<sc::SpeedController>(std::move(n), parent);
+        };
+        reg.add(std::move(t));
+    }
+    {
+        ComponentType t;
+        t.name = "CruiseCapsule";
+        t.kind = ComponentType::Kind::Capsule;
+        t.doc = "Off / Standby / Active / Override cruise state machine";
+        t.makeCapsule = [verboseOf](std::string n, const ScenarioParams& p) {
+            return std::make_unique<sc::CruiseCapsule>(std::move(n), verboseOf(p));
+        };
+        reg.add(std::move(t));
+    }
+    {
+        ComponentType t;
+        t.name = "CruiseDriver";
+        t.kind = ComponentType::Kind::Capsule;
+        t.doc = "scripted driver inputs (power / set / brake / resume)";
+        t.ctorParams = {{"script_scale", "driver script time scale", 1.0}};
+        t.makeCapsule = [](std::string n, const ScenarioParams& p) {
+            return std::make_unique<sc::CruiseDriver>(std::move(n), p.num("script_scale", 1.0));
+        };
+        reg.add(std::move(t));
+    }
+
+    // --- pendulum family ----------------------------------------------------
+    {
+        ComponentType t;
+        t.name = "Pendulum";
+        t.kind = ComponentType::Kind::Streamer;
+        t.doc = "pendulum dynamics with a catch-zone event surface";
+        t.makeStreamer = [](std::string n, flow::Streamer* parent, const ScenarioParams&) {
+            return std::make_unique<sc::Pendulum>(std::move(n), parent);
+        };
+        reg.add(std::move(t));
+    }
+    {
+        ComponentType t;
+        t.name = "PendulumController";
+        t.kind = ComponentType::Kind::Streamer;
+        t.doc = "swing-up / balance torque laws behind one streamer";
+        t.makeStreamer = [](std::string n, flow::Streamer* parent, const ScenarioParams&) {
+            return std::make_unique<sc::PendulumController>(std::move(n), parent);
+        };
+        reg.add(std::move(t));
+    }
+    {
+        ComponentType t;
+        t.name = "PendulumSupervisor";
+        t.kind = ComponentType::Kind::Capsule;
+        t.doc = "SwingUp <-> Balance supervisor on the catch-zone events";
+        t.makeCapsule = [verboseOf](std::string n, const ScenarioParams& p) {
+            return std::make_unique<sc::PendulumSupervisor>(std::move(n), verboseOf(p));
+        };
+        reg.add(std::move(t));
+    }
+}
+
+} // namespace urtx::srv::model

@@ -1,0 +1,102 @@
+#pragma once
+/// \file components.hpp
+/// The component registry: the library of capsule and streamer types a
+/// model document can instantiate by name.
+///
+/// Each registered type carries a factory (used by the compiler) and a
+/// *port surface* introspected once from a prototype instance (used by the
+/// validator): DPorts with direction and flow type, SPorts and capsule
+/// ports with protocol and conjugation, plus the streamer's default
+/// parameter map. Validation therefore checks real port structure — the
+/// same structure the compiled system will have — not a hand-maintained
+/// shadow table.
+///
+/// The builtin component set covers the three example systems (tank,
+/// cruise, pendulum), so the committed .model.json files re-express the
+/// builtin factories and stay bit-identical to them.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/streamer.hpp"
+#include "rt/capsule.hpp"
+#include "srv/scenario.hpp"
+
+namespace urtx::srv::model {
+
+/// One port of a component type, as seen by the validator.
+struct PortInfo {
+    enum class Kind : std::uint8_t { DPort, SPort, RtPort };
+    Kind kind = Kind::DPort;
+    std::string name;
+    flow::DPortDir dir = flow::DPortDir::In; ///< DPort only
+    flow::FlowType type;                     ///< DPort only
+    bool conjugated = false;                 ///< SPort / RtPort
+    std::string protocol;                    ///< SPort / RtPort protocol name
+};
+
+/// An extra job parameter a component's *constructor* consumes (beyond the
+/// streamer parameter map), e.g. FaultInjector's "faultAt".
+struct CtorParam {
+    std::string name;
+    std::string doc;
+    double def = 0.0;
+};
+
+/// One registered component type.
+struct ComponentType {
+    enum class Kind : std::uint8_t { Streamer, Capsule };
+
+    std::string name; ///< e.g. "TwoTank"
+    Kind kind = Kind::Streamer;
+    std::string doc;
+    std::vector<CtorParam> ctorParams;
+
+    /// Streamer factory (kind == Streamer): instance named \p name under
+    /// \p parent, constructor inputs drawn from \p p exactly as the builtin
+    /// scenario factories draw them.
+    std::function<std::unique_ptr<flow::Streamer>(std::string name, flow::Streamer* parent,
+                                                  const ScenarioParams& p)>
+        makeStreamer;
+    /// Capsule factory (kind == Capsule).
+    std::function<std::unique_ptr<rt::Capsule>(std::string name, const ScenarioParams& p)>
+        makeCapsule;
+
+    /// Introspected port surface + default streamer parameters (lazily
+    /// built from a prototype instance; empty params for capsules).
+    std::vector<PortInfo> ports;
+    std::map<std::string, double> defaultParams;
+};
+
+/// Name -> ComponentType registry. The process-wide instance carries the
+/// builtin types; tests may register their own.
+class ComponentRegistry {
+public:
+    /// The process-wide registry, builtins registered on first use.
+    static ComponentRegistry& global();
+
+    /// Register (or replace) a type; introspects the port surface from a
+    /// prototype instance immediately.
+    void add(ComponentType type);
+
+    const ComponentType* find(std::string_view name) const;
+    /// Registered type names, sorted.
+    std::vector<std::string> names() const;
+
+private:
+    std::vector<ComponentType> types_;
+};
+
+/// Register the builtin tank / cruise / pendulum component families into
+/// \p reg (idempotent re-registration).
+void registerBuiltinComponents(ComponentRegistry& reg);
+
+/// Find a port on a component type by name; nullptr when absent.
+const PortInfo* findPort(const ComponentType& t, std::string_view port);
+
+} // namespace urtx::srv::model

@@ -1,0 +1,616 @@
+#include "srv/model/model.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string_view>
+
+#include "flow/flow_type.hpp"
+#include "solver/integrator.hpp"
+#include "srv/model/components.hpp"
+
+namespace urtx::srv::model {
+
+namespace {
+
+// ---------------------------------------------------------------- parse side
+
+std::string at(const std::string& base, std::size_t i) {
+    return base + "/" + std::to_string(i);
+}
+
+/// Strict key check, parseJobObject-style: every member of \p obj must be
+/// one of \p keys.
+void checkKeys(const json::Value& obj, std::initializer_list<const char*> keys,
+               const std::string& loc, Report& r) {
+    for (const auto& [key, value] : obj.object) {
+        (void)value;
+        bool known = false;
+        for (const char* k : keys) {
+            if (key == k) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            r.add("model.parse.unknown-key", loc + "/" + key,
+                  "unknown key '" + key + "' in model document");
+        }
+    }
+}
+
+/// Fetch a required string member; empty optional (plus a diagnostic) when
+/// absent or wrong-typed.
+std::optional<std::string> reqStr(const json::Value& obj, const char* key,
+                                  const std::string& loc, Report& r) {
+    const json::Value* v = obj.find(key);
+    if (!v) {
+        r.add("model.parse.missing-field", loc, std::string("missing required field '") + key +
+                                                    "'");
+        return std::nullopt;
+    }
+    if (!v->isString()) {
+        r.add("model.parse.bad-field", loc + "/" + key,
+              std::string("field '") + key + "' must be a string");
+        return std::nullopt;
+    }
+    return v->string;
+}
+
+/// Optional numeric member; diagnostic on wrong type.
+std::optional<double> optNum(const json::Value& obj, const char* key, const std::string& loc,
+                             Report& r) {
+    const json::Value* v = obj.find(key);
+    if (!v) return std::nullopt;
+    if (!v->isNumber()) {
+        r.add("model.parse.bad-field", loc + "/" + key,
+              std::string("field '") + key + "' must be a number");
+        return std::nullopt;
+    }
+    return v->number;
+}
+
+/// Optional string member; diagnostic on wrong type.
+std::optional<std::string> optStr(const json::Value& obj, const char* key,
+                                  const std::string& loc, Report& r) {
+    const json::Value* v = obj.find(key);
+    if (!v) return std::nullopt;
+    if (!v->isString()) {
+        r.add("model.parse.bad-field", loc + "/" + key,
+              std::string("field '") + key + "' must be a string");
+        return std::nullopt;
+    }
+    return v->string;
+}
+
+/// Fetch an optional array member of objects; nullptr when absent.
+const json::Value* optArray(const json::Value& obj, const char* key, const std::string& loc,
+                            Report& r) {
+    const json::Value* v = obj.find(key);
+    if (!v) return nullptr;
+    if (!v->isArray()) {
+        r.add("model.parse.bad-field", loc + "/" + key,
+              std::string("field '") + key + "' must be an array");
+        return nullptr;
+    }
+    return v;
+}
+
+/// Each array element must be an object; returns false (plus diagnostic)
+/// otherwise.
+bool reqObject(const json::Value& v, const std::string& loc, Report& r) {
+    if (v.isObject()) return true;
+    r.add("model.parse.bad-field", loc, "array element must be an object");
+    return false;
+}
+
+// ------------------------------------------------------------- validate side
+
+/// "comp.port" -> (comp, port); nullopt when there is no '.' separator.
+std::optional<std::pair<std::string, std::string>> splitEndpoint(const std::string& ep) {
+    const std::size_t dot = ep.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= ep.size()) return std::nullopt;
+    return std::make_pair(ep.substr(0, dot), ep.substr(dot + 1));
+}
+
+std::optional<flow::FlowType> scalarType(const std::string& name) {
+    if (name == "real") return flow::FlowType::real();
+    if (name == "int") return flow::FlowType::integer();
+    if (name == "bool") return flow::FlowType::boolean();
+    return std::nullopt;
+}
+
+/// A resolved flow endpoint: where it lives and what kind of port it is.
+struct Endpoint {
+    bool onCapsule = false;
+    std::string group; ///< owning solver group ("" for capsules)
+    PortInfo port;
+};
+
+/// Resolve "comp.port" against the declared components/relays + registry
+/// surfaces. Diagnostics go to \p r; nullopt when unresolvable.
+std::optional<Endpoint> resolveEndpoint(const ModelDoc& doc, const ComponentRegistry& reg,
+                                        const std::string& ep, const std::string& loc,
+                                        Report& r) {
+    const auto split = splitEndpoint(ep);
+    if (!split) {
+        r.add("model.bad-endpoint", loc,
+              "endpoint '" + ep + "' must have the form \"component.port\"");
+        return std::nullopt;
+    }
+    const auto& [comp, port] = *split;
+    for (const ComponentDecl& c : doc.components) {
+        if (c.name != comp) continue;
+        const ComponentType* t = reg.find(c.type);
+        if (!t) return std::nullopt; // model.unknown-type already reported
+        const PortInfo* p = findPort(*t, port);
+        if (!p) {
+            r.add("rule1.unknown-port", loc,
+                  "component '" + comp + "' (type " + c.type + ") has no port '" + port + "'");
+            return std::nullopt;
+        }
+        Endpoint e;
+        e.onCapsule = t->kind == ComponentType::Kind::Capsule;
+        e.group = c.group;
+        e.port = *p;
+        return e;
+    }
+    for (const RelayDecl& rd : doc.relays) {
+        if (rd.name != comp) continue;
+        const auto t = scalarType(rd.type);
+        if (!t) return std::nullopt; // model.bad-flow-type already reported
+        Endpoint e;
+        e.group = rd.group;
+        e.port.kind = PortInfo::Kind::DPort;
+        e.port.name = port;
+        e.port.type = *t;
+        if (port == "in") {
+            e.port.dir = flow::DPortDir::In;
+            return e;
+        }
+        for (std::size_t i = 0; i < rd.fanout; ++i) {
+            if (port == "out" + std::to_string(i)) {
+                e.port.dir = flow::DPortDir::Out;
+                return e;
+            }
+        }
+        r.add("rule1.unknown-port", loc,
+              "relay '" + comp + "' has no port '" + port + "' (ports: in, out0..out" +
+                  std::to_string(rd.fanout - 1) + ")");
+        return std::nullopt;
+    }
+    r.add("model.unknown-component", loc, "unknown component '" + comp + "' in endpoint '" +
+                                              ep + "'");
+    return std::nullopt;
+}
+
+const char* kindName(PortInfo::Kind k) {
+    switch (k) {
+        case PortInfo::Kind::DPort: return "DPort";
+        case PortInfo::Kind::SPort: return "SPort";
+        case PortInfo::Kind::RtPort: return "Port";
+    }
+    return "?";
+}
+
+} // namespace
+
+ModelDoc parseModel(const json::Value& doc, Report& r) {
+    ModelDoc m;
+    if (!doc.isObject()) {
+        r.add("model.parse.not-object", "/", "model document must be a JSON object");
+        return m;
+    }
+    checkKeys(doc,
+              {"model", "description", "params", "groups", "components", "relays", "flows",
+               "traces"},
+              "", r);
+    if (const auto name = reqStr(doc, "model", "", r)) m.name = *name;
+    if (!m.name.empty() && m.name.find_first_of(" \t\n\"") != std::string::npos) {
+        r.add("model.parse.bad-field", "/model",
+              "model name must not contain whitespace or quotes");
+    } else if (const json::Value* v = doc.find("model"); v && v->isString() && m.name.empty()) {
+        r.add("model.parse.bad-field", "/model", "model name must not be empty");
+    }
+    if (const auto d = optStr(doc, "description", "", r)) m.description = *d;
+
+    if (const json::Value* arr = optArray(doc, "params", "", r)) {
+        for (std::size_t i = 0; i < arr->array.size(); ++i) {
+            const std::string loc = at("/params", i);
+            const json::Value& v = arr->array[i];
+            if (!reqObject(v, loc, r)) continue;
+            checkKeys(v, {"name", "doc", "default", "min", "max"}, loc, r);
+            ParamDecl p;
+            if (const auto n = reqStr(v, "name", loc, r)) p.name = *n;
+            if (const auto d = optStr(v, "doc", loc, r)) p.doc = *d;
+            if (const auto d = optNum(v, "default", loc, r)) {
+                p.def = *d;
+                p.hasDefault = true;
+            }
+            if (const auto d = optNum(v, "min", loc, r)) {
+                p.min = *d;
+                p.hasMin = true;
+            }
+            if (const auto d = optNum(v, "max", loc, r)) {
+                p.max = *d;
+                p.hasMax = true;
+            }
+            m.params.push_back(std::move(p));
+        }
+    }
+
+    if (const json::Value* arr = optArray(doc, "groups", "", r)) {
+        for (std::size_t i = 0; i < arr->array.size(); ++i) {
+            const std::string loc = at("/groups", i);
+            const json::Value& v = arr->array[i];
+            if (!reqObject(v, loc, r)) continue;
+            checkKeys(v, {"name", "integrator", "dt"}, loc, r);
+            GroupDecl g;
+            if (const auto n = reqStr(v, "name", loc, r)) g.name = *n;
+            if (const auto s = optStr(v, "integrator", loc, r)) g.integrator = *s;
+            if (const auto d = optNum(v, "dt", loc, r)) g.dt = *d;
+            m.groups.push_back(std::move(g));
+        }
+    }
+
+    if (const json::Value* arr = optArray(doc, "components", "", r)) {
+        for (std::size_t i = 0; i < arr->array.size(); ++i) {
+            const std::string loc = at("/components", i);
+            const json::Value& v = arr->array[i];
+            if (!reqObject(v, loc, r)) continue;
+            checkKeys(v, {"name", "type", "group"}, loc, r);
+            ComponentDecl c;
+            if (const auto n = reqStr(v, "name", loc, r)) c.name = *n;
+            if (const auto t = reqStr(v, "type", loc, r)) c.type = *t;
+            if (const auto g = optStr(v, "group", loc, r)) c.group = *g;
+            m.components.push_back(std::move(c));
+        }
+    }
+
+    if (const json::Value* arr = optArray(doc, "relays", "", r)) {
+        for (std::size_t i = 0; i < arr->array.size(); ++i) {
+            const std::string loc = at("/relays", i);
+            const json::Value& v = arr->array[i];
+            if (!reqObject(v, loc, r)) continue;
+            checkKeys(v, {"name", "group", "type", "fanout"}, loc, r);
+            RelayDecl rd;
+            if (const auto n = reqStr(v, "name", loc, r)) rd.name = *n;
+            if (const auto g = optStr(v, "group", loc, r)) rd.group = *g;
+            if (const auto t = optStr(v, "type", loc, r)) rd.type = *t;
+            if (const auto f = optNum(v, "fanout", loc, r)) {
+                if (*f < 0 || *f != static_cast<double>(static_cast<std::size_t>(*f))) {
+                    r.add("model.parse.bad-field", loc + "/fanout",
+                          "field 'fanout' must be a non-negative integer");
+                } else {
+                    rd.fanout = static_cast<std::size_t>(*f);
+                }
+            }
+            m.relays.push_back(std::move(rd));
+        }
+    }
+
+    if (const json::Value* arr = optArray(doc, "flows", "", r)) {
+        for (std::size_t i = 0; i < arr->array.size(); ++i) {
+            const std::string loc = at("/flows", i);
+            const json::Value& v = arr->array[i];
+            if (!reqObject(v, loc, r)) continue;
+            checkKeys(v, {"from", "to"}, loc, r);
+            FlowDecl f;
+            if (const auto s = reqStr(v, "from", loc, r)) f.from = *s;
+            if (const auto s = reqStr(v, "to", loc, r)) f.to = *s;
+            m.flows.push_back(std::move(f));
+        }
+    }
+
+    if (const json::Value* arr = optArray(doc, "traces", "", r)) {
+        for (std::size_t i = 0; i < arr->array.size(); ++i) {
+            const std::string loc = at("/traces", i);
+            const json::Value& v = arr->array[i];
+            if (!reqObject(v, loc, r)) continue;
+            checkKeys(v, {"channel", "probe"}, loc, r);
+            TraceDecl t;
+            if (const auto c = reqStr(v, "channel", loc, r)) t.channel = *c;
+            if (const auto p = reqStr(v, "probe", loc, r)) t.probe = *p;
+            m.traces.push_back(std::move(t));
+        }
+    }
+
+    return m;
+}
+
+ModelDoc parseModel(const std::string& text, Report& r) {
+    std::string err;
+    const auto doc = json::parse(text, &err);
+    if (!doc) {
+        r.add("model.parse.bad-json", "/", "model document is not valid JSON: " + err);
+        return ModelDoc{};
+    }
+    return parseModel(*doc, r);
+}
+
+void validateModel(const ModelDoc& doc, Report& r) {
+    const ComponentRegistry& reg = ComponentRegistry::global();
+
+    // --- parameters ---------------------------------------------------------
+    {
+        std::set<std::string> seen;
+        for (std::size_t i = 0; i < doc.params.size(); ++i) {
+            const ParamDecl& p = doc.params[i];
+            const std::string loc = at("/params", i);
+            if (!seen.insert(p.name).second) {
+                r.add("model.duplicate-name", loc + "/name",
+                      "duplicate parameter '" + p.name + "'");
+            }
+            if (p.hasMin && p.hasMax && p.min > p.max) {
+                r.add("model.param.bad-bounds", loc,
+                      "parameter '" + p.name + "' has min > max");
+            }
+            if (p.hasDefault &&
+                ((p.hasMin && p.def < p.min) || (p.hasMax && p.def > p.max))) {
+                r.add("model.param.default-out-of-bounds", loc + "/default",
+                      "parameter '" + p.name + "' default lies outside [min, max]");
+            }
+        }
+    }
+
+    // --- solver groups (rule 2: behaviour is an interchangeable solver) -----
+    std::set<std::string> groupNames;
+    for (std::size_t i = 0; i < doc.groups.size(); ++i) {
+        const GroupDecl& g = doc.groups[i];
+        const std::string loc = at("/groups", i);
+        if (!groupNames.insert(g.name).second) {
+            r.add("model.duplicate-name", loc + "/name", "duplicate group '" + g.name + "'");
+        }
+        try {
+            (void)solver::makeIntegrator(g.integrator);
+        } catch (const std::exception&) {
+            r.add("rule2.unknown-solver", loc + "/integrator",
+                  "group '" + g.name + "': unknown solver strategy '" + g.integrator + "'");
+        }
+        if (!(g.dt > 0.0)) {
+            r.add("rule2.bad-step", loc + "/dt",
+                  "group '" + g.name + "': major step dt must be > 0");
+        }
+    }
+
+    // --- components (rules 6 and 7: capsules and streamers live on
+    // different threads — streamers inside solver groups, capsules outside) -
+    std::set<std::string> instanceNames;
+    for (std::size_t i = 0; i < doc.components.size(); ++i) {
+        const ComponentDecl& c = doc.components[i];
+        const std::string loc = at("/components", i);
+        if (!instanceNames.insert(c.name).second) {
+            r.add("model.duplicate-name", loc + "/name",
+                  "duplicate component '" + c.name + "'");
+        }
+        const ComponentType* t = reg.find(c.type);
+        if (!t) {
+            r.add("model.unknown-type", loc + "/type",
+                  "unknown component type '" + c.type + "'");
+            continue;
+        }
+        if (t->kind == ComponentType::Kind::Capsule) {
+            if (!c.group.empty()) {
+                r.add("rule6.capsule-in-streamer", loc + "/group",
+                      "capsule '" + c.name +
+                          "' must not be placed in a solver group (streamers never contain "
+                          "capsules)");
+            }
+        } else {
+            if (c.group.empty()) {
+                r.add("rule7.ungrouped-streamer", loc,
+                      "streamer '" + c.name +
+                          "' must belong to a solver group (streamers run on solver "
+                          "threads, capsules on controllers)");
+            } else if (groupNames.count(c.group) == 0) {
+                r.add("model.unknown-group", loc + "/group",
+                      "component '" + c.name + "' references unknown group '" + c.group +
+                          "'");
+            }
+        }
+    }
+
+    // --- relays (rule 4: a relay generates >= 2 similar flows) --------------
+    for (std::size_t i = 0; i < doc.relays.size(); ++i) {
+        const RelayDecl& rd = doc.relays[i];
+        const std::string loc = at("/relays", i);
+        if (!instanceNames.insert(rd.name).second) {
+            r.add("model.duplicate-name", loc + "/name",
+                  "duplicate component '" + rd.name + "'");
+        }
+        if (rd.fanout < 2) {
+            r.add("rule4.relay-fanout", loc + "/fanout",
+                  "relay '" + rd.name +
+                      "' must have fanout >= 2 (a relay duplicates a flow into at least two "
+                      "similar flows)");
+        }
+        if (!scalarType(rd.type)) {
+            r.add("model.bad-flow-type", loc + "/type",
+                  "relay '" + rd.name + "': flow type must be \"real\", \"int\" or \"bool\"");
+        }
+        if (rd.group.empty()) {
+            r.add("rule7.ungrouped-streamer", loc,
+                  "relay '" + rd.name + "' must belong to a solver group");
+        } else if (groupNames.count(rd.group) == 0) {
+            r.add("model.unknown-group", loc + "/group",
+                  "relay '" + rd.name + "' references unknown group '" + rd.group + "'");
+        }
+    }
+
+    // --- flows (rules 1, 3, 4, 5 and the four connector variants) -----------
+    std::set<std::string> fedInputs;   // "comp.port" with an upstream feeder
+    std::set<std::string> usedOutputs; // out DPorts already feeding a flow
+    std::set<std::string> wiredSignal; // signal endpoints already wired
+    for (std::size_t i = 0; i < doc.flows.size(); ++i) {
+        const FlowDecl& f = doc.flows[i];
+        const std::string loc = at("/flows", i);
+        const auto from = resolveEndpoint(doc, reg, f.from, loc + "/from", r);
+        const auto to = resolveEndpoint(doc, reg, f.to, loc + "/to", r);
+        if (!from || !to) continue;
+
+        const bool fromData = from->port.kind == PortInfo::Kind::DPort;
+        const bool toData = to->port.kind == PortInfo::Kind::DPort;
+        if (fromData != toData) {
+            // One side continuous, one side not: either a capsule port on a
+            // dataflow (the paper forbids capsule DPorts outside relays) or
+            // an SPort/DPort mix that is none of the four connector kinds.
+            if (from->onCapsule || to->onCapsule) {
+                r.add("rule5.capsule-dport", loc,
+                      "flow '" + f.from + "' -> '" + f.to +
+                          "' connects a capsule port to a DPort (in capsules, DPorts are "
+                          "only used as relay ports)");
+            } else {
+                r.add("model.bad-flow-kind", loc,
+                      "flow '" + f.from + "' -> '" + f.to + "' connects a " +
+                          kindName(from->port.kind) + " to a " + kindName(to->port.kind) +
+                          " (legal connectors: Port-Port, Port-SPort, SPort-Port, "
+                          "DPort-DPort)");
+            }
+            continue;
+        }
+
+        if (fromData) {
+            // DPort -> DPort dataflow.
+            if (from->port.dir != flow::DPortDir::Out) {
+                r.add("rule3.bad-endpoints", loc + "/from",
+                      "dataflow source '" + f.from + "' must be an out DPort");
+                continue;
+            }
+            if (to->port.dir != flow::DPortDir::In) {
+                r.add("rule3.bad-endpoints", loc + "/to",
+                      "dataflow destination '" + f.to + "' must be an in DPort");
+                continue;
+            }
+            if (!from->group.empty() && !to->group.empty() && from->group != to->group) {
+                r.add("model.cross-group-flow", loc,
+                      "dataflow '" + f.from + "' -> '" + f.to +
+                          "' crosses solver groups ('" + from->group + "' vs '" + to->group +
+                          "')");
+            }
+            if (!from->port.type.subsetOf(to->port.type)) {
+                r.add("rule3.flow-type-mismatch", loc,
+                      "flow type " + from->port.type.toString() + " of '" + f.from +
+                          "' is not a subset of " + to->port.type.toString() +
+                          " required by '" + f.to + "'");
+            }
+            if (!fedInputs.insert(f.to).second) {
+                r.add("model.duplicate-feeder", loc + "/to",
+                      "'" + f.to + "' is already fed by another flow");
+            }
+            if (!usedOutputs.insert(f.from).second) {
+                r.add("rule4.fanout-requires-relay", loc + "/from",
+                      "'" + f.from +
+                          "' already feeds a flow; duplicating a flow requires a relay");
+            }
+            continue;
+        }
+
+        // Signal flow: Port-Port, Port-SPort or SPort-Port.
+        if (from->port.kind == PortInfo::Kind::SPort &&
+            to->port.kind == PortInfo::Kind::SPort) {
+            r.add("model.bad-flow-kind", loc,
+                  "flow '" + f.from + "' -> '" + f.to +
+                      "' connects two SPorts (signal flows bridge the capsule and streamer "
+                      "worlds; streamer-to-streamer data travels over DPorts)");
+            continue;
+        }
+        if (from->port.protocol != to->port.protocol) {
+            r.add("model.protocol-mismatch", loc,
+                  "'" + f.from + "' speaks protocol " + from->port.protocol + " but '" +
+                      f.to + "' speaks " + to->port.protocol);
+        } else if (from->port.conjugated == to->port.conjugated) {
+            r.add("model.conjugation", loc,
+                  "'" + f.from + "' and '" + f.to +
+                      "' play the same protocol role; connected ports must have opposite "
+                      "conjugation");
+        }
+        if (!wiredSignal.insert(f.from).second) {
+            r.add("model.duplicate-wiring", loc + "/from",
+                  "'" + f.from + "' is already wired (signal connections are point-to-point)");
+        }
+        if (!wiredSignal.insert(f.to).second) {
+            r.add("model.duplicate-wiring", loc + "/to",
+                  "'" + f.to + "' is already wired (signal connections are point-to-point)");
+        }
+    }
+
+    // --- traces (rule 1 again: probes address real ports) -------------------
+    {
+        std::set<std::string> channels;
+        for (std::size_t i = 0; i < doc.traces.size(); ++i) {
+            const TraceDecl& t = doc.traces[i];
+            const std::string loc = at("/traces", i);
+            if (!channels.insert(t.channel).second) {
+                r.add("model.duplicate-name", loc + "/channel",
+                      "duplicate trace channel '" + t.channel + "'");
+            }
+            const auto split = splitEndpoint(t.probe);
+            if (!split) {
+                r.add("model.bad-probe", loc + "/probe",
+                      "probe '" + t.probe +
+                          "' must be \"comp.port\", \"comp.port[i]\" or \"comp.param.key\"");
+                continue;
+            }
+            const std::string& comp = split->first;
+            std::string rest = split->second;
+            const ComponentDecl* cd = nullptr;
+            for (const ComponentDecl& c : doc.components) {
+                if (c.name == comp) {
+                    cd = &c;
+                    break;
+                }
+            }
+            bool isRelay = false;
+            for (const RelayDecl& rd : doc.relays) {
+                if (rd.name == comp) isRelay = true;
+            }
+            if (!cd && !isRelay) {
+                r.add("model.unknown-component", loc + "/probe",
+                      "unknown component '" + comp + "' in probe '" + t.probe + "'");
+                continue;
+            }
+            if (rest.rfind("param.", 0) == 0) {
+                const std::string key = rest.substr(6);
+                const ComponentType* ct = cd ? reg.find(cd->type) : nullptr;
+                if (!ct || ct->kind != ComponentType::Kind::Streamer ||
+                    ct->defaultParams.count(key) == 0) {
+                    r.add("model.unknown-param", loc + "/probe",
+                          "component '" + comp + "' has no parameter '" + key + "'");
+                }
+                continue;
+            }
+            std::size_t index = 0;
+            if (const std::size_t br = rest.find('['); br != std::string::npos) {
+                const std::size_t end = rest.find(']', br);
+                if (end == std::string::npos || end != rest.size() - 1 || end == br + 1) {
+                    r.add("model.bad-probe", loc + "/probe",
+                          "probe '" + t.probe + "' has a malformed [index]");
+                    continue;
+                }
+                index = static_cast<std::size_t>(
+                    std::strtoul(rest.substr(br + 1, end - br - 1).c_str(), nullptr, 10));
+                rest = rest.substr(0, br);
+            }
+            // Reuse endpoint resolution for the port lookup (relays too).
+            Report scratch;
+            const auto ep = resolveEndpoint(doc, reg, comp + "." + rest, loc + "/probe",
+                                            scratch);
+            for (const Diagnostic& d : scratch.diagnostics()) r.add(d.code, d.location,
+                                                                    d.message);
+            if (!ep) continue;
+            if (ep->port.kind != PortInfo::Kind::DPort) {
+                r.add("model.bad-probe", loc + "/probe",
+                      "probe '" + t.probe + "' must target a DPort or a parameter");
+                continue;
+            }
+            if (index >= ep->port.type.width()) {
+                r.add("model.bad-probe", loc + "/probe",
+                      "probe '" + t.probe + "' index " + std::to_string(index) +
+                          " is out of range (width " +
+                          std::to_string(ep->port.type.width()) + ")");
+            }
+        }
+    }
+}
+
+} // namespace urtx::srv::model

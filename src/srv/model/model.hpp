@@ -1,0 +1,136 @@
+#pragma once
+/// \file model.hpp
+/// The declarative scenario definition language: a JSON model document
+/// covering the paper's Table 1 stereotypes — capsules, streamers,
+/// DPorts/SPorts, flows, relays, solver choice, parameters — parsed into a
+/// ModelDoc and checked by a structural validator enforcing the paper's
+/// rules 1-7 with machine-readable diagnostics (see report.hpp and
+/// docs/MODEL_FORMAT.md for the format reference and the full rule/code
+/// table).
+///
+/// A model document looks like:
+///
+///   {"model": "tank-model",
+///    "description": "two-tank level supervision (uploaded)",
+///    "groups": [{"name": "process", "integrator": "RK45", "dt": 0.05}],
+///    "components": [
+///      {"name": "tanks", "type": "TwoTank", "group": "process"},
+///      {"name": "supervisor", "type": "TankSupervisor"},
+///      {"name": "fault", "type": "FaultInjector"}],
+///    "relays": [],
+///    "flows": [
+///      {"from": "supervisor.plant", "to": "tanks.ctl"},
+///      {"from": "fault.plant", "to": "tanks.faultIn"}],
+///    "traces": [
+///      {"channel": "h1", "probe": "tanks.h1"},
+///      {"channel": "pump", "probe": "tanks.param.qin"}],
+///    "params": [
+///      {"name": "qin", "default": 0.8, "min": 0, "max": 10,
+///       "doc": "pump inflow"}]}
+///
+/// Component types name entries of the ComponentRegistry (components.hpp);
+/// the compiler (compile.hpp) lowers a validated ModelDoc onto
+/// urtx::SystemBuilder into a live, warm-cacheable Scenario.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "srv/json.hpp"
+#include "srv/model/report.hpp"
+
+namespace urtx::srv::model {
+
+/// A declared job parameter with optional default and bounds.
+struct ParamDecl {
+    std::string name;
+    std::string doc;
+    double def = 0.0;
+    bool hasDefault = false;
+    double min = 0.0;
+    bool hasMin = false;
+    double max = 0.0;
+    bool hasMax = false;
+};
+
+/// One solver group: a streamer tree integrated by one solver strategy at
+/// one major step (the paper's "behaviour is implemented by a solver").
+struct GroupDecl {
+    std::string name;
+    std::string integrator = "RK45";
+    double dt = 0.01;
+};
+
+/// One capsule or streamer instance of a registered component type.
+struct ComponentDecl {
+    std::string name;
+    std::string type;
+    std::string group; ///< solver group (streamers); must be empty for capsules
+};
+
+/// The paper's relay connector: duplicates one flow into >= 2 similar flows.
+struct RelayDecl {
+    std::string name;
+    std::string group;
+    std::string type = "real"; ///< flow type: "real" | "int" | "bool"
+    std::size_t fanout = 2;
+};
+
+/// One connector. Endpoints are "component.port"; the endpoint kinds select
+/// the connector variant (Port-Port, Port-SPort, SPort-Port, DPort-DPort).
+struct FlowDecl {
+    std::string from;
+    std::string to;
+};
+
+/// One trace channel. Probes: "comp.port" (DPort slot 0),
+/// "comp.port[i]" (slot i), "comp.param.key" (streamer parameter).
+struct TraceDecl {
+    std::string channel;
+    std::string probe;
+};
+
+/// The parsed model document, in document order throughout (validation and
+/// compilation both traverse these vectors front to back, so diagnostics
+/// and construction order are deterministic).
+struct ModelDoc {
+    std::string name;
+    std::string description;
+    std::vector<ParamDecl> params;
+    std::vector<GroupDecl> groups;
+    std::vector<ComponentDecl> components;
+    std::vector<RelayDecl> relays;
+    std::vector<FlowDecl> flows;
+    std::vector<TraceDecl> traces;
+};
+
+/// Parse a model document. Strict: unknown keys, wrong-typed fields and
+/// missing required fields become model.parse.* diagnostics in \p r (the
+/// returned doc is best-effort; use it only when r.ok()). Never throws.
+ModelDoc parseModel(const json::Value& doc, Report& r);
+
+/// Convenience overload: parse \p text as JSON first (model.parse.bad-json
+/// on malformed input), then as a model document.
+ModelDoc parseModel(const std::string& text, Report& r);
+
+/// Structural validation: the paper's rules 1-7 plus referential checks,
+/// appended to \p r in deterministic document order. Requires a parse-clean
+/// doc. Codes (docs/MODEL_FORMAT.md has the full table):
+///
+///   rule1.unknown-port        flow/trace endpoint names no port of its component
+///   rule2.unknown-solver      group integrator is not a known solver strategy
+///   rule2.bad-step            group major step dt <= 0
+///   rule3.flow-type-mismatch  DPort flow where src type is not a subset of dst
+///   rule3.bad-endpoints       DPort flow that is not out -> in
+///   rule4.relay-fanout        relay with fanout < 2
+///   rule4.fanout-requires-relay  an out DPort feeding more than one flow
+///   rule5.capsule-dport       dataflow endpoint on a capsule port
+///   rule6.capsule-in-streamer capsule declared inside a solver group
+///   rule7.ungrouped-streamer  streamer outside any solver group
+///
+/// plus model.* referential codes (unknown-component, unknown-type,
+/// unknown-group, duplicate-name, duplicate-feeder, protocol-mismatch,
+/// conjugation, bad-probe, param bounds).
+void validateModel(const ModelDoc& doc, Report& r);
+
+} // namespace urtx::srv::model

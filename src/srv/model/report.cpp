@@ -1,0 +1,28 @@
+#include "srv/model/report.hpp"
+
+#include "srv/json.hpp"
+
+namespace urtx::srv::model {
+
+std::string Report::toJson() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < diags_.size(); ++i) {
+        if (i) out += ", ";
+        const Diagnostic& d = diags_[i];
+        out += "{\"code\": \"" + json::escape(d.code) + "\", \"location\": \"" +
+               json::escape(d.location) + "\", \"message\": \"" + json::escape(d.message) +
+               "\"}";
+    }
+    out += "]";
+    return out;
+}
+
+std::string Report::text() const {
+    std::string out;
+    for (const Diagnostic& d : diags_) {
+        out += d.code + " @ " + d.location + ": " + d.message + "\n";
+    }
+    return out;
+}
+
+} // namespace urtx::srv::model

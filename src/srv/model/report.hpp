@@ -1,0 +1,49 @@
+#pragma once
+/// \file report.hpp
+/// The validator's report sink: an append-only list of machine-readable
+/// diagnostics.
+///
+/// Every structural check pushes Diagnostic{code, location, message} into a
+/// Report instead of throwing, so one validation pass surfaces *all*
+/// problems, in deterministic document-traversal order — validating the
+/// same document twice yields byte-identical reports. Codes are stable
+/// dotted identifiers ("rule3.flow-type-mismatch", "model.parse.unknown-key");
+/// locations are JSON pointers into the model document ("/flows/2/from").
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace urtx::srv::model {
+
+/// One validation finding.
+struct Diagnostic {
+    std::string code;     ///< stable dotted id, e.g. "rule1.unknown-port"
+    std::string location; ///< JSON pointer into the model doc, e.g. "/flows/0/from"
+    std::string message;  ///< human-readable explanation
+};
+
+/// Append-only diagnostic sink. Order is the order of add() calls — the
+/// validator traverses the document in one deterministic pass, so two runs
+/// over the same document produce identical reports.
+class Report {
+public:
+    void add(std::string code, std::string location, std::string message) {
+        diags_.push_back({std::move(code), std::move(location), std::move(message)});
+    }
+
+    bool ok() const { return diags_.empty(); }
+    std::size_t size() const { return diags_.size(); }
+    const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+    /// JSON array of {"code", "location", "message"} objects, in order.
+    std::string toJson() const;
+
+    /// Human-readable "code @ location: message" lines.
+    std::string text() const;
+
+private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace urtx::srv::model

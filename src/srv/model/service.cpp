@@ -1,0 +1,88 @@
+#include "srv/model/service.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "srv/error.hpp"
+#include "srv/model/compile.hpp"
+#include "srv/model/model.hpp"
+
+namespace urtx::srv::model {
+
+namespace {
+
+/// Shared validation front half of defineScenario / validateDefineVerb:
+/// returns true with the parsed document, or false with out.response set
+/// to the unified-schema rejection record.
+bool checkDefineVerb(const json::Value& verb, ModelDoc& doc, DefineOutcome& out) {
+    const json::Value* modelDoc = verb.find("model");
+    if (!modelDoc || !modelDoc->isObject()) {
+        ErrorInfo e("verb.bad-argument",
+                    "define_scenario requires a \"model\" object (the model document)");
+        out.response = "{\"status\": \"error\", \"op\": \"define_scenario\", \"error\": " +
+                       errorJson(e) + ", \"error_string\": \"" + json::escape(e.message) +
+                       "\"}";
+        return false;
+    }
+
+    Report r;
+    doc = parseModel(*modelDoc, r);
+    if (r.ok()) validateModel(doc, r);
+    if (!r.ok()) {
+        ErrorInfo e("model.invalid",
+                    "model document rejected: " + std::to_string(r.size()) + " diagnostic" +
+                        (r.size() == 1 ? "" : "s"),
+                    "{\"diagnostics\": " + r.toJson() + "}");
+        out.response = "{\"status\": \"error\", \"op\": \"define_scenario\", \"model\": \"" +
+                       json::escape(doc.name) + "\", \"error\": " + errorJson(e) +
+                       ", \"error_string\": \"" + json::escape(e.message) + "\"}";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+DefineOutcome validateDefineVerb(const json::Value& verb) {
+    DefineOutcome out;
+    ModelDoc doc;
+    if (checkDefineVerb(verb, doc, out)) {
+        out.ok = true;
+        out.name = doc.name;
+        out.response.clear();
+    }
+    return out;
+}
+
+DefineOutcome defineScenario(ScenarioLibrary& lib, const json::Value& verb) {
+    DefineOutcome out;
+    ModelDoc doc;
+    if (!checkDefineVerb(verb, doc, out)) return out;
+
+    auto shared = std::make_shared<const ModelDoc>(std::move(doc));
+    registerModel(lib, shared);
+    out.ok = true;
+    out.name = shared->name;
+    out.response = "{\"status\": \"ok\", \"op\": \"define_scenario\", \"model\": \"" +
+                   json::escape(shared->name) + "\", \"components\": " +
+                   std::to_string(shared->components.size()) + ", \"flows\": " +
+                   std::to_string(shared->flows.size()) + ", \"traces\": " +
+                   std::to_string(shared->traces.size()) + "}";
+    return out;
+}
+
+std::string listScenariosJson(const ScenarioLibrary& lib) {
+    std::string out = "{\"status\": \"ok\", \"op\": \"list_scenarios\", \"scenarios\": [";
+    bool first = true;
+    for (const auto& entry : lib.listDetailed()) {
+        if (!first) out += ", ";
+        first = false;
+        out += "{\"name\": \"" + json::escape(entry.name) + "\", \"description\": \"" +
+               json::escape(entry.description) + "\", \"schema\": " + entry.schema.toJson() +
+               "}";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace urtx::srv::model

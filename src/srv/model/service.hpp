@@ -1,0 +1,42 @@
+#pragma once
+/// \file service.hpp
+/// Wire-facing half of the model subsystem, shared by the daemon and the
+/// router: the {"op": "define_scenario"} and {"op": "list_scenarios"}
+/// verbs as pure JSON-in / JSON-out functions so both serving tiers emit
+/// identical records.
+
+#include <string>
+
+#include "srv/json.hpp"
+#include "srv/scenario.hpp"
+
+namespace urtx::srv::model {
+
+/// Outcome of one define_scenario request.
+struct DefineOutcome {
+    bool ok = false;
+    std::string name;     ///< registered scenario name (ok only)
+    std::string response; ///< complete one-line JSON record to send back
+};
+
+/// Handle {"op": "define_scenario", "model": {...}}: parse the embedded
+/// model document, run the structural validator (paper rules 1-7), and on
+/// success compile-register it in \p lib beside the builtins. On any
+/// diagnostic the response is the unified error schema with code
+/// "model.invalid" and the full deterministic diagnostic list under
+/// error.context.diagnostics.
+DefineOutcome defineScenario(ScenarioLibrary& lib, const json::Value& verb);
+
+/// Parse + validate a define_scenario verb WITHOUT registering anything.
+/// On failure the outcome carries the exact error response defineScenario
+/// would send; on success only ok/name are set (response stays empty).
+/// Used by the router to reject a bad upload once instead of N times, and
+/// to learn the model name it stores the verb under for shard replay.
+DefineOutcome validateDefineVerb(const json::Value& verb);
+
+/// {"status": "ok", "op": "list_scenarios", "scenarios": [{"name",
+/// "description", "schema"}...]} — every registered factory (builtin and
+/// uploaded) with its ParamSchema (defaults and bounds included).
+std::string listScenariosJson(const ScenarioLibrary& lib);
+
+} // namespace urtx::srv::model

@@ -19,7 +19,9 @@
 #include "obs/metrics.hpp"
 #include "srv/batch_io.hpp"
 #include "srv/daemon/framing.hpp"
+#include "srv/error.hpp"
 #include "srv/json.hpp"
+#include "srv/model/service.hpp"
 
 namespace urtx::srv::router {
 
@@ -30,18 +32,19 @@ void setNonBlocking(int fd) {
     if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
 }
 
-std::string errorRecord(const std::string& message) {
-    return "{\"status\": \"error\", \"error\": \"" + json::escape(message) + "\"}";
+std::string errorRecord(const std::string& code, const std::string& message) {
+    return urtx::srv::errorRecord(ErrorInfo(code, message));
 }
 
 ResultRecord rejectionRec(const ScenarioSpec& spec, std::string verdict,
-                          std::string error) {
+                          std::string code, std::string error) {
     ResultRecord r;
     r.name = spec.name;
     r.scenario = spec.scenario;
     r.status = ScenarioStatus::Rejected;
     r.passed = false;
     r.verdict = std::move(verdict);
+    r.errorCode = std::move(code);
     r.error = std::move(error);
     return r;
 }
@@ -668,7 +671,7 @@ void RouterDaemon::processClientFrames(const std::shared_ptr<Client>& c) {
             wiregen::WireJob w;
             std::string err;
             if (!wiregen::WireJob::decode(w, payload.data(), payload.size(), &err)) {
-                writeClientError(c, "bad job frame: " + err);
+                writeClientError(c, "proto.bad-frame", "bad job frame: " + err);
                 badLines_->inc();
                 break;
             }
@@ -680,15 +683,17 @@ void RouterDaemon::processClientFrames(const std::shared_ptr<Client>& c) {
             const std::optional<json::Value> doc = json::parse(payload, &err);
             if (!doc || !doc->isObject()) {
                 writeClientControl(
-                    c, errorRecord(doc ? "control frame must carry a JSON object"
-                                       : err));
+                    c, doc ? errorRecord("verb.bad-argument",
+                                         "control frame must carry a JSON object")
+                           : errorRecord("proto.bad-json", err));
                 badLines_->inc();
                 break;
             }
             const json::Value* op = doc->find("op");
             if (!op || !op->isString()) {
-                writeClientControl(c,
-                                   errorRecord("control frame requires a string 'op'"));
+                writeClientControl(
+                    c, errorRecord("verb.bad-argument",
+                                   "control frame requires a string 'op'"));
                 badLines_->inc();
                 break;
             }
@@ -714,7 +719,8 @@ void RouterDaemon::handleClientLine(const std::shared_ptr<Client>& c,
     std::string err;
     const std::optional<json::Value> doc = json::parse(line, &err);
     if (!doc || !doc->isObject()) {
-        writeClientError(c, doc ? "request must be a JSON object" : err);
+        writeClientError(c, doc ? "proto.bad-request" : "proto.bad-json",
+                         doc ? "request must be a JSON object" : err);
         badLines_->inc();
         return;
     }
@@ -726,7 +732,7 @@ void RouterDaemon::handleClientLine(const std::shared_ptr<Client>& c,
     try {
         specs = parseJobObject(*doc);
     } catch (const std::exception& ex) {
-        writeClientError(c, ex.what());
+        writeClientError(c, "job.bad-spec", ex.what());
         badLines_->inc();
         return;
     }
@@ -743,8 +749,9 @@ void RouterDaemon::handleClientControl(const std::shared_ptr<Client>& c,
         if (op == "set_sampling") {
             const json::Value* rate = doc.find("rate");
             if (!rate || !rate->isNumber()) {
-                writeClientControl(c,
-                                   errorRecord("set_sampling requires a numeric 'rate'"));
+                writeClientControl(
+                    c, errorRecord("verb.bad-argument",
+                                   "set_sampling requires a numeric 'rate'"));
                 badLines_->inc();
                 return;
             }
@@ -752,7 +759,27 @@ void RouterDaemon::handleClientControl(const std::shared_ptr<Client>& c,
         startFanout(c, op, json::stringify(doc));
         return;
     }
-    writeClientControl(c, errorRecord("unknown op '" + op + "'"));
+    if (op == "list_scenarios") {
+        startFanout(c, op, json::stringify(doc));
+        return;
+    }
+    if (op == "define_scenario") {
+        // Validate here so a bad document is rejected once by the router
+        // instead of N times by N shards, and so the model name is known
+        // before anything hits the wire: good uploads are remembered under
+        // that name and replayed to every shard admitted later.
+        const model::DefineOutcome res = model::validateDefineVerb(doc);
+        if (!res.ok) {
+            writeClientControl(c, res.response);
+            badLines_->inc();
+            return;
+        }
+        const std::string verbJson = json::stringify(doc);
+        models_[res.name] = verbJson;
+        startFanout(c, op, verbJson);
+        return;
+    }
+    writeClientControl(c, errorRecord("proto.unknown-op", "unknown op '" + op + "'"));
     badLines_->inc();
 }
 
@@ -762,12 +789,14 @@ void RouterDaemon::routeSpec(const std::shared_ptr<Client>& c, ScenarioSpec spec
     if (spec.name.empty()) spec.name = spec.scenario + "#" + std::to_string(c->seq++);
     if (draining_.load(std::memory_order_acquire)) {
         rejectedDraining_->inc();
-        writeClientRejection(c, spec, "draining", "router is draining");
+        writeClientRejection(c, spec, "draining", "job.rejected.draining",
+                             "router is draining");
         return;
     }
     if (ring_.empty()) {
         rejectedNoBackend_->inc();
-        writeClientRejection(c, spec, "no_backend", "no backend available");
+        writeClientRejection(c, spec, "no_backend", "router.no-backend",
+                             "no backend available");
         return;
     }
     const std::uint64_t token = nextToken_++;
@@ -850,7 +879,7 @@ void RouterDaemon::closeClient(const std::shared_ptr<Client>& c) {
 
 void RouterDaemon::failClientProtocol(const std::shared_ptr<Client>& c,
                                       const std::string& msg) {
-    writeClientError(c, msg);
+    writeClientError(c, "proto.violation", msg);
     badLines_->inc();
     c->inBuf.clear();
     c->readPaused = false;
@@ -882,9 +911,10 @@ void RouterDaemon::writeClientRecord(const std::shared_ptr<Client>& c,
 }
 
 void RouterDaemon::writeClientError(const std::shared_ptr<Client>& c,
+                                    const std::string& code,
                                     const std::string& message) {
     if (c->dead || c->fdClosed) return;
-    const std::string record = errorRecord(message);
+    const std::string record = errorRecord(code, message);
     std::string bytes;
     if (c->mode == Client::Mode::Binary) {
         wire::appendFrame(bytes, wire::FrameType::Error, record);
@@ -911,8 +941,9 @@ void RouterDaemon::writeClientControl(const std::shared_ptr<Client>& c,
 void RouterDaemon::writeClientRejection(const std::shared_ptr<Client>& c,
                                         const ScenarioSpec& spec,
                                         const std::string& verdict,
+                                        const std::string& code,
                                         const std::string& error) {
-    writeClientRecord(c, rejectionRec(spec, verdict, error));
+    writeClientRecord(c, rejectionRec(spec, verdict, code, error));
 }
 
 void RouterDaemon::writeClientOut(const std::shared_ptr<Client>& c,
@@ -1173,6 +1204,23 @@ void RouterDaemon::admitBackend(Backend& b) {
     b.everAdmitted = true;
     backendsUp_.store(ring_.backendCount(), std::memory_order_release);
     backendsUpGauge_->set(static_cast<double>(ring_.backendCount()));
+
+    // Replay every uploaded model so this shard serves the same catalogue
+    // as the rest of the fleet. The frames are queued on the connection
+    // before any job can be routed here, so a job naming an uploaded model
+    // never overtakes its definition. A client-less fan-out absorbs each
+    // response through the normal FIFO.
+    for (const auto& [name, verbJson] : models_) {
+        (void)name;
+        auto f = std::make_shared<Fanout>();
+        f->op = "define_scenario";
+        f->awaiting = 1;
+        b.controlFifo.push_back(f);
+        std::string bytes;
+        wire::appendFrame(bytes, wire::FrameType::Control, verbJson);
+        writeBackend(b, bytes);
+        if (b.state != Backend::State::Up) return; // torn down mid-replay
+    }
 }
 
 void RouterDaemon::backendDown(Backend& b, const std::string& reason) {
@@ -1196,7 +1244,10 @@ void RouterDaemon::backendDown(Backend& b, const std::string& reason) {
     std::deque<std::shared_ptr<Fanout>> waiters;
     waiters.swap(b.controlFifo);
     for (auto& f : waiters) {
-        if (f) fanoutResponse(f, b.addr.id, errorRecord("shard down: " + reason));
+        if (f) {
+            fanoutResponse(f, b.addr.id,
+                           errorRecord("router.shard-down", "shard down: " + reason));
+        }
     }
 
     if (wasUp) {
@@ -1270,7 +1321,7 @@ void RouterDaemon::dispatchToken(std::uint64_t token) {
     const std::string* ownerId = ring_.owner(p.key);
     Backend* b = ownerId ? backendById(*ownerId) : nullptr;
     if (!b || b->state != Backend::State::Up) {
-        failToken(token, "no backend available");
+        failToken(token, "router.no-backend", "no backend available");
         return;
     }
     p.backendId = b->addr.id;
@@ -1293,7 +1344,8 @@ void RouterDaemon::retryToken(std::uint64_t token, const std::string& deadBacken
             ? cfg_.maxAttemptsPerJob
             : static_cast<unsigned>(std::max<std::size_t>(1, cfg_.backends.size()));
     if (p.attempts >= maxAttempts) {
-        failToken(token, "shard " + deadBackend + " failed and retries exhausted");
+        failToken(token, "router.shard-down",
+                  "shard " + deadBackend + " failed and retries exhausted");
         return;
     }
     // After ring_.remove the dead shard's keys already point at their
@@ -1302,7 +1354,8 @@ void RouterDaemon::retryToken(std::uint64_t token, const std::string& deadBacken
     const std::string* nextId = ring_.successor(p.key, deadBackend);
     Backend* b = nextId ? backendById(*nextId) : nullptr;
     if (!b || b->state != Backend::State::Up) {
-        failToken(token, "shard " + deadBackend + " failed and no successor is up");
+        failToken(token, "router.shard-down",
+                  "shard " + deadBackend + " failed and no successor is up");
         return;
     }
     retries_->inc();
@@ -1316,7 +1369,8 @@ void RouterDaemon::retryToken(std::uint64_t token, const std::string& deadBacken
     writeBackend(*b, bytes);
 }
 
-void RouterDaemon::failToken(std::uint64_t token, const std::string& error) {
+void RouterDaemon::failToken(std::uint64_t token, const std::string& code,
+                             const std::string& error) {
     auto it = pending_.find(token);
     if (it == pending_.end()) return;
     Pending p = std::move(it->second);
@@ -1328,6 +1382,7 @@ void RouterDaemon::failToken(std::uint64_t token, const std::string& error) {
     rec.scenario = p.spec.scenario;
     rec.status = ScenarioStatus::Failed;
     rec.passed = false;
+    rec.errorCode = code;
     rec.error = error;
     const std::shared_ptr<Client> c = p.client;
     if (c) {
@@ -1404,6 +1459,9 @@ void RouterDaemon::fanoutResponse(const std::shared_ptr<Fanout>& f,
 }
 
 void RouterDaemon::finishFanout(const std::shared_ptr<Fanout>& f) {
+    // Model-replay fan-outs have no requesting client; their responses are
+    // absorbed here.
+    if (!f->client) return;
     const std::shared_ptr<Client>& c = f->client;
     std::ostringstream out;
     out << "{\"op\": \"" << json::escape(f->op) << "\", \"status\": \"ok\""
@@ -1449,6 +1507,34 @@ void RouterDaemon::finishFanout(const std::shared_ptr<Fanout>& f) {
         agg("warm_cache", whits, wmiss, wsize, wcap);
         agg("result_cache", rhits, rmiss, rsize, rcap);
         out << "}";
+    }
+
+    if (f->op == "list_scenarios") {
+        // Fleet union: one deduplicated catalogue (sorted by name) beside
+        // the verbatim per-shard payloads. Shards normally agree; after a
+        // partial upload the union still shows everything at least one
+        // shard can run.
+        std::map<std::string, std::string> merged;
+        for (const auto& [id, payload] : f->responses) {
+            const std::optional<json::Value> doc = json::parse(payload);
+            if (!doc || !doc->isObject()) continue;
+            const json::Value* arr = doc->find("scenarios");
+            if (!arr || !arr->isArray()) continue;
+            for (const json::Value& sc : arr->array) {
+                if (!sc.isObject()) continue;
+                const std::string name = sc.strOr("name", "");
+                if (!name.empty()) merged.emplace(name, json::stringify(sc));
+            }
+        }
+        out << ", \"scenarios\": [";
+        bool firstScenario = true;
+        for (const auto& [name, body] : merged) {
+            (void)name;
+            if (!firstScenario) out << ", ";
+            firstScenario = false;
+            out << body;
+        }
+        out << "]";
     }
 
     out << ", \"shards\": {";

@@ -43,6 +43,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -183,10 +184,12 @@ private:
 
     // Record/response writers toward a client (reactor thread).
     void writeClientRecord(const std::shared_ptr<Client>& c, const ResultRecord& rec);
-    void writeClientError(const std::shared_ptr<Client>& c, const std::string& message);
+    void writeClientError(const std::shared_ptr<Client>& c, const std::string& code,
+                          const std::string& message);
     void writeClientControl(const std::shared_ptr<Client>& c, const std::string& payload);
     void writeClientRejection(const std::shared_ptr<Client>& c, const ScenarioSpec& spec,
-                              const std::string& verdict, const std::string& error);
+                              const std::string& verdict, const std::string& code,
+                              const std::string& error);
     void writeClientOut(const std::shared_ptr<Client>& c, std::string_view bytes);
 
     // Backend side.
@@ -207,7 +210,8 @@ private:
     // Routing core.
     void dispatchToken(std::uint64_t token);
     void retryToken(std::uint64_t token, const std::string& deadBackend);
-    void failToken(std::uint64_t token, const std::string& error);
+    void failToken(std::uint64_t token, const std::string& code,
+                   const std::string& error);
     void deliverToken(std::uint64_t token, ResultRecord rec);
     void setPendingCount();
 
@@ -222,6 +226,12 @@ private:
 
     RouterConfig cfg_;
     HashRing ring_;
+
+    /// Uploaded model documents by model name: the define_scenario verb
+    /// JSON exactly as fanned out, replayed to every shard admitted (or
+    /// re-admitted) later so the whole fleet converges on one catalogue.
+    /// Reactor thread only.
+    std::map<std::string, std::string> models_;
 
     std::unique_ptr<Reactor> reactor_;
     std::thread reactorThread_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "srv/json.hpp"
+
 namespace urtx::srv {
 
 double ScenarioParams::num(const std::string& key, double fallback) const {
@@ -26,6 +28,41 @@ std::vector<std::string> ParamSchema::unknownKeys(const ScenarioParams& p) const
         if (strs.count(key) == 0) out.push_back(key);
     }
     return out;
+}
+
+namespace {
+
+std::string infoJson(const ParamSchema::Info& i, bool isStr) {
+    std::string out = "{\"doc\": \"" + json::escape(i.doc) + "\"";
+    if (isStr) {
+        if (i.hasStrDefault) out += ", \"default\": \"" + json::escape(i.strDefault) + "\"";
+    } else if (i.hasDefault) {
+        out += ", \"default\": " + json::number(i.def);
+    }
+    if (i.hasMin) out += ", \"min\": " + json::number(i.min);
+    if (i.hasMax) out += ", \"max\": " + json::number(i.max);
+    out += "}";
+    return out;
+}
+
+std::string infoMapJson(const std::map<std::string, ParamSchema::Info>& m, bool isStr) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, info] : m) {
+        if (!first) out += ", ";
+        first = false;
+        out += "\"" + json::escape(key) + "\": " + infoJson(info, isStr);
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::string ParamSchema::toJson() const {
+    return std::string("{\"open\": ") + (open ? "true" : "false") +
+           ", \"nums\": " + infoMapJson(nums, false) + ", \"strs\": " + infoMapJson(strs, true) +
+           "}";
 }
 
 namespace {
@@ -86,6 +123,14 @@ std::vector<std::pair<std::string, std::string>> ScenarioLibrary::list() const {
     std::vector<std::pair<std::string, std::string>> out;
     out.reserve(entries_.size());
     for (const Entry& e : entries_) out.emplace_back(e.name, e.description);
+    return out;
+}
+
+std::vector<ScenarioLibrary::Listing> ScenarioLibrary::listDetailed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<Listing> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back({e.name, e.description, e.schema});
     return out;
 }
 

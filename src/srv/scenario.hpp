@@ -58,13 +58,71 @@ private:
 /// UnknownParamError instead of a silent no-op, so a typo ("quin" for
 /// "qin") fails loudly rather than running the wrong experiment.
 struct ParamSchema {
-    std::map<std::string, std::string> nums;
-    std::map<std::string, std::string> strs;
+    /// Everything declared about one parameter: description plus optional
+    /// default and bounds (surfaced by list_scenarios / --list-scenarios
+    /// and enforced by model-compiled factories).
+    struct Info {
+        std::string doc;
+        double def = 0.0;
+        bool hasDefault = false;
+        double min = 0.0;
+        bool hasMin = false;
+        double max = 0.0;
+        bool hasMax = false;
+        std::string strDefault; ///< string parameters only
+        bool hasStrDefault = false;
+
+        Info& withDefault(double v) {
+            def = v;
+            hasDefault = true;
+            return *this;
+        }
+        Info& withMin(double v) {
+            min = v;
+            hasMin = true;
+            return *this;
+        }
+        Info& withMax(double v) {
+            max = v;
+            hasMax = true;
+            return *this;
+        }
+    };
+
+    std::map<std::string, Info> nums;
+    std::map<std::string, Info> strs;
     /// Open schemas accept any key (ad-hoc factories, tests).
     bool open = true;
 
+    /// Declare a numeric parameter; returns its Info for chaining
+    /// (.withDefault / .withMin / .withMax).
+    Info& num(const std::string& key, std::string doc) {
+        Info& i = nums[key];
+        i.doc = std::move(doc);
+        return i;
+    }
+    Info& num(const std::string& key, std::string doc, double def) {
+        return num(key, std::move(doc)).withDefault(def);
+    }
+    /// Declare a string parameter (optionally with a default).
+    Info& str(const std::string& key, std::string doc) {
+        Info& i = strs[key];
+        i.doc = std::move(doc);
+        return i;
+    }
+    Info& str(const std::string& key, std::string doc, std::string def) {
+        Info& i = str(key, std::move(doc));
+        i.strDefault = std::move(def);
+        i.hasStrDefault = true;
+        return i;
+    }
+
     /// Keys in \p p that this schema does not declare (empty when open).
     std::vector<std::string> unknownKeys(const ScenarioParams& p) const;
+
+    /// JSON object: {"open": ..., "nums": {...}, "strs": {...}} with doc /
+    /// default / min / max per key — the wire shape used by list_scenarios.
+    std::string toJson() const;
 };
 
 /// Thrown when a spec carries parameter keys the target factory does not
@@ -125,6 +183,15 @@ public:
     bool has(std::string_view name) const;
     /// (name, description) pairs in registration order.
     std::vector<std::pair<std::string, std::string>> list() const;
+
+    /// One registered factory as seen by list_scenarios.
+    struct Listing {
+        std::string name;
+        std::string description;
+        ParamSchema schema;
+    };
+    /// Every registered factory with its schema, registration order.
+    std::vector<Listing> listDetailed() const;
     /// The declared schema (open when the factory was registered without
     /// one); throws std::invalid_argument for unknown names.
     ParamSchema schema(const std::string& name) const;
@@ -217,7 +284,8 @@ struct ScenarioResult {
     ScenarioStatus status = ScenarioStatus::Rejected;
     bool passed = false;        ///< verdict; meaningful when Succeeded
     std::string verdictDetail;
-    std::string error;          ///< failure / rejection reason
+    std::string error;          ///< failure / rejection reason (human-readable)
+    std::string errorCode;      ///< stable machine-readable error id ("job.failed", ...)
     bool watchdogTripped = false;
 
     std::size_t worker = SIZE_MAX; ///< worker that ran it; SIZE_MAX = never ran

@@ -53,58 +53,59 @@ FaultyScenario::~FaultyScenario() = default;
 
 namespace {
 
-/// Keys every builtin accepts.
-ParamSchema commonSchema() {
+/// Keys every builtin accepts. dt / integrator defaults vary per scenario,
+/// so they are declared here and given their defaults by each schema.
+ParamSchema commonSchema(double dt, const char* integrator = "RK45") {
     ParamSchema s;
     s.open = false;
-    s.nums["verbose"] = "narrative output (0/1, default 0)";
-    s.nums["dt"] = "solver major step (seconds, per-scenario default)";
-    s.strs["integrator"] = "solver::makeIntegrator name (per-scenario default)";
+    s.num("verbose", "narrative output (0/1)", 0.0);
+    s.num("dt", "solver major step (seconds)", dt);
+    s.str("integrator", "solver::makeIntegrator name", integrator);
     return s;
 }
 
 ParamSchema tankSchema() {
-    ParamSchema s = commonSchema();
-    s.nums["faultAt"] = "valve-stuck injection time (s, < 0 disables; default 30)";
-    s.nums["qin"] = "pump inflow (default 0.8)";
-    s.nums["valve"] = "commanded valve opening (default 1.0)";
-    s.nums["stuck"] = "valve stuck fault flag (default 0)";
-    s.nums["stuckAt"] = "opening the valve sticks at (default 0.15)";
-    s.nums["hmax"] = "tank1 alarm threshold (default 2.0)";
-    s.nums["h1_0"] = "tank1 initial level (default 1.0)";
-    s.nums["h2_0"] = "tank2 initial level (default 0.5)";
+    ParamSchema s = commonSchema(0.05);
+    s.num("faultAt", "valve-stuck injection time (s, < 0 disables)", 30.0);
+    s.num("qin", "pump inflow", 0.8).withMin(0.0);
+    s.num("valve", "commanded valve opening", 1.0).withMin(0.0).withMax(1.0);
+    s.num("stuck", "valve stuck fault flag", 0.0);
+    s.num("stuckAt", "opening the valve sticks at", 0.15);
+    s.num("hmax", "tank1 alarm threshold", 2.0);
+    s.num("h1_0", "tank1 initial level", 1.0).withMin(0.0);
+    s.num("h2_0", "tank2 initial level", 0.5).withMin(0.0);
     return s;
 }
 
 ParamSchema cruiseSchema() {
-    ParamSchema s = commonSchema();
-    s.nums["script_scale"] = "driver script time scale (default 1)";
-    s.nums["m"] = "vehicle mass (default 1200)";
-    s.nums["b"] = "linear drag (default 30)";
-    s.nums["c"] = "quadratic drag (default 0.9)";
-    s.nums["v0"] = "initial speed (default 20)";
-    s.nums["enabled"] = "PI initially engaged (default 0)";
-    s.nums["vset"] = "initial setpoint (default 0)";
-    s.nums["kp"] = "PI proportional gain (default 900)";
-    s.nums["ki"] = "PI integral gain (default 120)";
+    ParamSchema s = commonSchema(0.02, "RK4");
+    s.num("script_scale", "driver script time scale", 1.0);
+    s.num("m", "vehicle mass", 1200.0).withMin(1.0);
+    s.num("b", "linear drag", 30.0);
+    s.num("c", "quadratic drag", 0.9);
+    s.num("v0", "initial speed", 20.0);
+    s.num("enabled", "PI initially engaged", 0.0);
+    s.num("vset", "initial setpoint", 0.0);
+    s.num("kp", "PI proportional gain", 900.0);
+    s.num("ki", "PI integral gain", 120.0);
     return s;
 }
 
 ParamSchema pendulumSchema() {
-    ParamSchema s = commonSchema();
-    s.nums["theta0"] = "initial angle from hanging (default 0.05)";
-    s.nums["omega0"] = "initial angular velocity (default 0)";
-    s.nums["balancing"] = "start in balance mode (default 0)";
-    s.nums["swingGain"] = "energy-pumping gain (default 4)";
-    s.nums["balanceKp"] = "balance proportional gain (default 8)";
-    s.nums["balanceKd"] = "balance derivative gain (default 2)";
-    s.nums["torqueMax"] = "torque saturation (default 1.5)";
+    ParamSchema s = commonSchema(0.002);
+    s.num("theta0", "initial angle from hanging", 0.05);
+    s.num("omega0", "initial angular velocity", 0.0);
+    s.num("balancing", "start in balance mode", 0.0);
+    s.num("swingGain", "energy-pumping gain", 4.0);
+    s.num("balanceKp", "balance proportional gain", 8.0);
+    s.num("balanceKd", "balance derivative gain", 2.0);
+    s.num("torqueMax", "torque saturation", 1.5);
     return s;
 }
 
 ParamSchema faultySchema() {
-    ParamSchema s = commonSchema();
-    s.nums["throwAt"] = "simulation time the streamer throws at (default 0.25)";
+    ParamSchema s = commonSchema(0.01, "Euler");
+    s.num("throwAt", "simulation time the streamer throws at", 0.25);
     return s;
 }
 

@@ -39,6 +39,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "flow/flow.hpp"
 #include "obs/metrics.hpp"
@@ -55,11 +56,31 @@ namespace urtx {
 /// exactly as with the layer APIs.
 class SystemBuilder {
 public:
+    /// One problem collected while assembling in deferErrors() mode.
+    struct BuildIssue {
+        std::string code;    ///< stable id, e.g. "flow.illegal", "build.exception"
+        std::string message; ///< the diagnostic the throwing API would have raised
+    };
+    /// validate()'s result: every deferred assembly problem, in call order.
+    using BuildReport = std::vector<BuildIssue>;
+
     explicit SystemBuilder(double t0 = 0.0)
         : sys_(std::make_unique<sim::HybridSystem>(t0)) {}
 
     SystemBuilder(SystemBuilder&&) = default;
     SystemBuilder& operator=(SystemBuilder&&) = default;
+
+    /// Switch to dry-run-friendly assembly: instead of throwing mid-build,
+    /// flow() / streamer() record a BuildIssue (and skip the broken call)
+    /// so validate() can report *every* problem in one pass.
+    SystemBuilder& deferErrors() {
+        defer_ = true;
+        return *this;
+    }
+
+    /// The diagnostic report accumulated under deferErrors(); empty means
+    /// everything wired cleanly so far.
+    const BuildReport& validate() const { return issues_; }
 
     /// Make \p name the current controller (created on first mention);
     /// capsules added afterwards attach to it. Without any controller()
@@ -86,26 +107,46 @@ public:
     /// in MultiThread mode) integrated by \p method at major step \p dt.
     SystemBuilder& streamer(urtx::flow::Streamer& root, const std::string& method = "RK45",
                             double majorDt = 0.01) {
+        if (defer_) {
+            try {
+                lastRunner_ =
+                    &sys_->addStreamerGroup(root, solver::makeIntegrator(method), majorDt);
+            } catch (const std::exception& e) {
+                issues_.push_back({"solver.unknown", e.what()});
+            }
+            return *this;
+        }
         lastRunner_ = &sys_->addStreamerGroup(root, solver::makeIntegrator(method), majorDt);
         return *this;
     }
 
     /// Connect two UML-RT ports (capsule <-> capsule).
     SystemBuilder& flow(rt::Port& a, rt::Port& b) {
+        if (defer_) {
+            try {
+                rt::connect(a, b);
+            } catch (const std::exception& e) {
+                issues_.push_back({"connect.illegal", e.what()});
+            }
+            return *this;
+        }
         rt::connect(a, b);
         return *this;
     }
     /// Connect a capsule port to a streamer's signal port (either order).
-    SystemBuilder& flow(rt::Port& a, urtx::flow::SPort& b) {
-        rt::connect(a, b.rtPort());
-        return *this;
-    }
-    SystemBuilder& flow(urtx::flow::SPort& a, rt::Port& b) {
-        rt::connect(a.rtPort(), b);
-        return *this;
-    }
-    /// The paper's flow connector between data ports.
+    SystemBuilder& flow(rt::Port& a, urtx::flow::SPort& b) { return flow(a, b.rtPort()); }
+    SystemBuilder& flow(urtx::flow::SPort& a, rt::Port& b) { return flow(a.rtPort(), b); }
+    /// The paper's flow connector between data ports. In deferErrors()
+    /// mode an illegal flow becomes a BuildIssue (checked without side
+    /// effects via flow::checkFlow) and the connection is skipped.
     SystemBuilder& flow(urtx::flow::DPort& src, urtx::flow::DPort& dst) {
+        if (defer_) {
+            std::string err = urtx::flow::checkFlow(src, dst);
+            if (!err.empty()) {
+                issues_.push_back({"flow.illegal", std::move(err)});
+                return *this;
+            }
+        }
         urtx::flow::flow(src, dst);
         return *this;
     }
@@ -143,6 +184,8 @@ private:
     std::unique_ptr<sim::HybridSystem> sys_;
     rt::Controller* current_ = nullptr;
     urtx::flow::SolverRunner* lastRunner_ = nullptr;
+    bool defer_ = false;
+    BuildReport issues_;
 };
 
 /// Entry point of the facade: urtx::system().capsule(...).streamer(...)

@@ -404,7 +404,7 @@ TEST(SrvDaemonTest, MalformedLinesYieldErrorRecords) {
     ASSERT_TRUE(c.sendLine("this is not json"));
     json::Value rec = c.readRecord();
     EXPECT_EQ(rec.strOr("status", ""), "error");
-    EXPECT_NE(rec.strOr("error", ""), "");
+    EXPECT_NE(rec.strOr("error_string", ""), "");
 
     ASSERT_TRUE(c.sendLine("[1, 2, 3]")); // valid JSON, not a job object
     rec = c.readRecord();
@@ -413,7 +413,7 @@ TEST(SrvDaemonTest, MalformedLinesYieldErrorRecords) {
     ASSERT_TRUE(c.sendLine("{\"scenario\": \"tank\", \"bogus_key\": 1}"));
     rec = c.readRecord(); // unknown keys are structured errors, not ignored
     EXPECT_EQ(rec.strOr("status", ""), "error");
-    EXPECT_NE(rec.strOr("error", "").find("bogus_key"), std::string::npos);
+    EXPECT_NE(rec.strOr("error_string", "").find("bogus_key"), std::string::npos);
 
     // The connection survives all three and still runs real jobs.
     ASSERT_TRUE(c.sendLine(tankJob("after-errors")));
@@ -595,7 +595,7 @@ TEST(SrvDaemonTest, SetSamplingVerbRoundTripsAppliedRate) {
     ASSERT_TRUE(c.sendLine("{\"op\": \"set_sampling\"}"));
     const json::Value bad = c.readRecord();
     EXPECT_EQ(bad.strOr("status", ""), "error");
-    EXPECT_NE(bad.strOr("error", "").find("rate"), std::string::npos);
+    EXPECT_NE(bad.strOr("error_string", "").find("rate"), std::string::npos);
 
     ASSERT_TRUE(c.sendLine("{\"op\": \"set_sampling\", \"rate\": 1.0}"));
     EXPECT_DOUBLE_EQ(c.readRecord().numOr("rate", -1.0), 1.0);
@@ -648,7 +648,7 @@ TEST(SrvDaemonTest, UnknownOpIsRejectedWithoutKillingTheConnection) {
     ASSERT_TRUE(c.sendLine("{\"op\": \"frobnicate\"}"));
     const json::Value rec = c.readRecord();
     EXPECT_EQ(rec.strOr("status", ""), "error");
-    EXPECT_NE(rec.strOr("error", "").find("frobnicate"), std::string::npos);
+    EXPECT_NE(rec.strOr("error_string", "").find("frobnicate"), std::string::npos);
 
     ASSERT_TRUE(c.sendLine(tankJob("after-unknown-op")));
     EXPECT_EQ(c.readRecord().strOr("status", ""), "succeeded");

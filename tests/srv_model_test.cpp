@@ -1,0 +1,375 @@
+/// \file srv_model_test.cpp
+/// The scenario definition language end to end: the structural validator's
+/// rule 1-7 rejection table (stable codes + JSON-pointer locations),
+/// deterministic diagnostic reports, a parser fuzz loop, the model
+/// compiler's bit-identity with the builtin C++ factories, the
+/// define_scenario / list_scenarios service responses, and
+/// SystemBuilder::validate() dry runs.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/hybrid_system.hpp"
+#include "srv/json.hpp"
+#include "srv/model/compile.hpp"
+#include "srv/model/model.hpp"
+#include "srv/model/report.hpp"
+#include "srv/model/service.hpp"
+#include "srv/scenario.hpp"
+#include "srv/scenarios/scenarios.hpp"
+#include "urtx.hpp"
+
+namespace model = urtx::srv::model;
+namespace json = urtx::srv::json;
+namespace srv = urtx::srv;
+
+namespace {
+
+model::Report validateText(const std::string& text) {
+    model::Report r;
+    model::ModelDoc doc = model::parseModel(text, r);
+    if (r.ok()) model::validateModel(doc, r);
+    return r;
+}
+
+/// The committed example model documents, compiled into the test so it
+/// runs from any directory.
+std::string readFile(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "cannot read " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+std::uint64_t runHash(srv::ScenarioLibrary& lib, const std::string& name,
+                      double horizon) {
+    const std::unique_ptr<srv::Scenario> sc = lib.build(name, srv::ScenarioParams{});
+    sc->system().run(horizon, urtx::sim::ExecutionMode::SingleThread);
+    return srv::TraceData::from(sc->system().trace()).hash();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Rule 1-7 rejection table: one minimal bad document per paper rule, each
+// pinned to its stable code and JSON-pointer location.
+// ---------------------------------------------------------------------------
+
+struct RejectionCase {
+    const char* label;
+    const char* doc;
+    const char* code;     ///< expected code of the first diagnostic
+    const char* location; ///< expected location of the first diagnostic
+};
+
+class ModelRejectionTest : public ::testing::TestWithParam<RejectionCase> {};
+
+TEST_P(ModelRejectionTest, StableCodeAndLocation) {
+    const RejectionCase& c = GetParam();
+    const model::Report r = validateText(c.doc);
+    ASSERT_FALSE(r.ok()) << c.label << ": expected a diagnostic";
+    EXPECT_EQ(r.diagnostics()[0].code, c.code) << c.label << ": " << r.text();
+    EXPECT_EQ(r.diagnostics()[0].location, c.location) << c.label << ": " << r.text();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRules, ModelRejectionTest,
+    ::testing::Values(
+        RejectionCase{
+            "rule1-unknown-port",
+            R"({"model": "m", "groups": [{"name": "g"}],
+                "components": [{"name": "tanks", "type": "TwoTank", "group": "g"}],
+                "flows": [{"from": "tanks.nope", "to": "tanks.h1"}]})",
+            "rule1.unknown-port", "/flows/0/from"},
+        RejectionCase{
+            "rule2-unknown-solver",
+            R"({"model": "m", "groups": [{"name": "g", "integrator": "Simpson"}]})",
+            "rule2.unknown-solver", "/groups/0/integrator"},
+        RejectionCase{
+            "rule2-bad-step",
+            R"({"model": "m", "groups": [{"name": "g", "dt": 0}]})",
+            "rule2.bad-step", "/groups/0/dt"},
+        RejectionCase{
+            "rule3-flow-type-mismatch",
+            R"({"model": "m", "groups": [{"name": "g"}],
+                "components": [{"name": "pendulum", "type": "Pendulum", "group": "g"},
+                               {"name": "vehicle", "type": "Vehicle", "group": "g"}],
+                "flows": [{"from": "pendulum.state", "to": "vehicle.force"}]})",
+            "rule3.flow-type-mismatch", "/flows/0"},
+        RejectionCase{
+            "rule3-bad-endpoints",
+            R"({"model": "m", "groups": [{"name": "g"}],
+                "components": [{"name": "vehicle", "type": "Vehicle", "group": "g"},
+                               {"name": "pendulum", "type": "Pendulum", "group": "g"}],
+                "flows": [{"from": "vehicle.force", "to": "pendulum.torque"}]})",
+            "rule3.bad-endpoints", "/flows/0/from"},
+        RejectionCase{
+            "rule4-relay-fanout",
+            R"({"model": "m", "groups": [{"name": "g"}],
+                "relays": [{"name": "r", "group": "g", "fanout": 1}]})",
+            "rule4.relay-fanout", "/relays/0/fanout"},
+        RejectionCase{
+            "rule4-fanout-requires-relay",
+            R"({"model": "m", "groups": [{"name": "g"}],
+                "components": [{"name": "vehicle", "type": "Vehicle", "group": "g"},
+                               {"name": "p1", "type": "Pendulum", "group": "g"},
+                               {"name": "p2", "type": "Pendulum", "group": "g"}],
+                "flows": [{"from": "vehicle.speed", "to": "p1.torque"},
+                          {"from": "vehicle.speed", "to": "p2.torque"}]})",
+            "rule4.fanout-requires-relay", "/flows/1/from"},
+        RejectionCase{
+            "rule5-capsule-dport",
+            R"({"model": "m", "groups": [{"name": "g"}],
+                "components": [{"name": "tanks", "type": "TwoTank", "group": "g"},
+                               {"name": "sup", "type": "TankSupervisor"}],
+                "flows": [{"from": "sup.plant", "to": "tanks.h1"}]})",
+            "rule5.capsule-dport", "/flows/0"},
+        RejectionCase{
+            "rule6-capsule-in-streamer",
+            R"({"model": "m", "groups": [{"name": "g"}],
+                "components": [{"name": "sup", "type": "TankSupervisor", "group": "g"}]})",
+            "rule6.capsule-in-streamer", "/components/0/group"},
+        RejectionCase{
+            "rule7-ungrouped-streamer",
+            R"({"model": "m",
+                "components": [{"name": "tanks", "type": "TwoTank"}]})",
+            "rule7.ungrouped-streamer", "/components/0"},
+        RejectionCase{
+            "rule7-ungrouped-relay",
+            R"({"model": "m", "relays": [{"name": "r"}]})",
+            "rule7.ungrouped-streamer", "/relays/0"}),
+    [](const ::testing::TestParamInfo<RejectionCase>& info) {
+        std::string n = info.param.label;
+        for (char& ch : n) {
+            if (ch == '-') ch = '_';
+        }
+        return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Report determinism and shape
+// ---------------------------------------------------------------------------
+
+TEST(ModelReportTest, ByteIdenticalAcrossRuns) {
+    // Many independent errors in one document: the report-sink design must
+    // order them deterministically (document order), so two validations
+    // render byte-identical reports.
+    const char* doc =
+        R"({"model": "m", "groups": [{"name": "g", "integrator": "Simpson", "dt": -1}],
+            "components": [{"name": "a", "type": "NoSuchType", "group": "g"},
+                           {"name": "b", "type": "TwoTank"}],
+            "relays": [{"name": "r", "group": "g", "fanout": 0}],
+            "flows": [{"from": "a.x", "to": "b.y"}],
+            "traces": [{"channel": "t", "probe": "zz.q"}]})";
+    const model::Report first = validateText(doc);
+    const model::Report second = validateText(doc);
+    ASSERT_FALSE(first.ok());
+    EXPECT_GE(first.size(), 5u);
+    EXPECT_EQ(first.toJson(), second.toJson());
+    EXPECT_EQ(first.text(), second.text());
+
+    // Every diagnostic is (code, location, message) with a JSON-pointer
+    // location rooted at "/".
+    for (const model::Diagnostic& d : first.diagnostics()) {
+        EXPECT_FALSE(d.code.empty());
+        EXPECT_FALSE(d.message.empty());
+        ASSERT_FALSE(d.location.empty());
+        EXPECT_EQ(d.location[0], '/') << d.location;
+    }
+}
+
+TEST(ModelReportTest, ValidDocumentProducesEmptyReport) {
+    const model::Report r = validateText(
+        R"({"model": "ok", "groups": [{"name": "g", "dt": 0.05}],
+            "components": [{"name": "tanks", "type": "TwoTank", "group": "g"}],
+            "traces": [{"channel": "h1", "probe": "tanks.h1"}]})");
+    EXPECT_TRUE(r.ok()) << r.text();
+    EXPECT_EQ(r.toJson(), "[]");
+}
+
+// ---------------------------------------------------------------------------
+// Parser fuzz loop: mutations of a valid document must never crash —
+// every outcome is either a parsed document or a clean diagnostic.
+// ---------------------------------------------------------------------------
+
+TEST(ModelFuzzTest, MutatedDocumentsNeverCrash) {
+    const std::string base = readFile(std::string(URTX_MODELS_DIR) + "/tank.model.json");
+    ASSERT_FALSE(base.empty());
+
+    const auto feed = [](const std::string& text) {
+        model::Report r;
+        model::ModelDoc doc = model::parseModel(text, r);
+        if (r.ok()) model::validateModel(doc, r);
+        // Either outcome is fine; it just must not crash or hang.
+        (void)doc;
+    };
+
+    // Truncations at every prefix length (stride keeps the loop fast).
+    for (std::size_t n = 0; n < base.size(); n += 7) feed(base.substr(0, n));
+
+    // Point mutations: structural characters dropped in at every position.
+    const char kBytes[] = {'{', '}', '[', ']', '"', ':', ',', 'x', '0', '\\', '\n'};
+    for (std::size_t i = 0; i < base.size(); i += 11) {
+        for (const char b : kBytes) {
+            std::string mutated = base;
+            mutated[i] = b;
+            feed(mutated);
+        }
+    }
+
+    // Deletions of short spans.
+    for (std::size_t i = 0; i + 13 < base.size(); i += 13) {
+        std::string mutated = base;
+        mutated.erase(i, 5);
+        feed(mutated);
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Model compiler bit-identity with the builtin C++ factories
+// ---------------------------------------------------------------------------
+
+TEST(ModelCompileTest, TankModelMatchesBuiltinFactoryBitForBit) {
+    srv::ScenarioLibrary lib;
+    urtx::srv::scenarios::registerBuiltins(lib);
+    model::Report r;
+    model::ModelDoc doc =
+        model::parseModel(readFile(std::string(URTX_MODELS_DIR) + "/tank.model.json"), r);
+    if (r.ok()) model::validateModel(doc, r);
+    ASSERT_TRUE(r.ok()) << r.text();
+    model::registerModel(lib, std::make_shared<const model::ModelDoc>(std::move(doc)));
+
+    EXPECT_EQ(runHash(lib, "tank", 40.0), runHash(lib, "tank-model", 40.0))
+        << "uploaded tank model diverged from the builtin factory";
+}
+
+TEST(ModelCompileTest, PendulumModelMatchesBuiltinFactoryBitForBit) {
+    srv::ScenarioLibrary lib;
+    urtx::srv::scenarios::registerBuiltins(lib);
+    model::Report r;
+    model::ModelDoc doc = model::parseModel(
+        readFile(std::string(URTX_MODELS_DIR) + "/pendulum.model.json"), r);
+    if (r.ok()) model::validateModel(doc, r);
+    ASSERT_TRUE(r.ok()) << r.text();
+    model::registerModel(lib, std::make_shared<const model::ModelDoc>(std::move(doc)));
+
+    EXPECT_EQ(runHash(lib, "pendulum", 5.0), runHash(lib, "pendulum-model", 5.0))
+        << "uploaded pendulum model diverged from the builtin factory";
+}
+
+TEST(ModelCompileTest, DeclaredParamBoundsAreEnforcedAtBuild) {
+    srv::ScenarioLibrary lib;
+    model::Report r;
+    model::ModelDoc doc =
+        model::parseModel(readFile(std::string(URTX_MODELS_DIR) + "/tank.model.json"), r);
+    if (r.ok()) model::validateModel(doc, r);
+    ASSERT_TRUE(r.ok()) << r.text();
+    model::registerModel(lib, std::make_shared<const model::ModelDoc>(std::move(doc)));
+
+    srv::ScenarioParams bad;
+    bad.set("valve", 2.0); // declared max is 1
+    EXPECT_THROW(lib.build("tank-model", bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Service layer: define_scenario / list_scenarios responses
+// ---------------------------------------------------------------------------
+
+TEST(ModelServiceTest, DefineScenarioRejectsWithUnifiedErrorSchema) {
+    srv::ScenarioLibrary lib;
+    const auto verb = json::parse(
+        R"({"op": "define_scenario",
+            "model": {"model": "bad", "groups": [{"name": "g", "dt": -1}]}})");
+    ASSERT_TRUE(verb.has_value());
+    const model::DefineOutcome out = model::defineScenario(lib, *verb);
+    EXPECT_FALSE(out.ok);
+    const auto rec = json::parse(out.response);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->strOr("status", ""), "error");
+    const json::Value* err = rec->find("error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->strOr("code", ""), "model.invalid");
+    const json::Value* ctx = err->find("context");
+    ASSERT_NE(ctx, nullptr);
+    const json::Value* diags = ctx->find("diagnostics");
+    ASSERT_NE(diags, nullptr);
+    ASSERT_TRUE(diags->isArray());
+    EXPECT_EQ(diags->array[0].strOr("code", ""), "rule2.bad-step");
+    // The deprecated flat string rides along for one release.
+    EXPECT_NE(rec->strOr("error_string", ""), "");
+    EXPECT_FALSE(lib.has("bad"));
+}
+
+TEST(ModelServiceTest, ListScenariosCarriesSchemas) {
+    srv::ScenarioLibrary lib;
+    urtx::srv::scenarios::registerBuiltins(lib);
+    const auto rec = json::parse(model::listScenariosJson(lib));
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->strOr("status", ""), "ok");
+    const json::Value* arr = rec->find("scenarios");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_TRUE(arr->isArray());
+    ASSERT_GE(arr->array.size(), 4u);
+    bool sawTank = false;
+    for (const json::Value& s : arr->array) {
+        if (s.strOr("name", "") != "tank") continue;
+        sawTank = true;
+        const json::Value* schema = s.find("schema");
+        ASSERT_NE(schema, nullptr);
+        const json::Value* nums = schema->find("nums");
+        ASSERT_NE(nums, nullptr);
+        const json::Value* dt = nums->find("dt");
+        ASSERT_NE(dt, nullptr);
+        EXPECT_DOUBLE_EQ(dt->numOr("default", 0.0), 0.05);
+        const json::Value* valve = nums->find("valve");
+        ASSERT_NE(valve, nullptr);
+        EXPECT_DOUBLE_EQ(valve->numOr("min", -1.0), 0.0);
+        EXPECT_DOUBLE_EQ(valve->numOr("max", -1.0), 1.0);
+    }
+    EXPECT_TRUE(sawTank);
+}
+
+// ---------------------------------------------------------------------------
+// SystemBuilder::validate(): dry-run diagnostics instead of mid-build throws
+// ---------------------------------------------------------------------------
+
+TEST(SystemBuilderValidateTest, CollectsIssuesInsteadOfThrowing) {
+    urtx::flow::Streamer group("g");
+    urtx::flow::Streamer a("a", &group);
+    urtx::flow::Streamer b("b", &group);
+    urtx::flow::DPort out1(a, "out1", urtx::flow::DPortDir::Out,
+                           urtx::flow::FlowType::real());
+    urtx::flow::DPort out2(b, "out2", urtx::flow::DPortDir::Out,
+                           urtx::flow::FlowType::real());
+
+    urtx::SystemBuilder builder;
+    builder.deferErrors();
+    builder.flow(out1, out2); // illegal: out -> out
+    builder.streamer(group, "NoSuchSolver", 0.01);
+    const urtx::SystemBuilder::BuildReport& issues = builder.validate();
+    ASSERT_EQ(issues.size(), 2u);
+    EXPECT_EQ(issues[0].code, "flow.illegal");
+    EXPECT_EQ(issues[1].code, "solver.unknown");
+}
+
+TEST(SystemBuilderValidateTest, CleanBuildReportsNoIssues) {
+    urtx::flow::Streamer group("g");
+    urtx::flow::Streamer a("a", &group);
+    urtx::flow::Streamer b("b", &group);
+    urtx::flow::DPort src(a, "src", urtx::flow::DPortDir::Out,
+                          urtx::flow::FlowType::real());
+    urtx::flow::DPort dst(b, "dst", urtx::flow::DPortDir::In,
+                          urtx::flow::FlowType::real());
+
+    urtx::SystemBuilder builder;
+    builder.deferErrors();
+    builder.flow(src, dst);
+    builder.streamer(group, "RK45", 0.01);
+    EXPECT_TRUE(builder.validate().empty());
+}

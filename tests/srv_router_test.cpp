@@ -381,7 +381,7 @@ TEST(SrvRouterTest, FailoverLosesNothingDuplicatesNothingStaysBitIdentical) {
         const json::Value rec = c.readRecord();
         const std::string name = rec.strOr("name", "");
         ASSERT_EQ(rec.strOr("status", ""), "succeeded")
-            << name << ": " << rec.strOr("error", "");
+            << name << ": " << rec.strOr("error_string", "");
         EXPECT_TRUE(seen.insert(name).second) << "duplicate reply for " << name;
         EXPECT_EQ(rec.strOr("trace_hash", "x"), hashes[name])
             << name << " retried with a different trajectory";
@@ -484,7 +484,7 @@ TEST(SrvRouterTest, DrainRejectsNewJobsAndStopsCleanly) {
     const json::Value rec = c.readRecord();
     EXPECT_EQ(rec.strOr("status", ""), "rejected");
     EXPECT_EQ(rec.strOr("verdict", ""), "draining");
-    EXPECT_EQ(rec.strOr("error", ""), "router is draining");
+    EXPECT_EQ(rec.strOr("error_string", ""), "router is draining");
 
     // Health must stay answerable while draining.
     ASSERT_TRUE(c.sendLine("{\"op\": \"health\"}"));

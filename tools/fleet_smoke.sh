@@ -104,6 +104,47 @@ echo "pass 2 replayed from the fleet's result caches"
 extract_hashes() {
     sed -n 's/.*"name": "\([^"]*\)".*"trace_hash": "\([^"]*\)".*/\1 \2/p' "$1" | sort
 }
+
+# Model upload through the router: define_scenario must land on every live
+# shard, and the uploaded models must run bit-identically to their builtin
+# factories — over JSON and binary framing alike.
+MODELS="$(dirname "$0")/../examples/models"
+hash_of() { sed -n 's/.*"name": "'"$2"'".*"trace_hash": "\([^"]*\)".*/\1/p' "$1"; }
+if [ -f "$MODELS/tank.model.json" ] && [ -f "$MODELS/pendulum.model.json" ]; then
+    "$CLIENT" --tcp "$RPORT" --strict --quiet \
+        --define-model "$MODELS/tank.model.json" \
+        --define-model "$MODELS/pendulum.model.json" - > "$DIR/models.jsonl" <<'EOF'
+{"scenario": "tank", "name": "tank-ref", "horizon": 41.5, "mode": "single"}
+{"scenario": "tank-model", "name": "tank-up", "horizon": 41.5, "mode": "single"}
+{"scenario": "pendulum", "name": "pend-ref", "horizon": 4.5, "mode": "single"}
+{"scenario": "pendulum-model", "name": "pend-up", "horizon": 4.5, "mode": "single"}
+EOF
+    for shard in s1 s2 s3; do
+        if ! grep -q "\"$shard\": {\"status\": \"ok\", \"op\": \"define_scenario\"" \
+            "$DIR/models.jsonl"; then
+            echo "FAIL: define_scenario fan-out missed shard $shard" >&2
+            cat "$DIR/models.jsonl" >&2
+            exit 1
+        fi
+    done
+    if [ "$(hash_of "$DIR/models.jsonl" tank-ref)" != "$(hash_of "$DIR/models.jsonl" tank-up)" ] ||
+        [ "$(hash_of "$DIR/models.jsonl" pend-ref)" != "$(hash_of "$DIR/models.jsonl" pend-up)" ] ||
+        [ -z "$(hash_of "$DIR/models.jsonl" tank-ref)" ]; then
+        echo "FAIL: uploaded models are not bit-identical to the builtins via the router" >&2
+        cat "$DIR/models.jsonl" >&2
+        exit 1
+    fi
+    echo '{"scenario": "tank-model", "name": "tank-bin", "horizon": 41.5, "mode": "single"}' |
+        "$CLIENT" --tcp "$RPORT" --strict --quiet --binary - > "$DIR/model_bin.jsonl"
+    if [ "$(hash_of "$DIR/models.jsonl" tank-ref)" != "$(hash_of "$DIR/model_bin.jsonl" tank-bin)" ]; then
+        echo "FAIL: binary-framed tank-model hash differs from the builtin" >&2
+        cat "$DIR/model_bin.jsonl" >&2
+        exit 1
+    fi
+    echo "uploaded models landed on all 3 shards, bit-identical over JSON and binary"
+else
+    echo "SKIP: committed model documents not found; model leg skipped" >&2
+fi
 extract_hashes "$DIR/pass1.jsonl" > "$DIR/hashes1.txt"
 if [ ! -s "$DIR/hashes1.txt" ]; then
     echo "FAIL: no name/trace_hash pairs in pass 1" >&2
@@ -142,6 +183,39 @@ if ! grep -qF '"backend_ejections"' "$DIR/health2.json"; then
     exit 1
 fi
 echo "health reports the ejection (2 backends up)"
+
+# Restart the dead shard on its old port: the router must re-admit it and
+# replay the uploaded model documents, so the re-admitted shard serves the
+# same catalogue as the fleet.
+if [ -f "$MODELS/tank.model.json" ]; then
+    "$SERVED" --port "$P1" --workers 1 --quiet > "$DIR/s1b.port" &
+    S1_PID=$!
+    i=0
+    while :; do
+        "$CLIENT" --tcp "$RPORT" --health > "$DIR/health3.json" 2>/dev/null || true
+        if grep -qF '"backends_up": 3' "$DIR/health3.json"; then
+            break
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: restarted shard was never re-admitted" >&2
+            cat "$DIR/health3.json" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    "$CLIENT" --tcp "$RPORT" --list-scenarios > "$DIR/scenarios.json"
+    # One "tank-model" entry per shard payload plus one in the fleet union
+    # (compact, no space): fewer than 4 means a shard (the re-admitted one)
+    # missed the replay.
+    COUNT=$(grep -o '"name": *"tank-model"' "$DIR/scenarios.json" | wc -l)
+    if [ "$COUNT" -lt 4 ]; then
+        echo "FAIL: re-admitted shard did not replay the uploaded model ($COUNT/4)" >&2
+        cat "$DIR/scenarios.json" >&2
+        exit 1
+    fi
+    echo "re-admitted shard replayed the uploaded models (list_scenarios agrees fleet-wide)"
+fi
 
 # Fleet-wide graceful drain: SIGTERM to the router must exit 0 and pass
 # SIGTERM to the shards it was given; the surviving shards must drain to 0.

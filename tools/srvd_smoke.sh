@@ -163,6 +163,52 @@ for needle in '"op": "trace"' '"status": "ok"' '"traceEvents":'; do
 done
 echo "trace verb returned an embedded Chrome trace"
 
+# Model upload: define the committed tank model document, run it cold and
+# then warm/cached, and require the trace hash to be bit-identical to the
+# builtin tank factory at the same horizon/params.
+MODEL="$(dirname "$0")/../examples/models/tank.model.json"
+if [ -f "$MODEL" ]; then
+    echo '{"scenario": "tank", "name": "builtin-ref", "horizon": 37.5, "mode": "single"}' |
+        "$CLIENT" --socket "$SOCK" --strict --quiet - > "$DIR/model_ref.jsonl"
+    echo '{"scenario": "tank-model", "name": "uploaded", "horizon": 37.5, "mode": "single"}' |
+        "$CLIENT" --socket "$SOCK" --strict --quiet --define-model "$MODEL" - \
+            > "$DIR/model_up.jsonl"
+    echo '{"scenario": "tank-model", "name": "uploaded-warm", "horizon": 37.5, "mode": "single"}' |
+        "$CLIENT" --socket "$SOCK" --strict --quiet - > "$DIR/model_warm.jsonl"
+    if ! grep -qF '"status": "ok", "op": "define_scenario", "model": "tank-model"' \
+        "$DIR/model_up.jsonl"; then
+        echo "FAIL: define_scenario did not accept the tank model" >&2
+        cat "$DIR/model_up.jsonl" >&2
+        exit 1
+    fi
+    REF_HASH=$(sed -n 's/.*"trace_hash": "\([^"]*\)".*/\1/p' "$DIR/model_ref.jsonl")
+    UP_HASH=$(sed -n 's/.*"trace_hash": "\([^"]*\)".*/\1/p' "$DIR/model_up.jsonl")
+    WARM_HASH=$(sed -n 's/.*"trace_hash": "\([^"]*\)".*/\1/p' "$DIR/model_warm.jsonl")
+    if [ -z "$REF_HASH" ] || [ "$REF_HASH" != "$UP_HASH" ] ||
+        [ "$REF_HASH" != "$WARM_HASH" ]; then
+        echo "FAIL: uploaded tank model hashes ($UP_HASH / $WARM_HASH) != builtin ($REF_HASH)" >&2
+        exit 1
+    fi
+    if ! grep -q '"cached_result": true\|"warm_reuse": true' "$DIR/model_warm.jsonl"; then
+        echo "FAIL: second tank-model run was neither warm nor cached" >&2
+        cat "$DIR/model_warm.jsonl" >&2
+        exit 1
+    fi
+    echo "uploaded tank model is bit-identical to the builtin factory (warm/cached too)"
+
+    "$CLIENT" --socket "$SOCK" --list-scenarios > "$DIR/scenarios.json"
+    for needle in '"op": "list_scenarios"' '"name": "tank-model"' '"schema":'; do
+        if ! grep -qF "$needle" "$DIR/scenarios.json"; then
+            echo "FAIL: list_scenarios response lacks $needle" >&2
+            cat "$DIR/scenarios.json" >&2
+            exit 1
+        fi
+    done
+    echo "list_scenarios shows the uploaded model beside the builtins"
+else
+    echo "SKIP: $MODEL not found; model-upload leg skipped" >&2
+fi
+
 kill -TERM "$SERVED_PID"
 STATUS=0
 wait "$SERVED_PID" || STATUS=$?
